@@ -1,0 +1,98 @@
+//! Benchmarks of the blocking workflows — the RT column of Table VII for
+//! the blocking family, per pipeline step and end-to-end.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use er::blocking::{
+    block_filtering, block_purging, BlockBuilder, BlockingGraph, BlockingWorkflow,
+    MetaBlocking, PruningAlgorithm, WeightingScheme,
+};
+use er::core::schema::{text_view, SchemaMode};
+use er::core::Filter;
+use er::datagen::{generate, profiles::profile};
+
+fn bench_blocking(c: &mut Criterion) {
+    let ds = generate(profile("D2").expect("D2"), 0.2, 42);
+    let view = text_view(&ds, &SchemaMode::Agnostic);
+
+    let mut group = c.benchmark_group("block_building");
+    for (name, builder) in [
+        ("standard", BlockBuilder::Standard),
+        ("qgrams_q3", BlockBuilder::QGrams { q: 3 }),
+        ("ext_qgrams_q3_t09", BlockBuilder::ExtendedQGrams { q: 3, t: 0.9 }),
+        ("suffix_l3_b50", BlockBuilder::SuffixArrays { l_min: 3, b_max: 50 }),
+        ("ext_suffix_l3_b50", BlockBuilder::ExtendedSuffixArrays { l_min: 3, b_max: 50 }),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &builder, |b, builder| {
+            b.iter(|| builder.build(black_box(&view)));
+        });
+    }
+    group.finish();
+
+    let blocks = BlockBuilder::QGrams { q: 3 }.build(&view);
+    c.bench_function("block_purging/D2_qgrams", |b| {
+        b.iter(|| block_purging(black_box(&blocks)));
+    });
+    c.bench_function("block_filtering/D2_r05", |b| {
+        b.iter(|| block_filtering(black_box(&blocks), 0.5));
+    });
+
+    c.bench_function("blocking_graph/build_D2", |b| {
+        b.iter(|| BlockingGraph::build(black_box(&blocks)));
+    });
+
+    let graph = BlockingGraph::build(&blocks);
+    let mut group = c.benchmark_group("metablocking");
+    for scheme in [WeightingScheme::Cbs, WeightingScheme::Arcs, WeightingScheme::ChiSquared] {
+        group.bench_with_input(
+            BenchmarkId::new("weights", scheme.name()),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| graph.weighted_edges(black_box(scheme)));
+            },
+        );
+    }
+    let edges = graph.weighted_edges(WeightingScheme::Js);
+    for pruning in [PruningAlgorithm::Wep, PruningAlgorithm::Rcnp, PruningAlgorithm::Blast] {
+        group.bench_with_input(
+            BenchmarkId::new("prune", pruning.name()),
+            &pruning,
+            |b, &pruning| {
+                b.iter(|| graph.prune(black_box(&edges), pruning));
+            },
+        );
+    }
+    group.finish();
+
+    // End-to-end: the two baseline workflows of Table VII.
+    let mut group = c.benchmark_group("workflow_end_to_end");
+    group.sample_size(20);
+    for (name, wf) in
+        [("PBW", BlockingWorkflow::pbw()), ("DBW", BlockingWorkflow::dbw())]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &wf, |b, wf| {
+            b.iter(|| wf.run(black_box(&view)));
+        });
+    }
+    group.finish();
+
+    // Meta-blocking cleaning of the full MetaBlocking object (graph built
+    // inside), matching how a single grid evaluation costs.
+    let mb = MetaBlocking { scheme: WeightingScheme::Js, pruning: PruningAlgorithm::Rcnp };
+    c.bench_function("metablocking/clean_full_D2", |b| {
+        b.iter(|| mb.clean(black_box(&blocks)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Bounded sampling: the workloads are deterministic and the harness
+    // runs on one core; 20 samples with short measurement windows keep
+    // `cargo bench --workspace` to a few minutes without losing the
+    // relative ordering the study cares about.
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_blocking
+}
+criterion_main!(benches);

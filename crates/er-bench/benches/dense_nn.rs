@@ -1,0 +1,105 @@
+//! Benchmarks of the dense NN substrate: embedding throughput, exact and
+//! partitioned kNN, product quantization and the LSH families.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use er::core::schema::{text_view, SchemaMode};
+use er::core::Filter;
+use er::datagen::{generate, profiles::profile};
+use er::dense::{
+    kmeans, CrossPolytopeLsh, EmbeddingConfig, FlatIndex, FlatKnn, HashEmbedder, HyperplaneLsh,
+    Metric, MinHashLsh, PartitionedKnn, ProductQuantizer, Scoring,
+};
+use er::text::Cleaner;
+
+fn bench_dense(c: &mut Criterion) {
+    let ds = generate(profile("D2").expect("D2"), 0.2, 42);
+    let view = text_view(&ds, &SchemaMode::Agnostic);
+    let embedding = EmbeddingConfig { dim: 128, ..Default::default() };
+    let embedder = HashEmbedder::new(embedding);
+
+    c.bench_function("embed/D2_e1", |b| {
+        b.iter(|| {
+            for text in &view.e1 {
+                black_box(embedder.embed(text, &Cleaner::off()));
+            }
+        });
+    });
+
+    let (v1, v2) = embedder.embed_view(&view, &Cleaner::off());
+    let flat = FlatIndex::build(v1.clone(), Metric::L2Sq);
+    c.bench_function("flat_knn/k5_all_queries", |b| {
+        b.iter(|| {
+            for q in &v2 {
+                black_box(flat.knn(q, 5));
+            }
+        });
+    });
+
+    c.bench_function("kmeans/sqrt_n_partitions", |b| {
+        b.iter(|| kmeans(black_box(&v1), 16, 10, 7));
+    });
+
+    let pq = ProductQuantizer::train(&v1, 16, 3);
+    let codes: Vec<Vec<u8>> = v1.iter().map(|v| pq.encode(v)).collect();
+    c.bench_function("pq/lut_scoring_all", |b| {
+        b.iter(|| {
+            let table = pq.lookup_table(&v2[0], false);
+            let mut best = f32::INFINITY;
+            for code in &codes {
+                best = best.min(pq.score(&table, code));
+            }
+            black_box(best)
+        });
+    });
+
+    let mut group = c.benchmark_group("dense_end_to_end");
+    group.sample_size(10);
+    let faiss = FlatKnn { cleaning: false, k: 5, reversed: false, embedding };
+    group.bench_function("faiss_flat_k5", |b| b.iter(|| faiss.run(black_box(&view))));
+    for (name, scoring) in
+        [("scann_bf", Scoring::BruteForce), ("scann_ah", Scoring::AsymmetricHashing)]
+    {
+        let scann = PartitionedKnn {
+            cleaning: false,
+            k: 5,
+            reversed: false,
+            scoring,
+            metric: Metric::L2Sq,
+            probe_fraction: 0.25,
+            embedding,
+            seed: 7,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &scann, |b, scann| {
+            b.iter(|| scann.run(black_box(&view)));
+        });
+    }
+    let mh = MinHashLsh { cleaning: false, shingle_k: 3, bands: 32, rows: 8, seed: 7 };
+    group.bench_function("minhash_32x8", |b| b.iter(|| mh.run(black_box(&view))));
+    let hp = HyperplaneLsh { cleaning: false, tables: 8, hashes: 10, probes: 4, embedding, seed: 7 };
+    group.bench_function("hyperplane_8t10h", |b| b.iter(|| hp.run(black_box(&view))));
+    let cp = CrossPolytopeLsh {
+        cleaning: false,
+        tables: 8,
+        hashes: 1,
+        last_cp_dim: 64,
+        probes: 2,
+        embedding,
+        seed: 7,
+    };
+    group.bench_function("crosspolytope_8t", |b| b.iter(|| cp.run(black_box(&view))));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Bounded sampling: the workloads are deterministic and the harness
+    // runs on one core; 20 samples with short measurement windows keep
+    // `cargo bench --workspace` to a few minutes without losing the
+    // relative ordering the study cares about.
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_dense
+}
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Benchmarks of the sparse NN methods: ScanCount index/query throughput,
+//! ε-Join and kNN-Join end-to-end (the RT rows of Table VII).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use er::core::schema::{text_view, SchemaMode};
+use er::core::Filter;
+use er::datagen::{generate, profiles::profile};
+use er::sparse::{
+    EpsilonJoin, KnnJoin, RepresentationModel, ScanCountIndex, SimilarityMeasure,
+};
+use er::text::Cleaner;
+
+fn bench_sparse(c: &mut Criterion) {
+    let ds = generate(profile("D2").expect("D2"), 0.2, 42);
+    let view = text_view(&ds, &SchemaMode::Agnostic);
+    let t1g = RepresentationModel::parse("T1G").expect("T1G");
+    let c3g = RepresentationModel::parse("C3G").expect("C3G");
+
+    // Token-set extraction per representation model.
+    let mut group = c.benchmark_group("representation");
+    for (name, model) in [("T1G", t1g), ("C3G", c3g)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &model, |b, model| {
+            b.iter(|| {
+                for text in &view.e1 {
+                    black_box(model.token_set(text, &Cleaner::off()));
+                }
+            });
+        });
+    }
+    group.finish();
+
+    // ScanCount: index build and query scan.
+    let sets1: Vec<Vec<u64>> =
+        view.e1.iter().map(|t| c3g.token_set(t, &Cleaner::off())).collect();
+    let sets2: Vec<Vec<u64>> =
+        view.e2.iter().map(|t| c3g.token_set(t, &Cleaner::off())).collect();
+    c.bench_function("scancount/build_D2", |b| {
+        b.iter(|| ScanCountIndex::build(black_box(&sets1)));
+    });
+    c.bench_function("scancount/query_all_D2", |b| {
+        let mut index = ScanCountIndex::build(&sets1);
+        let mut hits = Vec::new();
+        b.iter(|| {
+            for q in &sets2 {
+                index.query_into(black_box(q), &mut hits);
+                black_box(&hits);
+            }
+        });
+    });
+
+    // End-to-end joins.
+    let mut group = c.benchmark_group("join_end_to_end");
+    group.sample_size(20);
+    let eps = EpsilonJoin {
+        cleaning: false,
+        model: c3g,
+        measure: SimilarityMeasure::Cosine,
+        threshold: 0.4,
+    };
+    group.bench_function("epsilon_join_D2", |b| {
+        b.iter(|| eps.run(black_box(&view)));
+    });
+    let knn = KnnJoin {
+        cleaning: false,
+        model: c3g,
+        measure: SimilarityMeasure::Cosine,
+        k: 1,
+        reversed: false,
+    };
+    group.bench_function("knn_join_k1_D2", |b| {
+        b.iter(|| knn.run(black_box(&view)));
+    });
+    let dknn = er::sparse::dknn_baseline(ds.e1.len(), ds.e2.len());
+    group.bench_function("dknn_baseline_D2", |b| {
+        b.iter(|| dknn.run(black_box(&view)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Bounded sampling: the workloads are deterministic and the harness
+    // runs on one core; 20 samples with short measurement windows keep
+    // `cargo bench --workspace` to a few minutes without losing the
+    // relative ordering the study cares about.
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_sparse
+}
+criterion_main!(benches);

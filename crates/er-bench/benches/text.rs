@@ -1,0 +1,66 @@
+//! Micro-benchmarks of the text substrate: tokenization, stemming,
+//! signature extraction and cleaning throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use er::text::{clean_tokens, extended_qgram_keys, porter_stem, qgrams, suffixes_min_len, tokenize};
+
+const SAMPLE: &str =
+    "Canon PowerShot SX530 HS 16.0 MP CMOS Digital Camera with 50x Optical Image \
+     Stabilized Zoom and 3-Inch LCD Black";
+
+fn bench_text(c: &mut Criterion) {
+    c.bench_function("tokenize/product_title", |b| {
+        b.iter(|| tokenize(black_box(SAMPLE)));
+    });
+
+    let tokens = tokenize(SAMPLE);
+    c.bench_function("porter_stem/token_batch", |b| {
+        b.iter(|| {
+            for t in &tokens {
+                black_box(porter_stem(t));
+            }
+        });
+    });
+
+    c.bench_function("clean_tokens/product_title", |b| {
+        b.iter(|| clean_tokens(black_box(tokens.clone())));
+    });
+
+    c.bench_function("qgrams/q3_all_tokens", |b| {
+        b.iter(|| {
+            for t in &tokens {
+                black_box(qgrams(t, 3));
+            }
+        });
+    });
+
+    c.bench_function("extended_qgrams/q3_t09", |b| {
+        b.iter(|| {
+            for t in &tokens {
+                black_box(extended_qgram_keys(t, 3, 0.9));
+            }
+        });
+    });
+
+    c.bench_function("suffixes/lmin3", |b| {
+        b.iter(|| {
+            for t in &tokens {
+                black_box(suffixes_min_len(t, 3));
+            }
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Bounded sampling: the workloads are deterministic and the harness
+    // runs on one core; 20 samples with short measurement windows keep
+    // `cargo bench --workspace` to a few minutes without losing the
+    // relative ordering the study cares about.
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_text
+}
+criterion_main!(benches);

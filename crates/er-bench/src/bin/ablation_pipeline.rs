@@ -1,0 +1,71 @@
+//! Ablation: the optional block-cleaning steps (paper §IV-B / Fig. 1).
+//!
+//! Block Purging and Block Filtering are optional; the paper treats them as
+//! such and reports the best among the four pipeline variants. This binary
+//! quantifies each variant's contribution for the Standard Blocking
+//! workflow with a fixed comparison cleaning, showing how the two steps
+//! trade recall for precision.
+
+use er::blocking::{BlockBuilder, BlockingWorkflow, ComparisonCleaning};
+use er::core::metrics::evaluate;
+use er::core::schema::{text_view, SchemaMode};
+use er::core::Filter;
+use er::datagen::generate;
+use er_bench::report::fmt_measure;
+use er_bench::{Settings, Table};
+
+fn main() {
+    let settings = Settings::from_args();
+    println!(
+        "Ablation: Block Purging (BP) / Block Filtering (BF) pipeline variants\n\
+         (Standard Blocking + Comparison Propagation, scale {})\n",
+        settings.scale
+    );
+
+    let variants: [(&str, bool, Option<f64>); 4] = [
+        ("neither", false, None),
+        ("BP only", true, None),
+        ("BF only", false, Some(0.5)),
+        ("BP + BF", true, Some(0.5)),
+    ];
+
+    let mut table = Table::new([
+        "Dataset", "Variant", "PC", "PQ", "|C|",
+    ]);
+    let mut monotone_violations = 0usize;
+    for profile in &settings.datasets {
+        let ds = generate(profile, settings.scale, settings.seed);
+        let view = text_view(&ds, &SchemaMode::Agnostic);
+        let mut prev_candidates = u64::MAX;
+        for (name, purge, ratio) in variants {
+            let wf = BlockingWorkflow {
+                builder: BlockBuilder::Standard,
+                purge,
+                filter_ratio: ratio,
+                cleaning: ComparisonCleaning::Propagation,
+            };
+            let out = wf.run(&view);
+            let eff = evaluate(&out.candidates, &ds.groundtruth);
+            // Every added cleaning step must shrink the candidate set.
+            if name != "neither" && name != "BF only" && eff.candidates as u64 > prev_candidates
+            {
+                monotone_violations += 1;
+            }
+            if name == "neither" {
+                prev_candidates = eff.candidates as u64;
+            }
+            table.row([
+                profile.id.to_owned(),
+                name.to_owned(),
+                fmt_measure(eff.pc),
+                fmt_measure(eff.pq),
+                eff.candidates.to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "Expected: each cleaning step trades a sliver of PC for a PQ increase;\n\
+         BP+BF gives the largest search-space reduction. Monotonicity violations: {monotone_violations}."
+    );
+}

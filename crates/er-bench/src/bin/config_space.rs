@@ -1,0 +1,51 @@
+//! Regenerates the configuration-space summaries of Tables III, IV and V:
+//! the number of configurations each method's grid spans, at the paper's
+//! full resolution and at the harness's pruned/quick resolutions.
+
+use er::blocking::WorkflowKind;
+use er::core::optimize::GridResolution;
+use er::dense::{grid as dense_grid, EmbeddingConfig};
+use er::sparse::{epsilon_grid, knn_grid};
+use er_bench::Table;
+
+const RESOLUTIONS: [GridResolution; 3] =
+    [GridResolution::Full, GridResolution::Pruned, GridResolution::Quick];
+
+fn row(table: &mut Table, name: &str, count: impl Fn(GridResolution) -> usize) {
+    let counts: Vec<String> =
+        RESOLUTIONS.iter().map(|&r| count(r).to_string()).collect();
+    table.row([name, &counts[0], &counts[1], &counts[2]]);
+}
+
+fn main() {
+    let emb = EmbeddingConfig::default();
+    let mut table = Table::new(["Method", "Full", "Pruned", "Quick"]);
+
+    // Table III: blocking workflows.
+    for kind in WorkflowKind::ALL {
+        row(&mut table, &format!("{} workflow", kind.acronym()), |r| kind.grid(r).len());
+    }
+    // Table IV: sparse NN methods.
+    row(&mut table, "e-Join", |r| epsilon_grid(r).iter().map(Vec::len).sum());
+    row(&mut table, "kNN-Join", |r| knn_grid(r).iter().map(Vec::len).sum());
+    // Table V: dense NN methods.
+    row(&mut table, "MH-LSH", |r| dense_grid::minhash_grid(r, 0).len());
+    row(&mut table, "HP-LSH", |r| {
+        dense_grid::hyperplane_grid(r, emb, 0).iter().map(Vec::len).sum()
+    });
+    row(&mut table, "CP-LSH", |r| {
+        dense_grid::crosspolytope_grid(r, emb, 0).iter().map(Vec::len).sum()
+    });
+    row(&mut table, "FAISS", |r| {
+        dense_grid::flat_combos(r, emb).len() * dense_grid::k_sweep(r).len()
+    });
+    row(&mut table, "SCANN", |r| {
+        dense_grid::scann_combos(r, emb, 0).len() * dense_grid::k_sweep(r).len()
+    });
+    row(&mut table, "DeepBlocker", |r| {
+        dense_grid::deepblocker_combos(r, emb, 0).len() * dense_grid::k_sweep(r).len()
+    });
+
+    println!("Configuration-space sizes per method (Tables III-V)\n");
+    println!("{}", table.render());
+}

@@ -1,0 +1,99 @@
+//! Regenerates Figures 4–6: the distribution of the ranking position of
+//! each duplicate inside its query's candidate list, comparing the
+//! syntactic representation (kNN-Join under the DkNN settings: C5GM +
+//! cosine) with the semantic one (hashed subword embeddings + Euclidean,
+//! representative of FAISS/SCANN/DeepBlocker).
+//!
+//! * Figure 4: schema-agnostic, indexing E1 / querying E2,
+//! * Figure 5: schema-agnostic, reversed,
+//! * Figure 6: schema-based (viable datasets), both directions.
+//!
+//! The paper's claim to verify: syntactic representations concentrate
+//! duplicates at the top ranks more strongly than semantic ones.
+
+use er::core::schema::{text_view, SchemaMode};
+use er::core::QueryRankings;
+use er::datagen::generate;
+use er::dense::{EmbeddingConfig, FlatKnn};
+use er::sparse::{KnnJoin, RepresentationModel, SimilarityMeasure};
+use er_bench::{Settings, Table};
+
+const BUCKETS: usize = 10;
+const K_MAX: usize = 200;
+
+fn syntactic(reversed: bool) -> KnnJoin {
+    KnnJoin {
+        cleaning: true,
+        model: RepresentationModel::parse("C5GM").expect("C5GM"),
+        measure: SimilarityMeasure::Cosine,
+        k: K_MAX,
+        reversed,
+    }
+}
+
+fn histogram_row(label: &str, rankings: &QueryRankings, gt: &er::core::GroundTruth) -> Vec<String> {
+    let (hist, missing) = rankings.rank_histogram(gt, BUCKETS);
+    let mut row = vec![label.to_owned()];
+    row.extend(hist.iter().map(usize::to_string));
+    row.push(missing.to_string());
+    row
+}
+
+fn main() {
+    let settings = Settings::from_args();
+    let embedding = EmbeddingConfig { dim: settings.dim, ..Default::default() };
+
+    let figures: [(&str, SchemaMode, bool); 4] = [
+        ("Figure 4: schema-agnostic, index E1 / query E2", SchemaMode::Agnostic, false),
+        ("Figure 5: schema-agnostic, reversed (index E2 / query E1)", SchemaMode::Agnostic, true),
+        ("Figure 6 (upper): schema-based, index E1 / query E2", SchemaMode::BestAttribute, false),
+        ("Figure 6 (lower): schema-based, reversed", SchemaMode::BestAttribute, true),
+    ];
+
+    let mut syntactic_top_wins = 0usize;
+    let mut comparisons = 0usize;
+    for (title, mode, reversed) in figures {
+        println!("{title}\n");
+        let mut header = vec!["Dataset/Repr".to_owned()];
+        header.extend((0..BUCKETS).map(|b| {
+            if b == BUCKETS - 1 {
+                format!("r>={b}")
+            } else {
+                format!("r={b}")
+            }
+        }));
+        header.push("missing".to_owned());
+        let mut table = Table::new(header);
+
+        for profile in &settings.datasets {
+            if mode == SchemaMode::BestAttribute && !profile.schema_based_viable {
+                continue;
+            }
+            let ds = generate(profile, settings.scale, settings.seed);
+            let effective_mode = if mode == SchemaMode::BestAttribute {
+                profile.schema_based_mode()
+            } else {
+                mode.clone()
+            };
+            let view = text_view(&ds, &effective_mode);
+
+            let syn = syntactic(reversed).rankings(&view, K_MAX);
+            let sem = FlatKnn { cleaning: true, k: K_MAX, reversed, embedding }
+                .rankings(&view, K_MAX);
+            table.row(histogram_row(&format!("{} syntactic", profile.id), &syn, &ds.groundtruth));
+            table.row(histogram_row(&format!("{} semantic", profile.id), &sem, &ds.groundtruth));
+
+            let (syn_hist, _) = syn.rank_histogram(&ds.groundtruth, BUCKETS);
+            let (sem_hist, _) = sem.rank_histogram(&ds.groundtruth, BUCKETS);
+            comparisons += 1;
+            if syn_hist[0] >= sem_hist[0] {
+                syntactic_top_wins += 1;
+            }
+        }
+        println!("{}", table.render());
+    }
+    println!(
+        "Syntactic representation places >= as many duplicates at rank 0 in {syntactic_top_wins}/{comparisons} cases\n\
+         (paper: syntactic dominates in the vast majority of cases, with a handful of exceptions)."
+    );
+}

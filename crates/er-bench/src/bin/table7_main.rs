@@ -1,0 +1,276 @@
+//! Regenerates Table VII — PC, PQ and RT of every filtering method on every
+//! dataset in schema-agnostic and schema-based settings — plus, behind
+//! flags, the best-configuration Tables VIII–X (`--configs`) and the
+//! candidate-count Table XI (`--candidates`).
+//!
+//! Typical invocations:
+//!
+//! ```text
+//! cargo run --release --bin table7_main                          # defaults
+//! cargo run --release --bin table7_main -- --scale 0.05 --grid quick
+//! cargo run --release --bin table7_main -- --datasets D1,D4 --configs --candidates
+//! cargo run --release --bin table7_main -- --parallel 4 --csv table7.csv
+//! ```
+//!
+//! `--parallel N` evaluates dataset columns on N threads. Effectiveness
+//! (PC/PQ/|C|) is unaffected, but the reported run-times contend for cores
+//! — keep the default (serial) for faithful RT measurements.
+
+use er::core::optimize::Optimizer;
+use er::core::schema::{text_view, SchemaMode};
+use er::core::timing::format_runtime;
+use er::datagen::generate;
+use er_bench::harness::{run_all_methods_with, Context, MethodOutcome};
+use er_bench::report::{fmt_measure_flagged, Table};
+use er_bench::Settings;
+
+/// One evaluated column of Table VII.
+struct Column {
+    label: String,
+    cartesian: u64,
+    outcomes: Vec<MethodOutcome>,
+}
+
+/// Evaluates one (dataset, schema-setting) column.
+fn evaluate_column(
+    profile: &er::datagen::DatasetProfile,
+    mode: SchemaMode,
+    label: String,
+    settings: &Settings,
+    verbose: bool,
+) -> Column {
+    let ds = generate(profile, settings.scale, settings.seed);
+    let view = text_view(&ds, &mode);
+    let ctx = Context {
+        view: &view,
+        gt: &ds.groundtruth,
+        optimizer: Optimizer::new(settings.target_pc),
+        resolution: settings.resolution,
+        dim: settings.dim,
+        seed: settings.seed,
+        reps: settings.reps,
+    };
+    let outcomes = run_all_methods_with(&ctx, |o, elapsed| {
+        if verbose {
+            eprintln!(
+                "   [{label}] {:<12} pc={:.3} pq={:.4} |C|={:>9.0} rt={:<9} ({} cfgs in {}) {}",
+                o.method,
+                o.pc,
+                o.pq,
+                o.candidates,
+                format_runtime(o.runtime),
+                o.evaluated,
+                format_runtime(elapsed),
+                if o.feasible { "" } else { " [below target]" },
+            );
+        }
+    });
+    Column { label, cartesian: ds.cartesian(), outcomes }
+}
+
+fn main() {
+    let settings = Settings::from_args();
+    let parallel: usize = settings
+        .flags
+        .iter()
+        .position(|f| f == "--parallel")
+        .and_then(|pos| settings.flags.get(pos + 1))
+        .map_or(1, |v| v.parse().expect("--parallel takes a thread count"));
+    eprintln!(
+        "Table VII sweep: scale {}, grid {:?}, target PC {}, reps {}, dim {}, threads {}",
+        settings.scale,
+        settings.resolution,
+        settings.target_pc,
+        settings.reps,
+        settings.dim,
+        parallel,
+    );
+
+    // Enumerate the columns: schema-agnostic for every dataset, then
+    // schema-based for the viable ones.
+    let mut specs: Vec<(&er::datagen::DatasetProfile, SchemaMode, String)> = Vec::new();
+    for mode_label in ["a", "b"] {
+        for profile in &settings.datasets {
+            if mode_label == "b" && !profile.schema_based_viable {
+                continue;
+            }
+            let mode = if mode_label == "a" {
+                SchemaMode::Agnostic
+            } else {
+                profile.schema_based_mode()
+            };
+            specs.push((profile, mode, format!("D{}{}", mode_label, &profile.id[1..])));
+        }
+    }
+
+    let columns: Vec<Column> = if parallel <= 1 {
+        specs
+            .into_iter()
+            .map(|(profile, mode, label)| {
+                eprintln!("== {label} ({} / {:?})", profile.id, mode);
+                evaluate_column(profile, mode, label, &settings, true)
+            })
+            .collect()
+    } else {
+        // Work-stealing over column indices; effectiveness is unaffected
+        // but run-times contend for cores.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+        let next = AtomicUsize::new(0);
+        let done: Vec<Mutex<Option<Column>>> =
+            specs.iter().map(|_| Mutex::new(None)).collect();
+        let specs_ref = &specs;
+        let settings_ref = &settings;
+        let done_ref = &done;
+        let next_ref = &next;
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..parallel.min(specs_ref.len()) {
+                scope.spawn(move |_| loop {
+                    let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                    let Some((profile, mode, label)) = specs_ref.get(i) else { break };
+                    eprintln!("== {label} ({} / {:?})", profile.id, mode);
+                    let column = evaluate_column(
+                        profile,
+                        mode.clone(),
+                        label.clone(),
+                        settings_ref,
+                        false,
+                    );
+                    eprintln!("== {label} done");
+                    *done_ref[i].lock().expect("poisoned column slot") = Some(column);
+                });
+            }
+        })
+        .expect("worker thread panicked");
+        done.into_iter()
+            .map(|slot| slot.into_inner().expect("poisoned").expect("column computed"))
+            .collect()
+    };
+
+    let methods: Vec<String> =
+        columns.first().map(|c| c.outcomes.iter().map(|o| o.method.clone()).collect())
+            .unwrap_or_default();
+
+    let matrix = |title: &str, cell: &dyn Fn(&MethodOutcome) -> String| {
+        let mut header = vec!["Method".to_owned()];
+        header.extend(columns.iter().map(|c| c.label.clone()));
+        let mut t = Table::new(header);
+        for (mi, method) in methods.iter().enumerate() {
+            let mut row = vec![method.clone()];
+            for col in &columns {
+                row.push(cell(&col.outcomes[mi]));
+            }
+            t.row(row);
+        }
+        println!("{title}\n{}", t.render());
+    };
+
+    matrix("Table VII(a): recall (PC) — '*' marks PC below the target", &|o| {
+        fmt_measure_flagged(o.pc, o.feasible)
+    });
+    matrix("Table VII(b): precision (PQ)", &|o| fmt_measure_flagged(o.pq, o.feasible));
+    matrix("Table VII(c): run-time (RT)", &|o| format_runtime(o.runtime));
+
+    // The paper's Section VI analysis: per-method mean deviation from the
+    // per-setting maximum PQ, and how often each method achieves it.
+    {
+        let mut table = Table::new([
+            "Method",
+            "PQ wins",
+            "Mean deviation from best PQ",
+            "Mean |C| reduction vs brute force",
+        ]);
+        for (mi, method) in methods.iter().enumerate() {
+            let mut wins = 0usize;
+            let mut deviation = 0.0f64;
+            let mut counted = 0usize;
+            let mut reduction = 0.0f64;
+            let mut reductions = 0usize;
+            for col in &columns {
+                let o = &col.outcomes[mi];
+                if o.candidates > 0.0 {
+                    reduction += 1.0 - o.candidates / col.cartesian as f64;
+                    reductions += 1;
+                }
+                if !o.feasible {
+                    continue;
+                }
+                let best_pq = col
+                    .outcomes
+                    .iter()
+                    .filter(|x| x.feasible)
+                    .map(|x| x.pq)
+                    .fold(0.0, f64::max);
+                if best_pq <= 0.0 {
+                    continue;
+                }
+                counted += 1;
+                if (o.pq - best_pq).abs() < 1e-12 {
+                    wins += 1;
+                }
+                deviation += (best_pq - o.pq) / best_pq;
+            }
+            table.row([
+                method.clone(),
+                wins.to_string(),
+                if counted == 0 {
+                    "-".to_owned()
+                } else {
+                    format!("{:.1}%", 100.0 * deviation / counted as f64)
+                },
+                if reductions == 0 {
+                    "-".to_owned()
+                } else {
+                    format!("{:.1}%", 100.0 * reduction / reductions as f64)
+                },
+            ]);
+        }
+        println!(
+            "Section VI analysis: PQ winners and mean deviation from the best\n\
+             feasible PQ (counting only settings where the method met the target)\n{}",
+            table.render()
+        );
+    }
+
+    if settings.has_flag("--candidates") {
+        matrix("Table XI: candidate pairs |C|", &|o| format!("{:.0}", o.candidates));
+    }
+    // CSV export for downstream analysis: one row per (setting, method).
+    if let Some(pos) = settings.flags.iter().position(|f| f == "--csv") {
+        let path = settings
+            .flags
+            .get(pos + 1)
+            .cloned()
+            .unwrap_or_else(|| "table7.csv".to_owned());
+        let mut csv = String::from(
+            "setting,method,pc,pq,candidates,runtime_ms,feasible,config\n",
+        );
+        for col in &columns {
+            for o in &col.outcomes {
+                csv.push_str(&format!(
+                    "{},{},{:.6},{:.6},{:.0},{:.3},{},\"{}\"\n",
+                    col.label,
+                    o.method,
+                    o.pc,
+                    o.pq,
+                    o.candidates,
+                    o.runtime.as_secs_f64() * 1e3,
+                    o.feasible,
+                    o.config.replace('"', "'"),
+                ));
+            }
+        }
+        std::fs::write(&path, csv).expect("write csv");
+        eprintln!("wrote {path}");
+    }
+    if settings.has_flag("--configs") {
+        println!("Tables VIII-X: best configuration per method and setting\n");
+        for col in &columns {
+            println!("-- {}", col.label);
+            for o in &col.outcomes {
+                println!("   {:<12} {}", o.method, o.config);
+            }
+            println!();
+        }
+    }
+}

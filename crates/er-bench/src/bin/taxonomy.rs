@@ -1,0 +1,46 @@
+//! Regenerates Table I (scope per type of filtering method) and Table II
+//! (functionality per NN method).
+
+use er::core::taxonomy::{
+    scope_supports, MethodFamily, Operation, Representation, Threshold, METHOD_PROFILES,
+};
+use er_bench::Table;
+
+fn main() {
+    println!("Table I: the scope per type of filtering methods\n");
+    let mut t1 = Table::new(["Scope", "Blocking", "Sparse NN", "Dense NN"]);
+    for (label, repr) in [
+        ("Syntactic / Schema-based", Representation::Syntactic),
+        ("Syntactic / Schema-agnostic", Representation::Syntactic),
+        ("Semantic / Schema-based", Representation::Semantic),
+        ("Semantic / Schema-agnostic", Representation::Semantic),
+    ] {
+        let cell = |fam| if scope_supports(fam, repr) { "yes" } else { "-" };
+        t1.row([
+            label,
+            cell(MethodFamily::Blocking),
+            cell(MethodFamily::SparseNn),
+            cell(MethodFamily::DenseNn),
+        ]);
+    }
+    println!("{}", t1.render());
+
+    println!("Table II: functionality per NN method\n");
+    let mut t2 = Table::new(["Operation", "Similarity Threshold", "Cardinality Threshold"]);
+    for op in [Operation::Deterministic, Operation::Stochastic] {
+        let cell = |thr: Threshold| -> String {
+            METHOD_PROFILES
+                .iter()
+                .filter(|p| p.operation == op && p.threshold == Some(thr))
+                .map(|p| p.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        t2.row([
+            op.to_string(),
+            cell(Threshold::Similarity),
+            cell(Threshold::Cardinality),
+        ]);
+    }
+    println!("{}", t2.render());
+}

@@ -1,0 +1,17 @@
+//! The experiment harness of the reproduction.
+//!
+//! Every table and figure of the paper has a dedicated binary under
+//! `src/bin/`; this library holds the shared machinery:
+//!
+//! * [`settings`] — CLI flags (`--scale`, `--grid`, `--datasets`, …),
+//! * [`harness`] — per-method configuration optimization (Problem 1) and
+//!   the 16-method sweep behind Table VII,
+//! * [`report`] — fixed-width text tables in the paper's format.
+
+pub mod harness;
+pub mod report;
+pub mod settings;
+
+pub use harness::{run_all_methods, Context, MethodOutcome};
+pub use report::Table;
+pub use settings::Settings;

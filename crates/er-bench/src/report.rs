@@ -1,0 +1,125 @@
+//! Fixed-width text tables in the style of the paper's result tables.
+
+use std::fmt::Write as _;
+
+/// A simple left-header, right-aligned-cells table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row(&mut self, cells: impl IntoIterator<Item = impl Into<String>>) {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let sep: String = widths.iter().map(|w| format!("+{}", "-".repeat(w + 2))).collect();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i == 0 {
+                    // First column left-aligned (method / dataset names).
+                    let _ = write!(out, "| {:<width$} ", cell, width = widths[i]);
+                } else {
+                    let _ = write!(out, "| {:>width$} ", cell, width = widths[i]);
+                }
+            }
+            out.push_str("|\n");
+        };
+        let _ = writeln!(out, "{sep}+");
+        write_row(&mut out, &self.header);
+        let _ = writeln!(out, "{sep}+");
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        let _ = writeln!(out, "{sep}+");
+        out
+    }
+}
+
+/// Formats a PQ/PC value the way the paper does: three decimals, switching
+/// to scientific notation below 0.001.
+pub fn fmt_measure(v: f64) -> String {
+    if v == 0.0 {
+        "0.000".to_owned()
+    } else if v < 0.001 {
+        format!("{v:.1e}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Marks a measure that failed the recall target (the paper prints these
+/// in red; we append `*`).
+pub fn fmt_measure_flagged(v: f64, feasible: bool) -> String {
+    let base = fmt_measure(v);
+    if feasible {
+        base
+    } else {
+        format!("{base}*")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["method", "PC", "PQ"]);
+        t.row(["SBW", "0.903", "0.957"]);
+        t.row(["kNN-Join", "0.996", "0.954"]);
+        let s = t.render();
+        assert!(s.contains("| SBW"));
+        assert!(s.contains("| kNN-Join"));
+        // All lines equal width.
+        let widths: std::collections::HashSet<usize> =
+            s.lines().map(str::len).collect();
+        assert_eq!(widths.len(), 1, "{s}");
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only"]);
+        assert_eq!(t.len(), 1);
+        assert!(t.render().contains("| only |"));
+    }
+
+    #[test]
+    fn measure_formatting_matches_paper_style() {
+        assert_eq!(fmt_measure(0.957), "0.957");
+        assert_eq!(fmt_measure(0.0), "0.000");
+        assert_eq!(fmt_measure(0.00045), "4.5e-4");
+        assert_eq!(fmt_measure_flagged(0.5, false), "0.500*");
+        assert_eq!(fmt_measure_flagged(0.5, true), "0.500");
+    }
+}

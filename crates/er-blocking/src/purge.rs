@@ -1,0 +1,132 @@
+//! Block Purging (paper §IV-B; Papadakis et al., TKDE 2013).
+//!
+//! A parameter-free block-cleaning step: the larger a block is, the less
+//! likely it is to convey matching pairs that share no other block — huge
+//! blocks emanate from stop-word-like signatures. Purging removes the
+//! largest blocks to raise precision at negligible recall cost.
+//!
+//! The threshold is derived from the data. Scanning distinct block
+//! cardinalities in ascending order we track the cumulative comparisons `CC`
+//! and cumulative block assignments `BC`; the ratio `CC/BC` (comparisons
+//! bought per entity participation) stays nearly flat while blocks are
+//! informative and jumps when oversized blocks start dominating. The purging
+//! threshold is the last cardinality before the first jump beyond a
+//! smoothing factor. A guard additionally drops any block covering at least
+//! half of either input collection (the paper's illustrative criterion).
+
+use crate::blocks::BlockCollection;
+
+/// Multiplicative tolerance on the `CC/BC` ratio increase; jumps beyond it
+/// mark the purging threshold. Matches the smoothing JedAI applies.
+const SMOOTHING: f64 = 1.025;
+
+/// Applies Block Purging, returning the retained collection.
+pub fn block_purging(input: &BlockCollection) -> BlockCollection {
+    if input.blocks.len() < 2 {
+        return input.clone();
+    }
+
+    // Distinct cardinalities ascending with cumulative stats.
+    let mut sizes: Vec<(u64, u64)> = input
+        .blocks
+        .iter()
+        .map(|b| (b.comparisons(), b.assignments() as u64))
+        .collect();
+    sizes.sort_unstable();
+
+    let mut levels: Vec<(u64, f64)> = Vec::new(); // (cardinality, CC/BC)
+    let mut cc = 0u64;
+    let mut bc = 0u64;
+    let mut i = 0;
+    while i < sizes.len() {
+        let cardinality = sizes[i].0;
+        while i < sizes.len() && sizes[i].0 == cardinality {
+            cc += sizes[i].0;
+            bc += sizes[i].1;
+            i += 1;
+        }
+        levels.push((cardinality, cc as f64 / bc as f64));
+    }
+
+    // Scan from the largest cardinality down: a top level is purged when
+    // including it inflates the cumulative comparisons-per-assignment
+    // ratio by more than the smoothing factor — i.e. the level buys
+    // disproportionately many comparisons. Uniform collections purge
+    // nothing; a stop-word block inflates the ratio massively and goes.
+    let mut cut = levels.len() - 1;
+    while cut > 0 {
+        let (_, ratio_with) = levels[cut];
+        let (_, ratio_without) = levels[cut - 1];
+        if ratio_with <= SMOOTHING * ratio_without {
+            break;
+        }
+        cut -= 1;
+    }
+    let max_comparisons = levels[cut].0;
+
+    // Guard: a block covering half of either collection is a stop-word
+    // block regardless of the ratio curve.
+    let half1 = (input.n1 / 2).max(1);
+    let half2 = (input.n2 / 2).max(1);
+
+    let retained = input.blocks.iter().filter(|b| {
+        b.comparisons() <= max_comparisons && b.left.len() < half1.max(2) && b.right.len() < half2.max(2)
+    });
+    BlockCollection::from_blocks(retained.cloned(), input.n1, input.n2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::Block;
+
+    fn block(l: u32, r: u32) -> Block {
+        Block {
+            left: (0..l).collect(),
+            right: (0..r).collect(),
+        }
+    }
+
+    #[test]
+    fn purging_drops_stopword_block() {
+        // Many small blocks plus one covering most of both collections.
+        let mut blocks: Vec<Block> = (0..20).map(|_| block(2, 2)).collect();
+        blocks.push(block(90, 90));
+        let bc = BlockCollection::from_blocks(blocks, 100, 100);
+        let purged = block_purging(&bc);
+        assert_eq!(purged.len(), 20, "only the giant block should go");
+        assert!(purged.total_comparisons() < bc.total_comparisons());
+    }
+
+    #[test]
+    fn uniform_blocks_survive() {
+        let blocks: Vec<Block> = (0..10).map(|_| block(3, 3)).collect();
+        let bc = BlockCollection::from_blocks(blocks, 100, 100);
+        assert_eq!(block_purging(&bc).len(), 10);
+    }
+
+    #[test]
+    fn half_collection_guard_fires() {
+        // A block with >= half of E2, even if the ratio curve is flat.
+        let blocks = vec![block(2, 60), block(2, 60)];
+        let bc = BlockCollection::from_blocks(blocks, 100, 100);
+        assert!(block_purging(&bc).is_empty());
+    }
+
+    #[test]
+    fn tiny_collections_pass_through() {
+        let bc = BlockCollection::from_blocks([block(1, 1)], 10, 10);
+        assert_eq!(block_purging(&bc).len(), 1);
+        let empty = BlockCollection::from_blocks([], 10, 10);
+        assert!(block_purging(&empty).is_empty());
+    }
+
+    #[test]
+    fn purging_never_increases_comparisons() {
+        let blocks: Vec<Block> = (1..15).map(|i| block(i, i)).collect();
+        let bc = BlockCollection::from_blocks(blocks, 40, 40);
+        let purged = block_purging(&bc);
+        assert!(purged.total_comparisons() <= bc.total_comparisons());
+        assert!(purged.len() <= bc.len());
+    }
+}

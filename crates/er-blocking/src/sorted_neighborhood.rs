@@ -1,0 +1,156 @@
+//! Sorted Neighborhood blocking (Hernández & Stolfo, SIGMOD 1995).
+//!
+//! The paper *evaluated and excluded* this method (§IV-B): it consistently
+//! underperforms the five signature-based workflows because its windowed
+//! candidates are incompatible with the block- and comparison-cleaning
+//! techniques that remove superfluous pairs. We implement it so the
+//! exclusion can be verified (see the `ablation_excluded` binary).
+//!
+//! Mechanics: every entity emits its tokens as sorting keys; the combined
+//! key list of both collections is sorted lexicographically; a window of
+//! size `w` slides over the sorted list and every cross-collection pair
+//! inside a window becomes a candidate.
+
+use er_core::candidates::CandidateSet;
+use er_core::filter::{Filter, FilterOutput};
+use er_core::schema::TextView;
+use er_text::tokenize;
+
+/// A configured Sorted Neighborhood run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortedNeighborhood {
+    /// Window size `w ≥ 2`.
+    pub window: usize,
+}
+
+impl SortedNeighborhood {
+    /// One-line configuration description.
+    pub fn describe(&self) -> String {
+        format!("SortedNeighborhood(w={})", self.window)
+    }
+}
+
+/// One sorted-list entry: the key and its owner.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Entry {
+    key: String,
+    /// False = `E1`, true = `E2`.
+    from_e2: bool,
+    entity: u32,
+}
+
+impl Filter for SortedNeighborhood {
+    fn name(&self) -> String {
+        "SN".to_owned()
+    }
+
+    fn run(&self, view: &TextView) -> FilterOutput {
+        assert!(self.window >= 2, "window must be at least 2");
+        let mut out = FilterOutput::default();
+
+        let entries = out.breakdown.time("build", || {
+            let mut entries = Vec::new();
+            for (i, text) in view.e1.iter().enumerate() {
+                for key in tokenize(text) {
+                    entries.push(Entry { key, from_e2: false, entity: i as u32 });
+                }
+            }
+            for (j, text) in view.e2.iter().enumerate() {
+                for key in tokenize(text) {
+                    entries.push(Entry { key, from_e2: true, entity: j as u32 });
+                }
+            }
+            entries.sort_unstable();
+            entries
+        });
+
+        out.candidates = out.breakdown.time("clean", || {
+            let mut candidates = CandidateSet::new();
+            if entries.len() < 2 {
+                return candidates;
+            }
+            for (pos, a) in entries.iter().enumerate() {
+                let end = (pos + self.window).min(entries.len());
+                for b in &entries[pos + 1..end] {
+                    match (a.from_e2, b.from_e2) {
+                        (false, true) => {
+                            candidates.insert_raw(a.entity, b.entity);
+                        }
+                        (true, false) => {
+                            candidates.insert_raw(b.entity, a.entity);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            candidates
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::candidates::Pair;
+
+    fn view(e1: &[&str], e2: &[&str]) -> TextView {
+        TextView {
+            e1: e1.iter().map(|s| s.to_string()).collect(),
+            e2: e2.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn shared_tokens_land_in_one_window() {
+        let v = view(&["zeta alpha"], &["alpha omega"]);
+        let out = SortedNeighborhood { window: 2 }.run(&v);
+        // The two "alpha" keys are adjacent after sorting.
+        assert!(out.candidates.contains(Pair::new(0, 0)));
+    }
+
+    #[test]
+    fn window_growth_adds_candidates() {
+        let v = view(
+            &["apple", "banana", "cherry"],
+            &["apricot", "blueberry", "coconut"],
+        );
+        let mut prev = 0;
+        for w in [2, 3, 4, 6] {
+            let n = SortedNeighborhood { window: w }.run(&v).candidates.len();
+            assert!(n >= prev, "w={w}");
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn near_keys_pair_even_without_shared_tokens() {
+        // Sorted proximity, not token equality, drives SN: "abc" and "abd"
+        // sort adjacently.
+        let v = view(&["abc"], &["abd"]);
+        let out = SortedNeighborhood { window: 2 }.run(&v);
+        assert!(out.candidates.contains(Pair::new(0, 0)));
+    }
+
+    #[test]
+    fn same_collection_pairs_never_emitted() {
+        let v = view(&["same word", "same word"], &["other thing"]);
+        let out = SortedNeighborhood { window: 4 }.run(&v);
+        for p in out.candidates.iter() {
+            assert!((p.left as usize) < 2 && (p.right as usize) < 1);
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_nothing() {
+        let v = view(&[], &[]);
+        assert!(SortedNeighborhood { window: 3 }.run(&v).candidates.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn tiny_window_rejected() {
+        let v = view(&["a"], &["a"]);
+        let _ = SortedNeighborhood { window: 1 }.run(&v);
+    }
+}

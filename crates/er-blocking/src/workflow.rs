@@ -1,0 +1,429 @@
+//! Blocking workflows (paper Fig. 1) and their configuration grids
+//! (Table III).
+//!
+//! A workflow = block building → optional Block Purging → optional Block
+//! Filtering → mandatory comparison cleaning. The five fine-tuned workflows
+//! of the study differ only in the block builder; the proactive ones (SABW,
+//! ESABW) skip the generic block-cleaning steps. Two baselines with fixed
+//! parameters complete the set: the Parameter-free Blocking Workflow (PBW)
+//! and the Default Blocking Workflow (DBW).
+
+use crate::blocks::BlockCollection;
+use crate::build::BlockBuilder;
+use crate::filter::block_filtering;
+use crate::metablocking::{MetaBlocking, PruningAlgorithm, WeightingScheme};
+use crate::propagation::comparison_propagation;
+use crate::purge::block_purging;
+use er_core::filter::{Filter, FilterOutput};
+use er_core::optimize::GridResolution;
+use er_core::schema::TextView;
+
+/// The comparison-cleaning step: parameter-free Comparison Propagation or
+/// one of the 42 Meta-blocking configurations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ComparisonCleaning {
+    /// Comparison Propagation — removes redundant pairs only.
+    Propagation,
+    /// Meta-blocking — removes redundant and superfluous pairs.
+    Meta(MetaBlocking),
+}
+
+impl ComparisonCleaning {
+    /// Display string, e.g. `"CP"` or `"WEP+ECBS"`.
+    pub fn describe(&self) -> String {
+        match self {
+            ComparisonCleaning::Propagation => "CP".to_owned(),
+            ComparisonCleaning::Meta(mb) => {
+                format!("{}+{}", mb.pruning.name(), mb.scheme.name())
+            }
+        }
+    }
+}
+
+/// A fully configured blocking workflow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockingWorkflow {
+    /// Block-building method and parameters.
+    pub builder: BlockBuilder,
+    /// Apply Block Purging? (Always false for proactive builders.)
+    pub purge: bool,
+    /// Block Filtering ratio; `None` or `Some(1.0)` disables the step.
+    pub filter_ratio: Option<f64>,
+    /// Comparison-cleaning step.
+    pub cleaning: ComparisonCleaning,
+}
+
+impl BlockingWorkflow {
+    /// The Parameter-free Blocking Workflow baseline: Standard Blocking +
+    /// Block Purging + Comparison Propagation.
+    pub fn pbw() -> Self {
+        Self {
+            builder: BlockBuilder::Standard,
+            purge: true,
+            filter_ratio: None,
+            cleaning: ComparisonCleaning::Propagation,
+        }
+    }
+
+    /// The Default Blocking Workflow baseline: Q-Grams (q = 6) + Block
+    /// Filtering (r = 0.5) + WEP+ECBS (the defaults of the paper's ref \[11\]).
+    pub fn dbw() -> Self {
+        Self {
+            builder: BlockBuilder::QGrams { q: 6 },
+            purge: false,
+            filter_ratio: Some(0.5),
+            cleaning: ComparisonCleaning::Meta(MetaBlocking {
+                scheme: WeightingScheme::Ecbs,
+                pruning: PruningAlgorithm::Wep,
+            }),
+        }
+    }
+
+    /// One-line configuration description for Table VIII-style reports.
+    pub fn describe(&self) -> String {
+        let mut parts = vec![match self.builder {
+            BlockBuilder::Standard => "Standard".to_owned(),
+            BlockBuilder::QGrams { q } => format!("Q-Grams(q={q})"),
+            BlockBuilder::ExtendedQGrams { q, t } => format!("ExtQGrams(q={q},t={t})"),
+            BlockBuilder::SuffixArrays { l_min, b_max } => {
+                format!("SuffixArrays(lmin={l_min},bmax={b_max})")
+            }
+            BlockBuilder::ExtendedSuffixArrays { l_min, b_max } => {
+                format!("ExtSuffixArrays(lmin={l_min},bmax={b_max})")
+            }
+        }];
+        if self.purge {
+            parts.push("BP".to_owned());
+        }
+        if let Some(r) = self.filter_ratio {
+            if r < 1.0 {
+                parts.push(format!("BF(r={r})"));
+            }
+        }
+        parts.push(self.cleaning.describe());
+        parts.join(" | ")
+    }
+
+    /// Runs block building + block cleaning, returning the intermediate
+    /// block collection (used by the ablation experiments).
+    pub fn build_blocks(&self, view: &TextView) -> BlockCollection {
+        let mut blocks = self.builder.build(view);
+        if self.purge {
+            blocks = block_purging(&blocks);
+        }
+        if let Some(r) = self.filter_ratio {
+            if r < 1.0 {
+                blocks = block_filtering(&blocks, r);
+            }
+        }
+        blocks
+    }
+}
+
+impl Filter for BlockingWorkflow {
+    fn name(&self) -> String {
+        WorkflowKind::of(&self.builder).acronym().to_owned()
+    }
+
+    fn run(&self, view: &TextView) -> FilterOutput {
+        let mut out = FilterOutput::default();
+        let mut blocks = out.breakdown.time("build", || self.builder.build(view));
+        if self.purge {
+            blocks = out.breakdown.time("purge", || block_purging(&blocks));
+        }
+        if let Some(r) = self.filter_ratio {
+            if r < 1.0 {
+                blocks = out.breakdown.time("filter", || block_filtering(&blocks, r));
+            }
+        }
+        out.candidates = out.breakdown.time("clean", || match &self.cleaning {
+            ComparisonCleaning::Propagation => comparison_propagation(&blocks),
+            ComparisonCleaning::Meta(mb) => mb.clean(&blocks),
+        });
+        out
+    }
+}
+
+/// The five fine-tuned workflow families of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkflowKind {
+    /// Standard Blocking workflow.
+    Sbw,
+    /// Q-Grams Blocking workflow.
+    Qbw,
+    /// Extended Q-Grams Blocking workflow.
+    Eqbw,
+    /// Suffix Arrays Blocking workflow (proactive).
+    Sabw,
+    /// Extended Suffix Arrays Blocking workflow (proactive).
+    Esabw,
+}
+
+
+impl WorkflowKind {
+    /// All five workflow kinds.
+    pub const ALL: [WorkflowKind; 5] = [
+        WorkflowKind::Sbw,
+        WorkflowKind::Qbw,
+        WorkflowKind::Eqbw,
+        WorkflowKind::Sabw,
+        WorkflowKind::Esabw,
+    ];
+
+    /// The acronym used in the paper's tables.
+    pub fn acronym(&self) -> &'static str {
+        match self {
+            WorkflowKind::Sbw => "SBW",
+            WorkflowKind::Qbw => "QBW",
+            WorkflowKind::Eqbw => "EQBW",
+            WorkflowKind::Sabw => "SABW",
+            WorkflowKind::Esabw => "ESABW",
+        }
+    }
+
+    /// Maps a builder back to its workflow family.
+    pub fn of(builder: &BlockBuilder) -> WorkflowKind {
+        match builder {
+            BlockBuilder::Standard => WorkflowKind::Sbw,
+            BlockBuilder::QGrams { .. } => WorkflowKind::Qbw,
+            BlockBuilder::ExtendedQGrams { .. } => WorkflowKind::Eqbw,
+            BlockBuilder::SuffixArrays { .. } => WorkflowKind::Sabw,
+            BlockBuilder::ExtendedSuffixArrays { .. } => WorkflowKind::Esabw,
+        }
+    }
+
+    /// True for the proactive families (no block cleaning in their grid).
+    pub fn is_proactive(&self) -> bool {
+        matches!(self, WorkflowKind::Sabw | WorkflowKind::Esabw)
+    }
+
+    /// Enumerates the builder configurations of this family.
+    fn builders(&self, res: GridResolution) -> Vec<BlockBuilder> {
+        use GridResolution::*;
+        match self {
+            WorkflowKind::Sbw => vec![BlockBuilder::Standard],
+            WorkflowKind::Qbw => {
+                // q = 2 is omitted from the pruned grid: it never wins for
+                // QBW in the paper's Table VIII and its tiny grams create
+                // pathologically dense graphs on the largest datasets.
+                let qs: &[usize] = match res {
+                    Full => &[2, 3, 4, 5, 6],
+                    Pruned => &[3, 4, 6],
+                    Quick => &[3],
+                };
+                qs.iter().map(|&q| BlockBuilder::QGrams { q }).collect()
+            }
+            WorkflowKind::Eqbw => {
+                let qs: &[usize] = match res {
+                    Full => &[2, 3, 4, 5, 6],
+                    Pruned => &[3, 4, 6],
+                    Quick => &[3],
+                };
+                let ts: &[f64] = match res {
+                    Full => &[0.8, 0.85, 0.9, 0.95],
+                    Pruned => &[0.8, 0.9],
+                    Quick => &[0.9],
+                };
+                qs.iter()
+                    .flat_map(|&q| ts.iter().map(move |&t| BlockBuilder::ExtendedQGrams { q, t }))
+                    .collect()
+            }
+            WorkflowKind::Sabw | WorkflowKind::Esabw => {
+                let lmins: &[usize] = match res {
+                    Full => &[2, 3, 4, 5, 6],
+                    Pruned => &[2, 3, 4, 6],
+                    Quick => &[3],
+                };
+                let bmaxs: Vec<usize> = match res {
+                    Full => (2..=100).collect(),
+                    Pruned => vec![5, 10, 25, 50, 100],
+                    Quick => vec![25, 100],
+                };
+                let extended = *self == WorkflowKind::Esabw;
+                lmins
+                    .iter()
+                    .flat_map(|&l_min| {
+                        bmaxs.iter().map(move |&b_max| {
+                            if extended {
+                                BlockBuilder::ExtendedSuffixArrays { l_min, b_max }
+                            } else {
+                                BlockBuilder::SuffixArrays { l_min, b_max }
+                            }
+                        })
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Enumerates the comparison-cleaning options: CP plus WS × PA.
+    fn cleanings(res: GridResolution) -> Vec<ComparisonCleaning> {
+        let (schemes, prunings): (&[WeightingScheme], &[PruningAlgorithm]) = match res {
+            GridResolution::Full => (&WeightingScheme::ALL, &PruningAlgorithm::ALL),
+            GridResolution::Pruned => (
+                &WeightingScheme::ALL,
+                &[
+                    PruningAlgorithm::Blast,
+                    PruningAlgorithm::Cnp,
+                    PruningAlgorithm::Rcnp,
+                    PruningAlgorithm::Wep,
+                    PruningAlgorithm::Wnp,
+                ],
+            ),
+            GridResolution::Quick => (
+                &[
+                    WeightingScheme::Arcs,
+                    WeightingScheme::Cbs,
+                    WeightingScheme::Js,
+                    WeightingScheme::ChiSquared,
+                ],
+                &[PruningAlgorithm::Blast, PruningAlgorithm::Rcnp, PruningAlgorithm::Wep],
+            ),
+        };
+        let mut out = vec![ComparisonCleaning::Propagation];
+        for &scheme in schemes {
+            for &pruning in prunings {
+                out.push(ComparisonCleaning::Meta(MetaBlocking { scheme, pruning }));
+            }
+        }
+        out
+    }
+
+    /// The full configuration grid of this workflow family (Table III).
+    ///
+    /// Lazy families sweep Block Purging ∈ {on, off} and the Block Filtering
+    /// ratio; proactive families sweep only the builder and the cleaning.
+    pub fn grid(&self, res: GridResolution) -> Vec<BlockingWorkflow> {
+        let ratios: Vec<Option<f64>> = if self.is_proactive() {
+            vec![None]
+        } else {
+            let steps: Vec<f64> = match res {
+                GridResolution::Full => (1..=40).map(|i| i as f64 * 0.025).collect(),
+                GridResolution::Pruned => vec![0.25, 0.5, 0.75, 1.0],
+                GridResolution::Quick => vec![0.5, 1.0],
+            };
+            steps.into_iter().map(Some).collect()
+        };
+        let purges: &[bool] =
+            if self.is_proactive() { &[false] } else { &[false, true] };
+
+        let mut grid = Vec::new();
+        for builder in self.builders(res) {
+            for &purge in purges {
+                for &filter_ratio in &ratios {
+                    for cleaning in Self::cleanings(res) {
+                        grid.push(BlockingWorkflow { builder, purge, filter_ratio, cleaning });
+                    }
+                }
+            }
+        }
+        grid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view() -> TextView {
+        TextView {
+            e1: vec![
+                "apple iphone 12 black".into(),
+                "samsung galaxy s21".into(),
+                "google pixel 5".into(),
+            ],
+            e2: vec![
+                "apple iphone12 black case".into(),
+                "galaxy s21 samsung phone".into(),
+                "nokia 3310".into(),
+            ],
+        }
+    }
+
+    #[test]
+    fn pbw_finds_token_sharing_pairs() {
+        let out = BlockingWorkflow::pbw().run(&view());
+        assert!(out.candidates.contains(er_core::candidates::Pair::new(0, 0)));
+        assert!(out.candidates.contains(er_core::candidates::Pair::new(1, 1)));
+        assert!(out.breakdown.get("build").is_some());
+        assert!(out.breakdown.get("clean").is_some());
+    }
+
+    #[test]
+    fn dbw_matches_paper_default() {
+        let dbw = BlockingWorkflow::dbw();
+        assert_eq!(dbw.builder, BlockBuilder::QGrams { q: 6 });
+        assert_eq!(dbw.filter_ratio, Some(0.5));
+        assert_eq!(dbw.cleaning.describe(), "WEP+ECBS");
+        let out = dbw.run(&view());
+        assert!(!out.candidates.is_empty());
+    }
+
+    #[test]
+    fn full_grid_sizes_match_table3() {
+        // Standard: 2 (BP) × 40 (BFr) × 43 (CC) = 3,440.
+        assert_eq!(WorkflowKind::Sbw.grid(GridResolution::Full).len(), 3_440);
+        // Q-Grams: × 5 values of q = 17,200.
+        assert_eq!(WorkflowKind::Qbw.grid(GridResolution::Full).len(), 17_200);
+        // Extended Q-Grams: × 5 q × 4 t = 68,800.
+        assert_eq!(WorkflowKind::Eqbw.grid(GridResolution::Full).len(), 68_800);
+        // Suffix Arrays: 5 lmin × 99 bmax × 43 CC = 21,285 (no block cleaning).
+        assert_eq!(WorkflowKind::Sabw.grid(GridResolution::Full).len(), 21_285);
+        assert_eq!(WorkflowKind::Esabw.grid(GridResolution::Full).len(), 21_285);
+    }
+
+    #[test]
+    fn pruned_grids_are_small_but_nonempty() {
+        for kind in WorkflowKind::ALL {
+            let pruned = kind.grid(GridResolution::Pruned).len();
+            let quick = kind.grid(GridResolution::Quick).len();
+            assert!((1..=100).contains(&quick), "{kind:?}: quick {quick}");
+            assert!(pruned > quick, "{kind:?}");
+            assert!(pruned < kind.grid(GridResolution::Full).len(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn proactive_grids_skip_block_cleaning() {
+        for wf in WorkflowKind::Sabw.grid(GridResolution::Quick) {
+            assert!(!wf.purge);
+            assert!(wf.filter_ratio.is_none());
+        }
+    }
+
+    #[test]
+    fn every_grid_config_runs() {
+        let v = view();
+        for wf in WorkflowKind::Sbw.grid(GridResolution::Quick) {
+            let out = wf.run(&v);
+            // Meta-blocking may prune everything on a tiny view; the run
+            // itself must succeed and stay within the propagation superset.
+            let superset = comparison_propagation(&wf.build_blocks(&v));
+            for p in out.candidates.iter() {
+                assert!(superset.contains(p), "{}", wf.describe());
+            }
+        }
+    }
+
+    #[test]
+    fn describe_mentions_all_steps() {
+        let wf = BlockingWorkflow {
+            builder: BlockBuilder::QGrams { q: 4 },
+            purge: true,
+            filter_ratio: Some(0.5),
+            cleaning: ComparisonCleaning::Meta(MetaBlocking {
+                scheme: WeightingScheme::Js,
+                pruning: PruningAlgorithm::Rcnp,
+            }),
+        };
+        let d = wf.describe();
+        assert!(d.contains("Q-Grams(q=4)") && d.contains("BP") && d.contains("BF(r=0.5)"));
+        assert!(d.contains("RCNP+JS"));
+    }
+
+    #[test]
+    fn workflow_names_follow_family() {
+        assert_eq!(BlockingWorkflow::pbw().name(), "SBW");
+        assert_eq!(BlockingWorkflow::dbw().name(), "QBW");
+    }
+}

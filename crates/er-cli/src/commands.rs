@@ -1,0 +1,323 @@
+//! The `generate`, `filter` and `evaluate` subcommands.
+
+use er::core::dataset::GroundTruth;
+use er::core::io::{read_entities, read_pairs, write_entities, write_pairs};
+use er::core::schema::TextView;
+use er::prelude::*;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Minimal flag parser: `--name value` pairs plus boolean switches.
+struct Flags {
+    pairs: Vec<(String, Option<String>)>,
+}
+
+impl Flags {
+    fn parse(args: &[String], switches: &[&str]) -> Result<Flags, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(arg) = it.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected argument {arg:?}"));
+            };
+            if switches.contains(&name) {
+                pairs.push((name.to_owned(), None));
+            } else {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--{name} requires a value"))?
+                    .clone();
+                pairs.push((name.to_owned(), Some(value)));
+            }
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.pairs.iter().any(|(n, _)| n == name)
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse {v:?}")),
+        }
+    }
+}
+
+fn open_out(path: &Path) -> Result<BufWriter<File>, String> {
+    File::create(path)
+        .map(BufWriter::new)
+        .map_err(|e| format!("cannot create {}: {e}", path.display()))
+}
+
+fn load_entities(path: &str) -> Result<Vec<er::core::Entity>, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    read_entities(file).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `er generate`: write a synthetic dataset as `<id>_e1/e2/gt.csv`.
+pub fn generate(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let id = flags.require("profile")?;
+    let profile = er::datagen::profiles::profile(id)
+        .ok_or_else(|| format!("unknown profile {id:?} (expected D1..D10)"))?;
+    let scale: f64 = flags.parse_or("scale", 0.1)?;
+    let seed: u64 = flags.parse_or("seed", 42)?;
+    let out_dir = PathBuf::from(flags.require("out-dir")?);
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+
+    let ds = er::datagen::generate(profile, scale, seed);
+    let e1_path = out_dir.join(format!("{id}_e1.csv"));
+    let e2_path = out_dir.join(format!("{id}_e2.csv"));
+    let gt_path = out_dir.join(format!("{id}_gt.csv"));
+    write_entities(&mut open_out(&e1_path)?, &ds.e1).map_err(|e| e.to_string())?;
+    write_entities(&mut open_out(&e2_path)?, &ds.e2).map_err(|e| e.to_string())?;
+    let gt: CandidateSet = ds.groundtruth.iter().collect();
+    write_pairs(&mut open_out(&gt_path)?, &gt).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} entities), {} ({} entities), {} ({} pairs)",
+        e1_path.display(),
+        ds.e1.len(),
+        e2_path.display(),
+        ds.e2.len(),
+        gt_path.display(),
+        ds.groundtruth.len()
+    );
+    Ok(())
+}
+
+/// Builds the requested filter from flags.
+fn build_filter(flags: &Flags) -> Result<Box<dyn Filter>, String> {
+    let method = flags.require("method")?;
+    let cleaning = flags.has("clean");
+    let reversed = flags.has("reversed");
+    let model = RepresentationModel::parse(flags.get("model").unwrap_or("C3G"))
+        .ok_or("bad --model (expected T1G(M) or C2G(M)..C5G(M))")?;
+    let dim: usize = flags.parse_or("dim", 128)?;
+    let embedding = er::dense::EmbeddingConfig { dim, ..Default::default() };
+    Ok(match method {
+        "pbw" => Box::new(BlockingWorkflow::pbw()),
+        "dbw" => Box::new(BlockingWorkflow::dbw()),
+        "sbw" => {
+            let scheme = match flags.get("scheme").unwrap_or("JS") {
+                "ARCS" => WeightingScheme::Arcs,
+                "CBS" => WeightingScheme::Cbs,
+                "ECBS" => WeightingScheme::Ecbs,
+                "JS" => WeightingScheme::Js,
+                "EJS" => WeightingScheme::Ejs,
+                "X2" => WeightingScheme::ChiSquared,
+                other => return Err(format!("unknown --scheme {other:?}")),
+            };
+            let pruning = match flags.get("pruning").unwrap_or("RCNP") {
+                "BLAST" => PruningAlgorithm::Blast,
+                "CEP" => PruningAlgorithm::Cep,
+                "CNP" => PruningAlgorithm::Cnp,
+                "RCNP" => PruningAlgorithm::Rcnp,
+                "WEP" => PruningAlgorithm::Wep,
+                "WNP" => PruningAlgorithm::Wnp,
+                "RWNP" => PruningAlgorithm::Rwnp,
+                other => return Err(format!("unknown --pruning {other:?}")),
+            };
+            Box::new(BlockingWorkflow {
+                builder: BlockBuilder::Standard,
+                purge: true,
+                filter_ratio: Some(0.5),
+                cleaning: ComparisonCleaning::Meta(MetaBlocking { scheme, pruning }),
+            })
+        }
+        "epsilon" => Box::new(EpsilonJoin {
+            cleaning,
+            model,
+            measure: SimilarityMeasure::Cosine,
+            threshold: flags.parse_or("threshold", 0.4)?,
+        }),
+        "knn" => Box::new(KnnJoin {
+            cleaning,
+            model,
+            measure: SimilarityMeasure::Cosine,
+            k: flags.parse_or("k", 1)?,
+            reversed,
+        }),
+        "faiss" => Box::new(FlatKnn {
+            cleaning,
+            k: flags.parse_or("k", 1)?,
+            reversed,
+            embedding,
+        }),
+        "minhash" => Box::new(MinHashLsh {
+            cleaning,
+            shingle_k: flags.parse_or("shingle", 3)?,
+            bands: flags.parse_or("bands", 32)?,
+            rows: flags.parse_or("rows", 8)?,
+            seed: flags.parse_or("seed", 42)?,
+        }),
+        "dknn" => return Err("dknn is sized from the input; handled by caller".into()),
+        other => return Err(format!("unknown --method {other:?}")),
+    })
+}
+
+/// Extracts the text view under the requested schema setting.
+fn view_of(
+    e1: &[er::core::Entity],
+    e2: &[er::core::Entity],
+    flags: &Flags,
+) -> TextView {
+    let extract = |e: &er::core::Entity| -> String {
+        match flags.get("schema") {
+            Some(attr) => e.value_of(attr).unwrap_or("").to_owned(),
+            None => e.all_values(),
+        }
+    };
+    TextView {
+        e1: e1.iter().map(extract).collect(),
+        e2: e2.iter().map(extract).collect(),
+    }
+}
+
+/// `er filter`: run one method over two CSV collections.
+pub fn filter(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["clean", "reversed"])?;
+    let e1 = load_entities(flags.require("e1")?)?;
+    let e2 = load_entities(flags.require("e2")?)?;
+    let view = view_of(&e1, &e2, &flags);
+
+    let filter: Box<dyn Filter> = if flags.get("method") == Some("dknn") {
+        Box::new(er::sparse::dknn_baseline(e1.len(), e2.len()))
+    } else {
+        build_filter(&flags)?
+    };
+    let out = filter.run(&view);
+
+    let out_path = PathBuf::from(flags.require("out")?);
+    write_pairs(&mut open_out(&out_path)?, &out.candidates).map_err(|e| e.to_string())?;
+    let cartesian = e1.len() as f64 * e2.len() as f64;
+    println!(
+        "{}: {} candidates in {:?} ({:.2}% of the Cartesian product)",
+        filter.name(),
+        out.candidates.len(),
+        out.runtime(),
+        100.0 * out.candidates.len() as f64 / cartesian.max(1.0),
+    );
+    for (phase, duration) in out.breakdown.phases() {
+        println!("  {phase:<12} {duration:?}");
+    }
+    Ok(())
+}
+
+/// `er evaluate`: score a pair file against a ground-truth file.
+pub fn evaluate(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let pairs_path = flags.require("pairs")?;
+    let gt_path = flags.require("gt")?;
+    let candidates: CandidateSet = read_pairs(
+        File::open(pairs_path).map_err(|e| format!("cannot open {pairs_path}: {e}"))?,
+    )
+    .map_err(|e| format!("{pairs_path}: {e}"))?
+    .into_iter()
+    .collect();
+    let gt = GroundTruth::from_pairs(
+        read_pairs(File::open(gt_path).map_err(|e| format!("cannot open {gt_path}: {e}"))?)
+            .map_err(|e| format!("{gt_path}: {e}"))?,
+    );
+    let eff = er::core::evaluate(&candidates, &gt);
+    println!(
+        "PC (recall)    = {:.4}\nPQ (precision) = {:.4}\n|C|            = {}\n|D(C)|         = {}",
+        eff.pc, eff.pq, eff.candidates, eff.duplicates_found
+    );
+    if let (Some(e1), Some(e2)) = (flags.get("e1"), flags.get("e2")) {
+        let n1 = load_entities(e1)?.len() as f64;
+        let n2 = load_entities(e2)?.len() as f64;
+        println!(
+            "reduction      = {:.4}% of |E1 x E2|",
+            100.0 * (1.0 - eff.candidates as f64 / (n1 * n2).max(1.0))
+        );
+    }
+    let mut stdout = std::io::stdout();
+    stdout.flush().map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_values_and_switches() {
+        let f = Flags::parse(&s(&["--k", "3", "--clean", "--model", "T1G"]), &["clean"])
+            .expect("parse");
+        assert_eq!(f.get("k"), Some("3"));
+        assert!(f.has("clean"));
+        assert_eq!(f.get("model"), Some("T1G"));
+        assert_eq!(f.parse_or("k", 1usize).expect("k"), 3);
+        assert_eq!(f.parse_or("missing", 7usize).expect("default"), 7);
+    }
+
+    #[test]
+    fn flags_reject_positional_and_dangling() {
+        assert!(Flags::parse(&s(&["positional"]), &[]).is_err());
+        assert!(Flags::parse(&s(&["--k"]), &[]).is_err());
+    }
+
+    #[test]
+    fn build_filter_covers_every_method() {
+        for method in ["pbw", "dbw", "sbw", "epsilon", "knn", "faiss", "minhash"] {
+            let f = Flags::parse(&s(&["--method", method]), &[]).expect("parse");
+            assert!(build_filter(&f).is_ok(), "{method}");
+        }
+        let bad = Flags::parse(&s(&["--method", "bogus"]), &[]).expect("parse");
+        assert!(build_filter(&bad).is_err());
+    }
+
+    #[test]
+    fn end_to_end_generate_filter_evaluate() {
+        let dir = std::env::temp_dir().join(format!("er-cli-test-{}", std::process::id()));
+        let dir_str = dir.to_str().expect("utf8 path").to_owned();
+        generate(&s(&["--profile", "D1", "--scale", "0.05", "--out-dir", &dir_str]))
+            .expect("generate");
+        let e1 = dir.join("D1_e1.csv");
+        let e2 = dir.join("D1_e2.csv");
+        let out = dir.join("pairs.csv");
+        filter(&s(&[
+            "--e1", e1.to_str().expect("utf8"),
+            "--e2", e2.to_str().expect("utf8"),
+            "--method", "pbw",
+            "--out", out.to_str().expect("utf8"),
+        ]))
+        .expect("filter");
+        evaluate(&s(&[
+            "--pairs", out.to_str().expect("utf8"),
+            "--gt", dir.join("D1_gt.csv").to_str().expect("utf8"),
+        ]))
+        .expect("evaluate");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn schema_flag_restricts_view() {
+        let e = vec![er::core::Entity::from_pairs([("title", "a"), ("junk", "zzz")])];
+        let f = Flags::parse(&s(&["--schema", "title"]), &[]).expect("parse");
+        let view = view_of(&e, &e, &f);
+        assert_eq!(view.e1[0], "a");
+        let f2 = Flags::parse(&[], &[]).expect("parse");
+        let view2 = view_of(&e, &e, &f2);
+        assert_eq!(view2.e1[0], "a zzz");
+    }
+}

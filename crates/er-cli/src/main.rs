@@ -1,0 +1,61 @@
+//! `er` — the command-line interface of the filtering benchmark.
+//!
+//! ```text
+//! er generate --profile D2 --scale 0.1 --seed 42 --out-dir ./data
+//! er filter   --e1 data/D2_e1.csv --e2 data/D2_e2.csv --method knn --k 3 --out pairs.csv
+//! er evaluate --pairs pairs.csv --gt data/D2_gt.csv
+//! ```
+//!
+//! `generate` writes a synthetic benchmark dataset as three CSV files;
+//! `filter` runs one filtering method over two CSV entity collections and
+//! writes the candidate pairs; `evaluate` scores a pair file against a
+//! ground-truth file (PC, PQ, reduction ratio).
+
+mod commands;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+er — filtering techniques for entity resolution
+
+USAGE:
+    er generate --profile <D1..D10> [--scale F] [--seed N] --out-dir <dir>
+    er filter   --e1 <csv> --e2 <csv> --method <name> [options] --out <csv>
+    er evaluate --pairs <csv> --gt <csv> [--e1 <csv> --e2 <csv>]
+
+FILTER METHODS (with their options):
+    pbw                   Standard Blocking + Block Purging + Comparison Propagation
+    dbw                   Q-Grams(6) + Block Filtering(0.5) + WEP+ECBS
+    sbw                   Standard Blocking + Meta-blocking  [--scheme S --pruning P]
+    epsilon               ScanCount range join               [--threshold F --model M --clean]
+    knn                   kNN-Join                           [--k N --model M --clean --reversed]
+    dknn                  Default kNN-Join baseline
+    faiss                 exact dense kNN                    [--k N --dim N --clean --reversed]
+    minhash               MinHash LSH                        [--bands N --rows N --shingle N]
+
+COMMON FILTER OPTIONS:
+    --schema <attr>       schema-based setting on one attribute (default: agnostic)
+
+Run a subcommand with wrong flags to see its specific error.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => commands::generate(&args[1..]),
+        Some("filter") => commands::filter(&args[1..]),
+        Some("evaluate") => commands::evaluate(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Dirty ER (deduplication) support — the paper's *other* ER task
+//! (§III): a single collection `E` with duplicates in itself.
+//!
+//! The study evaluates Clean-Clean ER only; this module extends the
+//! library to Dirty ER without touching any filter implementation: a
+//! dirty task is run as a self-join — the collection is both the indexed
+//! and the query side — and the resulting directed pairs are folded onto
+//! unordered pairs `{i, j}` with `i < j`, dropping the diagonal. Every
+//! Clean-Clean filter is thereby usable for deduplication.
+
+use crate::candidates::{CandidateSet, Pair};
+use crate::dataset::GroundTruth;
+use crate::entity::Entity;
+use crate::filter::{Filter, FilterOutput};
+use crate::schema::TextView;
+
+/// A Dirty ER dataset: one collection plus unordered duplicate pairs.
+#[derive(Debug, Clone)]
+pub struct DirtyDataset {
+    /// A short identifier.
+    pub name: String,
+    /// The entity collection.
+    pub entities: Vec<Entity>,
+    /// Unordered duplicate pairs, canonicalized to `left < right`.
+    pub groundtruth: GroundTruth,
+}
+
+/// Canonicalizes a directed pair to the unordered `{min, max}` form.
+#[inline]
+pub fn unordered(pair: Pair) -> Pair {
+    if pair.left <= pair.right {
+        pair
+    } else {
+        Pair::new(pair.right, pair.left)
+    }
+}
+
+impl DirtyDataset {
+    /// Creates a dirty dataset; ground-truth pairs are canonicalized and
+    /// self-pairs rejected.
+    pub fn new(
+        name: impl Into<String>,
+        entities: Vec<Entity>,
+        duplicates: impl IntoIterator<Item = Pair>,
+    ) -> Self {
+        let n = entities.len() as u32;
+        let groundtruth = GroundTruth::from_pairs(duplicates.into_iter().map(|p| {
+            assert!(p.left != p.right, "self-pair {p:?} in dirty ground truth");
+            assert!(p.left < n && p.right < n, "pair {p:?} out of bounds");
+            unordered(p)
+        }));
+        Self { name: name.into(), entities, groundtruth }
+    }
+
+    /// Number of entities `|E|`.
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// True if the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// The brute-force comparison count `|E|·(|E|−1)/2`.
+    pub fn comparisons(&self) -> u64 {
+        let n = self.entities.len() as u64;
+        n * n.saturating_sub(1) / 2
+    }
+
+    /// The self-join text view: the collection on both sides.
+    pub fn self_view(&self, extract: impl Fn(&Entity) -> String) -> TextView {
+        let texts: Vec<String> = self.entities.iter().map(extract).collect();
+        TextView { e1: texts.clone(), e2: texts }
+    }
+}
+
+/// Wraps any Clean-Clean filter into a deduplication filter.
+///
+/// ```
+/// use er_core::dirty::{DirtyAdapter, DirtyDataset};
+/// use er_core::entity::Entity;
+/// use er_core::candidates::Pair;
+/// use er_core::filter::{Filter, FilterOutput};
+/// use er_core::schema::TextView;
+///
+/// struct TokenShare; // toy filter pairing texts sharing a first token
+/// impl Filter for TokenShare {
+///     fn name(&self) -> String { "toy".into() }
+///     fn run(&self, view: &TextView) -> FilterOutput {
+///         let mut out = FilterOutput::default();
+///         for (i, a) in view.e1.iter().enumerate() {
+///             for (j, b) in view.e2.iter().enumerate() {
+///                 if !a.is_empty() && a.split(' ').next() == b.split(' ').next() {
+///                     out.candidates.insert_raw(i as u32, j as u32);
+///                 }
+///             }
+///         }
+///         out
+///     }
+/// }
+///
+/// let ds = DirtyDataset::new(
+///     "toy",
+///     vec![
+///         Entity::from_pairs([("t", "acme pump")]),
+///         Entity::from_pairs([("t", "acme pump x2")]),
+///         Entity::from_pairs([("t", "other thing")]),
+///     ],
+///     [Pair::new(0, 1)],
+/// );
+/// let out = DirtyAdapter::new(TokenShare).dedupe(&ds, |e| e.all_values());
+/// assert!(out.candidates.contains(Pair::new(0, 1)));
+/// assert_eq!(out.candidates.len(), 1); // no diagonal, no mirrored pair
+/// ```
+#[derive(Debug, Clone)]
+pub struct DirtyAdapter<F> {
+    inner: F,
+}
+
+impl<F: Filter> DirtyAdapter<F> {
+    /// Wraps a Clean-Clean filter.
+    pub fn new(inner: F) -> Self {
+        Self { inner }
+    }
+
+    /// Access to the wrapped filter.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+
+    /// Runs the wrapped filter as a self-join and canonicalizes the
+    /// candidates to unordered, off-diagonal pairs.
+    pub fn dedupe(
+        &self,
+        dataset: &DirtyDataset,
+        extract: impl Fn(&Entity) -> String,
+    ) -> FilterOutput {
+        let view = dataset.self_view(extract);
+        let raw = self.inner.run(&view);
+        let mut candidates = CandidateSet::new();
+        for p in raw.candidates.iter() {
+            if p.left != p.right {
+                candidates.insert(unordered(p));
+            }
+        }
+        FilterOutput { candidates, breakdown: raw.breakdown }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collection() -> DirtyDataset {
+        DirtyDataset::new(
+            "dedupe",
+            vec![
+                Entity::from_pairs([("name", "acme rotary pump 300")]),
+                Entity::from_pairs([("name", "acme rotary pump model 300")]),
+                Entity::from_pairs([("name", "zenith filter unit")]),
+                Entity::from_pairs([("name", "zenith filter unit v2")]),
+                Entity::from_pairs([("name", "unrelated widget")]),
+            ],
+            [Pair::new(0, 1), Pair::new(2, 3)],
+        )
+    }
+
+    /// A filter that pairs entities sharing any whitespace token.
+    struct TokenOverlap;
+
+    impl Filter for TokenOverlap {
+        fn name(&self) -> String {
+            "token-overlap".into()
+        }
+
+        fn run(&self, view: &TextView) -> FilterOutput {
+            let mut out = FilterOutput::default();
+            for (i, a) in view.e1.iter().enumerate() {
+                let tokens: std::collections::HashSet<&str> = a.split(' ').collect();
+                for (j, b) in view.e2.iter().enumerate() {
+                    if b.split(' ').any(|t| tokens.contains(t)) {
+                        out.candidates.insert_raw(i as u32, j as u32);
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn dedupe_finds_duplicates_without_diagonal() {
+        let ds = collection();
+        let out = DirtyAdapter::new(TokenOverlap).dedupe(&ds, |e| e.all_values());
+        assert!(out.candidates.contains(Pair::new(0, 1)));
+        assert!(out.candidates.contains(Pair::new(2, 3)));
+        for p in out.candidates.iter() {
+            assert!(p.left < p.right, "non-canonical pair {p:?}");
+        }
+    }
+
+    #[test]
+    fn candidates_bounded_by_unordered_comparisons() {
+        let ds = collection();
+        let out = DirtyAdapter::new(TokenOverlap).dedupe(&ds, |e| e.all_values());
+        assert!((out.candidates.len() as u64) <= ds.comparisons());
+        assert_eq!(ds.comparisons(), 10);
+    }
+
+    #[test]
+    fn effectiveness_measurable_against_unordered_groundtruth() {
+        let ds = collection();
+        let out = DirtyAdapter::new(TokenOverlap).dedupe(&ds, |e| e.all_values());
+        let eff = crate::metrics::evaluate(&out.candidates, &ds.groundtruth);
+        assert_eq!(eff.pc, 1.0);
+        assert!(eff.pq > 0.0);
+    }
+
+    #[test]
+    fn unordered_canonicalization() {
+        assert_eq!(unordered(Pair::new(5, 2)), Pair::new(2, 5));
+        assert_eq!(unordered(Pair::new(2, 5)), Pair::new(2, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-pair")]
+    fn self_pairs_rejected() {
+        let _ = DirtyDataset::new("x", vec![Entity::new(); 2], [Pair::new(1, 1)]);
+    }
+
+    #[test]
+    fn groundtruth_mirrored_pairs_collapse() {
+        let ds = DirtyDataset::new(
+            "x",
+            vec![Entity::new(); 3],
+            [Pair::new(0, 1), Pair::new(1, 0)],
+        );
+        assert_eq!(ds.groundtruth.len(), 1);
+    }
+}

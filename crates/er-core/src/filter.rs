@@ -1,0 +1,90 @@
+//! The common interface every filtering technique implements.
+//!
+//! Blocking workflows, sparse NN and dense NN methods all "receive the same
+//! input (the entity profiles) and produce the same output (candidate
+//! pairs)" (paper §I). In this library the input is a [`TextView`] — the
+//! per-entity texts after the schema setting has been applied — and the
+//! output is a [`FilterOutput`]: a candidate set plus the per-phase timings.
+
+use crate::candidates::CandidateSet;
+use crate::schema::TextView;
+use crate::timing::PhaseBreakdown;
+use std::time::Duration;
+
+/// The result of one filter execution.
+#[derive(Debug, Clone, Default)]
+pub struct FilterOutput {
+    /// The deduplicated candidate pairs `C`.
+    pub candidates: CandidateSet,
+    /// Named phase durations (their sum is the method's RT).
+    pub breakdown: PhaseBreakdown,
+}
+
+impl FilterOutput {
+    /// The overall run-time RT.
+    pub fn runtime(&self) -> Duration {
+        self.breakdown.total()
+    }
+}
+
+/// A configured filtering technique.
+///
+/// Implementations are *configured instances*: the struct carries its
+/// parameters, so the configuration optimizer can enumerate instances and
+/// call [`Filter::run`] uniformly.
+pub trait Filter {
+    /// Short display name, e.g. `"SBW"` or `"kNN-Join"`.
+    fn name(&self) -> String;
+
+    /// Executes the filter on the extracted texts.
+    fn run(&self, view: &TextView) -> FilterOutput;
+}
+
+impl<T: Filter + ?Sized> Filter for Box<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn run(&self, view: &TextView) -> FilterOutput {
+        (**self).run(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::Pair;
+
+    /// A trivial filter pairing equal indices, for interface tests.
+    struct Diagonal;
+
+    impl Filter for Diagonal {
+        fn name(&self) -> String {
+            "diagonal".into()
+        }
+
+        fn run(&self, view: &TextView) -> FilterOutput {
+            let mut out = FilterOutput::default();
+            let n = view.e1.len().min(view.e2.len());
+            out.breakdown.time("query", || {
+                for i in 0..n as u32 {
+                    out.candidates.insert(Pair::new(i, i));
+                }
+            });
+            out
+        }
+    }
+
+    #[test]
+    fn filter_trait_object_usable() {
+        let boxed: Box<dyn Filter> = Box::new(Diagonal);
+        let view = TextView {
+            e1: vec!["a".into(), "b".into()],
+            e2: vec!["a".into(), "b".into(), "c".into()],
+        };
+        let out = boxed.run(&view);
+        assert_eq!(boxed.name(), "diagonal");
+        assert_eq!(out.candidates.len(), 2);
+        assert!(out.runtime() >= Duration::ZERO);
+    }
+}

@@ -1,0 +1,159 @@
+//! A fast, non-cryptographic hasher for the benchmark's hot paths.
+//!
+//! The filtering methods hash millions of short strings (tokens, q-grams,
+//! shingles) and integer pair keys. SipHash (std's default) is needlessly
+//! slow for this workload and HashDoS is not a concern for an offline
+//! benchmark, so we use an FxHash-style multiply-xor hasher (the same design
+//! rustc uses) implemented locally to avoid an extra dependency.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit FxHash multiplier (golden-ratio derived).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// An FxHash-style streaming hasher: word-at-a-time rotate-xor-multiply.
+#[derive(Default, Clone)]
+pub struct FastHasher {
+    state: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            // Mix the length in so "a" and "a\0" differ.
+            buf[7] = rem.len() as u8;
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FastHasher`].
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+/// `HashSet` keyed with [`FastHasher`].
+pub type FastSet<K> = HashSet<K, BuildHasherDefault<FastHasher>>;
+
+/// Hashes a string to a stable 64-bit value (FNV-1a), independent of the
+/// `Hasher` machinery. Used where a *stable* token identity is needed across
+/// index structures (e.g. posting-list keys, minhash input ids).
+#[inline]
+pub fn hash_str(s: &str) -> u64 {
+    fnv1a(s.as_bytes(), 0xcbf2_9ce4_8422_2325)
+}
+
+/// Hashes a string with a caller-chosen seed, for families of hash
+/// functions (e.g. the rows of a MinHash signature).
+#[inline]
+pub fn hash_str_seeded(s: &str, seed: u64) -> u64 {
+    fnv1a(s.as_bytes(), 0xcbf2_9ce4_8422_2325 ^ seed.wrapping_mul(SEED))
+}
+
+#[inline]
+fn fnv1a(bytes: &[u8], mut state: u64) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(PRIME);
+    }
+    state
+}
+
+/// Mixes a 64-bit value to a well-distributed 64-bit value
+/// (splitmix64 finalizer). Used to derive independent hash functions from
+/// indices.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, BuildHasherDefault};
+
+    fn h(s: &str) -> u64 {
+        BuildHasherDefault::<FastHasher>::default().hash_one(s)
+    }
+
+    #[test]
+    fn distinct_strings_hash_differently() {
+        assert_ne!(h("a"), h("b"));
+        assert_ne!(h("ab"), h("ba"));
+        assert_ne!(h(""), h("\0"));
+        assert_ne!(h("12345678"), h("123456789"));
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        assert_eq!(h("token"), h("token"));
+        assert_eq!(hash_str("token"), hash_str("token"));
+    }
+
+    #[test]
+    fn seeded_hashes_are_independent() {
+        assert_ne!(hash_str_seeded("x", 1), hash_str_seeded("x", 2));
+        assert_eq!(hash_str_seeded("x", 7), hash_str_seeded("x", 7));
+    }
+
+    #[test]
+    fn fast_map_works_as_hashmap() {
+        let mut m: FastMap<String, u32> = FastMap::default();
+        m.insert("a".into(), 1);
+        m.insert("b".into(), 2);
+        assert_eq!(m.get("a"), Some(&1));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn mix64_permutes_small_integers() {
+        let outputs: std::collections::HashSet<u64> = (0..1000).map(mix64).collect();
+        assert_eq!(outputs.len(), 1000, "mix64 collided on small inputs");
+    }
+
+    #[test]
+    fn mix64_avalanche_smoke() {
+        // Flipping one input bit should change roughly half the output bits.
+        let a = mix64(0x1234_5678);
+        let b = mix64(0x1234_5679);
+        let flipped = (a ^ b).count_ones();
+        assert!((16..=48).contains(&flipped), "poor avalanche: {flipped} bits");
+    }
+}

@@ -1,0 +1,263 @@
+//! CSV import/export for datasets and candidate pairs.
+//!
+//! Real deployments feed filters from delimited files; this module
+//! implements a small, dependency-free, RFC-4180-compatible CSV codec
+//! (quoting, embedded commas/quotes/newlines) plus readers and writers for
+//! entity collections (header row = attribute names) and pair lists.
+
+use crate::candidates::{CandidateSet, Pair};
+use crate::entity::Entity;
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Parses one logical CSV record from `input`, honoring quoted fields that
+/// may contain commas, escaped quotes (`""`) and newlines. Returns `None`
+/// at end of input.
+fn read_record(input: &mut impl BufRead) -> io::Result<Option<Vec<String>>> {
+    let mut fields = vec![String::new()];
+    let mut in_quotes = false;
+    let mut saw_anything = false;
+    let mut byte = [0u8; 1];
+    let mut pending_quote = false;
+    loop {
+        let n = input.read(&mut byte)?;
+        if n == 0 {
+            if !saw_anything {
+                return Ok(None);
+            }
+            break;
+        }
+        saw_anything = true;
+        let c = byte[0] as char;
+        let field = fields.last_mut().expect("at least one field");
+        if pending_quote {
+            pending_quote = false;
+            match c {
+                '"' => {
+                    field.push('"');
+                    continue;
+                }
+                _ => in_quotes = false,
+            }
+        }
+        match c {
+            '"' if in_quotes => pending_quote = true,
+            '"' if field.is_empty() => in_quotes = true,
+            '"' => field.push('"'), // lenient: stray quote mid-field
+            ',' if !in_quotes => fields.push(String::new()),
+            '\n' if !in_quotes => break,
+            '\r' if !in_quotes => {} // swallow CR of CRLF
+            _ => field.push(c),
+        }
+    }
+    Ok(Some(fields))
+}
+
+/// Writes one CSV record, quoting fields that need it.
+fn write_record(out: &mut impl Write, fields: &[&str]) -> io::Result<()> {
+    let mut line = String::new();
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        if f.contains([',', '"', '\n', '\r']) {
+            let _ = write!(line, "\"{}\"", f.replace('"', "\"\""));
+        } else {
+            line.push_str(f);
+        }
+    }
+    line.push('\n');
+    out.write_all(line.as_bytes())
+}
+
+/// Reads an entity collection from CSV: the header row names the
+/// attributes; every following row becomes one [`Entity`]. Missing
+/// trailing fields become empty values; extra fields are rejected.
+pub fn read_entities(reader: impl Read) -> io::Result<Vec<Entity>> {
+    let mut input = BufReader::new(reader);
+    let Some(header) = read_record(&mut input)? else {
+        return Ok(Vec::new());
+    };
+    let mut out = Vec::new();
+    while let Some(row) = read_record(&mut input)? {
+        if row.len() == 1 && row[0].is_empty() {
+            continue; // blank line
+        }
+        if row.len() > header.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("row {} has {} fields, header has {}", out.len() + 2, row.len(), header.len()),
+            ));
+        }
+        let mut entity = Entity::new();
+        for (i, name) in header.iter().enumerate() {
+            entity.push(name.clone(), row.get(i).cloned().unwrap_or_default());
+        }
+        out.push(entity);
+    }
+    Ok(out)
+}
+
+/// Writes an entity collection as CSV. The header is the union of
+/// attribute names in first-appearance order; entities lacking an
+/// attribute get an empty field.
+pub fn write_entities(out: &mut impl Write, entities: &[Entity]) -> io::Result<()> {
+    let mut header: Vec<&str> = Vec::new();
+    for e in entities {
+        for a in &e.attributes {
+            if !header.contains(&a.name.as_str()) {
+                header.push(&a.name);
+            }
+        }
+    }
+    write_record(out, &header)?;
+    for e in entities {
+        let row: Vec<&str> =
+            header.iter().map(|h| e.value_of(h).unwrap_or("")).collect();
+        write_record(out, &row)?;
+    }
+    Ok(())
+}
+
+/// Reads `(left, right)` pairs from a headered two-column CSV.
+pub fn read_pairs(reader: impl Read) -> io::Result<Vec<Pair>> {
+    let mut input = BufReader::new(reader);
+    let Some(_header) = read_record(&mut input)? else {
+        return Ok(Vec::new());
+    };
+    let mut out = Vec::new();
+    while let Some(row) = read_record(&mut input)? {
+        if row.len() == 1 && row[0].is_empty() {
+            continue;
+        }
+        if row.len() < 2 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "pair row needs two fields"));
+        }
+        let parse = |s: &str| -> io::Result<u32> {
+            s.trim().parse().map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad id {s:?}: {e}"))
+            })
+        };
+        out.push(Pair::new(parse(&row[0])?, parse(&row[1])?));
+    }
+    Ok(out)
+}
+
+/// Writes candidate pairs as a headered two-column CSV, sorted for
+/// deterministic output.
+pub fn write_pairs(out: &mut impl Write, candidates: &CandidateSet) -> io::Result<()> {
+    write_record(out, &["left", "right"])?;
+    for p in candidates.to_sorted_vec() {
+        write_record(out, &[&p.left.to_string(), &p.right.to_string()])?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entities_roundtrip() {
+        let entities = vec![
+            Entity::from_pairs([("title", "Canon, \"PowerShot\""), ("price", "279.00")]),
+            Entity::from_pairs([("title", "multi\nline"), ("price", "")]),
+        ];
+        let mut buf = Vec::new();
+        write_entities(&mut buf, &entities).expect("write");
+        let back = read_entities(&buf[..]).expect("read");
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].value_of("title"), Some("Canon, \"PowerShot\""));
+        assert_eq!(back[1].value_of("title"), Some("multi\nline"));
+        assert_eq!(back[1].value_of("price"), None, "empty stays empty");
+    }
+
+    #[test]
+    fn ragged_union_header() {
+        let entities = vec![
+            Entity::from_pairs([("a", "1")]),
+            Entity::from_pairs([("b", "2"), ("a", "3")]),
+        ];
+        let mut buf = Vec::new();
+        write_entities(&mut buf, &entities).expect("write");
+        let text = String::from_utf8(buf.clone()).expect("utf8");
+        assert!(text.starts_with("a,b\n"));
+        let back = read_entities(&buf[..]).expect("read");
+        assert_eq!(back[0].value_of("b"), None);
+        assert_eq!(back[1].value_of("b"), Some("2"));
+    }
+
+    #[test]
+    fn pairs_roundtrip_sorted() {
+        let c: CandidateSet =
+            [Pair::new(5, 1), Pair::new(0, 9), Pair::new(5, 0)].into_iter().collect();
+        let mut buf = Vec::new();
+        write_pairs(&mut buf, &c).expect("write");
+        let back = read_pairs(&buf[..]).expect("read");
+        assert_eq!(back, vec![Pair::new(0, 9), Pair::new(5, 0), Pair::new(5, 1)]);
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        assert!(read_entities("a,b\n1,2,3\n".as_bytes()).is_err(), "extra field");
+        assert!(read_pairs("l,r\nx,2\n".as_bytes()).is_err(), "non-numeric id");
+        assert!(read_pairs("l,r\n7\n".as_bytes()).is_err(), "single field");
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_crlf() {
+        let csv = "title,price\r\n\"a,b\",\"1\"\"2\"\r\n";
+        let back = read_entities(csv.as_bytes()).expect("read");
+        assert_eq!(back[0].value_of("title"), Some("a,b"));
+        assert_eq!(back[0].value_of("price"), Some("1\"2"));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(read_entities("".as_bytes()).expect("read").is_empty());
+        assert!(read_pairs("".as_bytes()).expect("read").is_empty());
+        let only_header = read_entities("a,b\n".as_bytes()).expect("read");
+        assert!(only_header.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Any entity collection round-trips through the CSV codec
+        /// (empty values collapse to absent, which `value_of` treats
+        /// identically).
+        #[test]
+        fn entities_roundtrip_arbitrary_text(
+            rows in proptest::collection::vec(
+                proptest::collection::vec("[ -~]{0,24}", 2), 1..8),
+        ) {
+            let entities: Vec<Entity> = rows
+                .iter()
+                .map(|r| Entity::from_pairs([("a", r[0].clone()), ("b", r[1].clone())]))
+                .collect();
+            let mut buf = Vec::new();
+            write_entities(&mut buf, &entities).expect("write");
+            let back = read_entities(&buf[..]).expect("read");
+            prop_assert_eq!(back.len(), entities.len());
+            for (orig, round) in entities.iter().zip(&back) {
+                prop_assert_eq!(orig.value_of("a"), round.value_of("a"));
+                prop_assert_eq!(orig.value_of("b"), round.value_of("b"));
+            }
+        }
+
+        /// Pair files round-trip exactly (sorted on write).
+        #[test]
+        fn pairs_roundtrip(ids in proptest::collection::vec((0u32..500, 0u32..500), 0..40)) {
+            let set: CandidateSet =
+                ids.iter().map(|&(l, r)| Pair::new(l, r)).collect();
+            let mut buf = Vec::new();
+            write_pairs(&mut buf, &set).expect("write");
+            let back = read_pairs(&buf[..]).expect("read");
+            prop_assert_eq!(back, set.to_sorted_vec());
+        }
+    }
+}

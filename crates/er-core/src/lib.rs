@@ -1,0 +1,47 @@
+//! Core abstractions of the entity-resolution filtering benchmark.
+//!
+//! This crate defines everything the concrete filtering techniques (blocking
+//! workflows, sparse and dense nearest-neighbor methods) share:
+//!
+//! * [`entity`] — the `⟨name, value⟩`-pair entity-profile model (paper §III),
+//! * [`dataset`] — Clean-Clean ER datasets `(E1, E2)` with ground truth,
+//! * [`schema`] — schema-agnostic vs. schema-based text views, attribute
+//!   coverage/distinctiveness statistics (paper §VI),
+//! * [`candidates`] — candidate-pair sets produced by every filter,
+//! * [`metrics`] — pair completeness (PC), pairs quality (PQ) and run-time,
+//! * [`timing`] — per-phase stopwatches for the run-time breakdown figures,
+//! * [`filter`] — the common `Filter` interface,
+//! * [`optimize`] — the configuration-optimization driver of Problem 1
+//!   (maximize PQ subject to PC ≥ τ),
+//! * [`hash`] — a fast non-cryptographic hasher shared by the hot paths,
+//! * [`taxonomy`] — the qualitative taxonomies of Tables I and II.
+
+pub mod candidates;
+pub mod dataset;
+pub mod dirty;
+pub mod entity;
+pub mod filter;
+pub mod hash;
+pub mod io;
+pub mod metrics;
+pub mod optimize;
+pub mod rankings;
+pub mod schema;
+pub mod taxonomy;
+pub mod timing;
+pub mod verify;
+
+pub use candidates::{CandidateSet, Pair};
+pub use dataset::{Dataset, GroundTruth};
+pub use dirty::{DirtyAdapter, DirtyDataset};
+pub use entity::{Attribute, Entity};
+pub use filter::{Filter, FilterOutput};
+pub use metrics::{evaluate, Effectiveness};
+pub use optimize::{GridResolution, OptimizationOutcome, Optimizer, TargetRecall};
+pub use rankings::QueryRankings;
+pub use schema::{AttributeStats, SchemaMode, TextView};
+pub use timing::{PhaseBreakdown, Stopwatch};
+pub use verify::{JaccardMatcher, MatchingQuality};
+
+#[cfg(test)]
+mod proptests;

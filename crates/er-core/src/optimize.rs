@@ -1,0 +1,258 @@
+//! The configuration-optimization driver of Problem 1 (paper §III):
+//! given a filter method and a recall threshold τ, fine-tune its parameters
+//! so the resulting candidate set maximizes PQ subject to PC ≥ τ.
+//!
+//! The driver is holistic (all parameters of a workflow are swept jointly,
+//! §II) and supports the two grid-traversal idioms the paper uses:
+//!
+//! * [`Optimizer::grid`] — exhaustive sweep keeping the PQ-best feasible
+//!   configuration (and, as a fallback, the PC-best infeasible one, which
+//!   the paper reports in red for the baselines),
+//! * [`Optimizer::first_feasible`] — ordered sweep that stops at the first
+//!   configuration meeting τ; correct whenever the order enumerates
+//!   *increasing candidate volume* (kNN-Join's K, FAISS/SCANN's K, ε-Join's
+//!   descending threshold), because under that monotonicity the first
+//!   feasible configuration is also the PQ-best feasible one.
+
+use crate::metrics::Effectiveness;
+use crate::timing::PhaseBreakdown;
+use serde::{Deserialize, Serialize};
+
+/// Grid resolution shared by every method's configuration space: the
+/// paper's exhaustive grids, a representative pruned subset for
+/// laptop-scale sweeps, or a minimal smoke grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GridResolution {
+    /// The exact paper domains (Tables III–V; thousands of configurations).
+    Full,
+    /// A representative subset (tens to hundreds of configurations).
+    Pruned,
+    /// A minimal smoke grid (a handful of configurations).
+    Quick,
+}
+
+/// The recall target τ of Problem 1. The paper uses τ = 0.9 throughout.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TargetRecall(pub f64);
+
+impl Default for TargetRecall {
+    fn default() -> Self {
+        Self(0.9)
+    }
+}
+
+/// One evaluated configuration.
+#[derive(Debug, Clone)]
+pub struct Evaluated<C> {
+    /// The configuration.
+    pub config: C,
+    /// Its PC/PQ outcome.
+    pub eff: Effectiveness,
+    /// Its phase timings.
+    pub breakdown: PhaseBreakdown,
+}
+
+/// Result of an optimization sweep.
+#[derive(Debug, Clone)]
+pub struct OptimizationOutcome<C> {
+    /// PQ-best configuration with PC ≥ τ, if any.
+    pub best_feasible: Option<Evaluated<C>>,
+    /// PC-best configuration overall — reported when nothing reaches τ
+    /// (the paper marks such entries in red).
+    pub best_fallback: Option<Evaluated<C>>,
+    /// Number of configurations evaluated.
+    pub evaluated: usize,
+}
+
+impl<C> Default for OptimizationOutcome<C> {
+    fn default() -> Self {
+        Self { best_feasible: None, best_fallback: None, evaluated: 0 }
+    }
+}
+
+impl<C> OptimizationOutcome<C> {
+    /// The configuration to report: feasible if one exists, else fallback.
+    pub fn best(&self) -> Option<&Evaluated<C>> {
+        self.best_feasible.as_ref().or(self.best_fallback.as_ref())
+    }
+
+    /// True if some configuration met the recall target.
+    pub fn is_feasible(&self) -> bool {
+        self.best_feasible.is_some()
+    }
+
+    /// Accounts one evaluated configuration, updating the feasible and
+    /// fallback champions. Exposed so callers with custom sweep structure
+    /// (e.g. shared intermediate results) can drive the same selection
+    /// logic the built-in sweeps use.
+    pub fn consider(&mut self, cand: Evaluated<C>, target: f64)
+    where
+        C: Clone,
+    {
+        self.evaluated += 1;
+        if cand.eff.pc >= target {
+            let better = match &self.best_feasible {
+                None => true,
+                Some(cur) => {
+                    cand.eff.pq > cur.eff.pq
+                        || (cand.eff.pq == cur.eff.pq && cand.eff.candidates < cur.eff.candidates)
+                }
+            };
+            if better {
+                self.best_feasible = Some(cand.clone());
+            }
+        }
+        let better_fallback = match &self.best_fallback {
+            None => true,
+            Some(cur) => {
+                cand.eff.pc > cur.eff.pc
+                    || (cand.eff.pc == cur.eff.pc && cand.eff.pq > cur.eff.pq)
+            }
+        };
+        if better_fallback {
+            self.best_fallback = Some(cand);
+        }
+    }
+}
+
+/// The optimization driver. Holds the recall target and an optional budget
+/// on the number of evaluated configurations.
+#[derive(Debug, Clone, Copy)]
+pub struct Optimizer {
+    /// Recall target τ.
+    pub target: TargetRecall,
+    /// Hard cap on evaluations (`usize::MAX` = unbounded). Lets the harness
+    /// run pruned grids at small scales.
+    pub max_evaluations: usize,
+}
+
+impl Default for Optimizer {
+    fn default() -> Self {
+        Self { target: TargetRecall::default(), max_evaluations: usize::MAX }
+    }
+}
+
+impl Optimizer {
+    /// Creates an optimizer with target τ.
+    pub fn new(target_pc: f64) -> Self {
+        Self { target: TargetRecall(target_pc), ..Default::default() }
+    }
+
+    /// Caps the number of evaluated configurations.
+    pub fn with_budget(mut self, max_evaluations: usize) -> Self {
+        self.max_evaluations = max_evaluations;
+        self
+    }
+
+    /// Exhaustive grid sweep: evaluate every configuration, keep the
+    /// PQ-best feasible one.
+    pub fn grid<C: Clone>(
+        &self,
+        configs: impl IntoIterator<Item = C>,
+        mut eval: impl FnMut(&C) -> (Effectiveness, PhaseBreakdown),
+    ) -> OptimizationOutcome<C> {
+        let mut out = OptimizationOutcome::default();
+        for config in configs {
+            if out.evaluated >= self.max_evaluations {
+                break;
+            }
+            let (eff, breakdown) = eval(&config);
+            out.consider(Evaluated { config, eff, breakdown }, self.target.0);
+        }
+        out
+    }
+
+    /// Ordered sweep stopping at the first feasible configuration.
+    ///
+    /// `configs` must be ordered by non-decreasing candidate volume (e.g.
+    /// ascending K, descending similarity threshold): PC is then
+    /// non-decreasing along the sweep and the first feasible configuration
+    /// maximizes PQ among the feasible ones.
+    pub fn first_feasible<C: Clone>(
+        &self,
+        configs: impl IntoIterator<Item = C>,
+        mut eval: impl FnMut(&C) -> (Effectiveness, PhaseBreakdown),
+    ) -> OptimizationOutcome<C> {
+        let mut out = OptimizationOutcome::default();
+        for config in configs {
+            if out.evaluated >= self.max_evaluations {
+                break;
+            }
+            let (eff, breakdown) = eval(&config);
+            let feasible = eff.pc >= self.target.0;
+            out.consider(Evaluated { config, eff, breakdown }, self.target.0);
+            if feasible {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eff(pc: f64, pq: f64, candidates: usize) -> Effectiveness {
+        Effectiveness { pc, pq, candidates, duplicates_found: 0 }
+    }
+
+    #[test]
+    fn grid_picks_pq_best_feasible() {
+        let opt = Optimizer::new(0.9);
+        let outcomes =
+            [(0.95, 0.10, 100), (0.92, 0.30, 50), (0.70, 0.90, 5), (0.91, 0.25, 60)];
+        let out = opt.grid(0..outcomes.len(), |&i| (eff(outcomes[i].0, outcomes[i].1, outcomes[i].2), PhaseBreakdown::new()));
+        let best = out.best().expect("has best");
+        assert_eq!(best.config, 1, "0.92/0.30 should win");
+        assert!(out.is_feasible());
+        assert_eq!(out.evaluated, 4);
+    }
+
+    #[test]
+    fn grid_falls_back_to_max_pc() {
+        let opt = Optimizer::new(0.9);
+        let outcomes = [(0.5, 0.9), (0.8, 0.2), (0.6, 0.8)];
+        let out = opt.grid(0..3usize, |&i| (eff(outcomes[i].0, outcomes[i].1, 10), PhaseBreakdown::new()));
+        assert!(!out.is_feasible());
+        assert_eq!(out.best().expect("fallback").config, 1, "max PC wins");
+    }
+
+    #[test]
+    fn grid_tie_breaks_on_fewer_candidates() {
+        let opt = Optimizer::new(0.9);
+        let outcomes = [(0.95, 0.3, 100), (0.95, 0.3, 40)];
+        let out = opt.grid(0..2usize, |&i| (eff(outcomes[i].0, outcomes[i].1, outcomes[i].2), PhaseBreakdown::new()));
+        assert_eq!(out.best().expect("best").config, 1);
+    }
+
+    #[test]
+    fn first_feasible_stops_early() {
+        let opt = Optimizer::new(0.75);
+        let mut calls = 0;
+        let out = opt.first_feasible(1..=100usize, |&k| {
+            calls += 1;
+            // PC grows with k (binary-exact steps): feasible from k = 3.
+            (eff(0.25 * k as f64, 1.0 / k as f64, k), PhaseBreakdown::new())
+        });
+        assert_eq!(calls, 3);
+        assert_eq!(out.best().expect("best").config, 3);
+        assert!(out.is_feasible());
+    }
+
+    #[test]
+    fn first_feasible_exhausts_when_infeasible() {
+        let opt = Optimizer::new(0.9);
+        let out = opt.first_feasible(1..=5usize, |&k| (eff(0.1, 0.5, k), PhaseBreakdown::new()));
+        assert_eq!(out.evaluated, 5);
+        assert!(!out.is_feasible());
+        assert!(out.best().is_some());
+    }
+
+    #[test]
+    fn budget_caps_evaluations() {
+        let opt = Optimizer::new(0.9).with_budget(2);
+        let out = opt.grid(0..100usize, |_| (eff(0.95, 0.5, 10), PhaseBreakdown::new()));
+        assert_eq!(out.evaluated, 2);
+    }
+}

@@ -1,0 +1,176 @@
+//! Per-query neighbor rankings — the shared substrate of the
+//! cardinality-based NN methods.
+//!
+//! Cardinality-based methods (kNN-Join, FAISS, SCANN, DeepBlocker) rank the
+//! indexed entities per query and cut at `K`. Computing the ranking once up
+//! to `K_max` makes the optimizer's K-sweep a cheap prefix operation, and
+//! the rank of each duplicate inside these lists is exactly the statistic
+//! behind the paper's Figures 4–6 (distance-of-duplicates distributions).
+
+use crate::candidates::{CandidateSet, Pair};
+use crate::dataset::GroundTruth;
+
+/// Ranked neighbors per query entity, similarity descending.
+#[derive(Debug, Clone, Default)]
+pub struct QueryRankings {
+    /// `neighbors[q]` lists `(indexed entity, similarity)` best-first.
+    pub neighbors: Vec<Vec<(u32, f64)>>,
+    /// True if the queries come from `E1` (the `RVS` configuration);
+    /// controls the orientation of emitted pairs.
+    pub reversed: bool,
+}
+
+impl QueryRankings {
+    /// Builds a pair in canonical `(E1, E2)` orientation.
+    #[inline]
+    fn pair(&self, query: u32, indexed: u32) -> Pair {
+        if self.reversed {
+            Pair::new(query, indexed)
+        } else {
+            Pair::new(indexed, query)
+        }
+    }
+
+    /// Candidates from the plain top-`k` prefix of every query (FAISS /
+    /// SCANN / DeepBlocker semantics).
+    pub fn candidates_top_k(&self, k: usize) -> CandidateSet {
+        let mut out = CandidateSet::with_capacity(self.neighbors.len() * k);
+        for (q, list) in self.neighbors.iter().enumerate() {
+            for &(i, _) in list.iter().take(k) {
+                out.insert(self.pair(q as u32, i));
+            }
+        }
+        out
+    }
+
+    /// Candidates from the top-`k` *distinct similarity values* of every
+    /// query (kNN-Join semantics: equidistant candidates all qualify).
+    pub fn candidates_top_k_distinct(&self, k: usize) -> CandidateSet {
+        let mut out = CandidateSet::new();
+        for (q, list) in self.neighbors.iter().enumerate() {
+            let mut distinct = 0usize;
+            let mut last = f64::NAN;
+            for &(i, sim) in list {
+                if sim != last {
+                    distinct += 1;
+                    last = sim;
+                    if distinct > k {
+                        break;
+                    }
+                }
+                out.insert(self.pair(q as u32, i));
+            }
+        }
+        out
+    }
+
+    /// The rank (0 = top) of each ground-truth duplicate within its query's
+    /// list; `None` when the duplicate does not appear (beyond `K_max` or
+    /// zero similarity). This is the Figure 4–6 statistic.
+    pub fn duplicate_ranks(&self, gt: &GroundTruth) -> Vec<Option<usize>> {
+        gt.iter()
+            .map(|p| {
+                let (query, indexed) =
+                    if self.reversed { (p.left, p.right) } else { (p.right, p.left) };
+                self.neighbors
+                    .get(query as usize)
+                    .and_then(|list| list.iter().position(|&(i, _)| i == indexed))
+            })
+            .collect()
+    }
+
+    /// Histogram of duplicate ranks with `buckets` cells; the last cell
+    /// also absorbs everything at or beyond `buckets - 1`. Returns
+    /// `(histogram, missing)` where `missing` counts duplicates absent from
+    /// every list.
+    pub fn rank_histogram(&self, gt: &GroundTruth, buckets: usize) -> (Vec<usize>, usize) {
+        let mut hist = vec![0usize; buckets.max(1)];
+        let last = hist.len() - 1;
+        let mut missing = 0usize;
+        for rank in self.duplicate_ranks(gt) {
+            match rank {
+                Some(r) => hist[r.min(last)] += 1,
+                None => missing += 1,
+            }
+        }
+        (hist, missing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rankings() -> QueryRankings {
+        QueryRankings {
+            // Query 0: ids 5, 6 (tie 0.8), 7; query 1: id 5 only.
+            neighbors: vec![
+                vec![(5, 0.9), (6, 0.8), (7, 0.8), (8, 0.1)],
+                vec![(5, 0.7)],
+            ],
+            reversed: false,
+        }
+    }
+
+    #[test]
+    fn top_k_takes_prefixes() {
+        let c = rankings().candidates_top_k(1);
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(Pair::new(5, 0)));
+        assert!(c.contains(Pair::new(5, 1)));
+        let c2 = rankings().candidates_top_k(2);
+        assert_eq!(c2.len(), 3);
+    }
+
+    #[test]
+    fn top_k_distinct_includes_ties() {
+        // k = 2 distinct values for query 0: {0.9, 0.8} -> ids 5, 6, 7.
+        let c = rankings().candidates_top_k_distinct(2);
+        assert!(c.contains(Pair::new(6, 0)));
+        assert!(c.contains(Pair::new(7, 0)));
+        assert!(!c.contains(Pair::new(8, 0)));
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn reversed_orientation() {
+        let mut r = rankings();
+        r.reversed = true;
+        let c = r.candidates_top_k(1);
+        assert!(c.contains(Pair::new(0, 5)));
+        assert!(c.contains(Pair::new(1, 5)));
+    }
+
+    #[test]
+    fn duplicate_ranks_found_and_missing() {
+        let gt = GroundTruth::from_pairs([
+            Pair::new(6, 0), // rank 1 in query 0's list
+            Pair::new(9, 1), // absent
+        ]);
+        let ranks = rankings().duplicate_ranks(&gt);
+        assert_eq!(ranks, vec![Some(1), None]);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let gt = GroundTruth::from_pairs([
+            Pair::new(5, 0), // rank 0
+            Pair::new(8, 0), // rank 3 -> overflow bucket at 2
+            Pair::new(9, 1), // missing
+        ]);
+        let (hist, missing) = rankings().rank_histogram(&gt, 3);
+        assert_eq!(hist, vec![1, 0, 1]);
+        assert_eq!(missing, 1);
+    }
+
+    #[test]
+    fn growing_k_grows_candidates() {
+        let r = rankings();
+        let mut prev = 0;
+        for k in 1..=4 {
+            let n = r.candidates_top_k(k).len();
+            assert!(n >= prev);
+            prev = n;
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Per-phase run-time measurement (paper §III "time efficiency" and the
+//! breakdown analysis of Figures 7–9).
+//!
+//! Blocking workflows report block building / purging / filtering /
+//! comparison-cleaning times; NN methods report pre-processing / indexing /
+//! querying times. A [`PhaseBreakdown`] is an ordered list of named phase
+//! durations that sums to the method's RT.
+
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// A simple monotonic stopwatch.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Self { started: Instant::now() }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Restarts the stopwatch and returns the lap time.
+    pub fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let lap = now - self.started;
+        self.started = now;
+        lap
+    }
+}
+
+/// Named phase durations of a single filter execution.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    phases: Vec<(String, Duration)>,
+}
+
+impl PhaseBreakdown {
+    /// Creates an empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a phase; durations for repeated names accumulate.
+    pub fn record(&mut self, name: &str, d: Duration) {
+        if let Some(entry) = self.phases.iter_mut().find(|(n, _)| n == name) {
+            entry.1 += d;
+        } else {
+            self.phases.push((name.to_owned(), d));
+        }
+    }
+
+    /// Times `f` and records its duration under `name`, returning `f`'s
+    /// output.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let sw = Stopwatch::start();
+        let out = f();
+        self.record(name, sw.elapsed());
+        out
+    }
+
+    /// The duration recorded for `name`, if any.
+    pub fn get(&self, name: &str) -> Option<Duration> {
+        self.phases.iter().find(|(n, _)| n == name).map(|(_, d)| *d)
+    }
+
+    /// Ordered `(phase, duration)` view.
+    pub fn phases(&self) -> &[(String, Duration)] {
+        &self.phases
+    }
+
+    /// The overall run-time: the sum of all phases.
+    pub fn total(&self) -> Duration {
+        self.phases.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Merges another breakdown into this one (phase-wise accumulation).
+    pub fn merge(&mut self, other: &PhaseBreakdown) {
+        for (name, d) in &other.phases {
+            self.record(name, *d);
+        }
+    }
+
+    /// Fraction of the total attributed to `name` (0 when the total is 0).
+    pub fn fraction(&self, name: &str) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.get(name).map_or(0.0, |d| d.as_secs_f64() / total)
+    }
+}
+
+/// Formats a duration the way the paper's Table VII does: `"316 ms"` below
+/// a second, `"3.5 s"` from a second up, `"1.6 m"` from a minute up.
+pub fn format_runtime(d: Duration) -> String {
+    let ms = d.as_secs_f64() * 1e3;
+    if ms < 1000.0 {
+        format!("{ms:.0} ms")
+    } else if ms < 60_000.0 {
+        format!("{:.1} s", ms / 1e3)
+    } else {
+        format!("{:.1} m", ms / 6e4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_repeated_phases() {
+        let mut b = PhaseBreakdown::new();
+        b.record("query", Duration::from_millis(5));
+        b.record("query", Duration::from_millis(7));
+        assert_eq!(b.get("query"), Some(Duration::from_millis(12)));
+        assert_eq!(b.phases().len(), 1);
+    }
+
+    #[test]
+    fn total_sums_phases() {
+        let mut b = PhaseBreakdown::new();
+        b.record("a", Duration::from_millis(3));
+        b.record("b", Duration::from_millis(4));
+        assert_eq!(b.total(), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn time_captures_closure_output() {
+        let mut b = PhaseBreakdown::new();
+        let v = b.time("work", || 21 * 2);
+        assert_eq!(v, 42);
+        assert!(b.get("work").is_some());
+    }
+
+    #[test]
+    fn merge_combines_breakdowns() {
+        let mut a = PhaseBreakdown::new();
+        a.record("x", Duration::from_millis(1));
+        let mut b = PhaseBreakdown::new();
+        b.record("x", Duration::from_millis(2));
+        b.record("y", Duration::from_millis(3));
+        a.merge(&b);
+        assert_eq!(a.get("x"), Some(Duration::from_millis(3)));
+        assert_eq!(a.get("y"), Some(Duration::from_millis(3)));
+    }
+
+    #[test]
+    fn fraction_is_normalized() {
+        let mut b = PhaseBreakdown::new();
+        b.record("a", Duration::from_millis(25));
+        b.record("b", Duration::from_millis(75));
+        assert!((b.fraction("b") - 0.75).abs() < 1e-9);
+        assert_eq!(PhaseBreakdown::new().fraction("a"), 0.0);
+    }
+
+    #[test]
+    fn runtime_formatting_matches_paper_style() {
+        assert_eq!(format_runtime(Duration::from_millis(316)), "316 ms");
+        assert_eq!(format_runtime(Duration::from_millis(3500)), "3.5 s");
+        assert_eq!(format_runtime(Duration::from_secs(96)), "1.6 m");
+    }
+
+    #[test]
+    fn stopwatch_lap_resets() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(2));
+        let lap = sw.lap();
+        assert!(lap >= Duration::from_millis(1));
+        assert!(sw.elapsed() < lap + Duration::from_millis(50));
+    }
+}

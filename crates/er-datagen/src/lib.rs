@@ -1,0 +1,28 @@
+//! Deterministic synthetic Clean-Clean ER datasets mirroring the ten
+//! benchmark datasets of the study (paper Table VI).
+//!
+//! The original datasets (Abt-Buy, DBLP-ACM, Walmart-Amazon, …) are not
+//! redistributable here, so this crate generates statistical stand-ins:
+//! each profile reproduces the entity counts, duplicate counts, attribute
+//! schema and — through its noise model — the qualitative regime the paper
+//! attributes to that dataset (distinctive titles in D4, generic noisy
+//! content in D3, misplaced values in D5–D7/D10, …). See DESIGN.md for the
+//! substitution rationale.
+//!
+//! * [`vocab`] — embedded word lists and seeded pseudo-word generation,
+//! * [`domain`] — canonical record templates (restaurants, products,
+//!   bibliographic, movies),
+//! * [`noise`] — the perturbation model (typos, token drops/swaps, missing
+//!   and misplaced values, generic shared noise),
+//! * [`profiles`] — the D1–D10 profiles and the generator.
+
+pub mod domain;
+pub mod noise;
+pub mod profiles;
+pub mod vocab;
+
+pub use noise::NoiseProfile;
+pub use profiles::{generate, generate_all, DatasetProfile, PROFILES};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,215 @@
+//! The perturbation model: how a side-specific record diverges from its
+//! canonical object.
+//!
+//! The knobs correspond to the phenomena the paper calls out: typographical
+//! errors (handled by q-gram/suffix signatures), token drops and swaps,
+//! *missing values*, *misplaced values* (a value stored under the wrong
+//! attribute — the reason schema-based settings fail on D5–D7 and D10) and
+//! generic shared noise (the reason D3 has uniformly low precision).
+
+use er_core::entity::Entity;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::vocab;
+
+/// Perturbation rates, all probabilities in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseProfile {
+    /// Per-token probability of a character-level edit.
+    pub typo_rate: f64,
+    /// Per-token probability of being dropped (multi-token values only).
+    pub token_drop_rate: f64,
+    /// Probability of shuffling the token order of a value.
+    pub token_shuffle_rate: f64,
+    /// Per-attribute probability of the value going missing.
+    pub missing_rate: f64,
+    /// Probability that the *best attribute's* value is misplaced into
+    /// another attribute (best attribute left empty).
+    pub misplace_rate: f64,
+    /// Number of generic noise tokens appended to a random attribute.
+    pub generic_noise_tokens: usize,
+}
+
+impl NoiseProfile {
+    /// A mild profile: occasional typos only.
+    pub const fn clean() -> Self {
+        Self {
+            typo_rate: 0.02,
+            token_drop_rate: 0.02,
+            token_shuffle_rate: 0.05,
+            missing_rate: 0.01,
+            misplace_rate: 0.0,
+            generic_noise_tokens: 0,
+        }
+    }
+
+    /// Applies one character edit (substitute/delete/insert/transpose).
+    fn typo(rng: &mut StdRng, token: &str) -> String {
+        let chars: Vec<char> = token.chars().collect();
+        if chars.len() < 2 {
+            return token.to_owned();
+        }
+        let pos = rng.gen_range(0..chars.len());
+        let mut out = chars.clone();
+        match rng.gen_range(0..4) {
+            0 => out[pos] = (b'a' + rng.gen_range(0..26)) as char, // substitute
+            1 => {
+                out.remove(pos); // delete
+            }
+            2 => out.insert(pos, (b'a' + rng.gen_range(0..26)) as char), // insert
+            _ => {
+                if pos + 1 < out.len() {
+                    out.swap(pos, pos + 1); // transpose
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Perturbs one attribute value.
+    fn perturb_value(&self, rng: &mut StdRng, value: &str) -> String {
+        let mut tokens: Vec<String> = value.split(' ').map(str::to_owned).collect();
+        if tokens.len() > 1 {
+            tokens.retain(|_| !rng.gen_bool(self.token_drop_rate));
+            if tokens.is_empty() {
+                tokens.push(value.split(' ').next().expect("non-empty value").to_owned());
+            }
+        }
+        for t in &mut tokens {
+            if rng.gen_bool(self.typo_rate) {
+                *t = Self::typo(rng, t);
+            }
+        }
+        if tokens.len() > 1 && rng.gen_bool(self.token_shuffle_rate) {
+            // One random adjacent transposition keeps it cheap and local.
+            let i = rng.gen_range(0..tokens.len() - 1);
+            tokens.swap(i, i + 1);
+        }
+        tokens.join(" ")
+    }
+
+    /// Renders a noisy copy of `canonical`, with `best_attr` naming the
+    /// attribute subject to misplacement.
+    pub fn render(&self, rng: &mut StdRng, canonical: &Entity, best_attr: &str) -> Entity {
+        let mut out = Entity::new();
+        let misplace = rng.gen_bool(self.misplace_rate);
+        let mut carried: Option<String> = None;
+        for attr in &canonical.attributes {
+            let mut value = if rng.gen_bool(self.missing_rate) {
+                String::new()
+            } else {
+                self.perturb_value(rng, &attr.value)
+            };
+            if misplace && attr.name == best_attr {
+                carried = Some(std::mem::take(&mut value));
+            }
+            out.push(attr.name.clone(), value);
+        }
+        // Misplaced value lands appended to another (random) attribute.
+        if let Some(carried) = carried {
+            if !carried.is_empty() && out.attributes.len() > 1 {
+                let victim = 1 + rng.gen_range(0..out.attributes.len() - 1);
+                let slot = &mut out.attributes[victim].value;
+                if slot.is_empty() {
+                    *slot = carried;
+                } else {
+                    slot.push(' ');
+                    slot.push_str(&carried);
+                }
+            }
+        }
+        // Generic shared noise: head-skewed filler tokens that many
+        // entities share, depressing precision.
+        if self.generic_noise_tokens > 0 {
+            let noise = (0..self.generic_noise_tokens)
+                .map(|_| vocab::pick_skewed(rng, vocab::FILLER))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let victim = out.attributes.len() - 1;
+            let slot = &mut out.attributes[victim].value;
+            if slot.is_empty() {
+                *slot = noise;
+            } else {
+                slot.push(' ');
+                slot.push_str(&noise);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn canonical() -> Entity {
+        Entity::from_pairs([
+            ("title", "canon dx450 camera silver"),
+            ("manufacturer", "canon"),
+            ("description", "digital compact camera"),
+        ])
+    }
+
+    #[test]
+    fn clean_profile_keeps_most_tokens() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let noisy = NoiseProfile::clean().render(&mut rng, &canonical(), "title");
+        let original = canonical();
+        let orig_tokens: Vec<&str> = original.attributes[0].value.split(' ').collect();
+        let noisy_title = noisy.value_of("title").expect("title").to_owned();
+        let kept = orig_tokens.iter().filter(|t| noisy_title.contains(**t)).count();
+        assert!(kept >= 3, "too much damage: {noisy_title}");
+    }
+
+    #[test]
+    fn misplacement_moves_best_attribute() {
+        let profile = NoiseProfile { misplace_rate: 1.0, ..NoiseProfile::clean() };
+        let mut rng = StdRng::seed_from_u64(2);
+        let noisy = profile.render(&mut rng, &canonical(), "title");
+        assert_eq!(noisy.value_of("title"), None, "title must be emptied");
+        // The title content survives elsewhere in the profile.
+        let all = noisy.all_values();
+        assert!(all.contains("dx450") || all.contains("canon"));
+    }
+
+    #[test]
+    fn missing_rate_one_empties_everything() {
+        let profile = NoiseProfile { missing_rate: 1.0, ..NoiseProfile::clean() };
+        let mut rng = StdRng::seed_from_u64(3);
+        let noisy = profile.render(&mut rng, &canonical(), "title");
+        assert!(noisy.is_empty());
+    }
+
+    #[test]
+    fn generic_noise_appends_filler() {
+        let profile = NoiseProfile { generic_noise_tokens: 5, ..NoiseProfile::clean() };
+        let mut rng = StdRng::seed_from_u64(4);
+        let noisy = profile.render(&mut rng, &canonical(), "title");
+        let orig_len = canonical().all_values().split(' ').count();
+        assert!(noisy.all_values().split(' ').count() >= orig_len + 3);
+    }
+
+    #[test]
+    fn typos_change_single_characters() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let t = NoiseProfile::typo(&mut rng, "powershot");
+            let diff = (t.len() as i64 - 9).abs();
+            assert!(diff <= 1, "{t}");
+        }
+        assert_eq!(NoiseProfile::typo(&mut rng, "a"), "a", "too short to edit");
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let profile = NoiseProfile::clean();
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert_eq!(
+            profile.render(&mut a, &canonical(), "title"),
+            profile.render(&mut b, &canonical(), "title")
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Property-based tests of the dataset generator's contract.
+
+#![cfg(test)]
+
+use crate::profiles::{generate, PROFILES};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any profile at any small scale/seed yields a well-formed dataset:
+    /// counts match, ground truth is in bounds and one-to-one (Clean-Clean
+    /// input collections are individually duplicate-free).
+    #[test]
+    fn generated_datasets_well_formed(
+        profile_idx in 0usize..10,
+        scale in 0.02f64..0.15,
+        seed in 0u64..1000,
+    ) {
+        let profile = &PROFILES[profile_idx];
+        let ds = generate(profile, scale, seed);
+        let (n1, n2, dups) = profile.scaled_counts(scale);
+        prop_assert_eq!(ds.e1.len(), n1);
+        prop_assert_eq!(ds.e2.len(), n2);
+        prop_assert_eq!(ds.groundtruth.len(), dups);
+
+        // One-to-one matching: no entity participates in two GT pairs.
+        let mut seen_left = std::collections::HashSet::new();
+        let mut seen_right = std::collections::HashSet::new();
+        for p in ds.groundtruth.iter() {
+            prop_assert!((p.left as usize) < n1 && (p.right as usize) < n2);
+            prop_assert!(seen_left.insert(p.left), "left {} reused", p.left);
+            prop_assert!(seen_right.insert(p.right), "right {} reused", p.right);
+        }
+
+        // Profiles carry the domain's attribute schema.
+        let best = profile.best_attribute();
+        prop_assert!(
+            ds.e1.iter().any(|e| e.attributes.iter().any(|a| a.name == best)),
+            "no {} attribute generated", best
+        );
+    }
+
+    /// Generation is a pure function of (profile, scale, seed).
+    #[test]
+    fn generation_deterministic(profile_idx in 0usize..10, seed in 0u64..100) {
+        let profile = &PROFILES[profile_idx];
+        let a = generate(profile, 0.03, seed);
+        let b = generate(profile, 0.03, seed);
+        prop_assert_eq!(a.e1, b.e1);
+        prop_assert_eq!(a.e2, b.e2);
+        prop_assert_eq!(
+            a.groundtruth.iter().collect::<Vec<_>>(),
+            b.groundtruth.iter().collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,297 @@
+//! Cross-Polytope LSH (paper §IV-D; Andoni et al., NIPS 2015 / FALCONN).
+//!
+//! A cross-polytope hash applies a random rotation to the (unit) vector and
+//! returns the closest vertex of the cross-polytope `{±e_i}` — i.e. the
+//! signed index of the largest-magnitude rotated coordinate. Partitions are
+//! the Voronoi cells of a randomly rotated cross-polytope; with one
+//! dimension this degenerates to Hyperplane LSH. The `last cp dimension`
+//! parameter truncates the rotated space of the last hash function,
+//! trading granularity for collision probability, exactly as in FALCONN.
+//! Multiprobe visits the vertices with the next-largest coordinates.
+
+use crate::embed::{EmbeddingConfig, HashEmbedder};
+use crate::vector::dot;
+use er_core::candidates::CandidateSet;
+use er_core::filter::{Filter, FilterOutput};
+use er_core::hash::FastMap;
+use er_core::schema::TextView;
+use er_text::Cleaner;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A configured Cross-Polytope LSH filter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrossPolytopeLsh {
+    /// Apply stop-word removal + stemming (`CL`).
+    pub cleaning: bool,
+    /// Number of hash tables (cross-polytopes).
+    pub tables: usize,
+    /// Hash functions concatenated per table.
+    pub hashes: usize,
+    /// Rotated dimensionality of the *last* hash function per table
+    /// (`last cp dimension`); earlier hashes use the full dimension.
+    pub last_cp_dim: usize,
+    /// Vertices probed for the last hash function (1 = exact vertex only).
+    pub probes: usize,
+    /// Embedding configuration.
+    pub embedding: EmbeddingConfig,
+    /// Rotation sampling seed (the method's stochasticity).
+    pub seed: u64,
+}
+
+impl CrossPolytopeLsh {
+    /// One-line configuration description for Table X-style reports.
+    pub fn describe(&self) -> String {
+        format!(
+            "CL={} tables={} hashes={} cpdim={} probes={}",
+            if self.cleaning { "y" } else { "-" },
+            self.tables,
+            self.hashes,
+            self.last_cp_dim,
+            self.probes
+        )
+    }
+}
+
+/// A random rotation: `rows × dim` Gaussian matrix (a true orthogonal
+/// rotation is unnecessary — Gaussian projections preserve the argmax
+/// statistics LSH relies on, which is the standard FALCONN shortcut for
+/// dimension-reducing final hashes).
+struct Rotation {
+    rows: Vec<Vec<f32>>,
+}
+
+impl Rotation {
+    fn sample(rows: usize, dim: usize, rng: &mut StdRng) -> Self {
+        let rows = (0..rows)
+            .map(|_| {
+                (0..dim)
+                    .map(|_| {
+                        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                        let u2: f32 = rng.gen_range(0.0..1.0);
+                        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+                    })
+                    .collect()
+            })
+            .collect();
+        Self { rows }
+    }
+
+    /// Rotated coordinates of `v`.
+    fn apply(&self, v: &[f32]) -> Vec<f32> {
+        self.rows.iter().map(|r| dot(r, v)).collect()
+    }
+}
+
+/// The signed-argmax vertex id of rotated coordinates: `2i` for `+e_i`,
+/// `2i + 1` for `−e_i`.
+fn vertex(rotated: &[f32]) -> u32 {
+    let mut best = 0usize;
+    let mut best_mag = -1.0f32;
+    for (i, &c) in rotated.iter().enumerate() {
+        if c.abs() > best_mag {
+            best_mag = c.abs();
+            best = i;
+        }
+    }
+    (2 * best as u32) + u32::from(rotated[best] < 0.0)
+}
+
+/// Vertex ids in descending coordinate magnitude (the multiprobe order).
+fn vertex_sequence(rotated: &[f32], probes: usize) -> Vec<u32> {
+    let mut order: Vec<usize> = (0..rotated.len()).collect();
+    order.sort_unstable_by(|&a, &b| {
+        rotated[b]
+            .abs()
+            .partial_cmp(&rotated[a].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    // Each coordinate contributes its signed vertex first, then the
+    // opposite sign vertex (much less likely, visited late).
+    let mut out = Vec::with_capacity(probes);
+    for &i in &order {
+        if out.len() >= probes {
+            break;
+        }
+        out.push((2 * i as u32) + u32::from(rotated[i] < 0.0));
+    }
+    for &i in &order {
+        if out.len() >= probes {
+            break;
+        }
+        out.push((2 * i as u32) + u32::from(rotated[i] >= 0.0));
+    }
+    out
+}
+
+/// One table: `hashes − 1` full-dimension rotations plus a final rotation
+/// truncated to `last_cp_dim` rows.
+struct Table {
+    leading: Vec<Rotation>,
+    last: Rotation,
+}
+
+impl Table {
+    /// The concatenated key of the leading hashes (the last hash is handled
+    /// separately for multiprobe).
+    fn leading_key(&self, v: &[f32]) -> u64 {
+        let mut key = 0xcbf2_9ce4_8422_2325u64;
+        for rot in &self.leading {
+            let vtx = vertex(&rot.apply(v));
+            key = er_core::hash::mix64(key ^ u64::from(vtx));
+        }
+        key
+    }
+}
+
+impl Filter for CrossPolytopeLsh {
+    fn name(&self) -> String {
+        "CP-LSH".to_owned()
+    }
+
+    fn run(&self, view: &TextView) -> FilterOutput {
+        assert!(self.hashes >= 1, "at least one hash function required");
+        assert!(self.last_cp_dim >= 1, "last cp dimension must be positive");
+        let mut out = FilterOutput::default();
+        let cleaner = if self.cleaning { Cleaner::on() } else { Cleaner::off() };
+        let embedder = HashEmbedder::new(self.embedding);
+
+        let (v1, v2) = out
+            .breakdown
+            .time("preprocess", || embedder.embed_view(view, &cleaner));
+
+        let dim = self.embedding.dim;
+        let cp_dim = self.last_cp_dim.min(dim);
+        let (tables, buckets) = out.breakdown.time("index", || {
+            let mut rng = StdRng::seed_from_u64(self.seed);
+            let tables: Vec<Table> = (0..self.tables)
+                .map(|_| Table {
+                    leading: (0..self.hashes - 1)
+                        .map(|_| Rotation::sample(dim.min(32), dim, &mut rng))
+                        .collect(),
+                    last: Rotation::sample(cp_dim, dim, &mut rng),
+                })
+                .collect();
+            let mut buckets: Vec<FastMap<u64, Vec<u32>>> =
+                vec![FastMap::default(); self.tables];
+            for (i, v) in v1.iter().enumerate() {
+                if v.iter().all(|&x| x == 0.0) {
+                    continue;
+                }
+                for (t, table) in tables.iter().enumerate() {
+                    let lead = table.leading_key(v);
+                    let vtx = vertex(&table.last.apply(v));
+                    let key = er_core::hash::mix64(lead ^ u64::from(vtx));
+                    buckets[t].entry(key).or_default().push(i as u32);
+                }
+            }
+            (tables, buckets)
+        });
+
+        out.breakdown.time("query", || {
+            let mut candidates = CandidateSet::new();
+            for (j, v) in v2.iter().enumerate() {
+                if v.iter().all(|&x| x == 0.0) {
+                    continue;
+                }
+                for (t, table) in tables.iter().enumerate() {
+                    let lead = table.leading_key(v);
+                    let rotated = table.last.apply(v);
+                    for vtx in vertex_sequence(&rotated, self.probes.max(1)) {
+                        let key = er_core::hash::mix64(lead ^ u64::from(vtx));
+                        if let Some(hits) = buckets[t].get(&key) {
+                            for &i in hits {
+                                candidates.insert_raw(i, j as u32);
+                            }
+                        }
+                    }
+                }
+            }
+            out.candidates = candidates;
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::candidates::Pair;
+
+    fn lsh(tables: usize, hashes: usize, cp_dim: usize, probes: usize) -> CrossPolytopeLsh {
+        CrossPolytopeLsh {
+            cleaning: false,
+            tables,
+            hashes,
+            last_cp_dim: cp_dim,
+            probes,
+            embedding: EmbeddingConfig { dim: 64, ..Default::default() },
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn vertex_picks_signed_argmax() {
+        assert_eq!(vertex(&[0.1, -0.9, 0.3]), 3, "-e_1");
+        assert_eq!(vertex(&[0.5, 0.2]), 0, "+e_0");
+        assert_eq!(vertex(&[-0.5]), 1, "-e_0");
+    }
+
+    #[test]
+    fn vertex_sequence_orders_by_magnitude() {
+        let seq = vertex_sequence(&[0.1, -0.9, 0.3], 3);
+        assert_eq!(seq, vec![3, 4, 0]);
+        // Requesting more probes than 2*dim caps at all vertices.
+        let all = vertex_sequence(&[0.1, -0.9], 10);
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn identical_vectors_always_collide() {
+        let view = TextView {
+            e1: vec!["olympus stylus camera".into()],
+            e2: vec!["olympus stylus camera".into()],
+        };
+        let out = lsh(4, 2, 16, 1).run(&view);
+        assert!(out.candidates.contains(Pair::new(0, 0)));
+    }
+
+    #[test]
+    fn more_probes_never_reduce_candidates() {
+        let view = TextView {
+            e1: (0..40).map(|i| format!("gadget {i} pro max")).collect(),
+            e2: (0..10).map(|i| format!("gadget {i} pro")).collect(),
+        };
+        let base = lsh(2, 2, 16, 1).run(&view).candidates.len();
+        let probed = lsh(2, 2, 16, 8).run(&view).candidates.len();
+        assert!(probed >= base, "{probed} < {base}");
+    }
+
+    #[test]
+    fn more_hashes_make_buckets_finer() {
+        let view = TextView {
+            e1: (0..50).map(|i| format!("alpha {i} beta")).collect(),
+            e2: (0..50).map(|i| format!("alpha {i} gamma")).collect(),
+        };
+        let coarse = lsh(1, 1, 4, 1).run(&view).candidates.len();
+        let fine = lsh(1, 4, 4, 1).run(&view).candidates.len();
+        assert!(fine <= coarse, "{fine} > {coarse}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let view = TextView {
+            e1: (0..20).map(|i| format!("widget {i}")).collect(),
+            e2: (0..20).map(|i| format!("widget {i}x")).collect(),
+        };
+        let a = lsh(2, 2, 8, 2).run(&view).candidates.to_sorted_vec();
+        let b = lsh(2, 2, 8, 2).run(&view).candidates.to_sorted_vec();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_texts_skipped() {
+        let view = TextView { e1: vec!["".into()], e2: vec!["anything".into()] };
+        assert!(lsh(2, 2, 8, 1).run(&view).candidates.is_empty());
+    }
+}

@@ -1,0 +1,202 @@
+//! Deterministic feature-hashed character-n-gram embeddings.
+//!
+//! The paper's dense NN methods use pre-trained 300-dimensional fastText
+//! vectors, whose key property for ER is *subword composition*: a token's
+//! vector is the sum of its character n-gram vectors, which makes typo'd
+//! and out-of-vocabulary tokens land near their clean forms. We reproduce
+//! that property without external model files: each character n-gram
+//! (n ∈ [3, 5], plus the whole token) hashes to a dimension index and a
+//! sign; a token is the signed sum of its n-gram one-hot vectors; an entity
+//! is the normalized mean of its token vectors — exactly the "average tuple
+//! embedding" the paper says FAISS and SCANN use. See DESIGN.md
+//! (substitutions) for the rationale.
+
+use er_core::hash::hash_str_seeded;
+use er_core::schema::TextView;
+use er_text::Cleaner;
+
+use crate::vector::normalize;
+
+/// Embedder configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmbeddingConfig {
+    /// Vector dimensionality (paper: 300).
+    pub dim: usize,
+    /// Smallest subword n-gram length (fastText default: 3).
+    pub ngram_min: usize,
+    /// Largest subword n-gram length (fastText uses 6; 5 keeps the hot loop
+    /// cheaper with no observable effect at our scales).
+    pub ngram_max: usize,
+    /// Hash seed; fixed per study so embeddings are reproducible.
+    pub seed: u64,
+}
+
+impl Default for EmbeddingConfig {
+    fn default() -> Self {
+        Self { dim: 300, ngram_min: 3, ngram_max: 5, seed: 0x5eed }
+    }
+}
+
+/// A deterministic text-to-vector embedder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashEmbedder {
+    /// Configuration.
+    pub config: EmbeddingConfig,
+}
+
+impl HashEmbedder {
+    /// Creates an embedder.
+    pub fn new(config: EmbeddingConfig) -> Self {
+        assert!(config.dim > 0, "embedding dimension must be positive");
+        assert!(
+            config.ngram_min >= 1 && config.ngram_min <= config.ngram_max,
+            "invalid n-gram range"
+        );
+        Self { config }
+    }
+
+    /// Adds the signed hashed n-grams of `token` into `acc`.
+    ///
+    /// Digit-bearing n-grams are strongly down-weighted: pre-trained
+    /// subword embeddings represent numbers and alphanumeric identifiers
+    /// poorly (they are rare and carry no distributional semantics), which
+    /// is precisely why the paper finds semantic representations introduce
+    /// false positives on ER data full of model codes and years. The
+    /// down-weighting reproduces that failure mode.
+    fn add_token(&self, token: &str, acc: &mut [f32]) {
+        const DIGIT_WEIGHT: f32 = 0.15;
+        let chars: Vec<char> = token.chars().collect();
+        let dim = self.config.dim as u64;
+        let mut add = |gram: &str| {
+            let h = hash_str_seeded(gram, self.config.seed);
+            let idx = (h % dim) as usize;
+            let sign = if (h >> 63) == 0 { 1.0 } else { -1.0 };
+            let weight =
+                if gram.bytes().any(|b| b.is_ascii_digit()) { DIGIT_WEIGHT } else { 1.0 };
+            acc[idx] += sign * weight;
+        };
+        // Whole-token feature (fastText includes the word itself).
+        add(token);
+        let mut buf = String::new();
+        for n in self.config.ngram_min..=self.config.ngram_max {
+            if chars.len() < n {
+                break;
+            }
+            for window in chars.windows(n) {
+                buf.clear();
+                buf.extend(window.iter());
+                add(&buf);
+            }
+        }
+    }
+
+    /// Embeds one entity text: normalized mean of its token vectors.
+    ///
+    /// Empty texts produce the zero vector (such entities never become
+    /// nearest neighbors, matching how coverage losses surface in the
+    /// schema-based settings).
+    pub fn embed(&self, text: &str, cleaner: &Cleaner) -> Vec<f32> {
+        let tokens = cleaner.clean_to_tokens(text);
+        let mut acc = vec![0.0f32; self.config.dim];
+        if tokens.is_empty() {
+            return acc;
+        }
+        let mut token_vec = vec![0.0f32; self.config.dim];
+        for token in &tokens {
+            token_vec.iter_mut().for_each(|v| *v = 0.0);
+            self.add_token(token, &mut token_vec);
+            normalize(&mut token_vec);
+            for (a, t) in acc.iter_mut().zip(&token_vec) {
+                *a += t;
+            }
+        }
+        for a in &mut acc {
+            *a /= tokens.len() as f32;
+        }
+        normalize(&mut acc);
+        acc
+    }
+
+    /// Embeds every entity of both collections of a view.
+    pub fn embed_view(&self, view: &TextView, cleaner: &Cleaner) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
+        let e1 = view.e1.iter().map(|t| self.embed(t, cleaner)).collect();
+        let e2 = view.e2.iter().map(|t| self.embed(t, cleaner)).collect();
+        (e1, e2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::{cosine, dot};
+
+    fn embedder() -> HashEmbedder {
+        HashEmbedder::new(EmbeddingConfig { dim: 64, ..Default::default() })
+    }
+
+    #[test]
+    fn embeddings_are_unit_norm() {
+        let v = embedder().embed("digital camera", &Cleaner::off());
+        assert!((dot(&v, &v) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_text_is_zero_vector() {
+        let v = embedder().embed("", &Cleaner::off());
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn embedding_is_deterministic() {
+        let e = embedder();
+        assert_eq!(
+            e.embed("canon powershot", &Cleaner::off()),
+            e.embed("canon powershot", &Cleaner::off())
+        );
+    }
+
+    #[test]
+    fn typo_stays_closer_than_unrelated_token() {
+        // Subword composition: "powershot" vs "powershor" share most
+        // n-grams; "keyboard" shares none.
+        let e = embedder();
+        let clean = e.embed("powershot", &Cleaner::off());
+        let typo = e.embed("powershor", &Cleaner::off());
+        let other = e.embed("keyboard", &Cleaner::off());
+        assert!(cosine(&clean, &typo) > cosine(&clean, &other) + 0.2);
+    }
+
+    #[test]
+    fn shared_tokens_raise_similarity() {
+        let e = embedder();
+        let a = e.embed("canon eos camera", &Cleaner::off());
+        let b = e.embed("canon eos body", &Cleaner::off());
+        let c = e.embed("office chair black", &Cleaner::off());
+        assert!(cosine(&a, &b) > cosine(&a, &c));
+    }
+
+    #[test]
+    fn seed_changes_space() {
+        let a = HashEmbedder::new(EmbeddingConfig { dim: 64, seed: 1, ..Default::default() });
+        let b = HashEmbedder::new(EmbeddingConfig { dim: 64, seed: 2, ..Default::default() });
+        assert_ne!(a.embed("canon", &Cleaner::off()), b.embed("canon", &Cleaner::off()));
+    }
+
+    #[test]
+    fn embed_view_shapes() {
+        let view = TextView {
+            e1: vec!["a b".into(), "c".into()],
+            e2: vec!["d".into()],
+        };
+        let (v1, v2) = embedder().embed_view(&view, &Cleaner::off());
+        assert_eq!(v1.len(), 2);
+        assert_eq!(v2.len(), 1);
+        assert!(v1.iter().all(|v| v.len() == 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension")]
+    fn zero_dim_rejected() {
+        let _ = HashEmbedder::new(EmbeddingConfig { dim: 0, ..Default::default() });
+    }
+}

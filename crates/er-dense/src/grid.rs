@@ -1,0 +1,367 @@
+//! The Table V configuration spaces of the dense NN methods, plus the DDB
+//! baseline.
+//!
+//! Threshold-based methods (the LSH family) use plain grids; their `probes`
+//! parameter is swept ascending per combination, reproducing the paper's
+//! automatic probe tuning toward the recall target. Cardinality-based
+//! methods (FAISS, SCANN, DeepBlocker) share the `RVS` parameter and an
+//! ascending `K` sweep, which the harness applies over precomputed
+//! [`er_core::QueryRankings`] prefixes.
+
+use crate::crosspolytope::CrossPolytopeLsh;
+use crate::deepblocker::{DeepBlocker, DeepBlockerConfig};
+use crate::embed::EmbeddingConfig;
+use crate::flat::{FlatKnn, Metric};
+use crate::minhash::MinHashLsh;
+use crate::hyperplane::HyperplaneLsh;
+use crate::partitioned::{PartitionedKnn, Scoring};
+use er_core::optimize::GridResolution;
+
+/// Identifies a dense method for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DenseMethod {
+    /// MinHash LSH.
+    MinHash,
+    /// Hyperplane LSH.
+    Hyperplane,
+    /// Cross-Polytope LSH.
+    CrossPolytope,
+    /// FAISS-Flat exact kNN.
+    Faiss,
+    /// SCANN partitioned kNN.
+    Scann,
+    /// DeepBlocker autoencoder kNN.
+    DeepBlocker,
+}
+
+impl DenseMethod {
+    /// Display name as in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DenseMethod::MinHash => "MH-LSH",
+            DenseMethod::Hyperplane => "HP-LSH",
+            DenseMethod::CrossPolytope => "CP-LSH",
+            DenseMethod::Faiss => "FAISS",
+            DenseMethod::Scann => "SCANN",
+            DenseMethod::DeepBlocker => "DeepBlocker",
+        }
+    }
+}
+
+fn cleanings(res: GridResolution) -> &'static [bool] {
+    match res {
+        GridResolution::Quick => &[true],
+        _ => &[false, true],
+    }
+}
+
+/// The `K` sweep of the cardinality-based methods, ascending. The paper
+/// uses \[1,100\] step 1, \[105,1000\] step 5, \[1010,5000\] step 10.
+pub fn k_sweep(res: GridResolution) -> Vec<usize> {
+    match res {
+        GridResolution::Full => {
+            let mut ks: Vec<usize> = (1..=100).collect();
+            ks.extend((105..=1000).step_by(5));
+            ks.extend((1010..=5000).step_by(10));
+            ks
+        }
+        GridResolution::Pruned => {
+            let mut ks: Vec<usize> = (1..=10).collect();
+            ks.extend([12, 15, 20, 30, 50, 75, 100, 150, 250, 500, 1000]);
+            ks
+        }
+        GridResolution::Quick => vec![1, 2, 5, 10, 25],
+    }
+}
+
+/// The ascending probe sweep of the LSH methods (the paper auto-tunes
+/// probes toward the recall target; sweeping ascending and stopping at the
+/// first feasible configuration is equivalent).
+pub fn probe_sweep(res: GridResolution) -> Vec<usize> {
+    match res {
+        GridResolution::Full => vec![1, 2, 4, 8, 16, 32, 64, 128, 256],
+        GridResolution::Pruned => vec![1, 4, 16, 64],
+        GridResolution::Quick => vec![1, 8],
+    }
+}
+
+/// MinHash LSH grid (plain): `CL × (bands, rows) × k`.
+///
+/// Bands and rows are powers of two with product in {128, 256, 512}
+/// (21 combinations), shingle length `k ∈ [2, 5]` — the paper's 168
+/// configurations at full resolution.
+pub fn minhash_grid(res: GridResolution, seed: u64) -> Vec<MinHashLsh> {
+    let band_rows: Vec<(usize, usize)> = match res {
+        GridResolution::Full => {
+            let mut out = Vec::new();
+            for product in [128usize, 256, 512] {
+                let mut bands = 2;
+                while bands * 2 <= product {
+                    out.push((bands, product / bands));
+                    bands *= 2;
+                }
+            }
+            out
+        }
+        GridResolution::Pruned => vec![(4, 32), (16, 8), (32, 8), (32, 16), (64, 2)],
+        GridResolution::Quick => vec![(32, 8), (64, 2)],
+    };
+    let ks: &[usize] = match res {
+        GridResolution::Full => &[2, 3, 4, 5],
+        GridResolution::Pruned => &[2, 3, 5],
+        GridResolution::Quick => &[3],
+    };
+    let mut out = Vec::new();
+    for &cleaning in cleanings(res) {
+        for &(bands, rows) in &band_rows {
+            for &shingle_k in ks {
+                out.push(MinHashLsh { cleaning, shingle_k, bands, rows, seed });
+            }
+        }
+    }
+    out
+}
+
+/// Hyperplane LSH grid, grouped per `(CL, tables, hashes)` with probes
+/// ascending inside each group.
+pub fn hyperplane_grid(
+    res: GridResolution,
+    embedding: EmbeddingConfig,
+    seed: u64,
+) -> Vec<Vec<HyperplaneLsh>> {
+    let (tables, hashes): (Vec<usize>, Vec<usize>) = match res {
+        GridResolution::Full => ((0..10).map(|n| 1usize << n).collect(), (1..=20).collect()),
+        GridResolution::Pruned => (vec![4, 16, 64], vec![6, 10, 14]),
+        GridResolution::Quick => (vec![8], vec![8]),
+    };
+    let probes = probe_sweep(res);
+    let mut out = Vec::new();
+    for &cleaning in cleanings(res) {
+        for &t in &tables {
+            for &h in &hashes {
+                out.push(
+                    probes
+                        .iter()
+                        .map(|&p| HyperplaneLsh {
+                            cleaning,
+                            tables: t,
+                            hashes: h,
+                            probes: p,
+                            embedding,
+                            seed,
+                        })
+                        .collect(),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Cross-Polytope LSH grid, grouped per `(CL, tables, hashes, cp_dim)`
+/// with probes ascending inside each group.
+pub fn crosspolytope_grid(
+    res: GridResolution,
+    embedding: EmbeddingConfig,
+    seed: u64,
+) -> Vec<Vec<CrossPolytopeLsh>> {
+    let (tables, hashes, cp_dims): (Vec<usize>, Vec<usize>, Vec<usize>) = match res {
+        GridResolution::Full => (
+            (0..10).map(|n| 1usize << n).collect(),
+            (1..=4).collect(),
+            (0..10).map(|n| 1usize << n).collect(),
+        ),
+        GridResolution::Pruned => (vec![4, 16], vec![1, 2], vec![16, 64, 256]),
+        GridResolution::Quick => (vec![8], vec![1], vec![32]),
+    };
+    let probes = probe_sweep(res);
+    let mut out = Vec::new();
+    for &cleaning in cleanings(res) {
+        for &t in &tables {
+            for &h in &hashes {
+                for &d in &cp_dims {
+                    out.push(
+                        probes
+                            .iter()
+                            .map(|&p| CrossPolytopeLsh {
+                                cleaning,
+                                tables: t,
+                                hashes: h,
+                                last_cp_dim: d,
+                                probes: p,
+                                embedding,
+                                seed,
+                            })
+                            .collect(),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// FAISS grid: `(CL, RVS)` combinations; the K sweep is applied by the
+/// harness over rankings. Each returned filter carries `k = 1`; callers
+/// override `k`.
+pub fn flat_combos(res: GridResolution, embedding: EmbeddingConfig) -> Vec<FlatKnn> {
+    let rvs: &[bool] = if res == GridResolution::Quick { &[false] } else { &[false, true] };
+    let mut out = Vec::new();
+    for &cleaning in cleanings(res) {
+        for &reversed in rvs {
+            out.push(FlatKnn { cleaning, k: 1, reversed, embedding });
+        }
+    }
+    out
+}
+
+/// SCANN grid: `(CL, RVS, index, similarity)` combinations.
+pub fn scann_combos(
+    res: GridResolution,
+    embedding: EmbeddingConfig,
+    seed: u64,
+) -> Vec<PartitionedKnn> {
+    let rvs: &[bool] = if res == GridResolution::Quick { &[false] } else { &[false, true] };
+    let scorings: &[Scoring] = match res {
+        GridResolution::Quick => &[Scoring::BruteForce],
+        _ => &[Scoring::BruteForce, Scoring::AsymmetricHashing],
+    };
+    let metrics: &[Metric] = match res {
+        GridResolution::Quick => &[Metric::L2Sq],
+        _ => &[Metric::Dot, Metric::L2Sq],
+    };
+    let mut out = Vec::new();
+    for &cleaning in cleanings(res) {
+        for &reversed in rvs {
+            for &scoring in scorings {
+                for &metric in metrics {
+                    out.push(PartitionedKnn {
+                        cleaning,
+                        k: 1,
+                        reversed,
+                        scoring,
+                        metric,
+                        probe_fraction: 0.25,
+                        embedding,
+                        seed,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// DeepBlocker grid: `(CL, RVS)` combinations.
+pub fn deepblocker_combos(
+    res: GridResolution,
+    embedding: EmbeddingConfig,
+    seed: u64,
+) -> Vec<DeepBlocker> {
+    let rvs: &[bool] = if res == GridResolution::Quick { &[false] } else { &[false, true] };
+    let (hidden, epochs) = match res {
+        GridResolution::Full => (embedding.dim / 2, 20),
+        GridResolution::Pruned => (embedding.dim / 2, 10),
+        GridResolution::Quick => (embedding.dim / 4, 4),
+    };
+    let mut out = Vec::new();
+    for &cleaning in cleanings(res) {
+        for &reversed in rvs {
+            out.push(DeepBlocker::new(DeepBlockerConfig {
+                cleaning,
+                k: 1,
+                reversed,
+                embedding,
+                hidden_dim: hidden.max(2),
+                epochs,
+                seed,
+            }));
+        }
+    }
+    out
+}
+
+/// The Default DeepBlocker baseline (paper §VI): cleaning on, `K = 5`, the
+/// smaller input collection as the query set.
+pub fn ddb_baseline(n1: usize, n2: usize, embedding: EmbeddingConfig, seed: u64) -> DeepBlocker {
+    DeepBlocker::new(DeepBlockerConfig {
+        cleaning: true,
+        k: 5,
+        reversed: n1 < n2,
+        embedding,
+        hidden_dim: (embedding.dim / 2).max(2),
+        epochs: 15,
+        seed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minhash_full_grid_matches_table5() {
+        // 2 CL × 21 band/row splits × 4 shingle lengths = 168.
+        assert_eq!(minhash_grid(GridResolution::Full, 0).len(), 168);
+    }
+
+    #[test]
+    fn minhash_band_row_products_are_valid() {
+        for cfg in minhash_grid(GridResolution::Full, 0) {
+            let product = cfg.bands * cfg.rows;
+            assert!(matches!(product, 128 | 256 | 512), "{product}");
+            assert!(cfg.bands.is_power_of_two() && cfg.rows.is_power_of_two());
+            assert!(cfg.bands >= 2 && cfg.rows >= 2);
+        }
+    }
+
+    #[test]
+    fn hyperplane_full_grid_matches_table5() {
+        // 2 CL × 10 tables × 20 hashes = 400 combos.
+        assert_eq!(hyperplane_grid(GridResolution::Full, EmbeddingConfig::default(), 0).len(), 400);
+    }
+
+    #[test]
+    fn k_sweep_is_ascending_and_reaches_5000() {
+        let ks = k_sweep(GridResolution::Full);
+        assert_eq!(ks[0], 1);
+        assert_eq!(*ks.last().expect("nonempty"), 5000);
+        assert!(ks.windows(2).all(|w| w[0] < w[1]));
+        assert!(k_sweep(GridResolution::Quick).len() < 10);
+    }
+
+    #[test]
+    fn probe_groups_ascend() {
+        for group in hyperplane_grid(GridResolution::Pruned, EmbeddingConfig::default(), 0) {
+            assert!(group.windows(2).all(|w| w[0].probes < w[1].probes));
+        }
+        for group in crosspolytope_grid(GridResolution::Quick, EmbeddingConfig::default(), 0) {
+            assert!(!group.is_empty());
+        }
+    }
+
+    #[test]
+    fn scann_covers_all_index_similarity_combos() {
+        let combos = scann_combos(GridResolution::Pruned, EmbeddingConfig::default(), 0);
+        // 2 CL × 2 RVS × 2 scorings × 2 metrics.
+        assert_eq!(combos.len(), 16);
+        assert!(combos.iter().any(|c| c.scoring == Scoring::AsymmetricHashing
+            && c.metric == Metric::Dot));
+    }
+
+    #[test]
+    fn ddb_reverses_toward_smaller_query_set() {
+        assert!(ddb_baseline(10, 100, EmbeddingConfig::default(), 0).config.reversed);
+        assert!(!ddb_baseline(100, 10, EmbeddingConfig::default(), 0).config.reversed);
+        let d = ddb_baseline(10, 100, EmbeddingConfig::default(), 0);
+        assert_eq!(d.config.k, 5);
+        assert!(d.config.cleaning);
+    }
+
+    #[test]
+    fn method_names_match_paper() {
+        assert_eq!(DenseMethod::MinHash.name(), "MH-LSH");
+        assert_eq!(DenseMethod::Faiss.name(), "FAISS");
+        assert_eq!(DenseMethod::DeepBlocker.name(), "DeepBlocker");
+    }
+}

@@ -1,0 +1,452 @@
+//! HNSW — Hierarchical Navigable Small World graphs [Malkov & Yashunin,
+//! 2016] — the *approximate* kNN method FAISS offers next to the Flat
+//! index.
+//!
+//! The paper evaluated FAISS's approximate indexes and excluded them: "they
+//! do not outperform the Flat index with respect to Problem 1" (§IV-D).
+//! This implementation exists so that exclusion can be verified (see the
+//! `ablation_excluded` binary): HNSW trades a little recall for sub-linear
+//! query time, and under a hard recall target that trade rarely pays on
+//! ER-sized inputs.
+//!
+//! The construction follows the original algorithm: nodes get a geometric
+//! random level; insertion greedily descends the upper layers, then runs a
+//! beam search (`ef_construction`) on each layer at or below the node's
+//! level, connecting to the `M` closest neighbors and pruning back-edges
+//! to the per-layer degree bound.
+
+use crate::embed::{EmbeddingConfig, HashEmbedder};
+use crate::vector::l2_sq;
+use er_core::filter::{Filter, FilterOutput};
+use er_core::schema::TextView;
+use er_text::Cleaner;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Max-heap entry by distance (farthest on top).
+#[derive(PartialEq)]
+struct Far {
+    dist: f32,
+    id: u32,
+}
+impl Eq for Far {}
+impl Ord for Far {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist
+            .partial_cmp(&other.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+impl PartialOrd for Far {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-heap entry by distance (nearest on top), via reversed ordering.
+#[derive(PartialEq)]
+struct Near {
+    dist: f32,
+    id: u32,
+}
+impl Eq for Near {}
+impl Ord for Near {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+impl PartialOrd for Near {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// An HNSW index over dense vectors with squared-Euclidean distance.
+pub struct HnswIndex {
+    vectors: Vec<Vec<f32>>,
+    /// `neighbors[layer][node]` — adjacency per layer; nodes absent from a
+    /// layer have an empty list.
+    neighbors: Vec<Vec<Vec<u32>>>,
+    levels: Vec<u8>,
+    entry: u32,
+    max_level: u8,
+    /// Per-layer degree bound `M` (layer 0 uses `2·M`).
+    m: usize,
+    ef_construction: usize,
+}
+
+impl HnswIndex {
+    /// Builds the index by inserting every vector. `m` is the degree bound
+    /// (typ. 8–32), `ef_construction` the construction beam width
+    /// (typ. 64–200). Deterministic for a fixed `seed`.
+    pub fn build(vectors: Vec<Vec<f32>>, m: usize, ef_construction: usize, seed: u64) -> Self {
+        assert!(m >= 2, "M must be at least 2");
+        let mut index = Self {
+            vectors: Vec::with_capacity(vectors.len()),
+            neighbors: vec![Vec::new()],
+            levels: Vec::new(),
+            entry: 0,
+            max_level: 0,
+            m,
+            ef_construction: ef_construction.max(m),
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let level_mult = 1.0 / (m as f64).ln();
+        for v in vectors {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let level = ((-u.ln() * level_mult).floor() as u8).min(30);
+            index.insert(v, level);
+        }
+        index
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    fn dist(&self, q: &[f32], id: u32) -> f32 {
+        l2_sq(q, &self.vectors[id as usize])
+    }
+
+    fn degree_bound(&self, layer: usize) -> usize {
+        if layer == 0 {
+            self.m * 2
+        } else {
+            self.m
+        }
+    }
+
+    /// Beam search on one layer from `entry_points`, returning up to `ef`
+    /// nearest candidates (unsorted heap order).
+    fn search_layer(&self, q: &[f32], entry_points: &[u32], ef: usize, layer: usize) -> Vec<(u32, f32)> {
+        let mut visited: std::collections::HashSet<u32> = entry_points.iter().copied().collect();
+        let mut candidates: BinaryHeap<Near> = BinaryHeap::new();
+        let mut best: BinaryHeap<Far> = BinaryHeap::new();
+        for &ep in entry_points {
+            let d = self.dist(q, ep);
+            candidates.push(Near { dist: d, id: ep });
+            best.push(Far { dist: d, id: ep });
+        }
+        while let Some(Near { dist, id }) = candidates.pop() {
+            let worst = best.peek().map_or(f32::INFINITY, |f| f.dist);
+            if dist > worst && best.len() >= ef {
+                break;
+            }
+            for &n in &self.neighbors[layer][id as usize] {
+                if !visited.insert(n) {
+                    continue;
+                }
+                let d = self.dist(q, n);
+                let worst = best.peek().map_or(f32::INFINITY, |f| f.dist);
+                if best.len() < ef || d < worst {
+                    candidates.push(Near { dist: d, id: n });
+                    best.push(Far { dist: d, id: n });
+                    if best.len() > ef {
+                        best.pop();
+                    }
+                }
+            }
+        }
+        best.into_iter().map(|f| (f.id, f.dist)).collect()
+    }
+
+    /// Heuristic neighbor selection (Algorithm 4 of the HNSW paper): scan
+    /// candidates by ascending distance and keep one only if it is closer
+    /// to the query than to every already-selected neighbor. This retains
+    /// "bridge" edges between clusters that plain closest-M selection
+    /// would prune, which is what keeps the graph connected.
+    fn select_neighbors(&self, sorted: &[(u32, f32)], bound: usize) -> Vec<u32> {
+        let mut selected: Vec<u32> = Vec::with_capacity(bound);
+        for &(cand, dist_to_q) in sorted {
+            if selected.len() >= bound {
+                break;
+            }
+            let dominated = selected.iter().any(|&s| {
+                l2_sq(&self.vectors[cand as usize], &self.vectors[s as usize]) < dist_to_q
+            });
+            if !dominated {
+                selected.push(cand);
+            }
+        }
+        // Backfill with plain nearest if the heuristic was too strict.
+        for &(cand, _) in sorted {
+            if selected.len() >= bound {
+                break;
+            }
+            if !selected.contains(&cand) {
+                selected.push(cand);
+            }
+        }
+        selected
+    }
+
+    fn insert(&mut self, v: Vec<f32>, level: u8) {
+        let id = self.vectors.len() as u32;
+        self.vectors.push(v);
+        self.levels.push(level);
+        while self.neighbors.len() <= level as usize {
+            let nodes = self.vectors.len();
+            self.neighbors.push(vec![Vec::new(); nodes.saturating_sub(1)]);
+        }
+        for layer in self.neighbors.iter_mut() {
+            layer.push(Vec::new());
+        }
+        if id == 0 {
+            self.entry = 0;
+            self.max_level = level;
+            return;
+        }
+
+        let q = self.vectors[id as usize].clone();
+        let mut ep = vec![self.entry];
+        // Greedy descent through layers above the new node's level.
+        for layer in ((level as usize + 1)..=(self.max_level as usize)).rev() {
+            let found = self.search_layer(&q, &ep, 1, layer);
+            if let Some(&(best, _)) = found.iter().min_by(|a, b| {
+                a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal)
+            }) {
+                let _ = best;
+            }
+            ep = found.into_iter().map(|(i, _)| i).collect();
+            ep.truncate(1);
+        }
+        // Connect on each layer at or below the node's level.
+        for layer in (0..=((level as usize).min(self.max_level as usize))).rev() {
+            let mut found = self.search_layer(&q, &ep, self.ef_construction, layer);
+            found.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal));
+            let bound = self.degree_bound(layer);
+            let selected = self.select_neighbors(&found, bound);
+            for &n in &selected {
+                self.neighbors[layer][id as usize].push(n);
+                self.neighbors[layer][n as usize].push(id);
+                // Prune the back-edges to the degree bound with the same
+                // diversity heuristic.
+                if self.neighbors[layer][n as usize].len() > bound {
+                    let base = self.vectors[n as usize].clone();
+                    let mut edges: Vec<(u32, f32)> = self.neighbors[layer][n as usize]
+                        .iter()
+                        .map(|&e| (e, l2_sq(&base, &self.vectors[e as usize])))
+                        .collect();
+                    edges.sort_by(|a, b| {
+                        a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal)
+                    });
+                    self.neighbors[layer][n as usize] =
+                        self.select_neighbors(&edges, bound);
+                }
+            }
+            ep = found.into_iter().map(|(i, _)| i).collect();
+        }
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = id;
+        }
+    }
+
+    /// Approximate kNN: `ef` is the search beam width (`ef ≥ k`); returns
+    /// `(id, distance)` best-first.
+    pub fn knn(&self, q: &[f32], k: usize, ef: usize) -> Vec<(u32, f32)> {
+        if self.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let mut ep = vec![self.entry];
+        for layer in (1..=(self.max_level as usize)).rev() {
+            let found = self.search_layer(q, &ep, 1, layer);
+            ep = found.into_iter().map(|(i, _)| i).collect();
+            ep.truncate(1);
+        }
+        let mut found = self.search_layer(q, &ep, ef.max(k), 0);
+        found.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+        found.truncate(k);
+        found
+    }
+}
+
+/// The FAISS-HNSW-equivalent filter: approximate dense kNN.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HnswKnn {
+    /// Apply stop-word removal + stemming (`CL`).
+    pub cleaning: bool,
+    /// Neighbors per query (`K`).
+    pub k: usize,
+    /// Degree bound `M`.
+    pub m: usize,
+    /// Search beam width (`efSearch`).
+    pub ef_search: usize,
+    /// Embedding configuration.
+    pub embedding: EmbeddingConfig,
+    /// Level-sampling seed.
+    pub seed: u64,
+}
+
+impl HnswKnn {
+    /// One-line configuration description.
+    pub fn describe(&self) -> String {
+        format!(
+            "CL={} K={} M={} ef={}",
+            if self.cleaning { "y" } else { "-" },
+            self.k,
+            self.m,
+            self.ef_search
+        )
+    }
+}
+
+impl Filter for HnswKnn {
+    fn name(&self) -> String {
+        "FAISS-HNSW".to_owned()
+    }
+
+    fn run(&self, view: &TextView) -> FilterOutput {
+        let mut out = FilterOutput::default();
+        let cleaner = if self.cleaning { Cleaner::on() } else { Cleaner::off() };
+        let embedder = HashEmbedder::new(self.embedding);
+        let (v1, v2) = out
+            .breakdown
+            .time("preprocess", || embedder.embed_view(view, &cleaner));
+        let index = out.breakdown.time("index", || {
+            HnswIndex::build(v1, self.m, (self.ef_search * 2).max(64), self.seed)
+        });
+        out.breakdown.time("query", || {
+            for (j, q) in v2.iter().enumerate() {
+                if q.iter().all(|&v| v == 0.0) {
+                    continue;
+                }
+                for (i, _) in index.knn(q, self.k, self.ef_search) {
+                    out.candidates.insert_raw(i, j as u32);
+                }
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::{FlatIndex, Metric};
+    use rand::Rng;
+
+    fn clustered(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let center = (i % 8) as f32 * 2.5;
+                (0..dim).map(|_| center + rng.gen_range(-0.3..0.3)).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_top1_found_on_clustered_data() {
+        let data = clustered(400, 8, 1);
+        let index = HnswIndex::build(data.clone(), 12, 100, 7);
+        let flat = FlatIndex::build(data.clone(), Metric::L2Sq);
+        let mut hits = 0;
+        for q in data.iter().step_by(10) {
+            let approx = index.knn(q, 1, 64);
+            let exact = flat.knn(q, 1);
+            if approx.first().map(|a| a.0) == exact.first().map(|e| e.0) {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 38, "top-1 recall too low: {hits}/40");
+    }
+
+    #[test]
+    fn recall_at_10_is_high_with_wide_beam() {
+        let data = clustered(300, 6, 2);
+        let index = HnswIndex::build(data.clone(), 16, 128, 3);
+        let flat = FlatIndex::build(data.clone(), Metric::L2Sq);
+        let mut found = 0;
+        let mut total = 0;
+        for q in data.iter().step_by(20) {
+            let approx: std::collections::HashSet<u32> =
+                index.knn(q, 10, 128).into_iter().map(|(i, _)| i).collect();
+            for (i, _) in flat.knn(q, 10) {
+                total += 1;
+                if approx.contains(&i) {
+                    found += 1;
+                }
+            }
+        }
+        let recall = found as f64 / total as f64;
+        assert!(recall >= 0.9, "recall@10 = {recall}");
+    }
+
+    #[test]
+    fn wider_beam_never_worse_smoke() {
+        let data = clustered(200, 4, 3);
+        let index = HnswIndex::build(data.clone(), 8, 64, 5);
+        let flat = FlatIndex::build(data.clone(), Metric::L2Sq);
+        let q = &data[17];
+        let exact: std::collections::HashSet<u32> =
+            flat.knn(q, 5).into_iter().map(|(i, _)| i).collect();
+        let narrow = index
+            .knn(q, 5, 8)
+            .into_iter()
+            .filter(|(i, _)| exact.contains(i))
+            .count();
+        let wide = index
+            .knn(q, 5, 128)
+            .into_iter()
+            .filter(|(i, _)| exact.contains(i))
+            .count();
+        assert!(wide >= narrow, "wide {wide} < narrow {narrow}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = clustered(120, 4, 4);
+        let a = HnswIndex::build(data.clone(), 8, 64, 9);
+        let b = HnswIndex::build(data.clone(), 8, 64, 9);
+        let q = &data[3];
+        assert_eq!(a.knn(q, 5, 32), b.knn(q, 5, 32));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = HnswIndex::build(Vec::new(), 8, 32, 0);
+        assert!(empty.is_empty());
+        assert!(empty.knn(&[0.0; 4], 3, 16).is_empty());
+        let single = HnswIndex::build(vec![vec![1.0, 0.0]], 8, 32, 0);
+        assert_eq!(single.knn(&[1.0, 0.0], 3, 16), vec![(0, 0.0)]);
+    }
+
+    #[test]
+    fn filter_finds_duplicates() {
+        let view = TextView {
+            e1: vec![
+                "canon eos camera".into(),
+                "office chair black".into(),
+                "usb cable".into(),
+            ],
+            e2: vec!["canon eos camera body".into(), "black office chair".into()],
+        };
+        let f = HnswKnn {
+            cleaning: false,
+            k: 1,
+            m: 8,
+            ef_search: 32,
+            embedding: EmbeddingConfig { dim: 32, ..Default::default() },
+            seed: 1,
+        };
+        let out = f.run(&view);
+        assert!(out.candidates.contains(er_core::Pair::new(0, 0)));
+        assert!(out.candidates.contains(er_core::Pair::new(1, 1)));
+    }
+}

@@ -1,0 +1,285 @@
+//! Hyperplane LSH (paper §IV-D; Charikar, STOC 2002) with multiprobe.
+//!
+//! Each hash table draws `#hashes` random normal vectors; a vector's bucket
+//! key is the sign pattern of its projections, so two vectors with angle α
+//! collide on one bit with probability `1 − α/π`. Multiprobe additionally
+//! visits the buckets obtained by flipping the *least confident* bits
+//! (smallest `|projection|`), trading query time for recall — the paper
+//! auto-tunes the probe count toward the recall target, which our harness
+//! reproduces by sweeping `probes` ascending.
+
+use crate::embed::{EmbeddingConfig, HashEmbedder};
+use crate::vector::dot;
+use er_core::candidates::CandidateSet;
+use er_core::filter::{Filter, FilterOutput};
+use er_core::hash::FastMap;
+use er_core::schema::TextView;
+use er_text::Cleaner;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A configured Hyperplane LSH filter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HyperplaneLsh {
+    /// Apply stop-word removal + stemming (`CL`).
+    pub cleaning: bool,
+    /// Number of hash tables.
+    pub tables: usize,
+    /// Hash functions (bits) per table, ≤ 30.
+    pub hashes: usize,
+    /// Buckets probed per table (1 = exact bucket only).
+    pub probes: usize,
+    /// Embedding configuration.
+    pub embedding: EmbeddingConfig,
+    /// Hyperplane sampling seed (the method's stochasticity).
+    pub seed: u64,
+}
+
+impl HyperplaneLsh {
+    /// One-line configuration description for Table X-style reports.
+    pub fn describe(&self) -> String {
+        format!(
+            "CL={} tables={} hashes={} probes={}",
+            if self.cleaning { "y" } else { "-" },
+            self.tables,
+            self.hashes,
+            self.probes
+        )
+    }
+}
+
+/// One table's random hyperplanes.
+struct Table {
+    /// `hashes` normal vectors, each of embedding dimension.
+    normals: Vec<Vec<f32>>,
+}
+
+impl Table {
+    /// Sign-pattern key and per-bit projection magnitudes.
+    fn key_and_margins(&self, v: &[f32]) -> (u32, Vec<f32>) {
+        let mut key = 0u32;
+        let mut margins = Vec::with_capacity(self.normals.len());
+        for (bit, normal) in self.normals.iter().enumerate() {
+            let p = dot(normal, v);
+            if p >= 0.0 {
+                key |= 1 << bit;
+            }
+            margins.push(p.abs());
+        }
+        (key, margins)
+    }
+}
+
+/// Multiprobe sequence: the exact key first, then keys by ascending total
+/// flipped margin (best-first search over flip sets).
+fn probe_sequence(key: u32, margins: &[f32], probes: usize) -> Vec<u32> {
+    #[derive(PartialEq)]
+    struct Node {
+        cost: f32,
+        mask: u32,
+        /// Highest bit index considered so far (for non-redundant expansion).
+        last_bit: usize,
+    }
+    impl Eq for Node {}
+    impl Ord for Node {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Min-heap via reversed cost comparison.
+            other
+                .cost
+                .partial_cmp(&self.cost)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| other.mask.cmp(&self.mask))
+        }
+    }
+    impl PartialOrd for Node {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut order: Vec<usize> = (0..margins.len()).collect();
+    order.sort_unstable_by(|&a, &b| {
+        margins[a].partial_cmp(&margins[b]).unwrap_or(Ordering::Equal)
+    });
+
+    let mut out = Vec::with_capacity(probes);
+    out.push(key);
+    if probes <= 1 || margins.is_empty() {
+        return out;
+    }
+    let mut heap = BinaryHeap::new();
+    heap.push(Node { cost: margins[order[0]], mask: 1 << order[0], last_bit: 0 });
+    while out.len() < probes {
+        let Some(node) = heap.pop() else { break };
+        out.push(key ^ node.mask);
+        // Expand: extend the flip set with the next bit, or shift its last
+        // flipped bit — the classic non-redundant multiprobe expansion.
+        let next = node.last_bit + 1;
+        if next < order.len() {
+            heap.push(Node {
+                cost: node.cost + margins[order[next]],
+                mask: node.mask | (1 << order[next]),
+                last_bit: next,
+            });
+            heap.push(Node {
+                cost: node.cost - margins[order[node.last_bit]] + margins[order[next]],
+                mask: (node.mask & !(1 << order[node.last_bit])) | (1 << order[next]),
+                last_bit: next,
+            });
+        }
+    }
+    out
+}
+
+impl Filter for HyperplaneLsh {
+    fn name(&self) -> String {
+        "HP-LSH".to_owned()
+    }
+
+    fn run(&self, view: &TextView) -> FilterOutput {
+        assert!(self.hashes >= 1 && self.hashes <= 30, "hashes must be in [1, 30]");
+        let mut out = FilterOutput::default();
+        let cleaner = if self.cleaning { Cleaner::on() } else { Cleaner::off() };
+        let embedder = HashEmbedder::new(self.embedding);
+
+        let (v1, v2) = out
+            .breakdown
+            .time("preprocess", || embedder.embed_view(view, &cleaner));
+
+        // Sample hyperplanes and index E1.
+        let (tables, buckets) = out.breakdown.time("index", || {
+            let mut rng = StdRng::seed_from_u64(self.seed);
+            let dim = self.embedding.dim;
+            let tables: Vec<Table> = (0..self.tables)
+                .map(|_| Table {
+                    normals: (0..self.hashes)
+                        .map(|_| {
+                            (0..dim)
+                                .map(|_| {
+                                    // Box-Muller standard normals.
+                                    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                                    let u2: f32 = rng.gen_range(0.0..1.0);
+                                    (-2.0 * u1.ln()).sqrt()
+                                        * (2.0 * std::f32::consts::PI * u2).cos()
+                                })
+                                .collect()
+                        })
+                        .collect(),
+                })
+                .collect();
+            let mut buckets: Vec<FastMap<u32, Vec<u32>>> =
+                vec![FastMap::default(); self.tables];
+            for (i, v) in v1.iter().enumerate() {
+                if v.iter().all(|&x| x == 0.0) {
+                    continue;
+                }
+                for (t, table) in tables.iter().enumerate() {
+                    let (key, _) = table.key_and_margins(v);
+                    buckets[t].entry(key).or_default().push(i as u32);
+                }
+            }
+            (tables, buckets)
+        });
+
+        out.breakdown.time("query", || {
+            let mut candidates = CandidateSet::new();
+            for (j, v) in v2.iter().enumerate() {
+                if v.iter().all(|&x| x == 0.0) {
+                    continue;
+                }
+                for (t, table) in tables.iter().enumerate() {
+                    let (key, margins) = table.key_and_margins(v);
+                    for probe in probe_sequence(key, &margins, self.probes.max(1)) {
+                        if let Some(hits) = buckets[t].get(&probe) {
+                            for &i in hits {
+                                candidates.insert_raw(i, j as u32);
+                            }
+                        }
+                    }
+                }
+            }
+            out.candidates = candidates;
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::candidates::Pair;
+
+    fn lsh(tables: usize, hashes: usize, probes: usize) -> HyperplaneLsh {
+        HyperplaneLsh {
+            cleaning: false,
+            tables,
+            hashes,
+            probes,
+            embedding: EmbeddingConfig { dim: 64, ..Default::default() },
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn identical_vectors_always_collide() {
+        let view = TextView {
+            e1: vec!["canon powershot camera".into()],
+            e2: vec!["canon powershot camera".into()],
+        };
+        let out = lsh(4, 8, 1).run(&view);
+        assert!(out.candidates.contains(Pair::new(0, 0)));
+    }
+
+    #[test]
+    fn more_probes_never_reduce_candidates() {
+        let view = TextView {
+            e1: (0..40).map(|i| format!("item model {i} series pro")).collect(),
+            e2: (0..10).map(|i| format!("item model {i} series")).collect(),
+        };
+        let base = lsh(2, 10, 1).run(&view).candidates.len();
+        let probed = lsh(2, 10, 16).run(&view).candidates.len();
+        assert!(probed >= base, "{probed} < {base}");
+    }
+
+    #[test]
+    fn more_hashes_reduce_collisions() {
+        let view = TextView {
+            e1: (0..50).map(|i| format!("product alpha {i}")).collect(),
+            e2: (0..50).map(|i| format!("product beta {i}")).collect(),
+        };
+        let coarse = lsh(1, 2, 1).run(&view).candidates.len();
+        let fine = lsh(1, 16, 1).run(&view).candidates.len();
+        assert!(fine <= coarse, "{fine} > {coarse}");
+    }
+
+    #[test]
+    fn probe_sequence_starts_exact_and_deduplicates() {
+        let margins = vec![0.5, 0.1, 0.9];
+        let seq = probe_sequence(0b101, &margins, 4);
+        assert_eq!(seq[0], 0b101);
+        assert_eq!(seq[1], 0b101 ^ 0b010, "least-confident bit flipped first");
+        let unique: std::collections::HashSet<u32> = seq.iter().copied().collect();
+        assert_eq!(unique.len(), seq.len(), "probe keys must be distinct");
+    }
+
+    #[test]
+    fn probe_sequence_handles_edge_cases() {
+        assert_eq!(probe_sequence(7, &[], 5), vec![7]);
+        assert_eq!(probe_sequence(7, &[0.3], 1), vec![7]);
+        let seq = probe_sequence(0, &[0.1], 10);
+        assert_eq!(seq, vec![0, 1], "only two buckets exist for one bit");
+    }
+
+    #[test]
+    fn stochastic_across_seeds() {
+        let view = TextView {
+            e1: (0..30).map(|i| format!("thing {i} red large")).collect(),
+            e2: (0..30).map(|i| format!("thing {i} red")).collect(),
+        };
+        let a = HyperplaneLsh { seed: 1, ..lsh(2, 12, 1) }.run(&view).candidates;
+        let b = HyperplaneLsh { seed: 1, ..lsh(2, 12, 1) }.run(&view).candidates;
+        assert_eq!(a.to_sorted_vec(), b.to_sorted_vec(), "same seed, same output");
+    }
+}

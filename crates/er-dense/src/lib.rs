@@ -1,0 +1,46 @@
+//! Dense vector-based nearest-neighbor filtering (paper §IV-D).
+//!
+//! Entities are transformed into fixed-length dense vectors and the closest
+//! vectors to every query become its candidates. The paper's embedding is
+//! pre-trained 300-dim fastText; this repository substitutes deterministic
+//! feature-hashed character-n-gram embeddings (see [`embed`] and DESIGN.md)
+//! that preserve the relevant subword behaviour without external model
+//! files.
+//!
+//! * [`vector`] — small dense-vector utilities (normalize, dot, L2²),
+//! * [`embed`] — the hashed subword embedder ("average tuple embedding"),
+//! * [`flat`] — exact brute-force kNN, the FAISS-Flat equivalent,
+//! * [`pq`] — product quantization (asymmetric-hashing scoring),
+//! * [`partitioned`] — k-means partitioned index, the SCANN equivalent,
+//! * [`minhash`] — MinHash LSH over character k-shingles,
+//! * [`hyperplane`] — Hyperplane LSH (sign-random-projection, multiprobe),
+//! * [`crosspolytope`] — Cross-Polytope LSH (FALCONN-style),
+//! * [`deepblocker`] — autoencoder tuple embedding + kNN (DeepBlocker),
+//! * [`grid`] — the Table V configuration spaces and baselines.
+
+pub mod crosspolytope;
+pub mod deepblocker;
+pub mod embed;
+pub mod flat;
+pub mod grid;
+pub mod hnsw;
+pub mod hyperplane;
+pub mod minhash;
+pub mod partitioned;
+pub mod pq;
+pub mod vector;
+
+pub use crosspolytope::CrossPolytopeLsh;
+pub use deepblocker::{DeepBlocker, DeepBlockerConfig};
+pub use embed::{EmbeddingConfig, HashEmbedder};
+pub use flat::{FlatIndex, FlatKnn, FlatRange, Metric};
+pub use grid::{ddb_baseline, DenseMethod};
+pub use hnsw::{HnswIndex, HnswKnn};
+pub use hyperplane::HyperplaneLsh;
+pub use minhash::MinHashLsh;
+pub use partitioned::{assign, kmeans, PartitionedKnn, Scoring};
+pub use pq::ProductQuantizer;
+pub use vector::{cosine, dot, l2_sq, normalize};
+
+#[cfg(test)]
+mod proptests;

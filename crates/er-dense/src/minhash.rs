@@ -1,0 +1,247 @@
+//! MinHash LSH (paper §IV-D; Broder 1997, banding per Leskovec et al.).
+//!
+//! Each entity becomes a set of character k-shingles; a minhash signature
+//! of `#bands × #rows` hash values approximates Jaccard similarity; the
+//! signature is decomposed into bands, and two entities colliding in at
+//! least one band become a candidate pair. The banding approximates a
+//! high-pass filter at threshold `(1/#bands)^(1/#rows)`.
+
+use er_core::candidates::CandidateSet;
+use er_core::filter::{Filter, FilterOutput};
+use er_core::hash::{hash_str, mix64, FastMap};
+use er_core::schema::TextView;
+use er_text::{kshingles, Cleaner};
+
+/// A configured MinHash LSH filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinHashLsh {
+    /// Apply stop-word removal + stemming (`CL`).
+    pub cleaning: bool,
+    /// Shingle length `k ∈ [2, 5]`.
+    pub shingle_k: usize,
+    /// Number of bands.
+    pub bands: usize,
+    /// Rows per band.
+    pub rows: usize,
+    /// Seed of the permutation family (the method's stochasticity).
+    pub seed: u64,
+}
+
+impl MinHashLsh {
+    /// Signature length `#bands × #rows`.
+    pub fn signature_len(&self) -> usize {
+        self.bands * self.rows
+    }
+
+    /// The similarity threshold the banding approximates,
+    /// `(1/#bands)^(1/#rows)`.
+    pub fn approximate_threshold(&self) -> f64 {
+        (1.0 / self.bands as f64).powf(1.0 / self.rows as f64)
+    }
+
+    /// One-line configuration description for Table X-style reports.
+    pub fn describe(&self) -> String {
+        format!(
+            "CL={} bands={} rows={} k={}",
+            if self.cleaning { "y" } else { "-" },
+            self.bands,
+            self.rows,
+            self.shingle_k
+        )
+    }
+
+    /// Minhash signature of one text; `None` if it has no shingles.
+    fn signature(&self, text: &str, cleaner: &Cleaner) -> Option<Vec<u64>> {
+        let cleaned = cleaner.clean_to_string(text);
+        let shingles = kshingles(&cleaned, self.shingle_k);
+        if shingles.is_empty() {
+            return None;
+        }
+        let ids: Vec<u64> = shingles.iter().map(|s| hash_str(s)).collect();
+        let n = self.signature_len();
+        let mut sig = vec![u64::MAX; n];
+        for &id in &ids {
+            for (i, slot) in sig.iter_mut().enumerate() {
+                // h_i(x) = mix(x ⊕ mix(seed + i)): an independent family.
+                let h = mix64(id ^ mix64(self.seed.wrapping_add(i as u64)));
+                if h < *slot {
+                    *slot = h;
+                }
+            }
+        }
+        Some(sig)
+    }
+
+    /// Hashes one band of a signature into a bucket key.
+    fn band_key(band: &[u64]) -> u64 {
+        let mut acc = 0xcbf2_9ce4_8422_2325u64;
+        for &v in band {
+            acc = mix64(acc ^ v);
+        }
+        acc
+    }
+}
+
+impl Filter for MinHashLsh {
+    fn name(&self) -> String {
+        "MH-LSH".to_owned()
+    }
+
+    fn run(&self, view: &TextView) -> FilterOutput {
+        let mut out = FilterOutput::default();
+        let cleaner = if self.cleaning { Cleaner::on() } else { Cleaner::off() };
+
+        let (sigs1, sigs2) = out.breakdown.time("preprocess", || {
+            let a: Vec<Option<Vec<u64>>> =
+                view.e1.iter().map(|t| self.signature(t, &cleaner)).collect();
+            let b: Vec<Option<Vec<u64>>> =
+                view.e2.iter().map(|t| self.signature(t, &cleaner)).collect();
+            (a, b)
+        });
+
+        // Buckets per band for the indexed collection E1.
+        let buckets = out.breakdown.time("index", || {
+            let mut buckets: Vec<FastMap<u64, Vec<u32>>> =
+                vec![FastMap::default(); self.bands];
+            for (i, sig) in sigs1.iter().enumerate() {
+                let Some(sig) = sig else { continue };
+                for (b, bucket) in buckets.iter_mut().enumerate() {
+                    let key = Self::band_key(&sig[b * self.rows..(b + 1) * self.rows]);
+                    bucket.entry(key).or_default().push(i as u32);
+                }
+            }
+            buckets
+        });
+
+        out.breakdown.time("query", || {
+            let mut candidates = CandidateSet::new();
+            for (j, sig) in sigs2.iter().enumerate() {
+                let Some(sig) = sig else { continue };
+                for (b, bucket) in buckets.iter().enumerate() {
+                    let key = Self::band_key(&sig[b * self.rows..(b + 1) * self.rows]);
+                    if let Some(hits) = bucket.get(&key) {
+                        for &i in hits {
+                            candidates.insert_raw(i, j as u32);
+                        }
+                    }
+                }
+            }
+            out.candidates = candidates;
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::candidates::Pair;
+
+    fn lsh(bands: usize, rows: usize) -> MinHashLsh {
+        MinHashLsh { cleaning: false, shingle_k: 3, bands, rows, seed: 42 }
+    }
+
+    #[test]
+    fn identical_texts_always_collide() {
+        let view = TextView {
+            e1: vec!["the exact same product title".into()],
+            e2: vec!["the exact same product title".into()],
+        };
+        let out = lsh(8, 4).run(&view);
+        assert!(out.candidates.contains(Pair::new(0, 0)));
+    }
+
+    #[test]
+    fn unrelated_texts_rarely_collide_with_many_rows() {
+        let view = TextView {
+            e1: vec!["canon digital camera powershot".into()],
+            e2: vec!["wooden kitchen table furniture".into()],
+        };
+        // Few bands, many rows -> collisions only at high similarity.
+        let out = lsh(2, 32).run(&view);
+        assert!(out.candidates.is_empty());
+    }
+
+    #[test]
+    fn many_bands_few_rows_recall_low_similarity() {
+        // Near-duplicates with small edits should collide when the banding
+        // approximates a low threshold.
+        let view = TextView {
+            e1: vec!["canon powershot a530 digital camera 5 mp".into()],
+            e2: vec!["canon powershot a530 digital camera 5mp kit".into()],
+        };
+        let out = lsh(64, 2).run(&view);
+        assert!(out.candidates.contains(Pair::new(0, 0)));
+    }
+
+    #[test]
+    fn approximate_threshold_formula() {
+        let low = lsh(64, 2).approximate_threshold();
+        let high = lsh(2, 32).approximate_threshold();
+        assert!(low < 0.2, "many bands/few rows -> low threshold, got {low}");
+        assert!(high > 0.9, "few bands/many rows -> high threshold, got {high}");
+    }
+
+    #[test]
+    fn different_seeds_give_different_bucketing() {
+        let view = TextView {
+            e1: (0..30).map(|i| format!("product number {i} with words")).collect(),
+            e2: (0..30).map(|i| format!("product number {i} and words")).collect(),
+        };
+        let a = MinHashLsh { seed: 1, ..lsh(8, 4) }.run(&view).candidates.len();
+        let b = MinHashLsh { seed: 2, ..lsh(8, 4) }.run(&view).candidates.len();
+        // Stochastic: counts usually differ; both must at least be sane.
+        assert!(a > 0 && b > 0);
+    }
+
+    #[test]
+    fn minhash_slots_estimate_jaccard() {
+        // The fraction of agreeing signature slots is an unbiased
+        // estimator of the shingle-set Jaccard similarity; with 256 slots
+        // the estimate should land within ~0.1 of the true value.
+        let lsh = MinHashLsh { cleaning: false, shingle_k: 3, bands: 32, rows: 8, seed: 123 };
+        let cleaner = Cleaner::off();
+        let a = "the quick brown fox jumps over the lazy dog";
+        let b = "the quick brown fox jumps over a sleepy dog";
+        let sig_a = lsh.signature(a, &cleaner).expect("sig a");
+        let sig_b = lsh.signature(b, &cleaner).expect("sig b");
+        let agree =
+            sig_a.iter().zip(&sig_b).filter(|(x, y)| x == y).count() as f64;
+        let estimated = agree / sig_a.len() as f64;
+
+        // True Jaccard over 3-shingles.
+        let sh = |s: &str| -> std::collections::HashSet<String> {
+            kshingles(s, 3).into_iter().collect()
+        };
+        let (sa, sb) = (sh(a), sh(b));
+        let inter = sa.intersection(&sb).count() as f64;
+        let union = sa.union(&sb).count() as f64;
+        let truth = inter / union;
+        assert!(
+            (estimated - truth).abs() < 0.12,
+            "estimated {estimated:.3} vs true {truth:.3}"
+        );
+        // Identical inputs agree on every slot.
+        let again = lsh.signature(a, &cleaner).expect("sig");
+        assert_eq!(sig_a, again);
+    }
+
+    #[test]
+    fn empty_texts_never_pair() {
+        let view = TextView {
+            e1: vec!["".into(), "real text".into()],
+            e2: vec!["".into()],
+        };
+        let out = lsh(4, 4).run(&view);
+        assert!(out.candidates.is_empty());
+    }
+
+    #[test]
+    fn phases_recorded() {
+        let view = TextView { e1: vec!["a b c".into()], e2: vec!["a b d".into()] };
+        let out = lsh(4, 2).run(&view);
+        for phase in ["preprocess", "index", "query"] {
+            assert!(out.breakdown.get(phase).is_some());
+        }
+    }
+}

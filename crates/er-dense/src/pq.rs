@@ -1,0 +1,201 @@
+//! Product quantization [Jégou et al., 2011] — the "asymmetric hashing"
+//! scoring mode of the SCANN-equivalent index (paper §IV-D).
+//!
+//! The vector space is split into `m` subspaces; each subspace gets a small
+//! k-means codebook (16 centroids, one code byte per subspace). A database
+//! vector is stored as `m` bytes; a query computes a lookup table of
+//! query-to-centroid distances per subspace and scores any database vector
+//! with `m` table lookups — *asymmetric* because the query stays exact.
+
+use crate::partitioned::kmeans;
+use crate::vector::{dot, l2_sq};
+
+/// Number of centroids per subspace (one nibble would do; a byte keeps the
+/// code simple).
+pub const CODEBOOK_SIZE: usize = 16;
+
+/// A trained product quantizer.
+#[derive(Debug, Clone)]
+pub struct ProductQuantizer {
+    /// Number of subspaces `m`.
+    pub m: usize,
+    /// Dimensionality of each subspace (last one may be shorter).
+    sub_dims: Vec<usize>,
+    /// Subspace start offsets.
+    offsets: Vec<usize>,
+    /// `m` codebooks of up to [`CODEBOOK_SIZE`] centroids each.
+    codebooks: Vec<Vec<Vec<f32>>>,
+}
+
+impl ProductQuantizer {
+    /// Trains a quantizer on `data` with `m` subspaces.
+    ///
+    /// Panics on empty data, zero `m`, or `m` exceeding the dimensionality.
+    pub fn train(data: &[Vec<f32>], m: usize, seed: u64) -> Self {
+        assert!(!data.is_empty(), "cannot train PQ on empty data");
+        let dim = data[0].len();
+        assert!(m >= 1 && m <= dim, "m must be in [1, dim]");
+
+        let base = dim / m;
+        let rem = dim % m;
+        let mut sub_dims = Vec::with_capacity(m);
+        let mut offsets = Vec::with_capacity(m);
+        let mut off = 0;
+        for s in 0..m {
+            let d = base + usize::from(s < rem);
+            offsets.push(off);
+            sub_dims.push(d);
+            off += d;
+        }
+
+        let codebooks = (0..m)
+            .map(|s| {
+                let sub: Vec<Vec<f32>> = data
+                    .iter()
+                    .map(|v| v[offsets[s]..offsets[s] + sub_dims[s]].to_vec())
+                    .collect();
+                kmeans(&sub, CODEBOOK_SIZE.min(sub.len()), 10, seed.wrapping_add(s as u64))
+            })
+            .collect();
+        Self { m, sub_dims, offsets, codebooks }
+    }
+
+    /// Encodes a vector into `m` code bytes (nearest centroid per subspace).
+    pub fn encode(&self, v: &[f32]) -> Vec<u8> {
+        (0..self.m)
+            .map(|s| {
+                let sub = &v[self.offsets[s]..self.offsets[s] + self.sub_dims[s]];
+                let mut best = 0u8;
+                let mut best_d = f32::INFINITY;
+                for (c, centroid) in self.codebooks[s].iter().enumerate() {
+                    let d = l2_sq(sub, centroid);
+                    if d < best_d {
+                        best_d = d;
+                        best = c as u8;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Builds the query lookup table: `table[s][c]` is the partial cost of
+    /// centroid `c` in subspace `s` (L2² distance, or negated dot product
+    /// when `use_dot`).
+    pub fn lookup_table(&self, query: &[f32], use_dot: bool) -> Vec<Vec<f32>> {
+        (0..self.m)
+            .map(|s| {
+                let sub = &query[self.offsets[s]..self.offsets[s] + self.sub_dims[s]];
+                self.codebooks[s]
+                    .iter()
+                    .map(|c| if use_dot { -dot(sub, c) } else { l2_sq(sub, c) })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Approximate cost of an encoded vector under a lookup table.
+    #[inline]
+    pub fn score(&self, table: &[Vec<f32>], code: &[u8]) -> f32 {
+        code.iter().enumerate().map(|(s, &c)| table[s][c as usize]).sum()
+    }
+
+    /// Decodes a code back to its centroid reconstruction (for tests and
+    /// diagnostics).
+    pub fn decode(&self, code: &[u8]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.offsets.last().copied().unwrap_or(0));
+        for (s, &c) in code.iter().enumerate() {
+            out.extend_from_slice(&self.codebooks[s][c as usize]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_data(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect()
+    }
+
+    #[test]
+    fn encode_decode_reduces_error_vs_zero() {
+        let data = random_data(200, 16, 1);
+        let pq = ProductQuantizer::train(&data, 4, 7);
+        for v in data.iter().take(20) {
+            let recon = pq.decode(&pq.encode(v));
+            let err = l2_sq(v, &recon);
+            let zero_err = dot(v, v);
+            assert!(err < zero_err, "{err} >= {zero_err}");
+        }
+    }
+
+    #[test]
+    fn lut_score_equals_decoded_distance() {
+        let data = random_data(100, 12, 2);
+        let pq = ProductQuantizer::train(&data, 3, 9);
+        let query = &data[0];
+        let table = pq.lookup_table(query, false);
+        for v in data.iter().take(10) {
+            let code = pq.encode(v);
+            let via_table = pq.score(&table, &code);
+            let via_decode = l2_sq(query, &pq.decode(&code));
+            assert!((via_table - via_decode).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn dot_table_negates_similarity() {
+        let data = random_data(50, 8, 3);
+        let pq = ProductQuantizer::train(&data, 2, 11);
+        let q = &data[0];
+        let table = pq.lookup_table(q, true);
+        let code = pq.encode(q);
+        let score = pq.score(&table, &code);
+        let recon = pq.decode(&code);
+        assert!((score + dot(q, &recon)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn uneven_dims_are_covered() {
+        // dim = 10, m = 3 -> subspaces of 4, 3, 3.
+        let data = random_data(60, 10, 4);
+        let pq = ProductQuantizer::train(&data, 3, 13);
+        let code = pq.encode(&data[0]);
+        assert_eq!(code.len(), 3);
+        assert_eq!(pq.decode(&code).len(), 10);
+    }
+
+    #[test]
+    fn approximate_ranking_correlates_with_exact() {
+        // The PQ's nearest by approximate score should be among the true
+        // nearest half of a clustered dataset.
+        let mut data = random_data(100, 8, 5);
+        for (i, v) in data.iter_mut().enumerate() {
+            v[0] += (i % 2) as f32 * 4.0; // two well-separated clusters
+        }
+        let pq = ProductQuantizer::train(&data, 4, 17);
+        let query = data[0].clone();
+        let table = pq.lookup_table(&query, false);
+        let mut scored: Vec<(usize, f32)> = data
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i, pq.score(&table, &pq.encode(v))))
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        // All of the top 10 approximate neighbors are in query's cluster.
+        for &(i, _) in scored.iter().take(10) {
+            assert_eq!(i % 2, 0, "wrong cluster at rank of {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_training_panics() {
+        let _ = ProductQuantizer::train(&[], 2, 0);
+    }
+}

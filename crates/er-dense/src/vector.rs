@@ -1,0 +1,86 @@
+//! Small dense-vector utilities shared by every dense NN method.
+
+/// Dot product.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean distance (the `L2²` similarity of SCANN/FAISS — no
+/// square root, since ranking is monotone in it).
+#[inline]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Cosine similarity; 0 for zero vectors.
+#[inline]
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = dot(a, a).sqrt();
+    let nb = dot(b, b).sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot(a, b) / (na * nb)
+}
+
+/// Normalizes `v` to unit L2 norm in place; zero vectors stay zero.
+#[inline]
+pub fn normalize(v: &mut [f32]) {
+    let norm = dot(v, v).sqrt();
+    if norm > 0.0 {
+        for x in v {
+            *x /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_l2() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(l2_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(l2_sq(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_bounds() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[0.0, 1.0])).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn normalize_unit_norm() {
+        let mut v = vec![3.0, 4.0];
+        normalize(&mut v);
+        assert!((dot(&v, &v) - 1.0).abs() < 1e-6);
+        let mut zero = vec![0.0, 0.0];
+        normalize(&mut zero);
+        assert_eq!(zero, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn unit_vectors_relate_l2_to_cosine() {
+        // For unit vectors: ||a-b||² = 2 - 2·cos(a,b).
+        let mut a = vec![0.6, 0.8, 0.0];
+        let mut b = vec![0.0, 0.6, 0.8];
+        normalize(&mut a);
+        normalize(&mut b);
+        let lhs = l2_sq(&a, &b);
+        let rhs = 2.0 - 2.0 * cosine(&a, &b);
+        assert!((lhs - rhs).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,234 @@
+//! Dense layers and activations with hand-written gradients.
+//!
+//! A [`Dense`] layer computes `y = x·W + b` for a batch `x` (`batch × in`).
+//! [`Dense::backward`] consumes `dL/dy` and produces `dL/dx`, accumulating
+//! `dL/dW = xᵀ·dy` and `dL/db = Σ_rows dy` internally for the optimizer.
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Element-wise activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity (no nonlinearity).
+    Identity,
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Applies the activation in place.
+    pub fn forward(&self, m: &mut Matrix) {
+        match self {
+            Activation::Identity => {}
+            Activation::Relu => m.map_inplace(|v| v.max(0.0)),
+            Activation::Tanh => m.map_inplace(f32::tanh),
+        }
+    }
+
+    /// Multiplies `grad` by the activation derivative evaluated at the
+    /// *outputs* `y` (both ReLU and tanh derivatives are expressible in
+    /// terms of the output, which avoids stashing pre-activations).
+    pub fn backward(&self, y: &Matrix, grad: &mut Matrix) {
+        match self {
+            Activation::Identity => {}
+            Activation::Relu => {
+                for (g, &out) in grad.data.iter_mut().zip(&y.data) {
+                    if out <= 0.0 {
+                        *g = 0.0;
+                    }
+                }
+            }
+            Activation::Tanh => {
+                for (g, &out) in grad.data.iter_mut().zip(&y.data) {
+                    *g *= 1.0 - out * out;
+                }
+            }
+        }
+    }
+}
+
+/// A fully connected layer with bias and activation.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    /// Weights, `in × out`.
+    pub weights: Matrix,
+    /// Bias, length `out`.
+    pub bias: Vec<f32>,
+    /// Activation applied after the affine map.
+    pub activation: Activation,
+    /// Gradient of the loss w.r.t. weights (set by [`Dense::backward`]).
+    pub grad_weights: Matrix,
+    /// Gradient of the loss w.r.t. bias.
+    pub grad_bias: Vec<f32>,
+    last_input: Option<Matrix>,
+    last_output: Option<Matrix>,
+}
+
+impl Dense {
+    /// Creates a layer with Xavier/Glorot-uniform initialization from a
+    /// seeded RNG.
+    pub fn new(inputs: usize, outputs: usize, activation: Activation, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let limit = (6.0 / (inputs + outputs) as f32).sqrt();
+        let weights =
+            Matrix::from_fn(inputs, outputs, |_, _| rng.gen_range(-limit..=limit));
+        Self {
+            weights,
+            bias: vec![0.0; outputs],
+            activation,
+            grad_weights: Matrix::zeros(inputs, outputs),
+            grad_bias: vec![0.0; outputs],
+            last_input: None,
+            last_output: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn inputs(&self) -> usize {
+        self.weights.rows
+    }
+
+    /// Output dimensionality.
+    pub fn outputs(&self) -> usize {
+        self.weights.cols
+    }
+
+    /// Forward pass for a batch, caching what the backward pass needs.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.weights);
+        for r in 0..y.rows {
+            for (v, b) in y.row_mut(r).iter_mut().zip(&self.bias) {
+                *v += b;
+            }
+        }
+        self.activation.forward(&mut y);
+        self.last_input = Some(x.clone());
+        self.last_output = Some(y.clone());
+        y
+    }
+
+    /// Inference-only forward pass (no caches touched).
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.weights);
+        for r in 0..y.rows {
+            for (v, b) in y.row_mut(r).iter_mut().zip(&self.bias) {
+                *v += b;
+            }
+        }
+        self.activation.forward(&mut y);
+        y
+    }
+
+    /// Backward pass: consumes `dL/dy`, stores `dL/dW` and `dL/db`, returns
+    /// `dL/dx`. Must follow a [`Dense::forward`] call.
+    pub fn backward(&mut self, mut grad_out: Matrix) -> Matrix {
+        let y = self.last_output.as_ref().expect("backward before forward");
+        let x = self.last_input.as_ref().expect("backward before forward");
+        self.activation.backward(y, &mut grad_out);
+
+        self.grad_weights = x.transpose_matmul(&grad_out);
+        for gb in &mut self.grad_bias {
+            *gb = 0.0;
+        }
+        for r in 0..grad_out.rows {
+            for (gb, &g) in self.grad_bias.iter_mut().zip(grad_out.row(r)) {
+                *gb += g;
+            }
+        }
+        grad_out.matmul_transpose(&self.weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_affine_identity() {
+        let mut layer = Dense::new(2, 2, Activation::Identity, 7);
+        layer.weights = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        layer.bias = vec![0.5, -0.5];
+        let x = Matrix::from_rows(&[vec![2.0, 3.0]]);
+        let y = layer.forward(&x);
+        assert_eq!(y.row(0), &[2.5, 2.5]);
+        assert_eq!(layer.infer(&x).row(0), &[2.5, 2.5]);
+    }
+
+    #[test]
+    fn relu_clamps_and_blocks_gradient() {
+        let mut layer = Dense::new(1, 2, Activation::Relu, 7);
+        layer.weights = Matrix::from_rows(&[vec![1.0, -1.0]]);
+        let x = Matrix::from_rows(&[vec![3.0]]);
+        let y = layer.forward(&x);
+        assert_eq!(y.row(0), &[3.0, 0.0]);
+        let dx = layer.backward(Matrix::from_rows(&[vec![1.0, 1.0]]));
+        // Second unit is dead: gradient flows only through the first.
+        assert_eq!(dx.row(0), &[1.0]);
+        assert_eq!(layer.grad_weights.row(0), &[3.0, 0.0]);
+        assert_eq!(layer.grad_bias, vec![1.0, 0.0]);
+    }
+
+    /// Numerical gradient check on a small tanh layer with MSE loss.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut layer = Dense::new(3, 2, Activation::Tanh, 42);
+        let x = Matrix::from_rows(&[vec![0.1, -0.2, 0.3], vec![0.5, 0.4, -0.6]]);
+        let target = Matrix::from_rows(&[vec![0.2, -0.1], vec![-0.3, 0.4]]);
+
+        let loss = |layer: &Dense| -> f32 {
+            let y = layer.infer(&x);
+            let mut l = 0.0;
+            for (a, b) in y.data.iter().zip(&target.data) {
+                l += (a - b) * (a - b);
+            }
+            l / y.data.len() as f32
+        };
+
+        // Analytic gradient.
+        let y = layer.forward(&x);
+        let n = y.data.len() as f32;
+        let grad_out = Matrix {
+            rows: y.rows,
+            cols: y.cols,
+            data: y.data.iter().zip(&target.data).map(|(a, b)| 2.0 * (a - b) / n).collect(),
+        };
+        let _ = layer.backward(grad_out);
+
+        // Finite differences on a few weights.
+        let eps = 1e-3;
+        for idx in [0usize, 2, 5] {
+            let orig = layer.weights.data[idx];
+            layer.weights.data[idx] = orig + eps;
+            let lp = loss(&layer);
+            layer.weights.data[idx] = orig - eps;
+            let lm = loss(&layer);
+            layer.weights.data[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = layer.grad_weights.data[idx];
+            assert!(
+                (numeric - analytic).abs() < 1e-3,
+                "weight {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = Dense::new(4, 3, Activation::Tanh, 99);
+        let b = Dense::new(4, 3, Activation::Tanh, 99);
+        let c = Dense::new(4, 3, Activation::Tanh, 100);
+        assert_eq!(a.weights, b.weights);
+        assert_ne!(a.weights, c.weights);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_requires_forward() {
+        let mut layer = Dense::new(2, 2, Activation::Identity, 1);
+        let _ = layer.backward(Matrix::zeros(1, 2));
+    }
+}

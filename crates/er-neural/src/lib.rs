@@ -1,0 +1,28 @@
+//! A minimal neural-network substrate.
+//!
+//! DeepBlocker's Autoencoder tuple-embedding module (paper §IV-D) needs a
+//! small trainable network: dense layers, activations, an optimizer and a
+//! mean-squared-error loss. This crate implements exactly that from
+//! scratch — no BLAS, no autograd framework — with deterministic, seeded
+//! initialization so the stochastic method can be averaged over controlled
+//! repetitions.
+//!
+//! * [`matrix`] — row-major `f32` matrices with the handful of products
+//!   back-propagation needs,
+//! * [`layers`] — dense layers and activations with manual gradients,
+//! * [`optimizer`] — SGD with momentum and Adam,
+//! * [`autoencoder`] — the self-supervised reconstruction model used as the
+//!   tuple-embedding module.
+
+pub mod autoencoder;
+pub mod layers;
+pub mod matrix;
+pub mod optimizer;
+
+pub use autoencoder::{Autoencoder, AutoencoderConfig};
+pub use layers::{Activation, Dense};
+pub use matrix::Matrix;
+pub use optimizer::{Adam, Optimizer, Sgd};
+
+#[cfg(test)]
+mod proptests;

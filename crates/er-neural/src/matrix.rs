@@ -1,0 +1,204 @@
+//! Row-major `f32` matrices with the products back-propagation needs.
+//!
+//! Kept deliberately small: dense storage, cache-friendly loops over
+//! contiguous rows, no panics beyond dimension assertions. The autoencoder
+//! works on batches of a few thousand 300-dimensional vectors, for which
+//! this is plenty fast on one core.
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major storage, `rows * cols` entries.
+    pub data: Vec<f32>,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds a matrix from a generator `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix from row slices.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        let cols = rows.first().map_or(0, Vec::len);
+        assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
+        Self { rows: rows.len(), cols, data: rows.concat() }
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self · rhs` (`m×k · k×n → m×n`), accumulated in the
+    /// i-k-j order so the inner loop streams both operands.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let lhs_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (k, &a) in lhs_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Product `selfᵀ · rhs` without materializing the transpose
+    /// (`k×m ᵀ · k×n → m×n`) — the shape of weight gradients `xᵀ·dy`.
+    pub fn transpose_matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "transpose_matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for k in 0..self.rows {
+            let lhs_row = self.row(k);
+            let rhs_row = rhs.row(k);
+            for (i, &a) in lhs_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Product `self · rhsᵀ` (`m×k · n×k ᵀ → m×n`) — the shape of input
+    /// gradients `dy·Wᵀ`.
+    pub fn matmul_transpose(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.cols, "matmul_transpose dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let lhs_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let rhs_row = rhs.row(j);
+                *o = dot(lhs_row, rhs_row);
+            }
+        }
+        out
+    }
+
+    /// In-place element-wise map.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Frobenius-norm squared (sum of squared entries).
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: &[&[f32]]) -> Matrix {
+        Matrix::from_rows(&rows.iter().map(|r| r.to_vec()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn matmul_reference() {
+        let a = m(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = m(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        assert_eq!(a.matmul(&b), m(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = m(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let id = Matrix::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&id), a);
+        assert_eq!(id.matmul(&a), a);
+    }
+
+    #[test]
+    fn transpose_variants_agree_with_explicit_transpose() {
+        let a = m(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]); // 2x3
+        let b = m(&[&[1.0, 0.5], &[-1.0, 2.0]]); // 2x2
+        // aT (3x2) · b (2x2) = 3x2
+        let at = Matrix::from_fn(3, 2, |r, c| a.row(c)[r]);
+        assert_eq!(a.transpose_matmul(&b), at.matmul(&b));
+        // b (2x2) · aT? matmul_transpose: b(2x2)·c(3x2)T where cols match.
+        let c = m(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]); // 3x2
+        let ct = Matrix::from_fn(2, 3, |r, cc| c.row(cc)[r]);
+        assert_eq!(b.matmul_transpose(&c), b.matmul(&ct));
+    }
+
+    #[test]
+    fn row_views() {
+        let mut a = m(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.row(1), &[3.0, 4.0]);
+        a.row_mut(0)[1] = 9.0;
+        assert_eq!(a.row(0), &[1.0, 9.0]);
+    }
+
+    #[test]
+    fn map_and_norm() {
+        let mut a = m(&[&[3.0, 4.0]]);
+        assert_eq!(a.norm_sq(), 25.0);
+        a.map_inplace(|v| v * 2.0);
+        assert_eq!(a.row(0), &[6.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_matmul_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! First-order optimizers: SGD with momentum and Adam.
+//!
+//! Optimizers operate on flat parameter/gradient slices so a [`crate::Dense`]
+//! layer's weights and bias can be updated with the same code path.
+
+/// A stateful parameter-update rule.
+pub trait Optimizer {
+    /// Applies one update step to `params` given `grads`.
+    ///
+    /// The optimizer keys internal state (momenta) by `slot`, which must be
+    /// stable per parameter tensor across steps.
+    fn step(&mut self, slot: usize, params: &mut [f32], grads: &[f32]);
+}
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate and momentum.
+    pub fn new(learning_rate: f32, momentum: f32) -> Self {
+        Self { learning_rate, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, slot: usize, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len());
+        if self.velocity.len() <= slot {
+            self.velocity.resize(slot + 1, Vec::new());
+        }
+        let v = &mut self.velocity[slot];
+        if v.len() != params.len() {
+            *v = vec![0.0; params.len()];
+        }
+        for ((p, &g), vel) in params.iter_mut().zip(grads).zip(v.iter_mut()) {
+            *vel = self.momentum * *vel - self.learning_rate * g;
+            *p += *vel;
+        }
+    }
+}
+
+/// The Adam optimizer [Kingma & Ba, 2015] with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate (α).
+    pub learning_rate: f32,
+    /// First-moment decay (β₁).
+    pub beta1: f32,
+    /// Second-moment decay (β₂).
+    pub beta2: f32,
+    /// Numerical-stability constant (ε).
+    pub epsilon: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates Adam with the standard β₁ = 0.9, β₂ = 0.999, ε = 1e-8.
+    pub fn new(learning_rate: f32) -> Self {
+        Self {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Advances the shared time step; call once per mini-batch *before*
+    /// stepping the parameter tensors of that batch.
+    pub fn next_step(&mut self) {
+        self.t += 1;
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, slot: usize, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len());
+        if self.t == 0 {
+            self.t = 1; // tolerate a missing next_step() on the first batch
+        }
+        for buf in [&mut self.m, &mut self.v] {
+            if buf.len() <= slot {
+                buf.resize(slot + 1, Vec::new());
+            }
+            if buf[slot].len() != params.len() {
+                buf[slot] = vec![0.0; params.len()];
+            }
+        }
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (m, v) = (&mut self.m[slot], &mut self.v[slot]);
+        for i in 0..params.len() {
+            let g = grads[i];
+            m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+            v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = m[i] / bc1;
+            let v_hat = v[i] / bc2;
+            params[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(x) = (x - 3)² with gradient 2(x - 3).
+    fn converges_on_quadratic(opt: &mut dyn Optimizer) -> f32 {
+        let mut x = [0.0f32];
+        for _ in 0..500 {
+            let g = [2.0 * (x[0] - 3.0)];
+            opt.step(0, &mut x, &g);
+        }
+        x[0]
+    }
+
+    #[test]
+    fn sgd_converges() {
+        let mut sgd = Sgd::new(0.1, 0.0);
+        assert!((converges_on_quadratic(&mut sgd) - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut sgd = Sgd::new(0.05, 0.9);
+        assert!((converges_on_quadratic(&mut sgd) - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn adam_converges() {
+        let mut adam = Adam::new(0.1);
+        let mut x = [0.0f32];
+        for _ in 0..500 {
+            adam.next_step();
+            let g = [2.0 * (x[0] - 3.0)];
+            adam.step(0, &mut x, &g);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-2, "adam reached {}", x[0]);
+    }
+
+    #[test]
+    fn slots_are_independent() {
+        let mut sgd = Sgd::new(0.5, 0.9);
+        let mut a = [0.0f32];
+        let mut b = [0.0f32];
+        sgd.step(0, &mut a, &[1.0]);
+        sgd.step(1, &mut b, &[-1.0]);
+        // With shared state the second step would inherit the first
+        // velocity; independent slots move symmetrically.
+        assert_eq!(a[0], -b[0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let mut sgd = Sgd::new(0.1, 0.0);
+        let mut p = [0.0f32; 2];
+        sgd.step(0, &mut p, &[1.0]);
+    }
+}

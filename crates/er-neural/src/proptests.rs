@@ -1,0 +1,95 @@
+//! Property-based tests of the neural substrate's algebra.
+
+#![cfg(test)]
+
+use crate::layers::{Activation, Dense};
+use crate::matrix::{dot, Matrix};
+use proptest::prelude::*;
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |data| Matrix { rows, cols, data })
+}
+
+proptest! {
+    /// (A·B)·C == A·(B·C) within float tolerance.
+    #[test]
+    fn matmul_associative(
+        a in arb_matrix(3, 4),
+        b in arb_matrix(4, 2),
+        c in arb_matrix(2, 3),
+    ) {
+        let lhs = a.matmul(&b).matmul(&c);
+        let rhs = a.matmul(&b.matmul(&c));
+        for (x, y) in lhs.data.iter().zip(&rhs.data) {
+            prop_assert!((x - y).abs() < 1e-2, "{} vs {}", x, y);
+        }
+    }
+
+    /// transpose_matmul and matmul_transpose agree with explicit
+    /// transposition.
+    #[test]
+    fn transpose_products(a in arb_matrix(3, 4), b in arb_matrix(3, 2)) {
+        let at = Matrix::from_fn(4, 3, |r, c| a.row(c)[r]);
+        let expected = at.matmul(&b);
+        let got = a.transpose_matmul(&b);
+        for (x, y) in expected.data.iter().zip(&got.data) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+        // a (3×4) · aᵀ via matmul_transpose equals the explicit product.
+        let at2 = Matrix::from_fn(4, 3, |r, c| a.row(c)[r]);
+        let expected2 = a.matmul(&at2);
+        let got2 = a.matmul_transpose(&a);
+        for (x, y) in expected2.data.iter().zip(&got2.data) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Activations: ReLU output non-negative; tanh output in (-1, 1);
+    /// identity untouched.
+    #[test]
+    fn activation_ranges(mut m in arb_matrix(2, 5)) {
+        let original = m.clone();
+        Activation::Identity.forward(&mut m);
+        prop_assert_eq!(&m.data, &original.data);
+        let mut relu = original.clone();
+        Activation::Relu.forward(&mut relu);
+        prop_assert!(relu.data.iter().all(|&v| v >= 0.0));
+        let mut tanh = original.clone();
+        Activation::Tanh.forward(&mut tanh);
+        prop_assert!(tanh.data.iter().all(|&v| (-1.0..=1.0).contains(&v)));
+    }
+
+    /// A dense layer is affine: f(x) + f(y) - f(0) == f(x + y) under the
+    /// identity activation.
+    #[test]
+    fn dense_identity_is_affine(x in arb_matrix(1, 3), y in arb_matrix(1, 3)) {
+        let layer = Dense::new(3, 2, Activation::Identity, 5);
+        let sum = Matrix {
+            rows: 1,
+            cols: 3,
+            data: x.data.iter().zip(&y.data).map(|(a, b)| a + b).collect(),
+        };
+        let zero = Matrix::zeros(1, 3);
+        let fx = layer.infer(&x);
+        let fy = layer.infer(&y);
+        let f0 = layer.infer(&zero);
+        let fsum = layer.infer(&sum);
+        for i in 0..2 {
+            let lhs = fx.data[i] + fy.data[i] - f0.data[i];
+            prop_assert!((lhs - fsum.data[i]).abs() < 1e-3);
+        }
+    }
+
+    /// Dot product is commutative and distributes over addition.
+    #[test]
+    fn dot_algebra(
+        a in proptest::collection::vec(-3.0f32..3.0, 6),
+        b in proptest::collection::vec(-3.0f32..3.0, 6),
+        c in proptest::collection::vec(-3.0f32..3.0, 6),
+    ) {
+        prop_assert!((dot(&a, &b) - dot(&b, &a)).abs() < 1e-3);
+        let bc: Vec<f32> = b.iter().zip(&c).map(|(x, y)| x + y).collect();
+        prop_assert!((dot(&a, &bc) - (dot(&a, &b) + dot(&a, &c))).abs() < 1e-2);
+    }
+}

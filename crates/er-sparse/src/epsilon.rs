@@ -1,0 +1,152 @@
+//! The range join (ε-Join, paper §IV-C): pair all entities whose token-set
+//! similarity is at least a user-defined threshold ε.
+//!
+//! Built on ScanCount: index `E1`'s token sets, probe with every `E2`
+//! entity, convert overlaps to similarities and keep those `≥ ε`. All exact
+//! ε-join algorithms produce the same candidate set; ScanCount is chosen
+//! because ER-optimal thresholds are low (paper: mostly below 0.5), where
+//! prefix-filter techniques lose their advantage.
+
+use crate::representation::RepresentationModel;
+use crate::scancount::ScanCountIndex;
+use crate::similarity::SimilarityMeasure;
+use er_core::filter::{Filter, FilterOutput};
+use er_core::schema::TextView;
+use er_text::Cleaner;
+
+/// A configured ε-Join.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpsilonJoin {
+    /// Apply stop-word removal + stemming first (`CL`).
+    pub cleaning: bool,
+    /// Representation model (`RM`).
+    pub model: RepresentationModel,
+    /// Similarity measure (`SM`).
+    pub measure: SimilarityMeasure,
+    /// Similarity threshold ε (`t` in Table IV), in `[0, 1]`.
+    pub threshold: f64,
+}
+
+impl EpsilonJoin {
+    /// One-line configuration description for Table IX-style reports.
+    pub fn describe(&self) -> String {
+        format!(
+            "CL={} RM={} SM={} t={:.2}",
+            if self.cleaning { "y" } else { "-" },
+            self.model.name(),
+            self.measure.name(),
+            self.threshold
+        )
+    }
+}
+
+impl Filter for EpsilonJoin {
+    fn name(&self) -> String {
+        "e-Join".to_owned()
+    }
+
+    fn run(&self, view: &TextView) -> FilterOutput {
+        let mut out = FilterOutput::default();
+        let cleaner = if self.cleaning { Cleaner::on() } else { Cleaner::off() };
+
+        let (sets1, sets2) = out.breakdown.time("preprocess", || {
+            let s1: Vec<Vec<u64>> =
+                view.e1.iter().map(|t| self.model.token_set(t, &cleaner)).collect();
+            let s2: Vec<Vec<u64>> =
+                view.e2.iter().map(|t| self.model.token_set(t, &cleaner)).collect();
+            (s1, s2)
+        });
+
+        let mut index = out.breakdown.time("index", || ScanCountIndex::build(&sets1));
+
+        out.breakdown.time("query", || {
+            let mut hits: Vec<(u32, u32)> = Vec::new();
+            for (j, query) in sets2.iter().enumerate() {
+                let qlen = query.len();
+                index.query_into(query, &mut hits);
+                for &(i, overlap) in &hits {
+                    let sim =
+                        self.measure.compute(overlap as usize, index.set_size(i), qlen);
+                    if sim >= self.threshold {
+                        out.candidates.insert_raw(i, j as u32);
+                    }
+                }
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::candidates::Pair;
+
+    fn join(threshold: f64) -> EpsilonJoin {
+        EpsilonJoin {
+            cleaning: false,
+            model: RepresentationModel::parse("T1G").expect("model"),
+            measure: SimilarityMeasure::Jaccard,
+            threshold,
+        }
+    }
+
+    fn view() -> TextView {
+        TextView {
+            e1: vec!["apple iphone black".into(), "samsung galaxy".into()],
+            e2: vec![
+                "apple iphone black case".into(), // J = 3/4 with e1[0]
+                "galaxy phone".into(),            // J = 1/3 with e1[1]
+                "nokia".into(),
+            ],
+        }
+    }
+
+    #[test]
+    fn threshold_selects_pairs() {
+        let out = join(0.5).run(&view());
+        assert_eq!(out.candidates.len(), 1);
+        assert!(out.candidates.contains(Pair::new(0, 0)));
+
+        let out = join(0.3).run(&view());
+        assert_eq!(out.candidates.len(), 2);
+        assert!(out.candidates.contains(Pair::new(1, 1)));
+    }
+
+    #[test]
+    fn threshold_zero_keeps_all_overlapping() {
+        let out = join(0.0).run(&view());
+        // Only token-sharing pairs appear (ScanCount never sees disjoint
+        // pairs), so "nokia" stays unmatched even at ε = 0.
+        assert_eq!(out.candidates.len(), 2);
+    }
+
+    #[test]
+    fn candidates_shrink_monotonically_with_threshold() {
+        let mut prev = usize::MAX;
+        for t in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let n = join(t).run(&view()).candidates.len();
+            assert!(n <= prev, "t={t}");
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn phases_are_recorded() {
+        let out = join(0.5).run(&view());
+        for phase in ["preprocess", "index", "query"] {
+            assert!(out.breakdown.get(phase).is_some(), "{phase} missing");
+        }
+    }
+
+    #[test]
+    fn exact_duplicates_survive_threshold_one() {
+        let v = TextView {
+            e1: vec!["exact match text".into()],
+            e2: vec!["exact match text".into(), "different".into()],
+        };
+        let out = join(1.0).run(&v);
+        assert_eq!(out.candidates.len(), 1);
+        assert!(out.candidates.contains(Pair::new(0, 0)));
+    }
+}

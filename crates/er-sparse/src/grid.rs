@@ -1,0 +1,180 @@
+//! The Table IV configuration spaces of the sparse NN methods, plus the
+//! DkNN baseline.
+//!
+//! Both methods share the `CL` (cleaning), `SM` (similarity measure) and
+//! `RM` (representation model) parameters. The method-specific parameter is
+//! swept in an order that makes the candidate volume non-decreasing — the
+//! ε-Join threshold descending, kNN-Join's K ascending — so
+//! [`er_core::Optimizer::first_feasible`] terminates the sweep at the
+//! PQ-optimal feasible configuration, exactly as the paper's grid search
+//! does.
+
+use crate::epsilon::EpsilonJoin;
+use crate::knn::KnnJoin;
+use crate::representation::RepresentationModel;
+use crate::similarity::SimilarityMeasure;
+use er_core::optimize::GridResolution;
+
+/// Alias kept for discoverability next to the blocking grid resolution.
+pub type SparseGridResolution = GridResolution;
+
+/// The shared `(CL, SM, RM)` combinations at a resolution.
+fn common_combos(res: GridResolution) -> Vec<(bool, SimilarityMeasure, RepresentationModel)> {
+    let (cleanings, measures, models): (&[bool], &[SimilarityMeasure], Vec<RepresentationModel>) =
+        match res {
+            GridResolution::Full => {
+                (&[false, true], &SimilarityMeasure::ALL, RepresentationModel::all())
+            }
+            GridResolution::Pruned => (
+                &[false, true],
+                &[SimilarityMeasure::Cosine, SimilarityMeasure::Jaccard],
+                ["T1G", "C2G", "C3G", "C3GM", "C5GM"]
+                    .iter()
+                    .map(|n| RepresentationModel::parse(n).expect("model name"))
+                    .collect(),
+            ),
+            GridResolution::Quick => (
+                &[true],
+                &[SimilarityMeasure::Cosine],
+                ["T1G", "C3G"]
+                    .iter()
+                    .map(|n| RepresentationModel::parse(n).expect("model name"))
+                    .collect(),
+            ),
+        };
+    let mut out = Vec::new();
+    for &cl in cleanings {
+        for &sm in measures {
+            for &rm in &models {
+                out.push((cl, sm, rm));
+            }
+        }
+    }
+    out
+}
+
+/// ε-Join threshold sweep, descending (largest first, per the paper).
+fn epsilon_thresholds(res: GridResolution) -> Vec<f64> {
+    let steps = match res {
+        GridResolution::Full => 100,
+        GridResolution::Pruned => 20,
+        GridResolution::Quick => 10,
+    };
+    (0..=steps).rev().map(|i| i as f64 / steps as f64).collect()
+}
+
+/// kNN-Join K sweep, ascending (smallest first, per the paper).
+fn knn_ks(res: GridResolution) -> Vec<usize> {
+    match res {
+        GridResolution::Full => (1..=100).collect(),
+        GridResolution::Pruned => {
+            let mut ks: Vec<usize> = (1..=20).collect();
+            ks.extend((25..=100).step_by(5));
+            ks
+        }
+        GridResolution::Quick => vec![1, 2, 3, 5, 10],
+    }
+}
+
+/// Enumerates ε-Join configurations grouped per `(CL, SM, RM)` combination;
+/// within each group thresholds descend, so each inner vector can be fed to
+/// `Optimizer::first_feasible` independently.
+pub fn epsilon_grid(res: GridResolution) -> Vec<Vec<EpsilonJoin>> {
+    let thresholds = epsilon_thresholds(res);
+    common_combos(res)
+        .into_iter()
+        .map(|(cleaning, measure, model)| {
+            thresholds
+                .iter()
+                .map(|&threshold| EpsilonJoin { cleaning, model, measure, threshold })
+                .collect()
+        })
+        .collect()
+}
+
+/// Enumerates kNN-Join configurations grouped per `(CL, SM, RM, RVS)`
+/// combination; within each group K ascends.
+pub fn knn_grid(res: GridResolution) -> Vec<Vec<KnnJoin>> {
+    let ks = knn_ks(res);
+    let rvs_options: &[bool] =
+        if res == GridResolution::Quick { &[false] } else { &[false, true] };
+    let mut out = Vec::new();
+    for (cleaning, measure, model) in common_combos(res) {
+        for &reversed in rvs_options {
+            out.push(
+                ks.iter()
+                    .map(|&k| KnnJoin { cleaning, model, measure, k, reversed })
+                    .collect(),
+            );
+        }
+    }
+    out
+}
+
+/// The Default kNN-Join baseline (paper §VI): cosine similarity, cleaning
+/// on, the `C5GM` representation, `K = 5`, and the smaller input collection
+/// as the query set.
+pub fn dknn_baseline(n1: usize, n2: usize) -> KnnJoin {
+    KnnJoin {
+        cleaning: true,
+        model: RepresentationModel::parse("C5GM").expect("C5GM"),
+        measure: SimilarityMeasure::Cosine,
+        k: 5,
+        // Default orientation queries with E2; reverse when E1 is smaller.
+        reversed: n1 < n2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_grid_counts_match_table4() {
+        // ε-Join: 2 CL × 3 SM × 10 RM = 60 combos × up to 100+1 thresholds
+        // ≈ the paper's 6,000 maximum configurations.
+        let eps = epsilon_grid(GridResolution::Full);
+        assert_eq!(eps.len(), 60);
+        assert_eq!(eps[0].len(), 101);
+        // kNN: × 2 RVS, × 100 K values = 12,000 maximum configurations.
+        let knn = knn_grid(GridResolution::Full);
+        assert_eq!(knn.len(), 120);
+        assert_eq!(knn[0].len(), 100);
+    }
+
+    #[test]
+    fn epsilon_thresholds_descend() {
+        for res in [GridResolution::Full, GridResolution::Pruned, GridResolution::Quick] {
+            let ts = epsilon_thresholds(res);
+            assert!((ts[0] - 1.0).abs() < 1e-12);
+            assert!(ts.windows(2).all(|w| w[0] > w[1]), "{res:?}");
+            assert!(*ts.last().expect("nonempty") < 1e-12);
+        }
+    }
+
+    #[test]
+    fn knn_ks_ascend_from_one() {
+        for res in [GridResolution::Full, GridResolution::Pruned, GridResolution::Quick] {
+            let ks = knn_ks(res);
+            assert_eq!(ks[0], 1);
+            assert!(ks.windows(2).all(|w| w[0] < w[1]), "{res:?}");
+        }
+    }
+
+    #[test]
+    fn pruned_smaller_than_full() {
+        assert!(epsilon_grid(GridResolution::Pruned).len() < 60);
+        assert!(knn_grid(GridResolution::Quick).len() < knn_grid(GridResolution::Pruned).len());
+    }
+
+    #[test]
+    fn dknn_matches_paper_defaults() {
+        let d = dknn_baseline(100, 2000);
+        assert!(d.cleaning);
+        assert_eq!(d.model.name(), "C5GM");
+        assert_eq!(d.measure, SimilarityMeasure::Cosine);
+        assert_eq!(d.k, 5);
+        assert!(d.reversed, "E1 smaller -> query with E1");
+        assert!(!dknn_baseline(2000, 100).reversed);
+    }
+}

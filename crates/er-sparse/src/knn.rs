@@ -1,0 +1,274 @@
+//! The k-nearest-neighbor join (paper §IV-C).
+//!
+//! For every query entity, keep all indexed entities whose similarity ties
+//! one of the `k` highest *distinct* similarity values — a query may yield
+//! more than `k` pairs when candidates are equidistant (the semantics of the
+//! Cone algorithm [Kocher & Augsten, SIGMOD 2019], here adapted to a
+//! ScanCount backend). The join is not commutative, so the `RVS` parameter
+//! controls which input is indexed and which one queries.
+
+use crate::representation::RepresentationModel;
+use crate::scancount::ScanCountIndex;
+use crate::similarity::SimilarityMeasure;
+use er_core::filter::{Filter, FilterOutput};
+use er_core::schema::TextView;
+use er_text::Cleaner;
+
+/// A configured kNN-Join.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnnJoin {
+    /// Apply stop-word removal + stemming first (`CL`).
+    pub cleaning: bool,
+    /// Representation model (`RM`).
+    pub model: RepresentationModel,
+    /// Similarity measure (`SM`).
+    pub measure: SimilarityMeasure,
+    /// Neighbors per query entity (`K`), counting distinct similarities.
+    pub k: usize,
+    /// Reverse datasets (`RVS`): index `E2` and query with `E1`.
+    pub reversed: bool,
+}
+
+impl KnnJoin {
+    /// One-line configuration description for Table IX-style reports.
+    pub fn describe(&self) -> String {
+        format!(
+            "CL={} RVS={} RM={} SM={} K={}",
+            if self.cleaning { "y" } else { "-" },
+            if self.reversed { "y" } else { "-" },
+            self.model.name(),
+            self.measure.name(),
+            self.k
+        )
+    }
+
+    /// Selects, from `(entity, similarity)` candidates, those tying one of
+    /// the `k` highest distinct similarity values. Zero similarities never
+    /// qualify.
+    fn select_top_k(k: usize, scored: &mut Vec<(u32, f64)>) -> usize {
+        if scored.is_empty() || k == 0 {
+            scored.clear();
+            return 0;
+        }
+        // Descending similarity, ascending id for determinism.
+        scored.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+        let mut distinct = 0usize;
+        let mut last = f64::NAN;
+        let mut cut = scored.len();
+        for (i, &(_, sim)) in scored.iter().enumerate() {
+            if sim != last {
+                distinct += 1;
+                last = sim;
+                if distinct > k {
+                    cut = i;
+                    break;
+                }
+            }
+        }
+        scored.truncate(cut);
+        cut
+    }
+}
+
+impl KnnJoin {
+    /// Computes per-query similarity rankings, keeping at most
+    /// `max_neighbors` entries per query (similarity descending, ties by
+    /// ascending id).
+    ///
+    /// The optimizer's K-sweep then derives the candidate set of any
+    /// `K` whose distinct-similarity cut falls inside `max_neighbors`; use
+    /// a margin over the largest K of interest so ties are not truncated.
+    pub fn rankings(&self, view: &TextView, max_neighbors: usize) -> er_core::QueryRankings {
+        let cleaner = if self.cleaning { Cleaner::on() } else { Cleaner::off() };
+        let (index_texts, query_texts) = if self.reversed {
+            (&view.e2, &view.e1)
+        } else {
+            (&view.e1, &view.e2)
+        };
+        let index_sets: Vec<Vec<u64>> =
+            index_texts.iter().map(|t| self.model.token_set(t, &cleaner)).collect();
+        let query_sets: Vec<Vec<u64>> =
+            query_texts.iter().map(|t| self.model.token_set(t, &cleaner)).collect();
+        let mut index = ScanCountIndex::build(&index_sets);
+        let mut hits: Vec<(u32, u32)> = Vec::new();
+        let neighbors = query_sets
+            .iter()
+            .map(|query| {
+                let qlen = query.len();
+                index.query_into(query, &mut hits);
+                let mut scored: Vec<(u32, f64)> = hits
+                    .iter()
+                    .filter_map(|&(i, overlap)| {
+                        let sim =
+                            self.measure.compute(overlap as usize, index.set_size(i), qlen);
+                        (sim > 0.0).then_some((i, sim))
+                    })
+                    .collect();
+                scored.sort_unstable_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.cmp(&b.0))
+                });
+                scored.truncate(max_neighbors);
+                scored
+            })
+            .collect();
+        er_core::QueryRankings { neighbors, reversed: self.reversed }
+    }
+}
+
+impl Filter for KnnJoin {
+    fn name(&self) -> String {
+        "kNN-Join".to_owned()
+    }
+
+    fn run(&self, view: &TextView) -> FilterOutput {
+        let mut out = FilterOutput::default();
+        let cleaner = if self.cleaning { Cleaner::on() } else { Cleaner::off() };
+
+        // With RVS, index E2 and query with E1; pairs keep the canonical
+        // (E1, E2) orientation either way.
+        let (index_texts, query_texts) = if self.reversed {
+            (&view.e2, &view.e1)
+        } else {
+            (&view.e1, &view.e2)
+        };
+
+        let (index_sets, query_sets) = out.breakdown.time("preprocess", || {
+            let a: Vec<Vec<u64>> =
+                index_texts.iter().map(|t| self.model.token_set(t, &cleaner)).collect();
+            let b: Vec<Vec<u64>> =
+                query_texts.iter().map(|t| self.model.token_set(t, &cleaner)).collect();
+            (a, b)
+        });
+
+        let mut index = out.breakdown.time("index", || ScanCountIndex::build(&index_sets));
+
+        out.breakdown.time("query", || {
+            let mut hits: Vec<(u32, u32)> = Vec::new();
+            let mut scored: Vec<(u32, f64)> = Vec::new();
+            for (q, query) in query_sets.iter().enumerate() {
+                scored.clear();
+                let qlen = query.len();
+                index.query_into(query, &mut hits);
+                for &(i, overlap) in &hits {
+                    let sim =
+                        self.measure.compute(overlap as usize, index.set_size(i), qlen);
+                    if sim > 0.0 {
+                        scored.push((i, sim));
+                    }
+                }
+                Self::select_top_k(self.k, &mut scored);
+                for &(i, _) in scored.iter() {
+                    if self.reversed {
+                        out.candidates.insert_raw(q as u32, i);
+                    } else {
+                        out.candidates.insert_raw(i, q as u32);
+                    }
+                }
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::candidates::Pair;
+
+    fn join(k: usize, reversed: bool) -> KnnJoin {
+        KnnJoin {
+            cleaning: false,
+            model: RepresentationModel::parse("T1G").expect("model"),
+            measure: SimilarityMeasure::Jaccard,
+            k,
+            reversed,
+        }
+    }
+
+    fn view() -> TextView {
+        TextView {
+            e1: vec![
+                "apple iphone black".into(),
+                "apple iphone".into(),
+                "samsung galaxy".into(),
+            ],
+            e2: vec!["apple iphone black".into()],
+        }
+    }
+
+    #[test]
+    fn k1_keeps_single_best_per_query() {
+        let out = join(1, false).run(&view());
+        assert_eq!(out.candidates.len(), 1);
+        assert!(out.candidates.contains(Pair::new(0, 0)));
+    }
+
+    #[test]
+    fn k2_adds_second_distinct_similarity() {
+        let out = join(2, false).run(&view());
+        assert_eq!(out.candidates.len(), 2);
+        assert!(out.candidates.contains(Pair::new(1, 0)));
+    }
+
+    #[test]
+    fn ties_expand_beyond_k() {
+        // Two indexed entities with identical similarity to the query.
+        let v = TextView {
+            e1: vec!["alpha beta".into(), "alpha gamma".into(), "unrelated".into()],
+            e2: vec!["alpha".into()],
+        };
+        let out = join(1, false).run(&v);
+        assert_eq!(out.candidates.len(), 2, "equidistant pair included");
+    }
+
+    #[test]
+    fn zero_similarity_never_paired() {
+        let v = TextView { e1: vec!["xyz".into()], e2: vec!["abc".into()] };
+        assert!(join(5, false).run(&v).candidates.is_empty());
+    }
+
+    #[test]
+    fn reversal_preserves_pair_orientation() {
+        let out = join(1, true).run(&view());
+        // Query side is E1 (3 queries); each pairs with the single E2
+        // entity when they overlap.
+        assert!(out.candidates.contains(Pair::new(0, 0)));
+        assert!(out.candidates.contains(Pair::new(1, 0)));
+        for p in out.candidates.iter() {
+            assert!((p.left as usize) < 3 && (p.right as usize) < 1);
+        }
+    }
+
+    #[test]
+    fn candidate_count_grows_with_k() {
+        let v = TextView {
+            e1: (0..6).map(|i| format!("common token{i}")).collect(),
+            e2: vec!["common probe".into()],
+        };
+        let mut prev = 0;
+        for k in 1..=6 {
+            let n = join(k, false).run(&v).candidates.len();
+            assert!(n >= prev, "k={k}");
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn select_top_k_distinct_semantics() {
+        let mut scored = vec![(1, 0.9), (2, 0.9), (3, 0.5), (4, 0.4)];
+        KnnJoin::select_top_k(2, &mut scored);
+        // Top-2 distinct similarities {0.9, 0.5} -> 3 survivors.
+        assert_eq!(scored.iter().map(|s| s.0).collect::<Vec<_>>(), vec![1, 2, 3]);
+
+        let mut empty: Vec<(u32, f64)> = Vec::new();
+        assert_eq!(KnnJoin::select_top_k(3, &mut empty), 0);
+
+        let mut zero_k = vec![(1, 0.5)];
+        KnnJoin::select_top_k(0, &mut zero_k);
+        assert!(zero_k.is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! Sparse vector-based nearest-neighbor filtering (paper §IV-C).
+//!
+//! These methods are set-based similarity joins: each entity becomes a set
+//! of tokens (whitespace tokens or character n-grams, set or multiset
+//! semantics) and pairs are formed by similarity of token sets.
+//!
+//! * [`representation`] — the 10 representation models (`T1G(M)`,
+//!   `C2G(M)`…`C5G(M)`),
+//! * [`similarity`] — Cosine, Dice and Jaccard over set overlaps,
+//! * [`scancount`] — the ScanCount inverted-list merge-count algorithm
+//!   [Li et al., ICDE 2008], suited to the low thresholds ER needs,
+//! * [`epsilon`] — the range join (ε-Join),
+//! * [`knn`] — the k-nearest-neighbor join with distinct-similarity
+//!   semantics (Cone-style [Kocher & Augsten, SIGMOD 2019] adapted to
+//!   ScanCount) and the `RVS` dataset-reversal parameter,
+//! * [`grid`] — the Table IV configuration grids and the DkNN baseline.
+
+pub mod epsilon;
+pub mod grid;
+pub mod knn;
+pub mod representation;
+pub mod scancount;
+pub mod similarity;
+pub mod topk;
+
+pub use epsilon::EpsilonJoin;
+pub use grid::{dknn_baseline, epsilon_grid, knn_grid, SparseGridResolution};
+pub use knn::KnnJoin;
+pub use representation::RepresentationModel;
+pub use scancount::ScanCountIndex;
+pub use similarity::SimilarityMeasure;
+pub use topk::TopKJoin;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,134 @@
+//! Property-based tests of the sparse NN invariants: similarities,
+//! representations, ScanCount exactness and the join semantics.
+
+#![cfg(test)]
+
+use crate::epsilon::EpsilonJoin;
+use crate::knn::KnnJoin;
+use crate::representation::RepresentationModel;
+use crate::scancount::ScanCountIndex;
+use crate::similarity::SimilarityMeasure;
+use er_core::filter::Filter;
+use er_core::schema::TextView;
+use er_text::Cleaner;
+use proptest::prelude::*;
+
+fn arb_texts(n: usize) -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec("[a-d ]{0,16}", 1..n)
+}
+
+proptest! {
+    /// All measures are symmetric in the set sizes except cosine/dice are;
+    /// and every measure is bounded by min-containment.
+    #[test]
+    fn similarity_bounds(overlap in 0usize..10, extra_a in 0usize..10, extra_b in 0usize..10) {
+        let len_a = overlap + extra_a;
+        let len_b = overlap + extra_b;
+        for m in SimilarityMeasure::ALL {
+            let s = m.compute(overlap, len_a, len_b);
+            prop_assert!((0.0..=1.0).contains(&s), "{} = {}", m.name(), s);
+            let swapped = m.compute(overlap, len_b, len_a);
+            prop_assert!((s - swapped).abs() < 1e-12, "{} asymmetric", m.name());
+            if overlap == len_a && overlap == len_b && overlap > 0 {
+                prop_assert!((s - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// ScanCount overlap counts equal brute-force set intersections.
+    #[test]
+    fn scancount_matches_bruteforce(
+        sets in proptest::collection::vec(
+            proptest::collection::btree_set(0u64..30, 0..10), 1..8),
+        query in proptest::collection::btree_set(0u64..30, 0..10),
+    ) {
+        let sets: Vec<Vec<u64>> = sets.into_iter().map(|s| s.into_iter().collect()).collect();
+        let query: Vec<u64> = query.into_iter().collect();
+        let mut index = ScanCountIndex::build(&sets);
+        let mut out = Vec::new();
+        index.query_into(&query, &mut out);
+        // Brute force reference.
+        for (i, set) in sets.iter().enumerate() {
+            let expected = set.iter().filter(|t| query.contains(t)).count() as u32;
+            let got = out.iter().find(|&&(e, _)| e == i as u32).map_or(0, |&(_, o)| o);
+            prop_assert_eq!(got, expected, "entity {}", i);
+        }
+        // Visited entities are exactly those with positive overlap.
+        for &(e, o) in &out {
+            prop_assert!(o > 0);
+            prop_assert!((e as usize) < sets.len());
+        }
+    }
+
+    /// Token sets are sorted, deduplicated, and multiset cardinality is at
+    /// least the set cardinality.
+    #[test]
+    fn token_sets_well_formed(text in "[a-e ]{0,30}") {
+        for m in RepresentationModel::all() {
+            let ids = m.token_set(&text, &Cleaner::off());
+            prop_assert!(ids.windows(2).all(|w| w[0] < w[1]), "{} unsorted/dup", m.name());
+        }
+        let set = RepresentationModel { ngram: None, multiset: false }
+            .token_set(&text, &Cleaner::off());
+        let mset = RepresentationModel { ngram: None, multiset: true }
+            .token_set(&text, &Cleaner::off());
+        prop_assert!(mset.len() >= set.len());
+    }
+
+    /// ε-Join candidates are monotone non-increasing in the threshold, and
+    /// every returned pair really meets the threshold.
+    #[test]
+    fn epsilon_join_threshold_sound(e1 in arb_texts(6), e2 in arb_texts(6)) {
+        let view = TextView { e1: e1.clone(), e2: e2.clone() };
+        let model = RepresentationModel { ngram: None, multiset: false };
+        let join = |t: f64| EpsilonJoin {
+            cleaning: false,
+            model,
+            measure: SimilarityMeasure::Jaccard,
+            threshold: t,
+        };
+        let lo = join(0.3).run(&view).candidates;
+        let hi = join(0.7).run(&view).candidates;
+        for p in hi.iter() {
+            prop_assert!(lo.contains(p), "higher threshold must be a subset");
+        }
+        // Soundness: verify each hi pair's actual Jaccard >= 0.7.
+        for p in hi.iter() {
+            let a = model.token_set(&e1[p.left as usize], &Cleaner::off());
+            let b = model.token_set(&e2[p.right as usize], &Cleaner::off());
+            let overlap = a.iter().filter(|t| b.contains(t)).count();
+            let sim = SimilarityMeasure::Jaccard.compute(overlap, a.len(), b.len());
+            prop_assert!(sim >= 0.7 - 1e-12, "pair {:?} has sim {}", p, sim);
+        }
+    }
+
+    /// kNN-Join: every query contributes at most as many pairs as it has
+    /// positive-similarity candidates, and k=inf degenerates to "all
+    /// overlapping pairs".
+    #[test]
+    fn knn_join_bounded_by_overlaps(e1 in arb_texts(6), e2 in arb_texts(6)) {
+        let view = TextView { e1, e2 };
+        let model = RepresentationModel { ngram: None, multiset: false };
+        let knn = |k: usize| KnnJoin {
+            cleaning: false,
+            model,
+            measure: SimilarityMeasure::Cosine,
+            k,
+            reversed: false,
+        };
+        let all = EpsilonJoin {
+            cleaning: false,
+            model,
+            measure: SimilarityMeasure::Cosine,
+            threshold: f64::MIN_POSITIVE,
+        }
+        .run(&view)
+        .candidates;
+        let huge_k = knn(10_000).run(&view).candidates;
+        prop_assert_eq!(huge_k.to_sorted_vec(), all.to_sorted_vec());
+        let k1 = knn(1).run(&view).candidates;
+        for p in k1.iter() {
+            prop_assert!(all.contains(p));
+        }
+    }
+}

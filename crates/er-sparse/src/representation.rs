@@ -1,0 +1,191 @@
+//! The representation models of the sparse NN methods (paper Table IV).
+//!
+//! `T1G` splits on whitespace (as in Standard Blocking); `CnG` with
+//! `n ∈ {2..5}` extracts character n-grams from every token (as in Q-Grams
+//! Blocking). Each model exists in set form and in multiset form (`…M`),
+//! where duplicate tokens are de-duplicated by attaching a counter:
+//! `{a, a, b} → {a₁, a₂, b₁}` — set algorithms then handle multiset overlap
+//! (the overlap becomes Σ min counts) for free.
+
+use er_core::hash::{hash_str, mix64, FastMap};
+use er_text::{qgrams, Cleaner};
+
+/// A representation model: tokenization scheme × set/multiset semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RepresentationModel {
+    /// Character n-gram length; `None` means whitespace tokens (`T1G`).
+    pub ngram: Option<usize>,
+    /// Multiset semantics (the `M` suffix).
+    pub multiset: bool,
+}
+
+impl RepresentationModel {
+    /// The ten models of Table IV, in its order:
+    /// T1G, T1GM, C2G, C2GM, …, C5G, C5GM.
+    pub fn all() -> Vec<RepresentationModel> {
+        let mut out = Vec::with_capacity(10);
+        for ngram in [None, Some(2), Some(3), Some(4), Some(5)] {
+            for multiset in [false, true] {
+                out.push(RepresentationModel { ngram, multiset });
+            }
+        }
+        out
+    }
+
+    /// The paper's model name, e.g. `"C5GM"`.
+    pub fn name(&self) -> String {
+        let base = match self.ngram {
+            None => "T1G".to_owned(),
+            Some(n) => format!("C{n}G"),
+        };
+        if self.multiset {
+            format!("{base}M")
+        } else {
+            base
+        }
+    }
+
+    /// Parses a model name (inverse of [`RepresentationModel::name`]).
+    pub fn parse(name: &str) -> Option<RepresentationModel> {
+        let (base, multiset) = match name.strip_suffix('M') {
+            Some(b) => (b, true),
+            None => (name, false),
+        };
+        let ngram = match base {
+            "T1G" => None,
+            _ => {
+                let n: usize = base.strip_prefix('C')?.strip_suffix('G')?.parse().ok()?;
+                if !(2..=9).contains(&n) {
+                    return None;
+                }
+                Some(n)
+            }
+        };
+        Some(RepresentationModel { ngram, multiset })
+    }
+
+    /// Converts one entity text into its token-id set.
+    ///
+    /// Returns a sorted, deduplicated vector of 64-bit token ids; with
+    /// multiset semantics the k-th occurrence of a token gets a distinct id
+    /// (token hash mixed with its occurrence counter), so the output is
+    /// still a set and `|A|` is the multiset cardinality.
+    pub fn token_set(&self, text: &str, cleaner: &Cleaner) -> Vec<u64> {
+        let tokens = cleaner.clean_to_tokens(text);
+        let mut raw: Vec<u64> = Vec::new();
+        match self.ngram {
+            None => raw.extend(tokens.iter().map(|t| hash_str(t))),
+            Some(n) => {
+                for token in &tokens {
+                    raw.extend(qgrams(token, n).iter().map(|g| hash_str(g)));
+                }
+            }
+        }
+        let mut out: Vec<u64>;
+        if self.multiset {
+            let mut counts: FastMap<u64, u64> = FastMap::default();
+            out = raw
+                .into_iter()
+                .map(|id| {
+                    let c = counts.entry(id).or_insert(0);
+                    *c += 1;
+                    // Occurrence 1 keeps the raw id so sets and multisets
+                    // agree on duplicate-free inputs' first occurrences.
+                    if *c == 1 {
+                        id
+                    } else {
+                        mix64(id ^ mix64(*c))
+                    }
+                })
+                .collect();
+        } else {
+            out = raw;
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(model: &str, text: &str) -> Vec<u64> {
+        RepresentationModel::parse(model)
+            .expect("model")
+            .token_set(text, &Cleaner::off())
+    }
+
+    #[test]
+    fn all_models_match_table4() {
+        let names: Vec<String> =
+            RepresentationModel::all().iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            ["T1G", "T1GM", "C2G", "C2GM", "C3G", "C3GM", "C4G", "C4GM", "C5G", "C5GM"]
+        );
+    }
+
+    #[test]
+    fn parse_roundtrips() {
+        for m in RepresentationModel::all() {
+            assert_eq!(RepresentationModel::parse(&m.name()), Some(m));
+        }
+        assert_eq!(RepresentationModel::parse("bogus"), None);
+        assert_eq!(RepresentationModel::parse("C1G"), None);
+    }
+
+    #[test]
+    fn t1g_sets_ignore_repeats() {
+        assert_eq!(set("T1G", "a a b").len(), 2);
+        assert_eq!(set("T1GM", "a a b").len(), 3);
+    }
+
+    #[test]
+    fn multiset_counts_min_overlap() {
+        // {a,a,b} vs {a,b,b}: multiset overlap = min(2,1) + min(1,2) = 2.
+        let x = set("T1GM", "a a b");
+        let y = set("T1GM", "a b b");
+        let overlap = x.iter().filter(|id| y.contains(id)).count();
+        assert_eq!(overlap, 2);
+    }
+
+    #[test]
+    fn cng_extracts_per_token() {
+        // "ab cd" with 2-grams: grams of "ab" and "cd", no cross-token gram.
+        let ids = set("C2G", "ab cd");
+        assert_eq!(ids.len(), 2);
+        let cross = RepresentationModel::parse("C2G")
+            .expect("model")
+            .token_set("abcd", &Cleaner::off());
+        assert_eq!(cross.len(), 3); // ab, bc, cd
+    }
+
+    #[test]
+    fn identical_texts_identical_sets() {
+        for m in RepresentationModel::all() {
+            let a = m.token_set("walmart tv 55in", &Cleaner::off());
+            let b = m.token_set("walmart tv 55in", &Cleaner::off());
+            assert_eq!(a, b, "{}", m.name());
+            assert!(a.windows(2).all(|w| w[0] < w[1]), "{} unsorted", m.name());
+        }
+    }
+
+    #[test]
+    fn cleaning_changes_sets() {
+        let raw = set("T1G", "the apple");
+        let cleaned = RepresentationModel::parse("T1G")
+            .expect("model")
+            .token_set("the apple", &Cleaner::on());
+        assert_eq!(raw.len(), 2);
+        assert_eq!(cleaned.len(), 1, "stop-word removed");
+    }
+
+    #[test]
+    fn empty_text_empty_set() {
+        for m in RepresentationModel::all() {
+            assert!(m.token_set("", &Cleaner::off()).is_empty());
+        }
+    }
+}

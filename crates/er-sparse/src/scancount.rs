@@ -1,0 +1,149 @@
+//! The ScanCount algorithm [Li, Lu & Lu, ICDE 2008] (paper §IV-C).
+//!
+//! ScanCount builds an inverted list over all tokens of the indexed
+//! collection; a query merges the posting lists of its tokens, counting how
+//! often each indexed entity appears — that count *is* the set overlap
+//! `|A∩B|`. Unlike prefix-filter joins it has no similarity-threshold
+//! assumptions, which makes it suitable for the low thresholds ER needs.
+
+use er_core::hash::FastMap;
+
+/// An inverted index over the token sets of one entity collection.
+#[derive(Debug, Clone, Default)]
+pub struct ScanCountIndex {
+    /// token id → posting list of entity indices (ascending).
+    postings: FastMap<u64, Vec<u32>>,
+    /// Token-set cardinality `|A|` per indexed entity.
+    set_sizes: Vec<u32>,
+    /// Scratch: overlap count per indexed entity.
+    counts: Vec<u32>,
+}
+
+impl ScanCountIndex {
+    /// Builds the index from per-entity token-id sets (each set must be
+    /// duplicate-free; [`crate::RepresentationModel::token_set`] guarantees
+    /// that).
+    pub fn build(token_sets: &[Vec<u64>]) -> Self {
+        let mut postings: FastMap<u64, Vec<u32>> = FastMap::default();
+        let mut set_sizes = Vec::with_capacity(token_sets.len());
+        for (i, set) in token_sets.iter().enumerate() {
+            set_sizes.push(set.len() as u32);
+            for &token in set {
+                postings.entry(token).or_default().push(i as u32);
+            }
+        }
+        let counts = vec![0; token_sets.len()];
+        Self { postings, set_sizes, counts }
+    }
+
+    /// Number of indexed entities.
+    pub fn len(&self) -> usize {
+        self.set_sizes.len()
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.set_sizes.is_empty()
+    }
+
+    /// The token-set cardinality of indexed entity `i`.
+    #[inline]
+    pub fn set_size(&self, i: u32) -> usize {
+        self.set_sizes[i as usize] as usize
+    }
+
+    /// Merge-counts the posting lists of `query`'s tokens, appending
+    /// `(entity, overlap)` to `out` for every indexed entity sharing at
+    /// least one token.
+    ///
+    /// `query` must be duplicate-free. `out` is cleared first and filled in
+    /// ascending entity order, making downstream consumers deterministic;
+    /// reusing the same buffer across queries avoids per-query allocation.
+    pub fn query_into(&mut self, query: &[u64], out: &mut Vec<(u32, u32)>) {
+        out.clear();
+        // `counts` is a workhorse buffer: only touched entries are reset.
+        for token in query {
+            if let Some(list) = self.postings.get(token) {
+                for &e in list {
+                    if self.counts[e as usize] == 0 {
+                        out.push((e, 0));
+                    }
+                    self.counts[e as usize] += 1;
+                }
+            }
+        }
+        out.sort_unstable_by_key(|&(e, _)| e);
+        for entry in out.iter_mut() {
+            entry.1 = self.counts[entry.0 as usize];
+            self.counts[entry.0 as usize] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> ScanCountIndex {
+        // Entity 0: {1,2,3}; entity 1: {3,4}; entity 2: {5}.
+        ScanCountIndex::build(&[vec![1, 2, 3], vec![3, 4], vec![5]])
+    }
+
+    fn collect(idx: &mut ScanCountIndex, q: &[u64]) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        idx.query_into(q, &mut out);
+        out
+    }
+
+    #[test]
+    fn overlap_counts_are_exact() {
+        let mut idx = index();
+        // Query {2,3,4}: entity 0 overlaps {2,3}=2, entity 1 {3,4}=2.
+        assert_eq!(collect(&mut idx, &[2, 3, 4]), vec![(0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn non_overlapping_entities_not_visited() {
+        let mut idx = index();
+        assert_eq!(collect(&mut idx, &[1]), vec![(0, 1)]);
+        assert!(collect(&mut idx, &[99]).is_empty());
+        assert!(collect(&mut idx, &[]).is_empty());
+    }
+
+    #[test]
+    fn counts_reset_between_queries() {
+        let mut idx = index();
+        let first = collect(&mut idx, &[3]);
+        let second = collect(&mut idx, &[3]);
+        assert_eq!(first, second);
+        assert_eq!(first, vec![(0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn set_sizes_recorded() {
+        let idx = index();
+        assert_eq!(idx.set_size(0), 3);
+        assert_eq!(idx.set_size(2), 1);
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn empty_index() {
+        let mut idx = ScanCountIndex::build(&[]);
+        assert!(idx.is_empty());
+        assert!(collect(&mut idx, &[1, 2]).is_empty());
+    }
+
+    #[test]
+    fn overlap_never_exceeds_set_sizes() {
+        let sets: Vec<Vec<u64>> = vec![vec![1, 2, 3, 4], vec![2, 4, 6], vec![7]];
+        let mut idx = ScanCountIndex::build(&sets);
+        let q = vec![1, 2, 4, 6, 8];
+        let mut out = Vec::new();
+        idx.query_into(&q, &mut out);
+        for &(e, o) in &out {
+            assert!(o as usize <= sets[e as usize].len());
+            assert!(o as usize <= q.len());
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Set-overlap similarity measures (paper §IV-C), all normalized to
+//! `[0, 1]`:
+//!
+//! * Cosine  `C(A,B) = |A∩B| / √(|A|·|B|)`
+//! * Dice    `D(A,B) = 2·|A∩B| / (|A| + |B|)`
+//! * Jaccard `J(A,B) = |A∩B| / |A∪B|`
+
+/// A set-similarity measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimilarityMeasure {
+    /// Cosine similarity.
+    Cosine,
+    /// Dice similarity.
+    Dice,
+    /// Jaccard coefficient.
+    Jaccard,
+}
+
+impl SimilarityMeasure {
+    /// The three measures in the paper's order.
+    pub const ALL: [SimilarityMeasure; 3] =
+        [SimilarityMeasure::Cosine, SimilarityMeasure::Dice, SimilarityMeasure::Jaccard];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SimilarityMeasure::Cosine => "Cosine",
+            SimilarityMeasure::Dice => "Dice",
+            SimilarityMeasure::Jaccard => "Jaccard",
+        }
+    }
+
+    /// Computes the similarity from the overlap `|A∩B|` and set sizes.
+    ///
+    /// Empty sets have similarity 0 by convention.
+    #[inline]
+    pub fn compute(&self, overlap: usize, len_a: usize, len_b: usize) -> f64 {
+        if len_a == 0 || len_b == 0 {
+            return 0.0;
+        }
+        let o = overlap as f64;
+        match self {
+            SimilarityMeasure::Cosine => o / ((len_a as f64) * (len_b as f64)).sqrt(),
+            SimilarityMeasure::Dice => 2.0 * o / (len_a + len_b) as f64,
+            SimilarityMeasure::Jaccard => o / (len_a + len_b - overlap) as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sets_score_one() {
+        for m in SimilarityMeasure::ALL {
+            assert!((m.compute(4, 4, 4) - 1.0).abs() < 1e-12, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn disjoint_sets_score_zero() {
+        for m in SimilarityMeasure::ALL {
+            assert_eq!(m.compute(0, 3, 5), 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_sets_score_zero() {
+        for m in SimilarityMeasure::ALL {
+            assert_eq!(m.compute(0, 0, 0), 0.0);
+            assert_eq!(m.compute(0, 0, 5), 0.0);
+        }
+    }
+
+    #[test]
+    fn reference_values() {
+        // A = {a,b,c}, B = {b,c,d,e}: overlap 2.
+        assert!((SimilarityMeasure::Cosine.compute(2, 3, 4) - 2.0 / 12f64.sqrt()).abs() < 1e-12);
+        assert!((SimilarityMeasure::Dice.compute(2, 3, 4) - 4.0 / 7.0).abs() < 1e-12);
+        assert!((SimilarityMeasure::Jaccard.compute(2, 3, 4) - 2.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measures_bounded_and_monotone_in_overlap() {
+        for m in SimilarityMeasure::ALL {
+            let mut prev = -1.0;
+            for overlap in 0..=5 {
+                let s = m.compute(overlap, 5, 7);
+                assert!((0.0..=1.0).contains(&s), "{} out of range", m.name());
+                assert!(s >= prev, "{} not monotone", m.name());
+                prev = s;
+            }
+        }
+    }
+
+    #[test]
+    fn jaccard_lower_than_dice_lower_than_cosine_on_partial_overlap() {
+        // Standard ordering for |A| = |B| and partial overlap.
+        let (o, a, b) = (2, 4, 4);
+        let j = SimilarityMeasure::Jaccard.compute(o, a, b);
+        let d = SimilarityMeasure::Dice.compute(o, a, b);
+        let c = SimilarityMeasure::Cosine.compute(o, a, b);
+        assert!(j < d);
+        assert!(d <= c);
+    }
+}

@@ -1,0 +1,216 @@
+//! The global top-k set similarity join (paper §IV-C; Xiao et al., ICDE
+//! 2009).
+//!
+//! Unlike the *local* kNN-Join (at least `k` pairs per query entity), the
+//! top-k join returns the `k` highest-similarity pairs **globally** across
+//! `E1 × E2`. The paper observes it is equivalent to an ε-Join whose
+//! threshold equals the k-th pair's similarity — a property the tests and
+//! the cross-crate suite verify — and evaluates the local join instead
+//! because the global one cannot guarantee per-query coverage.
+
+use crate::representation::RepresentationModel;
+use crate::scancount::ScanCountIndex;
+use crate::similarity::SimilarityMeasure;
+use er_core::filter::{Filter, FilterOutput};
+use er_core::schema::TextView;
+use er_text::Cleaner;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A configured global top-k join.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopKJoin {
+    /// Apply stop-word removal + stemming (`CL`).
+    pub cleaning: bool,
+    /// Representation model (`RM`).
+    pub model: RepresentationModel,
+    /// Similarity measure (`SM`).
+    pub measure: SimilarityMeasure,
+    /// Number of pairs to keep globally.
+    pub k: usize,
+}
+
+/// Max-heap entry holding the *worst* kept pair on top.
+#[derive(PartialEq)]
+struct Worst {
+    sim: f64,
+    key: u64,
+}
+
+impl Eq for Worst {}
+
+impl Ord for Worst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse similarity: lowest similarity on top. Ties: larger key
+        // on top so smaller keys are preferred deterministically.
+        other
+            .sim
+            .partial_cmp(&self.sim)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.key.cmp(&other.key))
+    }
+}
+
+impl PartialOrd for Worst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl TopKJoin {
+    /// One-line configuration description.
+    pub fn describe(&self) -> String {
+        format!(
+            "CL={} RM={} SM={} K={}",
+            if self.cleaning { "y" } else { "-" },
+            self.model.name(),
+            self.measure.name(),
+            self.k
+        )
+    }
+
+    /// The k-th (lowest kept) similarity of the last run would make the
+    /// equivalent ε-Join threshold; exposed for the equivalence tests.
+    pub fn run_with_threshold(&self, view: &TextView) -> (FilterOutput, f64) {
+        let mut out = FilterOutput::default();
+        let cleaner = if self.cleaning { Cleaner::on() } else { Cleaner::off() };
+
+        let (sets1, sets2) = out.breakdown.time("preprocess", || {
+            let s1: Vec<Vec<u64>> =
+                view.e1.iter().map(|t| self.model.token_set(t, &cleaner)).collect();
+            let s2: Vec<Vec<u64>> =
+                view.e2.iter().map(|t| self.model.token_set(t, &cleaner)).collect();
+            (s1, s2)
+        });
+        let mut index = out.breakdown.time("index", || ScanCountIndex::build(&sets1));
+
+        let mut heap: BinaryHeap<Worst> = BinaryHeap::with_capacity(self.k + 1);
+        out.breakdown.time("query", || {
+            let mut hits: Vec<(u32, u32)> = Vec::new();
+            for (j, query) in sets2.iter().enumerate() {
+                let qlen = query.len();
+                index.query_into(query, &mut hits);
+                for &(i, overlap) in &hits {
+                    let sim =
+                        self.measure.compute(overlap as usize, index.set_size(i), qlen);
+                    if sim <= 0.0 {
+                        continue;
+                    }
+                    let key = er_core::Pair::new(i, j as u32).key();
+                    if heap.len() < self.k {
+                        heap.push(Worst { sim, key });
+                    } else if let Some(worst) = heap.peek() {
+                        if sim > worst.sim || (sim == worst.sim && key < worst.key) {
+                            heap.pop();
+                            heap.push(Worst { sim, key });
+                        }
+                    }
+                }
+            }
+        });
+        let threshold = heap.peek().map_or(0.0, |w| w.sim);
+        for w in heap {
+            out.candidates.insert(er_core::Pair::from_key(w.key));
+        }
+        (out, threshold)
+    }
+}
+
+impl Filter for TopKJoin {
+    fn name(&self) -> String {
+        "TopK-Join".to_owned()
+    }
+
+    fn run(&self, view: &TextView) -> FilterOutput {
+        self.run_with_threshold(view).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epsilon::EpsilonJoin;
+    use er_core::Pair;
+
+    fn join(k: usize) -> TopKJoin {
+        TopKJoin {
+            cleaning: false,
+            model: RepresentationModel::parse("T1G").expect("T1G"),
+            measure: SimilarityMeasure::Jaccard,
+            k,
+        }
+    }
+
+    fn view() -> TextView {
+        TextView {
+            e1: vec![
+                "alpha beta gamma".into(),
+                "delta epsilon".into(),
+                "alpha beta".into(),
+            ],
+            e2: vec![
+                "alpha beta gamma".into(), // J = 1.0 with e1[0]
+                "delta zeta".into(),       // J = 1/3 with e1[1]
+            ],
+        }
+    }
+
+    #[test]
+    fn returns_globally_best_pairs() {
+        let out = join(1).run(&view());
+        assert_eq!(out.candidates.len(), 1);
+        assert!(out.candidates.contains(Pair::new(0, 0)));
+        let out2 = join(2).run(&view());
+        assert_eq!(out2.candidates.len(), 2);
+        // Second best globally: e1[2] "alpha beta" vs e2[0] (J = 2/3).
+        assert!(out2.candidates.contains(Pair::new(2, 0)));
+    }
+
+    #[test]
+    fn k_larger_than_overlapping_pairs_returns_all() {
+        let out = join(100).run(&view());
+        // Only token-sharing pairs qualify.
+        assert_eq!(out.candidates.len(), 3);
+    }
+
+    #[test]
+    fn equivalent_to_epsilon_join_at_kth_similarity() {
+        // Paper §IV-C: the top-k join equals the ε-Join whose ε is the
+        // k-th pair's similarity (when no ties straddle the boundary).
+        let v = view();
+        let (out, threshold) = join(2).run_with_threshold(&v);
+        let eps = EpsilonJoin {
+            cleaning: false,
+            model: RepresentationModel::parse("T1G").expect("T1G"),
+            measure: SimilarityMeasure::Jaccard,
+            threshold,
+        };
+        let eps_out = eps.run(&v);
+        assert_eq!(out.candidates.to_sorted_vec(), eps_out.candidates.to_sorted_vec());
+    }
+
+    #[test]
+    fn global_join_can_starve_queries() {
+        // The reason the paper prefers the local kNN-Join: a dominant
+        // query can consume the whole global budget.
+        let v = TextView {
+            e1: vec!["x y z".into(), "a".into()],
+            e2: vec!["x y z".into(), "a b c d e".into()],
+        };
+        let out = join(1).run(&v);
+        // Query 1 gets no candidate at all.
+        assert!(out.candidates.iter().all(|p| p.right == 0));
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        let v = TextView {
+            e1: vec!["a b".into(), "a c".into(), "a d".into()],
+            e2: vec!["a".into()],
+        };
+        let a = join(2).run(&v).candidates.to_sorted_vec();
+        let b = join(2).run(&v).candidates.to_sorted_vec();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+    }
+}

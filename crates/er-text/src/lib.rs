@@ -1,0 +1,33 @@
+//! Text-processing substrate for entity-resolution filtering.
+//!
+//! This crate implements every textual primitive the filtering techniques of
+//! the ICDE 2023 benchmark rely on:
+//!
+//! * [`tokens`] — normalization and whitespace tokenization (the signatures of
+//!   Standard Blocking and the `T1G` representation model),
+//! * [`ngrams`] — character q-grams, extended q-gram combinations, token
+//!   suffixes, token substrings and k-shingles (the signatures of the
+//!   remaining block-building methods and of MinHash LSH),
+//! * [`stem`] — the Porter (1980) stemming algorithm,
+//! * [`stopwords`] — an embedded English stop-word list,
+//! * [`clean`] — the optional "cleaning" pre-processing step of the paper
+//!   (stop-word removal followed by stemming).
+//!
+//! All functions are deterministic and allocation-conscious: the hot paths
+//! accept an output `Vec` to append into so callers can reuse buffers.
+
+pub mod clean;
+pub mod ngrams;
+pub mod stem;
+pub mod stopwords;
+pub mod tokens;
+
+pub use clean::{clean_tokens, Cleaner};
+pub use ngrams::{
+    extended_qgram_keys, kshingles, qgrams, substrings_min_len, suffixes_min_len,
+};
+pub use stem::porter_stem;
+pub use stopwords::is_stopword;
+pub use tokens::{normalize, tokenize, tokenize_into};
+
+mod proptests;

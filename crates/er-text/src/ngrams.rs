@@ -1,0 +1,232 @@
+//! Character-level signature extraction: q-grams, extended q-gram
+//! combinations, suffixes, substrings and k-shingles.
+//!
+//! These functions produce the blocking keys of Q-Grams, Extended Q-Grams,
+//! Suffix Arrays and Extended Suffix Arrays Blocking (paper §IV-B), the
+//! `CnG`/`CnGM` representation models of the sparse NN methods (§IV-C) and
+//! the k-shingles of MinHash LSH (§IV-D). All operate on characters, not
+//! bytes, so multi-byte UTF-8 input is handled correctly.
+
+/// Maximum number of q-grams per token considered by
+/// [`extended_qgram_keys`]; longer tokens are truncated to bound the
+/// combinatorial blow-up of the subset enumeration (JedAI applies the same
+/// kind of guard).
+pub const MAX_QGRAMS_PER_TOKEN: usize = 15;
+
+/// Returns the sliding-window character q-grams of `s`.
+///
+/// A string shorter than `q` yields itself as its only "gram", matching the
+/// behaviour of Q-Grams Blocking on short tokens (a key is always produced).
+///
+/// ```
+/// assert_eq!(er_text::qgrams("biden", 3), vec!["bid", "ide", "den"]);
+/// assert_eq!(er_text::qgrams("jo", 3), vec!["jo"]);
+/// ```
+pub fn qgrams(s: &str, q: usize) -> Vec<String> {
+    assert!(q >= 1, "q-gram length must be at least 1");
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return Vec::new();
+    }
+    if chars.len() <= q {
+        return vec![s.to_owned()];
+    }
+    let mut out = Vec::with_capacity(chars.len() - q + 1);
+    for window in chars.windows(q) {
+        out.push(window.iter().collect());
+    }
+    out
+}
+
+/// Returns the Extended Q-Grams Blocking keys of a token: every
+/// positional-order combination of at least `L` of its q-grams, concatenated
+/// with `_`, where `L = max(1, floor(k * t))` and `k` is the number of
+/// q-grams extracted from the token.
+///
+/// Reproduces the paper's example: for `"Biden"`, `q = 3`, `t = 0.9` the
+/// keys are `bid_ide_den`, `bid_ide`, `bid_den`, `ide_den` (the paper shows
+/// them in original case; we normalize earlier in the pipeline).
+///
+/// The q-gram list is truncated to [`MAX_QGRAMS_PER_TOKEN`] entries to keep
+/// the subset enumeration bounded for pathological tokens.
+pub fn extended_qgram_keys(token: &str, q: usize, t: f64) -> Vec<String> {
+    assert!((0.0..1.0).contains(&t), "threshold t must be in [0, 1)");
+    let mut grams = qgrams(token, q);
+    grams.truncate(MAX_QGRAMS_PER_TOKEN);
+    let k = grams.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    if k == 1 {
+        return grams;
+    }
+    let l = ((k as f64 * t).floor() as usize).max(1);
+    // Enumerate subsets with popcount >= l preserving positional order.
+    let mut keys = Vec::new();
+    let full: u32 = if k == 32 { u32::MAX } else { (1u32 << k) - 1 };
+    for mask in 1..=full {
+        if (mask.count_ones() as usize) < l {
+            continue;
+        }
+        let mut key = String::new();
+        for (i, gram) in grams.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                if !key.is_empty() {
+                    key.push('_');
+                }
+                key.push_str(gram);
+            }
+        }
+        keys.push(key);
+    }
+    keys
+}
+
+/// Returns the suffixes of `s` with at least `min_len` characters, including
+/// `s` itself (Suffix Arrays Blocking keys, before the `b_max` frequency
+/// constraint that the blocking layer applies).
+///
+/// ```
+/// assert_eq!(er_text::suffixes_min_len("biden", 3), vec!["biden", "iden", "den"]);
+/// ```
+pub fn suffixes_min_len(s: &str, min_len: usize) -> Vec<String> {
+    let chars: Vec<char> = s.chars().collect();
+    let n = chars.len();
+    if n < min_len || min_len == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(n - min_len + 1);
+    for start in 0..=(n - min_len) {
+        out.push(chars[start..].iter().collect());
+    }
+    out
+}
+
+/// Returns every substring of `s` with at least `min_len` characters
+/// (Extended Suffix Arrays Blocking keys, before the frequency constraint).
+///
+/// The paper's example: `"Biden"` with `l_min = 3` yields
+/// `{biden, bide, iden, bid, ide, den}` (plus `joe` from the other token).
+pub fn substrings_min_len(s: &str, min_len: usize) -> Vec<String> {
+    let chars: Vec<char> = s.chars().collect();
+    let n = chars.len();
+    if n < min_len || min_len == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for len in (min_len..=n).rev() {
+        for start in 0..=(n - len) {
+            out.push(chars[start..start + len].iter().collect());
+        }
+    }
+    out
+}
+
+/// Returns the character k-shingles of a whole string (used by MinHash LSH).
+///
+/// Unlike [`qgrams`], shingling treats the entire value — spaces included —
+/// as the character sequence, which is the standard construction for
+/// document resemblance [Broder 1997]. Strings shorter than `k` yield the
+/// string itself.
+pub fn kshingles(s: &str, k: usize) -> Vec<String> {
+    assert!(k >= 1, "shingle length must be at least 1");
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return Vec::new();
+    }
+    if chars.len() <= k {
+        return vec![s.to_owned()];
+    }
+    let mut out = Vec::with_capacity(chars.len() - k + 1);
+    for window in chars.windows(k) {
+        out.push(window.iter().collect());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn qgrams_paper_example() {
+        // "Joe Biden", q = 3 -> {Joe, Bid, ide, den} across the two tokens.
+        let mut keys: Vec<String> = qgrams("joe", 3);
+        keys.extend(qgrams("biden", 3));
+        assert_eq!(keys, vec!["joe", "bid", "ide", "den"]);
+    }
+
+    #[test]
+    fn qgrams_short_and_empty() {
+        assert_eq!(qgrams("ab", 2), vec!["ab"]);
+        assert_eq!(qgrams("a", 2), vec!["a"]);
+        assert!(qgrams("", 2).is_empty());
+    }
+
+    #[test]
+    fn qgrams_unicode_counts_chars() {
+        assert_eq!(qgrams("čaña", 2), vec!["ča", "añ", "ña"]);
+    }
+
+    #[test]
+    fn extended_qgrams_paper_example() {
+        // "Biden" with q=3, T=0.9: k=3, L=max(1, floor(2.7))=2.
+        let keys: BTreeSet<String> = extended_qgram_keys("biden", 3, 0.9).into_iter().collect();
+        let expected: BTreeSet<String> =
+            ["bid_ide_den", "bid_ide", "bid_den", "ide_den"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(keys, expected);
+        // "Joe": a single q-gram -> the token itself.
+        assert_eq!(extended_qgram_keys("joe", 3, 0.9), vec!["joe"]);
+    }
+
+    #[test]
+    fn extended_qgrams_low_threshold_includes_singletons() {
+        // t close to 0 -> L = 1 -> every non-empty subset.
+        let keys = extended_qgram_keys("abcd", 3, 0.0);
+        // k = 2 grams ("abc", "bcd") -> 3 subsets.
+        assert_eq!(keys.len(), 3);
+    }
+
+    #[test]
+    fn extended_qgrams_truncates_pathological_tokens() {
+        let long: String = "a".repeat(64);
+        // Must terminate and produce a bounded number of keys.
+        let keys = extended_qgram_keys(&long, 2, 0.95);
+        assert!(!keys.is_empty());
+        assert!(keys.len() < 1 << MAX_QGRAMS_PER_TOKEN);
+    }
+
+    #[test]
+    fn suffixes_paper_example() {
+        // "Biden" with l_min = 3 -> {Biden, iden, den}; "Joe" -> {joe}.
+        assert_eq!(suffixes_min_len("biden", 3), vec!["biden", "iden", "den"]);
+        assert_eq!(suffixes_min_len("joe", 3), vec!["joe"]);
+        assert!(suffixes_min_len("ab", 3).is_empty());
+    }
+
+    #[test]
+    fn substrings_paper_example() {
+        let got: BTreeSet<String> = substrings_min_len("biden", 3).into_iter().collect();
+        let expected: BTreeSet<String> =
+            ["biden", "bide", "iden", "bid", "ide", "den"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn substrings_superset_of_suffixes() {
+        for word in ["walmart", "a", "ab", "restaurant"] {
+            let subs: BTreeSet<String> = substrings_min_len(word, 2).into_iter().collect();
+            for suf in suffixes_min_len(word, 2) {
+                assert!(subs.contains(&suf), "{suf} missing from substrings of {word}");
+            }
+        }
+    }
+
+    #[test]
+    fn kshingles_spans_spaces() {
+        assert_eq!(kshingles("a b", 2), vec!["a ", " b"]);
+        assert_eq!(kshingles("ab", 5), vec!["ab"]);
+        assert!(kshingles("", 3).is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests of the text substrate's invariants.
+
+#![cfg(test)]
+
+use crate::{
+    clean_tokens, extended_qgram_keys, kshingles, normalize, porter_stem, qgrams,
+    substrings_min_len, suffixes_min_len, tokenize,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Normalization is idempotent.
+    #[test]
+    fn normalize_idempotent(s in ".{0,60}") {
+        let once = normalize(&s);
+        prop_assert_eq!(normalize(&once), once);
+    }
+
+    /// Tokens contain only alphanumeric characters and are non-empty.
+    #[test]
+    fn tokens_are_clean(s in ".{0,60}") {
+        for t in tokenize(&s) {
+            prop_assert!(!t.is_empty());
+            prop_assert!(t.chars().all(char::is_alphanumeric));
+            // Lowercasing is a fixpoint (exotic chars without a lowercase
+            // mapping, e.g. "𝐀", are left as-is by to_lowercase too).
+            prop_assert_eq!(t.to_lowercase(), t.clone());
+        }
+    }
+
+    /// Stemming never grows a word and never panics on arbitrary input.
+    #[test]
+    fn stemming_shrinks(word in "[a-z]{1,20}") {
+        let stem = porter_stem(&word);
+        prop_assert!(stem.len() <= word.len(), "{} -> {}", word, stem);
+        prop_assert!(!stem.is_empty());
+    }
+
+    /// Every q-gram of a long-enough token has exactly length q, and their
+    /// count is len - q + 1.
+    #[test]
+    fn qgram_shape(word in "[a-z]{1,24}", q in 1usize..6) {
+        let grams = qgrams(&word, q);
+        if word.chars().count() <= q {
+            prop_assert_eq!(grams, vec![word.clone()]);
+        } else {
+            prop_assert_eq!(grams.len(), word.chars().count() - q + 1);
+            for g in &grams {
+                prop_assert_eq!(g.chars().count(), q);
+            }
+        }
+    }
+
+    /// Q-grams reassemble to the original word via overlaps.
+    #[test]
+    fn qgrams_cover_word(word in "[a-z]{3,20}") {
+        let grams = qgrams(&word, 3);
+        let mut rebuilt: String = grams[0].clone();
+        for g in &grams[1..] {
+            rebuilt.push(g.chars().last().expect("3-gram"));
+        }
+        prop_assert_eq!(rebuilt, word);
+    }
+
+    /// Suffixes are suffixes; substrings contain suffixes.
+    #[test]
+    fn suffix_substring_relations(word in "[a-z]{1,16}", l_min in 1usize..5) {
+        let suffixes = suffixes_min_len(&word, l_min);
+        for s in &suffixes {
+            prop_assert!(word.ends_with(s.as_str()));
+            prop_assert!(s.chars().count() >= l_min);
+        }
+        let substrings = substrings_min_len(&word, l_min);
+        for s in &suffixes {
+            prop_assert!(substrings.contains(s), "suffix {} not in substrings", s);
+        }
+        for s in &substrings {
+            prop_assert!(word.contains(s.as_str()));
+        }
+    }
+
+    /// Extended q-gram keys always include the full concatenation of all
+    /// grams, and every key is built from the token's grams.
+    #[test]
+    fn extended_qgram_keys_valid(word in "[a-z]{1,12}", t in 0.0f64..0.99) {
+        let keys = extended_qgram_keys(&word, 3, t);
+        prop_assert!(!keys.is_empty());
+        let grams = qgrams(&word, 3);
+        let full = grams.join("_");
+        prop_assert!(keys.contains(&full), "full key {} missing", full);
+        for key in &keys {
+            for part in key.split('_') {
+                prop_assert!(grams.iter().any(|g| g == part));
+            }
+        }
+    }
+
+    /// Cleaning = drop stop-words, then stem the survivors, in order.
+    #[test]
+    fn cleaning_equals_filter_then_stem(s in "[a-z ]{0,60}") {
+        let tokens = tokenize(&s);
+        let expected: Vec<String> = tokens
+            .iter()
+            .filter(|t| !crate::is_stopword(t))
+            .map(|t| porter_stem(t))
+            .collect();
+        prop_assert_eq!(clean_tokens(tokens), expected);
+    }
+
+    /// k-shingles have length k and their count matches.
+    #[test]
+    fn shingle_shape(s in "[a-z ]{1,40}", k in 1usize..6) {
+        let shingles = kshingles(&s, k);
+        let n = s.chars().count();
+        if n <= k {
+            prop_assert_eq!(shingles.len(), 1);
+        } else {
+            prop_assert_eq!(shingles.len(), n - k + 1);
+            for sh in &shingles {
+                prop_assert_eq!(sh.chars().count(), k);
+            }
+        }
+    }
+}

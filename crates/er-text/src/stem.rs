@@ -1,0 +1,387 @@
+//! The Porter stemming algorithm (M. F. Porter, "An algorithm for suffix
+//! stripping", *Program* 14(3), 1980).
+//!
+//! The benchmark's optional "cleaning" pre-processing step reduces every
+//! word to its base form (the paper uses nltk, whose default stemmer is
+//! Porter's). This is a faithful from-scratch implementation of the original
+//! algorithm: steps 1a–1c, 2, 3, 4, 5a and 5b over lowercase ASCII words.
+//! Words shorter than three characters or containing non-ASCII-alphabetic
+//! characters are returned unchanged, mirroring common practice.
+
+/// Stems a single lowercase word with the Porter algorithm.
+///
+/// ```
+/// assert_eq!(er_text::porter_stem("blocks"), "block");
+/// assert_eq!(er_text::porter_stem("relational"), "relat");
+/// assert_eq!(er_text::porter_stem("caresses"), "caress");
+/// ```
+pub fn porter_stem(word: &str) -> String {
+    if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+        return word.to_owned();
+    }
+    let mut s = Stemmer { b: word.as_bytes().to_vec() };
+    s.step1a();
+    s.step1b();
+    s.step1c();
+    s.step2();
+    s.step3();
+    s.step4();
+    s.step5a();
+    s.step5b();
+    // Safety: we only ever shrink or substitute ASCII bytes.
+    String::from_utf8(s.b).expect("stemmer output is ASCII")
+}
+
+struct Stemmer {
+    b: Vec<u8>,
+}
+
+impl Stemmer {
+    /// True if the character at `i` is a consonant in Porter's sense
+    /// (`y` counts as a consonant only when not preceded by a consonant).
+    fn is_consonant(&self, i: usize) -> bool {
+        match self.b[i] {
+            b'a' | b'e' | b'i' | b'o' | b'u' => false,
+            b'y' => i == 0 || !self.is_consonant(i - 1),
+            _ => true,
+        }
+    }
+
+    /// Porter's measure m of the stem `b[..end]`: the number of VC
+    /// sequences in the form `[C](VC)^m[V]`.
+    fn measure(&self, end: usize) -> usize {
+        let mut m = 0;
+        let mut i = 0;
+        // Skip the optional initial consonant run.
+        while i < end && self.is_consonant(i) {
+            i += 1;
+        }
+        loop {
+            // Vowel run.
+            while i < end && !self.is_consonant(i) {
+                i += 1;
+            }
+            if i >= end {
+                return m;
+            }
+            // Consonant run: completes one VC.
+            while i < end && self.is_consonant(i) {
+                i += 1;
+            }
+            m += 1;
+        }
+    }
+
+    /// True if the stem `b[..end]` contains a vowel.
+    fn has_vowel(&self, end: usize) -> bool {
+        (0..end).any(|i| !self.is_consonant(i))
+    }
+
+    /// True if the stem ends in a double consonant (`*d`).
+    fn ends_double_consonant(&self, end: usize) -> bool {
+        end >= 2 && self.b[end - 1] == self.b[end - 2] && self.is_consonant(end - 1)
+    }
+
+    /// True if the stem ends consonant-vowel-consonant where the final
+    /// consonant is not `w`, `x` or `y` (`*o`).
+    fn ends_cvc(&self, end: usize) -> bool {
+        if end < 3 {
+            return false;
+        }
+        let c = self.b[end - 1];
+        self.is_consonant(end - 3)
+            && !self.is_consonant(end - 2)
+            && self.is_consonant(end - 1)
+            && c != b'w'
+            && c != b'x'
+            && c != b'y'
+    }
+
+    fn ends_with(&self, suffix: &[u8]) -> bool {
+        self.b.len() >= suffix.len() && &self.b[self.b.len() - suffix.len()..] == suffix
+    }
+
+    /// Length of the stem left after removing `suffix` (caller must have
+    /// checked `ends_with`).
+    fn stem_len(&self, suffix: &[u8]) -> usize {
+        self.b.len() - suffix.len()
+    }
+
+    /// Replaces a verified suffix with `replacement`.
+    fn replace(&mut self, suffix: &[u8], replacement: &[u8]) {
+        let keep = self.b.len() - suffix.len();
+        self.b.truncate(keep);
+        self.b.extend_from_slice(replacement);
+    }
+
+    /// If the word ends with `suffix` and the remaining stem has measure
+    /// greater than `min_m`, substitute `replacement` and return true.
+    fn try_rule(&mut self, suffix: &[u8], replacement: &[u8], min_m: usize) -> bool {
+        if self.ends_with(suffix) {
+            let end = self.stem_len(suffix);
+            if self.measure(end) > min_m {
+                self.replace(suffix, replacement);
+            }
+            // Porter's rule lists stop at the first matching suffix even if
+            // the condition fails.
+            return true;
+        }
+        false
+    }
+
+    fn step1a(&mut self) {
+        if self.ends_with(b"sses") {
+            self.replace(b"sses", b"ss");
+        } else if self.ends_with(b"ies") {
+            self.replace(b"ies", b"i");
+        } else if self.ends_with(b"ss") {
+            // Leave unchanged.
+        } else if self.ends_with(b"s") {
+            self.replace(b"s", b"");
+        }
+    }
+
+    fn step1b(&mut self) {
+        if self.ends_with(b"eed") {
+            if self.measure(self.stem_len(b"eed")) > 0 {
+                self.replace(b"eed", b"ee");
+            }
+            return;
+        }
+        let stripped = if self.ends_with(b"ed") && self.has_vowel(self.stem_len(b"ed")) {
+            self.replace(b"ed", b"");
+            true
+        } else if self.ends_with(b"ing") && self.has_vowel(self.stem_len(b"ing")) {
+            self.replace(b"ing", b"");
+            true
+        } else {
+            false
+        };
+        if !stripped {
+            return;
+        }
+        if self.ends_with(b"at") {
+            self.replace(b"at", b"ate");
+        } else if self.ends_with(b"bl") {
+            self.replace(b"bl", b"ble");
+        } else if self.ends_with(b"iz") {
+            self.replace(b"iz", b"ize");
+        } else if self.ends_double_consonant(self.b.len()) {
+            let last = self.b[self.b.len() - 1];
+            if last != b'l' && last != b's' && last != b'z' {
+                self.b.pop();
+            }
+        } else if self.measure(self.b.len()) == 1 && self.ends_cvc(self.b.len()) {
+            self.b.push(b'e');
+        }
+    }
+
+    fn step1c(&mut self) {
+        if self.ends_with(b"y") && self.has_vowel(self.stem_len(b"y")) {
+            let n = self.b.len();
+            self.b[n - 1] = b'i';
+        }
+    }
+
+    fn step2(&mut self) {
+        const RULES: &[(&[u8], &[u8])] = &[
+            (b"ational", b"ate"),
+            (b"tional", b"tion"),
+            (b"enci", b"ence"),
+            (b"anci", b"ance"),
+            (b"izer", b"ize"),
+            (b"abli", b"able"),
+            (b"alli", b"al"),
+            (b"entli", b"ent"),
+            (b"eli", b"e"),
+            (b"ousli", b"ous"),
+            (b"ization", b"ize"),
+            (b"ation", b"ate"),
+            (b"ator", b"ate"),
+            (b"alism", b"al"),
+            (b"iveness", b"ive"),
+            (b"fulness", b"ful"),
+            (b"ousness", b"ous"),
+            (b"aliti", b"al"),
+            (b"iviti", b"ive"),
+            (b"biliti", b"ble"),
+        ];
+        for (suffix, replacement) in RULES {
+            if self.try_rule(suffix, replacement, 0) {
+                return;
+            }
+        }
+    }
+
+    fn step3(&mut self) {
+        const RULES: &[(&[u8], &[u8])] = &[
+            (b"icate", b"ic"),
+            (b"ative", b""),
+            (b"alize", b"al"),
+            (b"iciti", b"ic"),
+            (b"ical", b"ic"),
+            (b"ful", b""),
+            (b"ness", b""),
+        ];
+        for (suffix, replacement) in RULES {
+            if self.try_rule(suffix, replacement, 0) {
+                return;
+            }
+        }
+    }
+
+    fn step4(&mut self) {
+        const RULES: &[&[u8]] = &[
+            b"al", b"ance", b"ence", b"er", b"ic", b"able", b"ible", b"ant", b"ement", b"ment",
+            b"ent", b"ion", b"ou", b"ism", b"ate", b"iti", b"ous", b"ive", b"ize",
+        ];
+        for suffix in RULES {
+            if self.ends_with(suffix) {
+                let end = self.stem_len(suffix);
+                if self.measure(end) > 1 {
+                    // "ion" additionally requires the stem to end in s or t.
+                    if *suffix == b"ion" && !(end > 0 && (self.b[end - 1] == b's' || self.b[end - 1] == b't')) {
+                        return;
+                    }
+                    self.replace(suffix, b"");
+                }
+                return;
+            }
+        }
+    }
+
+    fn step5a(&mut self) {
+        if self.ends_with(b"e") {
+            let end = self.stem_len(b"e");
+            let m = self.measure(end);
+            if m > 1 || (m == 1 && !self.ends_cvc(end)) {
+                self.replace(b"e", b"");
+            }
+        }
+    }
+
+    fn step5b(&mut self) {
+        let n = self.b.len();
+        if n >= 2
+            && self.b[n - 1] == b'l'
+            && self.ends_double_consonant(n)
+            && self.measure(n) > 1
+        {
+            self.b.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic vocabulary/expected pairs from Porter's paper and the
+    /// reference implementation's sample output.
+    #[test]
+    fn porter_reference_cases() {
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (word, expected) in cases {
+            assert_eq!(porter_stem(word), expected, "stem({word})");
+        }
+    }
+
+    #[test]
+    fn paper_example_blocks_becomes_block() {
+        assert_eq!(porter_stem("blocks"), "block");
+    }
+
+    #[test]
+    fn short_and_nonascii_words_pass_through() {
+        assert_eq!(porter_stem("as"), "as");
+        assert_eq!(porter_stem("a"), "a");
+        assert_eq!(porter_stem("café"), "café");
+        assert_eq!(porter_stem("R2D2"), "R2D2");
+    }
+
+    #[test]
+    fn stemming_is_idempotent_on_common_words() {
+        for word in ["connection", "running", "movies", "entities"] {
+            let once = porter_stem(word);
+            let twice = porter_stem(&once);
+            // Porter is not idempotent in general, but is for these stems.
+            assert_eq!(once, twice, "{word} -> {once} -> {twice}");
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Embedded English stop-word list.
+//!
+//! The benchmark's optional cleaning step removes stop-words before indexing
+//! (the paper uses nltk's list). We embed the standard 127-word Snowball /
+//! nltk-style English list plus a handful of corpus-neutral additions; the
+//! lookup is a binary search over a sorted static table, so `is_stopword`
+//! costs O(log n) with zero allocation.
+
+/// Sorted list of English stop-words. Kept sorted so [`is_stopword`] can
+/// binary-search; a unit test asserts the ordering.
+pub static STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "aren", "as", "at", "be", "because", "been", "before", "being", "below", "between", "both",
+    "but", "by", "can", "cannot", "could", "couldn", "did", "didn", "do", "does", "doesn",
+    "doing", "don", "down", "during", "each", "few", "for", "from", "further", "had", "hadn",
+    "has", "hasn", "have", "haven", "having", "he", "her", "here", "hers", "herself", "him",
+    "himself", "his", "how", "i", "if", "in", "into", "is", "isn", "it", "its", "itself", "just",
+    "ll", "me", "more", "most", "mustn", "my", "myself", "no", "nor", "not", "now", "of", "off",
+    "on", "once", "only", "or", "other", "ought", "our", "ours", "ourselves", "out", "over",
+    "own", "re", "s", "same", "shan", "she", "should", "shouldn", "so", "some", "such", "t",
+    "than", "that", "the", "their", "theirs", "them", "themselves", "then", "there", "these",
+    "they", "this", "those", "through", "to", "too", "under", "until", "up", "ve", "very", "was",
+    "wasn", "we", "were", "weren", "what", "when", "where", "which", "while", "who", "whom",
+    "why", "will", "with", "won", "would", "wouldn", "you", "your", "yours", "yourself",
+    "yourselves",
+];
+
+/// Returns true if `word` (assumed lowercase) is an English stop-word.
+///
+/// ```
+/// assert!(er_text::is_stopword("the"));
+/// assert!(!er_text::is_stopword("walmart"));
+/// ```
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_sorted_and_unique() {
+        for pair in STOPWORDS.windows(2) {
+            assert!(pair[0] < pair[1], "{:?} >= {:?}", pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn common_stopwords_detected() {
+        for w in ["the", "and", "of", "is", "a", "with", "for"] {
+            assert!(is_stopword(w), "{w} should be a stop-word");
+        }
+    }
+
+    #[test]
+    fn content_words_pass() {
+        for w in ["walmart", "camera", "database", "resolution", "biden", ""] {
+            assert!(!is_stopword(w), "{w} should not be a stop-word");
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Normalization and whitespace tokenization.
+//!
+//! The benchmark treats attribute values as free text. Standard Blocking and
+//! the `T1G` representation model split values into tokens on whitespace and
+//! punctuation after lowercasing; every downstream signature scheme (q-grams,
+//! suffixes, …) operates on these tokens.
+
+/// Lowercases `text` and replaces every non-alphanumeric character with a
+/// single space, collapsing runs of separators.
+///
+/// This is the shared normalization applied before any token extraction, so
+/// that `"Joe   BIDEN,"` and `"joe biden"` produce identical signatures.
+///
+/// ```
+/// assert_eq!(er_text::normalize("Joe   BIDEN,"), "joe biden");
+/// ```
+pub fn normalize(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut pending_space = false;
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            if pending_space && !out.is_empty() {
+                out.push(' ');
+            }
+            pending_space = false;
+            for lc in ch.to_lowercase() {
+                out.push(lc);
+            }
+        } else {
+            pending_space = true;
+        }
+    }
+    out
+}
+
+/// Splits `text` into lowercase alphanumeric tokens.
+///
+/// Equivalent to `normalize(text).split(' ')` but avoids the intermediate
+/// string. Empty inputs yield no tokens.
+///
+/// ```
+/// assert_eq!(er_text::tokenize("Abt CD-330!"), vec!["abt", "cd", "330"]);
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    tokenize_into(text, &mut out);
+    out
+}
+
+/// Appends the tokens of `text` to `out`, reusing its allocation.
+///
+/// This is the buffer-reusing form of [`tokenize`] for hot loops that
+/// tokenize many attribute values.
+pub fn tokenize_into(text: &str, out: &mut Vec<String>) {
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            for lc in ch.to_lowercase() {
+                current.push(lc);
+            }
+        } else if !current.is_empty() {
+            out.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_lowercases_and_collapses() {
+        assert_eq!(normalize("Joe   BIDEN,"), "joe biden");
+        assert_eq!(normalize("  a--b  "), "a b");
+        assert_eq!(normalize(""), "");
+        assert_eq!(normalize("!!!"), "");
+    }
+
+    #[test]
+    fn tokenize_splits_on_punctuation() {
+        assert_eq!(tokenize("Abt CD-330!"), vec!["abt", "cd", "330"]);
+        assert_eq!(tokenize("one"), vec!["one"]);
+        assert!(tokenize("").is_empty());
+        assert!(tokenize(" ,;- ").is_empty());
+    }
+
+    #[test]
+    fn tokenize_handles_unicode() {
+        assert_eq!(tokenize("Café Überfall"), vec!["café", "überfall"]);
+    }
+
+    #[test]
+    fn tokenize_into_reuses_buffer() {
+        let mut buf = Vec::with_capacity(8);
+        tokenize_into("a b", &mut buf);
+        tokenize_into("c", &mut buf);
+        assert_eq!(buf, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn tokenize_matches_normalize_split() {
+        for text in ["Joe BIDEN", "x-1 2_3", "  padded  ", "ümlaut Ärger"] {
+            let via_norm: Vec<String> =
+                normalize(text).split(' ').filter(|s| !s.is_empty()).map(String::from).collect();
+            assert_eq!(tokenize(text), via_norm, "mismatch for {text:?}");
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! # er — filtering techniques for entity resolution
+//!
+//! A from-scratch Rust reproduction of *"Benchmarking Filtering Techniques
+//! for Entity Resolution"* (ICDE 2023): blocking workflows, sparse
+//! vector-based nearest-neighbor joins and dense vector-based
+//! nearest-neighbor search, plus the configuration-optimization protocol
+//! that compares them on an equal footing (maximize precision subject to
+//! recall ≥ τ).
+//!
+//! This crate is a facade: it re-exports the entire workspace so
+//! applications depend on one crate.
+//!
+//! ```
+//! use er::prelude::*;
+//!
+//! // A tiny Clean-Clean ER task: two product collections.
+//! let dataset = er::datagen::generate(
+//!     er::datagen::profiles::profile("D2").unwrap(), 0.05, 42);
+//!
+//! // Extract the schema-agnostic text view and run a blocking workflow.
+//! let view = text_view(&dataset, &SchemaMode::Agnostic);
+//! let output = BlockingWorkflow::pbw().run(&view);
+//! let eff = evaluate(&output.candidates, &dataset.groundtruth);
+//! assert!(eff.pc > 0.8, "recall {}", eff.pc);
+//! ```
+
+/// Core abstractions: entities, datasets, candidates, metrics, optimizer.
+pub use er_core as core;
+/// Text processing: tokenization, n-grams, stemming, stop-words.
+pub use er_text as text;
+/// Blocking workflows.
+pub use er_blocking as blocking;
+/// Sparse NN methods (ε-Join, kNN-Join).
+pub use er_sparse as sparse;
+/// Dense NN methods (LSH family, FAISS/SCANN equivalents, DeepBlocker).
+pub use er_dense as dense;
+/// Neural substrate (autoencoder).
+pub use er_neural as neural;
+/// Synthetic D1–D10 dataset generators.
+pub use er_datagen as datagen;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use er_blocking::{
+        BlockBuilder, BlockingWorkflow, ComparisonCleaning, MetaBlocking, PruningAlgorithm,
+        WeightingScheme, WorkflowKind,
+    };
+    pub use er_core::{
+        evaluate, CandidateSet, Dataset, Effectiveness, Filter, FilterOutput, GridResolution,
+        GroundTruth, Optimizer, Pair, QueryRankings, TargetRecall,
+    };
+    pub use er_core::dirty::{DirtyAdapter, DirtyDataset};
+    pub use er_core::schema::{attribute_stats, best_attribute, text_view, SchemaMode};
+    pub use er_core::verify::{JaccardMatcher, MatchingQuality};
+    pub use er_datagen::{generate, generate_all, DatasetProfile, PROFILES};
+    pub use er_dense::{
+        CrossPolytopeLsh, DeepBlocker, DeepBlockerConfig, EmbeddingConfig, FlatKnn, FlatRange,
+        HnswKnn, HyperplaneLsh, MinHashLsh, PartitionedKnn,
+    };
+    pub use er_sparse::{EpsilonJoin, KnnJoin, RepresentationModel, SimilarityMeasure, TopKJoin};
+}

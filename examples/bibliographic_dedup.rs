@@ -1,0 +1,77 @@
+//! Bibliographic record linkage (DBLP–ACM / DBLP–Google-Scholar style):
+//! schema-based vs schema-agnostic settings and the value of cleaning.
+//!
+//! ```text
+//! cargo run --release --example bibliographic_dedup
+//! ```
+//!
+//! Demonstrates attribute selection by coverage × distinctiveness, shows
+//! how the schema-based view shrinks the corpus (paper Fig. 3), and
+//! compares a blocking workflow under both settings.
+
+use er::core::schema::{attribute_stats, corpus_stats};
+use er::prelude::*;
+
+fn main() {
+    // D9: clean DBLP against noisy, much larger Google Scholar.
+    let profile = er::datagen::profiles::profile("D9").expect("D9 exists");
+    let ds = generate(profile, 0.05, 21);
+    println!(
+        "dataset {}: |E1| = {}, |E2| = {}, duplicates = {}\n",
+        ds.name,
+        ds.e1.len(),
+        ds.e2.len(),
+        ds.groundtruth.len()
+    );
+
+    // Which attribute should the schema-based setting use?
+    println!("attribute statistics (coverage x distinctiveness):");
+    for stat in attribute_stats(&ds) {
+        println!(
+            "  {:<10} coverage = {:.2}, gt-coverage = {:.2}, distinctiveness = {:.2}, score = {:.2}",
+            stat.name, stat.coverage, stat.groundtruth_coverage, stat.distinctiveness,
+            stat.score()
+        );
+    }
+    let best = best_attribute(&ds).expect("attributes exist");
+    println!("  -> selected: {best:?}\n");
+
+    // Corpus shrinkage: schema-based and cleaning both cut the text volume.
+    let agnostic = text_view(&ds, &SchemaMode::Agnostic);
+    let based = text_view(&ds, &SchemaMode::BestAttribute);
+    for (label, view) in [("schema-agnostic", &agnostic), ("schema-based", &based)] {
+        let raw = corpus_stats(view, false);
+        let cleaned = corpus_stats(view, true);
+        println!(
+            "{label:<16} vocabulary = {:>6} (cleaned {:>6}), characters = {:>7} (cleaned {:>7})",
+            raw.vocabulary_size, cleaned.vocabulary_size, raw.char_length, cleaned.char_length
+        );
+    }
+
+    // The same workflow under both settings.
+    let workflow = BlockingWorkflow {
+        builder: BlockBuilder::Standard,
+        purge: true,
+        filter_ratio: Some(0.5),
+        cleaning: ComparisonCleaning::Meta(MetaBlocking {
+            scheme: WeightingScheme::ChiSquared,
+            pruning: PruningAlgorithm::Rcnp,
+        }),
+    };
+    println!("\nworkflow: {}", workflow.describe());
+    for (label, view) in [("schema-agnostic", &agnostic), ("schema-based", &based)] {
+        let out = workflow.run(view);
+        let eff = evaluate(&out.candidates, &ds.groundtruth);
+        println!(
+            "  {label:<16} PC = {:.3}, PQ = {:.4}, |C| = {:>6}, RT = {:?}",
+            eff.pc,
+            eff.pq,
+            eff.candidates,
+            out.runtime()
+        );
+    }
+    println!(
+        "\nExpected (paper conclusion 2): the schema-based setting is faster (smaller\n\
+         corpus) but its effectiveness is less stable; schema-agnostic is robust."
+    );
+}

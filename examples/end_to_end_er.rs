@@ -1,0 +1,109 @@
+//! End-to-end entity resolution: filtering → verification, plus Dirty ER
+//! (deduplication) through the same filters.
+//!
+//! ```text
+//! cargo run --release --example end_to_end_er
+//! ```
+//!
+//! The paper benchmarks the filtering step in isolation; this example shows
+//! the full pipeline a downstream user runs: a filter produces candidates,
+//! a matcher verifies them, and the filter's quality bounds the end-to-end
+//! result. It also demonstrates the Dirty ER adapter: any Clean-Clean
+//! filter deduplicates a single collection.
+
+use er::core::dirty::{DirtyAdapter, DirtyDataset};
+use er::core::verify::JaccardMatcher;
+use er::prelude::*;
+
+fn main() {
+    // ---- Clean-Clean ER: filter, then verify -----------------------------
+    let profile = er::datagen::profiles::profile("D2").expect("D2 exists");
+    let ds = generate(profile, 0.2, 5);
+    let view = text_view(&ds, &SchemaMode::Agnostic);
+    let matcher = JaccardMatcher { threshold: 0.45 };
+
+    println!(
+        "Clean-Clean ER on {} ({} x {} entities, {} duplicates)\n",
+        ds.name,
+        ds.e1.len(),
+        ds.e2.len(),
+        ds.groundtruth.len()
+    );
+    println!(
+        "{:<22} {:>10} {:>8} {:>8} {:>8}",
+        "filter", "verified", "recall", "prec", "F1"
+    );
+
+    // Brute force: verify the whole Cartesian product.
+    let mut all = CandidateSet::new();
+    for i in 0..ds.e1.len() as u32 {
+        for j in 0..ds.e2.len() as u32 {
+            all.insert_raw(i, j);
+        }
+    }
+    let brute = matcher.evaluate(&view, &all, &ds.groundtruth);
+    println!(
+        "{:<22} {:>10} {:>8.3} {:>8.3} {:>8.3}",
+        "(no filter)", brute.verified, brute.recall, brute.precision, brute.f1
+    );
+
+    // Filtered pipelines: same matcher, tiny candidate sets.
+    let filters: Vec<(String, Box<dyn Filter>)> = vec![
+        ("PBW".into(), Box::new(BlockingWorkflow::pbw())),
+        (
+            "kNN-Join (K=2)".into(),
+            Box::new(KnnJoin {
+                cleaning: true,
+                model: RepresentationModel::parse("C3G").expect("C3G"),
+                measure: SimilarityMeasure::Cosine,
+                k: 2,
+                reversed: false,
+            }),
+        ),
+        (
+            "FAISS (K=2)".into(),
+            Box::new(FlatKnn {
+                cleaning: true,
+                k: 2,
+                reversed: false,
+                embedding: EmbeddingConfig { dim: 128, ..Default::default() },
+            }),
+        ),
+    ];
+    for (name, filter) in &filters {
+        let out = filter.run(&view);
+        let q = matcher.evaluate(&view, &out.candidates, &ds.groundtruth);
+        println!(
+            "{:<22} {:>10} {:>8.3} {:>8.3} {:>8.3}",
+            name, q.verified, q.recall, q.precision, q.f1
+        );
+    }
+    println!(
+        "\nThe filters cut verification work by >95% at (nearly) the same end-to-end\n\
+         quality — the paper's filtering-verification framework in action.\n"
+    );
+
+    // ---- Dirty ER: deduplicate one collection with the same filters ------
+    println!("Dirty ER: deduplicating a single noisy catalog\n");
+    // Fold both sides of D2 into one collection: matched pairs become
+    // intra-collection duplicates.
+    let offset = ds.e1.len() as u32;
+    let mut entities = ds.e1.clone();
+    entities.extend(ds.e2.iter().cloned());
+    let duplicates: Vec<Pair> =
+        ds.groundtruth.iter().map(|p| Pair::new(p.left, p.right + offset)).collect();
+    let dirty = DirtyDataset::new("D2-dirty", entities, duplicates);
+
+    let adapter = DirtyAdapter::new(BlockingWorkflow::pbw());
+    let out = adapter.dedupe(&dirty, |e| e.all_values());
+    let eff = evaluate(&out.candidates, &dirty.groundtruth);
+    println!(
+        "PBW self-join: |E| = {}, brute-force comparisons = {}, candidates = {},\n\
+         duplicate recall = {:.3}, precision = {:.4}",
+        dirty.len(),
+        dirty.comparisons(),
+        out.candidates.len(),
+        eff.pc,
+        eff.pq
+    );
+}

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Merge the per-run Table VII CSV exports and print the paper's Section VI
+summary statistics (PQ winners per category, mean deviation from the best
+feasible PQ, candidate reductions). Usage:
+
+    python3 results/summarize.py results/table7*.csv
+"""
+import csv
+import sys
+from collections import defaultdict
+
+ORDER = [
+    "SBW", "QBW", "EQBW", "SABW", "ESABW", "PBW", "DBW",
+    "e-Join", "kNN-Join", "DkNN",
+    "MH-LSH", "CP-LSH", "HP-LSH", "FAISS", "SCANN", "DeepBlocker", "DDB",
+]
+CATEGORY = {
+    **{m: "blocking" for m in ["SBW", "QBW", "EQBW", "SABW", "ESABW", "PBW", "DBW"]},
+    **{m: "sparse" for m in ["e-Join", "kNN-Join", "DkNN"]},
+    **{m: "dense" for m in ["MH-LSH", "CP-LSH", "HP-LSH", "FAISS", "SCANN",
+                            "DeepBlocker", "DDB"]},
+}
+
+
+def main(paths):
+    rows = {}
+    for path in paths:
+        with open(path) as fh:
+            for row in csv.DictReader(fh):
+                rows[(row["setting"], row["method"])] = row
+    settings = sorted({s for s, _ in rows})
+    print(f"{len(settings)} settings x {len(ORDER)} methods, "
+          f"{len(rows)} rows from {len(paths)} files\n")
+
+    wins = defaultdict(int)
+    devs = defaultdict(list)
+    infeasible = defaultdict(list)
+    for s in settings:
+        feasible = {m: float(rows[(s, m)]["pq"]) for m in ORDER
+                    if (s, m) in rows and rows[(s, m)]["feasible"] == "true"}
+        for m in ORDER:
+            if (s, m) in rows and rows[(s, m)]["feasible"] != "true":
+                infeasible[m].append(s)
+        if not feasible:
+            continue
+        best = max(feasible.values())
+        for m, pq in feasible.items():
+            if abs(pq - best) < 1e-12:
+                wins[m] += 1
+            devs[m].append((best - pq) / best if best > 0 else 0.0)
+
+    print(f"{'method':<12} {'cat':<9} {'PQ wins':>8} {'mean dev':>9} {'infeasible':>11}")
+    for m in ORDER:
+        d = devs.get(m, [])
+        dev = f"{100*sum(d)/len(d):.1f}%" if d else "-"
+        print(f"{m:<12} {CATEGORY[m]:<9} {wins.get(m,0):>8} {dev:>9} "
+              f"{len(infeasible.get(m, [])):>11}")
+    print()
+    for m, ss in sorted(infeasible.items()):
+        print(f"below target: {m:<12} on {', '.join(ss)}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:] or ["results/table7.csv"])

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full local CI: everything a PR must pass (see CONTRIBUTING.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tests"
+cargo test --workspace
+
+echo "== rustdoc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+echo "== examples compile"
+cargo build --examples -p er
+
+echo "All checks passed."

@@ -1,0 +1,122 @@
+//! End-to-end reproduction smoke test: a miniature Table VII sweep on two
+//! datasets must reproduce the paper's qualitative findings.
+//!
+//! This is the repository's strongest guard: if an algorithm change breaks
+//! one of the paper's conclusions at small scale, this test fails.
+
+use er::core::optimize::{GridResolution, Optimizer};
+use er::prelude::*;
+use er_bench::harness::{run_all_methods, Context, MethodOutcome};
+
+fn sweep(id: &str, mode: SchemaMode) -> Vec<MethodOutcome> {
+    let profile = er::datagen::profiles::profile(id).expect("profile");
+    let mode = if mode == SchemaMode::BestAttribute {
+        profile.schema_based_mode()
+    } else {
+        mode
+    };
+    let ds = generate(profile, 0.08, 23);
+    let view = text_view(&ds, &mode);
+    let ctx = Context {
+        view: &view,
+        gt: &ds.groundtruth,
+        optimizer: Optimizer::new(0.9),
+        resolution: GridResolution::Quick,
+        dim: 64,
+        seed: 23,
+        reps: 1,
+    };
+    run_all_methods(&ctx)
+}
+
+fn by_name<'a>(outcomes: &'a [MethodOutcome], name: &str) -> &'a MethodOutcome {
+    outcomes.iter().find(|o| o.method == name).unwrap_or_else(|| panic!("{name} missing"))
+}
+
+#[test]
+fn mini_table7_reproduces_headline_findings() {
+    let outcomes = sweep("D2", SchemaMode::Agnostic);
+    assert_eq!(outcomes.len(), 17, "all 17 table rows present");
+
+    // Finding: every fine-tuned method reaches the recall target in the
+    // schema-agnostic settings (paper Section VI).
+    for name in ["SBW", "QBW", "SABW", "e-Join", "kNN-Join", "FAISS"] {
+        let o = by_name(&outcomes, name);
+        assert!(o.feasible, "{name} infeasible: pc = {}", o.pc);
+    }
+
+    // Finding 1: fine-tuning beats defaults.
+    let sbw = by_name(&outcomes, "SBW");
+    let pbw = by_name(&outcomes, "PBW");
+    assert!(sbw.pq > pbw.pq, "SBW pq {} <= PBW pq {}", sbw.pq, pbw.pq);
+    let knn = by_name(&outcomes, "kNN-Join");
+    let dknn = by_name(&outcomes, "DkNN");
+    assert!(knn.pq >= dknn.pq, "kNN pq {} < DkNN pq {}", knn.pq, dknn.pq);
+
+    // Finding 3: the similarity-based LSH family needs far more candidates
+    // than the cardinality-based methods.
+    let mh = by_name(&outcomes, "MH-LSH");
+    let faiss = by_name(&outcomes, "FAISS");
+    assert!(
+        mh.candidates > faiss.candidates,
+        "MH-LSH |C| {} <= FAISS |C| {}",
+        mh.candidates,
+        faiss.candidates
+    );
+
+    // FAISS and SCANN are near-identical (both exact under BF).
+    let scann = by_name(&outcomes, "SCANN");
+    assert!((faiss.pc - scann.pc).abs() < 0.1);
+
+    // The baseline produces at least as many candidates as the fine-tuned
+    // SBW (at full scale the gap is orders of magnitude).
+    assert!(pbw.candidates >= sbw.candidates);
+}
+
+#[test]
+fn schema_based_runs_faster_but_less_robust() {
+    let agn = sweep("D4", SchemaMode::Agnostic);
+    let based = sweep("D4", SchemaMode::BestAttribute);
+    // Conclusion 2: schema-based improves time efficiency (less text).
+    let rt_agn = by_name(&agn, "PBW").runtime;
+    let rt_based = by_name(&based, "PBW").runtime;
+    assert!(
+        rt_based <= rt_agn * 2,
+        "schema-based should not be much slower: {rt_based:?} vs {rt_agn:?}"
+    );
+    // On D4 (clean, perfectly covered titles) both settings are feasible.
+    assert!(by_name(&agn, "SBW").feasible);
+    assert!(by_name(&based, "SBW").feasible);
+}
+
+#[test]
+fn stochastic_methods_are_reproducible_per_seed() {
+    let ds = generate(er::datagen::profiles::profile("D1").expect("D1"), 0.1, 3);
+    let view = text_view(&ds, &SchemaMode::Agnostic);
+    let lsh = MinHashLsh { cleaning: false, shingle_k: 3, bands: 16, rows: 8, seed: 77 };
+    let a = lsh.run(&view).candidates.to_sorted_vec();
+    let b = lsh.run(&view).candidates.to_sorted_vec();
+    assert_eq!(a, b, "same seed, same candidates");
+}
+
+#[test]
+fn candidate_sets_bound_verification_cost() {
+    // The whole point of filtering: |C| must be a small fraction of the
+    // Cartesian product for every fine-tuned method.
+    let ds = generate(er::datagen::profiles::profile("D2").expect("D2"), 0.08, 23);
+    let cartesian = ds.cartesian() as f64;
+    let outcomes = sweep("D2", SchemaMode::Agnostic);
+    for o in &outcomes {
+        // The similarity-based LSH family and the parameter-free baseline
+        // legitimately blow up the candidate set (paper conclusion 3).
+        let exempt = ["PBW", "MH-LSH", "HP-LSH", "CP-LSH"];
+        if o.feasible && !exempt.contains(&o.method.as_str()) {
+            assert!(
+                o.candidates < 0.5 * cartesian,
+                "{}: |C| = {} vs |E1 x E2| = {cartesian}",
+                o.method,
+                o.candidates
+            );
+        }
+    }
+}

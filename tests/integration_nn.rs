@@ -1,0 +1,202 @@
+//! Cross-crate integration tests of the sparse and dense NN methods:
+//! candidate orientation, rankings/run coherence and the qualitative
+//! relations the paper builds on.
+
+use er::prelude::*;
+
+fn dataset(id: &str, scale: f64) -> Dataset {
+    generate(er::datagen::profiles::profile(id).expect("profile"), scale, 31)
+}
+
+fn embedding() -> EmbeddingConfig {
+    EmbeddingConfig { dim: 64, ..Default::default() }
+}
+
+#[test]
+fn all_nn_methods_emit_in_bounds_pairs() {
+    let ds = dataset("D1", 0.1);
+    let view = text_view(&ds, &SchemaMode::Agnostic);
+    let (n1, n2) = (ds.e1.len() as u32, ds.e2.len() as u32);
+    let filters: Vec<Box<dyn Filter>> = vec![
+        Box::new(EpsilonJoin {
+            cleaning: true,
+            model: RepresentationModel::parse("C3G").expect("C3G"),
+            measure: SimilarityMeasure::Cosine,
+            threshold: 0.3,
+        }),
+        Box::new(KnnJoin {
+            cleaning: true,
+            model: RepresentationModel::parse("C3G").expect("C3G"),
+            measure: SimilarityMeasure::Cosine,
+            k: 2,
+            reversed: true,
+        }),
+        Box::new(MinHashLsh { cleaning: false, shingle_k: 3, bands: 16, rows: 8, seed: 1 }),
+        Box::new(HyperplaneLsh {
+            cleaning: false,
+            tables: 4,
+            hashes: 8,
+            probes: 2,
+            embedding: embedding(),
+            seed: 1,
+        }),
+        Box::new(CrossPolytopeLsh {
+            cleaning: false,
+            tables: 4,
+            hashes: 1,
+            last_cp_dim: 16,
+            probes: 2,
+            embedding: embedding(),
+            seed: 1,
+        }),
+        Box::new(FlatKnn { cleaning: false, k: 3, reversed: true, embedding: embedding() }),
+        Box::new(PartitionedKnn {
+            cleaning: false,
+            k: 3,
+            reversed: false,
+            scoring: er::dense::Scoring::AsymmetricHashing,
+            metric: er::dense::Metric::L2Sq,
+            probe_fraction: 1.0,
+            embedding: embedding(),
+            seed: 1,
+        }),
+        Box::new(DeepBlocker::new(DeepBlockerConfig {
+            cleaning: false,
+            k: 2,
+            reversed: false,
+            embedding: embedding(),
+            hidden_dim: 8,
+            epochs: 2,
+            seed: 1,
+        })),
+    ];
+    for filter in filters {
+        let out = filter.run(&view);
+        assert!(!out.candidates.is_empty(), "{} found nothing", filter.name());
+        for p in out.candidates.iter() {
+            assert!(p.left < n1 && p.right < n2, "{}: {p:?} out of bounds", filter.name());
+        }
+        for phase in ["preprocess", "index", "query"] {
+            assert!(out.breakdown.get(phase).is_some(), "{}: {phase}", filter.name());
+        }
+    }
+}
+
+#[test]
+fn knn_run_agrees_with_rankings_prefix() {
+    let ds = dataset("D2", 0.08);
+    let view = text_view(&ds, &SchemaMode::Agnostic);
+    for reversed in [false, true] {
+        let knn = KnnJoin {
+            cleaning: false,
+            model: RepresentationModel::parse("T1G").expect("T1G"),
+            measure: SimilarityMeasure::Jaccard,
+            k: 3,
+            reversed,
+        };
+        let direct = knn.run(&view).candidates.to_sorted_vec();
+        let via_rankings =
+            knn.rankings(&view, 1000).candidates_top_k_distinct(3).to_sorted_vec();
+        assert_eq!(direct, via_rankings, "reversed = {reversed}");
+    }
+}
+
+#[test]
+fn flat_run_agrees_with_rankings_prefix() {
+    let ds = dataset("D1", 0.1);
+    let view = text_view(&ds, &SchemaMode::Agnostic);
+    let f = FlatKnn { cleaning: true, k: 4, reversed: false, embedding: embedding() };
+    let direct = f.run(&view).candidates.to_sorted_vec();
+    let via_rankings = f.rankings(&view, 50).candidates_top_k(4).to_sorted_vec();
+    assert_eq!(direct, via_rankings);
+}
+
+#[test]
+fn scann_bruteforce_full_probe_equals_faiss() {
+    // With brute-force scoring, L2 metric and every partition probed, the
+    // SCANN equivalent must agree with the FAISS equivalent — the paper
+    // observes "practically identical performance".
+    let ds = dataset("D1", 0.1);
+    let view = text_view(&ds, &SchemaMode::Agnostic);
+    let faiss = FlatKnn { cleaning: false, k: 3, reversed: false, embedding: embedding() };
+    let scann = PartitionedKnn {
+        cleaning: false,
+        k: 3,
+        reversed: false,
+        scoring: er::dense::Scoring::BruteForce,
+        metric: er::dense::Metric::L2Sq,
+        probe_fraction: 1.0,
+        embedding: embedding(),
+        seed: 5,
+    };
+    assert_eq!(
+        faiss.run(&view).candidates.to_sorted_vec(),
+        scann.run(&view).candidates.to_sorted_vec()
+    );
+}
+
+#[test]
+fn cardinality_methods_scale_linearly_with_queries() {
+    // |C| <= K * |query set| — the paper's conclusion 3 mechanism.
+    let ds = dataset("D1", 0.15);
+    let view = text_view(&ds, &SchemaMode::Agnostic);
+    for k in [1, 3, 7] {
+        let out =
+            FlatKnn { cleaning: false, k, reversed: false, embedding: embedding() }.run(&view);
+        assert!(out.candidates.len() <= k * ds.e2.len());
+    }
+}
+
+#[test]
+fn lsh_recall_grows_with_tables() {
+    let ds = dataset("D2", 0.08);
+    let view = text_view(&ds, &SchemaMode::Agnostic);
+    let pc_of = |tables: usize| {
+        let lsh = HyperplaneLsh {
+            cleaning: false,
+            tables,
+            hashes: 12,
+            probes: 1,
+            embedding: embedding(),
+            seed: 3,
+        };
+        evaluate(&lsh.run(&view).candidates, &ds.groundtruth).pc
+    };
+    assert!(pc_of(16) >= pc_of(1), "more tables must not reduce recall");
+}
+
+#[test]
+fn minhash_candidates_grow_with_bands() {
+    let ds = dataset("D2", 0.08);
+    let view = text_view(&ds, &SchemaMode::Agnostic);
+    let count_of = |bands: usize, rows: usize| {
+        MinHashLsh { cleaning: false, shingle_k: 3, bands, rows, seed: 9 }
+            .run(&view)
+            .candidates
+            .len()
+    };
+    // 64 bands of 2 rows approximates a much lower threshold than 2 bands
+    // of 64 rows -> far more candidates.
+    assert!(count_of(64, 2) > count_of(2, 64));
+}
+
+#[test]
+fn deepblocker_preprocess_dominates_like_paper() {
+    let ds = dataset("D1", 0.1);
+    let view = text_view(&ds, &SchemaMode::Agnostic);
+    let db = DeepBlocker::new(DeepBlockerConfig {
+        cleaning: false,
+        k: 2,
+        reversed: false,
+        embedding: embedding(),
+        hidden_dim: 16,
+        epochs: 8,
+        seed: 2,
+    });
+    let out = db.run(&view);
+    assert!(
+        out.breakdown.fraction("preprocess") > 0.5,
+        "training should dominate: {:?}",
+        out.breakdown.phases()
+    );
+}

@@ -1,0 +1,136 @@
+//! Integration tests of the configuration-optimization protocol
+//! (Problem 1): the optimizer must hit the recall target, prefer precision
+//! among feasible configurations and demonstrably beat the default
+//! baselines — the paper's headline "fine-tuning vs default parameters"
+//! finding.
+
+use er::core::optimize::GridResolution;
+use er::prelude::*;
+
+fn dataset(id: &str, scale: f64) -> Dataset {
+    generate(er::datagen::profiles::profile(id).expect("profile"), scale, 17)
+}
+
+#[test]
+fn epsilon_sweep_picks_highest_feasible_threshold() {
+    let ds = dataset("D4", 0.05);
+    let view = text_view(&ds, &SchemaMode::Agnostic);
+    let optimizer = Optimizer::new(0.9);
+    // One representative combo: T1G + Jaccard, thresholds descending.
+    let configs: Vec<EpsilonJoin> = (0..=20)
+        .rev()
+        .map(|i| EpsilonJoin {
+            cleaning: false,
+            model: RepresentationModel::parse("T1G").expect("T1G"),
+            measure: SimilarityMeasure::Jaccard,
+            threshold: i as f64 / 20.0,
+        })
+        .collect();
+    let outcome = optimizer.first_feasible(configs.clone(), |cfg| {
+        let out = cfg.run(&view);
+        (evaluate(&out.candidates, &ds.groundtruth), out.breakdown)
+    });
+    assert!(outcome.is_feasible(), "clean D4 must be solvable");
+    let best = outcome.best().expect("feasible");
+    // Every *higher* threshold must be infeasible (the sweep is tight).
+    for cfg in configs.iter().filter(|c| c.threshold > best.config.threshold + 1e-9) {
+        let eff = evaluate(&cfg.run(&view).candidates, &ds.groundtruth);
+        assert!(eff.pc < 0.9, "threshold {} was already feasible", cfg.threshold);
+    }
+}
+
+#[test]
+fn fine_tuned_blocking_beats_baselines_on_precision() {
+    use er_bench::harness::{run_blocking_family, run_dbw, run_pbw, Context};
+    let ds = dataset("D2", 0.08);
+    let view = text_view(&ds, &SchemaMode::Agnostic);
+    let ctx = Context {
+        view: &view,
+        gt: &ds.groundtruth,
+        optimizer: Optimizer::new(0.9),
+        resolution: GridResolution::Quick,
+        dim: 48,
+        seed: 5,
+        reps: 1,
+    };
+    let sbw = run_blocking_family(&ctx, er::blocking::WorkflowKind::Sbw);
+    let pbw = run_pbw(&ctx);
+    let dbw = run_dbw(&ctx);
+    assert!(sbw.feasible, "SBW must reach the target on D2");
+    assert!(
+        sbw.pq >= pbw.pq && sbw.pq >= dbw.pq,
+        "fine-tuned SBW pq {} vs PBW {} / DBW {}",
+        sbw.pq,
+        pbw.pq,
+        dbw.pq
+    );
+}
+
+#[test]
+fn fine_tuned_knn_beats_dknn_baseline() {
+    use er_bench::harness::{run_dknn, run_knn, Context};
+    let ds = dataset("D4", 0.05);
+    let view = text_view(&ds, &SchemaMode::Agnostic);
+    let ctx = Context {
+        view: &view,
+        gt: &ds.groundtruth,
+        optimizer: Optimizer::new(0.9),
+        resolution: GridResolution::Quick,
+        dim: 48,
+        seed: 5,
+        reps: 1,
+    };
+    let knn = run_knn(&ctx);
+    let dknn = run_dknn(&ctx);
+    assert!(knn.feasible);
+    assert!(
+        knn.pq >= dknn.pq,
+        "fine-tuned kNN pq {} < DkNN pq {}",
+        knn.pq,
+        dknn.pq
+    );
+}
+
+#[test]
+fn optimizer_respects_budget_cap() {
+    let optimizer = Optimizer::new(0.9).with_budget(5);
+    let outcome = optimizer.grid(0..100, |_| {
+        (
+            er::core::Effectiveness { pc: 1.0, pq: 0.5, candidates: 1, duplicates_found: 1 },
+            er::core::PhaseBreakdown::new(),
+        )
+    });
+    assert_eq!(outcome.evaluated, 5);
+}
+
+#[test]
+fn infeasible_settings_report_fallback() {
+    use er_bench::harness::{run_knn, Context};
+    // D5's schema-based view cannot reach PC 0.9 (misplaced titles).
+    let ds = dataset("D5", 0.1);
+    let view = text_view(&ds, &SchemaMode::Based("title".into()));
+    let ctx = Context {
+        view: &view,
+        gt: &ds.groundtruth,
+        optimizer: Optimizer::new(0.9),
+        resolution: GridResolution::Quick,
+        dim: 48,
+        seed: 5,
+        reps: 1,
+    };
+    let knn = run_knn(&ctx);
+    assert!(!knn.feasible, "schema-based D5 must be infeasible, got pc {}", knn.pc);
+    assert!(knn.pc > 0.0, "fallback still reports the best recall found");
+}
+
+#[test]
+fn harness_settings_roundtrip() {
+    let s = er_bench::Settings::parse(
+        ["--scale", "0.2", "--grid", "quick", "--datasets", "D3"]
+            .iter()
+            .map(|s| s.to_string()),
+    );
+    assert_eq!(s.scale, 0.2);
+    assert_eq!(s.datasets.len(), 1);
+    assert_eq!(s.resolution, GridResolution::Quick);
+}

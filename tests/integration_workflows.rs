@@ -1,0 +1,138 @@
+//! Cross-crate integration tests of the blocking workflows: every
+//! building/cleaning combination must compose correctly on generated data
+//! and respect the pipeline's invariants.
+
+use er::blocking::{
+    comparison_propagation, BlockBuilder, BlockingGraph, BlockingWorkflow, ComparisonCleaning,
+    MetaBlocking, PruningAlgorithm, WeightingScheme, WorkflowKind,
+};
+use er::core::optimize::GridResolution;
+use er::prelude::*;
+
+fn dataset() -> Dataset {
+    generate(er::datagen::profiles::profile("D2").expect("D2"), 0.08, 99)
+}
+
+#[test]
+fn every_builder_produces_blocks_on_real_text() {
+    let ds = dataset();
+    let view = text_view(&ds, &SchemaMode::Agnostic);
+    for builder in [
+        BlockBuilder::Standard,
+        BlockBuilder::QGrams { q: 3 },
+        BlockBuilder::ExtendedQGrams { q: 3, t: 0.9 },
+        BlockBuilder::SuffixArrays { l_min: 3, b_max: 100 },
+        BlockBuilder::ExtendedSuffixArrays { l_min: 3, b_max: 100 },
+    ] {
+        let blocks = builder.build(&view);
+        assert!(!blocks.is_empty(), "{builder:?} built no blocks");
+        assert!(blocks.total_comparisons() > 0);
+        for b in &blocks.blocks {
+            assert!(b.is_valid());
+        }
+    }
+}
+
+#[test]
+fn pipeline_steps_only_shrink_comparisons() {
+    let ds = dataset();
+    let view = text_view(&ds, &SchemaMode::Agnostic);
+    let raw = BlockBuilder::Standard.build(&view);
+    let purged = er::blocking::block_purging(&raw);
+    let filtered = er::blocking::block_filtering(&purged, 0.5);
+    assert!(purged.total_comparisons() <= raw.total_comparisons());
+    assert!(filtered.total_comparisons() <= purged.total_comparisons());
+}
+
+#[test]
+fn metablocking_output_is_subset_of_propagation_for_all_42_configs() {
+    let ds = dataset();
+    let view = text_view(&ds, &SchemaMode::Agnostic);
+    let blocks = BlockBuilder::Standard.build(&view);
+    let superset = comparison_propagation(&blocks);
+    let graph = BlockingGraph::build(&blocks);
+    for scheme in WeightingScheme::ALL {
+        let edges = graph.weighted_edges(scheme);
+        assert_eq!(edges.len(), superset.len(), "graph edges = distinct pairs");
+        for pruning in PruningAlgorithm::ALL {
+            let kept = graph.prune(&edges, pruning);
+            assert!(!kept.is_empty(), "{scheme:?}/{pruning:?} pruned everything");
+            for p in kept.iter() {
+                assert!(superset.contains(p), "{scheme:?}/{pruning:?} invented a pair");
+            }
+        }
+    }
+}
+
+#[test]
+fn graph_based_cleaning_matches_direct_metablocking() {
+    // The harness's cached-graph path and MetaBlocking::clean must agree.
+    let ds = dataset();
+    let view = text_view(&ds, &SchemaMode::Agnostic);
+    let blocks = BlockBuilder::QGrams { q: 4 }.build(&view);
+    let graph = BlockingGraph::build(&blocks);
+    for scheme in [WeightingScheme::Js, WeightingScheme::Arcs] {
+        let edges = graph.weighted_edges(scheme);
+        for pruning in [PruningAlgorithm::Wep, PruningAlgorithm::Rcnp] {
+            let via_graph = graph.prune(&edges, pruning).to_sorted_vec();
+            let via_clean = MetaBlocking { scheme, pruning }.clean(&blocks).to_sorted_vec();
+            assert_eq!(via_graph, via_clean, "{scheme:?}/{pruning:?}");
+        }
+    }
+}
+
+#[test]
+fn workflows_report_all_pipeline_phases() {
+    let ds = dataset();
+    let view = text_view(&ds, &SchemaMode::Agnostic);
+    let wf = BlockingWorkflow {
+        builder: BlockBuilder::Standard,
+        purge: true,
+        filter_ratio: Some(0.5),
+        cleaning: ComparisonCleaning::Meta(MetaBlocking {
+            scheme: WeightingScheme::Cbs,
+            pruning: PruningAlgorithm::Wep,
+        }),
+    };
+    let out = wf.run(&view);
+    for phase in ["build", "purge", "filter", "clean"] {
+        assert!(out.breakdown.get(phase).is_some(), "{phase} missing");
+    }
+    assert_eq!(out.runtime(), out.breakdown.total());
+}
+
+#[test]
+fn quick_grid_contains_baseline_equivalent_configs() {
+    // The SBW grid must include PBW's pipeline shape (BP + CP).
+    let grid = WorkflowKind::Sbw.grid(GridResolution::Quick);
+    assert!(grid
+        .iter()
+        .any(|wf| wf.purge && wf.cleaning == ComparisonCleaning::Propagation));
+}
+
+#[test]
+fn baselines_achieve_high_recall_schema_agnostic() {
+    // The paper: schema-agnostic baselines exceed the target recall on
+    // nearly every dataset.
+    for id in ["D1", "D2", "D4", "D5"] {
+        let ds = generate(er::datagen::profiles::profile(id).expect("profile"), 0.08, 7);
+        let view = text_view(&ds, &SchemaMode::Agnostic);
+        let out = BlockingWorkflow::pbw().run(&view);
+        let eff = evaluate(&out.candidates, &ds.groundtruth);
+        assert!(eff.pc >= 0.9, "{id}: PBW pc = {}", eff.pc);
+    }
+}
+
+#[test]
+fn schema_based_loses_recall_on_misplaced_values() {
+    // D5's misplaced titles must push schema-based recall below target
+    // while schema-agnostic recovers it.
+    let ds = generate(er::datagen::profiles::profile("D5").expect("D5"), 0.1, 7);
+    let agn = text_view(&ds, &SchemaMode::Agnostic);
+    let based = text_view(&ds, &SchemaMode::Based("title".into()));
+    let wf = BlockingWorkflow::pbw();
+    let pc_agn = evaluate(&wf.run(&agn).candidates, &ds.groundtruth).pc;
+    let pc_based = evaluate(&wf.run(&based).candidates, &ds.groundtruth).pc;
+    assert!(pc_agn >= 0.9, "agnostic pc = {pc_agn}");
+    assert!(pc_based < 0.9, "schema-based pc = {pc_based} should be capped");
+}
