@@ -3,8 +3,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use er::blocking::{
-    block_filtering, block_purging, BlockBuilder, BlockingGraph, BlockingWorkflow,
-    MetaBlocking, PruningAlgorithm, WeightingScheme,
+    block_filtering, block_purging, BlockBuilder, BlockingGraph, BlockingWorkflow, MetaBlocking,
+    PruningAlgorithm, WeightingScheme,
 };
 use er::core::schema::{text_view, SchemaMode};
 use er::core::Filter;
@@ -18,9 +18,24 @@ fn bench_blocking(c: &mut Criterion) {
     for (name, builder) in [
         ("standard", BlockBuilder::Standard),
         ("qgrams_q3", BlockBuilder::QGrams { q: 3 }),
-        ("ext_qgrams_q3_t09", BlockBuilder::ExtendedQGrams { q: 3, t: 0.9 }),
-        ("suffix_l3_b50", BlockBuilder::SuffixArrays { l_min: 3, b_max: 50 }),
-        ("ext_suffix_l3_b50", BlockBuilder::ExtendedSuffixArrays { l_min: 3, b_max: 50 }),
+        (
+            "ext_qgrams_q3_t09",
+            BlockBuilder::ExtendedQGrams { q: 3, t: 0.9 },
+        ),
+        (
+            "suffix_l3_b50",
+            BlockBuilder::SuffixArrays {
+                l_min: 3,
+                b_max: 50,
+            },
+        ),
+        (
+            "ext_suffix_l3_b50",
+            BlockBuilder::ExtendedSuffixArrays {
+                l_min: 3,
+                b_max: 50,
+            },
+        ),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &builder, |b, builder| {
             b.iter(|| builder.build(black_box(&view)));
@@ -42,7 +57,11 @@ fn bench_blocking(c: &mut Criterion) {
 
     let graph = BlockingGraph::build(&blocks);
     let mut group = c.benchmark_group("metablocking");
-    for scheme in [WeightingScheme::Cbs, WeightingScheme::Arcs, WeightingScheme::ChiSquared] {
+    for scheme in [
+        WeightingScheme::Cbs,
+        WeightingScheme::Arcs,
+        WeightingScheme::ChiSquared,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("weights", scheme.name()),
             &scheme,
@@ -52,7 +71,11 @@ fn bench_blocking(c: &mut Criterion) {
         );
     }
     let edges = graph.weighted_edges(WeightingScheme::Js);
-    for pruning in [PruningAlgorithm::Wep, PruningAlgorithm::Rcnp, PruningAlgorithm::Blast] {
+    for pruning in [
+        PruningAlgorithm::Wep,
+        PruningAlgorithm::Rcnp,
+        PruningAlgorithm::Blast,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("prune", pruning.name()),
             &pruning,
@@ -66,9 +89,10 @@ fn bench_blocking(c: &mut Criterion) {
     // End-to-end: the two baseline workflows of Table VII.
     let mut group = c.benchmark_group("workflow_end_to_end");
     group.sample_size(20);
-    for (name, wf) in
-        [("PBW", BlockingWorkflow::pbw()), ("DBW", BlockingWorkflow::dbw())]
-    {
+    for (name, wf) in [
+        ("PBW", BlockingWorkflow::pbw()),
+        ("DBW", BlockingWorkflow::dbw()),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &wf, |b, wf| {
             b.iter(|| wf.run(black_box(&view)));
         });
@@ -77,7 +101,10 @@ fn bench_blocking(c: &mut Criterion) {
 
     // Meta-blocking cleaning of the full MetaBlocking object (graph built
     // inside), matching how a single grid evaluation costs.
-    let mb = MetaBlocking { scheme: WeightingScheme::Js, pruning: PruningAlgorithm::Rcnp };
+    let mb = MetaBlocking {
+        scheme: WeightingScheme::Js,
+        pruning: PruningAlgorithm::Rcnp,
+    };
     c.bench_function("metablocking/clean_full_D2", |b| {
         b.iter(|| mb.clean(black_box(&blocks)));
     });

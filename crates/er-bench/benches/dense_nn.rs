@@ -14,7 +14,10 @@ use er::text::Cleaner;
 fn bench_dense(c: &mut Criterion) {
     let ds = generate(profile("D2").expect("D2"), 0.2, 42);
     let view = text_view(&ds, &SchemaMode::Agnostic);
-    let embedding = EmbeddingConfig { dim: 128, ..Default::default() };
+    let embedding = EmbeddingConfig {
+        dim: 128,
+        ..Default::default()
+    };
     let embedder = HashEmbedder::new(embedding);
 
     c.bench_function("embed/D2_e1", |b| {
@@ -54,11 +57,17 @@ fn bench_dense(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("dense_end_to_end");
     group.sample_size(10);
-    let faiss = FlatKnn { cleaning: false, k: 5, reversed: false, embedding };
+    let faiss = FlatKnn {
+        cleaning: false,
+        k: 5,
+        reversed: false,
+        embedding,
+    };
     group.bench_function("faiss_flat_k5", |b| b.iter(|| faiss.run(black_box(&view))));
-    for (name, scoring) in
-        [("scann_bf", Scoring::BruteForce), ("scann_ah", Scoring::AsymmetricHashing)]
-    {
+    for (name, scoring) in [
+        ("scann_bf", Scoring::BruteForce),
+        ("scann_ah", Scoring::AsymmetricHashing),
+    ] {
         let scann = PartitionedKnn {
             cleaning: false,
             k: 5,
@@ -73,9 +82,22 @@ fn bench_dense(c: &mut Criterion) {
             b.iter(|| scann.run(black_box(&view)));
         });
     }
-    let mh = MinHashLsh { cleaning: false, shingle_k: 3, bands: 32, rows: 8, seed: 7 };
+    let mh = MinHashLsh {
+        cleaning: false,
+        shingle_k: 3,
+        bands: 32,
+        rows: 8,
+        seed: 7,
+    };
     group.bench_function("minhash_32x8", |b| b.iter(|| mh.run(black_box(&view))));
-    let hp = HyperplaneLsh { cleaning: false, tables: 8, hashes: 10, probes: 4, embedding, seed: 7 };
+    let hp = HyperplaneLsh {
+        cleaning: false,
+        tables: 8,
+        hashes: 10,
+        probes: 4,
+        embedding,
+        seed: 7,
+    };
     group.bench_function("hyperplane_8t10h", |b| b.iter(|| hp.run(black_box(&view))));
     let cp = CrossPolytopeLsh {
         cleaning: false,

@@ -5,9 +5,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use er::core::schema::{text_view, SchemaMode};
 use er::core::Filter;
 use er::datagen::{generate, profiles::profile};
-use er::sparse::{
-    EpsilonJoin, KnnJoin, RepresentationModel, ScanCountIndex, SimilarityMeasure,
-};
+use er::sparse::{EpsilonJoin, KnnJoin, RepresentationModel, ScanCountIndex, SimilarityMeasure};
 use er::text::Cleaner;
 
 fn bench_sparse(c: &mut Criterion) {
@@ -30,10 +28,16 @@ fn bench_sparse(c: &mut Criterion) {
     group.finish();
 
     // ScanCount: index build and query scan.
-    let sets1: Vec<Vec<u64>> =
-        view.e1.iter().map(|t| c3g.token_set(t, &Cleaner::off())).collect();
-    let sets2: Vec<Vec<u64>> =
-        view.e2.iter().map(|t| c3g.token_set(t, &Cleaner::off())).collect();
+    let sets1: Vec<Vec<u64>> = view
+        .e1
+        .iter()
+        .map(|t| c3g.token_set(t, &Cleaner::off()))
+        .collect();
+    let sets2: Vec<Vec<u64>> = view
+        .e2
+        .iter()
+        .map(|t| c3g.token_set(t, &Cleaner::off()))
+        .collect();
     c.bench_function("scancount/build_D2", |b| {
         b.iter(|| ScanCountIndex::build(black_box(&sets1)));
     });

@@ -2,10 +2,11 @@
 //! signature extraction and cleaning throughput.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use er::text::{clean_tokens, extended_qgram_keys, porter_stem, qgrams, suffixes_min_len, tokenize};
+use er::text::{
+    clean_tokens, extended_qgram_keys, porter_stem, qgrams, suffixes_min_len, tokenize,
+};
 
-const SAMPLE: &str =
-    "Canon PowerShot SX530 HS 16.0 MP CMOS Digital Camera with 50x Optical Image \
+const SAMPLE: &str = "Canon PowerShot SX530 HS 16.0 MP CMOS Digital Camera with 50x Optical Image \
      Stabilized Zoom and 3-Inch LCD Black";
 
 fn bench_text(c: &mut Criterion) {

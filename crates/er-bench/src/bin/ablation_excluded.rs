@@ -40,18 +40,25 @@ fn tune<F: Filter + Clone>(
 
 fn main() {
     let settings = Settings::from_args();
-    let embedding = EmbeddingConfig { dim: settings.dim, ..Default::default() };
+    let embedding = EmbeddingConfig {
+        dim: settings.dim,
+        ..Default::default()
+    };
     println!(
         "Ablation: methods the paper evaluated and excluded (scale {}, target {})\n",
         settings.scale, settings.target_pc
     );
     let mut table = Table::new([
         "Dataset",
-        "SN PC", "SN PQ",
+        "SN PC",
+        "SN PQ",
         "SBW-grid best PQ",
-        "range PC", "range PQ",
-        "HNSW PC", "HNSW PQ",
-        "kNN PC", "kNN PQ",
+        "range PC",
+        "range PQ",
+        "HNSW PC",
+        "HNSW PQ",
+        "kNN PC",
+        "kNN PQ",
     ]);
 
     let mut sn_losses = 0usize;
@@ -65,7 +72,10 @@ fn main() {
 
         // Sorted Neighborhood: sweep the window size ascending.
         let (sn, sn_ok) = tune(
-            (2..=512).step_by(2).map(|window| SortedNeighborhood { window }).collect(),
+            (2..=512)
+                .step_by(2)
+                .map(|window| SortedNeighborhood { window })
+                .collect(),
             &view,
             &ds.groundtruth,
             target,
@@ -87,7 +97,11 @@ fn main() {
         // squared distances live in [0, 4]).
         let (range, range_ok) = tune(
             (1..=80)
-                .map(|i| FlatRange { cleaning: true, radius: i as f32 * 0.05, embedding })
+                .map(|i| FlatRange {
+                    cleaning: true,
+                    radius: i as f32 * 0.05,
+                    embedding,
+                })
                 .collect(),
             &view,
             &ds.groundtruth,

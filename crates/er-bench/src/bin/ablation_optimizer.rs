@@ -85,7 +85,11 @@ fn main() {
         settings.scale, settings.target_pc, settings.resolution
     );
     let mut table = Table::new([
-        "Dataset", "holistic PC", "holistic PQ", "step-by-step PC", "step-by-step PQ",
+        "Dataset",
+        "holistic PC",
+        "holistic PQ",
+        "step-by-step PC",
+        "step-by-step PQ",
         "holistic wins",
     ]);
     let mut wins = 0usize;
@@ -107,8 +111,7 @@ fn main() {
         let holistic = er_bench::harness::run_blocking_family(&ctx, WorkflowKind::Sbw);
         let _ = GridResolution::Pruned;
 
-        let (sbs_pc, sbs_pq, sbs_cfg) =
-            step_by_step(&view, &ds.groundtruth, settings.target_pc);
+        let (sbs_pc, sbs_pq, sbs_cfg) = step_by_step(&view, &ds.groundtruth, settings.target_pc);
         total += 1;
         if holistic.pq >= sbs_pq {
             wins += 1;

@@ -29,9 +29,7 @@ fn main() {
         ("BP + BF", true, Some(0.5)),
     ];
 
-    let mut table = Table::new([
-        "Dataset", "Variant", "PC", "PQ", "|C|",
-    ]);
+    let mut table = Table::new(["Dataset", "Variant", "PC", "PQ", "|C|"]);
     let mut monotone_violations = 0usize;
     for profile in &settings.datasets {
         let ds = generate(profile, settings.scale, settings.seed);
@@ -47,8 +45,7 @@ fn main() {
             let out = wf.run(&view);
             let eff = evaluate(&out.candidates, &ds.groundtruth);
             // Every added cleaning step must shrink the candidate set.
-            if name != "neither" && name != "BF only" && eff.candidates as u64 > prev_candidates
-            {
+            if name != "neither" && name != "BF only" && eff.candidates as u64 > prev_candidates {
                 monotone_violations += 1;
             }
             if name == "neither" {

@@ -8,12 +8,14 @@ use er::dense::{grid as dense_grid, EmbeddingConfig};
 use er::sparse::{epsilon_grid, knn_grid};
 use er_bench::Table;
 
-const RESOLUTIONS: [GridResolution; 3] =
-    [GridResolution::Full, GridResolution::Pruned, GridResolution::Quick];
+const RESOLUTIONS: [GridResolution; 3] = [
+    GridResolution::Full,
+    GridResolution::Pruned,
+    GridResolution::Quick,
+];
 
 fn row(table: &mut Table, name: &str, count: impl Fn(GridResolution) -> usize) {
-    let counts: Vec<String> =
-        RESOLUTIONS.iter().map(|&r| count(r).to_string()).collect();
+    let counts: Vec<String> = RESOLUTIONS.iter().map(|&r| count(r).to_string()).collect();
     table.row([name, &counts[0], &counts[1], &counts[2]]);
 }
 
@@ -23,18 +25,32 @@ fn main() {
 
     // Table III: blocking workflows.
     for kind in WorkflowKind::ALL {
-        row(&mut table, &format!("{} workflow", kind.acronym()), |r| kind.grid(r).len());
+        row(&mut table, &format!("{} workflow", kind.acronym()), |r| {
+            kind.grid(r).len()
+        });
     }
     // Table IV: sparse NN methods.
-    row(&mut table, "e-Join", |r| epsilon_grid(r).iter().map(Vec::len).sum());
-    row(&mut table, "kNN-Join", |r| knn_grid(r).iter().map(Vec::len).sum());
+    row(&mut table, "e-Join", |r| {
+        epsilon_grid(r).iter().map(Vec::len).sum()
+    });
+    row(&mut table, "kNN-Join", |r| {
+        knn_grid(r).iter().map(Vec::len).sum()
+    });
     // Table V: dense NN methods.
-    row(&mut table, "MH-LSH", |r| dense_grid::minhash_grid(r, 0).len());
+    row(&mut table, "MH-LSH", |r| {
+        dense_grid::minhash_grid(r, 0).len()
+    });
     row(&mut table, "HP-LSH", |r| {
-        dense_grid::hyperplane_grid(r, emb, 0).iter().map(Vec::len).sum()
+        dense_grid::hyperplane_grid(r, emb, 0)
+            .iter()
+            .map(Vec::len)
+            .sum()
     });
     row(&mut table, "CP-LSH", |r| {
-        dense_grid::crosspolytope_grid(r, emb, 0).iter().map(Vec::len).sum()
+        dense_grid::crosspolytope_grid(r, emb, 0)
+            .iter()
+            .map(Vec::len)
+            .sum()
     });
     row(&mut table, "FAISS", |r| {
         dense_grid::flat_combos(r, emb).len() * dense_grid::k_sweep(r).len()

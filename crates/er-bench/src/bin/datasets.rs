@@ -12,8 +12,15 @@ fn main() {
         settings.scale, settings.seed
     );
     let mut table = Table::new([
-        "Dataset", "E1 / E2", "|E1|", "|E2|", "Duplicates", "Cartesian", "Best Attr",
-        "Auto-selected", "Schema-based",
+        "Dataset",
+        "E1 / E2",
+        "|E1|",
+        "|E2|",
+        "Duplicates",
+        "Cartesian",
+        "Best Attr",
+        "Auto-selected",
+        "Schema-based",
     ]);
     for profile in &settings.datasets {
         let ds = generate(profile, settings.scale, settings.seed);
@@ -26,7 +33,12 @@ fn main() {
             format!("{:.2e}", ds.cartesian() as f64),
             profile.best_attribute().to_owned(),
             best_attribute(&ds).unwrap_or_default(),
-            if profile.schema_based_viable { "yes" } else { "excluded" }.to_owned(),
+            if profile.schema_based_viable {
+                "yes"
+            } else {
+                "excluded"
+            }
+            .to_owned(),
         ]);
     }
     println!("{}", table.render());

@@ -67,7 +67,10 @@ fn main() {
     }
 
     println!("(a) best-attribute coverage\n{}", coverage.render());
-    println!("(b)+(c) vocabulary size and character length\n{}", corpus.render());
+    println!(
+        "(b)+(c) vocabulary size and character length\n{}",
+        corpus.render()
+    );
     let n = vocab_reduction.len().max(1) as f64;
     println!(
         "Schema-based settings reduce vocabulary by {:.1}% and characters by {:.1}% on average\n\

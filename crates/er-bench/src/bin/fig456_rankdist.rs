@@ -41,13 +41,32 @@ fn histogram_row(label: &str, rankings: &QueryRankings, gt: &er::core::GroundTru
 
 fn main() {
     let settings = Settings::from_args();
-    let embedding = EmbeddingConfig { dim: settings.dim, ..Default::default() };
+    let embedding = EmbeddingConfig {
+        dim: settings.dim,
+        ..Default::default()
+    };
 
     let figures: [(&str, SchemaMode, bool); 4] = [
-        ("Figure 4: schema-agnostic, index E1 / query E2", SchemaMode::Agnostic, false),
-        ("Figure 5: schema-agnostic, reversed (index E2 / query E1)", SchemaMode::Agnostic, true),
-        ("Figure 6 (upper): schema-based, index E1 / query E2", SchemaMode::BestAttribute, false),
-        ("Figure 6 (lower): schema-based, reversed", SchemaMode::BestAttribute, true),
+        (
+            "Figure 4: schema-agnostic, index E1 / query E2",
+            SchemaMode::Agnostic,
+            false,
+        ),
+        (
+            "Figure 5: schema-agnostic, reversed (index E2 / query E1)",
+            SchemaMode::Agnostic,
+            true,
+        ),
+        (
+            "Figure 6 (upper): schema-based, index E1 / query E2",
+            SchemaMode::BestAttribute,
+            false,
+        ),
+        (
+            "Figure 6 (lower): schema-based, reversed",
+            SchemaMode::BestAttribute,
+            true,
+        ),
     ];
 
     let mut syntactic_top_wins = 0usize;
@@ -78,10 +97,23 @@ fn main() {
             let view = text_view(&ds, &effective_mode);
 
             let syn = syntactic(reversed).rankings(&view, K_MAX);
-            let sem = FlatKnn { cleaning: true, k: K_MAX, reversed, embedding }
-                .rankings(&view, K_MAX);
-            table.row(histogram_row(&format!("{} syntactic", profile.id), &syn, &ds.groundtruth));
-            table.row(histogram_row(&format!("{} semantic", profile.id), &sem, &ds.groundtruth));
+            let sem = FlatKnn {
+                cleaning: true,
+                k: K_MAX,
+                reversed,
+                embedding,
+            }
+            .rankings(&view, K_MAX);
+            table.row(histogram_row(
+                &format!("{} syntactic", profile.id),
+                &syn,
+                &ds.groundtruth,
+            ));
+            table.row(histogram_row(
+                &format!("{} semantic", profile.id),
+                &sem,
+                &ds.groundtruth,
+            ));
 
             let (syn_hist, _) = syn.rank_histogram(&ds.groundtruth, BUCKETS);
             let (sem_hist, _) = sem.rank_histogram(&ds.groundtruth, BUCKETS);

@@ -20,12 +20,16 @@ use er_bench::{Settings, Table};
 
 fn main() {
     let settings = Settings::from_args();
-    let embedding = EmbeddingConfig { dim: settings.dim, ..Default::default() };
+    let embedding = EmbeddingConfig {
+        dim: settings.dim,
+        ..Default::default()
+    };
     let c3g = RepresentationModel::parse("C3G").expect("C3G");
 
-    for (fig, mode) in
-        [("Figures 7+8: schema-agnostic", SchemaMode::Agnostic), ("Figure 9: schema-based", SchemaMode::BestAttribute)]
-    {
+    for (fig, mode) in [
+        ("Figures 7+8: schema-agnostic", SchemaMode::Agnostic),
+        ("Figure 9: schema-based", SchemaMode::BestAttribute),
+    ] {
         println!("{fig}\n");
         for profile in &settings.datasets {
             if mode == SchemaMode::BestAttribute && !profile.schema_based_viable {
@@ -132,15 +136,24 @@ fn main() {
             ];
 
             let mut table = Table::new([
-                "Method", "build", "purge", "filter", "clean", "preprocess", "index",
-                "query", "total",
+                "Method",
+                "build",
+                "purge",
+                "filter",
+                "clean",
+                "preprocess",
+                "index",
+                "query",
+                "total",
             ]);
             for (name, filter) in filters {
                 let out = filter.run(&view);
                 let cell = |phase: &str| -> String {
                     match out.breakdown.get(phase) {
-                        Some(d) => format!("{:.0}%", 100.0 * out.breakdown.fraction(phase)).to_string()
-                            + &format!(" ({})", format_runtime(d)),
+                        Some(d) => {
+                            format!("{:.0}%", 100.0 * out.breakdown.fraction(phase)).to_string()
+                                + &format!(" ({})", format_runtime(d))
+                        }
                         None => "-".to_owned(),
                     }
                 };
@@ -156,7 +169,12 @@ fn main() {
                     format_runtime(out.breakdown.total()),
                 ]);
             }
-            println!("-- {} ({})\n{}", profile.id, profile.sources, table.render());
+            println!(
+                "-- {} ({})\n{}",
+                profile.id,
+                profile.sources,
+                table.render()
+            );
         }
     }
     println!(

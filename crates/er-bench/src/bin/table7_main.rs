@@ -9,14 +9,17 @@
 //! cargo run --release --bin table7_main                          # defaults
 //! cargo run --release --bin table7_main -- --scale 0.05 --grid quick
 //! cargo run --release --bin table7_main -- --datasets D1,D4 --configs --candidates
-//! cargo run --release --bin table7_main -- --parallel 4 --csv table7.csv
+//! cargo run --release --bin table7_main -- --threads 4 --csv table7.csv
 //! ```
 //!
-//! `--parallel N` evaluates dataset columns on N threads. Effectiveness
-//! (PC/PQ/|C|) is unaffected, but the reported run-times contend for cores
-//! — keep the default (serial) for faithful RT measurements.
+//! `--threads N` (legacy alias: `--parallel N`) sets the worker count of
+//! the parallel execution layer and additionally fans dataset columns out
+//! over N threads. Effectiveness (PC/PQ/|C|) is byte-identical for every
+//! thread count, but reported run-times contend for cores — keep the
+//! default (serial columns) for faithful RT measurements.
 
 use er::core::optimize::Optimizer;
+use er::core::parallel::{self, Threads};
 use er::core::schema::{text_view, SchemaMode};
 use er::core::timing::format_runtime;
 use er::datagen::generate;
@@ -65,17 +68,44 @@ fn evaluate_column(
             );
         }
     });
-    Column { label, cartesian: ds.cartesian(), outcomes }
+    Column {
+        label,
+        cartesian: ds.cartesian(),
+        outcomes,
+    }
+}
+
+/// Prints a usage error and exits with a non-zero status (instead of a
+/// panic with a backtrace, which is unhelpful for a flag typo).
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: table7_main [--threads N|auto] [--scale S] [--grid full|pruned|quick] ...");
+    std::process::exit(2);
 }
 
 fn main() {
     let settings = Settings::from_args();
-    let parallel: usize = settings
-        .flags
-        .iter()
-        .position(|f| f == "--parallel")
-        .and_then(|pos| settings.flags.get(pos + 1))
-        .map_or(1, |v| v.parse().expect("--parallel takes a thread count"));
+    // `--parallel` is the legacy alias of `--threads`; it also applies
+    // process-wide so the intra-method hot paths use the same count.
+    let threads: usize = match settings.flags.iter().position(|f| f == "--parallel") {
+        Some(pos) => {
+            let v = settings
+                .flags
+                .get(pos + 1)
+                .unwrap_or_else(|| usage_error("--parallel requires a thread count (or 'auto')"));
+            let n = Threads::parse_arg(v).unwrap_or_else(|e| usage_error(&e));
+            Threads::set(n);
+            if n == 0 {
+                Threads::get()
+            } else {
+                n
+            }
+        }
+        None => settings.threads,
+    };
+    // Columns stay serial unless a thread count was requested explicitly;
+    // the parallel layer inside each method still uses `Threads::get()`.
+    let column_workers = threads.max(1);
     eprintln!(
         "Table VII sweep: scale {}, grid {:?}, target PC {}, reps {}, dim {}, threads {}",
         settings.scale,
@@ -83,7 +113,7 @@ fn main() {
         settings.target_pc,
         settings.reps,
         settings.dim,
-        parallel,
+        Threads::get(),
     );
 
     // Enumerate the columns: schema-agnostic for every dataset, then
@@ -99,11 +129,15 @@ fn main() {
             } else {
                 profile.schema_based_mode()
             };
-            specs.push((profile, mode, format!("D{}{}", mode_label, &profile.id[1..])));
+            specs.push((
+                profile,
+                mode,
+                format!("D{}{}", mode_label, &profile.id[1..]),
+            ));
         }
     }
 
-    let columns: Vec<Column> = if parallel <= 1 {
+    let columns: Vec<Column> = if column_workers <= 1 {
         specs
             .into_iter()
             .map(|(profile, mode, label)| {
@@ -112,44 +146,22 @@ fn main() {
             })
             .collect()
     } else {
-        // Work-stealing over column indices; effectiveness is unaffected
-        // but run-times contend for cores.
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        use std::sync::Mutex;
-        let next = AtomicUsize::new(0);
-        let done: Vec<Mutex<Option<Column>>> =
-            specs.iter().map(|_| Mutex::new(None)).collect();
-        let specs_ref = &specs;
-        let settings_ref = &settings;
-        let done_ref = &done;
-        let next_ref = &next;
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..parallel.min(specs_ref.len()) {
-                scope.spawn(move |_| loop {
-                    let i = next_ref.fetch_add(1, Ordering::Relaxed);
-                    let Some((profile, mode, label)) = specs_ref.get(i) else { break };
-                    eprintln!("== {label} ({} / {:?})", profile.id, mode);
-                    let column = evaluate_column(
-                        profile,
-                        mode.clone(),
-                        label.clone(),
-                        settings_ref,
-                        false,
-                    );
-                    eprintln!("== {label} done");
-                    *done_ref[i].lock().expect("poisoned column slot") = Some(column);
-                });
-            }
+        // One chunk per column through the shared parallel layer: columns
+        // are work-stolen but merged in spec order, so output ordering is
+        // identical to the serial path.
+        parallel::par_map_chunks_with(column_workers, &specs, 1, |_, spec| {
+            let (profile, mode, label) = &spec[0];
+            eprintln!("== {label} ({} / {:?})", profile.id, mode);
+            let column = evaluate_column(profile, mode.clone(), label.clone(), &settings, false);
+            eprintln!("== {label} done");
+            column
         })
-        .expect("worker thread panicked");
-        done.into_iter()
-            .map(|slot| slot.into_inner().expect("poisoned").expect("column computed"))
-            .collect()
     };
 
-    let methods: Vec<String> =
-        columns.first().map(|c| c.outcomes.iter().map(|o| o.method.clone()).collect())
-            .unwrap_or_default();
+    let methods: Vec<String> = columns
+        .first()
+        .map(|c| c.outcomes.iter().map(|o| o.method.clone()).collect())
+        .unwrap_or_default();
 
     let matrix = |title: &str, cell: &dyn Fn(&MethodOutcome) -> String| {
         let mut header = vec!["Method".to_owned()];
@@ -165,11 +177,16 @@ fn main() {
         println!("{title}\n{}", t.render());
     };
 
-    matrix("Table VII(a): recall (PC) — '*' marks PC below the target", &|o| {
-        fmt_measure_flagged(o.pc, o.feasible)
+    matrix(
+        "Table VII(a): recall (PC) — '*' marks PC below the target",
+        &|o| fmt_measure_flagged(o.pc, o.feasible),
+    );
+    matrix("Table VII(b): precision (PQ)", &|o| {
+        fmt_measure_flagged(o.pq, o.feasible)
     });
-    matrix("Table VII(b): precision (PQ)", &|o| fmt_measure_flagged(o.pq, o.feasible));
-    matrix("Table VII(c): run-time (RT)", &|o| format_runtime(o.runtime));
+    matrix("Table VII(c): run-time (RT)", &|o| {
+        format_runtime(o.runtime)
+    });
 
     // The paper's Section VI analysis: per-method mean deviation from the
     // per-setting maximum PQ, and how often each method achieves it.
@@ -233,7 +250,9 @@ fn main() {
     }
 
     if settings.has_flag("--candidates") {
-        matrix("Table XI: candidate pairs |C|", &|o| format!("{:.0}", o.candidates));
+        matrix("Table XI: candidate pairs |C|", &|o| {
+            format!("{:.0}", o.candidates)
+        });
     }
     // CSV export for downstream analysis: one row per (setting, method).
     if let Some(pos) = settings.flags.iter().position(|f| f == "--csv") {
@@ -242,9 +261,7 @@ fn main() {
             .get(pos + 1)
             .cloned()
             .unwrap_or_else(|| "table7.csv".to_owned());
-        let mut csv = String::from(
-            "setting,method,pc,pq,candidates,runtime_ms,feasible,config\n",
-        );
+        let mut csv = String::from("setting,method,pc,pq,candidates,runtime_ms,feasible,config\n");
         for col in &columns {
             for o in &col.outcomes {
                 csv.push_str(&format!(

@@ -15,7 +15,13 @@ fn main() {
         ("Semantic / Schema-based", Representation::Semantic),
         ("Semantic / Schema-agnostic", Representation::Semantic),
     ] {
-        let cell = |fam| if scope_supports(fam, repr) { "yes" } else { "-" };
+        let cell = |fam| {
+            if scope_supports(fam, repr) {
+                "yes"
+            } else {
+                "-"
+            }
+        };
         t1.row([
             label,
             cell(MethodFamily::Blocking),

@@ -11,6 +11,7 @@ use er::blocking::{comparison_propagation, BlockingWorkflow, ComparisonCleaning,
 use er::core::dataset::GroundTruth;
 use er::core::metrics::{evaluate, Effectiveness};
 use er::core::optimize::{Evaluated, GridResolution, OptimizationOutcome, Optimizer};
+use er::core::parallel::{self, Threads};
 use er::core::schema::TextView;
 use er::core::timing::PhaseBreakdown;
 use er::core::Filter;
@@ -18,7 +19,9 @@ use er::dense::{
     grid as dense_grid, CrossPolytopeLsh, DeepBlocker, EmbeddingConfig, FlatKnn, HyperplaneLsh,
     MinHashLsh, PartitionedKnn,
 };
-use er::sparse::{dknn_baseline, epsilon_grid, knn_grid, EpsilonJoin, KnnJoin, ScanCountIndex};
+use er::sparse::{
+    dknn_baseline, epsilon_grid, knn_grid, EpsilonJoin, KnnJoin, ScanCountIndex, ScanCountScratch,
+};
 use std::time::Duration;
 
 /// Shared per-(dataset, schema-setting) evaluation context.
@@ -41,7 +44,10 @@ pub struct Context<'a> {
 
 impl Context<'_> {
     fn embedding(&self) -> EmbeddingConfig {
-        EmbeddingConfig { dim: self.dim, ..Default::default() }
+        EmbeddingConfig {
+            dim: self.dim,
+            ..Default::default()
+        }
     }
 
     fn eval(&self, filter: &dyn Filter) -> (Effectiveness, PhaseBreakdown) {
@@ -149,8 +155,9 @@ pub fn run_blocking_family(ctx: &Context<'_>, kind: WorkflowKind) -> MethodOutco
             ComparisonCleaning::Propagation => comparison_propagation(blocks),
             ComparisonCleaning::Meta(mb) => {
                 let graph = graph_cache.get_or_insert_with(|| BlockingGraph::build(blocks));
-                let reuse =
-                    edges_cache.as_ref().is_some_and(|(scheme, _)| *scheme == mb.scheme);
+                let reuse = edges_cache
+                    .as_ref()
+                    .is_some_and(|(scheme, _)| *scheme == mb.scheme);
                 if !reuse {
                     edges_cache = Some((mb.scheme, graph.weighted_edges(mb.scheme)));
                 }
@@ -160,11 +167,17 @@ pub fn run_blocking_family(ctx: &Context<'_>, kind: WorkflowKind) -> MethodOutco
         };
         let eff = evaluate(&candidates, ctx.gt);
         outcome.consider(
-            Evaluated { config: wf, eff, breakdown: PhaseBreakdown::new() },
+            Evaluated {
+                config: wf,
+                eff,
+                breakdown: PhaseBreakdown::new(),
+            },
             ctx.optimizer.target.0,
         );
     }
-    outcome_from(kind.acronym(), &outcome, BlockingWorkflow::describe, |wf| ctx.eval(wf))
+    outcome_from(kind.acronym(), &outcome, BlockingWorkflow::describe, |wf| {
+        ctx.eval(wf)
+    })
 }
 
 /// The Parameter-free Blocking Workflow baseline.
@@ -206,25 +219,44 @@ pub fn run_epsilon(ctx: &Context<'_>) -> MethodOutcome {
             er::text::Cleaner::off()
         };
         let sets1: Vec<Vec<u64>> =
-            ctx.view.e1.iter().map(|t| probe.model.token_set(t, &cleaner)).collect();
+            parallel::par_map(&ctx.view.e1, |t| probe.model.token_set(t, &cleaner));
         let sets2: Vec<Vec<u64>> =
-            ctx.view.e2.iter().map(|t| probe.model.token_set(t, &cleaner)).collect();
-        let mut index = ScanCountIndex::build(&sets1);
+            parallel::par_map(&ctx.view.e2, |t| probe.model.token_set(t, &cleaner));
+        let index = ScanCountIndex::build(&sets1);
 
-        // Histogram pass.
+        // Histogram pass: each worker chunk accumulates its own partial
+        // histogram; the `u64` partials merge in chunk order (addition is
+        // exact, so the result is thread-count-invariant either way).
+        let chunk = parallel::query_chunk_len(sets2.len());
+        let partials =
+            parallel::par_map_chunks_with(Threads::get(), &sets2, chunk, |offset, part| {
+                let mut scratch = ScanCountScratch::default();
+                let mut hits: Vec<(u32, u32)> = Vec::new();
+                let mut totals = vec![0u64; SIM_BINS + 1];
+                let mut dups = vec![0u64; SIM_BINS + 1];
+                for (local, query) in part.iter().enumerate() {
+                    let j = (offset + local) as u32;
+                    let qlen = query.len();
+                    index.query_with(&mut scratch, query, &mut hits);
+                    for &(i, overlap) in &hits {
+                        let sim = probe
+                            .measure
+                            .compute(overlap as usize, index.set_size(i), qlen);
+                        let bin = ((sim * SIM_BINS as f64).floor() as usize).min(SIM_BINS);
+                        totals[bin] += 1;
+                        if ctx.gt.contains(er::core::Pair::new(i, j)) {
+                            dups[bin] += 1;
+                        }
+                    }
+                }
+                (totals, dups)
+            });
         let mut totals = vec![0u64; SIM_BINS + 1];
         let mut dups = vec![0u64; SIM_BINS + 1];
-        let mut hits: Vec<(u32, u32)> = Vec::new();
-        for (j, query) in sets2.iter().enumerate() {
-            let qlen = query.len();
-            index.query_into(query, &mut hits);
-            for &(i, overlap) in &hits {
-                let sim = probe.measure.compute(overlap as usize, index.set_size(i), qlen);
-                let bin = ((sim * SIM_BINS as f64).floor() as usize).min(SIM_BINS);
-                totals[bin] += 1;
-                if ctx.gt.contains(er::core::Pair::new(i, j as u32)) {
-                    dups[bin] += 1;
-                }
+        for (t, d) in partials {
+            for b in 0..=SIM_BINS {
+                totals[b] += t[b];
+                dups[b] += d[b];
             }
         }
         // Suffix sums: candidates/duplicates at similarity >= bin boundary.
@@ -240,13 +272,21 @@ pub fn run_epsilon(ctx: &Context<'_>) -> MethodOutcome {
             let found = dups[bin] as usize;
             let eff = Effectiveness {
                 pc: found as f64 / total_dups,
-                pq: if candidates == 0 { 0.0 } else { found as f64 / candidates as f64 },
+                pq: if candidates == 0 {
+                    0.0
+                } else {
+                    found as f64 / candidates as f64
+                },
                 candidates,
                 duplicates_found: found,
             };
             let feasible = eff.pc >= ctx.optimizer.target.0;
             outcome.consider(
-                Evaluated { config: *cfg, eff, breakdown: PhaseBreakdown::new() },
+                Evaluated {
+                    config: *cfg,
+                    eff,
+                    breakdown: PhaseBreakdown::new(),
+                },
                 ctx.optimizer.target.0,
             );
             if feasible {
@@ -254,7 +294,9 @@ pub fn run_epsilon(ctx: &Context<'_>) -> MethodOutcome {
             }
         }
     }
-    outcome_from("e-Join", &outcome, EpsilonJoin::describe, |cfg| ctx.eval(cfg))
+    outcome_from("e-Join", &outcome, EpsilonJoin::describe, |cfg| {
+        ctx.eval(cfg)
+    })
 }
 
 /// Largest K swept for kNN-style methods at a resolution.
@@ -278,7 +320,11 @@ pub fn run_knn(ctx: &Context<'_>) -> MethodOutcome {
             let eff = evaluate(&candidates, ctx.gt);
             let feasible = eff.pc >= ctx.optimizer.target.0;
             outcome.consider(
-                Evaluated { config: *cfg, eff, breakdown: PhaseBreakdown::new() },
+                Evaluated {
+                    config: *cfg,
+                    eff,
+                    breakdown: PhaseBreakdown::new(),
+                },
                 ctx.optimizer.target.0,
             );
             if feasible {
@@ -341,7 +387,7 @@ pub fn run_minhash(ctx: &Context<'_>) -> MethodOutcome {
     let grid = dense_grid::minhash_grid(ctx.resolution, ctx.seed);
     let opt = ctx
         .optimizer
-        .grid(grid, |cfg: &MinHashLsh| ctx.eval(cfg));
+        .grid_par(grid, |cfg: &MinHashLsh| ctx.eval(cfg));
     average_stochastic(ctx, "MH-LSH", &opt, MinHashLsh::describe, |cfg, seed| {
         Box::new(MinHashLsh { seed, ..*cfg })
     })
@@ -352,12 +398,16 @@ pub fn run_hyperplane(ctx: &Context<'_>) -> MethodOutcome {
     let groups = dense_grid::hyperplane_grid(ctx.resolution, ctx.embedding(), ctx.seed);
     let mut outcome: OptimizationOutcome<HyperplaneLsh> = OptimizationOutcome::default();
     for group in groups {
-        let sub = ctx.optimizer.first_feasible(group, |cfg| ctx.eval(cfg));
+        let sub = ctx.optimizer.first_feasible_par(group, |cfg| ctx.eval(cfg));
         merge_outcomes(&mut outcome, sub, ctx.optimizer.target.0);
     }
-    average_stochastic(ctx, "HP-LSH", &outcome, HyperplaneLsh::describe, |cfg, seed| {
-        Box::new(HyperplaneLsh { seed, ..*cfg })
-    })
+    average_stochastic(
+        ctx,
+        "HP-LSH",
+        &outcome,
+        HyperplaneLsh::describe,
+        |cfg, seed| Box::new(HyperplaneLsh { seed, ..*cfg }),
+    )
 }
 
 /// Fine-tunes Cross-Polytope LSH.
@@ -365,12 +415,16 @@ pub fn run_crosspolytope(ctx: &Context<'_>) -> MethodOutcome {
     let groups = dense_grid::crosspolytope_grid(ctx.resolution, ctx.embedding(), ctx.seed);
     let mut outcome: OptimizationOutcome<CrossPolytopeLsh> = OptimizationOutcome::default();
     for group in groups {
-        let sub = ctx.optimizer.first_feasible(group, |cfg| ctx.eval(cfg));
+        let sub = ctx.optimizer.first_feasible_par(group, |cfg| ctx.eval(cfg));
         merge_outcomes(&mut outcome, sub, ctx.optimizer.target.0);
     }
-    average_stochastic(ctx, "CP-LSH", &outcome, CrossPolytopeLsh::describe, |cfg, seed| {
-        Box::new(CrossPolytopeLsh { seed, ..*cfg })
-    })
+    average_stochastic(
+        ctx,
+        "CP-LSH",
+        &outcome,
+        CrossPolytopeLsh::describe,
+        |cfg, seed| Box::new(CrossPolytopeLsh { seed, ..*cfg }),
+    )
 }
 
 fn merge_outcomes<C: Clone>(
@@ -379,7 +433,10 @@ fn merge_outcomes<C: Clone>(
     target: f64,
 ) {
     let before = into.evaluated;
-    for cand in [from.best_feasible, from.best_fallback].into_iter().flatten() {
+    for cand in [from.best_feasible, from.best_fallback]
+        .into_iter()
+        .flatten()
+    {
         into.consider(cand, target);
     }
     // `consider` double-counts the merged champions; the true total is the
@@ -405,7 +462,11 @@ fn run_cardinality_dense<C: Clone>(
             let eff = evaluate(&candidates, ctx.gt);
             let feasible = eff.pc >= ctx.optimizer.target.0;
             outcome.consider(
-                Evaluated { config: with_k(&combo, k), eff, breakdown: PhaseBreakdown::new() },
+                Evaluated {
+                    config: with_k(&combo, k),
+                    eff,
+                    breakdown: PhaseBreakdown::new(),
+                },
                 ctx.optimizer.target.0,
             );
             if feasible {
@@ -449,9 +510,18 @@ pub fn run_deepblocker(ctx: &Context<'_>) -> MethodOutcome {
         |c: &DeepBlocker, k_cap| c.rankings(ctx.view, k_cap),
         |c, k| DeepBlocker::new(er::dense::DeepBlockerConfig { k, ..c.config }),
     );
-    average_stochastic(ctx, "DeepBlocker", &opt, DeepBlocker::describe, |cfg, seed| {
-        Box::new(DeepBlocker::new(er::dense::DeepBlockerConfig { seed, ..cfg.config }))
-    })
+    average_stochastic(
+        ctx,
+        "DeepBlocker",
+        &opt,
+        DeepBlocker::describe,
+        |cfg, seed| {
+            Box::new(DeepBlocker::new(er::dense::DeepBlockerConfig {
+                seed,
+                ..cfg.config
+            }))
+        },
+    )
 }
 
 /// The Default DeepBlocker baseline.
@@ -465,11 +535,18 @@ pub fn run_ddb(ctx: &Context<'_>) -> MethodOutcome {
     let mut opt: OptimizationOutcome<DeepBlocker> = OptimizationOutcome::default();
     let (eff, bd) = ctx.eval(&cfg);
     opt.consider(
-        Evaluated { config: cfg, eff, breakdown: bd },
+        Evaluated {
+            config: cfg,
+            eff,
+            breakdown: bd,
+        },
         ctx.optimizer.target.0,
     );
     average_stochastic(ctx, "DDB", &opt, DeepBlocker::describe, |c, seed| {
-        Box::new(DeepBlocker::new(er::dense::DeepBlockerConfig { seed, ..c.config }))
+        Box::new(DeepBlocker::new(er::dense::DeepBlockerConfig {
+            seed,
+            ..c.config
+        }))
     })
 }
 
@@ -544,7 +621,12 @@ mod tests {
         let sbw = run_blocking_family(&ctx, WorkflowKind::Sbw);
         let pbw = run_pbw(&ctx);
         assert!(sbw.pc >= 0.9, "SBW pc {}", sbw.pc);
-        assert!(sbw.pq >= pbw.pq, "fine-tuned {} < baseline {}", sbw.pq, pbw.pq);
+        assert!(
+            sbw.pq >= pbw.pq,
+            "fine-tuned {} < baseline {}",
+            sbw.pq,
+            pbw.pq
+        );
     }
 
     #[test]
@@ -614,10 +696,16 @@ mod histogram_tests {
 
         // Build the same histogram run_epsilon builds.
         let cleaner = er::text::Cleaner::off();
-        let sets1: Vec<Vec<u64>> =
-            view.e1.iter().map(|t| model.token_set(t, &cleaner)).collect();
-        let sets2: Vec<Vec<u64>> =
-            view.e2.iter().map(|t| model.token_set(t, &cleaner)).collect();
+        let sets1: Vec<Vec<u64>> = view
+            .e1
+            .iter()
+            .map(|t| model.token_set(t, &cleaner))
+            .collect();
+        let sets2: Vec<Vec<u64>> = view
+            .e2
+            .iter()
+            .map(|t| model.token_set(t, &cleaner))
+            .collect();
         let mut index = ScanCountIndex::build(&sets1);
         let mut totals = vec![0u64; SIM_BINS + 1];
         let mut dups = vec![0u64; SIM_BINS + 1];
@@ -642,7 +730,12 @@ mod histogram_tests {
         // Compare against direct runs at the grid's threshold step (0.05).
         for i in 0..=20u32 {
             let threshold = f64::from(i) / 20.0;
-            let join = er::sparse::EpsilonJoin { cleaning: false, model, measure, threshold };
+            let join = er::sparse::EpsilonJoin {
+                cleaning: false,
+                model,
+                measure,
+                threshold,
+            };
             let direct = join.run(&view);
             let found = ds.groundtruth.duplicates_in(&direct.candidates);
             let bin = ((threshold * SIM_BINS as f64) - 1e-9).ceil().max(0.0) as usize;
@@ -654,7 +747,10 @@ mod histogram_tests {
                 direct.candidates.len(),
                 "candidate mismatch at t={threshold}"
             );
-            assert_eq!(dups[bin] as usize, found, "duplicate mismatch at t={threshold}");
+            assert_eq!(
+                dups[bin] as usize, found,
+                "duplicate mismatch at t={threshold}"
+            );
         }
     }
 }

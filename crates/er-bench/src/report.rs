@@ -12,7 +12,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(header: impl IntoIterator<Item = impl Into<String>>) -> Self {
-        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (padded/truncated to the header width).
@@ -42,7 +45,10 @@ impl Table {
             }
         }
         let mut out = String::new();
-        let sep: String = widths.iter().map(|w| format!("+{}", "-".repeat(w + 2))).collect();
+        let sep: String = widths
+            .iter()
+            .map(|w| format!("+{}", "-".repeat(w + 2)))
+            .collect();
         let write_row = |out: &mut String, cells: &[String]| {
             for (i, cell) in cells.iter().enumerate().take(cols) {
                 if i == 0 {
@@ -101,8 +107,7 @@ mod tests {
         assert!(s.contains("| SBW"));
         assert!(s.contains("| kNN-Join"));
         // All lines equal width.
-        let widths: std::collections::HashSet<usize> =
-            s.lines().map(str::len).collect();
+        let widths: std::collections::HashSet<usize> = s.lines().map(str::len).collect();
         assert_eq!(widths.len(), 1, "{s}");
     }
 

@@ -10,12 +10,14 @@
 //! --reps 3           repetitions for stochastic methods
 //! --dim 128          embedding dimensionality of the dense methods
 //! --datasets D1,D4   subset of datasets (default: all ten)
+//! --threads 8        worker threads (0 or `auto` = hardware parallelism)
 //! ```
 //!
 //! plus free-standing flags the individual binaries interpret (e.g.
 //! `--configs`).
 
 use er::core::optimize::GridResolution;
+use er::core::Threads;
 use er::datagen::profiles::{profile, DatasetProfile, PROFILES};
 
 /// Parsed harness settings.
@@ -35,6 +37,8 @@ pub struct Settings {
     pub dim: usize,
     /// Selected dataset profiles.
     pub datasets: Vec<&'static DatasetProfile>,
+    /// Worker threads (`0` = resolve from `ER_THREADS` / hardware).
+    pub threads: usize,
     /// Remaining free-standing flags.
     pub flags: Vec<String>,
 }
@@ -49,15 +53,19 @@ impl Default for Settings {
             reps: 3,
             dim: 128,
             datasets: PROFILES.iter().collect(),
+            threads: 0,
             flags: Vec::new(),
         }
     }
 }
 
 impl Settings {
-    /// Parses `std::env::args` (panicking with a usage hint on bad input).
+    /// Parses `std::env::args` (panicking with a usage hint on bad input)
+    /// and applies the thread-count setting process-wide.
     pub fn from_args() -> Self {
-        Self::parse(std::env::args().skip(1))
+        let s = Self::parse(std::env::args().skip(1));
+        Threads::set(s.threads);
+        s
     }
 
     /// Parses an explicit argument list.
@@ -65,7 +73,8 @@ impl Settings {
         let mut s = Settings::default();
         let mut it = args.into_iter();
         let value = |flag: &str, it: &mut dyn Iterator<Item = String>| -> String {
-            it.next().unwrap_or_else(|| panic!("{flag} requires a value"))
+            it.next()
+                .unwrap_or_else(|| panic!("{flag} requires a value"))
         };
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -82,12 +91,15 @@ impl Settings {
                         other => panic!("unknown grid resolution {other:?}"),
                     }
                 }
+                "--threads" => {
+                    s.threads = Threads::parse_arg(&value("--threads", &mut it))
+                        .unwrap_or_else(|e| panic!("--threads: {e}"));
+                }
                 "--datasets" => {
                     s.datasets = value("--datasets", &mut it)
                         .split(',')
                         .map(|id| {
-                            profile(id.trim())
-                                .unwrap_or_else(|| panic!("unknown dataset {id:?}"))
+                            profile(id.trim()).unwrap_or_else(|| panic!("unknown dataset {id:?}"))
                         })
                         .collect();
                 }
@@ -124,8 +136,23 @@ mod tests {
     #[test]
     fn parses_every_flag() {
         let s = parse(&[
-            "--scale", "0.25", "--seed", "7", "--grid", "quick", "--target", "0.85",
-            "--reps", "5", "--dim", "64", "--datasets", "D1,D4", "--configs",
+            "--scale",
+            "0.25",
+            "--seed",
+            "7",
+            "--grid",
+            "quick",
+            "--target",
+            "0.85",
+            "--reps",
+            "5",
+            "--dim",
+            "64",
+            "--datasets",
+            "D1,D4",
+            "--threads",
+            "4",
+            "--configs",
         ]);
         assert_eq!(s.scale, 0.25);
         assert_eq!(s.seed, 7);
@@ -133,9 +160,24 @@ mod tests {
         assert_eq!(s.target_pc, 0.85);
         assert_eq!(s.reps, 5);
         assert_eq!(s.dim, 64);
-        assert_eq!(s.datasets.iter().map(|d| d.id).collect::<Vec<_>>(), vec!["D1", "D4"]);
+        assert_eq!(
+            s.datasets.iter().map(|d| d.id).collect::<Vec<_>>(),
+            vec!["D1", "D4"]
+        );
+        assert_eq!(s.threads, 4);
         assert!(s.has_flag("--configs"));
         assert!(!s.has_flag("--other"));
+    }
+
+    #[test]
+    fn threads_accepts_auto() {
+        assert_eq!(parse(&["--threads", "auto"]).threads, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "--threads")]
+    fn rejects_bad_thread_count() {
+        let _ = parse(&["--threads", "many"]);
     }
 
     #[test]

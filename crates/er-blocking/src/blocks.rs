@@ -102,7 +102,10 @@ mod tests {
     use super::*;
 
     fn block(left: &[u32], right: &[u32]) -> Block {
-        Block { left: left.to_vec(), right: right.to_vec() }
+        Block {
+            left: left.to_vec(),
+            right: right.to_vec(),
+        }
     }
 
     #[test]
@@ -124,22 +127,14 @@ mod tests {
 
     #[test]
     fn totals_accumulate() {
-        let bc = BlockCollection::from_blocks(
-            [block(&[0, 1], &[0]), block(&[1], &[1, 2])],
-            2,
-            3,
-        );
+        let bc = BlockCollection::from_blocks([block(&[0, 1], &[0]), block(&[1], &[1, 2])], 2, 3);
         assert_eq!(bc.total_comparisons(), 2 + 2);
         assert_eq!(bc.total_assignments(), 3 + 3);
     }
 
     #[test]
     fn entity_index_maps_blocks() {
-        let bc = BlockCollection::from_blocks(
-            [block(&[0, 1], &[0]), block(&[1], &[0, 2])],
-            2,
-            3,
-        );
+        let bc = BlockCollection::from_blocks([block(&[0, 1], &[0]), block(&[1], &[0, 2])], 2, 3);
         let (left, right) = bc.entity_index();
         assert_eq!(left[0], vec![0]);
         assert_eq!(left[1], vec![0, 1]);

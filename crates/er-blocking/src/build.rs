@@ -192,8 +192,16 @@ mod tests {
     #[test]
     fn extended_suffix_arrays_superset_of_suffixes() {
         let v = view(&["walmart"], &["kwalmart"]);
-        let sa = BlockBuilder::SuffixArrays { l_min: 3, b_max: 100 }.build(&v);
-        let esa = BlockBuilder::ExtendedSuffixArrays { l_min: 3, b_max: 100 }.build(&v);
+        let sa = BlockBuilder::SuffixArrays {
+            l_min: 3,
+            b_max: 100,
+        }
+        .build(&v);
+        let esa = BlockBuilder::ExtendedSuffixArrays {
+            l_min: 3,
+            b_max: 100,
+        }
+        .build(&v);
         assert!(esa.len() >= sa.len());
         assert!(esa.total_comparisons() >= sa.total_comparisons());
     }
@@ -214,7 +222,11 @@ mod tests {
 
     #[test]
     fn proactive_flag() {
-        assert!(BlockBuilder::SuffixArrays { l_min: 3, b_max: 10 }.is_proactive());
+        assert!(BlockBuilder::SuffixArrays {
+            l_min: 3,
+            b_max: 10
+        }
+        .is_proactive());
         assert!(!BlockBuilder::QGrams { q: 3 }.is_proactive());
     }
 }

@@ -13,7 +13,10 @@ use crate::blocks::{Block, BlockCollection};
 /// Both sides of the bipartite blocks are filtered independently; blocks
 /// left without one side are dropped.
 pub fn block_filtering(input: &BlockCollection, r: f64) -> BlockCollection {
-    assert!(r > 0.0 && r <= 1.0, "filtering ratio must be in (0, 1], got {r}");
+    assert!(
+        r > 0.0 && r <= 1.0,
+        "filtering ratio must be in (0, 1], got {r}"
+    );
     if input.is_empty() || r >= 1.0 {
         return input.clone();
     }
@@ -64,7 +67,9 @@ mod tests {
 
     fn collection(blocks: Vec<(Vec<u32>, Vec<u32>)>, n1: usize, n2: usize) -> BlockCollection {
         BlockCollection::from_blocks(
-            blocks.into_iter().map(|(left, right)| Block { left, right }),
+            blocks
+                .into_iter()
+                .map(|(left, right)| Block { left, right }),
             n1,
             n2,
         )
@@ -84,8 +89,8 @@ mod tests {
         // (4 comparisons). With r = 0.5 it keeps only the small one.
         let bc = collection(
             vec![
-                (vec![0], vec![0]),                // small
-                (vec![0, 1], vec![0, 1]),          // big
+                (vec![0], vec![0]),       // small
+                (vec![0, 1], vec![0, 1]), // big
             ],
             2,
             2,
@@ -93,8 +98,7 @@ mod tests {
         let out = block_filtering(&bc, 0.5);
         // Left entity 0 keeps block 0; left entity 1 keeps only block 1 (its
         // single block). Right entities likewise keep their smallest block.
-        let block_with_left0: Vec<_> =
-            out.blocks.iter().filter(|b| b.left.contains(&0)).collect();
+        let block_with_left0: Vec<_> = out.blocks.iter().filter(|b| b.left.contains(&0)).collect();
         assert_eq!(block_with_left0.len(), 1);
         assert_eq!(block_with_left0[0].comparisons(), 1);
     }

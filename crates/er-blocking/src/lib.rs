@@ -27,12 +27,12 @@ pub mod workflow;
 
 pub use blocks::{Block, BlockCollection};
 pub use build::BlockBuilder;
+pub use er_core::optimize::GridResolution;
 pub use filter::block_filtering;
 pub use metablocking::{BlockingGraph, MetaBlocking, PruningAlgorithm, WeightingScheme};
 pub use propagation::comparison_propagation;
 pub use purge::block_purging;
 pub use sorted_neighborhood::SortedNeighborhood;
-pub use er_core::optimize::GridResolution;
 pub use workflow::{BlockingWorkflow, ComparisonCleaning, WorkflowKind};
 
 #[cfg(test)]

@@ -11,6 +11,7 @@
 use crate::blocks::BlockCollection;
 use er_core::candidates::{CandidateSet, Pair};
 use er_core::hash::{FastMap, FastSet};
+use er_core::parallel::{self, Threads};
 
 /// Edge weighting schemes (paper §IV-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -218,59 +219,101 @@ impl BlockingGraph {
         self.pairs.is_empty()
     }
 
-    /// Scores every edge under a weighting scheme (sorted by pair key).
-    pub fn weighted_edges(&self, scheme: WeightingScheme) -> Vec<Edge> {
-        self.pairs
-            .iter()
-            .map(|&(pair, cbs_count, arcs)| {
-                let bi = f64::from(self.blocks_left[pair.left as usize]);
-                let bj = f64::from(self.blocks_right[pair.right as usize]);
-                let cbs = f64::from(cbs_count);
-                let weight = match scheme {
-                    WeightingScheme::Arcs => arcs,
-                    WeightingScheme::Cbs => cbs,
-                    WeightingScheme::Ecbs => {
-                        cbs * (self.total_blocks / bi).ln().max(0.0)
-                            * (self.total_blocks / bj).ln().max(0.0)
-                    }
-                    WeightingScheme::Js => cbs / (bi + bj - cbs),
-                    WeightingScheme::Ejs => {
-                        let js = cbs / (bi + bj - cbs);
-                        let vi = f64::from(self.deg_left[pair.left as usize]).max(1.0);
-                        let vj = f64::from(self.deg_right[pair.right as usize]).max(1.0);
-                        js * (self.total_entities / vi).ln().max(0.0)
-                            * (self.total_entities / vj).ln().max(0.0)
-                    }
-                    WeightingScheme::ChiSquared => {
-                        chi_squared(cbs, bi, bj, self.total_blocks)
-                    }
-                };
-                Edge { pair, weight }
-            })
-            .collect()
+    /// Weight of one `(pair, CBS, ARCS)` record under `scheme` — a pure
+    /// function of the graph statistics, shared by the serial and
+    /// parallel scoring paths.
+    fn edge_weight(&self, pair: Pair, cbs_count: u32, arcs: f64, scheme: WeightingScheme) -> f64 {
+        let bi = f64::from(self.blocks_left[pair.left as usize]);
+        let bj = f64::from(self.blocks_right[pair.right as usize]);
+        let cbs = f64::from(cbs_count);
+        match scheme {
+            WeightingScheme::Arcs => arcs,
+            WeightingScheme::Cbs => cbs,
+            WeightingScheme::Ecbs => {
+                cbs * (self.total_blocks / bi).ln().max(0.0)
+                    * (self.total_blocks / bj).ln().max(0.0)
+            }
+            WeightingScheme::Js => cbs / (bi + bj - cbs),
+            WeightingScheme::Ejs => {
+                let js = cbs / (bi + bj - cbs);
+                let vi = f64::from(self.deg_left[pair.left as usize]).max(1.0);
+                let vj = f64::from(self.deg_right[pair.right as usize]).max(1.0);
+                js * (self.total_entities / vi).ln().max(0.0)
+                    * (self.total_entities / vj).ln().max(0.0)
+            }
+            WeightingScheme::ChiSquared => chi_squared(cbs, bi, bj, self.total_blocks),
+        }
     }
 
-    /// Applies a pruning algorithm to scored edges.
+    /// Scores every edge under a weighting scheme (sorted by pair key),
+    /// using the global [`Threads`] worker count.
+    pub fn weighted_edges(&self, scheme: WeightingScheme) -> Vec<Edge> {
+        self.weighted_edges_with(Threads::get(), scheme)
+    }
+
+    /// [`BlockingGraph::weighted_edges`] over an explicit worker count.
+    ///
+    /// Each edge's weight depends only on the shared graph statistics, so
+    /// the pair-key-ordered partitions are scored independently and
+    /// concatenated back in entity-id order: the output is identical for
+    /// every `threads`.
+    pub fn weighted_edges_with(&self, threads: usize, scheme: WeightingScheme) -> Vec<Edge> {
+        parallel::par_map_with(threads, &self.pairs, |&(pair, cbs_count, arcs)| Edge {
+            pair,
+            weight: self.edge_weight(pair, cbs_count, arcs, scheme),
+        })
+    }
+
+    /// Applies a pruning algorithm to scored edges, using the global
+    /// [`Threads`] worker count.
     pub fn prune(&self, edges: &[Edge], pruning: PruningAlgorithm) -> CandidateSet {
+        self.prune_with(Threads::get(), edges, pruning)
+    }
+
+    /// [`BlockingGraph::prune`] over an explicit worker count.
+    ///
+    /// Thresholds (global or per-node means, maxima, top-k ranks) are
+    /// reduced with fixed chunk layouts and fixed merge order, and the
+    /// keep/drop filter runs over pair-key-ordered partitions merged in
+    /// entity-id order — the retained candidate set is identical for
+    /// every `threads`.
+    pub fn prune_with(
+        &self,
+        threads: usize,
+        edges: &[Edge],
+        pruning: PruningAlgorithm,
+    ) -> CandidateSet {
         if edges.is_empty() {
             return CandidateSet::new();
         }
         match pruning {
-            PruningAlgorithm::Wep => prune_wep(edges),
-            PruningAlgorithm::Cep => prune_cep(edges, self.total_assignments),
-            PruningAlgorithm::Blast => prune_node_weight(edges, self.n1, self.n2, NodeRule::Blast),
+            PruningAlgorithm::Wep => prune_wep(threads, edges),
+            PruningAlgorithm::Cep => prune_cep(threads, edges, self.total_assignments),
+            PruningAlgorithm::Blast => {
+                prune_node_weight(threads, edges, self.n1, self.n2, NodeRule::Blast)
+            }
             PruningAlgorithm::Wnp => {
-                prune_node_weight(edges, self.n1, self.n2, NodeRule::MeanAny)
+                prune_node_weight(threads, edges, self.n1, self.n2, NodeRule::MeanAny)
             }
             PruningAlgorithm::Rwnp => {
-                prune_node_weight(edges, self.n1, self.n2, NodeRule::MeanBoth)
+                prune_node_weight(threads, edges, self.n1, self.n2, NodeRule::MeanBoth)
             }
-            PruningAlgorithm::Cnp => {
-                prune_node_topk(edges, self.n1, self.n2, self.total_assignments, false)
-            }
-            PruningAlgorithm::Rcnp => {
-                prune_node_topk(edges, self.n1, self.n2, self.total_assignments, true)
-            }
+            PruningAlgorithm::Cnp => prune_node_topk(
+                threads,
+                edges,
+                self.n1,
+                self.n2,
+                self.total_assignments,
+                false,
+            ),
+            PruningAlgorithm::Rcnp => prune_node_topk(
+                threads,
+                edges,
+                self.n1,
+                self.n2,
+                self.total_assignments,
+                true,
+            ),
         }
     }
 }
@@ -299,12 +342,34 @@ fn chi_squared(n11: f64, bi: f64, bj: f64, n: f64) -> f64 {
     (n * num * num / denom).max(0.0)
 }
 
-fn prune_wep(edges: &[Edge]) -> CandidateSet {
-    let mean = edges.iter().map(|e| e.weight).sum::<f64>() / edges.len() as f64;
-    edges.iter().filter(|e| e.weight >= mean).map(|e| e.pair).collect()
+/// Parallel keep/drop filter over pair-key-ordered edge partitions; the
+/// per-chunk survivors are concatenated in chunk (= entity-id) order, so
+/// the result is independent of the worker count.
+fn collect_filtered(
+    threads: usize,
+    edges: &[Edge],
+    keep: impl Fn(usize, &Edge) -> bool + Sync,
+) -> CandidateSet {
+    let chunk = parallel::chunk_len(edges.len());
+    let kept = parallel::par_map_chunks_with(threads, edges, chunk, |offset, part| {
+        part.iter()
+            .enumerate()
+            .filter(|&(j, e)| keep(offset + j, e))
+            .map(|(_, e)| e.pair)
+            .collect::<Vec<Pair>>()
+    });
+    kept.into_iter().flatten().collect()
 }
 
-fn prune_cep(edges: &[Edge], total_assignments: u64) -> CandidateSet {
+fn prune_wep(threads: usize, edges: &[Edge]) -> CandidateSet {
+    // Fixed chunk layout + left-to-right merge keep the f64 mean
+    // bit-identical for every thread count.
+    let sum = parallel::par_reduce_with(threads, edges, || 0.0, |a, e| a + e.weight, |a, b| a + b);
+    let mean = sum / edges.len() as f64;
+    collect_filtered(threads, edges, |_, e| e.weight >= mean)
+}
+
+fn prune_cep(threads: usize, edges: &[Edge], total_assignments: u64) -> CandidateSet {
     let k = ((total_assignments / 2) as usize).max(1);
     if edges.len() <= k {
         return edges.iter().map(|e| e.pair).collect();
@@ -318,7 +383,10 @@ fn prune_cep(edges: &[Edge], total_assignments: u64) -> CandidateSet {
             .unwrap_or(std::cmp::Ordering::Equal)
             .then_with(|| edges[a].pair.key().cmp(&edges[b].pair.key()))
     });
-    order[..k].iter().map(|&i| edges[i].pair).collect()
+    order.truncate(k);
+    parallel::par_map_with(threads, &order, |&i| edges[i].pair)
+        .into_iter()
+        .collect()
 }
 
 /// Node-neighborhood threshold rules shared by BLAST / WNP / RWNP.
@@ -329,7 +397,16 @@ enum NodeRule {
     MeanBoth,
 }
 
-fn prune_node_weight(edges: &[Edge], n1: usize, n2: usize, rule: NodeRule) -> CandidateSet {
+fn prune_node_weight(
+    threads: usize,
+    edges: &[Edge],
+    n1: usize,
+    n2: usize,
+    rule: NodeRule,
+) -> CandidateSet {
+    // Per-entity accumulation stays serial — it is one cheap O(E) pass and
+    // keeping the edge-order accumulation makes the thresholds trivially
+    // thread-count-independent. The keep/drop pass parallelizes.
     let mut sum_l = vec![0.0f64; n1];
     let mut cnt_l = vec![0u32; n1];
     let mut max_l = vec![0.0f64; n1];
@@ -346,26 +423,21 @@ fn prune_node_weight(edges: &[Edge], n1: usize, n2: usize, rule: NodeRule) -> Ca
         cnt_r[r] += 1;
         max_r[r] = max_r[r].max(e.weight);
     }
-    edges
-        .iter()
-        .filter(|e| {
-            let l = e.pair.left as usize;
-            let r = e.pair.right as usize;
-            let mean_l = sum_l[l] / f64::from(cnt_l[l].max(1));
-            let mean_r = sum_r[r] / f64::from(cnt_r[r].max(1));
-            match rule {
-                NodeRule::Blast => {
-                    e.weight >= BLAST_RATIO * (max_l[l] + max_r[r]) / 2.0
-                }
-                NodeRule::MeanAny => e.weight >= mean_l || e.weight >= mean_r,
-                NodeRule::MeanBoth => e.weight >= mean_l && e.weight >= mean_r,
-            }
-        })
-        .map(|e| e.pair)
-        .collect()
+    collect_filtered(threads, edges, |_, e| {
+        let l = e.pair.left as usize;
+        let r = e.pair.right as usize;
+        let mean_l = sum_l[l] / f64::from(cnt_l[l].max(1));
+        let mean_r = sum_r[r] / f64::from(cnt_r[r].max(1));
+        match rule {
+            NodeRule::Blast => e.weight >= BLAST_RATIO * (max_l[l] + max_r[r]) / 2.0,
+            NodeRule::MeanAny => e.weight >= mean_l || e.weight >= mean_r,
+            NodeRule::MeanBoth => e.weight >= mean_l && e.weight >= mean_r,
+        }
+    })
 }
 
 fn prune_node_topk(
+    threads: usize,
     edges: &[Edge],
     n1: usize,
     n2: usize,
@@ -384,41 +456,46 @@ fn prune_node_topk(
         by_right[e.pair.right as usize].push(i as u32);
     }
 
-    let top_k = |groups: &mut [Vec<u32>]| -> FastSet<u32> {
-        let mut kept = FastSet::default();
-        for group in groups.iter_mut() {
-            if group.len() > k {
-                group.sort_unstable_by(|&a, &b| {
-                    edges[b as usize]
-                        .weight
-                        .partial_cmp(&edges[a as usize].weight)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then_with(|| {
-                            edges[a as usize].pair.key().cmp(&edges[b as usize].pair.key())
-                        })
-                });
-                group.truncate(k);
+    // Each node's neighborhood ranks independently; nodes are processed
+    // in parallel and the survivors merged in node order.
+    let top_k = |groups: Vec<Vec<u32>>| -> FastSet<u32> {
+        let ranked = parallel::par_map_with(threads, &groups, |group| {
+            if group.len() <= k {
+                return group.clone();
             }
-            kept.extend(group.iter().copied());
+            let mut group = group.clone();
+            group.sort_unstable_by(|&a, &b| {
+                edges[b as usize]
+                    .weight
+                    .partial_cmp(&edges[a as usize].weight)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| {
+                        edges[a as usize]
+                            .pair
+                            .key()
+                            .cmp(&edges[b as usize].pair.key())
+                    })
+            });
+            group.truncate(k);
+            group
+        });
+        let mut kept = FastSet::default();
+        for group in ranked {
+            kept.extend(group);
         }
         kept
     };
-    let kept_left = top_k(&mut by_left);
-    let kept_right = top_k(&mut by_right);
+    let kept_left = top_k(by_left);
+    let kept_right = top_k(by_right);
 
-    edges
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| {
-            let i = *i as u32;
-            if reciprocal {
-                kept_left.contains(&i) && kept_right.contains(&i)
-            } else {
-                kept_left.contains(&i) || kept_right.contains(&i)
-            }
-        })
-        .map(|(_, e)| e.pair)
-        .collect()
+    collect_filtered(threads, edges, |i, _| {
+        let i = i as u32;
+        if reciprocal {
+            kept_left.contains(&i) && kept_right.contains(&i)
+        } else {
+            kept_left.contains(&i) || kept_right.contains(&i)
+        }
+    })
 }
 
 #[cfg(test)]
@@ -430,8 +507,14 @@ mod tests {
     fn two_blocks() -> BlockCollection {
         BlockCollection::from_blocks(
             [
-                Block { left: vec![0, 1], right: vec![0] },
-                Block { left: vec![0], right: vec![0, 1] },
+                Block {
+                    left: vec![0, 1],
+                    right: vec![0],
+                },
+                Block {
+                    left: vec![0],
+                    right: vec![0, 1],
+                },
             ],
             2,
             2,
@@ -476,7 +559,10 @@ mod tests {
         // Add many blocks containing left entity 1 so its ECBS drops.
         let mut blocks = two_blocks().blocks;
         for extra_right in 2..8u32 {
-            blocks.push(Block { left: vec![1], right: vec![extra_right] });
+            blocks.push(Block {
+                left: vec![1],
+                right: vec![extra_right],
+            });
         }
         let bc = BlockCollection::from_blocks(blocks, 2, 8);
         let w = weights(WeightingScheme::Ecbs, &bc);
@@ -505,7 +591,10 @@ mod tests {
 
     #[test]
     fn wep_keeps_above_mean() {
-        let mb = MetaBlocking { scheme: WeightingScheme::Cbs, pruning: PruningAlgorithm::Wep };
+        let mb = MetaBlocking {
+            scheme: WeightingScheme::Cbs,
+            pruning: PruningAlgorithm::Wep,
+        };
         let c = mb.clean(&two_blocks());
         // Weights: 2, 1, 1 -> mean 4/3 -> only (0,0) survives.
         assert_eq!(c.len(), 1);
@@ -516,13 +605,29 @@ mod tests {
     fn reciprocal_variants_are_subsets() {
         let bc = two_blocks();
         for scheme in WeightingScheme::ALL {
-            let wnp = MetaBlocking { scheme, pruning: PruningAlgorithm::Wnp }.clean(&bc);
-            let rwnp = MetaBlocking { scheme, pruning: PruningAlgorithm::Rwnp }.clean(&bc);
+            let wnp = MetaBlocking {
+                scheme,
+                pruning: PruningAlgorithm::Wnp,
+            }
+            .clean(&bc);
+            let rwnp = MetaBlocking {
+                scheme,
+                pruning: PruningAlgorithm::Rwnp,
+            }
+            .clean(&bc);
             for p in rwnp.iter() {
                 assert!(wnp.contains(p), "{scheme:?}: RWNP ⊄ WNP");
             }
-            let cnp = MetaBlocking { scheme, pruning: PruningAlgorithm::Cnp }.clean(&bc);
-            let rcnp = MetaBlocking { scheme, pruning: PruningAlgorithm::Rcnp }.clean(&bc);
+            let cnp = MetaBlocking {
+                scheme,
+                pruning: PruningAlgorithm::Cnp,
+            }
+            .clean(&bc);
+            let rcnp = MetaBlocking {
+                scheme,
+                pruning: PruningAlgorithm::Rcnp,
+            }
+            .clean(&bc);
             for p in rcnp.iter() {
                 assert!(cnp.contains(p), "{scheme:?}: RCNP ⊄ CNP");
             }
@@ -532,12 +637,18 @@ mod tests {
     #[test]
     fn cep_keeps_global_top_k() {
         // BC = 6 -> K = 3; all three edges fit.
-        let mb = MetaBlocking { scheme: WeightingScheme::Cbs, pruning: PruningAlgorithm::Cep };
+        let mb = MetaBlocking {
+            scheme: WeightingScheme::Cbs,
+            pruning: PruningAlgorithm::Cep,
+        };
         assert_eq!(mb.clean(&two_blocks()).len(), 3);
         // With a larger graph, K caps the output.
         let mut blocks = Vec::new();
         for i in 0..10u32 {
-            blocks.push(Block { left: vec![i], right: (0..10).collect() });
+            blocks.push(Block {
+                left: vec![i],
+                right: (0..10).collect(),
+            });
         }
         let bc = BlockCollection::from_blocks(blocks, 10, 10);
         let out = mb.clean(&bc);
@@ -552,7 +663,10 @@ mod tests {
         for scheme in WeightingScheme::ALL {
             for pruning in PruningAlgorithm::ALL {
                 let out = MetaBlocking { scheme, pruning }.clean(&bc);
-                assert!(out.len() <= all.len(), "{scheme:?}/{pruning:?} grew candidates");
+                assert!(
+                    out.len() <= all.len(),
+                    "{scheme:?}/{pruning:?} grew candidates"
+                );
                 for p in out.iter() {
                     assert!(all.contains(p), "{scheme:?}/{pruning:?} invented a pair");
                 }
@@ -563,9 +677,53 @@ mod tests {
     #[test]
     fn empty_blocks_yield_empty_candidates() {
         let bc = BlockCollection::from_blocks([], 3, 3);
-        let mb =
-            MetaBlocking { scheme: WeightingScheme::Arcs, pruning: PruningAlgorithm::Blast };
+        let mb = MetaBlocking {
+            scheme: WeightingScheme::Arcs,
+            pruning: PruningAlgorithm::Blast,
+        };
         assert!(mb.clean(&bc).is_empty());
+    }
+
+    #[test]
+    fn weighting_and_pruning_are_thread_count_invariant() {
+        // A few hundred edges so the work actually spans multiple chunks.
+        let mut blocks = Vec::new();
+        for i in 0..40u32 {
+            blocks.push(Block {
+                left: (i..(i + 5).min(40)).collect(),
+                right: ((i / 2)..((i / 2) + 7).min(40)).collect(),
+            });
+        }
+        let bc = BlockCollection::from_blocks(blocks, 40, 40);
+        let graph = BlockingGraph::build(&bc);
+        for scheme in WeightingScheme::ALL {
+            let serial_edges = graph.weighted_edges_with(1, scheme);
+            for threads in [2, 3, 8] {
+                let par_edges = graph.weighted_edges_with(threads, scheme);
+                assert_eq!(serial_edges.len(), par_edges.len());
+                for (a, b) in serial_edges.iter().zip(&par_edges) {
+                    assert_eq!(a.pair, b.pair, "{scheme:?} order differs");
+                    assert_eq!(
+                        a.weight.to_bits(),
+                        b.weight.to_bits(),
+                        "{scheme:?} weight differs at {:?}",
+                        a.pair
+                    );
+                }
+            }
+            for pruning in PruningAlgorithm::ALL {
+                let serial = graph.prune_with(1, &serial_edges, pruning).to_sorted_vec();
+                for threads in [2, 3, 8] {
+                    let par = graph
+                        .prune_with(threads, &serial_edges, pruning)
+                        .to_sorted_vec();
+                    assert_eq!(
+                        serial, par,
+                        "{scheme:?}/{pruning:?} differs at {threads} threads"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -35,8 +35,14 @@ mod tests {
         // (0,0) appears in both blocks; output holds it once.
         let bc = BlockCollection::from_blocks(
             [
-                Block { left: vec![0], right: vec![0, 1] },
-                Block { left: vec![0, 1], right: vec![0] },
+                Block {
+                    left: vec![0],
+                    right: vec![0, 1],
+                },
+                Block {
+                    left: vec![0, 1],
+                    right: vec![0],
+                },
             ],
             2,
             2,
@@ -58,8 +64,14 @@ mod tests {
     fn distinct_pairs_bounded_by_total_comparisons() {
         let bc = BlockCollection::from_blocks(
             [
-                Block { left: vec![0, 1, 2], right: vec![0, 1] },
-                Block { left: vec![1, 2], right: vec![1, 2] },
+                Block {
+                    left: vec![0, 1, 2],
+                    right: vec![0, 1],
+                },
+                Block {
+                    left: vec![1, 2],
+                    right: vec![1, 2],
+                },
             ],
             3,
             3,

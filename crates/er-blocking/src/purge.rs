@@ -70,7 +70,9 @@ pub fn block_purging(input: &BlockCollection) -> BlockCollection {
     let half2 = (input.n2 / 2).max(1);
 
     let retained = input.blocks.iter().filter(|b| {
-        b.comparisons() <= max_comparisons && b.left.len() < half1.max(2) && b.right.len() < half2.max(2)
+        b.comparisons() <= max_comparisons
+            && b.left.len() < half1.max(2)
+            && b.right.len() < half2.max(2)
     });
     BlockCollection::from_blocks(retained.cloned(), input.n1, input.n2)
 }

@@ -52,12 +52,20 @@ impl Filter for SortedNeighborhood {
             let mut entries = Vec::new();
             for (i, text) in view.e1.iter().enumerate() {
                 for key in tokenize(text) {
-                    entries.push(Entry { key, from_e2: false, entity: i as u32 });
+                    entries.push(Entry {
+                        key,
+                        from_e2: false,
+                        entity: i as u32,
+                    });
                 }
             }
             for (j, text) in view.e2.iter().enumerate() {
                 for key in tokenize(text) {
-                    entries.push(Entry { key, from_e2: true, entity: j as u32 });
+                    entries.push(Entry {
+                        key,
+                        from_e2: true,
+                        entity: j as u32,
+                    });
                 }
             }
             entries.sort_unstable();
@@ -144,7 +152,10 @@ mod tests {
     #[test]
     fn empty_input_yields_nothing() {
         let v = view(&[], &[]);
-        assert!(SortedNeighborhood { window: 3 }.run(&v).candidates.is_empty());
+        assert!(SortedNeighborhood { window: 3 }
+            .run(&v)
+            .candidates
+            .is_empty());
     }
 
     #[test]

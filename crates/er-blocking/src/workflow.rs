@@ -159,7 +159,6 @@ pub enum WorkflowKind {
     Esabw,
 }
 
-
 impl WorkflowKind {
     /// All five workflow kinds.
     pub const ALL: [WorkflowKind; 5] = [
@@ -225,7 +224,10 @@ impl WorkflowKind {
                     Quick => &[0.9],
                 };
                 qs.iter()
-                    .flat_map(|&q| ts.iter().map(move |&t| BlockBuilder::ExtendedQGrams { q, t }))
+                    .flat_map(|&q| {
+                        ts.iter()
+                            .map(move |&t| BlockBuilder::ExtendedQGrams { q, t })
+                    })
                     .collect()
             }
             WorkflowKind::Sabw | WorkflowKind::Esabw => {
@@ -277,7 +279,11 @@ impl WorkflowKind {
                     WeightingScheme::Js,
                     WeightingScheme::ChiSquared,
                 ],
-                &[PruningAlgorithm::Blast, PruningAlgorithm::Rcnp, PruningAlgorithm::Wep],
+                &[
+                    PruningAlgorithm::Blast,
+                    PruningAlgorithm::Rcnp,
+                    PruningAlgorithm::Wep,
+                ],
             ),
         };
         let mut out = vec![ComparisonCleaning::Propagation];
@@ -304,15 +310,23 @@ impl WorkflowKind {
             };
             steps.into_iter().map(Some).collect()
         };
-        let purges: &[bool] =
-            if self.is_proactive() { &[false] } else { &[false, true] };
+        let purges: &[bool] = if self.is_proactive() {
+            &[false]
+        } else {
+            &[false, true]
+        };
 
         let mut grid = Vec::new();
         for builder in self.builders(res) {
             for &purge in purges {
                 for &filter_ratio in &ratios {
                     for cleaning in Self::cleanings(res) {
-                        grid.push(BlockingWorkflow { builder, purge, filter_ratio, cleaning });
+                        grid.push(BlockingWorkflow {
+                            builder,
+                            purge,
+                            filter_ratio,
+                            cleaning,
+                        });
                     }
                 }
             }
@@ -343,8 +357,12 @@ mod tests {
     #[test]
     fn pbw_finds_token_sharing_pairs() {
         let out = BlockingWorkflow::pbw().run(&view());
-        assert!(out.candidates.contains(er_core::candidates::Pair::new(0, 0)));
-        assert!(out.candidates.contains(er_core::candidates::Pair::new(1, 1)));
+        assert!(out
+            .candidates
+            .contains(er_core::candidates::Pair::new(0, 0)));
+        assert!(out
+            .candidates
+            .contains(er_core::candidates::Pair::new(1, 1)));
         assert!(out.breakdown.get("build").is_some());
         assert!(out.breakdown.get("clean").is_some());
     }

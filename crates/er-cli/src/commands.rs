@@ -3,6 +3,7 @@
 use er::core::dataset::GroundTruth;
 use er::core::io::{read_entities, read_pairs, write_entities, write_pairs};
 use er::core::schema::TextView;
+use er::core::Threads;
 use er::prelude::*;
 use std::fs::File;
 use std::io::{BufWriter, Write as _};
@@ -43,7 +44,8 @@ impl Flags {
     }
 
     fn require(&self, name: &str) -> Result<&str, String> {
-        self.get(name).ok_or_else(|| format!("missing required flag --{name}"))
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))
     }
 
     fn has(&self, name: &str) -> bool {
@@ -53,9 +55,21 @@ impl Flags {
     fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse {v:?}")),
         }
     }
+}
+
+/// Applies the `--threads` flag (a positive count, or `0`/`auto` for
+/// hardware parallelism) process-wide before any parallel work runs.
+fn apply_threads(flags: &Flags) -> Result<(), String> {
+    if let Some(v) = flags.get("threads") {
+        let n = Threads::parse_arg(v).map_err(|e| format!("--threads: {e}"))?;
+        Threads::set(n);
+    }
+    Ok(())
 }
 
 fn open_out(path: &Path) -> Result<BufWriter<File>, String> {
@@ -109,7 +123,10 @@ fn build_filter(flags: &Flags) -> Result<Box<dyn Filter>, String> {
     let model = RepresentationModel::parse(flags.get("model").unwrap_or("C3G"))
         .ok_or("bad --model (expected T1G(M) or C2G(M)..C5G(M))")?;
     let dim: usize = flags.parse_or("dim", 128)?;
-    let embedding = er::dense::EmbeddingConfig { dim, ..Default::default() };
+    let embedding = er::dense::EmbeddingConfig {
+        dim,
+        ..Default::default()
+    };
     Ok(match method {
         "pbw" => Box::new(BlockingWorkflow::pbw()),
         "dbw" => Box::new(BlockingWorkflow::dbw()),
@@ -172,11 +189,7 @@ fn build_filter(flags: &Flags) -> Result<Box<dyn Filter>, String> {
 }
 
 /// Extracts the text view under the requested schema setting.
-fn view_of(
-    e1: &[er::core::Entity],
-    e2: &[er::core::Entity],
-    flags: &Flags,
-) -> TextView {
+fn view_of(e1: &[er::core::Entity], e2: &[er::core::Entity], flags: &Flags) -> TextView {
     let extract = |e: &er::core::Entity| -> String {
         match flags.get("schema") {
             Some(attr) => e.value_of(attr).unwrap_or("").to_owned(),
@@ -192,6 +205,7 @@ fn view_of(
 /// `er filter`: run one method over two CSV collections.
 pub fn filter(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &["clean", "reversed"])?;
+    apply_threads(&flags)?;
     let e1 = load_entities(flags.require("e1")?)?;
     let e2 = load_entities(flags.require("e2")?)?;
     let view = view_of(&e1, &e2, &flags);
@@ -224,12 +238,11 @@ pub fn evaluate(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &[])?;
     let pairs_path = flags.require("pairs")?;
     let gt_path = flags.require("gt")?;
-    let candidates: CandidateSet = read_pairs(
-        File::open(pairs_path).map_err(|e| format!("cannot open {pairs_path}: {e}"))?,
-    )
-    .map_err(|e| format!("{pairs_path}: {e}"))?
-    .into_iter()
-    .collect();
+    let candidates: CandidateSet =
+        read_pairs(File::open(pairs_path).map_err(|e| format!("cannot open {pairs_path}: {e}"))?)
+            .map_err(|e| format!("{pairs_path}: {e}"))?
+            .into_iter()
+            .collect();
     let gt = GroundTruth::from_pairs(
         read_pairs(File::open(gt_path).map_err(|e| format!("cannot open {gt_path}: {e}"))?)
             .map_err(|e| format!("{gt_path}: {e}"))?,
@@ -287,24 +300,49 @@ mod tests {
     }
 
     #[test]
+    fn threads_flag_parses_and_rejects_garbage() {
+        let ok = Flags::parse(&s(&["--threads", "2"]), &[]).expect("parse");
+        assert!(apply_threads(&ok).is_ok());
+        let auto = Flags::parse(&s(&["--threads", "auto"]), &[]).expect("parse");
+        assert!(apply_threads(&auto).is_ok());
+        let bad = Flags::parse(&s(&["--threads", "lots"]), &[]).expect("parse");
+        assert!(apply_threads(&bad).is_err());
+        // Leave the global unset for other tests in this process.
+        Threads::set(0);
+    }
+
+    #[test]
     fn end_to_end_generate_filter_evaluate() {
         let dir = std::env::temp_dir().join(format!("er-cli-test-{}", std::process::id()));
         let dir_str = dir.to_str().expect("utf8 path").to_owned();
-        generate(&s(&["--profile", "D1", "--scale", "0.05", "--out-dir", &dir_str]))
-            .expect("generate");
+        generate(&s(&[
+            "--profile",
+            "D1",
+            "--scale",
+            "0.05",
+            "--out-dir",
+            &dir_str,
+        ]))
+        .expect("generate");
         let e1 = dir.join("D1_e1.csv");
         let e2 = dir.join("D1_e2.csv");
         let out = dir.join("pairs.csv");
         filter(&s(&[
-            "--e1", e1.to_str().expect("utf8"),
-            "--e2", e2.to_str().expect("utf8"),
-            "--method", "pbw",
-            "--out", out.to_str().expect("utf8"),
+            "--e1",
+            e1.to_str().expect("utf8"),
+            "--e2",
+            e2.to_str().expect("utf8"),
+            "--method",
+            "pbw",
+            "--out",
+            out.to_str().expect("utf8"),
         ]))
         .expect("filter");
         evaluate(&s(&[
-            "--pairs", out.to_str().expect("utf8"),
-            "--gt", dir.join("D1_gt.csv").to_str().expect("utf8"),
+            "--pairs",
+            out.to_str().expect("utf8"),
+            "--gt",
+            dir.join("D1_gt.csv").to_str().expect("utf8"),
         ]))
         .expect("evaluate");
         std::fs::remove_dir_all(&dir).ok();
@@ -312,7 +350,10 @@ mod tests {
 
     #[test]
     fn schema_flag_restricts_view() {
-        let e = vec![er::core::Entity::from_pairs([("title", "a"), ("junk", "zzz")])];
+        let e = vec![er::core::Entity::from_pairs([
+            ("title", "a"),
+            ("junk", "zzz"),
+        ])];
         let f = Flags::parse(&s(&["--schema", "title"]), &[]).expect("parse");
         let view = view_of(&e, &e, &f);
         assert_eq!(view.e1[0], "a");

@@ -35,6 +35,9 @@ FILTER METHODS (with their options):
 
 COMMON FILTER OPTIONS:
     --schema <attr>       schema-based setting on one attribute (default: agnostic)
+    --threads <N|auto>    worker threads for the parallel hot paths
+                          (default: ER_THREADS env var, else all cores;
+                          results are identical for every thread count)
 
 Run a subcommand with wrong flags to see its specific error.
 ";

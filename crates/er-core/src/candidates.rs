@@ -36,7 +36,10 @@ impl Pair {
     /// Inverse of [`Pair::key`].
     #[inline]
     pub fn from_key(key: u64) -> Self {
-        Self { left: (key >> 32) as u32, right: key as u32 }
+        Self {
+            left: (key >> 32) as u32,
+            right: key as u32,
+        }
     }
 }
 
@@ -58,7 +61,9 @@ impl CandidateSet {
 
     /// Creates an empty set with capacity for `n` pairs.
     pub fn with_capacity(n: usize) -> Self {
-        Self { pairs: FastSet::with_capacity_and_hasher(n, Default::default()) }
+        Self {
+            pairs: FastSet::with_capacity_and_hasher(n, Default::default()),
+        }
     }
 
     /// Inserts a pair; returns true if it was new.
@@ -154,8 +159,9 @@ mod tests {
 
     #[test]
     fn sorted_vec_is_ordered() {
-        let c: CandidateSet =
-            [Pair::new(2, 1), Pair::new(1, 9), Pair::new(1, 2)].into_iter().collect();
+        let c: CandidateSet = [Pair::new(2, 1), Pair::new(1, 9), Pair::new(1, 2)]
+            .into_iter()
+            .collect();
         assert_eq!(
             c.to_sorted_vec(),
             vec![Pair::new(1, 2), Pair::new(1, 9), Pair::new(2, 1)]

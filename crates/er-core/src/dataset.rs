@@ -26,7 +26,10 @@ impl GroundTruth {
             }
         }
         unique.sort_unstable();
-        Self { pairs: unique, index }
+        Self {
+            pairs: unique,
+            index,
+        }
     }
 
     /// Rebuilds the membership index (needed after deserialization, which
@@ -62,7 +65,10 @@ impl GroundTruth {
         if candidates.len() <= self.len() {
             candidates.iter().filter(|&p| self.contains(p)).count()
         } else {
-            self.pairs.iter().filter(|p| candidates.contains(**p)).count()
+            self.pairs
+                .iter()
+                .filter(|p| candidates.contains(**p))
+                .count()
         }
     }
 }
@@ -92,7 +98,13 @@ impl Dataset {
         e2: Vec<Entity>,
         groundtruth: GroundTruth,
     ) -> Self {
-        let ds = Self { name: name.into(), sources: sources.into(), e1, e2, groundtruth };
+        let ds = Self {
+            name: name.into(),
+            sources: sources.into(),
+            e1,
+            e2,
+            groundtruth,
+        };
         for p in ds.groundtruth.iter() {
             assert!(
                 (p.left as usize) < ds.e1.len() && (p.right as usize) < ds.e2.len(),
@@ -167,8 +179,9 @@ mod tests {
         let gt = GroundTruth::from_pairs((0..10).map(|i| Pair::new(i, i)));
         let small: CandidateSet = [Pair::new(0, 0), Pair::new(5, 5)].into_iter().collect();
         assert_eq!(gt.duplicates_in(&small), 2);
-        let big: CandidateSet =
-            (0..100u32).flat_map(|l| (0..2u32).map(move |r| Pair::new(l, r))).collect();
+        let big: CandidateSet = (0..100u32)
+            .flat_map(|l| (0..2u32).map(move |r| Pair::new(l, r)))
+            .collect();
         assert_eq!(gt.duplicates_in(&big), 2); // (0,0) and (1,1)
     }
 

@@ -49,7 +49,11 @@ impl DirtyDataset {
             assert!(p.left < n && p.right < n, "pair {p:?} out of bounds");
             unordered(p)
         }));
-        Self { name: name.into(), entities, groundtruth }
+        Self {
+            name: name.into(),
+            entities,
+            groundtruth,
+        }
     }
 
     /// Number of entities `|E|`.
@@ -71,7 +75,10 @@ impl DirtyDataset {
     /// The self-join text view: the collection on both sides.
     pub fn self_view(&self, extract: impl Fn(&Entity) -> String) -> TextView {
         let texts: Vec<String> = self.entities.iter().map(extract).collect();
-        TextView { e1: texts.clone(), e2: texts }
+        TextView {
+            e1: texts.clone(),
+            e2: texts,
+        }
     }
 }
 
@@ -144,7 +151,10 @@ impl<F: Filter> DirtyAdapter<F> {
                 candidates.insert(unordered(p));
             }
         }
-        FilterOutput { candidates, breakdown: raw.breakdown }
+        FilterOutput {
+            candidates,
+            breakdown: raw.breakdown,
+        }
     }
 }
 

@@ -18,7 +18,10 @@ pub struct Attribute {
 impl Attribute {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
-        Self { name: name.into(), value: value.into() }
+        Self {
+            name: name.into(),
+            value: value.into(),
+        }
     }
 }
 
@@ -70,8 +73,7 @@ impl Entity {
     /// Concatenates all attribute values into one long textual value — the
     /// schema-agnostic representation of the profile.
     pub fn all_values(&self) -> String {
-        let total: usize =
-            self.attributes.iter().map(|a| a.value.len() + 1).sum();
+        let total: usize = self.attributes.iter().map(|a| a.value.len() + 1).sum();
         let mut out = String::with_capacity(total);
         for attr in &self.attributes {
             if attr.value.is_empty() {
@@ -87,7 +89,10 @@ impl Entity {
 
     /// Total number of characters across all attribute values.
     pub fn char_len(&self) -> usize {
-        self.attributes.iter().map(|a| a.value.chars().count()).sum()
+        self.attributes
+            .iter()
+            .map(|a| a.value.chars().count())
+            .sum()
     }
 
     /// True if the profile has no attribute with a non-empty value.
@@ -101,11 +106,7 @@ mod tests {
     use super::*;
 
     fn sample() -> Entity {
-        Entity::from_pairs([
-            ("name", "Joe's Diner"),
-            ("phone", ""),
-            ("city", "Athens"),
-        ])
+        Entity::from_pairs([("name", "Joe's Diner"), ("phone", ""), ("city", "Athens")])
     }
 
     #[test]

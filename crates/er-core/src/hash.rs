@@ -80,7 +80,10 @@ pub fn hash_str(s: &str) -> u64 {
 /// functions (e.g. the rows of a MinHash signature).
 #[inline]
 pub fn hash_str_seeded(s: &str, seed: u64) -> u64 {
-    fnv1a(s.as_bytes(), 0xcbf2_9ce4_8422_2325 ^ seed.wrapping_mul(SEED))
+    fnv1a(
+        s.as_bytes(),
+        0xcbf2_9ce4_8422_2325 ^ seed.wrapping_mul(SEED),
+    )
 }
 
 #[inline]
@@ -154,6 +157,9 @@ mod tests {
         let a = mix64(0x1234_5678);
         let b = mix64(0x1234_5679);
         let flipped = (a ^ b).count_ones();
-        assert!((16..=48).contains(&flipped), "poor avalanche: {flipped} bits");
+        assert!(
+            (16..=48).contains(&flipped),
+            "poor avalanche: {flipped} bits"
+        );
     }
 }

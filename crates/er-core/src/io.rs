@@ -86,7 +86,12 @@ pub fn read_entities(reader: impl Read) -> io::Result<Vec<Entity>> {
         if row.len() > header.len() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("row {} has {} fields, header has {}", out.len() + 2, row.len(), header.len()),
+                format!(
+                    "row {} has {} fields, header has {}",
+                    out.len() + 2,
+                    row.len(),
+                    header.len()
+                ),
             ));
         }
         let mut entity = Entity::new();
@@ -112,8 +117,7 @@ pub fn write_entities(out: &mut impl Write, entities: &[Entity]) -> io::Result<(
     }
     write_record(out, &header)?;
     for e in entities {
-        let row: Vec<&str> =
-            header.iter().map(|h| e.value_of(h).unwrap_or("")).collect();
+        let row: Vec<&str> = header.iter().map(|h| e.value_of(h).unwrap_or("")).collect();
         write_record(out, &row)?;
     }
     Ok(())
@@ -131,7 +135,10 @@ pub fn read_pairs(reader: impl Read) -> io::Result<Vec<Pair>> {
             continue;
         }
         if row.len() < 2 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "pair row needs two fields"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "pair row needs two fields",
+            ));
         }
         let parse = |s: &str| -> io::Result<u32> {
             s.trim().parse().map_err(|e| {
@@ -189,18 +196,28 @@ mod tests {
 
     #[test]
     fn pairs_roundtrip_sorted() {
-        let c: CandidateSet =
-            [Pair::new(5, 1), Pair::new(0, 9), Pair::new(5, 0)].into_iter().collect();
+        let c: CandidateSet = [Pair::new(5, 1), Pair::new(0, 9), Pair::new(5, 0)]
+            .into_iter()
+            .collect();
         let mut buf = Vec::new();
         write_pairs(&mut buf, &c).expect("write");
         let back = read_pairs(&buf[..]).expect("read");
-        assert_eq!(back, vec![Pair::new(0, 9), Pair::new(5, 0), Pair::new(5, 1)]);
+        assert_eq!(
+            back,
+            vec![Pair::new(0, 9), Pair::new(5, 0), Pair::new(5, 1)]
+        );
     }
 
     #[test]
     fn rejects_malformed_rows() {
-        assert!(read_entities("a,b\n1,2,3\n".as_bytes()).is_err(), "extra field");
-        assert!(read_pairs("l,r\nx,2\n".as_bytes()).is_err(), "non-numeric id");
+        assert!(
+            read_entities("a,b\n1,2,3\n".as_bytes()).is_err(),
+            "extra field"
+        );
+        assert!(
+            read_pairs("l,r\nx,2\n".as_bytes()).is_err(),
+            "non-numeric id"
+        );
         assert!(read_pairs("l,r\n7\n".as_bytes()).is_err(), "single field");
     }
 

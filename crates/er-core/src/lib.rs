@@ -13,6 +13,8 @@
 //! * [`filter`] — the common `Filter` interface,
 //! * [`optimize`] — the configuration-optimization driver of Problem 1
 //!   (maximize PQ subject to PC ≥ τ),
+//! * [`parallel`] — the deterministic parallel execution layer shared by
+//!   every hot path (byte-identical results for any thread count),
 //! * [`hash`] — a fast non-cryptographic hasher shared by the hot paths,
 //! * [`taxonomy`] — the qualitative taxonomies of Tables I and II.
 
@@ -25,6 +27,7 @@ pub mod hash;
 pub mod io;
 pub mod metrics;
 pub mod optimize;
+pub mod parallel;
 pub mod rankings;
 pub mod schema;
 pub mod taxonomy;
@@ -38,6 +41,7 @@ pub use entity::{Attribute, Entity};
 pub use filter::{Filter, FilterOutput};
 pub use metrics::{evaluate, Effectiveness};
 pub use optimize::{GridResolution, OptimizationOutcome, Optimizer, TargetRecall};
+pub use parallel::{par_map, par_map_chunks, par_reduce, Threads};
 pub use rankings::QueryRankings;
 pub use schema::{AttributeStats, SchemaMode, TextView};
 pub use timing::{PhaseBreakdown, Stopwatch};

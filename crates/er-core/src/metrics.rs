@@ -37,9 +37,22 @@ impl Effectiveness {
 /// empty candidate set gives `PQ = 0`.
 pub fn evaluate(candidates: &CandidateSet, gt: &GroundTruth) -> Effectiveness {
     let found = gt.duplicates_in(candidates);
-    let pc = if gt.is_empty() { 0.0 } else { found as f64 / gt.len() as f64 };
-    let pq = if candidates.is_empty() { 0.0 } else { found as f64 / candidates.len() as f64 };
-    Effectiveness { pc, pq, candidates: candidates.len(), duplicates_found: found }
+    let pc = if gt.is_empty() {
+        0.0
+    } else {
+        found as f64 / gt.len() as f64
+    };
+    let pq = if candidates.is_empty() {
+        0.0
+    } else {
+        found as f64 / candidates.len() as f64
+    };
+    Effectiveness {
+        pc,
+        pq,
+        candidates: candidates.len(),
+        duplicates_found: found,
+    }
 }
 
 #[cfg(test)]
@@ -62,10 +75,14 @@ mod tests {
 
     #[test]
     fn partial_recall_and_precision() {
-        let c: CandidateSet =
-            [Pair::new(0, 0), Pair::new(0, 1), Pair::new(0, 2), Pair::new(1, 1)]
-                .into_iter()
-                .collect();
+        let c: CandidateSet = [
+            Pair::new(0, 0),
+            Pair::new(0, 1),
+            Pair::new(0, 2),
+            Pair::new(1, 1),
+        ]
+        .into_iter()
+        .collect();
         let eff = evaluate(&c, &gt3());
         assert!((eff.pc - 2.0 / 3.0).abs() < 1e-12);
         assert!((eff.pq - 0.5).abs() < 1e-12);

@@ -15,6 +15,7 @@
 //!   feasible configuration is also the PQ-best feasible one.
 
 use crate::metrics::Effectiveness;
+use crate::parallel::{self, Threads};
 use crate::timing::PhaseBreakdown;
 use serde::{Deserialize, Serialize};
 
@@ -66,7 +67,11 @@ pub struct OptimizationOutcome<C> {
 
 impl<C> Default for OptimizationOutcome<C> {
     fn default() -> Self {
-        Self { best_feasible: None, best_fallback: None, evaluated: 0 }
+        Self {
+            best_feasible: None,
+            best_fallback: None,
+            evaluated: 0,
+        }
     }
 }
 
@@ -105,8 +110,7 @@ impl<C> OptimizationOutcome<C> {
         let better_fallback = match &self.best_fallback {
             None => true,
             Some(cur) => {
-                cand.eff.pc > cur.eff.pc
-                    || (cand.eff.pc == cur.eff.pc && cand.eff.pq > cur.eff.pq)
+                cand.eff.pc > cur.eff.pc || (cand.eff.pc == cur.eff.pc && cand.eff.pq > cur.eff.pq)
             }
         };
         if better_fallback {
@@ -128,14 +132,20 @@ pub struct Optimizer {
 
 impl Default for Optimizer {
     fn default() -> Self {
-        Self { target: TargetRecall::default(), max_evaluations: usize::MAX }
+        Self {
+            target: TargetRecall::default(),
+            max_evaluations: usize::MAX,
+        }
     }
 }
 
 impl Optimizer {
     /// Creates an optimizer with target τ.
     pub fn new(target_pc: f64) -> Self {
-        Self { target: TargetRecall(target_pc), ..Default::default() }
+        Self {
+            target: TargetRecall(target_pc),
+            ..Default::default()
+        }
     }
 
     /// Caps the number of evaluated configurations.
@@ -157,7 +167,14 @@ impl Optimizer {
                 break;
             }
             let (eff, breakdown) = eval(&config);
-            out.consider(Evaluated { config, eff, breakdown }, self.target.0);
+            out.consider(
+                Evaluated {
+                    config,
+                    eff,
+                    breakdown,
+                },
+                self.target.0,
+            );
         }
         out
     }
@@ -180,12 +197,135 @@ impl Optimizer {
             }
             let (eff, breakdown) = eval(&config);
             let feasible = eff.pc >= self.target.0;
-            out.consider(Evaluated { config, eff, breakdown }, self.target.0);
+            out.consider(
+                Evaluated {
+                    config,
+                    eff,
+                    breakdown,
+                },
+                self.target.0,
+            );
             if feasible {
                 break;
             }
         }
         out
+    }
+
+    /// Parallel [`Optimizer::grid`] over an explicit worker count.
+    ///
+    /// Evaluations run on the [`crate::parallel`] pool (one configuration
+    /// per chunk — grid evaluations dominate scheduling overhead) and are
+    /// merged through [`OptimizationOutcome::consider`] in configuration
+    /// order, so the champion, every tie-break, and `evaluated` are
+    /// identical to the serial sweep for any `threads`.
+    ///
+    /// `eval` must be a pure function of the configuration; it may run on
+    /// any worker thread.
+    pub fn grid_par_with<C>(
+        &self,
+        threads: usize,
+        configs: impl IntoIterator<Item = C>,
+        eval: impl Fn(&C) -> (Effectiveness, PhaseBreakdown) + Sync,
+    ) -> OptimizationOutcome<C>
+    where
+        C: Clone + Send + Sync,
+    {
+        if threads <= 1 {
+            return self.grid(configs, eval);
+        }
+        // The serial sweep stops once `evaluated` hits the budget, so it
+        // sees exactly the first `max_evaluations` configurations.
+        let configs: Vec<C> = configs.into_iter().take(self.max_evaluations).collect();
+        let results = parallel::par_map_chunks_with(threads, &configs, 1, |_, c| eval(&c[0]));
+        let mut out = OptimizationOutcome::default();
+        for (config, (eff, breakdown)) in configs.into_iter().zip(results) {
+            out.consider(
+                Evaluated {
+                    config,
+                    eff,
+                    breakdown,
+                },
+                self.target.0,
+            );
+        }
+        out
+    }
+
+    /// [`Optimizer::grid_par_with`] using the global [`Threads`] count.
+    pub fn grid_par<C>(
+        &self,
+        configs: impl IntoIterator<Item = C>,
+        eval: impl Fn(&C) -> (Effectiveness, PhaseBreakdown) + Sync,
+    ) -> OptimizationOutcome<C>
+    where
+        C: Clone + Send + Sync,
+    {
+        self.grid_par_with(Threads::get(), configs, eval)
+    }
+
+    /// Parallel [`Optimizer::first_feasible`] over an explicit worker
+    /// count.
+    ///
+    /// Configurations are evaluated speculatively in waves of
+    /// `threads × 2`, but only the in-order prefix up to (and including)
+    /// the first feasible configuration reaches
+    /// [`OptimizationOutcome::consider`]; speculative evaluations past the
+    /// stopping point are discarded. The outcome — champions, tie-breaks,
+    /// and the `evaluated` count — is therefore identical to the serial
+    /// sweep for any `threads`, provided `eval` is a pure function of the
+    /// configuration.
+    pub fn first_feasible_par_with<C>(
+        &self,
+        threads: usize,
+        configs: impl IntoIterator<Item = C>,
+        eval: impl Fn(&C) -> (Effectiveness, PhaseBreakdown) + Sync,
+    ) -> OptimizationOutcome<C>
+    where
+        C: Clone + Send + Sync,
+    {
+        if threads <= 1 {
+            return self.first_feasible(configs, eval);
+        }
+        let configs: Vec<C> = configs.into_iter().take(self.max_evaluations).collect();
+        let mut out = OptimizationOutcome::default();
+        let wave = threads * 2;
+        let mut start = 0;
+        while start < configs.len() {
+            let end = (start + wave).min(configs.len());
+            let results =
+                parallel::par_map_chunks_with(threads, &configs[start..end], 1, |_, c| eval(&c[0]));
+            for (offset, (eff, breakdown)) in results.into_iter().enumerate() {
+                let feasible = eff.pc >= self.target.0;
+                let config = configs[start + offset].clone();
+                out.consider(
+                    Evaluated {
+                        config,
+                        eff,
+                        breakdown,
+                    },
+                    self.target.0,
+                );
+                if feasible {
+                    return out;
+                }
+            }
+            start = end;
+        }
+        out
+    }
+
+    /// [`Optimizer::first_feasible_par_with`] using the global
+    /// [`Threads`] count.
+    pub fn first_feasible_par<C>(
+        &self,
+        configs: impl IntoIterator<Item = C>,
+        eval: impl Fn(&C) -> (Effectiveness, PhaseBreakdown) + Sync,
+    ) -> OptimizationOutcome<C>
+    where
+        C: Clone + Send + Sync,
+    {
+        self.first_feasible_par_with(Threads::get(), configs, eval)
     }
 }
 
@@ -194,15 +334,29 @@ mod tests {
     use super::*;
 
     fn eff(pc: f64, pq: f64, candidates: usize) -> Effectiveness {
-        Effectiveness { pc, pq, candidates, duplicates_found: 0 }
+        Effectiveness {
+            pc,
+            pq,
+            candidates,
+            duplicates_found: 0,
+        }
     }
 
     #[test]
     fn grid_picks_pq_best_feasible() {
         let opt = Optimizer::new(0.9);
-        let outcomes =
-            [(0.95, 0.10, 100), (0.92, 0.30, 50), (0.70, 0.90, 5), (0.91, 0.25, 60)];
-        let out = opt.grid(0..outcomes.len(), |&i| (eff(outcomes[i].0, outcomes[i].1, outcomes[i].2), PhaseBreakdown::new()));
+        let outcomes = [
+            (0.95, 0.10, 100),
+            (0.92, 0.30, 50),
+            (0.70, 0.90, 5),
+            (0.91, 0.25, 60),
+        ];
+        let out = opt.grid(0..outcomes.len(), |&i| {
+            (
+                eff(outcomes[i].0, outcomes[i].1, outcomes[i].2),
+                PhaseBreakdown::new(),
+            )
+        });
         let best = out.best().expect("has best");
         assert_eq!(best.config, 1, "0.92/0.30 should win");
         assert!(out.is_feasible());
@@ -213,7 +367,9 @@ mod tests {
     fn grid_falls_back_to_max_pc() {
         let opt = Optimizer::new(0.9);
         let outcomes = [(0.5, 0.9), (0.8, 0.2), (0.6, 0.8)];
-        let out = opt.grid(0..3usize, |&i| (eff(outcomes[i].0, outcomes[i].1, 10), PhaseBreakdown::new()));
+        let out = opt.grid(0..3usize, |&i| {
+            (eff(outcomes[i].0, outcomes[i].1, 10), PhaseBreakdown::new())
+        });
         assert!(!out.is_feasible());
         assert_eq!(out.best().expect("fallback").config, 1, "max PC wins");
     }
@@ -222,7 +378,12 @@ mod tests {
     fn grid_tie_breaks_on_fewer_candidates() {
         let opt = Optimizer::new(0.9);
         let outcomes = [(0.95, 0.3, 100), (0.95, 0.3, 40)];
-        let out = opt.grid(0..2usize, |&i| (eff(outcomes[i].0, outcomes[i].1, outcomes[i].2), PhaseBreakdown::new()));
+        let out = opt.grid(0..2usize, |&i| {
+            (
+                eff(outcomes[i].0, outcomes[i].1, outcomes[i].2),
+                PhaseBreakdown::new(),
+            )
+        });
         assert_eq!(out.best().expect("best").config, 1);
     }
 
@@ -233,7 +394,10 @@ mod tests {
         let out = opt.first_feasible(1..=100usize, |&k| {
             calls += 1;
             // PC grows with k (binary-exact steps): feasible from k = 3.
-            (eff(0.25 * k as f64, 1.0 / k as f64, k), PhaseBreakdown::new())
+            (
+                eff(0.25 * k as f64, 1.0 / k as f64, k),
+                PhaseBreakdown::new(),
+            )
         });
         assert_eq!(calls, 3);
         assert_eq!(out.best().expect("best").config, 3);
@@ -254,5 +418,76 @@ mod tests {
         let opt = Optimizer::new(0.9).with_budget(2);
         let out = opt.grid(0..100usize, |_| (eff(0.95, 0.5, 10), PhaseBreakdown::new()));
         assert_eq!(out.evaluated, 2);
+    }
+
+    /// Pseudo-random but pure configuration outcomes, exercising feasible
+    /// and infeasible regions plus exact PQ ties.
+    fn synth_eval(&i: &usize) -> (Effectiveness, PhaseBreakdown) {
+        let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let pc = (h % 1000) as f64 / 999.0;
+        let pq = ((h >> 10) % 8) as f64 / 8.0; // coarse → ties happen
+        (eff(pc, pq, (h % 77) as usize), PhaseBreakdown::new())
+    }
+
+    fn assert_outcome_eq(a: &OptimizationOutcome<usize>, b: &OptimizationOutcome<usize>) {
+        assert_eq!(a.evaluated, b.evaluated);
+        for (x, y) in [
+            (&a.best_feasible, &b.best_feasible),
+            (&a.best_fallback, &b.best_fallback),
+        ] {
+            match (x, y) {
+                (None, None) => {}
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.config, y.config);
+                    assert_eq!(x.eff.pc.to_bits(), y.eff.pc.to_bits());
+                    assert_eq!(x.eff.pq.to_bits(), y.eff.pq.to_bits());
+                    assert_eq!(x.eff.candidates, y.eff.candidates);
+                }
+                _ => panic!("feasible/fallback presence differs"),
+            }
+        }
+    }
+
+    #[test]
+    fn grid_par_is_serial_identical() {
+        for target in [0.5, 0.9, 1.1] {
+            for budget in [usize::MAX, 37] {
+                let opt = Optimizer::new(target).with_budget(budget);
+                let serial = opt.grid(0..100usize, synth_eval);
+                for threads in [1, 2, 3, 8] {
+                    let par = opt.grid_par_with(threads, 0..100usize, synth_eval);
+                    assert_outcome_eq(&par, &serial);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_feasible_par_is_serial_identical() {
+        // Monotone PC sweep: feasibility boundary lands mid-wave for some
+        // thread counts, exactly on a wave boundary for others.
+        for boundary in [1usize, 4, 7, 16, 31, 200] {
+            let eval = move |&k: &usize| {
+                let pc = (k as f64 / boundary as f64).min(1.0);
+                (eff(pc, 1.0 / k as f64, k), PhaseBreakdown::new())
+            };
+            let opt = Optimizer::new(0.999);
+            let serial = opt.first_feasible(1..=100usize, eval);
+            for threads in [1, 2, 3, 8] {
+                let par = opt.first_feasible_par_with(threads, 1..=100usize, eval);
+                assert_outcome_eq(&par, &serial);
+            }
+        }
+    }
+
+    #[test]
+    fn first_feasible_par_respects_budget() {
+        let opt = Optimizer::new(0.9).with_budget(5);
+        let serial = opt.first_feasible(0..100usize, synth_eval);
+        for threads in [2, 8] {
+            let par = opt.first_feasible_par_with(threads, 0..100usize, synth_eval);
+            assert_outcome_eq(&par, &serial);
+            assert!(par.evaluated <= 5);
+        }
     }
 }

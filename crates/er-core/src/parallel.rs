@@ -1,0 +1,307 @@
+//! Deterministic parallel execution layer for the filtering hot paths.
+//!
+//! Every parallel primitive in this module upholds one invariant: **the
+//! result is byte-identical for every thread count**, including one.
+//! That is what lets the benchmark harness keep its effectiveness numbers
+//! (candidate sets, PC/PQ, tie-breaking decisions) stable while run-times
+//! scale with cores.
+//!
+//! The invariant follows from two rules:
+//!
+//! 1. **Chunk boundaries are a pure function of input length.** The number
+//!    of worker threads never influences how the input is split, so the
+//!    same items always land in the same chunk ([`chunk_len`]).
+//! 2. **Chunk results merge in chunk order.** Workers steal chunks from a
+//!    shared counter in whatever order scheduling happens to produce, but
+//!    each chunk's output is written to its own slot and the slots are
+//!    concatenated (or folded) strictly left-to-right. Floating-point
+//!    accumulation order is therefore fixed, which makes even `f64` sums
+//!    bit-stable across thread counts.
+//!
+//! The worker pool is a scoped [`std::thread::scope`] pool — no external
+//! dependencies — with work-stealing over chunk indices via an atomic
+//! cursor. A single-thread (or single-chunk) call runs inline on the
+//! caller's stack with zero spawns.
+//!
+//! Thread-count resolution (see [`Threads`]): explicit process override
+//! (e.g. a `--threads` CLI flag) > the `ER_THREADS` environment variable >
+//! [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Global thread-count configuration.
+///
+/// All `par_*` functions without an explicit `threads` argument resolve
+/// their worker count through [`Threads::get`]. The CLI layers call
+/// [`Threads::set`] once at startup; library code should never need to.
+pub struct Threads;
+
+/// Process-wide override; 0 means "unset, fall through to env/hardware".
+static THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Cached env/hardware resolution (the fallback is stable per process).
+static THREADS_FALLBACK: OnceLock<usize> = OnceLock::new();
+
+impl Threads {
+    /// Sets the process-wide thread count. `0` clears the override so
+    /// resolution falls back to `ER_THREADS` / available parallelism.
+    pub fn set(n: usize) {
+        THREADS_OVERRIDE.store(n, Ordering::Relaxed);
+    }
+
+    /// Resolves the worker count: override > `ER_THREADS` > hardware.
+    /// Always at least 1.
+    pub fn get() -> usize {
+        let explicit = THREADS_OVERRIDE.load(Ordering::Relaxed);
+        if explicit > 0 {
+            return explicit;
+        }
+        *THREADS_FALLBACK.get_or_init(|| {
+            if let Some(n) = std::env::var("ER_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+            {
+                return n;
+            }
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        })
+    }
+
+    /// Parses a thread-count argument as the CLIs accept it: a positive
+    /// integer, or `0` / `auto` for hardware parallelism.
+    pub fn parse_arg(arg: &str) -> Result<usize, String> {
+        if arg.eq_ignore_ascii_case("auto") {
+            return Ok(0);
+        }
+        arg.parse::<usize>()
+            .map_err(|_| format!("invalid thread count {arg:?} (expected a number or 'auto')"))
+    }
+}
+
+/// Default chunk length for `len` items: a pure function of `len` only —
+/// never of the thread count — so the chunk layout (and therefore every
+/// merge order downstream) is identical no matter how many workers run.
+///
+/// Targets at most 64 chunks with at least 64 items each: enough slack
+/// for work-stealing to balance uneven chunks, small enough that
+/// per-chunk overhead stays negligible.
+pub fn chunk_len(len: usize) -> usize {
+    (len.div_ceil(64)).max(64)
+}
+
+/// Chunk length for batches of *expensive* items (e.g. index queries that
+/// each scan the whole corpus). Same purity rule as [`chunk_len`] — a
+/// function of `len` only — but with a much smaller floor (8) so that even
+/// a few hundred queries spread across workers.
+pub fn query_chunk_len(len: usize) -> usize {
+    (len.div_ceil(64)).max(8)
+}
+
+/// Runs `f` over `items` split into `chunk` -sized chunks, merging the
+/// per-chunk outputs **in chunk order**.
+///
+/// `f` receives the chunk's base offset into `items` plus the chunk
+/// slice. Workers steal chunks through an atomic cursor; the output
+/// vector is ordered by chunk index regardless of completion order.
+///
+/// `chunk` must be positive and should be derived from the input size
+/// (e.g. [`chunk_len`]) or a call-site constant — never from the thread
+/// count — to preserve the determinism invariant.
+pub fn par_map_chunks_with<T, U, F>(threads: usize, items: &[T], chunk: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &[T]) -> U + Sync,
+{
+    assert!(chunk > 0, "chunk length must be positive");
+    let n_chunks = items.len().div_ceil(chunk);
+    let workers = threads.max(1).min(n_chunks);
+    if workers <= 1 {
+        return items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(i, c)| f(i * chunk, c))
+            .collect();
+    }
+
+    let slots: Vec<Mutex<Option<U>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n_chunks {
+                    break;
+                }
+                let start = i * chunk;
+                let end = (start + chunk).min(items.len());
+                let out = f(start, &items[start..end]);
+                *slots[i].lock().expect("parallel slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("parallel slot poisoned")
+                .expect("chunk result missing")
+        })
+        .collect()
+}
+
+/// [`par_map_chunks_with`] using the global [`Threads`] count and the
+/// default [`chunk_len`] layout.
+pub fn par_map_chunks<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &[T]) -> U + Sync,
+{
+    par_map_chunks_with(Threads::get(), items, chunk_len(items.len()), f)
+}
+
+/// Element-wise parallel map preserving input order.
+///
+/// Equivalent to `items.iter().map(f).collect()` for every thread count.
+pub fn par_map_with<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let chunk = chunk_len(items.len());
+    let chunks = par_map_chunks_with(threads, items, chunk, |_, c| {
+        c.iter().map(&f).collect::<Vec<U>>()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
+/// [`par_map_with`] using the global [`Threads`] count.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_with(Threads::get(), items, f)
+}
+
+/// Parallel fold with a deterministic merge tree.
+///
+/// Each chunk folds serially, in order, from `init()`; the per-chunk
+/// accumulators are then merged strictly left-to-right. For any
+/// associative `merge` this equals the serial fold; the result is
+/// bit-identical across thread counts even for non-associative
+/// floating-point folds, because chunk boundaries and merge order are
+/// fixed by the input length alone.
+pub fn par_reduce_with<T, A, I, F, M>(threads: usize, items: &[T], init: I, fold: F, merge: M) -> A
+where
+    T: Sync,
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(A, &T) -> A + Sync,
+    M: Fn(A, A) -> A,
+{
+    let chunk = chunk_len(items.len());
+    let accs = par_map_chunks_with(threads, items, chunk, |_, c| c.iter().fold(init(), &fold));
+    let mut accs = accs.into_iter();
+    let first = accs.next().unwrap_or_else(&init);
+    accs.fold(first, merge)
+}
+
+/// [`par_reduce_with`] using the global [`Threads`] count.
+pub fn par_reduce<T, A, I, F, M>(items: &[T], init: I, fold: F, merge: M) -> A
+where
+    T: Sync,
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(A, &T) -> A + Sync,
+    M: Fn(A, A) -> A,
+{
+    par_reduce_with(Threads::get(), items, init, fold, merge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_len_ignores_thread_count() {
+        // Pure function of len: same inputs, same layout, and sane bounds.
+        for len in [0, 1, 63, 64, 65, 1000, 4096, 1 << 20] {
+            let c = chunk_len(len);
+            assert!(c >= 64);
+            assert!(len.div_ceil(c) <= 64);
+            let q = query_chunk_len(len);
+            assert!(q >= 8);
+            assert!(len.div_ceil(q) <= 64);
+        }
+    }
+
+    #[test]
+    fn map_chunks_orders_and_offsets() {
+        let items: Vec<u32> = (0..1000).collect();
+        for threads in [1, 2, 3, 8] {
+            let got = par_map_chunks_with(threads, &items, 17, |off, c| {
+                assert_eq!(c[0] as usize, off);
+                (off, c.iter().sum::<u32>())
+            });
+            let want: Vec<(usize, u32)> = items
+                .chunks(17)
+                .enumerate()
+                .map(|(i, c)| (i * 17, c.iter().sum()))
+                .collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_matches_serial_for_all_thread_counts() {
+        let items: Vec<u64> = (0..10_000).map(|i| i * 2654435761 % 97).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 5, 16] {
+            assert_eq!(par_map_with(threads, &items, |x| x * x + 1), serial);
+        }
+    }
+
+    #[test]
+    fn par_reduce_float_sum_is_bit_stable() {
+        // Non-associative f64 accumulation: the exact bit pattern must
+        // still agree across thread counts because the fold/merge order
+        // is fixed by the chunk layout.
+        let items: Vec<f64> = (0..50_000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let reduce =
+            |threads| par_reduce_with(threads, &items, || 0.0f64, |a, x| a + x, |a, b| a + b);
+        let one = reduce(1).to_bits();
+        for threads in [2, 3, 4, 7, 32] {
+            assert_eq!(reduce(threads).to_bits(), one, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(par_map_with(8, &empty, |x| x + 1), Vec::<u32>::new());
+        assert_eq!(
+            par_reduce_with(8, &empty, || 7u32, |a, x| a + x, |a, b| a + b),
+            7
+        );
+        assert_eq!(par_map_with(8, &[5u32], |x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn threads_parse_arg() {
+        assert_eq!(Threads::parse_arg("4"), Ok(4));
+        assert_eq!(Threads::parse_arg("0"), Ok(0));
+        assert_eq!(Threads::parse_arg("auto"), Ok(0));
+        assert!(Threads::parse_arg("four").is_err());
+        assert!(Threads::parse_arg("-2").is_err());
+    }
+}

@@ -148,3 +148,53 @@ proptest! {
         prop_assert_eq!(r.neighbors[0][rank].0, ids[0]);
     }
 }
+
+proptest! {
+    /// `par_map_chunks` / `par_map` equal the serial map for 1, 2 and 8
+    /// threads, for arbitrary inputs and chunk sizes.
+    #[test]
+    fn parallel_map_matches_serial(
+        items in proptest::collection::vec(any::<u32>(), 0..300),
+        chunk in 1usize..40,
+    ) {
+        let serial_chunks: Vec<u64> = items
+            .chunks(chunk)
+            .map(|c| c.iter().map(|&x| u64::from(x)).sum())
+            .collect();
+        let serial_map: Vec<u64> = items.iter().map(|&x| u64::from(x) * 3 + 1).collect();
+        for threads in [1usize, 2, 8] {
+            let got = crate::parallel::par_map_chunks_with(threads, &items, chunk, |_, c| {
+                c.iter().map(|&x| u64::from(x)).sum::<u64>()
+            });
+            prop_assert_eq!(&got, &serial_chunks, "chunks, threads={}", threads);
+            let got = crate::parallel::par_map_with(threads, &items, |&x| u64::from(x) * 3 + 1);
+            prop_assert_eq!(&got, &serial_map, "map, threads={}", threads);
+        }
+    }
+
+    /// `par_reduce` is bitwise thread-count-invariant even for
+    /// non-associative float folds, and exactly serial for integer folds.
+    #[test]
+    fn parallel_reduce_matches_serial(
+        items in proptest::collection::vec(-1.0f64..1.0, 0..500),
+    ) {
+        let float = |threads| {
+            crate::parallel::par_reduce_with(threads, &items, || 0.0f64, |a, x| a + *x, |a, b| a + b)
+        };
+        let one = float(1).to_bits();
+        for threads in [2usize, 8] {
+            prop_assert_eq!(float(threads).to_bits(), one, "threads={}", threads);
+        }
+        let serial_int: i64 = items.iter().map(|&x| (x * 100.0) as i64).sum();
+        for threads in [1usize, 2, 8] {
+            let got = crate::parallel::par_reduce_with(
+                threads,
+                &items,
+                || 0i64,
+                |a, x| a + (*x * 100.0) as i64,
+                |a, b| a + b,
+            );
+            prop_assert_eq!(got, serial_int, "threads={}", threads);
+        }
+    }
+}

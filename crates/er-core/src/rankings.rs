@@ -70,8 +70,11 @@ impl QueryRankings {
     pub fn duplicate_ranks(&self, gt: &GroundTruth) -> Vec<Option<usize>> {
         gt.iter()
             .map(|p| {
-                let (query, indexed) =
-                    if self.reversed { (p.left, p.right) } else { (p.right, p.left) };
+                let (query, indexed) = if self.reversed {
+                    (p.left, p.right)
+                } else {
+                    (p.right, p.left)
+                };
                 self.neighbors
                     .get(query as usize)
                     .and_then(|list| list.iter().position(|&(i, _)| i == indexed))
@@ -104,10 +107,7 @@ mod tests {
     fn rankings() -> QueryRankings {
         QueryRankings {
             // Query 0: ids 5, 6 (tie 0.8), 7; query 1: id 5 only.
-            neighbors: vec![
-                vec![(5, 0.9), (6, 0.8), (7, 0.8), (8, 0.1)],
-                vec![(5, 0.7)],
-            ],
+            neighbors: vec![vec![(5, 0.9), (6, 0.8), (7, 0.8), (8, 0.1)], vec![(5, 0.7)]],
             reversed: false,
         }
     }

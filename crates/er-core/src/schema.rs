@@ -9,7 +9,7 @@
 
 use crate::dataset::Dataset;
 use crate::hash::{FastMap, FastSet};
-use er_text::{Cleaner, tokenize};
+use er_text::{tokenize, Cleaner};
 use serde::{Deserialize, Serialize};
 
 /// Which textual view of the profiles a filter should run on.
@@ -57,7 +57,10 @@ pub struct TextView {
 impl TextView {
     /// Swaps the two sides (the `RVS` parameter).
     pub fn reversed(&self) -> TextView {
-        TextView { e1: self.e2.clone(), e2: self.e1.clone() }
+        TextView {
+            e1: self.e2.clone(),
+            e2: self.e1.clone(),
+        }
     }
 }
 
@@ -122,7 +125,9 @@ pub fn attribute_stats(ds: &Dataset) -> Vec<AttributeStats> {
         })
         .collect();
     stats.sort_by(|a, b| {
-        b.score().partial_cmp(&a.score()).unwrap_or(std::cmp::Ordering::Equal)
+        b.score()
+            .partial_cmp(&a.score())
+            .unwrap_or(std::cmp::Ordering::Equal)
             .then_with(|| a.name.cmp(&b.name))
     });
     stats
@@ -160,11 +165,19 @@ pub fn text_view(ds: &Dataset, mode: &SchemaMode) -> TextView {
 /// Computes vocabulary size and character length of a view, optionally
 /// after cleaning (stop-word removal + stemming), for Figures 3b/3c.
 pub fn corpus_stats(view: &TextView, cleaned: bool) -> CorpusStats {
-    let cleaner = if cleaned { Cleaner::on() } else { Cleaner::off() };
+    let cleaner = if cleaned {
+        Cleaner::on()
+    } else {
+        Cleaner::off()
+    };
     let mut vocab: FastSet<String> = FastSet::default();
     let mut chars = 0usize;
     for text in view.e1.iter().chain(view.e2.iter()) {
-        let tokens = if cleaned { cleaner.clean_to_tokens(text) } else { tokenize(text) };
+        let tokens = if cleaned {
+            cleaner.clean_to_tokens(text)
+        } else {
+            tokenize(text)
+        };
         for t in &tokens {
             chars += t.chars().count();
         }
@@ -173,7 +186,10 @@ pub fn corpus_stats(view: &TextView, cleaned: bool) -> CorpusStats {
         chars += tokens.len().saturating_sub(1);
         vocab.extend(tokens);
     }
-    CorpusStats { vocabulary_size: vocab.len(), char_length: chars }
+    CorpusStats {
+        vocabulary_size: vocab.len(),
+        char_length: chars,
+    }
 }
 
 #[cfg(test)]

@@ -63,15 +63,69 @@ pub struct MethodProfile {
 
 /// The taxonomy of every technique evaluated in the study.
 pub static METHOD_PROFILES: &[MethodProfile] = &[
-    MethodProfile { name: "Blocking workflows", family: MethodFamily::Blocking, representation: Representation::Syntactic, operation: Operation::Deterministic, threshold: None },
-    MethodProfile { name: "e-Join", family: MethodFamily::SparseNn, representation: Representation::Syntactic, operation: Operation::Deterministic, threshold: Some(Threshold::Similarity) },
-    MethodProfile { name: "kNN-Join", family: MethodFamily::SparseNn, representation: Representation::Syntactic, operation: Operation::Deterministic, threshold: Some(Threshold::Cardinality) },
-    MethodProfile { name: "MH-LSH", family: MethodFamily::DenseNn, representation: Representation::Syntactic, operation: Operation::Stochastic, threshold: Some(Threshold::Similarity) },
-    MethodProfile { name: "HP-LSH", family: MethodFamily::DenseNn, representation: Representation::Semantic, operation: Operation::Stochastic, threshold: Some(Threshold::Similarity) },
-    MethodProfile { name: "CP-LSH", family: MethodFamily::DenseNn, representation: Representation::Semantic, operation: Operation::Stochastic, threshold: Some(Threshold::Similarity) },
-    MethodProfile { name: "FAISS", family: MethodFamily::DenseNn, representation: Representation::Semantic, operation: Operation::Deterministic, threshold: Some(Threshold::Cardinality) },
-    MethodProfile { name: "SCANN", family: MethodFamily::DenseNn, representation: Representation::Semantic, operation: Operation::Deterministic, threshold: Some(Threshold::Cardinality) },
-    MethodProfile { name: "DeepBlocker", family: MethodFamily::DenseNn, representation: Representation::Semantic, operation: Operation::Stochastic, threshold: Some(Threshold::Cardinality) },
+    MethodProfile {
+        name: "Blocking workflows",
+        family: MethodFamily::Blocking,
+        representation: Representation::Syntactic,
+        operation: Operation::Deterministic,
+        threshold: None,
+    },
+    MethodProfile {
+        name: "e-Join",
+        family: MethodFamily::SparseNn,
+        representation: Representation::Syntactic,
+        operation: Operation::Deterministic,
+        threshold: Some(Threshold::Similarity),
+    },
+    MethodProfile {
+        name: "kNN-Join",
+        family: MethodFamily::SparseNn,
+        representation: Representation::Syntactic,
+        operation: Operation::Deterministic,
+        threshold: Some(Threshold::Cardinality),
+    },
+    MethodProfile {
+        name: "MH-LSH",
+        family: MethodFamily::DenseNn,
+        representation: Representation::Syntactic,
+        operation: Operation::Stochastic,
+        threshold: Some(Threshold::Similarity),
+    },
+    MethodProfile {
+        name: "HP-LSH",
+        family: MethodFamily::DenseNn,
+        representation: Representation::Semantic,
+        operation: Operation::Stochastic,
+        threshold: Some(Threshold::Similarity),
+    },
+    MethodProfile {
+        name: "CP-LSH",
+        family: MethodFamily::DenseNn,
+        representation: Representation::Semantic,
+        operation: Operation::Stochastic,
+        threshold: Some(Threshold::Similarity),
+    },
+    MethodProfile {
+        name: "FAISS",
+        family: MethodFamily::DenseNn,
+        representation: Representation::Semantic,
+        operation: Operation::Deterministic,
+        threshold: Some(Threshold::Cardinality),
+    },
+    MethodProfile {
+        name: "SCANN",
+        family: MethodFamily::DenseNn,
+        representation: Representation::Semantic,
+        operation: Operation::Deterministic,
+        threshold: Some(Threshold::Cardinality),
+    },
+    MethodProfile {
+        name: "DeepBlocker",
+        family: MethodFamily::DenseNn,
+        representation: Representation::Semantic,
+        operation: Operation::Stochastic,
+        threshold: Some(Threshold::Cardinality),
+    },
 ];
 
 /// Table I: which `(representation, schema setting)` combinations each
@@ -135,7 +189,12 @@ mod tests {
 
     #[test]
     fn table2_cells_match_paper() {
-        let find = |n: &str| METHOD_PROFILES.iter().find(|p| p.name == n).expect("profile");
+        let find = |n: &str| {
+            METHOD_PROFILES
+                .iter()
+                .find(|p| p.name == n)
+                .expect("profile")
+        };
         assert_eq!(find("e-Join").operation, Operation::Deterministic);
         assert_eq!(find("DeepBlocker").operation, Operation::Stochastic);
         assert_eq!(find("FAISS").threshold, Some(Threshold::Cardinality));
@@ -144,10 +203,23 @@ mod tests {
 
     #[test]
     fn only_dense_nn_supports_semantic_scope() {
-        assert!(scope_supports(MethodFamily::DenseNn, Representation::Semantic));
-        assert!(!scope_supports(MethodFamily::Blocking, Representation::Semantic));
-        assert!(!scope_supports(MethodFamily::SparseNn, Representation::Semantic));
-        for fam in [MethodFamily::Blocking, MethodFamily::SparseNn, MethodFamily::DenseNn] {
+        assert!(scope_supports(
+            MethodFamily::DenseNn,
+            Representation::Semantic
+        ));
+        assert!(!scope_supports(
+            MethodFamily::Blocking,
+            Representation::Semantic
+        ));
+        assert!(!scope_supports(
+            MethodFamily::SparseNn,
+            Representation::Semantic
+        ));
+        for fam in [
+            MethodFamily::Blocking,
+            MethodFamily::SparseNn,
+            MethodFamily::DenseNn,
+        ] {
             assert!(scope_supports(fam, Representation::Syntactic));
         }
     }

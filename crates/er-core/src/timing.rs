@@ -18,7 +18,9 @@ pub struct Stopwatch {
 impl Stopwatch {
     /// Starts timing now.
     pub fn start() -> Self {
-        Self { started: Instant::now() }
+        Self {
+            started: Instant::now(),
+        }
     }
 
     /// Elapsed time since start.

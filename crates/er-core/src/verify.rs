@@ -56,7 +56,11 @@ impl JaccardMatcher {
                 .get_or_insert_with(|| tokens(&view.e2[pair.right as usize]));
             let overlap = a.iter().filter(|t| b.contains(*t)).count();
             let union = a.len() + b.len() - overlap;
-            let sim = if union == 0 { 0.0 } else { overlap as f64 / union as f64 };
+            let sim = if union == 0 {
+                0.0
+            } else {
+                overlap as f64 / union as f64
+            };
             if sim >= self.threshold {
                 matches.insert(pair);
             }
@@ -73,15 +77,28 @@ impl JaccardMatcher {
     ) -> MatchingQuality {
         let matches = self.verify(view, candidates);
         let true_matches = gt.duplicates_in(&matches);
-        let recall = if gt.is_empty() { 0.0 } else { true_matches as f64 / gt.len() as f64 };
-        let precision =
-            if matches.is_empty() { 0.0 } else { true_matches as f64 / matches.len() as f64 };
+        let recall = if gt.is_empty() {
+            0.0
+        } else {
+            true_matches as f64 / gt.len() as f64
+        };
+        let precision = if matches.is_empty() {
+            0.0
+        } else {
+            true_matches as f64 / matches.len() as f64
+        };
         let f1 = if recall + precision == 0.0 {
             0.0
         } else {
             2.0 * recall * precision / (recall + precision)
         };
-        MatchingQuality { recall, precision, f1, verified: candidates.len(), matches: matches.len() }
+        MatchingQuality {
+            recall,
+            precision,
+            f1,
+            verified: candidates.len(),
+            matches: matches.len(),
+        }
     }
 }
 
@@ -99,8 +116,9 @@ mod tests {
 
     #[test]
     fn verification_filters_candidates_by_similarity() {
-        let candidates: CandidateSet =
-            [Pair::new(0, 0), Pair::new(0, 1), Pair::new(1, 1)].into_iter().collect();
+        let candidates: CandidateSet = [Pair::new(0, 0), Pair::new(0, 1), Pair::new(1, 1)]
+            .into_iter()
+            .collect();
         let matches = JaccardMatcher { threshold: 0.5 }.verify(&view(), &candidates);
         assert_eq!(matches.len(), 1);
         assert!(matches.contains(Pair::new(0, 0)));
@@ -120,8 +138,7 @@ mod tests {
     #[test]
     fn end_to_end_quality_scores() {
         let gt = GroundTruth::from_pairs([Pair::new(0, 0)]);
-        let candidates: CandidateSet =
-            [Pair::new(0, 0), Pair::new(1, 1)].into_iter().collect();
+        let candidates: CandidateSet = [Pair::new(0, 0), Pair::new(1, 1)].into_iter().collect();
         let q = JaccardMatcher { threshold: 0.5 }.evaluate(&view(), &candidates, &gt);
         assert_eq!(q.recall, 1.0);
         assert_eq!(q.precision, 1.0);
@@ -132,9 +149,11 @@ mod tests {
 
     #[test]
     fn threshold_one_requires_identical_token_sets() {
-        let v = TextView { e1: vec!["a b".into()], e2: vec!["b a".into(), "a b c".into()] };
-        let candidates: CandidateSet =
-            [Pair::new(0, 0), Pair::new(0, 1)].into_iter().collect();
+        let v = TextView {
+            e1: vec!["a b".into()],
+            e2: vec!["b a".into(), "a b c".into()],
+        };
+        let candidates: CandidateSet = [Pair::new(0, 0), Pair::new(0, 1)].into_iter().collect();
         let matches = JaccardMatcher { threshold: 1.0 }.verify(&v, &candidates);
         assert_eq!(matches.len(), 1);
         assert!(matches.contains(Pair::new(0, 0)), "order-insensitive");

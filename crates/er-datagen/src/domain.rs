@@ -66,7 +66,14 @@ impl Domain {
                     ("address", addr),
                     ("city", vocab::pick(rng, vocab::CITIES).to_owned()),
                     ("type", vocab::pick(rng, vocab::CUISINES).to_owned()),
-                    ("phone", format!("{:03} {:04}", rng.gen_range(100..999), rng.gen_range(1000..9999))),
+                    (
+                        "phone",
+                        format!(
+                            "{:03} {:04}",
+                            rng.gen_range(100..999),
+                            rng.gen_range(1000..9999)
+                        ),
+                    ),
                 ])
             }
             Domain::Product { generic_codes } => {
@@ -90,7 +97,10 @@ impl Domain {
                     ("title", title),
                     ("manufacturer", brand.to_owned()),
                     ("description", format!("{category} {description}")),
-                    ("price", format!("{}.{:02}", rng.gen_range(5..999), rng.gen_range(0..99))),
+                    (
+                        "price",
+                        format!("{}.{:02}", rng.gen_range(5..999), rng.gen_range(0..99)),
+                    ),
                 ])
             }
             Domain::Bibliographic => {
@@ -172,15 +182,21 @@ impl Domain {
                 }
                 // Replace the rare tail identifier with a fresh one.
                 let replacement = match self {
-                    Domain::Product { generic_codes: true } => {
-                        vocab::pick_skewed(rng, vocab::GENERIC_CODES).to_owned()
-                    }
-                    Domain::Product { generic_codes: false } => vocab::model_code(rng),
+                    Domain::Product {
+                        generic_codes: true,
+                    } => vocab::pick_skewed(rng, vocab::GENERIC_CODES).to_owned(),
+                    Domain::Product {
+                        generic_codes: false,
+                    } => vocab::model_code(rng),
                     Domain::Restaurant | Domain::Bibliographic => vocab::pseudo_word(rng, 3),
                     Domain::Movie => {
                         // Sequels often append a numeral or swap one word.
                         if rng.gen_bool(0.5) {
-                            format!("{} {}", tokens.last().expect("non-empty"), rng.gen_range(2..6))
+                            format!(
+                                "{} {}",
+                                tokens.last().expect("non-empty"),
+                                rng.gen_range(2..6)
+                            )
                         } else {
                             vocab::pick(rng, vocab::TITLE_WORDS).to_owned()
                         }
@@ -196,8 +212,7 @@ impl Domain {
             } else if attr.name == "year" {
                 attr.value = rng.gen_range(1950..2023).to_string();
             } else if attr.name == "price" {
-                attr.value =
-                    format!("{}.{:02}", rng.gen_range(5..999), rng.gen_range(0..99));
+                attr.value = format!("{}.{:02}", rng.gen_range(5..999), rng.gen_range(0..99));
             }
         }
         out
@@ -214,8 +229,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for domain in [
             Domain::Restaurant,
-            Domain::Product { generic_codes: false },
-            Domain::Product { generic_codes: true },
+            Domain::Product {
+                generic_codes: false,
+            },
+            Domain::Product {
+                generic_codes: true,
+            },
             Domain::Bibliographic,
             Domain::Movie,
         ] {
@@ -230,7 +249,12 @@ mod tests {
     fn generation_is_deterministic() {
         let mut a = StdRng::seed_from_u64(7);
         let mut b = StdRng::seed_from_u64(7);
-        for domain in [Domain::Product { generic_codes: false }, Domain::Movie] {
+        for domain in [
+            Domain::Product {
+                generic_codes: false,
+            },
+            Domain::Movie,
+        ] {
             assert_eq!(domain.canonical(&mut a), domain.canonical(&mut b));
         }
     }
@@ -239,7 +263,13 @@ mod tests {
     fn titles_are_mostly_distinct() {
         let mut rng = StdRng::seed_from_u64(3);
         let titles: std::collections::HashSet<String> = (0..500)
-            .map(|_| Domain::Bibliographic.canonical(&mut rng).value_of("title").expect("title").to_owned())
+            .map(|_| {
+                Domain::Bibliographic
+                    .canonical(&mut rng)
+                    .value_of("title")
+                    .expect("title")
+                    .to_owned()
+            })
             .collect();
         assert!(titles.len() > 480, "only {} distinct titles", titles.len());
     }
@@ -248,7 +278,13 @@ mod tests {
     fn years_have_low_distinctiveness() {
         let mut rng = StdRng::seed_from_u64(4);
         let years: std::collections::HashSet<String> = (0..500)
-            .map(|_| Domain::Movie.canonical(&mut rng).value_of("year").expect("year").to_owned())
+            .map(|_| {
+                Domain::Movie
+                    .canonical(&mut rng)
+                    .value_of("year")
+                    .expect("year")
+                    .to_owned()
+            })
             .collect();
         assert!(years.len() < 100, "{} distinct years", years.len());
     }

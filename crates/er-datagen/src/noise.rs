@@ -159,13 +159,19 @@ mod tests {
         let original = canonical();
         let orig_tokens: Vec<&str> = original.attributes[0].value.split(' ').collect();
         let noisy_title = noisy.value_of("title").expect("title").to_owned();
-        let kept = orig_tokens.iter().filter(|t| noisy_title.contains(**t)).count();
+        let kept = orig_tokens
+            .iter()
+            .filter(|t| noisy_title.contains(**t))
+            .count();
         assert!(kept >= 3, "too much damage: {noisy_title}");
     }
 
     #[test]
     fn misplacement_moves_best_attribute() {
-        let profile = NoiseProfile { misplace_rate: 1.0, ..NoiseProfile::clean() };
+        let profile = NoiseProfile {
+            misplace_rate: 1.0,
+            ..NoiseProfile::clean()
+        };
         let mut rng = StdRng::seed_from_u64(2);
         let noisy = profile.render(&mut rng, &canonical(), "title");
         assert_eq!(noisy.value_of("title"), None, "title must be emptied");
@@ -176,7 +182,10 @@ mod tests {
 
     #[test]
     fn missing_rate_one_empties_everything() {
-        let profile = NoiseProfile { missing_rate: 1.0, ..NoiseProfile::clean() };
+        let profile = NoiseProfile {
+            missing_rate: 1.0,
+            ..NoiseProfile::clean()
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let noisy = profile.render(&mut rng, &canonical(), "title");
         assert!(noisy.is_empty());
@@ -184,7 +193,10 @@ mod tests {
 
     #[test]
     fn generic_noise_appends_filler() {
-        let profile = NoiseProfile { generic_noise_tokens: 5, ..NoiseProfile::clean() };
+        let profile = NoiseProfile {
+            generic_noise_tokens: 5,
+            ..NoiseProfile::clean()
+        };
         let mut rng = StdRng::seed_from_u64(4);
         let noisy = profile.render(&mut rng, &canonical(), "title");
         let orig_len = canonical().all_values().split(' ').count();

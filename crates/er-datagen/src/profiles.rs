@@ -73,8 +73,7 @@ impl DatasetProfile {
         assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
         let n1 = ((self.n1 as f64 * scale).round() as usize).max(10);
         let n2 = ((self.n2 as f64 * scale).round() as usize).max(10);
-        let dups =
-            ((self.duplicates as f64 * scale).round() as usize).clamp(5, n1.min(n2));
+        let dups = ((self.duplicates as f64 * scale).round() as usize).clamp(5, n1.min(n2));
         (n1, n2, dups)
     }
 }
@@ -140,7 +139,9 @@ pub static PROFILES: &[DatasetProfile] = &[
     DatasetProfile {
         id: "D2",
         sources: "Abt / Buy",
-        domain: Domain::Product { generic_codes: false },
+        domain: Domain::Product {
+            generic_codes: false,
+        },
         n1: 1076,
         n2: 1076,
         duplicates: 1076,
@@ -154,7 +155,9 @@ pub static PROFILES: &[DatasetProfile] = &[
     DatasetProfile {
         id: "D3",
         sources: "Amazon / GB",
-        domain: Domain::Product { generic_codes: true },
+        domain: Domain::Product {
+            generic_codes: true,
+        },
         n1: 1354,
         n2: 3039,
         duplicates: 1104,
@@ -235,7 +238,9 @@ pub static PROFILES: &[DatasetProfile] = &[
     DatasetProfile {
         id: "D8",
         sources: "Walmart / Amazon",
-        domain: Domain::Product { generic_codes: false },
+        domain: Domain::Product {
+            generic_codes: false,
+        },
         n1: 2554,
         n2: 22074,
         duplicates: 853,
@@ -296,15 +301,15 @@ pub fn profile(id: &str) -> Option<&'static DatasetProfile> {
 /// controlled variations).
 pub fn generate(profile: &DatasetProfile, scale: f64, seed: u64) -> Dataset {
     let (n1, n2, dups) = profile.scaled_counts(scale);
-    let mut rng =
-        StdRng::seed_from_u64(seed ^ er_core::hash::hash_str(profile.id));
+    let mut rng = StdRng::seed_from_u64(seed ^ er_core::hash::hash_str(profile.id));
 
     // Canonical objects: the first `dups` are shared by both sides.
     let unique1 = n1 - dups;
     let unique2 = n2 - dups;
     let total_objects = dups + unique1 + unique2;
-    let mut canonicals: Vec<Entity> =
-        (0..total_objects).map(|_| profile.domain.canonical(&mut rng)).collect();
+    let mut canonicals: Vec<Entity> = (0..total_objects)
+        .map(|_| profile.domain.canonical(&mut rng))
+        .collect();
     // Hard negatives: rewrite some unique objects as near-duplicate
     // variants of shared ones, so non-matching pairs can look very similar
     // (sequels, model variants, revised editions).
@@ -334,8 +339,7 @@ pub fn generate(profile: &DatasetProfile, scale: f64, seed: u64) -> Dataset {
             noise.misplace_rate = (noise.misplace_rate + prof.extra_misplace_dup).min(1.0);
         }
         let mut entity = noise.render(rng, canonical, best);
-        if !is_dup && prof.best_missing_nondup > 0.0 && rng.gen_bool(prof.best_missing_nondup)
-        {
+        if !is_dup && prof.best_missing_nondup > 0.0 && rng.gen_bool(prof.best_missing_nondup) {
             for attr in &mut entity.attributes {
                 if attr.name == best {
                     attr.value.clear();
@@ -387,8 +391,7 @@ mod tests {
         assert_eq!((d4.n1, d4.n2, d4.duplicates), (2616, 2294, 2224));
         assert_eq!(PROFILES.len(), 10);
         // Ordered by increasing Cartesian product, as in Table VI.
-        let carts: Vec<u64> =
-            PROFILES.iter().map(|p| p.n1 as u64 * p.n2 as u64).collect();
+        let carts: Vec<u64> = PROFILES.iter().map(|p| p.n1 as u64 * p.n2 as u64).collect();
         assert!(carts.windows(2).all(|w| w[0] <= w[1]), "{carts:?}");
     }
 

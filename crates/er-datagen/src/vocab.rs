@@ -10,40 +10,129 @@ use rand::Rng;
 
 /// Brand names for product domains.
 pub static BRANDS: &[&str] = &[
-    "sony", "canon", "nikon", "panasonic", "samsung", "toshiba", "philips", "logitech",
-    "kensington", "belkin", "garmin", "olympus", "epson", "brother", "netgear", "linksys",
-    "apple", "lenovo", "asus", "acer", "fujitsu", "sharp", "sanyo", "jvc", "pioneer", "kodak",
+    "sony",
+    "canon",
+    "nikon",
+    "panasonic",
+    "samsung",
+    "toshiba",
+    "philips",
+    "logitech",
+    "kensington",
+    "belkin",
+    "garmin",
+    "olympus",
+    "epson",
+    "brother",
+    "netgear",
+    "linksys",
+    "apple",
+    "lenovo",
+    "asus",
+    "acer",
+    "fujitsu",
+    "sharp",
+    "sanyo",
+    "jvc",
+    "pioneer",
+    "kodak",
 ];
 
 /// A small pool of non-distinctive model designations (the D3 regime:
 /// catalog entries reuse generic codes, so duplicates share no rare
 /// identifier).
 pub static GENERIC_CODES: &[&str] = &[
-    "100", "200", "300", "500", "1000", "2000", "x1", "x2", "v2", "v3", "se", "xl", "gt",
-    "eco", "max", "lite", "air", "neo", "one", "go",
+    "100", "200", "300", "500", "1000", "2000", "x1", "x2", "v2", "v3", "se", "xl", "gt", "eco",
+    "max", "lite", "air", "neo", "one", "go",
 ];
 
 /// Product category words.
 pub static CATEGORIES: &[&str] = &[
-    "camera", "printer", "monitor", "keyboard", "speaker", "router", "headphones", "scanner",
-    "projector", "television", "laptop", "tablet", "charger", "adapter", "cable", "battery",
-    "case", "drive", "player", "recorder",
+    "camera",
+    "printer",
+    "monitor",
+    "keyboard",
+    "speaker",
+    "router",
+    "headphones",
+    "scanner",
+    "projector",
+    "television",
+    "laptop",
+    "tablet",
+    "charger",
+    "adapter",
+    "cable",
+    "battery",
+    "case",
+    "drive",
+    "player",
+    "recorder",
 ];
 
 /// Descriptive filler words (the generic content that floods D3-style
 /// datasets).
 pub static FILLER: &[&str] = &[
-    "new", "black", "white", "silver", "digital", "wireless", "portable", "compact",
-    "professional", "series", "edition", "pack", "original", "genuine", "premium", "standard",
-    "classic", "deluxe", "ultra", "mini", "pro", "plus", "kit", "set", "bundle", "inch",
-    "model", "style", "color", "size",
+    "new",
+    "black",
+    "white",
+    "silver",
+    "digital",
+    "wireless",
+    "portable",
+    "compact",
+    "professional",
+    "series",
+    "edition",
+    "pack",
+    "original",
+    "genuine",
+    "premium",
+    "standard",
+    "classic",
+    "deluxe",
+    "ultra",
+    "mini",
+    "pro",
+    "plus",
+    "kit",
+    "set",
+    "bundle",
+    "inch",
+    "model",
+    "style",
+    "color",
+    "size",
 ];
 
 /// Surnames for author/person names.
 pub static SURNAMES: &[&str] = &[
-    "smith", "johnson", "garcia", "miller", "chen", "wang", "kumar", "patel", "mueller",
-    "schmidt", "rossi", "silva", "tanaka", "sato", "kim", "lee", "papadakis", "ivanov",
-    "nielsen", "andersen", "dubois", "moreau", "kowalski", "novak", "horvat", "popescu",
+    "smith",
+    "johnson",
+    "garcia",
+    "miller",
+    "chen",
+    "wang",
+    "kumar",
+    "patel",
+    "mueller",
+    "schmidt",
+    "rossi",
+    "silva",
+    "tanaka",
+    "sato",
+    "kim",
+    "lee",
+    "papadakis",
+    "ivanov",
+    "nielsen",
+    "andersen",
+    "dubois",
+    "moreau",
+    "kowalski",
+    "novak",
+    "horvat",
+    "popescu",
 ];
 
 /// Given-name initials pool / short names.
@@ -54,11 +143,36 @@ pub static GIVEN: &[&str] = &[
 
 /// Research-paper topic words for bibliographic titles.
 pub static TOPICS: &[&str] = &[
-    "query", "database", "indexing", "learning", "distributed", "parallel", "optimization",
-    "mining", "stream", "graph", "entity", "resolution", "matching", "clustering",
-    "classification", "retrieval", "semantic", "schema", "transaction", "storage", "memory",
-    "network", "spatial", "temporal", "probabilistic", "adaptive", "scalable", "efficient",
-    "approximate", "incremental",
+    "query",
+    "database",
+    "indexing",
+    "learning",
+    "distributed",
+    "parallel",
+    "optimization",
+    "mining",
+    "stream",
+    "graph",
+    "entity",
+    "resolution",
+    "matching",
+    "clustering",
+    "classification",
+    "retrieval",
+    "semantic",
+    "schema",
+    "transaction",
+    "storage",
+    "memory",
+    "network",
+    "spatial",
+    "temporal",
+    "probabilistic",
+    "adaptive",
+    "scalable",
+    "efficient",
+    "approximate",
+    "incremental",
 ];
 
 /// Venue abbreviations.
@@ -80,23 +194,84 @@ pub static STREETS: &[&str] = &[
 
 /// Cuisine / restaurant type words.
 pub static CUISINES: &[&str] = &[
-    "italian", "french", "greek", "thai", "mexican", "japanese", "indian", "spanish",
-    "seafood", "steakhouse", "vegetarian", "bistro", "grill", "cafe", "bakery", "tavern",
+    "italian",
+    "french",
+    "greek",
+    "thai",
+    "mexican",
+    "japanese",
+    "indian",
+    "spanish",
+    "seafood",
+    "steakhouse",
+    "vegetarian",
+    "bistro",
+    "grill",
+    "cafe",
+    "bakery",
+    "tavern",
 ];
 
 /// Movie/TV genre words.
 pub static GENRES: &[&str] = &[
-    "drama", "comedy", "thriller", "horror", "romance", "adventure", "fantasy", "mystery",
-    "western", "documentary", "animation", "crime", "action", "biography",
+    "drama",
+    "comedy",
+    "thriller",
+    "horror",
+    "romance",
+    "adventure",
+    "fantasy",
+    "mystery",
+    "western",
+    "documentary",
+    "animation",
+    "crime",
+    "action",
+    "biography",
 ];
 
 /// Title words for movies/TV shows.
 pub static TITLE_WORDS: &[&str] = &[
-    "shadow", "night", "return", "last", "first", "lost", "dark", "golden", "silent", "broken",
-    "hidden", "eternal", "final", "secret", "burning", "frozen", "crimson", "silver", "empty",
-    "distant", "forgotten", "rising", "falling", "midnight", "summer", "winter", "city",
-    "river", "mountain", "island", "garden", "house", "road", "train", "letter", "promise",
-    "dream", "storm", "echo", "mirror",
+    "shadow",
+    "night",
+    "return",
+    "last",
+    "first",
+    "lost",
+    "dark",
+    "golden",
+    "silent",
+    "broken",
+    "hidden",
+    "eternal",
+    "final",
+    "secret",
+    "burning",
+    "frozen",
+    "crimson",
+    "silver",
+    "empty",
+    "distant",
+    "forgotten",
+    "rising",
+    "falling",
+    "midnight",
+    "summer",
+    "winter",
+    "city",
+    "river",
+    "mountain",
+    "island",
+    "garden",
+    "house",
+    "road",
+    "train",
+    "letter",
+    "promise",
+    "dream",
+    "storm",
+    "echo",
+    "mirror",
 ];
 
 /// Uniform pick from a list.
@@ -115,9 +290,10 @@ pub fn pick_skewed<'a>(rng: &mut StdRng, list: &[&'a str]) -> &'a str {
 /// A deterministic pseudo-word of `syllables` syllables (the rare-token
 /// tail: product model stems, invented names).
 pub fn pseudo_word(rng: &mut StdRng, syllables: usize) -> String {
-    const ONSETS: &[&str] =
-        &["b", "c", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "br",
-          "tr", "st", "kr", "pl"];
+    const ONSETS: &[&str] = &[
+        "b", "c", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "br", "tr",
+        "st", "kr", "pl",
+    ];
     const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "io", "ou"];
     let mut out = String::new();
     for _ in 0..syllables.max(1) {
@@ -160,7 +336,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut head = 0;
         for _ in 0..1000 {
-            if pick_skewed(&mut rng, TOPICS) == TOPICS[0] || pick_skewed(&mut rng, TOPICS) == TOPICS[1]
+            if pick_skewed(&mut rng, TOPICS) == TOPICS[0]
+                || pick_skewed(&mut rng, TOPICS) == TOPICS[1]
             {
                 head += 1;
             }
@@ -195,7 +372,9 @@ mod tests {
         for list in [BRANDS, CATEGORIES, FILLER, SURNAMES, TOPICS, TITLE_WORDS] {
             let set: std::collections::HashSet<_> = list.iter().collect();
             assert_eq!(set.len(), list.len());
-            assert!(list.iter().all(|w| w.chars().all(|c| c.is_ascii_lowercase())));
+            assert!(list
+                .iter()
+                .all(|w| w.chars().all(|c| c.is_ascii_lowercase())));
         }
     }
 }

@@ -153,7 +153,11 @@ impl Filter for CrossPolytopeLsh {
         assert!(self.hashes >= 1, "at least one hash function required");
         assert!(self.last_cp_dim >= 1, "last cp dimension must be positive");
         let mut out = FilterOutput::default();
-        let cleaner = if self.cleaning { Cleaner::on() } else { Cleaner::off() };
+        let cleaner = if self.cleaning {
+            Cleaner::on()
+        } else {
+            Cleaner::off()
+        };
         let embedder = HashEmbedder::new(self.embedding);
 
         let (v1, v2) = out
@@ -172,8 +176,7 @@ impl Filter for CrossPolytopeLsh {
                     last: Rotation::sample(cp_dim, dim, &mut rng),
                 })
                 .collect();
-            let mut buckets: Vec<FastMap<u64, Vec<u32>>> =
-                vec![FastMap::default(); self.tables];
+            let mut buckets: Vec<FastMap<u64, Vec<u32>>> = vec![FastMap::default(); self.tables];
             for (i, v) in v1.iter().enumerate() {
                 if v.iter().all(|&x| x == 0.0) {
                     continue;
@@ -225,7 +228,10 @@ mod tests {
             hashes,
             last_cp_dim: cp_dim,
             probes,
-            embedding: EmbeddingConfig { dim: 64, ..Default::default() },
+            embedding: EmbeddingConfig {
+                dim: 64,
+                ..Default::default()
+            },
             seed: 9,
         }
     }
@@ -291,7 +297,10 @@ mod tests {
 
     #[test]
     fn empty_texts_skipped() {
-        let view = TextView { e1: vec!["".into()], e2: vec!["anything".into()] };
+        let view = TextView {
+            e1: vec!["".into()],
+            e2: vec!["anything".into()],
+        };
         assert!(lsh(2, 2, 8, 1).run(&view).candidates.is_empty());
     }
 }

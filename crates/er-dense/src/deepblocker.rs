@@ -81,17 +81,25 @@ impl DeepBlocker {
     /// optimizer's K-sweep amortizes the expensive training.
     pub fn rankings(&self, view: &TextView, k_max: usize) -> er_core::QueryRankings {
         let cfg = &self.config;
-        let cleaner = if cfg.cleaning { Cleaner::on() } else { Cleaner::off() };
+        let cleaner = if cfg.cleaning {
+            Cleaner::on()
+        } else {
+            Cleaner::off()
+        };
         let embedder = HashEmbedder::new(cfg.embedding);
         let (index_texts, query_texts) = if cfg.reversed {
             (&view.e2, &view.e1)
         } else {
             (&view.e1, &view.e2)
         };
-        let base_index: Vec<Vec<f32>> =
-            index_texts.iter().map(|t| embedder.embed(t, &cleaner)).collect();
-        let base_query: Vec<Vec<f32>> =
-            query_texts.iter().map(|t| embedder.embed(t, &cleaner)).collect();
+        let base_index: Vec<Vec<f32>> = index_texts
+            .iter()
+            .map(|t| embedder.embed(t, &cleaner))
+            .collect();
+        let base_query: Vec<Vec<f32>> = query_texts
+            .iter()
+            .map(|t| embedder.embed(t, &cleaner))
+            .collect();
         let mut training: Vec<Vec<f32>> = base_index
             .iter()
             .chain(base_query.iter())
@@ -142,7 +150,10 @@ impl DeepBlocker {
                     .collect()
             })
             .collect();
-        er_core::QueryRankings { neighbors, reversed: cfg.reversed }
+        er_core::QueryRankings {
+            neighbors,
+            reversed: cfg.reversed,
+        }
     }
 }
 
@@ -154,7 +165,11 @@ impl Filter for DeepBlocker {
     fn run(&self, view: &TextView) -> FilterOutput {
         let cfg = &self.config;
         let mut out = FilterOutput::default();
-        let cleaner = if cfg.cleaning { Cleaner::on() } else { Cleaner::off() };
+        let cleaner = if cfg.cleaning {
+            Cleaner::on()
+        } else {
+            Cleaner::off()
+        };
         let embedder = HashEmbedder::new(cfg.embedding);
 
         let (index_texts, query_texts) = if cfg.reversed {
@@ -166,10 +181,14 @@ impl Filter for DeepBlocker {
         // Pre-processing: base embeddings + self-supervised training of the
         // tuple-embedding module on all tuples, then encoding.
         let (index_vecs, query_vecs) = out.breakdown.time("preprocess", || {
-            let base_index: Vec<Vec<f32>> =
-                index_texts.iter().map(|t| embedder.embed(t, &cleaner)).collect();
-            let base_query: Vec<Vec<f32>> =
-                query_texts.iter().map(|t| embedder.embed(t, &cleaner)).collect();
+            let base_index: Vec<Vec<f32>> = index_texts
+                .iter()
+                .map(|t| embedder.embed(t, &cleaner))
+                .collect();
+            let base_query: Vec<Vec<f32>> = query_texts
+                .iter()
+                .map(|t| embedder.embed(t, &cleaner))
+                .collect();
 
             let mut training: Vec<Vec<f32>> = base_index
                 .iter()
@@ -212,8 +231,9 @@ impl Filter for DeepBlocker {
             (encode_all(&base_index), encode_all(&base_query))
         });
 
-        let index =
-            out.breakdown.time("index", || FlatIndex::build(index_vecs, Metric::L2Sq));
+        let index = out
+            .breakdown
+            .time("index", || FlatIndex::build(index_vecs, Metric::L2Sq));
 
         out.breakdown.time("query", || {
             for (q, query) in query_vecs.iter().enumerate() {
@@ -243,7 +263,10 @@ mod tests {
             cleaning: false,
             k: 1,
             reversed: false,
-            embedding: EmbeddingConfig { dim: 32, ..Default::default() },
+            embedding: EmbeddingConfig {
+                dim: 32,
+                ..Default::default()
+            },
             hidden_dim: 8,
             epochs: 4,
             seed: 1,
@@ -282,14 +305,23 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = DeepBlocker::new(fast_config()).run(&view()).candidates.to_sorted_vec();
-        let b = DeepBlocker::new(fast_config()).run(&view()).candidates.to_sorted_vec();
+        let a = DeepBlocker::new(fast_config())
+            .run(&view())
+            .candidates
+            .to_sorted_vec();
+        let b = DeepBlocker::new(fast_config())
+            .run(&view())
+            .candidates
+            .to_sorted_vec();
         assert_eq!(a, b);
     }
 
     #[test]
     fn reversed_orientation_is_canonical() {
-        let cfg = DeepBlockerConfig { reversed: true, ..fast_config() };
+        let cfg = DeepBlockerConfig {
+            reversed: true,
+            ..fast_config()
+        };
         let out = DeepBlocker::new(cfg).run(&view());
         for p in out.candidates.iter() {
             assert!((p.left as usize) < 3 && (p.right as usize) < 2);
@@ -298,7 +330,10 @@ mod tests {
 
     #[test]
     fn empty_collections_yield_nothing() {
-        let v = TextView { e1: vec!["".into()], e2: vec!["".into()] };
+        let v = TextView {
+            e1: vec!["".into()],
+            e2: vec!["".into()],
+        };
         let out = DeepBlocker::new(fast_config()).run(&v);
         assert!(out.candidates.is_empty());
     }

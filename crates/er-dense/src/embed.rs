@@ -33,7 +33,12 @@ pub struct EmbeddingConfig {
 
 impl Default for EmbeddingConfig {
     fn default() -> Self {
-        Self { dim: 300, ngram_min: 3, ngram_max: 5, seed: 0x5eed }
+        Self {
+            dim: 300,
+            ngram_min: 3,
+            ngram_max: 5,
+            seed: 0x5eed,
+        }
     }
 }
 
@@ -71,8 +76,11 @@ impl HashEmbedder {
             let h = hash_str_seeded(gram, self.config.seed);
             let idx = (h % dim) as usize;
             let sign = if (h >> 63) == 0 { 1.0 } else { -1.0 };
-            let weight =
-                if gram.bytes().any(|b| b.is_ascii_digit()) { DIGIT_WEIGHT } else { 1.0 };
+            let weight = if gram.bytes().any(|b| b.is_ascii_digit()) {
+                DIGIT_WEIGHT
+            } else {
+                1.0
+            };
             acc[idx] += sign * weight;
         };
         // Whole-token feature (fastText includes the word itself).
@@ -119,8 +127,8 @@ impl HashEmbedder {
 
     /// Embeds every entity of both collections of a view.
     pub fn embed_view(&self, view: &TextView, cleaner: &Cleaner) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
-        let e1 = view.e1.iter().map(|t| self.embed(t, cleaner)).collect();
-        let e2 = view.e2.iter().map(|t| self.embed(t, cleaner)).collect();
+        let e1 = er_core::parallel::par_map(&view.e1, |t| self.embed(t, cleaner));
+        let e2 = er_core::parallel::par_map(&view.e2, |t| self.embed(t, cleaner));
         (e1, e2)
     }
 }
@@ -131,7 +139,10 @@ mod tests {
     use crate::vector::{cosine, dot};
 
     fn embedder() -> HashEmbedder {
-        HashEmbedder::new(EmbeddingConfig { dim: 64, ..Default::default() })
+        HashEmbedder::new(EmbeddingConfig {
+            dim: 64,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -177,9 +188,20 @@ mod tests {
 
     #[test]
     fn seed_changes_space() {
-        let a = HashEmbedder::new(EmbeddingConfig { dim: 64, seed: 1, ..Default::default() });
-        let b = HashEmbedder::new(EmbeddingConfig { dim: 64, seed: 2, ..Default::default() });
-        assert_ne!(a.embed("canon", &Cleaner::off()), b.embed("canon", &Cleaner::off()));
+        let a = HashEmbedder::new(EmbeddingConfig {
+            dim: 64,
+            seed: 1,
+            ..Default::default()
+        });
+        let b = HashEmbedder::new(EmbeddingConfig {
+            dim: 64,
+            seed: 2,
+            ..Default::default()
+        });
+        assert_ne!(
+            a.embed("canon", &Cleaner::off()),
+            b.embed("canon", &Cleaner::off())
+        );
     }
 
     #[test]
@@ -197,6 +219,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "dimension")]
     fn zero_dim_rejected() {
-        let _ = HashEmbedder::new(EmbeddingConfig { dim: 0, ..Default::default() });
+        let _ = HashEmbedder::new(EmbeddingConfig {
+            dim: 0,
+            ..Default::default()
+        });
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::embed::{EmbeddingConfig, HashEmbedder};
 use er_core::filter::{Filter, FilterOutput};
+use er_core::parallel::{self, Threads};
 use er_core::schema::TextView;
 use er_text::Cleaner;
 use std::cmp::Ordering;
@@ -89,7 +90,56 @@ impl FlatIndex {
     /// Returns the `k` nearest vectors as `(id, cost)`, best first; ties
     /// break toward smaller ids.
     pub fn knn(&self, query: &[f32], k: usize) -> Vec<(u32, f32)> {
-        knn_over(query, k, 0..self.vectors.len() as u32, |id| self.cost(query, id))
+        knn_over(query, k, 0..self.vectors.len() as u32, |id| {
+            self.cost(query, id)
+        })
+    }
+
+    /// [`FlatIndex::knn`] reusing a caller-provided [`KnnScratch`], so a
+    /// query loop allocates one bounded heap for its whole lifetime
+    /// instead of one per query.
+    pub fn knn_scratch(
+        &self,
+        query: &[f32],
+        k: usize,
+        scratch: &mut KnnScratch,
+    ) -> Vec<(u32, f32)> {
+        knn_over_scratch(scratch, k, 0..self.vectors.len() as u32, |id| {
+            self.cost(query, id)
+        })
+    }
+
+    /// Batch kNN fan-out over the global [`Threads`] worker count: one
+    /// result list per query, empty for all-zero (empty-text) queries.
+    pub fn knn_batch(&self, queries: &[Vec<f32>], k: usize) -> Vec<Vec<(u32, f32)>> {
+        self.knn_batch_with(Threads::get(), queries, k)
+    }
+
+    /// [`FlatIndex::knn_batch`] over an explicit worker count.
+    ///
+    /// Queries are independent, so the chunked fan-out merged in query
+    /// order returns exactly `queries.iter().map(|q| self.knn(q, k))` for
+    /// every `threads`. Each worker chunk reuses one [`KnnScratch`].
+    pub fn knn_batch_with(
+        &self,
+        threads: usize,
+        queries: &[Vec<f32>],
+        k: usize,
+    ) -> Vec<Vec<(u32, f32)>> {
+        let chunk = parallel::query_chunk_len(queries.len());
+        let per_chunk = parallel::par_map_chunks_with(threads, queries, chunk, |_, part| {
+            let mut scratch = KnnScratch::default();
+            part.iter()
+                .map(|q| {
+                    if q.iter().all(|&v| v == 0.0) {
+                        Vec::new()
+                    } else {
+                        self.knn_scratch(q, k, &mut scratch)
+                    }
+                })
+                .collect::<Vec<_>>()
+        });
+        per_chunk.into_iter().flatten().collect()
     }
 
     /// Range (similarity) search: every vector with cost ≤ `radius`, in
@@ -105,6 +155,35 @@ impl FlatIndex {
                 (c <= radius).then_some((id, c))
             })
             .collect()
+    }
+
+    /// Batch range-search fan-out over the global [`Threads`] count; empty
+    /// for all-zero queries. Per-query results match [`FlatIndex::range`]
+    /// for every thread count.
+    pub fn range_batch(&self, queries: &[Vec<f32>], radius: f32) -> Vec<Vec<(u32, f32)>> {
+        self.range_batch_with(Threads::get(), queries, radius)
+    }
+
+    /// [`FlatIndex::range_batch`] over an explicit worker count.
+    pub fn range_batch_with(
+        &self,
+        threads: usize,
+        queries: &[Vec<f32>],
+        radius: f32,
+    ) -> Vec<Vec<(u32, f32)>> {
+        let chunk = parallel::query_chunk_len(queries.len());
+        let per_chunk = parallel::par_map_chunks_with(threads, queries, chunk, |_, part| {
+            part.iter()
+                .map(|q| {
+                    if q.iter().all(|&v| v == 0.0) {
+                        Vec::new()
+                    } else {
+                        self.range(q, radius)
+                    }
+                })
+                .collect::<Vec<_>>()
+        });
+        per_chunk.into_iter().flatten().collect()
     }
 }
 
@@ -125,7 +204,11 @@ pub struct FlatRange {
 impl FlatRange {
     /// One-line configuration description.
     pub fn describe(&self) -> String {
-        format!("CL={} radius={:.2}", if self.cleaning { "y" } else { "-" }, self.radius)
+        format!(
+            "CL={} radius={:.2}",
+            if self.cleaning { "y" } else { "-" },
+            self.radius
+        )
     }
 }
 
@@ -136,18 +219,21 @@ impl Filter for FlatRange {
 
     fn run(&self, view: &TextView) -> FilterOutput {
         let mut out = FilterOutput::default();
-        let cleaner = if self.cleaning { Cleaner::on() } else { Cleaner::off() };
+        let cleaner = if self.cleaning {
+            Cleaner::on()
+        } else {
+            Cleaner::off()
+        };
         let embedder = HashEmbedder::new(self.embedding);
         let (v1, v2) = out
             .breakdown
             .time("preprocess", || embedder.embed_view(view, &cleaner));
-        let index = out.breakdown.time("index", || FlatIndex::build(v1, Metric::L2Sq));
+        let index = out
+            .breakdown
+            .time("index", || FlatIndex::build(v1, Metric::L2Sq));
         out.breakdown.time("query", || {
-            for (j, query) in v2.iter().enumerate() {
-                if query.iter().all(|&v| v == 0.0) {
-                    continue;
-                }
-                for (i, _) in index.range(query, self.radius) {
+            for (j, hits) in index.range_batch(&v2, self.radius).into_iter().enumerate() {
+                for (i, _) in hits {
                     out.candidates.insert_raw(i, j as u32);
                 }
             }
@@ -156,10 +242,33 @@ impl Filter for FlatRange {
     }
 }
 
+/// Reusable scratch for repeated bounded top-k selections.
+///
+/// Holds the selection heap so a query loop pays for its allocation once
+/// instead of once per query; [`FlatIndex::knn_batch_with`] keeps one per
+/// worker chunk.
+#[derive(Default)]
+pub struct KnnScratch {
+    heap: BinaryHeap<HeapItem>,
+}
+
 /// Generic top-k selection over an id stream with a cost function; shared
 /// with the partitioned index. Best (lowest cost) first.
 pub(crate) fn knn_over(
     _query: &[f32],
+    k: usize,
+    ids: impl Iterator<Item = u32>,
+    cost: impl FnMut(u32) -> f32,
+) -> Vec<(u32, f32)> {
+    let mut scratch = KnnScratch::default();
+    knn_over_scratch(&mut scratch, k, ids, cost)
+}
+
+/// [`knn_over`] against a caller-owned [`KnnScratch`]. The heap is
+/// bounded at `k + 1` entries, so the selection is `O(N log k)` and never
+/// materializes (or fully sorts) all `N` costs.
+pub(crate) fn knn_over_scratch(
+    scratch: &mut KnnScratch,
     k: usize,
     ids: impl Iterator<Item = u32>,
     mut cost: impl FnMut(u32) -> f32,
@@ -167,7 +276,11 @@ pub(crate) fn knn_over(
     if k == 0 {
         return Vec::new();
     }
-    let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(k + 1);
+    let heap = &mut scratch.heap;
+    heap.clear();
+    if heap.capacity() < k + 1 {
+        heap.reserve(k + 1 - heap.capacity());
+    }
     for id in ids {
         let c = cost(id);
         if heap.len() < k {
@@ -179,9 +292,11 @@ pub(crate) fn knn_over(
             }
         }
     }
-    let mut out: Vec<(u32, f32)> = heap.into_iter().map(|h| (h.id, h.cost)).collect();
+    let mut out: Vec<(u32, f32)> = heap.drain().map(|h| (h.id, h.cost)).collect();
     out.sort_unstable_by(|a, b| {
-        a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal).then(a.0.cmp(&b.0))
+        a.1.partial_cmp(&b.1)
+            .unwrap_or(Ordering::Equal)
+            .then(a.0.cmp(&b.0))
     });
     out
 }
@@ -219,7 +334,11 @@ impl FlatKnn {
     /// `K ≤ k_max` as a prefix, and Figures 4–6 read duplicate ranks off
     /// the same lists. Similarities are negated costs (descending order).
     pub fn rankings(&self, view: &TextView, k_max: usize) -> er_core::QueryRankings {
-        let cleaner = if self.cleaning { Cleaner::on() } else { Cleaner::off() };
+        let cleaner = if self.cleaning {
+            Cleaner::on()
+        } else {
+            Cleaner::off()
+        };
         let embedder = HashEmbedder::new(self.embedding);
         let (index_texts, query_texts) = if self.reversed {
             (&view.e2, &view.e1)
@@ -227,23 +346,23 @@ impl FlatKnn {
             (&view.e1, &view.e2)
         };
         let index_vecs: Vec<Vec<f32>> =
-            index_texts.iter().map(|t| embedder.embed(t, &cleaner)).collect();
+            parallel::par_map(index_texts, |t| embedder.embed(t, &cleaner));
         let index = FlatIndex::build(index_vecs, Metric::L2Sq);
-        let neighbors = query_texts
-            .iter()
-            .map(|t| {
-                let q = embedder.embed(t, &cleaner);
-                if q.iter().all(|&v| v == 0.0) {
-                    return Vec::new();
-                }
-                index
-                    .knn(&q, k_max)
-                    .into_iter()
+        let query_vecs: Vec<Vec<f32>> =
+            parallel::par_map(query_texts, |t| embedder.embed(t, &cleaner));
+        let neighbors = index
+            .knn_batch(&query_vecs, k_max)
+            .into_iter()
+            .map(|nn| {
+                nn.into_iter()
                     .map(|(i, cost)| (i, f64::from(-cost)))
                     .collect()
             })
             .collect();
-        er_core::QueryRankings { neighbors, reversed: self.reversed }
+        er_core::QueryRankings {
+            neighbors,
+            reversed: self.reversed,
+        }
     }
 }
 
@@ -254,7 +373,11 @@ impl Filter for FlatKnn {
 
     fn run(&self, view: &TextView) -> FilterOutput {
         let mut out = FilterOutput::default();
-        let cleaner = if self.cleaning { Cleaner::on() } else { Cleaner::off() };
+        let cleaner = if self.cleaning {
+            Cleaner::on()
+        } else {
+            Cleaner::off()
+        };
         let embedder = HashEmbedder::new(self.embedding);
 
         let (index_texts, query_texts) = if self.reversed {
@@ -263,23 +386,19 @@ impl Filter for FlatKnn {
             (&view.e1, &view.e2)
         };
         let (index_vecs, query_vecs) = out.breakdown.time("preprocess", || {
-            let a: Vec<Vec<f32>> =
-                index_texts.iter().map(|t| embedder.embed(t, &cleaner)).collect();
-            let b: Vec<Vec<f32>> =
-                query_texts.iter().map(|t| embedder.embed(t, &cleaner)).collect();
+            let a: Vec<Vec<f32>> = parallel::par_map(index_texts, |t| embedder.embed(t, &cleaner));
+            let b: Vec<Vec<f32>> = parallel::par_map(query_texts, |t| embedder.embed(t, &cleaner));
             (a, b)
         });
 
-        let index =
-            out.breakdown.time("index", || FlatIndex::build(index_vecs, Metric::L2Sq));
+        let index = out
+            .breakdown
+            .time("index", || FlatIndex::build(index_vecs, Metric::L2Sq));
 
         out.breakdown.time("query", || {
-            for (q, query) in query_vecs.iter().enumerate() {
-                // Zero vectors (empty texts) have no meaningful neighbors.
-                if query.iter().all(|&v| v == 0.0) {
-                    continue;
-                }
-                for (i, _) in index.knn(query, self.k) {
+            // Zero vectors (empty texts) yield empty neighbor lists.
+            for (q, nn) in index.knn_batch(&query_vecs, self.k).into_iter().enumerate() {
+                for (i, _) in nn {
                     if self.reversed {
                         out.candidates.insert_raw(q as u32, i);
                     } else {
@@ -344,13 +463,19 @@ mod tests {
     fn filter_pairs_duplicates_first() {
         let view = TextView {
             e1: vec!["canon eos 5d camera".into(), "office chair".into()],
-            e2: vec!["canon eos5d camera body".into(), "leather office chair".into()],
+            e2: vec![
+                "canon eos5d camera body".into(),
+                "leather office chair".into(),
+            ],
         };
         let f = FlatKnn {
             cleaning: false,
             k: 1,
             reversed: false,
-            embedding: EmbeddingConfig { dim: 64, ..Default::default() },
+            embedding: EmbeddingConfig {
+                dim: 64,
+                ..Default::default()
+            },
         };
         let out = f.run(&view);
         assert!(out.candidates.contains(Pair::new(0, 0)));
@@ -368,7 +493,10 @@ mod tests {
             cleaning: false,
             k: 1,
             reversed: true,
-            embedding: EmbeddingConfig { dim: 64, ..Default::default() },
+            embedding: EmbeddingConfig {
+                dim: 64,
+                ..Default::default()
+            },
         };
         let out = f.run(&view);
         // Two queries from E2... reversed: queries come from E1 (1 query).
@@ -395,7 +523,10 @@ mod tests {
         let filter = |radius: f32| FlatRange {
             cleaning: false,
             radius,
-            embedding: EmbeddingConfig { dim: 32, ..Default::default() },
+            embedding: EmbeddingConfig {
+                dim: 32,
+                ..Default::default()
+            },
         };
         let small = filter(0.2).run(&view).candidates;
         let large = filter(1.5).run(&view).candidates;
@@ -406,13 +537,90 @@ mod tests {
     }
 
     #[test]
+    fn batch_queries_match_serial_for_any_thread_count() {
+        // Pseudo-random vectors, including exact duplicates (tie-breaks)
+        // and one all-zero query (skip path).
+        let dim = 8;
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / 1000.0
+        };
+        let base: Vec<Vec<f32>> = (0..150)
+            .map(|_| (0..dim).map(|_| next()).collect())
+            .collect();
+        let mut queries = base[..40].to_vec();
+        queries.push(vec![0.0; dim]);
+        queries.extend(base[..3].to_vec());
+
+        for metric in [Metric::L2Sq, Metric::Dot] {
+            let idx = FlatIndex::build(base.clone(), metric);
+            let serial_knn: Vec<Vec<(u32, f32)>> = queries
+                .iter()
+                .map(|q| {
+                    if q.iter().all(|&v| v == 0.0) {
+                        Vec::new()
+                    } else {
+                        idx.knn(q, 7)
+                    }
+                })
+                .collect();
+            let serial_range: Vec<Vec<(u32, f32)>> = queries
+                .iter()
+                .map(|q| {
+                    if q.iter().all(|&v| v == 0.0) {
+                        Vec::new()
+                    } else {
+                        idx.range(q, 0.5)
+                    }
+                })
+                .collect();
+            for threads in [1, 2, 3, 8] {
+                assert_eq!(
+                    idx.knn_batch_with(threads, &queries, 7),
+                    serial_knn,
+                    "knn threads={threads}"
+                );
+                assert_eq!(
+                    idx.range_batch_with(threads, &queries, 0.5),
+                    serial_range,
+                    "range threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_knn() {
+        let idx = FlatIndex::build(vectors(), Metric::L2Sq);
+        let mut scratch = KnnScratch::default();
+        // Reuse across queries with different k: results must equal knn().
+        for (q, k) in [
+            ([1.0, 0.0], 2),
+            ([0.0, 1.0], 4),
+            ([-1.0, 0.5], 1),
+            ([0.3, 0.3], 3),
+        ] {
+            assert_eq!(idx.knn_scratch(&q, k, &mut scratch), idx.knn(&q, k));
+        }
+    }
+
+    #[test]
     fn empty_query_text_yields_nothing() {
-        let view = TextView { e1: vec!["something".into()], e2: vec!["".into()] };
+        let view = TextView {
+            e1: vec!["something".into()],
+            e2: vec!["".into()],
+        };
         let f = FlatKnn {
             cleaning: false,
             k: 3,
             reversed: false,
-            embedding: EmbeddingConfig { dim: 32, ..Default::default() },
+            embedding: EmbeddingConfig {
+                dim: 32,
+                ..Default::default()
+            },
         };
         assert!(f.run(&view).candidates.is_empty());
     }

@@ -12,8 +12,8 @@ use crate::crosspolytope::CrossPolytopeLsh;
 use crate::deepblocker::{DeepBlocker, DeepBlockerConfig};
 use crate::embed::EmbeddingConfig;
 use crate::flat::{FlatKnn, Metric};
-use crate::minhash::MinHashLsh;
 use crate::hyperplane::HyperplaneLsh;
+use crate::minhash::MinHashLsh;
 use crate::partitioned::{PartitionedKnn, Scoring};
 use er_core::optimize::GridResolution;
 
@@ -115,7 +115,13 @@ pub fn minhash_grid(res: GridResolution, seed: u64) -> Vec<MinHashLsh> {
     for &cleaning in cleanings(res) {
         for &(bands, rows) in &band_rows {
             for &shingle_k in ks {
-                out.push(MinHashLsh { cleaning, shingle_k, bands, rows, seed });
+                out.push(MinHashLsh {
+                    cleaning,
+                    shingle_k,
+                    bands,
+                    rows,
+                    seed,
+                });
             }
         }
     }
@@ -205,11 +211,20 @@ pub fn crosspolytope_grid(
 /// harness over rankings. Each returned filter carries `k = 1`; callers
 /// override `k`.
 pub fn flat_combos(res: GridResolution, embedding: EmbeddingConfig) -> Vec<FlatKnn> {
-    let rvs: &[bool] = if res == GridResolution::Quick { &[false] } else { &[false, true] };
+    let rvs: &[bool] = if res == GridResolution::Quick {
+        &[false]
+    } else {
+        &[false, true]
+    };
     let mut out = Vec::new();
     for &cleaning in cleanings(res) {
         for &reversed in rvs {
-            out.push(FlatKnn { cleaning, k: 1, reversed, embedding });
+            out.push(FlatKnn {
+                cleaning,
+                k: 1,
+                reversed,
+                embedding,
+            });
         }
     }
     out
@@ -221,7 +236,11 @@ pub fn scann_combos(
     embedding: EmbeddingConfig,
     seed: u64,
 ) -> Vec<PartitionedKnn> {
-    let rvs: &[bool] = if res == GridResolution::Quick { &[false] } else { &[false, true] };
+    let rvs: &[bool] = if res == GridResolution::Quick {
+        &[false]
+    } else {
+        &[false, true]
+    };
     let scorings: &[Scoring] = match res {
         GridResolution::Quick => &[Scoring::BruteForce],
         _ => &[Scoring::BruteForce, Scoring::AsymmetricHashing],
@@ -258,7 +277,11 @@ pub fn deepblocker_combos(
     embedding: EmbeddingConfig,
     seed: u64,
 ) -> Vec<DeepBlocker> {
-    let rvs: &[bool] = if res == GridResolution::Quick { &[false] } else { &[false, true] };
+    let rvs: &[bool] = if res == GridResolution::Quick {
+        &[false]
+    } else {
+        &[false, true]
+    };
     let (hidden, epochs) = match res {
         GridResolution::Full => (embedding.dim / 2, 20),
         GridResolution::Pruned => (embedding.dim / 2, 10),
@@ -318,7 +341,10 @@ mod tests {
     #[test]
     fn hyperplane_full_grid_matches_table5() {
         // 2 CL × 10 tables × 20 hashes = 400 combos.
-        assert_eq!(hyperplane_grid(GridResolution::Full, EmbeddingConfig::default(), 0).len(), 400);
+        assert_eq!(
+            hyperplane_grid(GridResolution::Full, EmbeddingConfig::default(), 0).len(),
+            400
+        );
     }
 
     #[test]
@@ -345,14 +371,23 @@ mod tests {
         let combos = scann_combos(GridResolution::Pruned, EmbeddingConfig::default(), 0);
         // 2 CL × 2 RVS × 2 scorings × 2 metrics.
         assert_eq!(combos.len(), 16);
-        assert!(combos.iter().any(|c| c.scoring == Scoring::AsymmetricHashing
-            && c.metric == Metric::Dot));
+        assert!(combos
+            .iter()
+            .any(|c| c.scoring == Scoring::AsymmetricHashing && c.metric == Metric::Dot));
     }
 
     #[test]
     fn ddb_reverses_toward_smaller_query_set() {
-        assert!(ddb_baseline(10, 100, EmbeddingConfig::default(), 0).config.reversed);
-        assert!(!ddb_baseline(100, 10, EmbeddingConfig::default(), 0).config.reversed);
+        assert!(
+            ddb_baseline(10, 100, EmbeddingConfig::default(), 0)
+                .config
+                .reversed
+        );
+        assert!(
+            !ddb_baseline(100, 10, EmbeddingConfig::default(), 0)
+                .config
+                .reversed
+        );
         let d = ddb_baseline(10, 100, EmbeddingConfig::default(), 0);
         assert_eq!(d.config.k, 5);
         assert!(d.config.cleaning);

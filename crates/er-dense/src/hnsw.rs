@@ -18,6 +18,7 @@
 use crate::embed::{EmbeddingConfig, HashEmbedder};
 use crate::vector::l2_sq;
 use er_core::filter::{Filter, FilterOutput};
+use er_core::parallel::{self, Threads};
 use er_core::schema::TextView;
 use er_text::Cleaner;
 use rand::rngs::StdRng;
@@ -131,7 +132,13 @@ impl HnswIndex {
 
     /// Beam search on one layer from `entry_points`, returning up to `ef`
     /// nearest candidates (unsorted heap order).
-    fn search_layer(&self, q: &[f32], entry_points: &[u32], ef: usize, layer: usize) -> Vec<(u32, f32)> {
+    fn search_layer(
+        &self,
+        q: &[f32],
+        entry_points: &[u32],
+        ef: usize,
+        layer: usize,
+    ) -> Vec<(u32, f32)> {
         let mut visited: std::collections::HashSet<u32> = entry_points.iter().copied().collect();
         let mut candidates: BinaryHeap<Near> = BinaryHeap::new();
         let mut best: BinaryHeap<Far> = BinaryHeap::new();
@@ -199,7 +206,8 @@ impl HnswIndex {
         self.levels.push(level);
         while self.neighbors.len() <= level as usize {
             let nodes = self.vectors.len();
-            self.neighbors.push(vec![Vec::new(); nodes.saturating_sub(1)]);
+            self.neighbors
+                .push(vec![Vec::new(); nodes.saturating_sub(1)]);
         }
         for layer in self.neighbors.iter_mut() {
             layer.push(Vec::new());
@@ -215,9 +223,10 @@ impl HnswIndex {
         // Greedy descent through layers above the new node's level.
         for layer in ((level as usize + 1)..=(self.max_level as usize)).rev() {
             let found = self.search_layer(&q, &ep, 1, layer);
-            if let Some(&(best, _)) = found.iter().min_by(|a, b| {
-                a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal)
-            }) {
+            if let Some(&(best, _)) = found
+                .iter()
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal))
+            {
                 let _ = best;
             }
             ep = found.into_iter().map(|(i, _)| i).collect();
@@ -240,11 +249,8 @@ impl HnswIndex {
                         .iter()
                         .map(|&e| (e, l2_sq(&base, &self.vectors[e as usize])))
                         .collect();
-                    edges.sort_by(|a, b| {
-                        a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal)
-                    });
-                    self.neighbors[layer][n as usize] =
-                        self.select_neighbors(&edges, bound);
+                    edges.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal));
+                    self.neighbors[layer][n as usize] = self.select_neighbors(&edges, bound);
                 }
             }
             ep = found.into_iter().map(|(i, _)| i).collect();
@@ -269,10 +275,43 @@ impl HnswIndex {
         }
         let mut found = self.search_layer(q, &ep, ef.max(k), 0);
         found.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal).then(a.0.cmp(&b.0))
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(Ordering::Equal)
+                .then(a.0.cmp(&b.0))
         });
         found.truncate(k);
         found
+    }
+
+    /// Batch kNN fan-out over the global [`Threads`] worker count: one
+    /// result list per query, empty for all-zero (empty-text) queries.
+    pub fn knn_batch(&self, queries: &[Vec<f32>], k: usize, ef: usize) -> Vec<Vec<(u32, f32)>> {
+        self.knn_batch_with(Threads::get(), queries, k, ef)
+    }
+
+    /// [`HnswIndex::knn_batch`] over an explicit worker count. The graph
+    /// is read-only during search and queries are independent, so the
+    /// query-order merge matches the serial loop for every `threads`.
+    pub fn knn_batch_with(
+        &self,
+        threads: usize,
+        queries: &[Vec<f32>],
+        k: usize,
+        ef: usize,
+    ) -> Vec<Vec<(u32, f32)>> {
+        let chunk = parallel::query_chunk_len(queries.len());
+        let per_chunk = parallel::par_map_chunks_with(threads, queries, chunk, |_, part| {
+            part.iter()
+                .map(|q| {
+                    if q.iter().all(|&v| v == 0.0) {
+                        Vec::new()
+                    } else {
+                        self.knn(q, k, ef)
+                    }
+                })
+                .collect::<Vec<_>>()
+        });
+        per_chunk.into_iter().flatten().collect()
     }
 }
 
@@ -313,7 +352,11 @@ impl Filter for HnswKnn {
 
     fn run(&self, view: &TextView) -> FilterOutput {
         let mut out = FilterOutput::default();
-        let cleaner = if self.cleaning { Cleaner::on() } else { Cleaner::off() };
+        let cleaner = if self.cleaning {
+            Cleaner::on()
+        } else {
+            Cleaner::off()
+        };
         let embedder = HashEmbedder::new(self.embedding);
         let (v1, v2) = out
             .breakdown
@@ -322,11 +365,12 @@ impl Filter for HnswKnn {
             HnswIndex::build(v1, self.m, (self.ef_search * 2).max(64), self.seed)
         });
         out.breakdown.time("query", || {
-            for (j, q) in v2.iter().enumerate() {
-                if q.iter().all(|&v| v == 0.0) {
-                    continue;
-                }
-                for (i, _) in index.knn(q, self.k, self.ef_search) {
+            for (j, nn) in index
+                .knn_batch(&v2, self.k, self.ef_search)
+                .into_iter()
+                .enumerate()
+            {
+                for (i, _) in nn {
                     out.candidates.insert_raw(i, j as u32);
                 }
             }
@@ -346,7 +390,9 @@ mod tests {
         (0..n)
             .map(|i| {
                 let center = (i % 8) as f32 * 2.5;
-                (0..dim).map(|_| center + rng.gen_range(-0.3..0.3)).collect()
+                (0..dim)
+                    .map(|_| center + rng.gen_range(-0.3..0.3))
+                    .collect()
             })
             .collect()
     }
@@ -428,6 +474,31 @@ mod tests {
     }
 
     #[test]
+    fn batch_queries_match_serial_for_any_thread_count() {
+        let data = clustered(150, 4, 6);
+        let index = HnswIndex::build(data.clone(), 8, 64, 11);
+        let mut queries = data[..30].to_vec();
+        queries.push(vec![0.0; 4]);
+        let serial: Vec<Vec<(u32, f32)>> = queries
+            .iter()
+            .map(|q| {
+                if q.iter().all(|&v| v == 0.0) {
+                    Vec::new()
+                } else {
+                    index.knn(q, 5, 32)
+                }
+            })
+            .collect();
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(
+                index.knn_batch_with(threads, &queries, 5, 32),
+                serial,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
     fn filter_finds_duplicates() {
         let view = TextView {
             e1: vec![
@@ -442,7 +513,10 @@ mod tests {
             k: 1,
             m: 8,
             ef_search: 32,
-            embedding: EmbeddingConfig { dim: 32, ..Default::default() },
+            embedding: EmbeddingConfig {
+                dim: 32,
+                ..Default::default()
+            },
             seed: 1,
         };
         let out = f.run(&view);

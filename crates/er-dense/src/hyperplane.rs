@@ -101,7 +101,9 @@ fn probe_sequence(key: u32, margins: &[f32], probes: usize) -> Vec<u32> {
 
     let mut order: Vec<usize> = (0..margins.len()).collect();
     order.sort_unstable_by(|&a, &b| {
-        margins[a].partial_cmp(&margins[b]).unwrap_or(Ordering::Equal)
+        margins[a]
+            .partial_cmp(&margins[b])
+            .unwrap_or(Ordering::Equal)
     });
 
     let mut out = Vec::with_capacity(probes);
@@ -110,7 +112,11 @@ fn probe_sequence(key: u32, margins: &[f32], probes: usize) -> Vec<u32> {
         return out;
     }
     let mut heap = BinaryHeap::new();
-    heap.push(Node { cost: margins[order[0]], mask: 1 << order[0], last_bit: 0 });
+    heap.push(Node {
+        cost: margins[order[0]],
+        mask: 1 << order[0],
+        last_bit: 0,
+    });
     while out.len() < probes {
         let Some(node) = heap.pop() else { break };
         out.push(key ^ node.mask);
@@ -139,9 +145,16 @@ impl Filter for HyperplaneLsh {
     }
 
     fn run(&self, view: &TextView) -> FilterOutput {
-        assert!(self.hashes >= 1 && self.hashes <= 30, "hashes must be in [1, 30]");
+        assert!(
+            self.hashes >= 1 && self.hashes <= 30,
+            "hashes must be in [1, 30]"
+        );
         let mut out = FilterOutput::default();
-        let cleaner = if self.cleaning { Cleaner::on() } else { Cleaner::off() };
+        let cleaner = if self.cleaning {
+            Cleaner::on()
+        } else {
+            Cleaner::off()
+        };
         let embedder = HashEmbedder::new(self.embedding);
 
         let (v1, v2) = out
@@ -169,8 +182,7 @@ impl Filter for HyperplaneLsh {
                         .collect(),
                 })
                 .collect();
-            let mut buckets: Vec<FastMap<u32, Vec<u32>>> =
-                vec![FastMap::default(); self.tables];
+            let mut buckets: Vec<FastMap<u32, Vec<u32>>> = vec![FastMap::default(); self.tables];
             for (i, v) in v1.iter().enumerate() {
                 if v.iter().all(|&x| x == 0.0) {
                     continue;
@@ -217,7 +229,10 @@ mod tests {
             tables,
             hashes,
             probes,
-            embedding: EmbeddingConfig { dim: 64, ..Default::default() },
+            embedding: EmbeddingConfig {
+                dim: 64,
+                ..Default::default()
+            },
             seed: 5,
         }
     }
@@ -235,7 +250,9 @@ mod tests {
     #[test]
     fn more_probes_never_reduce_candidates() {
         let view = TextView {
-            e1: (0..40).map(|i| format!("item model {i} series pro")).collect(),
+            e1: (0..40)
+                .map(|i| format!("item model {i} series pro"))
+                .collect(),
             e2: (0..10).map(|i| format!("item model {i} series")).collect(),
         };
         let base = lsh(2, 10, 1).run(&view).candidates.len();
@@ -278,8 +295,22 @@ mod tests {
             e1: (0..30).map(|i| format!("thing {i} red large")).collect(),
             e2: (0..30).map(|i| format!("thing {i} red")).collect(),
         };
-        let a = HyperplaneLsh { seed: 1, ..lsh(2, 12, 1) }.run(&view).candidates;
-        let b = HyperplaneLsh { seed: 1, ..lsh(2, 12, 1) }.run(&view).candidates;
-        assert_eq!(a.to_sorted_vec(), b.to_sorted_vec(), "same seed, same output");
+        let a = HyperplaneLsh {
+            seed: 1,
+            ..lsh(2, 12, 1)
+        }
+        .run(&view)
+        .candidates;
+        let b = HyperplaneLsh {
+            seed: 1,
+            ..lsh(2, 12, 1)
+        }
+        .run(&view)
+        .candidates;
+        assert_eq!(
+            a.to_sorted_vec(),
+            b.to_sorted_vec(),
+            "same seed, same output"
+        );
     }
 }

@@ -33,7 +33,7 @@ pub mod vector;
 pub use crosspolytope::CrossPolytopeLsh;
 pub use deepblocker::{DeepBlocker, DeepBlockerConfig};
 pub use embed::{EmbeddingConfig, HashEmbedder};
-pub use flat::{FlatIndex, FlatKnn, FlatRange, Metric};
+pub use flat::{FlatIndex, FlatKnn, FlatRange, KnnScratch, Metric};
 pub use grid::{ddb_baseline, DenseMethod};
 pub use hnsw::{HnswIndex, HnswKnn};
 pub use hyperplane::HyperplaneLsh;

@@ -89,20 +89,29 @@ impl Filter for MinHashLsh {
 
     fn run(&self, view: &TextView) -> FilterOutput {
         let mut out = FilterOutput::default();
-        let cleaner = if self.cleaning { Cleaner::on() } else { Cleaner::off() };
+        let cleaner = if self.cleaning {
+            Cleaner::on()
+        } else {
+            Cleaner::off()
+        };
 
         let (sigs1, sigs2) = out.breakdown.time("preprocess", || {
-            let a: Vec<Option<Vec<u64>>> =
-                view.e1.iter().map(|t| self.signature(t, &cleaner)).collect();
-            let b: Vec<Option<Vec<u64>>> =
-                view.e2.iter().map(|t| self.signature(t, &cleaner)).collect();
+            let a: Vec<Option<Vec<u64>>> = view
+                .e1
+                .iter()
+                .map(|t| self.signature(t, &cleaner))
+                .collect();
+            let b: Vec<Option<Vec<u64>>> = view
+                .e2
+                .iter()
+                .map(|t| self.signature(t, &cleaner))
+                .collect();
             (a, b)
         });
 
         // Buckets per band for the indexed collection E1.
         let buckets = out.breakdown.time("index", || {
-            let mut buckets: Vec<FastMap<u64, Vec<u32>>> =
-                vec![FastMap::default(); self.bands];
+            let mut buckets: Vec<FastMap<u64, Vec<u32>>> = vec![FastMap::default(); self.bands];
             for (i, sig) in sigs1.iter().enumerate() {
                 let Some(sig) = sig else { continue };
                 for (b, bucket) in buckets.iter_mut().enumerate() {
@@ -138,7 +147,13 @@ mod tests {
     use er_core::candidates::Pair;
 
     fn lsh(bands: usize, rows: usize) -> MinHashLsh {
-        MinHashLsh { cleaning: false, shingle_k: 3, bands, rows, seed: 42 }
+        MinHashLsh {
+            cleaning: false,
+            shingle_k: 3,
+            bands,
+            rows,
+            seed: 42,
+        }
     }
 
     #[test]
@@ -179,17 +194,36 @@ mod tests {
         let low = lsh(64, 2).approximate_threshold();
         let high = lsh(2, 32).approximate_threshold();
         assert!(low < 0.2, "many bands/few rows -> low threshold, got {low}");
-        assert!(high > 0.9, "few bands/many rows -> high threshold, got {high}");
+        assert!(
+            high > 0.9,
+            "few bands/many rows -> high threshold, got {high}"
+        );
     }
 
     #[test]
     fn different_seeds_give_different_bucketing() {
         let view = TextView {
-            e1: (0..30).map(|i| format!("product number {i} with words")).collect(),
-            e2: (0..30).map(|i| format!("product number {i} and words")).collect(),
+            e1: (0..30)
+                .map(|i| format!("product number {i} with words"))
+                .collect(),
+            e2: (0..30)
+                .map(|i| format!("product number {i} and words"))
+                .collect(),
         };
-        let a = MinHashLsh { seed: 1, ..lsh(8, 4) }.run(&view).candidates.len();
-        let b = MinHashLsh { seed: 2, ..lsh(8, 4) }.run(&view).candidates.len();
+        let a = MinHashLsh {
+            seed: 1,
+            ..lsh(8, 4)
+        }
+        .run(&view)
+        .candidates
+        .len();
+        let b = MinHashLsh {
+            seed: 2,
+            ..lsh(8, 4)
+        }
+        .run(&view)
+        .candidates
+        .len();
         // Stochastic: counts usually differ; both must at least be sane.
         assert!(a > 0 && b > 0);
     }
@@ -199,14 +233,19 @@ mod tests {
         // The fraction of agreeing signature slots is an unbiased
         // estimator of the shingle-set Jaccard similarity; with 256 slots
         // the estimate should land within ~0.1 of the true value.
-        let lsh = MinHashLsh { cleaning: false, shingle_k: 3, bands: 32, rows: 8, seed: 123 };
+        let lsh = MinHashLsh {
+            cleaning: false,
+            shingle_k: 3,
+            bands: 32,
+            rows: 8,
+            seed: 123,
+        };
         let cleaner = Cleaner::off();
         let a = "the quick brown fox jumps over the lazy dog";
         let b = "the quick brown fox jumps over a sleepy dog";
         let sig_a = lsh.signature(a, &cleaner).expect("sig a");
         let sig_b = lsh.signature(b, &cleaner).expect("sig b");
-        let agree =
-            sig_a.iter().zip(&sig_b).filter(|(x, y)| x == y).count() as f64;
+        let agree = sig_a.iter().zip(&sig_b).filter(|(x, y)| x == y).count() as f64;
         let estimated = agree / sig_a.len() as f64;
 
         // True Jaccard over 3-shingles.
@@ -238,7 +277,10 @@ mod tests {
 
     #[test]
     fn phases_recorded() {
-        let view = TextView { e1: vec!["a b c".into()], e2: vec!["a b d".into()] };
+        let view = TextView {
+            e1: vec!["a b c".into()],
+            e2: vec!["a b d".into()],
+        };
         let out = lsh(4, 2).run(&view);
         for phase in ["preprocess", "index", "query"] {
             assert!(out.breakdown.get(phase).is_some());

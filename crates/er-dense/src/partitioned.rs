@@ -156,7 +156,14 @@ impl PartitionedIndex {
                 Some((pq, codes))
             }
         };
-        Self { vectors, centroids, members, metric, scoring, pq }
+        Self {
+            vectors,
+            centroids,
+            members,
+            metric,
+            scoring,
+            pq,
+        }
     }
 
     /// kNN search probing the `n_probe` most relevant partitions.
@@ -175,7 +182,9 @@ impl PartitionedIndex {
             })
             .collect();
         ranked.sort_unstable_by(|a, b| {
-            a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
         });
         let probed = ranked.iter().take(n_probe.max(1)).map(|&(c, _)| c);
         let ids = probed.flat_map(|c| self.members[c].iter().copied());
@@ -245,15 +254,21 @@ impl PartitionedKnn {
     ///
     /// [`FlatKnn::rankings`]: crate::flat::FlatKnn::rankings
     pub fn rankings(&self, view: &TextView, k_max: usize) -> er_core::QueryRankings {
-        let cleaner = if self.cleaning { Cleaner::on() } else { Cleaner::off() };
+        let cleaner = if self.cleaning {
+            Cleaner::on()
+        } else {
+            Cleaner::off()
+        };
         let embedder = HashEmbedder::new(self.embedding);
         let (index_texts, query_texts) = if self.reversed {
             (&view.e2, &view.e1)
         } else {
             (&view.e1, &view.e2)
         };
-        let index_vecs: Vec<Vec<f32>> =
-            index_texts.iter().map(|t| embedder.embed(t, &cleaner)).collect();
+        let index_vecs: Vec<Vec<f32>> = index_texts
+            .iter()
+            .map(|t| embedder.embed(t, &cleaner))
+            .collect();
         if index_vecs.is_empty() {
             return er_core::QueryRankings {
                 neighbors: vec![Vec::new(); query_texts.len()],
@@ -261,8 +276,7 @@ impl PartitionedKnn {
             };
         }
         let index = PartitionedIndex::build(index_vecs, self.metric, self.scoring, self.seed);
-        let n_probe =
-            ((index.members.len() as f64 * self.probe_fraction).ceil() as usize).max(1);
+        let n_probe = ((index.members.len() as f64 * self.probe_fraction).ceil() as usize).max(1);
         let neighbors = query_texts
             .iter()
             .map(|t| {
@@ -277,7 +291,10 @@ impl PartitionedKnn {
                     .collect()
             })
             .collect();
-        er_core::QueryRankings { neighbors, reversed: self.reversed }
+        er_core::QueryRankings {
+            neighbors,
+            reversed: self.reversed,
+        }
     }
 }
 
@@ -288,7 +305,11 @@ impl Filter for PartitionedKnn {
 
     fn run(&self, view: &TextView) -> FilterOutput {
         let mut out = FilterOutput::default();
-        let cleaner = if self.cleaning { Cleaner::on() } else { Cleaner::off() };
+        let cleaner = if self.cleaning {
+            Cleaner::on()
+        } else {
+            Cleaner::off()
+        };
         let embedder = HashEmbedder::new(self.embedding);
 
         let (index_texts, query_texts) = if self.reversed {
@@ -297,10 +318,14 @@ impl Filter for PartitionedKnn {
             (&view.e1, &view.e2)
         };
         let (index_vecs, query_vecs) = out.breakdown.time("preprocess", || {
-            let a: Vec<Vec<f32>> =
-                index_texts.iter().map(|t| embedder.embed(t, &cleaner)).collect();
-            let b: Vec<Vec<f32>> =
-                query_texts.iter().map(|t| embedder.embed(t, &cleaner)).collect();
+            let a: Vec<Vec<f32>> = index_texts
+                .iter()
+                .map(|t| embedder.embed(t, &cleaner))
+                .collect();
+            let b: Vec<Vec<f32>> = query_texts
+                .iter()
+                .map(|t| embedder.embed(t, &cleaner))
+                .collect();
             (a, b)
         });
         if index_vecs.is_empty() {
@@ -310,8 +335,7 @@ impl Filter for PartitionedKnn {
         let index = out.breakdown.time("index", || {
             PartitionedIndex::build(index_vecs, self.metric, self.scoring, self.seed)
         });
-        let n_probe =
-            ((index.members.len() as f64 * self.probe_fraction).ceil() as usize).max(1);
+        let n_probe = ((index.members.len() as f64 * self.probe_fraction).ceil() as usize).max(1);
 
         out.breakdown.time("query", || {
             for (q, query) in query_vecs.iter().enumerate() {
@@ -343,7 +367,9 @@ mod tests {
         (0..n)
             .map(|i| {
                 let center = (i % 4) as f32 * 3.0;
-                (0..dim).map(|_| center + rng.gen_range(-0.2..0.2)).collect()
+                (0..dim)
+                    .map(|_| center + rng.gen_range(-0.2..0.2))
+                    .collect()
             })
             .collect()
     }
@@ -355,7 +381,10 @@ mod tests {
         assert_eq!(centroids.len(), 4);
         // Every point should be within its cluster spread of some centroid.
         for v in &data {
-            let nearest = centroids.iter().map(|c| l2_sq(v, c)).fold(f32::INFINITY, f32::min);
+            let nearest = centroids
+                .iter()
+                .map(|c| l2_sq(v, c))
+                .fold(f32::INFINITY, f32::min);
             assert!(nearest < 1.0, "point far from every centroid: {nearest}");
         }
     }
@@ -387,8 +416,11 @@ mod tests {
         let idx = PartitionedIndex::build(data.clone(), Metric::L2Sq, Scoring::BruteForce, 7);
         let flat = FlatIndex::build(data.clone(), Metric::L2Sq);
         let query = &data[10];
-        let a: Vec<u32> =
-            idx.knn(query, 5, idx.members.len()).iter().map(|x| x.0).collect();
+        let a: Vec<u32> = idx
+            .knn(query, 5, idx.members.len())
+            .iter()
+            .map(|x| x.0)
+            .collect();
         let b: Vec<u32> = flat.knn(query, 5).iter().map(|x| x.0).collect();
         assert_eq!(a, b, "probing all partitions must equal exact search");
     }
@@ -407,7 +439,11 @@ mod tests {
     #[test]
     fn filter_runs_both_scorings() {
         let view = TextView {
-            e1: vec!["canon camera".into(), "office chair".into(), "usb cable".into()],
+            e1: vec![
+                "canon camera".into(),
+                "office chair".into(),
+                "usb cable".into(),
+            ],
             e2: vec!["canon camera body".into(), "black office chair".into()],
         };
         for scoring in [Scoring::BruteForce, Scoring::AsymmetricHashing] {
@@ -418,12 +454,17 @@ mod tests {
                 scoring,
                 metric: Metric::L2Sq,
                 probe_fraction: 1.0,
-                embedding: EmbeddingConfig { dim: 32, ..Default::default() },
+                embedding: EmbeddingConfig {
+                    dim: 32,
+                    ..Default::default()
+                },
                 seed: 3,
             };
             let out = f.run(&view);
             assert_eq!(out.candidates.len(), 2, "{scoring:?}");
-            assert!(out.candidates.contains(er_core::candidates::Pair::new(0, 0)));
+            assert!(out
+                .candidates
+                .contains(er_core::candidates::Pair::new(0, 0)));
         }
     }
 }

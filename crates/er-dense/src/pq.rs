@@ -54,10 +54,20 @@ impl ProductQuantizer {
                     .iter()
                     .map(|v| v[offsets[s]..offsets[s] + sub_dims[s]].to_vec())
                     .collect();
-                kmeans(&sub, CODEBOOK_SIZE.min(sub.len()), 10, seed.wrapping_add(s as u64))
+                kmeans(
+                    &sub,
+                    CODEBOOK_SIZE.min(sub.len()),
+                    10,
+                    seed.wrapping_add(s as u64),
+                )
             })
             .collect();
-        Self { m, sub_dims, offsets, codebooks }
+        Self {
+            m,
+            sub_dims,
+            offsets,
+            codebooks,
+        }
     }
 
     /// Encodes a vector into `m` code bytes (nearest centroid per subspace).
@@ -97,7 +107,10 @@ impl ProductQuantizer {
     /// Approximate cost of an encoded vector under a lookup table.
     #[inline]
     pub fn score(&self, table: &[Vec<f32>], code: &[u8]) -> f32 {
-        code.iter().enumerate().map(|(s, &c)| table[s][c as usize]).sum()
+        code.iter()
+            .enumerate()
+            .map(|(s, &c)| table[s][c as usize])
+            .sum()
     }
 
     /// Decodes a code back to its centroid reconstruction (for tests and
@@ -119,7 +132,9 @@ mod tests {
 
     fn random_data(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect()
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect()
     }
 
     #[test]

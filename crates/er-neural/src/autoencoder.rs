@@ -66,8 +66,12 @@ impl Autoencoder {
             data.iter().all(|row| row.len() == config.input_dim),
             "row dimensionality must equal input_dim"
         );
-        let mut encoder =
-            Dense::new(config.input_dim, config.hidden_dim, Activation::Tanh, config.seed);
+        let mut encoder = Dense::new(
+            config.input_dim,
+            config.hidden_dim,
+            Activation::Tanh,
+            config.seed,
+        );
         let mut decoder = Dense::new(
             config.hidden_dim,
             config.input_dim,
@@ -84,9 +88,8 @@ impl Autoencoder {
             let mut epoch_loss = 0.0f64;
             let mut batches = 0usize;
             for chunk in order.chunks(config.batch_size.max(1)) {
-                let batch = Matrix::from_rows(
-                    &chunk.iter().map(|&i| data[i].clone()).collect::<Vec<_>>(),
-                );
+                let batch =
+                    Matrix::from_rows(&chunk.iter().map(|&i| data[i].clone()).collect::<Vec<_>>());
                 let hidden = encoder.forward(&batch);
                 let recon = decoder.forward(&hidden);
 
@@ -121,7 +124,11 @@ impl Autoencoder {
             }
             loss_history.push((epoch_loss / batches.max(1) as f64) as f32);
         }
-        Self { encoder, decoder, loss_history }
+        Self {
+            encoder,
+            decoder,
+            loss_history,
+        }
     }
 
     /// Embedding dimensionality `h`.
@@ -249,7 +256,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "dimensionality")]
     fn wrong_dim_panics() {
-        let cfg = AutoencoderConfig { input_dim: 4, ..AutoencoderConfig::default() };
+        let cfg = AutoencoderConfig {
+            input_dim: 4,
+            ..AutoencoderConfig::default()
+        };
         let _ = Autoencoder::train(&[vec![0.0; 3]], &cfg);
     }
 }

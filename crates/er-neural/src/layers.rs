@@ -74,8 +74,7 @@ impl Dense {
     pub fn new(inputs: usize, outputs: usize, activation: Activation, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let limit = (6.0 / (inputs + outputs) as f32).sqrt();
-        let weights =
-            Matrix::from_fn(inputs, outputs, |_, _| rng.gen_range(-limit..=limit));
+        let weights = Matrix::from_fn(inputs, outputs, |_, _| rng.gen_range(-limit..=limit));
         Self {
             weights,
             bias: vec![0.0; outputs],
@@ -194,7 +193,12 @@ mod tests {
         let grad_out = Matrix {
             rows: y.rows,
             cols: y.cols,
-            data: y.data.iter().zip(&target.data).map(|(a, b)| 2.0 * (a - b) / n).collect(),
+            data: y
+                .data
+                .iter()
+                .zip(&target.data)
+                .map(|(a, b)| 2.0 * (a - b) / n)
+                .collect(),
         };
         let _ = layer.backward(grad_out);
 

@@ -19,7 +19,11 @@ pub struct Matrix {
 impl Matrix {
     /// A zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Builds a matrix from a generator `f(row, col)`.
@@ -37,7 +41,11 @@ impl Matrix {
     pub fn from_rows(rows: &[Vec<f32>]) -> Self {
         let cols = rows.first().map_or(0, Vec::len);
         assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
-        Self { rows: rows.len(), cols, data: rows.concat() }
+        Self {
+            rows: rows.len(),
+            cols,
+            data: rows.concat(),
+        }
     }
 
     /// Immutable view of row `r`.
@@ -157,7 +165,7 @@ mod tests {
     fn transpose_variants_agree_with_explicit_transpose() {
         let a = m(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]); // 2x3
         let b = m(&[&[1.0, 0.5], &[-1.0, 2.0]]); // 2x2
-        // aT (3x2) · b (2x2) = 3x2
+                                                 // aT (3x2) · b (2x2) = 3x2
         let at = Matrix::from_fn(3, 2, |r, c| a.row(c)[r]);
         assert_eq!(a.transpose_matmul(&b), at.matmul(&b));
         // b (2x2) · aT? matmul_transpose: b(2x2)·c(3x2)T where cols match.

@@ -25,7 +25,11 @@ pub struct Sgd {
 impl Sgd {
     /// Creates SGD with the given learning rate and momentum.
     pub fn new(learning_rate: f32, momentum: f32) -> Self {
-        Self { learning_rate, momentum, velocity: Vec::new() }
+        Self {
+            learning_rate,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 }
 

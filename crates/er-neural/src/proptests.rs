@@ -7,8 +7,11 @@ use crate::matrix::{dot, Matrix};
 use proptest::prelude::*;
 
 fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(-2.0f32..2.0, rows * cols)
-        .prop_map(move |data| Matrix { rows, cols, data })
+    proptest::collection::vec(-2.0f32..2.0, rows * cols).prop_map(move |data| Matrix {
+        rows,
+        cols,
+        data,
+    })
 }
 
 proptest! {

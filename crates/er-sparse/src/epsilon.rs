@@ -47,17 +47,29 @@ impl Filter for EpsilonJoin {
 
     fn run(&self, view: &TextView) -> FilterOutput {
         let mut out = FilterOutput::default();
-        let cleaner = if self.cleaning { Cleaner::on() } else { Cleaner::off() };
+        let cleaner = if self.cleaning {
+            Cleaner::on()
+        } else {
+            Cleaner::off()
+        };
 
         let (sets1, sets2) = out.breakdown.time("preprocess", || {
-            let s1: Vec<Vec<u64>> =
-                view.e1.iter().map(|t| self.model.token_set(t, &cleaner)).collect();
-            let s2: Vec<Vec<u64>> =
-                view.e2.iter().map(|t| self.model.token_set(t, &cleaner)).collect();
+            let s1: Vec<Vec<u64>> = view
+                .e1
+                .iter()
+                .map(|t| self.model.token_set(t, &cleaner))
+                .collect();
+            let s2: Vec<Vec<u64>> = view
+                .e2
+                .iter()
+                .map(|t| self.model.token_set(t, &cleaner))
+                .collect();
             (s1, s2)
         });
 
-        let mut index = out.breakdown.time("index", || ScanCountIndex::build(&sets1));
+        let mut index = out
+            .breakdown
+            .time("index", || ScanCountIndex::build(&sets1));
 
         out.breakdown.time("query", || {
             let mut hits: Vec<(u32, u32)> = Vec::new();
@@ -65,8 +77,9 @@ impl Filter for EpsilonJoin {
                 let qlen = query.len();
                 index.query_into(query, &mut hits);
                 for &(i, overlap) in &hits {
-                    let sim =
-                        self.measure.compute(overlap as usize, index.set_size(i), qlen);
+                    let sim = self
+                        .measure
+                        .compute(overlap as usize, index.set_size(i), qlen);
                     if sim >= self.threshold {
                         out.candidates.insert_raw(i, j as u32);
                     }

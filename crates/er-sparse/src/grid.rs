@@ -22,9 +22,11 @@ pub type SparseGridResolution = GridResolution;
 fn common_combos(res: GridResolution) -> Vec<(bool, SimilarityMeasure, RepresentationModel)> {
     let (cleanings, measures, models): (&[bool], &[SimilarityMeasure], Vec<RepresentationModel>) =
         match res {
-            GridResolution::Full => {
-                (&[false, true], &SimilarityMeasure::ALL, RepresentationModel::all())
-            }
+            GridResolution::Full => (
+                &[false, true],
+                &SimilarityMeasure::ALL,
+                RepresentationModel::all(),
+            ),
             GridResolution::Pruned => (
                 &[false, true],
                 &[SimilarityMeasure::Cosine, SimilarityMeasure::Jaccard],
@@ -86,7 +88,12 @@ pub fn epsilon_grid(res: GridResolution) -> Vec<Vec<EpsilonJoin>> {
         .map(|(cleaning, measure, model)| {
             thresholds
                 .iter()
-                .map(|&threshold| EpsilonJoin { cleaning, model, measure, threshold })
+                .map(|&threshold| EpsilonJoin {
+                    cleaning,
+                    model,
+                    measure,
+                    threshold,
+                })
                 .collect()
         })
         .collect()
@@ -96,14 +103,23 @@ pub fn epsilon_grid(res: GridResolution) -> Vec<Vec<EpsilonJoin>> {
 /// combination; within each group K ascends.
 pub fn knn_grid(res: GridResolution) -> Vec<Vec<KnnJoin>> {
     let ks = knn_ks(res);
-    let rvs_options: &[bool] =
-        if res == GridResolution::Quick { &[false] } else { &[false, true] };
+    let rvs_options: &[bool] = if res == GridResolution::Quick {
+        &[false]
+    } else {
+        &[false, true]
+    };
     let mut out = Vec::new();
     for (cleaning, measure, model) in common_combos(res) {
         for &reversed in rvs_options {
             out.push(
                 ks.iter()
-                    .map(|&k| KnnJoin { cleaning, model, measure, k, reversed })
+                    .map(|&k| KnnJoin {
+                        cleaning,
+                        model,
+                        measure,
+                        k,
+                        reversed,
+                    })
                     .collect(),
             );
         }
@@ -144,7 +160,11 @@ mod tests {
 
     #[test]
     fn epsilon_thresholds_descend() {
-        for res in [GridResolution::Full, GridResolution::Pruned, GridResolution::Quick] {
+        for res in [
+            GridResolution::Full,
+            GridResolution::Pruned,
+            GridResolution::Quick,
+        ] {
             let ts = epsilon_thresholds(res);
             assert!((ts[0] - 1.0).abs() < 1e-12);
             assert!(ts.windows(2).all(|w| w[0] > w[1]), "{res:?}");
@@ -154,7 +174,11 @@ mod tests {
 
     #[test]
     fn knn_ks_ascend_from_one() {
-        for res in [GridResolution::Full, GridResolution::Pruned, GridResolution::Quick] {
+        for res in [
+            GridResolution::Full,
+            GridResolution::Pruned,
+            GridResolution::Quick,
+        ] {
             let ks = knn_ks(res);
             assert_eq!(ks[0], 1);
             assert!(ks.windows(2).all(|w| w[0] < w[1]), "{res:?}");

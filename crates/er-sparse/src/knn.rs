@@ -8,9 +8,10 @@
 //! controls which input is indexed and which one queries.
 
 use crate::representation::RepresentationModel;
-use crate::scancount::ScanCountIndex;
+use crate::scancount::{ScanCountIndex, ScanCountScratch};
 use crate::similarity::SimilarityMeasure;
 use er_core::filter::{Filter, FilterOutput};
+use er_core::parallel::{self, Threads};
 use er_core::schema::TextView;
 use er_text::Cleaner;
 
@@ -52,7 +53,9 @@ impl KnnJoin {
         }
         // Descending similarity, ascending id for determinism.
         scored.sort_unstable_by(|a, b| {
-            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
         });
         let mut distinct = 0usize;
         let mut last = f64::NAN;
@@ -81,41 +84,54 @@ impl KnnJoin {
     /// `K` whose distinct-similarity cut falls inside `max_neighbors`; use
     /// a margin over the largest K of interest so ties are not truncated.
     pub fn rankings(&self, view: &TextView, max_neighbors: usize) -> er_core::QueryRankings {
-        let cleaner = if self.cleaning { Cleaner::on() } else { Cleaner::off() };
+        let cleaner = if self.cleaning {
+            Cleaner::on()
+        } else {
+            Cleaner::off()
+        };
         let (index_texts, query_texts) = if self.reversed {
             (&view.e2, &view.e1)
         } else {
             (&view.e1, &view.e2)
         };
         let index_sets: Vec<Vec<u64>> =
-            index_texts.iter().map(|t| self.model.token_set(t, &cleaner)).collect();
+            parallel::par_map(index_texts, |t| self.model.token_set(t, &cleaner));
         let query_sets: Vec<Vec<u64>> =
-            query_texts.iter().map(|t| self.model.token_set(t, &cleaner)).collect();
-        let mut index = ScanCountIndex::build(&index_sets);
-        let mut hits: Vec<(u32, u32)> = Vec::new();
-        let neighbors = query_sets
-            .iter()
-            .map(|query| {
-                let qlen = query.len();
-                index.query_into(query, &mut hits);
-                let mut scored: Vec<(u32, f64)> = hits
-                    .iter()
-                    .filter_map(|&(i, overlap)| {
-                        let sim =
-                            self.measure.compute(overlap as usize, index.set_size(i), qlen);
-                        (sim > 0.0).then_some((i, sim))
+            parallel::par_map(query_texts, |t| self.model.token_set(t, &cleaner));
+        let index = ScanCountIndex::build(&index_sets);
+        let chunk = parallel::query_chunk_len(query_sets.len());
+        let per_chunk =
+            parallel::par_map_chunks_with(Threads::get(), &query_sets, chunk, |_, part| {
+                let mut scratch = ScanCountScratch::default();
+                let mut hits: Vec<(u32, u32)> = Vec::new();
+                part.iter()
+                    .map(|query| {
+                        let qlen = query.len();
+                        index.query_with(&mut scratch, query, &mut hits);
+                        let mut scored: Vec<(u32, f64)> = hits
+                            .iter()
+                            .filter_map(|&(i, overlap)| {
+                                let sim =
+                                    self.measure
+                                        .compute(overlap as usize, index.set_size(i), qlen);
+                                (sim > 0.0).then_some((i, sim))
+                            })
+                            .collect();
+                        scored.sort_unstable_by(|a, b| {
+                            b.1.partial_cmp(&a.1)
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                                .then(a.0.cmp(&b.0))
+                        });
+                        scored.truncate(max_neighbors);
+                        scored
                     })
-                    .collect();
-                scored.sort_unstable_by(|a, b| {
-                    b.1.partial_cmp(&a.1)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.0.cmp(&b.0))
-                });
-                scored.truncate(max_neighbors);
-                scored
-            })
-            .collect();
-        er_core::QueryRankings { neighbors, reversed: self.reversed }
+                    .collect::<Vec<_>>()
+            });
+        let neighbors = per_chunk.into_iter().flatten().collect();
+        er_core::QueryRankings {
+            neighbors,
+            reversed: self.reversed,
+        }
     }
 }
 
@@ -126,7 +142,11 @@ impl Filter for KnnJoin {
 
     fn run(&self, view: &TextView) -> FilterOutput {
         let mut out = FilterOutput::default();
-        let cleaner = if self.cleaning { Cleaner::on() } else { Cleaner::off() };
+        let cleaner = if self.cleaning {
+            Cleaner::on()
+        } else {
+            Cleaner::off()
+        };
 
         // With RVS, index E2 and query with E1; pairs keep the canonical
         // (E1, E2) orientation either way.
@@ -138,30 +158,47 @@ impl Filter for KnnJoin {
 
         let (index_sets, query_sets) = out.breakdown.time("preprocess", || {
             let a: Vec<Vec<u64>> =
-                index_texts.iter().map(|t| self.model.token_set(t, &cleaner)).collect();
+                parallel::par_map(index_texts, |t| self.model.token_set(t, &cleaner));
             let b: Vec<Vec<u64>> =
-                query_texts.iter().map(|t| self.model.token_set(t, &cleaner)).collect();
+                parallel::par_map(query_texts, |t| self.model.token_set(t, &cleaner));
             (a, b)
         });
 
-        let mut index = out.breakdown.time("index", || ScanCountIndex::build(&index_sets));
+        let index = out
+            .breakdown
+            .time("index", || ScanCountIndex::build(&index_sets));
 
         out.breakdown.time("query", || {
-            let mut hits: Vec<(u32, u32)> = Vec::new();
-            let mut scored: Vec<(u32, f64)> = Vec::new();
-            for (q, query) in query_sets.iter().enumerate() {
-                scored.clear();
-                let qlen = query.len();
-                index.query_into(query, &mut hits);
-                for &(i, overlap) in &hits {
-                    let sim =
-                        self.measure.compute(overlap as usize, index.set_size(i), qlen);
-                    if sim > 0.0 {
-                        scored.push((i, sim));
-                    }
-                }
-                Self::select_top_k(self.k, &mut scored);
-                for &(i, _) in scored.iter() {
+            // Score + top-k select per query in parallel (each query is
+            // independent), then insert serially in query order so the
+            // candidate set is built exactly as the serial loop did.
+            let chunk = parallel::query_chunk_len(query_sets.len());
+            let per_chunk =
+                parallel::par_map_chunks_with(Threads::get(), &query_sets, chunk, |_, part| {
+                    let mut scratch = ScanCountScratch::default();
+                    let mut hits: Vec<(u32, u32)> = Vec::new();
+                    part.iter()
+                        .map(|query| {
+                            let qlen = query.len();
+                            index.query_with(&mut scratch, query, &mut hits);
+                            let mut scored: Vec<(u32, f64)> = hits
+                                .iter()
+                                .filter_map(|&(i, overlap)| {
+                                    let sim = self.measure.compute(
+                                        overlap as usize,
+                                        index.set_size(i),
+                                        qlen,
+                                    );
+                                    (sim > 0.0).then_some((i, sim))
+                                })
+                                .collect();
+                            Self::select_top_k(self.k, &mut scored);
+                            scored
+                        })
+                        .collect::<Vec<_>>()
+                });
+            for (q, scored) in per_chunk.into_iter().flatten().enumerate() {
+                for (i, _) in scored {
                     if self.reversed {
                         out.candidates.insert_raw(q as u32, i);
                     } else {
@@ -218,7 +255,11 @@ mod tests {
     fn ties_expand_beyond_k() {
         // Two indexed entities with identical similarity to the query.
         let v = TextView {
-            e1: vec!["alpha beta".into(), "alpha gamma".into(), "unrelated".into()],
+            e1: vec![
+                "alpha beta".into(),
+                "alpha gamma".into(),
+                "unrelated".into(),
+            ],
             e2: vec!["alpha".into()],
         };
         let out = join(1, false).run(&v);
@@ -227,7 +268,10 @@ mod tests {
 
     #[test]
     fn zero_similarity_never_paired() {
-        let v = TextView { e1: vec!["xyz".into()], e2: vec!["abc".into()] };
+        let v = TextView {
+            e1: vec!["xyz".into()],
+            e2: vec!["abc".into()],
+        };
         assert!(join(5, false).run(&v).candidates.is_empty());
     }
 
@@ -262,7 +306,10 @@ mod tests {
         let mut scored = vec![(1, 0.9), (2, 0.9), (3, 0.5), (4, 0.4)];
         KnnJoin::select_top_k(2, &mut scored);
         // Top-2 distinct similarities {0.9, 0.5} -> 3 survivors.
-        assert_eq!(scored.iter().map(|s| s.0).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(
+            scored.iter().map(|s| s.0).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
 
         let mut empty: Vec<(u32, f64)> = Vec::new();
         assert_eq!(KnnJoin::select_top_k(3, &mut empty), 0);

@@ -27,7 +27,7 @@ pub use epsilon::EpsilonJoin;
 pub use grid::{dknn_baseline, epsilon_grid, knn_grid, SparseGridResolution};
 pub use knn::KnnJoin;
 pub use representation::RepresentationModel;
-pub use scancount::ScanCountIndex;
+pub use scancount::{ScanCountIndex, ScanCountScratch};
 pub use similarity::SimilarityMeasure;
 pub use topk::TopKJoin;
 

@@ -119,8 +119,10 @@ mod tests {
 
     #[test]
     fn all_models_match_table4() {
-        let names: Vec<String> =
-            RepresentationModel::all().iter().map(|m| m.name()).collect();
+        let names: Vec<String> = RepresentationModel::all()
+            .iter()
+            .map(|m| m.name())
+            .collect();
         assert_eq!(
             names,
             ["T1G", "T1GM", "C2G", "C2GM", "C3G", "C3GM", "C4G", "C4GM", "C5G", "C5GM"]

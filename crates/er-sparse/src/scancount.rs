@@ -7,6 +7,20 @@
 //! assumptions, which makes it suitable for the low thresholds ER needs.
 
 use er_core::hash::FastMap;
+use er_core::parallel::{self, Threads};
+
+/// Per-caller scratch for ScanCount queries: the overlap-count workhorse
+/// buffer, one slot per indexed entity.
+///
+/// Splitting the scratch out of the index lets queries run on `&self`, so
+/// parallel workers share one read-only index while each owns a scratch
+/// (see [`ScanCountIndex::query_batch`]). A default-constructed scratch is
+/// lazily sized on first use.
+#[derive(Debug, Clone, Default)]
+pub struct ScanCountScratch {
+    /// Overlap count per indexed entity; zero except while a query runs.
+    counts: Vec<u32>,
+}
 
 /// An inverted index over the token sets of one entity collection.
 #[derive(Debug, Clone, Default)]
@@ -15,8 +29,8 @@ pub struct ScanCountIndex {
     postings: FastMap<u64, Vec<u32>>,
     /// Token-set cardinality `|A|` per indexed entity.
     set_sizes: Vec<u32>,
-    /// Scratch: overlap count per indexed entity.
-    counts: Vec<u32>,
+    /// Scratch backing the legacy `&mut self` query path.
+    scratch: ScanCountScratch,
 }
 
 impl ScanCountIndex {
@@ -32,8 +46,14 @@ impl ScanCountIndex {
                 postings.entry(token).or_default().push(i as u32);
             }
         }
-        let counts = vec![0; token_sets.len()];
-        Self { postings, set_sizes, counts }
+        let scratch = ScanCountScratch {
+            counts: vec![0; token_sets.len()],
+        };
+        Self {
+            postings,
+            set_sizes,
+            scratch,
+        }
     }
 
     /// Number of indexed entities.
@@ -60,23 +80,64 @@ impl ScanCountIndex {
     /// ascending entity order, making downstream consumers deterministic;
     /// reusing the same buffer across queries avoids per-query allocation.
     pub fn query_into(&mut self, query: &[u64], out: &mut Vec<(u32, u32)>) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.query_with(&mut scratch, query, out);
+        self.scratch = scratch;
+    }
+
+    /// [`ScanCountIndex::query_into`] on a shared index: the caller owns
+    /// the scratch, so any number of workers can query one index
+    /// concurrently, each with its own [`ScanCountScratch`].
+    pub fn query_with(
+        &self,
+        scratch: &mut ScanCountScratch,
+        query: &[u64],
+        out: &mut Vec<(u32, u32)>,
+    ) {
         out.clear();
+        let counts = &mut scratch.counts;
+        if counts.len() < self.set_sizes.len() {
+            counts.resize(self.set_sizes.len(), 0);
+        }
         // `counts` is a workhorse buffer: only touched entries are reset.
         for token in query {
             if let Some(list) = self.postings.get(token) {
                 for &e in list {
-                    if self.counts[e as usize] == 0 {
+                    if counts[e as usize] == 0 {
                         out.push((e, 0));
                     }
-                    self.counts[e as usize] += 1;
+                    counts[e as usize] += 1;
                 }
             }
         }
         out.sort_unstable_by_key(|&(e, _)| e);
         for entry in out.iter_mut() {
-            entry.1 = self.counts[entry.0 as usize];
-            self.counts[entry.0 as usize] = 0;
+            entry.1 = counts[entry.0 as usize];
+            counts[entry.0 as usize] = 0;
         }
+    }
+
+    /// Batch query fan-out over the global [`Threads`] worker count: one
+    /// `(entity, overlap)` list per query, each exactly what
+    /// [`ScanCountIndex::query_into`] would produce.
+    pub fn query_batch(&self, queries: &[Vec<u64>]) -> Vec<Vec<(u32, u32)>> {
+        self.query_batch_with(Threads::get(), queries)
+    }
+
+    /// [`ScanCountIndex::query_batch`] over an explicit worker count.
+    pub fn query_batch_with(&self, threads: usize, queries: &[Vec<u64>]) -> Vec<Vec<(u32, u32)>> {
+        let chunk = parallel::query_chunk_len(queries.len());
+        let per_chunk = parallel::par_map_chunks_with(threads, queries, chunk, |_, part| {
+            let mut scratch = ScanCountScratch::default();
+            part.iter()
+                .map(|q| {
+                    let mut out = Vec::new();
+                    self.query_with(&mut scratch, q, &mut out);
+                    out
+                })
+                .collect::<Vec<_>>()
+        });
+        per_chunk.into_iter().flatten().collect()
     }
 }
 
@@ -132,6 +193,45 @@ mod tests {
         let mut idx = ScanCountIndex::build(&[]);
         assert!(idx.is_empty());
         assert!(collect(&mut idx, &[1, 2]).is_empty());
+    }
+
+    #[test]
+    fn batch_matches_serial_for_any_thread_count() {
+        // ~60 sets with heavy token reuse, plus empty and no-hit queries.
+        let sets: Vec<Vec<u64>> = (0..60u64)
+            .map(|i| (0..=(i % 7)).map(|t| (i + t) % 19).collect())
+            .collect();
+        let mut idx = ScanCountIndex::build(&sets);
+        let mut queries = sets[..25].to_vec();
+        queries.push(Vec::new());
+        queries.push(vec![999]);
+        let serial: Vec<Vec<(u32, u32)>> = queries
+            .iter()
+            .map(|q| {
+                let mut out = Vec::new();
+                idx.query_into(q, &mut out);
+                out
+            })
+            .collect();
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(
+                idx.query_batch_with(threads, &queries),
+                serial,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn default_scratch_resizes_lazily() {
+        let idx = index();
+        let mut scratch = ScanCountScratch::default();
+        let mut out = Vec::new();
+        idx.query_with(&mut scratch, &[2, 3, 4], &mut out);
+        assert_eq!(out, vec![(0, 2), (1, 2)]);
+        // Reuse: counts must have been reset.
+        idx.query_with(&mut scratch, &[2, 3, 4], &mut out);
+        assert_eq!(out, vec![(0, 2), (1, 2)]);
     }
 
     #[test]

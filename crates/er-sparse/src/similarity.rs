@@ -18,8 +18,11 @@ pub enum SimilarityMeasure {
 
 impl SimilarityMeasure {
     /// The three measures in the paper's order.
-    pub const ALL: [SimilarityMeasure; 3] =
-        [SimilarityMeasure::Cosine, SimilarityMeasure::Dice, SimilarityMeasure::Jaccard];
+    pub const ALL: [SimilarityMeasure; 3] = [
+        SimilarityMeasure::Cosine,
+        SimilarityMeasure::Dice,
+        SimilarityMeasure::Jaccard,
+    ];
 
     /// Display name.
     pub fn name(&self) -> &'static str {

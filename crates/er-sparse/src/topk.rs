@@ -73,16 +73,28 @@ impl TopKJoin {
     /// equivalent ε-Join threshold; exposed for the equivalence tests.
     pub fn run_with_threshold(&self, view: &TextView) -> (FilterOutput, f64) {
         let mut out = FilterOutput::default();
-        let cleaner = if self.cleaning { Cleaner::on() } else { Cleaner::off() };
+        let cleaner = if self.cleaning {
+            Cleaner::on()
+        } else {
+            Cleaner::off()
+        };
 
         let (sets1, sets2) = out.breakdown.time("preprocess", || {
-            let s1: Vec<Vec<u64>> =
-                view.e1.iter().map(|t| self.model.token_set(t, &cleaner)).collect();
-            let s2: Vec<Vec<u64>> =
-                view.e2.iter().map(|t| self.model.token_set(t, &cleaner)).collect();
+            let s1: Vec<Vec<u64>> = view
+                .e1
+                .iter()
+                .map(|t| self.model.token_set(t, &cleaner))
+                .collect();
+            let s2: Vec<Vec<u64>> = view
+                .e2
+                .iter()
+                .map(|t| self.model.token_set(t, &cleaner))
+                .collect();
             (s1, s2)
         });
-        let mut index = out.breakdown.time("index", || ScanCountIndex::build(&sets1));
+        let mut index = out
+            .breakdown
+            .time("index", || ScanCountIndex::build(&sets1));
 
         let mut heap: BinaryHeap<Worst> = BinaryHeap::with_capacity(self.k + 1);
         out.breakdown.time("query", || {
@@ -91,8 +103,9 @@ impl TopKJoin {
                 let qlen = query.len();
                 index.query_into(query, &mut hits);
                 for &(i, overlap) in &hits {
-                    let sim =
-                        self.measure.compute(overlap as usize, index.set_size(i), qlen);
+                    let sim = self
+                        .measure
+                        .compute(overlap as usize, index.set_size(i), qlen);
                     if sim <= 0.0 {
                         continue;
                     }
@@ -186,7 +199,10 @@ mod tests {
             threshold,
         };
         let eps_out = eps.run(&v);
-        assert_eq!(out.candidates.to_sorted_vec(), eps_out.candidates.to_sorted_vec());
+        assert_eq!(
+            out.candidates.to_sorted_vec(),
+            eps_out.candidates.to_sorted_vec()
+        );
     }
 
     #[test]

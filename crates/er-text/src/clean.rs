@@ -70,8 +70,10 @@ mod tests {
 
     #[test]
     fn clean_removes_stopwords_and_stems() {
-        let toks: Vec<String> =
-            ["the", "running", "databases", "of", "walmart"].iter().map(|s| s.to_string()).collect();
+        let toks: Vec<String> = ["the", "running", "databases", "of", "walmart"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(clean_tokens(toks), vec!["run", "databas", "walmart"]);
     }
 

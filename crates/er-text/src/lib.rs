@@ -23,9 +23,7 @@ pub mod stopwords;
 pub mod tokens;
 
 pub use clean::{clean_tokens, Cleaner};
-pub use ngrams::{
-    extended_qgram_keys, kshingles, qgrams, substrings_min_len, suffixes_min_len,
-};
+pub use ngrams::{extended_qgram_keys, kshingles, qgrams, substrings_min_len, suffixes_min_len};
 pub use stem::porter_stem;
 pub use stopwords::is_stopword;
 pub use tokens::{normalize, tokenize, tokenize_into};

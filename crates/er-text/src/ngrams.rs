@@ -173,8 +173,10 @@ mod tests {
     fn extended_qgrams_paper_example() {
         // "Biden" with q=3, T=0.9: k=3, L=max(1, floor(2.7))=2.
         let keys: BTreeSet<String> = extended_qgram_keys("biden", 3, 0.9).into_iter().collect();
-        let expected: BTreeSet<String> =
-            ["bid_ide_den", "bid_ide", "bid_den", "ide_den"].iter().map(|s| s.to_string()).collect();
+        let expected: BTreeSet<String> = ["bid_ide_den", "bid_ide", "bid_den", "ide_den"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(keys, expected);
         // "Joe": a single q-gram -> the token itself.
         assert_eq!(extended_qgram_keys("joe", 3, 0.9), vec!["joe"]);
@@ -208,8 +210,10 @@ mod tests {
     #[test]
     fn substrings_paper_example() {
         let got: BTreeSet<String> = substrings_min_len("biden", 3).into_iter().collect();
-        let expected: BTreeSet<String> =
-            ["biden", "bide", "iden", "bid", "ide", "den"].iter().map(|s| s.to_string()).collect();
+        let expected: BTreeSet<String> = ["biden", "bide", "iden", "bid", "ide", "den"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(got, expected);
     }
 
@@ -218,7 +222,10 @@ mod tests {
         for word in ["walmart", "a", "ab", "restaurant"] {
             let subs: BTreeSet<String> = substrings_min_len(word, 2).into_iter().collect();
             for suf in suffixes_min_len(word, 2) {
-                assert!(subs.contains(&suf), "{suf} missing from substrings of {word}");
+                assert!(
+                    subs.contains(&suf),
+                    "{suf} missing from substrings of {word}"
+                );
             }
         }
     }

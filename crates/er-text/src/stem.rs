@@ -19,7 +19,9 @@ pub fn porter_stem(word: &str) -> String {
     if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
         return word.to_owned();
     }
-    let mut s = Stemmer { b: word.as_bytes().to_vec() };
+    let mut s = Stemmer {
+        b: word.as_bytes().to_vec(),
+    };
     s.step1a();
     s.step1b();
     s.step1c();
@@ -240,7 +242,9 @@ impl Stemmer {
                 let end = self.stem_len(suffix);
                 if self.measure(end) > 1 {
                     // "ion" additionally requires the stem to end in s or t.
-                    if *suffix == b"ion" && !(end > 0 && (self.b[end - 1] == b's' || self.b[end - 1] == b't')) {
+                    if *suffix == b"ion"
+                        && !(end > 0 && (self.b[end - 1] == b's' || self.b[end - 1] == b't'))
+                    {
                         return;
                     }
                     self.replace(suffix, b"");
@@ -262,11 +266,7 @@ impl Stemmer {
 
     fn step5b(&mut self) {
         let n = self.b.len();
-        if n >= 2
-            && self.b[n - 1] == b'l'
-            && self.ends_double_consonant(n)
-            && self.measure(n) > 1
-        {
+        if n >= 2 && self.b[n - 1] == b'l' && self.ends_double_consonant(n) && self.measure(n) > 1 {
             self.b.pop();
         }
     }

@@ -103,8 +103,11 @@ mod tests {
     #[test]
     fn tokenize_matches_normalize_split() {
         for text in ["Joe BIDEN", "x-1 2_3", "  padded  ", "ümlaut Ärger"] {
-            let via_norm: Vec<String> =
-                normalize(text).split(' ').filter(|s| !s.is_empty()).map(String::from).collect();
+            let via_norm: Vec<String> = normalize(text)
+                .split(' ')
+                .filter(|s| !s.is_empty())
+                .map(String::from)
+                .collect();
             assert_eq!(tokenize(text), via_norm, "mismatch for {text:?}");
         }
     }

@@ -24,20 +24,20 @@
 //! assert!(eff.pc > 0.8, "recall {}", eff.pc);
 //! ```
 
-/// Core abstractions: entities, datasets, candidates, metrics, optimizer.
-pub use er_core as core;
-/// Text processing: tokenization, n-grams, stemming, stop-words.
-pub use er_text as text;
 /// Blocking workflows.
 pub use er_blocking as blocking;
-/// Sparse NN methods (ε-Join, kNN-Join).
-pub use er_sparse as sparse;
+/// Core abstractions: entities, datasets, candidates, metrics, optimizer.
+pub use er_core as core;
+/// Synthetic D1–D10 dataset generators.
+pub use er_datagen as datagen;
 /// Dense NN methods (LSH family, FAISS/SCANN equivalents, DeepBlocker).
 pub use er_dense as dense;
 /// Neural substrate (autoencoder).
 pub use er_neural as neural;
-/// Synthetic D1–D10 dataset generators.
-pub use er_datagen as datagen;
+/// Sparse NN methods (ε-Join, kNN-Join).
+pub use er_sparse as sparse;
+/// Text processing: tokenization, n-grams, stemming, stop-words.
+pub use er_text as text;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -45,13 +45,13 @@ pub mod prelude {
         BlockBuilder, BlockingWorkflow, ComparisonCleaning, MetaBlocking, PruningAlgorithm,
         WeightingScheme, WorkflowKind,
     };
+    pub use er_core::dirty::{DirtyAdapter, DirtyDataset};
+    pub use er_core::schema::{attribute_stats, best_attribute, text_view, SchemaMode};
+    pub use er_core::verify::{JaccardMatcher, MatchingQuality};
     pub use er_core::{
         evaluate, CandidateSet, Dataset, Effectiveness, Filter, FilterOutput, GridResolution,
         GroundTruth, Optimizer, Pair, QueryRankings, TargetRecall,
     };
-    pub use er_core::dirty::{DirtyAdapter, DirtyDataset};
-    pub use er_core::schema::{attribute_stats, best_attribute, text_view, SchemaMode};
-    pub use er_core::verify::{JaccardMatcher, MatchingQuality};
     pub use er_datagen::{generate, generate_all, DatasetProfile, PROFILES};
     pub use er_dense::{
         CrossPolytopeLsh, DeepBlocker, DeepBlockerConfig, EmbeddingConfig, FlatKnn, FlatRange,

@@ -66,7 +66,10 @@ fn main() {
                 cleaning: true,
                 k: 2,
                 reversed: false,
-                embedding: EmbeddingConfig { dim: 128, ..Default::default() },
+                embedding: EmbeddingConfig {
+                    dim: 128,
+                    ..Default::default()
+                },
             }),
         ),
     ];
@@ -90,8 +93,11 @@ fn main() {
     let offset = ds.e1.len() as u32;
     let mut entities = ds.e1.clone();
     entities.extend(ds.e2.iter().cloned());
-    let duplicates: Vec<Pair> =
-        ds.groundtruth.iter().map(|p| Pair::new(p.left, p.right + offset)).collect();
+    let duplicates: Vec<Pair> = ds
+        .groundtruth
+        .iter()
+        .map(|p| Pair::new(p.left, p.right + offset))
+        .collect();
     let dirty = DirtyDataset::new("D2-dirty", entities, duplicates);
 
     let adapter = DirtyAdapter::new(BlockingWorkflow::pbw());

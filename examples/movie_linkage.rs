@@ -89,20 +89,29 @@ fn main() {
         };
         let out = knn.run(view);
         let eff = evaluate(&out.candidates, &ds.groundtruth);
-        println!("kNN-Join (K=3) on {label:<16}: PC = {:.3}, PQ = {:.4}", eff.pc, eff.pq);
+        println!(
+            "kNN-Join (K=3) on {label:<16}: PC = {:.3}, PQ = {:.4}",
+            eff.pc, eff.pq
+        );
     }
 
     // (iii) Similarity vs cardinality thresholds, both fine-tuned.
     println!("\nfine-tuned on the schema-agnostic view (target PC >= 0.9):");
     match optimize_epsilon(&agnostic, &ds) {
         Some((cfg, pc, pq)) => {
-            println!("  e-Join   best: {:<40} PC = {pc:.3}, PQ = {pq:.4}", cfg.describe());
+            println!(
+                "  e-Join   best: {:<40} PC = {pc:.3}, PQ = {pq:.4}",
+                cfg.describe()
+            );
         }
         None => println!("  e-Join   found no feasible configuration"),
     }
     match optimize_knn(&agnostic, &ds) {
         Some((cfg, pc, pq)) => {
-            println!("  kNN-Join best: {:<40} PC = {pc:.3}, PQ = {pq:.4}", cfg.describe());
+            println!(
+                "  kNN-Join best: {:<40} PC = {pc:.3}, PQ = {pq:.4}",
+                cfg.describe()
+            );
         }
         None => println!("  kNN-Join found no feasible configuration"),
     }

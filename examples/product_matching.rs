@@ -94,7 +94,10 @@ fn main() {
         cleaning: false,
         k: 1,
         reversed: false,
-        embedding: EmbeddingConfig { dim: 128, ..Default::default() },
+        embedding: EmbeddingConfig {
+            dim: 128,
+            ..Default::default()
+        },
     };
     report("FAISS", &faiss.describe(), &faiss.run(&view), &ds);
 
@@ -110,16 +113,17 @@ fn main() {
             (evaluate(&out.candidates, &big.groundtruth), out.breakdown)
         });
         if let Some(ev) = outcome.best() {
-            if outcome.is_feasible()
-                && best.as_ref().map_or(true, |(_, _, pq)| ev.eff.pq > *pq)
-            {
+            if outcome.is_feasible() && best.as_ref().map_or(true, |(_, _, pq)| ev.eff.pq > *pq) {
                 best = Some((ev.config, ev.eff.pc, ev.eff.pq));
             }
         }
     }
     match best {
         Some((cfg, pc, pq)) => {
-            println!("  best configuration: {} -> PC = {pc:.3}, PQ = {pq:.3}", cfg.describe());
+            println!(
+                "  best configuration: {} -> PC = {pc:.3}, PQ = {pq:.3}",
+                cfg.describe()
+            );
         }
         None => println!("  no configuration reached the target"),
     }

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Smoke benchmark for the parallel execution layer.
+#
+# Runs the same filtering workload with ER_THREADS=1 and ER_THREADS=<all
+# cores>, checks the outputs are byte-identical (the determinism
+# guarantee), and writes timings + speedup to BENCH_parallel.json in the
+# repository root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SCALE="${BENCH_SCALE:-0.25}"
+MAX_THREADS="$(nproc)"
+
+echo "== building er-cli (release)" >&2
+cargo build --release -p er-cli >&2
+
+ER=target/release/er
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$ER" generate --profile D2 --scale "$SCALE" --seed 7 --out-dir "$WORK" >&2
+
+now_ms() { date +%s%3N; }
+
+# run_filter <threads> <method> <extra flags...> -> prints elapsed ms,
+# leaves pairs in $WORK/pairs_<method>_<threads>.csv
+run_filter() {
+    local threads="$1" method="$2"
+    shift 2
+    local out="$WORK/pairs_${method}_${threads}.csv"
+    local start end
+    start="$(now_ms)"
+    ER_THREADS="$threads" "$ER" filter \
+        --e1 "$WORK/D2_e1.csv" --e2 "$WORK/D2_e2.csv" \
+        --method "$method" "$@" --out "$out" >&2
+    end="$(now_ms)"
+    echo "$((end - start))"
+}
+
+declare -A T1 TN
+for spec in "knn --k 3 --model C3G --clean" "faiss --k 3 --clean"; do
+    method="${spec%% *}"
+    # shellcheck disable=SC2086
+    T1[$method]="$(run_filter 1 $spec)"
+    # shellcheck disable=SC2086
+    TN[$method]="$(run_filter "$MAX_THREADS" $spec)"
+    if ! cmp -s "$WORK/pairs_${method}_1.csv" "$WORK/pairs_${method}_${MAX_THREADS}.csv"; then
+        echo "DETERMINISM FAILURE: $method output differs between 1 and $MAX_THREADS threads" >&2
+        exit 1
+    fi
+    echo "== $method: ${T1[$method]} ms @1 thread, ${TN[$method]} ms @$MAX_THREADS threads (outputs identical)" >&2
+done
+
+speedup() { awk -v a="$1" -v b="$2" 'BEGIN { printf "%.2f", (b > 0) ? a / b : 0 }'; }
+
+cat > BENCH_parallel.json <<EOF
+{
+  "bench": "parallel_smoke",
+  "host_cores": $MAX_THREADS,
+  "workload": { "profile": "D2", "scale": $SCALE, "seed": 7 },
+  "deterministic_outputs": true,
+  "methods": {
+    "knn": {
+      "ms_threads_1": ${T1[knn]},
+      "ms_threads_max": ${TN[knn]},
+      "speedup": $(speedup "${T1[knn]}" "${TN[knn]}")
+    },
+    "faiss": {
+      "ms_threads_1": ${T1[faiss]},
+      "ms_threads_max": ${TN[faiss]},
+      "speedup": $(speedup "${T1[faiss]}" "${TN[faiss]}")
+    }
+  },
+  "note": "speedup is bounded by host_cores; on a single-core host it is ~1.0 by construction"
+}
+EOF
+
+echo "== wrote BENCH_parallel.json" >&2
+cat BENCH_parallel.json

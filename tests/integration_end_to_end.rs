@@ -30,7 +30,10 @@ fn sweep(id: &str, mode: SchemaMode) -> Vec<MethodOutcome> {
 }
 
 fn by_name<'a>(outcomes: &'a [MethodOutcome], name: &str) -> &'a MethodOutcome {
-    outcomes.iter().find(|o| o.method == name).unwrap_or_else(|| panic!("{name} missing"))
+    outcomes
+        .iter()
+        .find(|o| o.method == name)
+        .unwrap_or_else(|| panic!("{name} missing"))
 }
 
 #[test]
@@ -93,7 +96,13 @@ fn schema_based_runs_faster_but_less_robust() {
 fn stochastic_methods_are_reproducible_per_seed() {
     let ds = generate(er::datagen::profiles::profile("D1").expect("D1"), 0.1, 3);
     let view = text_view(&ds, &SchemaMode::Agnostic);
-    let lsh = MinHashLsh { cleaning: false, shingle_k: 3, bands: 16, rows: 8, seed: 77 };
+    let lsh = MinHashLsh {
+        cleaning: false,
+        shingle_k: 3,
+        bands: 16,
+        rows: 8,
+        seed: 77,
+    };
     let a = lsh.run(&view).candidates.to_sorted_vec();
     let b = lsh.run(&view).candidates.to_sorted_vec();
     assert_eq!(a, b, "same seed, same candidates");

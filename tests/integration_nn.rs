@@ -5,11 +5,18 @@
 use er::prelude::*;
 
 fn dataset(id: &str, scale: f64) -> Dataset {
-    generate(er::datagen::profiles::profile(id).expect("profile"), scale, 31)
+    generate(
+        er::datagen::profiles::profile(id).expect("profile"),
+        scale,
+        31,
+    )
 }
 
 fn embedding() -> EmbeddingConfig {
-    EmbeddingConfig { dim: 64, ..Default::default() }
+    EmbeddingConfig {
+        dim: 64,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -31,7 +38,13 @@ fn all_nn_methods_emit_in_bounds_pairs() {
             k: 2,
             reversed: true,
         }),
-        Box::new(MinHashLsh { cleaning: false, shingle_k: 3, bands: 16, rows: 8, seed: 1 }),
+        Box::new(MinHashLsh {
+            cleaning: false,
+            shingle_k: 3,
+            bands: 16,
+            rows: 8,
+            seed: 1,
+        }),
         Box::new(HyperplaneLsh {
             cleaning: false,
             tables: 4,
@@ -49,7 +62,12 @@ fn all_nn_methods_emit_in_bounds_pairs() {
             embedding: embedding(),
             seed: 1,
         }),
-        Box::new(FlatKnn { cleaning: false, k: 3, reversed: true, embedding: embedding() }),
+        Box::new(FlatKnn {
+            cleaning: false,
+            k: 3,
+            reversed: true,
+            embedding: embedding(),
+        }),
         Box::new(PartitionedKnn {
             cleaning: false,
             k: 3,
@@ -72,12 +90,24 @@ fn all_nn_methods_emit_in_bounds_pairs() {
     ];
     for filter in filters {
         let out = filter.run(&view);
-        assert!(!out.candidates.is_empty(), "{} found nothing", filter.name());
+        assert!(
+            !out.candidates.is_empty(),
+            "{} found nothing",
+            filter.name()
+        );
         for p in out.candidates.iter() {
-            assert!(p.left < n1 && p.right < n2, "{}: {p:?} out of bounds", filter.name());
+            assert!(
+                p.left < n1 && p.right < n2,
+                "{}: {p:?} out of bounds",
+                filter.name()
+            );
         }
         for phase in ["preprocess", "index", "query"] {
-            assert!(out.breakdown.get(phase).is_some(), "{}: {phase}", filter.name());
+            assert!(
+                out.breakdown.get(phase).is_some(),
+                "{}: {phase}",
+                filter.name()
+            );
         }
     }
 }
@@ -95,8 +125,10 @@ fn knn_run_agrees_with_rankings_prefix() {
             reversed,
         };
         let direct = knn.run(&view).candidates.to_sorted_vec();
-        let via_rankings =
-            knn.rankings(&view, 1000).candidates_top_k_distinct(3).to_sorted_vec();
+        let via_rankings = knn
+            .rankings(&view, 1000)
+            .candidates_top_k_distinct(3)
+            .to_sorted_vec();
         assert_eq!(direct, via_rankings, "reversed = {reversed}");
     }
 }
@@ -105,7 +137,12 @@ fn knn_run_agrees_with_rankings_prefix() {
 fn flat_run_agrees_with_rankings_prefix() {
     let ds = dataset("D1", 0.1);
     let view = text_view(&ds, &SchemaMode::Agnostic);
-    let f = FlatKnn { cleaning: true, k: 4, reversed: false, embedding: embedding() };
+    let f = FlatKnn {
+        cleaning: true,
+        k: 4,
+        reversed: false,
+        embedding: embedding(),
+    };
     let direct = f.run(&view).candidates.to_sorted_vec();
     let via_rankings = f.rankings(&view, 50).candidates_top_k(4).to_sorted_vec();
     assert_eq!(direct, via_rankings);
@@ -118,7 +155,12 @@ fn scann_bruteforce_full_probe_equals_faiss() {
     // observes "practically identical performance".
     let ds = dataset("D1", 0.1);
     let view = text_view(&ds, &SchemaMode::Agnostic);
-    let faiss = FlatKnn { cleaning: false, k: 3, reversed: false, embedding: embedding() };
+    let faiss = FlatKnn {
+        cleaning: false,
+        k: 3,
+        reversed: false,
+        embedding: embedding(),
+    };
     let scann = PartitionedKnn {
         cleaning: false,
         k: 3,
@@ -141,8 +183,13 @@ fn cardinality_methods_scale_linearly_with_queries() {
     let ds = dataset("D1", 0.15);
     let view = text_view(&ds, &SchemaMode::Agnostic);
     for k in [1, 3, 7] {
-        let out =
-            FlatKnn { cleaning: false, k, reversed: false, embedding: embedding() }.run(&view);
+        let out = FlatKnn {
+            cleaning: false,
+            k,
+            reversed: false,
+            embedding: embedding(),
+        }
+        .run(&view);
         assert!(out.candidates.len() <= k * ds.e2.len());
     }
 }
@@ -170,10 +217,16 @@ fn minhash_candidates_grow_with_bands() {
     let ds = dataset("D2", 0.08);
     let view = text_view(&ds, &SchemaMode::Agnostic);
     let count_of = |bands: usize, rows: usize| {
-        MinHashLsh { cleaning: false, shingle_k: 3, bands, rows, seed: 9 }
-            .run(&view)
-            .candidates
-            .len()
+        MinHashLsh {
+            cleaning: false,
+            shingle_k: 3,
+            bands,
+            rows,
+            seed: 9,
+        }
+        .run(&view)
+        .candidates
+        .len()
     };
     // 64 bands of 2 rows approximates a much lower threshold than 2 bands
     // of 64 rows -> far more candidates.

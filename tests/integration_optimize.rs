@@ -8,7 +8,11 @@ use er::core::optimize::GridResolution;
 use er::prelude::*;
 
 fn dataset(id: &str, scale: f64) -> Dataset {
-    generate(er::datagen::profiles::profile(id).expect("profile"), scale, 17)
+    generate(
+        er::datagen::profiles::profile(id).expect("profile"),
+        scale,
+        17,
+    )
 }
 
 #[test]
@@ -33,9 +37,16 @@ fn epsilon_sweep_picks_highest_feasible_threshold() {
     assert!(outcome.is_feasible(), "clean D4 must be solvable");
     let best = outcome.best().expect("feasible");
     // Every *higher* threshold must be infeasible (the sweep is tight).
-    for cfg in configs.iter().filter(|c| c.threshold > best.config.threshold + 1e-9) {
+    for cfg in configs
+        .iter()
+        .filter(|c| c.threshold > best.config.threshold + 1e-9)
+    {
         let eff = evaluate(&cfg.run(&view).candidates, &ds.groundtruth);
-        assert!(eff.pc < 0.9, "threshold {} was already feasible", cfg.threshold);
+        assert!(
+            eff.pc < 0.9,
+            "threshold {} was already feasible",
+            cfg.threshold
+        );
     }
 }
 
@@ -96,7 +107,12 @@ fn optimizer_respects_budget_cap() {
     let optimizer = Optimizer::new(0.9).with_budget(5);
     let outcome = optimizer.grid(0..100, |_| {
         (
-            er::core::Effectiveness { pc: 1.0, pq: 0.5, candidates: 1, duplicates_found: 1 },
+            er::core::Effectiveness {
+                pc: 1.0,
+                pq: 0.5,
+                candidates: 1,
+                duplicates_found: 1,
+            },
             er::core::PhaseBreakdown::new(),
         )
     });
@@ -119,7 +135,11 @@ fn infeasible_settings_report_fallback() {
         reps: 1,
     };
     let knn = run_knn(&ctx);
-    assert!(!knn.feasible, "schema-based D5 must be infeasible, got pc {}", knn.pc);
+    assert!(
+        !knn.feasible,
+        "schema-based D5 must be infeasible, got pc {}",
+        knn.pc
+    );
     assert!(knn.pc > 0.0, "fallback still reports the best recall found");
 }
 

@@ -21,8 +21,14 @@ fn every_builder_produces_blocks_on_real_text() {
         BlockBuilder::Standard,
         BlockBuilder::QGrams { q: 3 },
         BlockBuilder::ExtendedQGrams { q: 3, t: 0.9 },
-        BlockBuilder::SuffixArrays { l_min: 3, b_max: 100 },
-        BlockBuilder::ExtendedSuffixArrays { l_min: 3, b_max: 100 },
+        BlockBuilder::SuffixArrays {
+            l_min: 3,
+            b_max: 100,
+        },
+        BlockBuilder::ExtendedSuffixArrays {
+            l_min: 3,
+            b_max: 100,
+        },
     ] {
         let blocks = builder.build(&view);
         assert!(!blocks.is_empty(), "{builder:?} built no blocks");
@@ -58,7 +64,10 @@ fn metablocking_output_is_subset_of_propagation_for_all_42_configs() {
             let kept = graph.prune(&edges, pruning);
             assert!(!kept.is_empty(), "{scheme:?}/{pruning:?} pruned everything");
             for p in kept.iter() {
-                assert!(superset.contains(p), "{scheme:?}/{pruning:?} invented a pair");
+                assert!(
+                    superset.contains(p),
+                    "{scheme:?}/{pruning:?} invented a pair"
+                );
             }
         }
     }
@@ -75,7 +84,9 @@ fn graph_based_cleaning_matches_direct_metablocking() {
         let edges = graph.weighted_edges(scheme);
         for pruning in [PruningAlgorithm::Wep, PruningAlgorithm::Rcnp] {
             let via_graph = graph.prune(&edges, pruning).to_sorted_vec();
-            let via_clean = MetaBlocking { scheme, pruning }.clean(&blocks).to_sorted_vec();
+            let via_clean = MetaBlocking { scheme, pruning }
+                .clean(&blocks)
+                .to_sorted_vec();
             assert_eq!(via_graph, via_clean, "{scheme:?}/{pruning:?}");
         }
     }
@@ -115,7 +126,11 @@ fn baselines_achieve_high_recall_schema_agnostic() {
     // The paper: schema-agnostic baselines exceed the target recall on
     // nearly every dataset.
     for id in ["D1", "D2", "D4", "D5"] {
-        let ds = generate(er::datagen::profiles::profile(id).expect("profile"), 0.08, 7);
+        let ds = generate(
+            er::datagen::profiles::profile(id).expect("profile"),
+            0.08,
+            7,
+        );
         let view = text_view(&ds, &SchemaMode::Agnostic);
         let out = BlockingWorkflow::pbw().run(&view);
         let eff = evaluate(&out.candidates, &ds.groundtruth);
@@ -134,5 +149,8 @@ fn schema_based_loses_recall_on_misplaced_values() {
     let pc_agn = evaluate(&wf.run(&agn).candidates, &ds.groundtruth).pc;
     let pc_based = evaluate(&wf.run(&based).candidates, &ds.groundtruth).pc;
     assert!(pc_agn >= 0.9, "agnostic pc = {pc_agn}");
-    assert!(pc_based < 0.9, "schema-based pc = {pc_based} should be capped");
+    assert!(
+        pc_based < 0.9,
+        "schema-based pc = {pc_based} should be capped"
+    );
 }

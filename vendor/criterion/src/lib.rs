@@ -1,0 +1,317 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! A minimal wall-clock timing harness exposing the subset this
+//! workspace's benches use: `Criterion` with `sample_size` /
+//! `warm_up_time` / `measurement_time`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Bencher::iter`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//! No statistics, plots, or comparison against saved baselines — each
+//! benchmark reports mean ns/iter on stdout. Passing `--test` (as
+//! `cargo test` does for harness-less bench targets) runs every
+//! benchmark for a single iteration as a smoke check.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported like `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self { id: name.into() }
+    }
+}
+
+impl From<BenchmarkId> for String {
+    fn from(id: BenchmarkId) -> Self {
+        id.id
+    }
+}
+
+/// Timing settings shared by `Criterion` and groups.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    /// `--test` mode: one iteration per benchmark, no timing loops.
+    smoke: bool,
+}
+
+/// Top-level harness, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            settings: Settings {
+                sample_size: 10,
+                warm_up: Duration::from_millis(200),
+                measurement: Duration::from_millis(500),
+                smoke: std::env::args().any(|a| a == "--test"),
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before measurement.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.settings.warm_up = d;
+        self
+    }
+
+    /// Target measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.settings.measurement = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            settings,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&self.settings, None, &id.into(), &mut f);
+        self
+    }
+}
+
+/// Group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark within this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration within this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up = d;
+        self
+    }
+
+    /// Measurement window within this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&self.settings, Some(&self.name), &id.into(), &mut f);
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&self.settings, Some(&self.name), &id, &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    settings: Settings,
+    /// (total duration, total iterations) accumulated by `iter`.
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.settings.smoke {
+            black_box(routine());
+            self.measured = Some((Duration::ZERO, 1));
+            return;
+        }
+        let warm_end = Instant::now() + self.settings.warm_up;
+        while Instant::now() < warm_end {
+            black_box(routine());
+        }
+        let per_sample = self.settings.measurement / self.settings.sample_size as u32;
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        for _ in 0..self.settings.sample_size {
+            let sample_start = Instant::now();
+            loop {
+                let t0 = Instant::now();
+                black_box(routine());
+                total += t0.elapsed();
+                iters += 1;
+                if sample_start.elapsed() >= per_sample {
+                    break;
+                }
+            }
+        }
+        self.measured = Some((total, iters));
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    settings: &Settings,
+    group: Option<&str>,
+    id: &BenchmarkId,
+    f: &mut F,
+) {
+    let label = match group {
+        Some(g) => format!("{g}/{}", id.id),
+        None => id.id.clone(),
+    };
+    let mut bencher = Bencher {
+        settings: *settings,
+        measured: None,
+    };
+    f(&mut bencher);
+    match bencher.measured {
+        Some((_, 0)) | None => println!("bench {label}: no measurement"),
+        Some((total, iters)) => {
+            if settings.smoke {
+                println!("bench {label}: ok (smoke)");
+            } else {
+                let ns = total.as_nanos() as f64 / iters as f64;
+                println!("bench {label}: {ns:.0} ns/iter ({iters} iters)");
+            }
+        }
+    }
+}
+
+/// Declares a group runner `fn`, mirroring `criterion::criterion_group`.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(c: &mut Criterion) {
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(2);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &m| {
+            b.iter(|| black_box(7u64) * m)
+        });
+        group.finish();
+        c.bench_function("top", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        // In-test runs see the libtest `--test`-less argv; force smoke so
+        // this stays instant.
+        c.settings.smoke = true;
+        demo(&mut c);
+    }
+
+    criterion_group!(compile_simple, demo);
+    criterion_group! {
+        name = compile_full;
+        config = Criterion::default().sample_size(3);
+        targets = demo,
+    }
+
+    #[test]
+    fn group_macros_compile() {
+        // Referencing the generated fns proves the macros expanded.
+        let _: fn() = compile_simple;
+        let _: fn() = compile_full;
+    }
+}

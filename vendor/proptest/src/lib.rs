@@ -1,0 +1,685 @@
+//! Offline stand-in for `proptest` (see `vendor/README.md`).
+//!
+//! A deterministic generate-and-assert engine exposing the subset of the
+//! real crate this workspace uses: the [`strategy::Strategy`] trait with
+//! `prop_map`, `any::<T>()`, integer/float range strategies, tuple
+//! strategies, [`collection::vec`] / [`collection::btree_set`], regex-style
+//! `&str` strategies, `proptest!` with optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`, and
+//! `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from the real crate, acceptable for this workspace's
+//! property tests: no shrinking (a failing case panics with the assert
+//! message; inputs are reproducible because generation is a pure function
+//! of the test name and case index), and `&str` strategies support only
+//! the regex subset actually used (classes, `.`, literals, groups,
+//! `{m}` / `{m,n}` repetition).
+
+/// Deterministic random source shared by all strategies.
+///
+/// SplitMix64 over a seed derived from the owning test's name, so each
+/// test gets an independent, run-to-run stable stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream from a test name (FNV-1a hash).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Self { state: h }
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+pub mod test_runner {
+    //! Runner configuration, mirroring `proptest::test_runner`.
+
+    /// How many cases each property runs. Only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated inputs per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` inputs per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        /// 256 cases, like the real crate; `PROPTEST_CASES` overrides.
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            Self { cases }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and combinators.
+
+    use crate::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value from `rng`.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Element types range strategies can draw, one generic `Range<T>`
+    /// impl (instead of per-type impls) so unsuffixed literals infer as
+    /// they do with the real crate.
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Uniform value in `[lo, hi)`, or `[lo, hi]` when `inclusive`.
+        fn sample_uniform(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self;
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                    let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    uniform_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    macro_rules! uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                    let u = rng.unit_f64() as $t;
+                    let v = lo + u * (hi - lo);
+                    if !inclusive && v >= hi { lo } else { v }
+                }
+            }
+        )*};
+    }
+    uniform_float!(f32, f64);
+
+    impl<T: SampleUniform> Strategy for std::ops::Range<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(self.start < self.end, "empty range strategy");
+            T::sample_uniform(rng, self.start, self.end, false)
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty range strategy");
+            T::sample_uniform(rng, lo, hi, true)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+    }
+
+    /// Regex-style string strategy: `"[a-d]{1,6}( [a-d]{1,6}){0,2}"`.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let pattern = crate::string::parse(self);
+            let mut out = String::new();
+            crate::string::render(&pattern, rng, &mut out);
+            out
+        }
+    }
+}
+
+/// Types with a canonical "any value" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+int_arbitrary!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        rng.unit_f64() as f32
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> strategy::Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-range strategy for `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+pub mod collection {
+    //! Collection strategies, mirroring `proptest::collection`.
+
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+    use std::collections::BTreeSet;
+
+    /// Acceptable size arguments: an exact `usize` or a `Range<usize>`.
+    pub trait SizeRange {
+        /// Draws a target length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty size range");
+            lo + rng.below((hi - lo + 1) as u64) as usize
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy with lengths drawn from `size`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy returned by [`btree_set`].
+    pub struct BTreeSetStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S, R> Strategy for BTreeSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        R: SizeRange,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut set = BTreeSet::new();
+            // Duplicates don't grow the set; bound the retries so narrow
+            // element domains still terminate (possibly under target).
+            let mut budget = 20 * (target + 1);
+            while set.len() < target && budget > 0 {
+                set.insert(self.element.generate(rng));
+                budget -= 1;
+            }
+            set
+        }
+    }
+
+    /// `BTreeSet` strategy aiming for lengths drawn from `size`.
+    pub fn btree_set<S, R>(element: S, size: R) -> BTreeSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        R: SizeRange,
+    {
+        BTreeSetStrategy { element, size }
+    }
+}
+
+pub mod string {
+    //! Generator for the regex subset used by `&str` strategies.
+    //!
+    //! Supported: literal chars, `.` (printable ASCII), classes
+    //! `[a-z 0-9]` (ranges and singletons, no negation), groups `(...)`,
+    //! and `{m}` / `{m,n}` repetition on any atom. This covers every
+    //! pattern in the workspace's property tests; anything else panics
+    //! with a clear message rather than silently mis-generating.
+
+    use crate::TestRng;
+
+    /// One regex atom plus its repetition bounds.
+    pub struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    enum Atom {
+        Literal(char),
+        /// Inclusive char ranges; singletons are `(c, c)`.
+        Class(Vec<(char, char)>),
+        /// `.` — printable ASCII.
+        AnyChar,
+        Group(Vec<Piece>),
+    }
+
+    /// Parses `pattern`, panicking on unsupported syntax.
+    pub fn parse(pattern: &str) -> Vec<Piece> {
+        let mut chars: Vec<char> = pattern.chars().collect();
+        chars.reverse(); // pop() from the front
+        let pieces = parse_seq(&mut chars, pattern);
+        assert!(
+            chars.is_empty(),
+            "unbalanced ')' in string strategy {pattern:?}"
+        );
+        pieces
+    }
+
+    fn parse_seq(chars: &mut Vec<char>, pattern: &str) -> Vec<Piece> {
+        let mut pieces = Vec::new();
+        while let Some(&c) = chars.last() {
+            if c == ')' {
+                break;
+            }
+            chars.pop();
+            let atom = match c {
+                '(' => {
+                    let inner = parse_seq(chars, pattern);
+                    assert_eq!(
+                        chars.pop(),
+                        Some(')'),
+                        "unclosed '(' in string strategy {pattern:?}"
+                    );
+                    Atom::Group(inner)
+                }
+                '[' => Atom::Class(parse_class(chars, pattern)),
+                '.' => Atom::AnyChar,
+                '|' | '*' | '+' | '?' | '\\' | '^' | '$' => {
+                    panic!("unsupported regex feature {c:?} in string strategy {pattern:?}")
+                }
+                lit => Atom::Literal(lit),
+            };
+            let (min, max) = parse_repeat(chars, pattern);
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    fn parse_class(chars: &mut Vec<char>, pattern: &str) -> Vec<(char, char)> {
+        let mut ranges = Vec::new();
+        loop {
+            let c = chars
+                .pop()
+                .unwrap_or_else(|| panic!("unclosed '[' in string strategy {pattern:?}"));
+            if c == ']' {
+                break;
+            }
+            assert!(
+                c != '^' || !ranges.is_empty(),
+                "negated classes unsupported in string strategy {pattern:?}"
+            );
+            // `a-z` range when '-' sits between two members; trailing '-'
+            // never appears in this workspace's patterns.
+            if chars.last() == Some(&'-') && chars.len() >= 2 && chars[chars.len() - 2] != ']' {
+                chars.pop();
+                let hi = chars
+                    .pop()
+                    .unwrap_or_else(|| panic!("dangling '-' in string strategy {pattern:?}"));
+                assert!(c <= hi, "inverted class range in string strategy {pattern:?}");
+                ranges.push((c, hi));
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        assert!(
+            !ranges.is_empty(),
+            "empty class in string strategy {pattern:?}"
+        );
+        ranges
+    }
+
+    fn parse_repeat(chars: &mut Vec<char>, pattern: &str) -> (usize, usize) {
+        if chars.last() != Some(&'{') {
+            return (1, 1);
+        }
+        chars.pop();
+        let mut spec = String::new();
+        loop {
+            let c = chars
+                .pop()
+                .unwrap_or_else(|| panic!("unclosed '{{' in string strategy {pattern:?}"));
+            if c == '}' {
+                break;
+            }
+            spec.push(c);
+        }
+        let parse_n = |s: &str| -> usize {
+            s.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("bad repetition {spec:?} in string strategy {pattern:?}"))
+        };
+        match spec.split_once(',') {
+            None => {
+                let n = parse_n(&spec);
+                (n, n)
+            }
+            Some((lo, hi)) => (parse_n(lo), parse_n(hi)),
+        }
+    }
+
+    /// Renders one sample of `pieces` into `out`.
+    pub fn render(pieces: &[Piece], rng: &mut TestRng, out: &mut String) {
+        for piece in pieces {
+            let n = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+            for _ in 0..n {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::AnyChar => {
+                        out.push(char::from(b' ' + rng.below(95) as u8));
+                    }
+                    Atom::Class(ranges) => {
+                        let total: u64 = ranges
+                            .iter()
+                            .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+                            .sum();
+                        let mut pick = rng.below(total);
+                        for &(lo, hi) in ranges {
+                            let span = hi as u64 - lo as u64 + 1;
+                            if pick < span {
+                                out.push(
+                                    char::from_u32(lo as u32 + pick as u32)
+                                        .expect("class range crosses surrogates"),
+                                );
+                                break;
+                            }
+                            pick -= span;
+                        }
+                    }
+                    Atom::Group(inner) => render(inner, rng, out),
+                }
+            }
+        }
+    }
+}
+
+/// Everything a property test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Declares property tests: each `fn` becomes a `#[test]` that draws its
+/// `name in strategy` arguments per case and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(
+            (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default())
+            $($rest)*
+        );
+    };
+}
+
+/// Internal: expands each test fn inside `proptest!`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let mut __rng = $crate::TestRng::from_name(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $crate::__proptest_bind!(__rng $($params)*);
+                $body
+            }
+        }
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+}
+
+/// Internal: binds `name in strategy` parameters from the case RNG.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident) => {};
+    ($rng:ident,) => {};
+    ($rng:ident mut $var:ident in $strat:expr) => {
+        #[allow(unused_mut)]
+        let mut $var = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident $var:ident in $strat:expr) => {
+        let $var = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident mut $var:ident in $strat:expr, $($rest:tt)*) => {
+        #[allow(unused_mut)]
+        let mut $var = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng $($rest)*);
+    };
+    ($rng:ident $var:ident in $strat:expr, $($rest:tt)*) => {
+        let $var = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng $($rest)*);
+    };
+}
+
+/// Property assertion; fails the current case (and test) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { ::core::assert!($($args)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { ::core::assert_eq!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pairs() -> impl Strategy<Value = Vec<(u32, u32)>> {
+        crate::collection::vec((0u32..40, 0u32..10), 0..12)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Range strategies stay in bounds.
+        #[test]
+        fn ranges_in_bounds(a in 3u32..17, f in 0.25f64..0.75, n in 1usize..6) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((0.25..0.75).contains(&f));
+            prop_assert!((1..6).contains(&n));
+        }
+
+        /// Collections honour their size arguments.
+        #[test]
+        fn collection_sizes(
+            v in crate::collection::vec(0u64..100, 2..5),
+            s in crate::collection::btree_set(0u32..1000, 1..4),
+            exact in crate::collection::vec(0u8..10, 3usize),
+            mut pairs in pairs(),
+        ) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!((1..4).contains(&s.len()));
+            prop_assert_eq!(exact.len(), 3);
+            pairs.sort_unstable();
+            for (l, r) in pairs {
+                prop_assert!(l < 40 && r < 10);
+            }
+        }
+
+        /// The regex subset produces strings matching the pattern shape.
+        #[test]
+        fn regex_shapes(
+            word in "[a-d]{1,6}( [a-d]{1,6}){0,2}",
+            free in ".{0,60}",
+            cls in "[a-e ]{0,16}",
+        ) {
+            let groups: Vec<&str> = word.split(' ').collect();
+            prop_assert!((1..=3).contains(&groups.len()));
+            for g in groups {
+                prop_assert!((1..=6).contains(&g.len()), "{:?}", g);
+                prop_assert!(g.chars().all(|c| ('a'..='d').contains(&c)));
+            }
+            prop_assert!(free.len() <= 60);
+            prop_assert!(free.chars().all(|c| (' '..='~').contains(&c)));
+            prop_assert!(cls.chars().all(|c| c == ' ' || ('a'..='e').contains(&c)));
+        }
+
+        /// `any` plus `prop_map` compose.
+        #[test]
+        fn any_and_map(x in any::<u32>(), y in (0u32..9).prop_map(|v| v * 2)) {
+            let _ = x;
+            prop_assert!(y % 2 == 0 && y < 18);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec("[a-z]{1,8}", 1..20);
+        let mut a = crate::TestRng::from_name("same");
+        let mut b = crate::TestRng::from_name("same");
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+}

@@ -1,0 +1,35 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no network access and no crates.io mirror, so
+//! the workspace vendors API-compatible stubs for its external
+//! dependencies (see `vendor/README.md`). The workspace only *derives*
+//! `Serialize`/`Deserialize` on config types for forward compatibility —
+//! nothing serializes at runtime — so the stub provides the two trait
+//! names (satisfied by blanket impls) and re-exports the no-op derive
+//! macros under the `derive` feature, exactly like the real crate layout.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Mirror of `serde::de` far enough for `use serde::de::DeserializeOwned`.
+pub mod de {
+    pub use crate::DeserializeOwned;
+    pub use crate::Deserialize;
+}
+
+/// Mirror of `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
