@@ -90,6 +90,7 @@ fn main() {
             dim: settings.dim,
             seed: settings.seed,
             reps: 1,
+            label: profile.id.to_owned(),
         };
         let sbw = er_bench::harness::run_blocking_family(&ctx, er::blocking::WorkflowKind::Sbw);
 

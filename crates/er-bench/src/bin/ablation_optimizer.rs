@@ -107,6 +107,7 @@ fn main() {
             dim: settings.dim,
             seed: settings.seed,
             reps: 1,
+            label: profile.id.to_owned(),
         };
         let holistic = er_bench::harness::run_blocking_family(&ctx, WorkflowKind::Sbw);
         let _ = GridResolution::Pruned;

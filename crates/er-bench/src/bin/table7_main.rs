@@ -10,6 +10,8 @@
 //! cargo run --release --bin table7_main -- --scale 0.05 --grid quick
 //! cargo run --release --bin table7_main -- --datasets D1,D4 --configs --candidates
 //! cargo run --release --bin table7_main -- --threads 4 --csv table7.csv
+//! cargo run --release --bin table7_main -- --timeout 60 --checkpoint sweep.jsonl
+//! cargo run --release --bin table7_main -- --resume sweep.jsonl
 //! ```
 //!
 //! `--threads N` (legacy alias: `--parallel N`) sets the worker count of
@@ -17,63 +19,17 @@
 //! over N threads. Effectiveness (PC/PQ/|C|) is byte-identical for every
 //! thread count, but reported run-times contend for cores — keep the
 //! default (serial columns) for faithful RT measurements.
+//!
+//! With `--timeout`, `--budget` or `--inject-faults`, each (setting,
+//! method) grid point runs under a guard: a panic, blown deadline or
+//! candidate budget is reported as a failure row and the sweep continues.
+//! `--checkpoint`/`--resume` make an interrupted sweep restartable — see
+//! the sweep driver in `er_bench::sweep`.
 
-use er::core::optimize::Optimizer;
-use er::core::parallel::{self, Threads};
-use er::core::schema::{text_view, SchemaMode};
-use er::core::timing::format_runtime;
-use er::datagen::generate;
-use er_bench::harness::{run_all_methods_with, Context, MethodOutcome};
-use er_bench::report::{fmt_measure_flagged, Table};
+use er::core::parallel::Threads;
+use er_bench::report::{render_report, sweep_csv, ReportOptions};
+use er_bench::sweep::run_sweep;
 use er_bench::Settings;
-
-/// One evaluated column of Table VII.
-struct Column {
-    label: String,
-    cartesian: u64,
-    outcomes: Vec<MethodOutcome>,
-}
-
-/// Evaluates one (dataset, schema-setting) column.
-fn evaluate_column(
-    profile: &er::datagen::DatasetProfile,
-    mode: SchemaMode,
-    label: String,
-    settings: &Settings,
-    verbose: bool,
-) -> Column {
-    let ds = generate(profile, settings.scale, settings.seed);
-    let view = text_view(&ds, &mode);
-    let ctx = Context {
-        view: &view,
-        gt: &ds.groundtruth,
-        optimizer: Optimizer::new(settings.target_pc),
-        resolution: settings.resolution,
-        dim: settings.dim,
-        seed: settings.seed,
-        reps: settings.reps,
-    };
-    let outcomes = run_all_methods_with(&ctx, |o, elapsed| {
-        if verbose {
-            eprintln!(
-                "   [{label}] {:<12} pc={:.3} pq={:.4} |C|={:>9.0} rt={:<9} ({} cfgs in {}) {}",
-                o.method,
-                o.pc,
-                o.pq,
-                o.candidates,
-                format_runtime(o.runtime),
-                o.evaluated,
-                format_runtime(elapsed),
-                if o.feasible { "" } else { " [below target]" },
-            );
-        }
-    });
-    Column {
-        label,
-        cartesian: ds.cartesian(),
-        outcomes,
-    }
-}
 
 /// Prints a usage error and exits with a non-zero status (instead of a
 /// panic with a backtrace, which is unhelpful for a flag typo).
@@ -115,145 +71,27 @@ fn main() {
         settings.dim,
         Threads::get(),
     );
-
-    // Enumerate the columns: schema-agnostic for every dataset, then
-    // schema-based for the viable ones.
-    let mut specs: Vec<(&er::datagen::DatasetProfile, SchemaMode, String)> = Vec::new();
-    for mode_label in ["a", "b"] {
-        for profile in &settings.datasets {
-            if mode_label == "b" && !profile.schema_based_viable {
-                continue;
-            }
-            let mode = if mode_label == "a" {
-                SchemaMode::Agnostic
-            } else {
-                profile.schema_based_mode()
-            };
-            specs.push((
-                profile,
-                mode,
-                format!("D{}{}", mode_label, &profile.id[1..]),
-            ));
-        }
+    if let Some(plan) = settings.faults.clone() {
+        eprintln!("fault injection armed: {} site pattern(s)", plan.len());
+        er::core::faults::configure(Some(plan));
     }
 
-    let columns: Vec<Column> = if column_workers <= 1 {
-        specs
-            .into_iter()
-            .map(|(profile, mode, label)| {
-                eprintln!("== {label} ({} / {:?})", profile.id, mode);
-                evaluate_column(profile, mode, label, &settings, true)
-            })
-            .collect()
-    } else {
-        // One chunk per column through the shared parallel layer: columns
-        // are work-stolen but merged in spec order, so output ordering is
-        // identical to the serial path.
-        parallel::par_map_chunks_with(column_workers, &specs, 1, |_, spec| {
-            let (profile, mode, label) = &spec[0];
-            eprintln!("== {label} ({} / {:?})", profile.id, mode);
-            let column = evaluate_column(profile, mode.clone(), label.clone(), &settings, false);
-            eprintln!("== {label} done");
-            column
-        })
-    };
+    let columns = run_sweep(&settings, column_workers, true).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
 
-    let methods: Vec<String> = columns
-        .first()
-        .map(|c| c.outcomes.iter().map(|o| o.method.clone()).collect())
-        .unwrap_or_default();
-
-    let matrix = |title: &str, cell: &dyn Fn(&MethodOutcome) -> String| {
-        let mut header = vec!["Method".to_owned()];
-        header.extend(columns.iter().map(|c| c.label.clone()));
-        let mut t = Table::new(header);
-        for (mi, method) in methods.iter().enumerate() {
-            let mut row = vec![method.clone()];
-            for col in &columns {
-                row.push(cell(&col.outcomes[mi]));
-            }
-            t.row(row);
-        }
-        println!("{title}\n{}", t.render());
-    };
-
-    matrix(
-        "Table VII(a): recall (PC) — '*' marks PC below the target",
-        &|o| fmt_measure_flagged(o.pc, o.feasible),
+    print!(
+        "{}",
+        render_report(
+            &columns,
+            ReportOptions {
+                candidates: settings.has_flag("--candidates"),
+                configs: settings.has_flag("--configs"),
+            },
+        )
     );
-    matrix("Table VII(b): precision (PQ)", &|o| {
-        fmt_measure_flagged(o.pq, o.feasible)
-    });
-    matrix("Table VII(c): run-time (RT)", &|o| {
-        format_runtime(o.runtime)
-    });
 
-    // The paper's Section VI analysis: per-method mean deviation from the
-    // per-setting maximum PQ, and how often each method achieves it.
-    {
-        let mut table = Table::new([
-            "Method",
-            "PQ wins",
-            "Mean deviation from best PQ",
-            "Mean |C| reduction vs brute force",
-        ]);
-        for (mi, method) in methods.iter().enumerate() {
-            let mut wins = 0usize;
-            let mut deviation = 0.0f64;
-            let mut counted = 0usize;
-            let mut reduction = 0.0f64;
-            let mut reductions = 0usize;
-            for col in &columns {
-                let o = &col.outcomes[mi];
-                if o.candidates > 0.0 {
-                    reduction += 1.0 - o.candidates / col.cartesian as f64;
-                    reductions += 1;
-                }
-                if !o.feasible {
-                    continue;
-                }
-                let best_pq = col
-                    .outcomes
-                    .iter()
-                    .filter(|x| x.feasible)
-                    .map(|x| x.pq)
-                    .fold(0.0, f64::max);
-                if best_pq <= 0.0 {
-                    continue;
-                }
-                counted += 1;
-                if (o.pq - best_pq).abs() < 1e-12 {
-                    wins += 1;
-                }
-                deviation += (best_pq - o.pq) / best_pq;
-            }
-            table.row([
-                method.clone(),
-                wins.to_string(),
-                if counted == 0 {
-                    "-".to_owned()
-                } else {
-                    format!("{:.1}%", 100.0 * deviation / counted as f64)
-                },
-                if reductions == 0 {
-                    "-".to_owned()
-                } else {
-                    format!("{:.1}%", 100.0 * reduction / reductions as f64)
-                },
-            ]);
-        }
-        println!(
-            "Section VI analysis: PQ winners and mean deviation from the best\n\
-             feasible PQ (counting only settings where the method met the target)\n{}",
-            table.render()
-        );
-    }
-
-    if settings.has_flag("--candidates") {
-        matrix("Table XI: candidate pairs |C|", &|o| {
-            format!("{:.0}", o.candidates)
-        });
-    }
     // CSV export for downstream analysis: one row per (setting, method).
     if let Some(pos) = settings.flags.iter().position(|f| f == "--csv") {
         let path = settings
@@ -261,33 +99,11 @@ fn main() {
             .get(pos + 1)
             .cloned()
             .unwrap_or_else(|| "table7.csv".to_owned());
-        let mut csv = String::from("setting,method,pc,pq,candidates,runtime_ms,feasible,config\n");
-        for col in &columns {
-            for o in &col.outcomes {
-                csv.push_str(&format!(
-                    "{},{},{:.6},{:.6},{:.0},{:.3},{},\"{}\"\n",
-                    col.label,
-                    o.method,
-                    o.pc,
-                    o.pq,
-                    o.candidates,
-                    o.runtime.as_secs_f64() * 1e3,
-                    o.feasible,
-                    o.config.replace('"', "'"),
-                ));
-            }
+        let csv = sweep_csv(&columns, true);
+        if let Err(e) = std::fs::write(&path, csv) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
         }
-        std::fs::write(&path, csv).expect("write csv");
         eprintln!("wrote {path}");
-    }
-    if settings.has_flag("--configs") {
-        println!("Tables VIII-X: best configuration per method and setting\n");
-        for col in &columns {
-            println!("-- {}", col.label);
-            for o in &col.outcomes {
-                println!("   {:<12} {}", o.method, o.config);
-            }
-            println!();
-        }
     }
 }

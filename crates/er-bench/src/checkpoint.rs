@@ -1,0 +1,355 @@
+//! Grid checkpointing for resumable sweeps.
+//!
+//! A checkpoint file is JSONL: a header line identifying the format and
+//! the settings fingerprint, then one line per completed grid point
+//! (`(column, method)`), appended and flushed as each point finishes. A
+//! run killed mid-sweep therefore leaves a valid checkpoint behind — at
+//! worst the final line is torn, and the loader ignores a torn tail.
+//!
+//! Resuming replays the recorded outcomes (including run-times, which a
+//! re-measurement could not reproduce) and computes only the missing grid
+//! points, so an interrupted-and-resumed sweep reports byte-identically
+//! to an uninterrupted one.
+
+use crate::harness::MethodOutcome;
+use crate::jsonl::Json;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::Path;
+use std::time::Duration;
+
+/// Format version of the header line.
+const VERSION: f64 = 1.0;
+
+/// One completed grid point.
+#[derive(Debug, Clone)]
+pub struct CheckpointRow {
+    /// Column label (e.g. `"Da2"`).
+    pub column: String,
+    /// `|E1| * |E2|` of the column's dataset (so a fully-checkpointed
+    /// column can be reported without regenerating the dataset).
+    pub cartesian: u64,
+    /// The recorded outcome, measurement or failure row alike.
+    pub outcome: MethodOutcome,
+}
+
+/// The completed grid points of a previous (possibly interrupted) run.
+#[derive(Debug, Clone, Default)]
+pub struct Checkpoint {
+    rows: Vec<CheckpointRow>,
+}
+
+impl Checkpoint {
+    /// Loads a checkpoint file, validating the header against the
+    /// caller's settings fingerprint. A missing file is an empty
+    /// checkpoint (nothing completed yet). A torn final line — the
+    /// signature of a mid-write kill — is ignored; a malformed line
+    /// anywhere else is an error.
+    pub fn load(path: &Path, fingerprint: &str) -> io::Result<Checkpoint> {
+        let file = match File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Checkpoint::default()),
+            Err(e) => return Err(e),
+        };
+        let mut lines = BufReader::new(file).lines();
+        let header = match lines.next() {
+            None => return Ok(Checkpoint::default()),
+            Some(line) => line?,
+        };
+        let header = Json::parse(&header)
+            .map_err(|e| bad_line(path, 1, format!("bad checkpoint header: {e}")))?;
+        if header.get("v").and_then(Json::as_f64) != Some(VERSION) {
+            return Err(bad_line(path, 1, "unsupported checkpoint version"));
+        }
+        match header.get("fingerprint").and_then(Json::as_str) {
+            Some(fp) if fp == fingerprint => {}
+            Some(fp) => {
+                return Err(bad_line(
+                    path,
+                    1,
+                    format!(
+                        "checkpoint was written with different settings \
+                         (fingerprint {fp:?}, current {fingerprint:?})"
+                    ),
+                ))
+            }
+            None => return Err(bad_line(path, 1, "checkpoint header has no fingerprint")),
+        }
+        let mut rows = Vec::new();
+        let mut pending: Option<(usize, String)> = None;
+        for (i, line) in lines.enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            // A parse failure is only tolerated on the *last* line.
+            if let Some((n, e)) = pending.take() {
+                return Err(bad_line(path, n, e));
+            }
+            match decode_row(&line) {
+                Ok(row) => rows.push(row),
+                Err(e) => pending = Some((i + 2, e)),
+            }
+        }
+        Ok(Checkpoint { rows })
+    }
+
+    /// The recorded outcome of one grid point, if present.
+    pub fn lookup(&self, column: &str, method: &str) -> Option<&CheckpointRow> {
+        self.rows
+            .iter()
+            .find(|r| r.column == column && r.outcome.method == method)
+    }
+
+    /// Number of completed grid points.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if nothing has completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+fn bad_line(path: &Path, line: usize, msg: impl std::fmt::Display) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("{}:{line}: {msg}", path.display()),
+    )
+}
+
+/// Appends completed grid points to a checkpoint file, one flushed line
+/// per point.
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    file: File,
+}
+
+impl CheckpointWriter {
+    /// Opens `path` for appending. If the file does not exist (or is
+    /// empty) the header line is written first; an existing file is
+    /// assumed to have been validated via [`Checkpoint::load`].
+    pub fn open(path: &Path, fingerprint: &str) -> io::Result<CheckpointWriter> {
+        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+        if file.metadata()?.len() == 0 {
+            let header = Json::Obj(vec![
+                ("v".to_owned(), Json::Num(VERSION)),
+                ("fingerprint".to_owned(), Json::Str(fingerprint.to_owned())),
+            ]);
+            writeln!(file, "{}", header.encode())?;
+            file.flush()?;
+        }
+        Ok(CheckpointWriter { file })
+    }
+
+    /// Records one completed grid point and flushes it to disk.
+    pub fn record(
+        &mut self,
+        column: &str,
+        cartesian: u64,
+        outcome: &MethodOutcome,
+    ) -> io::Result<()> {
+        let line = encode_row(column, cartesian, outcome).encode();
+        writeln!(self.file, "{line}")?;
+        self.file.flush()
+    }
+}
+
+fn encode_row(column: &str, cartesian: u64, o: &MethodOutcome) -> Json {
+    let phases = o
+        .breakdown
+        .phases()
+        .iter()
+        .flat_map(|(name, d)| [Json::Str(name.clone()), Json::Num(d.as_nanos() as f64)])
+        .collect();
+    let mut obj = vec![
+        ("column".to_owned(), Json::Str(column.to_owned())),
+        ("cartesian".to_owned(), Json::Num(cartesian as f64)),
+        ("method".to_owned(), Json::Str(o.method.clone())),
+        ("pc".to_owned(), Json::Num(o.pc)),
+        ("pq".to_owned(), Json::Num(o.pq)),
+        ("candidates".to_owned(), Json::Num(o.candidates)),
+        (
+            "runtime_ns".to_owned(),
+            Json::Num(o.runtime.as_nanos() as f64),
+        ),
+        ("phases".to_owned(), Json::Arr(phases)),
+        ("feasible".to_owned(), Json::Bool(o.feasible)),
+        ("config".to_owned(), Json::Str(o.config.clone())),
+        ("evaluated".to_owned(), Json::Num(o.evaluated as f64)),
+    ];
+    if let Some(err) = &o.error {
+        obj.push(("error".to_owned(), Json::Str(err.clone())));
+    }
+    Json::Obj(obj)
+}
+
+fn decode_row(line: &str) -> Result<CheckpointRow, String> {
+    let v = Json::parse(line)?;
+    let string = |key: &str| -> Result<String, String> {
+        v.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| format!("missing string field {key:?}"))
+    };
+    let num = |key: &str| -> Result<f64, String> {
+        v.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing numeric field {key:?}"))
+    };
+    let mut breakdown = er::core::timing::PhaseBreakdown::new();
+    let phases = v
+        .get("phases")
+        .and_then(Json::as_arr)
+        .ok_or("missing field \"phases\"")?;
+    for pair in phases.chunks(2) {
+        let [name, nanos] = pair else {
+            return Err("odd-length phase list".to_owned());
+        };
+        let name = name.as_str().ok_or("phase name is not a string")?;
+        let nanos = nanos.as_f64().ok_or("phase duration is not a number")? as u64;
+        breakdown.record(name, Duration::from_nanos(nanos));
+    }
+    Ok(CheckpointRow {
+        column: string("column")?,
+        cartesian: num("cartesian")? as u64,
+        outcome: MethodOutcome {
+            method: string("method")?,
+            pc: num("pc")?,
+            pq: num("pq")?,
+            candidates: num("candidates")?,
+            runtime: Duration::from_nanos(num("runtime_ns")? as u64),
+            breakdown,
+            feasible: v
+                .get("feasible")
+                .and_then(Json::as_bool)
+                .ok_or("missing bool field \"feasible\"")?,
+            config: string("config")?,
+            evaluated: num("evaluated")? as usize,
+            error: v.get("error").and_then(Json::as_str).map(str::to_owned),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er::core::guard::FailReason;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("er-checkpoint-{name}-{}", std::process::id()));
+        p
+    }
+
+    fn sample_outcome() -> MethodOutcome {
+        let mut breakdown = er::core::timing::PhaseBreakdown::new();
+        breakdown.record("index", Duration::from_micros(1500));
+        breakdown.record("query", Duration::from_micros(2500));
+        MethodOutcome {
+            method: "e-Join".to_owned(),
+            pc: 0.9375,
+            pq: 0.123_456_789,
+            candidates: 1234.0,
+            runtime: Duration::from_micros(4000),
+            breakdown,
+            feasible: true,
+            config: "CL | T1G | JS | t=0.4, \"quoted\"".to_owned(),
+            evaluated: 17,
+            error: None,
+        }
+    }
+
+    #[test]
+    fn roundtrips_measurements_and_failures() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let mut w = CheckpointWriter::open(&path, "fp1").expect("open");
+        let ok = sample_outcome();
+        let failed = MethodOutcome::failed(
+            "SBW",
+            &FailReason::TimedOut {
+                limit: Duration::from_secs(3),
+            },
+            Duration::from_millis(3001),
+        );
+        w.record("Da2", 1_000_000, &ok).expect("record");
+        w.record("Da2", 1_000_000, &failed).expect("record");
+        drop(w);
+
+        let cp = Checkpoint::load(&path, "fp1").expect("load");
+        assert_eq!(cp.len(), 2);
+        let row = cp.lookup("Da2", "e-Join").expect("present");
+        assert_eq!(row.cartesian, 1_000_000);
+        assert_eq!(row.outcome.pc, ok.pc);
+        assert_eq!(row.outcome.pq, ok.pq);
+        assert_eq!(row.outcome.runtime, ok.runtime);
+        assert_eq!(row.outcome.config, ok.config);
+        assert_eq!(row.outcome.breakdown.phases(), ok.breakdown.phases());
+        assert!(row.outcome.error.is_none());
+        let row = cp.lookup("Da2", "SBW").expect("present");
+        assert_eq!(row.outcome.error.as_deref(), failed.error.as_deref());
+        assert!(cp.lookup("Da2", "QBW").is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_empty_and_fingerprint_mismatch_errors() {
+        let path = temp_path("fingerprint");
+        let _ = std::fs::remove_file(&path);
+        assert!(Checkpoint::load(&path, "fp1")
+            .expect("missing ok")
+            .is_empty());
+        let mut w = CheckpointWriter::open(&path, "fp1").expect("open");
+        w.record("Da1", 10, &sample_outcome()).expect("record");
+        drop(w);
+        let err = Checkpoint::load(&path, "fp2").expect_err("mismatch");
+        assert!(err.to_string().contains("different settings"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_final_line_is_ignored_but_torn_middle_errors() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        let mut w = CheckpointWriter::open(&path, "fp").expect("open");
+        w.record("Da1", 10, &sample_outcome()).expect("record");
+        let mut second = sample_outcome();
+        second.method = "SBW".to_owned();
+        w.record("Da1", 10, &second).expect("record");
+        drop(w);
+        // Simulate a kill mid-write: append half a line.
+        let text = std::fs::read_to_string(&path).expect("read");
+        let torn = format!("{text}{{\"column\":\"Da1\",\"cartesian\":10,\"met");
+        std::fs::write(&path, &torn).expect("write");
+        let cp = Checkpoint::load(&path, "fp").expect("torn tail tolerated");
+        assert_eq!(cp.len(), 2);
+        // The same half-line *before* intact lines is data corruption, not
+        // a kill: refuse to silently drop completed work.
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.insert(2, "{\"column\":\"Da1\",\"cartesian\":10,\"met");
+        std::fs::write(&path, lines.join("\n")).expect("write");
+        assert!(Checkpoint::load(&path, "fp").is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn appending_resumes_an_existing_file() {
+        let path = temp_path("append");
+        let _ = std::fs::remove_file(&path);
+        let mut w = CheckpointWriter::open(&path, "fp").expect("open");
+        w.record("Da1", 10, &sample_outcome()).expect("record");
+        drop(w);
+        let mut w = CheckpointWriter::open(&path, "fp").expect("reopen");
+        let mut second = sample_outcome();
+        second.method = "kNN-Join".to_owned();
+        w.record("Da1", 10, &second).expect("record");
+        drop(w);
+        let cp = Checkpoint::load(&path, "fp").expect("load");
+        assert_eq!(cp.len(), 2);
+        assert!(cp.lookup("Da1", "kNN-Join").is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+}

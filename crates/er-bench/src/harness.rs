@@ -9,12 +9,13 @@
 
 use er::blocking::{comparison_propagation, BlockingWorkflow, ComparisonCleaning, WorkflowKind};
 use er::core::dataset::GroundTruth;
+use er::core::guard::{self, FailReason, Limits, RunOutcome};
 use er::core::metrics::{evaluate, Effectiveness};
 use er::core::optimize::{Evaluated, GridResolution, OptimizationOutcome, Optimizer};
 use er::core::parallel::{self, Threads};
 use er::core::schema::TextView;
 use er::core::timing::PhaseBreakdown;
-use er::core::Filter;
+use er::core::{faults, Filter};
 use er::dense::{
     grid as dense_grid, CrossPolytopeLsh, DeepBlocker, EmbeddingConfig, FlatKnn, HyperplaneLsh,
     MinHashLsh, PartitionedKnn,
@@ -30,7 +31,7 @@ pub struct Context<'a> {
     pub view: &'a TextView,
     /// The duplicate pairs.
     pub gt: &'a GroundTruth,
-    /// The Problem 1 optimizer (recall target + budget).
+    /// The Problem 1 optimizer (recall target + budget + guard limits).
     pub optimizer: Optimizer,
     /// Grid resolution.
     pub resolution: GridResolution,
@@ -40,6 +41,9 @@ pub struct Context<'a> {
     pub seed: u64,
     /// Stochastic-method repetitions.
     pub reps: usize,
+    /// Column label (e.g. `"Da2"`); keys fault-injection sites and
+    /// checkpoint records for this (dataset, schema-setting).
+    pub label: String,
 }
 
 impl Context<'_> {
@@ -50,8 +54,13 @@ impl Context<'_> {
         }
     }
 
+    /// The per-grid-point guard limits of the sweep.
+    pub fn limits(&self) -> Limits {
+        self.optimizer.limits
+    }
+
     fn eval(&self, filter: &dyn Filter) -> (Effectiveness, PhaseBreakdown) {
-        let out = filter.run(self.view);
+        let out = er::core::filter::run_hooked(filter, self.view);
         (evaluate(&out.candidates, self.gt), out.breakdown)
     }
 }
@@ -77,6 +86,49 @@ pub struct MethodOutcome {
     pub config: String,
     /// Number of configurations evaluated during optimization.
     pub evaluated: usize,
+    /// `Some(reason)` if this grid point failed (panic, timeout or budget)
+    /// instead of producing a measurement; the measures are then zero and
+    /// `runtime` holds the elapsed time until the failure.
+    pub error: Option<String>,
+}
+
+impl MethodOutcome {
+    /// A structured failure row: the grid point was attempted but did not
+    /// produce a measurement.
+    pub fn failed(method: &str, reason: &FailReason, elapsed: Duration) -> MethodOutcome {
+        MethodOutcome {
+            method: method.to_owned(),
+            pc: 0.0,
+            pq: 0.0,
+            candidates: 0.0,
+            runtime: elapsed,
+            breakdown: PhaseBreakdown::new(),
+            feasible: false,
+            config: "-".to_owned(),
+            evaluated: 0,
+            error: Some(reason.to_string()),
+        }
+    }
+
+    /// True if this row carries a measurement (no failure recorded).
+    pub fn is_measured(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// Folds a sweep whose configurations *all* failed under guards into one
+/// failure row carrying the first failure's reason and the total elapsed
+/// time spent attempting.
+fn all_failed<C: Clone>(method: &str, opt: &OptimizationOutcome<C>) -> MethodOutcome {
+    let elapsed = opt.failures.iter().map(|f| f.elapsed).sum();
+    match opt.failures.first() {
+        Some(f) => MethodOutcome::failed(method, &f.reason, elapsed),
+        None => MethodOutcome::failed(
+            method,
+            &FailReason::Panicked("no configuration evaluated".to_owned()),
+            elapsed,
+        ),
+    }
 }
 
 fn outcome_from<C: Clone>(
@@ -85,7 +137,9 @@ fn outcome_from<C: Clone>(
     describe: impl Fn(&C) -> String,
     rerun: impl Fn(&C) -> (Effectiveness, PhaseBreakdown),
 ) -> MethodOutcome {
-    let best = opt.best().expect("at least one configuration evaluated");
+    let Some(best) = opt.best() else {
+        return all_failed(method, opt);
+    };
     let (eff, breakdown) = rerun(&best.config);
     MethodOutcome {
         method: method.to_owned(),
@@ -97,6 +151,7 @@ fn outcome_from<C: Clone>(
         feasible: opt.is_feasible(),
         config: describe(&best.config),
         evaluated: opt.evaluated,
+        error: None,
     }
 }
 
@@ -113,6 +168,7 @@ fn fixed_outcome(ctx: &Context<'_>, method: &str, f: &dyn Filter, config: String
         feasible: eff.pc >= ctx.optimizer.target.0,
         config,
         evaluated: 1,
+        error: None,
     }
 }
 
@@ -137,9 +193,12 @@ pub fn run_blocking_family(ctx: &Context<'_>, kind: WorkflowKind) -> MethodOutco
     let mut graph_cache: Option<BlockingGraph> = None;
     let mut edges_cache: Option<(WeightingScheme, Vec<er::blocking::metablocking::Edge>)> = None;
     for wf in grid {
-        if outcome.evaluated >= ctx.optimizer.max_evaluations {
+        if outcome.attempted() >= ctx.optimizer.max_evaluations {
             break;
         }
+        // Cooperative deadline check once per configuration: an armed
+        // method-level guard can time the sweep out between grid points.
+        guard::checkpoint();
         let prefix_matches = blocks_cache.as_ref().is_some_and(|(prev, _)| {
             prev.builder == wf.builder
                 && prev.purge == wf.purge
@@ -212,6 +271,7 @@ pub fn run_epsilon(ctx: &Context<'_>) -> MethodOutcome {
     let total_dups = ctx.gt.len().max(1) as f64;
 
     for group in groups {
+        guard::checkpoint();
         let probe = group.first().expect("non-empty threshold group");
         let cleaner = if probe.cleaning {
             er::text::Cleaner::on()
@@ -312,6 +372,7 @@ pub fn run_knn(ctx: &Context<'_>) -> MethodOutcome {
     let groups = knn_grid(ctx.resolution);
     let mut outcome: OptimizationOutcome<KnnJoin> = OptimizationOutcome::default();
     for group in groups {
+        guard::checkpoint();
         let probe = group.first().expect("non-empty K group");
         let k_cap = group.last().expect("non-empty").k;
         let rankings = probe.rankings(ctx.view, (k_cap * 2).max(k_cap + 16));
@@ -353,7 +414,9 @@ fn average_stochastic<C: Clone>(
     describe: impl Fn(&C) -> String,
     with_seed: impl Fn(&C, u64) -> Box<dyn Filter>,
 ) -> MethodOutcome {
-    let best = opt.best().expect("at least one configuration evaluated");
+    let Some(best) = opt.best() else {
+        return all_failed(method, opt);
+    };
     let mut pc = 0.0;
     let mut pq = 0.0;
     let mut candidates = 0.0;
@@ -379,6 +442,7 @@ fn average_stochastic<C: Clone>(
         feasible: pc / n >= ctx.optimizer.target.0,
         config: describe(&best.config),
         evaluated: opt.evaluated,
+        error: None,
     }
 }
 
@@ -456,6 +520,7 @@ fn run_cardinality_dense<C: Clone>(
     let k_cap = max_k(ctx.resolution);
     let mut outcome: OptimizationOutcome<C> = OptimizationOutcome::default();
     for combo in combos {
+        guard::checkpoint();
         let rankings = rankings_of(&combo, k_cap);
         for &k in &ks {
             let candidates = rankings.candidates_top_k(k);
@@ -554,39 +619,161 @@ pub fn run_ddb(ctx: &Context<'_>) -> MethodOutcome {
 // The full Table VII sweep
 // ---------------------------------------------------------------------------
 
-/// Runs all 16 methods (5 + 2 blocking, 2 + 1 sparse, 5 + 1 dense) on one
-/// view, in the paper's table order. Each method's *optimization* wall time
-/// is reported through `on_done` (the per-run RT lives in the outcome).
+/// One of the 17 methods of the Table VII sweep, in table order.
+///
+/// A `(column, MethodId)` pair is the sweep's unit of fault isolation and
+/// checkpointing: each runs under its own guard, fails independently, and
+/// is recorded as one checkpoint line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodId {
+    /// Standard Blocking workflow.
+    Sbw,
+    /// Q-Grams Blocking workflow.
+    Qbw,
+    /// Extended Q-Grams Blocking workflow.
+    Eqbw,
+    /// Suffix Arrays Blocking workflow.
+    Sabw,
+    /// Extended Suffix Arrays Blocking workflow.
+    Esabw,
+    /// Parameter-free Blocking Workflow baseline.
+    Pbw,
+    /// Default Blocking Workflow baseline.
+    Dbw,
+    /// ε-Join.
+    Epsilon,
+    /// kNN-Join.
+    Knn,
+    /// Default kNN-Join baseline.
+    Dknn,
+    /// MinHash LSH.
+    MinHash,
+    /// Cross-Polytope LSH.
+    CrossPolytope,
+    /// Hyperplane LSH.
+    Hyperplane,
+    /// FAISS-equivalent flat kNN.
+    Faiss,
+    /// SCANN-equivalent partitioned kNN.
+    Scann,
+    /// DeepBlocker.
+    DeepBlocker,
+    /// Default DeepBlocker baseline.
+    Ddb,
+}
+
+impl MethodId {
+    /// All methods in the paper's table order.
+    pub const ALL: [MethodId; 17] = [
+        MethodId::Sbw,
+        MethodId::Qbw,
+        MethodId::Eqbw,
+        MethodId::Sabw,
+        MethodId::Esabw,
+        MethodId::Pbw,
+        MethodId::Dbw,
+        MethodId::Epsilon,
+        MethodId::Knn,
+        MethodId::Dknn,
+        MethodId::MinHash,
+        MethodId::CrossPolytope,
+        MethodId::Hyperplane,
+        MethodId::Faiss,
+        MethodId::Scann,
+        MethodId::DeepBlocker,
+        MethodId::Ddb,
+    ];
+
+    /// The method name as printed in Table VII (also the checkpoint key).
+    pub fn name(self) -> &'static str {
+        match self {
+            MethodId::Sbw => "SBW",
+            MethodId::Qbw => "QBW",
+            MethodId::Eqbw => "EQBW",
+            MethodId::Sabw => "SABW",
+            MethodId::Esabw => "ESABW",
+            MethodId::Pbw => "PBW",
+            MethodId::Dbw => "DBW",
+            MethodId::Epsilon => "e-Join",
+            MethodId::Knn => "kNN-Join",
+            MethodId::Dknn => "DkNN",
+            MethodId::MinHash => "MH-LSH",
+            MethodId::CrossPolytope => "CP-LSH",
+            MethodId::Hyperplane => "HP-LSH",
+            MethodId::Faiss => "FAISS",
+            MethodId::Scann => "SCANN",
+            MethodId::DeepBlocker => "DeepBlocker",
+            MethodId::Ddb => "DDB",
+        }
+    }
+
+    /// Looks a method up by its Table VII name.
+    pub fn parse(name: &str) -> Option<MethodId> {
+        MethodId::ALL.into_iter().find(|m| m.name() == name)
+    }
+
+    /// Runs this method's full fine-tuning sweep on one context,
+    /// unguarded: panics propagate. Use [`run_method`] in sweeps.
+    pub fn run(self, ctx: &Context<'_>) -> MethodOutcome {
+        match self {
+            MethodId::Sbw => run_blocking_family(ctx, WorkflowKind::Sbw),
+            MethodId::Qbw => run_blocking_family(ctx, WorkflowKind::Qbw),
+            MethodId::Eqbw => run_blocking_family(ctx, WorkflowKind::Eqbw),
+            MethodId::Sabw => run_blocking_family(ctx, WorkflowKind::Sabw),
+            MethodId::Esabw => run_blocking_family(ctx, WorkflowKind::Esabw),
+            MethodId::Pbw => run_pbw(ctx),
+            MethodId::Dbw => run_dbw(ctx),
+            MethodId::Epsilon => run_epsilon(ctx),
+            MethodId::Knn => run_knn(ctx),
+            MethodId::Dknn => run_dknn(ctx),
+            MethodId::MinHash => run_minhash(ctx),
+            MethodId::CrossPolytope => run_crosspolytope(ctx),
+            MethodId::Hyperplane => run_hyperplane(ctx),
+            MethodId::Faiss => run_faiss(ctx),
+            MethodId::Scann => run_scann(ctx),
+            MethodId::DeepBlocker => run_deepblocker(ctx),
+            MethodId::Ddb => run_ddb(ctx),
+        }
+    }
+}
+
+/// Runs one method under the context's guard limits. A panic, blown
+/// deadline or candidate budget becomes a structured failure row (see
+/// [`MethodOutcome::failed`]) instead of tearing the sweep down; the
+/// fault-injection site for this grid point is `<label>/<method>`.
+///
+/// When the limits are disabled this is exactly `id.run(ctx)` — panics
+/// propagate as before.
+pub fn run_method(ctx: &Context<'_>, id: MethodId) -> MethodOutcome {
+    let run = || {
+        if faults::enabled() {
+            faults::fire(&format!("{}/{}", ctx.label, id.name()));
+        }
+        id.run(ctx)
+    };
+    match guard::run_guarded(ctx.limits(), run) {
+        RunOutcome::Ok(outcome) => outcome,
+        RunOutcome::Failed { reason, elapsed } => {
+            MethodOutcome::failed(id.name(), &reason, elapsed)
+        }
+    }
+}
+
+/// Runs all 17 methods (5 + 2 blocking, 2 + 1 sparse, 5 + 1 dense) on one
+/// view, in the paper's table order, each under the context's guard
+/// limits. Each method's *optimization* wall time is reported through
+/// `on_done` (the per-run RT lives in the outcome).
 pub fn run_all_methods_with(
     ctx: &Context<'_>,
     mut on_done: impl FnMut(&MethodOutcome, Duration),
 ) -> Vec<MethodOutcome> {
-    let mut out: Vec<MethodOutcome> = Vec::with_capacity(17);
-    let mut push = |o: MethodOutcome, sw: er::core::Stopwatch| {
+    let mut out: Vec<MethodOutcome> = Vec::with_capacity(MethodId::ALL.len());
+    for id in MethodId::ALL {
+        let sw = er::core::Stopwatch::start();
+        let o = run_method(ctx, id);
         on_done(&o, sw.elapsed());
         out.push(o);
-    };
-    macro_rules! timed {
-        ($e:expr) => {{
-            let sw = er::core::Stopwatch::start();
-            push($e, sw);
-        }};
     }
-    for kind in WorkflowKind::ALL {
-        timed!(run_blocking_family(ctx, kind));
-    }
-    timed!(run_pbw(ctx));
-    timed!(run_dbw(ctx));
-    timed!(run_epsilon(ctx));
-    timed!(run_knn(ctx));
-    timed!(run_dknn(ctx));
-    timed!(run_minhash(ctx));
-    timed!(run_crosspolytope(ctx));
-    timed!(run_hyperplane(ctx));
-    timed!(run_faiss(ctx));
-    timed!(run_scann(ctx));
-    timed!(run_deepblocker(ctx));
-    timed!(run_ddb(ctx));
     out
 }
 
@@ -610,6 +797,7 @@ mod tests {
             dim: 48,
             seed: 11,
             reps: 1,
+            label: "test".to_owned(),
         }
     }
 

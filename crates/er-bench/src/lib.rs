@@ -3,15 +3,25 @@
 //! Every table and figure of the paper has a dedicated binary under
 //! `src/bin/`; this library holds the shared machinery:
 //!
-//! * [`settings`] — CLI flags (`--scale`, `--grid`, `--datasets`, …),
+//! * [`settings`] — CLI flags (`--scale`, `--grid`, `--datasets`, …,
+//!   plus the fault-tolerance flags `--timeout`, `--budget`,
+//!   `--checkpoint`, `--resume`, `--inject-faults`),
 //! * [`harness`] — per-method configuration optimization (Problem 1) and
-//!   the 16-method sweep behind Table VII,
+//!   the 17-method sweep behind Table VII,
+//! * [`sweep`] — the fault-isolated, checkpointed and resumable sweep
+//!   driver over all (dataset, schema-setting) columns,
+//! * [`checkpoint`] — the JSONL grid-checkpoint format,
+//! * [`jsonl`] — the dependency-free JSON encoder/parser behind it,
 //! * [`report`] — fixed-width text tables in the paper's format.
 
+pub mod checkpoint;
 pub mod harness;
+pub mod jsonl;
 pub mod report;
 pub mod settings;
+pub mod sweep;
 
-pub use harness::{run_all_methods, Context, MethodOutcome};
+pub use harness::{run_all_methods, Context, MethodId, MethodOutcome};
 pub use report::Table;
 pub use settings::Settings;
+pub use sweep::{run_sweep, Column};

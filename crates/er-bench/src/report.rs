@@ -1,5 +1,9 @@
-//! Fixed-width text tables in the style of the paper's result tables.
+//! Fixed-width text tables in the style of the paper's result tables,
+//! and the rendering of a full sweep (matrices, failure rows, CSV).
 
+use crate::harness::MethodOutcome;
+use crate::sweep::Column;
+use er::core::timing::format_runtime;
 use std::fmt::Write as _;
 
 /// A simple left-header, right-aligned-cells table builder.
@@ -94,6 +98,208 @@ pub fn fmt_measure_flagged(v: f64, feasible: bool) -> String {
     }
 }
 
+/// Cell text shown for a grid point that failed instead of measuring.
+const FAILED_CELL: &str = "fail";
+
+/// Renders one measure of one outcome, with failed grid points marked.
+fn cell(o: &MethodOutcome, measured: impl FnOnce(&MethodOutcome) -> String) -> String {
+    if o.is_measured() {
+        measured(o)
+    } else {
+        FAILED_CELL.to_owned()
+    }
+}
+
+/// What the sweep report should include beyond Tables VII(a)–(c).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReportOptions {
+    /// Include the candidate-count matrix (Table XI).
+    pub candidates: bool,
+    /// Include the best configurations (Tables VIII–X).
+    pub configs: bool,
+}
+
+/// Renders the sweep report: the PC/PQ/RT matrices of Table VII, a
+/// failure table when any grid point failed, the Section VI analysis,
+/// and the optional candidate/configuration tables.
+pub fn render_report(columns: &[Column], opts: ReportOptions) -> String {
+    let mut out = String::new();
+    let methods: Vec<String> = columns
+        .first()
+        .map(|c| c.outcomes.iter().map(|o| o.method.clone()).collect())
+        .unwrap_or_default();
+
+    let matrix = |out: &mut String, title: &str, f: &dyn Fn(&MethodOutcome) -> String| {
+        let mut header = vec!["Method".to_owned()];
+        header.extend(columns.iter().map(|c| c.label.clone()));
+        let mut t = Table::new(header);
+        for (mi, method) in methods.iter().enumerate() {
+            let mut row = vec![method.clone()];
+            for col in columns {
+                row.push(f(&col.outcomes[mi]));
+            }
+            t.row(row);
+        }
+        let _ = writeln!(out, "{title}\n{}", t.render());
+    };
+
+    matrix(
+        &mut out,
+        "Table VII(a): recall (PC) — '*' marks PC below the target",
+        &|o| cell(o, |o| fmt_measure_flagged(o.pc, o.feasible)),
+    );
+    matrix(&mut out, "Table VII(b): precision (PQ)", &|o| {
+        cell(o, |o| fmt_measure_flagged(o.pq, o.feasible))
+    });
+    matrix(&mut out, "Table VII(c): run-time (RT)", &|o| {
+        cell(o, |o| format_runtime(o.runtime))
+    });
+
+    // Failure rows: every grid point that was attempted but produced no
+    // measurement, with the structured reason and the elapsed time.
+    let failures: Vec<(&str, &MethodOutcome)> = columns
+        .iter()
+        .flat_map(|c| {
+            c.outcomes
+                .iter()
+                .filter(|o| !o.is_measured())
+                .map(move |o| (c.label.as_str(), o))
+        })
+        .collect();
+    if !failures.is_empty() {
+        let mut t = Table::new(["Setting", "Method", "Elapsed", "Reason"]);
+        for (label, o) in &failures {
+            t.row([
+                (*label).to_owned(),
+                o.method.clone(),
+                format_runtime(o.runtime),
+                o.error.clone().unwrap_or_default(),
+            ]);
+        }
+        let _ = writeln!(
+            out,
+            "Failed grid points ({} of {}):\n{}",
+            failures.len(),
+            columns.len() * methods.len(),
+            t.render()
+        );
+    }
+
+    // The paper's Section VI analysis: per-method mean deviation from the
+    // per-setting maximum PQ, and how often each method achieves it.
+    {
+        let mut table = Table::new([
+            "Method",
+            "PQ wins",
+            "Mean deviation from best PQ",
+            "Mean |C| reduction vs brute force",
+        ]);
+        for (mi, method) in methods.iter().enumerate() {
+            let mut wins = 0usize;
+            let mut deviation = 0.0f64;
+            let mut counted = 0usize;
+            let mut reduction = 0.0f64;
+            let mut reductions = 0usize;
+            for col in columns {
+                let o = &col.outcomes[mi];
+                if o.candidates > 0.0 && o.is_measured() {
+                    reduction += 1.0 - o.candidates / col.cartesian as f64;
+                    reductions += 1;
+                }
+                if !o.feasible {
+                    continue;
+                }
+                let best_pq = col
+                    .outcomes
+                    .iter()
+                    .filter(|x| x.feasible)
+                    .map(|x| x.pq)
+                    .fold(0.0, f64::max);
+                if best_pq <= 0.0 {
+                    continue;
+                }
+                counted += 1;
+                if (o.pq - best_pq).abs() < 1e-12 {
+                    wins += 1;
+                }
+                deviation += (best_pq - o.pq) / best_pq;
+            }
+            table.row([
+                method.clone(),
+                wins.to_string(),
+                if counted == 0 {
+                    "-".to_owned()
+                } else {
+                    format!("{:.1}%", 100.0 * deviation / counted as f64)
+                },
+                if reductions == 0 {
+                    "-".to_owned()
+                } else {
+                    format!("{:.1}%", 100.0 * reduction / reductions as f64)
+                },
+            ]);
+        }
+        let _ = writeln!(
+            out,
+            "Section VI analysis: PQ winners and mean deviation from the best\n\
+             feasible PQ (counting only settings where the method met the target)\n{}",
+            table.render()
+        );
+    }
+
+    if opts.candidates {
+        matrix(&mut out, "Table XI: candidate pairs |C|", &|o| {
+            cell(o, |o| format!("{:.0}", o.candidates))
+        });
+    }
+    if opts.configs {
+        let _ = writeln!(
+            out,
+            "Tables VIII-X: best configuration per method and setting\n"
+        );
+        for col in columns {
+            let _ = writeln!(out, "-- {}", col.label);
+            for o in &col.outcomes {
+                let _ = writeln!(out, "   {:<12} {}", o.method, o.config);
+            }
+            let _ = writeln!(out);
+        }
+    }
+    out
+}
+
+/// CSV export of a sweep: one row per (setting, method), failures
+/// included with an `error` column. With `include_rt` false the
+/// wall-clock columns are dropped — that variant is deterministic, and is
+/// what the resume tests compare byte-for-byte.
+pub fn sweep_csv(columns: &[Column], include_rt: bool) -> String {
+    let mut csv = String::from("setting,method,pc,pq,candidates");
+    if include_rt {
+        csv.push_str(",runtime_ms");
+    }
+    csv.push_str(",feasible,config,error\n");
+    for col in columns {
+        for o in &col.outcomes {
+            let _ = write!(
+                csv,
+                "{},{},{:.6},{:.6},{:.0}",
+                col.label, o.method, o.pc, o.pq, o.candidates
+            );
+            if include_rt {
+                let _ = write!(csv, ",{:.3}", o.runtime.as_secs_f64() * 1e3);
+            }
+            let _ = writeln!(
+                csv,
+                ",{},\"{}\",\"{}\"",
+                o.feasible,
+                o.config.replace('"', "'"),
+                o.error.as_deref().unwrap_or("").replace('"', "'"),
+            );
+        }
+    }
+    csv
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +323,56 @@ mod tests {
         t.row(["only"]);
         assert_eq!(t.len(), 1);
         assert!(t.render().contains("| only |"));
+    }
+
+    fn sample_columns() -> Vec<Column> {
+        use er::core::guard::FailReason;
+        use std::time::Duration;
+        let measured = MethodOutcome {
+            method: "SBW".to_owned(),
+            pc: 0.95,
+            pq: 0.5,
+            candidates: 100.0,
+            runtime: Duration::from_millis(12),
+            breakdown: er::core::timing::PhaseBreakdown::new(),
+            feasible: true,
+            config: "ST | BP".to_owned(),
+            evaluated: 3,
+            error: None,
+        };
+        let failed = MethodOutcome::failed(
+            "QBW",
+            &FailReason::Panicked("injected fault: panic at Da1/QBW".to_owned()),
+            Duration::from_millis(5),
+        );
+        vec![Column {
+            label: "Da1".to_owned(),
+            cartesian: 10_000,
+            outcomes: vec![measured, failed],
+        }]
+    }
+
+    #[test]
+    fn report_marks_failed_grid_points() {
+        let report = render_report(&sample_columns(), ReportOptions::default());
+        assert!(report.contains(" fail |"), "{report}");
+        assert!(report.contains("Failed grid points (1 of 2):"), "{report}");
+        assert!(
+            report.contains("injected fault: panic at Da1/QBW"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn csv_is_deterministic_without_rt() {
+        let columns = sample_columns();
+        let with_rt = sweep_csv(&columns, true);
+        let without = sweep_csv(&columns, false);
+        assert!(with_rt
+            .starts_with("setting,method,pc,pq,candidates,runtime_ms,feasible,config,error\n"));
+        assert!(without.starts_with("setting,method,pc,pq,candidates,feasible,config,error\n"));
+        assert!(!without.contains("12.000"), "rt column dropped: {without}");
+        assert!(without.contains("\"panicked: injected fault"), "{without}");
     }
 
     #[test]

@@ -3,22 +3,32 @@
 //! A tiny hand-rolled parser (no CLI dependency): every binary accepts
 //!
 //! ```text
-//! --scale 0.1        entity-count scale of the synthetic datasets
-//! --seed 42          base RNG seed
-//! --grid pruned      grid resolution: full | pruned | quick
-//! --target 0.9       recall target τ of Problem 1
-//! --reps 3           repetitions for stochastic methods
-//! --dim 128          embedding dimensionality of the dense methods
-//! --datasets D1,D4   subset of datasets (default: all ten)
-//! --threads 8        worker threads (0 or `auto` = hardware parallelism)
+//! --scale 0.1          entity-count scale of the synthetic datasets
+//! --seed 42            base RNG seed
+//! --grid pruned        grid resolution: full | pruned | quick
+//! --target 0.9         recall target τ of Problem 1
+//! --reps 3             repetitions for stochastic methods
+//! --dim 128            embedding dimensionality of the dense methods
+//! --datasets D1,D4     subset of datasets (default: all ten)
+//! --threads 8          worker threads (0 or `auto` = hardware parallelism)
+//! --timeout 30         per-grid-point wall-clock deadline, seconds
+//! --budget 5000000     per-grid-point candidate-pair budget
+//! --checkpoint p.jsonl append each completed grid point to a checkpoint
+//! --resume p.jsonl     skip grid points recorded in the checkpoint
+//! --inject-faults SPEC deterministic fault injection, e.g.
+//!                      `panic@Da1/SBW;stall@*:p=0.1,ms=50` (see
+//!                      `er::core::faults::FaultPlan`)
 //! ```
 //!
 //! plus free-standing flags the individual binaries interpret (e.g.
-//! `--configs`).
+//! `--configs`). Bad input is a single-line error: [`Settings::try_parse`]
+//! returns it, [`Settings::from_args`] prints it and exits non-zero.
 
+use er::core::guard::Limits;
 use er::core::optimize::GridResolution;
-use er::core::Threads;
+use er::core::{FaultPlan, Threads};
 use er::datagen::profiles::{profile, DatasetProfile, PROFILES};
+use std::time::Duration;
 
 /// Parsed harness settings.
 #[derive(Debug, Clone)]
@@ -39,6 +49,16 @@ pub struct Settings {
     pub datasets: Vec<&'static DatasetProfile>,
     /// Worker threads (`0` = resolve from `ER_THREADS` / hardware).
     pub threads: usize,
+    /// Per-grid-point wall-clock deadline.
+    pub timeout: Option<Duration>,
+    /// Per-grid-point candidate-pair budget.
+    pub max_candidates: Option<usize>,
+    /// Checkpoint file to append completed grid points to.
+    pub checkpoint: Option<String>,
+    /// Checkpoint file to resume from (implies checkpointing to it).
+    pub resume: Option<String>,
+    /// Parsed `--inject-faults` plan (installed by the sweep binaries).
+    pub faults: Option<FaultPlan>,
     /// Remaining free-standing flags.
     pub flags: Vec<String>,
 }
@@ -54,66 +74,151 @@ impl Default for Settings {
             dim: 128,
             datasets: PROFILES.iter().collect(),
             threads: 0,
+            timeout: None,
+            max_candidates: None,
+            checkpoint: None,
+            resume: None,
+            faults: None,
             flags: Vec::new(),
         }
     }
 }
 
 impl Settings {
-    /// Parses `std::env::args` (panicking with a usage hint on bad input)
-    /// and applies the thread-count setting process-wide.
+    /// Parses `std::env::args`, printing a single-line error and exiting
+    /// non-zero on bad input, and applies the thread-count setting
+    /// process-wide.
     pub fn from_args() -> Self {
-        let s = Self::parse(std::env::args().skip(1));
-        Threads::set(s.threads);
-        s
+        match Self::try_parse(std::env::args().skip(1)) {
+            Ok(s) => {
+                Threads::set(s.threads);
+                s
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
     }
 
     /// Parses an explicit argument list.
-    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+    pub fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
         let mut s = Settings::default();
         let mut it = args.into_iter();
-        let value = |flag: &str, it: &mut dyn Iterator<Item = String>| -> String {
-            it.next()
-                .unwrap_or_else(|| panic!("{flag} requires a value"))
+        let mut value = |flag: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{flag} requires a value"))
         };
-        while let Some(arg) = it.next() {
+        fn parsed<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
+            v.parse()
+                .map_err(|_| format!("{flag}: invalid value {v:?}"))
+        }
+        // The closure borrows `it`; take each next flag through it too.
+        while let Ok(arg) = value("") {
             match arg.as_str() {
-                "--scale" => s.scale = value("--scale", &mut it).parse().expect("scale"),
-                "--seed" => s.seed = value("--seed", &mut it).parse().expect("seed"),
-                "--target" => s.target_pc = value("--target", &mut it).parse().expect("target"),
-                "--reps" => s.reps = value("--reps", &mut it).parse().expect("reps"),
-                "--dim" => s.dim = value("--dim", &mut it).parse().expect("dim"),
+                "--scale" => s.scale = parsed("--scale", &value("--scale")?)?,
+                "--seed" => s.seed = parsed("--seed", &value("--seed")?)?,
+                "--target" => s.target_pc = parsed("--target", &value("--target")?)?,
+                "--reps" => s.reps = parsed("--reps", &value("--reps")?)?,
+                "--dim" => s.dim = parsed("--dim", &value("--dim")?)?,
                 "--grid" => {
-                    s.resolution = match value("--grid", &mut it).as_str() {
+                    s.resolution = match value("--grid")?.as_str() {
                         "full" => GridResolution::Full,
                         "pruned" => GridResolution::Pruned,
                         "quick" => GridResolution::Quick,
-                        other => panic!("unknown grid resolution {other:?}"),
+                        other => return Err(format!("unknown grid resolution {other:?}")),
                     }
                 }
                 "--threads" => {
-                    s.threads = Threads::parse_arg(&value("--threads", &mut it))
-                        .unwrap_or_else(|e| panic!("--threads: {e}"));
+                    s.threads = Threads::parse_arg(&value("--threads")?)
+                        .map_err(|e| format!("--threads: {e}"))?;
                 }
                 "--datasets" => {
-                    s.datasets = value("--datasets", &mut it)
+                    s.datasets = value("--datasets")?
                         .split(',')
                         .map(|id| {
-                            profile(id.trim()).unwrap_or_else(|| panic!("unknown dataset {id:?}"))
+                            profile(id.trim()).ok_or_else(|| format!("unknown dataset {id:?}"))
                         })
-                        .collect();
+                        .collect::<Result<_, _>>()?;
                 }
-                other => s.flags.push(other.to_owned()),
+                "--timeout" => {
+                    let secs: f64 = parsed("--timeout", &value("--timeout")?)?;
+                    if !(secs > 0.0 && secs.is_finite()) {
+                        return Err("--timeout must be a positive number of seconds".to_owned());
+                    }
+                    s.timeout = Some(Duration::from_secs_f64(secs));
+                }
+                "--budget" => {
+                    let n: usize = parsed("--budget", &value("--budget")?)?;
+                    if n == 0 {
+                        return Err("--budget must be at least 1 candidate pair".to_owned());
+                    }
+                    s.max_candidates = Some(n);
+                }
+                "--checkpoint" => s.checkpoint = Some(value("--checkpoint")?),
+                "--resume" => s.resume = Some(value("--resume")?),
+                "--inject-faults" => {
+                    let spec = value("--inject-faults")?;
+                    s.faults =
+                        Some(FaultPlan::parse(&spec).map_err(|e| format!("--inject-faults: {e}"))?);
+                }
+                _ => s.flags.push(arg),
             }
         }
-        assert!(s.scale > 0.0 && s.scale <= 1.0, "--scale must be in (0, 1]");
-        assert!(s.reps >= 1, "--reps must be at least 1");
-        s
+        if !(s.scale > 0.0 && s.scale <= 1.0) {
+            return Err("--scale must be in (0, 1]".to_owned());
+        }
+        if s.reps < 1 {
+            return Err("--reps must be at least 1".to_owned());
+        }
+        Ok(s)
+    }
+
+    /// Panicking variant of [`Settings::try_parse`], for tests and
+    /// callers that prefer unwinding.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        Self::try_parse(args).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// True if a free-standing flag was passed.
     pub fn has_flag(&self, flag: &str) -> bool {
         self.flags.iter().any(|f| f == flag)
+    }
+
+    /// Per-grid-point guard limits: an armed deadline/budget from the
+    /// flags, with panic capture whenever any fault-isolation feature
+    /// (timeout, budget, fault injection) is requested. All-`None`
+    /// settings yield disabled limits — sweeps behave exactly as without
+    /// the guard layer.
+    pub fn limits(&self) -> Limits {
+        let mut limits = Limits::none();
+        limits.timeout = self.timeout;
+        limits.max_candidates = self.max_candidates;
+        limits.catch_panics =
+            self.timeout.is_some() || self.max_candidates.is_some() || self.faults.is_some();
+        limits
+    }
+
+    /// The checkpoint path in effect (`--resume` implies appending new
+    /// grid points to the same file).
+    pub fn checkpoint_path(&self) -> Option<&str> {
+        self.resume.as_deref().or(self.checkpoint.as_deref())
+    }
+
+    /// A stable fingerprint of every setting that determines sweep
+    /// *results* (not execution strategy: thread counts, guard limits and
+    /// checkpoint paths are excluded — a resumed run may change them).
+    pub fn fingerprint(&self) -> String {
+        let datasets: Vec<&str> = self.datasets.iter().map(|d| d.id).collect();
+        format!(
+            "scale={};seed={};grid={:?};target={};reps={};dim={};datasets={}",
+            self.scale,
+            self.seed,
+            self.resolution,
+            self.target_pc,
+            self.reps,
+            self.dim,
+            datasets.join(",")
+        )
     }
 }
 
@@ -121,16 +226,18 @@ impl Settings {
 mod tests {
     use super::*;
 
-    fn parse(args: &[&str]) -> Settings {
-        Settings::parse(args.iter().map(|s| s.to_string()))
+    fn parse(args: &[&str]) -> Result<Settings, String> {
+        Settings::try_parse(args.iter().map(|s| s.to_string()))
     }
 
     #[test]
     fn defaults_cover_all_datasets() {
-        let s = parse(&[]);
+        let s = parse(&[]).expect("defaults");
         assert_eq!(s.datasets.len(), 10);
         assert_eq!(s.scale, 0.1);
         assert_eq!(s.resolution, GridResolution::Pruned);
+        assert!(!s.limits().enabled());
+        assert!(s.checkpoint_path().is_none());
     }
 
     #[test]
@@ -152,8 +259,17 @@ mod tests {
             "D1,D4",
             "--threads",
             "4",
+            "--timeout",
+            "2.5",
+            "--budget",
+            "1000000",
+            "--checkpoint",
+            "ck.jsonl",
+            "--inject-faults",
+            "panic@Da1/SBW",
             "--configs",
-        ]);
+        ])
+        .expect("parse");
         assert_eq!(s.scale, 0.25);
         assert_eq!(s.seed, 7);
         assert_eq!(s.resolution, GridResolution::Quick);
@@ -165,30 +281,51 @@ mod tests {
             vec!["D1", "D4"]
         );
         assert_eq!(s.threads, 4);
+        assert_eq!(s.timeout, Some(Duration::from_millis(2500)));
+        assert_eq!(s.max_candidates, Some(1_000_000));
+        assert_eq!(s.checkpoint_path(), Some("ck.jsonl"));
+        assert!(s.faults.is_some());
         assert!(s.has_flag("--configs"));
         assert!(!s.has_flag("--other"));
+        let limits = s.limits();
+        assert!(limits.enabled() && limits.catch_panics);
     }
 
     #[test]
     fn threads_accepts_auto() {
-        assert_eq!(parse(&["--threads", "auto"]).threads, 0);
+        assert_eq!(parse(&["--threads", "auto"]).expect("auto").threads, 0);
     }
 
     #[test]
-    #[should_panic(expected = "--threads")]
-    fn rejects_bad_thread_count() {
-        let _ = parse(&["--threads", "many"]);
+    fn bad_input_yields_single_line_errors() {
+        for (args, needle) in [
+            (&["--threads", "many"][..], "--threads"),
+            (&["--datasets", "D99"][..], "unknown dataset"),
+            (&["--scale", "1.5"][..], "--scale"),
+            (&["--scale", "zero"][..], "--scale"),
+            (&["--timeout", "-1"][..], "--timeout"),
+            (&["--budget", "0"][..], "--budget"),
+            (&["--inject-faults", "??"][..], "--inject-faults"),
+            (&["--seed"][..], "requires a value"),
+        ] {
+            let err = parse(args).expect_err(needle);
+            assert!(err.contains(needle), "{args:?}: {err}");
+            assert!(!err.contains('\n'), "single line: {err:?}");
+        }
     }
 
     #[test]
-    #[should_panic(expected = "unknown dataset")]
-    fn rejects_unknown_dataset() {
-        let _ = parse(&["--datasets", "D99"]);
+    fn resume_implies_checkpointing_to_the_same_file() {
+        let s = parse(&["--resume", "sweep.jsonl"]).expect("resume");
+        assert_eq!(s.checkpoint_path(), Some("sweep.jsonl"));
     }
 
     #[test]
-    #[should_panic(expected = "scale")]
-    fn rejects_bad_scale() {
-        let _ = parse(&["--scale", "1.5"]);
+    fn fingerprint_ignores_execution_strategy() {
+        let a = parse(&[]).expect("a");
+        let b = parse(&["--threads", "8", "--timeout", "5", "--resume", "x.jsonl"]).expect("b");
+        let c = parse(&["--seed", "43"]).expect("c");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
     }
 }

@@ -1,7 +1,7 @@
-//! The `generate`, `filter` and `evaluate` subcommands.
+//! The `generate`, `filter`, `evaluate` and `sweep` subcommands.
 
 use er::core::dataset::GroundTruth;
-use er::core::io::{read_entities, read_pairs, write_entities, write_pairs};
+use er::core::io::{read_entities_with, read_pairs_with, write_entities, write_pairs};
 use er::core::schema::TextView;
 use er::core::Threads;
 use er::prelude::*;
@@ -78,9 +78,29 @@ fn open_out(path: &Path) -> Result<BufWriter<File>, String> {
         .map_err(|e| format!("cannot create {}: {e}", path.display()))
 }
 
-fn load_entities(path: &str) -> Result<Vec<er::core::Entity>, String> {
+/// Warns about rows a lenient read skipped.
+fn warn_skipped(path: &str, stats: er::core::io::LoadStats) {
+    if stats.skipped > 0 {
+        eprintln!(
+            "warning: {path}: skipped {} malformed row(s), kept {}",
+            stats.skipped, stats.rows
+        );
+    }
+}
+
+fn load_entities(path: &str, lenient: bool) -> Result<Vec<er::core::Entity>, String> {
     let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    read_entities(file).map_err(|e| format!("{path}: {e}"))
+    let (entities, stats) =
+        read_entities_with(file, lenient).map_err(|e| format!("{path}: {e}"))?;
+    warn_skipped(path, stats);
+    Ok(entities)
+}
+
+fn load_pairs(path: &str, lenient: bool) -> Result<Vec<er::core::Pair>, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let (pairs, stats) = read_pairs_with(file, lenient).map_err(|e| format!("{path}: {e}"))?;
+    warn_skipped(path, stats);
+    Ok(pairs)
 }
 
 /// `er generate`: write a synthetic dataset as `<id>_e1/e2/gt.csv`.
@@ -204,10 +224,11 @@ fn view_of(e1: &[er::core::Entity], e2: &[er::core::Entity], flags: &Flags) -> T
 
 /// `er filter`: run one method over two CSV collections.
 pub fn filter(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args, &["clean", "reversed"])?;
+    let flags = Flags::parse(args, &["clean", "reversed", "lenient"])?;
     apply_threads(&flags)?;
-    let e1 = load_entities(flags.require("e1")?)?;
-    let e2 = load_entities(flags.require("e2")?)?;
+    let lenient = flags.has("lenient");
+    let e1 = load_entities(flags.require("e1")?, lenient)?;
+    let e2 = load_entities(flags.require("e2")?, lenient)?;
     let view = view_of(&e1, &e2, &flags);
 
     let filter: Box<dyn Filter> = if flags.get("method") == Some("dknn") {
@@ -235,26 +256,20 @@ pub fn filter(args: &[String]) -> Result<(), String> {
 
 /// `er evaluate`: score a pair file against a ground-truth file.
 pub fn evaluate(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args, &[])?;
+    let flags = Flags::parse(args, &["lenient"])?;
+    let lenient = flags.has("lenient");
     let pairs_path = flags.require("pairs")?;
     let gt_path = flags.require("gt")?;
-    let candidates: CandidateSet =
-        read_pairs(File::open(pairs_path).map_err(|e| format!("cannot open {pairs_path}: {e}"))?)
-            .map_err(|e| format!("{pairs_path}: {e}"))?
-            .into_iter()
-            .collect();
-    let gt = GroundTruth::from_pairs(
-        read_pairs(File::open(gt_path).map_err(|e| format!("cannot open {gt_path}: {e}"))?)
-            .map_err(|e| format!("{gt_path}: {e}"))?,
-    );
+    let candidates: CandidateSet = load_pairs(pairs_path, lenient)?.into_iter().collect();
+    let gt = GroundTruth::from_pairs(load_pairs(gt_path, lenient)?);
     let eff = er::core::evaluate(&candidates, &gt);
     println!(
         "PC (recall)    = {:.4}\nPQ (precision) = {:.4}\n|C|            = {}\n|D(C)|         = {}",
         eff.pc, eff.pq, eff.candidates, eff.duplicates_found
     );
     if let (Some(e1), Some(e2)) = (flags.get("e1"), flags.get("e2")) {
-        let n1 = load_entities(e1)?.len() as f64;
-        let n2 = load_entities(e2)?.len() as f64;
+        let n1 = load_entities(e1, lenient)?.len() as f64;
+        let n2 = load_entities(e2, lenient)?.len() as f64;
         println!(
             "reduction      = {:.4}% of |E1 x E2|",
             100.0 * (1.0 - eff.candidates as f64 / (n1 * n2).max(1.0))
@@ -262,6 +277,44 @@ pub fn evaluate(args: &[String]) -> Result<(), String> {
     }
     let mut stdout = std::io::stdout();
     stdout.flush().map_err(|e| e.to_string())
+}
+
+/// `er sweep`: the full fault-isolated Table VII benchmark sweep, with
+/// per-grid-point guards (`--timeout`, `--budget`), grid checkpointing
+/// (`--checkpoint`), resume (`--resume`) and deterministic fault
+/// injection (`--inject-faults`). Shares its flag grammar with the
+/// benchmark binaries via [`er_bench::Settings`].
+pub fn sweep(args: &[String]) -> Result<(), String> {
+    let settings = er_bench::Settings::try_parse(args.iter().cloned())?;
+    // Settings collects unrecognized flags; only the report flags are
+    // valid here — anything else is a typo the user should hear about.
+    let mut csv: Option<String> = None;
+    let mut opts = er_bench::report::ReportOptions::default();
+    let mut it = settings.flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--csv" => csv = Some(it.next().cloned().ok_or("--csv requires an output path")?),
+            "--candidates" => opts.candidates = true,
+            "--configs" => opts.configs = true,
+            other => return Err(format!("unknown sweep flag {other:?}")),
+        }
+    }
+    Threads::set(settings.threads);
+    if let Some(plan) = settings.faults.clone() {
+        er::core::faults::configure(Some(plan));
+    }
+    // Columns stay serial unless a thread count was requested explicitly;
+    // the parallel layer inside each method still uses the global count.
+    let column_workers = settings.threads.max(1);
+    let columns =
+        er_bench::run_sweep(&settings, column_workers, true).map_err(|e| e.to_string())?;
+    print!("{}", er_bench::report::render_report(&columns, opts));
+    if let Some(path) = csv {
+        std::fs::write(&path, er_bench::report::sweep_csv(&columns, true))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -346,6 +399,34 @@ mod tests {
         ]))
         .expect("evaluate");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lenient_flag_recovers_malformed_csv() {
+        let dir = std::env::temp_dir().join(format!("er-cli-lenient-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("broken.csv");
+        std::fs::write(&path, "a,b\n1,2\nrow,with,too,many\n3,4\n").expect("write");
+        let p = path.to_str().expect("utf8");
+        // Strict: a single-line error naming the bad line.
+        let err = load_entities(p, false).expect_err("strict rejects");
+        assert!(err.contains("line 3"), "{err}");
+        assert!(!err.contains('\n'), "single-line: {err:?}");
+        // Lenient: the two good rows survive.
+        let entities = load_entities(p, true).expect("lenient");
+        assert_eq!(entities.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_rejects_unknown_flags_with_one_line() {
+        let err = sweep(&s(&["--bogus"])).expect_err("unknown flag");
+        assert!(err.contains("--bogus"), "{err}");
+        assert!(!err.contains('\n'), "single-line: {err:?}");
+        let err = sweep(&s(&["--timeout", "never"])).expect_err("bad timeout");
+        assert!(err.contains("--timeout"), "{err}");
+        let err = sweep(&s(&["--inject-faults", "explode@"])).expect_err("bad spec");
+        assert!(err.contains("--inject-faults"), "{err}");
     }
 
     #[test]

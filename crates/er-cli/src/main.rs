@@ -9,7 +9,9 @@
 //! `generate` writes a synthetic benchmark dataset as three CSV files;
 //! `filter` runs one filtering method over two CSV entity collections and
 //! writes the candidate pairs; `evaluate` scores a pair file against a
-//! ground-truth file (PC, PQ, reduction ratio).
+//! ground-truth file (PC, PQ, reduction ratio); `sweep` runs the full
+//! fault-isolated Table VII benchmark with optional per-grid-point
+//! guards, checkpointing and resume.
 
 mod commands;
 
@@ -22,6 +24,20 @@ USAGE:
     er generate --profile <D1..D10> [--scale F] [--seed N] --out-dir <dir>
     er filter   --e1 <csv> --e2 <csv> --method <name> [options] --out <csv>
     er evaluate --pairs <csv> --gt <csv> [--e1 <csv> --e2 <csv>]
+    er sweep    [--datasets D1,D4] [--scale F] [--grid quick] [--timeout S]
+                [--budget N] [--checkpoint f.jsonl] [--resume f.jsonl]
+                [--inject-faults SPEC] [--csv out.csv] [--candidates] [--configs]
+
+SWEEP FAULT TOLERANCE:
+    --timeout S           per-grid-point wall-clock deadline (seconds);
+                          blown deadlines become failure rows, the sweep continues
+    --budget N            per-grid-point candidate-pair budget
+    --checkpoint f.jsonl  append each completed grid point to a checkpoint
+    --resume f.jsonl      skip grid points already recorded (and keep appending);
+                          the resumed report is byte-identical to an unbroken run
+    --inject-faults SPEC  deterministic fault injection for testing, e.g.
+                          'panic@Da1/SBW;stall@eval/*:p=0.1,ms=50'
+                          (also via the ER_FAULTS environment variable)
 
 FILTER METHODS (with their options):
     pbw                   Standard Blocking + Block Purging + Comparison Propagation
@@ -35,6 +51,7 @@ FILTER METHODS (with their options):
 
 COMMON FILTER OPTIONS:
     --schema <attr>       schema-based setting on one attribute (default: agnostic)
+    --lenient             skip (and count) malformed CSV rows instead of erroring
     --threads <N|auto>    worker threads for the parallel hot paths
                           (default: ER_THREADS env var, else all cores;
                           results are identical for every thread count)
@@ -43,11 +60,16 @@ Run a subcommand with wrong flags to see its specific error.
 ";
 
 fn main() -> ExitCode {
+    if let Err(e) = er::core::faults::configure_from_env() {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("generate") => commands::generate(&args[1..]),
         Some("filter") => commands::filter(&args[1..]),
         Some("evaluate") => commands::evaluate(&args[1..]),
+        Some("sweep") => commands::sweep(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;

@@ -40,6 +40,27 @@ pub trait Filter {
     fn run(&self, view: &TextView) -> FilterOutput;
 }
 
+/// Runs a filter with the fault-tolerance hooks of [`crate::guard`] and
+/// [`crate::faults`] wired in: a cooperative deadline check before the
+/// run, fault injection keyed on `eval/<name>` (panic/stall/kill before
+/// the run, candidate corruption after), and candidate-budget accounting
+/// on the produced set. With no guard armed and no fault plan installed
+/// this is a plain `filter.run(view)` plus two relaxed atomic loads.
+pub fn run_hooked(filter: &dyn Filter, view: &TextView) -> FilterOutput {
+    crate::guard::checkpoint();
+    let mut out;
+    if crate::faults::enabled() {
+        let site = format!("eval/{}", filter.name());
+        crate::faults::fire(&site);
+        out = filter.run(view);
+        crate::faults::corrupt_pairs(&site, &mut out.candidates);
+    } else {
+        out = filter.run(view);
+    }
+    crate::guard::note_candidates(out.candidates.len());
+    out
+}
+
 impl<T: Filter + ?Sized> Filter for Box<T> {
     fn name(&self) -> String {
         (**self).name()
@@ -73,6 +94,35 @@ mod tests {
             });
             out
         }
+    }
+
+    #[test]
+    fn run_hooked_applies_budget_and_corruption() {
+        use crate::faults::{self, FaultPlan};
+        use crate::guard::{self, FailReason, Limits, RunOutcome};
+        let view = TextView {
+            e1: vec!["a".into(), "b".into()],
+            e2: vec!["a".into(), "b".into()],
+        };
+        // Plain call when nothing is armed.
+        assert_eq!(run_hooked(&Diagonal, &view).candidates.len(), 2);
+        // A candidate budget below the output size trips the guard.
+        let out = guard::run_guarded(Limits::catching().with_candidate_budget(1), || {
+            run_hooked(&Diagonal, &view)
+        });
+        match out {
+            RunOutcome::Failed {
+                reason: FailReason::BudgetExceeded { candidates: 2, .. },
+                ..
+            } => {}
+            other => panic!("expected budget failure, got {other:?}"),
+        }
+        // A corrupt fault at this filter's site replaces the pairs.
+        let plan = FaultPlan::parse("corrupt@eval/diagonal:p=1").expect("plan");
+        faults::with_plan(plan, || {
+            let out = run_hooked(&Diagonal, &view);
+            assert_eq!(out.candidates.len(), 8, "junk pairs substituted");
+        });
     }
 
     #[test]

@@ -1,0 +1,495 @@
+//! Fault isolation for configuration sweeps.
+//!
+//! A Problem 1 sweep evaluates hundreds of configurations per method per
+//! dataset; one panicking or runaway grid point must not abort the whole
+//! run and discard every completed measurement. This module runs a unit of
+//! work (one configuration, or one whole method) inside
+//! [`std::panic::catch_unwind`] with an optional wall-clock deadline and a
+//! candidate-count budget (the memory proxy of the filtering workload),
+//! returning a structured [`RunOutcome`] instead of crashing the process.
+//!
+//! Deadlines and budgets are **cooperative**: guarded code calls
+//! [`checkpoint`] at filter boundaries (and [`note_candidates`] once a
+//! candidate set exists), which aborts the current guard frame by
+//! unwinding with a private sentinel payload. The guard downcasts that
+//! payload back into a [`FailReason`], so a tripped budget is reported as
+//! `BudgetExceeded`, not as a panic. Guard frames nest (a method-level
+//! panic net around per-configuration deadline guards); an abort always
+//! unwinds to the frame that owns the violated limit.
+//!
+//! Guard state is thread-local. The parallel sweeps in
+//! [`crate::optimize`] install the per-configuration guard inside the
+//! worker closure, so every evaluation is guarded on the thread that runs
+//! it regardless of the thread count.
+//!
+//! When no limit is armed ([`Limits::enabled`] is false) `run_guarded`
+//! degenerates to a plain call: no `catch_unwind`, no thread-local
+//! traffic, byte-identical behavior to the unguarded code.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+use std::time::{Duration, Instant};
+
+/// Limits enforced on one guarded unit of work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Limits {
+    /// Cooperative wall-clock deadline, checked at [`checkpoint`] calls.
+    pub timeout: Option<Duration>,
+    /// Candidate-count budget (the memory proxy), checked by
+    /// [`note_candidates`].
+    pub max_candidates: Option<usize>,
+    /// Catch panics even when no timeout/budget is set.
+    pub catch_panics: bool,
+}
+
+impl Limits {
+    /// No limits: `run_guarded` is a plain call.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Panic isolation only.
+    pub fn catching() -> Self {
+        Self {
+            catch_panics: true,
+            ..Self::default()
+        }
+    }
+
+    /// Adds a wall-clock deadline (implies panic catching).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self.catch_panics = true;
+        self
+    }
+
+    /// Adds a candidate-count budget (implies panic catching).
+    pub fn with_candidate_budget(mut self, max: usize) -> Self {
+        self.max_candidates = Some(max);
+        self.catch_panics = true;
+        self
+    }
+
+    /// True if any protection is armed.
+    pub fn enabled(&self) -> bool {
+        self.catch_panics || self.timeout.is_some() || self.max_candidates.is_some()
+    }
+
+    /// The same limits with the timeout/budget dropped — the panic net used
+    /// around a whole method whose per-configuration evaluations carry the
+    /// fine-grained limits.
+    pub fn panic_net(&self) -> Self {
+        Self {
+            timeout: None,
+            max_candidates: None,
+            catch_panics: self.catch_panics,
+        }
+    }
+}
+
+/// Why a guarded unit of work failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailReason {
+    /// The work panicked; carries the panic message.
+    Panicked(String),
+    /// The cooperative deadline passed.
+    TimedOut {
+        /// The configured deadline.
+        limit: Duration,
+    },
+    /// The candidate-count budget was exceeded.
+    BudgetExceeded {
+        /// Observed candidate count.
+        candidates: usize,
+        /// The configured budget.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for FailReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailReason::Panicked(msg) => write!(f, "panicked: {msg}"),
+            FailReason::TimedOut { limit } => {
+                write!(f, "timed out (limit {:.3}s)", limit.as_secs_f64())
+            }
+            FailReason::BudgetExceeded { candidates, limit } => {
+                write!(f, "candidate budget exceeded ({candidates} > {limit})")
+            }
+        }
+    }
+}
+
+/// Outcome of one guarded unit of work.
+#[derive(Debug)]
+pub enum RunOutcome<T> {
+    /// Completed within limits.
+    Ok(T),
+    /// Aborted; the sweep records the reason and moves on.
+    Failed {
+        /// Why the unit failed.
+        reason: FailReason,
+        /// Wall-clock time spent before the failure.
+        elapsed: Duration,
+    },
+}
+
+impl<T> RunOutcome<T> {
+    /// The success value, if any.
+    pub fn ok(self) -> Option<T> {
+        match self {
+            RunOutcome::Ok(v) => Some(v),
+            RunOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// True on success.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, RunOutcome::Ok(_))
+    }
+}
+
+/// Panic payload that guards re-throw instead of recording: the
+/// fault-injection layer uses it to simulate a process death mid-sweep
+/// (`kill` faults), which must not be absorbed as a per-config failure.
+pub struct KillSwitch(pub String);
+
+/// Sentinel payload for cooperative aborts. `depth` identifies the guard
+/// frame that owns the violated limit, so nested guards re-throw aborts
+/// addressed to an outer frame.
+struct Abort {
+    depth: usize,
+    reason: FailReason,
+}
+
+/// One active guard frame.
+struct Frame {
+    deadline: Option<Instant>,
+    timeout: Option<Duration>,
+    max_candidates: Option<usize>,
+}
+
+thread_local! {
+    static FRAMES: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Installs (once per process) a panic hook that stays silent while a
+/// guard frame is active on the panicking thread — guarded failures are
+/// reported as structured rows, not as backtrace noise — and defers to
+/// the previously-installed hook otherwise.
+fn install_quiet_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let guarded = FRAMES
+                .try_with(|f| f.try_borrow().map(|f| !f.is_empty()).unwrap_or(true))
+                .unwrap_or(false);
+            if !guarded {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Extracts a printable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Runs `f` under `limits`.
+///
+/// With no limit armed this is a plain call (panics propagate untouched).
+/// Otherwise `f` runs inside `catch_unwind`; panics become
+/// [`FailReason::Panicked`], cooperative aborts from [`checkpoint`] /
+/// [`note_candidates`] become `TimedOut` / `BudgetExceeded`, and
+/// [`KillSwitch`] payloads are re-thrown.
+pub fn run_guarded<T>(limits: Limits, f: impl FnOnce() -> T) -> RunOutcome<T> {
+    if !limits.enabled() {
+        return RunOutcome::Ok(f());
+    }
+    install_quiet_hook();
+    let start = Instant::now();
+    let depth = FRAMES.with(|frames| {
+        let mut frames = frames.borrow_mut();
+        frames.push(Frame {
+            deadline: limits.timeout.map(|t| start + t),
+            timeout: limits.timeout,
+            max_candidates: limits.max_candidates,
+        });
+        frames.len() - 1
+    });
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    FRAMES.with(|frames| {
+        frames.borrow_mut().truncate(depth);
+    });
+    let elapsed = start.elapsed();
+    match result {
+        Ok(v) => RunOutcome::Ok(v),
+        Err(payload) => match payload.downcast::<Abort>() {
+            Ok(abort) => {
+                if abort.depth < depth {
+                    // The violated limit belongs to an enclosing guard:
+                    // keep unwinding to it.
+                    panic::resume_unwind(Box::new(Abort {
+                        depth: abort.depth,
+                        reason: abort.reason,
+                    }));
+                }
+                RunOutcome::Failed {
+                    reason: abort.reason,
+                    elapsed,
+                }
+            }
+            Err(payload) => {
+                if payload.is::<KillSwitch>() {
+                    panic::resume_unwind(payload);
+                }
+                RunOutcome::Failed {
+                    reason: FailReason::Panicked(panic_message(payload.as_ref())),
+                    elapsed,
+                }
+            }
+        },
+    }
+}
+
+/// Aborts the frame at `depth` by unwinding with the sentinel payload.
+fn abort(depth: usize, reason: FailReason) -> ! {
+    panic::panic_any(Abort { depth, reason })
+}
+
+/// Cooperative deadline check. Called at filter boundaries (and by the
+/// fault-injection stall loop); a no-op unless a guard frame with a
+/// deadline is active on this thread.
+#[inline]
+pub fn checkpoint() {
+    let violated = FRAMES.with(|frames| {
+        let frames = frames.borrow();
+        if frames.is_empty() {
+            return None;
+        }
+        let now = Instant::now();
+        frames
+            .iter()
+            .enumerate()
+            .find_map(|(depth, fr)| match (fr.deadline, fr.timeout) {
+                (Some(deadline), Some(limit)) if now >= deadline => {
+                    Some((depth, FailReason::TimedOut { limit }))
+                }
+                _ => None,
+            })
+    });
+    if let Some((depth, reason)) = violated {
+        abort(depth, reason);
+    }
+}
+
+/// Cooperative candidate-count (memory) budget check, plus a deadline
+/// check. Called once a filter's candidate set exists.
+#[inline]
+pub fn note_candidates(candidates: usize) {
+    let violated = FRAMES.with(|frames| {
+        let frames = frames.borrow();
+        frames
+            .iter()
+            .enumerate()
+            .find_map(|(depth, fr)| match fr.max_candidates {
+                Some(limit) if candidates > limit => {
+                    Some((depth, FailReason::BudgetExceeded { candidates, limit }))
+                }
+                _ => None,
+            })
+    });
+    if let Some((depth, reason)) = violated {
+        abort(depth, reason);
+    }
+    checkpoint();
+}
+
+/// True if a guard frame is active on this thread (used by tests and the
+/// fault-injection layer).
+pub fn active() -> bool {
+    FRAMES.with(|f| !f.borrow().is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_guard_is_a_plain_call() {
+        let out = run_guarded(Limits::none(), || 42);
+        assert!(matches!(out, RunOutcome::Ok(42)));
+    }
+
+    #[test]
+    #[should_panic(expected = "propagates")]
+    fn disabled_guard_propagates_panics() {
+        let _ = run_guarded(Limits::none(), || -> u32 { panic!("propagates") });
+    }
+
+    #[test]
+    fn catches_str_and_string_panics() {
+        let out = run_guarded(Limits::catching(), || -> u32 { panic!("boom") });
+        match out {
+            RunOutcome::Failed {
+                reason: FailReason::Panicked(msg),
+                ..
+            } => assert_eq!(msg, "boom"),
+            other => panic!("unexpected {other:?}"),
+        }
+        let out = run_guarded(Limits::catching(), || -> u32 { panic!("formatted {}", 7) });
+        match out {
+            RunOutcome::Failed {
+                reason: FailReason::Panicked(msg),
+                ..
+            } => assert_eq!(msg, "formatted 7"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timeout_trips_at_checkpoint() {
+        let limits = Limits::none().with_timeout(Duration::from_millis(1));
+        let out = run_guarded(limits, || {
+            std::thread::sleep(Duration::from_millis(10));
+            checkpoint();
+            "unreachable"
+        });
+        match out {
+            RunOutcome::Failed {
+                reason: FailReason::TimedOut { limit },
+                elapsed,
+            } => {
+                assert_eq!(limit, Duration::from_millis(1));
+                assert!(elapsed >= Duration::from_millis(10));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn work_finishing_late_without_checkpoints_still_succeeds() {
+        // Cooperative semantics: a unit that never checkpoints runs to
+        // completion and its value is kept.
+        let limits = Limits::none().with_timeout(Duration::from_millis(1));
+        let out = run_guarded(limits, || {
+            std::thread::sleep(Duration::from_millis(5));
+            11
+        });
+        assert!(matches!(out, RunOutcome::Ok(11)));
+    }
+
+    #[test]
+    fn candidate_budget_trips() {
+        let limits = Limits::none().with_candidate_budget(100);
+        let out = run_guarded(limits, || {
+            note_candidates(50); // within budget
+            note_candidates(101); // over
+            "unreachable"
+        });
+        match out {
+            RunOutcome::Failed {
+                reason: FailReason::BudgetExceeded { candidates, limit },
+                ..
+            } => {
+                assert_eq!(candidates, 101);
+                assert_eq!(limit, 100);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_outer_deadline_unwinds_past_inner_guard() {
+        // The outer frame's deadline is already expired; the inner guard
+        // (no deadline of its own) must not absorb the abort.
+        let outer = Limits::none().with_timeout(Duration::from_nanos(1));
+        let out = run_guarded(outer, || {
+            std::thread::sleep(Duration::from_millis(2));
+            let inner = run_guarded(Limits::catching(), || {
+                checkpoint(); // trips the OUTER deadline
+                "inner unreachable"
+            });
+            // Unreachable: the abort unwinds through the inner guard.
+            drop(inner);
+            "outer unreachable"
+        });
+        match out {
+            RunOutcome::Failed {
+                reason: FailReason::TimedOut { .. },
+                ..
+            } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_inner_failure_is_contained() {
+        let out = run_guarded(Limits::catching(), || {
+            let inner = run_guarded(Limits::catching(), || -> u32 { panic!("inner") });
+            match inner {
+                RunOutcome::Failed {
+                    reason: FailReason::Panicked(msg),
+                    ..
+                } => msg,
+                other => panic!("unexpected {other:?}"),
+            }
+        });
+        match out {
+            RunOutcome::Ok(msg) => assert_eq!(msg, "inner"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kill_switch_is_rethrown() {
+        let caught = std::panic::catch_unwind(|| {
+            let _ = run_guarded(Limits::catching(), || {
+                panic::panic_any(KillSwitch("site".into()));
+                #[allow(unreachable_code)]
+                0u32
+            });
+        });
+        let payload = caught.expect_err("kill must escape the guard");
+        assert!(payload.is::<KillSwitch>());
+    }
+
+    #[test]
+    fn frames_are_cleaned_up() {
+        assert!(!active());
+        let _ = run_guarded(Limits::catching(), || assert!(active()));
+        assert!(!active());
+        let _ = run_guarded(Limits::catching(), || -> u32 { panic!("x") });
+        assert!(!active());
+    }
+
+    #[test]
+    fn fail_reason_display() {
+        assert_eq!(FailReason::Panicked("x".into()).to_string(), "panicked: x");
+        assert_eq!(
+            FailReason::TimedOut {
+                limit: Duration::from_millis(1500)
+            }
+            .to_string(),
+            "timed out (limit 1.500s)"
+        );
+        assert_eq!(
+            FailReason::BudgetExceeded {
+                candidates: 10,
+                limit: 5
+            }
+            .to_string(),
+            "candidate budget exceeded (10 > 5)"
+        );
+    }
+}

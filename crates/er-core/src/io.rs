@@ -4,17 +4,34 @@
 //! implements a small, dependency-free, RFC-4180-compatible CSV codec
 //! (quoting, embedded commas/quotes/newlines) plus readers and writers for
 //! entity collections (header row = attribute names) and pair lists.
+//!
+//! Malformed input never panics: the strict readers return
+//! [`io::Result`] errors that carry the 1-based line number of the
+//! offending record, and the `*_lenient` variants skip and count
+//! malformed rows ([`LoadStats`]) so a long benchmark run survives a few
+//! corrupt lines in an otherwise-usable file.
 
 use crate::candidates::{CandidateSet, Pair};
 use crate::entity::Entity;
 use std::fmt::Write as _;
 use std::io::{self, BufRead, BufReader, Read, Write};
 
+/// Row accounting of a lenient load.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadStats {
+    /// Data rows parsed successfully.
+    pub rows: usize,
+    /// Malformed rows skipped (lenient mode only).
+    pub skipped: usize,
+}
+
 /// Parses one logical CSV record from `input`, honoring quoted fields that
 /// may contain commas, escaped quotes (`""`) and newlines. Returns `None`
-/// at end of input.
-fn read_record(input: &mut impl BufRead) -> io::Result<Option<Vec<String>>> {
-    let mut fields = vec![String::new()];
+/// at end of input. `line` is advanced past every consumed newline, so
+/// after a successful read it points one past the record's last line.
+fn read_record(input: &mut impl BufRead, line: &mut usize) -> io::Result<Option<Vec<String>>> {
+    let mut fields: Vec<String> = Vec::new();
+    let mut field = String::new();
     let mut in_quotes = false;
     let mut saw_anything = false;
     let mut byte = [0u8; 1];
@@ -29,7 +46,9 @@ fn read_record(input: &mut impl BufRead) -> io::Result<Option<Vec<String>>> {
         }
         saw_anything = true;
         let c = byte[0] as char;
-        let field = fields.last_mut().expect("at least one field");
+        if c == '\n' {
+            *line += 1;
+        }
         if pending_quote {
             pending_quote = false;
             match c {
@@ -44,13 +63,18 @@ fn read_record(input: &mut impl BufRead) -> io::Result<Option<Vec<String>>> {
             '"' if in_quotes => pending_quote = true,
             '"' if field.is_empty() => in_quotes = true,
             '"' => field.push('"'), // lenient: stray quote mid-field
-            ',' if !in_quotes => fields.push(String::new()),
+            ',' if !in_quotes => fields.push(std::mem::take(&mut field)),
             '\n' if !in_quotes => break,
             '\r' if !in_quotes => {} // swallow CR of CRLF
             _ => field.push(c),
         }
     }
+    fields.push(field);
     Ok(Some(fields))
+}
+
+fn bad_data(line: usize, msg: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("line {line}: {msg}"))
 }
 
 /// Writes one CSV record, quoting fields that need it.
@@ -72,26 +96,47 @@ fn write_record(out: &mut impl Write, fields: &[&str]) -> io::Result<()> {
 
 /// Reads an entity collection from CSV: the header row names the
 /// attributes; every following row becomes one [`Entity`]. Missing
-/// trailing fields become empty values; extra fields are rejected.
+/// trailing fields become empty values; extra fields are rejected with a
+/// line-numbered error.
 pub fn read_entities(reader: impl Read) -> io::Result<Vec<Entity>> {
+    read_entities_with(reader, false).map(|(entities, _)| entities)
+}
+
+/// [`read_entities`] with lenient mode: skip and count malformed rows
+/// instead of failing the whole load.
+pub fn read_entities_lenient(reader: impl Read) -> io::Result<(Vec<Entity>, LoadStats)> {
+    read_entities_with(reader, true)
+}
+
+/// Reads an entity collection; with `lenient`, malformed rows are skipped
+/// and counted in the returned [`LoadStats`] instead of erroring.
+pub fn read_entities_with(
+    reader: impl Read,
+    lenient: bool,
+) -> io::Result<(Vec<Entity>, LoadStats)> {
     let mut input = BufReader::new(reader);
-    let Some(header) = read_record(&mut input)? else {
-        return Ok(Vec::new());
+    let mut line = 1usize;
+    let Some(header) = read_record(&mut input, &mut line)? else {
+        return Ok((Vec::new(), LoadStats::default()));
     };
     let mut out = Vec::new();
-    while let Some(row) = read_record(&mut input)? {
+    let mut stats = LoadStats::default();
+    loop {
+        let start_line = line;
+        let Some(row) = read_record(&mut input, &mut line)? else {
+            break;
+        };
         if row.len() == 1 && row[0].is_empty() {
             continue; // blank line
         }
         if row.len() > header.len() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "row {} has {} fields, header has {}",
-                    out.len() + 2,
-                    row.len(),
-                    header.len()
-                ),
+            if lenient {
+                stats.skipped += 1;
+                continue;
+            }
+            return Err(bad_data(
+                start_line,
+                format!("row has {} fields, header has {}", row.len(), header.len()),
             ));
         }
         let mut entity = Entity::new();
@@ -99,8 +144,9 @@ pub fn read_entities(reader: impl Read) -> io::Result<Vec<Entity>> {
             entity.push(name.clone(), row.get(i).cloned().unwrap_or_default());
         }
         out.push(entity);
+        stats.rows += 1;
     }
-    Ok(out)
+    Ok((out, stats))
 }
 
 /// Writes an entity collection as CSV. The header is the union of
@@ -123,31 +169,58 @@ pub fn write_entities(out: &mut impl Write, entities: &[Entity]) -> io::Result<(
     Ok(())
 }
 
-/// Reads `(left, right)` pairs from a headered two-column CSV.
+/// Reads `(left, right)` pairs from a headered two-column CSV, erroring
+/// with a line number on malformed rows.
 pub fn read_pairs(reader: impl Read) -> io::Result<Vec<Pair>> {
+    read_pairs_with(reader, false).map(|(pairs, _)| pairs)
+}
+
+/// [`read_pairs`] with lenient mode: skip and count malformed rows.
+pub fn read_pairs_lenient(reader: impl Read) -> io::Result<(Vec<Pair>, LoadStats)> {
+    read_pairs_with(reader, true)
+}
+
+/// Reads pairs; with `lenient`, malformed rows (wrong field count, bad
+/// ids) are skipped and counted instead of erroring.
+pub fn read_pairs_with(reader: impl Read, lenient: bool) -> io::Result<(Vec<Pair>, LoadStats)> {
     let mut input = BufReader::new(reader);
-    let Some(_header) = read_record(&mut input)? else {
-        return Ok(Vec::new());
+    let mut line = 1usize;
+    let Some(_header) = read_record(&mut input, &mut line)? else {
+        return Ok((Vec::new(), LoadStats::default()));
     };
     let mut out = Vec::new();
-    while let Some(row) = read_record(&mut input)? {
+    let mut stats = LoadStats::default();
+    loop {
+        let start_line = line;
+        let Some(row) = read_record(&mut input, &mut line)? else {
+            break;
+        };
         if row.len() == 1 && row[0].is_empty() {
             continue;
         }
-        if row.len() < 2 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "pair row needs two fields",
-            ));
-        }
-        let parse = |s: &str| -> io::Result<u32> {
-            s.trim().parse().map_err(|e| {
-                io::Error::new(io::ErrorKind::InvalidData, format!("bad id {s:?}: {e}"))
-            })
+        let parsed = if row.len() < 2 {
+            Err("pair row needs two fields".to_owned())
+        } else {
+            let parse = |s: &str| -> Result<u32, String> {
+                s.trim().parse().map_err(|e| format!("bad id {s:?}: {e}"))
+            };
+            parse(&row[0]).and_then(|l| parse(&row[1]).map(|r| Pair::new(l, r)))
         };
-        out.push(Pair::new(parse(&row[0])?, parse(&row[1])?));
+        match parsed {
+            Ok(pair) => {
+                out.push(pair);
+                stats.rows += 1;
+            }
+            Err(msg) => {
+                if lenient {
+                    stats.skipped += 1;
+                } else {
+                    return Err(bad_data(start_line, msg));
+                }
+            }
+        }
     }
-    Ok(out)
+    Ok((out, stats))
 }
 
 /// Writes candidate pairs as a headered two-column CSV, sorted for
@@ -222,6 +295,43 @@ mod tests {
     }
 
     #[test]
+    fn errors_carry_line_numbers() {
+        let err = read_entities("a,b\n1,2\n1,2,3\n".as_bytes()).expect_err("extra field");
+        assert!(err.to_string().starts_with("line 3:"), "{err}");
+        let err = read_pairs("l,r\n1,2\n3,4\nx,9\n".as_bytes()).expect_err("bad id");
+        assert!(err.to_string().starts_with("line 4:"), "{err}");
+        // Multi-line quoted fields advance the line count.
+        let err = read_entities("a,b\n\"x\ny\",2\n1,2,3\n".as_bytes()).expect_err("extra field");
+        assert!(err.to_string().starts_with("line 4:"), "{err}");
+    }
+
+    #[test]
+    fn lenient_mode_skips_and_counts() {
+        let (entities, stats) =
+            read_entities_lenient("a,b\n1,2\n1,2,3\n4,5\n".as_bytes()).expect("lenient");
+        assert_eq!(entities.len(), 2);
+        assert_eq!(
+            stats,
+            LoadStats {
+                rows: 2,
+                skipped: 1
+            }
+        );
+        assert_eq!(entities[1].value_of("a"), Some("4"));
+
+        let (pairs, stats) =
+            read_pairs_lenient("l,r\n1,2\nx,9\n7\n3,4\n".as_bytes()).expect("lenient");
+        assert_eq!(pairs, vec![Pair::new(1, 2), Pair::new(3, 4)]);
+        assert_eq!(
+            stats,
+            LoadStats {
+                rows: 2,
+                skipped: 2
+            }
+        );
+    }
+
+    #[test]
     fn quoted_fields_with_commas_and_crlf() {
         let csv = "title,price\r\n\"a,b\",\"1\"\"2\"\r\n";
         let back = read_entities(csv.as_bytes()).expect("read");
@@ -275,6 +385,67 @@ mod proptests {
             write_pairs(&mut buf, &set).expect("write");
             let back = read_pairs(&buf[..]).expect("read");
             prop_assert_eq!(back, set.to_sorted_vec());
+        }
+
+        /// Arbitrary bytes — truncated files, garbage, stray quotes,
+        /// binary junk — must never panic any reader: every strict read
+        /// returns Ok or a structured error, and lenient reads always
+        /// return Ok with consistent accounting.
+        #[test]
+        fn corrupt_input_never_panics(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+            let _ = read_entities(&bytes[..]);
+            let _ = read_pairs(&bytes[..]);
+            let lenient = read_entities_with(&bytes[..], true);
+            prop_assert!(lenient.is_ok());
+            let lenient_pairs = read_pairs_with(&bytes[..], true);
+            prop_assert!(lenient_pairs.is_ok());
+            let (pairs, stats) = lenient_pairs.expect("checked");
+            prop_assert_eq!(pairs.len(), stats.rows);
+        }
+
+        /// Truncating a valid entity file at any byte offset must never
+        /// panic, and lenient mode must recover at least the rows that
+        /// survived intact.
+        #[test]
+        fn truncated_entity_files_degrade_gracefully(
+            cut in 0usize..64,
+            rows in proptest::collection::vec(
+                proptest::collection::vec("[ -~]{0,12}", 2), 1..6),
+        ) {
+            let entities: Vec<Entity> = rows
+                .iter()
+                .map(|r| Entity::from_pairs([("a", r[0].clone()), ("b", r[1].clone())]))
+                .collect();
+            let mut buf = Vec::new();
+            write_entities(&mut buf, &entities).expect("write");
+            let cut = cut.min(buf.len());
+            let truncated = &buf[..cut];
+            let _ = read_entities(truncated);
+            let lenient = read_entities_with(truncated, true);
+            prop_assert!(lenient.is_ok());
+        }
+
+        /// Injecting a garbage line into a valid pair file: strict mode
+        /// errors (with a line number) or the line happens to parse;
+        /// lenient mode returns every well-formed pair.
+        #[test]
+        fn garbage_line_in_pair_file(
+            junk in "[ -~]{1,24}",
+            ids in proptest::collection::vec((0u32..100, 0u32..100), 1..10),
+        ) {
+            let set: CandidateSet = ids.iter().map(|&(l, r)| Pair::new(l, r)).collect();
+            let mut buf = Vec::new();
+            write_pairs(&mut buf, &set).expect("write");
+            let mut text = String::from_utf8(buf).expect("utf8");
+            text.push_str(&junk);
+            text.push('\n');
+            let strict = read_pairs(text.as_bytes());
+            if let Err(e) = &strict {
+                prop_assert!(e.to_string().starts_with("line "), "{}", e);
+            }
+            let (pairs, stats) = read_pairs_with(text.as_bytes(), true).expect("lenient");
+            prop_assert!(pairs.len() >= set.len());
+            prop_assert!(stats.skipped <= 1);
         }
     }
 }

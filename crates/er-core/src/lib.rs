@@ -13,6 +13,10 @@
 //! * [`filter`] — the common `Filter` interface,
 //! * [`optimize`] — the configuration-optimization driver of Problem 1
 //!   (maximize PQ subject to PC ≥ τ),
+//! * [`guard`] — fault isolation for sweeps: panic capture plus
+//!   cooperative wall-clock deadlines and candidate budgets,
+//! * [`faults`] — deterministic, seed-driven fault injection proving the
+//!   fault-tolerance layer end to end,
 //! * [`parallel`] — the deterministic parallel execution layer shared by
 //!   every hot path (byte-identical results for any thread count),
 //! * [`hash`] — a fast non-cryptographic hasher shared by the hot paths,
@@ -22,7 +26,9 @@ pub mod candidates;
 pub mod dataset;
 pub mod dirty;
 pub mod entity;
+pub mod faults;
 pub mod filter;
+pub mod guard;
 pub mod hash;
 pub mod io;
 pub mod metrics;
@@ -38,7 +44,9 @@ pub use candidates::{CandidateSet, Pair};
 pub use dataset::{Dataset, GroundTruth};
 pub use dirty::{DirtyAdapter, DirtyDataset};
 pub use entity::{Attribute, Entity};
+pub use faults::FaultPlan;
 pub use filter::{Filter, FilterOutput};
+pub use guard::{FailReason, Limits, RunOutcome};
 pub use metrics::{evaluate, Effectiveness};
 pub use optimize::{GridResolution, OptimizationOutcome, Optimizer, TargetRecall};
 pub use parallel::{par_map, par_map_chunks, par_reduce, Threads};

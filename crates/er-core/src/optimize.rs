@@ -13,11 +13,22 @@
 //!   *increasing candidate volume* (kNN-Join's K, FAISS/SCANN's K, ε-Join's
 //!   descending threshold), because under that monotonicity the first
 //!   feasible configuration is also the PQ-best feasible one.
+//!
+//! Sweeps can additionally run **guarded** (see [`crate::guard`]): when
+//! the optimizer carries non-trivial [`Limits`], every configuration is
+//! evaluated under `catch_unwind` with a cooperative deadline and
+//! candidate budget, and a failing grid point becomes a structured
+//! [`Failure`] row in the [`OptimizationOutcome`] instead of aborting the
+//! sweep. Failed configurations are treated as infeasible and never
+//! become champions. With default (disabled) limits the guarded paths
+//! compile down to the plain calls — behavior is unchanged.
 
+use crate::guard::{self, FailReason, Limits, RunOutcome};
 use crate::metrics::Effectiveness;
 use crate::parallel::{self, Threads};
 use crate::timing::PhaseBreakdown;
 use serde::{Deserialize, Serialize};
+use std::time::Duration;
 
 /// Grid resolution shared by every method's configuration space: the
 /// paper's exhaustive grids, a representative pruned subset for
@@ -53,6 +64,19 @@ pub struct Evaluated<C> {
     pub breakdown: PhaseBreakdown,
 }
 
+/// One grid point that failed under guard (panicked, timed out, or blew
+/// its candidate budget). Recorded in configuration order, so the list is
+/// identical for every thread count.
+#[derive(Debug, Clone)]
+pub struct Failure<C> {
+    /// The failing configuration.
+    pub config: C,
+    /// Why it failed.
+    pub reason: FailReason,
+    /// Wall-clock time spent before the failure.
+    pub elapsed: Duration,
+}
+
 /// Result of an optimization sweep.
 #[derive(Debug, Clone)]
 pub struct OptimizationOutcome<C> {
@@ -61,8 +85,10 @@ pub struct OptimizationOutcome<C> {
     /// PC-best configuration overall — reported when nothing reaches τ
     /// (the paper marks such entries in red).
     pub best_fallback: Option<Evaluated<C>>,
-    /// Number of configurations evaluated.
+    /// Number of configurations evaluated successfully.
     pub evaluated: usize,
+    /// Grid points that failed under guard, in configuration order.
+    pub failures: Vec<Failure<C>>,
 }
 
 impl<C> Default for OptimizationOutcome<C> {
@@ -71,6 +97,7 @@ impl<C> Default for OptimizationOutcome<C> {
             best_feasible: None,
             best_fallback: None,
             evaluated: 0,
+            failures: Vec::new(),
         }
     }
 }
@@ -84,6 +111,12 @@ impl<C> OptimizationOutcome<C> {
     /// True if some configuration met the recall target.
     pub fn is_feasible(&self) -> bool {
         self.best_feasible.is_some()
+    }
+
+    /// Configurations attempted: successful evaluations plus guarded
+    /// failures. This is what the evaluation budget counts.
+    pub fn attempted(&self) -> usize {
+        self.evaluated + self.failures.len()
     }
 
     /// Accounts one evaluated configuration, updating the feasible and
@@ -119,15 +152,19 @@ impl<C> OptimizationOutcome<C> {
     }
 }
 
-/// The optimization driver. Holds the recall target and an optional budget
-/// on the number of evaluated configurations.
+/// The optimization driver. Holds the recall target, an optional budget
+/// on the number of evaluated configurations, and the per-configuration
+/// fault-isolation limits.
 #[derive(Debug, Clone, Copy)]
 pub struct Optimizer {
     /// Recall target τ.
     pub target: TargetRecall,
-    /// Hard cap on evaluations (`usize::MAX` = unbounded). Lets the harness
-    /// run pruned grids at small scales.
+    /// Hard cap on attempted configurations (`usize::MAX` = unbounded).
+    /// Lets the harness run pruned grids at small scales.
     pub max_evaluations: usize,
+    /// Per-configuration guard limits (disabled by default: evaluations
+    /// run unguarded and panics propagate, exactly as before).
+    pub limits: Limits,
 }
 
 impl Default for Optimizer {
@@ -135,6 +172,7 @@ impl Default for Optimizer {
         Self {
             target: TargetRecall::default(),
             max_evaluations: usize::MAX,
+            limits: Limits::none(),
         }
     }
 }
@@ -154,8 +192,15 @@ impl Optimizer {
         self
     }
 
+    /// Sets the per-configuration guard limits.
+    pub fn with_limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+
     /// Exhaustive grid sweep: evaluate every configuration, keep the
-    /// PQ-best feasible one.
+    /// PQ-best feasible one. With guard limits armed, a failing grid
+    /// point becomes a [`Failure`] row and the sweep continues.
     pub fn grid<C: Clone>(
         &self,
         configs: impl IntoIterator<Item = C>,
@@ -163,18 +208,24 @@ impl Optimizer {
     ) -> OptimizationOutcome<C> {
         let mut out = OptimizationOutcome::default();
         for config in configs {
-            if out.evaluated >= self.max_evaluations {
+            if out.attempted() >= self.max_evaluations {
                 break;
             }
-            let (eff, breakdown) = eval(&config);
-            out.consider(
-                Evaluated {
+            match guard::run_guarded(self.limits, || eval(&config)) {
+                RunOutcome::Ok((eff, breakdown)) => out.consider(
+                    Evaluated {
+                        config,
+                        eff,
+                        breakdown,
+                    },
+                    self.target.0,
+                ),
+                RunOutcome::Failed { reason, elapsed } => out.failures.push(Failure {
                     config,
-                    eff,
-                    breakdown,
-                },
-                self.target.0,
-            );
+                    reason,
+                    elapsed,
+                }),
+            }
         }
         out
     }
@@ -192,21 +243,31 @@ impl Optimizer {
     ) -> OptimizationOutcome<C> {
         let mut out = OptimizationOutcome::default();
         for config in configs {
-            if out.evaluated >= self.max_evaluations {
+            if out.attempted() >= self.max_evaluations {
                 break;
             }
-            let (eff, breakdown) = eval(&config);
-            let feasible = eff.pc >= self.target.0;
-            out.consider(
-                Evaluated {
+            match guard::run_guarded(self.limits, || eval(&config)) {
+                RunOutcome::Ok((eff, breakdown)) => {
+                    let feasible = eff.pc >= self.target.0;
+                    out.consider(
+                        Evaluated {
+                            config,
+                            eff,
+                            breakdown,
+                        },
+                        self.target.0,
+                    );
+                    if feasible {
+                        break;
+                    }
+                }
+                // A failed point is infeasible: record it and keep
+                // sweeping.
+                RunOutcome::Failed { reason, elapsed } => out.failures.push(Failure {
                     config,
-                    eff,
-                    breakdown,
-                },
-                self.target.0,
-            );
-            if feasible {
-                break;
+                    reason,
+                    elapsed,
+                }),
             }
         }
         out
@@ -234,20 +295,32 @@ impl Optimizer {
         if threads <= 1 {
             return self.grid(configs, eval);
         }
-        // The serial sweep stops once `evaluated` hits the budget, so it
-        // sees exactly the first `max_evaluations` configurations.
+        // The serial sweep stops once `attempted` hits the budget, so it
+        // sees exactly the first `max_evaluations` configurations (every
+        // attempted configuration either succeeds or fails).
         let configs: Vec<C> = configs.into_iter().take(self.max_evaluations).collect();
-        let results = parallel::par_map_chunks_with(threads, &configs, 1, |_, c| eval(&c[0]));
+        // The guard frame is installed inside the worker closure, so each
+        // evaluation is guarded on the thread that runs it.
+        let results = parallel::par_map_chunks_with(threads, &configs, 1, |_, c| {
+            guard::run_guarded(self.limits, || eval(&c[0]))
+        });
         let mut out = OptimizationOutcome::default();
-        for (config, (eff, breakdown)) in configs.into_iter().zip(results) {
-            out.consider(
-                Evaluated {
+        for (config, result) in configs.into_iter().zip(results) {
+            match result {
+                RunOutcome::Ok((eff, breakdown)) => out.consider(
+                    Evaluated {
+                        config,
+                        eff,
+                        breakdown,
+                    },
+                    self.target.0,
+                ),
+                RunOutcome::Failed { reason, elapsed } => out.failures.push(Failure {
                     config,
-                    eff,
-                    breakdown,
-                },
-                self.target.0,
-            );
+                    reason,
+                    elapsed,
+                }),
+            }
         }
         out
     }
@@ -294,20 +367,31 @@ impl Optimizer {
         while start < configs.len() {
             let end = (start + wave).min(configs.len());
             let results =
-                parallel::par_map_chunks_with(threads, &configs[start..end], 1, |_, c| eval(&c[0]));
-            for (offset, (eff, breakdown)) in results.into_iter().enumerate() {
-                let feasible = eff.pc >= self.target.0;
+                parallel::par_map_chunks_with(threads, &configs[start..end], 1, |_, c| {
+                    guard::run_guarded(self.limits, || eval(&c[0]))
+                });
+            for (offset, result) in results.into_iter().enumerate() {
                 let config = configs[start + offset].clone();
-                out.consider(
-                    Evaluated {
+                match result {
+                    RunOutcome::Ok((eff, breakdown)) => {
+                        let feasible = eff.pc >= self.target.0;
+                        out.consider(
+                            Evaluated {
+                                config,
+                                eff,
+                                breakdown,
+                            },
+                            self.target.0,
+                        );
+                        if feasible {
+                            return out;
+                        }
+                    }
+                    RunOutcome::Failed { reason, elapsed } => out.failures.push(Failure {
                         config,
-                        eff,
-                        breakdown,
-                    },
-                    self.target.0,
-                );
-                if feasible {
-                    return out;
+                        reason,
+                        elapsed,
+                    }),
                 }
             }
             start = end;
@@ -478,6 +562,96 @@ mod tests {
                 assert_outcome_eq(&par, &serial);
             }
         }
+    }
+
+    /// Eval that panics on configs divisible by 10 (pure, thread-safe).
+    fn faulty_eval(&i: &usize) -> (Effectiveness, PhaseBreakdown) {
+        if i % 10 == 0 {
+            panic!("config {i} exploded");
+        }
+        synth_eval(&i)
+    }
+
+    #[test]
+    fn guarded_grid_records_failures_and_continues() {
+        let opt = Optimizer::new(0.5).with_limits(Limits::catching());
+        let out = opt.grid(0..30usize, faulty_eval);
+        assert_eq!(out.evaluated, 27);
+        assert_eq!(out.failures.len(), 3);
+        assert_eq!(
+            out.failures.iter().map(|f| f.config).collect::<Vec<_>>(),
+            vec![0, 10, 20]
+        );
+        for f in &out.failures {
+            match &f.reason {
+                FailReason::Panicked(msg) => assert!(msg.contains("exploded"), "{msg}"),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(out.best().is_some(), "surviving configs still optimized");
+    }
+
+    #[test]
+    #[should_panic(expected = "exploded")]
+    fn unguarded_grid_still_propagates_panics() {
+        let opt = Optimizer::new(0.5);
+        let _ = opt.grid(0..30usize, faulty_eval);
+    }
+
+    #[test]
+    fn guarded_grid_par_matches_guarded_serial() {
+        for budget in [usize::MAX, 17] {
+            let opt = Optimizer::new(0.9)
+                .with_budget(budget)
+                .with_limits(Limits::catching());
+            let serial = opt.grid(0..60usize, faulty_eval);
+            for threads in [2, 3, 8] {
+                let par = opt.grid_par_with(threads, 0..60usize, faulty_eval);
+                assert_outcome_eq(&par, &serial);
+                assert_eq!(par.failures.len(), serial.failures.len());
+                assert_eq!(
+                    par.failures.iter().map(|f| f.config).collect::<Vec<_>>(),
+                    serial.failures.iter().map(|f| f.config).collect::<Vec<_>>(),
+                    "threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn guarded_first_feasible_skips_failed_points() {
+        // PC reaches the target at config 12, but 10 panics first; the
+        // sweep must record the failure and still stop at 12.
+        let eval = |&k: &usize| {
+            if k == 10 {
+                panic!("boom at 10");
+            }
+            (
+                eff(k as f64 / 12.0, 1.0 / (k + 1) as f64, k),
+                PhaseBreakdown::new(),
+            )
+        };
+        let opt = Optimizer::new(0.999).with_limits(Limits::catching());
+        let serial = opt.first_feasible(0..100usize, eval);
+        assert_eq!(serial.failures.len(), 1);
+        assert_eq!(serial.best().expect("best").config, 12);
+        for threads in [2, 8] {
+            let par = opt.first_feasible_par_with(threads, 0..100usize, eval);
+            assert_outcome_eq(&par, &serial);
+            assert_eq!(par.failures.len(), 1);
+            assert_eq!(par.failures[0].config, 10);
+        }
+    }
+
+    #[test]
+    fn budget_counts_failed_attempts() {
+        let opt = Optimizer::new(0.9)
+            .with_budget(15)
+            .with_limits(Limits::catching());
+        let out = opt.grid(0..100usize, faulty_eval);
+        assert_eq!(out.attempted(), 15);
+        assert_eq!(out.failures.len(), 2, "configs 0 and 10 fail");
+        assert_eq!(out.evaluated, 13);
     }
 
     #[test]

@@ -25,6 +25,7 @@ fn sweep(id: &str, mode: SchemaMode) -> Vec<MethodOutcome> {
         dim: 64,
         seed: 23,
         reps: 1,
+        label: "test".to_owned(),
     };
     run_all_methods(&ctx)
 }

@@ -1,0 +1,158 @@
+//! Fault-isolation and resume acceptance test (ISSUE robustness PR):
+//!
+//! * K injected faults on a sweep must yield exactly K structured
+//!   failure rows while every other grid point is measured normally;
+//! * a sweep killed mid-run by an injected `kill` fault must resume
+//!   from its checkpoint into a final report byte-identical to an
+//!   uninterrupted run's;
+//! * the deterministic report artifact is thread-count invariant.
+//!
+//! Fault plans and the worker-thread count are process-global, so the
+//! whole scenario runs as a single `#[test]` in its own binary.
+
+use er::core::guard::KillSwitch;
+use er::core::{faults, Threads};
+use er_bench::report::{render_report, sweep_csv, ReportOptions};
+use er_bench::{run_sweep, Settings};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+/// D5 is not schema-based viable, so the sweep is a single column
+/// ("Da5") of 17 grid points — small and label-predictable.
+fn settings(extra: &[&str]) -> Settings {
+    let base = [
+        "--datasets",
+        "D5",
+        "--scale",
+        "0.06",
+        "--grid",
+        "quick",
+        "--reps",
+        "1",
+        "--dim",
+        "32",
+        "--seed",
+        "11",
+    ];
+    Settings::try_parse(base.iter().chain(extra).map(|s| s.to_string())).expect("settings")
+}
+
+/// Temp file deleted on drop (also on assertion unwind).
+struct TempFile(PathBuf);
+
+impl TempFile {
+    fn new(name: &str) -> Self {
+        let path = std::env::temp_dir().join(format!("er_faults_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        TempFile(path)
+    }
+
+    fn as_str(&self) -> &str {
+        self.0.to_str().expect("utf-8 temp path")
+    }
+}
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[test]
+fn injected_faults_isolate_and_checkpointed_sweeps_resume_byte_identically() {
+    Threads::set(1);
+
+    // Baseline: an uninterrupted, fault-free sweep.
+    let clean = run_sweep(&settings(&[]), 1, false).expect("clean sweep");
+    assert_eq!(clean.len(), 1, "D5 has one column");
+    assert_eq!(clean[0].outcomes.len(), 17);
+    let clean_csv = sweep_csv(&clean, false);
+
+    // K = 3 injected panics => exactly 3 structured failure rows.
+    let spec = "panic@Da5/SBW;panic@Da5/kNN-Join;panic@Da5/FAISS";
+    let s = settings(&["--inject-faults", spec]);
+    assert!(s.limits().catch_panics, "fault injection arms the guard");
+    let plan = s.faults.clone().expect("parsed plan");
+    let faulted = faults::with_plan(plan, || run_sweep(&s, 1, false)).expect("faulted sweep");
+    let failed: Vec<&str> = faulted[0]
+        .outcomes
+        .iter()
+        .filter(|o| o.error.is_some())
+        .map(|o| o.method.as_str())
+        .collect();
+    assert_eq!(
+        failed,
+        ["SBW", "kNN-Join", "FAISS"],
+        "exactly K failure rows"
+    );
+    for o in &faulted[0].outcomes {
+        match &o.error {
+            Some(err) => {
+                assert!(err.contains("injected fault"), "{}: {err}", o.method);
+                assert!(!o.feasible && o.candidates == 0.0 && o.evaluated == 0);
+            }
+            None => assert!(o.evaluated > 0, "{} measured", o.method),
+        }
+    }
+    // Fault isolation: every surviving grid point matches the clean run.
+    for (c, f) in clean[0].outcomes.iter().zip(&faulted[0].outcomes) {
+        if f.error.is_none() {
+            assert_eq!(
+                (c.pc, c.pq, c.candidates),
+                (f.pc, f.pq, f.candidates),
+                "{}",
+                c.method
+            );
+            assert_eq!(c.config, f.config, "{}", c.method);
+        }
+    }
+    let report = render_report(&faulted, ReportOptions::default());
+    assert!(report.contains("Failed grid points (3 of 17):"), "{report}");
+    assert!(report.contains(" fail |"), "failed cells marked: {report}");
+
+    // Kill the sweep mid-run (11th grid point), then resume.
+    let ck = TempFile::new("resume.jsonl");
+    let killed = settings(&[
+        "--checkpoint",
+        ck.as_str(),
+        "--inject-faults",
+        "kill@Da5/MH-LSH",
+    ]);
+    let plan = killed.faults.clone().expect("kill plan");
+    let death = faults::with_plan(plan, || {
+        catch_unwind(AssertUnwindSafe(|| run_sweep(&killed, 1, false)))
+    });
+    let payload = death.expect_err("kill fault must abort the sweep");
+    assert!(payload.is::<KillSwitch>(), "sweep dies by kill switch");
+    let recorded = std::fs::read_to_string(&ck.0).expect("checkpoint survives the kill");
+    assert_eq!(
+        recorded.lines().count(),
+        1 + 10,
+        "header + the 10 grid points completed before the kill"
+    );
+
+    // Resume (without the fault plan — the "process restart"): the
+    // deterministic report artifact is byte-identical to the clean run's.
+    let resume = settings(&["--resume", ck.as_str()]);
+    let resumed = run_sweep(&resume, 1, false).expect("resumed sweep");
+    assert_eq!(
+        sweep_csv(&resumed, false),
+        clean_csv,
+        "resume == uninterrupted"
+    );
+
+    // A second resume replays all 17 grid points from the checkpoint,
+    // so even the runtime column round-trips exactly.
+    let replayed = run_sweep(&resume, 1, false).expect("fully-checkpointed sweep");
+    assert_eq!(sweep_csv(&replayed, true), sweep_csv(&resumed, true));
+
+    // Thread-count invariance of the deterministic artifact.
+    Threads::set(8);
+    let clean8 = run_sweep(&settings(&[]), 1, false).expect("8-thread sweep");
+    assert_eq!(
+        sweep_csv(&clean8, false),
+        clean_csv,
+        "thread-count invariant"
+    );
+    Threads::set(0);
+}

@@ -63,6 +63,7 @@ fn fine_tuned_blocking_beats_baselines_on_precision() {
         dim: 48,
         seed: 5,
         reps: 1,
+        label: "test".to_owned(),
     };
     let sbw = run_blocking_family(&ctx, er::blocking::WorkflowKind::Sbw);
     let pbw = run_pbw(&ctx);
@@ -90,6 +91,7 @@ fn fine_tuned_knn_beats_dknn_baseline() {
         dim: 48,
         seed: 5,
         reps: 1,
+        label: "test".to_owned(),
     };
     let knn = run_knn(&ctx);
     let dknn = run_dknn(&ctx);
@@ -133,6 +135,7 @@ fn infeasible_settings_report_fallback() {
         dim: 48,
         seed: 5,
         reps: 1,
+        label: "test".to_owned(),
     };
     let knn = run_knn(&ctx);
     assert!(
