@@ -22,7 +22,7 @@ fn bench_dense(c: &mut Criterion) {
 
     c.bench_function("embed/D2_e1", |b| {
         b.iter(|| {
-            for text in &view.e1 {
+            for text in view.e1.iter() {
                 black_box(embedder.embed(text, &Cleaner::off()));
             }
         });

@@ -19,7 +19,7 @@ fn bench_sparse(c: &mut Criterion) {
     for (name, model) in [("T1G", t1g), ("C3G", c3g)] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &model, |b, model| {
             b.iter(|| {
-                for text in &view.e1 {
+                for text in view.e1.iter() {
                     black_box(model.token_set(text, &Cleaner::off()));
                 }
             });

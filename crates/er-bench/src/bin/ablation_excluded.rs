@@ -82,15 +82,17 @@ fn main() {
         );
 
         // The retained counterpart: the optimized SBW family.
+        let cache = er::core::artifacts::ArtifactCache::new();
         let ctx = er_bench::harness::Context {
-            view: &view,
-            gt: &ds.groundtruth,
             optimizer: Optimizer::new(target),
             resolution: settings.resolution,
-            dim: settings.dim,
+            embedding: EmbeddingConfig {
+                dim: settings.dim,
+                ..Default::default()
+            },
             seed: settings.seed,
-            reps: 1,
             label: profile.id.to_owned(),
+            ..er_bench::harness::Context::new(&view, &ds.groundtruth, &cache)
         };
         let sbw = er_bench::harness::run_blocking_family(&ctx, er::blocking::WorkflowKind::Sbw);
 

@@ -99,15 +99,17 @@ fn main() {
         let view = text_view(&ds, &SchemaMode::Agnostic);
 
         // Holistic: the harness's joint sweep.
+        let cache = er::core::artifacts::ArtifactCache::new();
         let ctx = er_bench::harness::Context {
-            view: &view,
-            gt: &ds.groundtruth,
             optimizer: Optimizer::new(settings.target_pc),
             resolution: settings.resolution,
-            dim: settings.dim,
+            embedding: er::dense::EmbeddingConfig {
+                dim: settings.dim,
+                ..Default::default()
+            },
             seed: settings.seed,
-            reps: 1,
             label: profile.id.to_owned(),
+            ..er_bench::harness::Context::new(&view, &ds.groundtruth, &cache)
         };
         let holistic = er_bench::harness::run_blocking_family(&ctx, WorkflowKind::Sbw);
         let _ = GridResolution::Pruned;

@@ -18,8 +18,9 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::path::Path;
 use std::time::Duration;
 
-/// Format version of the header line.
-const VERSION: f64 = 1.0;
+/// Format version of the header line. 1.1 added the per-phase stage tag
+/// (`"p"` prepare / `"q"` query) and the optional amortized-prepare field.
+const VERSION: f64 = 1.1;
 
 /// One completed grid point.
 #[derive(Debug, Clone)]
@@ -159,9 +160,19 @@ impl CheckpointWriter {
 fn encode_row(column: &str, cartesian: u64, o: &MethodOutcome) -> Json {
     let phases = o
         .breakdown
-        .phases()
+        .entries()
         .iter()
-        .flat_map(|(name, d)| [Json::Str(name.clone()), Json::Num(d.as_nanos() as f64)])
+        .flat_map(|(name, d, stage)| {
+            let tag = match stage {
+                er::core::timing::Stage::Prepare => "p",
+                er::core::timing::Stage::Query => "q",
+            };
+            [
+                Json::Str(name.clone()),
+                Json::Num(d.as_nanos() as f64),
+                Json::Str(tag.to_owned()),
+            ]
+        })
         .collect();
     let mut obj = vec![
         ("column".to_owned(), Json::Str(column.to_owned())),
@@ -179,6 +190,9 @@ fn encode_row(column: &str, cartesian: u64, o: &MethodOutcome) -> Json {
         ("config".to_owned(), Json::Str(o.config.clone())),
         ("evaluated".to_owned(), Json::Num(o.evaluated as f64)),
     ];
+    if let Some(a) = o.breakdown.amortized_prepare() {
+        obj.push(("amortized_ns".to_owned(), Json::Num(a.as_nanos() as f64)));
+    }
     if let Some(err) = &o.error {
         obj.push(("error".to_owned(), Json::Str(err.clone())));
     }
@@ -203,13 +217,21 @@ fn decode_row(line: &str) -> Result<CheckpointRow, String> {
         .get("phases")
         .and_then(Json::as_arr)
         .ok_or("missing field \"phases\"")?;
-    for pair in phases.chunks(2) {
-        let [name, nanos] = pair else {
-            return Err("odd-length phase list".to_owned());
+    for triplet in phases.chunks(3) {
+        let [name, nanos, stage] = triplet else {
+            return Err("phase list is not name/nanos/stage triplets".to_owned());
         };
         let name = name.as_str().ok_or("phase name is not a string")?;
         let nanos = nanos.as_f64().ok_or("phase duration is not a number")? as u64;
-        breakdown.record(name, Duration::from_nanos(nanos));
+        let stage = match stage.as_str().ok_or("phase stage is not a string")? {
+            "p" => er::core::timing::Stage::Prepare,
+            "q" => er::core::timing::Stage::Query,
+            other => return Err(format!("unknown phase stage {other:?}")),
+        };
+        breakdown.record_in(stage, name, Duration::from_nanos(nanos));
+    }
+    if let Some(a) = v.get("amortized_ns").and_then(Json::as_f64) {
+        breakdown.set_amortized_prepare(Duration::from_nanos(a as u64));
     }
     Ok(CheckpointRow {
         column: string("column")?,
@@ -245,9 +267,11 @@ mod tests {
     }
 
     fn sample_outcome() -> MethodOutcome {
+        use er::core::timing::Stage;
         let mut breakdown = er::core::timing::PhaseBreakdown::new();
-        breakdown.record("index", Duration::from_micros(1500));
-        breakdown.record("query", Duration::from_micros(2500));
+        breakdown.record_in(Stage::Prepare, "index", Duration::from_micros(1500));
+        breakdown.record_in(Stage::Query, "query", Duration::from_micros(2500));
+        breakdown.set_amortized_prepare(Duration::from_micros(300));
         MethodOutcome {
             method: "e-Join".to_owned(),
             pc: 0.9375,
@@ -287,7 +311,16 @@ mod tests {
         assert_eq!(row.outcome.pq, ok.pq);
         assert_eq!(row.outcome.runtime, ok.runtime);
         assert_eq!(row.outcome.config, ok.config);
-        assert_eq!(row.outcome.breakdown.phases(), ok.breakdown.phases());
+        assert_eq!(row.outcome.breakdown.entries(), ok.breakdown.entries());
+        assert_eq!(
+            row.outcome.breakdown.prepare_total(),
+            ok.breakdown.prepare_total(),
+            "stage tags survive the roundtrip"
+        );
+        assert_eq!(
+            row.outcome.breakdown.amortized_prepare(),
+            ok.breakdown.amortized_prepare()
+        );
         assert!(row.outcome.error.is_none());
         let row = cp.lookup("Da2", "SBW").expect("present");
         assert_eq!(row.outcome.error.as_deref(), failed.error.as_deref());

@@ -8,20 +8,23 @@
 //! `reps` seeds, as the paper averages 10 repetitions.
 
 use er::blocking::{comparison_propagation, BlockingWorkflow, ComparisonCleaning, WorkflowKind};
+use er::core::artifacts::{ArtifactCache, ArtifactKey};
 use er::core::dataset::GroundTruth;
+use er::core::filter::Prepared;
 use er::core::guard::{self, FailReason, Limits, RunOutcome};
 use er::core::metrics::{evaluate, Effectiveness};
-use er::core::optimize::{Evaluated, GridResolution, OptimizationOutcome, Optimizer};
+use er::core::optimize::{Evaluated, Failure, GridResolution, OptimizationOutcome, Optimizer};
 use er::core::parallel::{self, Threads};
 use er::core::schema::TextView;
 use er::core::timing::PhaseBreakdown;
 use er::core::{faults, Filter};
 use er::dense::{
-    grid as dense_grid, CrossPolytopeLsh, DeepBlocker, EmbeddingConfig, FlatKnn, HyperplaneLsh,
-    MinHashLsh, PartitionedKnn,
+    grid as dense_grid, CrossPolytopeLsh, DeepBlocker, DenseIndexArtifact, EmbeddingConfig,
+    FlatKnn, HyperplaneLsh, MinHashLsh, PartitionedArtifact, PartitionedKnn,
 };
 use er::sparse::{
-    dknn_baseline, epsilon_grid, knn_grid, EpsilonJoin, KnnJoin, ScanCountIndex, ScanCountScratch,
+    dknn_baseline, epsilon_grid, knn_grid, EpsilonJoin, KnnJoin, ScanCountScratch,
+    TokenSetsArtifact,
 };
 use std::time::Duration;
 
@@ -35,8 +38,8 @@ pub struct Context<'a> {
     pub optimizer: Optimizer,
     /// Grid resolution.
     pub resolution: GridResolution,
-    /// Embedding dimensionality for the dense methods.
-    pub dim: usize,
+    /// Embedding configuration for the dense methods.
+    pub embedding: EmbeddingConfig,
     /// Base seed.
     pub seed: u64,
     /// Stochastic-method repetitions.
@@ -44,13 +47,28 @@ pub struct Context<'a> {
     /// Column label (e.g. `"Da2"`); keys fault-injection sites and
     /// checkpoint records for this (dataset, schema-setting).
     pub label: String,
+    /// The shared prepare-stage artifact cache: grid points with equal
+    /// representation keys on this dataset share one preparation.
+    pub cache: &'a ArtifactCache,
+    /// The dataset fingerprint half of every artifact key.
+    pub dataset_fp: u64,
 }
 
-impl Context<'_> {
-    fn embedding(&self) -> EmbeddingConfig {
-        EmbeddingConfig {
-            dim: self.dim,
-            ..Default::default()
+impl<'a> Context<'a> {
+    /// A context with default sweep parameters; callers override fields
+    /// via struct update syntax (`Context { seed: 7, ..Context::new(..) }`).
+    pub fn new(view: &'a TextView, gt: &'a GroundTruth, cache: &'a ArtifactCache) -> Context<'a> {
+        Context {
+            view,
+            gt,
+            optimizer: Optimizer::default(),
+            resolution: GridResolution::Quick,
+            embedding: EmbeddingConfig::default(),
+            seed: 0,
+            reps: 1,
+            label: String::new(),
+            cache,
+            dataset_fp: view.fingerprint(),
         }
     }
 
@@ -62,6 +80,81 @@ impl Context<'_> {
     fn eval(&self, filter: &dyn Filter) -> (Effectiveness, PhaseBreakdown) {
         let out = er::core::filter::run_hooked(filter, self.view);
         (evaluate(&out.candidates, self.gt), out.breakdown)
+    }
+
+    /// Query-stage evaluation against a shared prepare artifact.
+    fn eval_query(
+        &self,
+        filter: &dyn Filter,
+        prepared: &Prepared,
+    ) -> (Effectiveness, PhaseBreakdown) {
+        let out = filter.query(self.view, prepared);
+        (evaluate(&out.candidates, self.gt), out.breakdown)
+    }
+
+    /// Runs a filter's prepare stage, firing the `prepare/<repr>`
+    /// fault-injection site first so sweeps can be tested against
+    /// prepare-time crashes.
+    fn prepare(&self, filter: &dyn Filter) -> Prepared {
+        if faults::enabled() {
+            faults::fire(&format!("prepare/{}", filter.repr_key()));
+        }
+        filter.prepare(self.view)
+    }
+
+    /// Fetches the prepare-stage artifact for `filter` through the shared
+    /// cache. A miss runs the prepare under the sweep's guard limits; a
+    /// failing prepare poisons the entry and returns the structured
+    /// failure, and a poisoned hit replays it without re-running anything.
+    fn prepared_for(&self, filter: &dyn Filter) -> Result<Prepared, (FailReason, Duration)> {
+        let repr = filter.repr_key();
+        let key = ArtifactKey::new(self.dataset_fp, repr.clone());
+        match self.cache.lookup(&key) {
+            Some(Ok(prepared)) => Ok(prepared),
+            Some(Err(reason)) => Err((FailReason::Poisoned { repr, reason }, Duration::ZERO)),
+            None => match guard::run_guarded(self.limits(), || self.prepare(filter)) {
+                RunOutcome::Ok(prepared) => {
+                    self.cache.insert(key, prepared.clone());
+                    Ok(prepared)
+                }
+                RunOutcome::Failed { reason, elapsed } => {
+                    self.cache.poison(key, reason.to_string());
+                    Err((reason, elapsed))
+                }
+            },
+        }
+    }
+}
+
+/// Records a whole configuration group as failed after its shared prepare
+/// failed: the first member carries the original reason (and the elapsed
+/// time), every other member a zero-cost [`FailReason::Poisoned`] row. A
+/// group failing on a poisoned cache hit replays the same poisoned reason
+/// for every member.
+fn fail_group<C>(
+    outcome: &mut OptimizationOutcome<C>,
+    configs: impl IntoIterator<Item = C>,
+    repr: &str,
+    reason: FailReason,
+    elapsed: Duration,
+) {
+    let poisoned = match &reason {
+        FailReason::Poisoned { .. } => reason.clone(),
+        fresh => FailReason::Poisoned {
+            repr: repr.to_owned(),
+            reason: fresh.to_string(),
+        },
+    };
+    let mut first = Some((reason, elapsed));
+    for config in configs {
+        let (reason, elapsed) = first
+            .take()
+            .unwrap_or_else(|| (poisoned.clone(), Duration::ZERO));
+        outcome.failures.push(Failure {
+            config,
+            reason,
+            elapsed,
+        });
     }
 }
 
@@ -178,18 +271,23 @@ fn fixed_outcome(ctx: &Context<'_>, method: &str, f: &dyn Filter, config: String
 
 /// Fine-tunes one blocking workflow family (SBW/QBW/EQBW/SABW/ESABW).
 ///
-/// The sweep exploits the grid ordering (comparison cleaning varies
-/// fastest): blocks are rebuilt only when the building/cleaning-independent
-/// prefix changes, which amortizes the expensive block-building step across
-/// the 31–43 comparison-cleaning options.
+/// Raw block building — the representation-dependent step — goes through
+/// the shared artifact cache (keyed by the builder alone, so every purge /
+/// filter / cleaning combination over one builder shares one collection,
+/// as does a later warm sweep). The cleaned collection, the blocking graph
+/// and the weighted edges remain local caches matching the grid's loop
+/// nesting, exactly as before.
 pub fn run_blocking_family(ctx: &Context<'_>, kind: WorkflowKind) -> MethodOutcome {
-    use er::blocking::{BlockingGraph, WeightingScheme};
+    use er::blocking::{
+        block_filtering, block_purging, BlockCollection, BlockingGraph, WeightingScheme,
+    };
     let grid = kind.grid(ctx.resolution);
     let mut outcome: OptimizationOutcome<BlockingWorkflow> = OptimizationOutcome::default();
-    // Three cache levels matching the grid's loop nesting: blocks per
-    // (builder, purge, ratio); the blocking graph per blocks; weighted
-    // edges per (graph, scheme).
-    let mut blocks_cache: Option<(BlockingWorkflow, er::blocking::BlockCollection)> = None;
+    // Raw blocks per builder (via the artifact cache, with prepare-failure
+    // poisoning); cleaned blocks per (builder, purge, ratio); the blocking
+    // graph per cleaned blocks; weighted edges per (graph, scheme).
+    let mut raw: Option<(String, Result<Prepared, String>)> = None;
+    let mut cleaned: Option<(BlockingWorkflow, Option<BlockCollection>)> = None;
     let mut graph_cache: Option<BlockingGraph> = None;
     let mut edges_cache: Option<(WeightingScheme, Vec<er::blocking::metablocking::Edge>)> = None;
     for wf in grid {
@@ -199,17 +297,66 @@ pub fn run_blocking_family(ctx: &Context<'_>, kind: WorkflowKind) -> MethodOutco
         // Cooperative deadline check once per configuration: an armed
         // method-level guard can time the sweep out between grid points.
         guard::checkpoint();
-        let prefix_matches = blocks_cache.as_ref().is_some_and(|(prev, _)| {
+        let repr = wf.repr_key();
+        if !raw.as_ref().is_some_and(|(r, _)| r == &repr) {
+            let fetched = match ctx.prepared_for(&wf) {
+                Ok(prepared) => Ok(prepared),
+                Err((reason, elapsed)) => {
+                    let msg = reason.to_string();
+                    outcome.failures.push(Failure {
+                        config: wf.clone(),
+                        reason,
+                        elapsed,
+                    });
+                    Err(msg)
+                }
+            };
+            let failed = fetched.is_err();
+            raw = Some((repr.clone(), fetched));
+            cleaned = None;
+            graph_cache = None;
+            edges_cache = None;
+            if failed {
+                continue; // this wf's failure row was just pushed
+            }
+        }
+        let (_, state) = raw.as_ref().expect("raw cache just refreshed");
+        let prepared = match state {
+            Ok(prepared) => prepared,
+            Err(msg) => {
+                outcome.failures.push(Failure {
+                    config: wf.clone(),
+                    reason: FailReason::Poisoned {
+                        repr: repr.clone(),
+                        reason: msg.clone(),
+                    },
+                    elapsed: Duration::ZERO,
+                });
+                continue;
+            }
+        };
+        let raw_blocks = prepared.downcast::<BlockCollection>();
+        let prefix_matches = cleaned.as_ref().is_some_and(|(prev, _)| {
             prev.builder == wf.builder
                 && prev.purge == wf.purge
                 && prev.filter_ratio == wf.filter_ratio
         });
         if !prefix_matches {
-            blocks_cache = Some((wf.clone(), wf.build_blocks(ctx.view)));
+            let mut b: Option<BlockCollection> = None;
+            if wf.purge {
+                b = Some(block_purging(raw_blocks));
+            }
+            if let Some(r) = wf.filter_ratio {
+                if r < 1.0 {
+                    b = Some(block_filtering(b.as_ref().unwrap_or(raw_blocks), r));
+                }
+            }
+            cleaned = Some((wf.clone(), b));
             graph_cache = None;
             edges_cache = None;
         }
-        let (_, blocks) = blocks_cache.as_ref().expect("cache just refreshed");
+        let (_, cleaned_blocks) = cleaned.as_ref().expect("cache just refreshed");
+        let blocks = cleaned_blocks.as_ref().unwrap_or(raw_blocks);
         let candidates = match &wf.cleaning {
             ComparisonCleaning::Propagation => comparison_propagation(blocks),
             ComparisonCleaning::Meta(mb) => {
@@ -272,24 +419,29 @@ pub fn run_epsilon(ctx: &Context<'_>) -> MethodOutcome {
 
     for group in groups {
         guard::checkpoint();
-        let probe = group.first().expect("non-empty threshold group");
-        let cleaner = if probe.cleaning {
-            er::text::Cleaner::on()
-        } else {
-            er::text::Cleaner::off()
+        let probe = *group.first().expect("non-empty threshold group");
+        // Tokenization + the ScanCount index come from the shared artifact
+        // cache: every similarity measure (and the kNN-Join/top-k sweeps)
+        // over the same (CL, RM) reuses one preparation.
+        let prepared = match ctx.prepared_for(&probe) {
+            Ok(prepared) => prepared,
+            Err((reason, elapsed)) => {
+                fail_group(&mut outcome, group, &probe.repr_key(), reason, elapsed);
+                continue;
+            }
         };
-        let sets1: Vec<Vec<u64>> =
-            parallel::par_map(&ctx.view.e1, |t| probe.model.token_set(t, &cleaner));
-        let sets2: Vec<Vec<u64>> =
-            parallel::par_map(&ctx.view.e2, |t| probe.model.token_set(t, &cleaner));
-        let index = ScanCountIndex::build(&sets1);
+        let art = prepared.downcast::<TokenSetsArtifact>();
+        let index = &art.index;
 
         // Histogram pass: each worker chunk accumulates its own partial
         // histogram; the `u64` partials merge in chunk order (addition is
         // exact, so the result is thread-count-invariant either way).
-        let chunk = parallel::query_chunk_len(sets2.len());
-        let partials =
-            parallel::par_map_chunks_with(Threads::get(), &sets2, chunk, |offset, part| {
+        let chunk = parallel::query_chunk_len(art.query_sets.len());
+        let partials = parallel::par_map_chunks_with(
+            Threads::get(),
+            &art.query_sets,
+            chunk,
+            |offset, part| {
                 let mut scratch = ScanCountScratch::default();
                 let mut hits: Vec<(u32, u32)> = Vec::new();
                 let mut totals = vec![0u64; SIM_BINS + 1];
@@ -310,7 +462,8 @@ pub fn run_epsilon(ctx: &Context<'_>) -> MethodOutcome {
                     }
                 }
                 (totals, dups)
-            });
+            },
+        );
         let mut totals = vec![0u64; SIM_BINS + 1];
         let mut dups = vec![0u64; SIM_BINS + 1];
         for (t, d) in partials {
@@ -366,16 +519,27 @@ fn max_k(res: GridResolution) -> usize {
 
 /// Fine-tunes the kNN-Join.
 ///
-/// Rankings per `(CL, SM, RM, RVS)` combination are computed once; the
-/// ascending K sweep reads prefixes (distinct-similarity semantics).
+/// Rankings per `(CL, SM, RM, RVS)` combination are computed once over the
+/// cached token-set artifact; the ascending K sweep reads prefixes
+/// (distinct-similarity semantics).
 pub fn run_knn(ctx: &Context<'_>) -> MethodOutcome {
     let groups = knn_grid(ctx.resolution);
     let mut outcome: OptimizationOutcome<KnnJoin> = OptimizationOutcome::default();
     for group in groups {
         guard::checkpoint();
-        let probe = group.first().expect("non-empty K group");
+        let probe = *group.first().expect("non-empty K group");
         let k_cap = group.last().expect("non-empty").k;
-        let rankings = probe.rankings(ctx.view, (k_cap * 2).max(k_cap + 16));
+        let prepared = match ctx.prepared_for(&probe) {
+            Ok(prepared) => prepared,
+            Err((reason, elapsed)) => {
+                fail_group(&mut outcome, group, &probe.repr_key(), reason, elapsed);
+                continue;
+            }
+        };
+        let rankings = probe.rankings_from(
+            prepared.downcast::<TokenSetsArtifact>(),
+            (k_cap * 2).max(k_cap + 16),
+        );
         for cfg in &group {
             let candidates = rankings.candidates_top_k_distinct(cfg.k);
             let eff = evaluate(&candidates, ctx.gt);
@@ -446,23 +610,44 @@ fn average_stochastic<C: Clone>(
     }
 }
 
-/// Fine-tunes MinHash LSH (plain grid over `CL × bands/rows × k`).
+/// Fine-tunes MinHash LSH (grouped grid over `CL × bands/rows × k`). The
+/// MinHash representation key spans every parameter, so the grouped sweep
+/// degenerates to one prepare per grid point — which still makes a warm
+/// re-sweep over the same dataset prepare-free.
 pub fn run_minhash(ctx: &Context<'_>) -> MethodOutcome {
     let grid = dense_grid::minhash_grid(ctx.resolution, ctx.seed);
-    let opt = ctx
-        .optimizer
-        .grid_par(grid, |cfg: &MinHashLsh| ctx.eval(cfg));
+    let opt = ctx.optimizer.grid_grouped(
+        ctx.cache,
+        ctx.dataset_fp,
+        grid,
+        |cfg: &MinHashLsh| cfg.repr_key(),
+        |cfg| ctx.prepare(cfg),
+        |cfg, prepared| ctx.eval_query(cfg, prepared),
+    );
     average_stochastic(ctx, "MH-LSH", &opt, MinHashLsh::describe, |cfg, seed| {
         Box::new(MinHashLsh { seed, ..*cfg })
     })
 }
 
-/// Fine-tunes Hyperplane LSH (probe sweep ascending per combination).
+/// Fine-tunes Hyperplane LSH (probe sweep ascending per combination). The
+/// representation key excludes the probe count, so the whole ascending
+/// probe sweep shares one set of hash tables.
 pub fn run_hyperplane(ctx: &Context<'_>) -> MethodOutcome {
-    let groups = dense_grid::hyperplane_grid(ctx.resolution, ctx.embedding(), ctx.seed);
+    let groups = dense_grid::hyperplane_grid(ctx.resolution, ctx.embedding, ctx.seed);
     let mut outcome: OptimizationOutcome<HyperplaneLsh> = OptimizationOutcome::default();
     for group in groups {
-        let sub = ctx.optimizer.first_feasible_par(group, |cfg| ctx.eval(cfg));
+        guard::checkpoint();
+        let probe = *group.first().expect("non-empty probe group");
+        let prepared = match ctx.prepared_for(&probe) {
+            Ok(prepared) => prepared,
+            Err((reason, elapsed)) => {
+                fail_group(&mut outcome, group, &probe.repr_key(), reason, elapsed);
+                continue;
+            }
+        };
+        let sub = ctx
+            .optimizer
+            .first_feasible_par(group, |cfg| ctx.eval_query(cfg, &prepared));
         merge_outcomes(&mut outcome, sub, ctx.optimizer.target.0);
     }
     average_stochastic(
@@ -476,10 +661,21 @@ pub fn run_hyperplane(ctx: &Context<'_>) -> MethodOutcome {
 
 /// Fine-tunes Cross-Polytope LSH.
 pub fn run_crosspolytope(ctx: &Context<'_>) -> MethodOutcome {
-    let groups = dense_grid::crosspolytope_grid(ctx.resolution, ctx.embedding(), ctx.seed);
+    let groups = dense_grid::crosspolytope_grid(ctx.resolution, ctx.embedding, ctx.seed);
     let mut outcome: OptimizationOutcome<CrossPolytopeLsh> = OptimizationOutcome::default();
     for group in groups {
-        let sub = ctx.optimizer.first_feasible_par(group, |cfg| ctx.eval(cfg));
+        guard::checkpoint();
+        let probe = *group.first().expect("non-empty probe group");
+        let prepared = match ctx.prepared_for(&probe) {
+            Ok(prepared) => prepared,
+            Err((reason, elapsed)) => {
+                fail_group(&mut outcome, group, &probe.repr_key(), reason, elapsed);
+                continue;
+            }
+        };
+        let sub = ctx
+            .optimizer
+            .first_feasible_par(group, |cfg| ctx.eval_query(cfg, &prepared));
         merge_outcomes(&mut outcome, sub, ctx.optimizer.target.0);
     }
     average_stochastic(
@@ -506,14 +702,17 @@ fn merge_outcomes<C: Clone>(
     // `consider` double-counts the merged champions; the true total is the
     // sum of the sub-sweep's evaluations.
     into.evaluated = before + from.evaluated;
+    into.failures.extend(from.failures);
 }
 
 /// Generic driver for the cardinality-based dense methods: rankings per
-/// combination, ascending-K prefix sweep, honest re-run of the winner.
-fn run_cardinality_dense<C: Clone>(
+/// combination (over the cached prepare artifact), ascending-K prefix
+/// sweep, honest re-run of the winner. A failed prepare fails the combo's
+/// whole K sweep as structured rows instead of aborting the method.
+fn run_cardinality_dense<C: Clone + Filter>(
     ctx: &Context<'_>,
     combos: Vec<C>,
-    rankings_of: impl Fn(&C, usize) -> er::core::QueryRankings,
+    rankings_of: impl Fn(&C, usize) -> Result<er::core::QueryRankings, (FailReason, Duration)>,
     with_k: impl Fn(&C, usize) -> C,
 ) -> OptimizationOutcome<C> {
     let ks = dense_grid::k_sweep(ctx.resolution);
@@ -521,7 +720,19 @@ fn run_cardinality_dense<C: Clone>(
     let mut outcome: OptimizationOutcome<C> = OptimizationOutcome::default();
     for combo in combos {
         guard::checkpoint();
-        let rankings = rankings_of(&combo, k_cap);
+        let rankings = match rankings_of(&combo, k_cap) {
+            Ok(rankings) => rankings,
+            Err((reason, elapsed)) => {
+                fail_group(
+                    &mut outcome,
+                    ks.iter().map(|&k| with_k(&combo, k)),
+                    &combo.repr_key(),
+                    reason,
+                    elapsed,
+                );
+                continue;
+            }
+        };
         for &k in &ks {
             let candidates = rankings.candidates_top_k(k);
             let eff = evaluate(&candidates, ctx.gt);
@@ -544,11 +755,14 @@ fn run_cardinality_dense<C: Clone>(
 
 /// Fine-tunes the FAISS-equivalent flat kNN.
 pub fn run_faiss(ctx: &Context<'_>) -> MethodOutcome {
-    let combos = dense_grid::flat_combos(ctx.resolution, ctx.embedding());
+    let combos = dense_grid::flat_combos(ctx.resolution, ctx.embedding);
     let opt = run_cardinality_dense(
         ctx,
         combos,
-        |c: &FlatKnn, k_cap| c.rankings(ctx.view, k_cap),
+        |c: &FlatKnn, k_cap| {
+            let prepared = ctx.prepared_for(c)?;
+            Ok(c.rankings_from(prepared.downcast::<DenseIndexArtifact>(), k_cap))
+        },
         |c, k| FlatKnn { k, ..*c },
     );
     outcome_from("FAISS", &opt, FlatKnn::describe, |cfg| ctx.eval(cfg))
@@ -556,11 +770,14 @@ pub fn run_faiss(ctx: &Context<'_>) -> MethodOutcome {
 
 /// Fine-tunes the SCANN-equivalent partitioned kNN.
 pub fn run_scann(ctx: &Context<'_>) -> MethodOutcome {
-    let combos = dense_grid::scann_combos(ctx.resolution, ctx.embedding(), ctx.seed);
+    let combos = dense_grid::scann_combos(ctx.resolution, ctx.embedding, ctx.seed);
     let opt = run_cardinality_dense(
         ctx,
         combos,
-        |c: &PartitionedKnn, k_cap| c.rankings(ctx.view, k_cap),
+        |c: &PartitionedKnn, k_cap| {
+            let prepared = ctx.prepared_for(c)?;
+            Ok(c.rankings_from(prepared.downcast::<PartitionedArtifact>(), k_cap))
+        },
         |c, k| PartitionedKnn { k, ..*c },
     );
     outcome_from("SCANN", &opt, PartitionedKnn::describe, |cfg| ctx.eval(cfg))
@@ -568,11 +785,14 @@ pub fn run_scann(ctx: &Context<'_>) -> MethodOutcome {
 
 /// Fine-tunes DeepBlocker.
 pub fn run_deepblocker(ctx: &Context<'_>) -> MethodOutcome {
-    let combos = dense_grid::deepblocker_combos(ctx.resolution, ctx.embedding(), ctx.seed);
+    let combos = dense_grid::deepblocker_combos(ctx.resolution, ctx.embedding, ctx.seed);
     let opt = run_cardinality_dense(
         ctx,
         combos,
-        |c: &DeepBlocker, k_cap| c.rankings(ctx.view, k_cap),
+        |c: &DeepBlocker, k_cap| {
+            let prepared = ctx.prepared_for(c)?;
+            Ok(c.rankings_from(prepared.downcast::<DenseIndexArtifact>(), k_cap))
+        },
         |c, k| DeepBlocker::new(er::dense::DeepBlockerConfig { k, ..c.config }),
     );
     average_stochastic(
@@ -594,7 +814,7 @@ pub fn run_ddb(ctx: &Context<'_>) -> MethodOutcome {
     let cfg = dense_grid::ddb_baseline(
         ctx.view.e1.len(),
         ctx.view.e2.len(),
-        ctx.embedding(),
+        ctx.embedding,
         ctx.seed,
     );
     let mut opt: OptimizationOutcome<DeepBlocker> = OptimizationOutcome::default();
@@ -788,16 +1008,20 @@ mod tests {
     use er::core::schema::{text_view, SchemaMode};
     use er::datagen::profiles::profile;
 
-    fn quick_ctx<'a>(view: &'a TextView, gt: &'a GroundTruth) -> Context<'a> {
+    fn quick_ctx<'a>(
+        view: &'a TextView,
+        gt: &'a GroundTruth,
+        cache: &'a ArtifactCache,
+    ) -> Context<'a> {
         Context {
-            view,
-            gt,
             optimizer: Optimizer::new(0.9),
-            resolution: GridResolution::Quick,
-            dim: 48,
+            embedding: EmbeddingConfig {
+                dim: 48,
+                ..Default::default()
+            },
             seed: 11,
-            reps: 1,
             label: "test".to_owned(),
+            ..Context::new(view, gt, cache)
         }
     }
 
@@ -805,7 +1029,8 @@ mod tests {
     fn blocking_optimization_beats_or_ties_pbw_precision() {
         let ds = er::datagen::generate(profile("D2").expect("D2"), 0.05, 3);
         let view = text_view(&ds, &SchemaMode::Agnostic);
-        let ctx = quick_ctx(&view, &ds.groundtruth);
+        let cache = ArtifactCache::new();
+        let ctx = quick_ctx(&view, &ds.groundtruth, &cache);
         let sbw = run_blocking_family(&ctx, WorkflowKind::Sbw);
         let pbw = run_pbw(&ctx);
         assert!(sbw.pc >= 0.9, "SBW pc {}", sbw.pc);
@@ -821,7 +1046,8 @@ mod tests {
     fn sparse_methods_reach_target_on_clean_data() {
         let ds = er::datagen::generate(profile("D4").expect("D4"), 0.05, 5);
         let view = text_view(&ds, &SchemaMode::Agnostic);
-        let ctx = quick_ctx(&view, &ds.groundtruth);
+        let cache = ArtifactCache::new();
+        let ctx = quick_ctx(&view, &ds.groundtruth, &cache);
         let eps = run_epsilon(&ctx);
         let knn = run_knn(&ctx);
         assert!(eps.feasible, "e-Join infeasible: pc {}", eps.pc);
@@ -833,7 +1059,8 @@ mod tests {
     fn cardinality_dense_methods_run() {
         let ds = er::datagen::generate(profile("D1").expect("D1"), 0.1, 5);
         let view = text_view(&ds, &SchemaMode::Agnostic);
-        let ctx = quick_ctx(&view, &ds.groundtruth);
+        let cache = ArtifactCache::new();
+        let ctx = quick_ctx(&view, &ds.groundtruth, &cache);
         let faiss = run_faiss(&ctx);
         assert!(faiss.pc > 0.5, "FAISS pc {}", faiss.pc);
         assert!(faiss.candidates > 0.0);
@@ -847,7 +1074,8 @@ mod tests {
         // candidate counts (within histogram-boundary tolerance).
         let ds = er::datagen::generate(profile("D2").expect("D2"), 0.05, 9);
         let view = text_view(&ds, &SchemaMode::Agnostic);
-        let ctx = quick_ctx(&view, &ds.groundtruth);
+        let cache = ArtifactCache::new();
+        let ctx = quick_ctx(&view, &ds.groundtruth, &cache);
         let eps = run_epsilon(&ctx);
         // `outcome_from` re-runs the winner; pc/pq in the outcome are thus
         // ground truth. The sweep only picks the config; verify coherence.
@@ -859,11 +1087,45 @@ mod tests {
     fn minhash_runs_and_averages() {
         let ds = er::datagen::generate(profile("D1").expect("D1"), 0.1, 13);
         let view = text_view(&ds, &SchemaMode::Agnostic);
-        let mut ctx = quick_ctx(&view, &ds.groundtruth);
+        let cache = ArtifactCache::new();
+        let mut ctx = quick_ctx(&view, &ds.groundtruth, &cache);
         ctx.reps = 2;
         let mh = run_minhash(&ctx);
         assert!(mh.candidates >= 0.0);
         assert!(mh.evaluated >= 2);
+    }
+
+    #[test]
+    fn sparse_artifacts_are_shared_across_methods_and_sweeps() {
+        let ds = er::datagen::generate(profile("D4").expect("D4"), 0.05, 5);
+        let view = text_view(&ds, &SchemaMode::Agnostic);
+        let cache = ArtifactCache::new();
+        let ctx = quick_ctx(&view, &ds.groundtruth, &cache);
+
+        let cold = run_epsilon(&ctx);
+        let cold_misses = cache.stats().misses;
+        assert!(cold_misses > 0, "cold sweep prepares artifacts");
+
+        // The kNN-Join's non-reversed combinations reuse the ε-Join's
+        // token-set artifacts.
+        let _ = run_knn(&ctx);
+        assert!(
+            cache.stats().hits > 0,
+            "kNN reuses the e-Join's token-set artifacts"
+        );
+
+        // A warm re-sweep prepares nothing new and reports identically.
+        let misses_before = cache.stats().misses;
+        let warm = run_epsilon(&ctx);
+        assert_eq!(
+            cache.stats().misses,
+            misses_before,
+            "warm sweep adds no misses"
+        );
+        assert_eq!(warm.pc, cold.pc);
+        assert_eq!(warm.pq, cold.pq);
+        assert_eq!(warm.candidates, cold.candidates);
+        assert_eq!(warm.config, cold.config);
     }
 }
 
@@ -872,6 +1134,7 @@ mod histogram_tests {
     use super::*;
     use er::core::schema::{text_view, SchemaMode};
     use er::datagen::profiles::profile;
+    use er::sparse::ScanCountIndex;
 
     /// The binned ε-Join sweep must agree with direct runs at every grid
     /// threshold: same candidate counts and duplicate counts.

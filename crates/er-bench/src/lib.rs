@@ -24,4 +24,4 @@ pub mod sweep;
 pub use harness::{run_all_methods, Context, MethodId, MethodOutcome};
 pub use report::Table;
 pub use settings::Settings;
-pub use sweep::{run_sweep, Column};
+pub use sweep::{bench_prepare, run_sweep, Column};

@@ -13,6 +13,8 @@
 //! --threads 8          worker threads (0 or `auto` = hardware parallelism)
 //! --timeout 30         per-grid-point wall-clock deadline, seconds
 //! --budget 5000000     per-grid-point candidate-pair budget
+//! --cache-budget 512M  artifact-cache memory budget (K/M/G suffixes;
+//!                      default: unbounded)
 //! --checkpoint p.jsonl append each completed grid point to a checkpoint
 //! --resume p.jsonl     skip grid points recorded in the checkpoint
 //! --inject-faults SPEC deterministic fault injection, e.g.
@@ -53,6 +55,8 @@ pub struct Settings {
     pub timeout: Option<Duration>,
     /// Per-grid-point candidate-pair budget.
     pub max_candidates: Option<usize>,
+    /// Artifact-cache memory budget in bytes (`None` = unbounded).
+    pub cache_budget: Option<usize>,
     /// Checkpoint file to append completed grid points to.
     pub checkpoint: Option<String>,
     /// Checkpoint file to resume from (implies checkpointing to it).
@@ -76,6 +80,7 @@ impl Default for Settings {
             threads: 0,
             timeout: None,
             max_candidates: None,
+            cache_budget: None,
             checkpoint: None,
             resume: None,
             faults: None,
@@ -154,6 +159,12 @@ impl Settings {
                     }
                     s.max_candidates = Some(n);
                 }
+                "--cache-budget" => {
+                    s.cache_budget = Some(
+                        parse_bytes(&value("--cache-budget")?)
+                            .map_err(|e| format!("--cache-budget: {e}"))?,
+                    );
+                }
                 "--checkpoint" => s.checkpoint = Some(value("--checkpoint")?),
                 "--resume" => s.resume = Some(value("--resume")?),
                 "--inject-faults" => {
@@ -222,6 +233,26 @@ impl Settings {
     }
 }
 
+/// Parses a byte size with an optional binary K/M/G suffix (`512M`,
+/// `2g`, `65536`).
+fn parse_bytes(v: &str) -> Result<usize, String> {
+    let v = v.trim();
+    let (digits, unit) = match v.chars().last() {
+        Some('k' | 'K') => (&v[..v.len() - 1], 1usize << 10),
+        Some('m' | 'M') => (&v[..v.len() - 1], 1usize << 20),
+        Some('g' | 'G') => (&v[..v.len() - 1], 1usize << 30),
+        _ => (v, 1),
+    };
+    let n: usize = digits
+        .parse()
+        .map_err(|_| format!("invalid byte size {v:?}"))?;
+    if n == 0 {
+        return Err("byte size must be positive".to_owned());
+    }
+    n.checked_mul(unit)
+        .ok_or_else(|| format!("byte size {v:?} overflows"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,6 +294,8 @@ mod tests {
             "2.5",
             "--budget",
             "1000000",
+            "--cache-budget",
+            "512M",
             "--checkpoint",
             "ck.jsonl",
             "--inject-faults",
@@ -283,6 +316,7 @@ mod tests {
         assert_eq!(s.threads, 4);
         assert_eq!(s.timeout, Some(Duration::from_millis(2500)));
         assert_eq!(s.max_candidates, Some(1_000_000));
+        assert_eq!(s.cache_budget, Some(512 << 20));
         assert_eq!(s.checkpoint_path(), Some("ck.jsonl"));
         assert!(s.faults.is_some());
         assert!(s.has_flag("--configs"));
@@ -305,12 +339,27 @@ mod tests {
             (&["--scale", "zero"][..], "--scale"),
             (&["--timeout", "-1"][..], "--timeout"),
             (&["--budget", "0"][..], "--budget"),
+            (&["--cache-budget", "0"][..], "--cache-budget"),
+            (&["--cache-budget", "12Q"][..], "--cache-budget"),
             (&["--inject-faults", "??"][..], "--inject-faults"),
             (&["--seed"][..], "requires a value"),
         ] {
             let err = parse(args).expect_err(needle);
             assert!(err.contains(needle), "{args:?}: {err}");
             assert!(!err.contains('\n'), "single line: {err:?}");
+        }
+    }
+
+    #[test]
+    fn cache_budget_accepts_binary_suffixes() {
+        for (spec, bytes) in [
+            ("65536", 65536),
+            ("4k", 4 << 10),
+            ("32M", 32 << 20),
+            ("2G", 2 << 30),
+        ] {
+            let s = parse(&["--cache-budget", spec]).expect(spec);
+            assert_eq!(s.cache_budget, Some(bytes), "{spec}");
         }
     }
 
@@ -323,7 +372,17 @@ mod tests {
     #[test]
     fn fingerprint_ignores_execution_strategy() {
         let a = parse(&[]).expect("a");
-        let b = parse(&["--threads", "8", "--timeout", "5", "--resume", "x.jsonl"]).expect("b");
+        let b = parse(&[
+            "--threads",
+            "8",
+            "--timeout",
+            "5",
+            "--cache-budget",
+            "64M",
+            "--resume",
+            "x.jsonl",
+        ])
+        .expect("b");
         let c = parse(&["--seed", "43"]).expect("c");
         assert_eq!(a.fingerprint(), b.fingerprint());
         assert_ne!(a.fingerprint(), c.fingerprint());

@@ -11,16 +11,20 @@
 //! run's.
 
 use crate::checkpoint::{Checkpoint, CheckpointWriter};
-use crate::harness::{run_method, Context, MethodId, MethodOutcome};
+use crate::harness::{run_all_methods, run_method, Context, MethodId, MethodOutcome};
+use crate::jsonl::Json;
 use crate::settings::Settings;
+use er::core::artifacts::{ArtifactCache, CacheStats};
 use er::core::optimize::Optimizer;
 use er::core::parallel;
 use er::core::schema::{text_view, SchemaMode};
 use er::core::timing::format_runtime;
 use er::datagen::{generate, DatasetProfile};
+use er::dense::EmbeddingConfig;
 use std::io;
 use std::path::Path;
 use std::sync::Mutex;
+use std::time::Duration;
 
 /// One evaluated column of Table VII.
 #[derive(Debug, Clone)]
@@ -131,15 +135,23 @@ fn evaluate_column(
     let ds = generate(spec.profile, settings.scale, settings.seed);
     let view = text_view(&ds, &spec.mode);
     let cartesian = ds.cartesian();
+    // One artifact cache per column: artifact keys carry the dataset
+    // fingerprint, so nothing is shared across columns anyway, and a
+    // per-column cache keeps every mutation on this column's worker —
+    // preserving deterministic eviction at any `column_workers` count.
+    let cache = ArtifactCache::new();
+    cache.set_budget(settings.cache_budget);
     let ctx = Context {
-        view: &view,
-        gt: &ds.groundtruth,
         optimizer: Optimizer::new(settings.target_pc).with_limits(settings.limits()),
         resolution: settings.resolution,
-        dim: settings.dim,
+        embedding: EmbeddingConfig {
+            dim: settings.dim,
+            ..Default::default()
+        },
         seed: settings.seed,
         reps: settings.reps,
         label: label.clone(),
+        ..Context::new(&view, &ds.groundtruth, &cache)
     };
     let mut outcomes = Vec::with_capacity(MethodId::ALL.len());
     for (id, cached) in MethodId::ALL.into_iter().zip(cached) {
@@ -162,6 +174,20 @@ fn evaluate_column(
             report_done(label, &o, elapsed, was_cached);
         }
         outcomes.push(o);
+    }
+    if verbose {
+        let s = cache.stats();
+        eprintln!(
+            "   [{label}] cache: {} hits / {} misses / {} evictions / {} poisoned / \
+             {} KiB resident / prepare {} spent, {} saved",
+            s.hits,
+            s.misses,
+            s.evictions,
+            s.poisoned,
+            s.bytes.div_ceil(1024),
+            format_runtime(s.prepare_wall),
+            format_runtime(s.prepare_saved),
+        );
     }
     Ok(Column {
         label: label.clone(),
@@ -237,4 +263,116 @@ pub fn run_sweep(
         })
     };
     columns.into_iter().collect()
+}
+
+/// The deterministic report columns of an outcome — everything the final
+/// table prints except wall-clock runtimes, which legitimately differ
+/// between passes.
+fn stable_row(o: &MethodOutcome) -> String {
+    format!(
+        "{}|pc={}|pq={}|cand={}|cfg={}|feasible={}|evaluated={}|err={:?}",
+        o.method, o.pc, o.pq, o.candidates, o.config, o.feasible, o.evaluated, o.error
+    )
+}
+
+fn stats_delta_obj(wall: Duration, before: &CacheStats, after: &CacheStats) -> Json {
+    let hits = after.hits - before.hits;
+    let misses = after.misses - before.misses;
+    let lookups = hits + misses;
+    let prepare = after.prepare_wall - before.prepare_wall;
+    Json::Obj(vec![
+        ("wall_s".to_owned(), Json::Num(wall.as_secs_f64())),
+        ("prepare_s".to_owned(), Json::Num(prepare.as_secs_f64())),
+        ("hits".to_owned(), Json::Num(hits as f64)),
+        ("misses".to_owned(), Json::Num(misses as f64)),
+        (
+            "hit_rate".to_owned(),
+            Json::Num(if lookups == 0 {
+                0.0
+            } else {
+                hits as f64 / lookups as f64
+            }),
+        ),
+    ])
+}
+
+/// Runs the sweep's first column twice in one process — cold, then warm —
+/// against a shared artifact cache and writes a one-line JSON summary of
+/// the prepare-stage savings to `path`.
+///
+/// `prepare_s` counts wall time spent inside cache-managed prepare
+/// stages, so a fully-retained warm pass reports ~0 and a large
+/// `prepare_speedup` (cold ÷ warm, warm floored at 1ns to keep the ratio
+/// finite). `reports_identical` asserts the cache never changes results:
+/// both passes must agree on every deterministic report column
+/// (pc / pq / candidates / config / feasibility / error).
+pub fn bench_prepare(settings: &Settings, path: &Path, verbose: bool) -> io::Result<()> {
+    let spec = column_specs(settings).into_iter().next().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "bench-prepare: no datasets selected",
+        )
+    })?;
+    let ds = generate(spec.profile, settings.scale, settings.seed);
+    let view = text_view(&ds, &spec.mode);
+    let cache = ArtifactCache::new();
+    cache.set_budget(settings.cache_budget);
+    let ctx = Context {
+        optimizer: Optimizer::new(settings.target_pc).with_limits(settings.limits()),
+        resolution: settings.resolution,
+        embedding: EmbeddingConfig {
+            dim: settings.dim,
+            ..Default::default()
+        },
+        seed: settings.seed,
+        reps: settings.reps,
+        label: spec.label.clone(),
+        ..Context::new(&view, &ds.groundtruth, &cache)
+    };
+
+    let pass = |name: &str| {
+        let before = cache.stats();
+        let sw = er::core::Stopwatch::start();
+        let outcomes = run_all_methods(&ctx);
+        let wall = sw.elapsed();
+        let after = cache.stats();
+        if verbose {
+            eprintln!(
+                "bench-prepare [{}] {name}: wall {} / prepare {} / {} hits / {} misses",
+                spec.label,
+                format_runtime(wall),
+                format_runtime(after.prepare_wall - before.prepare_wall),
+                after.hits - before.hits,
+                after.misses - before.misses,
+            );
+        }
+        (outcomes, wall, before, after)
+    };
+    let (cold, cold_wall, cold_before, cold_after) = pass("cold");
+    let (warm, warm_wall, warm_before, warm_after) = pass("warm");
+
+    let identical = cold.len() == warm.len()
+        && cold
+            .iter()
+            .zip(&warm)
+            .all(|(a, b)| stable_row(a) == stable_row(b));
+    let cold_prepare = (cold_after.prepare_wall - cold_before.prepare_wall).as_secs_f64();
+    let warm_prepare = (warm_after.prepare_wall - warm_before.prepare_wall).as_secs_f64();
+    let speedup = cold_prepare / warm_prepare.max(1e-9);
+
+    let doc = Json::Obj(vec![
+        ("column".to_owned(), Json::Str(spec.label.clone())),
+        ("fingerprint".to_owned(), Json::Str(settings.fingerprint())),
+        (
+            "cold".to_owned(),
+            stats_delta_obj(cold_wall, &cold_before, &cold_after),
+        ),
+        (
+            "warm".to_owned(),
+            stats_delta_obj(warm_wall, &warm_before, &warm_after),
+        ),
+        ("prepare_speedup".to_owned(), Json::Num(speedup)),
+        ("reports_identical".to_owned(), Json::Bool(identical)),
+    ]);
+    std::fs::write(path, doc.encode() + "\n")
 }

@@ -36,7 +36,7 @@ fn arb_view() -> impl Strategy<Value = TextView> {
         proptest::collection::vec("[a-d]{1,6}( [a-d]{1,6}){0,3}", 1..6),
         proptest::collection::vec("[a-d]{1,6}( [a-d]{1,6}){0,3}", 1..6),
     )
-        .prop_map(|(e1, e2)| TextView { e1, e2 })
+        .prop_map(|(e1, e2)| TextView::new(e1, e2))
 }
 
 proptest! {
@@ -134,7 +134,7 @@ proptest! {
     /// Blocking (recall guarantee for exact duplicates).
     #[test]
     fn standard_blocking_catches_exact_duplicates(text in "[a-d]{1,6}( [a-d]{1,6}){0,2}") {
-        let view = TextView { e1: vec![text.clone()], e2: vec![text] };
+        let view = TextView::new(vec![text.clone()], vec![text]);
         let blocks = BlockBuilder::Standard.build(&view);
         let c = comparison_propagation(&blocks);
         prop_assert!(c.contains(er_core::candidates::Pair::new(0, 0)));

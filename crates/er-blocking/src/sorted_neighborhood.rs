@@ -12,8 +12,9 @@
 //! inside a window becomes a candidate.
 
 use er_core::candidates::CandidateSet;
-use er_core::filter::{Filter, FilterOutput};
+use er_core::filter::{Filter, FilterOutput, Prepared};
 use er_core::schema::TextView;
+use er_core::timing::{PhaseBreakdown, Stage};
 use er_text::tokenize;
 
 /// A configured Sorted Neighborhood run.
@@ -39,16 +40,28 @@ struct Entry {
     entity: u32,
 }
 
+/// Heap footprint of the sorted entry list, for cache accounting.
+fn entry_bytes(entries: &[Entry]) -> usize {
+    entries
+        .iter()
+        .map(|e| std::mem::size_of::<Entry>() + e.key.len())
+        .sum()
+}
+
 impl Filter for SortedNeighborhood {
     fn name(&self) -> String {
         "SN".to_owned()
     }
 
-    fn run(&self, view: &TextView) -> FilterOutput {
-        assert!(self.window >= 2, "window must be at least 2");
-        let mut out = FilterOutput::default();
+    /// The sorted key list is independent of the window size, so every
+    /// window sweep shares one artifact.
+    fn repr_key(&self) -> String {
+        "sn:entries".to_owned()
+    }
 
-        let entries = out.breakdown.time("build", || {
+    fn prepare(&self, view: &TextView) -> Prepared {
+        let mut breakdown = PhaseBreakdown::new();
+        let entries = breakdown.time_in(Stage::Prepare, "build", || {
             let mut entries = Vec::new();
             for (i, text) in view.e1.iter().enumerate() {
                 for key in tokenize(text) {
@@ -71,7 +84,14 @@ impl Filter for SortedNeighborhood {
             entries.sort_unstable();
             entries
         });
+        let bytes = entry_bytes(&entries);
+        Prepared::new(entries, bytes, breakdown)
+    }
 
+    fn query(&self, _view: &TextView, prepared: &Prepared) -> FilterOutput {
+        assert!(self.window >= 2, "window must be at least 2");
+        let entries = prepared.downcast::<Vec<Entry>>();
+        let mut out = FilterOutput::default();
         out.candidates = out.breakdown.time("clean", || {
             let mut candidates = CandidateSet::new();
             if entries.len() < 2 {
@@ -163,5 +183,28 @@ mod tests {
     fn tiny_window_rejected() {
         let v = view(&["a"], &["a"]);
         let _ = SortedNeighborhood { window: 1 }.run(&v);
+    }
+
+    #[test]
+    fn shared_artifact_matches_cold_runs_across_windows() {
+        let v = view(
+            &["apple", "banana", "cherry"],
+            &["apricot", "blueberry", "coconut"],
+        );
+        let prepared = SortedNeighborhood { window: 2 }.prepare(&v);
+        for w in [2, 3, 4, 6] {
+            let sn = SortedNeighborhood { window: w };
+            let cold = sn.run(&v);
+            let warm = sn.query(&v, &prepared);
+            assert_eq!(
+                warm.candidates.to_sorted_vec(),
+                cold.candidates.to_sorted_vec(),
+                "w={w}"
+            );
+        }
+        assert_eq!(
+            SortedNeighborhood { window: 2 }.repr_key(),
+            SortedNeighborhood { window: 9 }.repr_key()
+        );
     }
 }

@@ -14,9 +14,10 @@ use crate::filter::block_filtering;
 use crate::metablocking::{MetaBlocking, PruningAlgorithm, WeightingScheme};
 use crate::propagation::comparison_propagation;
 use crate::purge::block_purging;
-use er_core::filter::{Filter, FilterOutput};
+use er_core::filter::{Filter, FilterOutput, Prepared};
 use er_core::optimize::GridResolution;
 use er_core::schema::TextView;
+use er_core::timing::{PhaseBreakdown, Stage};
 
 /// The comparison-cleaning step: parameter-free Comparison Propagation or
 /// one of the 42 Meta-blocking configurations.
@@ -120,25 +121,52 @@ impl BlockingWorkflow {
     }
 }
 
+/// Estimated heap footprint of a raw block collection, for cache budgets.
+fn block_bytes(blocks: &BlockCollection) -> usize {
+    blocks
+        .blocks
+        .iter()
+        .map(|b| 2 * std::mem::size_of::<Vec<u32>>() + (b.left.len() + b.right.len()) * 4)
+        .sum()
+}
+
 impl Filter for BlockingWorkflow {
     fn name(&self) -> String {
         WorkflowKind::of(&self.builder).acronym().to_owned()
     }
 
-    fn run(&self, view: &TextView) -> FilterOutput {
+    /// Raw block building depends only on the builder; purging, filtering
+    /// and comparison cleaning are all query-stage, so every workflow over
+    /// the same builder shares one block collection.
+    fn repr_key(&self) -> String {
+        format!("blocks:{:?}", self.builder)
+    }
+
+    fn prepare(&self, view: &TextView) -> Prepared {
+        let mut breakdown = PhaseBreakdown::new();
+        let blocks = breakdown.time_in(Stage::Prepare, "build", || self.builder.build(view));
+        let bytes = block_bytes(&blocks);
+        Prepared::new(blocks, bytes, breakdown)
+    }
+
+    fn query(&self, _view: &TextView, prepared: &Prepared) -> FilterOutput {
+        let raw = prepared.downcast::<BlockCollection>();
         let mut out = FilterOutput::default();
-        let mut blocks = out.breakdown.time("build", || self.builder.build(view));
+        let mut blocks = None;
         if self.purge {
-            blocks = out.breakdown.time("purge", || block_purging(&blocks));
+            blocks = Some(out.breakdown.time("purge", || block_purging(raw)));
         }
         if let Some(r) = self.filter_ratio {
             if r < 1.0 {
-                blocks = out.breakdown.time("filter", || block_filtering(&blocks, r));
+                blocks = Some(out.breakdown.time("filter", || {
+                    block_filtering(blocks.as_ref().unwrap_or(raw), r)
+                }));
             }
         }
+        let blocks = blocks.as_ref().unwrap_or(raw);
         out.candidates = out.breakdown.time("clean", || match &self.cleaning {
-            ComparisonCleaning::Propagation => comparison_propagation(&blocks),
-            ComparisonCleaning::Meta(mb) => mb.clean(&blocks),
+            ComparisonCleaning::Propagation => comparison_propagation(blocks),
+            ComparisonCleaning::Meta(mb) => mb.clean(blocks),
         });
         out
     }
@@ -345,12 +373,14 @@ mod tests {
                 "apple iphone 12 black".into(),
                 "samsung galaxy s21".into(),
                 "google pixel 5".into(),
-            ],
+            ]
+            .into(),
             e2: vec![
                 "apple iphone12 black case".into(),
                 "galaxy s21 samsung phone".into(),
                 "nokia 3310".into(),
-            ],
+            ]
+            .into(),
         }
     }
 

@@ -281,19 +281,30 @@ pub fn evaluate(args: &[String]) -> Result<(), String> {
 
 /// `er sweep`: the full fault-isolated Table VII benchmark sweep, with
 /// per-grid-point guards (`--timeout`, `--budget`), grid checkpointing
-/// (`--checkpoint`), resume (`--resume`) and deterministic fault
-/// injection (`--inject-faults`). Shares its flag grammar with the
-/// benchmark binaries via [`er_bench::Settings`].
+/// (`--checkpoint`), resume (`--resume`), deterministic fault injection
+/// (`--inject-faults`) and an artifact-cache budget (`--cache-budget`).
+/// Shares its flag grammar with the benchmark binaries via
+/// [`er_bench::Settings`]. `--bench-prepare out.json` instead runs the
+/// first column twice (cold, then warm against the shared artifact
+/// cache) and writes the prepare-stage savings as JSON.
 pub fn sweep(args: &[String]) -> Result<(), String> {
     let settings = er_bench::Settings::try_parse(args.iter().cloned())?;
     // Settings collects unrecognized flags; only the report flags are
     // valid here — anything else is a typo the user should hear about.
     let mut csv: Option<String> = None;
+    let mut bench_prepare: Option<String> = None;
     let mut opts = er_bench::report::ReportOptions::default();
     let mut it = settings.flags.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--csv" => csv = Some(it.next().cloned().ok_or("--csv requires an output path")?),
+            "--bench-prepare" => {
+                bench_prepare = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or("--bench-prepare requires an output path")?,
+                )
+            }
             "--candidates" => opts.candidates = true,
             "--configs" => opts.configs = true,
             other => return Err(format!("unknown sweep flag {other:?}")),
@@ -302,6 +313,11 @@ pub fn sweep(args: &[String]) -> Result<(), String> {
     Threads::set(settings.threads);
     if let Some(plan) = settings.faults.clone() {
         er::core::faults::configure(Some(plan));
+    }
+    if let Some(path) = bench_prepare {
+        er_bench::bench_prepare(&settings, Path::new(&path), true).map_err(|e| e.to_string())?;
+        eprintln!("wrote {path}");
+        return Ok(());
     }
     // Columns stay serial unless a thread count was requested explicitly;
     // the parallel layer inside each method still uses the global count.
@@ -427,6 +443,10 @@ mod tests {
         assert!(err.contains("--timeout"), "{err}");
         let err = sweep(&s(&["--inject-faults", "explode@"])).expect_err("bad spec");
         assert!(err.contains("--inject-faults"), "{err}");
+        let err = sweep(&s(&["--cache-budget", "lots"])).expect_err("bad budget");
+        assert!(err.contains("--cache-budget"), "{err}");
+        let err = sweep(&s(&["--bench-prepare"])).expect_err("missing path");
+        assert!(err.contains("--bench-prepare"), "{err}");
     }
 
     #[test]

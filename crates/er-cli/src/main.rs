@@ -25,8 +25,9 @@ USAGE:
     er filter   --e1 <csv> --e2 <csv> --method <name> [options] --out <csv>
     er evaluate --pairs <csv> --gt <csv> [--e1 <csv> --e2 <csv>]
     er sweep    [--datasets D1,D4] [--scale F] [--grid quick] [--timeout S]
-                [--budget N] [--checkpoint f.jsonl] [--resume f.jsonl]
-                [--inject-faults SPEC] [--csv out.csv] [--candidates] [--configs]
+                [--budget N] [--cache-budget 512M] [--checkpoint f.jsonl]
+                [--resume f.jsonl] [--inject-faults SPEC] [--csv out.csv]
+                [--bench-prepare out.json] [--candidates] [--configs]
 
 SWEEP FAULT TOLERANCE:
     --timeout S           per-grid-point wall-clock deadline (seconds);
@@ -38,6 +39,15 @@ SWEEP FAULT TOLERANCE:
     --inject-faults SPEC  deterministic fault injection for testing, e.g.
                           'panic@Da1/SBW;stall@eval/*:p=0.1,ms=50'
                           (also via the ER_FAULTS environment variable)
+
+SWEEP ARTIFACT CACHE:
+    --cache-budget SIZE   artifact-cache memory budget (K/M/G suffixes,
+                          e.g. 512M; default: unbounded). Prepared filter
+                          artifacts beyond the budget are evicted LRU
+    --bench-prepare f.json
+                          run the first column cold then warm against the
+                          shared artifact cache and write the prepare-stage
+                          savings (wall/prepare seconds, hit rate, speedup)
 
 FILTER METHODS (with their options):
     pbw                   Standard Blocking + Block Purging + Comparison Propagation

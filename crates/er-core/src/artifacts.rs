@@ -1,0 +1,381 @@
+//! The shared artifact cache behind the prepare/query filter split.
+//!
+//! Problem 1 (paper §V) grid-searches every method's configuration space,
+//! but most grid points only vary *query-stage* parameters (ε, k, ratios,
+//! pruning schemes) while sharing the same *representation* (tokenization,
+//! embedding, index construction). The cache stores one immutable
+//! [`Prepared`] artifact per `(dataset fingerprint, representation key)`
+//! and hands out shallow clones, so each representation is prepared
+//! exactly once per sweep regardless of grid size or thread count.
+//!
+//! Determinism contract: every cache mutation (lookup bookkeeping,
+//! insertion, eviction, poisoning) happens on the sweep driver thread —
+//! parallel query workers only ever hold `Prepared` clones. LRU ticks are
+//! therefore a deterministic function of the grid order, and eviction
+//! order is identical at any thread count.
+//!
+//! Failure containment: when a prepare stage panics, times out or blows
+//! its budget under `guard`, the slot is *poisoned* with the failure
+//! message. Every grid point depending on it then fails as a structured
+//! `Failed` row instead of re-running the doomed prepare or killing the
+//! sweep.
+
+use crate::filter::Prepared;
+use crate::hash::FastMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The identity of a cached artifact: which texts it was prepared from
+/// ([`crate::schema::TextView::fingerprint`]) and which representation
+/// configuration built it ([`crate::filter::Filter::repr_key`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ArtifactKey {
+    /// Content fingerprint of the text view.
+    pub dataset: u64,
+    /// Representation key of the preparing filter.
+    pub repr: String,
+}
+
+impl ArtifactKey {
+    /// Builds a key from its parts.
+    pub fn new(dataset: u64, repr: impl Into<String>) -> Self {
+        Self {
+            dataset,
+            repr: repr.into(),
+        }
+    }
+}
+
+/// Aggregate cache counters, for reports and the prepare benchmark.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a ready artifact.
+    pub hits: usize,
+    /// Artifacts prepared and inserted (one per distinct key).
+    pub misses: usize,
+    /// Ready artifacts evicted to stay under the byte budget.
+    pub evictions: usize,
+    /// Keys poisoned by a failed prepare.
+    pub poisoned: usize,
+    /// Estimated bytes of the currently resident artifacts.
+    pub bytes: usize,
+    /// Wall-clock time spent inside prepare stages (cold work).
+    pub prepare_wall: Duration,
+    /// Prepare time the hits avoided re-spending (sum of the stored
+    /// artifacts' prepare totals over all hits).
+    pub prepare_saved: Duration,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    prepared: Prepared,
+    last_used: u64,
+    uses: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Ready(Entry),
+    Poisoned(String),
+}
+
+#[derive(Default)]
+struct Inner {
+    slots: FastMap<ArtifactKey, Slot>,
+    tick: u64,
+    budget: Option<usize>,
+    stats: CacheStats,
+}
+
+/// A thread-safe, content-addressed store of [`Prepared`] artifacts with
+/// deterministic LRU eviction under an optional byte budget.
+#[derive(Default)]
+pub struct ArtifactCache {
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for ArtifactCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("artifact cache poisoned");
+        f.debug_struct("ArtifactCache")
+            .field("len", &inner.slots.len())
+            .field("budget", &inner.budget)
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+impl ArtifactCache {
+    /// An unbounded cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A cache evicting least-recently-used artifacts beyond `bytes`.
+    pub fn with_budget(bytes: usize) -> Self {
+        let cache = Self::new();
+        cache.set_budget(Some(bytes));
+        cache
+    }
+
+    /// (Re)sets the byte budget; `None` disables eviction. Shrinking the
+    /// budget evicts immediately.
+    pub fn set_budget(&self, bytes: Option<usize>) {
+        let mut inner = self.inner.lock().expect("artifact cache poisoned");
+        inner.budget = bytes;
+        Self::evict_over_budget(&mut inner, None);
+    }
+
+    /// Looks up an artifact. `Some(Ok(_))` is a ready artifact (the hit
+    /// counters and LRU tick advance), `Some(Err(msg))` a poisoned key,
+    /// `None` a miss that the caller should prepare and [`Self::insert`].
+    pub fn lookup(&self, key: &ArtifactKey) -> Option<Result<Prepared, String>> {
+        let mut inner = self.inner.lock().expect("artifact cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.slots.get_mut(key) {
+            Some(Slot::Ready(entry)) => {
+                entry.last_used = tick;
+                entry.uses += 1;
+                let prepared = entry.prepared.clone();
+                inner.stats.hits += 1;
+                inner.stats.prepare_saved += prepared.breakdown().prepare_total();
+                Some(Ok(prepared))
+            }
+            Some(Slot::Poisoned(msg)) => Some(Err(msg.clone())),
+            None => None,
+        }
+    }
+
+    /// Inserts a freshly prepared artifact, counting the miss and evicting
+    /// least-recently-used entries while the budget is exceeded (the new
+    /// entry itself is never evicted by its own insertion).
+    pub fn insert(&self, key: ArtifactKey, prepared: Prepared) {
+        let mut inner = self.inner.lock().expect("artifact cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.stats.misses += 1;
+        inner.stats.prepare_wall += prepared.breakdown().prepare_total();
+        inner.stats.bytes += prepared.bytes();
+        let old = inner.slots.insert(
+            key.clone(),
+            Slot::Ready(Entry {
+                prepared,
+                last_used: tick,
+                uses: 1,
+            }),
+        );
+        if let Some(Slot::Ready(entry)) = old {
+            inner.stats.bytes = inner.stats.bytes.saturating_sub(entry.prepared.bytes());
+        }
+        Self::evict_over_budget(&mut inner, Some(&key));
+    }
+
+    /// Marks a key as failed: later lookups return the message instead of
+    /// re-running a prepare that is known to fail.
+    pub fn poison(&self, key: ArtifactKey, message: impl Into<String>) {
+        let mut inner = self.inner.lock().expect("artifact cache poisoned");
+        if let Some(Slot::Ready(entry)) = inner.slots.get(&key) {
+            inner.stats.bytes = inner.stats.bytes.saturating_sub(entry.prepared.bytes());
+        }
+        inner.stats.poisoned += 1;
+        inner.slots.insert(key, Slot::Poisoned(message.into()));
+    }
+
+    /// Looks up `key`, preparing and inserting through `prepare` on a
+    /// miss. Returns `Err` for poisoned keys.
+    pub fn get_or_prepare(
+        &self,
+        key: &ArtifactKey,
+        prepare: impl FnOnce() -> Prepared,
+    ) -> Result<Prepared, String> {
+        if let Some(found) = self.lookup(key) {
+            return found;
+        }
+        let prepared = prepare();
+        self.insert(key.clone(), prepared.clone());
+        Ok(prepared)
+    }
+
+    /// How many times the `key`'s artifact has been handed out (insert +
+    /// hits); `0` when absent or poisoned.
+    pub fn uses(&self, key: &ArtifactKey) -> usize {
+        let inner = self.inner.lock().expect("artifact cache poisoned");
+        match inner.slots.get(key) {
+            Some(Slot::Ready(entry)) => entry.uses,
+            _ => 0,
+        }
+    }
+
+    /// A snapshot of the aggregate counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().expect("artifact cache poisoned").stats
+    }
+
+    /// Number of resident slots (ready + poisoned).
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("artifact cache poisoned")
+            .slots
+            .len()
+    }
+
+    /// True when no slot is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every slot (counters are kept).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("artifact cache poisoned");
+        inner.slots.clear();
+        inner.stats.bytes = 0;
+    }
+
+    /// Evicts ready entries, least-recently-used first (ties broken by
+    /// key for map-order independence), until the byte budget holds.
+    /// `protect` exempts the entry just inserted.
+    fn evict_over_budget(inner: &mut Inner, protect: Option<&ArtifactKey>) {
+        let Some(budget) = inner.budget else { return };
+        while inner.stats.bytes > budget {
+            let victim = inner
+                .slots
+                .iter()
+                .filter_map(|(key, slot)| match slot {
+                    Slot::Ready(entry) if Some(key) != protect => {
+                        Some((entry.last_used, key.clone()))
+                    }
+                    _ => None,
+                })
+                .min_by(|a, b| {
+                    a.0.cmp(&b.0)
+                        .then_with(|| (a.1.repr.cmp(&b.1.repr)).then(a.1.dataset.cmp(&b.1.dataset)))
+                });
+            let Some((_, key)) = victim else { break };
+            if let Some(Slot::Ready(entry)) = inner.slots.remove(&key) {
+                inner.stats.bytes = inner.stats.bytes.saturating_sub(entry.prepared.bytes());
+                inner.stats.evictions += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::{PhaseBreakdown, Stage};
+
+    fn prepared(tag: u32, bytes: usize, prepare_ms: u64) -> Prepared {
+        let mut b = PhaseBreakdown::new();
+        b.record_in(Stage::Prepare, "build", Duration::from_millis(prepare_ms));
+        Prepared::new(tag, bytes, b)
+    }
+
+    fn key(repr: &str) -> ArtifactKey {
+        ArtifactKey::new(7, repr)
+    }
+
+    #[test]
+    fn miss_insert_hit_roundtrip() {
+        let cache = ArtifactCache::new();
+        assert!(cache.lookup(&key("a")).is_none());
+        cache.insert(key("a"), prepared(1, 100, 5));
+        let hit = cache.lookup(&key("a")).expect("present").expect("ready");
+        assert_eq!(*hit.downcast::<u32>(), 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.bytes), (1, 1, 100));
+        assert_eq!(stats.prepare_wall, Duration::from_millis(5));
+        assert_eq!(stats.prepare_saved, Duration::from_millis(5));
+        assert_eq!(cache.uses(&key("a")), 2);
+    }
+
+    #[test]
+    fn keys_distinguish_dataset_and_repr() {
+        let cache = ArtifactCache::new();
+        cache.insert(ArtifactKey::new(1, "r"), prepared(10, 0, 0));
+        assert!(cache.lookup(&ArtifactKey::new(2, "r")).is_none());
+        assert!(cache.lookup(&ArtifactKey::new(1, "s")).is_none());
+        assert!(cache.lookup(&ArtifactKey::new(1, "r")).is_some());
+    }
+
+    #[test]
+    fn lru_eviction_is_deterministic() {
+        let cache = ArtifactCache::with_budget(250);
+        cache.insert(key("a"), prepared(1, 100, 0));
+        cache.insert(key("b"), prepared(2, 100, 0));
+        // Touch "a" so "b" is the least recently used.
+        assert!(cache.lookup(&key("a")).is_some());
+        cache.insert(key("c"), prepared(3, 100, 0));
+        assert!(cache.lookup(&key("b")).is_none(), "LRU victim evicted");
+        assert!(cache.lookup(&key("a")).is_some());
+        assert!(cache.lookup(&key("c")).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.stats().bytes <= 250);
+    }
+
+    #[test]
+    fn oversized_insert_survives_its_own_eviction_pass() {
+        let cache = ArtifactCache::with_budget(50);
+        cache.insert(key("big"), prepared(1, 500, 0));
+        // The entry stays (a budget must never make progress impossible)…
+        assert!(cache.lookup(&key("big")).is_some());
+        // …but the next insert evicts it.
+        cache.insert(key("next"), prepared(2, 10, 0));
+        assert!(cache.lookup(&key("big")).is_none());
+        assert!(cache.lookup(&key("next")).is_some());
+    }
+
+    #[test]
+    fn shrinking_the_budget_evicts_immediately() {
+        let cache = ArtifactCache::new();
+        cache.insert(key("a"), prepared(1, 100, 0));
+        cache.insert(key("b"), prepared(2, 100, 0));
+        cache.set_budget(Some(100));
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.stats().bytes <= 100);
+    }
+
+    #[test]
+    fn poisoned_keys_report_the_failure() {
+        let cache = ArtifactCache::new();
+        cache.poison(key("bad"), "prepare panicked: boom");
+        match cache.lookup(&key("bad")) {
+            Some(Err(msg)) => assert!(msg.contains("boom")),
+            other => panic!("expected poisoned slot, got {other:?}"),
+        }
+        assert_eq!(cache.stats().poisoned, 1);
+        // Hits/misses unaffected; poisoning a ready key releases its bytes.
+        cache.insert(key("ok"), prepared(1, 64, 0));
+        cache.poison(key("ok"), "later failure");
+        assert_eq!(cache.stats().bytes, 0);
+    }
+
+    #[test]
+    fn get_or_prepare_prepares_once() {
+        let cache = ArtifactCache::new();
+        let mut calls = 0;
+        for _ in 0..3 {
+            let out = cache
+                .get_or_prepare(&key("a"), || {
+                    calls += 1;
+                    prepared(9, 10, 1)
+                })
+                .expect("ready");
+            assert_eq!(*out.downcast::<u32>(), 9);
+        }
+        assert_eq!(calls, 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let cache = ArtifactCache::new();
+        cache.insert(key("a"), prepared(1, 10, 0));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().bytes, 0);
+    }
+}

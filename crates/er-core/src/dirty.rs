@@ -74,7 +74,7 @@ impl DirtyDataset {
 
     /// The self-join text view: the collection on both sides.
     pub fn self_view(&self, extract: impl Fn(&Entity) -> String) -> TextView {
-        let texts: Vec<String> = self.entities.iter().map(extract).collect();
+        let texts: std::sync::Arc<[String]> = self.entities.iter().map(extract).collect();
         TextView {
             e1: texts.clone(),
             e2: texts,
@@ -88,13 +88,13 @@ impl DirtyDataset {
 /// use er_core::dirty::{DirtyAdapter, DirtyDataset};
 /// use er_core::entity::Entity;
 /// use er_core::candidates::Pair;
-/// use er_core::filter::{Filter, FilterOutput};
+/// use er_core::filter::{Filter, FilterOutput, Prepared};
 /// use er_core::schema::TextView;
 ///
 /// struct TokenShare; // toy filter pairing texts sharing a first token
 /// impl Filter for TokenShare {
 ///     fn name(&self) -> String { "toy".into() }
-///     fn run(&self, view: &TextView) -> FilterOutput {
+///     fn query(&self, view: &TextView, _prepared: &Prepared) -> FilterOutput {
 ///         let mut out = FilterOutput::default();
 ///         for (i, a) in view.e1.iter().enumerate() {
 ///             for (j, b) in view.e2.iter().enumerate() {
@@ -161,6 +161,7 @@ impl<F: Filter> DirtyAdapter<F> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::filter::Prepared;
 
     fn collection() -> DirtyDataset {
         DirtyDataset::new(
@@ -184,7 +185,7 @@ mod tests {
             "token-overlap".into()
         }
 
-        fn run(&self, view: &TextView) -> FilterOutput {
+        fn query(&self, view: &TextView, _prepared: &Prepared) -> FilterOutput {
             let mut out = FilterOutput::default();
             for (i, a) in view.e1.iter().enumerate() {
                 let tokens: std::collections::HashSet<&str> = a.split(' ').collect();

@@ -5,10 +5,22 @@
 //! pairs)" (paper §I). In this library the input is a [`TextView`] — the
 //! per-entity texts after the schema setting has been applied — and the
 //! output is a [`FilterOutput`]: a candidate set plus the per-phase timings.
+//!
+//! The interface is a two-stage pipeline. [`Filter::prepare`] turns the
+//! view plus the filter's *representation* parameters (cleaning,
+//! tokenization, embedding, index construction) into an immutable
+//! [`Prepared`] artifact; [`Filter::query`] applies the cheap
+//! per-configuration parameters (ε, k, ratios, pruning schemes) to that
+//! artifact. [`Filter::run`] is the default composition of the two, and
+//! [`Filter::repr_key`] names the representation so grid sweeps can share
+//! one artifact across every configuration that only differs in
+//! query-stage parameters (see `er_core::artifacts`).
 
 use crate::candidates::CandidateSet;
 use crate::schema::TextView;
 use crate::timing::PhaseBreakdown;
+use std::any::Any;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The result of one filter execution.
@@ -27,17 +39,119 @@ impl FilterOutput {
     }
 }
 
+/// An immutable, shareable preparation artifact: whatever a filter builds
+/// from the texts before query parameters enter the picture (token sets,
+/// postings, embeddings, indexes), plus the phase timings of building it
+/// and an estimate of its heap footprint for cache budgeting.
+///
+/// Clones are shallow (`Arc`), so one artifact can back many concurrent
+/// query-stage evaluations.
+#[derive(Clone)]
+pub struct Prepared {
+    artifact: Arc<dyn Any + Send + Sync>,
+    bytes: usize,
+    breakdown: PhaseBreakdown,
+}
+
+impl std::fmt::Debug for Prepared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Prepared")
+            .field("bytes", &self.bytes)
+            .field("breakdown", &self.breakdown)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Prepared {
+    /// Wraps a concrete artifact with its size estimate and build timings.
+    pub fn new<T: Send + Sync + 'static>(
+        artifact: T,
+        bytes: usize,
+        breakdown: PhaseBreakdown,
+    ) -> Self {
+        Self {
+            artifact: Arc::new(artifact),
+            bytes,
+            breakdown,
+        }
+    }
+
+    /// The empty artifact, for filters whose work is all query-stage.
+    pub fn empty() -> Self {
+        Self::new((), 0, PhaseBreakdown::new())
+    }
+
+    /// Borrows the concrete artifact.
+    ///
+    /// # Panics
+    /// When `T` is not the type the producing `prepare` stored — that is a
+    /// repr-key collision or a mismatched filter/artifact pairing, always
+    /// a programming error.
+    pub fn downcast<T: 'static>(&self) -> &T {
+        self.artifact.downcast_ref::<T>().unwrap_or_else(|| {
+            panic!(
+                "prepared artifact is not a {}: repr keys of incompatible filters collided",
+                std::any::type_name::<T>()
+            )
+        })
+    }
+
+    /// Estimated heap footprint in bytes (for the cache budget).
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Phase timings of the preparation.
+    pub fn breakdown(&self) -> &PhaseBreakdown {
+        &self.breakdown
+    }
+}
+
 /// A configured filtering technique.
 ///
 /// Implementations are *configured instances*: the struct carries its
 /// parameters, so the configuration optimizer can enumerate instances and
-/// call [`Filter::run`] uniformly.
+/// call [`Filter::run`] uniformly. Implementations split their work into
+/// [`Filter::prepare`] (representation-dependent) and [`Filter::query`]
+/// (configuration-dependent); monolithic filters may implement only
+/// `query` and leave the default empty `prepare`.
 pub trait Filter {
     /// Short display name, e.g. `"SBW"` or `"kNN-Join"`.
     fn name(&self) -> String;
 
-    /// Executes the filter on the extracted texts.
-    fn run(&self, view: &TextView) -> FilterOutput;
+    /// A stable key naming the *representation* this filter prepares:
+    /// two configured instances with equal `repr_key` (on the same view)
+    /// must produce interchangeable [`Prepared`] artifacts. The default is
+    /// unique per filter name, which is always safe (no sharing).
+    fn repr_key(&self) -> String {
+        format!("{}:monolithic", self.name())
+    }
+
+    /// Builds the representation artifact. The default prepares nothing —
+    /// appropriate for filters whose whole pipeline depends on query
+    /// parameters.
+    fn prepare(&self, view: &TextView) -> Prepared {
+        let _ = view;
+        Prepared::empty()
+    }
+
+    /// Applies the configuration-dependent stage to a prepared artifact,
+    /// returning candidates plus *query-stage* timings only.
+    fn query(&self, view: &TextView, prepared: &Prepared) -> FilterOutput;
+
+    /// Executes the filter end to end: prepare, then query, with the
+    /// prepare-phase timings folded into the output breakdown.
+    fn run(&self, view: &TextView) -> FilterOutput {
+        let prepared = self.prepare(view);
+        let mut out = FilterOutput {
+            candidates: CandidateSet::new(),
+            breakdown: prepared.breakdown().clone(),
+        };
+        let queried = self.query(view, &prepared);
+        out.candidates = queried.candidates;
+        out.breakdown.merge(&queried.breakdown);
+        out
+    }
 }
 
 /// Runs a filter with the fault-tolerance hooks of [`crate::guard`] and
@@ -66,6 +180,18 @@ impl<T: Filter + ?Sized> Filter for Box<T> {
         (**self).name()
     }
 
+    fn repr_key(&self) -> String {
+        (**self).repr_key()
+    }
+
+    fn prepare(&self, view: &TextView) -> Prepared {
+        (**self).prepare(view)
+    }
+
+    fn query(&self, view: &TextView, prepared: &Prepared) -> FilterOutput {
+        (**self).query(view, prepared)
+    }
+
     fn run(&self, view: &TextView) -> FilterOutput {
         (**self).run(view)
     }
@@ -75,6 +201,7 @@ impl<T: Filter + ?Sized> Filter for Box<T> {
 mod tests {
     use super::*;
     use crate::candidates::Pair;
+    use crate::timing::Stage;
 
     /// A trivial filter pairing equal indices, for interface tests.
     struct Diagonal;
@@ -84,9 +211,39 @@ mod tests {
             "diagonal".into()
         }
 
-        fn run(&self, view: &TextView) -> FilterOutput {
+        fn query(&self, view: &TextView, _prepared: &Prepared) -> FilterOutput {
             let mut out = FilterOutput::default();
             let n = view.e1.len().min(view.e2.len());
+            out.breakdown.time("query", || {
+                for i in 0..n as u32 {
+                    out.candidates.insert(Pair::new(i, i));
+                }
+            });
+            out
+        }
+    }
+
+    /// A staged filter: prepare counts the usable rows, query pairs them.
+    struct StagedDiagonal;
+
+    impl Filter for StagedDiagonal {
+        fn name(&self) -> String {
+            "staged".into()
+        }
+
+        fn repr_key(&self) -> String {
+            "staged:rows".into()
+        }
+
+        fn prepare(&self, view: &TextView) -> Prepared {
+            let mut breakdown = PhaseBreakdown::new();
+            let n = breakdown.time_in(Stage::Prepare, "count", || view.e1.len().min(view.e2.len()));
+            Prepared::new(n, std::mem::size_of::<usize>(), breakdown)
+        }
+
+        fn query(&self, _view: &TextView, prepared: &Prepared) -> FilterOutput {
+            let mut out = FilterOutput::default();
+            let n = *prepared.downcast::<usize>();
             out.breakdown.time("query", || {
                 for i in 0..n as u32 {
                     out.candidates.insert(Pair::new(i, i));
@@ -101,8 +258,8 @@ mod tests {
         use crate::faults::{self, FaultPlan};
         use crate::guard::{self, FailReason, Limits, RunOutcome};
         let view = TextView {
-            e1: vec!["a".into(), "b".into()],
-            e2: vec!["a".into(), "b".into()],
+            e1: vec!["a".into(), "b".into()].into(),
+            e2: vec!["a".into(), "b".into()].into(),
         };
         // Plain call when nothing is armed.
         assert_eq!(run_hooked(&Diagonal, &view).candidates.len(), 2);
@@ -129,12 +286,44 @@ mod tests {
     fn filter_trait_object_usable() {
         let boxed: Box<dyn Filter> = Box::new(Diagonal);
         let view = TextView {
-            e1: vec!["a".into(), "b".into()],
-            e2: vec!["a".into(), "b".into(), "c".into()],
+            e1: vec!["a".into(), "b".into()].into(),
+            e2: vec!["a".into(), "b".into(), "c".into()].into(),
         };
         let out = boxed.run(&view);
         assert_eq!(boxed.name(), "diagonal");
+        assert_eq!(boxed.repr_key(), "diagonal:monolithic");
         assert_eq!(out.candidates.len(), 2);
         assert!(out.runtime() >= Duration::ZERO);
+    }
+
+    #[test]
+    fn default_run_composes_prepare_and_query() {
+        let view = TextView {
+            e1: vec!["a".into(), "b".into()].into(),
+            e2: vec!["a".into(), "b".into(), "c".into()].into(),
+        };
+        let out = StagedDiagonal.run(&view);
+        assert_eq!(out.candidates.len(), 2);
+        // Both stages land in the breakdown, in prepare-then-query order.
+        let names: Vec<String> = out.breakdown.phases().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["count", "query"]);
+        assert!(out.breakdown.get("count").is_some());
+        assert!(out.breakdown.get("query").is_some());
+        // Query on a shared artifact matches the monolithic run.
+        let prepared = StagedDiagonal.prepare(&view);
+        let queried = StagedDiagonal.query(&view, &prepared);
+        assert_eq!(queried.candidates.len(), out.candidates.len());
+        assert_eq!(prepared.bytes(), std::mem::size_of::<usize>());
+        assert_eq!(
+            prepared.breakdown().prepare_total(),
+            prepared.breakdown().total()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "repr keys")]
+    fn downcast_mismatch_panics_with_context() {
+        let prepared = Prepared::new(42usize, 8, PhaseBreakdown::new());
+        let _: &String = prepared.downcast::<String>();
     }
 }

@@ -106,6 +106,15 @@ pub enum FailReason {
         /// The configured budget.
         limit: usize,
     },
+    /// A shared prepare stage this unit depends on already failed; the
+    /// artifact-cache slot is poisoned and the failure propagates without
+    /// re-running the doomed prepare.
+    Poisoned {
+        /// The representation key of the poisoned artifact.
+        repr: String,
+        /// The original failure message.
+        reason: String,
+    },
 }
 
 impl fmt::Display for FailReason {
@@ -117,6 +126,9 @@ impl fmt::Display for FailReason {
             }
             FailReason::BudgetExceeded { candidates, limit } => {
                 write!(f, "candidate budget exceeded ({candidates} > {limit})")
+            }
+            FailReason::Poisoned { repr, reason } => {
+                write!(f, "poisoned prepare at {repr}: {reason}")
             }
         }
     }
@@ -265,6 +277,18 @@ pub fn run_guarded<T>(limits: Limits, f: impl FnOnce() -> T) -> RunOutcome<T> {
 /// Aborts the frame at `depth` by unwinding with the sentinel payload.
 fn abort(depth: usize, reason: FailReason) -> ! {
     panic::panic_any(Abort { depth, reason })
+}
+
+/// Fails the innermost active guard frame with `reason`, producing a
+/// structured [`RunOutcome::Failed`] instead of a plain panic. With no
+/// frame active this degenerates to a panic carrying the display form —
+/// callers outside a sweep still see the failure.
+pub fn fail(reason: FailReason) -> ! {
+    let depth = FRAMES.with(|f| f.borrow().len());
+    if depth == 0 {
+        panic!("{reason}");
+    }
+    abort(depth - 1, reason)
 }
 
 /// Cooperative deadline check. Called at filter boundaries (and by the
@@ -471,6 +495,47 @@ mod tests {
         assert!(!active());
         let _ = run_guarded(Limits::catching(), || -> u32 { panic!("x") });
         assert!(!active());
+    }
+
+    #[test]
+    fn fail_reports_to_the_innermost_frame() {
+        let reason = FailReason::Poisoned {
+            repr: "eps:T1G".into(),
+            reason: "panicked: boom".into(),
+        };
+        let out = run_guarded(Limits::catching(), || {
+            fail(reason.clone());
+            #[allow(unreachable_code)]
+            0u32
+        });
+        match out {
+            RunOutcome::Failed {
+                reason: FailReason::Poisoned { repr, .. },
+                ..
+            } => assert_eq!(repr, "eps:T1G"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Outer frames are untouched: the failure is contained inside the
+        // innermost guard.
+        let out = run_guarded(Limits::catching(), || {
+            let inner = run_guarded(Limits::catching(), || {
+                fail(FailReason::Panicked("inner".into()));
+                #[allow(unreachable_code)]
+                0u32
+            });
+            assert!(!inner.is_ok());
+            7u32
+        });
+        assert!(matches!(out, RunOutcome::Ok(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "poisoned prepare at r: boom")]
+    fn fail_without_a_frame_panics_with_the_message() {
+        fail(FailReason::Poisoned {
+            repr: "r".into(),
+            reason: "boom".into(),
+        });
     }
 
     #[test]

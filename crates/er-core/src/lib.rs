@@ -22,6 +22,7 @@
 //! * [`hash`] — a fast non-cryptographic hasher shared by the hot paths,
 //! * [`taxonomy`] — the qualitative taxonomies of Tables I and II.
 
+pub mod artifacts;
 pub mod candidates;
 pub mod dataset;
 pub mod dirty;
@@ -40,19 +41,20 @@ pub mod taxonomy;
 pub mod timing;
 pub mod verify;
 
+pub use artifacts::{ArtifactCache, ArtifactKey, CacheStats};
 pub use candidates::{CandidateSet, Pair};
 pub use dataset::{Dataset, GroundTruth};
 pub use dirty::{DirtyAdapter, DirtyDataset};
 pub use entity::{Attribute, Entity};
 pub use faults::FaultPlan;
-pub use filter::{Filter, FilterOutput};
+pub use filter::{Filter, FilterOutput, Prepared};
 pub use guard::{FailReason, Limits, RunOutcome};
 pub use metrics::{evaluate, Effectiveness};
 pub use optimize::{GridResolution, OptimizationOutcome, Optimizer, TargetRecall};
 pub use parallel::{par_map, par_map_chunks, par_reduce, Threads};
 pub use rankings::QueryRankings;
 pub use schema::{AttributeStats, SchemaMode, TextView};
-pub use timing::{PhaseBreakdown, Stopwatch};
+pub use timing::{PhaseBreakdown, Stage, Stopwatch};
 pub use verify::{JaccardMatcher, MatchingQuality};
 
 #[cfg(test)]

@@ -23,7 +23,10 @@
 //! become champions. With default (disabled) limits the guarded paths
 //! compile down to the plain calls — behavior is unchanged.
 
+use crate::artifacts::{ArtifactCache, ArtifactKey};
+use crate::filter::Prepared;
 use crate::guard::{self, FailReason, Limits, RunOutcome};
+use crate::hash::FastMap;
 use crate::metrics::Effectiveness;
 use crate::parallel::{self, Threads};
 use crate::timing::PhaseBreakdown;
@@ -335,6 +338,182 @@ impl Optimizer {
         C: Clone + Send + Sync,
     {
         self.grid_par_with(Threads::get(), configs, eval)
+    }
+
+    /// Grouped grid sweep behind a shared [`ArtifactCache`].
+    ///
+    /// Configurations are grouped by their representation key (`repr_of`);
+    /// each group's prepare-stage artifact is built **exactly once** — or
+    /// fetched from `cache` if an earlier sweep over the same dataset
+    /// already built it — and every member is then evaluated against the
+    /// shared [`Prepared`] via `eval`. Groups are processed in
+    /// first-occurrence order and members in configuration order, so for a
+    /// repr-major grid (the harness convention) the champion, tie-breaks,
+    /// and failure rows are identical to an ungrouped sweep.
+    ///
+    /// All cache mutations (lookup, insert, poison) happen serially on the
+    /// calling thread; only the query-stage evaluations fan out, sharing
+    /// the artifact by reference. The merged outcome is therefore
+    /// byte-identical for any `threads`.
+    ///
+    /// Fault isolation covers the prepare stage: a failing prepare poisons
+    /// the cache entry, records the original [`Failure`] for the group's
+    /// first member, and marks every remaining member (and every member of
+    /// any later group hitting the poisoned entry) as
+    /// [`FailReason::Poisoned`] with zero elapsed time — the sweep never
+    /// dies, and never re-runs a prepare known to fail.
+    ///
+    /// Each evaluated row's breakdown is the prepare breakdown merged with
+    /// the query breakdown, with the amortized prepare share
+    /// (`prepare_total / group size`) recorded via
+    /// [`PhaseBreakdown::set_amortized_prepare`].
+    // Three closures mirror the three Filter stages (repr_key / prepare /
+    // query); folding them into a trait object would cost more than the
+    // argument count saves.
+    #[allow(clippy::too_many_arguments)]
+    pub fn grid_grouped_with<C>(
+        &self,
+        threads: usize,
+        cache: &ArtifactCache,
+        dataset_fp: u64,
+        configs: impl IntoIterator<Item = C>,
+        repr_of: impl Fn(&C) -> String,
+        prepare: impl Fn(&C) -> Prepared,
+        eval: impl Fn(&C, &Prepared) -> (Effectiveness, PhaseBreakdown) + Sync,
+    ) -> OptimizationOutcome<C>
+    where
+        C: Clone + Send + Sync,
+    {
+        // Every attempted configuration either evaluates or fails, so
+        // truncating upfront is budget-equivalent to the serial stop.
+        let configs: Vec<C> = configs.into_iter().take(self.max_evaluations).collect();
+
+        // Group indices by representation key, preserving first-occurrence
+        // order of groups and configuration order within each group.
+        let mut group_order: Vec<String> = Vec::new();
+        let mut groups: FastMap<String, Vec<usize>> = FastMap::default();
+        for (i, config) in configs.iter().enumerate() {
+            let repr = repr_of(config);
+            let members = groups.entry(repr.clone()).or_default();
+            if members.is_empty() {
+                group_order.push(repr);
+            }
+            members.push(i);
+        }
+
+        let mut out = OptimizationOutcome::default();
+        for repr in group_order {
+            let members = &groups[&repr];
+            let key = ArtifactKey::new(dataset_fp, repr.clone());
+            let prepared = match cache.lookup(&key) {
+                Some(Ok(prepared)) => prepared,
+                Some(Err(reason)) => {
+                    // Poisoned by an earlier sweep: replay the structured
+                    // failure for every member without re-running prepare.
+                    for &m in members {
+                        out.failures.push(Failure {
+                            config: configs[m].clone(),
+                            reason: FailReason::Poisoned {
+                                repr: repr.clone(),
+                                reason: reason.clone(),
+                            },
+                            elapsed: Duration::ZERO,
+                        });
+                    }
+                    continue;
+                }
+                None => match guard::run_guarded(self.limits, || prepare(&configs[members[0]])) {
+                    RunOutcome::Ok(prepared) => {
+                        cache.insert(key.clone(), prepared.clone());
+                        prepared
+                    }
+                    RunOutcome::Failed { reason, elapsed } => {
+                        let msg = reason.to_string();
+                        cache.poison(key.clone(), msg.clone());
+                        let mut iter = members.iter();
+                        if let Some(&first) = iter.next() {
+                            out.failures.push(Failure {
+                                config: configs[first].clone(),
+                                reason,
+                                elapsed,
+                            });
+                        }
+                        for &m in iter {
+                            out.failures.push(Failure {
+                                config: configs[m].clone(),
+                                reason: FailReason::Poisoned {
+                                    repr: repr.clone(),
+                                    reason: msg.clone(),
+                                },
+                                elapsed: Duration::ZERO,
+                            });
+                        }
+                        continue;
+                    }
+                },
+            };
+
+            let amortized = prepared.breakdown().prepare_total() / members.len() as u32;
+            let member_configs: Vec<&C> = members.iter().map(|&m| &configs[m]).collect();
+            let results = if threads <= 1 {
+                member_configs
+                    .iter()
+                    .map(|c| guard::run_guarded(self.limits, || eval(c, &prepared)))
+                    .collect::<Vec<_>>()
+            } else {
+                parallel::par_map_chunks_with(threads, &member_configs, 1, |_, c| {
+                    guard::run_guarded(self.limits, || eval(c[0], &prepared))
+                })
+            };
+            for (&m, result) in members.iter().zip(results) {
+                match result {
+                    RunOutcome::Ok((eff, query_breakdown)) => {
+                        let mut breakdown = prepared.breakdown().clone();
+                        breakdown.merge(&query_breakdown);
+                        breakdown.set_amortized_prepare(amortized);
+                        out.consider(
+                            Evaluated {
+                                config: configs[m].clone(),
+                                eff,
+                                breakdown,
+                            },
+                            self.target.0,
+                        );
+                    }
+                    RunOutcome::Failed { reason, elapsed } => out.failures.push(Failure {
+                        config: configs[m].clone(),
+                        reason,
+                        elapsed,
+                    }),
+                }
+            }
+        }
+        out
+    }
+
+    /// [`Optimizer::grid_grouped_with`] using the global [`Threads`]
+    /// count.
+    pub fn grid_grouped<C>(
+        &self,
+        cache: &ArtifactCache,
+        dataset_fp: u64,
+        configs: impl IntoIterator<Item = C>,
+        repr_of: impl Fn(&C) -> String,
+        prepare: impl Fn(&C) -> Prepared,
+        eval: impl Fn(&C, &Prepared) -> (Effectiveness, PhaseBreakdown) + Sync,
+    ) -> OptimizationOutcome<C>
+    where
+        C: Clone + Send + Sync,
+    {
+        self.grid_grouped_with(
+            Threads::get(),
+            cache,
+            dataset_fp,
+            configs,
+            repr_of,
+            prepare,
+            eval,
+        )
     }
 
     /// Parallel [`Optimizer::first_feasible`] over an explicit worker
@@ -663,5 +842,260 @@ mod tests {
             assert_outcome_eq(&par, &serial);
             assert!(par.evaluated <= 5);
         }
+    }
+
+    // ---- grouped sweeps behind the artifact cache -----------------------
+
+    use crate::timing::Stage;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Repr-major grid: 4 representation groups × 5 query params each.
+    fn grouped_configs() -> Vec<(usize, usize)> {
+        (0..4usize)
+            .flat_map(|g| (0..5usize).map(move |p| (g, p)))
+            .collect()
+    }
+
+    fn grouped_repr(c: &(usize, usize)) -> String {
+        format!("g{}", c.0)
+    }
+
+    /// Prepare builds an artifact carrying the group id; the counter
+    /// observes how many times it actually runs.
+    fn grouped_prepare(c: &(usize, usize), calls: &AtomicUsize) -> Prepared {
+        calls.fetch_add(1, Ordering::SeqCst);
+        let mut breakdown = PhaseBreakdown::new();
+        let artifact = breakdown.time_in(Stage::Prepare, "build", || c.0 * 1000);
+        Prepared::new(artifact, 64, breakdown)
+    }
+
+    fn grouped_eval(c: &(usize, usize), prepared: &Prepared) -> (Effectiveness, PhaseBreakdown) {
+        let base = *prepared.downcast::<usize>();
+        synth_eval(&(base + c.1))
+    }
+
+    /// The grouped sweep must select exactly the champion an ungrouped
+    /// sweep over the same (group, param) outcomes selects.
+    fn ungrouped_reference(opt: &Optimizer) -> OptimizationOutcome<(usize, usize)> {
+        opt.grid(grouped_configs(), |c| synth_eval(&(c.0 * 1000 + c.1)))
+    }
+
+    #[test]
+    fn grouped_prepares_exactly_once_per_repr() {
+        let cache = ArtifactCache::new();
+        let calls = AtomicUsize::new(0);
+        let opt = Optimizer::new(0.5);
+        let out = opt.grid_grouped_with(
+            1,
+            &cache,
+            7,
+            grouped_configs(),
+            grouped_repr,
+            |c| grouped_prepare(c, &calls),
+            grouped_eval,
+        );
+        assert_eq!(out.evaluated, 20);
+        assert_eq!(calls.load(Ordering::SeqCst), 4, "one prepare per group");
+        assert_eq!(cache.stats().misses, 4);
+        assert_eq!(cache.stats().hits, 0);
+
+        // A second sweep over the same dataset reuses every artifact.
+        let again = opt.grid_grouped_with(
+            1,
+            &cache,
+            7,
+            grouped_configs(),
+            grouped_repr,
+            |c| grouped_prepare(c, &calls),
+            grouped_eval,
+        );
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            4,
+            "warm sweep prepares nothing"
+        );
+        assert_eq!(cache.stats().hits, 4);
+        assert_outcome_eq_pairs(&again, &out);
+    }
+
+    fn assert_outcome_eq_pairs(
+        a: &OptimizationOutcome<(usize, usize)>,
+        b: &OptimizationOutcome<(usize, usize)>,
+    ) {
+        assert_eq!(a.evaluated, b.evaluated);
+        assert_eq!(a.failures.len(), b.failures.len());
+        for (x, y) in a.failures.iter().zip(&b.failures) {
+            assert_eq!(x.config, y.config);
+        }
+        for (x, y) in [
+            (&a.best_feasible, &b.best_feasible),
+            (&a.best_fallback, &b.best_fallback),
+        ] {
+            match (x, y) {
+                (None, None) => {}
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.config, y.config);
+                    assert_eq!(x.eff.pc.to_bits(), y.eff.pc.to_bits());
+                    assert_eq!(x.eff.pq.to_bits(), y.eff.pq.to_bits());
+                    assert_eq!(x.eff.candidates, y.eff.candidates);
+                }
+                _ => panic!("feasible/fallback presence differs"),
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_matches_ungrouped_grid() {
+        for target in [0.5, 0.9, 1.1] {
+            let opt = Optimizer::new(target);
+            let reference = ungrouped_reference(&opt);
+            let cache = ArtifactCache::new();
+            let calls = AtomicUsize::new(0);
+            let grouped = opt.grid_grouped_with(
+                1,
+                &cache,
+                3,
+                grouped_configs(),
+                grouped_repr,
+                |c| grouped_prepare(c, &calls),
+                grouped_eval,
+            );
+            assert_outcome_eq_pairs(&grouped, &reference);
+        }
+    }
+
+    #[test]
+    fn grouped_is_serial_identical_across_threads() {
+        let opt = Optimizer::new(0.9);
+        let serial_cache = ArtifactCache::new();
+        let calls = AtomicUsize::new(0);
+        let serial = opt.grid_grouped_with(
+            1,
+            &serial_cache,
+            11,
+            grouped_configs(),
+            grouped_repr,
+            |c| grouped_prepare(c, &calls),
+            grouped_eval,
+        );
+        for threads in [2, 3, 8] {
+            let cache = ArtifactCache::new();
+            let par = opt.grid_grouped_with(
+                threads,
+                &cache,
+                11,
+                grouped_configs(),
+                grouped_repr,
+                |c| grouped_prepare(c, &calls),
+                grouped_eval,
+            );
+            assert_outcome_eq_pairs(&par, &serial);
+            assert_eq!(cache.stats().misses, 4, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn grouped_poisons_failed_prepare_and_replays_it() {
+        let cache = ArtifactCache::new();
+        let calls = AtomicUsize::new(0);
+        let opt = Optimizer::new(0.5).with_limits(Limits::catching());
+        let prepare = |c: &(usize, usize)| {
+            if c.0 == 1 {
+                panic!("prepare of group 1 exploded");
+            }
+            grouped_prepare(c, &calls)
+        };
+        let out = opt.grid_grouped_with(
+            1,
+            &cache,
+            5,
+            grouped_configs(),
+            grouped_repr,
+            prepare,
+            grouped_eval,
+        );
+        assert_eq!(out.evaluated, 15, "three healthy groups evaluate fully");
+        assert_eq!(out.failures.len(), 5, "all five members of group 1 fail");
+        match &out.failures[0].reason {
+            FailReason::Panicked(msg) => assert!(msg.contains("exploded"), "{msg}"),
+            other => panic!("first member carries the original reason, got {other:?}"),
+        }
+        for f in &out.failures[1..] {
+            match &f.reason {
+                FailReason::Poisoned { repr, reason } => {
+                    assert_eq!(repr, "g1");
+                    assert!(reason.contains("exploded"), "{reason}");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+            assert_eq!(f.elapsed, Duration::ZERO);
+        }
+        assert_eq!(cache.stats().poisoned, 1);
+
+        // A later sweep hits the poisoned entry: the prepare never re-runs
+        // and every member replays a structured Poisoned failure.
+        let before = calls.load(Ordering::SeqCst);
+        let replay = opt.grid_grouped_with(
+            1,
+            &cache,
+            5,
+            grouped_configs(),
+            grouped_repr,
+            prepare,
+            grouped_eval,
+        );
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            before,
+            "no healthy re-prepare"
+        );
+        assert_eq!(replay.failures.len(), 5);
+        for f in &replay.failures {
+            assert!(matches!(&f.reason, FailReason::Poisoned { repr, .. } if repr == "g1"));
+        }
+    }
+
+    #[test]
+    fn grouped_respects_budget() {
+        let cache = ArtifactCache::new();
+        let calls = AtomicUsize::new(0);
+        let opt = Optimizer::new(0.5).with_budget(7);
+        let out = opt.grid_grouped_with(
+            1,
+            &cache,
+            9,
+            grouped_configs(),
+            grouped_repr,
+            |c| grouped_prepare(c, &calls),
+            grouped_eval,
+        );
+        assert_eq!(out.attempted(), 7);
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            2,
+            "7 configs span groups 0 and 1 only"
+        );
+    }
+
+    #[test]
+    fn grouped_rows_carry_amortized_prepare() {
+        let cache = ArtifactCache::new();
+        let calls = AtomicUsize::new(0);
+        let opt = Optimizer::new(0.0);
+        let out = opt.grid_grouped_with(
+            1,
+            &cache,
+            13,
+            grouped_configs(),
+            grouped_repr,
+            |c| grouped_prepare(c, &calls),
+            grouped_eval,
+        );
+        let best = out.best().expect("has best");
+        let amortized = best
+            .breakdown
+            .amortized_prepare()
+            .expect("grouped rows record the amortized share");
+        assert!(amortized <= best.breakdown.prepare_total());
     }
 }

@@ -46,21 +46,60 @@ impl AttributeStats {
 }
 
 /// The extracted per-entity texts both collections of a dataset.
+///
+/// Both columns are `Arc`-backed so that [`TextView::reversed`] and clones
+/// held by prepared artifacts share storage instead of copying every
+/// entity string.
 #[derive(Debug, Clone, Default)]
 pub struct TextView {
     /// One string per `E1` entity.
-    pub e1: Vec<String>,
+    pub e1: std::sync::Arc<[String]>,
     /// One string per `E2` entity.
-    pub e2: Vec<String>,
+    pub e2: std::sync::Arc<[String]>,
 }
 
 impl TextView {
-    /// Swaps the two sides (the `RVS` parameter).
+    /// Builds a view from any pair of string columns.
+    pub fn new(
+        e1: impl Into<std::sync::Arc<[String]>>,
+        e2: impl Into<std::sync::Arc<[String]>>,
+    ) -> TextView {
+        TextView {
+            e1: e1.into(),
+            e2: e2.into(),
+        }
+    }
+
+    /// Swaps the two sides (the `RVS` parameter). Costs two `Arc` clones.
     pub fn reversed(&self) -> TextView {
         TextView {
             e1: self.e2.clone(),
             e2: self.e1.clone(),
         }
+    }
+
+    /// A content fingerprint over both columns (FNV-1a over lengths and
+    /// bytes, side-distinguishing), used as the dataset half of artifact
+    /// cache keys.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for (side, column) in [(1u8, &self.e1), (2u8, &self.e2)] {
+            eat(&[side]);
+            eat(&(column.len() as u64).to_le_bytes());
+            for text in column.iter() {
+                eat(&(text.len() as u64).to_le_bytes());
+                eat(text.as_bytes());
+            }
+        }
+        h
     }
 }
 
@@ -255,6 +294,22 @@ mod tests {
         let rev = view.reversed();
         assert_eq!(rev.e1, view.e2);
         assert_eq!(rev.e2, view.e1);
+        // Reversal shares the column storage rather than deep-cloning.
+        assert!(std::sync::Arc::ptr_eq(&rev.e1, &view.e2));
+        assert!(std::sync::Arc::ptr_eq(&rev.e2, &view.e1));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_content_and_sides() {
+        let view = text_view(&movie_ds(), &SchemaMode::Agnostic);
+        assert_eq!(view.fingerprint(), view.clone().fingerprint());
+        assert_ne!(view.fingerprint(), view.reversed().fingerprint());
+        let other = text_view(&movie_ds(), &SchemaMode::BestAttribute);
+        assert_ne!(view.fingerprint(), other.fingerprint());
+        // Concatenation boundaries matter: ["ab"] != ["a", "b"].
+        let joined = TextView::new(vec!["ab".to_owned()], vec![]);
+        let split = TextView::new(vec!["a".to_owned(), "b".to_owned()], vec![]);
+        assert_ne!(joined.fingerprint(), split.fingerprint());
     }
 
     #[test]

@@ -37,10 +37,26 @@ impl Stopwatch {
     }
 }
 
-/// Named phase durations of a single filter execution.
+/// The pipeline stage a phase belongs to (paper §V: preparation work is
+/// amortizable across a method's configuration grid, query work is not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stage {
+    /// Representation-dependent work: tokenization, embedding, index
+    /// construction. Shareable across grid points via the artifact cache.
+    Prepare,
+    /// Configuration-dependent work: thresholding, probing, pruning.
+    Query,
+}
+
+/// Named phase durations of a single filter execution, each tagged with the
+/// [`Stage`] it belongs to.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct PhaseBreakdown {
-    phases: Vec<(String, Duration)>,
+    phases: Vec<(String, Duration, Stage)>,
+    /// Prepare time attributed to this execution once artifact reuse is
+    /// accounted for (prepare wall time divided by the number of grid
+    /// points sharing the artifact). `None` until a cache assigns it.
+    amortized_prepare: Option<Duration>,
 }
 
 impl PhaseBreakdown {
@@ -49,43 +65,99 @@ impl PhaseBreakdown {
         Self::default()
     }
 
-    /// Records a phase; durations for repeated names accumulate.
+    /// Records a query-stage phase; durations for repeated names
+    /// accumulate (the stage of the first record wins).
     pub fn record(&mut self, name: &str, d: Duration) {
-        if let Some(entry) = self.phases.iter_mut().find(|(n, _)| n == name) {
+        self.record_in(Stage::Query, name, d);
+    }
+
+    /// Records a phase in an explicit stage; durations for repeated names
+    /// accumulate (the stage of the first record wins).
+    pub fn record_in(&mut self, stage: Stage, name: &str, d: Duration) {
+        if let Some(entry) = self.phases.iter_mut().find(|(n, _, _)| n == name) {
             entry.1 += d;
         } else {
-            self.phases.push((name.to_owned(), d));
+            self.phases.push((name.to_owned(), d, stage));
         }
     }
 
-    /// Times `f` and records its duration under `name`, returning `f`'s
-    /// output.
+    /// Times `f` and records its duration as a query-stage phase under
+    /// `name`, returning `f`'s output.
     pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        self.time_in(Stage::Query, name, f)
+    }
+
+    /// Times `f` and records its duration under `name` in `stage`,
+    /// returning `f`'s output.
+    pub fn time_in<T>(&mut self, stage: Stage, name: &str, f: impl FnOnce() -> T) -> T {
         let sw = Stopwatch::start();
         let out = f();
-        self.record(name, sw.elapsed());
+        self.record_in(stage, name, sw.elapsed());
         out
     }
 
     /// The duration recorded for `name`, if any.
     pub fn get(&self, name: &str) -> Option<Duration> {
-        self.phases.iter().find(|(n, _)| n == name).map(|(_, d)| *d)
+        self.phases
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, d, _)| *d)
     }
 
     /// Ordered `(phase, duration)` view.
-    pub fn phases(&self) -> &[(String, Duration)] {
+    pub fn phases(&self) -> Vec<(String, Duration)> {
+        self.phases
+            .iter()
+            .map(|(n, d, _)| (n.clone(), *d))
+            .collect()
+    }
+
+    /// Ordered `(phase, duration, stage)` view for stage-aware consumers.
+    pub fn entries(&self) -> &[(String, Duration, Stage)] {
         &self.phases
     }
 
     /// The overall run-time: the sum of all phases.
     pub fn total(&self) -> Duration {
-        self.phases.iter().map(|(_, d)| *d).sum()
+        self.phases.iter().map(|(_, d, _)| *d).sum()
     }
 
-    /// Merges another breakdown into this one (phase-wise accumulation).
+    /// The sum of prepare-stage phases (wall time, not amortized).
+    pub fn prepare_total(&self) -> Duration {
+        self.stage_total(Stage::Prepare)
+    }
+
+    /// The sum of query-stage phases.
+    pub fn query_total(&self) -> Duration {
+        self.stage_total(Stage::Query)
+    }
+
+    fn stage_total(&self, stage: Stage) -> Duration {
+        self.phases
+            .iter()
+            .filter(|(_, _, s)| *s == stage)
+            .map(|(_, d, _)| *d)
+            .sum()
+    }
+
+    /// Sets the amortized prepare time (see the field docs).
+    pub fn set_amortized_prepare(&mut self, d: Duration) {
+        self.amortized_prepare = Some(d);
+    }
+
+    /// Amortized prepare time, when an artifact cache assigned one.
+    pub fn amortized_prepare(&self) -> Option<Duration> {
+        self.amortized_prepare
+    }
+
+    /// Merges another breakdown into this one (phase-wise accumulation;
+    /// new phases keep their stage, the amortized prepare times add up).
     pub fn merge(&mut self, other: &PhaseBreakdown) {
-        for (name, d) in &other.phases {
-            self.record(name, *d);
+        for (name, d, stage) in &other.phases {
+            self.record_in(*stage, name, *d);
+        }
+        if let Some(d) = other.amortized_prepare {
+            self.amortized_prepare = Some(self.amortized_prepare.unwrap_or(Duration::ZERO) + d);
         }
     }
 
@@ -160,6 +232,44 @@ mod tests {
         b.record("b", Duration::from_millis(75));
         assert!((b.fraction("b") - 0.75).abs() < 1e-9);
         assert_eq!(PhaseBreakdown::new().fraction("a"), 0.0);
+    }
+
+    #[test]
+    fn stages_partition_the_total() {
+        let mut b = PhaseBreakdown::new();
+        b.record_in(Stage::Prepare, "index", Duration::from_millis(30));
+        b.record_in(Stage::Query, "query", Duration::from_millis(10));
+        assert_eq!(b.prepare_total(), Duration::from_millis(30));
+        assert_eq!(b.query_total(), Duration::from_millis(10));
+        assert_eq!(b.total(), Duration::from_millis(40));
+        // Plain `record` defaults to the query stage.
+        b.record("post", Duration::from_millis(5));
+        assert_eq!(b.query_total(), Duration::from_millis(15));
+    }
+
+    #[test]
+    fn merge_preserves_stages_and_amortization() {
+        let mut a = PhaseBreakdown::new();
+        a.record_in(Stage::Prepare, "index", Duration::from_millis(8));
+        let mut b = PhaseBreakdown::new();
+        b.record_in(Stage::Prepare, "index", Duration::from_millis(2));
+        b.set_amortized_prepare(Duration::from_millis(1));
+        a.merge(&b);
+        assert_eq!(a.prepare_total(), Duration::from_millis(10));
+        assert_eq!(a.amortized_prepare(), Some(Duration::from_millis(1)));
+        let mut c = PhaseBreakdown::new();
+        c.set_amortized_prepare(Duration::from_millis(4));
+        a.merge(&c);
+        assert_eq!(a.amortized_prepare(), Some(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn first_record_wins_the_stage() {
+        let mut b = PhaseBreakdown::new();
+        b.record_in(Stage::Prepare, "index", Duration::from_millis(1));
+        b.record_in(Stage::Query, "index", Duration::from_millis(2));
+        assert_eq!(b.prepare_total(), Duration::from_millis(3));
+        assert_eq!(b.query_total(), Duration::ZERO);
     }
 
     #[test]

@@ -109,8 +109,8 @@ mod tests {
 
     fn view() -> TextView {
         TextView {
-            e1: vec!["acme rotary pump".into(), "zenith filter".into()],
-            e2: vec!["acme rotary pump unit".into(), "unrelated thing".into()],
+            e1: vec!["acme rotary pump".into(), "zenith filter".into()].into(),
+            e2: vec!["acme rotary pump unit".into(), "unrelated thing".into()].into(),
         }
     }
 
@@ -150,8 +150,8 @@ mod tests {
     #[test]
     fn threshold_one_requires_identical_token_sets() {
         let v = TextView {
-            e1: vec!["a b".into()],
-            e2: vec!["b a".into(), "a b c".into()],
+            e1: vec!["a b".into()].into(),
+            e2: vec!["b a".into(), "a b c".into()].into(),
         };
         let candidates: CandidateSet = [Pair::new(0, 0), Pair::new(0, 1)].into_iter().collect();
         let matches = JaccardMatcher { threshold: 1.0 }.verify(&v, &candidates);

@@ -1,0 +1,145 @@
+//! Shared prepare-stage artifacts for the dense NN filters.
+//!
+//! The expensive part of every dense method is embedding the two
+//! collections and building the vector index; the per-grid-point
+//! parameters (`K`, radius, probes) only steer the query stage. The
+//! helpers here key and build the common embed+index artifact so the
+//! optimizer sweeps prepare it exactly once per representation
+//! configuration (see DESIGN.md §9).
+
+use crate::embed::{EmbeddingConfig, HashEmbedder};
+use crate::flat::{FlatIndex, Metric};
+use er_core::filter::Prepared;
+use er_core::parallel;
+use er_core::schema::TextView;
+use er_core::timing::{PhaseBreakdown, Stage};
+use er_text::Cleaner;
+
+/// `y`/`-` flag rendering shared by all representation keys.
+pub fn flag(on: bool) -> &'static str {
+    if on {
+        "y"
+    } else {
+        "-"
+    }
+}
+
+/// Compact key fragment identifying an embedding space.
+pub fn emb_key(cfg: &EmbeddingConfig) -> String {
+    format!(
+        "d{}g{}-{}s{:x}",
+        cfg.dim, cfg.ngram_min, cfg.ngram_max, cfg.seed
+    )
+}
+
+/// Approximate heap footprint of a vector collection.
+pub fn vecs_bytes(vs: &[Vec<f32>]) -> usize {
+    vs.iter()
+        .map(|v| std::mem::size_of::<Vec<f32>>() + v.len() * std::mem::size_of::<f32>())
+        .sum()
+}
+
+/// The embedded view plus an exact flat index over the index side —
+/// shared by [`crate::flat::FlatKnn`], [`crate::flat::FlatRange`] and
+/// (with its own key) [`crate::deepblocker::DeepBlocker`].
+pub struct DenseIndexArtifact {
+    /// Flat L2² index over the indexed collection's embeddings.
+    pub index: FlatIndex,
+    /// Query-side embeddings, in collection order.
+    pub queries: Vec<Vec<f32>>,
+}
+
+impl DenseIndexArtifact {
+    /// Representation key of the plain embed+flat-index artifact: the
+    /// radius and `K` sweeps of a fixed embedding configuration share it.
+    pub fn repr_key(cleaning: bool, embedding: &EmbeddingConfig, reversed: bool) -> String {
+        format!(
+            "dense:flat:CL={}:RVS={}:{}",
+            flag(cleaning),
+            flag(reversed),
+            emb_key(embedding)
+        )
+    }
+
+    /// Embeds both sides and builds the flat index (both prepare-stage
+    /// phases, named exactly as the monolithic runs named them).
+    pub fn prepare(
+        view: &TextView,
+        cleaning: bool,
+        embedding: EmbeddingConfig,
+        reversed: bool,
+    ) -> Prepared {
+        let cleaner = if cleaning {
+            Cleaner::on()
+        } else {
+            Cleaner::off()
+        };
+        let embedder = HashEmbedder::new(embedding);
+        let (index_texts, query_texts) = if reversed {
+            (&view.e2, &view.e1)
+        } else {
+            (&view.e1, &view.e2)
+        };
+        let mut breakdown = PhaseBreakdown::new();
+        let (index_vecs, queries) = breakdown.time_in(Stage::Prepare, "preprocess", || {
+            let a: Vec<Vec<f32>> = parallel::par_map(index_texts, |t| embedder.embed(t, &cleaner));
+            let b: Vec<Vec<f32>> = parallel::par_map(query_texts, |t| embedder.embed(t, &cleaner));
+            (a, b)
+        });
+        let index = breakdown.time_in(Stage::Prepare, "index", || {
+            FlatIndex::build(index_vecs, Metric::L2Sq)
+        });
+        let bytes = vecs_bytes(index.vectors()) + vecs_bytes(&queries);
+        Prepared::new(DenseIndexArtifact { index, queries }, bytes, breakdown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repr_key_distinguishes_flags_and_embedding() {
+        let a = EmbeddingConfig::default();
+        let b = EmbeddingConfig {
+            dim: 32,
+            ..Default::default()
+        };
+        assert_ne!(
+            DenseIndexArtifact::repr_key(false, &a, false),
+            DenseIndexArtifact::repr_key(true, &a, false)
+        );
+        assert_ne!(
+            DenseIndexArtifact::repr_key(false, &a, false),
+            DenseIndexArtifact::repr_key(false, &a, true)
+        );
+        assert_ne!(
+            DenseIndexArtifact::repr_key(false, &a, false),
+            DenseIndexArtifact::repr_key(false, &b, false)
+        );
+    }
+
+    #[test]
+    fn prepare_embeds_and_indexes_both_sides() {
+        let view = TextView {
+            e1: vec!["canon camera".into(), "office chair".into()].into(),
+            e2: vec!["canon camera body".into()].into(),
+        };
+        let cfg = EmbeddingConfig {
+            dim: 16,
+            ..Default::default()
+        };
+        let prepared = DenseIndexArtifact::prepare(&view, false, cfg, false);
+        let art = prepared.downcast::<DenseIndexArtifact>();
+        assert_eq!(art.index.len(), 2);
+        assert_eq!(art.queries.len(), 1);
+        assert!(prepared.bytes() > 0);
+        assert!(prepared.breakdown().get("preprocess").is_some());
+        assert!(prepared.breakdown().get("index").is_some());
+
+        let rev = DenseIndexArtifact::prepare(&view, false, cfg, true);
+        let rev_art = rev.downcast::<DenseIndexArtifact>();
+        assert_eq!(rev_art.index.len(), 1);
+        assert_eq!(rev_art.queries.len(), 2);
+    }
+}

@@ -9,12 +9,14 @@
 //! trading granularity for collision probability, exactly as in FALCONN.
 //! Multiprobe visits the vertices with the next-largest coordinates.
 
+use crate::artifact::{emb_key, flag, vecs_bytes};
 use crate::embed::{EmbeddingConfig, HashEmbedder};
 use crate::vector::dot;
 use er_core::candidates::CandidateSet;
-use er_core::filter::{Filter, FilterOutput};
+use er_core::filter::{Filter, FilterOutput, Prepared};
 use er_core::hash::FastMap;
 use er_core::schema::TextView;
+use er_core::timing::{PhaseBreakdown, Stage};
 use er_text::Cleaner;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -144,29 +146,68 @@ impl Table {
     }
 }
 
+/// The prepare-stage artifact: sampled rotations, `E1` buckets and the
+/// query-side embeddings. Only the probe count stays in the query stage.
+pub struct CrossPolytopeArtifact {
+    tables: Vec<Table>,
+    buckets: Vec<FastMap<u64, Vec<u32>>>,
+    queries: Vec<Vec<f32>>,
+}
+
+impl CrossPolytopeArtifact {
+    /// Approximate heap footprint for cache accounting.
+    fn bytes(&self) -> usize {
+        let rotations: usize = self
+            .tables
+            .iter()
+            .flat_map(|t| t.leading.iter().chain(std::iter::once(&t.last)))
+            .map(|r| vecs_bytes(&r.rows))
+            .sum();
+        let buckets: usize = self
+            .buckets
+            .iter()
+            .flat_map(|b| b.values())
+            .map(|ids| 8 + std::mem::size_of::<Vec<u32>>() + ids.len() * 4)
+            .sum();
+        rotations + buckets + vecs_bytes(&self.queries)
+    }
+}
+
 impl Filter for CrossPolytopeLsh {
     fn name(&self) -> String {
         "CP-LSH".to_owned()
     }
 
-    fn run(&self, view: &TextView) -> FilterOutput {
+    fn repr_key(&self) -> String {
+        format!(
+            "cp:CL={}:T={}:H={}:cpd={}:s={:x}:{}",
+            flag(self.cleaning),
+            self.tables,
+            self.hashes,
+            self.last_cp_dim,
+            self.seed,
+            emb_key(&self.embedding)
+        )
+    }
+
+    fn prepare(&self, view: &TextView) -> Prepared {
         assert!(self.hashes >= 1, "at least one hash function required");
         assert!(self.last_cp_dim >= 1, "last cp dimension must be positive");
-        let mut out = FilterOutput::default();
         let cleaner = if self.cleaning {
             Cleaner::on()
         } else {
             Cleaner::off()
         };
         let embedder = HashEmbedder::new(self.embedding);
+        let mut breakdown = PhaseBreakdown::new();
 
-        let (v1, v2) = out
-            .breakdown
-            .time("preprocess", || embedder.embed_view(view, &cleaner));
+        let (v1, queries) = breakdown.time_in(Stage::Prepare, "preprocess", || {
+            embedder.embed_view(view, &cleaner)
+        });
 
         let dim = self.embedding.dim;
         let cp_dim = self.last_cp_dim.min(dim);
-        let (tables, buckets) = out.breakdown.time("index", || {
+        let (tables, buckets) = breakdown.time_in(Stage::Prepare, "index", || {
             let mut rng = StdRng::seed_from_u64(self.seed);
             let tables: Vec<Table> = (0..self.tables)
                 .map(|_| Table {
@@ -190,19 +231,30 @@ impl Filter for CrossPolytopeLsh {
             }
             (tables, buckets)
         });
+        let artifact = CrossPolytopeArtifact {
+            tables,
+            buckets,
+            queries,
+        };
+        let bytes = artifact.bytes();
+        Prepared::new(artifact, bytes, breakdown)
+    }
 
+    fn query(&self, _view: &TextView, prepared: &Prepared) -> FilterOutput {
+        let art = prepared.downcast::<CrossPolytopeArtifact>();
+        let mut out = FilterOutput::default();
         out.breakdown.time("query", || {
             let mut candidates = CandidateSet::new();
-            for (j, v) in v2.iter().enumerate() {
+            for (j, v) in art.queries.iter().enumerate() {
                 if v.iter().all(|&x| x == 0.0) {
                     continue;
                 }
-                for (t, table) in tables.iter().enumerate() {
+                for (t, table) in art.tables.iter().enumerate() {
                     let lead = table.leading_key(v);
                     let rotated = table.last.apply(v);
                     for vtx in vertex_sequence(&rotated, self.probes.max(1)) {
                         let key = er_core::hash::mix64(lead ^ u64::from(vtx));
-                        if let Some(hits) = buckets[t].get(&key) {
+                        if let Some(hits) = art.buckets[t].get(&key) {
                             for &i in hits {
                                 candidates.insert_raw(i, j as u32);
                             }
@@ -255,8 +307,8 @@ mod tests {
     #[test]
     fn identical_vectors_always_collide() {
         let view = TextView {
-            e1: vec!["olympus stylus camera".into()],
-            e2: vec!["olympus stylus camera".into()],
+            e1: vec!["olympus stylus camera".into()].into(),
+            e2: vec!["olympus stylus camera".into()].into(),
         };
         let out = lsh(4, 2, 16, 1).run(&view);
         assert!(out.candidates.contains(Pair::new(0, 0)));
@@ -285,6 +337,25 @@ mod tests {
     }
 
     #[test]
+    fn probe_sweep_shares_one_artifact() {
+        let view = TextView {
+            e1: (0..40).map(|i| format!("gadget {i} pro max")).collect(),
+            e2: (0..10).map(|i| format!("gadget {i} pro")).collect(),
+        };
+        assert_eq!(lsh(2, 2, 16, 1).repr_key(), lsh(2, 2, 16, 8).repr_key());
+        assert_ne!(lsh(2, 2, 16, 1).repr_key(), lsh(2, 2, 8, 1).repr_key());
+        let prepared = lsh(2, 2, 16, 1).prepare(&view);
+        for probes in [1, 4, 8] {
+            let f = lsh(2, 2, 16, probes);
+            assert_eq!(
+                f.query(&view, &prepared).candidates.to_sorted_vec(),
+                f.run(&view).candidates.to_sorted_vec(),
+                "probes={probes}"
+            );
+        }
+    }
+
+    #[test]
     fn deterministic_per_seed() {
         let view = TextView {
             e1: (0..20).map(|i| format!("widget {i}")).collect(),
@@ -298,8 +369,8 @@ mod tests {
     #[test]
     fn empty_texts_skipped() {
         let view = TextView {
-            e1: vec!["".into()],
-            e2: vec!["anything".into()],
+            e1: vec!["".into()].into(),
+            e2: vec!["anything".into()].into(),
         };
         assert!(lsh(2, 2, 8, 1).run(&view).candidates.is_empty());
     }

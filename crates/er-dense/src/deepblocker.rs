@@ -10,10 +10,12 @@
 //! paper's observation that it dominates DeepBlocker's run-time by an
 //! order of magnitude.
 
+use crate::artifact::{emb_key, flag, vecs_bytes, DenseIndexArtifact};
 use crate::embed::{EmbeddingConfig, HashEmbedder};
 use crate::flat::{FlatIndex, Metric};
-use er_core::filter::{Filter, FilterOutput};
+use er_core::filter::{Filter, FilterOutput, Prepared};
 use er_core::schema::TextView;
+use er_core::timing::{PhaseBreakdown, Stage};
 use er_neural::{Autoencoder, AutoencoderConfig};
 use er_text::Cleaner;
 
@@ -80,70 +82,27 @@ impl DeepBlocker {
     /// tuple-embedding module once and ranks in the learned space, so the
     /// optimizer's K-sweep amortizes the expensive training.
     pub fn rankings(&self, view: &TextView, k_max: usize) -> er_core::QueryRankings {
-        let cfg = &self.config;
-        let cleaner = if cfg.cleaning {
-            Cleaner::on()
-        } else {
-            Cleaner::off()
-        };
-        let embedder = HashEmbedder::new(cfg.embedding);
-        let (index_texts, query_texts) = if cfg.reversed {
-            (&view.e2, &view.e1)
-        } else {
-            (&view.e1, &view.e2)
-        };
-        let base_index: Vec<Vec<f32>> = index_texts
-            .iter()
-            .map(|t| embedder.embed(t, &cleaner))
-            .collect();
-        let base_query: Vec<Vec<f32>> = query_texts
-            .iter()
-            .map(|t| embedder.embed(t, &cleaner))
-            .collect();
-        let mut training: Vec<Vec<f32>> = base_index
-            .iter()
-            .chain(base_query.iter())
-            .filter(|v| v.iter().any(|&x| x != 0.0))
-            .cloned()
-            .collect();
-        let (index_vecs, query_vecs) = if training.is_empty() {
-            (base_index, base_query)
-        } else {
-            training.truncate(20_000);
-            let ae = Autoencoder::train(
-                &training,
-                &AutoencoderConfig {
-                    input_dim: cfg.embedding.dim,
-                    hidden_dim: cfg.hidden_dim,
-                    epochs: cfg.epochs,
-                    batch_size: 64,
-                    learning_rate: 1e-3,
-                    seed: cfg.seed,
-                },
-            );
-            let encode_all = |vs: &[Vec<f32>]| -> Vec<Vec<f32>> {
-                vs.iter()
-                    .map(|v| {
-                        if v.iter().all(|&x| x == 0.0) {
-                            vec![0.0; ae.embedding_dim()]
-                        } else {
-                            let mut e = ae.encode(v);
-                            crate::vector::normalize(&mut e);
-                            e
-                        }
-                    })
-                    .collect()
-            };
-            (encode_all(&base_index), encode_all(&base_query))
-        };
-        let index = FlatIndex::build(index_vecs, Metric::L2Sq);
-        let neighbors = query_vecs
+        let prepared = self.prepare(view);
+        self.rankings_from(prepared.downcast::<DenseIndexArtifact>(), k_max)
+    }
+
+    /// [`DeepBlocker::rankings`] on a shared prepare-stage artifact: the
+    /// trained tuple embeddings and index are reused, only the kNN
+    /// scoring runs.
+    pub fn rankings_from(
+        &self,
+        artifact: &DenseIndexArtifact,
+        k_max: usize,
+    ) -> er_core::QueryRankings {
+        let neighbors = artifact
+            .queries
             .iter()
             .map(|q| {
                 if q.iter().all(|&v| v == 0.0) {
                     return Vec::new();
                 }
-                index
+                artifact
+                    .index
                     .knn(q, k_max)
                     .into_iter()
                     .map(|(i, cost)| (i, f64::from(-cost)))
@@ -152,7 +111,7 @@ impl DeepBlocker {
             .collect();
         er_core::QueryRankings {
             neighbors,
-            reversed: cfg.reversed,
+            reversed: self.config.reversed,
         }
     }
 }
@@ -162,16 +121,27 @@ impl Filter for DeepBlocker {
         "DeepBlocker".to_owned()
     }
 
-    fn run(&self, view: &TextView) -> FilterOutput {
+    fn repr_key(&self) -> String {
         let cfg = &self.config;
-        let mut out = FilterOutput::default();
+        format!(
+            "db:CL={}:RVS={}:hid={}:ep={}:s={:x}:{}",
+            flag(cfg.cleaning),
+            flag(cfg.reversed),
+            cfg.hidden_dim,
+            cfg.epochs,
+            cfg.seed,
+            emb_key(&cfg.embedding)
+        )
+    }
+
+    fn prepare(&self, view: &TextView) -> Prepared {
+        let cfg = &self.config;
         let cleaner = if cfg.cleaning {
             Cleaner::on()
         } else {
             Cleaner::off()
         };
         let embedder = HashEmbedder::new(cfg.embedding);
-
         let (index_texts, query_texts) = if cfg.reversed {
             (&view.e2, &view.e1)
         } else {
@@ -179,8 +149,11 @@ impl Filter for DeepBlocker {
         };
 
         // Pre-processing: base embeddings + self-supervised training of the
-        // tuple-embedding module on all tuples, then encoding.
-        let (index_vecs, query_vecs) = out.breakdown.time("preprocess", || {
+        // tuple-embedding module on all tuples, then encoding. Training is
+        // the dominant cost, which is exactly why the K sweep must share
+        // this artifact.
+        let mut breakdown = PhaseBreakdown::new();
+        let (index_vecs, queries) = breakdown.time_in(Stage::Prepare, "preprocess", || {
             let base_index: Vec<Vec<f32>> = index_texts
                 .iter()
                 .map(|t| embedder.embed(t, &cleaner))
@@ -231,16 +204,23 @@ impl Filter for DeepBlocker {
             (encode_all(&base_index), encode_all(&base_query))
         });
 
-        let index = out
-            .breakdown
-            .time("index", || FlatIndex::build(index_vecs, Metric::L2Sq));
+        let index = breakdown.time_in(Stage::Prepare, "index", || {
+            FlatIndex::build(index_vecs, Metric::L2Sq)
+        });
+        let bytes = vecs_bytes(index.vectors()) + vecs_bytes(&queries);
+        Prepared::new(DenseIndexArtifact { index, queries }, bytes, breakdown)
+    }
 
+    fn query(&self, _view: &TextView, prepared: &Prepared) -> FilterOutput {
+        let art = prepared.downcast::<DenseIndexArtifact>();
+        let cfg = &self.config;
+        let mut out = FilterOutput::default();
         out.breakdown.time("query", || {
-            for (q, query) in query_vecs.iter().enumerate() {
+            for (q, query) in art.queries.iter().enumerate() {
                 if query.iter().all(|&v| v == 0.0) {
                     continue;
                 }
-                for (i, _) in index.knn(query, cfg.k) {
+                for (i, _) in art.index.knn(query, cfg.k) {
                     if cfg.reversed {
                         out.candidates.insert_raw(q as u32, i);
                     } else {
@@ -279,11 +259,13 @@ mod tests {
                 "canon eos rebel camera kit".into(),
                 "leather office chair black".into(),
                 "usb c charging cable".into(),
-            ],
+            ]
+            .into(),
             e2: vec![
                 "canon eos rebel camera body".into(),
                 "black leather office chair".into(),
-            ],
+            ]
+            .into(),
         }
     }
 
@@ -331,8 +313,8 @@ mod tests {
     #[test]
     fn empty_collections_yield_nothing() {
         let v = TextView {
-            e1: vec!["".into()],
-            e2: vec!["".into()],
+            e1: vec!["".into()].into(),
+            e2: vec!["".into()].into(),
         };
         let out = DeepBlocker::new(fast_config()).run(&v);
         assert!(out.candidates.is_empty());

@@ -207,8 +207,8 @@ mod tests {
     #[test]
     fn embed_view_shapes() {
         let view = TextView {
-            e1: vec!["a b".into(), "c".into()],
-            e2: vec!["d".into()],
+            e1: vec!["a b".into(), "c".into()].into(),
+            e2: vec!["d".into()].into(),
         };
         let (v1, v2) = embedder().embed_view(&view, &Cleaner::off());
         assert_eq!(v1.len(), 2);

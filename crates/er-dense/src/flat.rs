@@ -6,11 +6,11 @@
 //! fixes exactly that configuration and exposes the `CL`, `RVS` and `K`
 //! parameters of Table V.
 
-use crate::embed::{EmbeddingConfig, HashEmbedder};
-use er_core::filter::{Filter, FilterOutput};
+use crate::artifact::DenseIndexArtifact;
+use crate::embed::EmbeddingConfig;
+use er_core::filter::{Filter, FilterOutput, Prepared};
 use er_core::parallel::{self, Threads};
 use er_core::schema::TextView;
-use er_text::Cleaner;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -217,22 +217,24 @@ impl Filter for FlatRange {
         "FAISS-range".to_owned()
     }
 
-    fn run(&self, view: &TextView) -> FilterOutput {
+    fn repr_key(&self) -> String {
+        DenseIndexArtifact::repr_key(self.cleaning, &self.embedding, false)
+    }
+
+    fn prepare(&self, view: &TextView) -> Prepared {
+        DenseIndexArtifact::prepare(view, self.cleaning, self.embedding, false)
+    }
+
+    fn query(&self, _view: &TextView, prepared: &Prepared) -> FilterOutput {
+        let art = prepared.downcast::<DenseIndexArtifact>();
         let mut out = FilterOutput::default();
-        let cleaner = if self.cleaning {
-            Cleaner::on()
-        } else {
-            Cleaner::off()
-        };
-        let embedder = HashEmbedder::new(self.embedding);
-        let (v1, v2) = out
-            .breakdown
-            .time("preprocess", || embedder.embed_view(view, &cleaner));
-        let index = out
-            .breakdown
-            .time("index", || FlatIndex::build(v1, Metric::L2Sq));
         out.breakdown.time("query", || {
-            for (j, hits) in index.range_batch(&v2, self.radius).into_iter().enumerate() {
+            for (j, hits) in art
+                .index
+                .range_batch(&art.queries, self.radius)
+                .into_iter()
+                .enumerate()
+            {
                 for (i, _) in hits {
                     out.candidates.insert_raw(i, j as u32);
                 }
@@ -334,24 +336,20 @@ impl FlatKnn {
     /// `K ≤ k_max` as a prefix, and Figures 4–6 read duplicate ranks off
     /// the same lists. Similarities are negated costs (descending order).
     pub fn rankings(&self, view: &TextView, k_max: usize) -> er_core::QueryRankings {
-        let cleaner = if self.cleaning {
-            Cleaner::on()
-        } else {
-            Cleaner::off()
-        };
-        let embedder = HashEmbedder::new(self.embedding);
-        let (index_texts, query_texts) = if self.reversed {
-            (&view.e2, &view.e1)
-        } else {
-            (&view.e1, &view.e2)
-        };
-        let index_vecs: Vec<Vec<f32>> =
-            parallel::par_map(index_texts, |t| embedder.embed(t, &cleaner));
-        let index = FlatIndex::build(index_vecs, Metric::L2Sq);
-        let query_vecs: Vec<Vec<f32>> =
-            parallel::par_map(query_texts, |t| embedder.embed(t, &cleaner));
-        let neighbors = index
-            .knn_batch(&query_vecs, k_max)
+        let prepared = self.prepare(view);
+        self.rankings_from(prepared.downcast::<DenseIndexArtifact>(), k_max)
+    }
+
+    /// [`FlatKnn::rankings`] on a shared prepare-stage artifact: the
+    /// embeddings and index are reused, only the kNN scoring runs.
+    pub fn rankings_from(
+        &self,
+        artifact: &DenseIndexArtifact,
+        k_max: usize,
+    ) -> er_core::QueryRankings {
+        let neighbors = artifact
+            .index
+            .knn_batch(&artifact.queries, k_max)
             .into_iter()
             .map(|nn| {
                 nn.into_iter()
@@ -371,33 +369,25 @@ impl Filter for FlatKnn {
         "FAISS".to_owned()
     }
 
-    fn run(&self, view: &TextView) -> FilterOutput {
+    fn repr_key(&self) -> String {
+        DenseIndexArtifact::repr_key(self.cleaning, &self.embedding, self.reversed)
+    }
+
+    fn prepare(&self, view: &TextView) -> Prepared {
+        DenseIndexArtifact::prepare(view, self.cleaning, self.embedding, self.reversed)
+    }
+
+    fn query(&self, _view: &TextView, prepared: &Prepared) -> FilterOutput {
+        let art = prepared.downcast::<DenseIndexArtifact>();
         let mut out = FilterOutput::default();
-        let cleaner = if self.cleaning {
-            Cleaner::on()
-        } else {
-            Cleaner::off()
-        };
-        let embedder = HashEmbedder::new(self.embedding);
-
-        let (index_texts, query_texts) = if self.reversed {
-            (&view.e2, &view.e1)
-        } else {
-            (&view.e1, &view.e2)
-        };
-        let (index_vecs, query_vecs) = out.breakdown.time("preprocess", || {
-            let a: Vec<Vec<f32>> = parallel::par_map(index_texts, |t| embedder.embed(t, &cleaner));
-            let b: Vec<Vec<f32>> = parallel::par_map(query_texts, |t| embedder.embed(t, &cleaner));
-            (a, b)
-        });
-
-        let index = out
-            .breakdown
-            .time("index", || FlatIndex::build(index_vecs, Metric::L2Sq));
-
         out.breakdown.time("query", || {
             // Zero vectors (empty texts) yield empty neighbor lists.
-            for (q, nn) in index.knn_batch(&query_vecs, self.k).into_iter().enumerate() {
+            for (q, nn) in art
+                .index
+                .knn_batch(&art.queries, self.k)
+                .into_iter()
+                .enumerate()
+            {
                 for (i, _) in nn {
                     if self.reversed {
                         out.candidates.insert_raw(q as u32, i);
@@ -462,11 +452,12 @@ mod tests {
     #[test]
     fn filter_pairs_duplicates_first() {
         let view = TextView {
-            e1: vec!["canon eos 5d camera".into(), "office chair".into()],
+            e1: vec!["canon eos 5d camera".into(), "office chair".into()].into(),
             e2: vec![
                 "canon eos5d camera body".into(),
                 "leather office chair".into(),
-            ],
+            ]
+            .into(),
         };
         let f = FlatKnn {
             cleaning: false,
@@ -486,8 +477,8 @@ mod tests {
     #[test]
     fn reversed_filter_keeps_orientation() {
         let view = TextView {
-            e1: vec!["alpha beta".into()],
-            e2: vec!["alpha beta".into(), "unrelated thing".into()],
+            e1: vec!["alpha beta".into()].into(),
+            e2: vec!["alpha beta".into(), "unrelated thing".into()].into(),
         };
         let f = FlatKnn {
             cleaning: false,
@@ -517,8 +508,8 @@ mod tests {
     #[test]
     fn range_filter_monotone_in_radius() {
         let view = TextView {
-            e1: vec!["canon camera".into(), "office chair".into()],
-            e2: vec!["canon camera body".into()],
+            e1: vec!["canon camera".into(), "office chair".into()].into(),
+            e2: vec!["canon camera body".into()].into(),
         };
         let filter = |radius: f32| FlatRange {
             cleaning: false,
@@ -608,10 +599,52 @@ mod tests {
     }
 
     #[test]
+    fn shared_artifact_matches_cold_runs_and_spans_filters() {
+        let view = TextView {
+            e1: vec!["canon eos 5d camera".into(), "office chair".into()].into(),
+            e2: vec![
+                "canon eos5d camera body".into(),
+                "leather office chair".into(),
+            ]
+            .into(),
+        };
+        let emb = EmbeddingConfig {
+            dim: 64,
+            ..Default::default()
+        };
+        let knn = |k| FlatKnn {
+            cleaning: false,
+            k,
+            reversed: false,
+            embedding: emb,
+        };
+        let range = FlatRange {
+            cleaning: false,
+            radius: 0.5,
+            embedding: emb,
+        };
+        // The K sweep and the radius search share one embed+index artifact.
+        assert_eq!(knn(1).repr_key(), knn(7).repr_key());
+        assert_eq!(knn(1).repr_key(), range.repr_key());
+        let prepared = knn(1).prepare(&view);
+        for k in [1, 2] {
+            assert_eq!(
+                knn(k).query(&view, &prepared).candidates.to_sorted_vec(),
+                knn(k).run(&view).candidates.to_sorted_vec(),
+                "k={k}"
+            );
+        }
+        assert_eq!(
+            range.query(&view, &prepared).candidates.to_sorted_vec(),
+            range.run(&view).candidates.to_sorted_vec()
+        );
+    }
+
+    #[test]
     fn empty_query_text_yields_nothing() {
         let view = TextView {
-            e1: vec!["something".into()],
-            e2: vec!["".into()],
+            e1: vec!["something".into()].into(),
+            e2: vec!["".into()].into(),
         };
         let f = FlatKnn {
             cleaning: false,

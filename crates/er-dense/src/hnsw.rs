@@ -15,11 +15,13 @@
 //! level, connecting to the `M` closest neighbors and pruning back-edges
 //! to the per-layer degree bound.
 
+use crate::artifact::{emb_key, flag, vecs_bytes};
 use crate::embed::{EmbeddingConfig, HashEmbedder};
 use crate::vector::l2_sq;
-use er_core::filter::{Filter, FilterOutput};
+use er_core::filter::{Filter, FilterOutput, Prepared};
 use er_core::parallel::{self, Threads};
 use er_core::schema::TextView;
+use er_core::timing::{PhaseBreakdown, Stage};
 use er_text::Cleaner;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -345,28 +347,70 @@ impl HnswKnn {
     }
 }
 
+/// The prepare-stage artifact: the built graph plus the query
+/// embeddings. The graph depends on `M`, the construction beam (derived
+/// from `efSearch`) and the seed; only `K` stays in the query stage.
+pub struct HnswArtifact {
+    index: HnswIndex,
+    queries: Vec<Vec<f32>>,
+}
+
+impl HnswArtifact {
+    /// Approximate heap footprint for cache accounting.
+    fn bytes(&self) -> usize {
+        let adjacency: usize = self
+            .index
+            .neighbors
+            .iter()
+            .flatten()
+            .map(|n| std::mem::size_of::<Vec<u32>>() + n.len() * 4)
+            .sum();
+        vecs_bytes(&self.index.vectors) + adjacency + vecs_bytes(&self.queries)
+    }
+}
+
 impl Filter for HnswKnn {
     fn name(&self) -> String {
         "FAISS-HNSW".to_owned()
     }
 
-    fn run(&self, view: &TextView) -> FilterOutput {
-        let mut out = FilterOutput::default();
+    fn repr_key(&self) -> String {
+        format!(
+            "hnsw:CL={}:M={}:ef={}:s={:x}:{}",
+            flag(self.cleaning),
+            self.m,
+            self.ef_search,
+            self.seed,
+            emb_key(&self.embedding)
+        )
+    }
+
+    fn prepare(&self, view: &TextView) -> Prepared {
         let cleaner = if self.cleaning {
             Cleaner::on()
         } else {
             Cleaner::off()
         };
         let embedder = HashEmbedder::new(self.embedding);
-        let (v1, v2) = out
-            .breakdown
-            .time("preprocess", || embedder.embed_view(view, &cleaner));
-        let index = out.breakdown.time("index", || {
+        let mut breakdown = PhaseBreakdown::new();
+        let (v1, queries) = breakdown.time_in(Stage::Prepare, "preprocess", || {
+            embedder.embed_view(view, &cleaner)
+        });
+        let index = breakdown.time_in(Stage::Prepare, "index", || {
             HnswIndex::build(v1, self.m, (self.ef_search * 2).max(64), self.seed)
         });
+        let artifact = HnswArtifact { index, queries };
+        let bytes = artifact.bytes();
+        Prepared::new(artifact, bytes, breakdown)
+    }
+
+    fn query(&self, _view: &TextView, prepared: &Prepared) -> FilterOutput {
+        let art = prepared.downcast::<HnswArtifact>();
+        let mut out = FilterOutput::default();
         out.breakdown.time("query", || {
-            for (j, nn) in index
-                .knn_batch(&v2, self.k, self.ef_search)
+            for (j, nn) in art
+                .index
+                .knn_batch(&art.queries, self.k, self.ef_search)
                 .into_iter()
                 .enumerate()
             {
@@ -505,8 +549,9 @@ mod tests {
                 "canon eos camera".into(),
                 "office chair black".into(),
                 "usb cable".into(),
-            ],
-            e2: vec!["canon eos camera body".into(), "black office chair".into()],
+            ]
+            .into(),
+            e2: vec!["canon eos camera body".into(), "black office chair".into()].into(),
         };
         let f = HnswKnn {
             cleaning: false,

@@ -8,12 +8,14 @@
 //! auto-tunes the probe count toward the recall target, which our harness
 //! reproduces by sweeping `probes` ascending.
 
+use crate::artifact::{emb_key, flag, vecs_bytes};
 use crate::embed::{EmbeddingConfig, HashEmbedder};
 use crate::vector::dot;
 use er_core::candidates::CandidateSet;
-use er_core::filter::{Filter, FilterOutput};
+use er_core::filter::{Filter, FilterOutput, Prepared};
 use er_core::hash::FastMap;
 use er_core::schema::TextView;
+use er_core::timing::{PhaseBreakdown, Stage};
 use er_text::Cleaner;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -139,30 +141,64 @@ fn probe_sequence(key: u32, margins: &[f32], probes: usize) -> Vec<u32> {
     out
 }
 
+/// The prepare-stage artifact: sampled hyperplanes, `E1` buckets and the
+/// query-side embeddings. The probe count only steers the query stage, so
+/// a probe sweep shares one artifact.
+pub struct HyperplaneArtifact {
+    tables: Vec<Table>,
+    buckets: Vec<FastMap<u32, Vec<u32>>>,
+    queries: Vec<Vec<f32>>,
+}
+
+impl HyperplaneArtifact {
+    /// Approximate heap footprint for cache accounting.
+    fn bytes(&self) -> usize {
+        let normals: usize = self.tables.iter().map(|t| vecs_bytes(&t.normals)).sum();
+        let buckets: usize = self
+            .buckets
+            .iter()
+            .flat_map(|b| b.values())
+            .map(|ids| 4 + std::mem::size_of::<Vec<u32>>() + ids.len() * 4)
+            .sum();
+        normals + buckets + vecs_bytes(&self.queries)
+    }
+}
+
 impl Filter for HyperplaneLsh {
     fn name(&self) -> String {
         "HP-LSH".to_owned()
     }
 
-    fn run(&self, view: &TextView) -> FilterOutput {
+    fn repr_key(&self) -> String {
+        format!(
+            "hp:CL={}:T={}:H={}:s={:x}:{}",
+            flag(self.cleaning),
+            self.tables,
+            self.hashes,
+            self.seed,
+            emb_key(&self.embedding)
+        )
+    }
+
+    fn prepare(&self, view: &TextView) -> Prepared {
         assert!(
             self.hashes >= 1 && self.hashes <= 30,
             "hashes must be in [1, 30]"
         );
-        let mut out = FilterOutput::default();
         let cleaner = if self.cleaning {
             Cleaner::on()
         } else {
             Cleaner::off()
         };
         let embedder = HashEmbedder::new(self.embedding);
+        let mut breakdown = PhaseBreakdown::new();
 
-        let (v1, v2) = out
-            .breakdown
-            .time("preprocess", || embedder.embed_view(view, &cleaner));
+        let (v1, queries) = breakdown.time_in(Stage::Prepare, "preprocess", || {
+            embedder.embed_view(view, &cleaner)
+        });
 
         // Sample hyperplanes and index E1.
-        let (tables, buckets) = out.breakdown.time("index", || {
+        let (tables, buckets) = breakdown.time_in(Stage::Prepare, "index", || {
             let mut rng = StdRng::seed_from_u64(self.seed);
             let dim = self.embedding.dim;
             let tables: Vec<Table> = (0..self.tables)
@@ -194,17 +230,28 @@ impl Filter for HyperplaneLsh {
             }
             (tables, buckets)
         });
+        let artifact = HyperplaneArtifact {
+            tables,
+            buckets,
+            queries,
+        };
+        let bytes = artifact.bytes();
+        Prepared::new(artifact, bytes, breakdown)
+    }
 
+    fn query(&self, _view: &TextView, prepared: &Prepared) -> FilterOutput {
+        let art = prepared.downcast::<HyperplaneArtifact>();
+        let mut out = FilterOutput::default();
         out.breakdown.time("query", || {
             let mut candidates = CandidateSet::new();
-            for (j, v) in v2.iter().enumerate() {
+            for (j, v) in art.queries.iter().enumerate() {
                 if v.iter().all(|&x| x == 0.0) {
                     continue;
                 }
-                for (t, table) in tables.iter().enumerate() {
+                for (t, table) in art.tables.iter().enumerate() {
                     let (key, margins) = table.key_and_margins(v);
                     for probe in probe_sequence(key, &margins, self.probes.max(1)) {
-                        if let Some(hits) = buckets[t].get(&probe) {
+                        if let Some(hits) = art.buckets[t].get(&probe) {
                             for &i in hits {
                                 candidates.insert_raw(i, j as u32);
                             }
@@ -240,8 +287,8 @@ mod tests {
     #[test]
     fn identical_vectors_always_collide() {
         let view = TextView {
-            e1: vec!["canon powershot camera".into()],
-            e2: vec!["canon powershot camera".into()],
+            e1: vec!["canon powershot camera".into()].into(),
+            e2: vec!["canon powershot camera".into()].into(),
         };
         let out = lsh(4, 8, 1).run(&view);
         assert!(out.candidates.contains(Pair::new(0, 0)));
@@ -287,6 +334,27 @@ mod tests {
         assert_eq!(probe_sequence(7, &[0.3], 1), vec![7]);
         let seq = probe_sequence(0, &[0.1], 10);
         assert_eq!(seq, vec![0, 1], "only two buckets exist for one bit");
+    }
+
+    #[test]
+    fn probe_sweep_shares_one_artifact() {
+        let view = TextView {
+            e1: (0..40)
+                .map(|i| format!("item model {i} series pro"))
+                .collect(),
+            e2: (0..10).map(|i| format!("item model {i} series")).collect(),
+        };
+        assert_eq!(lsh(2, 10, 1).repr_key(), lsh(2, 10, 16).repr_key());
+        assert_ne!(lsh(2, 10, 1).repr_key(), lsh(2, 8, 1).repr_key());
+        let prepared = lsh(2, 10, 1).prepare(&view);
+        for probes in [1, 4, 16] {
+            let f = lsh(2, 10, probes);
+            assert_eq!(
+                f.query(&view, &prepared).candidates.to_sorted_vec(),
+                f.run(&view).candidates.to_sorted_vec(),
+                "probes={probes}"
+            );
+        }
     }
 
     #[test]

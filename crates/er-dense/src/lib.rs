@@ -18,6 +18,7 @@
 //! * [`deepblocker`] — autoencoder tuple embedding + kNN (DeepBlocker),
 //! * [`grid`] — the Table V configuration spaces and baselines.
 
+pub mod artifact;
 pub mod crosspolytope;
 pub mod deepblocker;
 pub mod embed;
@@ -30,6 +31,7 @@ pub mod partitioned;
 pub mod pq;
 pub mod vector;
 
+pub use artifact::DenseIndexArtifact;
 pub use crosspolytope::CrossPolytopeLsh;
 pub use deepblocker::{DeepBlocker, DeepBlockerConfig};
 pub use embed::{EmbeddingConfig, HashEmbedder};
@@ -38,7 +40,7 @@ pub use grid::{ddb_baseline, DenseMethod};
 pub use hnsw::{HnswIndex, HnswKnn};
 pub use hyperplane::HyperplaneLsh;
 pub use minhash::MinHashLsh;
-pub use partitioned::{assign, kmeans, PartitionedKnn, Scoring};
+pub use partitioned::{assign, kmeans, PartitionedArtifact, PartitionedKnn, Scoring};
 pub use pq::ProductQuantizer;
 pub use vector::{cosine, dot, l2_sq, normalize};
 

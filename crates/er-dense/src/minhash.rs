@@ -7,9 +7,10 @@
 //! high-pass filter at threshold `(1/#bands)^(1/#rows)`.
 
 use er_core::candidates::CandidateSet;
-use er_core::filter::{Filter, FilterOutput};
+use er_core::filter::{Filter, FilterOutput, Prepared};
 use er_core::hash::{hash_str, mix64, FastMap};
 use er_core::schema::TextView;
+use er_core::timing::{PhaseBreakdown, Stage};
 use er_text::{kshingles, Cleaner};
 
 /// A configured MinHash LSH filter.
@@ -82,20 +83,59 @@ impl MinHashLsh {
     }
 }
 
+/// The prepare-stage artifact: query signatures plus the per-band bucket
+/// index of `E1`. Every banding parameter shapes the signatures, so the
+/// whole pipeline up to bucket probing is preparation.
+pub struct MinHashArtifact {
+    /// Query-side signatures (`None` for shingle-less texts).
+    sigs2: Vec<Option<Vec<u64>>>,
+    /// Per-band buckets of the indexed collection.
+    buckets: Vec<FastMap<u64, Vec<u32>>>,
+}
+
+impl MinHashArtifact {
+    /// Approximate heap footprint for cache accounting.
+    fn bytes(&self) -> usize {
+        let sigs: usize = self
+            .sigs2
+            .iter()
+            .flatten()
+            .map(|s| std::mem::size_of::<Vec<u64>>() + s.len() * 8)
+            .sum();
+        let buckets: usize = self
+            .buckets
+            .iter()
+            .flat_map(|b| b.values())
+            .map(|ids| 8 + std::mem::size_of::<Vec<u32>>() + ids.len() * 4)
+            .sum();
+        sigs + buckets
+    }
+}
+
 impl Filter for MinHashLsh {
     fn name(&self) -> String {
         "MH-LSH".to_owned()
     }
 
-    fn run(&self, view: &TextView) -> FilterOutput {
-        let mut out = FilterOutput::default();
+    fn repr_key(&self) -> String {
+        format!(
+            "mh:CL={}:k={}:b={}:r={}:s={:x}",
+            if self.cleaning { "y" } else { "-" },
+            self.shingle_k,
+            self.bands,
+            self.rows,
+            self.seed
+        )
+    }
+
+    fn prepare(&self, view: &TextView) -> Prepared {
         let cleaner = if self.cleaning {
             Cleaner::on()
         } else {
             Cleaner::off()
         };
-
-        let (sigs1, sigs2) = out.breakdown.time("preprocess", || {
+        let mut breakdown = PhaseBreakdown::new();
+        let (sigs1, sigs2) = breakdown.time_in(Stage::Prepare, "preprocess", || {
             let a: Vec<Option<Vec<u64>>> = view
                 .e1
                 .iter()
@@ -110,7 +150,7 @@ impl Filter for MinHashLsh {
         });
 
         // Buckets per band for the indexed collection E1.
-        let buckets = out.breakdown.time("index", || {
+        let buckets = breakdown.time_in(Stage::Prepare, "index", || {
             let mut buckets: Vec<FastMap<u64, Vec<u32>>> = vec![FastMap::default(); self.bands];
             for (i, sig) in sigs1.iter().enumerate() {
                 let Some(sig) = sig else { continue };
@@ -121,12 +161,19 @@ impl Filter for MinHashLsh {
             }
             buckets
         });
+        let artifact = MinHashArtifact { sigs2, buckets };
+        let bytes = artifact.bytes();
+        Prepared::new(artifact, bytes, breakdown)
+    }
 
+    fn query(&self, _view: &TextView, prepared: &Prepared) -> FilterOutput {
+        let art = prepared.downcast::<MinHashArtifact>();
+        let mut out = FilterOutput::default();
         out.breakdown.time("query", || {
             let mut candidates = CandidateSet::new();
-            for (j, sig) in sigs2.iter().enumerate() {
+            for (j, sig) in art.sigs2.iter().enumerate() {
                 let Some(sig) = sig else { continue };
-                for (b, bucket) in buckets.iter().enumerate() {
+                for (b, bucket) in art.buckets.iter().enumerate() {
                     let key = Self::band_key(&sig[b * self.rows..(b + 1) * self.rows]);
                     if let Some(hits) = bucket.get(&key) {
                         for &i in hits {
@@ -159,8 +206,8 @@ mod tests {
     #[test]
     fn identical_texts_always_collide() {
         let view = TextView {
-            e1: vec!["the exact same product title".into()],
-            e2: vec!["the exact same product title".into()],
+            e1: vec!["the exact same product title".into()].into(),
+            e2: vec!["the exact same product title".into()].into(),
         };
         let out = lsh(8, 4).run(&view);
         assert!(out.candidates.contains(Pair::new(0, 0)));
@@ -169,8 +216,8 @@ mod tests {
     #[test]
     fn unrelated_texts_rarely_collide_with_many_rows() {
         let view = TextView {
-            e1: vec!["canon digital camera powershot".into()],
-            e2: vec!["wooden kitchen table furniture".into()],
+            e1: vec!["canon digital camera powershot".into()].into(),
+            e2: vec!["wooden kitchen table furniture".into()].into(),
         };
         // Few bands, many rows -> collisions only at high similarity.
         let out = lsh(2, 32).run(&view);
@@ -182,8 +229,8 @@ mod tests {
         // Near-duplicates with small edits should collide when the banding
         // approximates a low threshold.
         let view = TextView {
-            e1: vec!["canon powershot a530 digital camera 5 mp".into()],
-            e2: vec!["canon powershot a530 digital camera 5mp kit".into()],
+            e1: vec!["canon powershot a530 digital camera 5 mp".into()].into(),
+            e2: vec!["canon powershot a530 digital camera 5mp kit".into()].into(),
         };
         let out = lsh(64, 2).run(&view);
         assert!(out.candidates.contains(Pair::new(0, 0)));
@@ -268,8 +315,8 @@ mod tests {
     #[test]
     fn empty_texts_never_pair() {
         let view = TextView {
-            e1: vec!["".into(), "real text".into()],
-            e2: vec!["".into()],
+            e1: vec!["".into(), "real text".into()].into(),
+            e2: vec!["".into()].into(),
         };
         let out = lsh(4, 4).run(&view);
         assert!(out.candidates.is_empty());
@@ -278,8 +325,8 @@ mod tests {
     #[test]
     fn phases_recorded() {
         let view = TextView {
-            e1: vec!["a b c".into()],
-            e2: vec!["a b d".into()],
+            e1: vec!["a b c".into()].into(),
+            e2: vec!["a b d".into()].into(),
         };
         let out = lsh(4, 2).run(&view);
         for phase in ["preprocess", "index", "query"] {

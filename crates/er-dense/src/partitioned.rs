@@ -7,12 +7,14 @@
 //! the similarity is dot product (`DP`) or squared Euclidean (`L2²`) —
 //! the four combinations Table V sweeps.
 
+use crate::artifact::{emb_key, flag, vecs_bytes};
 use crate::embed::{EmbeddingConfig, HashEmbedder};
 use crate::flat::{knn_over, Metric};
 use crate::pq::ProductQuantizer;
 use crate::vector::{dot, l2_sq};
-use er_core::filter::{Filter, FilterOutput};
+use er_core::filter::{Filter, FilterOutput, Prepared};
 use er_core::schema::TextView;
+use er_core::timing::{PhaseBreakdown, Stage};
 use er_text::Cleaner;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -254,38 +256,34 @@ impl PartitionedKnn {
     ///
     /// [`FlatKnn::rankings`]: crate::flat::FlatKnn::rankings
     pub fn rankings(&self, view: &TextView, k_max: usize) -> er_core::QueryRankings {
-        let cleaner = if self.cleaning {
-            Cleaner::on()
-        } else {
-            Cleaner::off()
-        };
-        let embedder = HashEmbedder::new(self.embedding);
-        let (index_texts, query_texts) = if self.reversed {
-            (&view.e2, &view.e1)
-        } else {
-            (&view.e1, &view.e2)
-        };
-        let index_vecs: Vec<Vec<f32>> = index_texts
-            .iter()
-            .map(|t| embedder.embed(t, &cleaner))
-            .collect();
-        if index_vecs.is_empty() {
+        let prepared = self.prepare(view);
+        self.rankings_from(prepared.downcast::<PartitionedArtifact>(), k_max)
+    }
+
+    /// [`PartitionedKnn::rankings`] on a shared prepare-stage artifact:
+    /// the embeddings and trained partitioning are reused, only the
+    /// scoring runs.
+    pub fn rankings_from(
+        &self,
+        artifact: &PartitionedArtifact,
+        k_max: usize,
+    ) -> er_core::QueryRankings {
+        let Some(index) = &artifact.index else {
             return er_core::QueryRankings {
-                neighbors: vec![Vec::new(); query_texts.len()],
+                neighbors: vec![Vec::new(); artifact.queries.len()],
                 reversed: self.reversed,
             };
-        }
-        let index = PartitionedIndex::build(index_vecs, self.metric, self.scoring, self.seed);
+        };
         let n_probe = ((index.members.len() as f64 * self.probe_fraction).ceil() as usize).max(1);
-        let neighbors = query_texts
+        let neighbors = artifact
+            .queries
             .iter()
-            .map(|t| {
-                let q = embedder.embed(t, &cleaner);
+            .map(|q| {
                 if q.iter().all(|&v| v == 0.0) {
                     return Vec::new();
                 }
                 index
-                    .knn(&q, k_max, n_probe)
+                    .knn(q, k_max, n_probe)
                     .into_iter()
                     .map(|(i, cost)| (i, f64::from(-cost)))
                     .collect()
@@ -298,26 +296,72 @@ impl PartitionedKnn {
     }
 }
 
+/// The prepare-stage artifact: embedded queries plus the trained
+/// partitioned index (`None` when the indexed collection is empty). `K`
+/// and the probe fraction stay in the query stage.
+pub struct PartitionedArtifact {
+    index: Option<PartitionedIndex>,
+    queries: Vec<Vec<f32>>,
+}
+
+impl PartitionedArtifact {
+    /// Approximate heap footprint for cache accounting.
+    fn bytes(&self) -> usize {
+        let index: usize = self.index.as_ref().map_or(0, |idx| {
+            let members: usize = idx
+                .members
+                .iter()
+                .map(|m| std::mem::size_of::<Vec<u32>>() + m.len() * 4)
+                .sum();
+            let codes: usize = idx.pq.as_ref().map_or(0, |(_, codes)| {
+                codes
+                    .iter()
+                    .map(|c| std::mem::size_of::<Vec<u8>>() + c.len())
+                    .sum()
+            });
+            vecs_bytes(&idx.vectors) + vecs_bytes(&idx.centroids) + members + codes
+        });
+        index + vecs_bytes(&self.queries)
+    }
+}
+
 impl Filter for PartitionedKnn {
     fn name(&self) -> String {
         "SCANN".to_owned()
     }
 
-    fn run(&self, view: &TextView) -> FilterOutput {
-        let mut out = FilterOutput::default();
+    fn repr_key(&self) -> String {
+        format!(
+            "scann:CL={}:RVS={}:idx={}:sim={}:s={:x}:{}",
+            flag(self.cleaning),
+            flag(self.reversed),
+            match self.scoring {
+                Scoring::BruteForce => "BF",
+                Scoring::AsymmetricHashing => "AH",
+            },
+            match self.metric {
+                Metric::Dot => "DP",
+                Metric::L2Sq => "L2",
+            },
+            self.seed,
+            emb_key(&self.embedding)
+        )
+    }
+
+    fn prepare(&self, view: &TextView) -> Prepared {
         let cleaner = if self.cleaning {
             Cleaner::on()
         } else {
             Cleaner::off()
         };
         let embedder = HashEmbedder::new(self.embedding);
-
         let (index_texts, query_texts) = if self.reversed {
             (&view.e2, &view.e1)
         } else {
             (&view.e1, &view.e2)
         };
-        let (index_vecs, query_vecs) = out.breakdown.time("preprocess", || {
+        let mut breakdown = PhaseBreakdown::new();
+        let (index_vecs, queries) = breakdown.time_in(Stage::Prepare, "preprocess", || {
             let a: Vec<Vec<f32>> = index_texts
                 .iter()
                 .map(|t| embedder.embed(t, &cleaner))
@@ -328,17 +372,25 @@ impl Filter for PartitionedKnn {
                 .collect();
             (a, b)
         });
-        if index_vecs.is_empty() {
-            return out;
-        }
-
-        let index = out.breakdown.time("index", || {
-            PartitionedIndex::build(index_vecs, self.metric, self.scoring, self.seed)
+        let index = breakdown.time_in(Stage::Prepare, "index", || {
+            (!index_vecs.is_empty())
+                .then(|| PartitionedIndex::build(index_vecs, self.metric, self.scoring, self.seed))
         });
+        let artifact = PartitionedArtifact { index, queries };
+        let bytes = artifact.bytes();
+        Prepared::new(artifact, bytes, breakdown)
+    }
+
+    fn query(&self, _view: &TextView, prepared: &Prepared) -> FilterOutput {
+        let art = prepared.downcast::<PartitionedArtifact>();
+        let mut out = FilterOutput::default();
+        let Some(index) = &art.index else {
+            return out;
+        };
         let n_probe = ((index.members.len() as f64 * self.probe_fraction).ceil() as usize).max(1);
 
         out.breakdown.time("query", || {
-            for (q, query) in query_vecs.iter().enumerate() {
+            for (q, query) in art.queries.iter().enumerate() {
                 if query.iter().all(|&v| v == 0.0) {
                     continue;
                 }
@@ -443,8 +495,9 @@ mod tests {
                 "canon camera".into(),
                 "office chair".into(),
                 "usb cable".into(),
-            ],
-            e2: vec!["canon camera body".into(), "black office chair".into()],
+            ]
+            .into(),
+            e2: vec!["canon camera body".into(), "black office chair".into()].into(),
         };
         for scoring in [Scoring::BruteForce, Scoring::AsymmetricHashing] {
             let f = PartitionedKnn {

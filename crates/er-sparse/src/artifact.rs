@@ -1,0 +1,144 @@
+//! The shared prepare-stage artifact of the sparse joins.
+//!
+//! Every sparse method (ε-Join, kNN-Join, top-k join) starts the same way:
+//! tokenize both collections under a representation model (`RM`) with
+//! optional cleaning (`CL`), then build a ScanCount inverted index over
+//! the indexed side. Only the *query* stage differs — similarity measure,
+//! ε, k. This module packages that common preparation as one artifact so
+//! a grid sweep shares a single tokenization + index across every
+//! configuration that only varies query-stage parameters.
+
+use crate::representation::RepresentationModel;
+use crate::scancount::ScanCountIndex;
+use er_core::filter::Prepared;
+use er_core::parallel;
+use er_core::schema::TextView;
+use er_core::timing::{PhaseBreakdown, Stage};
+use er_text::Cleaner;
+
+/// Token sets of both sides plus the ScanCount index over the indexed
+/// side. `index_sets[i]` backs `index`; `query_sets[j]` are the probes.
+#[derive(Debug)]
+pub struct TokenSetsArtifact {
+    /// Token sets of the indexed collection.
+    pub index_sets: Vec<Vec<u64>>,
+    /// Token sets of the querying collection.
+    pub query_sets: Vec<Vec<u64>>,
+    /// ScanCount inverted index over `index_sets`.
+    pub index: ScanCountIndex,
+}
+
+impl TokenSetsArtifact {
+    /// The representation key of this artifact: filters with equal keys
+    /// (on the same view) produce interchangeable artifacts. The
+    /// similarity measure and the ε/k parameters are query-stage and
+    /// deliberately absent.
+    pub fn repr_key(cleaning: bool, model: RepresentationModel, reversed: bool) -> String {
+        format!(
+            "sparse:CL={}:RM={}:RVS={}",
+            if cleaning { "y" } else { "-" },
+            model.name(),
+            if reversed { "y" } else { "-" }
+        )
+    }
+
+    /// Tokenizes both sides and builds the ScanCount index, recording the
+    /// `preprocess` and `index` phases in the prepare stage. With `reversed`
+    /// (the kNN `RVS` parameter) `E2` is indexed and `E1` queries.
+    pub fn prepare(
+        view: &TextView,
+        cleaning: bool,
+        model: RepresentationModel,
+        reversed: bool,
+    ) -> Prepared {
+        let cleaner = if cleaning {
+            Cleaner::on()
+        } else {
+            Cleaner::off()
+        };
+        let (index_texts, query_texts) = if reversed {
+            (&view.e2, &view.e1)
+        } else {
+            (&view.e1, &view.e2)
+        };
+        let mut breakdown = PhaseBreakdown::new();
+        let (index_sets, query_sets) = breakdown.time_in(Stage::Prepare, "preprocess", || {
+            let a: Vec<Vec<u64>> = parallel::par_map(index_texts, |t| model.token_set(t, &cleaner));
+            let b: Vec<Vec<u64>> = parallel::par_map(query_texts, |t| model.token_set(t, &cleaner));
+            (a, b)
+        });
+        let index = breakdown.time_in(Stage::Prepare, "index", || {
+            ScanCountIndex::build(&index_sets)
+        });
+        let bytes =
+            token_set_bytes(&index_sets) + token_set_bytes(&query_sets) + index.heap_bytes();
+        Prepared::new(
+            Self {
+                index_sets,
+                query_sets,
+                index,
+            },
+            bytes,
+            breakdown,
+        )
+    }
+}
+
+fn token_set_bytes(sets: &[Vec<u64>]) -> usize {
+    sets.iter()
+        .map(|s| std::mem::size_of::<Vec<u64>>() + s.len() * 8)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view() -> TextView {
+        TextView::new(
+            vec!["alpha beta".to_owned(), "gamma".to_owned()],
+            vec!["alpha".to_owned()],
+        )
+    }
+
+    #[test]
+    fn repr_key_separates_representations_not_measures() {
+        let t1g = RepresentationModel::parse("T1G").expect("T1G");
+        let c2g = RepresentationModel::parse("C2G").expect("C2G");
+        assert_ne!(
+            TokenSetsArtifact::repr_key(false, t1g, false),
+            TokenSetsArtifact::repr_key(true, t1g, false)
+        );
+        assert_ne!(
+            TokenSetsArtifact::repr_key(false, t1g, false),
+            TokenSetsArtifact::repr_key(false, c2g, false)
+        );
+        assert_ne!(
+            TokenSetsArtifact::repr_key(false, t1g, false),
+            TokenSetsArtifact::repr_key(false, t1g, true)
+        );
+    }
+
+    #[test]
+    fn prepare_builds_sets_and_index_with_prepare_phases() {
+        let t1g = RepresentationModel::parse("T1G").expect("T1G");
+        let prepared = TokenSetsArtifact::prepare(&view(), false, t1g, false);
+        let art = prepared.downcast::<TokenSetsArtifact>();
+        assert_eq!(art.index_sets.len(), 2);
+        assert_eq!(art.query_sets.len(), 1);
+        assert_eq!(art.index.len(), 2);
+        assert!(prepared.bytes() > 0);
+        let b = prepared.breakdown();
+        assert!(b.get("preprocess").is_some() && b.get("index").is_some());
+        assert_eq!(b.prepare_total(), b.total(), "all phases are prepare-stage");
+    }
+
+    #[test]
+    fn reversed_prepare_swaps_sides() {
+        let t1g = RepresentationModel::parse("T1G").expect("T1G");
+        let prepared = TokenSetsArtifact::prepare(&view(), false, t1g, true);
+        let art = prepared.downcast::<TokenSetsArtifact>();
+        assert_eq!(art.index_sets.len(), 1);
+        assert_eq!(art.query_sets.len(), 2);
+    }
+}

@@ -7,12 +7,12 @@
 //! because ER-optimal thresholds are low (paper: mostly below 0.5), where
 //! prefix-filter techniques lose their advantage.
 
+use crate::artifact::TokenSetsArtifact;
 use crate::representation::RepresentationModel;
-use crate::scancount::ScanCountIndex;
+use crate::scancount::ScanCountScratch;
 use crate::similarity::SimilarityMeasure;
-use er_core::filter::{Filter, FilterOutput};
+use er_core::filter::{Filter, FilterOutput, Prepared};
 use er_core::schema::TextView;
-use er_text::Cleaner;
 
 /// A configured ε-Join.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,41 +45,27 @@ impl Filter for EpsilonJoin {
         "e-Join".to_owned()
     }
 
-    fn run(&self, view: &TextView) -> FilterOutput {
+    fn repr_key(&self) -> String {
+        TokenSetsArtifact::repr_key(self.cleaning, self.model, false)
+    }
+
+    fn prepare(&self, view: &TextView) -> Prepared {
+        TokenSetsArtifact::prepare(view, self.cleaning, self.model, false)
+    }
+
+    fn query(&self, _view: &TextView, prepared: &Prepared) -> FilterOutput {
+        let art = prepared.downcast::<TokenSetsArtifact>();
         let mut out = FilterOutput::default();
-        let cleaner = if self.cleaning {
-            Cleaner::on()
-        } else {
-            Cleaner::off()
-        };
-
-        let (sets1, sets2) = out.breakdown.time("preprocess", || {
-            let s1: Vec<Vec<u64>> = view
-                .e1
-                .iter()
-                .map(|t| self.model.token_set(t, &cleaner))
-                .collect();
-            let s2: Vec<Vec<u64>> = view
-                .e2
-                .iter()
-                .map(|t| self.model.token_set(t, &cleaner))
-                .collect();
-            (s1, s2)
-        });
-
-        let mut index = out
-            .breakdown
-            .time("index", || ScanCountIndex::build(&sets1));
-
         out.breakdown.time("query", || {
+            let mut scratch = ScanCountScratch::default();
             let mut hits: Vec<(u32, u32)> = Vec::new();
-            for (j, query) in sets2.iter().enumerate() {
+            for (j, query) in art.query_sets.iter().enumerate() {
                 let qlen = query.len();
-                index.query_into(query, &mut hits);
+                art.index.query_with(&mut scratch, query, &mut hits);
                 for &(i, overlap) in &hits {
                     let sim = self
                         .measure
-                        .compute(overlap as usize, index.set_size(i), qlen);
+                        .compute(overlap as usize, art.index.set_size(i), qlen);
                     if sim >= self.threshold {
                         out.candidates.insert_raw(i, j as u32);
                     }
@@ -106,12 +92,13 @@ mod tests {
 
     fn view() -> TextView {
         TextView {
-            e1: vec!["apple iphone black".into(), "samsung galaxy".into()],
+            e1: vec!["apple iphone black".into(), "samsung galaxy".into()].into(),
             e2: vec![
                 "apple iphone black case".into(), // J = 3/4 with e1[0]
                 "galaxy phone".into(),            // J = 1/3 with e1[1]
                 "nokia".into(),
-            ],
+            ]
+            .into(),
         }
     }
 
@@ -153,10 +140,27 @@ mod tests {
     }
 
     #[test]
+    fn shared_artifact_matches_cold_runs() {
+        // One prepare, many thresholds: every query must equal its
+        // monolithic counterpart.
+        let v = view();
+        let prepared = join(0.0).prepare(&v);
+        for t in [0.0, 0.3, 0.5, 1.0] {
+            let cold = join(t).run(&v);
+            let warm = join(t).query(&v, &prepared);
+            assert_eq!(
+                warm.candidates.to_sorted_vec(),
+                cold.candidates.to_sorted_vec(),
+                "t={t}"
+            );
+        }
+    }
+
+    #[test]
     fn exact_duplicates_survive_threshold_one() {
         let v = TextView {
-            e1: vec!["exact match text".into()],
-            e2: vec!["exact match text".into(), "different".into()],
+            e1: vec!["exact match text".into()].into(),
+            e2: vec!["exact match text".into(), "different".into()].into(),
         };
         let out = join(1.0).run(&v);
         assert_eq!(out.candidates.len(), 1);

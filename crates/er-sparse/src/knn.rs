@@ -7,13 +7,13 @@
 //! ScanCount backend). The join is not commutative, so the `RVS` parameter
 //! controls which input is indexed and which one queries.
 
+use crate::artifact::TokenSetsArtifact;
 use crate::representation::RepresentationModel;
-use crate::scancount::{ScanCountIndex, ScanCountScratch};
+use crate::scancount::ScanCountScratch;
 use crate::similarity::SimilarityMeasure;
-use er_core::filter::{Filter, FilterOutput};
+use er_core::filter::{Filter, FilterOutput, Prepared};
 use er_core::parallel::{self, Threads};
 use er_core::schema::TextView;
-use er_text::Cleaner;
 
 /// A configured kNN-Join.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,24 +84,22 @@ impl KnnJoin {
     /// `K` whose distinct-similarity cut falls inside `max_neighbors`; use
     /// a margin over the largest K of interest so ties are not truncated.
     pub fn rankings(&self, view: &TextView, max_neighbors: usize) -> er_core::QueryRankings {
-        let cleaner = if self.cleaning {
-            Cleaner::on()
-        } else {
-            Cleaner::off()
-        };
-        let (index_texts, query_texts) = if self.reversed {
-            (&view.e2, &view.e1)
-        } else {
-            (&view.e1, &view.e2)
-        };
-        let index_sets: Vec<Vec<u64>> =
-            parallel::par_map(index_texts, |t| self.model.token_set(t, &cleaner));
-        let query_sets: Vec<Vec<u64>> =
-            parallel::par_map(query_texts, |t| self.model.token_set(t, &cleaner));
-        let index = ScanCountIndex::build(&index_sets);
+        let prepared = self.prepare(view);
+        self.rankings_from(prepared.downcast::<TokenSetsArtifact>(), max_neighbors)
+    }
+
+    /// [`KnnJoin::rankings`] on a shared prepare-stage artifact: the
+    /// tokenization and index are reused, only the scoring runs.
+    pub fn rankings_from(
+        &self,
+        artifact: &TokenSetsArtifact,
+        max_neighbors: usize,
+    ) -> er_core::QueryRankings {
+        let index = &artifact.index;
+        let query_sets = &artifact.query_sets;
         let chunk = parallel::query_chunk_len(query_sets.len());
         let per_chunk =
-            parallel::par_map_chunks_with(Threads::get(), &query_sets, chunk, |_, part| {
+            parallel::par_map_chunks_with(Threads::get(), query_sets, chunk, |_, part| {
                 let mut scratch = ScanCountScratch::default();
                 let mut hits: Vec<(u32, u32)> = Vec::new();
                 part.iter()
@@ -140,41 +138,27 @@ impl Filter for KnnJoin {
         "kNN-Join".to_owned()
     }
 
-    fn run(&self, view: &TextView) -> FilterOutput {
+    fn repr_key(&self) -> String {
+        TokenSetsArtifact::repr_key(self.cleaning, self.model, self.reversed)
+    }
+
+    /// With RVS, index E2 and query with E1; pairs keep the canonical
+    /// (E1, E2) orientation either way.
+    fn prepare(&self, view: &TextView) -> Prepared {
+        TokenSetsArtifact::prepare(view, self.cleaning, self.model, self.reversed)
+    }
+
+    fn query(&self, _view: &TextView, prepared: &Prepared) -> FilterOutput {
+        let art = prepared.downcast::<TokenSetsArtifact>();
+        let index = &art.index;
         let mut out = FilterOutput::default();
-        let cleaner = if self.cleaning {
-            Cleaner::on()
-        } else {
-            Cleaner::off()
-        };
-
-        // With RVS, index E2 and query with E1; pairs keep the canonical
-        // (E1, E2) orientation either way.
-        let (index_texts, query_texts) = if self.reversed {
-            (&view.e2, &view.e1)
-        } else {
-            (&view.e1, &view.e2)
-        };
-
-        let (index_sets, query_sets) = out.breakdown.time("preprocess", || {
-            let a: Vec<Vec<u64>> =
-                parallel::par_map(index_texts, |t| self.model.token_set(t, &cleaner));
-            let b: Vec<Vec<u64>> =
-                parallel::par_map(query_texts, |t| self.model.token_set(t, &cleaner));
-            (a, b)
-        });
-
-        let index = out
-            .breakdown
-            .time("index", || ScanCountIndex::build(&index_sets));
-
         out.breakdown.time("query", || {
             // Score + top-k select per query in parallel (each query is
             // independent), then insert serially in query order so the
             // candidate set is built exactly as the serial loop did.
-            let chunk = parallel::query_chunk_len(query_sets.len());
+            let chunk = parallel::query_chunk_len(art.query_sets.len());
             let per_chunk =
-                parallel::par_map_chunks_with(Threads::get(), &query_sets, chunk, |_, part| {
+                parallel::par_map_chunks_with(Threads::get(), &art.query_sets, chunk, |_, part| {
                     let mut scratch = ScanCountScratch::default();
                     let mut hits: Vec<(u32, u32)> = Vec::new();
                     part.iter()
@@ -232,8 +216,9 @@ mod tests {
                 "apple iphone black".into(),
                 "apple iphone".into(),
                 "samsung galaxy".into(),
-            ],
-            e2: vec!["apple iphone black".into()],
+            ]
+            .into(),
+            e2: vec!["apple iphone black".into()].into(),
         }
     }
 
@@ -259,8 +244,9 @@ mod tests {
                 "alpha beta".into(),
                 "alpha gamma".into(),
                 "unrelated".into(),
-            ],
-            e2: vec!["alpha".into()],
+            ]
+            .into(),
+            e2: vec!["alpha".into()].into(),
         };
         let out = join(1, false).run(&v);
         assert_eq!(out.candidates.len(), 2, "equidistant pair included");
@@ -269,8 +255,8 @@ mod tests {
     #[test]
     fn zero_similarity_never_paired() {
         let v = TextView {
-            e1: vec!["xyz".into()],
-            e2: vec!["abc".into()],
+            e1: vec!["xyz".into()].into(),
+            e2: vec!["abc".into()].into(),
         };
         assert!(join(5, false).run(&v).candidates.is_empty());
     }
@@ -291,7 +277,7 @@ mod tests {
     fn candidate_count_grows_with_k() {
         let v = TextView {
             e1: (0..6).map(|i| format!("common token{i}")).collect(),
-            e2: vec!["common probe".into()],
+            e2: vec!["common probe".into()].into(),
         };
         let mut prev = 0;
         for k in 1..=6 {
@@ -299,6 +285,25 @@ mod tests {
             assert!(n >= prev, "k={k}");
             prev = n;
         }
+    }
+
+    #[test]
+    fn shared_artifact_matches_cold_runs_across_k() {
+        let v = view();
+        let prepared = join(1, false).prepare(&v);
+        for k in 1..=3 {
+            let cold = join(k, false).run(&v);
+            let warm = join(k, false).query(&v, &prepared);
+            assert_eq!(
+                warm.candidates.to_sorted_vec(),
+                cold.candidates.to_sorted_vec(),
+                "k={k}"
+            );
+        }
+        // Orientation is part of the representation key, so reversed
+        // configs cannot share the forward artifact.
+        assert_ne!(join(1, false).repr_key(), join(1, true).repr_key());
+        assert_eq!(join(1, false).repr_key(), join(5, false).repr_key());
     }
 
     #[test]

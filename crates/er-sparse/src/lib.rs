@@ -15,6 +15,7 @@
 //!   ScanCount) and the `RVS` dataset-reversal parameter,
 //! * [`grid`] — the Table IV configuration grids and the DkNN baseline.
 
+pub mod artifact;
 pub mod epsilon;
 pub mod grid;
 pub mod knn;
@@ -23,6 +24,7 @@ pub mod scancount;
 pub mod similarity;
 pub mod topk;
 
+pub use artifact::TokenSetsArtifact;
 pub use epsilon::EpsilonJoin;
 pub use grid::{dknn_baseline, epsilon_grid, knn_grid, SparseGridResolution};
 pub use knn::KnnJoin;

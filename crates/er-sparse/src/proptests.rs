@@ -79,7 +79,7 @@ proptest! {
     /// every returned pair really meets the threshold.
     #[test]
     fn epsilon_join_threshold_sound(e1 in arb_texts(6), e2 in arb_texts(6)) {
-        let view = TextView { e1: e1.clone(), e2: e2.clone() };
+        let view = TextView::new(e1.clone(), e2.clone());
         let model = RepresentationModel { ngram: None, multiset: false };
         let join = |t: f64| EpsilonJoin {
             cleaning: false,
@@ -107,7 +107,7 @@ proptest! {
     /// overlapping pairs".
     #[test]
     fn knn_join_bounded_by_overlaps(e1 in arb_texts(6), e2 in arb_texts(6)) {
-        let view = TextView { e1, e2 };
+        let view = TextView::new(e1, e2);
         let model = RepresentationModel { ngram: None, multiset: false };
         let knn = |k: usize| KnnJoin {
             cleaning: false,

@@ -72,6 +72,18 @@ impl ScanCountIndex {
         self.set_sizes[i as usize] as usize
     }
 
+    /// Estimated heap footprint in bytes, for artifact-cache budgeting.
+    pub fn heap_bytes(&self) -> usize {
+        let postings: usize = self
+            .postings
+            .values()
+            .map(|list| {
+                std::mem::size_of::<u64>() + std::mem::size_of::<Vec<u32>>() + list.len() * 4
+            })
+            .sum();
+        postings + self.set_sizes.len() * 4 + self.scratch.counts.len() * 4
+    }
+
     /// Merge-counts the posting lists of `query`'s tokens, appending
     /// `(entity, overlap)` to `out` for every indexed entity sharing at
     /// least one token.

@@ -8,12 +8,12 @@
 //! the cross-crate suite verify — and evaluates the local join instead
 //! because the global one cannot guarantee per-query coverage.
 
+use crate::artifact::TokenSetsArtifact;
 use crate::representation::RepresentationModel;
-use crate::scancount::ScanCountIndex;
+use crate::scancount::ScanCountScratch;
 use crate::similarity::SimilarityMeasure;
-use er_core::filter::{Filter, FilterOutput};
+use er_core::filter::{Filter, FilterOutput, Prepared};
 use er_core::schema::TextView;
-use er_text::Cleaner;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -72,40 +72,32 @@ impl TopKJoin {
     /// The k-th (lowest kept) similarity of the last run would make the
     /// equivalent ε-Join threshold; exposed for the equivalence tests.
     pub fn run_with_threshold(&self, view: &TextView) -> (FilterOutput, f64) {
-        let mut out = FilterOutput::default();
-        let cleaner = if self.cleaning {
-            Cleaner::on()
-        } else {
-            Cleaner::off()
+        let prepared = self.prepare(view);
+        let (queried, threshold) = self.query_with_threshold(&prepared);
+        let mut out = FilterOutput {
+            candidates: queried.candidates,
+            breakdown: prepared.breakdown().clone(),
         };
+        out.breakdown.merge(&queried.breakdown);
+        (out, threshold)
+    }
 
-        let (sets1, sets2) = out.breakdown.time("preprocess", || {
-            let s1: Vec<Vec<u64>> = view
-                .e1
-                .iter()
-                .map(|t| self.model.token_set(t, &cleaner))
-                .collect();
-            let s2: Vec<Vec<u64>> = view
-                .e2
-                .iter()
-                .map(|t| self.model.token_set(t, &cleaner))
-                .collect();
-            (s1, s2)
-        });
-        let mut index = out
-            .breakdown
-            .time("index", || ScanCountIndex::build(&sets1));
-
+    /// The query stage on a shared artifact, also returning the k-th
+    /// similarity.
+    fn query_with_threshold(&self, prepared: &Prepared) -> (FilterOutput, f64) {
+        let art = prepared.downcast::<TokenSetsArtifact>();
+        let mut out = FilterOutput::default();
         let mut heap: BinaryHeap<Worst> = BinaryHeap::with_capacity(self.k + 1);
         out.breakdown.time("query", || {
+            let mut scratch = ScanCountScratch::default();
             let mut hits: Vec<(u32, u32)> = Vec::new();
-            for (j, query) in sets2.iter().enumerate() {
+            for (j, query) in art.query_sets.iter().enumerate() {
                 let qlen = query.len();
-                index.query_into(query, &mut hits);
+                art.index.query_with(&mut scratch, query, &mut hits);
                 for &(i, overlap) in &hits {
                     let sim = self
                         .measure
-                        .compute(overlap as usize, index.set_size(i), qlen);
+                        .compute(overlap as usize, art.index.set_size(i), qlen);
                     if sim <= 0.0 {
                         continue;
                     }
@@ -134,8 +126,16 @@ impl Filter for TopKJoin {
         "TopK-Join".to_owned()
     }
 
-    fn run(&self, view: &TextView) -> FilterOutput {
-        self.run_with_threshold(view).0
+    fn repr_key(&self) -> String {
+        TokenSetsArtifact::repr_key(self.cleaning, self.model, false)
+    }
+
+    fn prepare(&self, view: &TextView) -> Prepared {
+        TokenSetsArtifact::prepare(view, self.cleaning, self.model, false)
+    }
+
+    fn query(&self, _view: &TextView, prepared: &Prepared) -> FilterOutput {
+        self.query_with_threshold(prepared).0
     }
 }
 
@@ -160,11 +160,13 @@ mod tests {
                 "alpha beta gamma".into(),
                 "delta epsilon".into(),
                 "alpha beta".into(),
-            ],
+            ]
+            .into(),
             e2: vec![
                 "alpha beta gamma".into(), // J = 1.0 with e1[0]
                 "delta zeta".into(),       // J = 1/3 with e1[1]
-            ],
+            ]
+            .into(),
         }
     }
 
@@ -210,8 +212,8 @@ mod tests {
         // The reason the paper prefers the local kNN-Join: a dominant
         // query can consume the whole global budget.
         let v = TextView {
-            e1: vec!["x y z".into(), "a".into()],
-            e2: vec!["x y z".into(), "a b c d e".into()],
+            e1: vec!["x y z".into(), "a".into()].into(),
+            e2: vec!["x y z".into(), "a b c d e".into()].into(),
         };
         let out = join(1).run(&v);
         // Query 1 gets no candidate at all.
@@ -221,8 +223,8 @@ mod tests {
     #[test]
     fn deterministic_under_ties() {
         let v = TextView {
-            e1: vec!["a b".into(), "a c".into(), "a d".into()],
-            e2: vec!["a".into()],
+            e1: vec!["a b".into(), "a c".into(), "a d".into()].into(),
+            e2: vec!["a".into()].into(),
         };
         let a = join(2).run(&v).candidates.to_sorted_vec();
         let b = join(2).run(&v).candidates.to_sorted_vec();

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Smoke benchmark for the parallel execution layer.
+# Smoke benchmarks for the parallel execution layer and the artifact
+# cache.
 #
-# Runs the same filtering workload with ER_THREADS=1 and ER_THREADS=<all
-# cores>, checks the outputs are byte-identical (the determinism
-# guarantee), and writes timings + speedup to BENCH_parallel.json in the
-# repository root.
+# 1. Runs the same filtering workload with ER_THREADS=1 and
+#    ER_THREADS=<all cores>, checks the outputs are byte-identical (the
+#    determinism guarantee), and writes timings + speedup to
+#    BENCH_parallel.json in the repository root.
+# 2. Runs one sweep column cold and warm against the shared artifact
+#    cache (`er sweep --bench-prepare`), checks the warm pass re-prepares
+#    nothing and reports identically, and leaves BENCH_prepare.json.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -78,3 +82,19 @@ EOF
 
 echo "== wrote BENCH_parallel.json" >&2
 cat BENCH_parallel.json
+
+echo "== artifact-cache smoke: cold vs warm prepare stages" >&2
+"$ER" sweep --datasets D2 --scale "${BENCH_PREPARE_SCALE:-0.08}" --grid quick \
+    --reps 1 --dim 32 --seed 7 --bench-prepare BENCH_prepare.json >&2
+if ! grep -q '"reports_identical":true' BENCH_prepare.json; then
+    echo "CACHE FAILURE: warm report differs from cold" >&2
+    exit 1
+fi
+# The warm pass must hit on every lookup (zero misses -> zero prepare
+# seconds, so the cold/warm prepare ratio is >= 2x by construction).
+if ! grep -q '"misses":0' BENCH_prepare.json; then
+    echo "CACHE FAILURE: warm pass re-prepared artifacts" >&2
+    exit 1
+fi
+echo "== wrote BENCH_prepare.json" >&2
+cat BENCH_prepare.json

@@ -4,6 +4,7 @@
 //! This is the repository's strongest guard: if an algorithm change breaks
 //! one of the paper's conclusions at small scale, this test fails.
 
+use er::core::artifacts::ArtifactCache;
 use er::core::optimize::{GridResolution, Optimizer};
 use er::prelude::*;
 use er_bench::harness::{run_all_methods, Context, MethodOutcome};
@@ -17,15 +18,17 @@ fn sweep(id: &str, mode: SchemaMode) -> Vec<MethodOutcome> {
     };
     let ds = generate(profile, 0.08, 23);
     let view = text_view(&ds, &mode);
+    let cache = ArtifactCache::new();
     let ctx = Context {
-        view: &view,
-        gt: &ds.groundtruth,
         optimizer: Optimizer::new(0.9),
         resolution: GridResolution::Quick,
-        dim: 64,
+        embedding: er::dense::EmbeddingConfig {
+            dim: 64,
+            ..Default::default()
+        },
         seed: 23,
-        reps: 1,
         label: "test".to_owned(),
+        ..Context::new(&view, &ds.groundtruth, &cache)
     };
     run_all_methods(&ctx)
 }

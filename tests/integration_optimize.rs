@@ -55,15 +55,17 @@ fn fine_tuned_blocking_beats_baselines_on_precision() {
     use er_bench::harness::{run_blocking_family, run_dbw, run_pbw, Context};
     let ds = dataset("D2", 0.08);
     let view = text_view(&ds, &SchemaMode::Agnostic);
+    let cache = er::core::artifacts::ArtifactCache::new();
     let ctx = Context {
-        view: &view,
-        gt: &ds.groundtruth,
         optimizer: Optimizer::new(0.9),
         resolution: GridResolution::Quick,
-        dim: 48,
+        embedding: er::dense::EmbeddingConfig {
+            dim: 48,
+            ..Default::default()
+        },
         seed: 5,
-        reps: 1,
         label: "test".to_owned(),
+        ..Context::new(&view, &ds.groundtruth, &cache)
     };
     let sbw = run_blocking_family(&ctx, er::blocking::WorkflowKind::Sbw);
     let pbw = run_pbw(&ctx);
@@ -83,15 +85,17 @@ fn fine_tuned_knn_beats_dknn_baseline() {
     use er_bench::harness::{run_dknn, run_knn, Context};
     let ds = dataset("D4", 0.05);
     let view = text_view(&ds, &SchemaMode::Agnostic);
+    let cache = er::core::artifacts::ArtifactCache::new();
     let ctx = Context {
-        view: &view,
-        gt: &ds.groundtruth,
         optimizer: Optimizer::new(0.9),
         resolution: GridResolution::Quick,
-        dim: 48,
+        embedding: er::dense::EmbeddingConfig {
+            dim: 48,
+            ..Default::default()
+        },
         seed: 5,
-        reps: 1,
         label: "test".to_owned(),
+        ..Context::new(&view, &ds.groundtruth, &cache)
     };
     let knn = run_knn(&ctx);
     let dknn = run_dknn(&ctx);
@@ -127,15 +131,17 @@ fn infeasible_settings_report_fallback() {
     // D5's schema-based view cannot reach PC 0.9 (misplaced titles).
     let ds = dataset("D5", 0.1);
     let view = text_view(&ds, &SchemaMode::Based("title".into()));
+    let cache = er::core::artifacts::ArtifactCache::new();
     let ctx = Context {
-        view: &view,
-        gt: &ds.groundtruth,
         optimizer: Optimizer::new(0.9),
         resolution: GridResolution::Quick,
-        dim: 48,
+        embedding: er::dense::EmbeddingConfig {
+            dim: 48,
+            ..Default::default()
+        },
         seed: 5,
-        reps: 1,
         label: "test".to_owned(),
+        ..Context::new(&view, &ds.groundtruth, &cache)
     };
     let knn = run_knn(&ctx);
     assert!(
