@@ -42,11 +42,24 @@ fn bench_sparse(c: &mut Criterion) {
         b.iter(|| ScanCountIndex::build(black_box(&sets1)));
     });
     c.bench_function("scancount/query_all_D2", |b| {
-        let mut index = ScanCountIndex::build(&sets1);
+        let index = ScanCountIndex::build(&sets1);
+        let mut scratch = er::sparse::ScanCountScratch::default();
         let mut hits = Vec::new();
         b.iter(|| {
             for q in &sets2 {
-                index.query_into(black_box(q), &mut hits);
+                index.query_with(&mut scratch, black_box(q), &mut hits);
+                black_box(&hits);
+            }
+        });
+    });
+    c.bench_function("scancount/query_all_interned_D2", |b| {
+        let (index, _) = ScanCountIndex::build_with_sets(&sets1);
+        let csr = index.intern_queries(&sets2);
+        let mut scratch = er::sparse::ScanCountScratch::default();
+        let mut hits = Vec::new();
+        b.iter(|| {
+            for j in 0..csr.len() {
+                index.query_ids_with(&mut scratch, black_box(csr.row(j)), &mut hits);
                 black_box(&hits);
             }
         });

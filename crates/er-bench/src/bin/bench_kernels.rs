@@ -1,0 +1,231 @@
+//! Kernel/layout micro-benchmark: old naive layouts vs the CSR/interned
+//! sparse hot path and the scalar vs blocked dense kernels, on the D2
+//! smoke workload.
+//!
+//! First verifies the optimized pipeline produces candidate sets identical
+//! to the frozen naive reference (exiting non-zero on any mismatch), then
+//! times both layouts and writes a one-line JSON summary — wall seconds
+//! per variant plus speedups — to the output path (default
+//! `BENCH_kernels.json`). Run by `scripts/bench_smoke.sh` and uploaded as
+//! a CI artifact next to `BENCH_parallel.json` / `BENCH_prepare.json`.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use er::core::schema::{text_view, SchemaMode};
+use er::core::{Filter, Stopwatch};
+use er::datagen::{generate, profiles::profile};
+use er::dense::{dot, dot_batch4, dot_scalar, EmbeddingConfig, FlatVectors, HashEmbedder};
+use er::sparse::reference::{self, NaiveScanCountIndex};
+use er::sparse::{
+    EpsilonJoin, KnnJoin, RepresentationModel, ScanCountIndex, ScanCountScratch, SimilarityMeasure,
+};
+use er_bench::jsonl::Json;
+
+/// Minimum wall time over `reps` runs of `f` — the usual micro-benchmark
+/// noise floor estimator.
+fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let sw = Stopwatch::start();
+        black_box(f());
+        best = best.min(sw.elapsed());
+    }
+    best
+}
+
+fn speedup(old: Duration, new: Duration) -> f64 {
+    old.as_secs_f64() / new.as_secs_f64().max(1e-12)
+}
+
+fn main() {
+    let mut out_path = "BENCH_kernels.json".to_owned();
+    let mut scale = 0.25f64;
+    let mut seed = 7u64;
+    let mut reps = 5usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--out" => out_path = value("--out"),
+            "--scale" => scale = value("--scale").parse().expect("--scale"),
+            "--seed" => seed = value("--seed").parse().expect("--seed"),
+            "--reps" => reps = value("--reps").parse().expect("--reps"),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    let ds = generate(profile("D2").expect("D2"), scale, seed);
+    let view = text_view(&ds, &SchemaMode::Agnostic);
+    let model = RepresentationModel::parse("C3G").expect("C3G");
+    let measure = SimilarityMeasure::Cosine;
+    let threshold = 0.4;
+
+    // -- Correctness gate: optimized pipeline == frozen naive reference.
+    let eps = EpsilonJoin {
+        cleaning: false,
+        model,
+        measure,
+        threshold,
+    };
+    let eps_got = eps.run(&view).candidates.to_sorted_vec();
+    let eps_want = reference::naive_epsilon(&view, false, model, measure, threshold);
+    let knn = KnnJoin {
+        cleaning: false,
+        model,
+        measure,
+        k: 3,
+        reversed: false,
+    };
+    let knn_got = knn.run(&view).candidates.to_sorted_vec();
+    let knn_want = reference::naive_knn(&view, false, model, measure, 3, false);
+    let identical = eps_got == eps_want && knn_got == knn_want;
+    if !identical {
+        eprintln!("bench-kernels: CSR pipeline disagrees with the naive reference");
+        std::process::exit(1);
+    }
+
+    // -- Sparse: identical merge-count + scoring loop over both layouts.
+    let (index_sets, query_sets) = reference::tokenize(&view, false, model, false);
+    let naive = NaiveScanCountIndex::build(&index_sets);
+    let naive_s = time_min(reps, || {
+        let mut kept = 0u64;
+        for query in &query_sets {
+            for (i, overlap) in naive.query(query) {
+                let sim = measure.compute(overlap as usize, naive.set_size(i), query.len());
+                kept += u64::from(sim >= threshold);
+            }
+        }
+        kept
+    });
+    let (csr_index, _) = ScanCountIndex::build_with_sets(&index_sets);
+    let csr_queries = csr_index.intern_queries(&query_sets);
+    let csr_s = time_min(reps, || {
+        let mut scratch = ScanCountScratch::default();
+        let mut hits: Vec<(u32, u32)> = Vec::new();
+        let mut kept = 0u64;
+        for j in 0..csr_queries.len() {
+            let qlen = csr_queries.set_size(j);
+            csr_index.query_ids_with(&mut scratch, csr_queries.row(j), &mut hits);
+            for &(i, overlap) in &hits {
+                let sim = measure.compute(overlap as usize, csr_index.set_size(i), qlen);
+                kept += u64::from(sim >= threshold);
+            }
+        }
+        kept
+    });
+
+    // -- Sparse index build: per-token Vec postings vs one CSR pass.
+    let naive_build_s = time_min(reps, || NaiveScanCountIndex::build(&index_sets));
+    let csr_build_s = time_min(reps, || ScanCountIndex::build(&index_sets));
+
+    // -- Dense: scalar vs blocked vs batch-of-4 dot scans over the same
+    // contiguous rows.
+    let embedder = HashEmbedder::new(EmbeddingConfig {
+        dim: 64,
+        ..Default::default()
+    });
+    let cleaner = er::text::Cleaner::off();
+    let rows: Vec<Vec<f32>> = view
+        .e1
+        .iter()
+        .map(|t| embedder.embed(t, &cleaner))
+        .collect();
+    let queries: Vec<Vec<f32>> = view
+        .e2
+        .iter()
+        .map(|t| embedder.embed(t, &cleaner))
+        .collect();
+    let flat = FlatVectors::from_rows(&rows);
+    let scan = |kernel: &dyn Fn(&[f32], &[f32]) -> f32| {
+        let mut acc = 0.0f64;
+        for q in &queries {
+            for i in 0..flat.len() {
+                acc += f64::from(kernel(q, flat.row(i)));
+            }
+        }
+        acc
+    };
+    let dense_scalar_s = time_min(reps, || scan(&dot_scalar));
+    let dense_blocked_s = time_min(reps, || scan(&dot));
+    let dense_batch4_s = time_min(reps, || {
+        let mut acc = 0.0f64;
+        let n = flat.len();
+        for q in &queries {
+            let mut i = 0;
+            while i + 4 <= n {
+                let got = dot_batch4(
+                    q,
+                    [
+                        flat.row(i),
+                        flat.row(i + 1),
+                        flat.row(i + 2),
+                        flat.row(i + 3),
+                    ],
+                );
+                acc += got.iter().map(|&v| f64::from(v)).sum::<f64>();
+                i += 4;
+            }
+            for r in i..n {
+                acc += f64::from(dot(q, flat.row(r)));
+            }
+        }
+        acc
+    });
+
+    let secs = |d: Duration| Json::Num(d.as_secs_f64());
+    let doc = Json::Obj(vec![
+        ("bench".to_owned(), Json::Str("kernels_smoke".to_owned())),
+        (
+            "workload".to_owned(),
+            Json::Obj(vec![
+                ("profile".to_owned(), Json::Str("D2".to_owned())),
+                ("scale".to_owned(), Json::Num(scale)),
+                ("seed".to_owned(), Json::Num(seed as f64)),
+                ("reps".to_owned(), Json::Num(reps as f64)),
+            ]),
+        ),
+        ("candidate_sets_identical".to_owned(), Json::Bool(identical)),
+        (
+            "sparse_query".to_owned(),
+            Json::Obj(vec![
+                ("naive_s".to_owned(), secs(naive_s)),
+                ("csr_s".to_owned(), secs(csr_s)),
+                ("speedup".to_owned(), Json::Num(speedup(naive_s, csr_s))),
+            ]),
+        ),
+        (
+            "sparse_build".to_owned(),
+            Json::Obj(vec![
+                ("naive_s".to_owned(), secs(naive_build_s)),
+                ("csr_s".to_owned(), secs(csr_build_s)),
+                (
+                    "speedup".to_owned(),
+                    Json::Num(speedup(naive_build_s, csr_build_s)),
+                ),
+            ]),
+        ),
+        (
+            "dense_dot_scan".to_owned(),
+            Json::Obj(vec![
+                ("scalar_s".to_owned(), secs(dense_scalar_s)),
+                ("blocked_s".to_owned(), secs(dense_blocked_s)),
+                ("batch4_s".to_owned(), secs(dense_batch4_s)),
+                (
+                    "speedup_blocked".to_owned(),
+                    Json::Num(speedup(dense_scalar_s, dense_blocked_s)),
+                ),
+                (
+                    "speedup_batch4".to_owned(),
+                    Json::Num(speedup(dense_scalar_s, dense_batch4_s)),
+                ),
+            ]),
+        ),
+    ]);
+    std::fs::write(&out_path, doc.encode() + "\n").expect("write kernel bench output");
+    eprintln!("bench-kernels: wrote {out_path}");
+    println!("{}", doc.encode());
+}

@@ -439,17 +439,17 @@ pub fn run_epsilon(ctx: &Context<'_>) -> MethodOutcome {
         let chunk = parallel::query_chunk_len(art.query_sets.len());
         let partials = parallel::par_map_chunks_with(
             Threads::get(),
-            &art.query_sets,
+            art.query_sets.set_sizes(),
             chunk,
             |offset, part| {
                 let mut scratch = ScanCountScratch::default();
                 let mut hits: Vec<(u32, u32)> = Vec::new();
                 let mut totals = vec![0u64; SIM_BINS + 1];
                 let mut dups = vec![0u64; SIM_BINS + 1];
-                for (local, query) in part.iter().enumerate() {
+                for (local, &size) in part.iter().enumerate() {
                     let j = (offset + local) as u32;
-                    let qlen = query.len();
-                    index.query_with(&mut scratch, query, &mut hits);
+                    let qlen = size as usize;
+                    index.query_ids_with(&mut scratch, art.query_sets.row(j as usize), &mut hits);
                     for &(i, overlap) in &hits {
                         let sim = probe
                             .measure
@@ -1157,13 +1157,14 @@ mod histogram_tests {
             .iter()
             .map(|t| model.token_set(t, &cleaner))
             .collect();
-        let mut index = ScanCountIndex::build(&sets1);
+        let index = ScanCountIndex::build(&sets1);
+        let mut scratch = er::sparse::ScanCountScratch::default();
         let mut totals = vec![0u64; SIM_BINS + 1];
         let mut dups = vec![0u64; SIM_BINS + 1];
         let mut hits: Vec<(u32, u32)> = Vec::new();
         for (j, query) in sets2.iter().enumerate() {
             let qlen = query.len();
-            index.query_into(query, &mut hits);
+            index.query_with(&mut scratch, query, &mut hits);
             for &(i, overlap) in &hits {
                 let sim = measure.compute(overlap as usize, index.set_size(i), qlen);
                 let bin = ((sim * SIM_BINS as f64).floor() as usize).min(SIM_BINS);

@@ -301,9 +301,11 @@ fn stats_delta_obj(wall: Duration, before: &CacheStats, after: &CacheStats) -> J
 /// the prepare-stage savings to `path`.
 ///
 /// `prepare_s` counts wall time spent inside cache-managed prepare
-/// stages, so a fully-retained warm pass reports ~0 and a large
-/// `prepare_speedup` (cold ÷ warm, warm floored at 1ns to keep the ratio
-/// finite). `reports_identical` asserts the cache never changes results:
+/// stages. A fully-retained warm pass does no prepare work at all, so
+/// `prepare_speedup` is `null` whenever the warm pass spent under 1µs
+/// preparing (a cold ÷ ~0 ratio would be meaningless noise); the absolute
+/// `prepare_cold_s` / `prepare_warm_s` fields always carry the raw
+/// seconds. `reports_identical` asserts the cache never changes results:
 /// both passes must agree on every deterministic report column
 /// (pc / pq / candidates / config / feasibility / error).
 pub fn bench_prepare(settings: &Settings, path: &Path, verbose: bool) -> io::Result<()> {
@@ -358,7 +360,13 @@ pub fn bench_prepare(settings: &Settings, path: &Path, verbose: bool) -> io::Res
             .all(|(a, b)| stable_row(a) == stable_row(b));
     let cold_prepare = (cold_after.prepare_wall - cold_before.prepare_wall).as_secs_f64();
     let warm_prepare = (warm_after.prepare_wall - warm_before.prepare_wall).as_secs_f64();
-    let speedup = cold_prepare / warm_prepare.max(1e-9);
+    // A warm pass that did no measurable prepare work has no meaningful
+    // ratio — report null rather than a floored-denominator artifact.
+    let speedup = if warm_prepare < 1e-6 {
+        Json::Null
+    } else {
+        Json::Num(cold_prepare / warm_prepare)
+    };
 
     let doc = Json::Obj(vec![
         ("column".to_owned(), Json::Str(spec.label.clone())),
@@ -371,7 +379,9 @@ pub fn bench_prepare(settings: &Settings, path: &Path, verbose: bool) -> io::Res
             "warm".to_owned(),
             stats_delta_obj(warm_wall, &warm_before, &warm_after),
         ),
-        ("prepare_speedup".to_owned(), Json::Num(speedup)),
+        ("prepare_cold_s".to_owned(), Json::Num(cold_prepare)),
+        ("prepare_warm_s".to_owned(), Json::Num(warm_prepare)),
+        ("prepare_speedup".to_owned(), speedup),
         ("reports_identical".to_owned(), Json::Bool(identical)),
     ]);
     std::fs::write(path, doc.encode() + "\n")

@@ -89,6 +89,12 @@ struct Inner {
 
 /// A thread-safe, content-addressed store of [`Prepared`] artifacts with
 /// deterministic LRU eviction under an optional byte budget.
+///
+/// Byte accounting sums each artifact's self-reported [`Prepared::bytes`].
+/// For the CSR artifacts (sparse token sets / postings, dense
+/// `FlatVectors`) the producers report the exact heap footprint of their
+/// flat arrays, so the budget tracks real memory rather than a
+/// pointer-chasing estimate.
 #[derive(Default)]
 pub struct ArtifactCache {
     inner: Mutex<Inner>,

@@ -89,7 +89,7 @@ impl DenseIndexArtifact {
         let index = breakdown.time_in(Stage::Prepare, "index", || {
             FlatIndex::build(index_vecs, Metric::L2Sq)
         });
-        let bytes = vecs_bytes(index.vectors()) + vecs_bytes(&queries);
+        let bytes = index.heap_bytes() + vecs_bytes(&queries);
         Prepared::new(DenseIndexArtifact { index, queries }, bytes, breakdown)
     }
 }

@@ -11,7 +11,7 @@
 
 use crate::artifact::{emb_key, flag, vecs_bytes};
 use crate::embed::{EmbeddingConfig, HashEmbedder};
-use crate::vector::dot;
+use crate::vector::{dot, FlatVectors};
 use er_core::candidates::CandidateSet;
 use er_core::filter::{Filter, FilterOutput, Prepared};
 use er_core::hash::FastMap;
@@ -60,28 +60,29 @@ impl CrossPolytopeLsh {
 /// statistics LSH relies on, which is the standard FALCONN shortcut for
 /// dimension-reducing final hashes).
 struct Rotation {
-    rows: Vec<Vec<f32>>,
+    rows: FlatVectors,
 }
 
 impl Rotation {
     fn sample(rows: usize, dim: usize, rng: &mut StdRng) -> Self {
-        let rows = (0..rows)
-            .map(|_| {
-                (0..dim)
-                    .map(|_| {
-                        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
-                        let u2: f32 = rng.gen_range(0.0..1.0);
-                        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
-                    })
-                    .collect()
-            })
-            .collect();
-        Self { rows }
+        let mut packed = FlatVectors::with_dim(dim);
+        let mut row = vec![0.0f32; dim];
+        for _ in 0..rows {
+            for x in &mut row {
+                let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                let u2: f32 = rng.gen_range(0.0..1.0);
+                *x = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+            }
+            packed.push_row(&row);
+        }
+        Self { rows: packed }
     }
 
     /// Rotated coordinates of `v`.
     fn apply(&self, v: &[f32]) -> Vec<f32> {
-        self.rows.iter().map(|r| dot(r, v)).collect()
+        (0..self.rows.len())
+            .map(|r| dot(self.rows.row(r), v))
+            .collect()
     }
 }
 
@@ -161,7 +162,7 @@ impl CrossPolytopeArtifact {
             .tables
             .iter()
             .flat_map(|t| t.leading.iter().chain(std::iter::once(&t.last)))
-            .map(|r| vecs_bytes(&r.rows))
+            .map(|r| r.rows.heap_bytes())
             .sum();
         let buckets: usize = self
             .buckets

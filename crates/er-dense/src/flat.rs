@@ -8,6 +8,7 @@
 
 use crate::artifact::DenseIndexArtifact;
 use crate::embed::EmbeddingConfig;
+use crate::vector::{dot_batch4, l2_sq_batch4, FlatVectors};
 use er_core::filter::{Filter, FilterOutput, Prepared};
 use er_core::parallel::{self, Threads};
 use er_core::schema::TextView;
@@ -49,17 +50,20 @@ impl PartialOrd for HeapItem {
     }
 }
 
-/// An exact (brute-force) vector index.
+/// An exact (brute-force) vector index over contiguous row-major storage.
 #[derive(Debug, Clone)]
 pub struct FlatIndex {
-    vectors: Vec<Vec<f32>>,
+    vectors: FlatVectors,
     metric: Metric,
 }
 
 impl FlatIndex {
-    /// Builds the index by storing the vectors.
+    /// Builds the index by packing the vectors into contiguous storage.
     pub fn build(vectors: Vec<Vec<f32>>, metric: Metric) -> Self {
-        Self { vectors, metric }
+        Self {
+            vectors: FlatVectors::from_rows(&vectors),
+            metric,
+        }
     }
 
     /// Number of indexed vectors.
@@ -72,41 +76,79 @@ impl FlatIndex {
         self.vectors.is_empty()
     }
 
-    /// Access to the stored vectors (used by the partitioned index tests).
-    pub fn vectors(&self) -> &[Vec<f32>] {
-        &self.vectors
+    /// Exact heap footprint of the stored vectors, for cache accounting.
+    pub fn heap_bytes(&self) -> usize {
+        self.vectors.heap_bytes()
     }
 
     /// Cost of a candidate under the metric: lower is better.
     #[inline]
     pub fn cost(&self, query: &[f32], id: u32) -> f32 {
-        let v = &self.vectors[id as usize];
+        let v = self.vectors.row(id as usize);
         match self.metric {
             Metric::Dot => -crate::vector::dot(query, v),
             Metric::L2Sq => crate::vector::l2_sq(query, v),
         }
     }
 
+    /// Costs of four consecutive candidates starting at `id`, via the
+    /// batched kernels (bitwise identical to four [`FlatIndex::cost`]
+    /// calls).
+    #[inline]
+    fn cost4(&self, query: &[f32], id: usize) -> [f32; 4] {
+        let rows = [
+            self.vectors.row(id),
+            self.vectors.row(id + 1),
+            self.vectors.row(id + 2),
+            self.vectors.row(id + 3),
+        ];
+        match self.metric {
+            Metric::Dot => {
+                let mut d = dot_batch4(query, rows);
+                for c in &mut d {
+                    *c = -*c;
+                }
+                d
+            }
+            Metric::L2Sq => l2_sq_batch4(query, rows),
+        }
+    }
+
     /// Returns the `k` nearest vectors as `(id, cost)`, best first; ties
     /// break toward smaller ids.
     pub fn knn(&self, query: &[f32], k: usize) -> Vec<(u32, f32)> {
-        knn_over(query, k, 0..self.vectors.len() as u32, |id| {
-            self.cost(query, id)
-        })
+        self.knn_scratch(query, k, &mut KnnScratch::default())
     }
 
     /// [`FlatIndex::knn`] reusing a caller-provided [`KnnScratch`], so a
     /// query loop allocates one bounded heap for its whole lifetime
-    /// instead of one per query.
+    /// instead of one per query. Scans the index in batches of four rows
+    /// with the batched kernels; candidates feed the selection heap in
+    /// ascending id order, exactly as a row-at-a-time scan would.
     pub fn knn_scratch(
         &self,
         query: &[f32],
         k: usize,
         scratch: &mut KnnScratch,
     ) -> Vec<(u32, f32)> {
-        knn_over_scratch(scratch, k, 0..self.vectors.len() as u32, |id| {
-            self.cost(query, id)
-        })
+        if k == 0 {
+            return Vec::new();
+        }
+        scratch.begin(k);
+        let n = self.vectors.len();
+        let mut id = 0usize;
+        while id + 4 <= n {
+            let costs = self.cost4(query, id);
+            for (off, &c) in costs.iter().enumerate() {
+                scratch.consider(k, (id + off) as u32, c);
+            }
+            id += 4;
+        }
+        while id < n {
+            scratch.consider(k, id as u32, self.cost(query, id as u32));
+            id += 1;
+        }
+        scratch.take_sorted()
     }
 
     /// Batch kNN fan-out over the global [`Threads`] worker count: one
@@ -248,10 +290,49 @@ impl Filter for FlatRange {
 ///
 /// Holds the selection heap so a query loop pays for its allocation once
 /// instead of once per query; [`FlatIndex::knn_batch_with`] keeps one per
-/// worker chunk.
+/// worker chunk. The [`KnnScratch::consider`]/[`KnnScratch::take_sorted`]
+/// protocol is the single implementation of the bounded-heap selection:
+/// the flat batch-4 scan and the generic id-stream path share it, so they
+/// cannot diverge on replace/tie decisions.
 #[derive(Default)]
 pub struct KnnScratch {
     heap: BinaryHeap<HeapItem>,
+}
+
+impl KnnScratch {
+    /// Resets the scratch for a selection of up to `k` entries.
+    pub(crate) fn begin(&mut self, k: usize) {
+        self.heap.clear();
+        if self.heap.capacity() < k + 1 {
+            self.heap.reserve(k + 1 - self.heap.capacity());
+        }
+    }
+
+    /// Offers one `(id, cost)` candidate to the bounded heap. Ties on
+    /// cost keep the smaller id.
+    #[inline]
+    pub(crate) fn consider(&mut self, k: usize, id: u32, cost: f32) {
+        if self.heap.len() < k {
+            self.heap.push(HeapItem { cost, id });
+        } else if let Some(worst) = self.heap.peek() {
+            if cost < worst.cost || (cost == worst.cost && id < worst.id) {
+                self.heap.pop();
+                self.heap.push(HeapItem { cost, id });
+            }
+        }
+    }
+
+    /// Drains the kept entries, best (lowest cost) first, ties by
+    /// ascending id.
+    pub(crate) fn take_sorted(&mut self) -> Vec<(u32, f32)> {
+        let mut out: Vec<(u32, f32)> = self.heap.drain().map(|h| (h.id, h.cost)).collect();
+        out.sort_unstable_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        out
+    }
 }
 
 /// Generic top-k selection over an id stream with a cost function; shared
@@ -278,29 +359,12 @@ pub(crate) fn knn_over_scratch(
     if k == 0 {
         return Vec::new();
     }
-    let heap = &mut scratch.heap;
-    heap.clear();
-    if heap.capacity() < k + 1 {
-        heap.reserve(k + 1 - heap.capacity());
-    }
+    scratch.begin(k);
     for id in ids {
         let c = cost(id);
-        if heap.len() < k {
-            heap.push(HeapItem { cost: c, id });
-        } else if let Some(worst) = heap.peek() {
-            if c < worst.cost || (c == worst.cost && id < worst.id) {
-                heap.pop();
-                heap.push(HeapItem { cost: c, id });
-            }
-        }
+        scratch.consider(k, id, c);
     }
-    let mut out: Vec<(u32, f32)> = heap.drain().map(|h| (h.id, h.cost)).collect();
-    out.sort_unstable_by(|a, b| {
-        a.1.partial_cmp(&b.1)
-            .unwrap_or(Ordering::Equal)
-            .then(a.0.cmp(&b.0))
-    });
-    out
+    scratch.take_sorted()
 }
 
 /// The FAISS-equivalent filter: embed, index `E1` flat, kNN-query with
@@ -579,6 +643,31 @@ mod tests {
                     serial_range,
                     "range threads={threads}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_scan_matches_row_at_a_time() {
+        // The batch-4 scan must agree bitwise with the generic per-row
+        // selection path, including the tail rows of a non-multiple-of-4
+        // index.
+        let mut state = 0xDEADBEEFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / 1000.0
+        };
+        let base: Vec<Vec<f32>> = (0..37).map(|_| (0..9).map(|_| next()).collect()).collect();
+        let queries: Vec<Vec<f32>> = (0..5).map(|_| (0..9).map(|_| next()).collect()).collect();
+        for metric in [Metric::L2Sq, Metric::Dot] {
+            let idx = FlatIndex::build(base.clone(), metric);
+            for q in &queries {
+                for k in [1usize, 4, 11] {
+                    let per_row = knn_over(q, k, 0..idx.len() as u32, |id| idx.cost(q, id));
+                    assert_eq!(idx.knn(q, k), per_row, "{metric:?} k={k}");
+                }
             }
         }
     }

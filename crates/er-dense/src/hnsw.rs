@@ -17,7 +17,7 @@
 
 use crate::artifact::{emb_key, flag, vecs_bytes};
 use crate::embed::{EmbeddingConfig, HashEmbedder};
-use crate::vector::l2_sq;
+use crate::vector::{l2_sq, FlatVectors};
 use er_core::filter::{Filter, FilterOutput, Prepared};
 use er_core::parallel::{self, Threads};
 use er_core::schema::TextView;
@@ -73,7 +73,7 @@ impl PartialOrd for Near {
 
 /// An HNSW index over dense vectors with squared-Euclidean distance.
 pub struct HnswIndex {
-    vectors: Vec<Vec<f32>>,
+    vectors: FlatVectors,
     /// `neighbors[layer][node]` — adjacency per layer; nodes absent from a
     /// layer have an empty list.
     neighbors: Vec<Vec<Vec<u32>>>,
@@ -92,7 +92,7 @@ impl HnswIndex {
     pub fn build(vectors: Vec<Vec<f32>>, m: usize, ef_construction: usize, seed: u64) -> Self {
         assert!(m >= 2, "M must be at least 2");
         let mut index = Self {
-            vectors: Vec::with_capacity(vectors.len()),
+            vectors: FlatVectors::default(),
             neighbors: vec![Vec::new()],
             levels: Vec::new(),
             entry: 0,
@@ -121,7 +121,7 @@ impl HnswIndex {
     }
 
     fn dist(&self, q: &[f32], id: u32) -> f32 {
-        l2_sq(q, &self.vectors[id as usize])
+        l2_sq(q, self.vectors.row(id as usize))
     }
 
     fn degree_bound(&self, layer: usize) -> usize {
@@ -184,7 +184,10 @@ impl HnswIndex {
                 break;
             }
             let dominated = selected.iter().any(|&s| {
-                l2_sq(&self.vectors[cand as usize], &self.vectors[s as usize]) < dist_to_q
+                l2_sq(
+                    self.vectors.row(cand as usize),
+                    self.vectors.row(s as usize),
+                ) < dist_to_q
             });
             if !dominated {
                 selected.push(cand);
@@ -204,7 +207,7 @@ impl HnswIndex {
 
     fn insert(&mut self, v: Vec<f32>, level: u8) {
         let id = self.vectors.len() as u32;
-        self.vectors.push(v);
+        self.vectors.push_row(&v);
         self.levels.push(level);
         while self.neighbors.len() <= level as usize {
             let nodes = self.vectors.len();
@@ -220,7 +223,7 @@ impl HnswIndex {
             return;
         }
 
-        let q = self.vectors[id as usize].clone();
+        let q = self.vectors.row(id as usize).to_vec();
         let mut ep = vec![self.entry];
         // Greedy descent through layers above the new node's level.
         for layer in ((level as usize + 1)..=(self.max_level as usize)).rev() {
@@ -246,10 +249,10 @@ impl HnswIndex {
                 // Prune the back-edges to the degree bound with the same
                 // diversity heuristic.
                 if self.neighbors[layer][n as usize].len() > bound {
-                    let base = self.vectors[n as usize].clone();
+                    let base = self.vectors.row(n as usize).to_vec();
                     let mut edges: Vec<(u32, f32)> = self.neighbors[layer][n as usize]
                         .iter()
-                        .map(|&e| (e, l2_sq(&base, &self.vectors[e as usize])))
+                        .map(|&e| (e, l2_sq(&base, self.vectors.row(e as usize))))
                         .collect();
                     edges.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal));
                     self.neighbors[layer][n as usize] = self.select_neighbors(&edges, bound);
@@ -365,7 +368,7 @@ impl HnswArtifact {
             .flatten()
             .map(|n| std::mem::size_of::<Vec<u32>>() + n.len() * 4)
             .sum();
-        vecs_bytes(&self.index.vectors) + adjacency + vecs_bytes(&self.queries)
+        self.index.vectors.heap_bytes() + adjacency + vecs_bytes(&self.queries)
     }
 }
 

@@ -10,7 +10,7 @@
 
 use crate::artifact::{emb_key, flag, vecs_bytes};
 use crate::embed::{EmbeddingConfig, HashEmbedder};
-use crate::vector::dot;
+use crate::vector::{dot, FlatVectors};
 use er_core::candidates::CandidateSet;
 use er_core::filter::{Filter, FilterOutput, Prepared};
 use er_core::hash::FastMap;
@@ -54,8 +54,8 @@ impl HyperplaneLsh {
 
 /// One table's random hyperplanes.
 struct Table {
-    /// `hashes` normal vectors, each of embedding dimension.
-    normals: Vec<Vec<f32>>,
+    /// `hashes` normal vectors (rows), each of embedding dimension.
+    normals: FlatVectors,
 }
 
 impl Table {
@@ -63,8 +63,8 @@ impl Table {
     fn key_and_margins(&self, v: &[f32]) -> (u32, Vec<f32>) {
         let mut key = 0u32;
         let mut margins = Vec::with_capacity(self.normals.len());
-        for (bit, normal) in self.normals.iter().enumerate() {
-            let p = dot(normal, v);
+        for bit in 0..self.normals.len() {
+            let p = dot(self.normals.row(bit), v);
             if p >= 0.0 {
                 key |= 1 << bit;
             }
@@ -153,7 +153,7 @@ pub struct HyperplaneArtifact {
 impl HyperplaneArtifact {
     /// Approximate heap footprint for cache accounting.
     fn bytes(&self) -> usize {
-        let normals: usize = self.tables.iter().map(|t| vecs_bytes(&t.normals)).sum();
+        let normals: usize = self.tables.iter().map(|t| t.normals.heap_bytes()).sum();
         let buckets: usize = self
             .buckets
             .iter()
@@ -202,20 +202,19 @@ impl Filter for HyperplaneLsh {
             let mut rng = StdRng::seed_from_u64(self.seed);
             let dim = self.embedding.dim;
             let tables: Vec<Table> = (0..self.tables)
-                .map(|_| Table {
-                    normals: (0..self.hashes)
-                        .map(|_| {
-                            (0..dim)
-                                .map(|_| {
-                                    // Box-Muller standard normals.
-                                    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
-                                    let u2: f32 = rng.gen_range(0.0..1.0);
-                                    (-2.0 * u1.ln()).sqrt()
-                                        * (2.0 * std::f32::consts::PI * u2).cos()
-                                })
-                                .collect()
-                        })
-                        .collect(),
+                .map(|_| {
+                    let mut normals = FlatVectors::with_dim(dim);
+                    let mut row = vec![0.0f32; dim];
+                    for _ in 0..self.hashes {
+                        for x in &mut row {
+                            // Box-Muller standard normals.
+                            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                            let u2: f32 = rng.gen_range(0.0..1.0);
+                            *x = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+                        }
+                        normals.push_row(&row);
+                    }
+                    Table { normals }
                 })
                 .collect();
             let mut buckets: Vec<FastMap<u32, Vec<u32>>> = vec![FastMap::default(); self.tables];

@@ -7,7 +7,8 @@
 //! that preserve the relevant subword behaviour without external model
 //! files.
 //!
-//! * [`vector`] — small dense-vector utilities (normalize, dot, L2²),
+//! * [`vector`] — blocked dot/L2² kernels, batch-of-4 scan variants and
+//!   the contiguous [`FlatVectors`] row store,
 //! * [`embed`] — the hashed subword embedder ("average tuple embedding"),
 //! * [`flat`] — exact brute-force kNN, the FAISS-Flat equivalent,
 //! * [`pq`] — product quantization (asymmetric-hashing scoring),
@@ -42,7 +43,9 @@ pub use hyperplane::HyperplaneLsh;
 pub use minhash::MinHashLsh;
 pub use partitioned::{assign, kmeans, PartitionedArtifact, PartitionedKnn, Scoring};
 pub use pq::ProductQuantizer;
-pub use vector::{cosine, dot, l2_sq, normalize};
+pub use vector::{
+    cosine, dot, dot_batch4, dot_scalar, l2_sq, l2_sq_batch4, l2_sq_scalar, normalize, FlatVectors,
+};
 
 #[cfg(test)]
 mod proptests;

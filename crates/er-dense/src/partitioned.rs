@@ -11,7 +11,7 @@ use crate::artifact::{emb_key, flag, vecs_bytes};
 use crate::embed::{EmbeddingConfig, HashEmbedder};
 use crate::flat::{knn_over, Metric};
 use crate::pq::ProductQuantizer;
-use crate::vector::{dot, l2_sq};
+use crate::vector::{dot, l2_sq, FlatVectors};
 use er_core::filter::{Filter, FilterOutput, Prepared};
 use er_core::schema::TextView;
 use er_core::timing::{PhaseBreakdown, Stage};
@@ -128,7 +128,7 @@ pub enum Scoring {
 /// A trained partitioned index.
 #[derive(Debug)]
 struct PartitionedIndex {
-    vectors: Vec<Vec<f32>>,
+    vectors: FlatVectors,
     centroids: Vec<Vec<f32>>,
     /// Member ids per partition.
     members: Vec<Vec<u32>>,
@@ -159,7 +159,7 @@ impl PartitionedIndex {
             }
         };
         Self {
-            vectors,
+            vectors: FlatVectors::from_rows(&vectors),
             centroids,
             members,
             metric,
@@ -194,8 +194,8 @@ impl PartitionedIndex {
         match (&self.scoring, &self.pq) {
             (Scoring::BruteForce, _) | (_, None) => {
                 knn_over(query, k, ids, |id| match self.metric {
-                    Metric::Dot => -dot(query, &self.vectors[id as usize]),
-                    Metric::L2Sq => l2_sq(query, &self.vectors[id as usize]),
+                    Metric::Dot => -dot(query, self.vectors.row(id as usize)),
+                    Metric::L2Sq => l2_sq(query, self.vectors.row(id as usize)),
                 })
             }
             (Scoring::AsymmetricHashing, Some((pq, codes))) => {
@@ -319,7 +319,7 @@ impl PartitionedArtifact {
                     .map(|c| std::mem::size_of::<Vec<u8>>() + c.len())
                     .sum()
             });
-            vecs_bytes(&idx.vectors) + vecs_bytes(&idx.centroids) + members + codes
+            idx.vectors.heap_bytes() + vecs_bytes(&idx.centroids) + members + codes
         });
         index + vecs_bytes(&self.queries)
     }

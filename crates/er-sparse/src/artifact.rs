@@ -7,7 +7,14 @@
 //! ε, k. This module packages that common preparation as one artifact so
 //! a grid sweep shares a single tokenization + index across every
 //! configuration that only varies query-stage parameters.
+//!
+//! Both sides are stored as interned [`CsrTokenSets`] (flat `u32` arrays,
+//! see [`crate::csr`]): the query rows are pre-interned against the
+//! index's token interner once here, so every query-stage pass walks
+//! contiguous ids without hashing, and the cached byte estimate is exact
+//! up to the interner's hash-table slack.
 
+use crate::csr::CsrTokenSets;
 use crate::representation::RepresentationModel;
 use crate::scancount::ScanCountIndex;
 use er_core::filter::Prepared;
@@ -17,13 +24,15 @@ use er_core::timing::{PhaseBreakdown, Stage};
 use er_text::Cleaner;
 
 /// Token sets of both sides plus the ScanCount index over the indexed
-/// side. `index_sets[i]` backs `index`; `query_sets[j]` are the probes.
+/// side. `index_sets` row `i` backs `index`; `query_sets` rows are the
+/// probes, pre-interned by the index.
 #[derive(Debug)]
 pub struct TokenSetsArtifact {
-    /// Token sets of the indexed collection.
-    pub index_sets: Vec<Vec<u64>>,
-    /// Token sets of the querying collection.
-    pub query_sets: Vec<Vec<u64>>,
+    /// Interned token sets of the indexed collection.
+    pub index_sets: CsrTokenSets,
+    /// Interned token sets of the querying collection (unknown tokens
+    /// dropped from the rows, original cardinalities retained).
+    pub query_sets: CsrTokenSets,
     /// ScanCount inverted index over `index_sets`.
     pub index: ScanCountIndex,
 }
@@ -62,16 +71,20 @@ impl TokenSetsArtifact {
             (&view.e1, &view.e2)
         };
         let mut breakdown = PhaseBreakdown::new();
-        let (index_sets, query_sets) = breakdown.time_in(Stage::Prepare, "preprocess", || {
-            let a: Vec<Vec<u64>> = parallel::par_map(index_texts, |t| model.token_set(t, &cleaner));
-            let b: Vec<Vec<u64>> = parallel::par_map(query_texts, |t| model.token_set(t, &cleaner));
-            (a, b)
+        let (raw_index_sets, raw_query_sets) =
+            breakdown.time_in(Stage::Prepare, "preprocess", || {
+                let a: Vec<Vec<u64>> =
+                    parallel::par_map(index_texts, |t| model.token_set(t, &cleaner));
+                let b: Vec<Vec<u64>> =
+                    parallel::par_map(query_texts, |t| model.token_set(t, &cleaner));
+                (a, b)
+            });
+        let (index, index_sets, query_sets) = breakdown.time_in(Stage::Prepare, "index", || {
+            let (index, index_sets) = ScanCountIndex::build_with_sets(&raw_index_sets);
+            let query_sets = index.intern_queries(&raw_query_sets);
+            (index, index_sets, query_sets)
         });
-        let index = breakdown.time_in(Stage::Prepare, "index", || {
-            ScanCountIndex::build(&index_sets)
-        });
-        let bytes =
-            token_set_bytes(&index_sets) + token_set_bytes(&query_sets) + index.heap_bytes();
+        let bytes = index_sets.heap_bytes() + query_sets.heap_bytes() + index.heap_bytes();
         Prepared::new(
             Self {
                 index_sets,
@@ -82,12 +95,6 @@ impl TokenSetsArtifact {
             breakdown,
         )
     }
-}
-
-fn token_set_bytes(sets: &[Vec<u64>]) -> usize {
-    sets.iter()
-        .map(|s| std::mem::size_of::<Vec<u64>>() + s.len() * 8)
-        .sum()
 }
 
 #[cfg(test)]
@@ -140,5 +147,21 @@ mod tests {
         let art = prepared.downcast::<TokenSetsArtifact>();
         assert_eq!(art.index_sets.len(), 1);
         assert_eq!(art.query_sets.len(), 2);
+    }
+
+    #[test]
+    fn query_rows_are_interned_against_the_index() {
+        let t1g = RepresentationModel::parse("T1G").expect("T1G");
+        let prepared = TokenSetsArtifact::prepare(&view(), false, t1g, false);
+        let art = prepared.downcast::<TokenSetsArtifact>();
+        // "alpha" occurs on both sides, so the query row holds exactly the
+        // id the index assigned to it.
+        assert_eq!(art.query_sets.row(0).len(), 1);
+        assert_eq!(art.query_sets.set_size(0), 1);
+        let mut all_index_ids: Vec<u32> = (0..art.index_sets.len())
+            .flat_map(|i| art.index_sets.row(i).iter().copied())
+            .collect();
+        all_index_ids.sort_unstable();
+        assert!(all_index_ids.contains(&art.query_sets.row(0)[0]));
     }
 }

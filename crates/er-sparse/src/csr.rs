@@ -1,0 +1,161 @@
+//! Contiguous (CSR) token-set layouts behind a token interner.
+//!
+//! The sparse hot paths used to carry token sets as `Vec<Vec<u64>>` and
+//! postings as `FastMap<u64, Vec<u32>>` — one heap allocation per entity
+//! (or token) and a hash probe per posting-list lookup. This module
+//! replaces both with flat arrays:
+//!
+//! * [`TokenInterner`] maps each distinct 64-bit token hash to a dense
+//!   `u32` id in first-encounter order. Tokenization output order is
+//!   deterministic, so the id assignment is too.
+//! * [`CsrTokenSets`] stores all token-id rows back to back
+//!   (`offsets[i]..offsets[i + 1]` indexes row `i` inside one flat
+//!   `tokens` array) — two allocations total, exact byte accounting, and
+//!   cache-friendly sequential scans.
+//!
+//! CSR invariants (upheld by the builders in [`crate::scancount`], relied
+//! upon by every query path): `offsets` has `len + 1` entries, starts at
+//! 0, is non-decreasing, and ends at `tokens.len()`; each row holds
+//! strictly ascending interned ids of a duplicate-free token set.
+
+use er_core::hash::FastMap;
+
+/// Interns 64-bit token hashes to dense `u32` ids (first encounter wins).
+#[derive(Debug, Clone, Default)]
+pub struct TokenInterner {
+    ids: FastMap<u64, u32>,
+}
+
+impl TokenInterner {
+    /// The dense id of `token`, allocating the next id on first sight.
+    #[inline]
+    pub fn intern(&mut self, token: u64) -> u32 {
+        let next = self.ids.len() as u32;
+        *self.ids.entry(token).or_insert(next)
+    }
+
+    /// The dense id of `token`, or `None` if it was never interned.
+    #[inline]
+    pub fn get(&self, token: u64) -> Option<u32> {
+        self.ids.get(&token).copied()
+    }
+
+    /// Number of distinct interned tokens.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if nothing was interned.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Heap footprint estimate: 12 payload bytes per entry plus hash-table
+    /// slack (the map keeps its load factor below ~⅞, estimated here as
+    /// 8/7 of the payload). This is the only non-exact term in the CSR
+    /// artifact byte accounting.
+    pub fn heap_bytes(&self) -> usize {
+        self.ids.len() * (8 + 4) * 8 / 7
+    }
+}
+
+/// Token-id sets of one entity collection in CSR layout.
+#[derive(Debug, Clone, Default)]
+pub struct CsrTokenSets {
+    /// Row boundaries: row `i` is `tokens[offsets[i] as usize..offsets[i + 1] as usize]`.
+    offsets: Vec<u32>,
+    /// All rows' interned token ids, flattened.
+    tokens: Vec<u32>,
+    /// Original token-set cardinality per row. Query-side rows drop
+    /// tokens unknown to the index (they cannot match anything), so
+    /// `row(i).len()` may be smaller than `set_size(i)`; similarity
+    /// formulas must use the true cardinality recorded here.
+    set_sizes: Vec<u32>,
+}
+
+impl CsrTokenSets {
+    /// Builds the CSR directly from parts; `debug_assert`s the invariants.
+    pub(crate) fn from_parts(offsets: Vec<u32>, tokens: Vec<u32>, set_sizes: Vec<u32>) -> Self {
+        debug_assert_eq!(offsets.len(), set_sizes.len() + 1);
+        debug_assert_eq!(offsets.first().copied(), Some(0));
+        debug_assert_eq!(offsets.last().copied(), Some(tokens.len() as u32));
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        Self {
+            offsets,
+            tokens,
+            set_sizes,
+        }
+    }
+
+    /// Number of rows (entities).
+    pub fn len(&self) -> usize {
+        self.set_sizes.len()
+    }
+
+    /// True if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.set_sizes.is_empty()
+    }
+
+    /// The interned token ids of row `i`, strictly ascending.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.tokens[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// The original token-set cardinality of row `i` (see field docs).
+    #[inline]
+    pub fn set_size(&self, i: usize) -> usize {
+        self.set_sizes[i] as usize
+    }
+
+    /// All row cardinalities; doubles as the slice the parallel layer
+    /// chunks over (one element per row, so chunk boundaries line up with
+    /// row indices).
+    pub fn set_sizes(&self) -> &[u32] {
+        &self.set_sizes
+    }
+
+    /// Exact heap payload in bytes: three `u32` arrays, no guessing.
+    pub fn heap_bytes(&self) -> usize {
+        (self.offsets.len() + self.tokens.len() + self.set_sizes.len()) * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_assigns_first_encounter_order() {
+        let mut it = TokenInterner::default();
+        assert_eq!(it.intern(42), 0);
+        assert_eq!(it.intern(7), 1);
+        assert_eq!(it.intern(42), 0, "repeat keeps its id");
+        assert_eq!(it.get(7), Some(1));
+        assert_eq!(it.get(999), None);
+        assert_eq!(it.len(), 2);
+        assert!(!it.is_empty());
+        assert!(it.heap_bytes() >= 2 * 12);
+    }
+
+    #[test]
+    fn csr_rows_round_trip() {
+        let sets = CsrTokenSets::from_parts(vec![0, 2, 2, 5], vec![3, 9, 1, 4, 8], vec![2, 0, 3]);
+        assert_eq!(sets.len(), 3);
+        assert_eq!(sets.row(0), &[3, 9]);
+        assert_eq!(sets.row(1), &[] as &[u32]);
+        assert_eq!(sets.row(2), &[1, 4, 8]);
+        assert_eq!(sets.set_size(2), 3);
+        assert_eq!(sets.set_sizes(), &[2, 0, 3]);
+        assert_eq!(sets.heap_bytes(), (4 + 5 + 3) * 4);
+    }
+
+    #[test]
+    fn empty_csr() {
+        let sets = CsrTokenSets::from_parts(vec![0], Vec::new(), Vec::new());
+        assert!(sets.is_empty());
+        assert_eq!(sets.len(), 0);
+        assert_eq!(sets.heap_bytes(), 4);
+    }
+}

@@ -59,13 +59,21 @@ impl Filter for EpsilonJoin {
         out.breakdown.time("query", || {
             let mut scratch = ScanCountScratch::default();
             let mut hits: Vec<(u32, u32)> = Vec::new();
-            for (j, query) in art.query_sets.iter().enumerate() {
-                let qlen = query.len();
-                art.index.query_with(&mut scratch, query, &mut hits);
+            for j in 0..art.query_sets.len() {
+                let qlen = art.query_sets.set_size(j);
+                // Exact length filter: candidates whose cardinality cannot
+                // reach ε are skipped before the similarity is computed
+                // (see `SimilarityMeasure::size_bounds` for the exactness
+                // argument).
+                let (lo, hi) = self.measure.size_bounds(qlen, self.threshold);
+                art.index
+                    .query_ids_with(&mut scratch, art.query_sets.row(j), &mut hits);
                 for &(i, overlap) in &hits {
-                    let sim = self
-                        .measure
-                        .compute(overlap as usize, art.index.set_size(i), qlen);
+                    let ilen = art.index.set_size(i);
+                    if ilen < lo || ilen > hi {
+                        continue;
+                    }
+                    let sim = self.measure.compute(overlap as usize, ilen, qlen);
                     if sim >= self.threshold {
                         out.candidates.insert_raw(i, j as u32);
                     }

@@ -30,6 +30,49 @@ pub struct KnnJoin {
     pub reversed: bool,
 }
 
+/// Tracks the `k` highest *distinct* similarity values seen so far for one
+/// query. Its floor (the k-th value once `k` distinct values exist) is
+/// non-decreasing as candidates stream in, so any candidate whose
+/// size-bounded maximum similarity falls strictly below the current floor
+/// is also strictly below the *final* k-th distinct value — skipping it is
+/// exact under the distinct-similarity (Cone) semantics.
+struct DistinctFloor {
+    k: usize,
+    /// Distinct similarities, descending, at most `k` entries.
+    sims: Vec<f64>,
+}
+
+impl DistinctFloor {
+    fn new(k: usize) -> Self {
+        Self {
+            k,
+            sims: Vec::with_capacity(k.min(64)),
+        }
+    }
+
+    /// Records a (positive) similarity; returns `true` when the floor
+    /// changed, i.e. when the derived size bounds must be recomputed.
+    fn observe(&mut self, sim: f64) -> bool {
+        let pos = self.sims.partition_point(|&s| s > sim);
+        if self.sims.get(pos).copied() == Some(sim) {
+            return false; // already tracked
+        }
+        if self.sims.len() == self.k && pos >= self.k {
+            return false; // below the floor of a full tracker
+        }
+        let before = self.floor();
+        self.sims.insert(pos, sim);
+        self.sims.truncate(self.k);
+        self.floor() != before
+    }
+
+    /// The k-th highest distinct similarity, once `k` distinct values have
+    /// been seen.
+    fn floor(&self) -> Option<f64> {
+        (self.sims.len() == self.k).then(|| self.sims[self.k - 1])
+    }
+}
+
 impl KnnJoin {
     /// One-line configuration description for Table IX-style reports.
     pub fn describe(&self) -> String {
@@ -73,6 +116,46 @@ impl KnnJoin {
         scored.truncate(cut);
         cut
     }
+
+    /// Scores one query row against the index: every positive-similarity
+    /// candidate surviving the distinct-floor length filter, unsorted.
+    ///
+    /// With `k = None` the length filter is off and the result is the full
+    /// positive-similarity candidate list (the rankings path).
+    fn score_query(
+        &self,
+        art: &TokenSetsArtifact,
+        j: usize,
+        k: Option<usize>,
+        scratch: &mut ScanCountScratch,
+        hits: &mut Vec<(u32, u32)>,
+    ) -> Vec<(u32, f64)> {
+        let qlen = art.query_sets.set_size(j);
+        art.index
+            .query_ids_with(scratch, art.query_sets.row(j), hits);
+        let mut floor = k.map(DistinctFloor::new);
+        let mut bounds: Option<(usize, usize)> = None;
+        let mut scored: Vec<(u32, f64)> = Vec::with_capacity(hits.len());
+        for &(i, overlap) in hits.iter() {
+            let ilen = art.index.set_size(i);
+            if let Some((lo, hi)) = bounds {
+                if ilen < lo || ilen > hi {
+                    continue; // similarity provably below the k-th distinct
+                }
+            }
+            let sim = self.measure.compute(overlap as usize, ilen, qlen);
+            if sim <= 0.0 {
+                continue;
+            }
+            scored.push((i, sim));
+            if let Some(floor) = floor.as_mut() {
+                if floor.observe(sim) {
+                    bounds = floor.floor().map(|f| self.measure.size_bounds(qlen, f));
+                }
+            }
+        }
+        scored
+    }
 }
 
 impl KnnJoin {
@@ -95,26 +178,23 @@ impl KnnJoin {
         artifact: &TokenSetsArtifact,
         max_neighbors: usize,
     ) -> er_core::QueryRankings {
-        let index = &artifact.index;
-        let query_sets = &artifact.query_sets;
-        let chunk = parallel::query_chunk_len(query_sets.len());
+        // Chunk over the per-row cardinality slice: one element per query
+        // row, so `offset + local` is the row index.
+        let rows = artifact.query_sets.set_sizes();
+        let chunk = parallel::query_chunk_len(rows.len());
         let per_chunk =
-            parallel::par_map_chunks_with(Threads::get(), query_sets, chunk, |_, part| {
+            parallel::par_map_chunks_with(Threads::get(), rows, chunk, |offset, part| {
                 let mut scratch = ScanCountScratch::default();
                 let mut hits: Vec<(u32, u32)> = Vec::new();
-                part.iter()
-                    .map(|query| {
-                        let qlen = query.len();
-                        index.query_with(&mut scratch, query, &mut hits);
-                        let mut scored: Vec<(u32, f64)> = hits
-                            .iter()
-                            .filter_map(|&(i, overlap)| {
-                                let sim =
-                                    self.measure
-                                        .compute(overlap as usize, index.set_size(i), qlen);
-                                (sim > 0.0).then_some((i, sim))
-                            })
-                            .collect();
+                (0..part.len())
+                    .map(|local| {
+                        let mut scored = self.score_query(
+                            artifact,
+                            offset + local,
+                            None,
+                            &mut scratch,
+                            &mut hits,
+                        );
                         scored.sort_unstable_by(|a, b| {
                             b.1.partial_cmp(&a.1)
                                 .unwrap_or(std::cmp::Ordering::Equal)
@@ -149,38 +229,39 @@ impl Filter for KnnJoin {
     }
 
     fn query(&self, _view: &TextView, prepared: &Prepared) -> FilterOutput {
-        let art = prepared.downcast::<TokenSetsArtifact>();
-        let index = &art.index;
+        self.query_art(prepared.downcast::<TokenSetsArtifact>(), Threads::get())
+    }
+}
+
+impl KnnJoin {
+    /// The query stage with an explicit worker count — the tests use it to
+    /// check thread-count invariance without mutating the global
+    /// [`Threads`] override.
+    pub(crate) fn query_art(&self, art: &TokenSetsArtifact, threads: usize) -> FilterOutput {
         let mut out = FilterOutput::default();
         out.breakdown.time("query", || {
             // Score + top-k select per query in parallel (each query is
             // independent), then insert serially in query order so the
             // candidate set is built exactly as the serial loop did.
-            let chunk = parallel::query_chunk_len(art.query_sets.len());
-            let per_chunk =
-                parallel::par_map_chunks_with(Threads::get(), &art.query_sets, chunk, |_, part| {
-                    let mut scratch = ScanCountScratch::default();
-                    let mut hits: Vec<(u32, u32)> = Vec::new();
-                    part.iter()
-                        .map(|query| {
-                            let qlen = query.len();
-                            index.query_with(&mut scratch, query, &mut hits);
-                            let mut scored: Vec<(u32, f64)> = hits
-                                .iter()
-                                .filter_map(|&(i, overlap)| {
-                                    let sim = self.measure.compute(
-                                        overlap as usize,
-                                        index.set_size(i),
-                                        qlen,
-                                    );
-                                    (sim > 0.0).then_some((i, sim))
-                                })
-                                .collect();
-                            Self::select_top_k(self.k, &mut scored);
-                            scored
-                        })
-                        .collect::<Vec<_>>()
-                });
+            let rows = art.query_sets.set_sizes();
+            let chunk = parallel::query_chunk_len(rows.len());
+            let per_chunk = parallel::par_map_chunks_with(threads, rows, chunk, |offset, part| {
+                let mut scratch = ScanCountScratch::default();
+                let mut hits: Vec<(u32, u32)> = Vec::new();
+                (0..part.len())
+                    .map(|local| {
+                        let mut scored = self.score_query(
+                            art,
+                            offset + local,
+                            Some(self.k),
+                            &mut scratch,
+                            &mut hits,
+                        );
+                        Self::select_top_k(self.k, &mut scored);
+                        scored
+                    })
+                    .collect::<Vec<_>>()
+            });
             for (q, scored) in per_chunk.into_iter().flatten().enumerate() {
                 for (i, _) in scored {
                     if self.reversed {
@@ -322,5 +403,66 @@ mod tests {
         let mut zero_k = vec![(1, 0.5)];
         KnnJoin::select_top_k(0, &mut zero_k);
         assert!(zero_k.is_empty());
+    }
+
+    #[test]
+    fn distinct_floor_tracks_kth_value() {
+        let mut f = DistinctFloor::new(2);
+        assert_eq!(f.floor(), None);
+        assert!(!f.observe(0.5), "first value: no floor yet");
+        assert!(f.observe(0.9), "second distinct value sets the floor");
+        assert_eq!(f.floor(), Some(0.5));
+        assert!(!f.observe(0.9), "duplicate changes nothing");
+        assert!(!f.observe(0.1), "below a full floor changes nothing");
+        assert_eq!(f.floor(), Some(0.5));
+        assert!(f.observe(0.7), "mid insertion raises the floor");
+        assert_eq!(f.floor(), Some(0.7));
+        assert!(f.observe(0.8));
+        assert_eq!(f.floor(), Some(0.8));
+    }
+
+    #[test]
+    fn length_filter_is_candidate_set_exact() {
+        // Queries with wildly varying candidate cardinalities: the
+        // filtered path must reproduce the unfiltered scoring exactly.
+        let e1: Vec<String> = (0..30)
+            .map(|i| {
+                (0..=(i % 7))
+                    .map(|t| format!("w{}", (i + t * 3) % 11))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect();
+        let e2: Vec<String> = (0..10)
+            .map(|j| {
+                (0..=(j % 5))
+                    .map(|t| format!("w{}", (j + t) % 11))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect();
+        let v = TextView::new(e1, e2);
+        for measure in SimilarityMeasure::ALL {
+            for k in [1, 2, 5] {
+                let join = KnnJoin {
+                    cleaning: false,
+                    model: RepresentationModel::parse("T1G").expect("model"),
+                    measure,
+                    k,
+                    reversed: false,
+                };
+                let prepared = join.prepare(&v);
+                let art = prepared.downcast::<TokenSetsArtifact>();
+                let mut scratch = ScanCountScratch::default();
+                let mut hits = Vec::new();
+                for j in 0..art.query_sets.len() {
+                    let mut filtered = join.score_query(art, j, Some(k), &mut scratch, &mut hits);
+                    let mut unfiltered = join.score_query(art, j, None, &mut scratch, &mut hits);
+                    KnnJoin::select_top_k(k, &mut filtered);
+                    KnnJoin::select_top_k(k, &mut unfiltered);
+                    assert_eq!(filtered, unfiltered, "{} k={k} j={j}", measure.name());
+                }
+            }
+        }
     }
 }

@@ -7,8 +7,13 @@
 //! * [`representation`] — the 10 representation models (`T1G(M)`,
 //!   `C2G(M)`…`C5G(M)`),
 //! * [`similarity`] — Cosine, Dice and Jaccard over set overlaps,
+//! * [`csr`] — the token interner and contiguous CSR token-set layout
+//!   shared by every sparse hot path,
 //! * [`scancount`] — the ScanCount inverted-list merge-count algorithm
-//!   [Li et al., ICDE 2008], suited to the low thresholds ER needs,
+//!   [Li et al., ICDE 2008], suited to the low thresholds ER needs, over
+//!   CSR posting lists,
+//! * [`reference`] — frozen naive implementations the property tests use
+//!   as an oracle for the optimized layouts,
 //! * [`epsilon`] — the range join (ε-Join),
 //! * [`knn`] — the k-nearest-neighbor join with distinct-similarity
 //!   semantics (Cone-style [Kocher & Augsten, SIGMOD 2019] adapted to
@@ -16,15 +21,18 @@
 //! * [`grid`] — the Table IV configuration grids and the DkNN baseline.
 
 pub mod artifact;
+pub mod csr;
 pub mod epsilon;
 pub mod grid;
 pub mod knn;
+pub mod reference;
 pub mod representation;
 pub mod scancount;
 pub mod similarity;
 pub mod topk;
 
 pub use artifact::TokenSetsArtifact;
+pub use csr::{CsrTokenSets, TokenInterner};
 pub use epsilon::EpsilonJoin;
 pub use grid::{dknn_baseline, epsilon_grid, knn_grid, SparseGridResolution};
 pub use knn::KnnJoin;

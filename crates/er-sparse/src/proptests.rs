@@ -3,11 +3,14 @@
 
 #![cfg(test)]
 
+use crate::artifact::TokenSetsArtifact;
 use crate::epsilon::EpsilonJoin;
 use crate::knn::KnnJoin;
+use crate::reference;
 use crate::representation::RepresentationModel;
-use crate::scancount::ScanCountIndex;
+use crate::scancount::{ScanCountIndex, ScanCountScratch};
 use crate::similarity::SimilarityMeasure;
+use crate::topk::TopKJoin;
 use er_core::filter::Filter;
 use er_core::schema::TextView;
 use er_text::Cleaner;
@@ -44,9 +47,10 @@ proptest! {
     ) {
         let sets: Vec<Vec<u64>> = sets.into_iter().map(|s| s.into_iter().collect()).collect();
         let query: Vec<u64> = query.into_iter().collect();
-        let mut index = ScanCountIndex::build(&sets);
+        let index = ScanCountIndex::build(&sets);
+        let mut scratch = ScanCountScratch::default();
         let mut out = Vec::new();
-        index.query_into(&query, &mut out);
+        index.query_with(&mut scratch, &query, &mut out);
         // Brute force reference.
         for (i, set) in sets.iter().enumerate() {
             let expected = set.iter().filter(|t| query.contains(t)).count() as u32;
@@ -129,6 +133,72 @@ proptest! {
         let k1 = knn(1).run(&view).candidates;
         for p in k1.iter() {
             prop_assert!(all.contains(p));
+        }
+    }
+
+    /// The CSR/interned pipeline (with its exact length filters) produces
+    /// candidate sets identical to the frozen naive reference — the
+    /// tentpole correctness property. Thresholds 0.1 and 0.8 exercise the
+    /// length-filter fast path when it keeps almost everything and when
+    /// it prunes aggressively.
+    #[test]
+    fn csr_epsilon_matches_naive_reference(
+        e1 in arb_texts(8),
+        e2 in arb_texts(8),
+        cleaning in any::<bool>(),
+    ) {
+        let view = TextView::new(e1, e2);
+        let model = RepresentationModel { ngram: Some(2), multiset: false };
+        for measure in SimilarityMeasure::ALL {
+            for threshold in [0.1, 0.8] {
+                let join = EpsilonJoin { cleaning, model, measure, threshold };
+                let got = join.run(&view).candidates.to_sorted_vec();
+                let want = reference::naive_epsilon(&view, cleaning, model, measure, threshold);
+                prop_assert_eq!(got, want, "{} t={}", measure.name(), threshold);
+            }
+        }
+    }
+
+    /// kNN: CSR + distinct-floor filter equals the naive reference at 1
+    /// and 8 worker threads (explicit counts, so the global thread
+    /// override stays untouched).
+    #[test]
+    fn csr_knn_matches_naive_reference_across_threads(
+        e1 in arb_texts(8),
+        e2 in arb_texts(8),
+        reversed in any::<bool>(),
+    ) {
+        let view = TextView::new(e1, e2);
+        let model = RepresentationModel { ngram: None, multiset: false };
+        for measure in SimilarityMeasure::ALL {
+            for k in [1usize, 3] {
+                let join = KnnJoin { cleaning: false, model, measure, k, reversed };
+                let want = reference::naive_knn(&view, false, model, measure, k, reversed);
+                let prepared = join.prepare(&view);
+                let art = prepared.downcast::<TokenSetsArtifact>();
+                for threads in [1usize, 8] {
+                    let got = join.query_art(art, threads).candidates.to_sorted_vec();
+                    prop_assert_eq!(
+                        got.clone(), want.clone(),
+                        "{} k={} threads={}", measure.name(), k, threads
+                    );
+                }
+            }
+        }
+    }
+
+    /// Global top-k: the heap + floor filter equals exhaustive scoring.
+    #[test]
+    fn csr_topk_matches_naive_reference(e1 in arb_texts(8), e2 in arb_texts(8)) {
+        let view = TextView::new(e1, e2);
+        let model = RepresentationModel { ngram: None, multiset: false };
+        for measure in SimilarityMeasure::ALL {
+            for k in [1usize, 4] {
+                let join = TopKJoin { cleaning: false, model, measure, k };
+                let got = join.run(&view).candidates.to_sorted_vec();
+                let want = reference::naive_topk(&view, model, measure, k);
+                prop_assert_eq!(got, want, "{} k={}", measure.name(), k);
+            }
         }
     }
 }

@@ -1,0 +1,240 @@
+//! Naive reference implementations of the sparse joins, frozen at the
+//! pre-CSR semantics.
+//!
+//! The hot paths ([`crate::scancount`], [`crate::epsilon`], [`crate::knn`],
+//! [`crate::topk`]) moved to interned CSR layouts with exact length
+//! filters. This module keeps the original hash-map-of-token-lists
+//! formulation — no interner, no CSR, no length filter — as an independent
+//! oracle: the property tests assert the optimized pipeline produces
+//! bitwise-identical candidate sets against it. It is test/benchmark
+//! support code, deliberately simple and unoptimized.
+
+use crate::representation::RepresentationModel;
+use crate::similarity::SimilarityMeasure;
+use er_core::hash::FastMap;
+use er_core::schema::TextView;
+use er_core::Pair;
+use er_text::Cleaner;
+
+/// The original ScanCount index: raw `u64` token hashes mapped to posting
+/// lists, one heap allocation per token.
+#[derive(Debug, Default)]
+pub struct NaiveScanCountIndex {
+    postings: FastMap<u64, Vec<u32>>,
+    set_sizes: Vec<u32>,
+}
+
+impl NaiveScanCountIndex {
+    /// Builds the index over deduplicated token sets.
+    pub fn build(sets: &[Vec<u64>]) -> Self {
+        let mut postings: FastMap<u64, Vec<u32>> = FastMap::default();
+        let mut set_sizes = Vec::with_capacity(sets.len());
+        for (entity, set) in sets.iter().enumerate() {
+            set_sizes.push(set.len() as u32);
+            for &token in set {
+                postings.entry(token).or_default().push(entity as u32);
+            }
+        }
+        Self {
+            postings,
+            set_sizes,
+        }
+    }
+
+    /// The indexed cardinality of entity `i`.
+    pub fn set_size(&self, i: u32) -> usize {
+        self.set_sizes[i as usize] as usize
+    }
+
+    /// Merge-counts one query: `(entity, overlap)` ascending by entity id,
+    /// only entities sharing at least one token.
+    pub fn query(&self, query: &[u64]) -> Vec<(u32, u32)> {
+        let mut counts: FastMap<u32, u32> = FastMap::default();
+        for token in query {
+            if let Some(list) = self.postings.get(token) {
+                for &entity in list {
+                    *counts.entry(entity).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut hits: Vec<(u32, u32)> = counts.into_iter().collect();
+        hits.sort_unstable_by_key(|&(entity, _)| entity);
+        hits
+    }
+}
+
+/// Tokenizes both sides exactly as [`crate::artifact::TokenSetsArtifact`]
+/// does, without interning.
+pub fn tokenize(
+    view: &TextView,
+    cleaning: bool,
+    model: RepresentationModel,
+    reversed: bool,
+) -> (Vec<Vec<u64>>, Vec<Vec<u64>>) {
+    let cleaner = if cleaning {
+        Cleaner::on()
+    } else {
+        Cleaner::off()
+    };
+    let (index_texts, query_texts) = if reversed {
+        (&view.e2, &view.e1)
+    } else {
+        (&view.e1, &view.e2)
+    };
+    let index_sets = index_texts
+        .iter()
+        .map(|t| model.token_set(t, &cleaner))
+        .collect();
+    let query_sets = query_texts
+        .iter()
+        .map(|t| model.token_set(t, &cleaner))
+        .collect();
+    (index_sets, query_sets)
+}
+
+/// The ε-Join without any length filter: every overlapping pair is scored
+/// and kept when `sim ≥ threshold`. Returns sorted pairs.
+pub fn naive_epsilon(
+    view: &TextView,
+    cleaning: bool,
+    model: RepresentationModel,
+    measure: SimilarityMeasure,
+    threshold: f64,
+) -> Vec<Pair> {
+    let (index_sets, query_sets) = tokenize(view, cleaning, model, false);
+    let index = NaiveScanCountIndex::build(&index_sets);
+    let mut out = Vec::new();
+    for (j, query) in query_sets.iter().enumerate() {
+        for (i, overlap) in index.query(query) {
+            let sim = measure.compute(overlap as usize, index.set_size(i), query.len());
+            if sim >= threshold {
+                out.push(Pair::new(i, j as u32));
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Frozen copy of the kNN distinct-top-k selection: keep candidates tying
+/// one of the `k` highest distinct similarities.
+pub fn naive_select_top_k(k: usize, scored: &mut Vec<(u32, f64)>) {
+    if scored.is_empty() || k == 0 {
+        scored.clear();
+        return;
+    }
+    scored.sort_unstable_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    let mut distinct = 0usize;
+    let mut last = f64::NAN;
+    let mut cut = scored.len();
+    for (i, &(_, sim)) in scored.iter().enumerate() {
+        if sim != last {
+            distinct += 1;
+            last = sim;
+            if distinct > k {
+                cut = i;
+                break;
+            }
+        }
+    }
+    scored.truncate(cut);
+}
+
+/// The kNN-Join without the distinct-floor length filter. Returns sorted
+/// pairs in the canonical (E1, E2) orientation.
+pub fn naive_knn(
+    view: &TextView,
+    cleaning: bool,
+    model: RepresentationModel,
+    measure: SimilarityMeasure,
+    k: usize,
+    reversed: bool,
+) -> Vec<Pair> {
+    let (index_sets, query_sets) = tokenize(view, cleaning, model, reversed);
+    let index = NaiveScanCountIndex::build(&index_sets);
+    let mut out = Vec::new();
+    for (j, query) in query_sets.iter().enumerate() {
+        let mut scored: Vec<(u32, f64)> = Vec::new();
+        for (i, overlap) in index.query(query) {
+            let sim = measure.compute(overlap as usize, index.set_size(i), query.len());
+            if sim > 0.0 {
+                scored.push((i, sim));
+            }
+        }
+        naive_select_top_k(k, &mut scored);
+        for (i, _) in scored {
+            if reversed {
+                out.push(Pair::new(j as u32, i));
+            } else {
+                out.push(Pair::new(i, j as u32));
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// The global top-k join by exhaustive scoring: the `k` best pairs by
+/// (similarity descending, pair key ascending). Returns sorted pairs.
+pub fn naive_topk(
+    view: &TextView,
+    model: RepresentationModel,
+    measure: SimilarityMeasure,
+    k: usize,
+) -> Vec<Pair> {
+    let (index_sets, query_sets) = tokenize(view, false, model, false);
+    let index = NaiveScanCountIndex::build(&index_sets);
+    let mut scored: Vec<(f64, u64)> = Vec::new();
+    for (j, query) in query_sets.iter().enumerate() {
+        for (i, overlap) in index.query(query) {
+            let sim = measure.compute(overlap as usize, index.set_size(i), query.len());
+            if sim > 0.0 {
+                scored.push((sim, Pair::new(i, j as u32).key()));
+            }
+        }
+    }
+    scored.sort_unstable_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    });
+    scored.truncate(k);
+    let mut out: Vec<Pair> = scored
+        .into_iter()
+        .map(|(_, key)| Pair::from_key(key))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_index_counts_overlaps() {
+        let sets = vec![vec![1, 2, 3], vec![2, 3], vec![9]];
+        let index = NaiveScanCountIndex::build(&sets);
+        assert_eq!(index.query(&[2, 3]), vec![(0, 2), (1, 2)]);
+        assert_eq!(index.query(&[9]), vec![(2, 1)]);
+        assert!(index.query(&[42]).is_empty());
+        assert_eq!(index.set_size(0), 3);
+    }
+
+    #[test]
+    fn naive_epsilon_scores_all_overlapping_pairs() {
+        let v = TextView::new(
+            vec!["alpha beta".to_owned(), "gamma".to_owned()],
+            vec!["alpha beta".to_owned()],
+        );
+        let model = RepresentationModel::parse("T1G").expect("T1G");
+        let pairs = naive_epsilon(&v, false, model, SimilarityMeasure::Jaccard, 0.5);
+        assert_eq!(pairs, vec![Pair::new(0, 0)]);
+    }
+}

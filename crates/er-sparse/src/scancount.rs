@@ -5,8 +5,15 @@
 //! often each indexed entity appears — that count *is* the set overlap
 //! `|A∩B|`. Unlike prefix-filter joins it has no similarity-threshold
 //! assumptions, which makes it suitable for the low thresholds ER needs.
+//!
+//! The index stores its postings in CSR layout behind a
+//! [`TokenInterner`]: token id `t`'s posting list is
+//! `postings[offsets[t]..offsets[t + 1]]`, one contiguous array for the
+//! whole index instead of one heap allocation per token. Queries that
+//! arrive pre-interned ([`ScanCountIndex::query_ids_with`]) skip the hash
+//! lookup entirely and walk flat memory.
 
-use er_core::hash::FastMap;
+use crate::csr::{CsrTokenSets, TokenInterner};
 use er_core::parallel::{self, Threads};
 
 /// Per-caller scratch for ScanCount queries: the overlap-count workhorse
@@ -22,15 +29,19 @@ pub struct ScanCountScratch {
     counts: Vec<u32>,
 }
 
-/// An inverted index over the token sets of one entity collection.
+/// An inverted index over the token sets of one entity collection, in CSR
+/// layout (see module docs).
 #[derive(Debug, Clone, Default)]
 pub struct ScanCountIndex {
-    /// token id → posting list of entity indices (ascending).
-    postings: FastMap<u64, Vec<u32>>,
+    /// Token hash → dense token id; shared with the query side so probes
+    /// can be pre-interned once per artifact.
+    interner: TokenInterner,
+    /// CSR row boundaries per token id (`interner.len() + 1` entries).
+    offsets: Vec<u32>,
+    /// Flat posting lists: ascending entity indices per token id.
+    postings: Vec<u32>,
     /// Token-set cardinality `|A|` per indexed entity.
     set_sizes: Vec<u32>,
-    /// Scratch backing the legacy `&mut self` query path.
-    scratch: ScanCountScratch,
 }
 
 impl ScanCountIndex {
@@ -38,22 +49,85 @@ impl ScanCountIndex {
     /// duplicate-free; [`crate::RepresentationModel::token_set`] guarantees
     /// that).
     pub fn build(token_sets: &[Vec<u64>]) -> Self {
-        let mut postings: FastMap<u64, Vec<u32>> = FastMap::default();
+        Self::build_with_sets(token_sets).0
+    }
+
+    /// [`ScanCountIndex::build`] also returning the indexed collection's
+    /// token sets re-expressed in the index's interned CSR layout (row
+    /// order and per-row token order preserved).
+    pub fn build_with_sets(token_sets: &[Vec<u64>]) -> (Self, CsrTokenSets) {
+        // Pass 1: intern every token in encounter order while flattening
+        // the rows into CSR, counting each token's posting-list length.
+        let mut interner = TokenInterner::default();
+        let mut row_offsets = Vec::with_capacity(token_sets.len() + 1);
+        row_offsets.push(0u32);
+        let mut row_tokens = Vec::new();
         let mut set_sizes = Vec::with_capacity(token_sets.len());
-        for (i, set) in token_sets.iter().enumerate() {
+        for set in token_sets {
             set_sizes.push(set.len() as u32);
             for &token in set {
-                postings.entry(token).or_default().push(i as u32);
+                row_tokens.push(interner.intern(token));
+            }
+            row_offsets.push(row_tokens.len() as u32);
+        }
+
+        // Pass 2: prefix-sum the posting counts into CSR offsets and fill
+        // the lists by walking the rows in entity order, which leaves each
+        // posting list in ascending entity order.
+        let tokens = interner.len();
+        let mut counts = vec![0u32; tokens];
+        for &id in &row_tokens {
+            counts[id as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(tokens + 1);
+        offsets.push(0u32);
+        let mut acc = 0u32;
+        for &c in &counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets[..tokens].to_vec();
+        let mut postings = vec![0u32; row_tokens.len()];
+        for (i, w) in row_offsets.windows(2).enumerate() {
+            for &id in &row_tokens[w[0] as usize..w[1] as usize] {
+                postings[cursor[id as usize] as usize] = i as u32;
+                cursor[id as usize] += 1;
             }
         }
-        let scratch = ScanCountScratch {
-            counts: vec![0; token_sets.len()],
-        };
-        Self {
-            postings,
-            set_sizes,
-            scratch,
+
+        let index_sets = CsrTokenSets::from_parts(row_offsets, row_tokens, set_sizes.clone());
+        (
+            Self {
+                interner,
+                offsets,
+                postings,
+                set_sizes,
+            },
+            index_sets,
+        )
+    }
+
+    /// Re-expresses query-side token sets in the index's interned CSR
+    /// layout. Tokens the index never saw are dropped from the rows (they
+    /// cannot contribute overlap) while `set_size` keeps the original
+    /// cardinality, so similarity formulas stay exact.
+    pub fn intern_queries(&self, token_sets: &[Vec<u64>]) -> CsrTokenSets {
+        let mut offsets = Vec::with_capacity(token_sets.len() + 1);
+        offsets.push(0u32);
+        let mut tokens = Vec::new();
+        let mut set_sizes = Vec::with_capacity(token_sets.len());
+        for set in token_sets {
+            set_sizes.push(set.len() as u32);
+            tokens.extend(set.iter().filter_map(|&t| self.interner.get(t)));
+            offsets.push(tokens.len() as u32);
         }
+        CsrTokenSets::from_parts(offsets, tokens, set_sizes)
+    }
+
+    /// The dense id the index's interner assigned to `token`, if any.
+    #[inline]
+    pub fn token_id(&self, token: u64) -> Option<u32> {
+        self.interner.get(token)
     }
 
     /// Number of indexed entities.
@@ -72,34 +146,24 @@ impl ScanCountIndex {
         self.set_sizes[i as usize] as usize
     }
 
-    /// Estimated heap footprint in bytes, for artifact-cache budgeting.
+    /// Heap footprint in bytes for artifact-cache budgeting: the three
+    /// CSR arrays are exact (array length × 4); only the interner term is
+    /// an estimate (see [`TokenInterner::heap_bytes`]).
     pub fn heap_bytes(&self) -> usize {
-        let postings: usize = self
-            .postings
-            .values()
-            .map(|list| {
-                std::mem::size_of::<u64>() + std::mem::size_of::<Vec<u32>>() + list.len() * 4
-            })
-            .sum();
-        postings + self.set_sizes.len() * 4 + self.scratch.counts.len() * 4
+        (self.offsets.len() + self.postings.len() + self.set_sizes.len()) * 4
+            + self.interner.heap_bytes()
     }
 
-    /// Merge-counts the posting lists of `query`'s tokens, appending
-    /// `(entity, overlap)` to `out` for every indexed entity sharing at
-    /// least one token.
+    /// Merge-counts the posting lists of `query`'s raw token hashes,
+    /// appending `(entity, overlap)` to `out` for every indexed entity
+    /// sharing at least one token.
     ///
     /// `query` must be duplicate-free. `out` is cleared first and filled in
     /// ascending entity order, making downstream consumers deterministic;
     /// reusing the same buffer across queries avoids per-query allocation.
-    pub fn query_into(&mut self, query: &[u64], out: &mut Vec<(u32, u32)>) {
-        let mut scratch = std::mem::take(&mut self.scratch);
-        self.query_with(&mut scratch, query, out);
-        self.scratch = scratch;
-    }
-
-    /// [`ScanCountIndex::query_into`] on a shared index: the caller owns
-    /// the scratch, so any number of workers can query one index
-    /// concurrently, each with its own [`ScanCountScratch`].
+    /// Callers holding pre-interned rows should use
+    /// [`ScanCountIndex::query_ids_with`] instead, which skips the
+    /// per-token hash lookups.
     pub fn query_with(
         &self,
         scratch: &mut ScanCountScratch,
@@ -107,21 +171,60 @@ impl ScanCountIndex {
         out: &mut Vec<(u32, u32)>,
     ) {
         out.clear();
+        let counts = self.counts(scratch);
+        for &token in query {
+            if let Some(id) = self.interner.get(token) {
+                self.scan_token(id, counts, out);
+            }
+        }
+        Self::finish(counts, out);
+    }
+
+    /// [`ScanCountIndex::query_with`] for a query row already interned by
+    /// this index (see [`ScanCountIndex::intern_queries`]) — the hot path:
+    /// no hashing, just CSR walks.
+    pub fn query_ids_with(
+        &self,
+        scratch: &mut ScanCountScratch,
+        query_ids: &[u32],
+        out: &mut Vec<(u32, u32)>,
+    ) {
+        out.clear();
+        let counts = self.counts(scratch);
+        for &id in query_ids {
+            self.scan_token(id, counts, out);
+        }
+        Self::finish(counts, out);
+    }
+
+    /// Sizes the scratch to the index and hands out the counter slice.
+    #[inline]
+    fn counts<'s>(&self, scratch: &'s mut ScanCountScratch) -> &'s mut Vec<u32> {
         let counts = &mut scratch.counts;
         if counts.len() < self.set_sizes.len() {
             counts.resize(self.set_sizes.len(), 0);
         }
-        // `counts` is a workhorse buffer: only touched entries are reset.
-        for token in query {
-            if let Some(list) = self.postings.get(token) {
-                for &e in list {
-                    if counts[e as usize] == 0 {
-                        out.push((e, 0));
-                    }
-                    counts[e as usize] += 1;
-                }
+        counts
+    }
+
+    /// Merge-counts one token's posting list. `counts` is a workhorse
+    /// buffer: only touched entries are ever reset.
+    #[inline]
+    fn scan_token(&self, id: u32, counts: &mut [u32], out: &mut Vec<(u32, u32)>) {
+        let list = &self.postings
+            [self.offsets[id as usize] as usize..self.offsets[id as usize + 1] as usize];
+        for &e in list {
+            if counts[e as usize] == 0 {
+                out.push((e, 0));
             }
+            counts[e as usize] += 1;
         }
+    }
+
+    /// Sorts the touched entities, records their overlaps and resets the
+    /// touched counters.
+    #[inline]
+    fn finish(counts: &mut [u32], out: &mut [(u32, u32)]) {
         out.sort_unstable_by_key(|&(e, _)| e);
         for entry in out.iter_mut() {
             entry.1 = counts[entry.0 as usize];
@@ -131,7 +234,7 @@ impl ScanCountIndex {
 
     /// Batch query fan-out over the global [`Threads`] worker count: one
     /// `(entity, overlap)` list per query, each exactly what
-    /// [`ScanCountIndex::query_into`] would produce.
+    /// [`ScanCountIndex::query_with`] would produce.
     pub fn query_batch(&self, queries: &[Vec<u64>]) -> Vec<Vec<(u32, u32)>> {
         self.query_batch_with(Threads::get(), queries)
     }
@@ -162,32 +265,33 @@ mod tests {
         ScanCountIndex::build(&[vec![1, 2, 3], vec![3, 4], vec![5]])
     }
 
-    fn collect(idx: &mut ScanCountIndex, q: &[u64]) -> Vec<(u32, u32)> {
+    fn collect(idx: &ScanCountIndex, q: &[u64]) -> Vec<(u32, u32)> {
+        let mut scratch = ScanCountScratch::default();
         let mut out = Vec::new();
-        idx.query_into(q, &mut out);
+        idx.query_with(&mut scratch, q, &mut out);
         out
     }
 
     #[test]
     fn overlap_counts_are_exact() {
-        let mut idx = index();
+        let idx = index();
         // Query {2,3,4}: entity 0 overlaps {2,3}=2, entity 1 {3,4}=2.
-        assert_eq!(collect(&mut idx, &[2, 3, 4]), vec![(0, 2), (1, 2)]);
+        assert_eq!(collect(&idx, &[2, 3, 4]), vec![(0, 2), (1, 2)]);
     }
 
     #[test]
     fn non_overlapping_entities_not_visited() {
-        let mut idx = index();
-        assert_eq!(collect(&mut idx, &[1]), vec![(0, 1)]);
-        assert!(collect(&mut idx, &[99]).is_empty());
-        assert!(collect(&mut idx, &[]).is_empty());
+        let idx = index();
+        assert_eq!(collect(&idx, &[1]), vec![(0, 1)]);
+        assert!(collect(&idx, &[99]).is_empty());
+        assert!(collect(&idx, &[]).is_empty());
     }
 
     #[test]
     fn counts_reset_between_queries() {
-        let mut idx = index();
-        let first = collect(&mut idx, &[3]);
-        let second = collect(&mut idx, &[3]);
+        let idx = index();
+        let first = collect(&idx, &[3]);
+        let second = collect(&idx, &[3]);
         assert_eq!(first, second);
         assert_eq!(first, vec![(0, 1), (1, 1)]);
     }
@@ -202,9 +306,45 @@ mod tests {
 
     #[test]
     fn empty_index() {
-        let mut idx = ScanCountIndex::build(&[]);
+        let idx = ScanCountIndex::build(&[]);
         assert!(idx.is_empty());
-        assert!(collect(&mut idx, &[1, 2]).is_empty());
+        assert!(collect(&idx, &[1, 2]).is_empty());
+    }
+
+    #[test]
+    fn build_with_sets_preserves_rows_interned() {
+        let sets = vec![vec![10, 20, 30], vec![30, 40], vec![], vec![50]];
+        let (idx, csr) = ScanCountIndex::build_with_sets(&sets);
+        assert_eq!(csr.len(), 4);
+        // First-encounter interning: 10→0, 20→1, 30→2, 40→3, 50→4.
+        assert_eq!(csr.row(0), &[0, 1, 2]);
+        assert_eq!(csr.row(1), &[2, 3]);
+        assert_eq!(csr.row(2), &[] as &[u32]);
+        assert_eq!(csr.row(3), &[4]);
+        assert_eq!(csr.set_size(0), 3);
+        assert_eq!(idx.token_id(30), Some(2));
+        assert_eq!(idx.token_id(99), None);
+    }
+
+    #[test]
+    fn interned_queries_match_raw_queries() {
+        let sets: Vec<Vec<u64>> = (0..40u64)
+            .map(|i| (0..=(i % 5)).map(|t| (i + 3 * t) % 23).collect())
+            .collect();
+        let (idx, _) = ScanCountIndex::build_with_sets(&sets);
+        // Query rows include unknown tokens (100, 101) that interning drops.
+        let queries: Vec<Vec<u64>> = vec![vec![0, 4, 100], vec![101], vec![], vec![1, 2, 3, 7]];
+        let csr = idx.intern_queries(&queries);
+        assert_eq!(csr.set_size(0), 3, "unknown tokens keep the cardinality");
+        assert!(csr.row(1).is_empty(), "all-unknown row is empty");
+        let mut scratch = ScanCountScratch::default();
+        for (j, q) in queries.iter().enumerate() {
+            let mut raw = Vec::new();
+            idx.query_with(&mut scratch, q, &mut raw);
+            let mut interned = Vec::new();
+            idx.query_ids_with(&mut scratch, csr.row(j), &mut interned);
+            assert_eq!(raw, interned, "query {j}");
+        }
     }
 
     #[test]
@@ -213,18 +353,11 @@ mod tests {
         let sets: Vec<Vec<u64>> = (0..60u64)
             .map(|i| (0..=(i % 7)).map(|t| (i + t) % 19).collect())
             .collect();
-        let mut idx = ScanCountIndex::build(&sets);
+        let idx = ScanCountIndex::build(&sets);
         let mut queries = sets[..25].to_vec();
         queries.push(Vec::new());
         queries.push(vec![999]);
-        let serial: Vec<Vec<(u32, u32)>> = queries
-            .iter()
-            .map(|q| {
-                let mut out = Vec::new();
-                idx.query_into(q, &mut out);
-                out
-            })
-            .collect();
+        let serial: Vec<Vec<(u32, u32)>> = queries.iter().map(|q| collect(&idx, q)).collect();
         for threads in [1, 2, 3, 8] {
             assert_eq!(
                 idx.query_batch_with(threads, &queries),
@@ -249,13 +382,19 @@ mod tests {
     #[test]
     fn overlap_never_exceeds_set_sizes() {
         let sets: Vec<Vec<u64>> = vec![vec![1, 2, 3, 4], vec![2, 4, 6], vec![7]];
-        let mut idx = ScanCountIndex::build(&sets);
+        let idx = ScanCountIndex::build(&sets);
         let q = vec![1, 2, 4, 6, 8];
-        let mut out = Vec::new();
-        idx.query_into(&q, &mut out);
+        let out = collect(&idx, &q);
         for &(e, o) in &out {
             assert!(o as usize <= sets[e as usize].len());
             assert!(o as usize <= q.len());
         }
+    }
+
+    #[test]
+    fn heap_bytes_counts_csr_arrays() {
+        let idx = index();
+        // offsets: 6 tokens + 1; postings: 6 entries; set_sizes: 3.
+        assert!(idx.heap_bytes() >= (7 + 6 + 3) * 4);
     }
 }

@@ -48,6 +48,45 @@ impl SimilarityMeasure {
             SimilarityMeasure::Jaccard => o / (len_a + len_b - overlap) as f64,
         }
     }
+
+    /// The exact length filter: the inclusive range of candidate-set
+    /// cardinalities `|A|` that can still reach `threshold` against a set
+    /// of cardinality `len_b`.
+    ///
+    /// Because overlap is bounded by `min(|A|, |B|)`, each measure's
+    /// maximum over the sizes is a closed form of the size ratio, giving
+    /// (for `t = threshold`, `b = len_b`):
+    ///
+    /// * Jaccard: `a ∈ [t·b, b/t]`
+    /// * Cosine:  `a ∈ [t²·b, b/t²]`
+    /// * Dice:    `a ∈ [t·b/(2−t), b·(2−t)/t]`
+    ///
+    /// The bounds are widened by a relative `1e-9` slack before rounding
+    /// to integers, so floating-point error can only *keep* a borderline
+    /// candidate (which the exact similarity check then decides) — never
+    /// drop one. Skipping sizes outside the range is therefore
+    /// candidate-set-exact. Thresholds `≤ 0` disable the filter.
+    #[inline]
+    pub fn size_bounds(&self, len_b: usize, threshold: f64) -> (usize, usize) {
+        if threshold <= 0.0 || len_b == 0 {
+            return (0, usize::MAX);
+        }
+        let t = threshold.min(1.0);
+        let b = len_b as f64;
+        let (lo, hi) = match self {
+            SimilarityMeasure::Cosine => (t * t * b, b / (t * t)),
+            SimilarityMeasure::Dice => (t * b / (2.0 - t), b * (2.0 - t) / t),
+            SimilarityMeasure::Jaccard => (t * b, b / t),
+        };
+        let lo = (lo * (1.0 - 1e-9)).ceil().max(0.0) as usize;
+        let hi_f = (hi * (1.0 + 1e-9)).floor();
+        let hi = if hi_f >= usize::MAX as f64 {
+            usize::MAX
+        } else {
+            hi_f as usize
+        };
+        (lo, hi)
+    }
 }
 
 #[cfg(test)]
@@ -95,6 +134,43 @@ mod tests {
                 prev = s;
             }
         }
+    }
+
+    #[test]
+    fn size_bounds_are_sound_and_tight() {
+        // Soundness: any (a, b, overlap) reaching the threshold must have
+        // `a` inside the bounds.
+        for m in SimilarityMeasure::ALL {
+            for b in 1usize..=12 {
+                for t10 in 1..=10u32 {
+                    let t = f64::from(t10) / 10.0;
+                    let (lo, hi) = m.size_bounds(b, t);
+                    for a in 1usize..=24 {
+                        let best = m.compute(a.min(b), a, b);
+                        if best >= t {
+                            assert!(
+                                (lo..=hi).contains(&a),
+                                "{} t={t} b={b} a={a} best={best} not in [{lo},{hi}]",
+                                m.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // Tightness at t = 1: only equal sizes survive.
+        for m in SimilarityMeasure::ALL {
+            assert_eq!(m.size_bounds(5, 1.0), (5, 5), "{}", m.name());
+        }
+        // Thresholds <= 0 disable the filter.
+        assert_eq!(
+            SimilarityMeasure::Jaccard.size_bounds(5, 0.0),
+            (0, usize::MAX)
+        );
+        assert_eq!(
+            SimilarityMeasure::Cosine.size_bounds(0, 0.5),
+            (0, usize::MAX)
+        );
     }
 
     #[test]

@@ -91,13 +91,34 @@ impl TopKJoin {
         out.breakdown.time("query", || {
             let mut scratch = ScanCountScratch::default();
             let mut hits: Vec<(u32, u32)> = Vec::new();
-            for (j, query) in art.query_sets.iter().enumerate() {
-                let qlen = query.len();
-                art.index.query_with(&mut scratch, query, &mut hits);
+            // Length-filter state: once the heap is full, its worst kept
+            // similarity is a global floor — candidates whose cardinality
+            // cannot reach it are provably strictly below every kept pair
+            // and can never displace one. The bounds only depend on
+            // (query length, floor), so they are cached across hits and
+            // queries and recomputed on change.
+            let mut cached: Option<(usize, f64, (usize, usize))> = None;
+            for j in 0..art.query_sets.len() {
+                let qlen = art.query_sets.set_size(j);
+                art.index
+                    .query_ids_with(&mut scratch, art.query_sets.row(j), &mut hits);
                 for &(i, overlap) in &hits {
-                    let sim = self
-                        .measure
-                        .compute(overlap as usize, art.index.set_size(i), qlen);
+                    let ilen = art.index.set_size(i);
+                    if heap.len() == self.k {
+                        let floor = heap.peek().map_or(0.0, |w| w.sim);
+                        let (lo, hi) = match cached {
+                            Some((q, f, b)) if q == qlen && f == floor => b,
+                            _ => {
+                                let b = self.measure.size_bounds(qlen, floor);
+                                cached = Some((qlen, floor, b));
+                                b
+                            }
+                        };
+                        if ilen < lo || ilen > hi {
+                            continue;
+                        }
+                    }
+                    let sim = self.measure.compute(overlap as usize, ilen, qlen);
                     if sim <= 0.0 {
                         continue;
                     }
@@ -218,6 +239,50 @@ mod tests {
         let out = join(1).run(&v);
         // Query 1 gets no candidate at all.
         assert!(out.candidates.iter().all(|p| p.right == 0));
+    }
+
+    #[test]
+    fn heap_floor_filter_matches_bruteforce() {
+        // Varied cardinalities so the floor-derived length filter actually
+        // skips candidates; the kept pairs must equal the brute-force
+        // global top-k (with the same deterministic tie handling).
+        let e1: Vec<String> = (0..24)
+            .map(|i| {
+                (0..=(i % 6))
+                    .map(|t| format!("w{}", (i + t * 5) % 13))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect();
+        let e2: Vec<String> = (0..9)
+            .map(|j| {
+                (0..=(j % 4))
+                    .map(|t| format!("w{}", (j * 2 + t) % 13))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect();
+        let v = TextView::new(e1, e2);
+        for measure in SimilarityMeasure::ALL {
+            for k in [1, 3, 7] {
+                let tk = TopKJoin {
+                    cleaning: false,
+                    model: RepresentationModel::parse("T1G").expect("T1G"),
+                    measure,
+                    k,
+                };
+                let out = tk.run(&v);
+                // Brute force: score every overlapping pair via the naive
+                // reference, keep the k best (sim desc, key asc).
+                let naive = crate::reference::naive_topk(&v, tk.model, measure, k);
+                assert_eq!(
+                    out.candidates.to_sorted_vec(),
+                    naive,
+                    "{} k={k}",
+                    measure.name()
+                );
+            }
+        }
     }
 
     #[test]

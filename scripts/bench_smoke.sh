@@ -9,6 +9,10 @@
 # 2. Runs one sweep column cold and warm against the shared artifact
 #    cache (`er sweep --bench-prepare`), checks the warm pass re-prepares
 #    nothing and reports identically, and leaves BENCH_prepare.json.
+# 3. Runs the kernel/layout micro-benchmark (naive vs CSR sparse layouts,
+#    scalar vs blocked dense kernels), which verifies the optimized
+#    pipeline's candidate sets match the frozen naive reference and
+#    leaves BENCH_kernels.json.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -98,3 +102,14 @@ if ! grep -q '"misses":0' BENCH_prepare.json; then
 fi
 echo "== wrote BENCH_prepare.json" >&2
 cat BENCH_prepare.json
+
+echo "== kernel smoke: naive layouts vs CSR + blocked kernels" >&2
+cargo build --release -p er-bench --bin bench_kernels >&2
+target/release/bench_kernels --scale "${BENCH_KERNEL_SCALE:-0.25}" --seed 7 \
+    --out BENCH_kernels.json >&2
+if ! grep -q '"candidate_sets_identical":true' BENCH_kernels.json; then
+    echo "KERNEL FAILURE: CSR pipeline disagrees with the naive reference" >&2
+    exit 1
+fi
+echo "== wrote BENCH_kernels.json" >&2
+cat BENCH_kernels.json
