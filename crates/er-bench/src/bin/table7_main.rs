@@ -12,6 +12,7 @@
 //! cargo run --release --bin table7_main -- --threads 4 --csv table7.csv
 //! cargo run --release --bin table7_main -- --timeout 60 --checkpoint sweep.jsonl
 //! cargo run --release --bin table7_main -- --resume sweep.jsonl
+//! cargo run --release --bin table7_main -- --store-dir artifacts
 //! ```
 //!
 //! `--threads N` (legacy alias: `--parallel N`) sets the worker count of
@@ -24,7 +25,9 @@
 //! method) grid point runs under a guard: a panic, blown deadline or
 //! candidate budget is reported as a failure row and the sweep continues.
 //! `--checkpoint`/`--resume` make an interrupted sweep restartable — see
-//! the sweep driver in `er_bench::sweep`.
+//! the sweep driver in `er_bench::sweep`. `--store-dir` persists every
+//! prepared artifact as a checksummed file a later process reloads
+//! (mmap) instead of re-preparing — see DESIGN.md §11.
 
 use er::core::parallel::Threads;
 use er_bench::report::{render_report, sweep_csv, ReportOptions};

@@ -19,9 +19,11 @@ pub mod harness;
 pub mod jsonl;
 pub mod report;
 pub mod settings;
+pub mod store;
 pub mod sweep;
 
 pub use harness::{run_all_methods, Context, MethodId, MethodOutcome};
 pub use report::Table;
 pub use settings::Settings;
+pub use store::{all_codecs, open_store};
 pub use sweep::{bench_prepare, run_sweep, Column};

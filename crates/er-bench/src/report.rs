@@ -349,6 +349,7 @@ mod tests {
             label: "Da1".to_owned(),
             cartesian: 10_000,
             outcomes: vec![measured, failed],
+            stats: Default::default(),
         }]
     }
 

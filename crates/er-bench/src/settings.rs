@@ -15,6 +15,9 @@
 //! --budget 5000000     per-grid-point candidate-pair budget
 //! --cache-budget 512M  artifact-cache memory budget (K/M/G suffixes;
 //!                      default: unbounded)
+//! --store-dir dir      persistent artifact store: load prepared
+//!                      artifacts from `dir` and spill/flush new ones
+//!                      into it (reused across processes)
 //! --checkpoint p.jsonl append each completed grid point to a checkpoint
 //! --resume p.jsonl     skip grid points recorded in the checkpoint
 //! --inject-faults SPEC deterministic fault injection, e.g.
@@ -57,6 +60,8 @@ pub struct Settings {
     pub max_candidates: Option<usize>,
     /// Artifact-cache memory budget in bytes (`None` = unbounded).
     pub cache_budget: Option<usize>,
+    /// Persistent artifact-store directory (`None` = memory-only cache).
+    pub store_dir: Option<String>,
     /// Checkpoint file to append completed grid points to.
     pub checkpoint: Option<String>,
     /// Checkpoint file to resume from (implies checkpointing to it).
@@ -81,6 +86,7 @@ impl Default for Settings {
             timeout: None,
             max_candidates: None,
             cache_budget: None,
+            store_dir: None,
             checkpoint: None,
             resume: None,
             faults: None,
@@ -164,6 +170,13 @@ impl Settings {
                         parse_bytes(&value("--cache-budget")?)
                             .map_err(|e| format!("--cache-budget: {e}"))?,
                     );
+                }
+                "--store-dir" => {
+                    let dir = value("--store-dir")?;
+                    if dir.is_empty() {
+                        return Err("--store-dir requires a directory path".to_owned());
+                    }
+                    s.store_dir = Some(dir);
                 }
                 "--checkpoint" => s.checkpoint = Some(value("--checkpoint")?),
                 "--resume" => s.resume = Some(value("--resume")?),
@@ -296,6 +309,8 @@ mod tests {
             "1000000",
             "--cache-budget",
             "512M",
+            "--store-dir",
+            "artifacts",
             "--checkpoint",
             "ck.jsonl",
             "--inject-faults",
@@ -317,6 +332,7 @@ mod tests {
         assert_eq!(s.timeout, Some(Duration::from_millis(2500)));
         assert_eq!(s.max_candidates, Some(1_000_000));
         assert_eq!(s.cache_budget, Some(512 << 20));
+        assert_eq!(s.store_dir.as_deref(), Some("artifacts"));
         assert_eq!(s.checkpoint_path(), Some("ck.jsonl"));
         assert!(s.faults.is_some());
         assert!(s.has_flag("--configs"));
@@ -341,6 +357,7 @@ mod tests {
             (&["--budget", "0"][..], "--budget"),
             (&["--cache-budget", "0"][..], "--cache-budget"),
             (&["--cache-budget", "12Q"][..], "--cache-budget"),
+            (&["--store-dir", ""][..], "--store-dir"),
             (&["--inject-faults", "??"][..], "--inject-faults"),
             (&["--seed"][..], "requires a value"),
         ] {
@@ -379,6 +396,8 @@ mod tests {
             "5",
             "--cache-budget",
             "64M",
+            "--store-dir",
+            "artifacts",
             "--resume",
             "x.jsonl",
         ])

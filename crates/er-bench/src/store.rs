@@ -1,0 +1,55 @@
+//! The workspace codec registry for the persistent artifact store.
+//!
+//! Every prepare-stage artifact family the Table VII sweep caches has one
+//! codec here; opening a store through this module makes `--store-dir`
+//! cover all 17 sweep methods (the DeepBlocker runs share the dense
+//! flat-index codec). The honest baselines that bypass the artifact cache
+//! (DkNN) never reach the store by construction.
+
+use er::blocking::BlockingCodec;
+use er::dense::{
+    CrossPolytopeCodec, DenseFlatCodec, HyperplaneCodec, MinHashCodec, PartitionedCodec,
+};
+use er::sparse::SparseCodec;
+use er::store::{ArtifactCodec, ArtifactStore};
+use std::io;
+use std::path::Path;
+
+/// One codec per artifact family, in codec-id order.
+pub fn all_codecs() -> Vec<Box<dyn ArtifactCodec>> {
+    vec![
+        Box::new(SparseCodec),
+        Box::new(BlockingCodec),
+        Box::new(DenseFlatCodec),
+        Box::new(MinHashCodec),
+        Box::new(HyperplaneCodec),
+        Box::new(CrossPolytopeCodec),
+        Box::new(PartitionedCodec),
+    ]
+}
+
+/// Opens (creating if needed) `dir` with the full codec registry.
+pub fn open_store(dir: &Path) -> io::Result<ArtifactStore> {
+    ArtifactStore::open(dir, all_codecs()).map_err(io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_ids_are_unique_and_stable() {
+        let codecs = all_codecs();
+        let ids: Vec<u32> = codecs.iter().map(|c| c.id()).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn open_creates_the_directory() {
+        let dir = std::env::temp_dir().join(format!("er_bench_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = open_store(&dir).expect("open");
+        assert!(store.dir().is_dir());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

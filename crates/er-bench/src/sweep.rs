@@ -35,6 +35,9 @@ pub struct Column {
     pub cartesian: u64,
     /// Per-method outcomes in [`MethodId::ALL`] order.
     pub outcomes: Vec<MethodOutcome>,
+    /// Final counters of the column's artifact cache (all-zero when the
+    /// column was served entirely from a checkpoint).
+    pub stats: CacheStats,
 }
 
 /// One column to evaluate.
@@ -129,6 +132,7 @@ fn evaluate_column(
             label: label.clone(),
             cartesian,
             outcomes,
+            stats: CacheStats::default(),
         });
     }
 
@@ -141,6 +145,11 @@ fn evaluate_column(
     // preserving deterministic eviction at any `column_workers` count.
     let cache = ArtifactCache::new();
     cache.set_budget(settings.cache_budget);
+    if let Some(dir) = &settings.store_dir {
+        cache.set_store(Some(std::sync::Arc::new(crate::store::open_store(
+            Path::new(dir),
+        )?)));
+    }
     let ctx = Context {
         optimizer: Optimizer::new(settings.target_pc).with_limits(settings.limits()),
         resolution: settings.resolution,
@@ -175,6 +184,9 @@ fn evaluate_column(
         }
         outcomes.push(o);
     }
+    // Persist everything the budget never evicted, so a later process
+    // starts fully warm (evictions already spilled their victims).
+    cache.flush_store();
     if verbose {
         let s = cache.stats();
         eprintln!(
@@ -188,11 +200,18 @@ fn evaluate_column(
             format_runtime(s.prepare_wall),
             format_runtime(s.prepare_saved),
         );
+        if settings.store_dir.is_some() {
+            eprintln!(
+                "   [{label}] store: {} hits / {} spills / {} corrupt",
+                s.store_hits, s.spills, s.corrupt,
+            );
+        }
     }
     Ok(Column {
         label: label.clone(),
         cartesian,
         outcomes,
+        stats: cache.stats(),
     })
 }
 
@@ -293,21 +312,38 @@ fn stats_delta_obj(wall: Duration, before: &CacheStats, after: &CacheStats) -> J
                 hits as f64 / lookups as f64
             }),
         ),
+        (
+            "store_hits".to_owned(),
+            Json::Num((after.store_hits - before.store_hits) as f64),
+        ),
+        (
+            "store_corrupt".to_owned(),
+            Json::Num((after.corrupt - before.corrupt) as f64),
+        ),
     ])
 }
 
-/// Runs the sweep's first column twice in one process — cold, then warm —
-/// against a shared artifact cache and writes a one-line JSON summary of
-/// the prepare-stage savings to `path`.
+/// Runs the sweep's first column three times — cold, warm-memory and
+/// warm-disk — and writes a one-line JSON summary of the prepare-stage
+/// savings to `path`.
+///
+/// The cold and warm passes share one artifact cache (the warm pass
+/// measures memory-tier reuse). The disk pass then starts a *fresh* cache
+/// over a scratch store directory the cold pass flushed into — the
+/// cross-process scenario of `--store-dir` — so its prepare time counts
+/// only what the persistent tier failed to serve. The scratch directory
+/// lives next to `path` and is wiped before and after, keeping the cold
+/// pass honestly cold regardless of earlier runs.
 ///
 /// `prepare_s` counts wall time spent inside cache-managed prepare
-/// stages. A fully-retained warm pass does no prepare work at all, so
-/// `prepare_speedup` is `null` whenever the warm pass spent under 1µs
+/// stages. A warm pass that did no prepare work has no meaningful ratio,
+/// so `prepare_speedup` is `null` whenever the warm pass spent under 1µs
 /// preparing (a cold ÷ ~0 ratio would be meaningless noise); the absolute
-/// `prepare_cold_s` / `prepare_warm_s` fields always carry the raw
-/// seconds. `reports_identical` asserts the cache never changes results:
-/// both passes must agree on every deterministic report column
-/// (pc / pq / candidates / config / feasibility / error).
+/// `prepare_cold_s` / `prepare_warm_s` / `prepare_disk_s` fields always
+/// carry the raw seconds. `reports_identical` asserts neither cache tier
+/// ever changes results: all three passes must agree on every
+/// deterministic report column (pc / pq / candidates / config /
+/// feasibility / error).
 pub fn bench_prepare(settings: &Settings, path: &Path, verbose: bool) -> io::Result<()> {
     let spec = column_specs(settings).into_iter().next().ok_or_else(|| {
         io::Error::new(
@@ -315,24 +351,28 @@ pub fn bench_prepare(settings: &Settings, path: &Path, verbose: bool) -> io::Res
             "bench-prepare: no datasets selected",
         )
     })?;
+    let store_dir = path.with_extension("store.tmp");
+    match std::fs::remove_dir_all(&store_dir) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
     let ds = generate(spec.profile, settings.scale, settings.seed);
     let view = text_view(&ds, &spec.mode);
-    let cache = ArtifactCache::new();
-    cache.set_budget(settings.cache_budget);
-    let ctx = Context {
-        optimizer: Optimizer::new(settings.target_pc).with_limits(settings.limits()),
-        resolution: settings.resolution,
-        embedding: EmbeddingConfig {
-            dim: settings.dim,
-            ..Default::default()
-        },
-        seed: settings.seed,
-        reps: settings.reps,
-        label: spec.label.clone(),
-        ..Context::new(&view, &ds.groundtruth, &cache)
-    };
 
-    let pass = |name: &str| {
+    let run_pass = |cache: &ArtifactCache, name: &str| {
+        let ctx = Context {
+            optimizer: Optimizer::new(settings.target_pc).with_limits(settings.limits()),
+            resolution: settings.resolution,
+            embedding: EmbeddingConfig {
+                dim: settings.dim,
+                ..Default::default()
+            },
+            seed: settings.seed,
+            reps: settings.reps,
+            label: spec.label.clone(),
+            ..Context::new(&view, &ds.groundtruth, cache)
+        };
         let before = cache.stats();
         let sw = er::core::Stopwatch::start();
         let outcomes = run_all_methods(&ctx);
@@ -340,26 +380,47 @@ pub fn bench_prepare(settings: &Settings, path: &Path, verbose: bool) -> io::Res
         let after = cache.stats();
         if verbose {
             eprintln!(
-                "bench-prepare [{}] {name}: wall {} / prepare {} / {} hits / {} misses",
+                "bench-prepare [{}] {name}: wall {} / prepare {} / {} hits / {} misses / \
+                 {} store hits",
                 spec.label,
                 format_runtime(wall),
                 format_runtime(after.prepare_wall - before.prepare_wall),
                 after.hits - before.hits,
                 after.misses - before.misses,
+                after.store_hits - before.store_hits,
             );
         }
         (outcomes, wall, before, after)
     };
-    let (cold, cold_wall, cold_before, cold_after) = pass("cold");
-    let (warm, warm_wall, warm_before, warm_after) = pass("warm");
 
-    let identical = cold.len() == warm.len()
-        && cold
-            .iter()
-            .zip(&warm)
-            .all(|(a, b)| stable_row(a) == stable_row(b));
+    let warm_cache = ArtifactCache::new();
+    warm_cache.set_budget(settings.cache_budget);
+    warm_cache.set_store(Some(std::sync::Arc::new(crate::store::open_store(
+        &store_dir,
+    )?)));
+    let (cold, cold_wall, cold_before, cold_after) = run_pass(&warm_cache, "cold");
+    let (warm, warm_wall, warm_before, warm_after) = run_pass(&warm_cache, "warm");
+    warm_cache.flush_store();
+
+    // Fresh cache over the now-populated store: the cross-process restart.
+    let disk_cache = ArtifactCache::new();
+    disk_cache.set_budget(settings.cache_budget);
+    disk_cache.set_store(Some(std::sync::Arc::new(crate::store::open_store(
+        &store_dir,
+    )?)));
+    let (disk, disk_wall, disk_before, disk_after) = run_pass(&disk_cache, "disk");
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    let identical = [&warm, &disk].iter().all(|pass| {
+        cold.len() == pass.len()
+            && cold
+                .iter()
+                .zip(pass.iter())
+                .all(|(a, b)| stable_row(a) == stable_row(b))
+    });
     let cold_prepare = (cold_after.prepare_wall - cold_before.prepare_wall).as_secs_f64();
     let warm_prepare = (warm_after.prepare_wall - warm_before.prepare_wall).as_secs_f64();
+    let disk_prepare = (disk_after.prepare_wall - disk_before.prepare_wall).as_secs_f64();
     // A warm pass that did no measurable prepare work has no meaningful
     // ratio — report null rather than a floored-denominator artifact.
     let speedup = if warm_prepare < 1e-6 {
@@ -379,8 +440,13 @@ pub fn bench_prepare(settings: &Settings, path: &Path, verbose: bool) -> io::Res
             "warm".to_owned(),
             stats_delta_obj(warm_wall, &warm_before, &warm_after),
         ),
+        (
+            "disk".to_owned(),
+            stats_delta_obj(disk_wall, &disk_before, &disk_after),
+        ),
         ("prepare_cold_s".to_owned(), Json::Num(cold_prepare)),
         ("prepare_warm_s".to_owned(), Json::Num(warm_prepare)),
+        ("prepare_disk_s".to_owned(), Json::Num(disk_prepare)),
         ("prepare_speedup".to_owned(), speedup),
         ("reports_identical".to_owned(), Json::Bool(identical)),
     ]);

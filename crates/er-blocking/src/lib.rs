@@ -23,6 +23,7 @@ pub mod metablocking;
 pub mod propagation;
 pub mod purge;
 pub mod sorted_neighborhood;
+pub mod store;
 pub mod workflow;
 
 pub use blocks::{Block, BlockCollection};
@@ -33,6 +34,7 @@ pub use metablocking::{BlockingGraph, MetaBlocking, PruningAlgorithm, WeightingS
 pub use propagation::comparison_propagation;
 pub use purge::block_purging;
 pub use sorted_neighborhood::SortedNeighborhood;
+pub use store::BlockingCodec;
 pub use workflow::{BlockingWorkflow, ComparisonCleaning, WorkflowKind};
 
 #[cfg(test)]

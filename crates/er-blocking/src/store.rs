@@ -1,0 +1,167 @@
+//! Persistent-store codec for the blocking artifact.
+//!
+//! The prepare-stage artifact of every blocking workflow is the raw
+//! [`BlockCollection`] (purging, filtering and comparison cleaning are
+//! query-stage). On disk it is CSR-flattened: one offsets/members pair per
+//! side, so a collection of any block count costs four flat arrays.
+//! Decode re-validates the offsets and that every member id is inside its
+//! collection, then recomputes heap bytes with the same formula the
+//! prepare path uses — byte-identical cache budgeting either way.
+
+use crate::blocks::{Block, BlockCollection};
+use crate::workflow::block_bytes;
+use er_store::{ArtifactCodec, SectionCursor, Sections, StoreError, StoreFile};
+use std::any::Any;
+use std::sync::Arc;
+
+/// Codec id stamped into blocking artifact files.
+pub const BLOCKING_CODEC_ID: u32 = 2;
+
+/// (De)serializes [`BlockCollection`].
+pub struct BlockingCodec;
+
+fn push_side(s: &mut Sections, blocks: &[Block], side: impl Fn(&Block) -> &[u32]) {
+    let mut offsets = Vec::with_capacity(blocks.len() + 1);
+    offsets.push(0u32);
+    let mut members = Vec::new();
+    for b in blocks {
+        members.extend_from_slice(side(b));
+        offsets.push(members.len() as u32);
+    }
+    s.u32s(&offsets);
+    s.u32s(&members);
+}
+
+fn read_side(
+    what: &str,
+    cur: &mut SectionCursor<'_>,
+    rows: usize,
+    bound: usize,
+) -> er_store::Result<Vec<Vec<u32>>> {
+    let offsets = cur.u32s()?;
+    let members = cur.u32s()?;
+    let ok = offsets.len() == rows + 1
+        && offsets.first() == Some(&0)
+        && offsets.last().copied() == Some(members.len() as u32)
+        && offsets.windows(2).all(|w| w[0] <= w[1]);
+    if !ok {
+        return Err(StoreError::Malformed(format!("{what}: broken CSR offsets")));
+    }
+    if !members.iter().all(|&e| (e as usize) < bound) {
+        return Err(StoreError::Malformed(format!(
+            "{what}: entity out of range"
+        )));
+    }
+    Ok(offsets
+        .windows(2)
+        .map(|w| members[w[0] as usize..w[1] as usize].to_vec())
+        .collect())
+}
+
+impl ArtifactCodec for BlockingCodec {
+    fn id(&self) -> u32 {
+        BLOCKING_CODEC_ID
+    }
+
+    fn name(&self) -> &'static str {
+        "blocks"
+    }
+
+    fn encode(&self, artifact: &(dyn Any + Send + Sync)) -> Option<Sections> {
+        let bc = artifact.downcast_ref::<BlockCollection>()?;
+        let mut s = Sections::new();
+        s.scalar(bc.n1 as u64);
+        s.scalar(bc.n2 as u64);
+        s.scalar(bc.blocks.len() as u64);
+        push_side(&mut s, &bc.blocks, |b| &b.left);
+        push_side(&mut s, &bc.blocks, |b| &b.right);
+        Some(s)
+    }
+
+    fn decode(&self, file: &StoreFile) -> er_store::Result<(Arc<dyn Any + Send + Sync>, usize)> {
+        let mut cur = file.cursor()?;
+        let n1 = cur.scalar_usize()?;
+        let n2 = cur.scalar_usize()?;
+        let rows = cur.scalar_usize()?;
+        let lefts = read_side("left side", &mut cur, rows, n1)?;
+        let rights = read_side("right side", &mut cur, rows, n2)?;
+        cur.finish()?;
+        let blocks: Vec<Block> = lefts
+            .into_iter()
+            .zip(rights)
+            .map(|(left, right)| Block { left, right })
+            .collect();
+        if !blocks.iter().all(Block::is_valid) {
+            // The collection invariant: every stored block contributes at
+            // least one comparison.
+            return Err(StoreError::Malformed("empty-sided block".to_owned()));
+        }
+        let bc = BlockCollection { blocks, n1, n2 };
+        let heap_bytes = block_bytes(&bc);
+        Ok((Arc::new(bc), heap_bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workflow::BlockingWorkflow;
+    use er_core::artifacts::{ArtifactKey, DiskTier, TierLoad};
+    use er_core::filter::Filter;
+    use er_core::schema::TextView;
+    use er_store::ArtifactStore;
+
+    fn store_in(name: &str) -> (ArtifactStore, std::path::PathBuf) {
+        let dir =
+            std::env::temp_dir().join(format!("er_blocking_store_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::open(&dir, vec![Box::new(BlockingCodec)]).expect("open");
+        (store, dir)
+    }
+
+    fn view() -> TextView {
+        TextView::new(
+            (0..10)
+                .map(|i| format!("entity {} group {}", i, i % 4))
+                .collect::<Vec<_>>(),
+            (0..8)
+                .map(|i| format!("entity {} group {}", i + 2, i % 4))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_blocks_and_heap_bytes() {
+        let (store, dir) = store_in("roundtrip");
+        let wf = BlockingWorkflow::pbw();
+        let fresh = wf.prepare(&view());
+        let key = ArtifactKey::new(3, wf.repr_key());
+        assert!(store.store(&key, &fresh).expect("store"));
+        let TierLoad::Hit { prepared, saved } = store.load(&key) else {
+            panic!("expected hit");
+        };
+        assert_eq!(prepared.bytes(), fresh.bytes(), "heap bytes parity");
+        assert_eq!(saved, fresh.breakdown().prepare_total());
+        let a = fresh.downcast::<BlockCollection>();
+        let b = prepared.downcast::<BlockCollection>();
+        assert_eq!((a.n1, a.n2), (b.n1, b.n2));
+        assert_eq!(a.blocks, b.blocks);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_collection_roundtrips() {
+        let (store, dir) = store_in("empty");
+        let bc = BlockCollection::from_blocks([], 5, 6);
+        let fresh = er_core::filter::Prepared::new(bc, 0, er_core::timing::PhaseBreakdown::new());
+        let key = ArtifactKey::new(4, "blocks:none");
+        assert!(store.store(&key, &fresh).expect("store"));
+        let TierLoad::Hit { prepared, .. } = store.load(&key) else {
+            panic!("expected hit");
+        };
+        let back = prepared.downcast::<BlockCollection>();
+        assert!(back.is_empty());
+        assert_eq!((back.n1, back.n2), (5, 6));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -122,7 +122,9 @@ impl BlockingWorkflow {
 }
 
 /// Estimated heap footprint of a raw block collection, for cache budgets.
-fn block_bytes(blocks: &BlockCollection) -> usize {
+/// The store codec recomputes the same formula on decode so heap bytes
+/// stay identical across a persist/reload cycle.
+pub(crate) fn block_bytes(blocks: &BlockCollection) -> usize {
     blocks
         .blocks
         .iter()

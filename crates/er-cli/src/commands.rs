@@ -279,14 +279,84 @@ pub fn evaluate(args: &[String]) -> Result<(), String> {
     stdout.flush().map_err(|e| e.to_string())
 }
 
+/// `er store`: maintenance commands over a persistent artifact-store
+/// directory (`--store-dir` of `er sweep`). `inspect` prints each file's
+/// header and section layout, `verify` deep-checks every checksum and
+/// decodes every artifact through the full codec registry (non-zero exit
+/// on any damaged file), `gc` removes stale temp files and undecodable
+/// store files.
+pub fn store(args: &[String]) -> Result<(), String> {
+    let action = args
+        .first()
+        .map(String::as_str)
+        .ok_or("store requires an action: inspect | verify | gc")?;
+    let flags = Flags::parse(&args[1..], &[])?;
+    let dir = flags.require("dir")?;
+    let store = er_bench::open_store(Path::new(dir)).map_err(|e| e.to_string())?;
+    match action {
+        "inspect" => {
+            let listing = store.inspect().map_err(|e| e.to_string())?;
+            if listing.is_empty() {
+                println!("{dir}: no store files");
+                return Ok(());
+            }
+            for (path, info) in listing {
+                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
+                match info {
+                    Ok(info) => println!(
+                        "{name}: codec={} repr={:?} dataset={:016x} heap={} KiB \
+                         file={} KiB prepare={} sections: {}",
+                        info.codec_name.unwrap_or("?"),
+                        info.repr,
+                        info.dataset_fp,
+                        info.heap_bytes.div_ceil(1024),
+                        info.file_bytes.div_ceil(1024),
+                        er::core::timing::format_runtime(info.prepare),
+                        info.layout(),
+                    ),
+                    Err(e) => println!("{name}: UNREADABLE: {e}"),
+                }
+            }
+            Ok(())
+        }
+        "verify" => {
+            let verdicts = store.verify().map_err(|e| e.to_string())?;
+            let mut bad = 0usize;
+            for (path, verdict) in &verdicts {
+                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
+                match verdict {
+                    Ok(()) => println!("{name}: ok"),
+                    Err(e) => {
+                        bad += 1;
+                        println!("{name}: FAILED: {e}");
+                    }
+                }
+            }
+            println!("verified {} file(s), {bad} failed", verdicts.len());
+            if bad > 0 {
+                return Err(format!("{bad} store file(s) failed verification"));
+            }
+            Ok(())
+        }
+        "gc" => {
+            let (removed, kept) = store.gc().map_err(|e| e.to_string())?;
+            println!("removed {removed} file(s), kept {kept}");
+            Ok(())
+        }
+        other => Err(format!("unknown store action {other:?}")),
+    }
+}
+
 /// `er sweep`: the full fault-isolated Table VII benchmark sweep, with
 /// per-grid-point guards (`--timeout`, `--budget`), grid checkpointing
 /// (`--checkpoint`), resume (`--resume`), deterministic fault injection
-/// (`--inject-faults`) and an artifact-cache budget (`--cache-budget`).
+/// (`--inject-faults`), an artifact-cache budget (`--cache-budget`) and a
+/// persistent artifact store (`--store-dir`) that later processes reuse.
 /// Shares its flag grammar with the benchmark binaries via
 /// [`er_bench::Settings`]. `--bench-prepare out.json` instead runs the
-/// first column twice (cold, then warm against the shared artifact
-/// cache) and writes the prepare-stage savings as JSON.
+/// first column three times (cold, warm against the shared artifact
+/// cache, then a fresh cache over the populated store) and writes the
+/// prepare-stage savings as JSON.
 pub fn sweep(args: &[String]) -> Result<(), String> {
     let settings = er_bench::Settings::try_parse(args.iter().cloned())?;
     // Settings collects unrecognized flags; only the report flags are
@@ -432,6 +502,27 @@ mod tests {
         let entities = load_entities(p, true).expect("lenient");
         assert_eq!(entities.len(), 2);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_actions_run_over_an_empty_directory() {
+        let dir = std::env::temp_dir().join(format!("er_cli_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_arg = dir.to_string_lossy().into_owned();
+        for action in ["inspect", "verify", "gc"] {
+            store(&s(&[action, "--dir", &dir_arg])).expect(action);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_rejects_bad_actions_and_missing_flags() {
+        let err = store(&s(&[])).expect_err("no action");
+        assert!(err.contains("inspect"), "{err}");
+        let err = store(&s(&["defrag", "--dir", "x"])).expect_err("bad action");
+        assert!(err.contains("defrag"), "{err}");
+        let err = store(&s(&["verify"])).expect_err("missing dir");
+        assert!(err.contains("--dir"), "{err}");
     }
 
     #[test]

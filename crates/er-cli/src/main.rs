@@ -25,9 +25,11 @@ USAGE:
     er filter   --e1 <csv> --e2 <csv> --method <name> [options] --out <csv>
     er evaluate --pairs <csv> --gt <csv> [--e1 <csv> --e2 <csv>]
     er sweep    [--datasets D1,D4] [--scale F] [--grid quick] [--timeout S]
-                [--budget N] [--cache-budget 512M] [--checkpoint f.jsonl]
-                [--resume f.jsonl] [--inject-faults SPEC] [--csv out.csv]
+                [--budget N] [--cache-budget 512M] [--store-dir <dir>]
+                [--checkpoint f.jsonl] [--resume f.jsonl]
+                [--inject-faults SPEC] [--csv out.csv]
                 [--bench-prepare out.json] [--candidates] [--configs]
+    er store    <inspect | verify | gc> --dir <dir>
 
 SWEEP FAULT TOLERANCE:
     --timeout S           per-grid-point wall-clock deadline (seconds);
@@ -44,10 +46,21 @@ SWEEP ARTIFACT CACHE:
     --cache-budget SIZE   artifact-cache memory budget (K/M/G suffixes,
                           e.g. 512M; default: unbounded). Prepared filter
                           artifacts beyond the budget are evicted LRU
+    --store-dir dir       persistent artifact store: prepared artifacts are
+                          written as checksummed files and reloaded (mmap)
+                          by later runs, so a repeated sweep re-prepares
+                          nothing; damaged files fall back to preparing
     --bench-prepare f.json
-                          run the first column cold then warm against the
-                          shared artifact cache and write the prepare-stage
+                          run the first column cold, warm (shared artifact
+                          cache) and warm-disk (fresh cache over the
+                          populated store) and write the prepare-stage
                           savings (wall/prepare seconds, hit rate, speedup)
+
+STORE MAINTENANCE:
+    er store inspect --dir d   print each file's header and section layout
+    er store verify  --dir d   deep-check checksums + full decode (non-zero
+                               exit when any file is damaged)
+    er store gc      --dir d   remove stale temp and undecodable files
 
 FILTER METHODS (with their options):
     pbw                   Standard Blocking + Block Purging + Comparison Propagation
@@ -80,6 +93,7 @@ fn main() -> ExitCode {
         Some("filter") => commands::filter(&args[1..]),
         Some("evaluate") => commands::evaluate(&args[1..]),
         Some("sweep") => commands::sweep(&args[1..]),
+        Some("store") => commands::store(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;

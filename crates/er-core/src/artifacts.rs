@@ -22,7 +22,7 @@
 
 use crate::filter::Prepared;
 use crate::hash::FastMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// The identity of a cached artifact: which texts it was prepared from
@@ -59,11 +59,51 @@ pub struct CacheStats {
     pub poisoned: usize,
     /// Estimated bytes of the currently resident artifacts.
     pub bytes: usize,
+    /// Misses served from the persistent store instead of a prepare.
+    pub store_hits: usize,
+    /// Artifacts written to the persistent store (evictions + flushes).
+    pub spills: usize,
+    /// Store files that existed but failed to load (corrupt, truncated,
+    /// wrong key); each fell back to a fresh prepare.
+    pub corrupt: usize,
     /// Wall-clock time spent inside prepare stages (cold work).
     pub prepare_wall: Duration,
     /// Prepare time the hits avoided re-spending (sum of the stored
-    /// artifacts' prepare totals over all hits).
+    /// artifacts' prepare totals over all hits, plus the recorded prepare
+    /// cost of every store hit).
     pub prepare_saved: Duration,
+}
+
+/// What the persistent tier found when probed for one key.
+#[derive(Debug)]
+pub enum TierLoad {
+    /// A valid stored artifact (its breakdown carries the load time).
+    Hit {
+        /// The loaded artifact.
+        prepared: Prepared,
+        /// The original prepare cost the load avoided, as recorded at
+        /// store time (feeds `prepare_saved`).
+        saved: Duration,
+    },
+    /// Nothing stored under this key.
+    Miss,
+    /// A file exists but is unusable (corrupt, truncated, mismatched);
+    /// the message says why. The cache falls back to preparing.
+    Failed(String),
+}
+
+/// A persistent second tier below the in-memory cache: probed on lookup
+/// misses, written to on budget evictions and [`ArtifactCache::flush_store`].
+///
+/// Implementations must never panic on damaged input — every load failure
+/// is a structured [`TierLoad::Failed`]. `store` returns `Ok(true)` when a
+/// file was written now, `Ok(false)` when there was nothing to do (already
+/// stored, or no codec handles the artifact's type).
+pub trait DiskTier: Send + Sync {
+    /// Probes the tier for `key`.
+    fn load(&self, key: &ArtifactKey) -> TierLoad;
+    /// Persists `prepared` under `key`.
+    fn store(&self, key: &ArtifactKey, prepared: &Prepared) -> Result<bool, String>;
 }
 
 #[derive(Debug, Clone)]
@@ -71,6 +111,9 @@ struct Entry {
     prepared: Prepared,
     last_used: u64,
     uses: usize,
+    /// Whether the disk tier already holds (or declined) this artifact;
+    /// eviction and flushing skip the write when set.
+    on_disk: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -84,6 +127,7 @@ struct Inner {
     slots: FastMap<ArtifactKey, Slot>,
     tick: u64,
     budget: Option<usize>,
+    store: Option<Arc<dyn DiskTier>>,
     stats: CacheStats,
 }
 
@@ -132,9 +176,59 @@ impl ArtifactCache {
         Self::evict_over_budget(&mut inner, None);
     }
 
+    /// Attaches (or detaches) the persistent disk tier. With a tier set,
+    /// lookup misses probe it before reporting a miss, budget evictions
+    /// spill instead of dropping, and [`Self::flush_store`] persists
+    /// whatever is resident.
+    pub fn set_store(&self, store: Option<Arc<dyn DiskTier>>) {
+        let mut inner = self.inner.lock().expect("artifact cache poisoned");
+        inner.store = store;
+    }
+
+    /// Writes every resident, not-yet-persisted artifact to the disk tier
+    /// (no-op without one). Keys are visited in sorted order so the write
+    /// sequence is deterministic. Called at natural boundaries — end of a
+    /// sweep column, end of a cold benchmark pass — so an *unbounded*
+    /// cache still populates the store even though it never evicts.
+    pub fn flush_store(&self) {
+        let mut inner = self.inner.lock().expect("artifact cache poisoned");
+        let Some(store) = inner.store.clone() else {
+            return;
+        };
+        let mut keys: Vec<ArtifactKey> = inner
+            .slots
+            .iter()
+            .filter_map(|(key, slot)| match slot {
+                Slot::Ready(entry) if !entry.on_disk => Some(key.clone()),
+                _ => None,
+            })
+            .collect();
+        keys.sort_by(|a, b| a.repr.cmp(&b.repr).then(a.dataset.cmp(&b.dataset)));
+        for key in keys {
+            let Some(Slot::Ready(entry)) = inner.slots.get_mut(&key) else {
+                continue;
+            };
+            if let Ok(written) = store.store(&key, &entry.prepared) {
+                // Written, already present, or no codec: in every Ok case
+                // the tier has done all it can for this entry.
+                entry.on_disk = true;
+                if written {
+                    inner.stats.spills += 1;
+                }
+            }
+            // Err: leave `on_disk` unset so a later flush can retry.
+        }
+    }
+
     /// Looks up an artifact. `Some(Ok(_))` is a ready artifact (the hit
     /// counters and LRU tick advance), `Some(Err(msg))` a poisoned key,
     /// `None` a miss that the caller should prepare and [`Self::insert`].
+    ///
+    /// With a disk tier attached, a miss probes the store first: a valid
+    /// stored artifact is loaded, inserted as a resident entry and
+    /// returned (counted under `store_hits`, not `misses`); a damaged file
+    /// counts under `corrupt` and falls through to a plain miss so the
+    /// caller re-prepares.
     pub fn lookup(&self, key: &ArtifactKey) -> Option<Result<Prepared, String>> {
         let mut inner = self.inner.lock().expect("artifact cache poisoned");
         inner.tick += 1;
@@ -149,7 +243,39 @@ impl ArtifactCache {
                 Some(Ok(prepared))
             }
             Some(Slot::Poisoned(msg)) => Some(Err(msg.clone())),
-            None => None,
+            None => Self::load_from_store(&mut inner, key, tick),
+        }
+    }
+
+    /// The store-probe half of [`Self::lookup`]'s miss path.
+    fn load_from_store(
+        inner: &mut Inner,
+        key: &ArtifactKey,
+        tick: u64,
+    ) -> Option<Result<Prepared, String>> {
+        let store = inner.store.clone()?;
+        match store.load(key) {
+            TierLoad::Hit { prepared, saved } => {
+                inner.stats.store_hits += 1;
+                inner.stats.prepare_saved += saved;
+                inner.stats.bytes += prepared.bytes();
+                inner.slots.insert(
+                    key.clone(),
+                    Slot::Ready(Entry {
+                        prepared: prepared.clone(),
+                        last_used: tick,
+                        uses: 1,
+                        on_disk: true,
+                    }),
+                );
+                Self::evict_over_budget(inner, Some(key));
+                Some(Ok(prepared))
+            }
+            TierLoad::Miss => None,
+            TierLoad::Failed(_why) => {
+                inner.stats.corrupt += 1;
+                None
+            }
         }
     }
 
@@ -169,6 +295,7 @@ impl ArtifactCache {
                 prepared,
                 last_used: tick,
                 uses: 1,
+                on_disk: false,
             }),
         );
         if let Some(Slot::Ready(entry)) = old {
@@ -260,6 +387,16 @@ impl ArtifactCache {
                 });
             let Some((_, key)) = victim else { break };
             if let Some(Slot::Ready(entry)) = inner.slots.remove(&key) {
+                // Spill instead of drop: the artifact survives on disk and
+                // a later lookup can reload it without re-preparing. A
+                // write failure still evicts — the budget must hold.
+                if !entry.on_disk {
+                    if let Some(store) = &inner.store {
+                        if let Ok(true) = store.store(&key, &entry.prepared) {
+                            inner.stats.spills += 1;
+                        }
+                    }
+                }
                 inner.stats.bytes = inner.stats.bytes.saturating_sub(entry.prepared.bytes());
                 inner.stats.evictions += 1;
             }
@@ -383,5 +520,127 @@ mod tests {
         assert!(cache.is_empty());
         assert_eq!(cache.stats().misses, 1);
         assert_eq!(cache.stats().bytes, 0);
+    }
+
+    /// In-memory stand-in for the persistent tier: remembers the `u32`
+    /// payload, byte size and prepare cost of everything stored.
+    #[derive(Default)]
+    struct MockTier {
+        held: Mutex<FastMap<ArtifactKey, (u32, usize, u64)>>,
+        fail_loads: bool,
+    }
+
+    impl DiskTier for MockTier {
+        fn load(&self, key: &ArtifactKey) -> TierLoad {
+            if self.fail_loads {
+                return TierLoad::Failed("checksum mismatch (mock)".into());
+            }
+            match self.held.lock().expect("mock tier").get(key) {
+                Some(&(tag, bytes, ms)) => TierLoad::Hit {
+                    prepared: prepared(tag, bytes, 0),
+                    saved: Duration::from_millis(ms),
+                },
+                None => TierLoad::Miss,
+            }
+        }
+
+        fn store(&self, key: &ArtifactKey, p: &Prepared) -> Result<bool, String> {
+            let mut held = self.held.lock().expect("mock tier");
+            if held.contains_key(key) {
+                return Ok(false);
+            }
+            let ms = p.breakdown().prepare_total().as_millis() as u64;
+            held.insert(key.clone(), (*p.downcast::<u32>(), p.bytes(), ms));
+            Ok(true)
+        }
+    }
+
+    #[test]
+    fn store_hits_fill_the_cache_without_counting_misses() {
+        let tier = Arc::new(MockTier::default());
+        tier.held
+            .lock()
+            .expect("mock tier")
+            .insert(key("a"), (5, 100, 9));
+        let cache = ArtifactCache::new();
+        cache.set_store(Some(tier));
+        let hit = cache.lookup(&key("a")).expect("store hit").expect("ready");
+        assert_eq!(*hit.downcast::<u32>(), 5);
+        let stats = cache.stats();
+        assert_eq!((stats.store_hits, stats.misses, stats.hits), (1, 0, 0));
+        assert_eq!(stats.bytes, 100);
+        assert_eq!(stats.prepare_saved, Duration::from_millis(9));
+        // Now resident: the next lookup is a plain memory hit.
+        assert!(cache.lookup(&key("a")).is_some());
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().store_hits, 1);
+    }
+
+    #[test]
+    fn eviction_spills_instead_of_dropping() {
+        let tier = Arc::new(MockTier::default());
+        let cache = ArtifactCache::with_budget(250);
+        cache.set_store(Some(tier.clone()));
+        cache.insert(key("a"), prepared(1, 100, 3));
+        cache.insert(key("b"), prepared(2, 100, 4));
+        assert!(cache.lookup(&key("a")).is_some());
+        cache.insert(key("c"), prepared(3, 100, 0));
+        // "b" was the LRU victim: spilled, then served back from the tier.
+        assert_eq!(cache.stats().spills, 1);
+        assert_eq!(cache.stats().evictions, 1);
+        let back = cache.lookup(&key("b")).expect("reloaded").expect("ready");
+        assert_eq!(*back.downcast::<u32>(), 2);
+        assert_eq!(cache.stats().store_hits, 1);
+    }
+
+    #[test]
+    fn flush_store_persists_everything_once() {
+        let tier = Arc::new(MockTier::default());
+        let cache = ArtifactCache::new();
+        cache.set_store(Some(tier.clone()));
+        cache.insert(key("a"), prepared(1, 10, 0));
+        cache.insert(key("b"), prepared(2, 20, 0));
+        cache.poison(key("bad"), "prepare failed");
+        cache.flush_store();
+        assert_eq!(cache.stats().spills, 2);
+        let held = tier.held.lock().expect("mock tier");
+        assert_eq!(held.len(), 2, "poisoned slots never spill");
+        drop(held);
+        // Idempotent: everything is marked on-disk now.
+        cache.flush_store();
+        assert_eq!(cache.stats().spills, 2);
+    }
+
+    #[test]
+    fn failed_loads_count_corrupt_and_fall_back_to_prepare() {
+        let tier = Arc::new(MockTier {
+            fail_loads: true,
+            ..Default::default()
+        });
+        let cache = ArtifactCache::new();
+        cache.set_store(Some(tier));
+        assert!(cache.lookup(&key("a")).is_none(), "failed load is a miss");
+        assert_eq!(cache.stats().corrupt, 1);
+        let out = cache
+            .get_or_prepare(&key("a"), || prepared(7, 10, 1))
+            .expect("prepared fresh");
+        assert_eq!(*out.downcast::<u32>(), 7);
+        let stats = cache.stats();
+        // get_or_prepare's internal lookup probed (and failed) again.
+        assert_eq!((stats.misses, stats.corrupt), (1, 2));
+    }
+
+    #[test]
+    fn store_loaded_entries_do_not_spill_again() {
+        let tier = Arc::new(MockTier::default());
+        tier.held
+            .lock()
+            .expect("mock tier")
+            .insert(key("a"), (5, 100, 0));
+        let cache = ArtifactCache::new();
+        cache.set_store(Some(tier));
+        assert!(cache.lookup(&key("a")).is_some());
+        cache.flush_store();
+        assert_eq!(cache.stats().spills, 0, "already on disk");
     }
 }

@@ -81,6 +81,27 @@ impl Prepared {
         Self::new((), 0, PhaseBreakdown::new())
     }
 
+    /// Wraps an artifact that is already type-erased and shared — the
+    /// decode path of the persistent store, which reconstructs artifacts
+    /// without knowing their concrete type at this layer.
+    pub fn from_arc(
+        artifact: Arc<dyn Any + Send + Sync>,
+        bytes: usize,
+        breakdown: PhaseBreakdown,
+    ) -> Self {
+        Self {
+            artifact,
+            bytes,
+            breakdown,
+        }
+    }
+
+    /// The type-erased artifact, for serialization codecs that dispatch on
+    /// concrete type via `downcast_ref`.
+    pub fn any(&self) -> &(dyn Any + Send + Sync) {
+        &*self.artifact
+    }
+
     /// Borrows the concrete artifact.
     ///
     /// # Panics

@@ -59,8 +59,8 @@ impl CrossPolytopeLsh {
 /// rotation is unnecessary — Gaussian projections preserve the argmax
 /// statistics LSH relies on, which is the standard FALCONN shortcut for
 /// dimension-reducing final hashes).
-struct Rotation {
-    rows: FlatVectors,
+pub(crate) struct Rotation {
+    pub(crate) rows: FlatVectors,
 }
 
 impl Rotation {
@@ -129,9 +129,9 @@ fn vertex_sequence(rotated: &[f32], probes: usize) -> Vec<u32> {
 
 /// One table: `hashes − 1` full-dimension rotations plus a final rotation
 /// truncated to `last_cp_dim` rows.
-struct Table {
-    leading: Vec<Rotation>,
-    last: Rotation,
+pub(crate) struct Table {
+    pub(crate) leading: Vec<Rotation>,
+    pub(crate) last: Rotation,
 }
 
 impl Table {
@@ -150,14 +150,14 @@ impl Table {
 /// The prepare-stage artifact: sampled rotations, `E1` buckets and the
 /// query-side embeddings. Only the probe count stays in the query stage.
 pub struct CrossPolytopeArtifact {
-    tables: Vec<Table>,
-    buckets: Vec<FastMap<u64, Vec<u32>>>,
-    queries: Vec<Vec<f32>>,
+    pub(crate) tables: Vec<Table>,
+    pub(crate) buckets: Vec<FastMap<u64, Vec<u32>>>,
+    pub(crate) queries: Vec<Vec<f32>>,
 }
 
 impl CrossPolytopeArtifact {
     /// Approximate heap footprint for cache accounting.
-    fn bytes(&self) -> usize {
+    pub(crate) fn bytes(&self) -> usize {
         let rotations: usize = self
             .tables
             .iter()

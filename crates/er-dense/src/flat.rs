@@ -81,6 +81,16 @@ impl FlatIndex {
         self.vectors.heap_bytes()
     }
 
+    /// Storage and metric, for serialization.
+    pub(crate) fn raw_parts(&self) -> (&FlatVectors, Metric) {
+        (&self.vectors, self.metric)
+    }
+
+    /// Rebuilds the index from already-packed storage.
+    pub(crate) fn from_parts(vectors: FlatVectors, metric: Metric) -> Self {
+        Self { vectors, metric }
+    }
+
     /// Cost of a candidate under the metric: lower is better.
     #[inline]
     pub fn cost(&self, query: &[f32], id: u32) -> f32 {

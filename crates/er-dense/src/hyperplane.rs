@@ -53,9 +53,9 @@ impl HyperplaneLsh {
 }
 
 /// One table's random hyperplanes.
-struct Table {
+pub(crate) struct Table {
     /// `hashes` normal vectors (rows), each of embedding dimension.
-    normals: FlatVectors,
+    pub(crate) normals: FlatVectors,
 }
 
 impl Table {
@@ -145,14 +145,14 @@ fn probe_sequence(key: u32, margins: &[f32], probes: usize) -> Vec<u32> {
 /// query-side embeddings. The probe count only steers the query stage, so
 /// a probe sweep shares one artifact.
 pub struct HyperplaneArtifact {
-    tables: Vec<Table>,
-    buckets: Vec<FastMap<u32, Vec<u32>>>,
-    queries: Vec<Vec<f32>>,
+    pub(crate) tables: Vec<Table>,
+    pub(crate) buckets: Vec<FastMap<u32, Vec<u32>>>,
+    pub(crate) queries: Vec<Vec<f32>>,
 }
 
 impl HyperplaneArtifact {
     /// Approximate heap footprint for cache accounting.
-    fn bytes(&self) -> usize {
+    pub(crate) fn bytes(&self) -> usize {
         let normals: usize = self.tables.iter().map(|t| t.normals.heap_bytes()).sum();
         let buckets: usize = self
             .buckets

@@ -30,6 +30,7 @@ pub mod hyperplane;
 pub mod minhash;
 pub mod partitioned;
 pub mod pq;
+pub mod store;
 pub mod vector;
 
 pub use artifact::DenseIndexArtifact;
@@ -43,6 +44,9 @@ pub use hyperplane::HyperplaneLsh;
 pub use minhash::MinHashLsh;
 pub use partitioned::{assign, kmeans, PartitionedArtifact, PartitionedKnn, Scoring};
 pub use pq::ProductQuantizer;
+pub use store::{
+    CrossPolytopeCodec, DenseFlatCodec, HyperplaneCodec, MinHashCodec, PartitionedCodec,
+};
 pub use vector::{
     cosine, dot, dot_batch4, dot_scalar, l2_sq, l2_sq_batch4, l2_sq_scalar, normalize, FlatVectors,
 };

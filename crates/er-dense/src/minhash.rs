@@ -88,14 +88,14 @@ impl MinHashLsh {
 /// whole pipeline up to bucket probing is preparation.
 pub struct MinHashArtifact {
     /// Query-side signatures (`None` for shingle-less texts).
-    sigs2: Vec<Option<Vec<u64>>>,
+    pub(crate) sigs2: Vec<Option<Vec<u64>>>,
     /// Per-band buckets of the indexed collection.
-    buckets: Vec<FastMap<u64, Vec<u32>>>,
+    pub(crate) buckets: Vec<FastMap<u64, Vec<u32>>>,
 }
 
 impl MinHashArtifact {
     /// Approximate heap footprint for cache accounting.
-    fn bytes(&self) -> usize {
+    pub(crate) fn bytes(&self) -> usize {
         let sigs: usize = self
             .sigs2
             .iter()

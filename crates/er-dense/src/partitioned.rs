@@ -127,14 +127,14 @@ pub enum Scoring {
 
 /// A trained partitioned index.
 #[derive(Debug)]
-struct PartitionedIndex {
-    vectors: FlatVectors,
-    centroids: Vec<Vec<f32>>,
+pub(crate) struct PartitionedIndex {
+    pub(crate) vectors: FlatVectors,
+    pub(crate) centroids: Vec<Vec<f32>>,
     /// Member ids per partition.
-    members: Vec<Vec<u32>>,
-    metric: Metric,
-    scoring: Scoring,
-    pq: Option<(ProductQuantizer, Vec<Vec<u8>>)>,
+    pub(crate) members: Vec<Vec<u32>>,
+    pub(crate) metric: Metric,
+    pub(crate) scoring: Scoring,
+    pub(crate) pq: Option<(ProductQuantizer, Vec<Vec<u8>>)>,
 }
 
 impl PartitionedIndex {
@@ -300,13 +300,13 @@ impl PartitionedKnn {
 /// partitioned index (`None` when the indexed collection is empty). `K`
 /// and the probe fraction stay in the query stage.
 pub struct PartitionedArtifact {
-    index: Option<PartitionedIndex>,
-    queries: Vec<Vec<f32>>,
+    pub(crate) index: Option<PartitionedIndex>,
+    pub(crate) queries: Vec<Vec<f32>>,
 }
 
 impl PartitionedArtifact {
     /// Approximate heap footprint for cache accounting.
-    fn bytes(&self) -> usize {
+    pub(crate) fn bytes(&self) -> usize {
         let index: usize = self.index.as_ref().map_or(0, |idx| {
             let members: usize = idx
                 .members

@@ -27,6 +27,32 @@ pub struct ProductQuantizer {
     codebooks: Vec<Vec<Vec<f32>>>,
 }
 
+/// The trained parts of a quantizer: `(m, sub_dims, offsets, codebooks)`.
+pub(crate) type PqParts<'a> = (usize, &'a [usize], &'a [usize], &'a [Vec<Vec<f32>>]);
+
+impl ProductQuantizer {
+    /// All trained parts, for serialization.
+    pub(crate) fn raw_parts(&self) -> PqParts<'_> {
+        (self.m, &self.sub_dims, &self.offsets, &self.codebooks)
+    }
+
+    /// Rebuilds a quantizer from its raw parts (the store codec validates
+    /// the shape invariants before calling).
+    pub(crate) fn from_raw_parts(
+        m: usize,
+        sub_dims: Vec<usize>,
+        offsets: Vec<usize>,
+        codebooks: Vec<Vec<Vec<f32>>>,
+    ) -> Self {
+        Self {
+            m,
+            sub_dims,
+            offsets,
+            codebooks,
+        }
+    }
+}
+
 impl ProductQuantizer {
     /// Trains a quantizer on `data` with `m` subspaces.
     ///

@@ -249,6 +249,18 @@ impl FlatVectors {
     pub fn heap_bytes(&self) -> usize {
         self.data.len() * std::mem::size_of::<f32>()
     }
+
+    /// The contiguous row-major element storage, for serialization.
+    pub(crate) fn raw_data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Rebuilds storage from its raw parts; `data.len()` must equal
+    /// `dim * rows` (the store codec validates before calling).
+    pub(crate) fn from_raw(data: Vec<f32>, dim: usize, rows: usize) -> Self {
+        debug_assert_eq!(data.len(), dim * rows);
+        Self { data, dim, rows }
+    }
 }
 
 #[cfg(test)]

@@ -57,6 +57,28 @@ impl TokenInterner {
     pub fn heap_bytes(&self) -> usize {
         self.ids.len() * (8 + 4) * 8 / 7
     }
+
+    /// The interned token hashes laid out by dense id (hash of id `i` at
+    /// position `i`) — the interner's serialized form for the persistent
+    /// store.
+    pub(crate) fn tokens_by_id(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.ids.len()];
+        for (&token, &id) in &self.ids {
+            out[id as usize] = token;
+        }
+        out
+    }
+
+    /// Rebuilds an interner from [`Self::tokens_by_id`] output. In-order
+    /// re-insertion reassigns the identical ids, and `heap_bytes` depends
+    /// only on the entry count, so the rebuilt interner is byte-equivalent.
+    pub(crate) fn from_tokens_by_id(tokens: &[u64]) -> Self {
+        let mut interner = Self::default();
+        for &token in tokens {
+            interner.intern(token);
+        }
+        interner
+    }
 }
 
 /// Token-id sets of one entity collection in CSR layout.
@@ -119,6 +141,12 @@ impl CsrTokenSets {
     /// Exact heap payload in bytes: three `u32` arrays, no guessing.
     pub fn heap_bytes(&self) -> usize {
         (self.offsets.len() + self.tokens.len() + self.set_sizes.len()) * 4
+    }
+
+    /// The three flat arrays `(offsets, tokens, set_sizes)`, for the
+    /// persistent store's serializer.
+    pub(crate) fn raw_parts(&self) -> (&[u32], &[u32], &[u32]) {
+        (&self.offsets, &self.tokens, &self.set_sizes)
     }
 }
 

@@ -29,6 +29,7 @@ pub mod reference;
 pub mod representation;
 pub mod scancount;
 pub mod similarity;
+pub mod store;
 pub mod topk;
 
 pub use artifact::TokenSetsArtifact;
@@ -39,6 +40,7 @@ pub use knn::KnnJoin;
 pub use representation::RepresentationModel;
 pub use scancount::{ScanCountIndex, ScanCountScratch};
 pub use similarity::SimilarityMeasure;
+pub use store::SparseCodec;
 pub use topk::TopKJoin;
 
 #[cfg(test)]

@@ -154,6 +154,35 @@ impl ScanCountIndex {
             + self.interner.heap_bytes()
     }
 
+    /// The serialized form for the persistent store: the interner's token
+    /// hashes in dense-id order plus the three CSR arrays.
+    pub(crate) fn raw_parts(&self) -> (Vec<u64>, &[u32], &[u32], &[u32]) {
+        (
+            self.interner.tokens_by_id(),
+            &self.offsets,
+            &self.postings,
+            &self.set_sizes,
+        )
+    }
+
+    /// Rebuilds an index from [`Self::raw_parts`] output. The caller (the
+    /// store codec) has validated the CSR invariants; the interner rebuild
+    /// reassigns identical dense ids, so queries against the rebuilt index
+    /// are byte-identical to the original's.
+    pub(crate) fn from_raw_parts(
+        interner_tokens: &[u64],
+        offsets: Vec<u32>,
+        postings: Vec<u32>,
+        set_sizes: Vec<u32>,
+    ) -> Self {
+        Self {
+            interner: TokenInterner::from_tokens_by_id(interner_tokens),
+            offsets,
+            postings,
+            set_sizes,
+        }
+    }
+
     /// Merge-counts the posting lists of `query`'s raw token hashes,
     /// appending `(entity, overlap)` to `out` for every indexed entity
     /// sharing at least one token.

@@ -1,0 +1,209 @@
+//! Persistent-store codec for the sparse artifact.
+//!
+//! [`TokenSetsArtifact`] is three CSR structures over flat `u32` arrays
+//! plus the token interner, whose serialized form is its hashes in
+//! dense-id order (rebuilding by in-order insertion reassigns identical
+//! ids). Decode re-validates every CSR invariant the query paths index by
+//! — a file that passes its checksums but violates them (only possible
+//! under a checksum collision) is a structured error, never a later
+//! out-of-bounds panic. The decoded artifact reports byte-identical
+//! `heap_bytes` to a freshly prepared one: the CSR terms are exact array
+//! sizes and the interner term depends only on its entry count.
+
+use crate::artifact::TokenSetsArtifact;
+use crate::csr::CsrTokenSets;
+use crate::scancount::ScanCountIndex;
+use er_store::{ArtifactCodec, Sections, StoreError, StoreFile};
+use std::any::Any;
+use std::sync::Arc;
+
+/// Codec id stamped into sparse artifact files.
+pub const SPARSE_CODEC_ID: u32 = 1;
+
+/// (De)serializes [`TokenSetsArtifact`].
+pub struct SparseCodec;
+
+/// Checks the CSR invariants of an `(offsets, values)` pair: `offsets`
+/// starts at 0, is non-decreasing, and ends at `values_len`.
+fn check_offsets(what: &str, offsets: &[u32], values_len: usize) -> er_store::Result<()> {
+    let ok = offsets.first() == Some(&0)
+        && offsets.last().copied() == Some(values_len as u32)
+        && offsets.windows(2).all(|w| w[0] <= w[1]);
+    if ok {
+        Ok(())
+    } else {
+        Err(StoreError::Malformed(format!("{what}: broken CSR offsets")))
+    }
+}
+
+/// Checks every value in `ids` addresses an array of length `bound`.
+fn check_ids(what: &str, ids: &[u32], bound: usize) -> er_store::Result<()> {
+    if ids.iter().all(|&id| (id as usize) < bound) {
+        Ok(())
+    } else {
+        Err(StoreError::Malformed(format!("{what}: id out of range")))
+    }
+}
+
+/// Reads and validates one `CsrTokenSets` (three consecutive sections).
+fn decode_sets(
+    what: &str,
+    cur: &mut er_store::SectionCursor<'_>,
+    token_bound: usize,
+) -> er_store::Result<CsrTokenSets> {
+    let offsets = cur.u32s()?.to_vec();
+    let tokens = cur.u32s()?.to_vec();
+    let set_sizes = cur.u32s()?.to_vec();
+    if offsets.len() != set_sizes.len() + 1 {
+        return Err(StoreError::Malformed(format!(
+            "{what}: offsets/rows mismatch"
+        )));
+    }
+    check_offsets(what, &offsets, tokens.len())?;
+    check_ids(what, &tokens, token_bound)?;
+    Ok(CsrTokenSets::from_parts(offsets, tokens, set_sizes))
+}
+
+impl ArtifactCodec for SparseCodec {
+    fn id(&self) -> u32 {
+        SPARSE_CODEC_ID
+    }
+
+    fn name(&self) -> &'static str {
+        "sparse"
+    }
+
+    fn encode(&self, artifact: &(dyn Any + Send + Sync)) -> Option<Sections> {
+        let art = artifact.downcast_ref::<TokenSetsArtifact>()?;
+        let mut s = Sections::new();
+        let (interner_tokens, offsets, postings, set_sizes) = art.index.raw_parts();
+        s.u64s(&interner_tokens);
+        s.u32s(offsets);
+        s.u32s(postings);
+        s.u32s(set_sizes);
+        for sets in [&art.index_sets, &art.query_sets] {
+            let (offsets, tokens, set_sizes) = sets.raw_parts();
+            s.u32s(offsets);
+            s.u32s(tokens);
+            s.u32s(set_sizes);
+        }
+        Some(s)
+    }
+
+    fn decode(&self, file: &StoreFile) -> er_store::Result<(Arc<dyn Any + Send + Sync>, usize)> {
+        let mut cur = file.cursor()?;
+        let interner_tokens = cur.u64s()?.to_vec();
+        let offsets = cur.u32s()?.to_vec();
+        let postings = cur.u32s()?.to_vec();
+        let set_sizes = cur.u32s()?.to_vec();
+        if offsets.len() != interner_tokens.len() + 1 {
+            return Err(StoreError::Malformed(
+                "scancount: offsets/interner mismatch".to_owned(),
+            ));
+        }
+        check_offsets("scancount", &offsets, postings.len())?;
+        check_ids("scancount postings", &postings, set_sizes.len())?;
+        let token_bound = interner_tokens.len();
+        let index = ScanCountIndex::from_raw_parts(&interner_tokens, offsets, postings, set_sizes);
+        let index_sets = decode_sets("index_sets", &mut cur, token_bound)?;
+        let query_sets = decode_sets("query_sets", &mut cur, token_bound)?;
+        cur.finish()?;
+        if index_sets.len() != index.len() {
+            return Err(StoreError::Malformed(
+                "index_sets rows != indexed entities".to_owned(),
+            ));
+        }
+        let heap_bytes = index_sets.heap_bytes() + query_sets.heap_bytes() + index.heap_bytes();
+        Ok((
+            Arc::new(TokenSetsArtifact {
+                index_sets,
+                query_sets,
+                index,
+            }),
+            heap_bytes,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::representation::RepresentationModel;
+    use crate::scancount::ScanCountScratch;
+    use er_core::artifacts::{ArtifactKey, DiskTier, TierLoad};
+    use er_core::schema::TextView;
+    use er_store::ArtifactStore;
+
+    fn store_in(name: &str) -> (ArtifactStore, std::path::PathBuf) {
+        let dir =
+            std::env::temp_dir().join(format!("er_sparse_store_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::open(&dir, vec![Box::new(SparseCodec)]).expect("open");
+        (store, dir)
+    }
+
+    fn view() -> TextView {
+        TextView::new(
+            (0..12)
+                .map(|i| format!("record number {} alpha beta {}", i, i % 3))
+                .collect::<Vec<_>>(),
+            (0..7)
+                .map(|i| format!("record {} beta", i * 2))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_queries_and_heap_bytes() {
+        let (store, dir) = store_in("roundtrip");
+        let model = RepresentationModel::parse("T1G").expect("T1G");
+        let fresh = TokenSetsArtifact::prepare(&view(), true, model, false);
+        let key = ArtifactKey::new(11, TokenSetsArtifact::repr_key(true, model, false));
+        assert!(store.store(&key, &fresh).expect("store"));
+        let TierLoad::Hit { prepared, saved } = store.load(&key) else {
+            panic!("expected hit");
+        };
+        // heap_bytes parity: the store-loaded artifact budgets identically.
+        assert_eq!(prepared.bytes(), fresh.bytes());
+        assert_eq!(saved, fresh.breakdown().prepare_total());
+        let a = fresh.downcast::<TokenSetsArtifact>();
+        let b = prepared.downcast::<TokenSetsArtifact>();
+        assert_eq!(a.index_sets.raw_parts(), b.index_sets.raw_parts());
+        assert_eq!(a.query_sets.raw_parts(), b.query_sets.raw_parts());
+        assert_eq!(a.index.raw_parts(), b.index.raw_parts());
+        // Query equivalence through the rebuilt interner.
+        let mut scratch = ScanCountScratch::default();
+        for q in 0..a.query_sets.len() {
+            let (mut out_a, mut out_b) = (Vec::new(), Vec::new());
+            a.index
+                .query_ids_with(&mut scratch, a.query_sets.row(q), &mut out_a);
+            b.index
+                .query_ids_with(&mut scratch, b.query_sets.row(q), &mut out_b);
+            assert_eq!(out_a, out_b, "query {q}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_view_roundtrips() {
+        let (store, dir) = store_in("empty");
+        let model = RepresentationModel::parse("T1G").expect("T1G");
+        let fresh = TokenSetsArtifact::prepare(&TextView::new(vec![], vec![]), false, model, false);
+        let key = ArtifactKey::new(1, "sparse:empty");
+        assert!(store.store(&key, &fresh).expect("store"));
+        let TierLoad::Hit { prepared, .. } = store.load(&key) else {
+            panic!("expected hit");
+        };
+        assert_eq!(prepared.bytes(), fresh.bytes());
+        assert!(prepared.downcast::<TokenSetsArtifact>().index.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unrelated_artifacts_are_not_encoded() {
+        let codec = SparseCodec;
+        assert!(codec
+            .encode(&("not a sparse artifact".to_owned()))
+            .is_none());
+    }
+}

@@ -1,0 +1,77 @@
+//! Structured load/store failures.
+//!
+//! Every way a store file can be wrong — unreadable, truncated, the wrong
+//! format, checksum-corrupt, or written for different texts — is a
+//! [`StoreError`] variant, never a panic. The artifact cache treats any of
+//! them as "the disk tier has nothing usable" and falls back to
+//! re-preparing, so a damaged store directory can degrade performance but
+//! can never take a sweep down.
+
+use std::fmt;
+use std::path::Path;
+
+/// A structured failure of a store read, write or verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The underlying I/O operation failed.
+    Io(String),
+    /// The file is shorter than the region a valid layout requires.
+    Truncated {
+        /// What was being read when the file ran out.
+        what: &'static str,
+    },
+    /// The magic bytes are not the store format's.
+    BadMagic,
+    /// The format version is one this build cannot read.
+    UnsupportedVersion(u32),
+    /// A checksum did not match: the file is corrupt.
+    Corrupt {
+        /// Which checksummed region failed (`"file"` or a section tag).
+        region: String,
+    },
+    /// The file is structurally valid but was written for a different
+    /// `(dataset fingerprint, repr key)` than requested.
+    KeyMismatch {
+        /// The key stored in the file.
+        found: String,
+        /// The key the caller asked for.
+        wanted: String,
+    },
+    /// The section layout violates a format invariant.
+    Malformed(String),
+    /// No registered codec can (de)serialize this artifact.
+    NoCodec(String),
+}
+
+/// Result alias for store operations.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+impl StoreError {
+    /// Wraps an I/O error with the path it happened on.
+    pub fn io(path: &Path, err: &std::io::Error) -> Self {
+        StoreError::Io(format!("{}: {err}", path.display()))
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(msg) => write!(f, "store i/o error: {msg}"),
+            StoreError::Truncated { what } => write!(f, "store file truncated reading {what}"),
+            StoreError::BadMagic => write!(f, "not a store file (bad magic)"),
+            StoreError::UnsupportedVersion(v) => {
+                write!(f, "unsupported store format version {v}")
+            }
+            StoreError::Corrupt { region } => {
+                write!(f, "store file corrupt: checksum mismatch in {region}")
+            }
+            StoreError::KeyMismatch { found, wanted } => {
+                write!(f, "store file holds {found}, wanted {wanted}")
+            }
+            StoreError::Malformed(msg) => write!(f, "malformed store file: {msg}"),
+            StoreError::NoCodec(repr) => write!(f, "no codec for artifact {repr}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

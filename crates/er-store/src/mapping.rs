@@ -1,0 +1,218 @@
+//! Read-only memory mapping of store files, plus the owned fallback.
+//!
+//! The workspace builds without external crates, so the mapping is a
+//! direct `mmap(2)` binding rather than a `memmap` dependency. Unix only;
+//! other platforms (and any `mmap` failure) fall back to [`Backing::read`],
+//! which loads the file into an 8-byte-aligned owned buffer. Both backings
+//! expose the same `&[u8]` so the reader code above them is identical —
+//! the mapped one simply serves its typed section views straight from the
+//! page cache with no copy.
+//!
+//! All `unsafe` in this crate lives here and in the alignment-checked
+//! casts of [`crate::format`].
+
+use crate::err::{Result, StoreError};
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+
+/// The bytes of an open store file: either a private read-only mapping or
+/// an owned, 8-byte-aligned copy.
+#[derive(Debug)]
+pub enum Backing {
+    /// `mmap`'d file contents (unmapped on drop).
+    #[cfg(unix)]
+    Mapped(Mmap),
+    /// Owned copy in a `u64`-aligned buffer, so typed views stay aligned.
+    Owned {
+        /// The allocation; `len` bytes of it are file content.
+        buf: Vec<u64>,
+        /// File length in bytes.
+        len: usize,
+    },
+}
+
+impl Backing {
+    /// Maps `path` read-only, falling back to an owned read when mapping
+    /// is unavailable or fails.
+    pub fn open(path: &Path) -> Result<Self> {
+        #[cfg(unix)]
+        if let Ok(mapped) = Mmap::map(path) {
+            return Ok(Backing::Mapped(mapped));
+        }
+        Self::read(path)
+    }
+
+    /// Reads `path` into an owned buffer (the safe, copy-once path).
+    pub fn read(path: &Path) -> Result<Self> {
+        let mut file = File::open(path).map_err(|e| StoreError::io(path, &e))?;
+        let len = file.metadata().map_err(|e| StoreError::io(path, &e))?.len() as usize;
+        // A u64 buffer keeps the base 8-byte aligned; sections inside the
+        // file are 64-byte aligned offsets, so every typed view stays
+        // aligned no matter the element type.
+        let mut buf = vec![0u64; len.div_ceil(8)];
+        let bytes = bytemuck_mut(&mut buf);
+        file.read_exact(&mut bytes[..len])
+            .map_err(|e| StoreError::io(path, &e))?;
+        Ok(Backing::Owned { buf, len })
+    }
+
+    /// The file contents.
+    pub fn bytes(&self) -> &[u8] {
+        match self {
+            #[cfg(unix)]
+            Backing::Mapped(m) => m.bytes(),
+            Backing::Owned { buf, len } => &bytemuck(buf)[..*len],
+        }
+    }
+
+    /// True when the contents are served from a memory mapping.
+    pub fn is_mapped(&self) -> bool {
+        match self {
+            #[cfg(unix)]
+            Backing::Mapped(_) => true,
+            Backing::Owned { .. } => false,
+        }
+    }
+}
+
+/// `&[u64]` as bytes.
+fn bytemuck(buf: &[u64]) -> &[u8] {
+    // SAFETY: u64 has no padding and any byte pattern is a valid u8; the
+    // length is the exact byte size of the allocation.
+    unsafe { std::slice::from_raw_parts(buf.as_ptr().cast::<u8>(), buf.len() * 8) }
+}
+
+/// `&mut [u64]` as mutable bytes.
+fn bytemuck_mut(buf: &mut [u64]) -> &mut [u8] {
+    // SAFETY: as in `bytemuck`, and the region is uniquely borrowed.
+    unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast::<u8>(), buf.len() * 8) }
+}
+
+/// A private, read-only `mmap` of a whole file.
+#[cfg(unix)]
+#[derive(Debug)]
+pub struct Mmap {
+    ptr: *mut core::ffi::c_void,
+    len: usize,
+}
+
+// SAFETY: the mapping is read-only and owned exclusively by this struct;
+// sharing immutable views across threads is exactly what MAP_PRIVATE +
+// PROT_READ permits.
+#[cfg(unix)]
+unsafe impl Send for Mmap {}
+#[cfg(unix)]
+unsafe impl Sync for Mmap {}
+
+#[cfg(unix)]
+mod sys {
+    use core::ffi::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+#[cfg(unix)]
+impl Mmap {
+    /// Maps the whole of `path` read-only.
+    pub fn map(path: &Path) -> Result<Self> {
+        use std::os::unix::io::AsRawFd;
+        let file = File::open(path).map_err(|e| StoreError::io(path, &e))?;
+        let len = file.metadata().map_err(|e| StoreError::io(path, &e))?.len() as usize;
+        if len == 0 {
+            // mmap of length 0 is EINVAL; an empty file is never a valid
+            // store anyway.
+            return Err(StoreError::Truncated { what: "header" });
+        }
+        // SAFETY: len > 0, the fd is open for reading, and we request a
+        // private read-only mapping the kernel fully validates.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(StoreError::Io(format!("mmap failed: {}", path.display())));
+        }
+        Ok(Mmap { ptr, len })
+    }
+
+    /// The mapped bytes.
+    pub fn bytes(&self) -> &[u8] {
+        // SAFETY: the mapping is valid for `len` bytes until drop, and is
+        // never written through (PROT_READ).
+        unsafe { std::slice::from_raw_parts(self.ptr.cast::<u8>(), self.len) }
+    }
+}
+
+#[cfg(unix)]
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        // SAFETY: `ptr`/`len` describe exactly the mapping created in
+        // `map`; unmapping once on drop is the required pairing.
+        unsafe {
+            sys::munmap(self.ptr, self.len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("er_store_map_{}_{name}", std::process::id()));
+        std::fs::write(&path, contents).expect("write temp");
+        path
+    }
+
+    #[test]
+    fn mapped_and_owned_backings_agree() {
+        let data: Vec<u8> = (0..300u16).map(|i| (i % 251) as u8).collect();
+        let path = temp("agree", &data);
+        let mapped = Backing::open(&path).expect("open");
+        let owned = Backing::read(&path).expect("read");
+        assert_eq!(mapped.bytes(), &data[..]);
+        assert_eq!(owned.bytes(), &data[..]);
+        assert!(!owned.is_mapped());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn owned_backing_is_eight_byte_aligned() {
+        let path = temp("align", &[1, 2, 3, 4, 5]);
+        let owned = Backing::read(&path).expect("read");
+        assert_eq!(owned.bytes().as_ptr() as usize % 8, 0);
+        assert_eq!(owned.bytes(), &[1, 2, 3, 4, 5]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn empty_files_are_rejected_not_mapped() {
+        let path = temp("empty", &[]);
+        assert!(matches!(
+            Mmap::map(&path),
+            Err(StoreError::Truncated { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+}

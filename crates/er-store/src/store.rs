@@ -1,0 +1,543 @@
+//! The artifact store: a directory of single-file artifacts behind the
+//! cache's [`DiskTier`] interface.
+//!
+//! Files are named `{dataset_fp:016x}-{xxh64(repr_key):016x}.erst`, so the
+//! cache key maps to exactly one path without reading anything. Loads fire
+//! the `store/<repr_key>` fault site and run inside `catch_unwind`: any
+//! failure — injected or real, including a panicking codec — surfaces as
+//! [`TierLoad::Failed`] and the cache falls back to re-preparing. The only
+//! payloads re-thrown are the guard's own sentinels (`KillSwitch` and
+//! non-message aborts), which must keep unwinding to their owner.
+//!
+//! Writes are atomic (temp file + rename, see
+//! [`crate::format::write_store`]), so a crash mid-spill can leave a stale
+//! `*.tmp.*` sibling — cleaned by [`ArtifactStore::gc`] — but never a torn
+//! file under a final name.
+
+use crate::err::{Result, StoreError};
+use crate::format::{write_store, SectionInfo, Sections, StoreFile, StoreMeta};
+use crate::xxh::xxh64;
+use er_core::artifacts::{ArtifactKey, DiskTier, TierLoad};
+use er_core::faults;
+use er_core::filter::Prepared;
+use er_core::guard::KillSwitch;
+use er_core::timing::{PhaseBreakdown, Stage};
+use std::any::Any;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// File extension of store files.
+pub const EXTENSION: &str = "erst";
+
+/// (De)serializes one family of artifact types.
+///
+/// `encode` inspects the type-erased artifact (`downcast_ref`) and returns
+/// `None` when it is not one this codec handles — the store tries each
+/// registered codec in turn. `decode` reconstructs the artifact from a
+/// validated file and returns it with its recomputed heap footprint, which
+/// must equal what the artifact reported when it was stored.
+pub trait ArtifactCodec: Send + Sync {
+    /// Stable format id stamped into file headers (decode dispatch).
+    fn id(&self) -> u32;
+    /// Display name for `inspect` output.
+    fn name(&self) -> &'static str;
+    /// Serializes `artifact` if it is a type this codec handles.
+    fn encode(&self, artifact: &(dyn Any + Send + Sync)) -> Option<Sections>;
+    /// Reconstructs the artifact and its heap byte count from `file`.
+    fn decode(&self, file: &StoreFile) -> Result<(Arc<dyn Any + Send + Sync>, usize)>;
+}
+
+/// A store directory plus the codec registry, implementing [`DiskTier`].
+pub struct ArtifactStore {
+    dir: PathBuf,
+    codecs: Vec<Box<dyn ArtifactCodec>>,
+}
+
+impl std::fmt::Debug for ArtifactStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArtifactStore")
+            .field("dir", &self.dir)
+            .field(
+                "codecs",
+                &self.codecs.iter().map(|c| c.name()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl ArtifactStore {
+    /// Opens (creating if needed) the store directory.
+    pub fn open(dir: impl Into<PathBuf>, codecs: Vec<Box<dyn ArtifactCodec>>) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| StoreError::io(&dir, &e))?;
+        Ok(ArtifactStore { dir, codecs })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file a key lives at: dataset fingerprint and hashed repr key,
+    /// both as fixed-width hex.
+    pub fn file_path(&self, key: &ArtifactKey) -> PathBuf {
+        self.dir.join(format!(
+            "{:016x}-{:016x}.{EXTENSION}",
+            key.dataset,
+            xxh64(key.repr.as_bytes(), 0)
+        ))
+    }
+
+    fn codec_by_id(&self, id: u32) -> Option<&dyn ArtifactCodec> {
+        self.codecs
+            .iter()
+            .find(|c| c.id() == id)
+            .map(|c| c.as_ref())
+    }
+
+    /// Opens, validates and decodes the file at `path`, checking it holds
+    /// exactly `key` (when given). Returns the artifact, its heap bytes
+    /// and the recorded prepare cost.
+    fn load_file(
+        &self,
+        path: &Path,
+        key: Option<&ArtifactKey>,
+    ) -> Result<(Arc<dyn Any + Send + Sync>, usize, Duration)> {
+        let file = StoreFile::open(path)?;
+        if let Some(key) = key {
+            if file.dataset_fp() != key.dataset || file.repr() != key.repr {
+                return Err(StoreError::KeyMismatch {
+                    found: format!("{:016x}/{}", file.dataset_fp(), file.repr()),
+                    wanted: format!("{:016x}/{}", key.dataset, key.repr),
+                });
+            }
+        }
+        let codec = self
+            .codec_by_id(file.codec_id())
+            .ok_or_else(|| StoreError::NoCodec(format!("id {}", file.codec_id())))?;
+        let (artifact, heap_bytes) = codec.decode(&file)?;
+        if heap_bytes as u64 != file.heap_bytes() {
+            // The heap_bytes parity contract: a decoded artifact must cost
+            // the cache budget exactly what the fresh one did.
+            return Err(StoreError::Malformed(format!(
+                "decoded heap bytes {heap_bytes} != stored {}",
+                file.heap_bytes()
+            )));
+        }
+        Ok((
+            artifact,
+            heap_bytes,
+            Duration::from_nanos(file.prepare_nanos()),
+        ))
+    }
+
+    /// One [`DiskTier::load`] attempt, with every failure as a `Result`.
+    fn try_load(&self, key: &ArtifactKey, path: &Path) -> Result<TierLoad> {
+        let site = format!("store/{}", key.repr);
+        if faults::wants_corrupt(&site) {
+            // Simulates an on-disk bit flip: the checksum verdict such a
+            // flip would produce, deterministically.
+            return Err(StoreError::Corrupt {
+                region: format!("file (injected fault at {site})"),
+            });
+        }
+        faults::fire(&site);
+        let start = Instant::now();
+        let (artifact, heap_bytes, saved) = self.load_file(path, Some(key))?;
+        let mut breakdown = PhaseBreakdown::new();
+        breakdown.record_in(Stage::Prepare, "store-load", start.elapsed());
+        Ok(TierLoad::Hit {
+            prepared: Prepared::from_arc(artifact, heap_bytes, breakdown),
+            saved,
+        })
+    }
+
+    /// Every `*.erst` path in the directory, sorted by file name.
+    pub fn files(&self) -> Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        let entries = std::fs::read_dir(&self.dir).map_err(|e| StoreError::io(&self.dir, &e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| StoreError::io(&self.dir, &e))?;
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == EXTENSION) {
+                out.push(path);
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Structural summaries of every file (`er store inspect`). Unreadable
+    /// files surface as per-file errors, not failures of the listing.
+    pub fn inspect(&self) -> Result<Vec<(PathBuf, Result<FileInfo>)>> {
+        Ok(self
+            .files()?
+            .into_iter()
+            .map(|path| {
+                let info = FileInfo::read(&path, |id| self.codec_by_id(id).map(|c| c.name()));
+                (path, info)
+            })
+            .collect())
+    }
+
+    /// Deep-verifies every file: whole-file checksum, per-section
+    /// checksums, and a full decode through the registered codec
+    /// (`er store verify`).
+    pub fn verify(&self) -> Result<Vec<(PathBuf, Result<()>)>> {
+        Ok(self
+            .files()?
+            .into_iter()
+            .map(|path| {
+                let verdict = StoreFile::open(&path)
+                    .and_then(|file| {
+                        file.verify_sections()?;
+                        Ok(file)
+                    })
+                    .and_then(|_| self.load_file(&path, None).map(|_| ()));
+                (path, verdict)
+            })
+            .collect())
+    }
+
+    /// Removes stale temp files and undecodable store files, returning
+    /// (removed, kept) counts (`er store gc`).
+    pub fn gc(&self) -> Result<(usize, usize)> {
+        let mut removed = 0;
+        let mut kept = 0;
+        let entries = std::fs::read_dir(&self.dir).map_err(|e| StoreError::io(&self.dir, &e))?;
+        let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        paths.sort();
+        for path in paths {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            let stale_tmp = name.contains(".tmp.");
+            let broken = path.extension().is_some_and(|e| e == EXTENSION)
+                && self.load_file(&path, None).is_err();
+            if stale_tmp || broken {
+                std::fs::remove_file(&path).map_err(|e| StoreError::io(&path, &e))?;
+                removed += 1;
+            } else {
+                kept += 1;
+            }
+        }
+        Ok((removed, kept))
+    }
+}
+
+impl DiskTier for ArtifactStore {
+    fn load(&self, key: &ArtifactKey) -> TierLoad {
+        let path = self.file_path(key);
+        if !path.exists() {
+            return TierLoad::Miss;
+        }
+        // Contain everything, including injected panics and codec bugs;
+        // only the guard's own payloads may keep unwinding.
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.try_load(key, &path)));
+        match result {
+            Ok(Ok(load)) => load,
+            Ok(Err(err)) => TierLoad::Failed(format!("{}: {err}", path.display())),
+            Err(payload) => {
+                if payload.is::<KillSwitch>() {
+                    std::panic::resume_unwind(payload);
+                }
+                let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_owned()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    // An unknown payload is a guard sentinel (cooperative
+                    // abort) addressed to an enclosing frame: re-throw.
+                    std::panic::resume_unwind(payload);
+                };
+                TierLoad::Failed(format!("{}: load panicked: {msg}", path.display()))
+            }
+        }
+    }
+
+    fn store(&self, key: &ArtifactKey, prepared: &Prepared) -> std::result::Result<bool, String> {
+        let path = self.file_path(key);
+        // Already holding a valid copy of this key? Nothing to do. A
+        // present-but-damaged file is overwritten below.
+        if path.exists() && self.load_file(&path, Some(key)).is_ok() {
+            return Ok(false);
+        }
+        let Some((codec_id, sections)) = self
+            .codecs
+            .iter()
+            .find_map(|c| c.encode(prepared.any()).map(|s| (c.id(), s)))
+        else {
+            return Ok(false);
+        };
+        let meta = StoreMeta {
+            codec_id,
+            dataset_fp: key.dataset,
+            repr: key.repr.clone(),
+            prepare_nanos: prepared.breakdown().prepare_total().as_nanos() as u64,
+            heap_bytes: prepared.bytes() as u64,
+        };
+        write_store(&path, &meta, &sections)
+            .map(|_| true)
+            .map_err(|e| e.to_string())
+    }
+}
+
+/// Header-level summary of one store file, for `er store inspect`.
+#[derive(Debug, Clone)]
+pub struct FileInfo {
+    /// Representation key the file holds.
+    pub repr: String,
+    /// Dataset fingerprint.
+    pub dataset_fp: u64,
+    /// Codec id from the header.
+    pub codec_id: u32,
+    /// Codec display name, when a registered codec matches.
+    pub codec_name: Option<&'static str>,
+    /// File size in bytes.
+    pub file_bytes: usize,
+    /// The artifact's heap footprint when resident.
+    pub heap_bytes: u64,
+    /// Recorded prepare cost.
+    pub prepare: Duration,
+    /// Whether this open used the zero-copy mapped path.
+    pub mapped: bool,
+    /// Section layout.
+    pub sections: Vec<SectionInfo>,
+}
+
+impl FileInfo {
+    fn read(path: &Path, codec_name: impl Fn(u32) -> Option<&'static str>) -> Result<Self> {
+        let file = StoreFile::open(path)?;
+        Ok(FileInfo {
+            repr: file.repr().to_owned(),
+            dataset_fp: file.dataset_fp(),
+            codec_id: file.codec_id(),
+            codec_name: codec_name(file.codec_id()),
+            file_bytes: file.len_bytes(),
+            heap_bytes: file.heap_bytes(),
+            prepare: Duration::from_nanos(file.prepare_nanos()),
+            mapped: file.is_mapped(),
+            sections: file.sections().to_vec(),
+        })
+    }
+
+    /// One-line section layout, e.g. `u64[4] u32[1024] f32[8192]`.
+    pub fn layout(&self) -> String {
+        self.sections
+            .iter()
+            .map(|s| {
+                format!(
+                    "{}[{}]",
+                    s.dtype.name(),
+                    s.len / s.dtype.elem_bytes() as u64
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Byte-level helper for tests and tools: flips one byte of `path` in
+/// place (no store file survives this with its checksums intact).
+pub fn flip_byte(path: &Path, offset: usize) -> Result<()> {
+    let mut bytes = std::fs::read(path).map_err(|e| StoreError::io(path, &e))?;
+    let len = bytes.len();
+    let byte = bytes
+        .get_mut(offset)
+        .ok_or_else(|| StoreError::Malformed(format!("offset {offset} beyond {len}-byte file")))?;
+    *byte ^= 0x40;
+    std::fs::write(path, &bytes).map_err(|e| StoreError::io(path, &e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Codec for a toy artifact: a vector of u32 with a declared byte cost.
+    struct ToyArtifact {
+        values: Vec<u32>,
+        cost: usize,
+    }
+
+    struct ToyCodec;
+
+    impl ArtifactCodec for ToyCodec {
+        fn id(&self) -> u32 {
+            99
+        }
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+        fn encode(&self, artifact: &(dyn Any + Send + Sync)) -> Option<Sections> {
+            let toy = artifact.downcast_ref::<ToyArtifact>()?;
+            let mut s = Sections::new();
+            s.scalar(toy.cost as u64);
+            s.u32s(&toy.values);
+            Some(s)
+        }
+        fn decode(&self, file: &StoreFile) -> Result<(Arc<dyn Any + Send + Sync>, usize)> {
+            let mut cur = file.cursor()?;
+            let cost = cur.scalar_usize()?;
+            let values = cur.u32s()?.to_vec();
+            cur.finish()?;
+            Ok((Arc::new(ToyArtifact { values, cost }), cost))
+        }
+    }
+
+    fn store_in(name: &str) -> (ArtifactStore, PathBuf) {
+        let dir = std::env::temp_dir().join(format!("er_store_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::open(&dir, vec![Box::new(ToyCodec)]).expect("open store");
+        (store, dir)
+    }
+
+    fn toy_prepared(values: Vec<u32>, cost: usize, prepare_ms: u64) -> Prepared {
+        let mut b = PhaseBreakdown::new();
+        b.record_in(Stage::Prepare, "build", Duration::from_millis(prepare_ms));
+        Prepared::new(ToyArtifact { values, cost }, cost, b)
+    }
+
+    fn key(repr: &str) -> ArtifactKey {
+        ArtifactKey::new(0xabcd, repr)
+    }
+
+    #[test]
+    fn store_then_load_roundtrips() {
+        let (store, dir) = store_in("roundtrip");
+        let wrote = store
+            .store(&key("toy:a"), &toy_prepared(vec![3, 1, 4, 1, 5], 64, 12))
+            .expect("store");
+        assert!(wrote);
+        // Second store of the same key is a no-op.
+        assert!(!store
+            .store(&key("toy:a"), &toy_prepared(vec![3, 1, 4, 1, 5], 64, 12))
+            .expect("re-store"));
+        match store.load(&key("toy:a")) {
+            TierLoad::Hit { prepared, saved } => {
+                let toy = prepared.downcast::<ToyArtifact>();
+                assert_eq!(toy.values, vec![3, 1, 4, 1, 5]);
+                assert_eq!(prepared.bytes(), 64);
+                assert_eq!(saved, Duration::from_millis(12));
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_and_mismatched_keys() {
+        let (store, dir) = store_in("mismatch");
+        assert!(matches!(store.load(&key("toy:absent")), TierLoad::Miss));
+        store
+            .store(&key("toy:a"), &toy_prepared(vec![1], 4, 0))
+            .expect("store");
+        // Same file name can only come from the same (dataset, repr), so a
+        // mismatch requires a hash collision — simulate by renaming.
+        let other = key("toy:b");
+        std::fs::rename(store.file_path(&key("toy:a")), store.file_path(&other)).expect("rename");
+        match store.load(&other) {
+            TierLoad::Failed(msg) => assert!(msg.contains("wanted"), "{msg}"),
+            other => panic!("expected failed, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_flipped_byte_is_a_structured_failure() {
+        let (store, dir) = store_in("flip");
+        store
+            .store(&key("toy:a"), &toy_prepared((0..40).collect(), 256, 5))
+            .expect("store");
+        let path = store.file_path(&key("toy:a"));
+        let original = std::fs::read(&path).expect("read");
+        for offset in 0..original.len() {
+            flip_byte(&path, offset).expect("flip");
+            match store.load(&key("toy:a")) {
+                TierLoad::Failed(_) => {}
+                other => panic!("byte {offset}: expected failure, got {other:?}"),
+            }
+            std::fs::write(&path, &original).expect("restore");
+        }
+        // Restored intact: loads again.
+        assert!(matches!(store.load(&key("toy:a")), TierLoad::Hit { .. }));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_files_are_overwritten_by_store() {
+        let (store, dir) = store_in("heal");
+        store
+            .store(&key("toy:a"), &toy_prepared(vec![7], 8, 0))
+            .expect("store");
+        let path = store.file_path(&key("toy:a"));
+        flip_byte(&path, 100).expect("flip");
+        assert!(matches!(store.load(&key("toy:a")), TierLoad::Failed(_)));
+        assert!(store
+            .store(&key("toy:a"), &toy_prepared(vec![7], 8, 0))
+            .expect("re-store overwrites damage"));
+        assert!(matches!(store.load(&key("toy:a")), TierLoad::Hit { .. }));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_and_gc_walk_the_directory() {
+        let (store, dir) = store_in("gc");
+        store
+            .store(&key("toy:a"), &toy_prepared(vec![1, 2], 16, 0))
+            .expect("store a");
+        store
+            .store(&key("toy:b"), &toy_prepared(vec![3], 8, 0))
+            .expect("store b");
+        assert!(store
+            .verify()
+            .expect("verify")
+            .iter()
+            .all(|(_, v)| v.is_ok()));
+        let infos = store.inspect().expect("inspect");
+        assert_eq!(infos.len(), 2);
+        for (_, info) in &infos {
+            let info = info.as_ref().expect("readable");
+            assert_eq!(info.codec_name, Some("toy"));
+            assert!(
+                info.layout().starts_with("u64[1] u32["),
+                "{}",
+                info.layout()
+            );
+        }
+        // Damage one file and drop a stale temp: gc removes both.
+        flip_byte(&store.file_path(&key("toy:b")), 80).expect("flip");
+        std::fs::write(dir.join("x.tmp.123"), b"partial").expect("tmp");
+        let (removed, kept) = store.gc().expect("gc");
+        assert_eq!((removed, kept), (2, 1));
+        assert!(store
+            .verify()
+            .expect("verify")
+            .iter()
+            .all(|(_, v)| v.is_ok()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_faults_at_the_store_site_fail_structurally() {
+        let (store, dir) = store_in("faults");
+        store
+            .store(&key("toy:a"), &toy_prepared(vec![9], 8, 0))
+            .expect("store");
+        // Repr keys contain ':', which the spec grammar reserves for
+        // options — target the site with a trailing wildcard, as the
+        // prepare/<repr> sites do.
+        let corrupt = faults::FaultPlan::parse("corrupt@store/toy*").expect("plan");
+        faults::with_plan(corrupt, || match store.load(&key("toy:a")) {
+            TierLoad::Failed(msg) => assert!(msg.contains("injected"), "{msg}"),
+            other => panic!("expected failure, got {other:?}"),
+        });
+        let panic_plan = faults::FaultPlan::parse("panic@store/toy*").expect("plan");
+        faults::with_plan(panic_plan, || match store.load(&key("toy:a")) {
+            TierLoad::Failed(msg) => assert!(msg.contains("panicked"), "{msg}"),
+            other => panic!("expected failure, got {other:?}"),
+        });
+        // Unfaulted, the file is intact.
+        assert!(matches!(store.load(&key("toy:a")), TierLoad::Hit { .. }));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

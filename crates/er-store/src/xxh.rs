@@ -1,0 +1,256 @@
+//! XXH64 — the store format's checksum.
+//!
+//! A from-scratch implementation of the (public-domain) XXH64 algorithm,
+//! since the build environment has no external crates. The one-shot form
+//! covers sections; the streaming form lets the whole-file check hash a
+//! zeroed copy of the 64-byte header followed by the rest of the mapping
+//! without duplicating the file. Verified against the reference test
+//! vectors below, and the stream against the one-shot at every split.
+
+const P1: u64 = 0x9E37_79B1_85EB_CA87;
+const P2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const P3: u64 = 0x1656_67B1_9E37_79F9;
+const P4: u64 = 0x85EB_CA77_C2B2_AE63;
+const P5: u64 = 0x27D4_EB2F_1656_67C5;
+
+#[inline]
+fn u64le(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[..8].try_into().expect("8-byte slice"))
+}
+
+#[inline]
+fn u32le(b: &[u8]) -> u32 {
+    u32::from_le_bytes(b[..4].try_into().expect("4-byte slice"))
+}
+
+#[inline]
+fn round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(P2))
+        .rotate_left(31)
+        .wrapping_mul(P1)
+}
+
+#[inline]
+fn merge_round(acc: u64, val: u64) -> u64 {
+    (acc ^ round(0, val)).wrapping_mul(P1).wrapping_add(P4)
+}
+
+/// One-shot XXH64 of `data` under `seed`.
+pub fn xxh64(data: &[u8], seed: u64) -> u64 {
+    let mut chunks = data.chunks_exact(32);
+    let mut h = if data.len() >= 32 {
+        let mut v1 = seed.wrapping_add(P1).wrapping_add(P2);
+        let mut v2 = seed.wrapping_add(P2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(P1);
+        for c in &mut chunks {
+            v1 = round(v1, u64le(&c[0..]));
+            v2 = round(v2, u64le(&c[8..]));
+            v3 = round(v3, u64le(&c[16..]));
+            v4 = round(v4, u64le(&c[24..]));
+        }
+        let mut h = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        h = merge_round(h, v1);
+        h = merge_round(h, v2);
+        h = merge_round(h, v3);
+        merge_round(h, v4)
+    } else {
+        seed.wrapping_add(P5)
+    };
+    h = h.wrapping_add(data.len() as u64);
+
+    // For inputs under 32 bytes the remainder is the whole input.
+    let mut rem = chunks.remainder();
+    while rem.len() >= 8 {
+        h = (h ^ round(0, u64le(rem)))
+            .rotate_left(27)
+            .wrapping_mul(P1)
+            .wrapping_add(P4);
+        rem = &rem[8..];
+    }
+    if rem.len() >= 4 {
+        h = (h ^ u64::from(u32le(rem)).wrapping_mul(P1))
+            .rotate_left(23)
+            .wrapping_mul(P2)
+            .wrapping_add(P3);
+        rem = &rem[4..];
+    }
+    for &b in rem {
+        h = (h ^ u64::from(b).wrapping_mul(P5))
+            .rotate_left(11)
+            .wrapping_mul(P1);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(P2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(P3);
+    h ^ (h >> 32)
+}
+
+/// Incremental XXH64 over multiple `update` calls (seed 0 by default).
+#[derive(Debug, Clone)]
+pub struct Xxh64Stream {
+    v: [u64; 4],
+    buf: [u8; 32],
+    buf_len: usize,
+    total: u64,
+    seed: u64,
+}
+
+impl Default for Xxh64Stream {
+    fn default() -> Self {
+        Self::with_seed(0)
+    }
+}
+
+impl Xxh64Stream {
+    /// A fresh stream hashing under `seed`.
+    pub fn with_seed(seed: u64) -> Self {
+        Xxh64Stream {
+            v: [
+                seed.wrapping_add(P1).wrapping_add(P2),
+                seed.wrapping_add(P2),
+                seed,
+                seed.wrapping_sub(P1),
+            ],
+            buf: [0; 32],
+            buf_len: 0,
+            total: 0,
+            seed,
+        }
+    }
+
+    /// Feeds more bytes into the hash.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total += data.len() as u64;
+        if self.buf_len > 0 {
+            let take = data.len().min(32 - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len < 32 {
+                // `data` is exhausted; keep the partial stripe buffered.
+                return;
+            }
+            let stripe = self.buf;
+            self.stripe(&stripe);
+            self.buf_len = 0;
+        }
+        let mut chunks = data.chunks_exact(32);
+        for c in &mut chunks {
+            self.stripe(c);
+        }
+        let rem = chunks.remainder();
+        self.buf[..rem.len()].copy_from_slice(rem);
+        self.buf_len = rem.len();
+    }
+
+    fn stripe(&mut self, c: &[u8]) {
+        self.v[0] = round(self.v[0], u64le(&c[0..]));
+        self.v[1] = round(self.v[1], u64le(&c[8..]));
+        self.v[2] = round(self.v[2], u64le(&c[16..]));
+        self.v[3] = round(self.v[3], u64le(&c[24..]));
+    }
+
+    /// Completes the hash.
+    pub fn finish(&self) -> u64 {
+        let mut h = if self.total >= 32 {
+            let [v1, v2, v3, v4] = self.v;
+            let mut h = v1
+                .rotate_left(1)
+                .wrapping_add(v2.rotate_left(7))
+                .wrapping_add(v3.rotate_left(12))
+                .wrapping_add(v4.rotate_left(18));
+            h = merge_round(h, v1);
+            h = merge_round(h, v2);
+            h = merge_round(h, v3);
+            merge_round(h, v4)
+        } else {
+            self.seed.wrapping_add(P5)
+        };
+        h = h.wrapping_add(self.total);
+
+        let mut rem = &self.buf[..self.buf_len];
+        while rem.len() >= 8 {
+            h = (h ^ round(0, u64le(rem)))
+                .rotate_left(27)
+                .wrapping_mul(P1)
+                .wrapping_add(P4);
+            rem = &rem[8..];
+        }
+        if rem.len() >= 4 {
+            h = (h ^ u64::from(u32le(rem)).wrapping_mul(P1))
+                .rotate_left(23)
+                .wrapping_mul(P2)
+                .wrapping_add(P3);
+            rem = &rem[4..];
+        }
+        for &b in rem {
+            h = (h ^ u64::from(b).wrapping_mul(P5))
+                .rotate_left(11)
+                .wrapping_mul(P1);
+        }
+        h ^= h >> 33;
+        h = h.wrapping_mul(P2);
+        h ^= h >> 29;
+        h = h.wrapping_mul(P3);
+        h ^ (h >> 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference vectors from the canonical xxHash distribution.
+    #[test]
+    fn matches_reference_vectors() {
+        assert_eq!(xxh64(b"", 0), 0xEF46_DB37_51D8_E999);
+        assert_eq!(xxh64(b"abc", 0), 0x44BC_2CF5_AD77_0999);
+        // 39 bytes: exercises the 32-byte main loop plus every tail size.
+        assert_eq!(
+            xxh64(b"Nobody inspects the spammish repetition", 0),
+            0xFBCE_A83C_8A37_8BF1
+        );
+    }
+
+    #[test]
+    fn seed_and_content_change_the_hash() {
+        assert_ne!(xxh64(b"abc", 0), xxh64(b"abc", 1));
+        assert_ne!(xxh64(b"abc", 0), xxh64(b"abd", 0));
+        // Single-bit flips anywhere in a long buffer are detected.
+        let base: Vec<u8> = (0..200u16).map(|i| (i % 251) as u8).collect();
+        let h = xxh64(&base, 7);
+        for i in [0usize, 31, 32, 63, 64, 199] {
+            let mut flipped = base.clone();
+            flipped[i] ^= 0x10;
+            assert_ne!(xxh64(&flipped, 7), h, "flip at {i}");
+        }
+    }
+
+    #[test]
+    fn stream_matches_one_shot_at_every_split() {
+        let data: Vec<u8> = (0..257u16)
+            .map(|i| (i.wrapping_mul(31) % 256) as u8)
+            .collect();
+        for len in [0usize, 1, 3, 7, 8, 31, 32, 33, 64, 100, 257] {
+            let expect = xxh64(&data[..len], 0);
+            for split in 0..=len {
+                let mut s = Xxh64Stream::default();
+                s.update(&data[..split]);
+                s.update(&data[split..len]);
+                assert_eq!(s.finish(), expect, "len {len} split {split}");
+            }
+            // Byte-at-a-time feeding.
+            let mut s = Xxh64Stream::default();
+            for b in &data[..len] {
+                s.update(std::slice::from_ref(b));
+            }
+            assert_eq!(s.finish(), expect, "len {len} byte-wise");
+        }
+    }
+}

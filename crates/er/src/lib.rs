@@ -36,6 +36,8 @@ pub use er_dense as dense;
 pub use er_neural as neural;
 /// Sparse NN methods (ε-Join, kNN-Join).
 pub use er_sparse as sparse;
+/// Persistent artifact store (mmap-loaded, checksummed files).
+pub use er_store as store;
 /// Text processing: tokenization, n-grams, stemming, stop-words.
 pub use er_text as text;
 

@@ -6,9 +6,11 @@
 #    ER_THREADS=<all cores>, checks the outputs are byte-identical (the
 #    determinism guarantee), and writes timings + speedup to
 #    BENCH_parallel.json in the repository root.
-# 2. Runs one sweep column cold and warm against the shared artifact
-#    cache (`er sweep --bench-prepare`), checks the warm pass re-prepares
-#    nothing and reports identically, and leaves BENCH_prepare.json.
+# 2. Runs one sweep column cold, warm (shared artifact cache) and
+#    warm-disk (fresh cache over the persistent artifact store, i.e. a
+#    simulated process restart) via `er sweep --bench-prepare`, checks
+#    neither warm pass re-prepares anything and all three report
+#    identically, and leaves BENCH_prepare.json.
 # 3. Runs the kernel/layout micro-benchmark (naive vs CSR sparse layouts,
 #    scalar vs blocked dense kernels), which verifies the optimized
 #    pipeline's candidate sets match the frozen naive reference and
@@ -87,17 +89,33 @@ EOF
 echo "== wrote BENCH_parallel.json" >&2
 cat BENCH_parallel.json
 
-echo "== artifact-cache smoke: cold vs warm prepare stages" >&2
+echo "== artifact-cache smoke: cold vs warm vs warm-disk prepare stages" >&2
 "$ER" sweep --datasets D2 --scale "${BENCH_PREPARE_SCALE:-0.08}" --grid quick \
     --reps 1 --dim 32 --seed 7 --bench-prepare BENCH_prepare.json >&2
 if ! grep -q '"reports_identical":true' BENCH_prepare.json; then
-    echo "CACHE FAILURE: warm report differs from cold" >&2
+    echo "CACHE FAILURE: warm/disk report differs from cold" >&2
     exit 1
 fi
 # The warm pass must hit on every lookup (zero misses -> zero prepare
 # seconds, so the cold/warm prepare ratio is >= 2x by construction).
-if ! grep -q '"misses":0' BENCH_prepare.json; then
+if ! grep -o '"warm":{[^}]*}' BENCH_prepare.json | grep -q '"misses":0'; then
     echo "CACHE FAILURE: warm pass re-prepared artifacts" >&2
+    exit 1
+fi
+# The disk pass starts from an empty cache and must be served entirely
+# by the persistent store: zero misses again, and every lookup that the
+# cold pass prepared arrives as a store hit.
+if ! grep -q '"prepare_disk_s":' BENCH_prepare.json; then
+    echo "STORE FAILURE: no prepare_disk_s field in BENCH_prepare.json" >&2
+    exit 1
+fi
+disk="$(grep -o '"disk":{[^}]*}' BENCH_prepare.json)"
+if ! echo "$disk" | grep -q '"misses":0'; then
+    echo "STORE FAILURE: disk pass re-prepared artifacts: $disk" >&2
+    exit 1
+fi
+if echo "$disk" | grep -q '"store_hits":0,'; then
+    echo "STORE FAILURE: disk pass never hit the store: $disk" >&2
     exit 1
 fi
 echo "== wrote BENCH_prepare.json" >&2
