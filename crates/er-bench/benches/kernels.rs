@@ -1,20 +1,24 @@
-//! Per-kernel benchmarks of the PR's hot-path rewrites: scalar vs blocked
-//! vs batch-of-4 dense kernels, and raw-hash vs interned-CSR ScanCount
-//! queries. CI runs this target with `--test` (one iteration, no timing)
-//! to keep the kernels exercised on every push.
+//! Per-kernel benchmarks of the hot-path rewrites: scalar vs blocked vs
+//! SIMD-dispatched dense kernels, raw-hash vs interned-packed ScanCount
+//! queries, packed vs plain posting traversal, and the exact vs
+//! quantized-with-rescore flat scan. CI runs this target with `--test`
+//! (one iteration, no timing) to keep the kernels exercised on every
+//! push.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use er::core::schema::{text_view, SchemaMode};
 use er::datagen::{generate, profiles::profile};
 use er::dense::{
-    dot, dot_batch4, dot_scalar, l2_sq, l2_sq_batch4, l2_sq_scalar, EmbeddingConfig, FlatVectors,
-    HashEmbedder,
+    dot, dot_blocked, dot_scalar, l2_sq, l2_sq_blocked, l2_sq_scalar, EmbeddingConfig, FlatIndex,
+    FlatVectors, HashEmbedder, Metric,
 };
 use er::sparse::{RepresentationModel, ScanCountIndex, ScanCountScratch};
 use er::text::Cleaner;
 
 fn bench_kernels(c: &mut Criterion) {
-    // Synthetic vectors at the embedding dims the study sweeps.
+    // Synthetic vectors at the embedding dims the study sweeps. `dot` and
+    // `l2_sq` dispatch to the SIMD kernels when the host supports them,
+    // so the blocked rows isolate the dispatch win.
     for dim in [64usize, 300] {
         let a: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.37).sin()).collect();
         let b: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.71).cos()).collect();
@@ -23,36 +27,25 @@ fn bench_kernels(c: &mut Criterion) {
             bch.iter(|| dot_scalar(black_box(&a), black_box(&b)));
         });
         group.bench_with_input(BenchmarkId::new("dot_blocked", dim), &dim, |bch, _| {
+            bch.iter(|| dot_blocked(black_box(&a), black_box(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("dot_simd", dim), &dim, |bch, _| {
             bch.iter(|| dot(black_box(&a), black_box(&b)));
         });
         group.bench_with_input(BenchmarkId::new("l2_sq_scalar", dim), &dim, |bch, _| {
             bch.iter(|| l2_sq_scalar(black_box(&a), black_box(&b)));
         });
         group.bench_with_input(BenchmarkId::new("l2_sq_blocked", dim), &dim, |bch, _| {
+            bch.iter(|| l2_sq_blocked(black_box(&a), black_box(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("l2_sq_simd", dim), &dim, |bch, _| {
             bch.iter(|| l2_sq(black_box(&a), black_box(&b)));
-        });
-        let rows = FlatVectors::from_rows(&[b.clone(), a.clone(), b.clone(), a.clone()]);
-        group.bench_with_input(BenchmarkId::new("dot_batch4", dim), &dim, |bch, _| {
-            bch.iter(|| {
-                dot_batch4(
-                    black_box(&a),
-                    [rows.row(0), rows.row(1), rows.row(2), rows.row(3)],
-                )
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("l2_sq_batch4", dim), &dim, |bch, _| {
-            bch.iter(|| {
-                l2_sq_batch4(
-                    black_box(&a),
-                    [rows.row(0), rows.row(1), rows.row(2), rows.row(3)],
-                )
-            });
         });
         group.finish();
     }
 
     // ScanCount on the D2 smoke workload: raw token hashes vs pre-interned
-    // CSR rows.
+    // packed CSR rows.
     let ds = generate(profile("D2").expect("D2"), 0.1, 42);
     let view = text_view(&ds, &SchemaMode::Agnostic);
     let model = RepresentationModel::parse("C3G").expect("C3G");
@@ -78,18 +71,47 @@ fn bench_kernels(c: &mut Criterion) {
             }
         });
     });
-    c.bench_function("scancount/interned_csr_queries", |b| {
+    c.bench_function("scancount/interned_packed_queries", |b| {
         let mut scratch = ScanCountScratch::default();
         let mut hits = Vec::new();
         b.iter(|| {
             for j in 0..csr.len() {
-                index.query_ids_with(&mut scratch, black_box(csr.row(j)), &mut hits);
+                index.query_row_with(&mut scratch, black_box(&csr), j, &mut hits);
                 black_box(&hits);
             }
         });
     });
 
-    // Embedded batch scan: the FlatIndex inner loop shape.
+    // Posting traversal: branchless bitpacked unpack vs the plain u32 CSR
+    // layout it replaced.
+    let postings = index.postings();
+    let (plain_offsets, plain_values) = postings.decode_all();
+    c.bench_function("postings/packed_traverse", |b| {
+        let mut buf = Vec::new();
+        b.iter(|| {
+            let mut sum = 0u64;
+            for r in 0..postings.len() {
+                for &v in postings.decode_row_into(r, &mut buf) {
+                    sum += u64::from(v);
+                }
+            }
+            black_box(sum)
+        });
+    });
+    c.bench_function("postings/plain_traverse", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for w in plain_offsets.windows(2) {
+                for &v in &plain_values[w[0] as usize..w[1] as usize] {
+                    sum += u64::from(v);
+                }
+            }
+            black_box(sum)
+        });
+    });
+
+    // Flat kNN scan: the exact row-at-a-time scan vs the quantized first
+    // pass with exact rescore (bit-identical results).
     let embedder = HashEmbedder::new(EmbeddingConfig {
         dim: 64,
         ..Default::default()
@@ -110,29 +132,13 @@ fn bench_kernels(c: &mut Criterion) {
             black_box(acc)
         });
     });
-    c.bench_function("flat_scan/batch4", |b| {
-        b.iter(|| {
-            let mut acc = 0.0f32;
-            let n = flat.len();
-            let mut i = 0;
-            while i + 4 <= n {
-                let got = dot_batch4(
-                    black_box(&q),
-                    [
-                        flat.row(i),
-                        flat.row(i + 1),
-                        flat.row(i + 2),
-                        flat.row(i + 3),
-                    ],
-                );
-                acc += got[0] + got[1] + got[2] + got[3];
-                i += 4;
-            }
-            for r in i..n {
-                acc += dot(black_box(&q), flat.row(r));
-            }
-            black_box(acc)
-        });
+    let quantized = FlatIndex::build(rows.clone(), Metric::L2Sq);
+    let exact = FlatIndex::build_unquantized(rows.clone(), Metric::L2Sq);
+    c.bench_function("flat_knn/exact", |b| {
+        b.iter(|| black_box(exact.knn(black_box(&q), 10)));
+    });
+    c.bench_function("flat_knn/quantized_rescore", |b| {
+        b.iter(|| black_box(quantized.knn(black_box(&q), 10)));
     });
 }
 

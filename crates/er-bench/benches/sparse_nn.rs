@@ -59,7 +59,7 @@ fn bench_sparse(c: &mut Criterion) {
         let mut hits = Vec::new();
         b.iter(|| {
             for j in 0..csr.len() {
-                index.query_ids_with(&mut scratch, black_box(csr.row(j)), &mut hits);
+                index.query_row_with(&mut scratch, black_box(&csr), j, &mut hits);
                 black_box(&hits);
             }
         });

@@ -1,13 +1,18 @@
-//! Kernel/layout micro-benchmark: old naive layouts vs the CSR/interned
-//! sparse hot path and the scalar vs blocked dense kernels, on the D2
-//! smoke workload.
+//! Kernel/layout micro-benchmark: the optimized hot paths against their
+//! reference implementations on the D2 smoke workload — naive vs
+//! CSR/interned sparse queries, plain vs bitpacked posting traversal,
+//! scalar vs blocked vs SIMD-dispatched dense kernels, and the exact vs
+//! quantized-with-rescore flat scan.
 //!
-//! First verifies the optimized pipeline produces candidate sets identical
-//! to the frozen naive reference (exiting non-zero on any mismatch), then
-//! times both layouts and writes a one-line JSON summary — wall seconds
-//! per variant plus speedups — to the output path (default
-//! `BENCH_kernels.json`). Run by `scripts/bench_smoke.sh` and uploaded as
-//! a CI artifact next to `BENCH_parallel.json` / `BENCH_prepare.json`.
+//! Every optimized variant is first checked against its reference —
+//! candidate sets must be identical and kernel outputs bitwise equal
+//! (`to_bits`) — and the binary exits non-zero on any mismatch, making it
+//! a correctness gate as much as a benchmark. It then times each pair and
+//! writes a one-line JSON summary — wall seconds per variant plus
+//! speedups and the packed-postings size ratio — to the output path
+//! (default `BENCH_kernels.json`). Run by `scripts/bench_smoke.sh` and
+//! uploaded as a CI artifact next to `BENCH_parallel.json` /
+//! `BENCH_prepare.json`; `bench_history` tracks the speedups over time.
 
 use std::hint::black_box;
 use std::time::Duration;
@@ -15,7 +20,10 @@ use std::time::Duration;
 use er::core::schema::{text_view, SchemaMode};
 use er::core::{Filter, Stopwatch};
 use er::datagen::{generate, profiles::profile};
-use er::dense::{dot, dot_batch4, dot_scalar, EmbeddingConfig, FlatVectors, HashEmbedder};
+use er::dense::{
+    dot, dot_blocked, dot_scalar, l2_sq, l2_sq_blocked, EmbeddingConfig, FlatIndex, FlatVectors,
+    HashEmbedder, Metric,
+};
 use er::sparse::reference::{self, NaiveScanCountIndex};
 use er::sparse::{
     EpsilonJoin, KnnJoin, RepresentationModel, ScanCountIndex, ScanCountScratch, SimilarityMeasure,
@@ -63,8 +71,9 @@ fn main() {
     let model = RepresentationModel::parse("C3G").expect("C3G");
     let measure = SimilarityMeasure::Cosine;
     let threshold = 0.4;
+    let mut gate_failures: Vec<&str> = Vec::new();
 
-    // -- Correctness gate: optimized pipeline == frozen naive reference.
+    // -- Gate: optimized sparse pipeline == frozen naive reference.
     let eps = EpsilonJoin {
         cleaning: false,
         model,
@@ -82,10 +91,8 @@ fn main() {
     };
     let knn_got = knn.run(&view).candidates.to_sorted_vec();
     let knn_want = reference::naive_knn(&view, false, model, measure, 3, false);
-    let identical = eps_got == eps_want && knn_got == knn_want;
-    if !identical {
-        eprintln!("bench-kernels: CSR pipeline disagrees with the naive reference");
-        std::process::exit(1);
+    if eps_got != eps_want || knn_got != knn_want {
+        gate_failures.push("sparse joins vs naive reference");
     }
 
     // -- Sparse: identical merge-count + scoring loop over both layouts.
@@ -109,7 +116,7 @@ fn main() {
         let mut kept = 0u64;
         for j in 0..csr_queries.len() {
             let qlen = csr_queries.set_size(j);
-            csr_index.query_ids_with(&mut scratch, csr_queries.row(j), &mut hits);
+            csr_index.query_row_with(&mut scratch, &csr_queries, j, &mut hits);
             for &(i, overlap) in &hits {
                 let sim = measure.compute(overlap as usize, csr_index.set_size(i), qlen);
                 kept += u64::from(sim >= threshold);
@@ -122,8 +129,48 @@ fn main() {
     let naive_build_s = time_min(reps, || NaiveScanCountIndex::build(&index_sets));
     let csr_build_s = time_min(reps, || ScanCountIndex::build(&index_sets));
 
-    // -- Dense: scalar vs blocked vs batch-of-4 dot scans over the same
-    // contiguous rows.
+    // -- Packed postings: bitpacked traversal vs the plain u32 CSR it
+    // replaces, over the very posting lists the index queries with.
+    let postings = csr_index.postings();
+    let (plain_offsets, plain_values) = postings.decode_all();
+    let packed_sum = {
+        let mut buf = Vec::new();
+        let mut sum = 0u64;
+        for r in 0..postings.len() {
+            for &v in postings.decode_row_into(r, &mut buf) {
+                sum += u64::from(v);
+            }
+        }
+        sum
+    };
+    let plain_sum: u64 = plain_values.iter().map(|&v| u64::from(v)).sum();
+    if packed_sum != plain_sum {
+        gate_failures.push("packed posting traversal vs plain CSR");
+    }
+    let packed_traverse_s = time_min(reps, || {
+        let mut buf = Vec::new();
+        let mut sum = 0u64;
+        for r in 0..postings.len() {
+            for &v in postings.decode_row_into(r, &mut buf) {
+                sum += u64::from(v);
+            }
+        }
+        sum
+    });
+    let plain_traverse_s = time_min(reps, || {
+        let mut sum = 0u64;
+        for w in plain_offsets.windows(2) {
+            for &v in &plain_values[w[0] as usize..w[1] as usize] {
+                sum += u64::from(v);
+            }
+        }
+        sum
+    });
+    let packed_bytes = postings.heap_bytes();
+    let plain_bytes = postings.plain_bytes();
+
+    // -- Dense kernels: scalar vs blocked vs whatever `dot`/`l2_sq`
+    // dispatch to on this host (AVX2/NEON with the `simd` feature).
     let embedder = HashEmbedder::new(EmbeddingConfig {
         dim: 64,
         ..Default::default()
@@ -140,6 +187,19 @@ fn main() {
         .map(|t| embedder.embed(t, &cleaner))
         .collect();
     let flat = FlatVectors::from_rows(&rows);
+    // Gate: the dispatched kernels must match the blocked reference bit
+    // for bit on every query/row pair of the workload.
+    let mut bits_ok = true;
+    for q in &queries {
+        for i in 0..flat.len() {
+            let r = flat.row(i);
+            bits_ok &= dot(q, r).to_bits() == dot_blocked(q, r).to_bits();
+            bits_ok &= l2_sq(q, r).to_bits() == l2_sq_blocked(q, r).to_bits();
+        }
+    }
+    if !bits_ok {
+        gate_failures.push("simd kernels vs blocked reference (to_bits)");
+    }
     let scan = |kernel: &dyn Fn(&[f32], &[f32]) -> f32| {
         let mut acc = 0.0f64;
         for q in &queries {
@@ -149,32 +209,38 @@ fn main() {
         }
         acc
     };
-    let dense_scalar_s = time_min(reps, || scan(&dot_scalar));
-    let dense_blocked_s = time_min(reps, || scan(&dot));
-    let dense_batch4_s = time_min(reps, || {
-        let mut acc = 0.0f64;
-        let n = flat.len();
-        for q in &queries {
-            let mut i = 0;
-            while i + 4 <= n {
-                let got = dot_batch4(
-                    q,
-                    [
-                        flat.row(i),
-                        flat.row(i + 1),
-                        flat.row(i + 2),
-                        flat.row(i + 3),
-                    ],
-                );
-                acc += got.iter().map(|&v| f64::from(v)).sum::<f64>();
-                i += 4;
-            }
-            for r in i..n {
-                acc += f64::from(dot(q, flat.row(r)));
-            }
+    let dot_scalar_s = time_min(reps, || scan(&dot_scalar));
+    let dot_blocked_s = time_min(reps, || scan(&dot_blocked));
+    let dot_simd_s = time_min(reps, || scan(&dot));
+    let l2_blocked_s = time_min(reps, || scan(&l2_sq_blocked));
+    let l2_simd_s = time_min(reps, || scan(&l2_sq));
+
+    // -- Quantized flat scan with exact rescore vs the always-exact scan;
+    // results must be bitwise identical.
+    let k = 10usize;
+    let quantized = FlatIndex::build(rows.clone(), Metric::L2Sq);
+    let exact = FlatIndex::build_unquantized(rows.clone(), Metric::L2Sq);
+    let quant_nn = quantized.knn_batch_with(1, &queries, k);
+    let exact_nn = exact.knn_batch_with(1, &queries, k);
+    let quant_identical = quant_nn.len() == exact_nn.len()
+        && quant_nn.iter().zip(&exact_nn).all(|(a, b)| {
+            a.len() == b.len()
+                && a.iter()
+                    .zip(b)
+                    .all(|(x, y)| x.0 == y.0 && x.1.to_bits() == y.1.to_bits())
+        });
+    if !quant_identical {
+        gate_failures.push("quantized flat scan vs exact scan");
+    }
+    let quant_scan_s = time_min(reps, || quantized.knn_batch_with(1, &queries, k));
+    let exact_scan_s = time_min(reps, || exact.knn_batch_with(1, &queries, k));
+
+    let identical = gate_failures.is_empty();
+    if !identical {
+        for what in &gate_failures {
+            eprintln!("bench-kernels: MISMATCH: {what}");
         }
-        acc
-    });
+    }
 
     let secs = |d: Duration| Json::Num(d.as_secs_f64());
     let doc = Json::Obj(vec![
@@ -209,18 +275,67 @@ fn main() {
             ]),
         ),
         (
+            "packed_postings".to_owned(),
+            Json::Obj(vec![
+                (
+                    "candidate_sets_identical".to_owned(),
+                    Json::Bool(packed_sum == plain_sum),
+                ),
+                ("plain_s".to_owned(), secs(plain_traverse_s)),
+                ("packed_s".to_owned(), secs(packed_traverse_s)),
+                (
+                    "speedup".to_owned(),
+                    Json::Num(speedup(plain_traverse_s, packed_traverse_s)),
+                ),
+                ("packed_bytes".to_owned(), Json::Num(packed_bytes as f64)),
+                ("plain_bytes".to_owned(), Json::Num(plain_bytes as f64)),
+                (
+                    "size_ratio".to_owned(),
+                    Json::Num(plain_bytes as f64 / (packed_bytes as f64).max(1.0)),
+                ),
+            ]),
+        ),
+        (
             "dense_dot_scan".to_owned(),
             Json::Obj(vec![
-                ("scalar_s".to_owned(), secs(dense_scalar_s)),
-                ("blocked_s".to_owned(), secs(dense_blocked_s)),
-                ("batch4_s".to_owned(), secs(dense_batch4_s)),
+                ("bitwise_identical".to_owned(), Json::Bool(bits_ok)),
+                ("scalar_s".to_owned(), secs(dot_scalar_s)),
+                ("blocked_s".to_owned(), secs(dot_blocked_s)),
+                ("simd_s".to_owned(), secs(dot_simd_s)),
                 (
                     "speedup_blocked".to_owned(),
-                    Json::Num(speedup(dense_scalar_s, dense_blocked_s)),
+                    Json::Num(speedup(dot_scalar_s, dot_blocked_s)),
                 ),
                 (
-                    "speedup_batch4".to_owned(),
-                    Json::Num(speedup(dense_scalar_s, dense_batch4_s)),
+                    "speedup_simd".to_owned(),
+                    Json::Num(speedup(dot_scalar_s, dot_simd_s)),
+                ),
+            ]),
+        ),
+        (
+            "dense_l2_scan".to_owned(),
+            Json::Obj(vec![
+                ("bitwise_identical".to_owned(), Json::Bool(bits_ok)),
+                ("blocked_s".to_owned(), secs(l2_blocked_s)),
+                ("simd_s".to_owned(), secs(l2_simd_s)),
+                (
+                    "speedup_simd".to_owned(),
+                    Json::Num(speedup(l2_blocked_s, l2_simd_s)),
+                ),
+            ]),
+        ),
+        (
+            "quantized_scan".to_owned(),
+            Json::Obj(vec![
+                (
+                    "candidate_sets_identical".to_owned(),
+                    Json::Bool(quant_identical),
+                ),
+                ("exact_s".to_owned(), secs(exact_scan_s)),
+                ("quantized_s".to_owned(), secs(quant_scan_s)),
+                (
+                    "speedup".to_owned(),
+                    Json::Num(speedup(exact_scan_s, quant_scan_s)),
                 ),
             ]),
         ),
@@ -228,4 +343,7 @@ fn main() {
     std::fs::write(&out_path, doc.encode() + "\n").expect("write kernel bench output");
     eprintln!("bench-kernels: wrote {out_path}");
     println!("{}", doc.encode());
+    if !identical {
+        std::process::exit(1);
+    }
 }

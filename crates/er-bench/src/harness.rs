@@ -449,7 +449,7 @@ pub fn run_epsilon(ctx: &Context<'_>) -> MethodOutcome {
                 for (local, &size) in part.iter().enumerate() {
                     let j = (offset + local) as u32;
                     let qlen = size as usize;
-                    index.query_ids_with(&mut scratch, art.query_sets.row(j as usize), &mut hits);
+                    index.query_row_with(&mut scratch, &art.query_sets, j as usize, &mut hits);
                     for &(i, overlap) in &hits {
                         let sim = probe
                             .measure

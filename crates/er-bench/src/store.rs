@@ -8,14 +8,16 @@
 
 use er::blocking::BlockingCodec;
 use er::dense::{
-    CrossPolytopeCodec, DenseFlatCodec, HyperplaneCodec, MinHashCodec, PartitionedCodec,
+    CrossPolytopeCodec, DenseFlatCodec, DenseFlatQCodec, HyperplaneCodec, MinHashCodec,
+    PartitionedCodec,
 };
-use er::sparse::SparseCodec;
+use er::sparse::{SparseCodec, SparsePackedCodec};
 use er::store::{ArtifactCodec, ArtifactStore};
 use std::io;
 use std::path::Path;
 
-/// One codec per artifact family, in codec-id order.
+/// One codec per artifact family (plus the decode-only legacy layouts),
+/// in codec-id order.
 pub fn all_codecs() -> Vec<Box<dyn ArtifactCodec>> {
     vec![
         Box::new(SparseCodec),
@@ -25,6 +27,8 @@ pub fn all_codecs() -> Vec<Box<dyn ArtifactCodec>> {
         Box::new(HyperplaneCodec),
         Box::new(CrossPolytopeCodec),
         Box::new(PartitionedCodec),
+        Box::new(SparsePackedCodec),
+        Box::new(DenseFlatQCodec),
     ]
 }
 
@@ -41,7 +45,7 @@ mod tests {
     fn codec_ids_are_unique_and_stable() {
         let codecs = all_codecs();
         let ids: Vec<u32> = codecs.iter().map(|c| c.id()).collect();
-        assert_eq!(ids, vec![1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(ids, vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
     }
 
     #[test]

@@ -303,17 +303,29 @@ pub fn store(args: &[String]) -> Result<(), String> {
             for (path, info) in listing {
                 let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
                 match info {
-                    Ok(info) => println!(
-                        "{name}: codec={} repr={:?} dataset={:016x} heap={} KiB \
-                         file={} KiB prepare={} sections: {}",
-                        info.codec_name.unwrap_or("?"),
-                        info.repr,
-                        info.dataset_fp,
-                        info.heap_bytes.div_ceil(1024),
-                        info.file_bytes.div_ceil(1024),
-                        er::core::timing::format_runtime(info.prepare),
-                        info.layout(),
-                    ),
+                    Ok(info) => {
+                        println!(
+                            "{name}: codec={} repr={:?} dataset={:016x} heap={} KiB \
+                             file={} KiB prepare={} sections: {}",
+                            info.codec_name.unwrap_or("?"),
+                            info.repr,
+                            info.dataset_fp,
+                            info.heap_bytes.div_ceil(1024),
+                            info.file_bytes.div_ceil(1024),
+                            er::core::timing::format_runtime(info.prepare),
+                            info.layout(),
+                        );
+                        // Compression report: packed codecs expose each
+                        // compressed structure's encoded vs plain bytes.
+                        for ratio in &info.section_ratios {
+                            let factor =
+                                ratio.decoded_bytes as f64 / (ratio.encoded_bytes.max(1)) as f64;
+                            println!(
+                                "  {}: encoded={} B decoded={} B ({factor:.2}x)",
+                                ratio.label, ratio.encoded_bytes, ratio.decoded_bytes,
+                            );
+                        }
+                    }
                     Err(e) => println!("{name}: UNREADABLE: {e}"),
                 }
             }
@@ -512,6 +524,44 @@ mod tests {
         for action in ["inspect", "verify", "gc"] {
             store(&s(&[action, "--dir", &dir_arg])).expect(action);
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_inspect_reports_a_populated_directory() {
+        use er::core::artifacts::{ArtifactKey, DiskTier};
+        use er::core::schema::TextView;
+        use er::core::Filter;
+        let dir = std::env::temp_dir().join(format!("er_cli_inspect_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let artifacts = er_bench::open_store(&dir).expect("open store");
+            let filter = er::dense::FlatKnn {
+                cleaning: false,
+                k: 2,
+                reversed: false,
+                embedding: er::dense::EmbeddingConfig {
+                    dim: 16,
+                    ..Default::default()
+                },
+            };
+            let view = TextView::new(
+                (0..6)
+                    .map(|i| format!("camera model {i}"))
+                    .collect::<Vec<_>>(),
+                (0..4)
+                    .map(|i| format!("camera kit {i}"))
+                    .collect::<Vec<_>>(),
+            );
+            let prepared = filter.prepare(&view);
+            let key = ArtifactKey::new(7, filter.repr_key());
+            assert!(artifacts.store(&key, &prepared).expect("store"));
+        }
+        // Covers the per-section compression report: the dense-flat-q
+        // codec reports the derived quantization sidecar's ratio.
+        let dir_arg = dir.to_string_lossy().into_owned();
+        store(&s(&["inspect", "--dir", &dir_arg])).expect("inspect");
+        store(&s(&["verify", "--dir", &dir_arg])).expect("verify");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

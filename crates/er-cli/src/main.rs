@@ -57,7 +57,8 @@ SWEEP ARTIFACT CACHE:
                           savings (wall/prepare seconds, hit rate, speedup)
 
 STORE MAINTENANCE:
-    er store inspect --dir d   print each file's header and section layout
+    er store inspect --dir d   print each file's header, section layout and
+                               per-section encoded vs decoded byte sizes
     er store verify  --dir d   deep-check checksums + full decode (non-zero
                                exit when any file is damaged)
     er store gc      --dir d   remove stale temp and undecodable files

@@ -8,7 +8,8 @@
 
 use crate::artifact::DenseIndexArtifact;
 use crate::embed::EmbeddingConfig;
-use crate::vector::{dot_batch4, l2_sq_batch4, FlatVectors};
+use crate::quant::{QuantQuery, QuantizedVectors};
+use crate::vector::FlatVectors;
 use er_core::filter::{Filter, FilterOutput, Prepared};
 use er_core::parallel::{self, Threads};
 use er_core::schema::TextView;
@@ -51,18 +52,36 @@ impl PartialOrd for HeapItem {
 }
 
 /// An exact (brute-force) vector index over contiguous row-major storage.
+///
+/// Alongside the f32 rows the index keeps a u8 scalar-quantized sidecar
+/// ([`QuantizedVectors`]) when the data permits one. Scans use it as a
+/// *first pass only*: a row whose conservative cost lower bound already
+/// exceeds the current k-th best is skipped, every surviving row is
+/// rescored with the exact f32 kernel — so results are bit-identical to
+/// the unquantized scan (see [`FlatIndex::build_unquantized`] and the
+/// proptests).
 #[derive(Debug, Clone)]
 pub struct FlatIndex {
     vectors: FlatVectors,
     metric: Metric,
+    quant: Option<QuantizedVectors>,
 }
 
 impl FlatIndex {
-    /// Builds the index by packing the vectors into contiguous storage.
+    /// Builds the index by packing the vectors into contiguous storage
+    /// (plus the quantized scan sidecar when all values are finite).
     pub fn build(vectors: Vec<Vec<f32>>, metric: Metric) -> Self {
+        Self::from_parts(FlatVectors::from_rows(&vectors), metric)
+    }
+
+    /// [`FlatIndex::build`] without the quantized sidecar: the always-
+    /// exact reference configuration the quantized scan is tested
+    /// against.
+    pub fn build_unquantized(vectors: Vec<Vec<f32>>, metric: Metric) -> Self {
         Self {
             vectors: FlatVectors::from_rows(&vectors),
             metric,
+            quant: None,
         }
     }
 
@@ -76,19 +95,28 @@ impl FlatIndex {
         self.vectors.is_empty()
     }
 
-    /// Exact heap footprint of the stored vectors, for cache accounting.
+    /// Exact heap footprint of the stored vectors plus the quantized
+    /// sidecar, for cache accounting.
     pub fn heap_bytes(&self) -> usize {
-        self.vectors.heap_bytes()
+        self.vectors.heap_bytes() + self.quant.as_ref().map_or(0, QuantizedVectors::heap_bytes)
     }
 
-    /// Storage and metric, for serialization.
+    /// Storage and metric, for serialization. The quantized sidecar is
+    /// *not* serialized: quantization is deterministic, so decode rebuilds
+    /// an identical sidecar from the f32 rows.
     pub(crate) fn raw_parts(&self) -> (&FlatVectors, Metric) {
         (&self.vectors, self.metric)
     }
 
-    /// Rebuilds the index from already-packed storage.
+    /// Rebuilds the index from already-packed storage, re-deriving the
+    /// quantized sidecar.
     pub(crate) fn from_parts(vectors: FlatVectors, metric: Metric) -> Self {
-        Self { vectors, metric }
+        let quant = QuantizedVectors::build(&vectors);
+        Self {
+            vectors,
+            metric,
+            quant,
+        }
     }
 
     /// Cost of a candidate under the metric: lower is better.
@@ -101,29 +129,6 @@ impl FlatIndex {
         }
     }
 
-    /// Costs of four consecutive candidates starting at `id`, via the
-    /// batched kernels (bitwise identical to four [`FlatIndex::cost`]
-    /// calls).
-    #[inline]
-    fn cost4(&self, query: &[f32], id: usize) -> [f32; 4] {
-        let rows = [
-            self.vectors.row(id),
-            self.vectors.row(id + 1),
-            self.vectors.row(id + 2),
-            self.vectors.row(id + 3),
-        ];
-        match self.metric {
-            Metric::Dot => {
-                let mut d = dot_batch4(query, rows);
-                for c in &mut d {
-                    *c = -*c;
-                }
-                d
-            }
-            Metric::L2Sq => l2_sq_batch4(query, rows),
-        }
-    }
-
     /// Returns the `k` nearest vectors as `(id, cost)`, best first; ties
     /// break toward smaller ids.
     pub fn knn(&self, query: &[f32], k: usize) -> Vec<(u32, f32)> {
@@ -131,10 +136,18 @@ impl FlatIndex {
     }
 
     /// [`FlatIndex::knn`] reusing a caller-provided [`KnnScratch`], so a
-    /// query loop allocates one bounded heap for its whole lifetime
-    /// instead of one per query. Scans the index in batches of four rows
-    /// with the batched kernels; candidates feed the selection heap in
-    /// ascending id order, exactly as a row-at-a-time scan would.
+    /// query loop allocates one bounded heap (and one quantized-query
+    /// buffer) for its whole lifetime instead of one per query.
+    ///
+    /// Rows feed the selection heap in ascending id order. With a
+    /// quantized sidecar present, a full heap lets the scan skip any row
+    /// whose conservative lower bound is strictly worse than the current
+    /// k-th best — [`QuantizedVectors::lower_bound`] guarantees the exact
+    /// kernel cost would have been strictly rejected by
+    /// [`KnnScratch::consider`] too (`cost < worst` and the
+    /// `cost == worst && id < worst_id` tie arm both fail), so the heap
+    /// evolves identically to an exact scan and the result is bitwise the
+    /// same.
     pub fn knn_scratch(
         &self,
         query: &[f32],
@@ -146,18 +159,24 @@ impl FlatIndex {
         }
         scratch.begin(k);
         let n = self.vectors.len();
-        let mut id = 0usize;
-        while id + 4 <= n {
-            let costs = self.cost4(query, id);
-            for (off, &c) in costs.iter().enumerate() {
-                scratch.consider(k, (id + off) as u32, c);
+        let mut qq = std::mem::take(&mut scratch.qq);
+        let quant = self
+            .quant
+            .as_ref()
+            .filter(|qv| n > k && qv.quantize_query(query, &mut qq));
+        for id in 0..n as u32 {
+            if let Some(qv) = quant {
+                if scratch.len() == k {
+                    if let Some(worst) = scratch.worst_cost() {
+                        if qv.lower_bound(&qq, id as usize, self.metric) > f64::from(worst) {
+                            continue;
+                        }
+                    }
+                }
             }
-            id += 4;
+            scratch.consider(k, id, self.cost(query, id));
         }
-        while id < n {
-            scratch.consider(k, id as u32, self.cost(query, id as u32));
-            id += 1;
-        }
+        scratch.qq = qq;
         scratch.take_sorted()
     }
 
@@ -298,18 +317,33 @@ impl Filter for FlatRange {
 
 /// Reusable scratch for repeated bounded top-k selections.
 ///
-/// Holds the selection heap so a query loop pays for its allocation once
+/// Holds the selection heap (and the quantized-query buffer of the
+/// pruned flat scan) so a query loop pays for its allocations once
 /// instead of once per query; [`FlatIndex::knn_batch_with`] keeps one per
 /// worker chunk. The [`KnnScratch::consider`]/[`KnnScratch::take_sorted`]
 /// protocol is the single implementation of the bounded-heap selection:
-/// the flat batch-4 scan and the generic id-stream path share it, so they
-/// cannot diverge on replace/tie decisions.
+/// the quant-pruned flat scan and the generic id-stream path share it, so
+/// they cannot diverge on replace/tie decisions.
 #[derive(Default)]
 pub struct KnnScratch {
     heap: BinaryHeap<HeapItem>,
+    /// Reused quantized-query buffer of the pruned flat scan.
+    qq: QuantQuery,
 }
 
 impl KnnScratch {
+    /// Number of entries currently kept.
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Cost of the current worst kept entry, if any.
+    #[inline]
+    pub(crate) fn worst_cost(&self) -> Option<f32> {
+        self.heap.peek().map(|h| h.cost)
+    }
+
     /// Resets the scratch for a selection of up to `k` entries.
     pub(crate) fn begin(&mut self, k: usize) {
         self.heap.clear();
@@ -658,10 +692,9 @@ mod tests {
     }
 
     #[test]
-    fn batched_scan_matches_row_at_a_time() {
-        // The batch-4 scan must agree bitwise with the generic per-row
-        // selection path, including the tail rows of a non-multiple-of-4
-        // index.
+    fn quantized_scan_matches_row_at_a_time() {
+        // The quant-pruned scan must agree bitwise with the generic
+        // exact per-row selection path and with an unquantized index.
         let mut state = 0xDEADBEEFu64;
         let mut next = move || {
             state ^= state << 13;
@@ -673,11 +706,41 @@ mod tests {
         let queries: Vec<Vec<f32>> = (0..5).map(|_| (0..9).map(|_| next()).collect()).collect();
         for metric in [Metric::L2Sq, Metric::Dot] {
             let idx = FlatIndex::build(base.clone(), metric);
+            assert!(idx.quant.is_some(), "finite data must quantize");
+            let exact = FlatIndex::build_unquantized(base.clone(), metric);
+            assert!(exact.quant.is_none());
             for q in &queries {
-                for k in [1usize, 4, 11] {
+                for k in [1usize, 4, 11, 36, 37, 50] {
                     let per_row = knn_over(q, k, 0..idx.len() as u32, |id| idx.cost(q, id));
-                    assert_eq!(idx.knn(q, k), per_row, "{metric:?} k={k}");
+                    let got = idx.knn(q, k);
+                    assert_eq!(got, per_row, "{metric:?} k={k}");
+                    assert_eq!(got, exact.knn(q, k), "{metric:?} k={k} unquantized");
+                    for (a, b) in got.iter().zip(&per_row) {
+                        assert_eq!(a.1.to_bits(), b.1.to_bits(), "{metric:?} k={k}");
+                    }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_scan_handles_duplicate_rows_and_ties() {
+        // Many identical rows: every cost ties, so pruning must not skip
+        // a row the exact tie-break (smaller id wins) would have rejected
+        // anyway — and the kept ids must be the smallest ones.
+        let base = vec![vec![0.5f32, -0.25, 0.125]; 20];
+        for metric in [Metric::L2Sq, Metric::Dot] {
+            let idx = FlatIndex::build(base.clone(), metric);
+            let exact = FlatIndex::build_unquantized(base.clone(), metric);
+            let q = vec![0.5f32, -0.25, 0.125];
+            for k in [1usize, 5, 19] {
+                let got = idx.knn(&q, k);
+                assert_eq!(got, exact.knn(&q, k), "{metric:?} k={k}");
+                assert_eq!(
+                    got.iter().map(|x| x.0).collect::<Vec<_>>(),
+                    (0..k as u32).collect::<Vec<_>>(),
+                    "{metric:?} k={k}"
+                );
             }
         }
     }

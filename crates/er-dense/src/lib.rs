@@ -7,8 +7,11 @@
 //! that preserve the relevant subword behaviour without external model
 //! files.
 //!
-//! * [`vector`] — blocked dot/L2² kernels, batch-of-4 scan variants and
-//!   the contiguous [`FlatVectors`] row store,
+//! * [`vector`] — dispatched dot/L2² kernels (blocked scalar reference,
+//!   AVX2/NEON under the `simd` feature) and the contiguous
+//!   [`FlatVectors`] row store,
+//! * [`quant`] — u8 scalar quantization with conservative cost bounds
+//!   for the exact-rescore flat scan,
 //! * [`embed`] — the hashed subword embedder ("average tuple embedding"),
 //! * [`flat`] — exact brute-force kNN, the FAISS-Flat equivalent,
 //! * [`pq`] — product quantization (asymmetric-hashing scoring),
@@ -30,6 +33,8 @@ pub mod hyperplane;
 pub mod minhash;
 pub mod partitioned;
 pub mod pq;
+pub mod quant;
+mod simd;
 pub mod store;
 pub mod vector;
 
@@ -44,11 +49,14 @@ pub use hyperplane::HyperplaneLsh;
 pub use minhash::MinHashLsh;
 pub use partitioned::{assign, kmeans, PartitionedArtifact, PartitionedKnn, Scoring};
 pub use pq::ProductQuantizer;
+pub use quant::QuantizedVectors;
 pub use store::{
-    CrossPolytopeCodec, DenseFlatCodec, HyperplaneCodec, MinHashCodec, PartitionedCodec,
+    CrossPolytopeCodec, DenseFlatCodec, DenseFlatQCodec, HyperplaneCodec, MinHashCodec,
+    PartitionedCodec,
 };
 pub use vector::{
-    cosine, dot, dot_batch4, dot_scalar, l2_sq, l2_sq_batch4, l2_sq_scalar, normalize, FlatVectors,
+    cosine, dot, dot_blocked, dot_scalar, l2_sq, l2_sq_blocked, l2_sq_scalar, normalize,
+    FlatVectors,
 };
 
 #[cfg(test)]

@@ -1,0 +1,343 @@
+//! u8 scalar quantization of [`FlatVectors`] rows with *conservative*
+//! cost lower bounds, for the quantize-then-rescore flat scan.
+//!
+//! Each row is affinely quantized on its own range: `v_i ≈ vlo + c_i·vs`
+//! with `c_i ∈ 0..=255`. A query is quantized the same way once per
+//! search, and the u8×u8 integer dot product (exact in `u64`) yields an
+//! approximate query–row cost plus a rigorous error budget. The budget
+//! combines
+//!
+//! * the quantization residuals (`|v_i − v̂_i| ≤ ev_max`, likewise
+//!   `eq_max` for the query),
+//! * slop for the handful of f64 operations evaluating the bound, and
+//! * the worst-case f32 accumulation error of the *exact* kernels in
+//!   [`crate::vector`],
+//!
+//! so [`QuantizedVectors::lower_bound`] never exceeds the f32 cost the
+//! exact kernel would compute. The flat scan therefore may skip a row
+//! whenever the bound is strictly worse than the current k-th best cost:
+//! the exact kernel value would have been strictly rejected by the
+//! selection heap too, and the search result stays **bit-identical** to
+//! the unquantized scan (see DESIGN.md §12 and the proptests). Bounds
+//! only affect *speed* — a looser bound skips fewer rows, never changes a
+//! result.
+//!
+//! Quantization is deterministic, so the sidecar is rebuilt from the f32
+//! rows at store-decode time instead of being serialized.
+
+use crate::flat::Metric;
+use crate::vector::FlatVectors;
+
+/// Relative slop absorbing f64 rounding in the bound evaluation
+/// (generous: covers sums of up to ~10⁶ terms).
+const F64_SLOP: f64 = 1e-10;
+/// f32 unit roundoff, rounded up.
+const EPS32: f64 = 1.2e-7;
+
+/// Per-row quantization metadata; all f64 so bound evaluation never
+/// rounds against us in f32.
+#[derive(Debug, Clone)]
+struct RowMeta {
+    /// Affine offset: dequantized value of code 0.
+    vlo: f64,
+    /// Affine scale: value step per code increment.
+    vs: f64,
+    /// Upper bound on `max_i |v_i − (vlo + c_i·vs)|`.
+    ev_max: f64,
+    /// `Σ c_i` (exact).
+    sum_cv: f64,
+    /// Upper bound on `Σ |vlo + c_i·vs|`.
+    sum_abs_vhat: f64,
+    /// `max_i |v_i|` (exact).
+    max_abs_v: f64,
+    /// Lower bound on `Σ v_i²`.
+    norm_sq_lo: f64,
+}
+
+/// Reusable quantized-query scratch; one lives inside each
+/// [`crate::flat::KnnScratch`].
+#[derive(Debug, Clone, Default)]
+pub struct QuantQuery {
+    codes: Vec<u8>,
+    qlo: f64,
+    qs: f64,
+    eq_max: f64,
+    sum_cq: f64,
+    sum_abs_qhat: f64,
+    /// Upper bound on `Σ |q_i|`, for the kernel-error term.
+    sum_abs_q: f64,
+    norm_sq_lo: f64,
+}
+
+/// u8 scalar-quantized sidecar of a [`FlatVectors`] store.
+#[derive(Debug, Clone)]
+pub struct QuantizedVectors {
+    /// Row-major codes, `rows.len() × dim`.
+    codes: Vec<u8>,
+    rows: Vec<RowMeta>,
+    dim: usize,
+}
+
+/// Quantizes one slice into `codes` (cleared first); returns
+/// `(lo, step, err_max, sum_codes, sum_abs_hat)` or `None` on non-finite
+/// input.
+fn quantize_slice(v: &[f32], codes: &mut Vec<u8>) -> Option<(f64, f64, f64, f64, f64)> {
+    codes.clear();
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in v {
+        if !x.is_finite() {
+            return None;
+        }
+        lo = lo.min(f64::from(x));
+        hi = hi.max(f64::from(x));
+    }
+    if v.is_empty() {
+        return Some((0.0, 0.0, 0.0, 0.0, 0.0));
+    }
+    let step = (hi - lo) / 255.0;
+    let mut err_max = 0.0f64;
+    let mut sum_codes = 0u64;
+    let mut sum_abs_hat = 0.0f64;
+    for &x in v {
+        let c = if step > 0.0 {
+            ((f64::from(x) - lo) / step).round().clamp(0.0, 255.0) as u8
+        } else {
+            0
+        };
+        codes.push(c);
+        let hat = lo + f64::from(c) * step;
+        err_max = err_max.max((f64::from(x) - hat).abs());
+        sum_codes += u64::from(c);
+        sum_abs_hat += hat.abs();
+    }
+    Some((
+        lo,
+        step,
+        err_max * (1.0 + F64_SLOP) + 1e-300,
+        sum_codes as f64,
+        sum_abs_hat * (1.0 + F64_SLOP) + 1e-300,
+    ))
+}
+
+/// Lower bound on `Σ x_i²` of the f32 values, evaluated in f64.
+fn norm_sq_lo(v: &[f32]) -> f64 {
+    let s: f64 = v.iter().map(|&x| f64::from(x) * f64::from(x)).sum();
+    s * (1.0 - F64_SLOP)
+}
+
+impl QuantizedVectors {
+    /// Builds the sidecar; `None` when there is nothing to quantize or
+    /// any value is non-finite (the scan then stays fully exact).
+    pub fn build(vectors: &FlatVectors) -> Option<Self> {
+        if vectors.is_empty() || vectors.dim() == 0 {
+            return None;
+        }
+        let dim = vectors.dim();
+        let mut codes = Vec::with_capacity(vectors.len() * dim);
+        let mut rows = Vec::with_capacity(vectors.len());
+        let mut row_codes = Vec::with_capacity(dim);
+        for r in 0..vectors.len() {
+            let v = vectors.row(r);
+            let (vlo, vs, ev_max, sum_cv, sum_abs_vhat) = quantize_slice(v, &mut row_codes)?;
+            codes.extend_from_slice(&row_codes);
+            rows.push(RowMeta {
+                vlo,
+                vs,
+                ev_max,
+                sum_cv,
+                sum_abs_vhat,
+                max_abs_v: v.iter().fold(0.0f64, |m, &x| m.max(f64::from(x).abs())),
+                norm_sq_lo: norm_sq_lo(v),
+            });
+        }
+        Some(Self { codes, rows, dim })
+    }
+
+    /// Exact heap footprint, for artifact-cache accounting.
+    pub fn heap_bytes(&self) -> usize {
+        self.codes.len() + self.rows.len() * std::mem::size_of::<RowMeta>()
+    }
+
+    /// Quantizes `query` into the reusable scratch; `false` when the
+    /// query cannot be soundly quantized (dimension mismatch or
+    /// non-finite values) and the caller must scan exactly.
+    pub fn quantize_query(&self, query: &[f32], scratch: &mut QuantQuery) -> bool {
+        if query.len() != self.dim {
+            return false;
+        }
+        let mut codes = std::mem::take(&mut scratch.codes);
+        let Some((qlo, qs, eq_max, sum_cq, sum_abs_qhat)) = quantize_slice(query, &mut codes)
+        else {
+            scratch.codes = codes;
+            return false;
+        };
+        let sum_abs_q: f64 = query.iter().map(|&x| f64::from(x).abs()).sum();
+        *scratch = QuantQuery {
+            codes,
+            qlo,
+            qs,
+            eq_max,
+            sum_cq,
+            sum_abs_qhat,
+            sum_abs_q: sum_abs_q * (1.0 + F64_SLOP) + 1e-300,
+            norm_sq_lo: norm_sq_lo(query),
+        };
+        true
+    }
+
+    /// Conservative lower bound on the f32 cost the exact kernel computes
+    /// for (`query`, `row`) under `metric`. Soundness contract: the
+    /// returned value never exceeds `f64::from(FlatIndex::cost(...))`,
+    /// so `lower_bound > worst` proves the selection heap would strictly
+    /// reject the row.
+    pub fn lower_bound(&self, q: &QuantQuery, row: usize, metric: Metric) -> f64 {
+        let m = &self.rows[row];
+        let cv = &self.codes[row * self.dim..row * self.dim + self.dim];
+        // Exact integer dot product of the codes.
+        let mut ip = 0u64;
+        for (&a, &b) in q.codes.iter().zip(cv) {
+            ip += u64::from(a) * u64::from(b);
+        }
+        let d = self.dim as f64;
+        // ⟨q̂, v̂⟩ expanded over the affine forms; each term exact up to
+        // f64 rounding, covered by `mag · F64_SLOP`.
+        let t1 = d * q.qlo * m.vlo;
+        let t2 = q.qlo * m.vs * m.sum_cv;
+        let t3 = m.vlo * q.qs * q.sum_cq;
+        let t4 = q.qs * m.vs * (ip as f64);
+        let dot_hat = t1 + t2 + t3 + t4;
+        let mag = t1.abs() + t2.abs() + t3.abs() + t4.abs();
+        // |⟨q,v⟩ − ⟨q̂,v̂⟩| ≤ ev·Σ|q̂| + eq·Σ|v̂| + d·eq·ev.
+        let err = m.ev_max * q.sum_abs_qhat + q.eq_max * m.sum_abs_vhat + d * q.eq_max * m.ev_max;
+        // Upper bound on the exact real dot product.
+        let ub_dot = dot_hat + (err + mag * F64_SLOP) * (1.0 + F64_SLOP) + 1e-20;
+        // Worst-case f32 accumulation error of the exact kernels
+        // (standard γ_n bound with a 4× safety factor).
+        let kern = 4.0 * (d + 8.0) * EPS32 * q.sum_abs_q * (m.max_abs_v + 1e-300);
+        match metric {
+            Metric::Dot => -(ub_dot + kern) - 1e-20,
+            Metric::L2Sq => {
+                let base = q.norm_sq_lo + m.norm_sq_lo - 2.0 * ub_dot;
+                if base <= 0.0 {
+                    0.0
+                } else {
+                    let gamma = 4.0 * (d + 8.0) * EPS32;
+                    (base * (1.0 - gamma) - 1e-30).max(0.0)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random(len: usize, seed: u64, scale: f32) -> Vec<f32> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (((state >> 40) as f32 / 8388608.0) - 1.0) * scale
+            })
+            .collect()
+    }
+
+    #[test]
+    fn non_finite_rows_disable_quantization() {
+        let fv = FlatVectors::from_rows(&[vec![1.0, f32::NAN], vec![0.0, 1.0]]);
+        assert!(QuantizedVectors::build(&fv).is_none());
+        let inf = FlatVectors::from_rows(&[vec![1.0, f32::INFINITY]]);
+        assert!(QuantizedVectors::build(&inf).is_none());
+        assert!(QuantizedVectors::build(&FlatVectors::with_dim(4)).is_none());
+    }
+
+    #[test]
+    fn non_finite_query_falls_back_to_exact() {
+        let fv = FlatVectors::from_rows(&[vec![0.0, 1.0], vec![2.0, 3.0]]);
+        let qv = QuantizedVectors::build(&fv).expect("finite rows");
+        let mut qq = QuantQuery::default();
+        assert!(!qv.quantize_query(&[f32::NAN, 0.0], &mut qq));
+        assert!(
+            !qv.quantize_query(&[1.0, 2.0, 3.0], &mut qq),
+            "dim mismatch"
+        );
+        assert!(qv.quantize_query(&[1.0, 2.0], &mut qq));
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_exact_cost() {
+        // The soundness contract, brute-forced over random rows/queries at
+        // several dimensions and magnitudes, for both metrics.
+        for (dim, scale) in [(3usize, 1.0f32), (8, 100.0), (17, 0.01), (64, 5.0)] {
+            let rows: Vec<Vec<f32>> = (0..40)
+                .map(|r| pseudo_random(dim, 1000 + r, scale))
+                .collect();
+            let fv = FlatVectors::from_rows(&rows);
+            let qv = QuantizedVectors::build(&fv).expect("finite rows");
+            let mut qq = QuantQuery::default();
+            for s in 0..10u64 {
+                let q = pseudo_random(dim, 77 + s, scale);
+                assert!(qv.quantize_query(&q, &mut qq));
+                for (r, row) in rows.iter().enumerate() {
+                    let exact_dot = -crate::vector::dot(&q, row);
+                    let exact_l2 = crate::vector::l2_sq(&q, row);
+                    let lb_dot = qv.lower_bound(&qq, r, Metric::Dot);
+                    let lb_l2 = qv.lower_bound(&qq, r, Metric::L2Sq);
+                    assert!(
+                        lb_dot <= f64::from(exact_dot),
+                        "dot dim={dim} scale={scale} row={r}: {lb_dot} > {exact_dot}"
+                    );
+                    assert!(
+                        lb_l2 <= f64::from(exact_l2),
+                        "l2 dim={dim} scale={scale} row={r}: {lb_l2} > {exact_l2}"
+                    );
+                    assert!(lb_l2 >= 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_are_tight_enough_to_prune() {
+        // On well-spread data the bound must sit close to the exact cost,
+        // otherwise the quantized scan never skips anything. Accept a few
+        // percent of the cost magnitude at dim 64.
+        let dim = 64;
+        let rows: Vec<Vec<f32>> = (0..50).map(|r| pseudo_random(dim, 5 + r, 1.0)).collect();
+        let fv = FlatVectors::from_rows(&rows);
+        let qv = QuantizedVectors::build(&fv).expect("finite rows");
+        let mut qq = QuantQuery::default();
+        let q = pseudo_random(dim, 999, 1.0);
+        assert!(qv.quantize_query(&q, &mut qq));
+        for (r, row) in rows.iter().enumerate() {
+            let exact = f64::from(crate::vector::l2_sq(&q, row));
+            let lb = qv.lower_bound(&qq, r, Metric::L2Sq);
+            assert!(
+                exact - lb <= 0.08 * exact.max(1.0),
+                "row {r}: bound {lb} too loose for exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_rows_quantize_exactly() {
+        let fv = FlatVectors::from_rows(&[vec![2.5; 16], vec![-1.0; 16]]);
+        let qv = QuantizedVectors::build(&fv).expect("finite rows");
+        let mut qq = QuantQuery::default();
+        assert!(qv.quantize_query(&[2.5; 16], &mut qq));
+        // Identical constant vectors: the L2 bound must be ~0, not negative.
+        let lb = qv.lower_bound(&qq, 0, Metric::L2Sq);
+        assert!((0.0..=1e-6).contains(&lb));
+    }
+
+    #[test]
+    fn heap_bytes_counts_codes_and_metadata() {
+        let fv = FlatVectors::from_rows(&vec![vec![0.0; 10]; 4]);
+        let qv = QuantizedVectors::build(&fv).expect("finite rows");
+        assert_eq!(qv.heap_bytes(), 4 * 10 + 4 * std::mem::size_of::<RowMeta>());
+    }
+}

@@ -1,10 +1,18 @@
 //! Persistent-store codecs for the dense artifacts.
 //!
-//! Five codecs cover every dense prepare-stage artifact: the shared
+//! The codecs cover every dense prepare-stage artifact: the shared
 //! embed+flat-index artifact (FAISS-Flat, range and DeepBlocker runs),
 //! MinHash signatures+buckets, the two LSH families (hyperplanes and
 //! cross-polytope rotations plus their hash tables) and the SCANN-style
 //! partitioned index with its optional product quantizer.
+//!
+//! Flat-index files exist in two generations. [`DenseFlatCodec`] (id 3)
+//! predates the quantized scan sidecar: it is decode-only and opts out of
+//! exact heap parity, because its headers record the footprint without
+//! the sidecar that [`FlatIndex::from_parts`] now rebuilds. New files are
+//! written by [`DenseFlatQCodec`] (id 9) with the *same section layout* —
+//! the sidecar is never serialized since quantization is deterministic,
+//! so decode re-derives an identical one and exact parity holds.
 //!
 //! Common building blocks: [`FlatVectors`] serializes as `(rows, dim)`
 //! scalars plus one `f32` section; ragged `Vec<Vec<f32>>` collections as
@@ -27,13 +35,15 @@ use crate::partitioned::{PartitionedArtifact, PartitionedIndex, Scoring};
 use crate::pq::ProductQuantizer;
 use crate::vector::FlatVectors;
 use er_core::hash::FastMap;
-use er_store::{ArtifactCodec, SectionCursor, Sections, StoreError, StoreFile};
+use er_store::{ArtifactCodec, SectionCursor, SectionRatio, Sections, StoreError, StoreFile};
 use std::any::Any;
 use std::hash::Hash;
 use std::sync::Arc;
 
-/// Codec id stamped into embed+flat-index artifact files.
+/// Codec id of legacy (pre-quantization) embed+flat-index files.
 pub const DENSE_FLAT_CODEC_ID: u32 = 3;
+/// Codec id stamped into new embed+flat-index artifact files.
+pub const DENSE_FLAT_Q_CODEC_ID: u32 = 9;
 /// Codec id stamped into MinHash artifact files.
 pub const MINHASH_CODEC_ID: u32 = 4;
 /// Codec id stamped into Hyperplane-LSH artifact files.
@@ -212,7 +222,23 @@ fn read_buckets<K: BucketKey>(
     Ok(out)
 }
 
-/// (De)serializes [`DenseIndexArtifact`] (FAISS-Flat, range, DeepBlocker).
+/// Shared decode of both flat-index generations (identical sections).
+fn decode_flat(file: &StoreFile) -> er_store::Result<(Arc<dyn Any + Send + Sync>, usize)> {
+    let mut cur = file.cursor()?;
+    let metric = metric_from(cur.scalar()?)?;
+    let vectors = read_vectors("index vectors", &mut cur)?;
+    let queries = read_vecs("queries", &mut cur)?;
+    cur.finish()?;
+    if !vectors.is_empty() {
+        check_dims("queries", &queries, vectors.dim())?;
+    }
+    let index = FlatIndex::from_parts(vectors, metric);
+    let heap_bytes = index.heap_bytes() + vecs_bytes(&queries);
+    Ok((Arc::new(DenseIndexArtifact { index, queries }), heap_bytes))
+}
+
+/// Decodes legacy (pre-quantization) [`DenseIndexArtifact`] files. New
+/// files are written by [`DenseFlatQCodec`].
 pub struct DenseFlatCodec;
 
 impl ArtifactCodec for DenseFlatCodec {
@@ -222,6 +248,38 @@ impl ArtifactCodec for DenseFlatCodec {
 
     fn name(&self) -> &'static str {
         "dense-flat"
+    }
+
+    /// Legacy layout: decode-only.
+    fn encode(&self, _artifact: &(dyn Any + Send + Sync)) -> Option<Sections> {
+        None
+    }
+
+    /// Legacy headers recorded `heap_bytes` without the quantized scan
+    /// sidecar that decode now rebuilds.
+    fn exact_heap_parity(&self) -> bool {
+        false
+    }
+
+    fn decode(&self, file: &StoreFile) -> er_store::Result<(Arc<dyn Any + Send + Sync>, usize)> {
+        decode_flat(file)
+    }
+}
+
+/// (De)serializes [`DenseIndexArtifact`] (FAISS-Flat, range, DeepBlocker).
+///
+/// Same sections as the legacy [`DenseFlatCodec`]; only the u8 scan
+/// sidecar semantics differ, and that is rebuilt — not stored — so the
+/// header's `heap_bytes` matches decode exactly.
+pub struct DenseFlatQCodec;
+
+impl ArtifactCodec for DenseFlatQCodec {
+    fn id(&self) -> u32 {
+        DENSE_FLAT_Q_CODEC_ID
+    }
+
+    fn name(&self) -> &'static str {
+        "dense-flat-q"
     }
 
     fn encode(&self, artifact: &(dyn Any + Send + Sync)) -> Option<Sections> {
@@ -235,17 +293,22 @@ impl ArtifactCodec for DenseFlatCodec {
     }
 
     fn decode(&self, file: &StoreFile) -> er_store::Result<(Arc<dyn Any + Send + Sync>, usize)> {
+        decode_flat(file)
+    }
+
+    /// Reports the derived quantization sidecar: encoded bytes are the
+    /// serialized f32 rows, decoded bytes add the rebuilt u8 sidecar.
+    fn section_ratios(&self, file: &StoreFile) -> er_store::Result<Vec<SectionRatio>> {
         let mut cur = file.cursor()?;
         let metric = metric_from(cur.scalar()?)?;
         let vectors = read_vectors("index vectors", &mut cur)?;
-        let queries = read_vecs("queries", &mut cur)?;
-        cur.finish()?;
-        if !vectors.is_empty() {
-            check_dims("queries", &queries, vectors.dim())?;
-        }
+        let encoded = vectors.heap_bytes() as u64;
         let index = FlatIndex::from_parts(vectors, metric);
-        let heap_bytes = index.heap_bytes() + vecs_bytes(&queries);
-        Ok((Arc::new(DenseIndexArtifact { index, queries }), heap_bytes))
+        Ok(vec![SectionRatio {
+            label: "index".to_owned(),
+            encoded_bytes: encoded,
+            decoded_bytes: index.heap_bytes() as u64,
+        }])
     }
 }
 
@@ -641,6 +704,7 @@ mod tests {
             &dir,
             vec![
                 Box::new(DenseFlatCodec),
+                Box::new(DenseFlatQCodec),
                 Box::new(MinHashCodec),
                 Box::new(HyperplaneCodec),
                 Box::new(CrossPolytopeCodec),
@@ -704,6 +768,31 @@ mod tests {
         for (q, query) in a.queries.iter().enumerate() {
             assert_eq!(a.index.knn(query, 3), b.index.knn(query, 3), "query {q}");
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn new_flat_files_use_the_quantized_codec() {
+        let (store, dir) = store_in("flatq");
+        let f = FlatKnn {
+            cleaning: false,
+            k: 2,
+            reversed: false,
+            embedding: emb(),
+        };
+        let fresh = f.prepare(&view());
+        roundtrip(&store, 9, &f.repr_key(), &fresh);
+        let infos = store.inspect().expect("inspect");
+        assert_eq!(infos.len(), 1);
+        let info = infos[0].1.as_ref().expect("readable file");
+        assert_eq!(info.codec_id, DENSE_FLAT_Q_CODEC_ID);
+        assert_eq!(info.codec_name, Some("dense-flat-q"));
+        // The compression report shows the rebuilt sidecar's overhead:
+        // decoded (f32 rows + u8 sidecar) ≥ encoded (f32 rows only).
+        let ratios = &info.section_ratios;
+        assert_eq!(ratios.len(), 1);
+        assert_eq!(ratios[0].label, "index");
+        assert!(ratios[0].decoded_bytes > ratios[0].encoded_bytes);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -846,7 +935,7 @@ mod tests {
     #[test]
     fn unrelated_artifacts_are_not_encoded() {
         for codec in [
-            Box::new(DenseFlatCodec) as Box<dyn ArtifactCodec>,
+            Box::new(DenseFlatQCodec) as Box<dyn ArtifactCodec>,
             Box::new(MinHashCodec),
             Box::new(HyperplaneCodec),
             Box::new(CrossPolytopeCodec),

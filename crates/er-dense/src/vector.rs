@@ -1,22 +1,23 @@
 //! Dense-vector kernels and the contiguous row-major vector storage
 //! shared by every dense NN method.
 //!
-//! The kernels are written for autovectorization in safe Rust: the hot
-//! loop runs over `LANES`-wide chunks with one independent accumulator per
-//! lane (`chunks_exact` proves the bounds, the unrolled accumulators break
-//! the sequential-add dependency chain), followed by a fixed-shape lane
-//! reduction and a scalar remainder. The summation order is a pure
-//! function of the input length, so results are deterministic — but they
-//! differ in the last ulp from a strict left-to-right scalar sum, which is
-//! why [`dot_scalar`]/[`l2_sq_scalar`] are retained as references for
-//! tests and benchmarks.
+//! [`dot`] and [`l2_sq`] are thin dispatchers: with the `simd` feature
+//! they route to the explicit AVX2/NEON kernels in [`crate::simd`] when
+//! the host supports them, otherwise (and always without the feature)
+//! they run [`dot_blocked`]/[`l2_sq_blocked`] — safe kernels written for
+//! autovectorization: the hot loop runs over `LANES`-wide chunks with one
+//! independent accumulator per lane (`chunks_exact` proves the bounds,
+//! the unrolled accumulators break the sequential-add dependency chain),
+//! followed by a fixed-shape lane reduction and a scalar remainder. Every
+//! dispatched variant reproduces the blocked kernels' exact operation
+//! sequence, so results are **bitwise identical across dispatch targets**
+//! (asserted via `to_bits` in `crate::simd` and `bench_kernels`) — a
+//! candidate set can never depend on the host CPU.
 //!
-//! [`dot_batch4`]/[`l2_sq_batch4`] score four rows against one query in a
-//! single pass (better register and query-vector reuse in index scans).
-//! Each row keeps its own accumulator set updated in exactly the per-row
-//! operation order of the single-row kernel, so the batched results are
-//! **bitwise identical** to four single calls — batched and unbatched
-//! scans cannot disagree, which the tests assert via `to_bits`.
+//! The summation order is a pure function of the input length, so results
+//! are deterministic — but they differ in the last ulp from a strict
+//! left-to-right scalar sum, which is why [`dot_scalar`]/[`l2_sq_scalar`]
+//! are retained as references for tests and benchmarks.
 
 /// Accumulator width of the blocked kernels.
 const LANES: usize = 8;
@@ -32,9 +33,51 @@ fn lane_sum(acc: [f32; LANES]) -> f32 {
     (a0 + a2) + (a1 + a3)
 }
 
-/// Dot product (blocked kernel).
+/// Dot product — dispatches to the widest kernel the host supports; the
+/// result is bit-identical to [`dot_blocked`] on every target.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    {
+        // SAFETY: NEON is baseline on aarch64.
+        unsafe { crate::simd::dot_neon(a, b) }
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "aarch64")))]
+    {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if crate::simd::avx2() {
+            // SAFETY: AVX2 support was just probed.
+            return unsafe { crate::simd::dot_avx2(a, b) };
+        }
+        dot_blocked(a, b)
+    }
+}
+
+/// Squared Euclidean distance (the `L2²` similarity of SCANN/FAISS — no
+/// square root, since ranking is monotone in it). Dispatches like
+/// [`dot`]; bit-identical to [`l2_sq_blocked`] on every target.
+#[inline]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    {
+        // SAFETY: NEON is baseline on aarch64.
+        unsafe { crate::simd::l2_sq_neon(a, b) }
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "aarch64")))]
+    {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if crate::simd::avx2() {
+            // SAFETY: AVX2 support was just probed.
+            return unsafe { crate::simd::l2_sq_avx2(a, b) };
+        }
+        l2_sq_blocked(a, b)
+    }
+}
+
+/// Dot product (blocked safe kernel) — the always-compiled reference the
+/// SIMD variants are `to_bits`-tested against.
+#[inline]
+pub fn dot_blocked(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     let mut acc = [0.0f32; LANES];
     let mut ca = a.chunks_exact(LANES);
@@ -51,10 +94,10 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     sum
 }
 
-/// Squared Euclidean distance (the `L2²` similarity of SCANN/FAISS — no
-/// square root, since ranking is monotone in it). Blocked kernel.
+/// Squared Euclidean distance (blocked safe kernel) — the always-compiled
+/// reference the SIMD variants are `to_bits`-tested against.
 #[inline]
-pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+pub fn l2_sq_blocked(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     let mut acc = [0.0f32; LANES];
     let mut ca = a.chunks_exact(LANES);
@@ -93,66 +136,6 @@ pub fn l2_sq_scalar(a: &[f32], b: &[f32]) -> f32 {
             d * d
         })
         .sum()
-}
-
-/// Dot products of one query against four rows in a single pass.
-///
-/// Each row's accumulators see exactly the operation sequence of
-/// [`dot`], so `dot_batch4(q, [a, b, c, d]) == [dot(q, a), …]` bitwise.
-#[inline]
-pub fn dot_batch4(q: &[f32], rows: [&[f32]; 4]) -> [f32; 4] {
-    let mut acc = [[0.0f32; LANES]; 4];
-    let blocks = q.len() / LANES;
-    for c in 0..blocks {
-        let base = c * LANES;
-        let x = &q[base..base + LANES];
-        for (a, row) in acc.iter_mut().zip(rows) {
-            let y = &row[base..base + LANES];
-            for ((l, &xv), &yv) in a.iter_mut().zip(x).zip(y) {
-                *l += xv * yv;
-            }
-        }
-    }
-    let tail = blocks * LANES;
-    let mut out = [0.0f32; 4];
-    for ((o, a), row) in out.iter_mut().zip(acc).zip(rows) {
-        let mut sum = lane_sum(a);
-        for (&xv, &yv) in q[tail..].iter().zip(&row[tail..]) {
-            sum += xv * yv;
-        }
-        *o = sum;
-    }
-    out
-}
-
-/// Squared Euclidean distances of one query against four rows in a single
-/// pass; bitwise identical to four [`l2_sq`] calls (see [`dot_batch4`]).
-#[inline]
-pub fn l2_sq_batch4(q: &[f32], rows: [&[f32]; 4]) -> [f32; 4] {
-    let mut acc = [[0.0f32; LANES]; 4];
-    let blocks = q.len() / LANES;
-    for c in 0..blocks {
-        let base = c * LANES;
-        let x = &q[base..base + LANES];
-        for (a, row) in acc.iter_mut().zip(rows) {
-            let y = &row[base..base + LANES];
-            for ((l, &xv), &yv) in a.iter_mut().zip(x).zip(y) {
-                let d = xv - yv;
-                *l += d * d;
-            }
-        }
-    }
-    let tail = blocks * LANES;
-    let mut out = [0.0f32; 4];
-    for ((o, a), row) in out.iter_mut().zip(acc).zip(rows) {
-        let mut sum = lane_sum(a);
-        for (&xv, &yv) in q[tail..].iter().zip(&row[tail..]) {
-            let d = xv - yv;
-            sum += d * d;
-        }
-        *o = sum;
-    }
-    out
 }
 
 /// Cosine similarity; 0 for zero vectors.
@@ -324,41 +307,33 @@ mod tests {
             let b = pseudo_random(len, 5);
             let tol = 1e-4 * (len.max(1) as f32);
             assert!(
-                (dot(&a, &b) - dot_scalar(&a, &b)).abs() <= tol,
+                (dot_blocked(&a, &b) - dot_scalar(&a, &b)).abs() <= tol,
                 "dot len={len}"
             );
             assert!(
-                (l2_sq(&a, &b) - l2_sq_scalar(&a, &b)).abs() <= tol,
+                (l2_sq_blocked(&a, &b) - l2_sq_scalar(&a, &b)).abs() <= tol,
                 "l2 len={len}"
             );
         }
     }
 
     #[test]
-    fn batch4_is_bitwise_identical_to_single_kernels() {
-        for len in [0usize, 1, 7, 8, 9, 16, 31, 64, 129] {
-            let q = pseudo_random(len, 11);
-            let rows: Vec<Vec<f32>> = (0..4).map(|r| pseudo_random(len, 13 + r)).collect();
-            let refs = [
-                rows[0].as_slice(),
-                rows[1].as_slice(),
-                rows[2].as_slice(),
-                rows[3].as_slice(),
-            ];
-            let d4 = dot_batch4(&q, refs);
-            let l4 = l2_sq_batch4(&q, refs);
-            for r in 0..4 {
-                assert_eq!(
-                    d4[r].to_bits(),
-                    dot(&q, &rows[r]).to_bits(),
-                    "dot len={len} row={r}"
-                );
-                assert_eq!(
-                    l4[r].to_bits(),
-                    l2_sq(&q, &rows[r]).to_bits(),
-                    "l2 len={len} row={r}"
-                );
-            }
+    fn dispatched_kernels_bitwise_match_blocked_reference() {
+        // Whatever `dot`/`l2_sq` dispatch to must equal the blocked
+        // reference to the bit — the cross-CPU determinism contract.
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 31, 64, 129, 300] {
+            let a = pseudo_random(len, 7);
+            let b = pseudo_random(len, 9);
+            assert_eq!(
+                dot(&a, &b).to_bits(),
+                dot_blocked(&a, &b).to_bits(),
+                "dot len={len}"
+            );
+            assert_eq!(
+                l2_sq(&a, &b).to_bits(),
+                l2_sq_blocked(&a, &b).to_bits(),
+                "l2 len={len}"
+            );
         }
     }
 

@@ -8,16 +8,20 @@
 //! * [`TokenInterner`] maps each distinct 64-bit token hash to a dense
 //!   `u32` id in first-encounter order. Tokenization output order is
 //!   deterministic, so the id assignment is too.
-//! * [`CsrTokenSets`] stores all token-id rows back to back
-//!   (`offsets[i]..offsets[i + 1]` indexes row `i` inside one flat
-//!   `tokens` array) — two allocations total, exact byte accounting, and
-//!   cache-friendly sequential scans.
+//! * [`CsrTokenSets`] stores all token-id rows back to back as
+//!   delta-encoded, bitpacked [`PackedRows`] — exact byte accounting at a
+//!   fraction of the plain-CSR footprint. Rows are unpacked on demand
+//!   into a caller-owned scratch buffer ([`CsrTokenSets::row_into`]);
+//!   query loops reuse one buffer for a whole batch.
 //!
 //! CSR invariants (upheld by the builders in [`crate::scancount`], relied
-//! upon by every query path): `offsets` has `len + 1` entries, starts at
-//! 0, is non-decreasing, and ends at `tokens.len()`; each row holds
-//! strictly ascending interned ids of a duplicate-free token set.
+//! upon by every query path): row boundaries start at 0 and are
+//! non-decreasing; each row holds the interned ids of a duplicate-free
+//! token set in tokenization order (interned ids are assigned globally by
+//! first encounter, so a row is *not* necessarily ascending — the zigzag
+//! delta coding in [`PackedRows`] is order-agnostic).
 
+use crate::packed::PackedRows;
 use er_core::hash::FastMap;
 
 /// Interns 64-bit token hashes to dense `u32` ids (first encounter wins).
@@ -81,32 +85,33 @@ impl TokenInterner {
     }
 }
 
-/// Token-id sets of one entity collection in CSR layout.
+/// Token-id sets of one entity collection, bitpacked (see module docs).
 #[derive(Debug, Clone, Default)]
 pub struct CsrTokenSets {
-    /// Row boundaries: row `i` is `tokens[offsets[i] as usize..offsets[i + 1] as usize]`.
-    offsets: Vec<u32>,
-    /// All rows' interned token ids, flattened.
-    tokens: Vec<u32>,
+    /// Bitpacked rows of interned token ids.
+    rows: PackedRows,
     /// Original token-set cardinality per row. Query-side rows drop
-    /// tokens unknown to the index (they cannot match anything), so
-    /// `row(i).len()` may be smaller than `set_size(i)`; similarity
-    /// formulas must use the true cardinality recorded here.
+    /// tokens unknown to the index (they cannot match anything), so a
+    /// row may be shorter than `set_size(i)`; similarity formulas must
+    /// use the true cardinality recorded here.
     set_sizes: Vec<u32>,
 }
 
 impl CsrTokenSets {
-    /// Builds the CSR directly from parts; `debug_assert`s the invariants.
+    /// Packs plain CSR parts; `debug_assert`s the boundary invariants.
     pub(crate) fn from_parts(offsets: Vec<u32>, tokens: Vec<u32>, set_sizes: Vec<u32>) -> Self {
         debug_assert_eq!(offsets.len(), set_sizes.len() + 1);
-        debug_assert_eq!(offsets.first().copied(), Some(0));
-        debug_assert_eq!(offsets.last().copied(), Some(tokens.len() as u32));
-        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
         Self {
-            offsets,
-            tokens,
+            rows: PackedRows::from_rows(offsets, &tokens),
             set_sizes,
         }
+    }
+
+    /// Wraps already-packed rows (the persistent store's decode path; the
+    /// codec has validated the packed invariants and the id range).
+    pub(crate) fn from_packed(rows: PackedRows, set_sizes: Vec<u32>) -> Self {
+        debug_assert_eq!(rows.len(), set_sizes.len());
+        Self { rows, set_sizes }
     }
 
     /// Number of rows (entities).
@@ -119,10 +124,18 @@ impl CsrTokenSets {
         self.set_sizes.is_empty()
     }
 
-    /// The interned token ids of row `i`, strictly ascending.
+    /// Unpacks row `i`'s interned token ids into `buf` and returns them.
     #[inline]
-    pub fn row(&self, i: usize) -> &[u32] {
-        &self.tokens[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    pub fn row_into<'a>(&self, i: usize, buf: &'a mut Vec<u32>) -> &'a [u32] {
+        self.rows.decode_row_into(i, buf)
+    }
+
+    /// Row `i` as a fresh allocation — convenience for tests and cold
+    /// paths; hot loops should reuse a buffer via [`CsrTokenSets::row_into`].
+    pub fn row_vec(&self, i: usize) -> Vec<u32> {
+        let mut buf = Vec::new();
+        self.rows.decode_row_into(i, &mut buf);
+        buf
     }
 
     /// The original token-set cardinality of row `i` (see field docs).
@@ -138,15 +151,15 @@ impl CsrTokenSets {
         &self.set_sizes
     }
 
-    /// Exact heap payload in bytes: three `u32` arrays, no guessing.
+    /// Exact heap payload in bytes: the packed rows plus one `u32` array.
     pub fn heap_bytes(&self) -> usize {
-        (self.offsets.len() + self.tokens.len() + self.set_sizes.len()) * 4
+        self.rows.heap_bytes() + self.set_sizes.len() * 4
     }
 
-    /// The three flat arrays `(offsets, tokens, set_sizes)`, for the
-    /// persistent store's serializer.
-    pub(crate) fn raw_parts(&self) -> (&[u32], &[u32], &[u32]) {
-        (&self.offsets, &self.tokens, &self.set_sizes)
+    /// The packed row storage, for the persistent store's serializer and
+    /// compression-ratio reporting.
+    pub(crate) fn packed(&self) -> &PackedRows {
+        &self.rows
     }
 }
 
@@ -171,12 +184,36 @@ mod tests {
     fn csr_rows_round_trip() {
         let sets = CsrTokenSets::from_parts(vec![0, 2, 2, 5], vec![3, 9, 1, 4, 8], vec![2, 0, 3]);
         assert_eq!(sets.len(), 3);
-        assert_eq!(sets.row(0), &[3, 9]);
-        assert_eq!(sets.row(1), &[] as &[u32]);
-        assert_eq!(sets.row(2), &[1, 4, 8]);
+        assert_eq!(sets.row_vec(0), &[3, 9]);
+        assert_eq!(sets.row_vec(1), &[] as &[u32]);
+        assert_eq!(sets.row_vec(2), &[1, 4, 8]);
         assert_eq!(sets.set_size(2), 3);
         assert_eq!(sets.set_sizes(), &[2, 0, 3]);
-        assert_eq!(sets.heap_bytes(), (4 + 5 + 3) * 4);
+        let mut buf = Vec::new();
+        assert_eq!(sets.row_into(2, &mut buf), &[1, 4, 8]);
+        assert_eq!(sets.row_into(1, &mut buf), &[] as &[u32]);
+    }
+
+    #[test]
+    fn packed_heap_beats_plain_csr_on_real_shapes() {
+        // 200 rows of small ascending id runs — the common token-set shape.
+        let mut offsets = vec![0u32];
+        let mut tokens = Vec::new();
+        let mut sizes = Vec::new();
+        for i in 0..200u32 {
+            for t in 0..(i % 9) {
+                tokens.push((i + t * 3) % 1500);
+            }
+            offsets.push(tokens.len() as u32);
+            sizes.push(i % 9);
+        }
+        let sets = CsrTokenSets::from_parts(offsets.clone(), tokens.clone(), sizes);
+        let plain = (offsets.len() + tokens.len()) * 4;
+        assert!(
+            sets.heap_bytes() < plain,
+            "{} vs plain {plain}",
+            sets.heap_bytes()
+        );
     }
 
     #[test]
@@ -184,6 +221,6 @@ mod tests {
         let sets = CsrTokenSets::from_parts(vec![0], Vec::new(), Vec::new());
         assert!(sets.is_empty());
         assert_eq!(sets.len(), 0);
-        assert_eq!(sets.heap_bytes(), 4);
+        assert_eq!(sets.heap_bytes(), sets.packed().heap_bytes());
     }
 }

@@ -67,7 +67,7 @@ impl Filter for EpsilonJoin {
                 // argument).
                 let (lo, hi) = self.measure.size_bounds(qlen, self.threshold);
                 art.index
-                    .query_ids_with(&mut scratch, art.query_sets.row(j), &mut hits);
+                    .query_row_with(&mut scratch, &art.query_sets, j, &mut hits);
                 for &(i, overlap) in &hits {
                     let ilen = art.index.set_size(i);
                     if ilen < lo || ilen > hi {

@@ -131,8 +131,7 @@ impl KnnJoin {
         hits: &mut Vec<(u32, u32)>,
     ) -> Vec<(u32, f64)> {
         let qlen = art.query_sets.set_size(j);
-        art.index
-            .query_ids_with(scratch, art.query_sets.row(j), hits);
+        art.index.query_row_with(scratch, &art.query_sets, j, hits);
         let mut floor = k.map(DistinctFloor::new);
         let mut bounds: Option<(usize, usize)> = None;
         let mut scored: Vec<(u32, f64)> = Vec::with_capacity(hits.len());

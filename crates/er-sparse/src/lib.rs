@@ -9,9 +9,12 @@
 //! * [`similarity`] — Cosine, Dice and Jaccard over set overlaps,
 //! * [`csr`] — the token interner and contiguous CSR token-set layout
 //!   shared by every sparse hot path,
+//! * [`packed`] — delta-encoded, bitpacked CSR rows backing both the
+//!   token sets and the posting lists,
 //! * [`scancount`] — the ScanCount inverted-list merge-count algorithm
 //!   [Li et al., ICDE 2008], suited to the low thresholds ER needs, over
-//!   CSR posting lists,
+//!   packed CSR posting lists (AVX2 merge kernel behind the `simd`
+//!   feature),
 //! * [`reference`] — frozen naive implementations the property tests use
 //!   as an oracle for the optimized layouts,
 //! * [`epsilon`] — the range join (ε-Join),
@@ -25,9 +28,12 @@ pub mod csr;
 pub mod epsilon;
 pub mod grid;
 pub mod knn;
+pub mod packed;
 pub mod reference;
 pub mod representation;
 pub mod scancount;
+#[cfg(feature = "simd")]
+mod simd;
 pub mod similarity;
 pub mod store;
 pub mod topk;
@@ -37,10 +43,11 @@ pub use csr::{CsrTokenSets, TokenInterner};
 pub use epsilon::EpsilonJoin;
 pub use grid::{dknn_baseline, epsilon_grid, knn_grid, SparseGridResolution};
 pub use knn::KnnJoin;
+pub use packed::PackedRows;
 pub use representation::RepresentationModel;
 pub use scancount::{ScanCountIndex, ScanCountScratch};
 pub use similarity::SimilarityMeasure;
-pub use store::SparseCodec;
+pub use store::{SparseCodec, SparsePackedCodec};
 pub use topk::TopKJoin;
 
 #[cfg(test)]

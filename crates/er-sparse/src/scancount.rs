@@ -6,18 +6,22 @@
 //! `|A∩B|`. Unlike prefix-filter joins it has no similarity-threshold
 //! assumptions, which makes it suitable for the low thresholds ER needs.
 //!
-//! The index stores its postings in CSR layout behind a
-//! [`TokenInterner`]: token id `t`'s posting list is
-//! `postings[offsets[t]..offsets[t + 1]]`, one contiguous array for the
-//! whole index instead of one heap allocation per token. Queries that
-//! arrive pre-interned ([`ScanCountIndex::query_ids_with`]) skip the hash
-//! lookup entirely and walk flat memory.
+//! The index stores its postings as bitpacked CSR rows behind a
+//! [`TokenInterner`]: token id `t`'s posting list is packed row `t` of a
+//! [`PackedRows`], unpacked per token into a reusable scratch buffer.
+//! Queries that arrive pre-interned ([`ScanCountIndex::query_ids_with`])
+//! skip the hash lookup entirely. The merge loop itself dispatches to an
+//! AVX2 gather kernel at runtime when the `simd` feature is enabled (see
+//! [`crate::simd`]); [`merge_list_scalar`] is the always-available,
+//! always-tested reference, and every variant is exactly
+//! candidate-set-identical because the loop is pure integer arithmetic.
 
 use crate::csr::{CsrTokenSets, TokenInterner};
+use crate::packed::PackedRows;
 use er_core::parallel::{self, Threads};
 
 /// Per-caller scratch for ScanCount queries: the overlap-count workhorse
-/// buffer, one slot per indexed entity.
+/// buffer plus the posting-list and query-row unpack buffers.
 ///
 /// Splitting the scratch out of the index lets queries run on `&self`, so
 /// parallel workers share one read-only index while each owns a scratch
@@ -27,19 +31,22 @@ use er_core::parallel::{self, Threads};
 pub struct ScanCountScratch {
     /// Overlap count per indexed entity; zero except while a query runs.
     counts: Vec<u32>,
+    /// Unpack target for one posting list at a time.
+    list_buf: Vec<u32>,
+    /// Unpack target for a packed query row ([`ScanCountIndex::query_row_with`]).
+    query_buf: Vec<u32>,
 }
 
-/// An inverted index over the token sets of one entity collection, in CSR
-/// layout (see module docs).
+/// An inverted index over the token sets of one entity collection, with
+/// bitpacked posting lists (see module docs).
 #[derive(Debug, Clone, Default)]
 pub struct ScanCountIndex {
     /// Token hash → dense token id; shared with the query side so probes
     /// can be pre-interned once per artifact.
     interner: TokenInterner,
-    /// CSR row boundaries per token id (`interner.len() + 1` entries).
-    offsets: Vec<u32>,
-    /// Flat posting lists: ascending entity indices per token id.
-    postings: Vec<u32>,
+    /// Bitpacked posting lists, one row per token id: ascending entity
+    /// indices, delta-encoded (see [`crate::packed`]).
+    postings: PackedRows,
     /// Token-set cardinality `|A|` per indexed entity.
     set_sizes: Vec<u32>,
 }
@@ -73,7 +80,8 @@ impl ScanCountIndex {
 
         // Pass 2: prefix-sum the posting counts into CSR offsets and fill
         // the lists by walking the rows in entity order, which leaves each
-        // posting list in ascending entity order.
+        // posting list in ascending entity order. The plain lists are then
+        // bitpacked; ascending ids with small gaps pack a few bits each.
         let tokens = interner.len();
         let mut counts = vec![0u32; tokens];
         for &id in &row_tokens {
@@ -99,8 +107,7 @@ impl ScanCountIndex {
         (
             Self {
                 interner,
-                offsets,
-                postings,
+                postings: PackedRows::from_rows(offsets, &postings),
                 set_sizes,
             },
             index_sets,
@@ -146,38 +153,42 @@ impl ScanCountIndex {
         self.set_sizes[i as usize] as usize
     }
 
-    /// Heap footprint in bytes for artifact-cache budgeting: the three
-    /// CSR arrays are exact (array length × 4); only the interner term is
-    /// an estimate (see [`TokenInterner::heap_bytes`]).
+    /// Heap footprint in bytes for artifact-cache budgeting: the packed
+    /// postings and the `set_sizes` array are exact; only the interner
+    /// term is an estimate (see [`TokenInterner::heap_bytes`]).
     pub fn heap_bytes(&self) -> usize {
-        (self.offsets.len() + self.postings.len() + self.set_sizes.len()) * 4
-            + self.interner.heap_bytes()
+        self.postings.heap_bytes() + self.set_sizes.len() * 4 + self.interner.heap_bytes()
+    }
+
+    /// The bitpacked posting lists (compression-ratio reporting and the
+    /// kernel benchmarks unpack them from here).
+    pub fn postings(&self) -> &PackedRows {
+        &self.postings
     }
 
     /// The serialized form for the persistent store: the interner's token
-    /// hashes in dense-id order plus the three CSR arrays.
-    pub(crate) fn raw_parts(&self) -> (Vec<u64>, &[u32], &[u32], &[u32]) {
+    /// hashes in dense-id order, the packed posting rows and the entity
+    /// cardinalities.
+    pub(crate) fn raw_parts(&self) -> (Vec<u64>, &PackedRows, &[u32]) {
         (
             self.interner.tokens_by_id(),
-            &self.offsets,
             &self.postings,
             &self.set_sizes,
         )
     }
 
     /// Rebuilds an index from [`Self::raw_parts`] output. The caller (the
-    /// store codec) has validated the CSR invariants; the interner rebuild
-    /// reassigns identical dense ids, so queries against the rebuilt index
-    /// are byte-identical to the original's.
+    /// store codec) has validated the packed invariants and the entity-id
+    /// range; the interner rebuild reassigns identical dense ids, so
+    /// queries against the rebuilt index are byte-identical to the
+    /// original's.
     pub(crate) fn from_raw_parts(
         interner_tokens: &[u64],
-        offsets: Vec<u32>,
-        postings: Vec<u32>,
+        postings: PackedRows,
         set_sizes: Vec<u32>,
     ) -> Self {
         Self {
             interner: TokenInterner::from_tokens_by_id(interner_tokens),
-            offsets,
             postings,
             set_sizes,
         }
@@ -200,10 +211,14 @@ impl ScanCountIndex {
         out: &mut Vec<(u32, u32)>,
     ) {
         out.clear();
-        let counts = self.counts(scratch);
+        let ScanCountScratch {
+            counts, list_buf, ..
+        } = scratch;
+        let counts = Self::sized(counts, self.set_sizes.len());
         for &token in query {
             if let Some(id) = self.interner.get(token) {
-                self.scan_token(id, counts, out);
+                let list = self.postings.decode_row_into(id as usize, list_buf);
+                merge_list(list, counts, out);
             }
         }
         Self::finish(counts, out);
@@ -211,7 +226,7 @@ impl ScanCountIndex {
 
     /// [`ScanCountIndex::query_with`] for a query row already interned by
     /// this index (see [`ScanCountIndex::intern_queries`]) — the hot path:
-    /// no hashing, just CSR walks.
+    /// no hashing, just packed-row walks.
     pub fn query_ids_with(
         &self,
         scratch: &mut ScanCountScratch,
@@ -219,35 +234,47 @@ impl ScanCountIndex {
         out: &mut Vec<(u32, u32)>,
     ) {
         out.clear();
-        let counts = self.counts(scratch);
+        let ScanCountScratch {
+            counts, list_buf, ..
+        } = scratch;
+        let counts = Self::sized(counts, self.set_sizes.len());
         for &id in query_ids {
-            self.scan_token(id, counts, out);
+            let list = self.postings.decode_row_into(id as usize, list_buf);
+            merge_list(list, counts, out);
         }
         Self::finish(counts, out);
     }
 
-    /// Sizes the scratch to the index and hands out the counter slice.
-    #[inline]
-    fn counts<'s>(&self, scratch: &'s mut ScanCountScratch) -> &'s mut Vec<u32> {
-        let counts = &mut scratch.counts;
-        if counts.len() < self.set_sizes.len() {
-            counts.resize(self.set_sizes.len(), 0);
+    /// [`ScanCountIndex::query_ids_with`] for row `j` of a packed query
+    /// CSR, unpacking it through the scratch's query buffer.
+    pub fn query_row_with(
+        &self,
+        scratch: &mut ScanCountScratch,
+        queries: &CsrTokenSets,
+        j: usize,
+        out: &mut Vec<(u32, u32)>,
+    ) {
+        out.clear();
+        let ScanCountScratch {
+            counts,
+            list_buf,
+            query_buf,
+        } = scratch;
+        let counts = Self::sized(counts, self.set_sizes.len());
+        for &id in queries.row_into(j, query_buf) {
+            let list = self.postings.decode_row_into(id as usize, list_buf);
+            merge_list(list, counts, out);
         }
-        counts
+        Self::finish(counts, out);
     }
 
-    /// Merge-counts one token's posting list. `counts` is a workhorse
-    /// buffer: only touched entries are ever reset.
+    /// Sizes the count buffer to the index and hands it out.
     #[inline]
-    fn scan_token(&self, id: u32, counts: &mut [u32], out: &mut Vec<(u32, u32)>) {
-        let list = &self.postings
-            [self.offsets[id as usize] as usize..self.offsets[id as usize + 1] as usize];
-        for &e in list {
-            if counts[e as usize] == 0 {
-                out.push((e, 0));
-            }
-            counts[e as usize] += 1;
+    fn sized(counts: &mut Vec<u32>, len: usize) -> &mut Vec<u32> {
+        if counts.len() < len {
+            counts.resize(len, 0);
         }
+        counts
     }
 
     /// Sorts the touched entities, records their overlaps and resets the
@@ -283,6 +310,46 @@ impl ScanCountIndex {
         });
         per_chunk.into_iter().flatten().collect()
     }
+}
+
+/// The reference merge step: count a transition to overlap 1 as a new
+/// candidate. Safe, branchy, always compiled — the oracle every
+/// dispatched variant is tested against. With `simd` on it is only
+/// reached from tests, hence the conditional `dead_code` allowance.
+#[inline]
+#[cfg_attr(feature = "simd", allow(dead_code))]
+pub(crate) fn merge_list_scalar(list: &[u32], counts: &mut [u32], out: &mut Vec<(u32, u32)>) {
+    for &e in list {
+        if counts[e as usize] == 0 {
+            out.push((e, 0));
+        }
+        counts[e as usize] += 1;
+    }
+}
+
+/// Merge-counts one posting list into `counts`/`out`, dispatching to the
+/// widest kernel the host supports. `counts` is a workhorse buffer: only
+/// touched entries are ever reset. All variants walk `list` in order and
+/// perform identical integer updates, so the candidate set is exactly
+/// that of [`merge_list_scalar`].
+#[inline]
+fn merge_list(list: &[u32], counts: &mut [u32], out: &mut Vec<(u32, u32)>) {
+    // SAFETY (simd variants): posting lists hold distinct entity ids
+    // `< counts.len()`, by construction in `build_with_sets` and by
+    // `PackedRows::validate` on every store decode.
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        if crate::simd::avx2() {
+            unsafe { crate::simd::merge_list_avx2(list, counts, out) };
+            return;
+        }
+    }
+    #[cfg(feature = "simd")]
+    {
+        unsafe { crate::simd::merge_list_branchless(list, counts, out) }
+    }
+    #[cfg(not(feature = "simd"))]
+    merge_list_scalar(list, counts, out);
 }
 
 #[cfg(test)]
@@ -346,10 +413,10 @@ mod tests {
         let (idx, csr) = ScanCountIndex::build_with_sets(&sets);
         assert_eq!(csr.len(), 4);
         // First-encounter interning: 10→0, 20→1, 30→2, 40→3, 50→4.
-        assert_eq!(csr.row(0), &[0, 1, 2]);
-        assert_eq!(csr.row(1), &[2, 3]);
-        assert_eq!(csr.row(2), &[] as &[u32]);
-        assert_eq!(csr.row(3), &[4]);
+        assert_eq!(csr.row_vec(0), &[0, 1, 2]);
+        assert_eq!(csr.row_vec(1), &[2, 3]);
+        assert_eq!(csr.row_vec(2), &[] as &[u32]);
+        assert_eq!(csr.row_vec(3), &[4]);
         assert_eq!(csr.set_size(0), 3);
         assert_eq!(idx.token_id(30), Some(2));
         assert_eq!(idx.token_id(99), None);
@@ -365,14 +432,43 @@ mod tests {
         let queries: Vec<Vec<u64>> = vec![vec![0, 4, 100], vec![101], vec![], vec![1, 2, 3, 7]];
         let csr = idx.intern_queries(&queries);
         assert_eq!(csr.set_size(0), 3, "unknown tokens keep the cardinality");
-        assert!(csr.row(1).is_empty(), "all-unknown row is empty");
+        assert!(csr.row_vec(1).is_empty(), "all-unknown row is empty");
         let mut scratch = ScanCountScratch::default();
         for (j, q) in queries.iter().enumerate() {
             let mut raw = Vec::new();
             idx.query_with(&mut scratch, q, &mut raw);
             let mut interned = Vec::new();
-            idx.query_ids_with(&mut scratch, csr.row(j), &mut interned);
-            assert_eq!(raw, interned, "query {j}");
+            idx.query_ids_with(&mut scratch, &csr.row_vec(j), &mut interned);
+            assert_eq!(raw, interned, "query {j} (ids)");
+            let mut by_row = Vec::new();
+            idx.query_row_with(&mut scratch, &csr, j, &mut by_row);
+            assert_eq!(raw, by_row, "query {j} (packed row)");
+        }
+    }
+
+    #[test]
+    fn merge_variants_match_scalar_reference() {
+        // Dense-overlap lists (every entity shared) plus sparse tails that
+        // exercise the 8-wide kernel's remainder handling.
+        let sets: Vec<Vec<u64>> = (0..83u64)
+            .map(|i| (0..=(i % 9)).map(|t| (i + t) % 13).collect())
+            .collect();
+        let idx = ScanCountIndex::build(&sets);
+        let mut counts = vec![0u32; idx.len()];
+        let mut buf = Vec::new();
+        for t in 0..idx.postings().len() {
+            let list = idx.postings().decode_row_into(t, &mut buf).to_vec();
+            let mut reference = Vec::new();
+            merge_list_scalar(&list, &mut counts, &mut reference);
+            for &(e, _) in &reference {
+                counts[e as usize] = 0;
+            }
+            let mut dispatched = Vec::new();
+            merge_list(&list, &mut counts, &mut dispatched);
+            for &(e, _) in &dispatched {
+                counts[e as usize] = 0;
+            }
+            assert_eq!(reference, dispatched, "token {t}");
         }
     }
 
@@ -421,9 +517,16 @@ mod tests {
     }
 
     #[test]
-    fn heap_bytes_counts_csr_arrays() {
-        let idx = index();
-        // offsets: 6 tokens + 1; postings: 6 entries; set_sizes: 3.
-        assert!(idx.heap_bytes() >= (7 + 6 + 3) * 4);
+    fn postings_pack_below_plain_csr() {
+        let sets: Vec<Vec<u64>> = (0..500u64)
+            .map(|i| (0..=(i % 6)).map(|t| (i + t) % 37).collect())
+            .collect();
+        let idx = ScanCountIndex::build(&sets);
+        assert!(
+            idx.postings().heap_bytes() < idx.postings().plain_bytes(),
+            "{} vs {}",
+            idx.postings().heap_bytes(),
+            idx.postings().plain_bytes()
+        );
     }
 }

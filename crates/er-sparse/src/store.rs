@@ -1,27 +1,43 @@
-//! Persistent-store codec for the sparse artifact.
+//! Persistent-store codecs for the sparse artifact.
 //!
-//! [`TokenSetsArtifact`] is three CSR structures over flat `u32` arrays
-//! plus the token interner, whose serialized form is its hashes in
+//! Two codecs share this module. [`SparsePackedCodec`] (id 8) is the
+//! writer: it serializes [`TokenSetsArtifact`]'s bitpacked rows
+//! ([`crate::packed`]) verbatim — store files shrink by the same ratio as
+//! the in-memory postings — plus the token interner as its hashes in
 //! dense-id order (rebuilding by in-order insertion reassigns identical
-//! ids). Decode re-validates every CSR invariant the query paths index by
-//! — a file that passes its checksums but violates them (only possible
-//! under a checksum collision) is a structured error, never a later
-//! out-of-bounds panic. The decoded artifact reports byte-identical
-//! `heap_bytes` to a freshly prepared one: the CSR terms are exact array
-//! sizes and the interner term depends only on its entry count.
+//! ids). [`SparseCodec`] (id 1) is the legacy plain-CSR layout from
+//! before postings were packed; it decodes old files forever (codec ids
+//! are append-only) but never encodes new ones, and is exempt from the
+//! store's heap-parity tripwire because packing at load time changes the
+//! in-memory footprint the old header recorded.
+//!
+//! Decode re-validates every invariant the query paths index by — a file
+//! that passes its checksums but violates them (only possible under a
+//! checksum collision) is a structured error, never a later out-of-bounds
+//! access. For newly written (packed) files the decoded artifact reports
+//! byte-identical `heap_bytes` to a freshly prepared one: the packed
+//! terms are exact array sizes and the interner term depends only on its
+//! entry count.
 
 use crate::artifact::TokenSetsArtifact;
 use crate::csr::CsrTokenSets;
+use crate::packed::PackedRows;
 use crate::scancount::ScanCountIndex;
-use er_store::{ArtifactCodec, Sections, StoreError, StoreFile};
+use er_store::{ArtifactCodec, SectionRatio, Sections, StoreError, StoreFile};
 use std::any::Any;
 use std::sync::Arc;
 
-/// Codec id stamped into sparse artifact files.
+/// Codec id of the legacy plain-CSR sparse layout (decode-only).
 pub const SPARSE_CODEC_ID: u32 = 1;
 
-/// (De)serializes [`TokenSetsArtifact`].
+/// Codec id of the bitpacked sparse layout (the writer).
+pub const SPARSE_PACKED_CODEC_ID: u32 = 8;
+
+/// Decodes the legacy plain-CSR sparse layout (see module docs).
 pub struct SparseCodec;
+
+/// (De)serializes [`TokenSetsArtifact`] in the bitpacked layout.
+pub struct SparsePackedCodec;
 
 /// Checks the CSR invariants of an `(offsets, values)` pair: `offsets`
 /// starts at 0, is non-decreasing, and ends at `values_len`.
@@ -45,8 +61,9 @@ fn check_ids(what: &str, ids: &[u32], bound: usize) -> er_store::Result<()> {
     }
 }
 
-/// Reads and validates one `CsrTokenSets` (three consecutive sections).
-fn decode_sets(
+/// Reads and validates one legacy plain-CSR `CsrTokenSets` (three
+/// consecutive sections), packing the rows at load time.
+fn decode_sets_plain(
     what: &str,
     cur: &mut er_store::SectionCursor<'_>,
     token_bound: usize,
@@ -73,21 +90,16 @@ impl ArtifactCodec for SparseCodec {
         "sparse"
     }
 
-    fn encode(&self, artifact: &(dyn Any + Send + Sync)) -> Option<Sections> {
-        let art = artifact.downcast_ref::<TokenSetsArtifact>()?;
-        let mut s = Sections::new();
-        let (interner_tokens, offsets, postings, set_sizes) = art.index.raw_parts();
-        s.u64s(&interner_tokens);
-        s.u32s(offsets);
-        s.u32s(postings);
-        s.u32s(set_sizes);
-        for sets in [&art.index_sets, &art.query_sets] {
-            let (offsets, tokens, set_sizes) = sets.raw_parts();
-            s.u32s(offsets);
-            s.u32s(tokens);
-            s.u32s(set_sizes);
-        }
-        Some(s)
+    /// Legacy layout: decode-only. New files are written by
+    /// [`SparsePackedCodec`].
+    fn encode(&self, _artifact: &(dyn Any + Send + Sync)) -> Option<Sections> {
+        None
+    }
+
+    /// The pre-packing layout stored smaller `heap_bytes` in its header
+    /// than the packed in-memory artifact it now decodes into.
+    fn exact_heap_parity(&self) -> bool {
+        false
     }
 
     fn decode(&self, file: &StoreFile) -> er_store::Result<(Arc<dyn Any + Send + Sync>, usize)> {
@@ -104,9 +116,13 @@ impl ArtifactCodec for SparseCodec {
         check_offsets("scancount", &offsets, postings.len())?;
         check_ids("scancount postings", &postings, set_sizes.len())?;
         let token_bound = interner_tokens.len();
-        let index = ScanCountIndex::from_raw_parts(&interner_tokens, offsets, postings, set_sizes);
-        let index_sets = decode_sets("index_sets", &mut cur, token_bound)?;
-        let query_sets = decode_sets("query_sets", &mut cur, token_bound)?;
+        let index = ScanCountIndex::from_raw_parts(
+            &interner_tokens,
+            PackedRows::from_rows(offsets, &postings),
+            set_sizes,
+        );
+        let index_sets = decode_sets_plain("index_sets", &mut cur, token_bound)?;
+        let query_sets = decode_sets_plain("query_sets", &mut cur, token_bound)?;
         cur.finish()?;
         if index_sets.len() != index.len() {
             return Err(StoreError::Malformed(
@@ -125,6 +141,125 @@ impl ArtifactCodec for SparseCodec {
     }
 }
 
+/// Serializes one [`PackedRows`] as four consecutive sections.
+fn push_packed(s: &mut Sections, rows: &PackedRows) {
+    let (offsets, widths, block_bits, bits) = rows.raw_parts();
+    s.u32s(offsets);
+    s.bytes(widths);
+    s.u64s(block_bits);
+    s.u64s(bits);
+}
+
+/// Reads one [`PackedRows`], re-checking the structural invariants the
+/// branchless unpacker indexes by.
+fn read_packed(what: &str, cur: &mut er_store::SectionCursor<'_>) -> er_store::Result<PackedRows> {
+    let offsets = cur.u32s()?.to_vec();
+    let widths = cur.bytes()?.to_vec();
+    let block_bits = cur.u64s()?.to_vec();
+    let bits = cur.u64s()?.to_vec();
+    if offsets.is_empty() {
+        return Err(StoreError::Malformed(format!("{what}: empty offsets")));
+    }
+    PackedRows::from_raw(offsets, widths, block_bits, bits)
+        .map_err(|e| StoreError::Malformed(format!("{what}: {e}")))
+}
+
+/// Reads one packed `CsrTokenSets`, range-checking the decoded token ids.
+fn decode_sets_packed(
+    what: &str,
+    cur: &mut er_store::SectionCursor<'_>,
+    token_bound: usize,
+) -> er_store::Result<CsrTokenSets> {
+    let rows = read_packed(what, cur)?;
+    let set_sizes = cur.u32s()?.to_vec();
+    if rows.len() != set_sizes.len() {
+        return Err(StoreError::Malformed(format!(
+            "{what}: offsets/rows mismatch"
+        )));
+    }
+    rows.validate(token_bound as u32, false)
+        .map_err(|e| StoreError::Malformed(format!("{what}: {e}")))?;
+    Ok(CsrTokenSets::from_packed(rows, set_sizes))
+}
+
+impl ArtifactCodec for SparsePackedCodec {
+    fn id(&self) -> u32 {
+        SPARSE_PACKED_CODEC_ID
+    }
+
+    fn name(&self) -> &'static str {
+        "sparse-packed"
+    }
+
+    fn encode(&self, artifact: &(dyn Any + Send + Sync)) -> Option<Sections> {
+        let art = artifact.downcast_ref::<TokenSetsArtifact>()?;
+        let mut s = Sections::new();
+        let (interner_tokens, postings, set_sizes) = art.index.raw_parts();
+        s.u64s(&interner_tokens);
+        push_packed(&mut s, postings);
+        s.u32s(set_sizes);
+        for sets in [&art.index_sets, &art.query_sets] {
+            push_packed(&mut s, sets.packed());
+            s.u32s(sets.set_sizes());
+        }
+        Some(s)
+    }
+
+    fn decode(&self, file: &StoreFile) -> er_store::Result<(Arc<dyn Any + Send + Sync>, usize)> {
+        let mut cur = file.cursor()?;
+        let interner_tokens = cur.u64s()?.to_vec();
+        let postings = read_packed("scancount postings", &mut cur)?;
+        let set_sizes = cur.u32s()?.to_vec();
+        if postings.len() != interner_tokens.len() {
+            return Err(StoreError::Malformed(
+                "scancount: postings/interner mismatch".to_owned(),
+            ));
+        }
+        // Ascending entity ids per list: the invariant the SIMD merge
+        // kernels rely on for distinctness and in-bounds counter access.
+        postings
+            .validate(set_sizes.len() as u32, true)
+            .map_err(|e| StoreError::Malformed(format!("scancount postings: {e}")))?;
+        let token_bound = interner_tokens.len();
+        let index = ScanCountIndex::from_raw_parts(&interner_tokens, postings, set_sizes);
+        let index_sets = decode_sets_packed("index_sets", &mut cur, token_bound)?;
+        let query_sets = decode_sets_packed("query_sets", &mut cur, token_bound)?;
+        cur.finish()?;
+        if index_sets.len() != index.len() {
+            return Err(StoreError::Malformed(
+                "index_sets rows != indexed entities".to_owned(),
+            ));
+        }
+        let heap_bytes = index_sets.heap_bytes() + query_sets.heap_bytes() + index.heap_bytes();
+        Ok((
+            Arc::new(TokenSetsArtifact {
+                index_sets,
+                query_sets,
+                index,
+            }),
+            heap_bytes,
+        ))
+    }
+
+    /// Per-structure encoded (packed) vs decoded (plain CSR) byte sizes
+    /// for `er store inspect`'s compression report.
+    fn section_ratios(&self, file: &StoreFile) -> er_store::Result<Vec<SectionRatio>> {
+        let mut cur = file.cursor()?;
+        let _interner = cur.u64s()?;
+        let mut out = Vec::new();
+        for label in ["postings", "index_sets", "query_sets"] {
+            let rows = read_packed(label, &mut cur)?;
+            out.push(SectionRatio {
+                label: label.to_owned(),
+                encoded_bytes: rows.heap_bytes() as u64,
+                decoded_bytes: rows.plain_bytes() as u64,
+            });
+            let _set_sizes = cur.u32s()?;
+        }
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,7 +273,11 @@ mod tests {
         let dir =
             std::env::temp_dir().join(format!("er_sparse_store_{}_{name}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let store = ArtifactStore::open(&dir, vec![Box::new(SparseCodec)]).expect("open");
+        let store = ArtifactStore::open(
+            &dir,
+            vec![Box::new(SparseCodec), Box::new(SparsePackedCodec)],
+        )
+        .expect("open");
         (store, dir)
     }
 
@@ -168,19 +307,45 @@ mod tests {
         assert_eq!(saved, fresh.breakdown().prepare_total());
         let a = fresh.downcast::<TokenSetsArtifact>();
         let b = prepared.downcast::<TokenSetsArtifact>();
-        assert_eq!(a.index_sets.raw_parts(), b.index_sets.raw_parts());
-        assert_eq!(a.query_sets.raw_parts(), b.query_sets.raw_parts());
+        assert_eq!(
+            a.index_sets.packed().raw_parts(),
+            b.index_sets.packed().raw_parts()
+        );
+        assert_eq!(
+            a.query_sets.packed().raw_parts(),
+            b.query_sets.packed().raw_parts()
+        );
         assert_eq!(a.index.raw_parts(), b.index.raw_parts());
         // Query equivalence through the rebuilt interner.
         let mut scratch = ScanCountScratch::default();
         for q in 0..a.query_sets.len() {
             let (mut out_a, mut out_b) = (Vec::new(), Vec::new());
             a.index
-                .query_ids_with(&mut scratch, a.query_sets.row(q), &mut out_a);
+                .query_row_with(&mut scratch, &a.query_sets, q, &mut out_a);
             b.index
-                .query_ids_with(&mut scratch, b.query_sets.row(q), &mut out_b);
+                .query_row_with(&mut scratch, &b.query_sets, q, &mut out_b);
             assert_eq!(out_a, out_b, "query {q}");
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn new_files_use_the_packed_codec() {
+        let (store, dir) = store_in("packed_id");
+        let model = RepresentationModel::parse("C3G").expect("C3G");
+        let fresh = TokenSetsArtifact::prepare(&view(), true, model, false);
+        let key = ArtifactKey::new(5, TokenSetsArtifact::repr_key(true, model, false));
+        assert!(store.store(&key, &fresh).expect("store"));
+        let infos = store.inspect().expect("inspect");
+        assert_eq!(infos.len(), 1);
+        let info = infos[0].1.as_ref().expect("readable file");
+        assert_eq!(info.codec_id, SPARSE_PACKED_CODEC_ID);
+        assert_eq!(info.codec_name, Some("sparse-packed"));
+        // The compression report covers the three packed structures.
+        let ratios = &info.section_ratios;
+        assert_eq!(ratios.len(), 3);
+        assert!(ratios.iter().all(|r| r.encoded_bytes > 0));
+        assert!(ratios.iter().any(|r| r.encoded_bytes < r.decoded_bytes));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -201,9 +366,17 @@ mod tests {
 
     #[test]
     fn unrelated_artifacts_are_not_encoded() {
-        let codec = SparseCodec;
-        assert!(codec
+        assert!(SparsePackedCodec
             .encode(&("not a sparse artifact".to_owned()))
             .is_none());
+        let model = RepresentationModel::parse("T1G").expect("T1G");
+        let fresh = TokenSetsArtifact::prepare(&view(), true, model, false);
+        let art = fresh.downcast::<TokenSetsArtifact>();
+        assert!(
+            SparseCodec
+                .encode(art as &(dyn Any + Send + Sync))
+                .is_none(),
+            "legacy codec is decode-only"
+        );
     }
 }

@@ -101,7 +101,7 @@ impl TopKJoin {
             for j in 0..art.query_sets.len() {
                 let qlen = art.query_sets.set_size(j);
                 art.index
-                    .query_ids_with(&mut scratch, art.query_sets.row(j), &mut hits);
+                    .query_row_with(&mut scratch, &art.query_sets, j, &mut hits);
                 for &(i, overlap) in &hits {
                     let ilen = art.index.set_size(i);
                     if heap.len() == self.k {

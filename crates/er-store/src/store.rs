@@ -42,10 +42,40 @@ pub trait ArtifactCodec: Send + Sync {
     fn id(&self) -> u32;
     /// Display name for `inspect` output.
     fn name(&self) -> &'static str;
-    /// Serializes `artifact` if it is a type this codec handles.
+    /// Serializes `artifact` if it is a type this codec handles. Legacy
+    /// codecs return `None` unconditionally (decode-only): ids are
+    /// append-only, so a superseded layout keeps decoding old files while
+    /// a successor codec writes new ones.
     fn encode(&self, artifact: &(dyn Any + Send + Sync)) -> Option<Sections>;
     /// Reconstructs the artifact and its heap byte count from `file`.
     fn decode(&self, file: &StoreFile) -> Result<(Arc<dyn Any + Send + Sync>, usize)>;
+    /// Whether decode reproduces the header's `heap_bytes` exactly (the
+    /// parity tripwire in [`ArtifactStore`]). Decode-only legacy codecs
+    /// override this to `false`: when the in-memory representation evolves
+    /// (e.g. postings became bitpacked), an old header records the old
+    /// footprint while decode reports the new one, and that drift is
+    /// expected rather than corruption.
+    fn exact_heap_parity(&self) -> bool {
+        true
+    }
+    /// Per-structure encoded vs decoded byte sizes for `er store inspect`,
+    /// when this codec's layout compresses its payload. The default (no
+    /// entries) suits codecs that store sections verbatim.
+    fn section_ratios(&self, _file: &StoreFile) -> Result<Vec<SectionRatio>> {
+        Ok(Vec::new())
+    }
+}
+
+/// One `inspect` compression-report entry: a logical structure's encoded
+/// (on-disk / in-memory packed) vs decoded (plain layout) byte sizes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionRatio {
+    /// Structure label, e.g. `postings`.
+    pub label: String,
+    /// Bytes in the packed encoding.
+    pub encoded_bytes: u64,
+    /// Bytes the plain (unpacked) layout would occupy.
+    pub decoded_bytes: u64,
 }
 
 /// A store directory plus the codec registry, implementing [`DiskTier`].
@@ -117,9 +147,11 @@ impl ArtifactStore {
             .codec_by_id(file.codec_id())
             .ok_or_else(|| StoreError::NoCodec(format!("id {}", file.codec_id())))?;
         let (artifact, heap_bytes) = codec.decode(&file)?;
-        if heap_bytes as u64 != file.heap_bytes() {
+        if codec.exact_heap_parity() && heap_bytes as u64 != file.heap_bytes() {
             // The heap_bytes parity contract: a decoded artifact must cost
-            // the cache budget exactly what the fresh one did.
+            // the cache budget exactly what the fresh one did. Legacy
+            // codecs opt out (see `ArtifactCodec::exact_heap_parity`); the
+            // cache is budgeted with the decoded figure either way.
             return Err(StoreError::Malformed(format!(
                 "decoded heap bytes {heap_bytes} != stored {}",
                 file.heap_bytes()
@@ -175,7 +207,7 @@ impl ArtifactStore {
             .files()?
             .into_iter()
             .map(|path| {
-                let info = FileInfo::read(&path, |id| self.codec_by_id(id).map(|c| c.name()));
+                let info = FileInfo::read(&path, |id| self.codec_by_id(id));
                 (path, info)
             })
             .collect())
@@ -303,21 +335,33 @@ pub struct FileInfo {
     pub mapped: bool,
     /// Section layout.
     pub sections: Vec<SectionInfo>,
+    /// Per-structure compression report, when the codec provides one
+    /// (see [`ArtifactCodec::section_ratios`]).
+    pub section_ratios: Vec<SectionRatio>,
 }
 
 impl FileInfo {
-    fn read(path: &Path, codec_name: impl Fn(u32) -> Option<&'static str>) -> Result<Self> {
+    fn read<'c>(
+        path: &Path,
+        codec_for: impl Fn(u32) -> Option<&'c dyn ArtifactCodec>,
+    ) -> Result<Self> {
         let file = StoreFile::open(path)?;
+        let codec = codec_for(file.codec_id());
+        let section_ratios = match codec {
+            Some(c) => c.section_ratios(&file)?,
+            None => Vec::new(),
+        };
         Ok(FileInfo {
             repr: file.repr().to_owned(),
             dataset_fp: file.dataset_fp(),
             codec_id: file.codec_id(),
-            codec_name: codec_name(file.codec_id()),
+            codec_name: codec.map(|c| c.name()),
             file_bytes: file.len_bytes(),
             heap_bytes: file.heap_bytes(),
             prepare: Duration::from_nanos(file.prepare_nanos()),
             mapped: file.is_mapped(),
             sections: file.sections().to_vec(),
+            section_ratios,
         })
     }
 
