@@ -25,5 +25,5 @@ pub mod sweep;
 pub use harness::{run_all_methods, Context, MethodId, MethodOutcome};
 pub use report::Table;
 pub use settings::Settings;
-pub use store::{all_codecs, open_store};
+pub use store::{all_codecs, open_store, open_store_read_only};
 pub use sweep::{bench_prepare, run_sweep, Column};

@@ -37,6 +37,13 @@ pub fn open_store(dir: &Path) -> io::Result<ArtifactStore> {
     ArtifactStore::open(dir, all_codecs()).map_err(io::Error::other)
 }
 
+/// Opens an existing `dir` read-only with the full codec registry — the
+/// serving path: the daemon must never create or modify store files, and a
+/// missing directory is a startup error rather than an empty store.
+pub fn open_store_read_only(dir: &Path) -> io::Result<ArtifactStore> {
+    ArtifactStore::open_read_only(dir, all_codecs()).map_err(io::Error::other)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

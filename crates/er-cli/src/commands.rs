@@ -2,7 +2,7 @@
 
 use er::core::dataset::GroundTruth;
 use er::core::io::{read_entities_with, read_pairs_with, write_entities, write_pairs};
-use er::core::schema::TextView;
+use er::core::schema::{SchemaMode, TextView};
 use er::core::Threads;
 use er::prelude::*;
 use std::fs::File;
@@ -412,6 +412,83 @@ pub fn sweep(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("wrote {path}");
     }
+    Ok(())
+}
+
+/// `er serve`: load one prepared artifact from a store and answer
+/// record→candidates lookups over line-delimited JSON TCP until a
+/// SIGTERM/SIGINT drains the daemon.
+pub fn serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["clean", "reversed"])?;
+    apply_threads(&flags)?;
+    let store_dir = PathBuf::from(flags.require("store-dir")?);
+    let id = flags.require("profile")?;
+    let profile = er::datagen::profiles::profile(id)
+        .ok_or_else(|| format!("unknown profile {id:?} (expected D1..D10)"))?;
+    let scale: f64 = flags.parse_or("scale", 0.1)?;
+    let seed: u64 = flags.parse_or("seed", 42)?;
+    let mode = match flags.get("schema") {
+        Some(attr) => SchemaMode::Based(attr.to_owned()),
+        None => SchemaMode::Agnostic,
+    };
+    let cleaning = flags.has("clean");
+    let model = RepresentationModel::parse(flags.get("model").unwrap_or("C3G"))
+        .ok_or("bad --model (expected T1G(M) or C2G(M)..C5G(M))")?;
+    let method = match flags.get("method").unwrap_or("epsilon") {
+        "epsilon" => er_serve::ServeMethod::Epsilon(EpsilonJoin {
+            cleaning,
+            model,
+            measure: SimilarityMeasure::Cosine,
+            threshold: flags.parse_or("threshold", 0.4)?,
+        }),
+        "knn" => er_serve::ServeMethod::Knn(KnnJoin {
+            cleaning,
+            model,
+            measure: SimilarityMeasure::Cosine,
+            k: flags.parse_or("k", 1)?,
+            reversed: flags.has("reversed"),
+        }),
+        other => {
+            return Err(format!(
+                "--method {other:?} (serve answers epsilon or knn lookups)"
+            ))
+        }
+    };
+
+    // Regenerating the dataset pins the fingerprint the artifact was
+    // stored under; the artifact itself carries both sides pre-interned,
+    // so startup does zero prepare work — the store-hit line proves it.
+    let ds = er::datagen::generate(profile, scale, seed);
+    let view = er::core::schema::text_view(&ds, &mode);
+    let engine = er_serve::Engine::open(&store_dir, &view, method)?;
+    let startup = engine.startup_stats();
+    eprintln!(
+        "serve: loaded {} for {} ({} rows, {} bytes) | store: {} hits / {} misses / saved {}",
+        engine.key().repr,
+        id,
+        engine.rows(),
+        engine.artifact_bytes(),
+        startup.store_hits,
+        startup.misses,
+        er::core::timing::format_runtime(startup.prepare_saved),
+    );
+
+    let cfg = er_serve::ServeConfig {
+        addr: flags.get("addr").unwrap_or("127.0.0.1:7878").to_owned(),
+        queue_bound: flags.parse_or("queue", 1024)?,
+        batch: flags.parse_or("batch", 64)?,
+        workers: flags.parse_or("workers", 1)?,
+        default_deadline: std::time::Duration::from_millis(flags.parse_or("deadline-ms", 1000)?),
+        retry_after_ms: flags.parse_or("retry-after-ms", 50)?,
+        drain_grace: std::time::Duration::from_millis(flags.parse_or("drain-grace-ms", 1000)?),
+        stats_out: flags.get("stats-out").map(PathBuf::from),
+    };
+    er_serve::signals::install();
+    let server = er_serve::Server::start(cfg, engine).map_err(|e| format!("cannot bind: {e}"))?;
+    // Scripts parse this exact line to learn the bound port.
+    println!("serving on {}", server.local_addr());
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    server.serve_until(er_serve::signals::drain_requested);
     Ok(())
 }
 

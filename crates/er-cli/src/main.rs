@@ -30,6 +30,11 @@ USAGE:
                 [--inject-faults SPEC] [--csv out.csv]
                 [--bench-prepare out.json] [--candidates] [--configs]
     er store    <inspect | verify | gc> --dir <dir>
+    er serve    --store-dir <dir> --profile <D1..D10> [--scale F] [--seed N]
+                [--method epsilon|knn] [--threshold F] [--k N] [--model M]
+                [--clean] [--reversed] [--schema <attr>] [--addr HOST:PORT]
+                [--queue N] [--batch N] [--workers N] [--deadline-ms N]
+                [--retry-after-ms N] [--drain-grace-ms N] [--stats-out f.json]
 
 SWEEP FAULT TOLERANCE:
     --timeout S           per-grid-point wall-clock deadline (seconds);
@@ -55,6 +60,17 @@ SWEEP ARTIFACT CACHE:
                           cache) and warm-disk (fresh cache over the
                           populated store) and write the prepare-stage
                           savings (wall/prepare seconds, hit rate, speedup)
+
+SERVING:
+    er serve loads one prepared sparse-join artifact from a --store-dir
+    (built by `er sweep --store-dir`) and answers record→candidates over
+    line-delimited JSON TCP: {\"id\":1,\"row\":42,\"deadline_ms\":50} in,
+    {\"id\":1,\"row\":42,\"candidates\":[..],\"n\":2,\"us\":180} out. Startup does
+    zero prepare work (the store-hit line proves it). Overload sheds with
+    retry_after_ms, deadlines become structured timeout rows, and SIGTERM
+    drains: in-flight requests finish, stats flush, the process exits 0.
+    {\"op\":\"health\"} and {\"op\":\"stats\"} probe liveness and counters
+    (latency histogram p50/p95/p99, queue depth, shed count, store hits).
 
 STORE MAINTENANCE:
     er store inspect --dir d   print each file's header, section layout and
@@ -95,6 +111,7 @@ fn main() -> ExitCode {
         Some("evaluate") => commands::evaluate(&args[1..]),
         Some("sweep") => commands::sweep(&args[1..]),
         Some("store") => commands::store(&args[1..]),
+        Some("serve") => commands::serve(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;

@@ -1,0 +1,191 @@
+//! Process-level drain test of `er serve`: a real daemon process, a real
+//! SIGTERM mid-load, a clean exit.
+//!
+//! The test builds a store in-process with the sweep harness, launches
+//! the `er` binary serving from it (port 0, stalled lookups via
+//! `ER_FAULTS` so the signal lands while work is in flight), pipelines a
+//! batch of requests, SIGTERMs the daemon after the first response, and
+//! asserts the drain contract: every pipelined request gets exactly one
+//! response, the process exits 0, the stats line and JSON snapshot are
+//! flushed, and the store directory is byte-for-byte unchanged.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+fn dir_listing(dir: &Path) -> Vec<(String, u64)> {
+    let mut v: Vec<(String, u64)> = std::fs::read_dir(dir)
+        .expect("read store dir")
+        .map(|e| {
+            let e = e.expect("dir entry");
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                e.metadata().expect("metadata").len(),
+            )
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+fn build_store(store: &Path) {
+    let dir = store.to_str().expect("utf-8 store dir").to_owned();
+    let args = [
+        "--datasets",
+        "D5",
+        "--scale",
+        "0.06",
+        "--grid",
+        "quick",
+        "--reps",
+        "1",
+        "--dim",
+        "32",
+        "--seed",
+        "11",
+        "--store-dir",
+        &dir,
+    ];
+    let settings =
+        er_bench::Settings::try_parse(args.iter().map(|s| s.to_string())).expect("settings");
+    er_bench::run_sweep(&settings, 1, false).expect("store-building sweep");
+}
+
+#[test]
+fn sigterm_mid_load_drains_answers_everything_and_exits_zero() {
+    let base = std::env::temp_dir().join(format!("er-serve-drain-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).expect("scratch dir");
+    let store = base.join("store");
+    build_store(&store);
+    let before = dir_listing(&store);
+    let stats_path = base.join("serve_stats.json");
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_er"))
+        .args([
+            "serve",
+            "--store-dir",
+            store.to_str().expect("store path"),
+            "--profile",
+            "D5",
+            "--scale",
+            "0.06",
+            "--seed",
+            "11",
+            "--method",
+            "epsilon",
+            "--clean",
+            "--model",
+            "T1G",
+            "--addr",
+            "127.0.0.1:0",
+            "--drain-grace-ms",
+            "5000",
+            "--stats-out",
+            stats_path.to_str().expect("stats path"),
+        ])
+        // Stall every lookup so the SIGTERM lands mid-load, with admitted
+        // work still in flight.
+        .env("ER_FAULTS", "stall@serve/query*:ms=50")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn er serve");
+
+    // The daemon prints its bound address once it is accepting.
+    let mut stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).expect("serve banner");
+    let addr = banner
+        .trim()
+        .strip_prefix("serving on ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_owned();
+
+    const N: usize = 8;
+    let mut conn = TcpStream::connect(&addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    for i in 0..N {
+        writeln!(conn, r#"{{"id":{i},"row":{i}}}"#).expect("send");
+    }
+    conn.flush().expect("flush");
+    // Half-close: the daemon owes exactly N responses, then EOF.
+    conn.shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+
+    let mut reader = BufReader::new(conn);
+    let mut first = String::new();
+    assert!(
+        reader.read_line(&mut first).expect("first response") > 0,
+        "daemon answered nothing before the signal"
+    );
+
+    // SIGTERM while the remaining requests are queued or in flight.
+    let kill = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(kill.success(), "kill -TERM failed");
+
+    let mut responses = vec![first];
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).expect("drain response") == 0 {
+            break;
+        }
+        responses.push(line);
+    }
+    assert_eq!(
+        responses.len(),
+        N,
+        "every pipelined request answered exactly once: {responses:?}"
+    );
+    for line in &responses {
+        assert!(
+            line.contains("\"candidates\"") || line.contains("\"error\":\"draining\""),
+            "drain answers are served rows or draining refusals: {line:?}"
+        );
+    }
+
+    let status = child.wait().expect("daemon exit");
+    assert!(status.success(), "drain must exit 0, got {status:?}");
+
+    let mut stderr_text = String::new();
+    std::io::Read::read_to_string(
+        &mut child.stderr.take().expect("child stderr"),
+        &mut stderr_text,
+    )
+    .expect("read stderr");
+    assert!(
+        stderr_text.contains("store: 1 hits / 0 misses"),
+        "startup line proves zero prepare work:\n{stderr_text}"
+    );
+    assert!(
+        stderr_text.contains("serve: ") && stderr_text.contains(" served / "),
+        "shutdown stats line flushed:\n{stderr_text}"
+    );
+
+    let snapshot = std::fs::read_to_string(&stats_path).expect("stats snapshot written");
+    let json = er_bench::jsonl::Json::parse(snapshot.trim()).expect("snapshot parses");
+    let served = json
+        .get("served")
+        .and_then(er_bench::jsonl::Json::as_f64)
+        .expect("served counter");
+    let refused = json
+        .get("drained_refusals")
+        .and_then(er_bench::jsonl::Json::as_f64)
+        .expect("refusal counter");
+    assert_eq!(served + refused, N as f64, "snapshot accounts for all {N}");
+    assert!(served >= 1.0, "work was in flight when the signal landed");
+
+    assert_eq!(
+        dir_listing(&store),
+        before,
+        "no partial writes: the store is byte-for-byte unchanged"
+    );
+
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -32,11 +32,63 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::Once;
 use std::time::{Duration, Instant};
 
+/// A monotonic wall-clock deadline: the work must finish within `limit`
+/// of `start`.
+///
+/// Both the sweep's per-grid-point guards and the serving daemon's
+/// per-request guards speak in deadlines; this type centralizes the
+/// arithmetic (`Instant`-based, so never affected by wall-clock steps)
+/// that used to be re-derived at each call site. A `Deadline` can be
+/// armed long before the guarded work starts — a queued serve request's
+/// wait time counts against its deadline — via [`Limits::with_deadline`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    start: Instant,
+    limit: Duration,
+}
+
+impl Deadline {
+    /// A deadline `limit` from now.
+    pub fn after(limit: Duration) -> Self {
+        Self::starting(Instant::now(), limit)
+    }
+
+    /// A deadline `limit` from an explicit start instant.
+    pub fn starting(start: Instant, limit: Duration) -> Self {
+        Self { start, limit }
+    }
+
+    /// The configured limit (reported in [`FailReason::TimedOut`]).
+    pub fn limit(&self) -> Duration {
+        self.limit
+    }
+
+    /// True once the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.expired_at(Instant::now())
+    }
+
+    /// [`Deadline::expired`] against a caller-supplied `now`, so one clock
+    /// read can check many deadlines.
+    pub fn expired_at(&self, now: Instant) -> bool {
+        now.saturating_duration_since(self.start) >= self.limit
+    }
+
+    /// Time left before expiry (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.limit.saturating_sub(self.start.elapsed())
+    }
+}
+
 /// Limits enforced on one guarded unit of work.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Limits {
     /// Cooperative wall-clock deadline, checked at [`checkpoint`] calls.
     pub timeout: Option<Duration>,
+    /// An absolute deadline armed before the guarded call (e.g. at request
+    /// admission); takes precedence over `timeout`, which measures from
+    /// the start of the guarded call.
+    pub deadline: Option<Deadline>,
     /// Candidate-count budget (the memory proxy), checked by
     /// [`note_candidates`].
     pub max_candidates: Option<usize>,
@@ -65,6 +117,15 @@ impl Limits {
         self
     }
 
+    /// Adds an absolute deadline (implies panic catching). Unlike
+    /// [`Limits::with_timeout`] the clock is already running when the
+    /// guarded call starts.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = Some(deadline);
+        self.catch_panics = true;
+        self
+    }
+
     /// Adds a candidate-count budget (implies panic catching).
     pub fn with_candidate_budget(mut self, max: usize) -> Self {
         self.max_candidates = Some(max);
@@ -74,7 +135,10 @@ impl Limits {
 
     /// True if any protection is armed.
     pub fn enabled(&self) -> bool {
-        self.catch_panics || self.timeout.is_some() || self.max_candidates.is_some()
+        self.catch_panics
+            || self.timeout.is_some()
+            || self.deadline.is_some()
+            || self.max_candidates.is_some()
     }
 
     /// The same limits with the timeout/budget dropped — the panic net used
@@ -83,6 +147,7 @@ impl Limits {
     pub fn panic_net(&self) -> Self {
         Self {
             timeout: None,
+            deadline: None,
             max_candidates: None,
             catch_panics: self.catch_panics,
         }
@@ -178,8 +243,7 @@ struct Abort {
 
 /// One active guard frame.
 struct Frame {
-    deadline: Option<Instant>,
-    timeout: Option<Duration>,
+    deadline: Option<Deadline>,
     max_candidates: Option<usize>,
 }
 
@@ -233,8 +297,10 @@ pub fn run_guarded<T>(limits: Limits, f: impl FnOnce() -> T) -> RunOutcome<T> {
     let depth = FRAMES.with(|frames| {
         let mut frames = frames.borrow_mut();
         frames.push(Frame {
-            deadline: limits.timeout.map(|t| start + t),
-            timeout: limits.timeout,
+            // An admission-time deadline wins over a call-relative timeout.
+            deadline: limits
+                .deadline
+                .or_else(|| limits.timeout.map(|t| Deadline::starting(start, t))),
             max_candidates: limits.max_candidates,
         });
         frames.len() - 1
@@ -305,10 +371,13 @@ pub fn checkpoint() {
         frames
             .iter()
             .enumerate()
-            .find_map(|(depth, fr)| match (fr.deadline, fr.timeout) {
-                (Some(deadline), Some(limit)) if now >= deadline => {
-                    Some((depth, FailReason::TimedOut { limit }))
-                }
+            .find_map(|(depth, fr)| match fr.deadline {
+                Some(deadline) if deadline.expired_at(now) => Some((
+                    depth,
+                    FailReason::TimedOut {
+                        limit: deadline.limit(),
+                    },
+                )),
                 _ => None,
             })
     });
@@ -399,6 +468,50 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn deadline_expiry_and_remaining() {
+        let d = Deadline::after(Duration::from_secs(60));
+        assert!(!d.expired());
+        assert!(d.remaining() > Duration::from_secs(59));
+        assert_eq!(d.limit(), Duration::from_secs(60));
+
+        let past = Deadline::starting(
+            Instant::now() - Duration::from_millis(10),
+            Duration::from_millis(1),
+        );
+        assert!(past.expired());
+        assert_eq!(past.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn armed_deadline_counts_time_before_the_guarded_call() {
+        // The deadline was armed (and expired) before run_guarded started:
+        // queue wait counts against a serve request's budget.
+        let d = Deadline::starting(
+            Instant::now() - Duration::from_millis(20),
+            Duration::from_millis(5),
+        );
+        let out = run_guarded(Limits::catching().with_deadline(d), || {
+            checkpoint();
+            "unreachable"
+        });
+        match out {
+            RunOutcome::Failed {
+                reason: FailReason::TimedOut { limit },
+                ..
+            } => assert_eq!(limit, Duration::from_millis(5)),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // A generous deadline lets the work through.
+        let d = Deadline::after(Duration::from_secs(60));
+        let out = run_guarded(Limits::catching().with_deadline(d), || {
+            checkpoint();
+            9
+        });
+        assert!(matches!(out, RunOutcome::Ok(9)));
     }
 
     #[test]

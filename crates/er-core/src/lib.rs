@@ -48,13 +48,13 @@ pub use dirty::{DirtyAdapter, DirtyDataset};
 pub use entity::{Attribute, Entity};
 pub use faults::FaultPlan;
 pub use filter::{Filter, FilterOutput, Prepared};
-pub use guard::{FailReason, Limits, RunOutcome};
+pub use guard::{Deadline, FailReason, Limits, RunOutcome};
 pub use metrics::{evaluate, Effectiveness};
 pub use optimize::{GridResolution, OptimizationOutcome, Optimizer, TargetRecall};
 pub use parallel::{par_map, par_map_chunks, par_reduce, Threads};
 pub use rankings::QueryRankings;
 pub use schema::{AttributeStats, SchemaMode, TextView};
-pub use timing::{PhaseBreakdown, Stage, Stopwatch};
+pub use timing::{LatencyHistogram, PhaseBreakdown, Stage, Stopwatch};
 pub use verify::{JaccardMatcher, MatchingQuality};
 
 #[cfg(test)]

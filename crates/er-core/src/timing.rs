@@ -171,6 +171,103 @@ impl PhaseBreakdown {
     }
 }
 
+/// Number of buckets in a [`LatencyHistogram`]: powers of two from 1 µs
+/// up to ~2³⁰ µs (≈ 18 minutes), with the last bucket absorbing anything
+/// slower.
+const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A log-bucketed latency histogram: bucket `i` counts samples whose
+/// microsecond value has `i` significant bits, i.e. falls in
+/// `[2^(i-1), 2^i)` µs (bucket 0 is exactly 0 µs). Recording is O(1) with
+/// no allocation, quantiles are read from bucket upper bounds, so p99 over
+/// millions of requests costs 32 words of memory — the shape the serve
+/// daemon's `/stats` endpoint reports.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; HISTOGRAM_BUCKETS],
+            total: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: Duration) {
+        let us = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        let idx = (64 - us.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// True with no samples recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The inclusive upper bound of bucket `idx`, in microseconds.
+    fn bucket_bound_us(idx: usize) -> u64 {
+        if idx == 0 {
+            0
+        } else {
+            (1u64 << idx) - 1
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) as the upper bound of the bucket the
+    /// rank lands in — an over-estimate by less than 2×, which is what a
+    /// log-bucketed histogram promises. Zero with no samples.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Duration::from_micros(Self::bucket_bound_us(idx));
+            }
+        }
+        Duration::from_micros(Self::bucket_bound_us(HISTOGRAM_BUCKETS - 1))
+    }
+
+    /// Adds another histogram's samples into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+    }
+
+    /// Non-empty `(upper_bound_µs, count)` buckets, in ascending order —
+    /// the snapshot the serve stats endpoint serializes.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(idx, &c)| (Self::bucket_bound_us(idx), c))
+            .collect()
+    }
+}
+
 /// Formats a duration the way the paper's Table VII does: `"316 ms"` below
 /// a second, `"3.5 s"` from a second up, `"1.6 m"` from a minute up.
 pub fn format_runtime(d: Duration) -> String {
@@ -277,6 +374,44 @@ mod tests {
         assert_eq!(format_runtime(Duration::from_millis(316)), "316 ms");
         assert_eq!(format_runtime(Duration::from_millis(3500)), "3.5 s");
         assert_eq!(format_runtime(Duration::from_secs(96)), "1.6 m");
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two_microseconds() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::ZERO); // bucket 0 (bound 0)
+        h.record(Duration::from_micros(1)); // bucket 1 (bound 1)
+        h.record(Duration::from_micros(3)); // bucket 2 (bound 3)
+        h.record(Duration::from_micros(900)); // bucket 10 (bound 1023)
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.buckets(), vec![(0, 1), (1, 1), (3, 1), (1023, 1)]);
+    }
+
+    #[test]
+    fn histogram_quantiles_read_bucket_bounds() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        for _ in 0..98 {
+            h.record(Duration::from_micros(100)); // bucket bound 127
+        }
+        h.record(Duration::from_micros(5_000)); // bound 8191
+        h.record(Duration::from_micros(200_000)); // bound 262143
+        assert_eq!(h.quantile(0.5), Duration::from_micros(127));
+        assert_eq!(h.quantile(0.99), Duration::from_micros(8191));
+        assert_eq!(h.quantile(1.0), Duration::from_micros(262_143));
+    }
+
+    #[test]
+    fn histogram_clamps_huge_samples_and_merges() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_secs(86_400)); // beyond the last bound
+        let mut other = LatencyHistogram::new();
+        other.record(Duration::from_micros(2));
+        h.merge(&other);
+        assert_eq!(h.len(), 2);
+        let buckets = h.buckets();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0], (3, 1));
     }
 
     #[test]

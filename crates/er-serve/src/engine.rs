@@ -1,0 +1,216 @@
+//! The lookup engine: one store-loaded artifact, one configured filter.
+//!
+//! Startup does zero prepare work: the engine opens the store read-only,
+//! asks the artifact cache for exactly the `(dataset fingerprint,
+//! repr key)` its filter needs, and fails with a structured error if the
+//! store has no valid copy. The cache's `store_hits` counter is the proof
+//! — the startup stats must show one store hit and zero misses.
+//!
+//! Lookups answer one query-side row through the same public per-row
+//! query paths the offline batch [`Filter::query`] is built on
+//! ([`EpsilonJoin::query_row_into`], [`KnnJoin::query_row`]), under a
+//! guard frame carrying the request's deadline, with the `serve/query/<row>`
+//! fault site fired inside the frame.
+
+use er::core::artifacts::{ArtifactCache, ArtifactKey, CacheStats};
+use er::core::faults;
+use er::core::filter::{Filter, Prepared};
+use er::core::guard::{self, Limits, RunOutcome};
+use er::core::parallel::{self, Threads};
+use er::core::schema::TextView;
+use er::sparse::{EpsilonJoin, KnnJoin, ScanCountScratch, TokenSetsArtifact};
+use std::path::Path;
+use std::sync::Arc;
+
+/// The filter configurations the daemon can serve: the sparse joins,
+/// whose artifacts carry both the indexed and the pre-interned query side
+/// (so a store-loaded artifact answers per-row queries with no text
+/// processing at all).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServeMethod {
+    /// Range join: all candidates with similarity ≥ ε.
+    Epsilon(EpsilonJoin),
+    /// kNN join: candidates tying the k highest distinct similarities.
+    Knn(KnnJoin),
+}
+
+impl ServeMethod {
+    /// The method's display name.
+    pub fn name(&self) -> String {
+        match self {
+            ServeMethod::Epsilon(f) => f.name(),
+            ServeMethod::Knn(f) => f.name(),
+        }
+    }
+
+    /// One-line configuration description.
+    pub fn describe(&self) -> String {
+        match self {
+            ServeMethod::Epsilon(f) => f.describe(),
+            ServeMethod::Knn(f) => f.describe(),
+        }
+    }
+
+    /// The representation key of the artifact this method queries.
+    pub fn repr_key(&self) -> String {
+        match self {
+            ServeMethod::Epsilon(f) => f.repr_key(),
+            ServeMethod::Knn(f) => f.repr_key(),
+        }
+    }
+}
+
+/// Reusable per-worker query scratch.
+#[derive(Default)]
+pub struct RowScratch {
+    scan: ScanCountScratch,
+    hits: Vec<(u32, u32)>,
+    out: Vec<u32>,
+}
+
+/// A resident, read-only lookup engine.
+pub struct Engine {
+    method: ServeMethod,
+    prepared: Prepared,
+    key: ArtifactKey,
+    startup: CacheStats,
+    rows: usize,
+}
+
+impl Engine {
+    /// Loads the artifact for `method` over `view` from `store_dir`,
+    /// read-only. Every failure — missing directory, missing artifact,
+    /// corrupt or poisoned file — is a structured error string.
+    pub fn open(store_dir: &Path, view: &TextView, method: ServeMethod) -> Result<Engine, String> {
+        let store =
+            er_bench::open_store_read_only(store_dir).map_err(|e| format!("open store: {e}"))?;
+        let cache = ArtifactCache::new();
+        cache.set_store(Some(Arc::new(store)));
+        let key = ArtifactKey::new(view.fingerprint(), method.repr_key());
+        let prepared = match cache.lookup(&key) {
+            Some(Ok(prepared)) => prepared,
+            Some(Err(msg)) => return Err(format!("artifact {} unusable: {msg}", key.repr)),
+            None => {
+                return Err(format!(
+                    "artifact {} for dataset {:016x} not found in {} — build it first with \
+                     `er sweep --store-dir {}`",
+                    key.repr,
+                    key.dataset,
+                    store_dir.display(),
+                    store_dir.display(),
+                ))
+            }
+        };
+        let rows = prepared.downcast::<TokenSetsArtifact>().query_sets.len();
+        let startup = cache.stats();
+        Ok(Engine {
+            method,
+            prepared,
+            key,
+            startup,
+            rows,
+        })
+    }
+
+    /// The configured method.
+    pub fn method(&self) -> &ServeMethod {
+        &self.method
+    }
+
+    /// The artifact key being served.
+    pub fn key(&self) -> &ArtifactKey {
+        &self.key
+    }
+
+    /// Cache counters captured right after the startup load: a healthy
+    /// start shows `store_hits == 1`, `misses == 0` and a non-zero
+    /// `prepare_saved` — zero prepare work happened in this process.
+    pub fn startup_stats(&self) -> &CacheStats {
+        &self.startup
+    }
+
+    /// Number of query-side rows the artifact can answer.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Resident artifact bytes.
+    pub fn artifact_bytes(&self) -> usize {
+        self.prepared.bytes()
+    }
+
+    fn art(&self) -> &TokenSetsArtifact {
+        self.prepared.downcast::<TokenSetsArtifact>()
+    }
+
+    /// One row's candidates, ascending — the canonical response order.
+    fn query_row(&self, row: usize, scratch: &mut RowScratch) -> Vec<u32> {
+        let art = self.art();
+        match &self.method {
+            ServeMethod::Epsilon(f) => {
+                scratch.out.clear();
+                f.query_row_into(
+                    art,
+                    row,
+                    &mut scratch.scan,
+                    &mut scratch.hits,
+                    &mut scratch.out,
+                );
+                let mut ids = scratch.out.clone();
+                ids.sort_unstable();
+                ids
+            }
+            ServeMethod::Knn(f) => {
+                let mut ids: Vec<u32> = f
+                    .query_row(art, row, &mut scratch.scan, &mut scratch.hits)
+                    .into_iter()
+                    .map(|(i, _)| i)
+                    .collect();
+                ids.sort_unstable();
+                ids
+            }
+        }
+    }
+
+    /// One guarded lookup with caller-provided scratch. `limits` carries
+    /// the request deadline; the `serve/query/<row>` fault site fires
+    /// inside the frame so injected panics/stalls surface as structured
+    /// failures. The site carries the row (like the sweep's per-grid-point
+    /// sites) so probabilistic plans — `panic@serve/query*:p=0.2` — sample
+    /// deterministically across requests rather than all-or-nothing.
+    pub fn lookup_with(
+        &self,
+        row: usize,
+        limits: Limits,
+        scratch: &mut RowScratch,
+    ) -> RunOutcome<Vec<u32>> {
+        guard::run_guarded(limits, || {
+            if faults::enabled() {
+                faults::fire(&format!("serve/query/{row}"));
+            }
+            guard::checkpoint();
+            self.query_row(row, scratch)
+        })
+    }
+
+    /// One guarded lookup with private scratch (tests, single-shot use).
+    pub fn lookup(&self, row: usize, limits: Limits) -> RunOutcome<Vec<u32>> {
+        self.lookup_with(row, limits, &mut RowScratch::default())
+    }
+
+    /// A batch of guarded lookups through the deterministic parallel
+    /// layer — the serving counterpart of the offline batch query path.
+    /// Outcomes are returned in job order.
+    pub fn lookup_batch(&self, jobs: &[(usize, Limits)]) -> Vec<RunOutcome<Vec<u32>>> {
+        let chunk = parallel::query_chunk_len(jobs.len());
+        parallel::par_map_chunks_with(Threads::get(), jobs, chunk, |_, part| {
+            let mut scratch = RowScratch::default();
+            part.iter()
+                .map(|&(row, limits)| self.lookup_with(row, limits, &mut scratch))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}

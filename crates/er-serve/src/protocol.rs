@@ -1,0 +1,192 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! One request per line, one response line per request, in order per
+//! connection. The codec is the harness's dependency-free [`Json`]; a
+//! malformed line gets a structured `bad-request` response instead of
+//! killing the connection.
+//!
+//! Requests (`op` defaults to `"query"`):
+//!
+//! ```json
+//! {"id":1,"row":42,"deadline_ms":50}
+//! {"op":"health"}
+//! {"op":"stats"}
+//! ```
+//!
+//! Responses echo the request's `id` verbatim. A successful lookup:
+//!
+//! ```json
+//! {"id":1,"row":42,"candidates":[3,17],"n":2,"us":180}
+//! ```
+//!
+//! Failures carry an `error` kind (`timeout`, `failed`, `shed`,
+//! `draining`, `bad-request`) and a human-readable `detail`; a shed
+//! response adds `retry_after_ms`.
+
+use er_bench::jsonl::Json;
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// A candidate lookup for one query-side row.
+    Query {
+        /// Client-chosen correlation id, echoed verbatim.
+        id: Json,
+        /// Query-side row index.
+        row: usize,
+        /// Per-request deadline override, milliseconds.
+        deadline_ms: Option<u64>,
+    },
+    /// Liveness probe.
+    Health,
+    /// Counters + latency histogram snapshot.
+    Stats,
+}
+
+impl Request {
+    /// Parses one request line.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = Json::parse(line)?;
+        if !matches!(v, Json::Obj(_)) {
+            return Err("request must be a JSON object".to_owned());
+        }
+        match v.get("op").and_then(Json::as_str).unwrap_or("query") {
+            "health" => Ok(Request::Health),
+            "stats" => Ok(Request::Stats),
+            "query" => {
+                let id = v.get("id").cloned().unwrap_or(Json::Null);
+                let row = v
+                    .get("row")
+                    .and_then(Json::as_f64)
+                    .ok_or("missing numeric \"row\"")?;
+                if row < 0.0 || row.fract() != 0.0 || row > (1u64 << 53) as f64 {
+                    return Err(format!("\"row\" must be a non-negative integer, got {row}"));
+                }
+                let deadline_ms = match v.get("deadline_ms") {
+                    None | Some(Json::Null) => None,
+                    Some(d) => {
+                        let ms = d.as_f64().ok_or("\"deadline_ms\" must be a number")?;
+                        // NaN must land in the error arm too.
+                        if ms.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || ms > 1e9 {
+                            return Err(format!("\"deadline_ms\" out of range: {ms}"));
+                        }
+                        Some(ms.ceil() as u64)
+                    }
+                };
+                Ok(Request::Query {
+                    id,
+                    row: row as usize,
+                    deadline_ms,
+                })
+            }
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+}
+
+/// A successful lookup response line.
+pub fn ok_line(id: &Json, row: usize, candidates: &[u32], latency_us: u64) -> String {
+    Json::Obj(vec![
+        ("id".to_owned(), id.clone()),
+        ("row".to_owned(), Json::Num(row as f64)),
+        (
+            "candidates".to_owned(),
+            Json::Arr(candidates.iter().map(|&c| Json::Num(c as f64)).collect()),
+        ),
+        ("n".to_owned(), Json::Num(candidates.len() as f64)),
+        ("us".to_owned(), Json::Num(latency_us as f64)),
+    ])
+    .encode()
+}
+
+/// A structured error response line (`timeout`, `failed`, `draining`,
+/// `bad-request`).
+pub fn err_line(id: &Json, kind: &str, detail: &str) -> String {
+    Json::Obj(vec![
+        ("id".to_owned(), id.clone()),
+        ("error".to_owned(), Json::Str(kind.to_owned())),
+        ("detail".to_owned(), Json::Str(detail.to_owned())),
+    ])
+    .encode()
+}
+
+/// A backpressure shed response line.
+pub fn shed_line(id: &Json, retry_after_ms: u64) -> String {
+    Json::Obj(vec![
+        ("id".to_owned(), id.clone()),
+        ("error".to_owned(), Json::Str("shed".to_owned())),
+        (
+            "detail".to_owned(),
+            Json::Str("admission queue full".to_owned()),
+        ),
+        (
+            "retry_after_ms".to_owned(),
+            Json::Num(retry_after_ms as f64),
+        ),
+    ])
+    .encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_defaults_and_overrides() {
+        let r = Request::parse(r#"{"row":3}"#).expect("parse");
+        assert_eq!(
+            r,
+            Request::Query {
+                id: Json::Null,
+                row: 3,
+                deadline_ms: None
+            }
+        );
+        let r = Request::parse(r#"{"op":"query","id":7,"row":0,"deadline_ms":12.5}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Query {
+                id: Json::Num(7.0),
+                row: 0,
+                deadline_ms: Some(13)
+            }
+        );
+    }
+
+    #[test]
+    fn health_and_stats_ops() {
+        assert_eq!(Request::parse(r#"{"op":"health"}"#), Ok(Request::Health));
+        assert_eq!(Request::parse(r#"{"op":"stats"}"#), Ok(Request::Stats));
+    }
+
+    #[test]
+    fn malformed_lines_are_structured_errors() {
+        assert!(Request::parse("").is_err());
+        assert!(Request::parse("[1,2]").is_err());
+        assert!(Request::parse(r#"{"op":"nope"}"#).is_err());
+        assert!(Request::parse(r#"{"row":-1}"#).is_err());
+        assert!(Request::parse(r#"{"row":1.5}"#).is_err());
+        assert!(Request::parse(r#"{"row":"x"}"#).is_err());
+        assert!(Request::parse(r#"{"row":1,"deadline_ms":0}"#).is_err());
+        assert!(Request::parse(r#"{"row":1,"deadline_ms":"soon"}"#).is_err());
+    }
+
+    #[test]
+    fn response_lines_are_single_line_json() {
+        let ok = ok_line(&Json::Num(4.0), 9, &[1, 5, 7], 120);
+        assert!(!ok.contains('\n'));
+        let v = Json::parse(&ok).expect("roundtrip");
+        assert_eq!(v.get("n").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(v.get("id").and_then(Json::as_f64), Some(4.0));
+
+        let shed = shed_line(&Json::Null, 50);
+        let v = Json::parse(&shed).expect("roundtrip");
+        assert_eq!(v.get("error").and_then(Json::as_str), Some("shed"));
+        assert_eq!(v.get("retry_after_ms").and_then(Json::as_f64), Some(50.0));
+
+        let err = err_line(&Json::Str("abc".into()), "timeout", "deadline passed");
+        let v = Json::parse(&err).expect("roundtrip");
+        assert_eq!(v.get("error").and_then(Json::as_str), Some("timeout"));
+        assert_eq!(v.get("id").and_then(Json::as_str), Some("abc"));
+    }
+}

@@ -1,0 +1,188 @@
+//! The bounded admission queue.
+//!
+//! Backpressure lives here: [`Admission::try_push`] never blocks and never
+//! grows past the bound — a full queue is an immediate, explicit shed
+//! decision for the caller, not silent memory growth. Workers block in
+//! [`Admission::next_batch`], which coalesces whatever is queued (up to
+//! the batch size) into one wake-up, and the drain path closes the queue:
+//! workers finish everything already admitted, then see `None` and exit.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at its bound: shed with retry-after.
+    Full,
+    /// The queue is closed (draining): no new admissions.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    /// Items popped by workers and not yet marked done — in-flight work
+    /// that a drain must wait for.
+    in_flight: usize,
+}
+
+/// A bounded MPMC queue with explicit shed/close semantics.
+pub struct Admission<T> {
+    inner: Mutex<Inner<T>>,
+    takers: Condvar,
+    drained: Condvar,
+    bound: usize,
+}
+
+impl<T> Admission<T> {
+    /// A queue admitting at most `bound` items (minimum 1).
+    pub fn new(bound: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+                in_flight: 0,
+            }),
+            takers: Condvar::new(),
+            drained: Condvar::new(),
+            bound: bound.max(1),
+        }
+    }
+
+    /// The admission bound.
+    pub fn bound(&self) -> usize {
+        self.bound
+    }
+
+    /// Admits `item` without blocking, or reports why it cannot.
+    pub fn try_push(&self, item: T) -> Result<(), (T, PushError)> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err((item, PushError::Closed));
+        }
+        if inner.items.len() >= self.bound {
+            return Err((item, PushError::Full));
+        }
+        inner.items.push_back(item);
+        self.takers.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for work and returns up to `max` queued items, or `None`
+    /// once the queue is closed *and* empty. The returned items count as
+    /// in-flight until [`Admission::done`] acknowledges them.
+    pub fn next_batch(&self, max: usize) -> Option<Vec<T>> {
+        let max = max.max(1);
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if !inner.items.is_empty() {
+                let n = inner.items.len().min(max);
+                let batch: Vec<T> = inner.items.drain(..n).collect();
+                inner.in_flight += batch.len();
+                return Some(batch);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.takers.wait(inner).unwrap();
+        }
+    }
+
+    /// Acknowledges `n` in-flight items as fully answered.
+    pub fn done(&self, n: usize) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.in_flight = inner.in_flight.saturating_sub(n);
+        if inner.items.is_empty() && inner.in_flight == 0 {
+            self.drained.notify_all();
+        }
+    }
+
+    /// Closes the queue: no new admissions; blocked workers finish the
+    /// backlog and then get `None`.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        self.takers.notify_all();
+        if inner.items.is_empty() && inner.in_flight == 0 {
+            self.drained.notify_all();
+        }
+    }
+
+    /// Current queue depth (excluding in-flight items).
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Blocks until every admitted item has been answered (queue empty and
+    /// nothing in flight). Only meaningful after [`Admission::close`].
+    pub fn wait_drained(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        while !(inner.items.is_empty() && inner.in_flight == 0) {
+            inner = self.drained.wait(inner).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bound_is_enforced_and_explicit() {
+        let q = Admission::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        match q.try_push(3) {
+            Err((3, PushError::Full)) => {}
+            other => panic!("expected full, got {other:?}"),
+        }
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn close_refuses_new_work_but_drains_backlog() {
+        let q = Admission::new(4);
+        q.try_push("a").unwrap();
+        q.close();
+        match q.try_push("b") {
+            Err(("b", PushError::Closed)) => {}
+            other => panic!("expected closed, got {other:?}"),
+        }
+        let batch = q.next_batch(8).expect("backlog first");
+        assert_eq!(batch, vec!["a"]);
+        q.done(batch.len());
+        assert!(q.next_batch(8).is_none(), "then the close is visible");
+    }
+
+    #[test]
+    fn batches_coalesce_up_to_max() {
+        let q = Admission::new(10);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.next_batch(3), Some(vec![0, 1, 2]));
+        assert_eq!(q.next_batch(3), Some(vec![3, 4]));
+        q.done(5);
+    }
+
+    #[test]
+    fn wait_drained_blocks_for_in_flight_work() {
+        let q = Arc::new(Admission::new(4));
+        q.try_push(7u32).unwrap();
+        let worker = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                while let Some(batch) = q.next_batch(1) {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    q.done(batch.len());
+                }
+            })
+        };
+        q.close();
+        q.wait_drained();
+        assert_eq!(q.depth(), 0);
+        worker.join().unwrap();
+    }
+}

@@ -1,0 +1,498 @@
+//! The TCP daemon: accept loop, per-connection readers, batching workers,
+//! admission control and the graceful drain.
+//!
+//! Thread shape: the caller's thread runs the accept loop (polling a
+//! non-blocking listener so a stop/drain request is noticed promptly);
+//! each connection gets a reader thread that decodes lines and admits
+//! query jobs; a fixed pool of worker threads drains the admission queue
+//! in batches through [`Engine::lookup_batch`]. Responses are written
+//! under a per-connection mutex, so each request gets exactly one
+//! response line and lines never interleave.
+//!
+//! Drain (`SIGTERM`, or the stop predicate): stop accepting, close the
+//! queue (new requests on live connections get a `draining` error),
+//! finish every admitted request, give readers a grace period to observe
+//! client EOFs, then shut the sockets down, join everything and emit the
+//! stats line. The process then exits 0.
+
+use crate::engine::Engine;
+use crate::protocol::{self, Request};
+use crate::queue::{Admission, PushError};
+use er::core::faults;
+use er::core::guard::{self, Deadline, FailReason, Limits, RunOutcome};
+use er::core::timing::{format_runtime, LatencyHistogram};
+use er_bench::jsonl::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (port 0 picks a free port).
+    pub addr: String,
+    /// Admission queue bound: requests beyond it are shed.
+    pub queue_bound: usize,
+    /// Max lookups a worker coalesces into one batch.
+    pub batch: usize,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Deadline applied when a request does not carry `deadline_ms`.
+    pub default_deadline: Duration,
+    /// `retry_after_ms` value in shed responses.
+    pub retry_after_ms: u64,
+    /// Grace period for readers to finish naturally during drain before
+    /// their sockets are shut down.
+    pub drain_grace: Duration,
+    /// Where to write the final stats JSON snapshot, if anywhere.
+    pub stats_out: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            queue_bound: 1024,
+            batch: 64,
+            workers: 1,
+            default_deadline: Duration::from_secs(1),
+            retry_after_ms: 50,
+            drain_grace: Duration::from_secs(1),
+            stats_out: None,
+        }
+    }
+}
+
+/// Serving counters plus the latency histogram.
+#[derive(Debug, Clone, Default)]
+pub struct ServerStats {
+    /// Lookups answered successfully.
+    pub served: u64,
+    /// Lookups that failed structurally (panics, poisoned artifacts).
+    pub failed: u64,
+    /// Lookups that hit their deadline.
+    pub timeouts: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Requests refused while draining.
+    pub drained_refusals: u64,
+    /// Lines that did not parse into a request.
+    pub bad_requests: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// End-to-end latency (admission to response) of served lookups.
+    pub histogram: LatencyHistogram,
+}
+
+/// One admitted lookup job.
+struct Job {
+    id: Json,
+    row: usize,
+    deadline: Deadline,
+    admitted: Instant,
+    out: Arc<ConnWriter>,
+}
+
+/// The write half of a connection, shared by its reader and the workers.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+}
+
+impl ConnWriter {
+    /// Writes one response line; errors are swallowed (a client that went
+    /// away cannot be answered, and the reader will notice EOF on its own).
+    fn send(&self, line: &str) {
+        let mut stream = self.stream.lock().unwrap();
+        let _ = stream.write_all(line.as_bytes());
+        let _ = stream.write_all(b"\n");
+        let _ = stream.flush();
+    }
+}
+
+/// State shared by the accept loop, readers and workers.
+struct Shared {
+    engine: Engine,
+    cfg: ServeConfig,
+    queue: Admission<Job>,
+    draining: AtomicBool,
+    live_readers: AtomicUsize,
+    stats: Mutex<ServerStats>,
+    /// Clones of accepted sockets, for shutdown during drain.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+impl Shared {
+    fn stats_json(&self) -> Json {
+        let stats = self.stats.lock().unwrap();
+        let startup = self.engine.startup_stats();
+        let histogram = stats
+            .histogram
+            .buckets()
+            .into_iter()
+            .map(|(bound, count)| Json::Arr(vec![Json::Num(bound as f64), Json::Num(count as f64)]))
+            .collect();
+        Json::Obj(vec![
+            ("served".into(), Json::Num(stats.served as f64)),
+            ("failed".into(), Json::Num(stats.failed as f64)),
+            ("timeouts".into(), Json::Num(stats.timeouts as f64)),
+            ("shed".into(), Json::Num(stats.shed as f64)),
+            (
+                "drained_refusals".into(),
+                Json::Num(stats.drained_refusals as f64),
+            ),
+            ("bad_requests".into(), Json::Num(stats.bad_requests as f64)),
+            ("connections".into(), Json::Num(stats.connections as f64)),
+            ("queue_depth".into(), Json::Num(self.queue.depth() as f64)),
+            ("queue_bound".into(), Json::Num(self.queue.bound() as f64)),
+            (
+                "p50_us".into(),
+                Json::Num(stats.histogram.quantile(0.50).as_micros() as f64),
+            ),
+            (
+                "p95_us".into(),
+                Json::Num(stats.histogram.quantile(0.95).as_micros() as f64),
+            ),
+            (
+                "p99_us".into(),
+                Json::Num(stats.histogram.quantile(0.99).as_micros() as f64),
+            ),
+            ("histogram_us".into(), Json::Arr(histogram)),
+            ("rows".into(), Json::Num(self.engine.rows() as f64)),
+            (
+                "artifact_bytes".into(),
+                Json::Num(self.engine.artifact_bytes() as f64),
+            ),
+            ("store_hits".into(), Json::Num(startup.store_hits as f64)),
+            ("cache_misses".into(), Json::Num(startup.misses as f64)),
+            ("store_corrupt".into(), Json::Num(startup.corrupt as f64)),
+            (
+                "prepare_saved_ms".into(),
+                Json::Num(startup.prepare_saved.as_secs_f64() * 1e3),
+            ),
+            (
+                "draining".into(),
+                Json::Bool(self.draining.load(Ordering::SeqCst)),
+            ),
+        ])
+    }
+
+    fn health_json(&self) -> Json {
+        let draining = self.draining.load(Ordering::SeqCst);
+        Json::Obj(vec![
+            ("ok".into(), Json::Bool(true)),
+            (
+                "status".into(),
+                Json::Str(if draining { "draining" } else { "serving" }.into()),
+            ),
+            ("rows".into(), Json::Num(self.engine.rows() as f64)),
+            ("queue_depth".into(), Json::Num(self.queue.depth() as f64)),
+        ])
+    }
+}
+
+/// A running daemon.
+pub struct Server {
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    local: SocketAddr,
+    workers: Vec<JoinHandle<()>>,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Binds the listener and starts the worker pool. The accept loop does
+    /// not run until [`Server::serve_until`].
+    pub fn start(cfg: ServeConfig, engine: Engine) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: Admission::new(cfg.queue_bound),
+            engine,
+            cfg,
+            draining: AtomicBool::new(false),
+            live_readers: AtomicUsize::new(0),
+            stats: Mutex::new(ServerStats::default()),
+            conns: Mutex::new(Vec::new()),
+        });
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || run_worker(&shared))
+            })
+            .collect();
+        Ok(Server {
+            shared,
+            listener,
+            local,
+            workers,
+            readers: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Runs the accept loop until `stop` returns true, then drains and
+    /// returns the final stats. This is the daemon's main loop; `stop` is
+    /// typically [`crate::signals::drain_requested`].
+    pub fn serve_until(self, stop: impl Fn() -> bool) -> ServerStats {
+        loop {
+            if stop() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => self.adopt(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => {
+                    eprintln!("serve: accept error: {e}");
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+        self.drain()
+    }
+
+    /// Registers an accepted connection and spawns its reader.
+    fn adopt(&self, stream: TcpStream) {
+        // The accept fault site: an injected panic here must drop the one
+        // connection, not the daemon.
+        let guarded = guard::run_guarded(Limits::catching(), || {
+            faults::fire("serve/accept");
+            stream.try_clone()
+        });
+        let clone = match guarded {
+            RunOutcome::Ok(Ok(clone)) => clone,
+            RunOutcome::Ok(Err(e)) => {
+                eprintln!("serve: connection setup failed: {e}");
+                return;
+            }
+            RunOutcome::Failed { reason, .. } => {
+                eprintln!("serve: connection refused by fault: {reason}");
+                return;
+            }
+        };
+        self.shared.stats.lock().unwrap().connections += 1;
+        self.shared.conns.lock().unwrap().push(clone);
+        let shared = Arc::clone(&self.shared);
+        shared.live_readers.fetch_add(1, Ordering::SeqCst);
+        let handle = std::thread::spawn(move || {
+            run_reader(&shared, stream);
+            shared.live_readers.fetch_sub(1, Ordering::SeqCst);
+        });
+        self.readers.lock().unwrap().push(handle);
+    }
+
+    /// Stops admissions, finishes in-flight work, tears the connections
+    /// down and returns the final stats.
+    fn drain(self) -> ServerStats {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        // Stop accepting: close the listener before waiting on anything.
+        drop(self.listener);
+        // No new admissions; workers finish the backlog and exit.
+        self.shared.queue.close();
+        self.shared.queue.wait_drained();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        // Every admitted request is answered. Give readers a grace period
+        // to drain their buffers naturally (clients that already sent EOF
+        // get their remaining lines answered with `draining` errors), then
+        // force the stragglers out.
+        let grace_end = Instant::now() + self.shared.cfg.drain_grace;
+        while self.shared.live_readers.load(Ordering::SeqCst) > 0 && Instant::now() < grace_end {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        for conn in self.shared.conns.lock().unwrap().drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        let readers = std::mem::take(&mut *self.readers.lock().unwrap());
+        for reader in readers {
+            let _ = reader.join();
+        }
+        let stats = self.shared.stats.lock().unwrap().clone();
+        if let Some(path) = &self.shared.cfg.stats_out {
+            if let Err(e) = std::fs::write(path, self.shared.stats_json().encode() + "\n") {
+                eprintln!("serve: writing {} failed: {e}", path.display());
+            }
+        }
+        eprintln!("{}", stats_line(&stats, &self.shared));
+        stats
+    }
+}
+
+/// The grep-able shutdown stats line, in the cache-stats style.
+fn stats_line(stats: &ServerStats, shared: &Shared) -> String {
+    let startup = shared.engine.startup_stats();
+    format!(
+        "serve: {} served / {} failed / {} timeouts / {} shed / {} bad | p50 {} / p95 {} / p99 {} | store: {} hits / {} corrupt",
+        stats.served,
+        stats.failed,
+        stats.timeouts,
+        stats.shed,
+        stats.bad_requests,
+        format_runtime(stats.histogram.quantile(0.50)),
+        format_runtime(stats.histogram.quantile(0.95)),
+        format_runtime(stats.histogram.quantile(0.99)),
+        startup.store_hits,
+        startup.corrupt,
+    )
+}
+
+/// Reads request lines off one connection until EOF or shutdown.
+fn run_reader(shared: &Arc<Shared>, stream: TcpStream) {
+    let writer = match stream.try_clone() {
+        Ok(clone) => Arc::new(ConnWriter {
+            stream: Mutex::new(clone),
+        }),
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        // The decode fault site lives inside a panic net: an injected
+        // panic (or a decoder bug) becomes a bad-request response, never
+        // a dead reader thread.
+        let parsed = guard::run_guarded(Limits::catching(), || {
+            faults::fire("serve/decode");
+            Request::parse(&line)
+        });
+        let request = match parsed {
+            RunOutcome::Ok(Ok(request)) => request,
+            RunOutcome::Ok(Err(e)) => {
+                shared.stats.lock().unwrap().bad_requests += 1;
+                writer.send(&protocol::err_line(&Json::Null, "bad-request", &e));
+                continue;
+            }
+            RunOutcome::Failed { reason, .. } => {
+                shared.stats.lock().unwrap().bad_requests += 1;
+                writer.send(&protocol::err_line(
+                    &Json::Null,
+                    "bad-request",
+                    &reason.to_string(),
+                ));
+                continue;
+            }
+        };
+        match request {
+            Request::Health => writer.send(&shared.health_json().encode()),
+            Request::Stats => writer.send(&shared.stats_json().encode()),
+            Request::Query {
+                id,
+                row,
+                deadline_ms,
+            } => {
+                if row >= shared.engine.rows() {
+                    shared.stats.lock().unwrap().bad_requests += 1;
+                    writer.send(&protocol::err_line(
+                        &id,
+                        "bad-request",
+                        &format!("row {row} out of range (rows: {})", shared.engine.rows()),
+                    ));
+                    continue;
+                }
+                let budget = deadline_ms
+                    .map(Duration::from_millis)
+                    .unwrap_or(shared.cfg.default_deadline);
+                let job = Job {
+                    id,
+                    row,
+                    deadline: Deadline::after(budget),
+                    admitted: Instant::now(),
+                    out: Arc::clone(&writer),
+                };
+                match shared.queue.try_push(job) {
+                    Ok(()) => {}
+                    Err((job, PushError::Full)) => {
+                        shared.stats.lock().unwrap().shed += 1;
+                        job.out
+                            .send(&protocol::shed_line(&job.id, shared.cfg.retry_after_ms));
+                    }
+                    Err((job, PushError::Closed)) => {
+                        shared.stats.lock().unwrap().drained_refusals += 1;
+                        job.out.send(&protocol::err_line(
+                            &job.id,
+                            "draining",
+                            "daemon is draining; not accepting new lookups",
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Drains the admission queue in batches until it closes.
+fn run_worker(shared: &Arc<Shared>) {
+    while let Some(batch) = shared.queue.next_batch(shared.cfg.batch) {
+        let n = batch.len();
+        // Requests that exhausted their deadline while queued are answered
+        // without touching the engine — overload must not waste work on
+        // lookups nobody is waiting for anymore.
+        let mut runnable: Vec<Job> = Vec::with_capacity(n);
+        for job in batch {
+            if job.deadline.expired() {
+                shared.stats.lock().unwrap().timeouts += 1;
+                job.out.send(&protocol::err_line(
+                    &job.id,
+                    "timeout",
+                    &FailReason::TimedOut {
+                        limit: job.deadline.limit(),
+                    }
+                    .to_string(),
+                ));
+            } else {
+                runnable.push(job);
+            }
+        }
+        let jobs: Vec<(usize, Limits)> = runnable
+            .iter()
+            .map(|job| (job.row, Limits::catching().with_deadline(job.deadline)))
+            .collect();
+        let outcomes = shared.engine.lookup_batch(&jobs);
+        for (job, outcome) in runnable.into_iter().zip(outcomes) {
+            match outcome {
+                RunOutcome::Ok(candidates) => {
+                    let latency = job.admitted.elapsed();
+                    {
+                        let mut stats = shared.stats.lock().unwrap();
+                        stats.served += 1;
+                        stats.histogram.record(latency);
+                    }
+                    job.out.send(&protocol::ok_line(
+                        &job.id,
+                        job.row,
+                        &candidates,
+                        latency.as_micros().min(u64::MAX as u128) as u64,
+                    ));
+                }
+                RunOutcome::Failed { reason, .. } => {
+                    let kind = match &reason {
+                        FailReason::TimedOut { .. } => {
+                            shared.stats.lock().unwrap().timeouts += 1;
+                            "timeout"
+                        }
+                        _ => {
+                            shared.stats.lock().unwrap().failed += 1;
+                            "failed"
+                        }
+                    };
+                    job.out
+                        .send(&protocol::err_line(&job.id, kind, &reason.to_string()));
+                }
+            }
+        }
+        shared.queue.done(n);
+    }
+}

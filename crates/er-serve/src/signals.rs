@@ -1,0 +1,68 @@
+//! SIGTERM/SIGINT as a drain request.
+//!
+//! The daemon's only signal need is "set a flag the accept loop polls",
+//! which `libc`'s ancient `signal(2)` covers without any dependency — the
+//! same hand-rolled-binding approach as the store's `mmap` wrapper. The
+//! handler just stores into an atomic (async-signal-safe); the accept
+//! loop notices within one poll interval and starts the drain.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static DRAIN: AtomicBool = AtomicBool::new(false);
+
+/// `SIGTERM` on every unix this builds on.
+pub const SIGTERM: i32 = 15;
+/// `SIGINT`.
+pub const SIGINT: i32 = 2;
+
+#[cfg(unix)]
+mod sys {
+    extern "C" {
+        pub fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+}
+
+#[cfg(unix)]
+extern "C" fn on_signal(_signum: i32) {
+    DRAIN.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGTERM/SIGINT handlers (idempotent; no-op off unix).
+pub fn install() {
+    #[cfg(unix)]
+    unsafe {
+        sys::signal(SIGTERM, on_signal);
+        sys::signal(SIGINT, on_signal);
+    }
+}
+
+/// True once a drain signal arrived (or [`trigger`] ran).
+pub fn drain_requested() -> bool {
+    DRAIN.load(Ordering::SeqCst)
+}
+
+/// Requests a drain programmatically — what the signal handler does,
+/// callable from tests.
+pub fn trigger() {
+    DRAIN.store(true, Ordering::SeqCst);
+}
+
+/// Clears the flag so one process can run several serve cycles (tests).
+pub fn reset() {
+    DRAIN.store(false, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_and_reset_flip_the_flag() {
+        reset();
+        assert!(!drain_requested());
+        trigger();
+        assert!(drain_requested());
+        reset();
+        assert!(!drain_requested());
+    }
+}

@@ -38,6 +38,37 @@ impl EpsilonJoin {
             self.threshold
         )
     }
+
+    /// Candidates of one query row, appended to `out` in index order —
+    /// exactly what the batch [`Filter::query`] loop records for row `j`
+    /// (which calls this), so an online lookup served from a store-loaded
+    /// artifact is byte-identical to the offline sweep by construction.
+    pub fn query_row_into(
+        &self,
+        art: &TokenSetsArtifact,
+        j: usize,
+        scratch: &mut ScanCountScratch,
+        hits: &mut Vec<(u32, u32)>,
+        out: &mut Vec<u32>,
+    ) {
+        let qlen = art.query_sets.set_size(j);
+        // Exact length filter: candidates whose cardinality cannot
+        // reach ε are skipped before the similarity is computed
+        // (see `SimilarityMeasure::size_bounds` for the exactness
+        // argument).
+        let (lo, hi) = self.measure.size_bounds(qlen, self.threshold);
+        art.index.query_row_with(scratch, &art.query_sets, j, hits);
+        for &(i, overlap) in hits.iter() {
+            let ilen = art.index.set_size(i);
+            if ilen < lo || ilen > hi {
+                continue;
+            }
+            let sim = self.measure.compute(overlap as usize, ilen, qlen);
+            if sim >= self.threshold {
+                out.push(i);
+            }
+        }
+    }
 }
 
 impl Filter for EpsilonJoin {
@@ -59,24 +90,12 @@ impl Filter for EpsilonJoin {
         out.breakdown.time("query", || {
             let mut scratch = ScanCountScratch::default();
             let mut hits: Vec<(u32, u32)> = Vec::new();
+            let mut row: Vec<u32> = Vec::new();
             for j in 0..art.query_sets.len() {
-                let qlen = art.query_sets.set_size(j);
-                // Exact length filter: candidates whose cardinality cannot
-                // reach ε are skipped before the similarity is computed
-                // (see `SimilarityMeasure::size_bounds` for the exactness
-                // argument).
-                let (lo, hi) = self.measure.size_bounds(qlen, self.threshold);
-                art.index
-                    .query_row_with(&mut scratch, &art.query_sets, j, &mut hits);
-                for &(i, overlap) in &hits {
-                    let ilen = art.index.set_size(i);
-                    if ilen < lo || ilen > hi {
-                        continue;
-                    }
-                    let sim = self.measure.compute(overlap as usize, ilen, qlen);
-                    if sim >= self.threshold {
-                        out.candidates.insert_raw(i, j as u32);
-                    }
+                row.clear();
+                self.query_row_into(art, j, &mut scratch, &mut hits, &mut row);
+                for &i in &row {
+                    out.candidates.insert_raw(i, j as u32);
                 }
             }
         });

@@ -155,6 +155,26 @@ impl KnnJoin {
         }
         scored
     }
+
+    /// The selected neighbors of one query row — scoring plus the
+    /// distinct-top-K cut, exactly what the batch [`Filter::query`] path
+    /// computes for that row (which calls this), so an online lookup
+    /// served from a store-loaded artifact is byte-identical to the
+    /// offline sweep by construction. Entries are `(indexed id,
+    /// similarity)` sorted by descending similarity then ascending id;
+    /// with `RVS` the ids are still the indexed side's (E2 forward, E1
+    /// reversed) — orientation is the caller's concern.
+    pub fn query_row(
+        &self,
+        art: &TokenSetsArtifact,
+        j: usize,
+        scratch: &mut ScanCountScratch,
+        hits: &mut Vec<(u32, u32)>,
+    ) -> Vec<(u32, f64)> {
+        let mut scored = self.score_query(art, j, Some(self.k), scratch, hits);
+        Self::select_top_k(self.k, &mut scored);
+        scored
+    }
 }
 
 impl KnnJoin {
@@ -248,17 +268,7 @@ impl KnnJoin {
                 let mut scratch = ScanCountScratch::default();
                 let mut hits: Vec<(u32, u32)> = Vec::new();
                 (0..part.len())
-                    .map(|local| {
-                        let mut scored = self.score_query(
-                            art,
-                            offset + local,
-                            Some(self.k),
-                            &mut scratch,
-                            &mut hits,
-                        );
-                        Self::select_top_k(self.k, &mut scored);
-                        scored
-                    })
+                    .map(|local| self.query_row(art, offset + local, &mut scratch, &mut hits))
                     .collect::<Vec<_>>()
             });
             for (q, scored) in per_chunk.into_iter().flatten().enumerate() {

@@ -41,6 +41,12 @@ pub enum StoreError {
     Malformed(String),
     /// No registered codec can (de)serialize this artifact.
     NoCodec(String),
+    /// A read-only open pointed at a directory that does not exist.
+    /// Read-only mode (serving) never creates anything, so this is a
+    /// startup error, not a `create_dir_all`.
+    MissingDir(String),
+    /// A mutating operation (spill, gc) was attempted on a read-only store.
+    ReadOnly(String),
 }
 
 /// Result alias for store operations.
@@ -70,6 +76,15 @@ impl fmt::Display for StoreError {
             }
             StoreError::Malformed(msg) => write!(f, "malformed store file: {msg}"),
             StoreError::NoCodec(repr) => write!(f, "no codec for artifact {repr}"),
+            StoreError::MissingDir(dir) => {
+                write!(
+                    f,
+                    "store directory {dir} does not exist (read-only open never creates)"
+                )
+            }
+            StoreError::ReadOnly(op) => {
+                write!(f, "store is read-only: refusing to {op}")
+            }
         }
     }
 }

@@ -78,10 +78,25 @@ pub struct SectionRatio {
     pub decoded_bytes: u64,
 }
 
+/// How a store directory is opened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OpenMode {
+    /// Create the directory if needed; spills, gc and healing overwrites
+    /// all work. The sweep's build-pipeline mode.
+    #[default]
+    ReadWrite,
+    /// The serving mode: the directory must already exist and the store
+    /// never writes — [`DiskTier::store`] reports "nothing written" and
+    /// [`ArtifactStore::gc`] refuses. A missing directory is a structured
+    /// [`StoreError::MissingDir`], never a create.
+    ReadOnly,
+}
+
 /// A store directory plus the codec registry, implementing [`DiskTier`].
 pub struct ArtifactStore {
     dir: PathBuf,
     codecs: Vec<Box<dyn ArtifactCodec>>,
+    mode: OpenMode,
 }
 
 impl std::fmt::Debug for ArtifactStore {
@@ -97,16 +112,48 @@ impl std::fmt::Debug for ArtifactStore {
 }
 
 impl ArtifactStore {
-    /// Opens (creating if needed) the store directory.
+    /// Opens (creating if needed) the store directory in read-write mode.
     pub fn open(dir: impl Into<PathBuf>, codecs: Vec<Box<dyn ArtifactCodec>>) -> Result<Self> {
+        Self::open_with(dir, codecs, OpenMode::ReadWrite)
+    }
+
+    /// Opens an existing store directory read-only (serve mode): a missing
+    /// directory is [`StoreError::MissingDir`] and nothing is ever written.
+    pub fn open_read_only(
+        dir: impl Into<PathBuf>,
+        codecs: Vec<Box<dyn ArtifactCodec>>,
+    ) -> Result<Self> {
+        Self::open_with(dir, codecs, OpenMode::ReadOnly)
+    }
+
+    /// Opens the store directory with an explicit [`OpenMode`].
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        codecs: Vec<Box<dyn ArtifactCodec>>,
+        mode: OpenMode,
+    ) -> Result<Self> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir).map_err(|e| StoreError::io(&dir, &e))?;
-        Ok(ArtifactStore { dir, codecs })
+        match mode {
+            OpenMode::ReadWrite => {
+                std::fs::create_dir_all(&dir).map_err(|e| StoreError::io(&dir, &e))?;
+            }
+            OpenMode::ReadOnly => {
+                if !dir.is_dir() {
+                    return Err(StoreError::MissingDir(dir.display().to_string()));
+                }
+            }
+        }
+        Ok(ArtifactStore { dir, codecs, mode })
     }
 
     /// The store directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The mode this store was opened with.
+    pub fn mode(&self) -> OpenMode {
+        self.mode
     }
 
     /// The file a key lives at: dataset fingerprint and hashed repr key,
@@ -235,6 +282,9 @@ impl ArtifactStore {
     /// Removes stale temp files and undecodable store files, returning
     /// (removed, kept) counts (`er store gc`).
     pub fn gc(&self) -> Result<(usize, usize)> {
+        if self.mode == OpenMode::ReadOnly {
+            return Err(StoreError::ReadOnly("gc".into()));
+        }
         let mut removed = 0;
         let mut kept = 0;
         let entries = std::fs::read_dir(&self.dir).map_err(|e| StoreError::io(&self.dir, &e))?;
@@ -288,6 +338,10 @@ impl DiskTier for ArtifactStore {
     }
 
     fn store(&self, key: &ArtifactKey, prepared: &Prepared) -> std::result::Result<bool, String> {
+        if self.mode == OpenMode::ReadOnly {
+            // Serving: cache evictions must never turn into spills.
+            return Ok(false);
+        }
         let path = self.file_path(key);
         // Already holding a valid copy of this key? Nothing to do. A
         // present-but-damaged file is overwritten below.
@@ -558,6 +612,59 @@ mod tests {
             .expect("verify")
             .iter()
             .all(|(_, v)| v.is_ok()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Sorted `(name, size)` listing of a directory, for write-free proofs.
+    fn dir_listing(dir: &Path) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = std::fs::read_dir(dir)
+            .expect("read_dir")
+            .map(|e| {
+                let e = e.expect("entry");
+                (
+                    e.file_name().to_string_lossy().into_owned(),
+                    e.metadata().expect("meta").len(),
+                )
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn read_only_open_of_missing_dir_is_a_structured_error() {
+        let dir = std::env::temp_dir().join(format!("er_store_ro_missing_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let err = ArtifactStore::open_read_only(&dir, vec![Box::new(ToyCodec)])
+            .expect_err("must not create");
+        assert!(matches!(err, StoreError::MissingDir(_)), "{err:?}");
+        assert!(err.to_string().contains("does not exist"), "{err}");
+        // The open must not have created the directory as a side effect.
+        assert!(!dir.exists());
+    }
+
+    #[test]
+    fn read_only_store_loads_but_never_writes() {
+        let (store, dir) = store_in("readonly");
+        store
+            .store(&key("toy:a"), &toy_prepared(vec![4, 2], 16, 3))
+            .expect("seed store");
+        let before = dir_listing(&dir);
+
+        let ro = ArtifactStore::open_read_only(&dir, vec![Box::new(ToyCodec)]).expect("ro open");
+        assert_eq!(ro.mode(), OpenMode::ReadOnly);
+        // Loads work exactly as in read-write mode.
+        assert!(matches!(ro.load(&key("toy:a")), TierLoad::Hit { .. }));
+        // A spill of a *new* key reports "nothing written" and creates no file.
+        assert!(!ro
+            .store(&key("toy:new"), &toy_prepared(vec![1], 8, 0))
+            .expect("read-only store is a no-op"));
+        // gc is refused outright.
+        match ro.gc() {
+            Err(StoreError::ReadOnly(op)) => assert_eq!(op, "gc"),
+            other => panic!("expected refusal, got {other:?}"),
+        }
+        assert_eq!(dir_listing(&dir), before, "read-only store touched the dir");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

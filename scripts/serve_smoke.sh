@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Smoke test of the online serving daemon (`er serve`), end to end:
+#
+# 1. Builds an artifact store with a quick sweep (`--store-dir`).
+# 2. Launches the daemon over it with a deliberately tiny admission
+#    queue and stalled lookups (ER_FAULTS), so overload is guaranteed.
+# 3. Runs a scripted client over bash /dev/tcp: pipelined lookups must
+#    all be answered (served or shed — at least one shed proves the
+#    backpressure path), and the in-band health/stats probes must work.
+# 4. SIGTERMs the daemon and asserts the drain contract: exit status 0,
+#    the grep-able `serve:` stats line on stderr, and a written
+#    histogram snapshot (serve_stats.json, uploaded as a CI artifact).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+STORE="${SERVE_STORE:-serve-store}"
+PORT="${SERVE_PORT:-7878}"
+SNAPSHOT="${SERVE_SNAPSHOT:-serve_stats.json}"
+
+echo "== building er-cli (release)" >&2
+cargo build --release -p er-cli >&2
+ER=target/release/er
+
+echo "== building the artifact store" >&2
+cargo run --release --bin table7_main -- \
+  --datasets D5 --scale 0.06 --grid quick --reps 1 --dim 32 --seed 11 \
+  --store-dir "$STORE" > /dev/null 2> sweep.log
+ls "$STORE"/*.erst > /dev/null
+
+echo "== launching the daemon (queue bound 2, stalled lookups)" >&2
+ER_FAULTS='stall@serve/query*:ms=150' "$ER" serve \
+  --store-dir "$STORE" --profile D5 --scale 0.06 --seed 11 \
+  --method epsilon --clean --model T1G \
+  --addr "127.0.0.1:$PORT" --queue 2 --batch 1 --workers 1 \
+  --drain-grace-ms 5000 --stats-out "$SNAPSHOT" \
+  > serve.out 2> serve.log &
+SERVE_PID=$!
+
+for _ in $(seq 1 100); do
+  grep -q "serving on " serve.out 2>/dev/null && break
+  kill -0 "$SERVE_PID" 2>/dev/null || { cat serve.log >&2; exit 1; }
+  sleep 0.1
+done
+grep -q "serving on " serve.out
+echo "== daemon up: $(cat serve.out)" >&2
+grep -q 'store: 1 hits / 0 misses' serve.log
+
+echo "== scripted client: 20 pipelined lookups against a 2-deep queue" >&2
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+for i in $(seq 0 19); do
+  printf '{"id":%d,"row":%d}\n' "$i" "$i" >&3
+done
+: > responses.txt
+for _ in $(seq 1 20); do
+  IFS= read -r -t 30 line <&3
+  printf '%s\n' "$line" >> responses.txt
+done
+
+SERVED=$(grep -c '"candidates"' responses.txt || true)
+SHED=$(grep -c '"error":"shed"' responses.txt || true)
+echo "== $SERVED served, $SHED shed" >&2
+test "$((SERVED + SHED))" -eq 20   # every request answered exactly once
+test "$SHED" -ge 1                 # the tiny queue bound must shed
+grep -q '"retry_after_ms"' responses.txt
+
+echo "== in-band health and stats probes" >&2
+printf '{"op":"health"}\n' >&3
+IFS= read -r -t 30 health <&3
+echo "$health" | grep -q '"status":"serving"'
+printf '{"op":"stats"}\n' >&3
+IFS= read -r -t 30 stats <&3
+echo "$stats" | grep -q '"p50_us"'
+echo "$stats" | grep -q '"store_hits":1'
+exec 3<&- 3>&-
+
+echo "== SIGTERM: drain and exit 0" >&2
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"            # non-zero exit fails the script here
+grep -q 'serve: .* served / .* shed' serve.log
+test -s "$SNAPSHOT"
+grep -q '"histogram_us"' "$SNAPSHOT"
+echo "== stats line: $(grep 'serve: ' serve.log | tail -1)" >&2
+
+echo "serve smoke OK" >&2

@@ -1,0 +1,514 @@
+//! Integration tests of the online candidate-lookup daemon (`er serve`).
+//!
+//! The headline guarantees, in order:
+//!
+//! 1. **Zero prepare work at startup.** The engine loads its artifact from
+//!    a store populated by `er sweep --store-dir`; the startup cache
+//!    counters must show exactly one store hit and zero misses.
+//! 2. **Byte-identical answers.** Every row served — in process, over TCP,
+//!    under concurrency — must equal the offline [`Filter::query`] result
+//!    for that row.
+//! 3. **Overload safety.** A full admission queue sheds with structured
+//!    retry-after responses; injected panics become structured failures;
+//!    deadlines become timeout rows; the daemon never hangs or dies.
+//! 4. **Read-only serving.** The store directory is byte-for-byte
+//!    unchanged after a full serving session.
+//!
+//! Fault plans are process-global, so every test serializes on one lock.
+
+use er::core::faults::{self, FaultPlan};
+use er::core::filter::Filter;
+use er::core::guard::{Limits, RunOutcome};
+use er::core::schema::{text_view, SchemaMode, TextView};
+use er::prelude::{EpsilonJoin, KnnJoin, RepresentationModel, SimilarityMeasure};
+use er_bench::jsonl::Json;
+use er_bench::{run_sweep, Settings};
+use er_serve::{Engine, ServeConfig, ServeMethod, Server, ServerStats};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Serializes the tests: the daemon's fault sites read the process-global
+/// fault plan, so two servers must never run concurrently.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+struct Fixture {
+    store: PathBuf,
+    view: TextView,
+}
+
+static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+
+/// Builds the store once with a real `er sweep --store-dir` run (quick
+/// grid over D5, the `integration_store` fixture), then regenerates the
+/// dataset exactly as `er serve` does to pin the fingerprint.
+fn fixture() -> &'static Fixture {
+    FIXTURE.get_or_init(|| {
+        let base = std::env::temp_dir().join(format!("er-serve-it-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).expect("create scratch dir");
+        let store = base.join("store");
+        let dir = store.to_str().expect("utf-8 store dir").to_owned();
+        let args = [
+            "--datasets",
+            "D5",
+            "--scale",
+            "0.06",
+            "--grid",
+            "quick",
+            "--reps",
+            "1",
+            "--dim",
+            "32",
+            "--seed",
+            "11",
+            "--store-dir",
+            &dir,
+        ];
+        let settings = Settings::try_parse(args.iter().map(|s| s.to_string())).expect("settings");
+        run_sweep(&settings, 1, false).expect("store-building sweep");
+        let profile = er::datagen::profiles::profile("D5").expect("profile D5");
+        let ds = er::datagen::generate(profile, 0.06, 11);
+        let view = text_view(&ds, &SchemaMode::Agnostic);
+        Fixture { store, view }
+    })
+}
+
+/// An epsilon configuration whose artifact the quick grid stored.
+fn epsilon() -> EpsilonJoin {
+    EpsilonJoin {
+        cleaning: true,
+        model: RepresentationModel::parse("T1G").expect("T1G"),
+        measure: SimilarityMeasure::Cosine,
+        threshold: 0.4,
+    }
+}
+
+/// A kNN configuration whose artifact the quick grid stored.
+fn knn() -> KnnJoin {
+    KnnJoin {
+        cleaning: true,
+        model: RepresentationModel::parse("C3G").expect("C3G"),
+        measure: SimilarityMeasure::Cosine,
+        k: 2,
+        reversed: false,
+    }
+}
+
+/// The offline reference: one full [`Filter::run`], regrouped per query
+/// row with candidate ids ascending — the serve response order.
+fn offline_rows(filter: &impl Filter, view: &TextView) -> Vec<Vec<u32>> {
+    let out = filter.run(view);
+    let mut rows = vec![Vec::new(); view.e2.len()];
+    for pair in out.candidates.iter() {
+        rows[pair.right as usize].push(pair.left);
+    }
+    for row in &mut rows {
+        row.sort_unstable();
+    }
+    rows
+}
+
+fn dir_listing(dir: &Path) -> Vec<(String, u64)> {
+    let mut v: Vec<(String, u64)> = std::fs::read_dir(dir)
+        .expect("read store dir")
+        .map(|e| {
+            let e = e.expect("dir entry");
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                e.metadata().expect("metadata").len(),
+            )
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+struct RunningServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: JoinHandle<ServerStats>,
+}
+
+impl RunningServer {
+    fn start(cfg: ServeConfig, engine: Engine) -> RunningServer {
+        let server = Server::start(cfg, engine).expect("bind");
+        let addr = server.local_addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || server.serve_until(|| flag.load(Ordering::SeqCst)));
+        RunningServer { addr, stop, handle }
+    }
+
+    /// Requests the drain and returns the final stats.
+    fn stop(self) -> ServerStats {
+        self.stop.store(true, Ordering::SeqCst);
+        self.handle.join().expect("server thread")
+    }
+}
+
+/// Pipelines `lines`, then reads exactly `expect` response lines.
+fn roundtrip(addr: SocketAddr, lines: &[String], expect: usize) -> Vec<Json> {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    for line in lines {
+        conn.write_all(line.as_bytes()).expect("send");
+        conn.write_all(b"\n").expect("send newline");
+    }
+    conn.flush().expect("flush");
+    let mut reader = BufReader::new(conn);
+    let mut out = Vec::with_capacity(expect);
+    for _ in 0..expect {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("response line");
+        assert!(n > 0, "connection closed after {} responses", out.len());
+        out.push(Json::parse(line.trim_end()).expect("response json"));
+    }
+    out
+}
+
+fn str_field<'a>(v: &'a Json, key: &str) -> Option<&'a str> {
+    v.get(key).and_then(Json::as_str)
+}
+
+#[test]
+fn startup_hits_the_store_and_lookups_match_offline_query() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let fx = fixture();
+
+    let eps = epsilon();
+    let expected = offline_rows(&eps, &fx.view);
+    let engine = Engine::open(&fx.store, &fx.view, ServeMethod::Epsilon(eps)).expect("open");
+    let startup = engine.startup_stats();
+    assert_eq!(startup.store_hits, 1, "exactly one store load");
+    assert_eq!(startup.misses, 0, "zero prepare work at startup");
+    assert!(startup.prepare_saved > Duration::ZERO, "savings recorded");
+    assert_eq!(engine.rows(), fx.view.e2.len());
+
+    // The whole query side through the batch path, vs the offline report.
+    let jobs: Vec<(usize, Limits)> = (0..engine.rows()).map(|r| (r, Limits::none())).collect();
+    for (row, outcome) in engine.lookup_batch(&jobs).into_iter().enumerate() {
+        match outcome {
+            RunOutcome::Ok(ids) => assert_eq!(ids, expected[row], "epsilon row {row}"),
+            RunOutcome::Failed { reason, .. } => panic!("row {row} failed: {reason}"),
+        }
+    }
+
+    let knn = knn();
+    let expected = offline_rows(&knn, &fx.view);
+    let engine = Engine::open(&fx.store, &fx.view, ServeMethod::Knn(knn)).expect("open knn");
+    assert_eq!(engine.startup_stats().store_hits, 1);
+    assert_eq!(engine.startup_stats().misses, 0);
+    for (row, want) in expected.iter().enumerate() {
+        match engine.lookup(row, Limits::none()) {
+            RunOutcome::Ok(ids) => assert_eq!(&ids, want, "knn row {row}"),
+            RunOutcome::Failed { reason, .. } => panic!("knn row {row} failed: {reason}"),
+        }
+    }
+}
+
+#[test]
+fn concurrent_tcp_lookups_are_byte_identical_and_leave_the_store_untouched() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let fx = fixture();
+    let before = dir_listing(&fx.store);
+
+    let eps = epsilon();
+    let expected = Arc::new(offline_rows(&eps, &fx.view));
+    let engine = Engine::open(&fx.store, &fx.view, ServeMethod::Epsilon(eps)).expect("open");
+    let rows = engine.rows();
+    let server = RunningServer::start(
+        ServeConfig {
+            workers: 2,
+            batch: 8,
+            ..ServeConfig::default()
+        },
+        engine,
+    );
+
+    // Three concurrent clients, striding the query side between them;
+    // responses correlate by id, so interleaving across workers is fine.
+    const CLIENTS: usize = 3;
+    let mut handles = Vec::new();
+    for c in 0..CLIENTS {
+        let addr = server.addr;
+        let expected = Arc::clone(&expected);
+        handles.push(std::thread::spawn(move || {
+            let rows: Vec<usize> = (c..rows).step_by(CLIENTS).collect();
+            let lines: Vec<String> = rows
+                .iter()
+                .map(|r| format!(r#"{{"id":{r},"row":{r}}}"#))
+                .collect();
+            let responses = roundtrip(addr, &lines, lines.len());
+            for v in responses {
+                let row = v.get("row").and_then(Json::as_f64).expect("row") as usize;
+                let got: Vec<u32> = v
+                    .get("candidates")
+                    .and_then(Json::as_arr)
+                    .expect("candidates")
+                    .iter()
+                    .map(|c| c.as_f64().expect("id") as u32)
+                    .collect();
+                assert_eq!(got, expected[row], "row {row} over TCP");
+                assert_eq!(
+                    v.get("n").and_then(Json::as_f64),
+                    Some(got.len() as f64),
+                    "candidate count field"
+                );
+            }
+            rows.len()
+        }));
+    }
+    let total: usize = handles.into_iter().map(|h| h.join().expect("client")).sum();
+    assert_eq!(total, rows, "every row served exactly once");
+
+    // Control-plane probes and a garbage line on one extra connection.
+    let lines = vec![
+        "not json at all".to_owned(),
+        r#"{"op":"health"}"#.to_owned(),
+        r#"{"op":"stats"}"#.to_owned(),
+    ];
+    let probes = roundtrip(server.addr, &lines, 3);
+    assert_eq!(str_field(&probes[0], "error"), Some("bad-request"));
+    assert_eq!(probes[1].get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(str_field(&probes[1], "status"), Some("serving"));
+    let stats = &probes[2];
+    assert_eq!(stats.get("store_hits").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(stats.get("cache_misses").and_then(Json::as_f64), Some(0.0));
+    assert!(stats.get("p50_us").and_then(Json::as_f64).is_some());
+    assert!(stats.get("histogram_us").and_then(Json::as_arr).is_some());
+
+    let final_stats = server.stop();
+    assert_eq!(final_stats.served as usize, rows);
+    assert_eq!(final_stats.failed, 0);
+    assert_eq!(final_stats.shed, 0);
+    assert_eq!(final_stats.bad_requests, 1);
+    assert_eq!(final_stats.connections, CLIENTS as u64 + 1);
+    assert_eq!(final_stats.histogram.len(), final_stats.served);
+
+    assert_eq!(
+        dir_listing(&fx.store),
+        before,
+        "serving must never write to the store"
+    );
+}
+
+#[test]
+fn overload_sheds_with_structured_retry_after_responses() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let fx = fixture();
+    let plan = FaultPlan::parse("stall@serve/query*:ms=100").expect("plan");
+    faults::with_plan(plan, || {
+        let engine =
+            Engine::open(&fx.store, &fx.view, ServeMethod::Epsilon(epsilon())).expect("open");
+        let server = RunningServer::start(
+            ServeConfig {
+                queue_bound: 1,
+                batch: 1,
+                workers: 1,
+                default_deadline: Duration::from_secs(5),
+                retry_after_ms: 7,
+                ..ServeConfig::default()
+            },
+            engine,
+        );
+
+        const N: usize = 10;
+        let lines: Vec<String> = (0..N).map(|i| format!(r#"{{"id":{i},"row":0}}"#)).collect();
+        let responses = roundtrip(server.addr, &lines, N);
+        let shed: Vec<&Json> = responses
+            .iter()
+            .filter(|v| str_field(v, "error") == Some("shed"))
+            .collect();
+        let served = responses
+            .iter()
+            .filter(|v| v.get("candidates").is_some())
+            .count();
+        assert!(!shed.is_empty(), "a 1-deep queue under stall must shed");
+        assert!(served >= 1, "the queue keeps serving while shedding");
+        assert_eq!(served + shed.len(), N, "every request answered once");
+        for v in &shed {
+            assert_eq!(
+                v.get("retry_after_ms").and_then(Json::as_f64),
+                Some(7.0),
+                "shed responses carry the configured retry-after"
+            );
+        }
+
+        let stats = server.stop();
+        assert_eq!(stats.shed as usize, shed.len());
+        assert_eq!(stats.served as usize, served);
+        assert_eq!(stats.timeouts, 0);
+        assert_eq!(stats.histogram.len(), stats.served);
+    });
+}
+
+#[test]
+fn injected_query_panics_become_structured_failures_and_the_daemon_survives() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let fx = fixture();
+    let plan = FaultPlan::parse("panic@serve/query*:p=0.2,seed=7").expect("plan");
+    faults::with_plan(plan, || {
+        let engine =
+            Engine::open(&fx.store, &fx.view, ServeMethod::Epsilon(epsilon())).expect("open");
+        let server = RunningServer::start(
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+            engine,
+        );
+
+        const N: usize = 25;
+        let lines: Vec<String> = (0..N)
+            .map(|i| format!(r#"{{"id":{i},"row":{i}}}"#))
+            .collect();
+        let responses = roundtrip(server.addr, &lines, N);
+        let failed = responses
+            .iter()
+            .filter(|v| str_field(v, "error") == Some("failed"))
+            .inspect(|v| {
+                let detail = str_field(v, "detail").expect("detail");
+                assert!(detail.contains("injected fault"), "detail: {detail}");
+            })
+            .count();
+        let served = responses
+            .iter()
+            .filter(|v| v.get("candidates").is_some())
+            .count();
+        assert!(failed >= 1, "p=0.2 over {N} lookups must inject");
+        assert!(served >= 1, "most lookups still succeed");
+        assert_eq!(failed + served, N);
+
+        // The daemon is still alive and says so.
+        let probe = roundtrip(server.addr, &[r#"{"op":"health"}"#.to_owned()], 1);
+        assert_eq!(probe[0].get("ok").and_then(Json::as_bool), Some(true));
+
+        let stats = server.stop();
+        assert_eq!(stats.failed as usize, failed);
+        assert_eq!(stats.served as usize, served);
+    });
+}
+
+#[test]
+fn stalled_lookups_hit_their_deadline_instead_of_hanging() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let fx = fixture();
+    let plan = FaultPlan::parse("stall@serve/query*:ms=30000").expect("plan");
+    faults::with_plan(plan, || {
+        let engine =
+            Engine::open(&fx.store, &fx.view, ServeMethod::Epsilon(epsilon())).expect("open");
+        let server = RunningServer::start(
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+            engine,
+        );
+
+        const N: usize = 5;
+        let lines: Vec<String> = (0..N)
+            .map(|i| format!(r#"{{"id":{i},"row":{i},"deadline_ms":10}}"#))
+            .collect();
+        // A hung connection would trip the client's 30s read timeout.
+        let responses = roundtrip(server.addr, &lines, N);
+        for v in &responses {
+            assert_eq!(str_field(v, "error"), Some("timeout"), "{v:?}");
+            let detail = str_field(v, "detail").expect("detail");
+            assert!(detail.contains("timed out"), "detail: {detail}");
+        }
+
+        let stats = server.stop();
+        assert_eq!(stats.timeouts as usize, N);
+        assert_eq!(stats.served, 0);
+    });
+}
+
+#[test]
+fn drain_answers_every_accepted_line_before_shutdown() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let fx = fixture();
+    let plan = FaultPlan::parse("stall@serve/query*:ms=50").expect("plan");
+    faults::with_plan(plan, || {
+        let engine =
+            Engine::open(&fx.store, &fx.view, ServeMethod::Epsilon(epsilon())).expect("open");
+        let server = RunningServer::start(
+            ServeConfig {
+                workers: 1,
+                batch: 2,
+                drain_grace: Duration::from_secs(5),
+                ..ServeConfig::default()
+            },
+            engine,
+        );
+
+        const N: usize = 8;
+        let mut conn = TcpStream::connect(server.addr).expect("connect");
+        conn.set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        for i in 0..N {
+            writeln!(conn, r#"{{"id":{i},"row":{i}}}"#).expect("send");
+        }
+        conn.flush().expect("flush");
+        // The client is done sending; the drain must still answer all N.
+        conn.shutdown(std::net::Shutdown::Write)
+            .expect("half-close");
+        std::thread::sleep(Duration::from_millis(60));
+
+        let stats = server.stop();
+        // Read to EOF: exactly one response per line, then a clean close.
+        let reader = BufReader::new(conn);
+        let mut served = 0usize;
+        let mut refused = 0usize;
+        for line in reader.lines() {
+            let line = line.expect("line");
+            let v = Json::parse(&line).expect("json");
+            if v.get("candidates").is_some() {
+                served += 1;
+            } else {
+                assert_eq!(str_field(&v, "error"), Some("draining"), "{v:?}");
+                refused += 1;
+            }
+        }
+        assert_eq!(served + refused, N, "every accepted line answered");
+        assert!(served >= 1, "work admitted before the drain completes");
+        assert_eq!(stats.served as usize, served);
+        assert_eq!(stats.drained_refusals as usize, refused);
+    });
+}
+
+#[test]
+fn open_failures_are_structured_errors() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let fx = fixture();
+
+    let missing = std::env::temp_dir().join(format!("er-serve-missing-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&missing);
+    let err = match Engine::open(&missing, &fx.view, ServeMethod::Epsilon(epsilon())) {
+        Err(err) => err,
+        Ok(_) => panic!("missing dir must not open"),
+    };
+    assert!(err.contains("does not exist"), "{err}");
+    assert!(
+        !missing.exists(),
+        "read-only open must never create the dir"
+    );
+
+    // A configuration the sweep never stored: present store, absent key.
+    let mut eps = epsilon();
+    eps.cleaning = false;
+    let err = match Engine::open(&fx.store, &fx.view, ServeMethod::Epsilon(eps)) {
+        Err(err) => err,
+        Ok(_) => panic!("unknown artifact must not open"),
+    };
+    assert!(err.contains("not found"), "{err}");
+    assert!(
+        err.contains("er sweep"),
+        "points at the store builder: {err}"
+    );
+}
