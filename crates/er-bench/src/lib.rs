@@ -10,6 +10,8 @@
 //!   the 17-method sweep behind Table VII,
 //! * [`sweep`] — the fault-isolated, checkpointed and resumable sweep
 //!   driver over all (dataset, schema-setting) columns,
+//! * [`stream`] — the checkpointed streaming-ingest replay against the
+//!   segmented incremental index (`er sweep --stream`),
 //! * [`checkpoint`] — the JSONL grid-checkpoint format,
 //! * [`jsonl`] — the dependency-free JSON encoder/parser behind it,
 //! * [`report`] — fixed-width text tables in the paper's format.
@@ -20,10 +22,12 @@ pub mod jsonl;
 pub mod report;
 pub mod settings;
 pub mod store;
+pub mod stream;
 pub mod sweep;
 
 pub use harness::{run_all_methods, Context, MethodId, MethodOutcome};
 pub use report::Table;
 pub use settings::Settings;
 pub use store::{all_codecs, open_store, open_store_read_only};
+pub use stream::run_stream;
 pub use sweep::{bench_prepare, run_sweep, Column};

@@ -11,7 +11,7 @@ use er::dense::{
     CrossPolytopeCodec, DenseFlatCodec, DenseFlatQCodec, HyperplaneCodec, MinHashCodec,
     PartitionedCodec,
 };
-use er::sparse::{SparseCodec, SparsePackedCodec};
+use er::sparse::{SparseCodec, SparseManifestCodec, SparsePackedCodec, SparseSegmentCodec};
 use er::store::{ArtifactCodec, ArtifactStore};
 use std::io;
 use std::path::Path;
@@ -29,6 +29,8 @@ pub fn all_codecs() -> Vec<Box<dyn ArtifactCodec>> {
         Box::new(PartitionedCodec),
         Box::new(SparsePackedCodec),
         Box::new(DenseFlatQCodec),
+        Box::new(SparseSegmentCodec),
+        Box::new(SparseManifestCodec),
     ]
 }
 
@@ -52,7 +54,7 @@ mod tests {
     fn codec_ids_are_unique_and_stable() {
         let codecs = all_codecs();
         let ids: Vec<u32> = codecs.iter().map(|c| c.id()).collect();
-        assert_eq!(ids, vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(ids, vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
     }
 
     #[test]

@@ -68,7 +68,7 @@ impl BlockBuilder {
     }
 
     /// Extracts the deduplicated signature hashes of one entity text.
-    fn signatures(&self, text: &str, out: &mut FastSet<u64>) {
+    pub(crate) fn signatures(&self, text: &str, out: &mut FastSet<u64>) {
         out.clear();
         let tokens = tokenize(text);
         match *self {

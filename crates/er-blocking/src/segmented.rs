@@ -1,0 +1,432 @@
+//! Segment-aware block building for the incremental index layer.
+//!
+//! The sparse incremental index (`er_sparse::segmented`) keeps the
+//! indexed collection as immutable segments plus a mutable delta; the
+//! blocking workflows need the same treatment so `er serve` can keep
+//! answering blocking lookups while rows stream in. A
+//! [`SegmentedBlocks`] holds each `E1` row's *signature set* (the
+//! expensive extraction step of [`BlockBuilder::build`]) in immutable
+//! [`SigSegment`]s plus a delta keyed by stable row id, with a tombstone
+//! set suppressing deleted rows; [`SegmentedBlocks::build`] merges the
+//! layers into a [`BlockCollection`] that is **bitwise identical** to
+//! `BlockBuilder::build` over the net dataset — live stable ids in
+//! ascending order are exactly the dense `E1` positions of a full
+//! rebuild, and blocks drain in the same sorted-signature order.
+//!
+//! Signature extraction is the only text-dependent work, so upserts pay
+//! it once; flush/compaction just regroup already-extracted sets. The
+//! `E2` side is the fixed query collection, extracted once up front
+//! (chunked over the worker pool; chunk boundaries are a pure function
+//! of the length, so any thread count yields the same bytes).
+
+use crate::blocks::{Block, BlockCollection};
+use crate::build::BlockBuilder;
+use er_core::hash::{FastMap, FastSet};
+use er_core::parallel;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// One immutable run of extracted signature sets: `sigs[i]` belongs to
+/// stable row id `ids[i]` (ids strictly ascending, each set sorted and
+/// duplicate-free).
+#[derive(Debug)]
+pub struct SigSegment {
+    /// Sequence number, unique within one index's lifetime.
+    pub seq: u64,
+    /// Stable row id of each row, strictly ascending.
+    pub ids: Vec<u32>,
+    /// Sorted, deduplicated signature hashes per row.
+    pub sigs: Vec<Vec<u64>>,
+}
+
+impl SigSegment {
+    /// Heap estimate: per-row Vec headers plus the hash payloads.
+    pub fn heap_bytes(&self) -> usize {
+        self.ids.len() * 4 + self.sigs.iter().map(|s| 24 + s.len() * 8).sum::<usize>()
+    }
+}
+
+/// Which layer owns a live stable id (same discipline as the sparse
+/// segmented index: the newest layer holding a row answers for it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Owner {
+    Delta,
+    Seg(u64),
+}
+
+/// Segmented signature index over the `E1` side of a blocking workflow
+/// (see module docs).
+#[derive(Debug)]
+pub struct SegmentedBlocks {
+    builder: BlockBuilder,
+    segments: Vec<Arc<SigSegment>>,
+    delta: BTreeMap<u32, Vec<u64>>,
+    tombstones: BTreeSet<u32>,
+    /// Extracted signature sets of the fixed `E2` collection.
+    right_sigs: Vec<Vec<u64>>,
+    next_seq: u64,
+    owner: FastMap<u32, Owner>,
+    in_segments: BTreeSet<u32>,
+}
+
+/// Extracts the sorted signature set of every text, chunked over
+/// `threads` workers (byte-identical for any worker count).
+fn extract_batch(builder: &BlockBuilder, texts: &[String], threads: usize) -> Vec<Vec<u64>> {
+    let chunk = parallel::query_chunk_len(texts.len());
+    let per_chunk = parallel::par_map_chunks_with(threads, texts, chunk, |_, part| {
+        let mut scratch = FastSet::default();
+        part.iter()
+            .map(|text| {
+                builder.signatures(text, &mut scratch);
+                let mut sigs: Vec<u64> = scratch.iter().copied().collect();
+                sigs.sort_unstable();
+                sigs
+            })
+            .collect::<Vec<_>>()
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+impl SegmentedBlocks {
+    /// An empty segmented blocking index for `builder`, extracting the
+    /// fixed `E2` texts' signatures over `threads` workers.
+    pub fn new(builder: BlockBuilder, e2_texts: &[String], threads: usize) -> Self {
+        SegmentedBlocks {
+            builder,
+            segments: Vec::new(),
+            delta: BTreeMap::new(),
+            tombstones: BTreeSet::new(),
+            right_sigs: extract_batch(&builder, e2_texts, threads),
+            next_seq: 0,
+            owner: FastMap::default(),
+            in_segments: BTreeSet::new(),
+        }
+    }
+
+    /// The configured block builder.
+    pub fn builder(&self) -> &BlockBuilder {
+        &self.builder
+    }
+
+    /// Number of immutable segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Rows currently in the mutable delta.
+    pub fn delta_rows(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Live (block-visible) `E1` rows.
+    pub fn live_rows(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Heap estimate of the signature storage (segments + delta + the
+    /// fixed right side); the rebuildable ownership maps are excluded.
+    pub fn heap_bytes(&self) -> usize {
+        self.segments.iter().map(|s| s.heap_bytes()).sum::<usize>()
+            + self.delta.values().map(|s| 28 + s.len() * 8).sum::<usize>()
+            + self.tombstones.len() * 4
+            + self
+                .right_sigs
+                .iter()
+                .map(|s| 24 + s.len() * 8)
+                .sum::<usize>()
+    }
+
+    /// Inserts or replaces row `id`, extracting its signatures.
+    pub fn upsert(&mut self, id: u32, text: &str) {
+        let mut scratch = FastSet::default();
+        self.builder.signatures(text, &mut scratch);
+        let mut sigs: Vec<u64> = scratch.into_iter().collect();
+        sigs.sort_unstable();
+        self.upsert_sigs(id, sigs);
+    }
+
+    /// Inserts or replaces row `id` with an already-extracted sorted
+    /// signature set.
+    pub fn upsert_sigs(&mut self, id: u32, sigs: Vec<u64>) {
+        self.tombstones.remove(&id);
+        self.delta.insert(id, sigs);
+        self.owner.insert(id, Owner::Delta);
+    }
+
+    /// Deletes row `id` (tombstone discipline matches the sparse index:
+    /// always recorded, pruned once no segment backs it).
+    pub fn delete(&mut self, id: u32) {
+        self.delta.remove(&id);
+        self.owner.remove(&id);
+        self.tombstones.insert(id);
+    }
+
+    fn rebuild_owner(&mut self) {
+        self.owner.clear();
+        self.in_segments.clear();
+        for seg in &self.segments {
+            for &id in &seg.ids {
+                self.in_segments.insert(id);
+                if !self.tombstones.contains(&id) {
+                    self.owner.insert(id, Owner::Seg(seg.seq));
+                }
+            }
+        }
+        for &id in self.delta.keys() {
+            self.owner.insert(id, Owner::Delta);
+        }
+        let in_segments = &self.in_segments;
+        self.tombstones.retain(|id| in_segments.contains(id));
+    }
+
+    /// Folds the delta into a fresh immutable segment. Returns `false`
+    /// when the delta is empty.
+    pub fn flush(&mut self) -> bool {
+        if self.delta.is_empty() {
+            return false;
+        }
+        let rows: Vec<(u32, Vec<u64>)> = std::mem::take(&mut self.delta).into_iter().collect();
+        let segment = SigSegment {
+            seq: self.next_seq,
+            ids: rows.iter().map(|(id, _)| *id).collect(),
+            sigs: rows.into_iter().map(|(_, s)| s).collect(),
+        };
+        self.next_seq += 1;
+        self.segments.push(Arc::new(segment));
+        self.rebuild_owner();
+        true
+    }
+
+    /// Folds all segments plus the delta into one segment holding exactly
+    /// the live rows. Returns `false` when there is nothing to fold.
+    pub fn compact(&mut self) -> bool {
+        if self.segments.len() <= 1 && self.delta.is_empty() && self.tombstones.is_empty() {
+            return false;
+        }
+        let by_seq: FastMap<u64, usize> = self
+            .segments
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.seq, i))
+            .collect();
+        let mut live: Vec<u32> = self.owner.keys().copied().collect();
+        live.sort_unstable();
+        let mut ids = Vec::with_capacity(live.len());
+        let mut sigs = Vec::with_capacity(live.len());
+        for id in live {
+            let set = match self.owner[&id] {
+                Owner::Delta => self.delta[&id].clone(),
+                Owner::Seg(seq) => {
+                    let seg = &self.segments[by_seq[&seq]];
+                    let row = seg
+                        .ids
+                        .binary_search(&id)
+                        .expect("owner points into segment");
+                    seg.sigs[row].clone()
+                }
+            };
+            ids.push(id);
+            sigs.push(set);
+        }
+        let segment = SigSegment {
+            seq: self.next_seq,
+            ids,
+            sigs,
+        };
+        self.next_seq += 1;
+        self.segments = vec![Arc::new(segment)];
+        self.delta.clear();
+        self.tombstones.clear();
+        self.rebuild_owner();
+        true
+    }
+
+    /// The live stable ids in ascending order — dense `E1` position `i`
+    /// of [`SegmentedBlocks::build`]'s output corresponds to the `i`-th
+    /// entry here (the mapping callers use to translate block members
+    /// back to stable ids).
+    pub fn live_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.owner.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Builds the block collection over the net dataset: bitwise
+    /// identical to `self.builder().build(&view)` where `view.e1` holds
+    /// the live rows' texts in ascending stable-id order and `view.e2`
+    /// the fixed right side.
+    pub fn build(&self) -> BlockCollection {
+        let mut index: FastMap<u64, Block> = FastMap::default();
+        // Left side: live rows in ascending stable-id order are the dense
+        // E1 positions of the oracle rebuild.
+        for (dense, id) in self.live_ids().into_iter().enumerate() {
+            let sigs = match self.owner[&id] {
+                Owner::Delta => &self.delta[&id],
+                Owner::Seg(seq) => {
+                    let seg = self
+                        .segments
+                        .iter()
+                        .find(|s| s.seq == seq)
+                        .expect("owner names a segment");
+                    &seg.sigs[seg
+                        .ids
+                        .binary_search(&id)
+                        .expect("owner points into segment")]
+                }
+            };
+            for &sig in sigs {
+                index.entry(sig).or_default().left.push(dense as u32);
+            }
+        }
+        for (j, sigs) in self.right_sigs.iter().enumerate() {
+            for &sig in sigs {
+                index.entry(sig).or_default().right.push(j as u32);
+            }
+        }
+        let b_max = match *self.builder() {
+            BlockBuilder::SuffixArrays { b_max, .. }
+            | BlockBuilder::ExtendedSuffixArrays { b_max, .. } => Some(b_max),
+            _ => None,
+        };
+        let mut entries: Vec<(u64, Block)> = index.into_iter().collect();
+        entries.sort_unstable_by_key(|(sig, _)| *sig);
+        let blocks = entries.into_iter().filter_map(|(_, b)| {
+            if let Some(b_max) = b_max {
+                if b.assignments() >= b_max {
+                    return None;
+                }
+            }
+            Some(b)
+        });
+        BlockCollection::from_blocks(blocks, self.owner.len(), self.right_sigs.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::schema::TextView;
+    use proptest::prelude::*;
+
+    fn e2() -> Vec<String> {
+        vec![
+            "joe biden jr".to_owned(),
+            "harris walmart".to_owned(),
+            "".to_owned(),
+            "kwalmart biden".to_owned(),
+        ]
+    }
+
+    fn builders() -> Vec<BlockBuilder> {
+        vec![
+            BlockBuilder::Standard,
+            BlockBuilder::QGrams { q: 3 },
+            BlockBuilder::SuffixArrays { l_min: 3, b_max: 5 },
+        ]
+    }
+
+    /// Asserts `seg.build()` equals the oracle `BlockBuilder::build` over
+    /// the net view, field by field.
+    fn assert_matches_oracle(seg: &SegmentedBlocks, net: &BTreeMap<u32, String>) {
+        let view = TextView::new(net.values().cloned().collect::<Vec<_>>(), e2());
+        let want = seg.builder().build(&view);
+        let got = seg.build();
+        assert_eq!(got.blocks, want.blocks);
+        assert_eq!((got.n1, got.n2), (want.n1, want.n2));
+        assert_eq!(
+            seg.live_ids(),
+            net.keys().copied().collect::<Vec<_>>(),
+            "dense mapping"
+        );
+    }
+
+    #[test]
+    fn layers_match_full_rebuild_for_every_builder() {
+        for builder in builders() {
+            let mut seg = SegmentedBlocks::new(builder, &e2(), 1);
+            let mut net = BTreeMap::new();
+            for (id, text) in [(2u32, "joe biden"), (5, "kamala harris"), (9, "walmart")] {
+                seg.upsert(id, text);
+                net.insert(id, text.to_owned());
+            }
+            assert_matches_oracle(&seg, &net);
+            assert!(seg.flush());
+            assert_matches_oracle(&seg, &net);
+            // Shadow a segment row, delete another, add a fresh one.
+            seg.upsert(5, "harris");
+            net.insert(5, "harris".to_owned());
+            seg.delete(2);
+            net.remove(&2);
+            seg.upsert(11, "biden walmart");
+            net.insert(11, "biden walmart".to_owned());
+            assert_matches_oracle(&seg, &net);
+            assert!(seg.flush());
+            assert_eq!(seg.segment_count(), 2);
+            assert_matches_oracle(&seg, &net);
+            assert!(seg.compact());
+            assert_eq!(seg.segment_count(), 1);
+            assert_matches_oracle(&seg, &net);
+            assert!(!seg.compact());
+        }
+    }
+
+    #[test]
+    fn delete_all_yields_no_blocks() {
+        let mut seg = SegmentedBlocks::new(BlockBuilder::Standard, &e2(), 1);
+        seg.upsert(0, "joe biden");
+        seg.flush();
+        seg.delete(0);
+        assert_eq!(seg.live_rows(), 0);
+        assert!(seg.build().is_empty());
+        assert_matches_oracle(&seg, &BTreeMap::new());
+    }
+
+    #[test]
+    fn e2_extraction_is_thread_count_invariant() {
+        let texts: Vec<String> = (0..40)
+            .map(|i| format!("tok{} common {}", i, i % 5))
+            .collect();
+        let one = SegmentedBlocks::new(BlockBuilder::QGrams { q: 3 }, &texts, 1);
+        let eight = SegmentedBlocks::new(BlockBuilder::QGrams { q: 3 }, &texts, 8);
+        assert_eq!(one.right_sigs, eight.right_sigs);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Any interleaving of upserts, deletes, flushes and compactions
+        /// builds blocks bitwise-identical to a full rebuild of the net
+        /// dataset.
+        #[test]
+        fn any_op_interleaving_matches_full_rebuild(
+            ops in proptest::collection::vec((0u8..4, 0u32..16, "[a-d ]{0,10}"), 1..30),
+        ) {
+            let mut seg = SegmentedBlocks::new(BlockBuilder::Standard, &e2(), 1);
+            let mut net = BTreeMap::new();
+            for (op, id, text) in &ops {
+                match op % 4 {
+                    0 | 1 => {
+                        seg.upsert(*id, text);
+                        net.insert(*id, text.clone());
+                    }
+                    2 => {
+                        seg.delete(*id);
+                        net.remove(id);
+                    }
+                    _ => {
+                        if *id % 2 == 0 {
+                            seg.flush();
+                        } else {
+                            seg.compact();
+                        }
+                    }
+                }
+            }
+            let view = TextView::new(net.values().cloned().collect::<Vec<_>>(), e2());
+            let want = seg.builder().build(&view);
+            let got = seg.build();
+            prop_assert_eq!(got.blocks, want.blocks);
+            prop_assert_eq!((got.n1, got.n2), (want.n1, want.n2));
+        }
+    }
+}

@@ -305,9 +305,10 @@ pub fn store(args: &[String]) -> Result<(), String> {
                 match info {
                     Ok(info) => {
                         println!(
-                            "{name}: codec={} repr={:?} dataset={:016x} heap={} KiB \
+                            "{name}: codec={}{} repr={:?} dataset={:016x} heap={} KiB \
                              file={} KiB prepare={} sections: {}",
                             info.codec_name.unwrap_or("?"),
+                            if info.segment { " [segment]" } else { "" },
                             info.repr,
                             info.dataset_fp,
                             info.heap_bytes.div_ceil(1024),
@@ -315,6 +316,16 @@ pub fn store(args: &[String]) -> Result<(), String> {
                             er::core::timing::format_runtime(info.prepare),
                             info.layout(),
                         );
+                        // Segment tree: a manifest lists the segment
+                        // files it owns, in stack order.
+                        for (i, repr) in info.referenced.iter().enumerate() {
+                            let branch = if i + 1 == info.referenced.len() {
+                                "└─"
+                            } else {
+                                "├─"
+                            };
+                            println!("  {branch} {repr}");
+                        }
                         // Compression report: packed codecs expose each
                         // compressed structure's encoded vs plain bytes.
                         for ratio in &info.section_ratios {
@@ -351,8 +362,11 @@ pub fn store(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "gc" => {
-            let (removed, kept) = store.gc().map_err(|e| e.to_string())?;
-            println!("removed {removed} file(s), kept {kept}");
+            let report = store.gc().map_err(|e| e.to_string())?;
+            println!(
+                "removed {} file(s) ({} orphaned segment(s)), kept {}",
+                report.removed, report.orphaned, report.kept
+            );
             Ok(())
         }
         other => Err(format!("unknown store action {other:?}")),
@@ -368,13 +382,18 @@ pub fn store(args: &[String]) -> Result<(), String> {
 /// [`er_bench::Settings`]. `--bench-prepare out.json` instead runs the
 /// first column three times (cold, warm against the shared artifact
 /// cache, then a fresh cache over the populated store) and writes the
-/// prepare-stage savings as JSON.
+/// prepare-stage savings as JSON — including a segmented warm pass that
+/// replays the indexed side as an insert log. `--stream out.json`
+/// replays the first column as a batched insert/delete log against the
+/// segmented incremental index, checkpointed and resumable like the
+/// sweep itself.
 pub fn sweep(args: &[String]) -> Result<(), String> {
     let settings = er_bench::Settings::try_parse(args.iter().cloned())?;
     // Settings collects unrecognized flags; only the report flags are
     // valid here — anything else is a typo the user should hear about.
     let mut csv: Option<String> = None;
     let mut bench_prepare: Option<String> = None;
+    let mut stream: Option<String> = None;
     let mut opts = er_bench::report::ReportOptions::default();
     let mut it = settings.flags.iter();
     while let Some(flag) = it.next() {
@@ -387,6 +406,13 @@ pub fn sweep(args: &[String]) -> Result<(), String> {
                         .ok_or("--bench-prepare requires an output path")?,
                 )
             }
+            "--stream" => {
+                stream = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or("--stream requires an output path")?,
+                )
+            }
             "--candidates" => opts.candidates = true,
             "--configs" => opts.configs = true,
             other => return Err(format!("unknown sweep flag {other:?}")),
@@ -395,6 +421,11 @@ pub fn sweep(args: &[String]) -> Result<(), String> {
     Threads::set(settings.threads);
     if let Some(plan) = settings.faults.clone() {
         er::core::faults::configure(Some(plan));
+    }
+    if let Some(path) = stream {
+        er_bench::run_stream(&settings, Path::new(&path), true).map_err(|e| e.to_string())?;
+        eprintln!("wrote {path}");
+        return Ok(());
     }
     if let Some(path) = bench_prepare {
         er_bench::bench_prepare(&settings, Path::new(&path), true).map_err(|e| e.to_string())?;
@@ -472,6 +503,14 @@ pub fn serve(args: &[String]) -> Result<(), String> {
         startup.misses,
         er::core::timing::format_runtime(startup.prepare_saved),
     );
+    if engine.restored() {
+        let index = engine.index_stats();
+        eprintln!(
+            "serve: restored segmented index from manifest: {} segment(s) / {} delta rows / \
+             {} tombstones / {} live rows",
+            index.segments, index.delta_rows, index.tombstones, index.live_rows,
+        );
+    }
 
     let cfg = er_serve::ServeConfig {
         addr: flags.get("addr").unwrap_or("127.0.0.1:7878").to_owned(),

@@ -309,6 +309,33 @@ impl ArtifactCache {
         Self::evict_over_budget(&mut inner, Some(&key));
     }
 
+    /// Replaces the artifact under an existing key in place — the
+    /// incremental-index path, where a segment stack under one key evolves
+    /// (delta flushes, compactions) without a fresh prepare. Byte
+    /// accounting moves exactly from the old entry's footprint to the new
+    /// one's; hit/miss counters are untouched and use counts carry over.
+    /// The entry is marked off-disk (the stack changed, so any spilled
+    /// copy is stale). Returns `false` when the key is absent or poisoned
+    /// — a replace needs something to replace.
+    pub fn replace(&self, key: &ArtifactKey, prepared: Prepared) -> bool {
+        let mut inner = self.inner.lock().expect("artifact cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.slots.get_mut(key) {
+            Some(Slot::Ready(entry)) => {
+                let old_bytes = entry.prepared.bytes();
+                entry.prepared = prepared;
+                entry.last_used = tick;
+                entry.on_disk = false;
+                let new_bytes = entry.prepared.bytes();
+                inner.stats.bytes = inner.stats.bytes.saturating_sub(old_bytes) + new_bytes;
+                Self::evict_over_budget(&mut inner, Some(key));
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Marks a key as failed: later lookups return the message instead of
     /// re-running a prepare that is known to fail.
     pub fn poison(&self, key: ArtifactKey, message: impl Into<String>) {
@@ -436,6 +463,35 @@ mod tests {
         assert_eq!(stats.prepare_wall, Duration::from_millis(5));
         assert_eq!(stats.prepare_saved, Duration::from_millis(5));
         assert_eq!(cache.uses(&key("a")), 2);
+    }
+
+    #[test]
+    fn replace_swaps_the_artifact_with_exact_byte_accounting() {
+        let cache = ArtifactCache::new();
+        // Nothing to replace yet.
+        assert!(!cache.replace(&key("a"), prepared(9, 50, 0)));
+        cache.insert(key("a"), prepared(1, 100, 5));
+        assert!(cache.lookup(&key("a")).is_some());
+        let before = cache.stats();
+
+        // A grown segment stack under the same key: bytes move exactly,
+        // hit/miss counters stay, uses carry over.
+        assert!(cache.replace(&key("a"), prepared(2, 140, 0)));
+        let after = cache.stats();
+        assert_eq!(after.bytes, before.bytes - 100 + 140);
+        assert_eq!(after.hits, before.hits);
+        assert_eq!(after.misses, before.misses);
+        let hit = cache.lookup(&key("a")).expect("present").expect("ready");
+        assert_eq!(*hit.downcast::<u32>(), 2);
+        assert_eq!(cache.uses(&key("a")), 3, "use count carries over");
+
+        // A compacted (smaller) stack shrinks the accounted bytes.
+        assert!(cache.replace(&key("a"), prepared(3, 40, 0)));
+        assert_eq!(cache.stats().bytes, 40);
+
+        // Poisoned keys refuse the replace.
+        cache.poison(key("bad"), "boom");
+        assert!(!cache.replace(&key("bad"), prepared(4, 10, 0)));
     }
 
     #[test]

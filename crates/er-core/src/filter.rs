@@ -102,6 +102,14 @@ impl Prepared {
         &*self.artifact
     }
 
+    /// A shared handle to the type-erased artifact, for consumers that
+    /// keep the artifact alive independently of the `Prepared` wrapper —
+    /// segmented indexes hold cache-loaded artifacts as long-lived
+    /// segments this way (`Arc::downcast` recovers the concrete type).
+    pub fn arc(&self) -> Arc<dyn Any + Send + Sync> {
+        Arc::clone(&self.artifact)
+    }
+
     /// Borrows the concrete artifact.
     ///
     /// # Panics

@@ -1,26 +1,39 @@
-//! The lookup engine: one store-loaded artifact, one configured filter.
+//! The lookup engine: a segmented incremental index behind a read-write
+//! lock, one configured filter.
 //!
-//! Startup does zero prepare work: the engine opens the store read-only,
-//! asks the artifact cache for exactly the `(dataset fingerprint,
-//! repr key)` its filter needs, and fails with a structured error if the
-//! store has no valid copy. The cache's `store_hits` counter is the proof
-//! — the startup stats must show one store hit and zero misses.
+//! Startup does zero prepare work. When the store holds a segment
+//! manifest for this filter's repr key (a previous daemon persisted live
+//! updates), the manifest and every segment load through the artifact
+//! cache and the index resumes exactly where it left off. Otherwise the
+//! monolithic sweep artifact loads (the classic path — the cache's
+//! `store_hits` counter is the proof nothing was re-prepared) and is
+//! wrapped as segment 0 of a fresh [`SegmentedTokenSets`].
 //!
-//! Lookups answer one query-side row through the same public per-row
-//! query paths the offline batch [`Filter::query`] is built on
-//! ([`EpsilonJoin::query_row_into`], [`KnnJoin::query_row`]), under a
-//! guard frame carrying the request's deadline, with the `serve/query/<row>`
-//! fault site fired inside the frame.
+//! Lookups answer one query-side row through [`MergeCursor`] under a
+//! read lock — bitwise identical to the offline batch paths over a full
+//! rebuild of the net dataset. Updates (`upsert`/`delete`) tokenize
+//! outside the lock, then mutate the delta under a brief write lock.
+//! Compaction is split so the expensive fold never blocks lookups:
+//! flush under a write lock, plan under a read lock, apply under a write
+//! lock. The `delta/apply` and `compact/<key>` fault sites fire inside
+//! guard frames, so injected panics surface as structured failures and
+//! never corrupt the index (both sites fire before any mutation).
 
 use er::core::artifacts::{ArtifactCache, ArtifactKey, CacheStats};
 use er::core::faults;
-use er::core::filter::{Filter, Prepared};
+use er::core::filter::Filter;
 use er::core::guard::{self, Limits, RunOutcome};
 use er::core::parallel::{self, Threads};
 use er::core::schema::TextView;
-use er::sparse::{EpsilonJoin, KnnJoin, ScanCountScratch, TokenSetsArtifact};
-use std::path::Path;
-use std::sync::Arc;
+use er::sparse::segmented::{manifest_repr, segment_repr};
+use er::sparse::{
+    EpsilonJoin, KnnJoin, MergeScratch, RepresentationModel, SegmentedTokenSets, SparseManifest,
+    SparseSegment, TokenSetsArtifact,
+};
+use er::text::Cleaner;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// The filter configurations the daemon can serve: the sparse joins,
 /// whose artifacts carry both the indexed and the pre-interned query side
@@ -58,57 +71,187 @@ impl ServeMethod {
             ServeMethod::Knn(f) => f.repr_key(),
         }
     }
+
+    /// The tokenization the method's artifact was prepared with.
+    fn tokenizer(&self) -> (RepresentationModel, Cleaner) {
+        let (cleaning, model) = match self {
+            ServeMethod::Epsilon(f) => (f.cleaning, f.model),
+            ServeMethod::Knn(f) => (f.cleaning, f.model),
+        };
+        let cleaner = if cleaning {
+            Cleaner::on()
+        } else {
+            Cleaner::off()
+        };
+        (model, cleaner)
+    }
+
+    /// Which view column queries (the kNN `RVS` parameter swaps sides).
+    fn query_texts<'v>(&self, view: &'v TextView) -> &'v [String] {
+        match self {
+            ServeMethod::Knn(f) if f.reversed => &view.e1,
+            _ => &view.e2,
+        }
+    }
+}
+
+/// A live update to the indexed collection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateOp {
+    /// Insert or replace one indexed row.
+    Upsert {
+        /// Stable row id.
+        id: u32,
+        /// Raw entity text, tokenized with the serving model.
+        text: String,
+    },
+    /// Remove one indexed row.
+    Delete {
+        /// Stable row id.
+        id: u32,
+    },
+}
+
+/// What a compaction pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactOutcome {
+    /// Whether any folding happened (false = already fully compacted).
+    pub compacted: bool,
+    /// Segment count after the pass.
+    pub segments: usize,
+    /// Delta rows after the pass.
+    pub delta_rows: usize,
+}
+
+/// A live snapshot of the index shape, for stats reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Immutable segments.
+    pub segments: usize,
+    /// Mutable delta rows.
+    pub delta_rows: usize,
+    /// Backed tombstones.
+    pub tombstones: usize,
+    /// Net live indexed rows.
+    pub live_rows: usize,
 }
 
 /// Reusable per-worker query scratch.
 #[derive(Default)]
 pub struct RowScratch {
-    scan: ScanCountScratch,
-    hits: Vec<(u32, u32)>,
-    out: Vec<u32>,
+    merge: Option<MergeScratch>,
 }
 
-/// A resident, read-only lookup engine.
+/// A resident lookup engine over the segmented index.
 pub struct Engine {
     method: ServeMethod,
-    prepared: Prepared,
     key: ArtifactKey,
     startup: CacheStats,
     rows: usize,
+    store_dir: PathBuf,
+    seg: RwLock<SegmentedTokenSets>,
+    dirty: AtomicBool,
+    restored: bool,
+    resident_bytes: usize,
 }
 
 impl Engine {
-    /// Loads the artifact for `method` over `view` from `store_dir`,
-    /// read-only. Every failure — missing directory, missing artifact,
-    /// corrupt or poisoned file — is a structured error string.
+    /// Loads the index for `method` over `view` from `store_dir`,
+    /// read-only: the segment manifest when one is persisted, the
+    /// monolithic sweep artifact otherwise. Every failure — missing
+    /// directory, missing artifact, corrupt or poisoned file — is a
+    /// structured error string.
     pub fn open(store_dir: &Path, view: &TextView, method: ServeMethod) -> Result<Engine, String> {
         let store =
             er_bench::open_store_read_only(store_dir).map_err(|e| format!("open store: {e}"))?;
         let cache = ArtifactCache::new();
         cache.set_store(Some(Arc::new(store)));
         let key = ArtifactKey::new(view.fingerprint(), method.repr_key());
-        let prepared = match cache.lookup(&key) {
-            Some(Ok(prepared)) => prepared,
-            Some(Err(msg)) => return Err(format!("artifact {} unusable: {msg}", key.repr)),
+
+        // A persisted manifest wins: the daemon resumes its own prior
+        // live state. Manifest and segments load through the cache so
+        // the startup counters count every store read.
+        let manifest_key = ArtifactKey::new(key.dataset, manifest_repr(&key.repr));
+        let restored = match cache.lookup(&manifest_key) {
+            Some(Ok(prepared)) => {
+                let manifest = prepared.downcast::<SparseManifest>().clone();
+                let mut segments = Vec::with_capacity(manifest.segment_seqs.len());
+                for &seq in &manifest.segment_seqs {
+                    let seg_key = ArtifactKey::new(key.dataset, segment_repr(&key.repr, seq));
+                    let segment = match cache.lookup(&seg_key) {
+                        Some(Ok(p)) => p.arc().downcast::<SparseSegment>().map_err(|_| {
+                            format!("segment {} decoded to a foreign type", seg_key.repr)
+                        })?,
+                        Some(Err(msg)) => {
+                            return Err(format!("segment {} unusable: {msg}", seg_key.repr))
+                        }
+                        None => {
+                            return Err(format!(
+                                "manifest references missing segment {}",
+                                seg_key.repr
+                            ))
+                        }
+                    };
+                    segments.push(segment);
+                }
+                Some(SegmentedTokenSets::from_parts(manifest, segments)?)
+            }
+            Some(Err(msg)) => {
+                return Err(format!("manifest {} unusable: {msg}", manifest_key.repr))
+            }
+            None => None,
+        };
+        let (seg, restored) = match restored {
+            Some(seg) => (seg, true),
             None => {
-                return Err(format!(
-                    "artifact {} for dataset {:016x} not found in {} — build it first with \
-                     `er sweep --store-dir {}`",
-                    key.repr,
-                    key.dataset,
-                    store_dir.display(),
-                    store_dir.display(),
-                ))
+                let prepared = match cache.lookup(&key) {
+                    Some(Ok(prepared)) => prepared,
+                    Some(Err(msg)) => return Err(format!("artifact {} unusable: {msg}", key.repr)),
+                    None => {
+                        return Err(format!(
+                            "artifact {} for dataset {:016x} not found in {} — build it first with \
+                             `er sweep --store-dir {}`",
+                            key.repr,
+                            key.dataset,
+                            store_dir.display(),
+                            store_dir.display(),
+                        ))
+                    }
+                };
+                let art = prepared
+                    .arc()
+                    .downcast::<TokenSetsArtifact>()
+                    .map_err(|_| format!("artifact {} decoded to a foreign type", key.repr))?;
+                // The raw query-side token sets back the delta probes;
+                // re-tokenizing the view with the artifact's own model is
+                // deterministic, so the merged results stay bitwise equal
+                // to the monolithic path.
+                let (model, cleaner) = method.tokenizer();
+                let query_raw: Vec<Vec<u64>> =
+                    parallel::par_map(method.query_texts(view), |t| model.token_set(t, &cleaner));
+                drop(prepared);
+                (
+                    SegmentedTokenSets::from_artifact(key.repr.clone(), art, query_raw),
+                    false,
+                )
             }
         };
-        let rows = prepared.downcast::<TokenSetsArtifact>().query_sets.len();
         let startup = cache.stats();
+        // Release the cache before wrapping: `from_artifact` above sees
+        // the sole remaining Arc and reuses the structures in place.
+        drop(cache);
+        let rows = seg.query_rows();
+        let resident_bytes = seg.heap_bytes();
         Ok(Engine {
             method,
-            prepared,
             key,
             startup,
             rows,
+            store_dir: store_dir.to_path_buf(),
+            seg: RwLock::new(seg),
+            dirty: AtomicBool::new(false),
+            restored,
+            resident_bytes,
         })
     }
 
@@ -123,53 +266,71 @@ impl Engine {
     }
 
     /// Cache counters captured right after the startup load: a healthy
-    /// start shows `store_hits == 1`, `misses == 0` and a non-zero
-    /// `prepare_saved` — zero prepare work happened in this process.
+    /// cold start shows `store_hits == 1`, `misses == 0` and a non-zero
+    /// `prepare_saved` — zero prepare work happened in this process. A
+    /// manifest restore shows `1 + segments` hits instead.
     pub fn startup_stats(&self) -> &CacheStats {
         &self.startup
     }
 
-    /// Number of query-side rows the artifact can answer.
+    /// Whether startup resumed a persisted segment manifest rather than
+    /// wrapping the monolithic sweep artifact.
+    pub fn restored(&self) -> bool {
+        self.restored
+    }
+
+    /// Number of query-side rows the index can answer.
     pub fn rows(&self) -> usize {
         self.rows
     }
 
-    /// Resident artifact bytes.
+    /// Resident index bytes as of startup.
     pub fn artifact_bytes(&self) -> usize {
-        self.prepared.bytes()
+        self.resident_bytes
     }
 
-    fn art(&self) -> &TokenSetsArtifact {
-        self.prepared.downcast::<TokenSetsArtifact>()
+    /// Whether live updates have not yet been persisted.
+    pub fn dirty(&self) -> bool {
+        self.dirty.load(Ordering::SeqCst)
+    }
+
+    fn read(&self) -> RwLockReadGuard<'_, SegmentedTokenSets> {
+        // A panic inside an injected fault can poison the lock; the
+        // fault sites fire before any mutation, so the state under a
+        // poisoned lock is still consistent.
+        self.seg.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, SegmentedTokenSets> {
+        self.seg.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Current index shape.
+    pub fn index_stats(&self) -> IndexStats {
+        let seg = self.read();
+        IndexStats {
+            segments: seg.segment_count(),
+            delta_rows: seg.delta_rows(),
+            tombstones: seg.tombstone_count(),
+            live_rows: seg.live_rows(),
+        }
     }
 
     /// One row's candidates, ascending — the canonical response order.
     fn query_row(&self, row: usize, scratch: &mut RowScratch) -> Vec<u32> {
-        let art = self.art();
-        match &self.method {
-            ServeMethod::Epsilon(f) => {
-                scratch.out.clear();
-                f.query_row_into(
-                    art,
-                    row,
-                    &mut scratch.scan,
-                    &mut scratch.hits,
-                    &mut scratch.out,
-                );
-                let mut ids = scratch.out.clone();
-                ids.sort_unstable();
-                ids
-            }
+        let seg = self.read();
+        let mut cursor = seg.cursor_with(scratch.merge.take().unwrap_or_default());
+        let ids = match &self.method {
+            ServeMethod::Epsilon(f) => cursor.epsilon_row(f, row),
             ServeMethod::Knn(f) => {
-                let mut ids: Vec<u32> = f
-                    .query_row(art, row, &mut scratch.scan, &mut scratch.hits)
-                    .into_iter()
-                    .map(|(i, _)| i)
-                    .collect();
+                let mut ids: Vec<u32> =
+                    cursor.knn_row(f, row).into_iter().map(|(i, _)| i).collect();
                 ids.sort_unstable();
                 ids
             }
-        }
+        };
+        scratch.merge = Some(cursor.into_scratch());
+        ids
     }
 
     /// One guarded lookup with caller-provided scratch. `limits` carries
@@ -212,5 +373,70 @@ impl Engine {
         .into_iter()
         .flatten()
         .collect()
+    }
+
+    /// Applies one live update. Tokenization happens outside the lock;
+    /// the write section is a map insert/remove. The guard frame turns
+    /// an injected `delta/apply` panic into a structured failure with
+    /// the index unchanged (the site fires before any mutation).
+    pub fn apply(&self, op: UpdateOp) -> RunOutcome<()> {
+        let (model, cleaner) = self.method.tokenizer();
+        guard::run_guarded(Limits::catching(), || {
+            match op {
+                UpdateOp::Upsert { id, text } => {
+                    let tokens = model.token_set(&text, &cleaner);
+                    self.write().upsert(id, tokens);
+                }
+                UpdateOp::Delete { id } => self.write().delete(id),
+            }
+            self.dirty.store(true, Ordering::SeqCst);
+        })
+    }
+
+    /// One compaction pass: seal the delta (write lock), fold segments
+    /// and delta into one fresh segment (read lock only — lookups keep
+    /// running), then swap it in (write lock). The single-flight
+    /// discipline is the caller's (the server runs at most one at a
+    /// time); the no-flush-between-plan-and-apply contract holds because
+    /// this method is the only flusher in the serving path.
+    pub fn compact(&self) -> RunOutcome<CompactOutcome> {
+        guard::run_guarded(Limits::catching(), || {
+            let sealed = self.write().flush();
+            let pending = self.read().plan_compact();
+            let compacted = match pending {
+                Some(pending) => {
+                    self.write().apply_compact(pending);
+                    true
+                }
+                None => false,
+            };
+            if sealed || compacted {
+                self.dirty.store(true, Ordering::SeqCst);
+            }
+            let seg = self.read();
+            CompactOutcome {
+                compacted,
+                segments: seg.segment_count(),
+                delta_rows: seg.delta_rows(),
+            }
+        })
+    }
+
+    /// Persists the current index into the store directory (opened
+    /// read-write just for this) if any update landed since the last
+    /// persist. Returns the report, or `None` when the index was clean —
+    /// a purely-serving daemon never writes a byte.
+    pub fn persist_if_dirty(&self) -> Result<Option<er::sparse::PersistReport>, String> {
+        if !self.dirty.swap(false, Ordering::SeqCst) {
+            return Ok(None);
+        }
+        let result = er_bench::open_store(&self.store_dir)
+            .map_err(|e| format!("reopen store read-write: {e}"))
+            .and_then(|store| self.read().persist(&store, self.key.dataset));
+        if result.is_err() {
+            // The state is still unpersisted; keep the flag for a retry.
+            self.dirty.store(true, Ordering::SeqCst);
+        }
+        result.map(Some)
     }
 }

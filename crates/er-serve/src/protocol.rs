@@ -9,9 +9,17 @@
 //!
 //! ```json
 //! {"id":1,"row":42,"deadline_ms":50}
+//! {"op":"upsert","id":2,"row":7,"text":"walmart tv 55in"}
+//! {"op":"delete","id":3,"row":7}
+//! {"op":"compact","id":4}
 //! {"op":"health"}
 //! {"op":"stats"}
 //! ```
+//!
+//! `upsert` and `delete` mutate the indexed collection's live delta
+//! (`row` is the *indexed-side* stable id there, where a query's `row`
+//! is a query-side index); `compact` folds the segment stack in the
+//! background. All three acknowledge with `{"ok":true,...}` lines.
 //!
 //! Responses echo the request's `id` verbatim. A successful lookup:
 //!
@@ -37,10 +45,43 @@ pub enum Request {
         /// Per-request deadline override, milliseconds.
         deadline_ms: Option<u64>,
     },
+    /// Insert or replace one indexed-side row.
+    Upsert {
+        /// Client-chosen correlation id, echoed verbatim.
+        id: Json,
+        /// Indexed-side stable row id.
+        row: u32,
+        /// Raw entity text.
+        text: String,
+    },
+    /// Delete one indexed-side row.
+    Delete {
+        /// Client-chosen correlation id, echoed verbatim.
+        id: Json,
+        /// Indexed-side stable row id.
+        row: u32,
+    },
+    /// Fold the segment stack in the background.
+    Compact {
+        /// Client-chosen correlation id, echoed verbatim.
+        id: Json,
+    },
     /// Liveness probe.
     Health,
     /// Counters + latency histogram snapshot.
     Stats,
+}
+
+/// Extracts a `u32` stable row id from a request object.
+fn stable_row(v: &Json) -> Result<u32, String> {
+    let row = v
+        .get("row")
+        .and_then(Json::as_f64)
+        .ok_or("missing numeric \"row\"")?;
+    if row < 0.0 || row.fract() != 0.0 || row > u32::MAX as f64 {
+        return Err(format!("\"row\" must be a u32 id, got {row}"));
+    }
+    Ok(row as u32)
 }
 
 impl Request {
@@ -53,6 +94,22 @@ impl Request {
         match v.get("op").and_then(Json::as_str).unwrap_or("query") {
             "health" => Ok(Request::Health),
             "stats" => Ok(Request::Stats),
+            "upsert" => Ok(Request::Upsert {
+                id: v.get("id").cloned().unwrap_or(Json::Null),
+                row: stable_row(&v)?,
+                text: v
+                    .get("text")
+                    .and_then(Json::as_str)
+                    .ok_or("missing string \"text\"")?
+                    .to_owned(),
+            }),
+            "delete" => Ok(Request::Delete {
+                id: v.get("id").cloned().unwrap_or(Json::Null),
+                row: stable_row(&v)?,
+            }),
+            "compact" => Ok(Request::Compact {
+                id: v.get("id").cloned().unwrap_or(Json::Null),
+            }),
             "query" => {
                 let id = v.get("id").cloned().unwrap_or(Json::Null);
                 let row = v
@@ -95,6 +152,31 @@ pub fn ok_line(id: &Json, row: usize, candidates: &[u32], latency_us: u64) -> St
         ),
         ("n".to_owned(), Json::Num(candidates.len() as f64)),
         ("us".to_owned(), Json::Num(latency_us as f64)),
+    ])
+    .encode()
+}
+
+/// An update acknowledgement line (`upsert` / `delete`).
+pub fn ack_line(id: &Json, op: &str, row: u32) -> String {
+    Json::Obj(vec![
+        ("id".to_owned(), id.clone()),
+        ("op".to_owned(), Json::Str(op.to_owned())),
+        ("row".to_owned(), Json::Num(row as f64)),
+        ("ok".to_owned(), Json::Bool(true)),
+    ])
+    .encode()
+}
+
+/// A compaction acknowledgement line, emitted when the background pass
+/// finishes.
+pub fn compact_line(id: &Json, compacted: bool, segments: usize, delta_rows: usize) -> String {
+    Json::Obj(vec![
+        ("id".to_owned(), id.clone()),
+        ("op".to_owned(), Json::Str("compact".to_owned())),
+        ("ok".to_owned(), Json::Bool(true)),
+        ("compacted".to_owned(), Json::Bool(compacted)),
+        ("segments".to_owned(), Json::Num(segments as f64)),
+        ("delta_rows".to_owned(), Json::Num(delta_rows as f64)),
     ])
     .encode()
 }
@@ -157,6 +239,48 @@ mod tests {
     fn health_and_stats_ops() {
         assert_eq!(Request::parse(r#"{"op":"health"}"#), Ok(Request::Health));
         assert_eq!(Request::parse(r#"{"op":"stats"}"#), Ok(Request::Stats));
+    }
+
+    #[test]
+    fn update_and_compact_ops_parse() {
+        let r = Request::parse(r#"{"op":"upsert","id":2,"row":7,"text":"walmart tv"}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Upsert {
+                id: Json::Num(2.0),
+                row: 7,
+                text: "walmart tv".to_owned()
+            }
+        );
+        let r = Request::parse(r#"{"op":"delete","row":7}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Delete {
+                id: Json::Null,
+                row: 7
+            }
+        );
+        assert_eq!(
+            Request::parse(r#"{"op":"compact"}"#),
+            Ok(Request::Compact { id: Json::Null })
+        );
+        assert!(Request::parse(r#"{"op":"upsert","row":7}"#).is_err());
+        assert!(Request::parse(r#"{"op":"upsert","row":-1,"text":"x"}"#).is_err());
+        assert!(Request::parse(r#"{"op":"delete","row":5000000000}"#).is_err());
+    }
+
+    #[test]
+    fn ack_lines_are_single_line_json() {
+        let ack = ack_line(&Json::Num(2.0), "upsert", 7);
+        let v = Json::parse(&ack).expect("roundtrip");
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("op").and_then(Json::as_str), Some("upsert"));
+        assert_eq!(v.get("row").and_then(Json::as_f64), Some(7.0));
+
+        let done = compact_line(&Json::Null, true, 1, 0);
+        let v = Json::parse(&done).expect("roundtrip");
+        assert_eq!(v.get("compacted").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("segments").and_then(Json::as_f64), Some(1.0));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! client EOFs, then shut the sockets down, join everything and emit the
 //! stats line. The process then exits 0.
 
-use crate::engine::Engine;
+use crate::engine::{Engine, UpdateOp};
 use crate::protocol::{self, Request};
 use crate::queue::{Admission, PushError};
 use er::core::faults;
@@ -84,6 +84,12 @@ pub struct ServerStats {
     pub bad_requests: u64,
     /// Connections accepted.
     pub connections: u64,
+    /// Live upserts applied to the delta.
+    pub upserts: u64,
+    /// Live deletes applied to the delta.
+    pub deletes: u64,
+    /// Background compaction passes completed.
+    pub compactions: u64,
     /// End-to-end latency (admission to response) of served lookups.
     pub histogram: LatencyHistogram,
 }
@@ -95,6 +101,13 @@ struct Job {
     deadline: Deadline,
     admitted: Instant,
     out: Arc<ConnWriter>,
+}
+
+/// One admitted unit of worker-pool work: a lookup, or the single-flight
+/// background compaction pass.
+enum Task {
+    Lookup(Job),
+    Compact { id: Json, out: Arc<ConnWriter> },
 }
 
 /// The write half of a connection, shared by its reader and the workers.
@@ -117,8 +130,11 @@ impl ConnWriter {
 struct Shared {
     engine: Engine,
     cfg: ServeConfig,
-    queue: Admission<Job>,
+    queue: Admission<Task>,
     draining: AtomicBool,
+    /// Single-flight latch for the background compaction: a second
+    /// `compact` request while one is queued or running is refused.
+    compacting: AtomicBool,
     live_readers: AtomicUsize,
     stats: Mutex<ServerStats>,
     /// Clones of accepted sockets, for shutdown during drain.
@@ -129,6 +145,7 @@ impl Shared {
     fn stats_json(&self) -> Json {
         let stats = self.stats.lock().unwrap();
         let startup = self.engine.startup_stats();
+        let index = self.engine.index_stats();
         let histogram = stats
             .histogram
             .buckets()
@@ -166,6 +183,15 @@ impl Shared {
                 "artifact_bytes".into(),
                 Json::Num(self.engine.artifact_bytes() as f64),
             ),
+            ("upserts".into(), Json::Num(stats.upserts as f64)),
+            ("deletes".into(), Json::Num(stats.deletes as f64)),
+            ("compactions".into(), Json::Num(stats.compactions as f64)),
+            ("segments".into(), Json::Num(index.segments as f64)),
+            ("delta_rows".into(), Json::Num(index.delta_rows as f64)),
+            ("tombstones".into(), Json::Num(index.tombstones as f64)),
+            ("live_rows".into(), Json::Num(index.live_rows as f64)),
+            ("dirty".into(), Json::Bool(self.engine.dirty())),
+            ("restored".into(), Json::Bool(self.engine.restored())),
             ("store_hits".into(), Json::Num(startup.store_hits as f64)),
             ("cache_misses".into(), Json::Num(startup.misses as f64)),
             ("store_corrupt".into(), Json::Num(startup.corrupt as f64)),
@@ -215,6 +241,7 @@ impl Server {
             engine,
             cfg,
             draining: AtomicBool::new(false),
+            compacting: AtomicBool::new(false),
             live_readers: AtomicUsize::new(0),
             stats: Mutex::new(ServerStats::default()),
             conns: Mutex::new(Vec::new()),
@@ -318,6 +345,17 @@ impl Server {
         for reader in readers {
             let _ = reader.join();
         }
+        // Live updates that were never persisted would die with the
+        // process; a clean index writes nothing (the store directory is
+        // byte-unchanged by a purely-serving daemon).
+        match self.shared.engine.persist_if_dirty() {
+            Ok(None) => {}
+            Ok(Some(report)) => eprintln!(
+                "serve: persisted segmented index: {} segment(s) written / {} reused / {} removed",
+                report.segments_written, report.segments_reused, report.removed,
+            ),
+            Err(e) => eprintln!("serve: persisting live updates failed: {e}"),
+        }
         let stats = self.shared.stats.lock().unwrap().clone();
         if let Some(path) = &self.shared.cfg.stats_out {
             if let Err(e) = std::fs::write(path, self.shared.stats_json().encode() + "\n") {
@@ -388,6 +426,90 @@ fn run_reader(shared: &Arc<Shared>, stream: TcpStream) {
         match request {
             Request::Health => writer.send(&shared.health_json().encode()),
             Request::Stats => writer.send(&shared.stats_json().encode()),
+            // Updates mutate the delta inline on the reader thread: the
+            // tokenize-outside-the-lock write path is far cheaper than a
+            // lookup, and lookups only block for the map insert itself.
+            Request::Upsert { id, row, text } => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    shared.stats.lock().unwrap().drained_refusals += 1;
+                    writer.send(&protocol::err_line(
+                        &id,
+                        "draining",
+                        "daemon is draining; not accepting updates",
+                    ));
+                    continue;
+                }
+                match shared.engine.apply(UpdateOp::Upsert { id: row, text }) {
+                    RunOutcome::Ok(()) => {
+                        shared.stats.lock().unwrap().upserts += 1;
+                        writer.send(&protocol::ack_line(&id, "upsert", row));
+                    }
+                    RunOutcome::Failed { reason, .. } => {
+                        shared.stats.lock().unwrap().failed += 1;
+                        writer.send(&protocol::err_line(&id, "failed", &reason.to_string()));
+                    }
+                }
+            }
+            Request::Delete { id, row } => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    shared.stats.lock().unwrap().drained_refusals += 1;
+                    writer.send(&protocol::err_line(
+                        &id,
+                        "draining",
+                        "daemon is draining; not accepting updates",
+                    ));
+                    continue;
+                }
+                match shared.engine.apply(UpdateOp::Delete { id: row }) {
+                    RunOutcome::Ok(()) => {
+                        shared.stats.lock().unwrap().deletes += 1;
+                        writer.send(&protocol::ack_line(&id, "delete", row));
+                    }
+                    RunOutcome::Failed { reason, .. } => {
+                        shared.stats.lock().unwrap().failed += 1;
+                        writer.send(&protocol::err_line(&id, "failed", &reason.to_string()));
+                    }
+                }
+            }
+            // Compaction runs on the worker pool (the fold is expensive);
+            // the single-flight latch refuses a second pass while one is
+            // queued or running, and the ack line arrives when it's done.
+            Request::Compact { id } => {
+                if shared
+                    .compacting
+                    .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_err()
+                {
+                    writer.send(&protocol::err_line(
+                        &id,
+                        "busy",
+                        "a compaction is already queued or running",
+                    ));
+                    continue;
+                }
+                let task = Task::Compact {
+                    id,
+                    out: Arc::clone(&writer),
+                };
+                match shared.queue.try_push(task) {
+                    Ok(()) => {}
+                    Err((Task::Compact { id, out }, PushError::Full)) => {
+                        shared.compacting.store(false, Ordering::SeqCst);
+                        shared.stats.lock().unwrap().shed += 1;
+                        out.send(&protocol::shed_line(&id, shared.cfg.retry_after_ms));
+                    }
+                    Err((Task::Compact { id, out }, PushError::Closed)) => {
+                        shared.compacting.store(false, Ordering::SeqCst);
+                        shared.stats.lock().unwrap().drained_refusals += 1;
+                        out.send(&protocol::err_line(
+                            &id,
+                            "draining",
+                            "daemon is draining; not accepting new work",
+                        ));
+                    }
+                    Err((Task::Lookup(_), _)) => unreachable!("pushed a compact task"),
+                }
+            }
             Request::Query {
                 id,
                 row,
@@ -412,14 +534,14 @@ fn run_reader(shared: &Arc<Shared>, stream: TcpStream) {
                     admitted: Instant::now(),
                     out: Arc::clone(&writer),
                 };
-                match shared.queue.try_push(job) {
+                match shared.queue.try_push(Task::Lookup(job)) {
                     Ok(()) => {}
-                    Err((job, PushError::Full)) => {
+                    Err((Task::Lookup(job), PushError::Full)) => {
                         shared.stats.lock().unwrap().shed += 1;
                         job.out
                             .send(&protocol::shed_line(&job.id, shared.cfg.retry_after_ms));
                     }
-                    Err((job, PushError::Closed)) => {
+                    Err((Task::Lookup(job), PushError::Closed)) => {
                         shared.stats.lock().unwrap().drained_refusals += 1;
                         job.out.send(&protocol::err_line(
                             &job.id,
@@ -427,8 +549,30 @@ fn run_reader(shared: &Arc<Shared>, stream: TcpStream) {
                             "daemon is draining; not accepting new lookups",
                         ));
                     }
+                    Err((Task::Compact { .. }, _)) => unreachable!("pushed a lookup task"),
                 }
             }
+        }
+    }
+}
+
+/// Runs the single-flight compaction pass and answers its requester.
+fn run_compaction(shared: &Arc<Shared>, id: &Json, out: &ConnWriter) {
+    let outcome = shared.engine.compact();
+    shared.compacting.store(false, Ordering::SeqCst);
+    match outcome {
+        RunOutcome::Ok(done) => {
+            shared.stats.lock().unwrap().compactions += 1;
+            out.send(&protocol::compact_line(
+                id,
+                done.compacted,
+                done.segments,
+                done.delta_rows,
+            ));
+        }
+        RunOutcome::Failed { reason, .. } => {
+            shared.stats.lock().unwrap().failed += 1;
+            out.send(&protocol::err_line(id, "failed", &reason.to_string()));
         }
     }
 }
@@ -439,9 +583,17 @@ fn run_worker(shared: &Arc<Shared>) {
         let n = batch.len();
         // Requests that exhausted their deadline while queued are answered
         // without touching the engine — overload must not waste work on
-        // lookups nobody is waiting for anymore.
+        // lookups nobody is waiting for anymore. A compaction task runs
+        // here, on the pool, so the accept/reader threads never stall.
         let mut runnable: Vec<Job> = Vec::with_capacity(n);
-        for job in batch {
+        for task in batch {
+            let job = match task {
+                Task::Lookup(job) => job,
+                Task::Compact { id, out } => {
+                    run_compaction(shared, &id, &out);
+                    continue;
+                }
+            };
             if job.deadline.expired() {
                 shared.stats.lock().unwrap().timeouts += 1;
                 job.out.send(&protocol::err_line(

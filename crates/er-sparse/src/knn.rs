@@ -89,7 +89,7 @@ impl KnnJoin {
     /// Selects, from `(entity, similarity)` candidates, those tying one of
     /// the `k` highest distinct similarity values. Zero similarities never
     /// qualify.
-    fn select_top_k(k: usize, scored: &mut Vec<(u32, f64)>) -> usize {
+    pub(crate) fn select_top_k(k: usize, scored: &mut Vec<(u32, f64)>) -> usize {
         if scored.is_empty() || k == 0 {
             scored.clear();
             return 0;
@@ -122,7 +122,7 @@ impl KnnJoin {
     ///
     /// With `k = None` the length filter is off and the result is the full
     /// positive-similarity candidate list (the rankings path).
-    fn score_query(
+    pub(crate) fn score_query(
         &self,
         art: &TokenSetsArtifact,
         j: usize,

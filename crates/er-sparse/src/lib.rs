@@ -21,7 +21,11 @@
 //! * [`knn`] — the k-nearest-neighbor join with distinct-similarity
 //!   semantics (Cone-style [Kocher & Augsten, SIGMOD 2019] adapted to
 //!   ScanCount) and the `RVS` dataset-reversal parameter,
-//! * [`grid`] — the Table IV configuration grids and the DkNN baseline.
+//! * [`grid`] — the Table IV configuration grids and the DkNN baseline,
+//! * [`segmented`] — the LSM-style incremental index: immutable
+//!   segments + mutable delta with tombstones, merged queries
+//!   bitwise-equal to a full rebuild, background-plannable compaction,
+//!   and manifest-based persistence.
 
 pub mod artifact;
 pub mod csr;
@@ -32,6 +36,7 @@ pub mod packed;
 pub mod reference;
 pub mod representation;
 pub mod scancount;
+pub mod segmented;
 #[cfg(feature = "simd")]
 mod simd;
 pub mod similarity;
@@ -46,8 +51,12 @@ pub use knn::KnnJoin;
 pub use packed::PackedRows;
 pub use representation::RepresentationModel;
 pub use scancount::{ScanCountIndex, ScanCountScratch};
+pub use segmented::{
+    MergeCursor, MergeScratch, PendingCompaction, PersistReport, SegmentedTokenSets,
+    SparseManifest, SparseSegment,
+};
 pub use similarity::SimilarityMeasure;
-pub use store::{SparseCodec, SparsePackedCodec};
+pub use store::{SparseCodec, SparseManifestCodec, SparsePackedCodec, SparseSegmentCodec};
 pub use topk::TopKJoin;
 
 #[cfg(test)]

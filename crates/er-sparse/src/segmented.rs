@@ -1,0 +1,1352 @@
+//! LSM-style segmented incremental sparse index.
+//!
+//! The monolithic [`TokenSetsArtifact`] answers queries over a frozen
+//! snapshot of the indexed collection; any change means a full re-prepare.
+//! This module refactors that into a [`SegmentedTokenSets`]: a stack of
+//! immutable [`SparseSegment`]s — each exactly today's packed-postings /
+//! token-set layout over a subset of the rows — plus a small mutable
+//! in-memory delta and a tombstone set:
+//!
+//! * **Upserts** land in the delta (a `BTreeMap` of raw token sets keyed
+//!   by stable row id); **deletes** record a tombstone. Both fire the
+//!   `delta/apply` fault site *before* mutating, so an injected panic is
+//!   a structured failure on a still-consistent index.
+//! * **Flush** folds the delta into a fresh immutable segment (built with
+//!   [`ScanCountIndex::build_with_sets`], queries re-interned per
+//!   segment), appended at the top of the stack.
+//! * **Compaction** folds every segment plus the delta into one fresh
+//!   segment. It is split into a pure planning step
+//!   ([`SegmentedTokenSets::plan_compact`], safe to run off-thread on a
+//!   snapshot) and an atomic apply ([`SegmentedTokenSets::apply_compact`])
+//!   so a serving process keeps answering lookups while the fold runs.
+//!   Planning fires the `compact/<base_repr>` fault site before reading
+//!   anything.
+//! * **Queries** merge per-segment results with the delta under an
+//!   ownership map: each live stable id is owned by exactly one layer
+//!   (the newest one holding it), so shadowed rows and tombstoned rows
+//!   are suppressed and every candidate set is *bitwise identical* to a
+//!   full rebuild over the net dataset (the property tests below check
+//!   this at 1 and 8 threads, with and without a store round-trip).
+//! * **Persistence** writes each segment as its own store file (codec 10)
+//!   plus a [`SparseManifest`] (codec 11) holding the stack's seqs, the
+//!   delta, the tombstones and the raw query sets. The manifest write is
+//!   the atomic adoption point: segments written by an interrupted
+//!   compaction are never referenced and `er store gc` collects them.
+//!
+//! ## kNN across segments
+//!
+//! Per-segment scoring runs with the distinct-floor pruning *disabled*
+//! ([`KnnJoin::score_query`] with `k = None`): a shadowed or tombstoned
+//! high-similarity candidate inside one segment could otherwise tighten
+//! that segment's floor and prune a live candidate that belongs in the
+//! global top-k. The merged, owner-filtered list then goes through the
+//! same [`KnnJoin::select_top_k`] cut as the monolithic path. The ε-join
+//! keeps its per-candidate length filter — that one is an absolute
+//! threshold per candidate, exact under any partitioning.
+
+use crate::artifact::TokenSetsArtifact;
+use crate::epsilon::EpsilonJoin;
+use crate::knn::KnnJoin;
+use crate::scancount::{ScanCountIndex, ScanCountScratch};
+use crate::store::{SparseManifestCodec, SPARSE_MANIFEST_CODEC_ID};
+use er_core::artifacts::{ArtifactKey, DiskTier, TierLoad};
+use er_core::faults;
+use er_core::hash::FastMap;
+use er_core::parallel;
+use er_core::timing::PhaseBreakdown;
+use er_store::store::ArtifactCodec;
+use er_store::{ArtifactStore, OpenMode, StoreMeta};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// The store repr key of the segment with sequence number `seq` under a
+/// segmented index rooted at `base` (the monolithic artifact's repr key).
+pub fn segment_repr(base: &str, seq: u64) -> String {
+    format!("{base}#seg{seq:016x}")
+}
+
+/// The store repr key of the manifest of a segmented index rooted at `base`.
+pub fn manifest_repr(base: &str) -> String {
+    format!("{base}#manifest")
+}
+
+/// One immutable segment: a contiguous [`TokenSetsArtifact`] over a
+/// subset of the rows, plus the stable row id of each artifact row.
+///
+/// `ids` is strictly ascending, so artifact-dense id `d` maps to stable
+/// id `ids[d]` monotonically — candidate orderings by dense id and by
+/// stable id coincide, which is what keeps merged results bitwise equal
+/// to a full rebuild.
+#[derive(Debug)]
+pub struct SparseSegment {
+    /// Sequence number, unique within one segmented index's lifetime.
+    pub seq: u64,
+    /// Stable row id of each artifact row, strictly ascending.
+    pub ids: Vec<u32>,
+    /// The segment's own packed index + token sets; `query_sets` is the
+    /// shared raw query collection interned against *this* segment.
+    pub art: TokenSetsArtifact,
+}
+
+impl SparseSegment {
+    /// Builds a segment from `(stable id, raw token set)` rows (ascending
+    /// ids) and the shared raw query sets.
+    fn build(seq: u64, rows: Vec<(u32, Vec<u64>)>, query_raw: &[Vec<u64>]) -> Self {
+        let ids: Vec<u32> = rows.iter().map(|(id, _)| *id).collect();
+        let sets: Vec<Vec<u64>> = rows.into_iter().map(|(_, set)| set).collect();
+        let (index, index_sets) = ScanCountIndex::build_with_sets(&sets);
+        let query_sets = index.intern_queries(query_raw);
+        SparseSegment {
+            seq,
+            ids,
+            art: TokenSetsArtifact {
+                index_sets,
+                query_sets,
+                index,
+            },
+        }
+    }
+
+    /// Number of rows in this segment.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the segment holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Exact heap footprint: the artifact's three flat structures plus the
+    /// stable-id column (see [`TokenSetsArtifact::prepare`] for the same
+    /// three terms). Store round-trips reproduce this byte-exactly.
+    pub fn heap_bytes(&self) -> usize {
+        self.art.index_sets.heap_bytes()
+            + self.art.query_sets.heap_bytes()
+            + self.art.index.heap_bytes()
+            + self.ids.len() * 4
+    }
+
+    /// The raw token hashes of segment row `row` (dense ids mapped back
+    /// through the segment's interner), in original tokenization order.
+    fn raw_row(&self, row: usize, tokens_by_id: &[u64]) -> Vec<u64> {
+        self.art
+            .index_sets
+            .row_vec(row)
+            .into_iter()
+            .map(|d| tokens_by_id[d as usize])
+            .collect()
+    }
+}
+
+/// Which layer owns (i.e. answers for) a live stable id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Owner {
+    /// The mutable delta holds the newest version of the row.
+    Delta,
+    /// The segment with this seq holds the newest version.
+    Seg(u64),
+}
+
+/// A planned compaction: the folded segment plus the snapshots needed to
+/// apply it atomically later. Produced by
+/// [`SegmentedTokenSets::plan_compact`] (pure, `&self`), consumed by
+/// [`SegmentedTokenSets::apply_compact`]. Upserts and deletes may land
+/// between the two — apply reconciles against the snapshots — but a
+/// *flush* must not (it would reuse the planned sequence number); the
+/// serving layer runs flushes and compactions on the same single-flight
+/// lane to uphold that.
+#[derive(Debug)]
+pub struct PendingCompaction {
+    /// Seqs of the segments the fold consumed.
+    folded_seqs: Vec<u64>,
+    /// The delta rows as they were at plan time; apply drops a delta row
+    /// only if it still holds exactly this value (anything newer shadows
+    /// the folded segment).
+    folded_delta: Vec<(u32, Vec<u64>)>,
+    /// The replacement segment.
+    segment: Arc<SparseSegment>,
+}
+
+impl PendingCompaction {
+    /// Rows in the folded segment.
+    pub fn rows(&self) -> usize {
+        self.segment.len()
+    }
+
+    /// How many segments the fold consumed.
+    pub fn folded_segments(&self) -> usize {
+        self.folded_seqs.len()
+    }
+}
+
+/// Outcome of one [`SegmentedTokenSets::persist`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PersistReport {
+    /// Segment files written this call.
+    pub segments_written: usize,
+    /// Segment files already on disk and still valid (immutable, so a
+    /// matching file never needs rewriting).
+    pub segments_reused: usize,
+    /// Superseded segment files (referenced by the previous manifest only)
+    /// deleted after the manifest swap.
+    pub removed: usize,
+}
+
+/// The serialized mutable state of a segmented index: everything except
+/// the immutable segments themselves, which live in their own store files
+/// keyed by [`segment_repr`]. Codec 11 round-trips this struct.
+#[derive(Debug, Clone)]
+pub struct SparseManifest {
+    /// Next unused segment sequence number.
+    pub next_seq: u64,
+    /// The repr key of the monolithic artifact this index grew out of.
+    pub base_repr: String,
+    /// Segment seqs in stack order (oldest data first).
+    pub segment_seqs: Vec<u64>,
+    /// Tombstoned stable ids, ascending.
+    pub tombstones: Vec<u32>,
+    /// Delta rows `(stable id, raw token set)`, ascending ids.
+    pub delta: Vec<(u32, Vec<u64>)>,
+    /// Raw query-side token sets, one per query row.
+    pub query_raw: Vec<Vec<u64>>,
+}
+
+impl SparseManifest {
+    /// The repr keys of the segment files this manifest references.
+    pub fn segment_reprs(&self) -> Vec<String> {
+        self.segment_seqs
+            .iter()
+            .map(|&seq| segment_repr(&self.base_repr, seq))
+            .collect()
+    }
+
+    /// Deterministic heap estimate (also the stored `heap_bytes`, so the
+    /// codec keeps exact parity): string + flat arrays + per-row terms.
+    pub fn heap_bytes(&self) -> usize {
+        self.base_repr.len()
+            + self.segment_seqs.len() * 8
+            + self.tombstones.len() * 4
+            + delta_heap_bytes(self.delta.iter().map(|(_, set)| set.len()))
+            + query_heap_bytes(&self.query_raw)
+    }
+}
+
+/// Heap estimate of delta rows: id + Vec header vs. 12 bytes flat, plus
+/// the tokens.
+fn delta_heap_bytes(lens: impl Iterator<Item = usize>) -> usize {
+    lens.map(|len| 12 + len * 8).sum()
+}
+
+/// Heap estimate of the raw query sets: one Vec header per row plus the
+/// tokens.
+fn query_heap_bytes(query_raw: &[Vec<u64>]) -> usize {
+    query_raw.iter().map(|set| 24 + set.len() * 8).sum()
+}
+
+/// The segmented incremental index (see module docs).
+#[derive(Debug)]
+pub struct SegmentedTokenSets {
+    /// Repr key of the monolithic artifact this index answers for; the
+    /// store keys of every segment and the manifest derive from it.
+    base_repr: String,
+    /// Immutable segments in stack order (oldest data first: flushes
+    /// append, compaction replaces the folded prefix).
+    segments: Vec<Arc<SparseSegment>>,
+    /// Mutable rows not yet folded into a segment, by stable id.
+    delta: BTreeMap<u32, Vec<u64>>,
+    /// Deleted stable ids still present in some segment. Disjoint from
+    /// the delta's keys by construction.
+    tombstones: BTreeSet<u32>,
+    /// Raw query-side token sets; every segment interns them on build.
+    query_raw: Vec<Vec<u64>>,
+    /// Next unused segment sequence number.
+    next_seq: u64,
+    /// Live stable id -> owning layer. Rebuilt after every structural
+    /// change; queries consult it to suppress shadowed/tombstoned rows.
+    owner: FastMap<u32, Owner>,
+    /// Every stable id present in any segment (live or tombstoned); the
+    /// set tombstones must stay within to remain meaningful.
+    in_segments: BTreeSet<u32>,
+}
+
+impl SegmentedTokenSets {
+    /// An empty segmented index for `base_repr` with the given raw query
+    /// sets.
+    pub fn new(base_repr: impl Into<String>, query_raw: Vec<Vec<u64>>) -> Self {
+        SegmentedTokenSets {
+            base_repr: base_repr.into(),
+            segments: Vec::new(),
+            delta: BTreeMap::new(),
+            tombstones: BTreeSet::new(),
+            query_raw,
+            next_seq: 0,
+            owner: FastMap::default(),
+            in_segments: BTreeSet::new(),
+        }
+    }
+
+    /// Wraps an existing monolithic artifact as segment 0 (stable ids are
+    /// the artifact's dense ids). `query_raw` must be the raw token sets
+    /// the artifact's `query_sets` were interned from — the serving layer
+    /// re-tokenizes the view with the artifact's own model, which is
+    /// deterministic.
+    pub fn from_artifact(
+        base_repr: impl Into<String>,
+        art: Arc<TokenSetsArtifact>,
+        query_raw: Vec<Vec<u64>>,
+    ) -> Self {
+        let ids: Vec<u32> = (0..art.index.len() as u32).collect();
+        // The cache-loaded artifact is shared, not copied: segment 0
+        // reuses its structures via the Arc, re-wrapped with the id
+        // column. (TokenSetsArtifact is plain data; clone-by-rebuild
+        // would double resident memory for the largest layer.)
+        let art = Arc::try_unwrap(art).unwrap_or_else(|arc| TokenSetsArtifact {
+            index_sets: arc.index_sets.clone(),
+            query_sets: arc.query_sets.clone(),
+            index: arc.index.clone(),
+        });
+        let segment = SparseSegment { seq: 0, ids, art };
+        let mut this = Self::new(base_repr, query_raw);
+        this.next_seq = 1;
+        this.segments.push(Arc::new(segment));
+        this.rebuild_owner();
+        this
+    }
+
+    /// The repr key of the monolithic artifact this index answers for.
+    pub fn base_repr(&self) -> &str {
+        &self.base_repr
+    }
+
+    /// Number of immutable segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Rows currently in the mutable delta.
+    pub fn delta_rows(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Tombstoned ids currently tracked.
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones.len()
+    }
+
+    /// Live (query-visible) rows across all layers.
+    pub fn live_rows(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Query rows this index answers for.
+    pub fn query_rows(&self) -> usize {
+        self.query_raw.len()
+    }
+
+    /// The raw token set of query row `j`.
+    pub fn query_raw(&self, j: usize) -> &[u64] {
+        &self.query_raw[j]
+    }
+
+    /// Deterministic heap estimate for cache budgeting: exact segment
+    /// footprints plus flat estimates of the delta, tombstones and raw
+    /// queries. The derived ownership maps are rebuildable bookkeeping
+    /// and deliberately excluded, keeping the figure a pure function of
+    /// the persisted state (so a store round-trip budgets identically).
+    pub fn heap_bytes(&self) -> usize {
+        self.segments.iter().map(|s| s.heap_bytes()).sum::<usize>()
+            + delta_heap_bytes(self.delta.values().map(Vec::len))
+            + self.tombstones.len() * 4
+            + query_heap_bytes(&self.query_raw)
+    }
+
+    /// Fires the `compact/<base_repr>` fault site (the `enabled` guard
+    /// skips the key formatting on the hot path).
+    fn fire_compact(&self) {
+        if faults::enabled() {
+            faults::fire(&format!("compact/{}", self.base_repr));
+        }
+    }
+
+    /// Inserts or replaces the row `id` with a raw (duplicate-free) token
+    /// set. Fires `delta/apply` before mutating anything.
+    pub fn upsert(&mut self, id: u32, tokens: Vec<u64>) {
+        faults::fire("delta/apply");
+        self.tombstones.remove(&id);
+        self.delta.insert(id, tokens);
+        self.owner.insert(id, Owner::Delta);
+    }
+
+    /// Deletes the row `id` (a no-op id is fine). Fires `delta/apply`
+    /// before mutating anything.
+    ///
+    /// The tombstone is recorded even when the row currently lives only
+    /// in the delta: a compaction planned before this delete may be about
+    /// to install a segment that still contains the row, and only the
+    /// tombstone keeps it suppressed through that apply. Tombstones with
+    /// no segment backing are pruned on the next structural rebuild.
+    pub fn delete(&mut self, id: u32) {
+        faults::fire("delta/apply");
+        self.delta.remove(&id);
+        self.owner.remove(&id);
+        self.tombstones.insert(id);
+    }
+
+    /// Recomputes `owner`/`in_segments` from scratch: segments in stack
+    /// order (newer overwrite older), then the delta on top, then prunes
+    /// tombstones that no longer suppress anything.
+    fn rebuild_owner(&mut self) {
+        self.owner.clear();
+        self.in_segments.clear();
+        for seg in &self.segments {
+            for &id in &seg.ids {
+                self.in_segments.insert(id);
+                if !self.tombstones.contains(&id) {
+                    self.owner.insert(id, Owner::Seg(seg.seq));
+                }
+            }
+        }
+        for &id in self.delta.keys() {
+            self.owner.insert(id, Owner::Delta);
+        }
+        let in_segments = &self.in_segments;
+        self.tombstones.retain(|id| in_segments.contains(id));
+    }
+
+    /// Folds the delta into a fresh immutable segment appended to the
+    /// stack. Returns `false` when the delta is empty. Fires the
+    /// `compact/<base_repr>` site before mutating.
+    pub fn flush(&mut self) -> bool {
+        if self.delta.is_empty() {
+            return false;
+        }
+        self.fire_compact();
+        let rows: Vec<(u32, Vec<u64>)> = std::mem::take(&mut self.delta).into_iter().collect();
+        let segment = SparseSegment::build(self.next_seq, rows, &self.query_raw);
+        self.next_seq += 1;
+        self.segments.push(Arc::new(segment));
+        self.rebuild_owner();
+        true
+    }
+
+    /// Plans a full compaction: folds every live row (across all segments
+    /// and the delta) into one fresh segment. Pure — `&self` — so a
+    /// serving process runs it on a worker while lookups continue.
+    /// Returns `None` when there is nothing to fold (at most one segment,
+    /// empty delta, no tombstones). Fires `compact/<base_repr>` first.
+    pub fn plan_compact(&self) -> Option<PendingCompaction> {
+        if self.segments.len() <= 1 && self.delta.is_empty() && self.tombstones.is_empty() {
+            return None;
+        }
+        self.fire_compact();
+        let by_seq: FastMap<u64, usize> = self
+            .segments
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.seq, i))
+            .collect();
+        // Interner hashes are recovered lazily, once per segment that
+        // still owns at least one row.
+        let mut tokens_cache: Vec<Option<Vec<u64>>> = vec![None; self.segments.len()];
+        let mut live: Vec<u32> = self.owner.keys().copied().collect();
+        live.sort_unstable();
+        let rows: Vec<(u32, Vec<u64>)> = live
+            .into_iter()
+            .map(|id| {
+                let set = match self.owner[&id] {
+                    Owner::Delta => self.delta[&id].clone(),
+                    Owner::Seg(seq) => {
+                        let si = by_seq[&seq];
+                        let seg = &self.segments[si];
+                        let tokens =
+                            tokens_cache[si].get_or_insert_with(|| seg.art.index.raw_parts().0);
+                        let row = seg
+                            .ids
+                            .binary_search(&id)
+                            .expect("owner points into segment");
+                        seg.raw_row(row, tokens)
+                    }
+                };
+                (id, set)
+            })
+            .collect();
+        let folded_delta: Vec<(u32, Vec<u64>)> = self
+            .delta
+            .iter()
+            .map(|(id, set)| (*id, set.clone()))
+            .collect();
+        Some(PendingCompaction {
+            folded_seqs: self.segments.iter().map(|s| s.seq).collect(),
+            folded_delta,
+            segment: Arc::new(SparseSegment::build(self.next_seq, rows, &self.query_raw)),
+        })
+    }
+
+    /// Installs a planned compaction: the folded segment replaces the
+    /// segments it consumed (keeping any newer ones), and delta rows are
+    /// dropped only where they still hold the exact value the plan
+    /// folded — a newer upsert keeps shadowing, a delete's tombstone
+    /// keeps suppressing.
+    pub fn apply_compact(&mut self, pending: PendingCompaction) {
+        let PendingCompaction {
+            folded_seqs,
+            folded_delta,
+            segment,
+        } = pending;
+        self.next_seq = self.next_seq.max(segment.seq + 1);
+        let mut stack = vec![segment];
+        stack.extend(
+            std::mem::take(&mut self.segments)
+                .into_iter()
+                .filter(|s| !folded_seqs.contains(&s.seq)),
+        );
+        self.segments = stack;
+        for (id, set) in folded_delta {
+            if self.delta.get(&id) == Some(&set) {
+                self.delta.remove(&id);
+            }
+        }
+        self.rebuild_owner();
+    }
+
+    /// Plan + apply in one step (the offline path). Returns `true` when a
+    /// fold happened.
+    pub fn compact(&mut self) -> bool {
+        match self.plan_compact() {
+            Some(pending) => {
+                self.apply_compact(pending);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// A reusable query cursor over the current layers.
+    pub fn cursor(&self) -> MergeCursor<'_> {
+        self.cursor_with(MergeScratch::default())
+    }
+
+    /// A merge cursor reusing caller-held scratch — the serving path,
+    /// where the index lives behind a lock but per-worker scratch should
+    /// survive across lock acquisitions.
+    pub fn cursor_with(&self, scratch: MergeScratch) -> MergeCursor<'_> {
+        MergeCursor { seg: self, scratch }
+    }
+
+    /// ε-join candidates for every query row: one ascending stable-id
+    /// list per row, chunked over `threads` workers (byte-identical for
+    /// any worker count).
+    pub fn epsilon_batch(&self, join: &EpsilonJoin, threads: usize) -> Vec<Vec<u32>> {
+        let chunk = parallel::query_chunk_len(self.query_raw.len());
+        let per_chunk =
+            parallel::par_map_chunks_with(threads, &self.query_raw, chunk, |offset, part| {
+                let mut cursor = self.cursor();
+                (0..part.len())
+                    .map(|local| cursor.epsilon_row(join, offset + local))
+                    .collect::<Vec<_>>()
+            });
+        per_chunk.into_iter().flatten().collect()
+    }
+
+    /// kNN neighbors for every query row: `(stable id, similarity)`
+    /// sorted by descending similarity then ascending id, chunked over
+    /// `threads` workers (byte-identical for any worker count).
+    pub fn knn_batch(&self, join: &KnnJoin, threads: usize) -> Vec<Vec<(u32, f64)>> {
+        let chunk = parallel::query_chunk_len(self.query_raw.len());
+        let per_chunk =
+            parallel::par_map_chunks_with(threads, &self.query_raw, chunk, |offset, part| {
+                let mut cursor = self.cursor();
+                (0..part.len())
+                    .map(|local| cursor.knn_row(join, offset + local))
+                    .collect::<Vec<_>>()
+            });
+        per_chunk.into_iter().flatten().collect()
+    }
+
+    /// The manifest describing the current state (segments by reference).
+    pub fn manifest(&self) -> SparseManifest {
+        SparseManifest {
+            next_seq: self.next_seq,
+            base_repr: self.base_repr.clone(),
+            segment_seqs: self.segments.iter().map(|s| s.seq).collect(),
+            tombstones: self.tombstones.iter().copied().collect(),
+            delta: self
+                .delta
+                .iter()
+                .map(|(id, set)| (*id, set.clone()))
+                .collect(),
+            query_raw: self.query_raw.clone(),
+        }
+    }
+
+    /// Persists the index: every segment as its own immutable store file
+    /// (skipped when already on disk and valid), then the manifest via an
+    /// atomic overwrite — the adoption point. Segment files the previous
+    /// manifest referenced but the new one does not are deleted last; a
+    /// crash anywhere leaves either the old or the new manifest fully
+    /// consistent, plus at worst unreferenced segment files that
+    /// `er store gc` collects.
+    pub fn persist(&self, store: &ArtifactStore, dataset: u64) -> Result<PersistReport, String> {
+        if store.mode() == OpenMode::ReadOnly {
+            return Err("cannot persist into a read-only store".to_owned());
+        }
+        let manifest_key = ArtifactKey::new(dataset, manifest_repr(&self.base_repr));
+        // The previous manifest's segment list, read before anything
+        // changes: its no-longer-referenced segments are deleted after
+        // the swap.
+        let old_seqs: Vec<u64> = match store.load(&manifest_key) {
+            TierLoad::Hit { prepared, .. } => {
+                prepared.downcast::<SparseManifest>().segment_seqs.clone()
+            }
+            _ => Vec::new(),
+        };
+        let mut report = PersistReport::default();
+        for seg in &self.segments {
+            let key = ArtifactKey::new(dataset, segment_repr(&self.base_repr, seg.seq));
+            let prepared = er_core::filter::Prepared::from_arc(
+                Arc::clone(seg) as Arc<dyn std::any::Any + Send + Sync>,
+                seg.heap_bytes(),
+                PhaseBreakdown::new(),
+            );
+            match store.store(&key, &prepared)? {
+                true => report.segments_written += 1,
+                false => report.segments_reused += 1,
+            }
+        }
+        let manifest = self.manifest();
+        let sections = SparseManifestCodec
+            .encode(&manifest)
+            .expect("manifest always encodes");
+        let meta = StoreMeta {
+            codec_id: SPARSE_MANIFEST_CODEC_ID,
+            dataset_fp: dataset,
+            repr: manifest_key.repr.clone(),
+            prepare_nanos: 0,
+            heap_bytes: manifest.heap_bytes() as u64,
+        };
+        er_store::format::write_store(&store.file_path(&manifest_key), &meta, &sections)
+            .map_err(|e| e.to_string())?;
+        let current: BTreeSet<u64> = manifest.segment_seqs.iter().copied().collect();
+        for seq in old_seqs {
+            if !current.contains(&seq) {
+                let key = ArtifactKey::new(dataset, segment_repr(&self.base_repr, seq));
+                if std::fs::remove_file(store.file_path(&key)).is_ok() {
+                    report.removed += 1;
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Restores a segmented index from its manifest plus segment files.
+    /// `Ok(None)` when no manifest is stored under this key; a present
+    /// but unreadable manifest, or a referenced segment that fails to
+    /// load, is a structured error (callers fall back to a full rebuild).
+    pub fn load(
+        store: &ArtifactStore,
+        dataset: u64,
+        base_repr: &str,
+    ) -> Result<Option<Self>, String> {
+        let manifest_key = ArtifactKey::new(dataset, manifest_repr(base_repr));
+        let manifest = match store.load(&manifest_key) {
+            TierLoad::Miss => return Ok(None),
+            TierLoad::Failed(msg) => return Err(msg),
+            TierLoad::Hit { prepared, .. } => prepared.downcast::<SparseManifest>().clone(),
+        };
+        let mut segments = Vec::with_capacity(manifest.segment_seqs.len());
+        for &seq in &manifest.segment_seqs {
+            let key = ArtifactKey::new(dataset, segment_repr(base_repr, seq));
+            let segment = match store.load(&key) {
+                TierLoad::Hit { prepared, .. } => prepared
+                    .arc()
+                    .downcast::<SparseSegment>()
+                    .map_err(|_| format!("segment {} decoded to a foreign type", key.repr))?,
+                TierLoad::Miss => {
+                    return Err(format!("manifest references missing segment {}", key.repr))
+                }
+                TierLoad::Failed(msg) => return Err(msg),
+            };
+            segments.push(segment);
+        }
+        Self::from_parts(manifest, segments).map(Some)
+    }
+
+    /// Assembles the index from a decoded manifest plus its segments, in
+    /// manifest order — the shared tail of [`SegmentedTokenSets::load`]
+    /// and cache-mediated restores (the serving daemon loads the manifest
+    /// and segments through the artifact cache so its startup counters
+    /// stay honest).
+    pub fn from_parts(
+        manifest: SparseManifest,
+        segments: Vec<Arc<SparseSegment>>,
+    ) -> Result<Self, String> {
+        if segments.len() != manifest.segment_seqs.len() {
+            return Err(format!(
+                "manifest lists {} segment(s), got {}",
+                manifest.segment_seqs.len(),
+                segments.len(),
+            ));
+        }
+        for (seg, &seq) in segments.iter().zip(&manifest.segment_seqs) {
+            if seg.seq != seq {
+                return Err(format!(
+                    "segment seq {} does not match manifest order (expected {seq})",
+                    seg.seq,
+                ));
+            }
+        }
+        let next_seq = manifest
+            .segment_seqs
+            .iter()
+            .copied()
+            .max()
+            .map_or(manifest.next_seq, |m| manifest.next_seq.max(m + 1));
+        let mut this = SegmentedTokenSets {
+            base_repr: manifest.base_repr,
+            segments,
+            delta: manifest.delta.into_iter().collect(),
+            tombstones: manifest.tombstones.into_iter().collect(),
+            query_raw: manifest.query_raw,
+            next_seq,
+            owner: FastMap::default(),
+            in_segments: BTreeSet::new(),
+        };
+        this.rebuild_owner();
+        Ok(this)
+    }
+}
+
+/// Per-worker scratch for merged queries: the ScanCount buffers plus the
+/// sorted copy of the current query row the delta probes binary-search.
+#[derive(Debug, Default)]
+pub struct MergeScratch {
+    scan: ScanCountScratch,
+    hits: Vec<(u32, u32)>,
+    sorted_query: Vec<u64>,
+}
+
+/// Answers ε/kNN queries across segments + delta with tombstone and
+/// shadow suppression (see module docs). One cursor per worker; results
+/// are bitwise identical to the monolithic query paths over a full
+/// rebuild of the net dataset.
+pub struct MergeCursor<'a> {
+    seg: &'a SegmentedTokenSets,
+    scratch: MergeScratch,
+}
+
+impl MergeCursor<'_> {
+    /// Releases the cursor's scratch for reuse with a later cursor.
+    pub fn into_scratch(self) -> MergeScratch {
+        self.scratch
+    }
+
+    /// Sorts the raw tokens of query row `j` into the scratch for the
+    /// delta's binary-search overlap counting.
+    fn sort_query(&mut self, j: usize) {
+        self.scratch.sorted_query.clear();
+        self.scratch
+            .sorted_query
+            .extend_from_slice(&self.seg.query_raw[j]);
+        self.scratch.sorted_query.sort_unstable();
+    }
+
+    /// Set overlap of a delta row with the (sorted) query tokens. Both
+    /// sides are duplicate-free, so the count is exactly `|A ∩ B|` — the
+    /// same integer ScanCount produces for this pair in a full rebuild.
+    fn delta_overlap(tokens: &[u64], sorted_query: &[u64]) -> usize {
+        tokens
+            .iter()
+            .filter(|t| sorted_query.binary_search(t).is_ok())
+            .count()
+    }
+
+    /// ε-join candidates of query row `j`: live stable ids, ascending —
+    /// bitwise what [`EpsilonJoin::query_row_into`] yields on a full
+    /// rebuild (dense ids map monotonically to stable ids).
+    pub fn epsilon_row(&mut self, join: &EpsilonJoin, j: usize) -> Vec<u32> {
+        let mut out = Vec::new();
+        let qlen = self.seg.query_raw[j].len();
+        let (lo, hi) = join.measure.size_bounds(qlen, join.threshold);
+        for seg in &self.seg.segments {
+            seg.art.index.query_row_with(
+                &mut self.scratch.scan,
+                &seg.art.query_sets,
+                j,
+                &mut self.scratch.hits,
+            );
+            for &(i, overlap) in self.scratch.hits.iter() {
+                let id = seg.ids[i as usize];
+                if self.seg.owner.get(&id) != Some(&Owner::Seg(seg.seq)) {
+                    continue; // shadowed by a newer layer, or tombstoned
+                }
+                let ilen = seg.art.index.set_size(i);
+                if ilen < lo || ilen > hi {
+                    continue;
+                }
+                let sim = join.measure.compute(overlap as usize, ilen, qlen);
+                if sim >= join.threshold {
+                    out.push(id);
+                }
+            }
+        }
+        if !self.seg.delta.is_empty() {
+            self.sort_query(j);
+            for (&id, tokens) in &self.seg.delta {
+                let overlap = Self::delta_overlap(tokens, &self.scratch.sorted_query);
+                if overlap == 0 {
+                    continue; // ScanCount never surfaces disjoint pairs
+                }
+                let ilen = tokens.len();
+                if ilen < lo || ilen > hi {
+                    continue;
+                }
+                let sim = join.measure.compute(overlap, ilen, qlen);
+                if sim >= join.threshold {
+                    out.push(id);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// kNN neighbors of query row `j`: `(stable id, similarity)` after
+    /// the global distinct-top-k cut — bitwise what [`KnnJoin::query_row`]
+    /// yields on a full rebuild. Per-segment scoring disables the
+    /// distinct-floor pruning (see module docs for why that is required
+    /// for exactness under suppression).
+    pub fn knn_row(&mut self, join: &KnnJoin, j: usize) -> Vec<(u32, f64)> {
+        let mut merged: Vec<(u32, f64)> = Vec::new();
+        for seg in &self.seg.segments {
+            let scored = join.score_query(
+                &seg.art,
+                j,
+                None,
+                &mut self.scratch.scan,
+                &mut self.scratch.hits,
+            );
+            for (i, sim) in scored {
+                let id = seg.ids[i as usize];
+                if self.seg.owner.get(&id) == Some(&Owner::Seg(seg.seq)) {
+                    merged.push((id, sim));
+                }
+            }
+        }
+        if !self.seg.delta.is_empty() {
+            let qlen = self.seg.query_raw[j].len();
+            self.sort_query(j);
+            for (&id, tokens) in &self.seg.delta {
+                let overlap = Self::delta_overlap(tokens, &self.scratch.sorted_query);
+                if overlap == 0 {
+                    continue;
+                }
+                let sim = join.measure.compute(overlap, tokens.len(), qlen);
+                if sim > 0.0 {
+                    merged.push((id, sim));
+                }
+            }
+        }
+        KnnJoin::select_top_k(join.k, &mut merged);
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::representation::RepresentationModel;
+    use crate::similarity::SimilarityMeasure;
+    use crate::store::{SparseManifestCodec, SparsePackedCodec, SparseSegmentCodec};
+    use er_text::Cleaner;
+    use proptest::prelude::*;
+
+    fn model() -> RepresentationModel {
+        RepresentationModel::parse("T1G").expect("T1G")
+    }
+
+    fn toks(text: &str) -> Vec<u64> {
+        model().token_set(text, &Cleaner::off())
+    }
+
+    fn queries() -> Vec<Vec<u64>> {
+        ["alpha beta", "c d e", "alpha", "", "zz alpha d"]
+            .iter()
+            .map(|t| toks(t))
+            .collect()
+    }
+
+    fn epsilon(threshold: f64, measure: SimilarityMeasure) -> EpsilonJoin {
+        EpsilonJoin {
+            cleaning: false,
+            model: model(),
+            measure,
+            threshold,
+        }
+    }
+
+    fn knn(k: usize, measure: SimilarityMeasure) -> KnnJoin {
+        KnnJoin {
+            cleaning: false,
+            model: model(),
+            measure,
+            k,
+            reversed: false,
+        }
+    }
+
+    /// Full-rebuild oracle over the net rows: the monolithic artifact
+    /// plus the ascending live-id column its dense ids map through.
+    fn oracle(
+        rows: &BTreeMap<u32, Vec<u64>>,
+        query_raw: &[Vec<u64>],
+    ) -> (TokenSetsArtifact, Vec<u32>) {
+        let ids: Vec<u32> = rows.keys().copied().collect();
+        let sets: Vec<Vec<u64>> = rows.values().cloned().collect();
+        let (index, index_sets) = ScanCountIndex::build_with_sets(&sets);
+        let query_sets = index.intern_queries(query_raw);
+        (
+            TokenSetsArtifact {
+                index_sets,
+                query_sets,
+                index,
+            },
+            ids,
+        )
+    }
+
+    fn oracle_epsilon(
+        join: &EpsilonJoin,
+        art: &TokenSetsArtifact,
+        ids: &[u32],
+        j: usize,
+    ) -> Vec<u32> {
+        let mut scratch = ScanCountScratch::default();
+        let mut hits = Vec::new();
+        let mut dense = Vec::new();
+        join.query_row_into(art, j, &mut scratch, &mut hits, &mut dense);
+        dense.into_iter().map(|d| ids[d as usize]).collect()
+    }
+
+    fn oracle_knn(
+        join: &KnnJoin,
+        art: &TokenSetsArtifact,
+        ids: &[u32],
+        j: usize,
+    ) -> Vec<(u32, f64)> {
+        let mut scratch = ScanCountScratch::default();
+        let mut hits = Vec::new();
+        join.query_row(art, j, &mut scratch, &mut hits)
+            .into_iter()
+            .map(|(d, s)| (ids[d as usize], s))
+            .collect()
+    }
+
+    /// Asserts every query row of `seg` is bitwise equal to the oracle at
+    /// 1 and 8 threads, for a spread of join configurations.
+    fn assert_matches_oracle(seg: &SegmentedTokenSets, rows: &BTreeMap<u32, Vec<u64>>) {
+        let query_raw: Vec<Vec<u64>> = (0..seg.query_rows())
+            .map(|j| seg.query_raw(j).to_vec())
+            .collect();
+        let (art, ids) = oracle(rows, &query_raw);
+        assert_eq!(seg.live_rows(), rows.len(), "live-row accounting");
+        for join in [
+            epsilon(0.0, SimilarityMeasure::Jaccard),
+            epsilon(0.34, SimilarityMeasure::Cosine),
+            epsilon(0.5, SimilarityMeasure::Dice),
+            epsilon(1.0, SimilarityMeasure::Jaccard),
+        ] {
+            let want: Vec<Vec<u32>> = (0..query_raw.len())
+                .map(|j| oracle_epsilon(&join, &art, &ids, j))
+                .collect();
+            for threads in [1, 8] {
+                assert_eq!(
+                    seg.epsilon_batch(&join, threads),
+                    want,
+                    "epsilon t={} threads={threads}",
+                    join.threshold
+                );
+            }
+        }
+        for join in [
+            knn(1, SimilarityMeasure::Cosine),
+            knn(2, SimilarityMeasure::Jaccard),
+        ] {
+            let want: Vec<Vec<(u32, f64)>> = (0..query_raw.len())
+                .map(|j| oracle_knn(&join, &art, &ids, j))
+                .collect();
+            for threads in [1, 8] {
+                assert_eq!(
+                    seg.knn_batch(&join, threads),
+                    want,
+                    "knn k={} threads={threads}",
+                    join.k
+                );
+            }
+        }
+    }
+
+    fn seeded() -> (SegmentedTokenSets, BTreeMap<u32, Vec<u64>>) {
+        let mut seg = SegmentedTokenSets::new("sparse:test", queries());
+        let mut net = BTreeMap::new();
+        for (id, text) in [
+            (0u32, "alpha beta c"),
+            (3, "c d"),
+            (5, "alpha"),
+            (7, "d e zz"),
+            (9, "beta beta alpha"),
+        ] {
+            seg.upsert(id, toks(text));
+            net.insert(id, toks(text));
+        }
+        (seg, net)
+    }
+
+    #[test]
+    fn delta_only_index_matches_rebuild() {
+        let (seg, net) = seeded();
+        assert_eq!(seg.segment_count(), 0);
+        assert_eq!(seg.delta_rows(), 5);
+        assert_matches_oracle(&seg, &net);
+    }
+
+    #[test]
+    fn flush_and_mixed_layers_match_rebuild() {
+        let (mut seg, mut net) = seeded();
+        assert!(seg.flush());
+        assert!(!seg.flush(), "empty delta flush is a no-op");
+        assert_eq!((seg.segment_count(), seg.delta_rows()), (1, 0));
+        // Overwrite one segment row, add a new delta row, delete one
+        // segment row: all three suppression paths active at once.
+        seg.upsert(3, toks("changed entirely"));
+        net.insert(3, toks("changed entirely"));
+        seg.upsert(11, toks("alpha d"));
+        net.insert(11, toks("alpha d"));
+        seg.delete(7);
+        net.remove(&7);
+        assert_eq!(seg.tombstone_count(), 1);
+        assert_matches_oracle(&seg, &net);
+        // A second flush stacks a second segment; still exact.
+        assert!(seg.flush());
+        assert_eq!(seg.segment_count(), 2);
+        assert_matches_oracle(&seg, &net);
+        // Compaction folds to one segment and drops the tombstone.
+        assert!(seg.compact());
+        assert_eq!(
+            (seg.segment_count(), seg.delta_rows(), seg.tombstone_count()),
+            (1, 0, 0)
+        );
+        assert_matches_oracle(&seg, &net);
+        assert!(!seg.compact(), "fully folded index has nothing to compact");
+    }
+
+    #[test]
+    fn delete_then_reinsert_same_row_matches_scratch_prepare() {
+        let (mut seg, mut net) = seeded();
+        seg.flush();
+        seg.delete(5);
+        seg.upsert(5, toks("resurrected text"));
+        net.insert(5, toks("resurrected text"));
+        assert_eq!(seg.tombstone_count(), 0, "reinsert clears the tombstone");
+        assert_matches_oracle(&seg, &net);
+        // And when the resurrection is flushed on top of the old segment.
+        seg.flush();
+        assert_matches_oracle(&seg, &net);
+    }
+
+    #[test]
+    fn delete_of_delta_only_row_matches_scratch_prepare() {
+        let (mut seg, mut net) = seeded();
+        seg.flush();
+        seg.upsert(20, toks("short lived"));
+        seg.delete(20); // never reached a segment
+        net.remove(&20);
+        assert_eq!(seg.delta_rows(), 0);
+        assert_matches_oracle(&seg, &net);
+        // The unbacked tombstone is pruned at the next structural change.
+        seg.upsert(21, toks("alpha"));
+        net.insert(21, toks("alpha"));
+        seg.flush();
+        assert!(!seg.tombstones.contains(&20));
+        assert_matches_oracle(&seg, &net);
+    }
+
+    #[test]
+    fn delete_all_yields_empty_candidate_sets() {
+        let (mut seg, mut net) = seeded();
+        seg.flush();
+        for id in [0u32, 3, 5, 7, 9] {
+            seg.delete(id);
+            net.remove(&id);
+        }
+        assert_eq!(seg.live_rows(), 0);
+        let join = epsilon(0.0, SimilarityMeasure::Jaccard);
+        for row in seg.epsilon_batch(&join, 1) {
+            assert!(row.is_empty());
+        }
+        for row in seg.knn_batch(&knn(3, SimilarityMeasure::Cosine), 1) {
+            assert!(row.is_empty());
+        }
+        assert_matches_oracle(&seg, &net);
+        // Compacting the empty net state folds to one empty segment.
+        assert!(seg.compact());
+        assert_eq!(seg.tombstone_count(), 0);
+        assert_matches_oracle(&seg, &net);
+    }
+
+    #[test]
+    fn from_artifact_wraps_the_monolith_as_segment_zero() {
+        let view = er_core::schema::TextView::new(
+            vec!["alpha beta c".into(), "c d".into(), "alpha".into()],
+            vec![
+                "alpha beta".into(),
+                "c d e".into(),
+                "alpha".into(),
+                "".into(),
+                "zz alpha d".into(),
+            ],
+        );
+        let prepared = TokenSetsArtifact::prepare(&view, false, model(), false);
+        let art = prepared
+            .arc()
+            .downcast::<TokenSetsArtifact>()
+            .expect("sparse artifact");
+        let mut seg = SegmentedTokenSets::from_artifact("sparse:test", art, queries());
+        let mut net: BTreeMap<u32, Vec<u64>> = [
+            (0u32, toks("alpha beta c")),
+            (1, toks("c d")),
+            (2, toks("alpha")),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!((seg.segment_count(), seg.live_rows()), (1, 3));
+        assert_matches_oracle(&seg, &net);
+        seg.upsert(1, toks("c d brand new"));
+        net.insert(1, toks("c d brand new"));
+        seg.delete(0);
+        net.remove(&0);
+        assert_matches_oracle(&seg, &net);
+    }
+
+    #[test]
+    fn injected_delta_fault_leaves_state_unchanged() {
+        let (mut seg, net) = seeded();
+        seg.flush();
+        let before = seg.heap_bytes();
+        let plan = faults::FaultPlan::parse("panic@delta/apply").expect("plan");
+        faults::with_plan(plan, || {
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                seg.upsert(99, toks("never lands"));
+            }))
+            .expect_err("fault fires");
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("injected fault"), "{msg}");
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                seg.delete(0);
+            }))
+            .expect_err("fault fires");
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("injected fault"), "{msg}");
+        });
+        assert_eq!(seg.heap_bytes(), before);
+        assert_matches_oracle(&seg, &net);
+    }
+
+    #[test]
+    fn injected_compact_fault_leaves_state_unchanged() {
+        let (mut seg, mut net) = seeded();
+        seg.flush();
+        seg.upsert(12, toks("alpha zz"));
+        net.insert(12, toks("alpha zz"));
+        let before = (seg.segment_count(), seg.delta_rows(), seg.heap_bytes());
+        // Repr keys contain ':' (reserved by the spec grammar for
+        // options), so the site is addressed with a trailing wildcard.
+        let plan = faults::FaultPlan::parse("panic@compact/sparse*").expect("plan");
+        faults::with_plan(plan, || {
+            for op in ["flush", "compact"] {
+                let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match op {
+                    "flush" => seg.flush(),
+                    _ => seg.compact(),
+                }))
+                .expect_err("fault fires");
+                let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+                assert!(msg.contains("injected fault"), "{op}: {msg}");
+            }
+        });
+        assert_eq!(
+            (seg.segment_count(), seg.delta_rows(), seg.heap_bytes()),
+            before
+        );
+        assert_matches_oracle(&seg, &net);
+        // Once the plan is cleared the same operations succeed.
+        assert!(seg.flush());
+        assert!(seg.compact());
+        assert_matches_oracle(&seg, &net);
+    }
+
+    #[test]
+    fn delete_between_plan_and_apply_stays_deleted() {
+        let (mut seg, mut net) = seeded();
+        seg.flush();
+        seg.upsert(13, toks("transient alpha"));
+        let pending = seg.plan_compact().expect("something to fold");
+        // Concurrent mutations while the "worker" folds: a delete of a
+        // planned delta row, and an upsert newer than the folded value.
+        seg.delete(13);
+        seg.upsert(3, toks("newer than the fold"));
+        net.insert(3, toks("newer than the fold"));
+        seg.apply_compact(pending);
+        assert_matches_oracle(&seg, &net);
+        assert!(seg.delta.contains_key(&3), "newer upsert still shadowing");
+    }
+
+    fn store_in(name: &str) -> (ArtifactStore, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!("er_segmented_{}_{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::open(
+            &dir,
+            vec![
+                Box::new(SparsePackedCodec),
+                Box::new(SparseSegmentCodec),
+                Box::new(SparseManifestCodec),
+            ],
+        )
+        .expect("open");
+        (store, dir)
+    }
+
+    #[test]
+    fn persist_load_roundtrip_and_segment_reuse() {
+        let (store, dir) = store_in("roundtrip");
+        let (mut seg, mut net) = seeded();
+        seg.flush();
+        seg.upsert(30, toks("delta survives restart"));
+        net.insert(30, toks("delta survives restart"));
+        seg.delete(7);
+        net.remove(&7);
+        let report = seg.persist(&store, 42).expect("persist");
+        assert_eq!(
+            (
+                report.segments_written,
+                report.segments_reused,
+                report.removed
+            ),
+            (1, 0, 0)
+        );
+        let loaded = SegmentedTokenSets::load(&store, 42, "sparse:test")
+            .expect("load")
+            .expect("manifest present");
+        assert_eq!(loaded.segment_count(), 1);
+        assert_eq!(loaded.delta_rows(), 1);
+        assert_eq!(loaded.tombstone_count(), 1);
+        assert_eq!(loaded.heap_bytes(), seg.heap_bytes());
+        assert_matches_oracle(&loaded, &net);
+        // Re-persisting reuses the immutable segment file.
+        let again = seg.persist(&store, 42).expect("persist again");
+        assert_eq!((again.segments_written, again.segments_reused), (0, 1));
+        // Wrong key: no manifest.
+        assert!(SegmentedTokenSets::load(&store, 42, "sparse:other")
+            .expect("load")
+            .is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_persist_drops_superseded_segments_and_gc_agrees() {
+        let (store, dir) = store_in("supersede");
+        let (mut seg, net) = seeded();
+        seg.flush();
+        seg.upsert(31, toks("second segment"));
+        seg.flush();
+        seg.delete(31);
+        seg.persist(&store, 7).expect("persist two segments");
+        assert_eq!(
+            store.files().expect("files").len(),
+            3,
+            "2 segments + manifest"
+        );
+        // Everything referenced: gc keeps all files.
+        let report = store.gc().expect("gc");
+        assert_eq!((report.removed, report.orphaned), (0, 0));
+        // Compact and persist: the folded segment replaces both, and the
+        // superseded files are deleted by the persist itself.
+        assert!(seg.compact());
+        let report = seg.persist(&store, 7).expect("persist folded");
+        assert_eq!((report.segments_written, report.removed), (1, 2));
+        assert_eq!(
+            store.files().expect("files").len(),
+            2,
+            "1 segment + manifest"
+        );
+        let loaded = SegmentedTokenSets::load(&store, 7, "sparse:test")
+            .expect("load")
+            .expect("present");
+        assert_matches_oracle(&loaded, &net);
+        // Simulated interrupted compaction: a segment written without its
+        // manifest swap. Deleting the manifest orphans the segments.
+        std::fs::remove_file(store.file_path(&ArtifactKey::new(7, manifest_repr("sparse:test"))))
+            .expect("drop manifest");
+        let report = store.gc().expect("gc orphans");
+        assert_eq!(report.orphaned, 1, "{report:?}");
+        assert!(store.files().expect("files").is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn apply_ops(ops: &[(u8, u32, String)]) -> (SegmentedTokenSets, BTreeMap<u32, Vec<u64>>) {
+        let mut seg = SegmentedTokenSets::new("sparse:test", queries());
+        let mut net = BTreeMap::new();
+        for (op, id, text) in ops {
+            match op % 4 {
+                0 | 1 => {
+                    seg.upsert(*id, toks(text));
+                    net.insert(*id, toks(text));
+                }
+                2 => {
+                    seg.delete(*id);
+                    net.remove(id);
+                }
+                _ => {
+                    if *id % 2 == 0 {
+                        seg.flush();
+                    } else {
+                        seg.compact();
+                    }
+                }
+            }
+        }
+        (seg, net)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Acceptance property: any interleaving of upserts, deletes,
+        /// flushes and compactions yields candidate sets bitwise
+        /// identical to a full re-prepare of the net dataset, at 1 and 8
+        /// threads (inside the oracle comparison), with and without a
+        /// store round-trip standing in for a process restart.
+        #[test]
+        fn any_op_interleaving_matches_full_rebuild(
+            ops in proptest::collection::vec((0u8..4, 0u32..24, "[a-e ]{0,12}"), 1..40),
+            restart in any::<bool>(),
+        ) {
+            let (seg, net) = apply_ops(&ops);
+            assert_matches_oracle(&seg, &net);
+            if restart {
+                let dir = std::env::temp_dir().join(format!(
+                    "er_segmented_prop_{}_{}", std::process::id(), ops.len()
+                ));
+                let _ = std::fs::remove_dir_all(&dir);
+                let store = ArtifactStore::open(
+                    &dir,
+                    vec![Box::new(SparseSegmentCodec), Box::new(SparseManifestCodec)],
+                ).expect("open");
+                seg.persist(&store, 1).expect("persist");
+                let loaded = SegmentedTokenSets::load(&store, 1, "sparse:test")
+                    .expect("load").expect("present");
+                assert_matches_oracle(&loaded, &net);
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+    }
+}

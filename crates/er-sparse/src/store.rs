@@ -1,28 +1,40 @@
-//! Persistent-store codecs for the sparse artifact.
+//! Persistent-store codecs for the sparse artifacts.
 //!
-//! Two codecs share this module. [`SparsePackedCodec`] (id 8) is the
-//! writer: it serializes [`TokenSetsArtifact`]'s bitpacked rows
-//! ([`crate::packed`]) verbatim — store files shrink by the same ratio as
-//! the in-memory postings — plus the token interner as its hashes in
-//! dense-id order (rebuilding by in-order insertion reassigns identical
-//! ids). [`SparseCodec`] (id 1) is the legacy plain-CSR layout from
-//! before postings were packed; it decodes old files forever (codec ids
-//! are append-only) but never encodes new ones, and is exempt from the
-//! store's heap-parity tripwire because packing at load time changes the
-//! in-memory footprint the old header recorded.
+//! Four codecs share this module. [`SparsePackedCodec`] (id 8) is the
+//! monolithic writer: it serializes [`TokenSetsArtifact`]'s bitpacked
+//! rows ([`crate::packed`]) verbatim — store files shrink by the same
+//! ratio as the in-memory postings — plus the token interner as its
+//! hashes in dense-id order (rebuilding by in-order insertion reassigns
+//! identical ids). [`SparseCodec`] (id 1) is the legacy plain-CSR layout
+//! from before postings were packed; it decodes old files forever (codec
+//! ids are append-only) but never encodes new ones, and is exempt from
+//! the store's heap-parity tripwire because packing at load time changes
+//! the in-memory footprint the old header recorded.
+//!
+//! The segmented incremental index ([`crate::segmented`]) adds two more.
+//! [`SparseSegmentCodec`] (id 10) stores one immutable
+//! [`SparseSegment`]: its sequence number, its stable-id column, and
+//! exactly the packed artifact layout of id 8 (the shared
+//! [`encode_token_sets_artifact`]/[`decode_token_sets_artifact`] pair).
+//! [`SparseManifestCodec`] (id 11) stores the [`SparseManifest`] — the
+//! segment stack's seqs plus the mutable state (delta rows, tombstones,
+//! raw query sets) — and reports the segment repr keys it references so
+//! `er store gc` can detect orphans and `er store inspect` can render
+//! segment trees.
 //!
 //! Decode re-validates every invariant the query paths index by — a file
 //! that passes its checksums but violates them (only possible under a
 //! checksum collision) is a structured error, never a later out-of-bounds
-//! access. For newly written (packed) files the decoded artifact reports
-//! byte-identical `heap_bytes` to a freshly prepared one: the packed
-//! terms are exact array sizes and the interner term depends only on its
-//! entry count.
+//! access. For newly written files the decoded artifact reports
+//! byte-identical `heap_bytes` to a freshly built one: the packed terms
+//! are exact array sizes and the interner term depends only on its entry
+//! count.
 
 use crate::artifact::TokenSetsArtifact;
 use crate::csr::CsrTokenSets;
 use crate::packed::PackedRows;
 use crate::scancount::ScanCountIndex;
+use crate::segmented::{SparseManifest, SparseSegment};
 use er_store::{ArtifactCodec, SectionRatio, Sections, StoreError, StoreFile};
 use std::any::Any;
 use std::sync::Arc;
@@ -33,11 +45,23 @@ pub const SPARSE_CODEC_ID: u32 = 1;
 /// Codec id of the bitpacked sparse layout (the writer).
 pub const SPARSE_PACKED_CODEC_ID: u32 = 8;
 
+/// Codec id of one immutable segment of a segmented sparse index.
+pub const SPARSE_SEGMENT_CODEC_ID: u32 = 10;
+
+/// Codec id of the segmented sparse index's manifest.
+pub const SPARSE_MANIFEST_CODEC_ID: u32 = 11;
+
 /// Decodes the legacy plain-CSR sparse layout (see module docs).
 pub struct SparseCodec;
 
 /// (De)serializes [`TokenSetsArtifact`] in the bitpacked layout.
 pub struct SparsePackedCodec;
+
+/// (De)serializes one [`SparseSegment`] (seq + stable ids + artifact).
+pub struct SparseSegmentCodec;
+
+/// (De)serializes the [`SparseManifest`] of a segmented sparse index.
+pub struct SparseManifestCodec;
 
 /// Checks the CSR invariants of an `(offsets, values)` pair: `offsets`
 /// starts at 0, is non-decreasing, and ends at `values_len`.
@@ -182,6 +206,79 @@ fn decode_sets_packed(
     Ok(CsrTokenSets::from_packed(rows, set_sizes))
 }
 
+/// Appends the bitpacked-artifact sections (the id-8 layout) to `s`:
+/// interner hashes, packed postings + cardinalities, then both token-set
+/// CSRs. Shared by the monolithic and the per-segment codec.
+fn encode_token_sets_artifact(s: &mut Sections, art: &TokenSetsArtifact) {
+    let (interner_tokens, postings, set_sizes) = art.index.raw_parts();
+    s.u64s(&interner_tokens);
+    push_packed(s, postings);
+    s.u32s(set_sizes);
+    for sets in [&art.index_sets, &art.query_sets] {
+        push_packed(s, sets.packed());
+        s.u32s(sets.set_sizes());
+    }
+}
+
+/// Reads and re-validates one bitpacked artifact (the inverse of
+/// [`encode_token_sets_artifact`]), returning it with its exact
+/// `heap_bytes`.
+fn decode_token_sets_artifact(
+    cur: &mut er_store::SectionCursor<'_>,
+) -> er_store::Result<(TokenSetsArtifact, usize)> {
+    let interner_tokens = cur.u64s()?.to_vec();
+    let postings = read_packed("scancount postings", cur)?;
+    let set_sizes = cur.u32s()?.to_vec();
+    if postings.len() != interner_tokens.len() {
+        return Err(StoreError::Malformed(
+            "scancount: postings/interner mismatch".to_owned(),
+        ));
+    }
+    // Ascending entity ids per list: the invariant the SIMD merge
+    // kernels rely on for distinctness and in-bounds counter access.
+    postings
+        .validate(set_sizes.len() as u32, true)
+        .map_err(|e| StoreError::Malformed(format!("scancount postings: {e}")))?;
+    let token_bound = interner_tokens.len();
+    let index = ScanCountIndex::from_raw_parts(&interner_tokens, postings, set_sizes);
+    let index_sets = decode_sets_packed("index_sets", cur, token_bound)?;
+    let query_sets = decode_sets_packed("query_sets", cur, token_bound)?;
+    if index_sets.len() != index.len() {
+        return Err(StoreError::Malformed(
+            "index_sets rows != indexed entities".to_owned(),
+        ));
+    }
+    let heap_bytes = index_sets.heap_bytes() + query_sets.heap_bytes() + index.heap_bytes();
+    Ok((
+        TokenSetsArtifact {
+            index_sets,
+            query_sets,
+            index,
+        },
+        heap_bytes,
+    ))
+}
+
+/// Per-structure encoded (packed) vs decoded (plain CSR) byte sizes of
+/// one bitpacked artifact, for `er store inspect`'s compression report.
+/// `cur` must stand at the artifact's interner section.
+fn artifact_section_ratios(
+    cur: &mut er_store::SectionCursor<'_>,
+) -> er_store::Result<Vec<SectionRatio>> {
+    let _interner = cur.u64s()?;
+    let mut out = Vec::new();
+    for label in ["postings", "index_sets", "query_sets"] {
+        let rows = read_packed(label, cur)?;
+        out.push(SectionRatio {
+            label: label.to_owned(),
+            encoded_bytes: rows.heap_bytes() as u64,
+            decoded_bytes: rows.plain_bytes() as u64,
+        });
+        let _set_sizes = cur.u32s()?;
+    }
+    Ok(out)
+}
+
 impl ArtifactCodec for SparsePackedCodec {
     fn id(&self) -> u32 {
         SPARSE_PACKED_CODEC_ID
@@ -194,69 +291,205 @@ impl ArtifactCodec for SparsePackedCodec {
     fn encode(&self, artifact: &(dyn Any + Send + Sync)) -> Option<Sections> {
         let art = artifact.downcast_ref::<TokenSetsArtifact>()?;
         let mut s = Sections::new();
-        let (interner_tokens, postings, set_sizes) = art.index.raw_parts();
-        s.u64s(&interner_tokens);
-        push_packed(&mut s, postings);
-        s.u32s(set_sizes);
-        for sets in [&art.index_sets, &art.query_sets] {
-            push_packed(&mut s, sets.packed());
-            s.u32s(sets.set_sizes());
-        }
+        encode_token_sets_artifact(&mut s, art);
         Some(s)
     }
 
     fn decode(&self, file: &StoreFile) -> er_store::Result<(Arc<dyn Any + Send + Sync>, usize)> {
         let mut cur = file.cursor()?;
-        let interner_tokens = cur.u64s()?.to_vec();
-        let postings = read_packed("scancount postings", &mut cur)?;
-        let set_sizes = cur.u32s()?.to_vec();
-        if postings.len() != interner_tokens.len() {
-            return Err(StoreError::Malformed(
-                "scancount: postings/interner mismatch".to_owned(),
-            ));
-        }
-        // Ascending entity ids per list: the invariant the SIMD merge
-        // kernels rely on for distinctness and in-bounds counter access.
-        postings
-            .validate(set_sizes.len() as u32, true)
-            .map_err(|e| StoreError::Malformed(format!("scancount postings: {e}")))?;
-        let token_bound = interner_tokens.len();
-        let index = ScanCountIndex::from_raw_parts(&interner_tokens, postings, set_sizes);
-        let index_sets = decode_sets_packed("index_sets", &mut cur, token_bound)?;
-        let query_sets = decode_sets_packed("query_sets", &mut cur, token_bound)?;
+        let (art, heap_bytes) = decode_token_sets_artifact(&mut cur)?;
         cur.finish()?;
-        if index_sets.len() != index.len() {
-            return Err(StoreError::Malformed(
-                "index_sets rows != indexed entities".to_owned(),
-            ));
-        }
-        let heap_bytes = index_sets.heap_bytes() + query_sets.heap_bytes() + index.heap_bytes();
-        Ok((
-            Arc::new(TokenSetsArtifact {
-                index_sets,
-                query_sets,
-                index,
-            }),
-            heap_bytes,
-        ))
+        Ok((Arc::new(art), heap_bytes))
     }
 
-    /// Per-structure encoded (packed) vs decoded (plain CSR) byte sizes
-    /// for `er store inspect`'s compression report.
     fn section_ratios(&self, file: &StoreFile) -> er_store::Result<Vec<SectionRatio>> {
         let mut cur = file.cursor()?;
-        let _interner = cur.u64s()?;
-        let mut out = Vec::new();
-        for label in ["postings", "index_sets", "query_sets"] {
-            let rows = read_packed(label, &mut cur)?;
-            out.push(SectionRatio {
-                label: label.to_owned(),
-                encoded_bytes: rows.heap_bytes() as u64,
-                decoded_bytes: rows.plain_bytes() as u64,
-            });
-            let _set_sizes = cur.u32s()?;
+        artifact_section_ratios(&mut cur)
+    }
+}
+
+impl ArtifactCodec for SparseSegmentCodec {
+    fn id(&self) -> u32 {
+        SPARSE_SEGMENT_CODEC_ID
+    }
+
+    fn name(&self) -> &'static str {
+        "sparse-segment"
+    }
+
+    /// Segment files are only meaningful through a manifest: `er store gc`
+    /// collects any it finds unreferenced.
+    fn is_segment(&self) -> bool {
+        true
+    }
+
+    fn encode(&self, artifact: &(dyn Any + Send + Sync)) -> Option<Sections> {
+        let seg = artifact.downcast_ref::<SparseSegment>()?;
+        let mut s = Sections::new();
+        s.scalar(seg.seq);
+        s.u32s(&seg.ids);
+        encode_token_sets_artifact(&mut s, &seg.art);
+        Some(s)
+    }
+
+    fn decode(&self, file: &StoreFile) -> er_store::Result<(Arc<dyn Any + Send + Sync>, usize)> {
+        let mut cur = file.cursor()?;
+        let seq = cur.scalar()?;
+        let ids = cur.u32s()?.to_vec();
+        if !ids.windows(2).all(|w| w[0] < w[1]) {
+            return Err(StoreError::Malformed(
+                "segment: stable ids not strictly ascending".to_owned(),
+            ));
         }
-        Ok(out)
+        let (art, art_heap) = decode_token_sets_artifact(&mut cur)?;
+        cur.finish()?;
+        if ids.len() != art.index.len() {
+            return Err(StoreError::Malformed(
+                "segment: stable ids != indexed rows".to_owned(),
+            ));
+        }
+        let heap_bytes = art_heap + ids.len() * 4;
+        Ok((Arc::new(SparseSegment { seq, ids, art }), heap_bytes))
+    }
+
+    fn section_ratios(&self, file: &StoreFile) -> er_store::Result<Vec<SectionRatio>> {
+        let mut cur = file.cursor()?;
+        let _ids = cur.u32s()?;
+        artifact_section_ratios(&mut cur)
+    }
+}
+
+/// Checks a `u32` array is strictly ascending.
+fn check_ascending(what: &str, ids: &[u32]) -> er_store::Result<()> {
+    if ids.windows(2).all(|w| w[0] < w[1]) {
+        Ok(())
+    } else {
+        Err(StoreError::Malformed(format!(
+            "{what}: not strictly ascending"
+        )))
+    }
+}
+
+impl ArtifactCodec for SparseManifestCodec {
+    fn id(&self) -> u32 {
+        SPARSE_MANIFEST_CODEC_ID
+    }
+
+    fn name(&self) -> &'static str {
+        "sparse-manifest"
+    }
+
+    fn encode(&self, artifact: &(dyn Any + Send + Sync)) -> Option<Sections> {
+        let m = artifact.downcast_ref::<SparseManifest>()?;
+        let mut s = Sections::new();
+        s.scalar(m.next_seq);
+        s.bytes(m.base_repr.as_bytes());
+        s.u64s(&m.segment_seqs);
+        s.u32s(&m.tombstones);
+        let mut delta_ids = Vec::with_capacity(m.delta.len());
+        let mut delta_offsets = vec![0u32];
+        let mut delta_tokens = Vec::new();
+        for (id, set) in &m.delta {
+            delta_ids.push(*id);
+            delta_tokens.extend_from_slice(set);
+            delta_offsets.push(delta_tokens.len() as u32);
+        }
+        s.u32s(&delta_ids);
+        s.u32s(&delta_offsets);
+        s.u64s(&delta_tokens);
+        let mut query_offsets = vec![0u32];
+        let mut query_tokens = Vec::new();
+        for set in &m.query_raw {
+            query_tokens.extend_from_slice(set);
+            query_offsets.push(query_tokens.len() as u32);
+        }
+        s.u32s(&query_offsets);
+        s.u64s(&query_tokens);
+        Some(s)
+    }
+
+    fn decode(&self, file: &StoreFile) -> er_store::Result<(Arc<dyn Any + Send + Sync>, usize)> {
+        let mut cur = file.cursor()?;
+        let next_seq = cur.scalar()?;
+        let base_repr = std::str::from_utf8(cur.bytes()?)
+            .map_err(|_| StoreError::Malformed("manifest: base repr not UTF-8".to_owned()))?
+            .to_owned();
+        let segment_seqs = cur.u64s()?.to_vec();
+        if segment_seqs.iter().any(|&s| s >= next_seq) {
+            return Err(StoreError::Malformed(
+                "manifest: segment seq >= next_seq".to_owned(),
+            ));
+        }
+        let distinct: std::collections::BTreeSet<u64> = segment_seqs.iter().copied().collect();
+        if distinct.len() != segment_seqs.len() {
+            return Err(StoreError::Malformed(
+                "manifest: duplicate segment seq".to_owned(),
+            ));
+        }
+        let tombstones = cur.u32s()?.to_vec();
+        check_ascending("manifest tombstones", &tombstones)?;
+        let delta_ids = cur.u32s()?.to_vec();
+        check_ascending("manifest delta ids", &delta_ids)?;
+        let delta_offsets = cur.u32s()?.to_vec();
+        let delta_tokens = cur.u64s()?.to_vec();
+        if delta_offsets.len() != delta_ids.len() + 1 {
+            return Err(StoreError::Malformed(
+                "manifest: delta offsets/ids mismatch".to_owned(),
+            ));
+        }
+        check_offsets("manifest delta", &delta_offsets, delta_tokens.len())?;
+        if delta_ids
+            .iter()
+            .any(|id| tombstones.binary_search(id).is_ok())
+        {
+            return Err(StoreError::Malformed(
+                "manifest: delta id also tombstoned".to_owned(),
+            ));
+        }
+        let query_offsets = cur.u32s()?.to_vec();
+        let query_tokens = cur.u64s()?.to_vec();
+        if query_offsets.is_empty() {
+            return Err(StoreError::Malformed(
+                "manifest: empty query offsets".to_owned(),
+            ));
+        }
+        check_offsets("manifest queries", &query_offsets, query_tokens.len())?;
+        cur.finish()?;
+        let delta = delta_ids
+            .iter()
+            .zip(delta_offsets.windows(2))
+            .map(|(&id, w)| (id, delta_tokens[w[0] as usize..w[1] as usize].to_vec()))
+            .collect();
+        let query_raw = query_offsets
+            .windows(2)
+            .map(|w| query_tokens[w[0] as usize..w[1] as usize].to_vec())
+            .collect();
+        let manifest = SparseManifest {
+            next_seq,
+            base_repr,
+            segment_seqs,
+            tombstones,
+            delta,
+            query_raw,
+        };
+        let heap_bytes = manifest.heap_bytes();
+        Ok((Arc::new(manifest), heap_bytes))
+    }
+
+    /// The segment files this manifest pins; everything else under the
+    /// same dataset wearing `is_segment` is an orphan. Only the first
+    /// three sections are decoded — gc stays cheap on large manifests.
+    fn referenced_reprs(&self, file: &StoreFile) -> er_store::Result<Vec<String>> {
+        let mut cur = file.cursor()?;
+        let _next_seq = cur.scalar()?;
+        let base_repr = std::str::from_utf8(cur.bytes()?)
+            .map_err(|_| StoreError::Malformed("manifest: base repr not UTF-8".to_owned()))?
+            .to_owned();
+        let segment_seqs = cur.u64s()?;
+        Ok(segment_seqs
+            .iter()
+            .map(|&seq| crate::segmented::segment_repr(&base_repr, seq))
+            .collect())
     }
 }
 

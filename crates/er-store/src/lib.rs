@@ -36,4 +36,4 @@ pub mod xxh;
 
 pub use err::{Result, StoreError};
 pub use format::{DType, SectionCursor, SectionInfo, Sections, StoreFile, StoreMeta};
-pub use store::{ArtifactCodec, ArtifactStore, FileInfo, OpenMode, SectionRatio};
+pub use store::{ArtifactCodec, ArtifactStore, FileInfo, GcReport, OpenMode, SectionRatio};

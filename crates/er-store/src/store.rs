@@ -64,6 +64,22 @@ pub trait ArtifactCodec: Send + Sync {
     fn section_ratios(&self, _file: &StoreFile) -> Result<Vec<SectionRatio>> {
         Ok(Vec::new())
     }
+    /// Repr keys of companion files this (manifest-style) file references
+    /// under the same dataset fingerprint. `er store inspect` renders the
+    /// references as a tree and [`ArtifactStore::gc`] treats unreferenced
+    /// segment files as orphans. The default (no references) suits
+    /// self-contained codecs.
+    fn referenced_reprs(&self, _file: &StoreFile) -> Result<Vec<String>> {
+        Ok(Vec::new())
+    }
+    /// True when this codec's files are immutable segments owned by a
+    /// manifest. A valid segment no surviving manifest references is a
+    /// leftover of an interrupted compaction (the manifest swap is atomic,
+    /// so the segment was written but never adopted) and is collected by
+    /// [`ArtifactStore::gc`].
+    fn is_segment(&self) -> bool {
+        false
+    }
 }
 
 /// One `inspect` compression-report entry: a logical structure's encoded
@@ -279,31 +295,78 @@ impl ArtifactStore {
             .collect())
     }
 
-    /// Removes stale temp files and undecodable store files, returning
-    /// (removed, kept) counts (`er store gc`).
-    pub fn gc(&self) -> Result<(usize, usize)> {
+    /// Removes stale temp files, undecodable store files, and orphaned
+    /// segment files left behind by an interrupted compaction (valid
+    /// segments that no valid manifest of the same dataset references),
+    /// returning a structured [`GcReport`] (`er store gc`).
+    pub fn gc(&self) -> Result<GcReport> {
         if self.mode == OpenMode::ReadOnly {
             return Err(StoreError::ReadOnly("gc".into()));
         }
-        let mut removed = 0;
-        let mut kept = 0;
+        let mut report = GcReport::default();
         let entries = std::fs::read_dir(&self.dir).map_err(|e| StoreError::io(&self.dir, &e))?;
         let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
         paths.sort();
+        // Pass 1: stale temps and undecodable files go; valid store files
+        // survive with their headers collected for the orphan pass.
+        let mut valid: Vec<(PathBuf, u64, String, u32)> = Vec::new();
+        let mut referenced: std::collections::HashSet<(u64, String)> = Default::default();
         for path in paths {
             let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-            let stale_tmp = name.contains(".tmp.");
-            let broken = path.extension().is_some_and(|e| e == EXTENSION)
-                && self.load_file(&path, None).is_err();
-            if stale_tmp || broken {
+            if name.contains(".tmp.") {
                 std::fs::remove_file(&path).map_err(|e| StoreError::io(&path, &e))?;
-                removed += 1;
+                report.removed += 1;
+                continue;
+            }
+            if !path.extension().is_some_and(|e| e == EXTENSION) {
+                report.kept += 1;
+                continue;
+            }
+            if self.load_file(&path, None).is_err() {
+                std::fs::remove_file(&path).map_err(|e| StoreError::io(&path, &e))?;
+                report.removed += 1;
+                continue;
+            }
+            let file = StoreFile::open(&path)?;
+            if let Some(codec) = self.codec_by_id(file.codec_id()) {
+                for repr in codec.referenced_reprs(&file)? {
+                    referenced.insert((file.dataset_fp(), repr));
+                }
+            }
+            valid.push((
+                path,
+                file.dataset_fp(),
+                file.repr().to_owned(),
+                file.codec_id(),
+            ));
+        }
+        // Pass 2: a valid segment nothing references was written but never
+        // adopted — the manifest swap is atomic, so an interrupted
+        // compaction leaves exactly this signature.
+        for (path, dataset_fp, repr, codec_id) in valid {
+            let is_segment = self.codec_by_id(codec_id).is_some_and(|c| c.is_segment());
+            if is_segment && !referenced.contains(&(dataset_fp, repr)) {
+                std::fs::remove_file(&path).map_err(|e| StoreError::io(&path, &e))?;
+                report.removed += 1;
+                report.orphaned += 1;
             } else {
-                kept += 1;
+                report.kept += 1;
             }
         }
-        Ok((removed, kept))
+        Ok(report)
     }
+}
+
+/// Structured result of one [`ArtifactStore::gc`] sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Files deleted (stale temps, undecodable files, orphaned segments).
+    pub removed: usize,
+    /// Files left in place.
+    pub kept: usize,
+    /// How many of the removed files were valid-but-unreferenced segment
+    /// files — compaction leftovers.
+    pub orphaned: usize,
 }
 
 impl DiskTier for ArtifactStore {
@@ -392,6 +455,11 @@ pub struct FileInfo {
     /// Per-structure compression report, when the codec provides one
     /// (see [`ArtifactCodec::section_ratios`]).
     pub section_ratios: Vec<SectionRatio>,
+    /// Repr keys of companion files this file references (manifest
+    /// codecs), for `er store inspect`'s segment trees.
+    pub referenced: Vec<String>,
+    /// Whether the codec marks this file as a manifest-owned segment.
+    pub segment: bool,
 }
 
 impl FileInfo {
@@ -405,6 +473,10 @@ impl FileInfo {
             Some(c) => c.section_ratios(&file)?,
             None => Vec::new(),
         };
+        let referenced = match codec {
+            Some(c) => c.referenced_reprs(&file)?,
+            None => Vec::new(),
+        };
         Ok(FileInfo {
             repr: file.repr().to_owned(),
             dataset_fp: file.dataset_fp(),
@@ -416,6 +488,8 @@ impl FileInfo {
             mapped: file.is_mapped(),
             sections: file.sections().to_vec(),
             section_ratios,
+            referenced,
+            segment: codec.is_some_and(|c| c.is_segment()),
         })
     }
 
@@ -605,13 +679,152 @@ mod tests {
         // Damage one file and drop a stale temp: gc removes both.
         flip_byte(&store.file_path(&key("toy:b")), 80).expect("flip");
         std::fs::write(dir.join("x.tmp.123"), b"partial").expect("tmp");
-        let (removed, kept) = store.gc().expect("gc");
-        assert_eq!((removed, kept), (2, 1));
+        let report = store.gc().expect("gc");
+        assert_eq!(
+            (report.removed, report.kept, report.orphaned),
+            (2, 1, 0),
+            "{report:?}"
+        );
         assert!(store
             .verify()
             .expect("verify")
             .iter()
             .all(|(_, v)| v.is_ok()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A segment artifact: identical payload to [`ToyArtifact`], but its
+    /// codec marks the files as manifest-owned.
+    struct ToySegment {
+        values: Vec<u32>,
+        cost: usize,
+    }
+
+    struct ToySegmentCodec;
+
+    impl ArtifactCodec for ToySegmentCodec {
+        fn id(&self) -> u32 {
+            98
+        }
+        fn name(&self) -> &'static str {
+            "toy-segment"
+        }
+        fn encode(&self, artifact: &(dyn Any + Send + Sync)) -> Option<Sections> {
+            let seg = artifact.downcast_ref::<ToySegment>()?;
+            let mut s = Sections::new();
+            s.scalar(seg.cost as u64);
+            s.u32s(&seg.values);
+            Some(s)
+        }
+        fn decode(&self, file: &StoreFile) -> Result<(Arc<dyn Any + Send + Sync>, usize)> {
+            let mut cur = file.cursor()?;
+            let cost = cur.scalar_usize()?;
+            let values = cur.u32s()?.to_vec();
+            cur.finish()?;
+            Ok((Arc::new(ToySegment { values, cost }), cost))
+        }
+        fn is_segment(&self) -> bool {
+            true
+        }
+    }
+
+    /// A manifest artifact: a list of segment repr keys it owns.
+    struct ToyManifest {
+        refs: Vec<String>,
+    }
+
+    struct ToyManifestCodec;
+
+    impl ArtifactCodec for ToyManifestCodec {
+        fn id(&self) -> u32 {
+            97
+        }
+        fn name(&self) -> &'static str {
+            "toy-manifest"
+        }
+        fn encode(&self, artifact: &(dyn Any + Send + Sync)) -> Option<Sections> {
+            let m = artifact.downcast_ref::<ToyManifest>()?;
+            let mut s = Sections::new();
+            s.bytes(m.refs.join("\n").as_bytes());
+            Some(s)
+        }
+        fn decode(&self, file: &StoreFile) -> Result<(Arc<dyn Any + Send + Sync>, usize)> {
+            let mut cur = file.cursor()?;
+            let text = String::from_utf8_lossy(cur.bytes()?).into_owned();
+            cur.finish()?;
+            let refs: Vec<String> = text.lines().map(str::to_owned).collect();
+            Ok((Arc::new(ToyManifest { refs }), 0))
+        }
+        fn referenced_reprs(&self, file: &StoreFile) -> Result<Vec<String>> {
+            let mut cur = file.cursor()?;
+            let text = String::from_utf8_lossy(cur.bytes()?).into_owned();
+            Ok(text.lines().map(str::to_owned).collect())
+        }
+    }
+
+    #[test]
+    fn gc_collects_segments_no_manifest_references() {
+        let dir = std::env::temp_dir().join(format!("er_store_orphan_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::open(
+            &dir,
+            vec![
+                Box::new(ToyCodec),
+                Box::new(ToySegmentCodec),
+                Box::new(ToyManifestCodec),
+            ],
+        )
+        .expect("open store");
+        let seg = |values: Vec<u32>| {
+            let cost = values.len() * 4;
+            Prepared::new(ToySegment { values, cost }, cost, PhaseBreakdown::new())
+        };
+        // The manifest adopts segment `a`; segment `b` was written by an
+        // interrupted compaction that never swapped its manifest in.
+        store.store(&key("toyseg:a"), &seg(vec![1, 2])).expect("a");
+        store.store(&key("toyseg:b"), &seg(vec![3])).expect("b");
+        store
+            .store(
+                &key("toy:manifest"),
+                &Prepared::new(
+                    ToyManifest {
+                        refs: vec!["toyseg:a".to_owned()],
+                    },
+                    0,
+                    PhaseBreakdown::new(),
+                ),
+            )
+            .expect("manifest");
+        // A plain (non-segment) artifact is never orphan-collected.
+        store
+            .store(&key("toy:plain"), &toy_prepared(vec![7], 8, 0))
+            .expect("plain");
+
+        let report = store.gc().expect("gc");
+        assert_eq!(
+            (report.removed, report.kept, report.orphaned),
+            (1, 3, 1),
+            "{report:?}"
+        );
+        assert!(!store.file_path(&key("toyseg:b")).exists(), "orphan gone");
+        assert!(store.file_path(&key("toyseg:a")).exists(), "adopted kept");
+        // Inspect surfaces the manifest's references and the segment flag.
+        let infos = store.inspect().expect("inspect");
+        let manifest = infos
+            .iter()
+            .filter_map(|(_, i)| i.as_ref().ok())
+            .find(|i| i.repr == "toy:manifest")
+            .expect("manifest info");
+        assert_eq!(manifest.referenced, vec!["toyseg:a".to_owned()]);
+        let seg_info = infos
+            .iter()
+            .filter_map(|(_, i)| i.as_ref().ok())
+            .find(|i| i.repr == "toyseg:a")
+            .expect("segment info");
+        assert!(seg_info.segment);
+        // A second sweep is a fixpoint.
+        let again = store.gc().expect("gc again");
+        assert_eq!((again.removed, again.kept, again.orphaned), (0, 3, 0));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,136 @@
+#!/usr/bin/env bash
+# Smoke test of streaming ingest through the serving daemon, end to end:
+#
+# 1. Builds an artifact store with a quick sweep (`--store-dir`), then
+#    launches `er serve` over it and records baseline lookups — these
+#    come straight from the full-batch prepared artifact, i.e. a fresh
+#    full rebuild of the dataset.
+# 2. Replays a net-zero insert+delete log over the wire (`upsert` rows
+#    with fresh stable ids, `compact` mid-stream, then `delete` them
+#    all), so the live segmented index must answer every lookup
+#    identically to the baseline despite segments and tombstones.
+# 3. Sends one more `{"op":"compact"}` and SIGTERMs the daemon without
+#    waiting for the ack: the drain must finish the in-flight
+#    compaction, persist the segment stack + manifest, and exit 0.
+# 4. Restarts the daemon over the same store, asserts it restored the
+#    segmented index from the manifest, and that restored lookups are
+#    byte-identical (minus latency) to the fresh-rebuild baseline.
+#    The stats snapshot (stream_stats.json) is uploaded as a CI
+#    artifact.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+STORE="${STREAM_STORE:-stream-store}"
+PORT="${STREAM_PORT:-7879}"
+SNAPSHOT="${STREAM_SNAPSHOT:-stream_stats.json}"
+
+SERVE_ARGS=(--store-dir "$STORE" --profile D5 --scale 0.06 --seed 11
+  --method epsilon --clean --model T1G
+  --addr "127.0.0.1:$PORT" --queue 64 --batch 4 --workers 2
+  --drain-grace-ms 5000 --stats-out "$SNAPSHOT")
+
+echo "== building er-cli (release)" >&2
+cargo build --release -p er-cli >&2
+ER=target/release/er
+
+echo "== building the artifact store" >&2
+rm -rf "$STORE"
+cargo run --release --bin table7_main -- \
+  --datasets D5 --scale 0.06 --grid quick --reps 1 --dim 32 --seed 11 \
+  --store-dir "$STORE" > /dev/null 2> stream_sweep.log
+ls "$STORE"/*.erst > /dev/null
+
+wait_up() { # $1 = pid, $2 = stdout file, $3 = stderr file
+  for _ in $(seq 1 100); do
+    grep -q "serving on " "$2" 2>/dev/null && return 0
+    kill -0 "$1" 2>/dev/null || { cat "$3" >&2; return 1; }
+    sleep 0.1
+  done
+  grep -q "serving on " "$2"
+}
+
+lookup_rows() { # $1 = output file; queries rows 0..9 on fd 3
+  : > "$1"
+  for i in $(seq 0 9); do
+    printf '{"id":%d,"row":%d}\n' "$i" "$i" >&3
+    IFS= read -r -t 30 line <&3
+    printf '%s\n' "$line" >> "$1"
+  done
+  test "$(grep -c '"candidates"' "$1")" -eq 10
+}
+
+strip_us() { sed -E 's/,"us":[0-9]+//' "$1"; }
+
+echo "== first daemon: full-batch artifact wrapped as segment zero" >&2
+"$ER" serve "${SERVE_ARGS[@]}" > stream_a.out 2> stream_a.log &
+PID_A=$!
+wait_up "$PID_A" stream_a.out stream_a.log
+grep -q 'store: 1 hits / 0 misses' stream_a.log
+
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+echo "== baseline lookups (fresh full rebuild)" >&2
+lookup_rows baseline.txt
+
+echo "== replaying a net-zero insert+delete log" >&2
+for i in $(seq 0 9); do
+  printf '{"op":"upsert","id":100,"row":%d,"text":"streamed zzqx%d entity"}\n' \
+    "$((900000 + i))" "$i" >&3
+  IFS= read -r -t 30 ack <&3
+  echo "$ack" | grep -q '"ok":true'
+done
+for i in $(seq 0 4); do
+  printf '{"op":"delete","id":101,"row":%d}\n' "$((900000 + i))" >&3
+  IFS= read -r -t 30 ack <&3
+  echo "$ack" | grep -q '"ok":true'
+done
+printf '{"op":"compact","id":102}\n' >&3
+IFS= read -r -t 30 ack <&3
+echo "$ack" | grep -q '"compacted":true'
+for i in $(seq 5 9); do
+  printf '{"op":"delete","id":103,"row":%d}\n' "$((900000 + i))" >&3
+  IFS= read -r -t 30 ack <&3
+  echo "$ack" | grep -q '"ok":true'
+done
+
+echo "== live lookups across segments + tombstones match the baseline" >&2
+lookup_rows live.txt
+cmp <(strip_us baseline.txt) <(strip_us live.txt)
+
+printf '{"op":"stats"}\n' >&3
+IFS= read -r -t 30 stats <&3
+echo "$stats" | grep -q '"upserts":10'
+echo "$stats" | grep -q '"deletes":10'
+echo "$stats" | grep -q '"compactions":1'
+
+echo "== SIGTERM mid-compaction: drain must persist the manifest" >&2
+printf '{"op":"compact","id":104}\n' >&3
+kill -TERM "$PID_A"
+wait "$PID_A"              # non-zero exit fails the script here
+exec 3<&- 3>&-
+grep -q 'serve: persisted segmented index' stream_a.log
+ls "$STORE"/*.erst > /dev/null
+
+echo "== second daemon: restore from the persisted manifest" >&2
+"$ER" serve "${SERVE_ARGS[@]}" > stream_b.out 2> stream_b.log &
+PID_B=$!
+wait_up "$PID_B" stream_b.out stream_b.log
+grep -q 'serve: restored segmented index from manifest' stream_b.log
+
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+echo "== restored lookups match the fresh-rebuild baseline" >&2
+lookup_rows restored.txt
+cmp <(strip_us baseline.txt) <(strip_us restored.txt)
+
+printf '{"op":"stats"}\n' >&3
+IFS= read -r -t 30 stats <&3
+echo "$stats" | grep -q '"restored":true'
+exec 3<&- 3>&-
+
+kill -TERM "$PID_B"
+wait "$PID_B"
+test -s "$SNAPSHOT"
+grep -q '"histogram_us"' "$SNAPSHOT"
+grep -q '"segments"' "$SNAPSHOT"
+
+echo "stream smoke OK" >&2
