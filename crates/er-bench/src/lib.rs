@@ -12,6 +12,9 @@
 //!   driver over all (dataset, schema-setting) columns,
 //! * [`stream`] — the checkpointed streaming-ingest replay against the
 //!   segmented incremental index (`er sweep --stream`),
+//! * [`shard`] — the out-of-core streamed shard sweep
+//!   (`er sweep --shards N`): 10M-row collections queried one
+//!   deterministic shard at a time under a residency budget,
 //! * [`checkpoint`] — the JSONL grid-checkpoint format,
 //! * [`jsonl`] — the dependency-free JSON encoder/parser behind it,
 //! * [`report`] — fixed-width text tables in the paper's format.
@@ -21,6 +24,7 @@ pub mod harness;
 pub mod jsonl;
 pub mod report;
 pub mod settings;
+pub mod shard;
 pub mod store;
 pub mod stream;
 pub mod sweep;
@@ -28,6 +32,7 @@ pub mod sweep;
 pub use harness::{run_all_methods, Context, MethodId, MethodOutcome};
 pub use report::Table;
 pub use settings::Settings;
+pub use shard::{peak_rss_bytes, run_shard_sweep, ShardSweepOutcome};
 pub use store::{all_codecs, open_store, open_store_read_only};
 pub use stream::run_stream;
 pub use sweep::{bench_prepare, run_sweep, Column};

@@ -23,6 +23,11 @@
 //! --inject-faults SPEC deterministic fault injection, e.g.
 //!                      `panic@Da1/SBW;stall@*:p=0.1,ms=50` (see
 //!                      `er::core::faults::FaultPlan`)
+//! --shards 4           run the out-of-core streamed shard sweep with
+//!                      this many deterministic shards
+//! --rows 10000000      streamed sweep: indexed-row count
+//! --queries 10000      streamed sweep: query-row count
+//! --threshold 0.4      streamed sweep: ε-join similarity threshold
 //! ```
 //!
 //! plus free-standing flags the individual binaries interpret (e.g.
@@ -68,6 +73,16 @@ pub struct Settings {
     pub resume: Option<String>,
     /// Parsed `--inject-faults` plan (installed by the sweep binaries).
     pub faults: Option<FaultPlan>,
+    /// Shard count of the out-of-core streamed sweep (`None` = the
+    /// profile-based Table VII sweep). Pure execution strategy: results
+    /// are byte-identical at any shard count, like thread counts.
+    pub shards: Option<u32>,
+    /// Indexed-row count of the streamed dataset (shard sweep only).
+    pub rows: Option<u32>,
+    /// Query-row count of the streamed dataset (shard sweep only).
+    pub queries: Option<u32>,
+    /// ε-join similarity threshold of the streamed sweep.
+    pub threshold: Option<f64>,
     /// Remaining free-standing flags.
     pub flags: Vec<String>,
 }
@@ -90,6 +105,10 @@ impl Default for Settings {
             checkpoint: None,
             resume: None,
             faults: None,
+            shards: None,
+            rows: None,
+            queries: None,
+            threshold: None,
             flags: Vec::new(),
         }
     }
@@ -185,6 +204,34 @@ impl Settings {
                     s.faults =
                         Some(FaultPlan::parse(&spec).map_err(|e| format!("--inject-faults: {e}"))?);
                 }
+                "--shards" => {
+                    let n: u32 = parsed("--shards", &value("--shards")?)?;
+                    if n == 0 {
+                        return Err("--shards must be at least 1".to_owned());
+                    }
+                    s.shards = Some(n);
+                }
+                "--rows" => {
+                    let n: u32 = parsed("--rows", &value("--rows")?)?;
+                    if n == 0 {
+                        return Err("--rows must be at least 1".to_owned());
+                    }
+                    s.rows = Some(n);
+                }
+                "--queries" => {
+                    let n: u32 = parsed("--queries", &value("--queries")?)?;
+                    if n == 0 {
+                        return Err("--queries must be at least 1".to_owned());
+                    }
+                    s.queries = Some(n);
+                }
+                "--threshold" => {
+                    let t: f64 = parsed("--threshold", &value("--threshold")?)?;
+                    if !(t > 0.0 && t <= 1.0) {
+                        return Err("--threshold must be in (0, 1]".to_owned());
+                    }
+                    s.threshold = Some(t);
+                }
                 _ => s.flags.push(arg),
             }
         }
@@ -229,11 +276,15 @@ impl Settings {
     }
 
     /// A stable fingerprint of every setting that determines sweep
-    /// *results* (not execution strategy: thread counts, guard limits and
-    /// checkpoint paths are excluded — a resumed run may change them).
+    /// *results* (not execution strategy: thread counts, shard counts,
+    /// guard limits and checkpoint paths are excluded — a resumed run may
+    /// change them, and sharded runs are byte-identical to monolithic
+    /// ones). The streamed-sweep workload flags (`--rows`, `--queries`,
+    /// `--threshold`) *do* change results, so they append when set —
+    /// leaving every pre-existing fingerprint unchanged.
     pub fn fingerprint(&self) -> String {
         let datasets: Vec<&str> = self.datasets.iter().map(|d| d.id).collect();
-        format!(
+        let mut fp = format!(
             "scale={};seed={};grid={:?};target={};reps={};dim={};datasets={}",
             self.scale,
             self.seed,
@@ -242,7 +293,17 @@ impl Settings {
             self.reps,
             self.dim,
             datasets.join(",")
-        )
+        );
+        if let Some(rows) = self.rows {
+            fp.push_str(&format!(";rows={rows}"));
+        }
+        if let Some(queries) = self.queries {
+            fp.push_str(&format!(";queries={queries}"));
+        }
+        if let Some(threshold) = self.threshold {
+            fp.push_str(&format!(";threshold={threshold}"));
+        }
+        fp
     }
 }
 
@@ -315,6 +376,14 @@ mod tests {
             "ck.jsonl",
             "--inject-faults",
             "panic@Da1/SBW",
+            "--shards",
+            "4",
+            "--rows",
+            "50000",
+            "--queries",
+            "500",
+            "--threshold",
+            "0.4",
             "--configs",
         ])
         .expect("parse");
@@ -335,6 +404,10 @@ mod tests {
         assert_eq!(s.store_dir.as_deref(), Some("artifacts"));
         assert_eq!(s.checkpoint_path(), Some("ck.jsonl"));
         assert!(s.faults.is_some());
+        assert_eq!(s.shards, Some(4));
+        assert_eq!(s.rows, Some(50_000));
+        assert_eq!(s.queries, Some(500));
+        assert_eq!(s.threshold, Some(0.4));
         assert!(s.has_flag("--configs"));
         assert!(!s.has_flag("--other"));
         let limits = s.limits();
@@ -359,6 +432,12 @@ mod tests {
             (&["--cache-budget", "12Q"][..], "--cache-budget"),
             (&["--store-dir", ""][..], "--store-dir"),
             (&["--inject-faults", "??"][..], "--inject-faults"),
+            (&["--shards", "0"][..], "--shards"),
+            (&["--shards", "three"][..], "--shards"),
+            (&["--rows", "0"][..], "--rows"),
+            (&["--queries", "0"][..], "--queries"),
+            (&["--threshold", "1.5"][..], "--threshold"),
+            (&["--threshold", "0"][..], "--threshold"),
             (&["--seed"][..], "requires a value"),
         ] {
             let err = parse(args).expect_err(needle);
@@ -405,5 +484,15 @@ mod tests {
         let c = parse(&["--seed", "43"]).expect("c");
         assert_eq!(a.fingerprint(), b.fingerprint());
         assert_ne!(a.fingerprint(), c.fingerprint());
+        // Shard count is execution strategy; the streamed-workload shape
+        // is not.
+        let sharded = parse(&["--shards", "8"]).expect("sharded");
+        assert_eq!(a.fingerprint(), sharded.fingerprint());
+        let rows = parse(&["--rows", "1000"]).expect("rows");
+        assert_ne!(a.fingerprint(), rows.fingerprint());
+        assert_ne!(
+            parse(&["--threshold", "0.3"]).expect("t").fingerprint(),
+            parse(&["--threshold", "0.5"]).expect("t").fingerprint()
+        );
     }
 }

@@ -300,6 +300,31 @@ pub fn store(args: &[String]) -> Result<(), String> {
                 println!("{dir}: no store files");
                 return Ok(());
             }
+            // Per-shard rollup: group every shard-qualified file by
+            // (dataset, base, shard), summing footprints so an
+            // out-of-core store's balance is visible at a glance.
+            type ShardKey = (u64, String, u32, u32);
+            /// (files, segments, file bytes, heap bytes) per shard.
+            type ShardTotals = (usize, usize, u64, u64);
+            let mut rollup: std::collections::BTreeMap<ShardKey, ShardTotals> = Default::default();
+            for (_, info) in &listing {
+                let Ok(info) = info else { continue };
+                let Some(sref) = er::core::shard::parse_shard_repr(&info.repr) else {
+                    continue;
+                };
+                let entry = rollup
+                    .entry((
+                        info.dataset_fp,
+                        sref.base.to_owned(),
+                        sref.shard,
+                        sref.total,
+                    ))
+                    .or_default();
+                entry.0 += 1;
+                entry.1 += usize::from(info.segment);
+                entry.2 += info.file_bytes as u64;
+                entry.3 += info.heap_bytes;
+            }
             for (path, info) in listing {
                 let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
                 match info {
@@ -338,6 +363,17 @@ pub fn store(args: &[String]) -> Result<(), String> {
                         }
                     }
                     Err(e) => println!("{name}: UNREADABLE: {e}"),
+                }
+            }
+            if !rollup.is_empty() {
+                println!("per-shard rollup:");
+                for ((dataset, base, shard, total), (files, segments, encoded, decoded)) in &rollup
+                {
+                    println!(
+                        "  dataset={dataset:016x} {base:?} shard {shard}/{total}: \
+                         {files} file(s), {segments} segment(s), \
+                         encoded={encoded} B decoded={decoded} B",
+                    );
                 }
             }
             Ok(())
@@ -386,7 +422,10 @@ pub fn store(args: &[String]) -> Result<(), String> {
 /// replays the indexed side as an insert log. `--stream out.json`
 /// replays the first column as a batched insert/delete log against the
 /// segmented incremental index, checkpointed and resumable like the
-/// sweep itself.
+/// sweep itself. `--shards N` switches to the out-of-core streamed shard
+/// sweep (`--rows`/`--queries`/`--threshold` shape the workload,
+/// `--report` captures the deterministic report, `--shard-bench` the
+/// per-run metrics JSON).
 pub fn sweep(args: &[String]) -> Result<(), String> {
     let settings = er_bench::Settings::try_parse(args.iter().cloned())?;
     // Settings collects unrecognized flags; only the report flags are
@@ -394,6 +433,8 @@ pub fn sweep(args: &[String]) -> Result<(), String> {
     let mut csv: Option<String> = None;
     let mut bench_prepare: Option<String> = None;
     let mut stream: Option<String> = None;
+    let mut report: Option<String> = None;
+    let mut shard_bench: Option<String> = None;
     let mut opts = er_bench::report::ReportOptions::default();
     let mut it = settings.flags.iter();
     while let Some(flag) = it.next() {
@@ -413,6 +454,20 @@ pub fn sweep(args: &[String]) -> Result<(), String> {
                         .ok_or("--stream requires an output path")?,
                 )
             }
+            "--report" => {
+                report = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or("--report requires an output path")?,
+                )
+            }
+            "--shard-bench" => {
+                shard_bench = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or("--shard-bench requires an output path")?,
+                )
+            }
             "--candidates" => opts.candidates = true,
             "--configs" => opts.configs = true,
             other => return Err(format!("unknown sweep flag {other:?}")),
@@ -421,6 +476,23 @@ pub fn sweep(args: &[String]) -> Result<(), String> {
     Threads::set(settings.threads);
     if let Some(plan) = settings.faults.clone() {
         er::core::faults::configure(Some(plan));
+    }
+    if settings.shards.is_some() || settings.rows.is_some() {
+        let out = er_bench::run_shard_sweep(&settings, true).map_err(|e| e.to_string())?;
+        print!("{}", out.report);
+        if let Some(path) = report {
+            std::fs::write(&path, &out.report).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        if let Some(path) = shard_bench {
+            std::fs::write(&path, out.bench.encode() + "\n")
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        return Ok(());
+    }
+    if report.is_some() || shard_bench.is_some() {
+        return Err("--report/--shard-bench apply to the shard sweep (pass --shards N)".into());
     }
     if let Some(path) = stream {
         er_bench::run_stream(&settings, Path::new(&path), true).map_err(|e| e.to_string())?;
@@ -491,14 +563,17 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     // so startup does zero prepare work — the store-hit line proves it.
     let ds = er::datagen::generate(profile, scale, seed);
     let view = er::core::schema::text_view(&ds, &mode);
-    let engine = er_serve::Engine::open(&store_dir, &view, method)?;
+    let shards: u32 = flags.parse_or("shards", 1)?;
+    let engine = er_serve::Engine::open(&store_dir, &view, method, shards)?;
     let startup = engine.startup_stats();
     eprintln!(
-        "serve: loaded {} for {} ({} rows, {} bytes) | store: {} hits / {} misses / saved {}",
+        "serve: loaded {} for {} ({} rows, {} bytes, {} shard(s)) | store: {} hits / {} misses / \
+         saved {}",
         engine.key().repr,
         id,
         engine.rows(),
         engine.artifact_bytes(),
+        engine.n_shards(),
         startup.store_hits,
         startup.misses,
         er::core::timing::format_runtime(startup.prepare_saved),

@@ -29,12 +29,15 @@ USAGE:
                 [--checkpoint f.jsonl] [--resume f.jsonl]
                 [--inject-faults SPEC] [--csv out.csv]
                 [--bench-prepare out.json] [--candidates] [--configs]
+                [--shards N] [--rows N] [--queries N] [--threshold F]
+                [--report f.txt] [--shard-bench f.json]
     er store    <inspect | verify | gc> --dir <dir>
     er serve    --store-dir <dir> --profile <D1..D10> [--scale F] [--seed N]
                 [--method epsilon|knn] [--threshold F] [--k N] [--model M]
-                [--clean] [--reversed] [--schema <attr>] [--addr HOST:PORT]
-                [--queue N] [--batch N] [--workers N] [--deadline-ms N]
-                [--retry-after-ms N] [--drain-grace-ms N] [--stats-out f.json]
+                [--clean] [--reversed] [--shards N] [--schema <attr>]
+                [--addr HOST:PORT] [--queue N] [--batch N] [--workers N]
+                [--deadline-ms N] [--retry-after-ms N] [--drain-grace-ms N]
+                [--stats-out f.json]
 
 SWEEP FAULT TOLERANCE:
     --timeout S           per-grid-point wall-clock deadline (seconds);
@@ -60,6 +63,21 @@ SWEEP ARTIFACT CACHE:
                           cache) and warm-disk (fresh cache over the
                           populated store) and write the prepare-stage
                           savings (wall/prepare seconds, hit rate, speedup)
+
+SHARDED OUT-OF-CORE EXECUTION:
+    --shards N            split the collection across N deterministic shards
+                          (pure function of the stable row id). `er sweep
+                          --shards N` streams a synthetic workload one shard
+                          at a time under the --cache-budget, so peak memory
+                          is one shard, not the collection; reports are
+                          byte-identical for every shard and thread count.
+                          `er serve --shards N` fans lookups across shards
+                          and merges in shard order — same wire bytes
+    --rows N, --queries N workload size for the sharded sweep (stream
+                          generator; defaults 20000 rows, rows/20 queries)
+    --report f.txt        write the deterministic sharded-sweep report
+    --shard-bench f.json  write throughput/RSS/cache counters (varying
+                          metrics live here, never in the report)
 
 SERVING:
     er serve loads one prepared sparse-join artifact from a --store-dir

@@ -66,6 +66,14 @@ pub struct CacheStats {
     /// Store files that existed but failed to load (corrupt, truncated,
     /// wrong key); each fell back to a fresh prepare.
     pub corrupt: usize,
+    /// Evictions of entries the disk tier already held: the resident copy
+    /// was simply dropped (an *unmap* — no store write, no re-prepare
+    /// needed later). The difference `evictions - unmaps` is how many
+    /// evictions had to spill first. A high unmap count under a small
+    /// residency budget is the out-of-core paging regime working as
+    /// intended: shard artifacts cycle between resident and disk-backed
+    /// instead of being rebuilt.
+    pub unmaps: usize,
     /// Wall-clock time spent inside prepare stages (cold work).
     pub prepare_wall: Duration,
     /// Prepare time the hits avoided re-spending (sum of the stored
@@ -401,6 +409,14 @@ impl ArtifactCache {
     /// Evicts ready entries, least-recently-used first (ties broken by
     /// key for map-order independence), until the byte budget holds.
     /// `protect` exempts the entry just inserted.
+    ///
+    /// The budget is a **residency** budget, not an existence budget:
+    /// with a disk tier attached an evicted artifact survives on disk and
+    /// the next lookup reloads it through `mmap(2)` instead of
+    /// re-preparing. An entry the tier already holds (`on_disk`) is
+    /// evicted without any write — a pure unmap, counted in
+    /// [`CacheStats::unmaps`] — which is what lets a small-RAM host page
+    /// a working set larger than memory through the store.
     fn evict_over_budget(inner: &mut Inner, protect: Option<&ArtifactKey>) {
         let Some(budget) = inner.budget else { return };
         while inner.stats.bytes > budget {
@@ -422,11 +438,13 @@ impl ArtifactCache {
                 // Spill instead of drop: the artifact survives on disk and
                 // a later lookup can reload it without re-preparing. A
                 // write failure still evicts — the budget must hold.
-                if !entry.on_disk {
-                    if let Some(store) = &inner.store {
-                        if let Ok(true) = store.store(&key, &entry.prepared) {
-                            inner.stats.spills += 1;
-                        }
+                if entry.on_disk {
+                    // The tier already holds this artifact: dropping the
+                    // resident copy is a free unmap, not a spill.
+                    inner.stats.unmaps += 1;
+                } else if let Some(store) = &inner.store {
+                    if let Ok(true) = store.store(&key, &entry.prepared) {
+                        inner.stats.spills += 1;
                     }
                 }
                 inner.stats.bytes = inner.stats.bytes.saturating_sub(entry.prepared.bytes());
@@ -689,6 +707,41 @@ mod tests {
         let stats = cache.stats();
         // get_or_prepare's internal lookup probed (and failed) again.
         assert_eq!((stats.misses, stats.corrupt), (1, 2));
+    }
+
+    #[test]
+    fn paging_under_residency_budget_unmaps_instead_of_respilling() {
+        // The out-of-core regime: four 100-byte shard artifacts, a budget
+        // that fits two. Cycling lookups must page through the tier —
+        // each artifact is written at most once (its first eviction);
+        // every later eviction is a free unmap and every reload a store
+        // hit, never a re-prepare.
+        let tier = Arc::new(MockTier::default());
+        let cache = ArtifactCache::with_budget(250);
+        cache.set_store(Some(tier.clone()));
+        let shards: Vec<ArtifactKey> = (0..4).map(|s| key(&format!("base#shard{s}/4"))).collect();
+        for (s, k) in shards.iter().enumerate() {
+            cache.insert(k.clone(), prepared(s as u32, 100, 1));
+        }
+        for round in 0..3 {
+            for (s, k) in shards.iter().enumerate() {
+                let got = cache
+                    .get_or_prepare(k, || panic!("shard {s} must reload, not re-prepare"))
+                    .expect("ready");
+                assert_eq!(*got.downcast::<u32>(), s as u32, "round {round}");
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 4, "each shard prepared exactly once");
+        assert_eq!(stats.spills, 4, "each shard written exactly once");
+        assert!(stats.evictions > 4, "the budget kept cycling shards out");
+        assert_eq!(
+            stats.unmaps,
+            stats.evictions - 4,
+            "every eviction after the first spill is a pure unmap"
+        );
+        assert!(stats.store_hits >= 8, "reloads were served by the tier");
+        assert!(stats.bytes <= 250, "residency budget held throughout");
     }
 
     #[test]

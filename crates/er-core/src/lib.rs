@@ -20,6 +20,8 @@
 //! * [`parallel`] — the deterministic parallel execution layer shared by
 //!   every hot path (byte-identical results for any thread count),
 //! * [`hash`] — a fast non-cryptographic hasher shared by the hot paths,
+//! * [`shard`] — deterministic fingerprint sharding of one logical
+//!   dataset (`ShardPlan`) and shard-qualified artifact repr keys,
 //! * [`taxonomy`] — the qualitative taxonomies of Tables I and II.
 
 pub mod artifacts;
@@ -37,6 +39,7 @@ pub mod optimize;
 pub mod parallel;
 pub mod rankings;
 pub mod schema;
+pub mod shard;
 pub mod taxonomy;
 pub mod timing;
 pub mod verify;
@@ -54,6 +57,7 @@ pub use optimize::{GridResolution, OptimizationOutcome, Optimizer, TargetRecall}
 pub use parallel::{par_map, par_map_chunks, par_reduce, Threads};
 pub use rankings::QueryRankings;
 pub use schema::{AttributeStats, SchemaMode, TextView};
+pub use shard::{parse_shard_repr, shard_repr, ShardPlan, ShardRef};
 pub use timing::{LatencyHistogram, PhaseBreakdown, Stage, Stopwatch};
 pub use verify::{JaccardMatcher, MatchingQuality};
 

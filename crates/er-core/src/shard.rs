@@ -1,0 +1,172 @@
+//! Deterministic fingerprint sharding of one logical dataset.
+//!
+//! A [`ShardPlan`] splits an entity collection into `n` shards as a pure
+//! function of each row's **stable id**: `shard_of(id) = mix64(id) mod n`.
+//! No row order, thread count or insertion history influences the
+//! assignment, so every layer of the stack — artifact builders, the
+//! serving daemon, the out-of-core sweep — agrees on which shard owns a
+//! row without coordination, and an upsert always lands in the shard that
+//! already holds the previous version.
+//!
+//! Shard-local artifacts are addressed by qualifying the base repr key:
+//! [`shard_repr`] produces `"{base}#shard{i}/{n}"` (the single-shard plan
+//! leaves the base untouched, so `--shards 1` reuses every existing store
+//! file byte-for-byte). The qualifier composes with the segmented-index
+//! suffixes — a shard's manifest is `"{base}#shard{i}/{n}#manifest"` —
+//! and [`parse_shard_repr`] recovers `(base, shard, total)` from any such
+//! key, which is what `er store inspect` groups by and what `er store gc`
+//! uses to treat all shards of one base as a single reachability root.
+
+use crate::hash::mix64;
+
+/// A deterministic assignment of stable row ids to `n` shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    n_shards: u32,
+}
+
+impl ShardPlan {
+    /// A plan over `n_shards` shards; `0` is clamped to 1 (the
+    /// no-sharding identity plan).
+    pub fn new(n_shards: u32) -> Self {
+        ShardPlan {
+            n_shards: n_shards.max(1),
+        }
+    }
+
+    /// Number of shards, always at least 1.
+    pub fn n(&self) -> u32 {
+        self.n_shards
+    }
+
+    /// True for the identity plan (one shard, unqualified repr keys).
+    pub fn is_single(&self) -> bool {
+        self.n_shards == 1
+    }
+
+    /// The shard owning stable id `id` — a pure function of the id, so
+    /// every process and every layer agrees without coordination.
+    #[inline]
+    pub fn shard_of(&self, id: u32) -> u32 {
+        if self.n_shards == 1 {
+            return 0;
+        }
+        (mix64(id as u64) % self.n_shards as u64) as u32
+    }
+
+    /// The shard-qualified repr key of `base` for shard `shard` under
+    /// this plan (see [`shard_repr`]).
+    pub fn repr(&self, base: &str, shard: u32) -> String {
+        shard_repr(base, shard, self.n_shards)
+    }
+}
+
+/// Qualifies a base repr key for one shard of an `n`-way plan. `n <= 1`
+/// returns the base unchanged so single-shard stores keep their existing
+/// file keys.
+pub fn shard_repr(base: &str, shard: u32, n: u32) -> String {
+    if n <= 1 {
+        return base.to_owned();
+    }
+    debug_assert!(shard < n, "shard {shard} out of range for {n} shards");
+    format!("{base}#shard{shard}/{n}")
+}
+
+/// A shard qualifier parsed out of a repr key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRef<'a> {
+    /// The repr key prefix before the `#shard` qualifier.
+    pub base: &'a str,
+    /// Shard index, `< total`.
+    pub shard: u32,
+    /// Total shard count of the plan that wrote the key.
+    pub total: u32,
+}
+
+/// Parses the `#shard{i}/{n}` qualifier out of a repr key, tolerating
+/// any suffix a deeper layer appended after it (`#manifest`,
+/// `#seg…`). Returns `None` for unqualified keys or malformed
+/// qualifiers.
+pub fn parse_shard_repr(repr: &str) -> Option<ShardRef<'_>> {
+    let at = repr.find("#shard")?;
+    let base = &repr[..at];
+    let rest = &repr[at + "#shard".len()..];
+    let qualifier = rest.split('#').next().unwrap_or(rest);
+    let (i, n) = qualifier.split_once('/')?;
+    let shard: u32 = i.parse().ok()?;
+    let total: u32 = n.parse().ok()?;
+    if total < 2 || shard >= total {
+        return None;
+    }
+    Some(ShardRef { base, shard, total })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        let plan = ShardPlan::new(8);
+        for id in 0..10_000u32 {
+            let s = plan.shard_of(id);
+            assert!(s < 8);
+            assert_eq!(s, plan.shard_of(id), "pure function of the id");
+        }
+    }
+
+    #[test]
+    fn shard_of_spreads_ids() {
+        // Sequential ids must not pile into one shard: every shard of an
+        // 8-way plan should own roughly 1/8 of 80k sequential ids.
+        let plan = ShardPlan::new(8);
+        let mut counts = [0usize; 8];
+        for id in 0..80_000u32 {
+            counts[plan.shard_of(id) as usize] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(
+                (8_000..12_000).contains(&c),
+                "shard {s} owns {c} of 80k ids"
+            );
+        }
+    }
+
+    #[test]
+    fn single_shard_plan_is_identity() {
+        let plan = ShardPlan::new(1);
+        assert!(plan.is_single());
+        assert_eq!(plan.shard_of(12345), 0);
+        assert_eq!(plan.repr("Da5/SC", 0), "Da5/SC");
+        assert_eq!(ShardPlan::new(0).n(), 1, "0 clamps to the identity plan");
+    }
+
+    #[test]
+    fn shard_repr_roundtrips_through_parse() {
+        let repr = shard_repr("Da5/SC:T1G:J", 3, 8);
+        assert_eq!(repr, "Da5/SC:T1G:J#shard3/8");
+        let parsed = parse_shard_repr(&repr).expect("parses");
+        assert_eq!(parsed.base, "Da5/SC:T1G:J");
+        assert_eq!((parsed.shard, parsed.total), (3, 8));
+    }
+
+    #[test]
+    fn parse_tolerates_segment_and_manifest_suffixes() {
+        for suffix in ["#manifest", "#seg0000000000000002"] {
+            let repr = format!("{}{suffix}", shard_repr("base", 1, 4));
+            let parsed = parse_shard_repr(&repr).expect("parses {repr}");
+            assert_eq!(parsed.base, "base");
+            assert_eq!((parsed.shard, parsed.total), (1, 4));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unqualified_and_malformed() {
+        assert_eq!(parse_shard_repr("Da5/SC"), None);
+        assert_eq!(parse_shard_repr("x#manifest"), None);
+        assert_eq!(parse_shard_repr("x#shard3"), None, "missing total");
+        assert_eq!(parse_shard_repr("x#shard9/4"), None, "out of range");
+        assert_eq!(parse_shard_repr("x#shard0/1"), None, "n=1 never writes");
+        assert_eq!(parse_shard_repr("x#shard-1/4"), None);
+    }
+}

@@ -14,15 +14,21 @@
 //!   bibliographic, movies),
 //! * [`noise`] — the perturbation model (typos, token drops/swaps, missing
 //!   and misplaced values, generic shared noise),
-//! * [`profiles`] — the D1–D10 profiles and the generator.
+//! * [`profiles`] — the D1–D10 profiles and the generator,
+//! * [`stream`] — the constant-memory streaming generator for 10M-row
+//!   out-of-core runs (Zipf token skew, configurable dirtiness, every
+//!   row a pure function of `(seed, id)`) plus the deterministic
+//!   [`stream::ShardPlan`] re-export.
 
 pub mod domain;
 pub mod noise;
 pub mod profiles;
+pub mod stream;
 pub mod vocab;
 
 pub use noise::NoiseProfile;
 pub use profiles::{generate, generate_all, DatasetProfile, PROFILES};
+pub use stream::{StreamGen, StreamRow, StreamSpec};
 
 #[cfg(test)]
 mod proptests;

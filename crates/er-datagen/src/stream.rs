@@ -1,0 +1,395 @@
+//! Constant-memory streaming generation of arbitrarily large skewed
+//! datasets.
+//!
+//! The profile generator ([`crate::profiles`]) materializes whole entity
+//! collections — fine at paper scale (≤ a few hundred thousand rows),
+//! hopeless at the 10M-row scale the out-of-core sweep targets. This
+//! module generates each row as a **pure function of `(seed, id)`**: no
+//! state accumulates between rows, so a 10M-row pass holds one row at a
+//! time and any row can be regenerated on demand (which is how the
+//! sharded build makes one cheap pass per shard instead of buffering the
+//! whole collection).
+//!
+//! Token frequencies follow a Zipf law with configurable exponent — the
+//! skew regime the filtering survey identifies as the hard case for
+//! posting-list indexes (a few tokens appear everywhere, most almost
+//! nowhere). Ranks are drawn by inverting the continuous power-law CDF,
+//! clamped to the vocabulary. A configurable *dirtiness* rate perturbs
+//! tokens into near-unique variants, standing in for the typos and
+//! transcription noise of the real benchmark datasets.
+//!
+//! The query side pairs every query row with a matching indexed row
+//! (re-dirtied and token-dropped), so sweeps over generated data exercise
+//! realistic candidate structure rather than random disjoint sets.
+
+use er_core::hash::mix64;
+pub use er_core::shard::ShardPlan;
+
+/// Parameters of one streamed dataset. Every row is a pure function of
+/// `(spec, id)`, so two processes with equal specs agree on every row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamSpec {
+    /// Master seed; all per-row randomness derives from it.
+    pub seed: u64,
+    /// Indexed rows (entities) in the collection.
+    pub rows: u32,
+    /// Query rows paired against the collection.
+    pub queries: u32,
+    /// Distinct-token universe size (Zipf ranks 1..=vocab).
+    pub vocab: u64,
+    /// Zipf exponent: `0.0` is uniform, `~1.0` the classic heavy skew.
+    pub zipf: f64,
+    /// Minimum tokens per row (before deduplication).
+    pub min_tokens: u32,
+    /// Maximum tokens per row (before deduplication).
+    pub max_tokens: u32,
+    /// Probability a drawn token is perturbed into a near-unique variant
+    /// (the typo model), in `[0, 1]`.
+    pub dirtiness: f64,
+}
+
+impl Default for StreamSpec {
+    fn default() -> Self {
+        StreamSpec {
+            seed: 7,
+            rows: 10_000,
+            queries: 1_000,
+            vocab: 50_000,
+            zipf: 1.0,
+            min_tokens: 4,
+            max_tokens: 12,
+            dirtiness: 0.1,
+        }
+    }
+}
+
+/// A tiny splitmix64 sequence generator: one per row, seeded from the
+/// spec seed and the row id, so row emission needs no shared state.
+#[derive(Debug, Clone, Copy)]
+struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        mix64(self.state)
+    }
+
+    /// A uniform draw in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Inverts the continuous power-law CDF: maps a uniform `u ∈ [0, 1)` to
+/// a rank in `1..=vocab`, Zipf-distributed with exponent `s`. `s = 0`
+/// degenerates to the uniform distribution; `s = 1` (the harmonic case)
+/// uses the exact log-form inverse.
+fn zipf_rank(u: f64, s: f64, vocab: u64) -> u64 {
+    let v = vocab.max(1) as f64;
+    let rank = if s <= f64::EPSILON {
+        1.0 + u * v
+    } else if (s - 1.0).abs() <= 1e-9 {
+        v.powf(u)
+    } else {
+        ((v.powf(1.0 - s) - 1.0) * u + 1.0).powf(1.0 / (1.0 - s))
+    };
+    (rank as u64).clamp(1, vocab.max(1))
+}
+
+/// A row of the streamed collection: the stable id plus its
+/// duplicate-free token-hash set (first-occurrence order, exactly what
+/// the sparse index builders expect).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamRow {
+    /// Stable row id, `0..spec.rows`.
+    pub id: u32,
+    /// Duplicate-free token hashes.
+    pub tokens: Vec<u64>,
+}
+
+/// The streaming generator (see module docs). Cheap to construct and
+/// `Copy`-sized: all state lives in the spec.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamGen {
+    spec: StreamSpec,
+}
+
+impl StreamGen {
+    /// A generator for `spec`. Panics on an unusable spec (empty token
+    /// range or zero rows) — these are driver configuration errors.
+    pub fn new(spec: StreamSpec) -> Self {
+        assert!(spec.rows > 0, "a streamed collection needs rows");
+        assert!(
+            spec.min_tokens >= 1 && spec.min_tokens <= spec.max_tokens,
+            "token range [{}, {}] is empty",
+            spec.min_tokens,
+            spec.max_tokens
+        );
+        assert!(
+            (0.0..=1.0).contains(&spec.dirtiness),
+            "dirtiness {} outside [0, 1]",
+            spec.dirtiness
+        );
+        StreamGen { spec }
+    }
+
+    /// The generator's spec.
+    pub fn spec(&self) -> &StreamSpec {
+        &self.spec
+    }
+
+    /// A stable fingerprint of the spec, used as the store's dataset
+    /// fingerprint so shard artifacts from different specs never collide.
+    pub fn fingerprint(&self) -> u64 {
+        let s = &self.spec;
+        let mut fp = mix64(s.seed ^ 0x5354_5245_414d_3a31); // "STREAM:1"
+        for word in [
+            s.rows as u64,
+            s.queries as u64,
+            s.vocab,
+            s.zipf.to_bits(),
+            s.min_tokens as u64,
+            s.max_tokens as u64,
+            s.dirtiness.to_bits(),
+        ] {
+            fp = mix64(fp ^ word);
+        }
+        fp
+    }
+
+    /// The canonical token hash of Zipf rank `rank` (a stand-in for the
+    /// hash of the rank-th most frequent vocabulary word).
+    #[inline]
+    fn token_of_rank(&self, rank: u64) -> u64 {
+        mix64(rank ^ mix64(self.spec.seed ^ 0x0056_4f43_4142)) // "VOCAB"
+    }
+
+    /// Draws one token set with `rng`: Zipf-ranked tokens, each
+    /// independently perturbed into a near-unique variant with
+    /// probability `dirtiness`, deduplicated preserving first occurrence.
+    fn draw_tokens(&self, rng: &mut Rng, salt: u64) -> Vec<u64> {
+        let s = &self.spec;
+        let span = (s.max_tokens - s.min_tokens + 1) as u64;
+        let n = s.min_tokens as u64 + rng.next_u64() % span;
+        let mut tokens = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let rank = zipf_rank(rng.next_f64(), s.zipf, s.vocab);
+            let mut token = self.token_of_rank(rank);
+            if s.dirtiness > 0.0 && rng.next_f64() < s.dirtiness {
+                // A typo: this occurrence becomes a variant other rows
+                // almost never produce.
+                token = mix64(token ^ salt);
+            }
+            if !tokens.contains(&token) {
+                tokens.push(token);
+            }
+        }
+        tokens
+    }
+
+    /// The indexed row `id` — a pure function of `(spec, id)`.
+    pub fn row(&self, id: u32) -> StreamRow {
+        assert!(id < self.spec.rows, "row {id} out of range");
+        let salt = mix64(self.spec.seed ^ mix64(id as u64 | 1 << 40));
+        let mut rng = Rng::new(salt);
+        StreamRow {
+            id,
+            tokens: self.draw_tokens(&mut rng, salt),
+        }
+    }
+
+    /// The indexed row a query row is a dirty copy of — a pure function
+    /// of `(spec, j)`.
+    pub fn matching_id(&self, j: u32) -> u32 {
+        (mix64(self.spec.seed ^ mix64(j as u64 | 1 << 41)) % self.spec.rows as u64) as u32
+    }
+
+    /// Query row `j`: its matching indexed row, re-dirtied — a fraction
+    /// of tokens dropped or typo'd under a query-specific rng — so
+    /// queries have genuine high-similarity candidates without being
+    /// exact duplicates.
+    pub fn query(&self, j: u32) -> Vec<u64> {
+        let base = self.row(self.matching_id(j)).tokens;
+        let salt = mix64(self.spec.seed ^ mix64(j as u64 | 1 << 42));
+        let mut rng = Rng::new(salt);
+        let dirt = self.spec.dirtiness.max(0.05);
+        let mut tokens = Vec::with_capacity(base.len());
+        for token in base {
+            let u = rng.next_f64();
+            if u < dirt * 0.5 {
+                continue; // dropped token
+            }
+            let token = if u < dirt {
+                mix64(token ^ salt) // typo'd token
+            } else {
+                token
+            };
+            if !tokens.contains(&token) {
+                tokens.push(token);
+            }
+        }
+        if tokens.is_empty() {
+            tokens.push(mix64(salt)); // never emit an empty query row
+        }
+        tokens
+    }
+
+    /// Streams the indexed rows in id order, one at a time — the
+    /// constant-memory emission path.
+    pub fn rows(&self) -> impl Iterator<Item = StreamRow> + '_ {
+        (0..self.spec.rows).map(|id| self.row(id))
+    }
+
+    /// Streams the indexed rows owned by `shard` of `plan`, in id order.
+    /// One pass per shard regenerates instead of buffering: peak memory
+    /// is the shard being built, never the whole collection.
+    pub fn shard_rows<'a>(
+        &'a self,
+        plan: &'a ShardPlan,
+        shard: u32,
+    ) -> impl Iterator<Item = StreamRow> + 'a {
+        self.rows()
+            .filter(move |row| plan.shard_of(row.id) == shard)
+    }
+
+    /// Materializes every query row (the query side is small and shared
+    /// by all shards, so it stays resident).
+    pub fn query_rows(&self) -> Vec<Vec<u64>> {
+        (0..self.spec.queries).map(|j| self.query(j)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn spec() -> StreamSpec {
+        StreamSpec {
+            rows: 2_000,
+            queries: 100,
+            ..StreamSpec::default()
+        }
+    }
+
+    #[test]
+    fn rows_are_pure_functions_of_the_id() {
+        let g = StreamGen::new(spec());
+        for id in [0u32, 1, 999, 1999] {
+            assert_eq!(g.row(id), g.row(id));
+        }
+        assert_ne!(g.row(3).tokens, g.row(4).tokens);
+        // A different seed produces a different collection.
+        let other = StreamGen::new(StreamSpec { seed: 8, ..spec() });
+        assert_ne!(g.row(3).tokens, other.row(3).tokens);
+        assert_ne!(g.fingerprint(), other.fingerprint());
+    }
+
+    #[test]
+    fn token_sets_are_duplicate_free_and_sized() {
+        let g = StreamGen::new(spec());
+        for row in g.rows().take(500) {
+            let mut seen = row.tokens.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), row.tokens.len(), "row {} has dups", row.id);
+            assert!(!row.tokens.is_empty());
+            assert!(row.tokens.len() <= g.spec().max_tokens as usize);
+        }
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_mass_on_head_ranks() {
+        let skewed = StreamGen::new(StreamSpec {
+            zipf: 1.1,
+            dirtiness: 0.0,
+            ..spec()
+        });
+        let uniform = StreamGen::new(StreamSpec {
+            zipf: 0.0,
+            dirtiness: 0.0,
+            ..spec()
+        });
+        let top_share = |g: &StreamGen| {
+            let mut freq: HashMap<u64, usize> = HashMap::new();
+            let mut total = 0usize;
+            for row in g.rows() {
+                for &t in &row.tokens {
+                    *freq.entry(t).or_default() += 1;
+                    total += 1;
+                }
+            }
+            let mut counts: Vec<usize> = freq.values().copied().collect();
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            counts.iter().take(10).sum::<usize>() as f64 / total as f64
+        };
+        let (s, u) = (top_share(&skewed), top_share(&uniform));
+        assert!(s > 3.0 * u, "skewed head share {s:.4} not ≫ uniform {u:.4}");
+    }
+
+    #[test]
+    fn dirtiness_injects_rare_variants() {
+        let clean = StreamGen::new(StreamSpec {
+            dirtiness: 0.0,
+            ..spec()
+        });
+        let dirty = StreamGen::new(StreamSpec {
+            dirtiness: 0.5,
+            ..spec()
+        });
+        let distinct = |g: &StreamGen| {
+            let mut seen: std::collections::HashSet<u64> = Default::default();
+            for row in g.rows() {
+                seen.extend(row.tokens.iter().copied());
+            }
+            seen.len()
+        };
+        let (c, d) = (distinct(&clean), distinct(&dirty));
+        assert!(
+            d * 2 > c * 3,
+            "typo variants must blow up the distinct-token count ({c} clean vs {d} dirty)"
+        );
+    }
+
+    #[test]
+    fn shard_rows_partition_the_collection_exactly() {
+        let g = StreamGen::new(spec());
+        let plan = ShardPlan::new(4);
+        let mut ids = Vec::new();
+        for shard in 0..4 {
+            for row in g.shard_rows(&plan, shard) {
+                assert_eq!(plan.shard_of(row.id), shard);
+                assert_eq!(row, g.row(row.id), "shard pass equals direct row");
+                ids.push(row.id);
+            }
+        }
+        ids.sort_unstable();
+        assert_eq!(ids, (0..g.spec().rows).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn queries_overlap_their_matching_row() {
+        let g = StreamGen::new(spec());
+        let mut overlapping = 0;
+        for j in 0..g.spec().queries {
+            let q = g.query(j);
+            assert!(!q.is_empty());
+            let base = g.row(g.matching_id(j)).tokens;
+            if q.iter().any(|t| base.contains(t)) {
+                overlapping += 1;
+            }
+        }
+        assert!(
+            overlapping as f64 >= 0.9 * g.spec().queries as f64,
+            "only {overlapping} queries overlap their match"
+        );
+    }
+}

@@ -54,12 +54,20 @@ impl PartialOrd for HeapItem {
 /// An exact (brute-force) vector index over contiguous row-major storage.
 ///
 /// Alongside the f32 rows the index keeps a u8 scalar-quantized sidecar
-/// ([`QuantizedVectors`]) when the data permits one. Scans use it as a
-/// *first pass only*: a row whose conservative cost lower bound already
-/// exceeds the current k-th best is skipped, every surviving row is
-/// rescored with the exact f32 kernel — so results are bit-identical to
-/// the unquantized scan (see [`FlatIndex::build_unquantized`] and the
-/// proptests).
+/// ([`QuantizedVectors`]) when the data permits one *and* the collection
+/// is at least [`QUANT_CUTOVER_ROWS`] rows. Scans use it as a *first pass
+/// only*: a row whose conservative cost lower bound already exceeds the
+/// current k-th best is skipped, every surviving row is rescored with the
+/// exact f32 kernel — so results are bit-identical to the unquantized
+/// scan (see [`FlatIndex::build_unquantized`] and the proptests).
+///
+/// Below the cutover the sidecar is skipped entirely: on tiny
+/// collections the bound computation costs more than the exact kernel it
+/// tries to avoid (the kernel benchmark measured ~0.36× at smoke scale),
+/// and the pruning it buys needs a deep scan to amortize. Quantization
+/// is a pure function of the rows, so the cutover decision is too — the
+/// store round-trip rebuilds the identical configuration
+/// ([`FlatIndex::from_parts`]).
 #[derive(Debug, Clone)]
 pub struct FlatIndex {
     vectors: FlatVectors,
@@ -67,9 +75,14 @@ pub struct FlatIndex {
     quant: Option<QuantizedVectors>,
 }
 
+/// Row count below which [`FlatIndex::build`] skips the quantized scan
+/// sidecar (see the struct docs for why small scans lose with it).
+pub const QUANT_CUTOVER_ROWS: usize = 4096;
+
 impl FlatIndex {
-    /// Builds the index by packing the vectors into contiguous storage
-    /// (plus the quantized scan sidecar when all values are finite).
+    /// Builds the index by packing the vectors into contiguous storage,
+    /// plus the quantized scan sidecar when all values are finite and the
+    /// collection clears [`QUANT_CUTOVER_ROWS`].
     pub fn build(vectors: Vec<Vec<f32>>, metric: Metric) -> Self {
         Self::from_parts(FlatVectors::from_rows(&vectors), metric)
     }
@@ -82,6 +95,20 @@ impl FlatIndex {
             vectors: FlatVectors::from_rows(&vectors),
             metric,
             quant: None,
+        }
+    }
+
+    /// [`FlatIndex::build`] with the quantized sidecar forced on
+    /// regardless of [`QUANT_CUTOVER_ROWS`] (still `None` for non-finite
+    /// data). Tests and the kernel benchmark use this to exercise the
+    /// pruned-scan path on collections the cutover would keep exact.
+    pub fn build_quantized(vectors: Vec<Vec<f32>>, metric: Metric) -> Self {
+        let vectors = FlatVectors::from_rows(&vectors);
+        let quant = QuantizedVectors::build(&vectors);
+        Self {
+            vectors,
+            metric,
+            quant,
         }
     }
 
@@ -109,9 +136,15 @@ impl FlatIndex {
     }
 
     /// Rebuilds the index from already-packed storage, re-deriving the
-    /// quantized sidecar.
+    /// quantized sidecar under the same [`QUANT_CUTOVER_ROWS`] gate as
+    /// [`FlatIndex::build`] — so a store round-trip reproduces the
+    /// identical configuration (and heap accounting).
     pub(crate) fn from_parts(vectors: FlatVectors, metric: Metric) -> Self {
-        let quant = QuantizedVectors::build(&vectors);
+        let quant = if vectors.len() >= QUANT_CUTOVER_ROWS {
+            QuantizedVectors::build(&vectors)
+        } else {
+            None
+        };
         Self {
             vectors,
             metric,
@@ -705,7 +738,9 @@ mod tests {
         let base: Vec<Vec<f32>> = (0..37).map(|_| (0..9).map(|_| next()).collect()).collect();
         let queries: Vec<Vec<f32>> = (0..5).map(|_| (0..9).map(|_| next()).collect()).collect();
         for metric in [Metric::L2Sq, Metric::Dot] {
-            let idx = FlatIndex::build(base.clone(), metric);
+            // Forced constructor: 37 rows sit below QUANT_CUTOVER_ROWS,
+            // and this test exists to exercise the pruned path.
+            let idx = FlatIndex::build_quantized(base.clone(), metric);
             assert!(idx.quant.is_some(), "finite data must quantize");
             let exact = FlatIndex::build_unquantized(base.clone(), metric);
             assert!(exact.quant.is_none());
@@ -730,7 +765,7 @@ mod tests {
         // anyway — and the kept ids must be the smallest ones.
         let base = vec![vec![0.5f32, -0.25, 0.125]; 20];
         for metric in [Metric::L2Sq, Metric::Dot] {
-            let idx = FlatIndex::build(base.clone(), metric);
+            let idx = FlatIndex::build_quantized(base.clone(), metric);
             let exact = FlatIndex::build_unquantized(base.clone(), metric);
             let q = vec![0.5f32, -0.25, 0.125];
             for k in [1usize, 5, 19] {
@@ -743,6 +778,24 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn quant_cutover_gates_the_sidecar_by_row_count() {
+        let small = vec![vec![0.5f32, -0.25]; 20];
+        let idx = FlatIndex::build(small.clone(), Metric::L2Sq);
+        assert!(
+            idx.quant.is_none(),
+            "below QUANT_CUTOVER_ROWS the exact scan must run bare"
+        );
+        let forced = FlatIndex::build_quantized(small, Metric::L2Sq);
+        assert!(forced.quant.is_some(), "forced constructor ignores cutover");
+
+        let big: Vec<Vec<f32>> = (0..QUANT_CUTOVER_ROWS)
+            .map(|i| vec![i as f32, -(i as f32)])
+            .collect();
+        let idx = FlatIndex::build(big, Metric::L2Sq);
+        assert!(idx.quant.is_some(), "at the cutover the sidecar comes back");
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub use artifact::DenseIndexArtifact;
 pub use crosspolytope::CrossPolytopeLsh;
 pub use deepblocker::{DeepBlocker, DeepBlockerConfig};
 pub use embed::{EmbeddingConfig, HashEmbedder};
-pub use flat::{FlatIndex, FlatKnn, FlatRange, KnnScratch, Metric};
+pub use flat::{FlatIndex, FlatKnn, FlatRange, KnnScratch, Metric, QUANT_CUTOVER_ROWS};
 pub use grid::{ddb_baseline, DenseMethod};
 pub use hnsw::{HnswIndex, HnswKnn};
 pub use hyperplane::HyperplaneLsh;

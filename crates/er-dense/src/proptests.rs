@@ -109,7 +109,7 @@ proptest! {
         k in 1usize..10,
     ) {
         for metric in [Metric::L2Sq, Metric::Dot] {
-            let quantized = FlatIndex::build(data.clone(), metric);
+            let quantized = FlatIndex::build_quantized(data.clone(), metric);
             let exact = FlatIndex::build_unquantized(data.clone(), metric);
             for threads in [1usize, 8] {
                 let a = quantized.knn_batch_with(threads, &queries, k);

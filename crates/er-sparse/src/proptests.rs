@@ -223,6 +223,89 @@ proptest! {
         }
     }
 
+    /// Shard invariance (the out-of-core fan-out's tentpole property):
+    /// ε and kNN batches from a [`crate::sharded::ShardedIndex`] are
+    /// bitwise identical across shard counts 1/3/8 × worker counts 1/8 —
+    /// through the segmented-delta path too (a random tail of upserts
+    /// and deletes is applied before querying, landing in the owning
+    /// shard only), and again after every shard flushes its delta into
+    /// a fresh segment.
+    #[test]
+    fn sharded_batches_identical_across_shard_and_thread_counts(
+        rows in proptest::collection::vec(
+            proptest::collection::btree_set(0u64..40, 0..8), 1..24),
+        queries in proptest::collection::vec(
+            proptest::collection::btree_set(0u64..40, 0..8), 1..10),
+        edits in proptest::collection::vec(
+            (0u32..40, any::<bool>(),
+                proptest::collection::btree_set(0u64..40, 1..8)), 0..10),
+    ) {
+        use crate::sharded::ShardedIndex;
+        let rows: Vec<(u32, Vec<u64>)> = rows
+            .into_iter()
+            .enumerate()
+            // Spread ids out so shards interleave.
+            .map(|(i, s)| (i as u32 * 3 + 1, s.into_iter().collect()))
+            .collect();
+        let query_raw: Vec<Vec<u64>> =
+            queries.into_iter().map(|s| s.into_iter().collect()).collect();
+        let eps = EpsilonJoin {
+            cleaning: false,
+            model: RepresentationModel { ngram: None, multiset: false },
+            measure: SimilarityMeasure::Jaccard,
+            threshold: 0.2,
+        };
+        let knn = KnnJoin {
+            cleaning: false,
+            model: RepresentationModel { ngram: None, multiset: false },
+            measure: SimilarityMeasure::Cosine,
+            k: 2,
+            reversed: false,
+        };
+        let build = |n: u32, flush: bool| {
+            let mut idx = ShardedIndex::build("prop", n, rows.clone(), query_raw.clone());
+            for (id, is_upsert, set) in &edits {
+                if *is_upsert {
+                    idx.upsert(*id, set.iter().copied().collect());
+                } else {
+                    idx.delete(*id);
+                }
+            }
+            if flush {
+                idx.flush();
+            }
+            idx
+        };
+        for flush in [false, true] {
+            let mono = build(1, flush);
+            let want_eps = mono.epsilon_batch(&eps, 1);
+            let want_knn = mono.knn_batch(&knn, 1);
+            for n in [3u32, 8] {
+                let idx = build(n, flush);
+                prop_assert_eq!(idx.live_rows(), mono.live_rows());
+                for threads in [1usize, 8] {
+                    prop_assert_eq!(
+                        &idx.epsilon_batch(&eps, threads), &want_eps,
+                        "epsilon shards={} threads={} flush={}", n, threads, flush
+                    );
+                    let got = idx.knn_batch(&knn, threads);
+                    prop_assert_eq!(got.len(), want_knn.len());
+                    for (j, (a, b)) in got.iter().zip(&want_knn).enumerate() {
+                        prop_assert_eq!(a.len(), b.len(), "row {} lens", j);
+                        for ((ia, sa), (ib, sb)) in a.iter().zip(b) {
+                            prop_assert_eq!(ia, ib, "row {}", j);
+                            prop_assert_eq!(
+                                sa.to_bits(), sb.to_bits(),
+                                "knn sim bits shards={} threads={} flush={} row={}",
+                                n, threads, flush, j
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Global top-k: the heap + floor filter equals exhaustive scoring.
     #[test]
     fn csr_topk_matches_naive_reference(e1 in arb_texts(8), e2 in arb_texts(8)) {

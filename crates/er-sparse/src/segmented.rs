@@ -90,8 +90,10 @@ pub struct SparseSegment {
 
 impl SparseSegment {
     /// Builds a segment from `(stable id, raw token set)` rows (ascending
-    /// ids) and the shared raw query sets.
-    fn build(seq: u64, rows: Vec<(u32, Vec<u64>)>, query_raw: &[Vec<u64>]) -> Self {
+    /// ids) and the shared raw query sets. Public for the shard builders
+    /// ([`crate::sharded`], the out-of-core sweep), which assemble one
+    /// segment per shard without staging rows through a delta map.
+    pub fn build(seq: u64, rows: Vec<(u32, Vec<u64>)>, query_raw: &[Vec<u64>]) -> Self {
         let ids: Vec<u32> = rows.iter().map(|(id, _)| *id).collect();
         let sets: Vec<Vec<u64>> = rows.into_iter().map(|(_, set)| set).collect();
         let (index, index_sets) = ScanCountIndex::build_with_sets(&sets);

@@ -1,0 +1,579 @@
+//! Sharded composition of segmented sparse indexes — the query fan-out
+//! layer of the out-of-core execution path.
+//!
+//! A [`ShardedIndex`] splits one logical collection across `n`
+//! independent [`SegmentedTokenSets`], one per shard of a deterministic
+//! [`ShardPlan`]: row `id` lives in shard `plan.shard_of(id)`, a pure
+//! function of the stable id (and nothing else — not insertion order,
+//! not thread count). Each shard is rooted at the shard-qualified repr
+//! key [`er_core::shard::shard_repr`], so its segments and manifest are
+//! independent store files that can be mapped in and dropped
+//! individually by a residency-budgeted cache.
+//!
+//! ## Merge ordering guarantee
+//!
+//! Queries fan out to every shard and merge in **shard order**:
+//!
+//! * **ε-join** — each shard yields its live candidates in ascending
+//!   stable-id order over a disjoint id set; the concatenation is sorted
+//!   once, which reproduces exactly the single ascending list the
+//!   monolithic index emits. (The shards interleave ids, so the final
+//!   sort is a true k-way merge, just expressed as a sort.)
+//! * **kNN** — each shard's [`MergeCursor::knn_row`] already applies the
+//!   distinct-top-k cut *within the shard*. A candidate in the global
+//!   top-k-distinct ranks at most k-distinct within its own shard (its
+//!   shard's distinct similarity values are a subset of the global
+//!   ones), so every global winner survives its shard cut; one final
+//!   [`KnnJoin::select_top_k`] over the concatenation is then exact and
+//!   deterministic (it sorts by descending similarity, ascending id —
+//!   independent of concatenation order).
+//!
+//! Combined with the chunk-deterministic parallel layer, reports built
+//! on these batches are byte-identical at any shard count × thread
+//! count — the invariant the shard-invariance proptests pin down.
+//!
+//! Upserts and deletes route to the owning shard only; every other
+//! shard's layers are untouched, which is what keeps incremental updates
+//! cheap when only a slice of the collection is resident.
+
+use crate::epsilon::EpsilonJoin;
+use crate::knn::KnnJoin;
+use crate::segmented::{
+    MergeCursor, MergeScratch, PendingCompaction, PersistReport, SegmentedTokenSets,
+    SparseManifest, SparseSegment,
+};
+use er_core::parallel;
+use er_core::shard::{shard_repr, ShardPlan};
+use er_store::ArtifactStore;
+use std::sync::Arc;
+
+/// One logical segmented index split across the shards of a
+/// [`ShardPlan`] (see module docs).
+#[derive(Debug)]
+pub struct ShardedIndex {
+    plan: ShardPlan,
+    base_repr: String,
+    shards: Vec<SegmentedTokenSets>,
+}
+
+impl ShardedIndex {
+    /// Builds the index from `(stable id, raw token set)` rows, routing
+    /// each row to its owning shard and folding every shard into one
+    /// immutable segment. With `n_shards <= 1` the single shard keeps
+    /// the unqualified `base_repr`, so its store files are
+    /// indistinguishable from a monolithic [`SegmentedTokenSets`].
+    pub fn build(
+        base_repr: impl Into<String>,
+        n_shards: u32,
+        rows: impl IntoIterator<Item = (u32, Vec<u64>)>,
+        query_raw: Vec<Vec<u64>>,
+    ) -> Self {
+        let base_repr = base_repr.into();
+        let plan = ShardPlan::new(n_shards);
+        let mut parts: Vec<Vec<(u32, Vec<u64>)>> = vec![Vec::new(); plan.n() as usize];
+        for (id, set) in rows {
+            parts[plan.shard_of(id) as usize].push((id, set));
+        }
+        let shards = parts
+            .into_iter()
+            .enumerate()
+            .map(|(s, mut part)| {
+                // Segment rows must be ascending by stable id; the
+                // caller's emission order carries no meaning.
+                part.sort_unstable_by_key(|(id, _)| *id);
+                Self::shard_from_rows(&base_repr, &plan, s as u32, part, query_raw.clone())
+            })
+            .collect();
+        ShardedIndex {
+            plan,
+            base_repr,
+            shards,
+        }
+    }
+
+    /// One shard as a fresh single-segment [`SegmentedTokenSets`] rooted
+    /// at the shard-qualified repr.
+    fn shard_from_rows(
+        base_repr: &str,
+        plan: &ShardPlan,
+        shard: u32,
+        rows: Vec<(u32, Vec<u64>)>,
+        query_raw: Vec<Vec<u64>>,
+    ) -> SegmentedTokenSets {
+        let segment = SparseSegment::build(0, rows, &query_raw);
+        SegmentedTokenSets::from_parts(
+            SparseManifest {
+                next_seq: 1,
+                base_repr: shard_repr(base_repr, shard, plan.n()),
+                segment_seqs: vec![0],
+                tombstones: Vec::new(),
+                delta: Vec::new(),
+                query_raw,
+            },
+            vec![Arc::new(segment)],
+        )
+        .expect("fresh single-segment manifest is consistent")
+    }
+
+    /// Wraps already-assembled shards. The shard count must match the
+    /// plan and every shard's `base_repr` must be its shard-qualified
+    /// key — the invariants [`ShardedIndex::load`] restores.
+    pub fn from_shards(
+        base_repr: impl Into<String>,
+        plan: ShardPlan,
+        shards: Vec<SegmentedTokenSets>,
+    ) -> Result<Self, String> {
+        let base_repr = base_repr.into();
+        if shards.len() != plan.n() as usize {
+            return Err(format!(
+                "plan has {} shard(s), got {}",
+                plan.n(),
+                shards.len()
+            ));
+        }
+        for (s, shard) in shards.iter().enumerate() {
+            let want = shard_repr(&base_repr, s as u32, plan.n());
+            if shard.base_repr() != want {
+                return Err(format!(
+                    "shard {s} is rooted at {:?}, expected {want:?}",
+                    shard.base_repr()
+                ));
+            }
+        }
+        Ok(ShardedIndex {
+            plan,
+            base_repr,
+            shards,
+        })
+    }
+
+    /// The shard plan.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> u32 {
+        self.plan.n()
+    }
+
+    /// The unqualified repr key the shard keys derive from.
+    pub fn base_repr(&self) -> &str {
+        &self.base_repr
+    }
+
+    /// The per-shard indexes, in shard order.
+    pub fn shards(&self) -> &[SegmentedTokenSets] {
+        &self.shards
+    }
+
+    /// Live (query-visible) rows across all shards.
+    pub fn live_rows(&self) -> usize {
+        self.shards.iter().map(SegmentedTokenSets::live_rows).sum()
+    }
+
+    /// Immutable segments across all shards.
+    pub fn segment_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(SegmentedTokenSets::segment_count)
+            .sum()
+    }
+
+    /// Mutable delta rows across all shards.
+    pub fn delta_rows(&self) -> usize {
+        self.shards.iter().map(SegmentedTokenSets::delta_rows).sum()
+    }
+
+    /// Backed tombstones across all shards.
+    pub fn tombstone_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(SegmentedTokenSets::tombstone_count)
+            .sum()
+    }
+
+    /// Query rows (identical across shards — queries fan out to all).
+    pub fn query_rows(&self) -> usize {
+        self.shards
+            .first()
+            .map_or(0, SegmentedTokenSets::query_rows)
+    }
+
+    /// Deterministic heap estimate: the sum over shards.
+    pub fn heap_bytes(&self) -> usize {
+        self.shards.iter().map(SegmentedTokenSets::heap_bytes).sum()
+    }
+
+    /// Inserts or replaces row `id` in its owning shard; no other shard
+    /// is touched.
+    pub fn upsert(&mut self, id: u32, tokens: Vec<u64>) {
+        self.shards[self.plan.shard_of(id) as usize].upsert(id, tokens);
+    }
+
+    /// Deletes row `id` from its owning shard; no other shard is touched.
+    pub fn delete(&mut self, id: u32) {
+        self.shards[self.plan.shard_of(id) as usize].delete(id);
+    }
+
+    /// Flushes every shard's delta; `true` if any shard folded one.
+    pub fn flush(&mut self) -> bool {
+        let mut any = false;
+        for shard in &mut self.shards {
+            any |= shard.flush();
+        }
+        any
+    }
+
+    /// Compacts every shard; `true` if any shard changed.
+    pub fn compact(&mut self) -> bool {
+        let mut any = false;
+        for shard in &mut self.shards {
+            any |= shard.compact();
+        }
+        any
+    }
+
+    /// Plans one compaction per shard that needs one, without mutating
+    /// anything — the sharded form of
+    /// [`SegmentedTokenSets::plan_compact`], so a serving layer can fold
+    /// under a read lock. Empty means every shard is fully compacted.
+    /// The per-shard no-flush-between-plan-and-apply contract applies.
+    pub fn plan_compact(&self) -> Vec<(usize, PendingCompaction)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter_map(|(s, shard)| shard.plan_compact().map(|p| (s, p)))
+            .collect()
+    }
+
+    /// Applies compactions planned by [`ShardedIndex::plan_compact`];
+    /// `true` if any shard folded.
+    pub fn apply_compact(&mut self, pending: Vec<(usize, PendingCompaction)>) -> bool {
+        let any = !pending.is_empty();
+        for (s, p) in pending {
+            self.shards[s].apply_compact(p);
+        }
+        any
+    }
+
+    /// Persists every shard (segments + manifest, see
+    /// [`SegmentedTokenSets::persist`]) and sums the per-shard reports.
+    pub fn persist(&self, store: &ArtifactStore, dataset: u64) -> Result<PersistReport, String> {
+        let mut total = PersistReport::default();
+        for shard in &self.shards {
+            let r = shard.persist(store, dataset)?;
+            total.segments_written += r.segments_written;
+            total.segments_reused += r.segments_reused;
+            total.removed += r.removed;
+        }
+        Ok(total)
+    }
+
+    /// Restores a sharded index from per-shard manifests. `Ok(None)`
+    /// when *no* shard manifest exists; a partial set (some shards
+    /// present, some missing) is a structured error — the store holds a
+    /// torn state a caller must not silently rebuild over.
+    pub fn load(
+        store: &ArtifactStore,
+        dataset: u64,
+        base_repr: &str,
+        n_shards: u32,
+    ) -> Result<Option<Self>, String> {
+        let plan = ShardPlan::new(n_shards);
+        let mut shards = Vec::with_capacity(plan.n() as usize);
+        let mut missing = 0usize;
+        for s in 0..plan.n() {
+            match SegmentedTokenSets::load(store, dataset, &shard_repr(base_repr, s, plan.n()))? {
+                Some(shard) => shards.push(shard),
+                None => missing += 1,
+            }
+        }
+        if missing == plan.n() as usize {
+            return Ok(None);
+        }
+        if missing > 0 {
+            return Err(format!(
+                "{missing} of {} shard manifest(s) missing for {base_repr:?}",
+                plan.n()
+            ));
+        }
+        Self::from_shards(base_repr, plan, shards).map(Some)
+    }
+
+    /// A fan-out query cursor holding one [`MergeCursor`] per shard.
+    pub fn cursor(&self) -> ShardedCursor<'_> {
+        self.cursor_with(Vec::new())
+    }
+
+    /// Like [`ShardedIndex::cursor`], reusing per-shard scratch returned
+    /// by [`ShardedCursor::into_scratches`]. Fewer (or stale extra)
+    /// entries than shards are fine — missing ones start fresh.
+    pub fn cursor_with(&self, mut scratches: Vec<MergeScratch>) -> ShardedCursor<'_> {
+        scratches.resize_with(self.shards.len(), MergeScratch::default);
+        ShardedCursor {
+            cursors: self
+                .shards
+                .iter()
+                .zip(scratches)
+                .map(|(shard, scratch)| shard.cursor_with(scratch))
+                .collect(),
+        }
+    }
+
+    /// ε-join candidates for every query row, fanned across shards and
+    /// chunked over `threads` workers — byte-identical for any worker
+    /// count *and any shard count* (see module docs).
+    pub fn epsilon_batch(&self, join: &EpsilonJoin, threads: usize) -> Vec<Vec<u32>> {
+        let rows = self.query_rows();
+        let row_ids: Vec<usize> = (0..rows).collect();
+        let chunk = parallel::query_chunk_len(rows);
+        let per_chunk = parallel::par_map_chunks_with(threads, &row_ids, chunk, |_, part| {
+            let mut cursor = self.cursor();
+            part.iter()
+                .map(|&j| cursor.epsilon_row(join, j))
+                .collect::<Vec<_>>()
+        });
+        per_chunk.into_iter().flatten().collect()
+    }
+
+    /// kNN neighbors for every query row, fanned across shards and
+    /// chunked over `threads` workers — byte-identical for any worker
+    /// count and any shard count.
+    pub fn knn_batch(&self, join: &KnnJoin, threads: usize) -> Vec<Vec<(u32, f64)>> {
+        let rows = self.query_rows();
+        let row_ids: Vec<usize> = (0..rows).collect();
+        let chunk = parallel::query_chunk_len(rows);
+        let per_chunk = parallel::par_map_chunks_with(threads, &row_ids, chunk, |_, part| {
+            let mut cursor = self.cursor();
+            part.iter()
+                .map(|&j| cursor.knn_row(join, j))
+                .collect::<Vec<_>>()
+        });
+        per_chunk.into_iter().flatten().collect()
+    }
+}
+
+/// Per-worker fan-out cursor: one merge cursor per shard, consulted in
+/// shard order (see the module's merge ordering guarantee).
+pub struct ShardedCursor<'a> {
+    cursors: Vec<MergeCursor<'a>>,
+}
+
+impl ShardedCursor<'_> {
+    /// ε-join candidates of query row `j`: ascending live stable ids,
+    /// bitwise what the monolithic index yields for the same net rows.
+    pub fn epsilon_row(&mut self, join: &EpsilonJoin, j: usize) -> Vec<u32> {
+        let mut out = Vec::new();
+        for cursor in &mut self.cursors {
+            out.extend(cursor.epsilon_row(join, j));
+        }
+        // Shards hold disjoint, interleaved id ranges; one sort over the
+        // concatenation is the k-way merge.
+        out.sort_unstable();
+        out
+    }
+
+    /// kNN neighbors of query row `j` after the *global* distinct-top-k
+    /// cut, bitwise what the monolithic index yields (exactness argument
+    /// in the module docs).
+    pub fn knn_row(&mut self, join: &KnnJoin, j: usize) -> Vec<(u32, f64)> {
+        let mut merged = Vec::new();
+        for cursor in &mut self.cursors {
+            merged.extend(cursor.knn_row(join, j));
+        }
+        KnnJoin::select_top_k(join.k, &mut merged);
+        merged
+    }
+
+    /// Recovers the per-shard scratch buffers for reuse by a later
+    /// [`ShardedIndex::cursor_with`].
+    pub fn into_scratches(self) -> Vec<MergeScratch> {
+        self.cursors
+            .into_iter()
+            .map(MergeCursor::into_scratch)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::representation::RepresentationModel;
+    use crate::similarity::SimilarityMeasure;
+    use er_text::Cleaner;
+
+    fn toks(text: &str) -> Vec<u64> {
+        RepresentationModel::parse("T1G")
+            .expect("T1G")
+            .token_set(text, &Cleaner::off())
+    }
+
+    fn queries() -> Vec<Vec<u64>> {
+        ["alpha beta", "c d e", "gamma", "", "zz alpha d"]
+            .iter()
+            .map(|t| toks(t))
+            .collect()
+    }
+
+    fn epsilon() -> EpsilonJoin {
+        EpsilonJoin {
+            cleaning: false,
+            threshold: 0.2,
+            model: RepresentationModel::parse("T1G").expect("T1G"),
+            measure: SimilarityMeasure::Jaccard,
+        }
+    }
+
+    fn knn(k: usize) -> KnnJoin {
+        KnnJoin {
+            cleaning: false,
+            reversed: false,
+            k,
+            model: RepresentationModel::parse("T1G").expect("T1G"),
+            measure: SimilarityMeasure::Cosine,
+        }
+    }
+
+    /// Distinct ids with distinct sets, so ownership routing is visible.
+    fn distinct_rows() -> Vec<(u32, Vec<u64>)> {
+        (0..64u32)
+            .map(|id| (id * 5 + 2, toks(&format!("alpha w{id} beta{}", id % 7))))
+            .collect()
+    }
+
+    #[test]
+    fn matches_monolithic_index_at_any_shard_count() {
+        let query_raw = queries();
+        let mono = ShardedIndex::build("base", 1, distinct_rows(), query_raw.clone());
+        let eps = epsilon();
+        let kn = knn(3);
+        let want_eps = mono.epsilon_batch(&eps, 1);
+        let want_knn = mono.knn_batch(&kn, 1);
+        assert!(want_eps.iter().any(|r| !r.is_empty()), "fixture matches");
+        for n in [2u32, 3, 8] {
+            for threads in [1usize, 8] {
+                let sharded = ShardedIndex::build("base", n, distinct_rows(), query_raw.clone());
+                assert_eq!(sharded.n_shards(), n);
+                assert_eq!(sharded.live_rows(), mono.live_rows());
+                assert_eq!(
+                    sharded.epsilon_batch(&eps, threads),
+                    want_eps,
+                    "epsilon shards={n} threads={threads}"
+                );
+                assert_eq!(
+                    sharded.knn_batch(&kn, threads),
+                    want_knn,
+                    "knn shards={n} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn upserts_and_deletes_land_in_the_owning_shard_only() {
+        let query_raw = queries();
+        let mut idx = ShardedIndex::build("base", 4, distinct_rows(), query_raw.clone());
+        let before: Vec<usize> = idx.shards().iter().map(|s| s.delta_rows()).collect();
+        assert!(before.iter().all(|&d| d == 0));
+
+        let id = 17u32;
+        let owner = idx.plan().shard_of(id) as usize;
+        idx.upsert(id, toks("alpha beta fresh"));
+        for (s, shard) in idx.shards().iter().enumerate() {
+            assert_eq!(shard.delta_rows(), usize::from(s == owner), "shard {s}");
+        }
+        idx.delete(id);
+        for (s, shard) in idx.shards().iter().enumerate() {
+            assert_eq!(shard.delta_rows(), 0, "shard {s}");
+        }
+
+        // And the merged view agrees with a monolithic index given the
+        // same operation sequence.
+        let mut mono = ShardedIndex::build("base", 1, distinct_rows(), query_raw);
+        mono.upsert(id, toks("alpha beta fresh"));
+        mono.delete(id);
+        let eps = epsilon();
+        assert_eq!(idx.epsilon_batch(&eps, 1), mono.epsilon_batch(&eps, 1));
+    }
+
+    #[test]
+    fn single_shard_keeps_the_unqualified_repr() {
+        let idx = ShardedIndex::build("ss/T1G", 1, distinct_rows(), queries());
+        assert_eq!(idx.shards()[0].base_repr(), "ss/T1G");
+        let idx = ShardedIndex::build("ss/T1G", 4, distinct_rows(), queries());
+        assert_eq!(idx.shards()[2].base_repr(), "ss/T1G#shard2/4");
+    }
+
+    #[test]
+    fn from_shards_rejects_mismatched_roots() {
+        let ShardedIndex { shards, .. } =
+            ShardedIndex::build("base", 2, distinct_rows(), queries());
+        let mut shards = shards;
+        shards.swap(0, 1);
+        let err = ShardedIndex::from_shards("base", ShardPlan::new(2), shards)
+            .expect_err("swapped shard roots must be rejected");
+        assert!(err.contains("rooted at"), "{err}");
+    }
+
+    #[test]
+    fn empty_shards_answer_queries() {
+        // 3 rows over 8 shards: most shards are empty and must still
+        // participate in the fan-out without panicking.
+        let rows: Vec<(u32, Vec<u64>)> = (0..3u32).map(|id| (id, toks("alpha beta"))).collect();
+        let idx = ShardedIndex::build("base", 8, rows, queries());
+        let eps = epsilon();
+        let got = idx.epsilon_batch(&eps, 1);
+        assert_eq!(got[0], vec![0, 1, 2], "all three rows match 'alpha beta'");
+    }
+
+    #[test]
+    fn persist_and_load_round_trip() {
+        use crate::store::{SparseManifestCodec, SparsePackedCodec, SparseSegmentCodec};
+        let dir = std::env::temp_dir().join(format!("er_sharded_rt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::open(
+            &dir,
+            vec![
+                Box::new(SparsePackedCodec),
+                Box::new(SparseSegmentCodec),
+                Box::new(SparseManifestCodec),
+            ],
+        )
+        .expect("open store");
+
+        let query_raw = queries();
+        let mut idx = ShardedIndex::build("rt/T1G", 3, distinct_rows(), query_raw.clone());
+        idx.upsert(999, toks("alpha zz"));
+        idx.flush();
+        let report = idx.persist(&store, 42).expect("persist");
+        assert!(report.segments_written >= 4, "3 base + 1 flushed");
+
+        let back = ShardedIndex::load(&store, 42, "rt/T1G", 3)
+            .expect("load")
+            .expect("manifests present");
+        assert_eq!(back.live_rows(), idx.live_rows());
+        let eps = epsilon();
+        let kn = knn(2);
+        assert_eq!(back.epsilon_batch(&eps, 1), idx.epsilon_batch(&eps, 1));
+        assert_eq!(back.knn_batch(&kn, 1), idx.knn_batch(&kn, 1));
+
+        assert!(
+            ShardedIndex::load(&store, 42, "other", 3)
+                .expect("load")
+                .is_none(),
+            "unknown base is a clean miss"
+        );
+
+        // Deleting one shard's manifest leaves a torn state: load must
+        // refuse it rather than resurrect a partial collection.
+        let torn = er_core::artifacts::ArtifactKey::new(
+            42,
+            crate::segmented::manifest_repr(&shard_repr("rt/T1G", 1, 3)),
+        );
+        std::fs::remove_file(store.file_path(&torn)).expect("manifest file exists");
+        let err = ShardedIndex::load(&store, 42, "rt/T1G", 3).expect_err("torn shard set");
+        assert!(err.contains("missing"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

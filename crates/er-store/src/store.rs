@@ -299,6 +299,14 @@ impl ArtifactStore {
     /// segment files left behind by an interrupted compaction (valid
     /// segments that no valid manifest of the same dataset references),
     /// returning a structured [`GcReport`] (`er store gc`).
+    ///
+    /// All shards of one sharded index are a **single reachability
+    /// root**: a shard-qualified segment whose own manifest is missing is
+    /// still kept while any sibling shard of the same `(dataset, base,
+    /// total)` family has a surviving non-segment root. A torn multi-
+    /// shard write must stay recoverable — collecting one shard's
+    /// segments because only its manifest was lost would turn an
+    /// interrupted persist into permanent data loss.
     pub fn gc(&self) -> Result<GcReport> {
         if self.mode == OpenMode::ReadOnly {
             return Err(StoreError::ReadOnly("gc".into()));
@@ -311,6 +319,8 @@ impl ArtifactStore {
         // survive with their headers collected for the orphan pass.
         let mut valid: Vec<(PathBuf, u64, String, u32)> = Vec::new();
         let mut referenced: std::collections::HashSet<(u64, String)> = Default::default();
+        // Shard families with a surviving root: (dataset, base, total).
+        let mut shard_roots: std::collections::HashSet<(u64, String, u32)> = Default::default();
         for path in paths {
             let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
             if name.contains(".tmp.") {
@@ -332,6 +342,11 @@ impl ArtifactStore {
                 for repr in codec.referenced_reprs(&file)? {
                     referenced.insert((file.dataset_fp(), repr));
                 }
+                if !codec.is_segment() {
+                    if let Some(sref) = er_core::shard::parse_shard_repr(file.repr()) {
+                        shard_roots.insert((file.dataset_fp(), sref.base.to_owned(), sref.total));
+                    }
+                }
             }
             valid.push((
                 path,
@@ -342,10 +357,14 @@ impl ArtifactStore {
         }
         // Pass 2: a valid segment nothing references was written but never
         // adopted — the manifest swap is atomic, so an interrupted
-        // compaction leaves exactly this signature.
+        // compaction leaves exactly this signature. Segments of a shard
+        // family with any surviving root are exempt (see above).
         for (path, dataset_fp, repr, codec_id) in valid {
             let is_segment = self.codec_by_id(codec_id).is_some_and(|c| c.is_segment());
-            if is_segment && !referenced.contains(&(dataset_fp, repr)) {
+            let family_alive = er_core::shard::parse_shard_repr(&repr).is_some_and(|sref| {
+                shard_roots.contains(&(dataset_fp, sref.base.to_owned(), sref.total))
+            });
+            if is_segment && !family_alive && !referenced.contains(&(dataset_fp, repr)) {
                 std::fs::remove_file(&path).map_err(|e| StoreError::io(&path, &e))?;
                 report.removed += 1;
                 report.orphaned += 1;
@@ -825,6 +844,74 @@ mod tests {
         // A second sweep is a fixpoint.
         let again = store.gc().expect("gc again");
         assert_eq!((again.removed, again.kept, again.orphaned), (0, 3, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_keeps_shard_family_while_any_root_survives() {
+        let dir = std::env::temp_dir().join(format!("er_store_shardgc_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::open(
+            &dir,
+            vec![Box::new(ToySegmentCodec), Box::new(ToyManifestCodec)],
+        )
+        .expect("open store");
+        let seg = |values: Vec<u32>| {
+            let cost = values.len() * 4;
+            Prepared::new(ToySegment { values, cost }, cost, PhaseBreakdown::new())
+        };
+        let manifest = |refs: Vec<&str>| {
+            Prepared::new(
+                ToyManifest {
+                    refs: refs.into_iter().map(str::to_owned).collect(),
+                },
+                0,
+                PhaseBreakdown::new(),
+            )
+        };
+        // A two-shard family: each shard has one segment and one manifest
+        // adopting it. Shard 1's manifest is then lost (torn write).
+        store
+            .store(&key("idx#shard0/2#seg0"), &seg(vec![1]))
+            .expect("s0 seg");
+        store
+            .store(&key("idx#shard1/2#seg0"), &seg(vec![2]))
+            .expect("s1 seg");
+        store
+            .store(
+                &key("idx#shard0/2#manifest"),
+                &manifest(vec!["idx#shard0/2#seg0"]),
+            )
+            .expect("s0 manifest");
+        store
+            .store(
+                &key("idx#shard1/2#manifest"),
+                &manifest(vec!["idx#shard1/2#seg0"]),
+            )
+            .expect("s1 manifest");
+        std::fs::remove_file(store.file_path(&key("idx#shard1/2#manifest"))).expect("tear");
+
+        // Shard 0's manifest keeps the whole family alive: shard 1's
+        // now-unreferenced segment survives gc.
+        let report = store.gc().expect("gc");
+        assert_eq!(
+            (report.removed, report.kept, report.orphaned),
+            (0, 3, 0),
+            "{report:?}"
+        );
+        assert!(store.file_path(&key("idx#shard1/2#seg0")).exists());
+
+        // With the last root gone the family is unreachable and both
+        // segments are collected like any other orphans.
+        std::fs::remove_file(store.file_path(&key("idx#shard0/2#manifest"))).expect("drop root");
+        let report = store.gc().expect("gc rootless");
+        assert_eq!(
+            (report.removed, report.kept, report.orphaned),
+            (2, 0, 2),
+            "{report:?}"
+        );
+        assert!(!store.file_path(&key("idx#shard0/2#seg0")).exists());
+        assert!(!store.file_path(&key("idx#shard1/2#seg0")).exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -183,7 +183,7 @@ fn startup_hits_the_store_and_lookups_match_offline_query() {
 
     let eps = epsilon();
     let expected = offline_rows(&eps, &fx.view);
-    let engine = Engine::open(&fx.store, &fx.view, ServeMethod::Epsilon(eps)).expect("open");
+    let engine = Engine::open(&fx.store, &fx.view, ServeMethod::Epsilon(eps), 1).expect("open");
     let startup = engine.startup_stats();
     assert_eq!(startup.store_hits, 1, "exactly one store load");
     assert_eq!(startup.misses, 0, "zero prepare work at startup");
@@ -201,7 +201,7 @@ fn startup_hits_the_store_and_lookups_match_offline_query() {
 
     let knn = knn();
     let expected = offline_rows(&knn, &fx.view);
-    let engine = Engine::open(&fx.store, &fx.view, ServeMethod::Knn(knn)).expect("open knn");
+    let engine = Engine::open(&fx.store, &fx.view, ServeMethod::Knn(knn), 1).expect("open knn");
     assert_eq!(engine.startup_stats().store_hits, 1);
     assert_eq!(engine.startup_stats().misses, 0);
     for (row, want) in expected.iter().enumerate() {
@@ -220,7 +220,7 @@ fn concurrent_tcp_lookups_are_byte_identical_and_leave_the_store_untouched() {
 
     let eps = epsilon();
     let expected = Arc::new(offline_rows(&eps, &fx.view));
-    let engine = Engine::open(&fx.store, &fx.view, ServeMethod::Epsilon(eps)).expect("open");
+    let engine = Engine::open(&fx.store, &fx.view, ServeMethod::Epsilon(eps), 1).expect("open");
     let rows = engine.rows();
     let server = RunningServer::start(
         ServeConfig {
@@ -305,7 +305,7 @@ fn overload_sheds_with_structured_retry_after_responses() {
     let plan = FaultPlan::parse("stall@serve/query*:ms=100").expect("plan");
     faults::with_plan(plan, || {
         let engine =
-            Engine::open(&fx.store, &fx.view, ServeMethod::Epsilon(epsilon())).expect("open");
+            Engine::open(&fx.store, &fx.view, ServeMethod::Epsilon(epsilon()), 1).expect("open");
         let server = RunningServer::start(
             ServeConfig {
                 queue_bound: 1,
@@ -355,7 +355,7 @@ fn injected_query_panics_become_structured_failures_and_the_daemon_survives() {
     let plan = FaultPlan::parse("panic@serve/query*:p=0.2,seed=7").expect("plan");
     faults::with_plan(plan, || {
         let engine =
-            Engine::open(&fx.store, &fx.view, ServeMethod::Epsilon(epsilon())).expect("open");
+            Engine::open(&fx.store, &fx.view, ServeMethod::Epsilon(epsilon()), 1).expect("open");
         let server = RunningServer::start(
             ServeConfig {
                 workers: 1,
@@ -402,7 +402,7 @@ fn stalled_lookups_hit_their_deadline_instead_of_hanging() {
     let plan = FaultPlan::parse("stall@serve/query*:ms=30000").expect("plan");
     faults::with_plan(plan, || {
         let engine =
-            Engine::open(&fx.store, &fx.view, ServeMethod::Epsilon(epsilon())).expect("open");
+            Engine::open(&fx.store, &fx.view, ServeMethod::Epsilon(epsilon()), 1).expect("open");
         let server = RunningServer::start(
             ServeConfig {
                 workers: 1,
@@ -436,7 +436,7 @@ fn drain_answers_every_accepted_line_before_shutdown() {
     let plan = FaultPlan::parse("stall@serve/query*:ms=50").expect("plan");
     faults::with_plan(plan, || {
         let engine =
-            Engine::open(&fx.store, &fx.view, ServeMethod::Epsilon(epsilon())).expect("open");
+            Engine::open(&fx.store, &fx.view, ServeMethod::Epsilon(epsilon()), 1).expect("open");
         let server = RunningServer::start(
             ServeConfig {
                 workers: 1,
@@ -482,6 +482,98 @@ fn drain_answers_every_accepted_line_before_shutdown() {
     });
 }
 
+/// Copies the fixture store into a fresh scratch directory, so sharded
+/// engines (whose first boot persists per-shard manifests) never touch
+/// the shared read-only fixture.
+fn copy_store(name: &str) -> PathBuf {
+    let src = &fixture().store;
+    let dst = std::env::temp_dir().join(format!("er-serve-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dst);
+    std::fs::create_dir_all(&dst).expect("scratch dir");
+    for entry in std::fs::read_dir(src).expect("read fixture store") {
+        let entry = entry.expect("entry");
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).expect("copy store file");
+    }
+    dst
+}
+
+#[test]
+fn sharded_engine_is_byte_identical_and_resumes_from_persisted_shards() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let fx = fixture();
+    let eps = epsilon();
+    let expected = offline_rows(&eps, &fx.view);
+    let all_rows = |engine: &Engine| -> Vec<Vec<u32>> {
+        let jobs: Vec<(usize, Limits)> = (0..engine.rows()).map(|r| (r, Limits::none())).collect();
+        engine
+            .lookup_batch(&jobs)
+            .into_iter()
+            .map(|o| o.ok().expect("lookup"))
+            .collect()
+    };
+
+    // First multi-shard boot: a cold split of the view, answering
+    // byte-identically to the offline reference at every shard count.
+    let store = copy_store("sharded");
+    for shards in [3u32, 8] {
+        let engine =
+            Engine::open(&store, &fx.view, ServeMethod::Epsilon(eps), shards).expect("open");
+        assert_eq!(engine.n_shards(), shards);
+        assert!(!engine.restored(), "no shard manifests persisted yet");
+        assert!(engine.dirty(), "a cold split wants its manifests persisted");
+        assert_eq!(all_rows(&engine), expected, "shards={shards}");
+    }
+
+    // Live updates route to the owning shards; answers track a
+    // monolithic engine given the same operation sequence.
+    let sharded = Engine::open(&store, &fx.view, ServeMethod::Epsilon(eps), 3).expect("open");
+    let mono = Engine::open(&fx.store, &fx.view, ServeMethod::Epsilon(eps), 1).expect("open mono");
+    for engine in [&sharded, &mono] {
+        for (id, text) in [(2u32, "fresh row two"), (5, "another fresh row")] {
+            let text = fx.view.e1[id as usize].clone() + " " + text;
+            assert!(matches!(
+                engine.apply(er_serve::UpdateOp::Upsert { id, text }),
+                RunOutcome::Ok(())
+            ));
+        }
+        assert!(matches!(
+            engine.apply(er_serve::UpdateOp::Delete { id: 7 }),
+            RunOutcome::Ok(())
+        ));
+        engine.compact().ok().expect("compact");
+    }
+    let after_updates = all_rows(&sharded);
+    assert_eq!(after_updates, all_rows(&mono), "updates stay identical");
+
+    // Persisting writes one manifest per shard; the next boot restores
+    // them with zero prepare work and identical answers.
+    let report = sharded
+        .persist_if_dirty()
+        .expect("persist")
+        .expect("dirty engine persists");
+    assert!(report.segments_written >= 3, "one segment per shard");
+    let resumed = Engine::open(&store, &fx.view, ServeMethod::Epsilon(eps), 3).expect("reopen");
+    assert!(resumed.restored(), "per-shard manifests restored");
+    assert!(!resumed.dirty(), "a restored engine has nothing to persist");
+    assert_eq!(resumed.startup_stats().misses, 0, "zero prepare work");
+    assert_eq!(all_rows(&resumed), after_updates, "restored answers");
+
+    // A torn shard set (one manifest lost) must refuse to open rather
+    // than silently rebuild over recoverable state.
+    let rw = er_bench::open_store(&store).expect("reopen store rw");
+    let torn = er::core::artifacts::ArtifactKey::new(
+        fx.view.fingerprint(),
+        er::sparse::segmented::manifest_repr(&er::core::shard::shard_repr(&eps.repr_key(), 1, 3)),
+    );
+    std::fs::remove_file(rw.file_path(&torn)).expect("shard manifest exists");
+    let err = match Engine::open(&store, &fx.view, ServeMethod::Epsilon(eps), 3) {
+        Err(err) => err,
+        Ok(_) => panic!("torn shard set must not open"),
+    };
+    assert!(err.contains("torn"), "{err}");
+    let _ = std::fs::remove_dir_all(&store);
+}
+
 #[test]
 fn open_failures_are_structured_errors() {
     let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
@@ -489,7 +581,7 @@ fn open_failures_are_structured_errors() {
 
     let missing = std::env::temp_dir().join(format!("er-serve-missing-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&missing);
-    let err = match Engine::open(&missing, &fx.view, ServeMethod::Epsilon(epsilon())) {
+    let err = match Engine::open(&missing, &fx.view, ServeMethod::Epsilon(epsilon()), 1) {
         Err(err) => err,
         Ok(_) => panic!("missing dir must not open"),
     };
@@ -502,7 +594,7 @@ fn open_failures_are_structured_errors() {
     // A configuration the sweep never stored: present store, absent key.
     let mut eps = epsilon();
     eps.cleaning = false;
-    let err = match Engine::open(&fx.store, &fx.view, ServeMethod::Epsilon(eps)) {
+    let err = match Engine::open(&fx.store, &fx.view, ServeMethod::Epsilon(eps), 1) {
         Err(err) => err,
         Ok(_) => panic!("unknown artifact must not open"),
     };
