@@ -36,6 +36,11 @@ const TRACKED: &[(&str, &str, &str)] = &[
 /// history file without cross-contaminating baselines.
 const SHARD_TRACKED: &[(&str, &str, &str)] = &[("shard_rows_per_s", "throughput", "rows_per_s")];
 
+/// The metrics tracked for a `BENCH_proxy.json` document (`"bench":
+/// "proxy_serve"`): lookup throughput through the multi-process merge
+/// proxy. Same disjoint-key discipline as the shard document.
+const PROXY_TRACKED: &[(&str, &str, &str)] = &[("proxy_rows_per_s", "throughput", "rows_per_s")];
+
 /// How many recent history entries form the regression baseline.
 const BASELINE_RUNS: usize = 5;
 /// Fail when a metric drops below this fraction of the baseline median.
@@ -113,12 +118,11 @@ fn main() {
         eprintln!("bench-history: {bench_path} reports non-identical candidate sets");
         std::process::exit(1);
     }
-    let tracked: &[(&str, &str, &str)] =
-        if doc.get("bench").and_then(Json::as_str) == Some("shard_sweep") {
-            SHARD_TRACKED
-        } else {
-            TRACKED
-        };
+    let tracked: &[(&str, &str, &str)] = match doc.get("bench").and_then(Json::as_str) {
+        Some("shard_sweep") => SHARD_TRACKED,
+        Some("proxy_serve") => PROXY_TRACKED,
+        _ => TRACKED,
+    };
     let mut speedups: Vec<(String, Json)> = Vec::new();
     for &(key, section, field) in tracked {
         let Some(v) = doc

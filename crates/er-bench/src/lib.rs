@@ -28,6 +28,7 @@ pub mod shard;
 pub mod store;
 pub mod stream;
 pub mod sweep;
+pub mod wire;
 
 pub use harness::{run_all_methods, Context, MethodId, MethodOutcome};
 pub use report::Table;

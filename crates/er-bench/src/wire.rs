@@ -1,0 +1,176 @@
+//! A minimal client for the serve daemon's line-delimited JSON wire
+//! protocol: connect with a timeout, write one line, read one line.
+//!
+//! This is the client half both the merge proxy (talking to its shard
+//! children) and the smoke tests (talking to any daemon) share. It is
+//! deliberately dumb: no pooling, no retries, no protocol knowledge —
+//! the caller owns the request/response framing policy. Every blocking
+//! operation carries the connection's I/O deadline, so a wedged peer
+//! surfaces as a `TimedOut`/`WouldBlock` error instead of a hang.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One line-protocol connection to a serve daemon.
+#[derive(Debug)]
+pub struct WireClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl WireClient {
+    /// Connects to `addr` within `timeout`, and applies the same bound
+    /// to every later read and write on the connection.
+    pub fn connect(addr: &str, timeout: Duration) -> std::io::Result<WireClient> {
+        let resolved = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("{addr:?} resolved to no address"),
+            )
+        })?;
+        let stream = TcpStream::connect_timeout(&resolved, timeout)?;
+        stream.set_nodelay(true)?;
+        let client = WireClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        };
+        client.set_io_timeout(Some(timeout))?;
+        Ok(client)
+    }
+
+    /// Rebounds the per-operation I/O deadline (`None` blocks forever —
+    /// only sensible in tests).
+    pub fn set_io_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        // A zero Duration would mean "no timeout" to the socket API;
+        // clamp to something that still errors promptly.
+        let timeout = timeout.map(|t| t.max(Duration::from_millis(1)));
+        self.writer.set_read_timeout(timeout)?;
+        self.writer.set_write_timeout(timeout)
+    }
+
+    /// Writes one request line (the newline is appended here).
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        debug_assert!(!line.contains('\n'), "requests are single lines");
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Reads one response line. `Ok(None)` is a clean EOF (the peer
+    /// closed); a deadline expiry is an `Err` of kind
+    /// `TimedOut`/`WouldBlock`.
+    pub fn recv_line(&mut self) -> std::io::Result<Option<String>> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line)? {
+            0 => Ok(None),
+            _ => {
+                while line.ends_with('\n') || line.ends_with('\r') {
+                    line.pop();
+                }
+                Ok(Some(line))
+            }
+        }
+    }
+
+    /// One request/response exchange; EOF mid-exchange is an error (the
+    /// daemon answers every request it read).
+    pub fn roundtrip(&mut self, line: &str) -> std::io::Result<String> {
+        self.send_line(line)?;
+        self.recv_line()?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before the response line",
+            )
+        })
+    }
+
+    /// Half-closes the write side, signalling the daemon this client is
+    /// done sending (its reader sees EOF and can wind the connection
+    /// down after answering what it read).
+    pub fn finish_writes(&self) -> std::io::Result<()> {
+        self.writer.shutdown(std::net::Shutdown::Write)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpListener;
+
+    /// An echo peer speaking one line per line, prefixed with `echo:`.
+    fn echo_server() -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let handle = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut writer = stream.try_clone().expect("clone");
+            for line in BufReader::new(stream).lines() {
+                let Ok(line) = line else { break };
+                writer
+                    .write_all(format!("echo:{line}\n").as_bytes())
+                    .expect("write");
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn roundtrips_lines_and_sees_eof() {
+        let (addr, handle) = echo_server();
+        let mut client =
+            WireClient::connect(&addr.to_string(), Duration::from_secs(2)).expect("connect");
+        assert_eq!(
+            client.roundtrip(r#"{"row":1}"#).expect("roundtrip"),
+            r#"echo:{"row":1}"#
+        );
+        assert_eq!(client.roundtrip("two").expect("roundtrip"), "echo:two");
+        client.finish_writes().expect("shutdown write half");
+        assert_eq!(client.recv_line().expect("eof"), None);
+        handle.join().expect("server thread");
+    }
+
+    #[test]
+    fn connect_to_dead_port_errors_not_hangs() {
+        // Bind-then-drop guarantees the port is closed.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr")
+        };
+        let err = WireClient::connect(&addr.to_string(), Duration::from_millis(500))
+            .expect_err("closed port");
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::ConnectionRefused | std::io::ErrorKind::TimedOut
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn read_deadline_expires_instead_of_hanging() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        // Accept but never answer.
+        let handle = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            std::thread::sleep(Duration::from_millis(400));
+            drop(stream);
+        });
+        let mut client =
+            WireClient::connect(&addr.to_string(), Duration::from_millis(100)).expect("connect");
+        let err = client
+            .roundtrip("ping")
+            .expect_err("no answer within deadline");
+        assert!(
+            matches!(
+                err.kind(),
+                std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+            ),
+            "{err}"
+        );
+        handle.join().expect("server thread");
+    }
+}

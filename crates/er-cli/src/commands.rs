@@ -518,13 +518,16 @@ pub fn sweep(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `er serve`: load one prepared artifact from a store and answer
-/// record→candidates lookups over line-delimited JSON TCP until a
-/// SIGTERM/SIGINT drains the daemon.
-pub fn serve(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args, &["clean", "reversed"])?;
-    apply_threads(&flags)?;
-    let store_dir = PathBuf::from(flags.require("store-dir")?);
+/// The dataset + serving-method configuration shared by `er serve` and
+/// `er supervise` (the supervisor forwards these same flags to its
+/// children, so both ends must parse them identically).
+struct ServeSetup {
+    profile_id: String,
+    view: TextView,
+    method: er_serve::ServeMethod,
+}
+
+fn serve_setup(flags: &Flags) -> Result<ServeSetup, String> {
     let id = flags.require("profile")?;
     let profile = er::datagen::profiles::profile(id)
         .ok_or_else(|| format!("unknown profile {id:?} (expected D1..D10)"))?;
@@ -563,8 +566,52 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     // so startup does zero prepare work — the store-hit line proves it.
     let ds = er::datagen::generate(profile, scale, seed);
     let view = er::core::schema::text_view(&ds, &mode);
-    let shards: u32 = flags.parse_or("shards", 1)?;
-    let engine = er_serve::Engine::open(&store_dir, &view, method, shards)?;
+    Ok(ServeSetup {
+        profile_id: id.to_owned(),
+        view,
+        method,
+    })
+}
+
+/// `er serve`: load one prepared artifact from a store and answer
+/// record→candidates lookups over line-delimited JSON TCP until a
+/// SIGTERM/SIGINT drains the daemon.
+pub fn serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["clean", "reversed"])?;
+    apply_threads(&flags)?;
+    let store_dir = PathBuf::from(flags.require("store-dir")?);
+    let setup = serve_setup(&flags)?;
+    let (id, view, method) = (setup.profile_id, setup.view, setup.method);
+    let engine = match flags.get("shard-subset") {
+        Some(spec) => {
+            // A supervised child: serve only the listed shards of an
+            // already-persisted family, refusing torn state. `--shards`,
+            // when also given, must agree with the subset's total.
+            let subset = er::core::shard::ShardSubset::parse(spec)?;
+            if let Some(n) = flags.get("shards") {
+                let n: u32 = n
+                    .parse()
+                    .map_err(|_| format!("--shards {n:?} is not a number"))?;
+                if n != subset.total() {
+                    return Err(format!(
+                        "--shards {n} contradicts --shard-subset {spec} (family of {})",
+                        subset.total()
+                    ));
+                }
+            }
+            if subset.is_full() {
+                // The full subset is the classic engine (including the
+                // monolithic no-manifest fallback).
+                er_serve::Engine::open(&store_dir, &view, method, subset.total())?
+            } else {
+                er_serve::Engine::open_subset(&store_dir, &view, method, subset)?
+            }
+        }
+        None => {
+            let shards: u32 = flags.parse_or("shards", 1)?;
+            er_serve::Engine::open(&store_dir, &view, method, shards)?
+        }
+    };
     let startup = engine.startup_stats();
     eprintln!(
         "serve: loaded {} for {} ({} rows, {} bytes, {} shard(s)) | store: {} hits / {} misses / \
@@ -603,6 +650,121 @@ pub fn serve(args: &[String]) -> Result<(), String> {
     println!("serving on {}", server.local_addr());
     std::io::stdout().flush().map_err(|e| e.to_string())?;
     server.serve_until(er_serve::signals::drain_requested);
+    Ok(())
+}
+
+/// Dataset/method/store flags `er supervise` forwards verbatim to every
+/// `er serve` child it spawns (the supervisor adds `--addr` and
+/// `--shard-subset` itself).
+const FORWARDED_CHILD_FLAGS: &[&str] = &[
+    "store-dir",
+    "profile",
+    "scale",
+    "seed",
+    "schema",
+    "model",
+    "method",
+    "threshold",
+    "k",
+    "shards",
+    "queue",
+    "batch",
+    "workers",
+    "deadline-ms",
+    "retry-after-ms",
+    "drain-grace-ms",
+    "threads",
+];
+const FORWARDED_CHILD_SWITCHES: &[&str] = &["clean", "reversed"];
+
+/// `er supervise`: split a persisted shard family across N `er serve`
+/// child processes and present them as one merge-proxy endpoint
+/// speaking the same wire protocol. Crashed children restart under
+/// backoff; a torn family refuses startup before any child exists.
+pub fn supervise(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["clean", "reversed"])?;
+    apply_threads(&flags)?;
+    let store_dir = PathBuf::from(flags.require("store-dir")?);
+    let setup = serve_setup(&flags)?;
+    let shards: u32 = flags.parse_or("shards", 2)?;
+    let children: u32 = flags.parse_or("children", 2)?;
+    if children > shards {
+        return Err(format!(
+            "--children {children} exceeds --shards {shards} (a child serves at least one shard)"
+        ));
+    }
+
+    let binary = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+    let mut child_args: Vec<String> = Vec::new();
+    for name in FORWARDED_CHILD_FLAGS {
+        if let Some(value) = flags.get(name) {
+            child_args.push(format!("--{name}"));
+            child_args.push(value.to_owned());
+        }
+    }
+    for switch in FORWARDED_CHILD_SWITCHES {
+        if flags.has(switch) {
+            child_args.push(format!("--{switch}"));
+        }
+    }
+    if flags.get("shards").is_none() {
+        // The children must agree on the family size even when the
+        // supervisor is running on its default.
+        child_args.push("--shards".to_owned());
+        child_args.push(shards.to_string());
+    }
+
+    let mut cfg = er_super::SuperConfig::new(binary, shards, children);
+    cfg.addr = flags.get("addr").unwrap_or("127.0.0.1:7879").to_owned();
+    cfg.child_args = child_args;
+    cfg.health_interval =
+        std::time::Duration::from_millis(flags.parse_or("health-interval-ms", 500)?);
+    cfg.health_timeout =
+        std::time::Duration::from_millis(flags.parse_or("health-timeout-ms", 1000)?);
+    cfg.health_failures = flags.parse_or("health-failures", 3)?;
+    cfg.backoff_initial = std::time::Duration::from_millis(flags.parse_or("backoff-ms", 100)?);
+    cfg.backoff_max = std::time::Duration::from_millis(flags.parse_or("backoff-max-ms", 2000)?);
+    cfg.default_deadline = std::time::Duration::from_millis(flags.parse_or("deadline-ms", 1000)?);
+    cfg.retry_after_ms = flags.parse_or("retry-after-ms", 50)?;
+
+    // Verify (and if absent, bootstrap) the shard family before any
+    // child process exists; a torn family is a structured refusal here.
+    let bootstrapped = er_super::ensure_family(&store_dir, &setup.view, &setup.method, shards)?;
+    if bootstrapped {
+        eprintln!(
+            "supervise: bootstrapped the {shards}-shard family for {} ({})",
+            setup.method.repr_key(),
+            setup.profile_id,
+        );
+    }
+
+    er_serve::signals::install();
+    let cfg = std::sync::Arc::new(cfg);
+    let group = er_super::Supervisor::start(cfg.clone())?;
+    let proxy = er_super::Proxy::start(cfg.clone(), group.slots().to_vec(), setup.method)
+        .map_err(|e| format!("cannot bind {}: {e}", cfg.addr))?;
+    eprintln!(
+        "supervise: merge proxy over {children} children / {shards} shards ({} {})",
+        setup.profile_id,
+        setup.method.repr_key(),
+    );
+    // Scripts parse this exact line to learn the bound port.
+    println!("serving on {}", proxy.local_addr());
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    let stats = proxy.serve_until(er_serve::signals::drain_requested);
+    let restarts = group.restart_total();
+    group.shutdown();
+    eprintln!(
+        "supervise: {} served / {} failed / {} timeouts / {} unavailable / {} retries / {} bad | \
+         {} child restart(s)",
+        stats.served,
+        stats.failed,
+        stats.timeouts,
+        stats.unavailable,
+        stats.retries,
+        stats.bad_requests,
+        restarts,
+    );
     Ok(())
 }
 

@@ -37,7 +37,14 @@ USAGE:
                 [--clean] [--reversed] [--shards N] [--schema <attr>]
                 [--addr HOST:PORT] [--queue N] [--batch N] [--workers N]
                 [--deadline-ms N] [--retry-after-ms N] [--drain-grace-ms N]
-                [--stats-out f.json]
+                [--stats-out f.json] [--shard-subset i,j/n]
+    er supervise --store-dir <dir> --profile <D1..D10> [--scale F] [--seed N]
+                [--method epsilon|knn] [--threshold F] [--k N] [--model M]
+                [--clean] [--reversed] [--schema <attr>]
+                [--shards N] [--children N] [--addr HOST:PORT]
+                [--deadline-ms N] [--retry-after-ms N]
+                [--health-interval-ms N] [--health-timeout-ms N]
+                [--health-failures N] [--backoff-ms N] [--backoff-max-ms N]
 
 SWEEP FAULT TOLERANCE:
     --timeout S           per-grid-point wall-clock deadline (seconds);
@@ -90,6 +97,18 @@ SERVING:
     {\"op\":\"health\"} and {\"op\":\"stats\"} probe liveness and counters
     (latency histogram p50/p95/p99, queue depth, shed count, store hits).
 
+MULTI-PROCESS SERVING:
+    er supervise partitions a persisted N-shard family across --children
+    `er serve --shard-subset` child processes and answers the same wire
+    protocol through a merge proxy: candidates merge in shard order, so
+    responses are byte-identical to a single `er serve --shards N`.
+    Crashed children restart under doubling backoff; in-band health
+    probes SIGKILL silent children; child shed/drain answers retry
+    inside the request deadline and surface as structured
+    unavailable/timeout rows, never hangs. A torn family (some shard
+    manifests missing) refuses startup naming the missing shards before
+    any child is spawned; an absent family is bootstrapped once.
+
 STORE MAINTENANCE:
     er store inspect --dir d   print each file's header, section layout and
                                per-section encoded vs decoded byte sizes
@@ -130,6 +149,7 @@ fn main() -> ExitCode {
         Some("sweep") => commands::sweep(&args[1..]),
         Some("store") => commands::store(&args[1..]),
         Some("serve") => commands::serve(&args[1..]),
+        Some("supervise") => commands::supervise(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;

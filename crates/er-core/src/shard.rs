@@ -101,6 +101,127 @@ pub fn parse_shard_repr(repr: &str) -> Option<ShardRef<'_>> {
     Some(ShardRef { base, shard, total })
 }
 
+/// A sorted, deduplicated selection of shards out of an `n`-way plan —
+/// the unit of ownership a multi-process serving child advertises
+/// (`er serve --shard-subset 0,2/4`). The textual form is
+/// `"{i,j,...}/{n}"` with ascending members; [`ShardSubset::parse`] and
+/// [`std::fmt::Display`] round-trip it, and the supervisor's
+/// [`ShardSubset::partition`] produces the canonical contiguous split of
+/// all `n` shards into `m` child subsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSubset {
+    members: Vec<u32>,
+    total: u32,
+}
+
+impl ShardSubset {
+    /// A subset owning `members` out of `total` shards. Members are
+    /// sorted and deduplicated; errors on an empty selection, a zero
+    /// total, or an out-of-range member.
+    pub fn new(members: Vec<u32>, total: u32) -> Result<Self, String> {
+        if total == 0 {
+            return Err("shard subset total must be at least 1".into());
+        }
+        let mut members = members;
+        members.sort_unstable();
+        members.dedup();
+        if members.is_empty() {
+            return Err("shard subset must name at least one shard".into());
+        }
+        if let Some(&bad) = members.iter().find(|&&m| m >= total) {
+            return Err(format!("shard {bad} out of range for {total} shards"));
+        }
+        Ok(Self { members, total })
+    }
+
+    /// The full subset: every shard of an `n`-way plan (n=0 clamps to 1,
+    /// matching [`ShardPlan::new`]).
+    pub fn full(total: u32) -> Self {
+        let total = total.max(1);
+        Self {
+            members: (0..total).collect(),
+            total,
+        }
+    }
+
+    /// Parses the `"i,j/n"` form (e.g. `"0,2/4"`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (members, total) = s
+            .split_once('/')
+            .ok_or_else(|| format!("shard subset '{s}' missing '/total'"))?;
+        let total: u32 = total
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard subset '{s}' has a malformed total"))?;
+        let members = members
+            .split(',')
+            .map(|m| {
+                m.trim()
+                    .parse::<u32>()
+                    .map_err(|_| format!("shard subset '{s}' has a malformed member '{m}'"))
+            })
+            .collect::<Result<Vec<u32>, String>>()?;
+        Self::new(members, total)
+    }
+
+    /// Ascending owned shard indices.
+    pub fn members(&self) -> &[u32] {
+        &self.members
+    }
+
+    /// Total shard count of the plan this subset selects from.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// True when every shard of the plan is owned.
+    pub fn is_full(&self) -> bool {
+        self.members.len() == self.total as usize
+    }
+
+    /// True when this subset owns shard `shard`.
+    pub fn contains(&self, shard: u32) -> bool {
+        self.members.binary_search(&shard).is_ok()
+    }
+
+    /// The plan this subset selects from.
+    pub fn plan(&self) -> ShardPlan {
+        ShardPlan::new(self.total)
+    }
+
+    /// Splits all `total` shards into `children` contiguous subsets, the
+    /// canonical layout the supervisor assigns: shard counts differ by at
+    /// most one and earlier children take the larger groups. `children`
+    /// is clamped to `[1, total]`.
+    pub fn partition(total: u32, children: u32) -> Vec<ShardSubset> {
+        let total = total.max(1);
+        let children = children.clamp(1, total);
+        let base = total / children;
+        let extra = total % children;
+        let mut out = Vec::with_capacity(children as usize);
+        let mut next = 0u32;
+        for c in 0..children {
+            let take = base + u32::from(c < extra);
+            let members: Vec<u32> = (next..next + take).collect();
+            next += take;
+            out.push(ShardSubset { members, total });
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for ShardSubset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, m) in self.members.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, "/{}", self.total)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,5 +289,66 @@ mod tests {
         assert_eq!(parse_shard_repr("x#shard9/4"), None, "out of range");
         assert_eq!(parse_shard_repr("x#shard0/1"), None, "n=1 never writes");
         assert_eq!(parse_shard_repr("x#shard-1/4"), None);
+    }
+
+    #[test]
+    fn subset_parse_display_roundtrips() {
+        let s = ShardSubset::parse("0,2/4").expect("parses");
+        assert_eq!(s.members(), &[0, 2]);
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.to_string(), "0,2/4");
+        assert_eq!(ShardSubset::parse(&s.to_string()).unwrap(), s);
+        // Members are normalized: unsorted and duplicated inputs canonicalize.
+        assert_eq!(ShardSubset::parse("3,1,3/4").unwrap().to_string(), "1,3/4");
+        assert_eq!(
+            ShardSubset::parse(" 1 , 2 / 8 ").unwrap().to_string(),
+            "1,2/8"
+        );
+    }
+
+    #[test]
+    fn subset_rejects_malformed_and_out_of_range() {
+        assert!(ShardSubset::parse("0,1").is_err(), "missing total");
+        assert!(ShardSubset::parse("/4").is_err(), "empty members");
+        assert!(ShardSubset::parse("a/4").is_err(), "non-numeric member");
+        assert!(ShardSubset::parse("0/x").is_err(), "non-numeric total");
+        assert!(ShardSubset::parse("4/4").is_err(), "member out of range");
+        assert!(ShardSubset::parse("0/0").is_err(), "zero total");
+        assert!(ShardSubset::new(vec![], 4).is_err(), "empty selection");
+    }
+
+    #[test]
+    fn subset_membership_and_fullness() {
+        let s = ShardSubset::parse("1,3/4").unwrap();
+        assert!(s.contains(1) && s.contains(3));
+        assert!(!s.contains(0) && !s.contains(2) && !s.contains(4));
+        assert!(!s.is_full());
+        let full = ShardSubset::full(4);
+        assert!(full.is_full());
+        assert_eq!(full.to_string(), "0,1,2,3/4");
+        assert_eq!(ShardSubset::full(0).total(), 1, "0 clamps like ShardPlan");
+        assert_eq!(s.plan().n(), 4);
+    }
+
+    #[test]
+    fn partition_covers_all_shards_without_overlap() {
+        for (total, children) in [(4u32, 2u32), (5, 2), (8, 3), (3, 5), (1, 1)] {
+            let parts = ShardSubset::partition(total, children);
+            assert_eq!(parts.len(), children.min(total).max(1) as usize);
+            let mut seen: Vec<u32> = parts.iter().flat_map(|p| p.members().to_vec()).collect();
+            seen.sort_unstable();
+            let expect: Vec<u32> = (0..total.max(1)).collect();
+            assert_eq!(
+                seen, expect,
+                "partition({total},{children}) must cover exactly"
+            );
+            let sizes: Vec<usize> = parts.iter().map(|p| p.members().len()).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "balanced within one: {sizes:?}");
+        }
+        // The canonical 4/2 layout the CI smoke run uses.
+        let parts = ShardSubset::partition(4, 2);
+        assert_eq!(parts[0].to_string(), "0,1/4");
+        assert_eq!(parts[1].to_string(), "2,3/4");
     }
 }

@@ -256,6 +256,31 @@ impl LatencyHistogram {
         self.total += other.total;
     }
 
+    /// Rebuilds a histogram from a [`buckets`](Self::buckets) snapshot —
+    /// how the merge proxy reconstitutes each child's stats histogram
+    /// from its wire-serialized `(upper_bound_µs, count)` pairs before
+    /// merging. Errors on a bound that is not a real bucket bound, so a
+    /// corrupted snapshot cannot silently shift quantiles.
+    pub fn from_buckets(buckets: &[(u64, u64)]) -> Result<Self, String> {
+        let mut h = Self::new();
+        for &(bound, count) in buckets {
+            let idx = match bound {
+                0 => 0,
+                b => {
+                    let idx = 64 - b.leading_zeros() as usize;
+                    let idx = idx.min(HISTOGRAM_BUCKETS - 1);
+                    if Self::bucket_bound_us(idx) != b {
+                        return Err(format!("{b} µs is not a histogram bucket bound"));
+                    }
+                    idx
+                }
+            };
+            h.counts[idx] += count;
+            h.total += count;
+        }
+        Ok(h)
+    }
+
     /// Non-empty `(upper_bound_µs, count)` buckets, in ascending order —
     /// the snapshot the serve stats endpoint serializes.
     pub fn buckets(&self) -> Vec<(u64, u64)> {
@@ -412,6 +437,62 @@ mod tests {
         let buckets = h.buckets();
         assert_eq!(buckets.len(), 2);
         assert_eq!(buckets[0], (3, 1));
+    }
+
+    #[test]
+    fn histogram_merge_matches_union_of_samples() {
+        // The quantiles of a merged histogram must equal those of one
+        // histogram fed the union of both sample sets — the property the
+        // multi-process stats aggregation leans on.
+        let samples_a: Vec<u64> = (0..500).map(|i| (i * 37) % 900).collect();
+        let samples_b: Vec<u64> = (0..300).map(|i| 1_000 + (i * 91) % 50_000).collect();
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut union = LatencyHistogram::new();
+        for &us in &samples_a {
+            a.record(Duration::from_micros(us));
+            union.record(Duration::from_micros(us));
+        }
+        for &us in &samples_b {
+            b.record(Duration::from_micros(us));
+            union.record(Duration::from_micros(us));
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), union.len());
+        assert_eq!(a.buckets(), union.buckets());
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), union.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn histogram_merge_with_empty_is_identity() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(42));
+        let before = h.clone();
+        h.merge(&LatencyHistogram::new());
+        assert_eq!(h, before);
+        let mut empty = LatencyHistogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn from_buckets_roundtrips_snapshots() {
+        let mut h = LatencyHistogram::new();
+        for us in [0u64, 1, 3, 900, 5_000, 200_000] {
+            h.record(Duration::from_micros(us));
+        }
+        let rebuilt = LatencyHistogram::from_buckets(&h.buckets()).expect("valid bounds");
+        assert_eq!(rebuilt, h);
+        assert_eq!(
+            LatencyHistogram::from_buckets(&[]).unwrap(),
+            LatencyHistogram::new()
+        );
+        assert!(
+            LatencyHistogram::from_buckets(&[(100, 1)]).is_err(),
+            "100 µs is not a power-of-two-minus-one bound"
+        );
     }
 
     #[test]

@@ -35,7 +35,7 @@ use er::core::filter::Filter;
 use er::core::guard::{self, Limits, RunOutcome};
 use er::core::parallel::{self, Threads};
 use er::core::schema::TextView;
-use er::core::shard::{shard_repr, ShardPlan};
+use er::core::shard::{shard_repr, ShardPlan, ShardSubset};
 use er::sparse::segmented::{manifest_repr, segment_repr};
 use er::sparse::{
     EpsilonJoin, KnnJoin, MergeScratch, RepresentationModel, SegmentedTokenSets, ShardedIndex,
@@ -169,6 +169,7 @@ pub struct Engine {
     startup: CacheStats,
     rows: usize,
     store_dir: PathBuf,
+    subset: ShardSubset,
     idx: RwLock<ShardedIndex>,
     dirty: AtomicBool,
     restored: bool,
@@ -324,11 +325,88 @@ impl Engine {
             startup,
             rows,
             store_dir: store_dir.to_path_buf(),
+            subset: ShardSubset::full(plan.n()),
             idx: RwLock::new(idx),
             dirty: AtomicBool::new(cold_split),
             restored,
             resident_bytes,
         })
+    }
+
+    /// Loads only the shards of `subset` — the restore-only open a
+    /// multi-process serving child runs (`er serve --shard-subset`).
+    /// Unlike [`Engine::open`] there is no cold-split fallback: every
+    /// owned shard's manifest must already be persisted (the supervisor
+    /// bootstraps the family before spawning children), and any missing
+    /// manifest is a structured error naming the shard — a torn family
+    /// must never silently serve a smaller collection.
+    pub fn open_subset(
+        store_dir: &Path,
+        view: &TextView,
+        method: ServeMethod,
+        subset: ShardSubset,
+    ) -> Result<Engine, String> {
+        let store =
+            er_bench::open_store_read_only(store_dir).map_err(|e| format!("open store: {e}"))?;
+        let cache = ArtifactCache::new();
+        cache.set_store(Some(Arc::new(store)));
+        let key = ArtifactKey::new(view.fingerprint(), method.repr_key());
+        let total = subset.total();
+        let mut shards = Vec::with_capacity(subset.members().len());
+        let mut missing: Vec<u32> = Vec::new();
+        for &s in subset.members() {
+            let base = shard_repr(&key.repr, s, total);
+            match Self::restore_segmented(&cache, key.dataset, &base)? {
+                Some(shard) => shards.push(shard),
+                None => missing.push(s),
+            }
+        }
+        if !missing.is_empty() {
+            let names: Vec<String> = missing
+                .iter()
+                .map(|s| format!("shard{s}/{total}"))
+                .collect();
+            return Err(format!(
+                "shard manifest(s) missing for {:?}: {} — subset {subset} needs a complete \
+                 persisted shard family (bootstrap it with `er supervise` or a full \
+                 `er serve --shards {total}` run first)",
+                key.repr,
+                names.join(", "),
+            ));
+        }
+        let startup = cache.stats();
+        drop(cache);
+        let idx = ShardedIndex::from_owned_shards(key.repr.clone(), subset.clone(), shards)?;
+        let rows = idx.query_rows();
+        let resident_bytes = idx.heap_bytes();
+        Ok(Engine {
+            method,
+            key,
+            startup,
+            rows,
+            store_dir: store_dir.to_path_buf(),
+            subset,
+            idx: RwLock::new(idx),
+            dirty: AtomicBool::new(false),
+            restored: true,
+            resident_bytes,
+        })
+    }
+
+    /// The shard subset this engine owns (full unless opened via
+    /// [`Engine::open_subset`]).
+    pub fn shard_subset(&self) -> &ShardSubset {
+        &self.subset
+    }
+
+    /// The shard of the full plan owning stable id `id`.
+    pub fn owning_shard(&self, id: u32) -> u32 {
+        self.subset.plan().shard_of(id)
+    }
+
+    /// True when `id`'s owning shard is in the served subset.
+    pub fn owns_id(&self, id: u32) -> bool {
+        self.subset.contains(self.owning_shard(id))
     }
 
     /// Number of shards the index is split across.
@@ -442,6 +520,45 @@ impl Engine {
         self.lookup_with(row, limits, &mut RowScratch::default())
     }
 
+    /// One row's scored candidates — the answer a merge proxy needs to
+    /// re-merge per-child kNN results exactly. For kNN the pairs come in
+    /// the `select_top_k` order (descending similarity, ascending id),
+    /// carrying the exact f64 similarities; the global cut over any
+    /// concatenation of per-child answers then reproduces the
+    /// single-process answer bit-for-bit. ε-join candidates have no
+    /// score, so they carry 0.0 (ascending id order, as ever).
+    fn query_row_scored(&self, row: usize, scratch: &mut RowScratch) -> Vec<(u32, f64)> {
+        let idx = self.read();
+        let mut cursor = idx.cursor_with(std::mem::take(&mut scratch.merge));
+        let scored = match &self.method {
+            ServeMethod::Epsilon(f) => cursor
+                .epsilon_row(f, row)
+                .into_iter()
+                .map(|id| (id, 0.0))
+                .collect(),
+            ServeMethod::Knn(f) => cursor.knn_row(f, row),
+        };
+        scratch.merge = cursor.into_scratches();
+        scored
+    }
+
+    /// The scored counterpart of [`Engine::lookup_with`]: same guard
+    /// frame, same `serve/query/<row>` fault site, scored candidates.
+    pub fn lookup_scored_with(
+        &self,
+        row: usize,
+        limits: Limits,
+        scratch: &mut RowScratch,
+    ) -> RunOutcome<Vec<(u32, f64)>> {
+        guard::run_guarded(limits, || {
+            if faults::enabled() {
+                faults::fire(&format!("serve/query/{row}"));
+            }
+            guard::checkpoint();
+            self.query_row_scored(row, scratch)
+        })
+    }
+
     /// A batch of guarded lookups through the deterministic parallel
     /// layer — the serving counterpart of the offline batch query path.
     /// Outcomes are returned in job order.
@@ -458,21 +575,50 @@ impl Engine {
         .collect()
     }
 
+    /// The scored counterpart of [`Engine::lookup_batch`]. Sorting the
+    /// ids of a scored answer ascending reproduces the plain answer
+    /// exactly, so the server runs every batch through this one path and
+    /// encodes each response plain or scored per request.
+    pub fn lookup_batch_scored(
+        &self,
+        jobs: &[(usize, Limits)],
+    ) -> Vec<RunOutcome<Vec<(u32, f64)>>> {
+        let chunk = parallel::query_chunk_len(jobs.len());
+        parallel::par_map_chunks_with(Threads::get(), jobs, chunk, |_, part| {
+            let mut scratch = RowScratch::default();
+            part.iter()
+                .map(|&(row, limits)| self.lookup_scored_with(row, limits, &mut scratch))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
     /// Applies one live update. Tokenization happens outside the lock;
     /// the write section is a map insert/remove. The guard frame turns
     /// an injected `delta/apply` panic into a structured failure with
     /// the index unchanged (the site fires before any mutation).
-    pub fn apply(&self, op: UpdateOp) -> RunOutcome<()> {
+    ///
+    /// Returns `Ok(true)` when the update landed in an owned shard and
+    /// `Ok(false)` — with nothing mutated — when the row's owning shard
+    /// is outside the served subset; the server turns that into a
+    /// structured `wrong-shard` refusal so a misrouted update is never
+    /// silently misplaced.
+    pub fn apply(&self, op: UpdateOp) -> RunOutcome<bool> {
         let (model, cleaner) = self.method.tokenizer();
         guard::run_guarded(Limits::catching(), || {
-            match op {
+            let routed = match op {
                 UpdateOp::Upsert { id, text } => {
                     let tokens = model.token_set(&text, &cleaner);
-                    self.write().upsert(id, tokens);
+                    self.write().upsert(id, tokens)
                 }
                 UpdateOp::Delete { id } => self.write().delete(id),
+            };
+            if routed {
+                self.dirty.store(true, Ordering::SeqCst);
             }
-            self.dirty.store(true, Ordering::SeqCst);
+            routed
         })
     }
 

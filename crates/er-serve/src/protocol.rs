@@ -28,8 +28,16 @@
 //! ```
 //!
 //! Failures carry an `error` kind (`timeout`, `failed`, `shed`,
-//! `draining`, `bad-request`) and a human-readable `detail`; a shed
-//! response adds `retry_after_ms`.
+//! `draining`, `bad-request`, `wrong-shard`) and a human-readable
+//! `detail`; a shed response adds `retry_after_ms`.
+//!
+//! A query may set `"scored":true` (the merge proxy's internal form):
+//! the response then carries the candidates in scored order plus a
+//! `score_bits` array of 16-hex-digit `f64::to_bits` strings — exact by
+//! construction, so a proxy re-running the global top-k cut over
+//! concatenated child answers reproduces the single-process answer
+//! bit-for-bit. Plain queries are byte-identical to what they always
+//! were.
 
 use er_bench::jsonl::Json;
 
@@ -44,6 +52,9 @@ pub enum Request {
         row: usize,
         /// Per-request deadline override, milliseconds.
         deadline_ms: Option<u64>,
+        /// Ask for exact similarity bits alongside the candidates (the
+        /// merge proxy's internal form; see module docs).
+        scored: bool,
     },
     /// Insert or replace one indexed-side row.
     Upsert {
@@ -134,6 +145,7 @@ impl Request {
                     id,
                     row: row as usize,
                     deadline_ms,
+                    scored: v.get("scored").and_then(Json::as_bool).unwrap_or(false),
                 })
             }
             other => Err(format!("unknown op {other:?}")),
@@ -154,6 +166,47 @@ pub fn ok_line(id: &Json, row: usize, candidates: &[u32], latency_us: u64) -> St
         ("us".to_owned(), Json::Num(latency_us as f64)),
     ])
     .encode()
+}
+
+/// A successful *scored* lookup response line: candidates in scored
+/// order with their exact similarity bits (see module docs).
+pub fn scored_line(id: &Json, row: usize, scored: &[(u32, f64)], latency_us: u64) -> String {
+    Json::Obj(vec![
+        ("id".to_owned(), id.clone()),
+        ("row".to_owned(), Json::Num(row as f64)),
+        (
+            "candidates".to_owned(),
+            Json::Arr(scored.iter().map(|&(c, _)| Json::Num(c as f64)).collect()),
+        ),
+        (
+            "score_bits".to_owned(),
+            Json::Arr(
+                scored
+                    .iter()
+                    .map(|&(_, s)| Json::Str(encode_score_bits(s)))
+                    .collect(),
+            ),
+        ),
+        ("n".to_owned(), Json::Num(scored.len() as f64)),
+        ("us".to_owned(), Json::Num(latency_us as f64)),
+    ])
+    .encode()
+}
+
+/// The exact-bits wire form of a similarity: 16 hex digits of
+/// `f64::to_bits`.
+pub fn encode_score_bits(score: f64) -> String {
+    format!("{:016x}", score.to_bits())
+}
+
+/// Inverse of [`encode_score_bits`].
+pub fn decode_score_bits(s: &str) -> Result<f64, String> {
+    if s.len() != 16 {
+        return Err(format!("score_bits {s:?} is not 16 hex digits"));
+    }
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| format!("score_bits {s:?} is not 16 hex digits"))
 }
 
 /// An update acknowledgement line (`upsert` / `delete`).
@@ -221,7 +274,8 @@ mod tests {
             Request::Query {
                 id: Json::Null,
                 row: 3,
-                deadline_ms: None
+                deadline_ms: None,
+                scored: false
             }
         );
         let r = Request::parse(r#"{"op":"query","id":7,"row":0,"deadline_ms":12.5}"#).unwrap();
@@ -230,9 +284,37 @@ mod tests {
             Request::Query {
                 id: Json::Num(7.0),
                 row: 0,
-                deadline_ms: Some(13)
+                deadline_ms: Some(13),
+                scored: false
             }
         );
+        let r = Request::parse(r#"{"row":1,"scored":true}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Query {
+                id: Json::Null,
+                row: 1,
+                deadline_ms: None,
+                scored: true
+            }
+        );
+    }
+
+    #[test]
+    fn score_bits_roundtrip_exactly() {
+        for s in [0.0, 1.0, 0.1 + 0.2, 2.0 / 3.0, f64::MIN_POSITIVE, 1e300] {
+            let bits = encode_score_bits(s);
+            assert_eq!(bits.len(), 16);
+            assert_eq!(decode_score_bits(&bits).unwrap().to_bits(), s.to_bits());
+        }
+        assert!(decode_score_bits("xyz").is_err());
+        assert!(decode_score_bits("0123").is_err(), "too short");
+
+        let line = scored_line(&Json::Num(1.0), 4, &[(9, 0.75), (2, 0.5)], 10);
+        let v = Json::parse(&line).expect("roundtrip");
+        assert_eq!(v.get("n").and_then(Json::as_f64), Some(2.0));
+        let bits = v.get("score_bits").and_then(Json::as_arr).unwrap();
+        assert_eq!(decode_score_bits(bits[0].as_str().unwrap()).unwrap(), 0.75);
     }
 
     #[test]

@@ -100,6 +100,8 @@ struct Job {
     row: usize,
     deadline: Deadline,
     admitted: Instant,
+    /// Answer with exact similarity bits (the merge proxy's form).
+    scored: bool,
     out: Arc<ConnWriter>,
 }
 
@@ -139,6 +141,9 @@ struct Shared {
     stats: Mutex<ServerStats>,
     /// Clones of accepted sockets, for shutdown during drain.
     conns: Mutex<Vec<TcpStream>>,
+    /// Process start, for the `uptime_ms` stats/health field the
+    /// supervisor compares against its own view of the child's age.
+    started: Instant,
 }
 
 impl Shared {
@@ -181,6 +186,14 @@ impl Shared {
             ("rows".into(), Json::Num(self.engine.rows() as f64)),
             ("shards".into(), Json::Num(self.engine.n_shards() as f64)),
             (
+                "shard_set".into(),
+                Json::Str(self.engine.shard_subset().to_string()),
+            ),
+            (
+                "uptime_ms".into(),
+                Json::Num(self.started.elapsed().as_millis() as f64),
+            ),
+            (
                 "artifact_bytes".into(),
                 Json::Num(self.engine.artifact_bytes() as f64),
             ),
@@ -217,6 +230,14 @@ impl Shared {
             ),
             ("rows".into(), Json::Num(self.engine.rows() as f64)),
             ("queue_depth".into(), Json::Num(self.queue.depth() as f64)),
+            (
+                "shard_set".into(),
+                Json::Str(self.engine.shard_subset().to_string()),
+            ),
+            (
+                "uptime_ms".into(),
+                Json::Num(self.started.elapsed().as_millis() as f64),
+            ),
         ])
     }
 }
@@ -246,6 +267,7 @@ impl Server {
             live_readers: AtomicUsize::new(0),
             stats: Mutex::new(ServerStats::default()),
             conns: Mutex::new(Vec::new()),
+            started: Instant::now(),
         });
         let workers = (0..shared.cfg.workers.max(1))
             .map(|_| {
@@ -386,6 +408,22 @@ fn stats_line(stats: &ServerStats, shared: &Shared) -> String {
     )
 }
 
+/// The structured refusal for an update whose row is owned by a shard
+/// outside the served subset: the detail names the owning shard so a
+/// proxy (or operator) can re-route instead of losing the update.
+fn wrong_shard_line(shared: &Shared, id: &Json, row: u32) -> String {
+    let owner = shared.engine.owning_shard(row);
+    protocol::err_line(
+        id,
+        "wrong-shard",
+        &format!(
+            "row {row} belongs to shard{owner}/{} — outside served subset {}",
+            shared.engine.n_shards(),
+            shared.engine.shard_subset(),
+        ),
+    )
+}
+
 /// Reads request lines off one connection until EOF or shutdown.
 fn run_reader(shared: &Arc<Shared>, stream: TcpStream) {
     let writer = match stream.try_clone() {
@@ -441,9 +479,13 @@ fn run_reader(shared: &Arc<Shared>, stream: TcpStream) {
                     continue;
                 }
                 match shared.engine.apply(UpdateOp::Upsert { id: row, text }) {
-                    RunOutcome::Ok(()) => {
+                    RunOutcome::Ok(true) => {
                         shared.stats.lock().unwrap().upserts += 1;
                         writer.send(&protocol::ack_line(&id, "upsert", row));
+                    }
+                    RunOutcome::Ok(false) => {
+                        shared.stats.lock().unwrap().bad_requests += 1;
+                        writer.send(&wrong_shard_line(shared, &id, row));
                     }
                     RunOutcome::Failed { reason, .. } => {
                         shared.stats.lock().unwrap().failed += 1;
@@ -462,9 +504,13 @@ fn run_reader(shared: &Arc<Shared>, stream: TcpStream) {
                     continue;
                 }
                 match shared.engine.apply(UpdateOp::Delete { id: row }) {
-                    RunOutcome::Ok(()) => {
+                    RunOutcome::Ok(true) => {
                         shared.stats.lock().unwrap().deletes += 1;
                         writer.send(&protocol::ack_line(&id, "delete", row));
+                    }
+                    RunOutcome::Ok(false) => {
+                        shared.stats.lock().unwrap().bad_requests += 1;
+                        writer.send(&wrong_shard_line(shared, &id, row));
                     }
                     RunOutcome::Failed { reason, .. } => {
                         shared.stats.lock().unwrap().failed += 1;
@@ -515,6 +561,7 @@ fn run_reader(shared: &Arc<Shared>, stream: TcpStream) {
                 id,
                 row,
                 deadline_ms,
+                scored,
             } => {
                 if row >= shared.engine.rows() {
                     shared.stats.lock().unwrap().bad_requests += 1;
@@ -533,6 +580,7 @@ fn run_reader(shared: &Arc<Shared>, stream: TcpStream) {
                     row,
                     deadline: Deadline::after(budget),
                     admitted: Instant::now(),
+                    scored,
                     out: Arc::clone(&writer),
                 };
                 match shared.queue.try_push(Task::Lookup(job)) {
@@ -613,22 +661,30 @@ fn run_worker(shared: &Arc<Shared>) {
             .iter()
             .map(|job| (job.row, Limits::catching().with_deadline(job.deadline)))
             .collect();
-        let outcomes = shared.engine.lookup_batch(&jobs);
+        let outcomes = shared.engine.lookup_batch_scored(&jobs);
         for (job, outcome) in runnable.into_iter().zip(outcomes) {
             match outcome {
-                RunOutcome::Ok(candidates) => {
+                RunOutcome::Ok(scored) => {
                     let latency = job.admitted.elapsed();
                     {
                         let mut stats = shared.stats.lock().unwrap();
                         stats.served += 1;
                         stats.histogram.record(latency);
                     }
-                    job.out.send(&protocol::ok_line(
-                        &job.id,
-                        job.row,
-                        &candidates,
-                        latency.as_micros().min(u64::MAX as u128) as u64,
-                    ));
+                    let us = latency.as_micros().min(u64::MAX as u128) as u64;
+                    if job.scored {
+                        job.out
+                            .send(&protocol::scored_line(&job.id, job.row, &scored, us));
+                    } else {
+                        // Ascending ids reproduce the plain answer exactly
+                        // (ε answers are already ascending; kNN answers
+                        // arrive in scored order and get re-sorted).
+                        let mut candidates: Vec<u32> =
+                            scored.into_iter().map(|(id, _)| id).collect();
+                        candidates.sort_unstable();
+                        job.out
+                            .send(&protocol::ok_line(&job.id, job.row, &candidates, us));
+                    }
                 }
                 RunOutcome::Failed { reason, .. } => {
                     let kind = match &reason {

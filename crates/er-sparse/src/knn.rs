@@ -88,8 +88,12 @@ impl KnnJoin {
 
     /// Selects, from `(entity, similarity)` candidates, those tying one of
     /// the `k` highest distinct similarity values. Zero similarities never
-    /// qualify.
-    pub(crate) fn select_top_k(k: usize, scored: &mut Vec<(u32, f64)>) -> usize {
+    /// qualify. Public because the multi-process merge proxy applies the
+    /// same global cut over per-child scored answers that
+    /// `ShardedCursor::knn_row` applies over per-shard ones — the sort is
+    /// descending similarity, ascending id, so the result is independent
+    /// of concatenation order.
+    pub fn select_top_k(k: usize, scored: &mut Vec<(u32, f64)>) -> usize {
         if scored.is_empty() || k == 0 {
             scored.clear();
             return 0;

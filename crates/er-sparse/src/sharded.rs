@@ -43,15 +43,22 @@ use crate::segmented::{
     SparseManifest, SparseSegment,
 };
 use er_core::parallel;
-use er_core::shard::{shard_repr, ShardPlan};
+use er_core::shard::{shard_repr, ShardPlan, ShardSubset};
 use er_store::ArtifactStore;
 use std::sync::Arc;
 
 /// One logical segmented index split across the shards of a
 /// [`ShardPlan`] (see module docs).
+///
+/// An index normally holds *every* shard of its plan, but a
+/// multi-process serving child opens only the [`ShardSubset`] it owns
+/// (see [`ShardedIndex::load_subset`]): `shards[i]` is then the index of
+/// shard `subset.members()[i]`, queries fan out over the owned shards
+/// only, and updates for rows owned elsewhere are refused rather than
+/// silently misplaced.
 #[derive(Debug)]
 pub struct ShardedIndex {
-    plan: ShardPlan,
+    subset: ShardSubset,
     base_repr: String,
     shards: Vec<SegmentedTokenSets>,
 }
@@ -85,7 +92,7 @@ impl ShardedIndex {
             })
             .collect();
         ShardedIndex {
-            plan,
+            subset: ShardSubset::full(plan.n()),
             base_repr,
             shards,
         }
@@ -123,16 +130,26 @@ impl ShardedIndex {
         plan: ShardPlan,
         shards: Vec<SegmentedTokenSets>,
     ) -> Result<Self, String> {
+        Self::from_owned_shards(base_repr, ShardSubset::full(plan.n()), shards)
+    }
+
+    /// Wraps already-assembled shards owned under `subset`: `shards[i]`
+    /// must be rooted at the shard-qualified key of `subset.members()[i]`.
+    pub fn from_owned_shards(
+        base_repr: impl Into<String>,
+        subset: ShardSubset,
+        shards: Vec<SegmentedTokenSets>,
+    ) -> Result<Self, String> {
         let base_repr = base_repr.into();
-        if shards.len() != plan.n() as usize {
+        if shards.len() != subset.members().len() {
             return Err(format!(
-                "plan has {} shard(s), got {}",
-                plan.n(),
+                "subset {subset} owns {} shard(s), got {}",
+                subset.members().len(),
                 shards.len()
             ));
         }
-        for (s, shard) in shards.iter().enumerate() {
-            let want = shard_repr(&base_repr, s as u32, plan.n());
+        for (&s, shard) in subset.members().iter().zip(&shards) {
+            let want = shard_repr(&base_repr, s, subset.total());
             if shard.base_repr() != want {
                 return Err(format!(
                     "shard {s} is rooted at {:?}, expected {want:?}",
@@ -141,20 +158,37 @@ impl ShardedIndex {
             }
         }
         Ok(ShardedIndex {
-            plan,
+            subset,
             base_repr,
             shards,
         })
     }
 
-    /// The shard plan.
-    pub fn plan(&self) -> &ShardPlan {
-        &self.plan
+    /// The shard plan (of the *full* collection — the plan is shared by
+    /// every subset of it).
+    pub fn plan(&self) -> ShardPlan {
+        self.subset.plan()
     }
 
-    /// Number of shards.
+    /// The owned shard subset (full unless opened via
+    /// [`ShardedIndex::load_subset`] / [`ShardedIndex::from_owned_shards`]).
+    pub fn subset(&self) -> &ShardSubset {
+        &self.subset
+    }
+
+    /// True when row `id`'s owning shard is in the owned subset.
+    pub fn owns(&self, id: u32) -> bool {
+        self.subset.contains(self.subset.plan().shard_of(id))
+    }
+
+    /// Number of shards in the full plan.
     pub fn n_shards(&self) -> u32 {
-        self.plan.n()
+        self.subset.total()
+    }
+
+    /// Position of `shard` in the owned `shards` vector, if owned.
+    fn pos_of(&self, shard: u32) -> Option<usize> {
+        self.subset.members().binary_search(&shard).ok()
     }
 
     /// The unqualified repr key the shard keys derive from.
@@ -206,14 +240,30 @@ impl ShardedIndex {
     }
 
     /// Inserts or replaces row `id` in its owning shard; no other shard
-    /// is touched.
-    pub fn upsert(&mut self, id: u32, tokens: Vec<u64>) {
-        self.shards[self.plan.shard_of(id) as usize].upsert(id, tokens);
+    /// is touched. Returns `false` — and mutates nothing — when the
+    /// owning shard is outside the owned subset; a subset-serving caller
+    /// must refuse the update rather than misplace the row.
+    pub fn upsert(&mut self, id: u32, tokens: Vec<u64>) -> bool {
+        match self.pos_of(self.subset.plan().shard_of(id)) {
+            Some(pos) => {
+                self.shards[pos].upsert(id, tokens);
+                true
+            }
+            None => false,
+        }
     }
 
-    /// Deletes row `id` from its owning shard; no other shard is touched.
-    pub fn delete(&mut self, id: u32) {
-        self.shards[self.plan.shard_of(id) as usize].delete(id);
+    /// Deletes row `id` from its owning shard; no other shard is
+    /// touched. Returns `false` — and mutates nothing — when the owning
+    /// shard is outside the owned subset.
+    pub fn delete(&mut self, id: u32) -> bool {
+        match self.pos_of(self.subset.plan().shard_of(id)) {
+            Some(pos) => {
+                self.shards[pos].delete(id);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Flushes every shard's delta; `true` if any shard folded one.
@@ -280,25 +330,45 @@ impl ShardedIndex {
         base_repr: &str,
         n_shards: u32,
     ) -> Result<Option<Self>, String> {
-        let plan = ShardPlan::new(n_shards);
-        let mut shards = Vec::with_capacity(plan.n() as usize);
-        let mut missing = 0usize;
-        for s in 0..plan.n() {
-            match SegmentedTokenSets::load(store, dataset, &shard_repr(base_repr, s, plan.n()))? {
+        Self::load_subset(store, dataset, base_repr, ShardSubset::full(n_shards))
+    }
+
+    /// Restores only the shards of `subset` from their per-shard
+    /// manifests — the restore-only open a multi-process serving child
+    /// uses. `Ok(None)` when *no* owned manifest exists (a clean miss);
+    /// any partial set is a structured error naming the missing shards,
+    /// never a silently smaller collection.
+    pub fn load_subset(
+        store: &ArtifactStore,
+        dataset: u64,
+        base_repr: &str,
+        subset: ShardSubset,
+    ) -> Result<Option<Self>, String> {
+        let total = subset.total();
+        let mut shards = Vec::with_capacity(subset.members().len());
+        let mut missing: Vec<u32> = Vec::new();
+        for &s in subset.members() {
+            match SegmentedTokenSets::load(store, dataset, &shard_repr(base_repr, s, total))? {
                 Some(shard) => shards.push(shard),
-                None => missing += 1,
+                None => missing.push(s),
             }
         }
-        if missing == plan.n() as usize {
+        if missing.len() == subset.members().len() {
             return Ok(None);
         }
-        if missing > 0 {
+        if !missing.is_empty() {
+            let names: Vec<String> = missing
+                .iter()
+                .map(|s| format!("shard{s}/{total}"))
+                .collect();
             return Err(format!(
-                "{missing} of {} shard manifest(s) missing for {base_repr:?}",
-                plan.n()
+                "{} of {} shard manifest(s) missing for {base_repr:?}: {}",
+                missing.len(),
+                subset.members().len(),
+                names.join(", ")
             ));
         }
-        Self::from_shards(base_repr, plan, shards).map(Some)
+        Self::from_owned_shards(base_repr, subset, shards).map(Some)
     }
 
     /// A fan-out query cursor holding one [`MergeCursor`] per shard.
@@ -574,6 +644,95 @@ mod tests {
         std::fs::remove_file(store.file_path(&torn)).expect("manifest file exists");
         let err = ShardedIndex::load(&store, 42, "rt/T1G", 3).expect_err("torn shard set");
         assert!(err.contains("missing"), "{err}");
+        assert!(
+            err.contains("shard1/3"),
+            "torn error names the shard: {err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn subset_load_serves_owned_shards_and_refuses_foreign_updates() {
+        use crate::store::{SparseManifestCodec, SparsePackedCodec, SparseSegmentCodec};
+        let dir = std::env::temp_dir().join(format!("er_sharded_subset_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::open(
+            &dir,
+            vec![
+                Box::new(SparsePackedCodec),
+                Box::new(SparseSegmentCodec),
+                Box::new(SparseManifestCodec),
+            ],
+        )
+        .expect("open store");
+
+        let query_raw = queries();
+        let full = ShardedIndex::build("sub/T1G", 4, distinct_rows(), query_raw.clone());
+        full.persist(&store, 7).expect("persist");
+
+        // The two halves of the canonical 2-child layout, re-merged,
+        // must reproduce the full index's answers exactly.
+        let lo =
+            ShardedIndex::load_subset(&store, 7, "sub/T1G", ShardSubset::parse("0,1/4").unwrap())
+                .expect("load")
+                .expect("manifests present");
+        let hi =
+            ShardedIndex::load_subset(&store, 7, "sub/T1G", ShardSubset::parse("2,3/4").unwrap())
+                .expect("load")
+                .expect("manifests present");
+        assert_eq!(lo.live_rows() + hi.live_rows(), full.live_rows());
+        assert_eq!(lo.n_shards(), 4, "subset keeps the full plan");
+        let eps = epsilon();
+        let kn = knn(3);
+        let want_eps = full.epsilon_batch(&eps, 1);
+        let lo_eps = lo.epsilon_batch(&eps, 1);
+        let hi_eps = hi.epsilon_batch(&eps, 1);
+        for (j, want) in want_eps.iter().enumerate() {
+            let mut merged: Vec<u32> = lo_eps[j].iter().chain(&hi_eps[j]).copied().collect();
+            merged.sort_unstable();
+            assert_eq!(&merged, want, "epsilon row {j}");
+        }
+        let want_knn = full.knn_batch(&kn, 1);
+        let lo_knn = lo.knn_batch(&kn, 1);
+        let hi_knn = hi.knn_batch(&kn, 1);
+        for (j, want) in want_knn.iter().enumerate() {
+            let mut merged: Vec<(u32, f64)> = lo_knn[j].iter().chain(&hi_knn[j]).copied().collect();
+            KnnJoin::select_top_k(kn.k, &mut merged);
+            assert_eq!(&merged, want, "knn row {j}");
+        }
+
+        // Updates for rows owned by the other half are refused untouched.
+        let mut lo = lo;
+        let foreign = (0..1000u32)
+            .find(|&id| !lo.owns(id))
+            .expect("some id lands in shards 2,3");
+        let owned = (0..1000u32).find(|&id| lo.owns(id)).expect("some owned id");
+        assert!(!lo.upsert(foreign, toks("alpha")), "foreign upsert refused");
+        assert!(!lo.delete(foreign), "foreign delete refused");
+        assert_eq!(lo.delta_rows(), 0, "refusal mutates nothing");
+        assert!(lo.upsert(owned, toks("alpha beta")), "owned upsert lands");
+        assert_eq!(lo.delta_rows(), 1);
+
+        // A torn subset (one owned manifest deleted) refuses to load,
+        // naming the missing shard.
+        let torn = er_core::artifacts::ArtifactKey::new(
+            7,
+            crate::segmented::manifest_repr(&shard_repr("sub/T1G", 3, 4)),
+        );
+        std::fs::remove_file(store.file_path(&torn)).expect("manifest file exists");
+        let err =
+            ShardedIndex::load_subset(&store, 7, "sub/T1G", ShardSubset::parse("2,3/4").unwrap())
+                .expect_err("torn subset");
+        assert!(err.contains("shard3/4"), "names the missing shard: {err}");
+        // …while the untouched half still loads cleanly.
+        assert!(ShardedIndex::load_subset(
+            &store,
+            7,
+            "sub/T1G",
+            ShardSubset::parse("0,1/4").unwrap()
+        )
+        .expect("load")
+        .is_some());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

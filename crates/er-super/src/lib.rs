@@ -1,0 +1,32 @@
+//! Multi-process serving: a shard-group supervisor plus a merge proxy.
+//!
+//! `er supervise` splits a persisted shard family across N `er serve`
+//! child processes (each opened restore-only on its subset via
+//! `--shard-subset`) and presents them as ONE endpoint speaking the
+//! same line-delimited JSON wire protocol:
+//!
+//! - [`family`] classifies the persisted shard family (complete /
+//!   absent / torn), bootstraps an absent one, and refuses a torn one
+//!   with a structured error naming every missing shard — before any
+//!   child process exists.
+//! - [`supervisor`] spawns and verifies the children (in-band health
+//!   probes check the served shard set), restarts crashes under
+//!   doubling backoff, and `SIGKILL`s children that stop answering.
+//! - [`proxy`] fans each lookup across the children and merges the
+//!   answers back into exactly the single-process result (ascending-id
+//!   concatenation for epsilon, an exact-scored global top-k re-cut for
+//!   kNN), translating child shed/drain/death into bounded in-deadline
+//!   retries or structured `unavailable` rows.
+//!
+//! The pieces compose in `er supervise` (see `er-cli`): verify family →
+//! start supervisor → start proxy → serve until drain → shut the group
+//! down.
+
+pub mod family;
+pub mod process;
+pub mod proxy;
+pub mod supervisor;
+
+pub use family::{ensure_family, probe_family, torn_error, FamilyState};
+pub use proxy::{Proxy, ProxyStats};
+pub use supervisor::{ChildSlot, SuperConfig, Supervisor};

@@ -1,0 +1,141 @@
+//! Child-process plumbing: spawning one `er serve` subset child and the
+//! `kill(2)` binding the supervisor uses for health-check escalation and
+//! shutdown.
+//!
+//! Like the serve daemon's `signal(2)` handler and the store's `mmap`
+//! wrapper, the one syscall this needs is hand-rolled instead of pulled
+//! in as a dependency.
+
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// `SIGTERM`: ask a child to drain gracefully.
+pub const SIGTERM: i32 = 15;
+/// `SIGKILL`: remove a child that stopped answering.
+pub const SIGKILL: i32 = 9;
+
+#[cfg(unix)]
+mod sys {
+    extern "C" {
+        pub fn kill(pid: i32, sig: i32) -> i32;
+    }
+}
+
+/// Sends `sig` to `pid`; `false` when the process is already gone (or
+/// off unix, where supervision is not supported). Signal `0` probes
+/// liveness without delivering anything.
+pub fn send_signal(pid: u32, sig: i32) -> bool {
+    #[cfg(unix)]
+    {
+        unsafe { sys::kill(pid as i32, sig) == 0 }
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = (pid, sig);
+        false
+    }
+}
+
+/// A spawned serve child that printed its banner.
+pub struct SpawnedChild {
+    /// The process handle (wait on it to observe exits).
+    pub child: Child,
+    /// The address the child bound (parsed from its `serving on` banner).
+    pub addr: SocketAddr,
+}
+
+/// Spawns one `er serve` child for `subset`, waits for its
+/// `serving on <addr>` stdout banner within `banner_timeout`, and leaves
+/// forwarder threads relaying the child's remaining stdout/stderr lines
+/// to this process's stderr under a `child{index}:` prefix. A child that
+/// exits or stays silent past the timeout is killed and reported as a
+/// structured error.
+pub fn spawn_serve_child(
+    binary: &std::path::Path,
+    common_args: &[String],
+    subset: &str,
+    index: usize,
+    banner_timeout: Duration,
+) -> Result<SpawnedChild, String> {
+    let mut cmd = Command::new(binary);
+    cmd.arg("serve")
+        .args(common_args)
+        .args(["--addr", "127.0.0.1:0", "--shard-subset", subset])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    let mut child = cmd
+        .spawn()
+        .map_err(|e| format!("child {index}: cannot spawn {}: {e}", binary.display()))?;
+    let pid = child.id();
+
+    let stdout = child.stdout.take().expect("stdout was piped");
+    let stderr = child.stderr.take().expect("stderr was piped");
+    let (tx, rx) = mpsc::channel::<SocketAddr>();
+    std::thread::spawn(move || {
+        use std::io::BufRead;
+        let mut tx = Some(tx);
+        for line in std::io::BufReader::new(stdout).lines() {
+            let Ok(line) = line else { break };
+            if let (Some(sender), Some(addr)) = (&tx, parse_banner(&line)) {
+                // The banner is consumed, not forwarded — the supervisor
+                // prints its own per-child serving line.
+                let _ = sender.send(addr);
+                tx = None;
+                continue;
+            }
+            eprintln!("child{index}: {line}");
+        }
+    });
+    std::thread::spawn(move || {
+        use std::io::BufRead;
+        for line in std::io::BufReader::new(stderr).lines() {
+            let Ok(line) = line else { break };
+            eprintln!("child{index}: {line}");
+        }
+    });
+
+    match rx.recv_timeout(banner_timeout) {
+        Ok(addr) => Ok(SpawnedChild { child, addr }),
+        Err(_) => {
+            send_signal(pid, SIGKILL);
+            let _ = child.wait();
+            Err(format!(
+                "child {index} (shards {subset}) did not print its serving banner within \
+                 {banner_timeout:?} — startup failed or hung"
+            ))
+        }
+    }
+}
+
+/// Parses the `serving on <addr>` banner line every serve daemon prints.
+pub fn parse_banner(line: &str) -> Option<SocketAddr> {
+    line.trim().strip_prefix("serving on ")?.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banner_parses_and_rejects_noise() {
+        assert_eq!(
+            parse_banner("serving on 127.0.0.1:4567"),
+            Some("127.0.0.1:4567".parse().unwrap())
+        );
+        assert_eq!(parse_banner("serve: loaded something"), None);
+        assert_eq!(parse_banner("serving on nowhere"), None);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn signal_zero_probes_liveness() {
+        assert!(send_signal(std::process::id(), 0), "self is alive");
+        // PID 1 exists but a non-root test process may lack permission;
+        // either way the call must not panic. A wildly unused pid is
+        // reliably dead.
+        assert!(!send_signal(u32::MAX - 7, 0), "no such process");
+    }
+}

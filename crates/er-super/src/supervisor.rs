@@ -1,0 +1,455 @@
+//! The shard-group supervisor: one monitor thread per child keeps an
+//! `er serve` subset process alive, restarting crashes under doubling
+//! backoff; a health thread probes every child in-band and escalates a
+//! silent child to `SIGKILL` so the monitor can replace it.
+
+use crate::process::{self, spawn_serve_child, SpawnedChild, SIGKILL, SIGTERM};
+use er::core::shard::ShardSubset;
+use er_bench::jsonl::Json;
+use er_bench::wire::WireClient;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Everything the supervisor and its merge proxy need to run one shard
+/// group: how to spawn children, how patient to be with them, and how
+/// the proxy paces retries.
+#[derive(Debug, Clone)]
+pub struct SuperConfig {
+    /// Proxy bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Total shards in the family.
+    pub shards: u32,
+    /// Child processes the shards are partitioned across.
+    pub children: u32,
+    /// The `er` binary children are spawned from.
+    pub child_binary: PathBuf,
+    /// Flags shared by every child's `serve` invocation (dataset,
+    /// method, store); the supervisor appends `--addr`/`--shard-subset`.
+    pub child_args: Vec<String>,
+    /// How long a freshly spawned child may take to print its banner.
+    pub banner_timeout: Duration,
+    /// Pause between health sweeps.
+    pub health_interval: Duration,
+    /// Per-probe connect/roundtrip deadline (also bounds the stats
+    /// fan-out).
+    pub health_timeout: Duration,
+    /// Consecutive failed probes before the child is `SIGKILL`ed.
+    pub health_failures: u32,
+    /// First restart delay after a child exit.
+    pub backoff_initial: Duration,
+    /// Restart delay ceiling (doubling stops here).
+    pub backoff_max: Duration,
+    /// A child that stayed up this long resets the backoff ladder.
+    pub backoff_reset: Duration,
+    /// On shutdown, children still alive this long after `SIGTERM` are
+    /// `SIGKILL`ed.
+    pub kill_grace: Duration,
+    /// Proxy-side deadline for requests that do not carry their own.
+    pub default_deadline: Duration,
+    /// `retry_after_ms` advisory on the proxy's `unavailable` rows.
+    pub retry_after_ms: u64,
+}
+
+impl SuperConfig {
+    /// A config with conservative defaults for everything but the
+    /// required trio: binary, family size, child count.
+    pub fn new(child_binary: PathBuf, shards: u32, children: u32) -> SuperConfig {
+        SuperConfig {
+            addr: "127.0.0.1:7879".to_owned(),
+            shards,
+            children,
+            child_binary,
+            child_args: Vec::new(),
+            banner_timeout: Duration::from_secs(60),
+            health_interval: Duration::from_millis(500),
+            health_timeout: Duration::from_secs(1),
+            health_failures: 3,
+            backoff_initial: Duration::from_millis(100),
+            backoff_max: Duration::from_secs(2),
+            backoff_reset: Duration::from_secs(5),
+            kill_grace: Duration::from_secs(2),
+            default_deadline: Duration::from_secs(1),
+            retry_after_ms: 50,
+        }
+    }
+}
+
+/// Where one child currently is (mutated only by its monitor thread).
+#[derive(Default)]
+struct SlotState {
+    /// Bumped on every (re)registration — the proxy keys cached
+    /// connections on it so a restarted child is re-dialed.
+    generation: u64,
+    addr: Option<SocketAddr>,
+    pid: Option<u32>,
+}
+
+/// One supervised child: its shard assignment plus live endpoint state.
+pub struct ChildSlot {
+    /// Position in the group (stable across restarts).
+    pub index: usize,
+    /// The shard subset this child serves.
+    pub subset: ShardSubset,
+    state: Mutex<SlotState>,
+    restarts: AtomicU64,
+    unhealthy: AtomicU32,
+}
+
+impl ChildSlot {
+    fn new(index: usize, subset: ShardSubset) -> ChildSlot {
+        ChildSlot {
+            index,
+            subset,
+            state: Mutex::new(SlotState::default()),
+            restarts: AtomicU64::new(0),
+            unhealthy: AtomicU32::new(0),
+        }
+    }
+
+    /// The child's current endpoint and its registration generation, or
+    /// `None` while the child is down/restarting.
+    pub fn endpoint(&self) -> Option<(u64, SocketAddr)> {
+        let state = self.state.lock().expect("slot lock");
+        state.addr.map(|addr| (state.generation, addr))
+    }
+
+    /// The child's current pid, if one is running.
+    pub fn pid(&self) -> Option<u32> {
+        self.state.lock().expect("slot lock").pid
+    }
+
+    /// How many times this child has been restarted.
+    pub fn restarts(&self) -> u64 {
+        self.restarts.load(Ordering::SeqCst)
+    }
+
+    fn register(&self, addr: SocketAddr, pid: u32) {
+        let mut state = self.state.lock().expect("slot lock");
+        state.generation += 1;
+        state.addr = Some(addr);
+        state.pid = Some(pid);
+        self.unhealthy.store(0, Ordering::SeqCst);
+    }
+
+    fn clear(&self) {
+        let mut state = self.state.lock().expect("slot lock");
+        state.addr = None;
+        state.pid = None;
+    }
+}
+
+/// Sleeps up to `total`, returning early once `stop` is set.
+fn sleep_interruptible(total: Duration, stop: &AtomicBool) {
+    let deadline = Instant::now() + total;
+    while !stop.load(Ordering::SeqCst) {
+        let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+            return;
+        };
+        if left.is_zero() {
+            return;
+        }
+        std::thread::sleep(left.min(Duration::from_millis(25)));
+    }
+}
+
+/// One in-band `{"op":"health"}` probe, also verifying the child serves
+/// exactly the shard set it was assigned.
+fn verify_membership(
+    addr: SocketAddr,
+    subset: &ShardSubset,
+    timeout: Duration,
+) -> Result<(), String> {
+    let mut client =
+        WireClient::connect(&addr.to_string(), timeout).map_err(|e| format!("connect: {e}"))?;
+    let line = client
+        .roundtrip(r#"{"op":"health"}"#)
+        .map_err(|e| format!("health roundtrip: {e}"))?;
+    let doc = Json::parse(&line).map_err(|e| format!("health response unparsable: {e}"))?;
+    if doc.get("ok").and_then(Json::as_bool) != Some(true) {
+        return Err(format!("child not healthy: {line}"));
+    }
+    let reported = doc.get("shard_set").and_then(Json::as_str);
+    let expected = subset.to_string();
+    if reported != Some(expected.as_str()) {
+        return Err(format!(
+            "shard membership mismatch: child reports {reported:?}, supervisor assigned \
+             {expected:?} — refusing to route through a child serving the wrong shards"
+        ));
+    }
+    Ok(())
+}
+
+/// Spawns the slot's child and verifies its shard membership before
+/// admitting it; a child that comes up with the wrong shards is killed
+/// on the spot.
+fn spawn_and_verify(cfg: &SuperConfig, slot: &ChildSlot) -> Result<SpawnedChild, String> {
+    let spawned = spawn_serve_child(
+        &cfg.child_binary,
+        &cfg.child_args,
+        &slot.subset.to_string(),
+        slot.index,
+        cfg.banner_timeout,
+    )?;
+    if let Err(e) = verify_membership(spawned.addr, &slot.subset, cfg.health_timeout) {
+        let pid = spawned.child.id();
+        process::send_signal(pid, SIGKILL);
+        let mut child = spawned.child;
+        let _ = child.wait();
+        return Err(format!("child {}: {e}", slot.index));
+    }
+    Ok(spawned)
+}
+
+fn describe_exit(status: std::io::Result<std::process::ExitStatus>) -> String {
+    match status {
+        Ok(s) => s.to_string(),
+        Err(e) => format!("wait failed: {e}"),
+    }
+}
+
+/// Keeps one slot occupied: waits on the live child, restarts it under
+/// doubling backoff when it dies, and stands down on shutdown.
+fn monitor_loop(
+    cfg: Arc<SuperConfig>,
+    slot: Arc<ChildSlot>,
+    shutdown: Arc<AtomicBool>,
+    first: SpawnedChild,
+) {
+    let mut backoff = cfg.backoff_initial;
+    let mut live = Some(first);
+    loop {
+        if let Some(mut spawned) = live.take() {
+            if shutdown.load(Ordering::SeqCst) {
+                // Shutdown raced the (re)spawn: this child may have
+                // missed the supervisor's SIGTERM sweep.
+                process::send_signal(spawned.child.id(), SIGTERM);
+            }
+            let started = Instant::now();
+            let status = spawned.child.wait();
+            slot.clear();
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let n = slot.restarts.fetch_add(1, Ordering::SeqCst) + 1;
+            eprintln!(
+                "supervise: child {} (shards {}) exited ({}); restart #{n} in {backoff:?}",
+                slot.index,
+                slot.subset,
+                describe_exit(status),
+            );
+            if started.elapsed() >= cfg.backoff_reset {
+                backoff = cfg.backoff_initial;
+            }
+        }
+        sleep_interruptible(backoff, &shutdown);
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        backoff = (backoff * 2).min(cfg.backoff_max);
+        match spawn_and_verify(&cfg, &slot) {
+            Ok(spawned) => {
+                slot.register(spawned.addr, spawned.child.id());
+                eprintln!(
+                    "supervise: child {} (shards {}) pid {} serving on {}",
+                    slot.index,
+                    slot.subset,
+                    spawned.child.id(),
+                    spawned.addr,
+                );
+                live = Some(spawned);
+            }
+            Err(e) => {
+                eprintln!("supervise: child {}: respawn failed: {e}", slot.index);
+            }
+        }
+    }
+}
+
+/// Probes every up child each interval; `health_failures` consecutive
+/// misses escalate to `SIGKILL` (the monitor thread then restarts it).
+fn health_loop(cfg: Arc<SuperConfig>, slots: Vec<Arc<ChildSlot>>, shutdown: Arc<AtomicBool>) {
+    while !shutdown.load(Ordering::SeqCst) {
+        sleep_interruptible(cfg.health_interval, &shutdown);
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        for slot in &slots {
+            let Some((_, addr)) = slot.endpoint() else {
+                // Down children belong to their monitor's backoff loop.
+                slot.unhealthy.store(0, Ordering::SeqCst);
+                continue;
+            };
+            match verify_membership(addr, &slot.subset, cfg.health_timeout) {
+                Ok(()) => slot.unhealthy.store(0, Ordering::SeqCst),
+                Err(e) => {
+                    let misses = slot.unhealthy.fetch_add(1, Ordering::SeqCst) + 1;
+                    eprintln!(
+                        "supervise: child {} health probe failed ({misses}/{}): {e}",
+                        slot.index, cfg.health_failures,
+                    );
+                    if misses >= cfg.health_failures {
+                        if let Some(pid) = slot.pid() {
+                            eprintln!(
+                                "supervise: child {} unresponsive — sending SIGKILL to pid {pid}",
+                                slot.index,
+                            );
+                            process::send_signal(pid, SIGKILL);
+                        }
+                        slot.unhealthy.store(0, Ordering::SeqCst);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A running shard group: every child spawned, verified, and under
+/// monitoring.
+pub struct Supervisor {
+    slots: Vec<Arc<ChildSlot>>,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    kill_grace: Duration,
+}
+
+impl Supervisor {
+    /// Spawns one child per partition subset and verifies each serves
+    /// its assigned shards before returning. Any startup failure tears
+    /// down every already-spawned child — a failed start leaves no
+    /// orphan process behind.
+    pub fn start(cfg: Arc<SuperConfig>) -> Result<Supervisor, String> {
+        let subsets = ShardSubset::partition(cfg.shards, cfg.children);
+        let slots: Vec<Arc<ChildSlot>> = subsets
+            .into_iter()
+            .enumerate()
+            .map(|(i, subset)| Arc::new(ChildSlot::new(i, subset)))
+            .collect();
+        let mut spawned: Vec<SpawnedChild> = Vec::with_capacity(slots.len());
+        for slot in &slots {
+            match spawn_and_verify(&cfg, slot) {
+                Ok(child) => {
+                    eprintln!(
+                        "supervise: child {} (shards {}) pid {} serving on {}",
+                        slot.index,
+                        slot.subset,
+                        child.child.id(),
+                        child.addr,
+                    );
+                    spawned.push(child);
+                }
+                Err(e) => {
+                    for mut sc in spawned {
+                        process::send_signal(sc.child.id(), SIGKILL);
+                        let _ = sc.child.wait();
+                    }
+                    return Err(format!("shard group startup failed: {e}"));
+                }
+            }
+        }
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::with_capacity(slots.len() + 1);
+        for (slot, child) in slots.iter().zip(spawned) {
+            slot.register(child.addr, child.child.id());
+            let (cfg, slot, shutdown) = (cfg.clone(), slot.clone(), shutdown.clone());
+            threads.push(std::thread::spawn(move || {
+                monitor_loop(cfg, slot, shutdown, child)
+            }));
+        }
+        {
+            let (cfg, slots, shutdown) = (cfg.clone(), slots.clone(), shutdown.clone());
+            threads.push(std::thread::spawn(move || {
+                health_loop(cfg, slots, shutdown)
+            }));
+        }
+        Ok(Supervisor {
+            slots,
+            shutdown,
+            threads,
+            kill_grace: cfg.kill_grace,
+        })
+    }
+
+    /// The supervised children, in shard order (slot `i` owns the
+    /// `i`-th partition subset).
+    pub fn slots(&self) -> &[Arc<ChildSlot>] {
+        &self.slots
+    }
+
+    /// Total restarts across the group.
+    pub fn restart_total(&self) -> u64 {
+        self.slots.iter().map(|s| s.restarts()).sum()
+    }
+
+    /// Drains the group: `SIGTERM` to every child (each serve daemon
+    /// drains in-flight work), `SIGKILL` after `kill_grace` for any
+    /// holdout, then joins every supervision thread.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for slot in &self.slots {
+            if let Some(pid) = slot.pid() {
+                process::send_signal(pid, SIGTERM);
+            }
+        }
+        // Watchdog: detached on purpose — it only matters if a child
+        // ignores SIGTERM past the grace window, and it dies with the
+        // process otherwise.
+        let (slots, grace) = (self.slots.clone(), self.kill_grace);
+        std::thread::spawn(move || {
+            std::thread::sleep(grace);
+            for slot in &slots {
+                if let Some(pid) = slot.pid() {
+                    process::send_signal(pid, SIGKILL);
+                }
+            }
+        });
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_endpoint_tracks_generation_across_restarts() {
+        let slot = ChildSlot::new(0, ShardSubset::parse("0,1/4").unwrap());
+        assert_eq!(slot.endpoint(), None);
+        let a1: SocketAddr = "127.0.0.1:4000".parse().unwrap();
+        slot.register(a1, 100);
+        assert_eq!(slot.endpoint(), Some((1, a1)));
+        assert_eq!(slot.pid(), Some(100));
+        slot.clear();
+        assert_eq!(slot.endpoint(), None);
+        assert_eq!(slot.pid(), None);
+        let a2: SocketAddr = "127.0.0.1:4001".parse().unwrap();
+        slot.register(a2, 101);
+        assert_eq!(slot.endpoint(), Some((2, a2)), "generation advanced");
+    }
+
+    #[test]
+    fn interruptible_sleep_returns_early_on_stop() {
+        let stop = AtomicBool::new(true);
+        let start = Instant::now();
+        sleep_interruptible(Duration::from_secs(5), &stop);
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn backoff_ladder_doubles_to_cap() {
+        let cfg = SuperConfig::new(PathBuf::from("er"), 4, 2);
+        let mut backoff = cfg.backoff_initial;
+        let mut seen = Vec::new();
+        for _ in 0..6 {
+            backoff = (backoff * 2).min(cfg.backoff_max);
+            seen.push(backoff);
+        }
+        assert_eq!(seen[0], Duration::from_millis(200));
+        assert_eq!(*seen.last().unwrap(), cfg.backoff_max);
+        assert!(seen.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,177 @@
+#!/usr/bin/env bash
+# Smoke test of multi-process serving (`er supervise`), end to end:
+#
+# 1. Builds an artifact store with a quick sweep, then persists the
+#    4-shard family by running (and draining) a single-process
+#    `er serve --shards 4` — recording its answers as the reference.
+# 2. Launches `er supervise --shards 4 --children 2` over the same
+#    store: two `er serve --shard-subset` children behind one merge
+#    proxy. The children must restore the family from the store (zero
+#    prepare work).
+# 3. Runs two concurrent scripted clients through the proxy and
+#    requires both byte-identical (up to the `us` latency field) to the
+#    single-process reference — the merge-order contract.
+# 4. SIGKILLs one child mid-load: every in-flight answer must be a
+#    candidates row or a structured unavailable/timeout row (never a
+#    hang or a torn line), the supervisor must log `restart #1`, and
+#    lookups must recover.
+# 5. SIGTERMs the supervisor and asserts the drain contract: exit 0 and
+#    the grep-able `supervise:` summary on stderr.
+# 6. Appends the proxy lookup throughput to results/bench_history.jsonl
+#    and fails on a >20% regression against the median of the last five
+#    recorded runs. Leaves BENCH_proxy.json.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+STORE="${PROXY_STORE:-proxy-store}"
+REF_PORT="${PROXY_REF_PORT:-7893}"
+PORT="${PROXY_PORT:-7894}"
+SHARDS=4
+CHILDREN=2
+N="${PROXY_ROWS:-120}"
+DATASET_FLAGS=(--profile D5 --scale 0.06 --seed 11
+               --method epsilon --clean --model T1G)
+
+echo "== building er-cli and bench_history (release)" >&2
+cargo build --release -p er-cli >&2
+cargo build --release -p er-bench --bin bench_history >&2
+ER=target/release/er
+
+echo "== building the artifact store" >&2
+cargo run --release --bin table7_main -- \
+  --datasets D5 --scale 0.06 --grid quick --reps 1 --dim 32 --seed 11 \
+  --store-dir "$STORE" > /dev/null 2> sweep.log
+ls "$STORE"/*.erst > /dev/null
+
+# Pipelines N lookups on fd 3 and reads exactly N response lines (the
+# daemon keeps the connection open after answering, so never read to
+# EOF). Usage: query_rows PORT OUTFILE
+query_rows() {
+  local port="$1" out="$2" i line
+  exec 3<>"/dev/tcp/127.0.0.1/$port"
+  for ((i = 0; i < N; i++)); do
+    printf '{"id":%d,"row":%d}\n' "$i" "$i" >&3
+  done
+  : > "$out"
+  for ((i = 0; i < N; i++)); do
+    IFS= read -r -t 30 line <&3
+    printf '%s\n' "$line" >> "$out"
+  done
+  exec 3<&- 3>&-
+}
+
+# Waits for the `serving on` banner of the daemon whose stdout is $2
+# and whose pid is $1 (stderr log: $3).
+wait_banner() {
+  local pid="$1" out="$2" log="$3"
+  for _ in $(seq 1 200); do
+    grep -q "serving on " "$out" 2>/dev/null && return 0
+    kill -0 "$pid" 2>/dev/null || { cat "$log" >&2; return 1; }
+    sleep 0.1
+  done
+  cat "$log" >&2
+  return 1
+}
+
+echo "== single-process reference: er serve --shards $SHARDS" >&2
+"$ER" serve --store-dir "$STORE" "${DATASET_FLAGS[@]}" \
+  --shards "$SHARDS" --addr "127.0.0.1:$REF_PORT" \
+  > ref.out 2> ref.log &
+REF_PID=$!
+wait_banner "$REF_PID" ref.out ref.log
+query_rows "$REF_PORT" ref_responses.txt
+kill -TERM "$REF_PID"
+wait "$REF_PID"                 # drain must exit 0 (and persist shards)
+grep -q 'persisted segmented index' ref.log
+
+echo "== launching er supervise: $CHILDREN children / $SHARDS shards" >&2
+"$ER" supervise --store-dir "$STORE" "${DATASET_FLAGS[@]}" \
+  --shards "$SHARDS" --children "$CHILDREN" --addr "127.0.0.1:$PORT" \
+  --backoff-ms 100 --deadline-ms 1000 \
+  > supervise.out 2> supervise.log &
+SUPER_PID=$!
+wait_banner "$SUPER_PID" supervise.out supervise.log
+echo "== proxy up: $(cat supervise.out)" >&2
+grep -q 'restored segmented index' supervise.log   # children did no prepare
+
+echo "== two concurrent clients, $N lookups each, through the proxy" >&2
+START_NS=$(date +%s%N)
+query_rows "$PORT" proxy_a.txt &
+CLIENT_A=$!
+( query_rows "$PORT" proxy_b.txt )
+wait "$CLIENT_A"
+ELAPSED_NS=$(( $(date +%s%N) - START_NS ))
+
+strip_us() { sed -E 's/,"us":[0-9]+//' "$1"; }
+cmp <(strip_us ref_responses.txt) <(strip_us proxy_a.txt) || {
+  echo "MERGE FAILURE: client A differs from the single-process run" >&2
+  exit 1
+}
+cmp <(strip_us ref_responses.txt) <(strip_us proxy_b.txt) || {
+  echo "MERGE FAILURE: client B differs from the single-process run" >&2
+  exit 1
+}
+ROWS_PER_S=$(( (2 * N) * 1000000000 / ELAPSED_NS ))
+echo "== byte-identical through the proxy ($ROWS_PER_S rows/s)" >&2
+
+echo "== in-band health and stats through the proxy" >&2
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf '{"op":"health"}\n' >&3
+IFS= read -r -t 30 health <&3
+echo "$health" | grep -q '"status":"serving"'
+echo "$health" | grep -q "\"children_up\":$CHILDREN"
+echo "$health" | grep -q '"uptime_ms"'
+printf '{"op":"stats"}\n' >&3
+IFS= read -r -t 30 stats <&3
+echo "$stats" | grep -q '"p50_us"'
+echo "$stats" | grep -q '"shard_set":"0,1,2,3/4"'
+echo "$stats" | grep -q "\"children_reporting\":$CHILDREN"
+
+echo "== SIGKILL child 0 mid-load" >&2
+CHILD0_PID=$(sed -n 's/^supervise: child 0 (shards [^)]*) pid \([0-9]*\) serving on.*/\1/p' \
+             supervise.log | head -1)
+test -n "$CHILD0_PID"
+kill -KILL "$CHILD0_PID"
+RECOVERED=0
+for i in $(seq 1 100); do
+  printf '{"id":%d,"row":0}\n' $((1000 + i)) >&3
+  IFS= read -r -t 30 line <&3
+  case "$line" in
+    *'"candidates"'*)
+      if [ "$i" -gt 1 ] || grep -q 'restart #1' supervise.log; then
+        RECOVERED=1; break
+      fi ;;
+    *'"error":"unavailable"'*|*'"error":"timeout"'*) ;;   # structured, bounded
+    *) echo "PROTOCOL FAILURE: unstructured row under child death: $line" >&2
+       exit 1 ;;
+  esac
+  sleep 0.1
+done
+test "$RECOVERED" -eq 1 || {
+  echo "RESTART FAILURE: lookups never recovered after SIGKILL" >&2
+  exit 1
+}
+grep -q 'restart #1' supervise.log
+echo "== child restarted, lookups recovered" >&2
+exec 3<&- 3>&-
+
+echo "== SIGTERM: drain and exit 0" >&2
+kill -TERM "$SUPER_PID"
+wait "$SUPER_PID"               # non-zero exit fails the script here
+grep -q 'supervise: .* served / .* failed' supervise.log
+echo "== summary: $(grep 'supervise: .* served' supervise.log | tail -1)" >&2
+
+cat > BENCH_proxy.json <<EOF
+{"bench":"proxy_serve","shards":$SHARDS,"children":$CHILDREN,
+ "rows":$((2 * N)),"candidate_sets_identical":true,
+ "throughput":{"rows_per_s":$ROWS_PER_S}}
+EOF
+echo "== wrote BENCH_proxy.json" >&2
+cat BENCH_proxy.json
+
+echo "== gating against results/bench_history.jsonl" >&2
+target/release/bench_history --bench BENCH_proxy.json \
+    --history results/bench_history.jsonl --append --check >&2
+
+echo "proxy smoke OK" >&2

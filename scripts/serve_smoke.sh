@@ -68,10 +68,14 @@ echo "== in-band health and stats probes" >&2
 printf '{"op":"health"}\n' >&3
 IFS= read -r -t 30 health <&3
 echo "$health" | grep -q '"status":"serving"'
+echo "$health" | grep -q '"shard_set":"0/1"'
+echo "$health" | grep -Eq '"uptime_ms":[0-9]+'
 printf '{"op":"stats"}\n' >&3
 IFS= read -r -t 30 stats <&3
 echo "$stats" | grep -q '"p50_us"'
 echo "$stats" | grep -q '"store_hits":1'
+echo "$stats" | grep -q '"shard_set":"0/1"'
+echo "$stats" | grep -Eq '"uptime_ms":[0-9]+'
 exec 3<&- 3>&-
 
 echo "== SIGTERM: drain and exit 0" >&2

@@ -533,12 +533,12 @@ fn sharded_engine_is_byte_identical_and_resumes_from_persisted_shards() {
             let text = fx.view.e1[id as usize].clone() + " " + text;
             assert!(matches!(
                 engine.apply(er_serve::UpdateOp::Upsert { id, text }),
-                RunOutcome::Ok(())
+                RunOutcome::Ok(true)
             ));
         }
         assert!(matches!(
             engine.apply(er_serve::UpdateOp::Delete { id: 7 }),
-            RunOutcome::Ok(())
+            RunOutcome::Ok(true)
         ));
         engine.compact().ok().expect("compact");
     }
